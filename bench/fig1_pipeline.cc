@@ -1,0 +1,143 @@
+// Figure 1 — the CWI/Multimedia Pipeline. Times every stage separately and
+// contrasts descriptor-only manipulation against media-touching filter
+// application — the paper's section-6 claim that "much of the work
+// associated with manipulating a document can be based on relatively small
+// clusters of data (the attributes) rather than the often massive amounts of
+// media-based data itself". Expected shape: filter-apply dominates by orders
+// of magnitude; every attribute-level stage is microseconds-to-milliseconds.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/news/evening_news.h"
+#include "src/pipeline/pipeline.h"
+
+namespace cmif {
+namespace {
+
+NewsWorkload& MaterializedNews() {
+  static NewsWorkload* const kWorkload = [] {
+    NewsOptions options;
+    options.stories = 2;
+    options.materialize_media = true;
+    auto workload = BuildEveningNews(options);
+    if (!workload.ok()) {
+      std::cerr << workload.status() << "\n";
+      std::abort();
+    }
+    return new NewsWorkload(std::move(workload).value());
+  }();
+  return *kWorkload;
+}
+
+void PrintFigure() {
+  NewsWorkload& workload = MaterializedNews();
+  std::cout << "==== Figure 1: pipeline stages, descriptor-only vs with-data ====\n";
+  for (bool apply : {false, true}) {
+    PipelineOptions options;
+    options.profile = PersonalSystemProfile();
+    options.apply_filters = apply;
+    auto report = RunPipeline(workload.document, workload.store, workload.blocks, options);
+    if (!report.ok()) {
+      std::cerr << report.status() << "\n";
+      return;
+    }
+    std::cout << "\n-- mode: " << (apply ? "with-data (filters applied)" : "descriptor-only")
+              << " --\n"
+              << report->Summary();
+    if (apply) {
+      std::cout << report->filter.ToString();
+    }
+  }
+}
+
+void BM_Stage_Validate(benchmark::State& state) {
+  NewsWorkload& workload = MaterializedNews();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValidateDocument(workload.document, &workload.store));
+  }
+}
+BENCHMARK(BM_Stage_Validate);
+
+void BM_Stage_PresentationMap(benchmark::State& state) {
+  NewsWorkload& workload = MaterializedNews();
+  VirtualEnvironment env = VirtualEnvironment::NewsLayout(640, 480);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PresentationMap::AutoMap(workload.document.channels(), env));
+  }
+}
+BENCHMARK(BM_Stage_PresentationMap);
+
+void BM_Stage_FilterPlan(benchmark::State& state) {
+  // Descriptor-only: reads attributes, never media bytes.
+  NewsWorkload& workload = MaterializedNews();
+  SystemProfile profile = PersonalSystemProfile();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanDocumentFilter(workload.document, workload.store, profile));
+  }
+}
+BENCHMARK(BM_Stage_FilterPlan);
+
+void BM_Stage_FilterApply(benchmark::State& state) {
+  // Media-touching: decodes, reduces and re-stores every payload.
+  NewsWorkload& workload = MaterializedNews();
+  SystemProfile profile = PersonalSystemProfile();
+  auto plan = PlanDocumentFilter(workload.document, workload.store, profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyDocumentFilter(workload.store, workload.blocks, *plan));
+  }
+}
+BENCHMARK(BM_Stage_FilterApply);
+
+void BM_Stage_Schedule(benchmark::State& state) {
+  NewsWorkload& workload = MaterializedNews();
+  auto events = CollectEvents(workload.document, &workload.store);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSchedule(workload.document, *events));
+  }
+}
+BENCHMARK(BM_Stage_Schedule);
+
+void BM_Stage_Play(benchmark::State& state) {
+  NewsWorkload& workload = MaterializedNews();
+  auto events = CollectEvents(workload.document, &workload.store);
+  auto result = ComputeSchedule(workload.document, *events);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Play(workload.document, result->schedule, &workload.store));
+  }
+}
+BENCHMARK(BM_Stage_Play);
+
+void BM_EndToEnd_DescriptorOnly(benchmark::State& state) {
+  NewsWorkload& workload = MaterializedNews();
+  PipelineOptions options;
+  options.profile = PersonalSystemProfile();
+  options.apply_filters = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunPipeline(workload.document, workload.store, workload.blocks, options));
+  }
+}
+BENCHMARK(BM_EndToEnd_DescriptorOnly);
+
+void BM_EndToEnd_WithData(benchmark::State& state) {
+  NewsWorkload& workload = MaterializedNews();
+  PipelineOptions options;
+  options.profile = PersonalSystemProfile();
+  options.apply_filters = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunPipeline(workload.document, workload.store, workload.blocks, options));
+  }
+}
+BENCHMARK(BM_EndToEnd_WithData);
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  cmif::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 3 — "Document structure components": channels carrying event
+// descriptors tied by synchronization arcs over time. Regenerates the
+// schematic from a random document and measures timeline computation as the
+// number of channels and events grows. Expected shape: schedule time grows
+// roughly with points x constraints (Bellman-Ford), staying interactive well
+// past thousand-event documents.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/fmt/tree_view.h"
+#include "src/gen/docgen.h"
+#include "src/sched/conflict.h"
+
+namespace cmif {
+namespace {
+
+GenWorkload MakeDoc(int leaves, int channels, std::uint64_t seed = 11) {
+  GenOptions options;
+  options.target_leaves = leaves;
+  options.channels = channels;
+  options.arcs_per_composite = 0.6;
+  options.seed = seed;
+  auto workload = GenerateRandomDocument(options);
+  if (!workload.ok()) {
+    std::cerr << workload.status() << "\n";
+    std::abort();
+  }
+  return std::move(workload).value();
+}
+
+void PrintFigure() {
+  GenWorkload workload = MakeDoc(14, 4);
+  auto events = CollectEvents(workload.document, &workload.store);
+  if (!events.ok()) {
+    std::cerr << events.status() << "\n";
+    return;
+  }
+  auto result = ComputeSchedule(workload.document, *events);
+  if (!result.ok() || !result->feasible) {
+    std::cerr << "scheduling failed\n";
+    return;
+  }
+  std::cout << "==== Figure 3: channels, event descriptors and arcs over time ====\n"
+            << TimelineView(result->schedule.ToTimelineRows(workload.document))
+            << "\narc table (Figure 9 form):\n"
+            << ArcTableView(workload.document.root());
+}
+
+void BM_ComputeTimeline(benchmark::State& state) {
+  GenWorkload workload = MakeDoc(static_cast<int>(state.range(0)), 5);
+  auto events = CollectEvents(workload.document, &workload.store);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSchedule(workload.document, *events));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events->size()));
+}
+BENCHMARK(BM_ComputeTimeline)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_ChannelSweep(benchmark::State& state) {
+  // Fixed 120 events spread over a varying number of channels: more
+  // channels = fewer per-channel ordering constraints, more parallelism.
+  GenWorkload workload = MakeDoc(120, static_cast<int>(state.range(0)));
+  auto events = CollectEvents(workload.document, &workload.store);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSchedule(workload.document, *events));
+  }
+}
+BENCHMARK(BM_ChannelSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CollectEvents(benchmark::State& state) {
+  GenWorkload workload = MakeDoc(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CollectEvents(workload.document, &workload.store));
+  }
+}
+BENCHMARK(BM_CollectEvents)->Arg(50)->Arg(200)->Arg(400);
+
+void BM_RenderTimelineView(benchmark::State& state) {
+  GenWorkload workload = MakeDoc(100, 5);
+  auto events = CollectEvents(workload.document, &workload.store);
+  auto result = ComputeSchedule(workload.document, *events);
+  auto rows = result->schedule.ToTimelineRows(workload.document);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TimelineView(rows));
+  }
+}
+BENCHMARK(BM_RenderTimelineView);
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  cmif::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 4 — "The Evening News as a document (4a) and as a CMIF template
+// (4b)". Regenerates the worked example: builds the broadcast, prints the
+// template structure and the channel-by-channel presentation the paper
+// sketches, then benchmarks each pipeline phase on the document.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/doc/stats.h"
+#include "src/doc/validate.h"
+#include "src/fmt/tree_view.h"
+#include "src/news/evening_news.h"
+#include "src/pipeline/pipeline.h"
+
+namespace cmif {
+namespace {
+
+NewsWorkload& SharedNews() {
+  static NewsWorkload* const kWorkload = [] {
+    auto workload = BuildEveningNews(NewsOptions{});
+    if (!workload.ok()) {
+      std::cerr << workload.status() << "\n";
+      std::abort();
+    }
+    return new NewsWorkload(std::move(workload).value());
+  }();
+  return *kWorkload;
+}
+
+void PrintFigure() {
+  NewsWorkload& workload = SharedNews();
+  std::cout << "==== Figure 4b: the CMIF template ====\n"
+            << ConventionalTreeView(workload.document.root());
+  auto events = CollectEvents(workload.document, &workload.store);
+  if (!events.ok()) {
+    std::cerr << events.status() << "\n";
+    return;
+  }
+  auto result = ComputeSchedule(workload.document, *events);
+  if (!result.ok() || !result->feasible) {
+    std::cerr << "scheduling failed\n";
+    return;
+  }
+  std::cout << "\n==== Figure 4a: the five-channel presentation ====\n"
+            << TimelineView(result->schedule.ToTimelineRows(workload.document))
+            << "\n==== exact rows ====\n"
+            << TimelineTable(result->schedule.ToTimelineRows(workload.document));
+  std::cout << StatsToString(ComputeStats(workload.document, &workload.store));
+}
+
+void BM_BuildNews(benchmark::State& state) {
+  NewsOptions options;
+  options.stories = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto workload = BuildEveningNews(options);
+    benchmark::DoNotOptimize(workload);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildNews)->Arg(1)->Arg(3)->Arg(10)->Arg(30);
+
+void BM_ValidateNews(benchmark::State& state) {
+  NewsWorkload& workload = SharedNews();
+  for (auto _ : state) {
+    ValidationReport report = ValidateDocument(workload.document, &workload.store);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_ValidateNews);
+
+void BM_ScheduleNews(benchmark::State& state) {
+  NewsOptions options;
+  options.stories = static_cast<int>(state.range(0));
+  auto workload = BuildEveningNews(options);
+  auto events = CollectEvents(workload->document, &workload->store);
+  for (auto _ : state) {
+    auto result = ComputeSchedule(workload->document, *events);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events->size()));
+}
+BENCHMARK(BM_ScheduleNews)->Arg(1)->Arg(3)->Arg(10)->Arg(30);
+
+void BM_PlayNews(benchmark::State& state) {
+  NewsWorkload& workload = SharedNews();
+  auto events = CollectEvents(workload.document, &workload.store);
+  auto result = ComputeSchedule(workload.document, *events);
+  for (auto _ : state) {
+    auto run = Play(workload.document, result->schedule, &workload.store);
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_PlayNews);
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  cmif::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

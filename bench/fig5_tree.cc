@@ -1,0 +1,114 @@
+// Figure 5 — "The CMIF tree in conventional (a) and embedded (b) forms".
+// Regenerates both renderings and benchmarks the transportable text format:
+// serialize and parse throughput versus tree size and shape. Expected shape:
+// both scale linearly in node count; deep and wide trees of equal size cost
+// about the same (the grammar is recursion-friendly).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/fmt/parser.h"
+#include "src/fmt/tree_view.h"
+#include "src/fmt/writer.h"
+#include "src/gen/docgen.h"
+
+namespace cmif {
+namespace {
+
+GenWorkload MakeDoc(int leaves, int max_depth, int max_fanout) {
+  GenOptions options;
+  options.target_leaves = leaves;
+  options.max_depth = max_depth;
+  options.max_fanout = max_fanout;
+  options.seed = 23;
+  auto workload = GenerateRandomDocument(options);
+  if (!workload.ok()) {
+    std::cerr << workload.status() << "\n";
+    std::abort();
+  }
+  return std::move(workload).value();
+}
+
+void PrintFigure() {
+  GenWorkload workload = MakeDoc(8, 3, 3);
+  std::cout << "==== Figure 5a: conventional form ====\n"
+            << ConventionalTreeView(workload.document.root())
+            << "\n==== Figure 5b: embedded form ====\n"
+            << EmbeddedTreeView(workload.document.root());
+}
+
+void BM_Serialize(benchmark::State& state) {
+  GenWorkload workload = MakeDoc(static_cast<int>(state.range(0)), 5, 4);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto text = WriteDocument(workload.document);
+    bytes = text->size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Serialize)->Arg(25)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_Parse(benchmark::State& state) {
+  GenWorkload workload = MakeDoc(static_cast<int>(state.range(0)), 5, 4);
+  auto text = WriteDocument(workload.document);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseDocument(*text));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text->size()));
+}
+BENCHMARK(BM_Parse)->Arg(25)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_RoundTrip(benchmark::State& state) {
+  GenWorkload workload = MakeDoc(100, 5, 4);
+  for (auto _ : state) {
+    auto text = WriteDocument(workload.document);
+    benchmark::DoNotOptimize(ParseDocument(*text));
+  }
+}
+BENCHMARK(BM_RoundTrip);
+
+void BM_Parse_DeepVsWide(benchmark::State& state) {
+  // range(0)==0: deep narrow tree; ==1: shallow wide tree. Similar sizes.
+  GenWorkload workload = state.range(0) == 0 ? MakeDoc(120, 10, 2) : MakeDoc(120, 2, 12);
+  auto text = WriteDocument(workload.document);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseDocument(*text));
+  }
+  state.SetLabel(state.range(0) == 0 ? "deep" : "wide");
+}
+BENCHMARK(BM_Parse_DeepVsWide)->Arg(0)->Arg(1);
+
+void BM_ConventionalView(benchmark::State& state) {
+  GenWorkload workload = MakeDoc(200, 5, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConventionalTreeView(workload.document.root()));
+  }
+}
+BENCHMARK(BM_ConventionalView);
+
+void BM_EmbeddedView(benchmark::State& state) {
+  GenWorkload workload = MakeDoc(200, 5, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmbeddedTreeView(workload.document.root()));
+  }
+}
+BENCHMARK(BM_EmbeddedView);
+
+void BM_CloneTree(benchmark::State& state) {
+  GenWorkload workload = MakeDoc(static_cast<int>(state.range(0)), 5, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.document.Clone());
+  }
+}
+BENCHMARK(BM_CloneTree)->Arg(100)->Arg(400);
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  cmif::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Figure 6 — "CMIF node general formats": seqnode, parnode, immnode and
+// extnode, each an attribute list plus children / data / a descriptor
+// pointer. Regenerates the four formats and benchmarks per-kind node
+// construction, attribute attachment and serialization cost.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/attr/registry.h"
+#include "src/fmt/writer.h"
+
+namespace cmif {
+namespace {
+
+std::unique_ptr<Node> SampleNode(NodeKind kind) {
+  auto node = std::make_unique<Node>(kind);
+  node->set_name("sample");
+  switch (kind) {
+    case NodeKind::kSeq:
+    case NodeKind::kPar:
+      for (int i = 0; i < 2; ++i) {
+        auto child = std::make_unique<Node>(NodeKind::kImm);
+        child->set_immediate_data(DataBlock::FromText(TextBlock("x", {})));
+        (void)node->AddChild(std::move(child));
+      }
+      break;
+    case NodeKind::kExt:
+      node->attrs().Set(std::string(kAttrFile), AttrValue::String("descriptor-id"));
+      node->attrs().Set(std::string(kAttrChannel), AttrValue::Id("video"));
+      break;
+    case NodeKind::kImm:
+      node->set_immediate_data(DataBlock::FromText(TextBlock("immediate data", {})));
+      break;
+  }
+  return node;
+}
+
+void PrintFigure() {
+  std::cout << "==== Figure 6: the four node formats ====\n";
+  for (NodeKind kind : {NodeKind::kSeq, NodeKind::kPar, NodeKind::kImm, NodeKind::kExt}) {
+    auto node = SampleNode(kind);
+    auto text = WriteNode(*node, WriteOptions{.indent_width = 2, .header_comment = false});
+    std::cout << "-- " << NodeKindName(kind) << "node --\n" << *text;
+  }
+}
+
+void BM_NodeConstruct(benchmark::State& state) {
+  NodeKind kind = static_cast<NodeKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleNode(kind));
+  }
+  state.SetLabel(std::string(NodeKindName(kind)));
+}
+BENCHMARK(BM_NodeConstruct)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_NodeSerialize(benchmark::State& state) {
+  NodeKind kind = static_cast<NodeKind>(state.range(0));
+  auto node = SampleNode(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WriteNode(*node));
+  }
+  state.SetLabel(std::string(NodeKindName(kind)));
+}
+BENCHMARK(BM_NodeSerialize)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_AttrAttach(benchmark::State& state) {
+  for (auto _ : state) {
+    Node node(NodeKind::kExt);
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      node.attrs().Set("attr" + std::to_string(i), AttrValue::Number(i));
+    }
+    benchmark::DoNotOptimize(node);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AttrAttach)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AttrLookup(benchmark::State& state) {
+  Node node(NodeKind::kExt);
+  for (int i = 0; i < 16; ++i) {
+    node.attrs().Set("attr" + std::to_string(i), AttrValue::Number(i));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.attrs().Find("attr" + std::to_string(i++ % 16)));
+  }
+}
+BENCHMARK(BM_AttrLookup);
+
+void BM_AddChildren(benchmark::State& state) {
+  for (auto _ : state) {
+    Node parent(NodeKind::kSeq);
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      benchmark::DoNotOptimize(parent.AddChild(NodeKind::kExt));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AddChildren)->Arg(10)->Arg(100);
+
+void BM_ResolvePath(benchmark::State& state) {
+  // A deep chain of named seq nodes; resolve an absolute path to the bottom.
+  Node root(NodeKind::kSeq);
+  root.set_name("root");
+  Node* cursor = &root;
+  std::string path_text;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    cursor = *cursor->AddChild(NodeKind::kSeq);
+    cursor->set_name("n" + std::to_string(i));
+    path_text += (i ? "/n" : "n") + std::to_string(i);
+  }
+  NodePath path = *NodePath::Parse(path_text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(root.Resolve(path));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ResolvePath)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  cmif::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figure 7 — the standard attribute table. Prints the table itself and
+// benchmarks the attribute machinery it governs: registry lookup, style
+// expansion (including chained style definitions), and inheritance
+// resolution along deep ancestor chains. Expected shape: all operations are
+// sub-microsecond; inheritance cost grows linearly with chain depth.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/attr/inherit.h"
+#include "src/base/string_util.h"
+
+namespace cmif {
+namespace {
+
+void PrintFigure() {
+  std::cout << "==== Figure 7: the standard attribute table ====\n"
+            << AttrRegistry::Standard().ToTable();
+}
+
+void BM_RegistryFind(benchmark::State& state) {
+  const AttrRegistry& registry = AttrRegistry::Standard();
+  static constexpr std::string_view kNames[] = {kAttrName, kAttrChannel, kAttrFile, kAttrClip};
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.Find(kNames[i++ % 4]));
+  }
+}
+BENCHMARK(BM_RegistryFind);
+
+StyleDictionary ChainedStyles(int depth) {
+  StyleDictionary styles;
+  AttrList base;
+  base.Set("font", AttrValue::Id("serif"));
+  base.Set("size", AttrValue::Number(10));
+  (void)styles.Define("s0", base);
+  for (int i = 1; i < depth; ++i) {
+    AttrList derived;
+    derived.Set(std::string(kAttrStyle), AttrValue::Id("s" + std::to_string(i - 1)));
+    derived.Set("level", AttrValue::Number(i));
+    (void)styles.Define("s" + std::to_string(i), derived);
+  }
+  return styles;
+}
+
+void BM_StyleExpansion(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  StyleDictionary styles = ChainedStyles(depth);
+  std::string deepest = "s" + std::to_string(depth - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(styles.Expand(deepest));
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_StyleExpansion)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_StyleValidate(benchmark::State& state) {
+  StyleDictionary styles = ChainedStyles(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(styles.Validate());
+  }
+}
+BENCHMARK(BM_StyleValidate)->Arg(4)->Arg(16)->Arg(64);
+
+// An inheritance chain of `depth` attribute lists; only the root sets the
+// channel.
+struct Chain {
+  explicit Chain(int depth) : lists(static_cast<std::size_t>(depth)) {
+    lists[0].Set(std::string(kAttrChannel), AttrValue::Id("rooted"));
+    for (auto& list : lists) {
+      pointers.push_back(&list);
+    }
+  }
+  std::vector<AttrList> lists;
+  std::vector<const AttrList*> pointers;
+};
+
+void BM_InheritResolve(benchmark::State& state) {
+  Chain chain(static_cast<int>(state.range(0)));
+  StyleDictionary styles;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ResolveAttribute(chain.pointers, kAttrChannel, AttrRegistry::Standard(), styles));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InheritResolve)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_EffectiveAttrs(benchmark::State& state) {
+  Chain chain(static_cast<int>(state.range(0)));
+  // Give every level a couple of extra attributes to fold in.
+  for (std::size_t i = 0; i < chain.lists.size(); ++i) {
+    chain.lists[i].Set(StrFormat("local%zu", i), AttrValue::Number(static_cast<int>(i)));
+  }
+  StyleDictionary styles;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EffectiveAttrs(chain.pointers, AttrRegistry::Standard(), styles));
+  }
+}
+BENCHMARK(BM_EffectiveAttrs)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_NonInheritedShortCircuits(benchmark::State& state) {
+  // Resolving a non-inherited attribute must not walk the whole chain.
+  Chain chain(128);
+  StyleDictionary styles;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ResolveAttribute(chain.pointers, kAttrDuration, AttrRegistry::Standard(), styles));
+  }
+}
+BENCHMARK(BM_NonInheritedShortCircuits);
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  cmif::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

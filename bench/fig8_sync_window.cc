@@ -1,0 +1,121 @@
+// Figure 8 — "Synchronization delay parameters": the [min_delay, max_delay]
+// window around a reference time. Sweeps the window width on the Evening
+// News under injected device-capability constraints and reports feasibility
+// — the paper's point that delay tolerances are what make a document
+// transportable across implementation environments. Expected shape: hard
+// (0,0) windows become infeasible once device setup times exceed them;
+// widening max_delay restores feasibility; solver time is insensitive to the
+// window width.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/base/string_util.h"
+#include "src/news/evening_news.h"
+#include "src/present/filter.h"
+#include "src/sched/conflict.h"
+
+namespace cmif {
+namespace {
+
+// Rewrites every must-arc's window to [0, max_ms] (max_ms < 0 = unbounded).
+NewsWorkload NewsWithWindows(std::int64_t max_ms) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  if (!workload.ok()) {
+    std::cerr << workload.status() << "\n";
+    std::abort();
+  }
+  workload->document.root().VisitMutable([max_ms](Node& node) {
+    for (SyncArc& arc : node.arcs()) {
+      if (arc.rigor == ArcRigor::kMust && arc.max_delay.has_value()) {
+        arc.min_delay = MediaTime();
+        arc.max_delay = max_ms < 0 ? std::optional<MediaTime>() : MediaTime::Millis(max_ms);
+      }
+    }
+  });
+  return std::move(workload).value();
+}
+
+// Solves under a profile's capability constraints; returns (feasible,
+// dropped-may-arcs).
+std::pair<bool, std::size_t> SolveUnder(NewsWorkload& workload, const SystemProfile& profile) {
+  auto events = CollectEvents(workload.document, &workload.store);
+  if (!events.ok()) {
+    std::abort();
+  }
+  auto graph = TimeGraph::Build(workload.document, *events);
+  if (!graph.ok()) {
+    std::abort();
+  }
+  (void)InjectCapabilityConstraints(*graph, workload.document, *events, profile);
+  auto result = SolveSchedule(*graph, *events);
+  if (!result.ok()) {
+    std::abort();
+  }
+  return {result->feasible, result->dropped_arcs.size()};
+}
+
+void PrintFigure() {
+  std::cout << "==== Figure 8: delay-window sweep (must-arc max_delay) ====\n";
+  std::cout << "profile       window(ms)  feasible  dropped-may-arcs\n";
+  for (const SystemProfile& profile :
+       {WorkstationProfile(), PersonalSystemProfile(), PortableMonoProfile()}) {
+    for (std::int64_t max_ms : {0L, 50L, 250L, 1000L, -1L}) {
+      NewsWorkload workload = NewsWithWindows(max_ms);
+      auto [feasible, dropped] = SolveUnder(workload, profile);
+      std::cout << StrFormat("%-13s %-11s %-9s %zu\n", profile.name.c_str(),
+                             max_ms < 0 ? "inf" : std::to_string(max_ms).c_str(),
+                             feasible ? "yes" : "NO", dropped);
+    }
+  }
+}
+
+void BM_SolveWithWindow(benchmark::State& state) {
+  NewsWorkload workload = NewsWithWindows(state.range(0));
+  SystemProfile profile = PersonalSystemProfile();
+  auto events = CollectEvents(workload.document, &workload.store);
+  for (auto _ : state) {
+    auto graph = TimeGraph::Build(workload.document, *events);
+    (void)InjectCapabilityConstraints(*graph, workload.document, *events, profile);
+    benchmark::DoNotOptimize(SolveSchedule(*graph, *events));
+  }
+  state.SetLabel(StrFormat("window=%lldms", static_cast<long long>(state.range(0))));
+}
+BENCHMARK(BM_SolveWithWindow)->Arg(0)->Arg(50)->Arg(250)->Arg(1000);
+
+void BM_RelaxationLoop(benchmark::State& state) {
+  // Hard windows on the portable profile force may-arc relaxation rounds.
+  SystemProfile profile = PortableMonoProfile();
+  for (auto _ : state) {
+    state.PauseTiming();
+    NewsWorkload workload = NewsWithWindows(0);
+    auto events = CollectEvents(workload.document, &workload.store);
+    auto graph = TimeGraph::Build(workload.document, *events);
+    (void)InjectCapabilityConstraints(*graph, workload.document, *events, profile);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(SolveSchedule(*graph, *events));
+  }
+}
+BENCHMARK(BM_RelaxationLoop);
+
+void BM_InjectCapability(benchmark::State& state) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  auto events = CollectEvents(workload->document, &workload->store);
+  SystemProfile profile = PortableMonoProfile();
+  for (auto _ : state) {
+    auto graph = TimeGraph::Build(workload->document, *events);
+    benchmark::DoNotOptimize(
+        InjectCapabilityConstraints(*graph, workload->document, *events, profile));
+  }
+}
+BENCHMARK(BM_InjectCapability);
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  cmif::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

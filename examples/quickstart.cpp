@@ -1,0 +1,102 @@
+// Quickstart: author a tiny two-channel CMIF document, validate it,
+// serialize it, parse it back, schedule it and play it on the workstation
+// profile. Run: build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "src/doc/builder.h"
+#include "src/doc/validate.h"
+#include "src/fmt/parser.h"
+#include "src/fmt/tree_view.h"
+#include "src/fmt/writer.h"
+#include "src/pipeline/capture.h"
+#include "src/player/engine.h"
+#include "src/sched/conflict.h"
+
+using namespace cmif;
+
+int main() {
+  // 1. Capture two media blocks (synthetic, descriptor-only).
+  DescriptorStore store;
+  BlockStore blocks;
+  CaptureSession capture(store, blocks, /*materialize=*/false);
+  if (Status s = capture.CaptureSpeech("welcome-voice", MediaTime::Seconds(4), 7); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  if (Status s = capture.CaptureFlyingBird("bird-clip", MediaTime::Seconds(4)); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  // 2. Author the document: a bird clip with narration and a caption that
+  // must appear when the clip starts (within a quarter second).
+  DocBuilder builder(NodeKind::kSeq);
+  builder.DefineChannel("screen", MediaType::kVideo)
+      .DefineChannel("sound", MediaType::kAudio)
+      .DefineChannel("text", MediaType::kText);
+  builder.Par("scene")
+      .Ext("bird", "bird-clip")
+      .OnChannel("screen")
+      .Ext("voice", "welcome-voice")
+      .OnChannel("sound")
+      .ImmText("caption", "A bird crosses the screen.")
+      .OnChannel("text")
+      .WithDuration(MediaTime::Seconds(3))
+      .Up();
+  builder.current().AddArc(WindowArc(*NodePath::Parse("scene/bird"), ArcEdge::kBegin,
+                                     *NodePath::Parse("scene/caption"), ArcEdge::kBegin,
+                                     MediaTime(), MediaTime(), MediaTime::Rational(1, 4)));
+  auto doc = builder.Build();
+  if (!doc.ok()) {
+    std::cerr << doc.status() << "\n";
+    return 1;
+  }
+
+  // 3. Validate.
+  ValidationReport report = ValidateDocument(*doc, &store);
+  std::cout << "validation: " << report.error_count() << " errors, " << report.warning_count()
+            << " warnings\n";
+  if (!report.ok()) {
+    std::cout << report.ToString();
+    return 1;
+  }
+
+  // 4. Serialize and parse back (the transportable form).
+  auto text = WriteDocument(*doc);
+  if (!text.ok()) {
+    std::cerr << text.status() << "\n";
+    return 1;
+  }
+  std::cout << "---- serialized document ----\n" << *text << "\n";
+  auto reparsed = ParseDocument(*text);
+  if (!reparsed.ok()) {
+    std::cerr << "reparse failed: " << reparsed.status() << "\n";
+    return 1;
+  }
+
+  // 5. Schedule.
+  auto events = CollectEvents(*doc, &store);
+  if (!events.ok()) {
+    std::cerr << events.status() << "\n";
+    return 1;
+  }
+  auto schedule = ComputeSchedule(*doc, *events);
+  if (!schedule.ok() || !schedule->feasible) {
+    std::cerr << "scheduling failed\n";
+    return 1;
+  }
+  std::cout << "---- timeline ----\n"
+            << TimelineView(schedule->schedule.ToTimelineRows(*doc)) << "\n";
+
+  // 6. Play on the workstation profile.
+  auto played = Play(*doc, schedule->schedule, &store);
+  if (!played.ok()) {
+    std::cerr << played.status() << "\n";
+    return 1;
+  }
+  std::cout << "---- playback ----\n" << played->trace.Summary();
+  std::cout << "presentation time: " << played->clock.presentation_time().ToSecondsF()
+            << "s\n";
+  return 0;
+}

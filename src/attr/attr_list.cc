@@ -1,0 +1,146 @@
+#include "src/attr/attr_list.h"
+
+namespace cmif {
+
+AttrList AttrList::FromAttrs(std::vector<Attr> attrs) {
+  AttrList out;
+  for (Attr& attr : attrs) {
+    out.Set(std::move(attr.name), std::move(attr.value));
+  }
+  return out;
+}
+
+Status AttrList::Add(std::string name, AttrValue value) {
+  if (Has(name)) {
+    return AlreadyExistsError("attribute '" + name + "' already present in list");
+  }
+  attrs_.push_back(Attr{std::move(name), std::move(value)});
+  return Status::Ok();
+}
+
+void AttrList::Set(std::string name, AttrValue value) {
+  if (AttrValue* existing = FindMutable(name)) {
+    *existing = std::move(value);
+    return;
+  }
+  attrs_.push_back(Attr{std::move(name), std::move(value)});
+}
+
+bool AttrList::Remove(std::string_view name) {
+  for (auto it = attrs_.begin(); it != attrs_.end(); ++it) {
+    if (it->name == name) {
+      attrs_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const AttrValue* AttrList::Find(std::string_view name) const {
+  for (const Attr& attr : attrs_) {
+    if (attr.name == name) {
+      return &attr.value;
+    }
+  }
+  return nullptr;
+}
+
+AttrValue* AttrList::FindMutable(std::string_view name) {
+  for (Attr& attr : attrs_) {
+    if (attr.name == name) {
+      return &attr.value;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+Status MissingError(std::string_view name) {
+  return NotFoundError("attribute '" + std::string(name) + "' not present");
+}
+}  // namespace
+
+StatusOr<std::string> AttrList::GetId(std::string_view name) const {
+  const AttrValue* v = Find(name);
+  if (v == nullptr) {
+    return MissingError(name);
+  }
+  return v->AsId();
+}
+
+StatusOr<std::int64_t> AttrList::GetNumber(std::string_view name) const {
+  const AttrValue* v = Find(name);
+  if (v == nullptr) {
+    return MissingError(name);
+  }
+  return v->AsNumber();
+}
+
+StatusOr<std::string> AttrList::GetString(std::string_view name) const {
+  const AttrValue* v = Find(name);
+  if (v == nullptr) {
+    return MissingError(name);
+  }
+  return v->AsString();
+}
+
+StatusOr<MediaTime> AttrList::GetTime(std::string_view name) const {
+  const AttrValue* v = Find(name);
+  if (v == nullptr) {
+    return MissingError(name);
+  }
+  return v->AsTime();
+}
+
+std::string AttrList::GetIdOr(std::string_view name, std::string fallback) const {
+  const AttrValue* v = Find(name);
+  if (v == nullptr || !v->is_id()) {
+    return fallback;
+  }
+  return v->id();
+}
+
+std::int64_t AttrList::GetNumberOr(std::string_view name, std::int64_t fallback) const {
+  const AttrValue* v = Find(name);
+  if (v == nullptr || !v->is_number()) {
+    return fallback;
+  }
+  return v->number();
+}
+
+std::string AttrList::GetStringOr(std::string_view name, std::string fallback) const {
+  const AttrValue* v = Find(name);
+  if (v == nullptr || !v->is_string()) {
+    return fallback;
+  }
+  return v->string();
+}
+
+MediaTime AttrList::GetTimeOr(std::string_view name, MediaTime fallback) const {
+  const AttrValue* v = Find(name);
+  if (v == nullptr) {
+    return fallback;
+  }
+  auto t = v->AsTime();
+  return t.ok() ? *t : fallback;
+}
+
+void AttrList::MergeFrom(const AttrList& overlay) {
+  for (const Attr& attr : overlay.attrs_) {
+    Set(attr.name, attr.value);
+  }
+}
+
+void AttrList::FillDefaultsFrom(const AttrList& defaults) {
+  for (const Attr& attr : defaults.attrs_) {
+    if (!Has(attr.name)) {
+      attrs_.push_back(attr);
+    }
+  }
+}
+
+std::string AttrList::ToString() const {
+  return AttrValue::List(attrs_).ToString();
+}
+
+}  // namespace cmif

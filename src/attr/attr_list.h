@@ -1,0 +1,69 @@
+// An ordered attribute list with the paper's uniqueness rule: "each name may
+// occur at most once in each list for each node" (section 5.2).
+#ifndef SRC_ATTR_ATTR_LIST_H_
+#define SRC_ATTR_ATTR_LIST_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/attr/value.h"
+#include "src/base/status.h"
+
+namespace cmif {
+
+// Small ordered map from attribute name to value. Order is preserved for
+// serialization fidelity; lookups are linear (lists are small by design —
+// the paper's structural nodes carry a handful of attributes each).
+class AttrList {
+ public:
+  AttrList() = default;
+  // Builds from attrs; later duplicates silently win (used by merges).
+  static AttrList FromAttrs(std::vector<Attr> attrs);
+
+  // Adds a new attribute; error if the name already exists.
+  Status Add(std::string name, AttrValue value);
+  // Adds or replaces.
+  void Set(std::string name, AttrValue value);
+  // Removes by name. Returns true if something was removed.
+  bool Remove(std::string_view name);
+
+  // Pointer into the list, or nullptr when absent.
+  const AttrValue* Find(std::string_view name) const;
+  AttrValue* FindMutable(std::string_view name);
+  bool Has(std::string_view name) const { return Find(name) != nullptr; }
+
+  // Typed lookups with error reporting (NotFound / InvalidArgument).
+  StatusOr<std::string> GetId(std::string_view name) const;
+  StatusOr<std::int64_t> GetNumber(std::string_view name) const;
+  StatusOr<std::string> GetString(std::string_view name) const;
+  StatusOr<MediaTime> GetTime(std::string_view name) const;
+
+  // Typed lookups with a default when the attribute is absent. Kind
+  // mismatches still fall back to the default.
+  std::string GetIdOr(std::string_view name, std::string fallback) const;
+  std::int64_t GetNumberOr(std::string_view name, std::int64_t fallback) const;
+  std::string GetStringOr(std::string_view name, std::string fallback) const;
+  MediaTime GetTimeOr(std::string_view name, MediaTime fallback) const;
+
+  // Copies every attribute of `overlay` into this list, replacing clashes.
+  void MergeFrom(const AttrList& overlay);
+  // Copies only the attributes of `defaults` that are absent here.
+  void FillDefaultsFrom(const AttrList& defaults);
+
+  const std::vector<Attr>& attrs() const { return attrs_; }
+  std::size_t size() const { return attrs_.size(); }
+  bool empty() const { return attrs_.empty(); }
+
+  bool operator==(const AttrList& other) const { return attrs_ == other.attrs_; }
+
+  // Concrete-syntax rendering: "(name value name value ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Attr> attrs_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_ATTR_ATTR_LIST_H_

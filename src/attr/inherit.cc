@@ -1,0 +1,69 @@
+#include "src/attr/inherit.h"
+
+namespace cmif {
+namespace {
+
+// The level's own attributes overlaid on its expanded styles.
+StatusOr<AttrList> LevelAttrs(const AttrList& own, const StyleDictionary& styles) {
+  AttrList out;
+  if (const AttrValue* style = own.Find(kAttrStyle)) {
+    CMIF_ASSIGN_OR_RETURN(out, styles.ExpandStyleValue(*style));
+  }
+  for (const Attr& attr : own.attrs()) {
+    if (attr.name != kAttrStyle) {
+      out.Set(attr.name, attr.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::optional<AttrValue>> ResolveAttribute(AttrChain chain, std::string_view name,
+                                                    const AttrRegistry& registry,
+                                                    const StyleDictionary& styles) {
+  if (chain.empty()) {
+    return std::optional<AttrValue>();
+  }
+  bool inherited = registry.IsInherited(name);
+  // Walk from the node toward the root; the nearest setting wins.
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    const AttrList& own = *chain[i];
+    if (const AttrValue* v = own.Find(name)) {
+      return std::optional<AttrValue>(*v);
+    }
+    if (const AttrValue* style = own.Find(kAttrStyle)) {
+      CMIF_ASSIGN_OR_RETURN(AttrList expanded, styles.ExpandStyleValue(*style));
+      if (const AttrValue* v = expanded.Find(name)) {
+        return std::optional<AttrValue>(*v);
+      }
+    }
+    if (!inherited) {
+      break;  // only the node's own level applies
+    }
+  }
+  return std::optional<AttrValue>();
+}
+
+StatusOr<AttrList> EffectiveAttrs(AttrChain chain, const AttrRegistry& registry,
+                                  const StyleDictionary& styles) {
+  AttrList out;
+  if (chain.empty()) {
+    return out;
+  }
+  // Ancestors first (root outward), contributing only inherited attributes;
+  // then the node's own level contributes everything. Nearer levels override.
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    CMIF_ASSIGN_OR_RETURN(AttrList level, LevelAttrs(*chain[i], styles));
+    for (const Attr& attr : level.attrs()) {
+      if (registry.IsInherited(attr.name)) {
+        out.Set(attr.name, attr.value);
+      }
+    }
+  }
+  CMIF_ASSIGN_OR_RETURN(AttrList own, LevelAttrs(*chain.back(), styles));
+  out.MergeFrom(own);
+  return out;
+}
+
+}  // namespace cmif

@@ -1,0 +1,40 @@
+// Attribute inheritance. "Some attributes set properties that are 'inherited'
+// by children (and arbitrary levels of grandchildren) of the node on which
+// they are set unless explicitly overridden" (section 5.2). This module works
+// on chains of attribute lists (root → ... → node) so it stays independent of
+// the document tree representation in src/doc.
+#ifndef SRC_ATTR_INHERIT_H_
+#define SRC_ATTR_INHERIT_H_
+
+#include <optional>
+#include <span>
+
+#include "src/attr/attr_list.h"
+#include "src/attr/registry.h"
+#include "src/attr/style.h"
+#include "src/base/status.h"
+
+namespace cmif {
+
+// The attribute lists from the root (front) down to the node (back).
+using AttrChain = std::span<const AttrList* const>;
+
+// Effective value of `name` at the node at the end of `chain`:
+//   1. the node's own attribute, else the node's expanded styles,
+//   2. if `name` is inherited per `registry`: the nearest ancestor's own
+//      attribute or expanded-style attribute, walking toward the root.
+// Returns nullopt when unset everywhere. Style expansion errors propagate.
+StatusOr<std::optional<AttrValue>> ResolveAttribute(AttrChain chain, std::string_view name,
+                                                    const AttrRegistry& registry,
+                                                    const StyleDictionary& styles);
+
+// The node's full effective attribute list: expanded styles overlaid by own
+// attributes, plus every inherited attribute visible from ancestors that the
+// node does not override. The "style" attribute itself is consumed, never
+// emitted.
+StatusOr<AttrList> EffectiveAttrs(AttrChain chain, const AttrRegistry& registry,
+                                  const StyleDictionary& styles);
+
+}  // namespace cmif
+
+#endif  // SRC_ATTR_INHERIT_H_

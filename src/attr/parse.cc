@@ -1,0 +1,99 @@
+#include "src/attr/parse.h"
+
+#include <cctype>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+namespace {
+
+bool IsInteger(std::string_view text) {
+  if (text.empty()) {
+    return false;
+  }
+  std::size_t i = text[0] == '-' || text[0] == '+' ? 1 : 0;
+  if (i >= text.size()) {
+    return false;
+  }
+  for (; i < text.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<AttrValue> ClassifyWord(const Token& token) {
+  const std::string& text = token.text;
+  if (IsInteger(text)) {
+    return AttrValue::Number(std::strtoll(text.c_str(), nullptr, 10));
+  }
+  std::size_t slash = text.find('/');
+  if (slash != std::string::npos && IsInteger(text.substr(0, slash)) &&
+      IsInteger(text.substr(slash + 1))) {
+    CMIF_ASSIGN_OR_RETURN(MediaTime t, ParseMediaTime(text));
+    return AttrValue::Time(t);
+  }
+  if (text.find('.') != std::string::npos) {
+    // Decimal literals are TIMEs too ("1.5" seconds).
+    auto t = ParseMediaTime(text);
+    if (t.ok()) {
+      return AttrValue::Time(*t);
+    }
+  }
+  if (!IsValidId(text)) {
+    return DataLossError(StrFormat("line %d: '%s' is not a valid ID, number or time",
+                                   token.line, text.c_str()));
+  }
+  return AttrValue::Id(text);
+}
+
+StatusOr<AttrValue> ParseAttrValue(Lexer& lexer) {
+  CMIF_ASSIGN_OR_RETURN(Token token, lexer.Next());
+  switch (token.kind) {
+    case TokenKind::kString:
+      return AttrValue::String(token.text);
+    case TokenKind::kWord:
+      return ClassifyWord(token);
+    case TokenKind::kLParen: {
+      CMIF_ASSIGN_OR_RETURN(AttrList list, ParseAttrListBody(lexer));
+      return AttrValue::List(list.attrs());
+    }
+    default:
+      return DataLossError(StrFormat("line %d: expected a value, got %s", token.line,
+                                     std::string(TokenKindName(token.kind)).c_str()));
+  }
+}
+
+StatusOr<AttrList> ParseAttrList(Lexer& lexer) {
+  CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kLParen).status());
+  return ParseAttrListBody(lexer);
+}
+
+StatusOr<AttrList> ParseAttrListBody(Lexer& lexer) {
+  AttrList out;
+  while (true) {
+    CMIF_ASSIGN_OR_RETURN(Token token, lexer.Next());
+    if (token.kind == TokenKind::kRParen) {
+      return out;
+    }
+    if (token.kind != TokenKind::kWord) {
+      return DataLossError(StrFormat("line %d: expected attribute name, got %s", token.line,
+                                     std::string(TokenKindName(token.kind)).c_str()));
+    }
+    if (!IsValidId(token.text)) {
+      return DataLossError(StrFormat("line %d: attribute name '%s' is not a valid ID",
+                                     token.line, token.text.c_str()));
+    }
+    CMIF_ASSIGN_OR_RETURN(AttrValue value, ParseAttrValue(lexer));
+    Status added = out.Add(token.text, std::move(value));
+    if (!added.ok()) {
+      return DataLossError(StrFormat("line %d: duplicate attribute '%s' in list", token.line,
+                                     token.text.c_str()));
+    }
+  }
+}
+
+}  // namespace cmif

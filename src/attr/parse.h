@@ -1,0 +1,33 @@
+// Token-stream parsing of attribute values and lists. Shared by the CMIF
+// document parser (src/fmt) and the DDBMS catalog parser (src/ddbms).
+//
+// Value syntax: a quoted token is a STRING; "(name value ...)" is a LIST;
+// a bare word is a NUMBER when it is an optionally-signed integer, a TIME
+// when it is "N/D", and an ID otherwise.
+#ifndef SRC_ATTR_PARSE_H_
+#define SRC_ATTR_PARSE_H_
+
+#include "src/attr/attr_list.h"
+#include "src/attr/value.h"
+#include "src/base/lexer.h"
+#include "src/base/status.h"
+
+namespace cmif {
+
+// Classifies a bare word into NUMBER / TIME / ID per the rules above.
+StatusOr<AttrValue> ClassifyWord(const Token& token);
+
+// Parses one value: string, word, or parenthesized list.
+StatusOr<AttrValue> ParseAttrValue(Lexer& lexer);
+
+// Parses "(name value name value ...)" starting at the '('. Duplicate names
+// are a DataLoss error (the paper's one-name-per-list rule).
+StatusOr<AttrList> ParseAttrList(Lexer& lexer);
+
+// Parses the body of a list after the '(' has been consumed, up to and
+// including the ')'.
+StatusOr<AttrList> ParseAttrListBody(Lexer& lexer);
+
+}  // namespace cmif
+
+#endif  // SRC_ATTR_PARSE_H_

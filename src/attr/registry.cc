@@ -1,0 +1,85 @@
+#include "src/attr/registry.h"
+
+#include <sstream>
+
+namespace cmif {
+
+const AttrRegistry& AttrRegistry::Standard() {
+  static const AttrRegistry* const kStandard = [] {
+    auto* r = new AttrRegistry();
+    auto add = [r](std::string_view name, std::optional<AttrKind> kind, bool inherited,
+                   unsigned placement, std::string_view description) {
+      Status s = r->Register(AttrSpec{std::string(name), kind, inherited, placement,
+                                      std::string(description)});
+      (void)s;
+    };
+    add(kAttrName, AttrKind::kId, false, kOnAnyNode,
+        "Node name; optional, unique among direct siblings; used by sync arcs");
+    add(kAttrStyleDict, AttrKind::kList, false, kOnRoot,
+        "Defines named styles; root node only; definitions may not be cyclic");
+    add(kAttrStyle, std::nullopt, false, kOnAnyNode,
+        "One or more style names applied to this node, looked up in the root style_dict");
+    add(kAttrChannelDict, AttrKind::kList, false, kOnRoot,
+        "Defines synchronization channels and their media; root node only");
+    add(kAttrChannel, AttrKind::kId, true, kOnAnyNode,
+        "Channel this node's data is directed to; inherited unless overridden");
+    add(kAttrFile, AttrKind::kString, true, kOnAnyNode,
+        "Data descriptor used by external nodes; inherited so several nodes share one file");
+    add(kAttrTFormatting, AttrKind::kList, false, kOnAnyNode,
+        "Text formatting shorthand (font, size, indent, vspace); prefer styles");
+    add(kAttrSlice, AttrKind::kList, false, kOnExt,
+        "Subsection (begin/length) of a binary file used by an external node");
+    add(kAttrCrop, AttrKind::kList, false, kOnLeaf, "Subimage (x y w h) of an image");
+    add(kAttrClip, AttrKind::kList, false, kOnLeaf, "Part (begin/length) of a sound fragment");
+    add(kAttrDuration, AttrKind::kTime, false, kOnAnyNode,
+        "Presentation duration of this node's event; overrides the descriptor length");
+    add(kAttrMedium, AttrKind::kId, false, kOnImm,
+        "Medium of immediate data (default text)");
+    add(kAttrTitle, AttrKind::kString, false, kOnAnyNode, "Human-readable title");
+    return r;
+  }();
+  return *kStandard;
+}
+
+Status AttrRegistry::Register(AttrSpec spec) {
+  if (Find(spec.name) != nullptr) {
+    return AlreadyExistsError("attribute spec '" + spec.name + "' already registered");
+  }
+  specs_.push_back(std::move(spec));
+  return Status::Ok();
+}
+
+const AttrSpec* AttrRegistry::Find(std::string_view name) const {
+  for (const AttrSpec& spec : specs_) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+bool AttrRegistry::IsInherited(std::string_view name) const {
+  const AttrSpec* spec = Find(name);
+  return spec != nullptr && spec->inherited;
+}
+
+std::string AttrRegistry::ToTable() const {
+  std::ostringstream os;
+  os << "Attribute        Kind     Inh  Description\n";
+  os << "---------------  -------  ---  -----------\n";
+  for (const AttrSpec& spec : specs_) {
+    std::string kind = spec.kind.has_value() ? std::string(AttrKindName(*spec.kind)) : "any";
+    os << spec.name;
+    for (std::size_t i = spec.name.size(); i < 17; ++i) {
+      os << ' ';
+    }
+    os << kind;
+    for (std::size_t i = kind.size(); i < 9; ++i) {
+      os << ' ';
+    }
+    os << (spec.inherited ? "yes  " : "no   ") << spec.description << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cmif

@@ -1,0 +1,89 @@
+// The standard-attribute registry (paper Figure 7). CMIF "makes only minimal
+// assumptions about the types of attributes" — arbitrary names are legal and
+// passed through uninterpreted — but the standard attributes carry defined
+// semantics: an expected value kind, an inheritance rule, and placement
+// restrictions ("some attributes are allowed on all nodes; others only on
+// certain node types", section 5.2). The validator consults this registry.
+#ifndef SRC_ATTR_REGISTRY_H_
+#define SRC_ATTR_REGISTRY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/attr/value.h"
+#include "src/base/status.h"
+
+namespace cmif {
+
+// Placement bits: which node kinds an attribute may appear on.
+inline constexpr unsigned kOnRoot = 1u << 0;  // the root node only
+inline constexpr unsigned kOnSeq = 1u << 1;
+inline constexpr unsigned kOnPar = 1u << 2;
+inline constexpr unsigned kOnExt = 1u << 3;
+inline constexpr unsigned kOnImm = 1u << 4;
+inline constexpr unsigned kOnLeaf = kOnExt | kOnImm;
+inline constexpr unsigned kOnAnyNode = kOnRoot | kOnSeq | kOnPar | kOnExt | kOnImm;
+
+// Standard attribute names (Figure 7, plus the implementation-defined
+// duration/medium/title used throughout this library).
+inline constexpr std::string_view kAttrName = "name";
+inline constexpr std::string_view kAttrStyleDict = "style_dict";
+inline constexpr std::string_view kAttrStyle = "style";
+inline constexpr std::string_view kAttrChannelDict = "channel_dict";
+inline constexpr std::string_view kAttrChannel = "channel";
+inline constexpr std::string_view kAttrFile = "file";
+inline constexpr std::string_view kAttrTFormatting = "t_formatting";
+inline constexpr std::string_view kAttrSlice = "slice";
+inline constexpr std::string_view kAttrCrop = "crop";
+inline constexpr std::string_view kAttrClip = "clip";
+inline constexpr std::string_view kAttrDuration = "duration";
+inline constexpr std::string_view kAttrMedium = "medium";
+inline constexpr std::string_view kAttrTitle = "title";
+
+// The registered semantics of one standard attribute.
+struct AttrSpec {
+  std::string name;
+  // Expected value kind; nullopt means any kind is accepted.
+  std::optional<AttrKind> kind;
+  // True if the attribute propagates to children unless overridden.
+  bool inherited = false;
+  // Bitmask of kOn* placement flags.
+  unsigned placement = kOnAnyNode;
+  // One-line human description (Figure 7's right column).
+  std::string description;
+};
+
+// A set of attribute specs. `Standard()` holds the Figure-7 table; callers
+// may build extended registries for application-specific attributes.
+class AttrRegistry {
+ public:
+  AttrRegistry() = default;
+
+  // The built-in standard registry (Figure 7 + duration/medium/title).
+  static const AttrRegistry& Standard();
+
+  // Registers a spec; error if the name is already registered.
+  Status Register(AttrSpec spec);
+
+  // nullptr when the name is not a registered standard attribute. Unknown
+  // attributes are NOT errors — CMIF passes them through.
+  const AttrSpec* Find(std::string_view name) const;
+
+  // True if the attribute is marked inherited. Unknown attributes do not
+  // inherit.
+  bool IsInherited(std::string_view name) const;
+
+  const std::vector<AttrSpec>& specs() const { return specs_; }
+
+  // Renders the registry as the Figure-7 style two-column table.
+  std::string ToTable() const;
+
+ private:
+  std::vector<AttrSpec> specs_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_ATTR_REGISTRY_H_

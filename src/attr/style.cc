@@ -1,0 +1,134 @@
+#include "src/attr/style.h"
+
+#include <algorithm>
+
+#include "src/attr/registry.h"
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+Status StyleDictionary::Define(std::string name, AttrList body) {
+  if (!IsValidId(name)) {
+    return InvalidArgumentError("style name '" + name + "' is not a valid ID");
+  }
+  if (Has(name)) {
+    return AlreadyExistsError("style '" + name + "' already defined");
+  }
+  styles_.emplace_back(std::move(name), std::move(body));
+  return Status::Ok();
+}
+
+const AttrList* StyleDictionary::Find(std::string_view name) const {
+  for (const auto& [style_name, body] : styles_) {
+    if (style_name == name) {
+      return &body;
+    }
+  }
+  return nullptr;
+}
+
+Status StyleDictionary::ExpandInto(std::string_view name, AttrList& out,
+                                   std::vector<std::string>& in_progress) const {
+  if (std::find(in_progress.begin(), in_progress.end(), name) != in_progress.end()) {
+    return FailedPreconditionError("style '" + std::string(name) +
+                                   "' refers to itself, directly or indirectly");
+  }
+  const AttrList* body = Find(name);
+  if (body == nullptr) {
+    return NotFoundError("style '" + std::string(name) + "' is not defined");
+  }
+  in_progress.emplace_back(name);
+  // Base styles first so own attributes override them.
+  if (const AttrValue* base = body->Find(kAttrStyle)) {
+    if (base->is_id()) {
+      CMIF_RETURN_IF_ERROR(ExpandInto(base->id(), out, in_progress));
+    } else if (base->is_list()) {
+      for (const Attr& ref : base->list()) {
+        if (!ref.value.is_id()) {
+          return InvalidArgumentError("style list entries must be ID-valued");
+        }
+        CMIF_RETURN_IF_ERROR(ExpandInto(ref.value.id(), out, in_progress));
+      }
+    } else {
+      return InvalidArgumentError("style attribute must be an ID or a list of IDs");
+    }
+  }
+  for (const Attr& attr : body->attrs()) {
+    if (attr.name != kAttrStyle) {
+      out.Set(attr.name, attr.value);
+    }
+  }
+  in_progress.pop_back();
+  return Status::Ok();
+}
+
+StatusOr<AttrList> StyleDictionary::Expand(std::string_view name) const {
+  AttrList out;
+  std::vector<std::string> in_progress;
+  CMIF_RETURN_IF_ERROR(ExpandInto(name, out, in_progress));
+  return out;
+}
+
+StatusOr<AttrList> StyleDictionary::ExpandStyleValue(const AttrValue& value) const {
+  AttrList out;
+  std::vector<std::string> in_progress;
+  if (value.is_id()) {
+    CMIF_RETURN_IF_ERROR(ExpandInto(value.id(), out, in_progress));
+    return out;
+  }
+  if (value.is_list()) {
+    for (const Attr& ref : value.list()) {
+      if (!ref.value.is_id()) {
+        return InvalidArgumentError("style list entries must be ID-valued");
+      }
+      CMIF_RETURN_IF_ERROR(ExpandInto(ref.value.id(), out, in_progress));
+    }
+    return out;
+  }
+  return InvalidArgumentError("style attribute must be an ID or a list of IDs");
+}
+
+Status StyleDictionary::Validate() const {
+  for (const auto& [name, body] : styles_) {
+    (void)body;
+    AttrList scratch;
+    std::vector<std::string> in_progress;
+    CMIF_RETURN_IF_ERROR(ExpandInto(name, scratch, in_progress));
+  }
+  return Status::Ok();
+}
+
+AttrValue StyleDictionary::ToAttrValue() const {
+  std::vector<Attr> entries;
+  entries.reserve(styles_.size());
+  for (const auto& [name, body] : styles_) {
+    entries.push_back(Attr{name, AttrValue::List(body.attrs())});
+  }
+  return AttrValue::List(std::move(entries));
+}
+
+StatusOr<StyleDictionary> StyleDictionary::FromAttrValue(const AttrValue& value) {
+  if (!value.is_list()) {
+    return InvalidArgumentError("style_dict must be a LIST value");
+  }
+  StyleDictionary dict;
+  for (const Attr& entry : value.list()) {
+    if (!entry.value.is_list()) {
+      return InvalidArgumentError("style definition '" + entry.name + "' must be a LIST");
+    }
+    CMIF_RETURN_IF_ERROR(dict.Define(entry.name, AttrList::FromAttrs(entry.value.list())));
+  }
+  return dict;
+}
+
+std::vector<std::string> StyleDictionary::Names() const {
+  std::vector<std::string> names;
+  names.reserve(styles_.size());
+  for (const auto& [name, body] : styles_) {
+    (void)body;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace cmif

@@ -1,0 +1,62 @@
+// Style dictionary. "There is one attribute, 'style', which is a shorthand
+// for placing a set of attributes on a node. ... Style definitions may refer
+// to other style definitions as long as no style refers to itself, directly
+// or indirectly" (section 5.2, Figure 7).
+#ifndef SRC_ATTR_STYLE_H_
+#define SRC_ATTR_STYLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/attr/attr_list.h"
+#include "src/base/status.h"
+
+namespace cmif {
+
+// Named sets of attributes, normally stored on the root node's style_dict
+// attribute. A definition body may itself carry a "style" attribute naming
+// base styles; expansion is recursive with cycle detection.
+class StyleDictionary {
+ public:
+  StyleDictionary() = default;
+
+  // Defines a style; error if the name exists or is not a valid ID.
+  Status Define(std::string name, AttrList body);
+
+  // The raw (unexpanded) definition, or nullptr.
+  const AttrList* Find(std::string_view name) const;
+  bool Has(std::string_view name) const { return Find(name) != nullptr; }
+  std::size_t size() const { return styles_.size(); }
+
+  // Fully expands a style: base styles first (in listed order), own
+  // attributes override. Errors: NotFound for unknown names,
+  // FailedPrecondition for cyclic definitions. The returned list never
+  // contains a "style" attribute.
+  StatusOr<AttrList> Expand(std::string_view name) const;
+
+  // Expands a node's "style" attribute value: either a single ID or a LIST
+  // whose entries are ID-valued attributes; later styles override earlier.
+  StatusOr<AttrList> ExpandStyleValue(const AttrValue& value) const;
+
+  // Checks every definition for unknown references and cycles.
+  Status Validate() const;
+
+  // Conversion to/from the root node's style_dict attribute value: a LIST
+  // of (style_name -> LIST body) attributes.
+  AttrValue ToAttrValue() const;
+  static StatusOr<StyleDictionary> FromAttrValue(const AttrValue& value);
+
+  // Names in definition order.
+  std::vector<std::string> Names() const;
+
+ private:
+  Status ExpandInto(std::string_view name, AttrList& out,
+                    std::vector<std::string>& in_progress) const;
+
+  std::vector<std::pair<std::string, AttrList>> styles_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_ATTR_STYLE_H_

@@ -1,0 +1,106 @@
+#include "src/attr/value.h"
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+std::string_view AttrKindName(AttrKind kind) {
+  switch (kind) {
+    case AttrKind::kId:
+      return "ID";
+    case AttrKind::kNumber:
+      return "NUMBER";
+    case AttrKind::kString:
+      return "STRING";
+    case AttrKind::kTime:
+      return "TIME";
+    case AttrKind::kList:
+      return "LIST";
+  }
+  return "?";
+}
+
+AttrValue AttrValue::List(std::vector<Attr> attrs) { return AttrValue(std::move(attrs)); }
+
+AttrKind AttrValue::kind() const {
+  return static_cast<AttrKind>(value_.index());
+}
+
+const std::vector<Attr>& AttrValue::list() const { return std::get<std::vector<Attr>>(value_); }
+
+std::vector<Attr>& AttrValue::mutable_list() { return std::get<std::vector<Attr>>(value_); }
+
+StatusOr<std::string> AttrValue::AsId() const {
+  if (!is_id()) {
+    return InvalidArgumentError(std::string("expected ID value, got ") +
+                                std::string(AttrKindName(kind())));
+  }
+  return id();
+}
+
+StatusOr<std::int64_t> AttrValue::AsNumber() const {
+  if (!is_number()) {
+    return InvalidArgumentError(std::string("expected NUMBER value, got ") +
+                                std::string(AttrKindName(kind())));
+  }
+  return number();
+}
+
+StatusOr<std::string> AttrValue::AsString() const {
+  if (!is_string()) {
+    return InvalidArgumentError(std::string("expected STRING value, got ") +
+                                std::string(AttrKindName(kind())));
+  }
+  return string();
+}
+
+StatusOr<MediaTime> AttrValue::AsTime() const {
+  if (is_time()) {
+    return time();
+  }
+  if (is_number()) {
+    // Whole-second NUMBERs are accepted where a TIME is expected.
+    return MediaTime::Seconds(number());
+  }
+  return InvalidArgumentError(std::string("expected TIME value, got ") +
+                              std::string(AttrKindName(kind())));
+}
+
+bool AttrValue::operator==(const AttrValue& other) const { return value_ == other.value_; }
+
+std::string AttrValue::ToString() const {
+  switch (kind()) {
+    case AttrKind::kId:
+      return id();
+    case AttrKind::kNumber:
+      return std::to_string(number());
+    case AttrKind::kString:
+      return QuoteString(string());
+    case AttrKind::kTime: {
+      // Distinguish whole-second TIMEs from NUMBERs with an explicit "/1".
+      MediaTime t = time();
+      if (t.den() == 1) {
+        return std::to_string(t.num()) + "/1";
+      }
+      return t.ToString();
+    }
+    case AttrKind::kList: {
+      std::string out = "(";
+      bool first = true;
+      for (const Attr& attr : list()) {
+        if (!first) {
+          out += ' ';
+        }
+        first = false;
+        out += attr.name;
+        out += ' ';
+        out += attr.value.ToString();
+      }
+      out += ')';
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace cmif

@@ -1,0 +1,99 @@
+// Attribute values. Section 5.2 of the paper defines four value forms:
+// ID (a word without embedded spaces), NUMBER, STRING (quoted, spaces
+// allowed), and value* (a set of pointers to other attributes, i.e. a nested
+// attribute list). We add TIME, an exact rational used by durations, offsets
+// and delays, so that timing never round-trips through floating point.
+#ifndef SRC_ATTR_VALUE_H_
+#define SRC_ATTR_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/base/media_time.h"
+#include "src/base/status.h"
+
+namespace cmif {
+
+class AttrValue;
+
+// One named attribute. Names are IDs; "each name may occur at most once in
+// each list for each node" (section 5.2) — AttrList enforces that.
+struct Attr;
+
+// The kind tag of an AttrValue.
+enum class AttrKind {
+  kId = 0,
+  kNumber,
+  kString,
+  kTime,
+  kList,
+};
+
+// Human-readable kind name ("ID", "NUMBER", ...).
+std::string_view AttrKindName(AttrKind kind);
+
+// A strongly-typed ID (distinct from STRING in the concrete syntax).
+struct IdValue {
+  std::string value;
+  bool operator==(const IdValue& other) const = default;
+};
+
+// A tagged value: ID | NUMBER | STRING | TIME | nested attribute list.
+class AttrValue {
+ public:
+  // Defaults to the empty string value.
+  AttrValue() : value_(std::string()) {}
+
+  static AttrValue Id(std::string id) { return AttrValue(IdValue{std::move(id)}); }
+  static AttrValue Number(std::int64_t n) { return AttrValue(n); }
+  static AttrValue String(std::string s) { return AttrValue(std::move(s)); }
+  static AttrValue Time(MediaTime t) { return AttrValue(t); }
+  static AttrValue List(std::vector<Attr> attrs);
+
+  AttrKind kind() const;
+
+  bool is_id() const { return kind() == AttrKind::kId; }
+  bool is_number() const { return kind() == AttrKind::kNumber; }
+  bool is_string() const { return kind() == AttrKind::kString; }
+  bool is_time() const { return kind() == AttrKind::kTime; }
+  bool is_list() const { return kind() == AttrKind::kList; }
+
+  // Unchecked accessors: the caller must have verified the kind.
+  const std::string& id() const { return std::get<IdValue>(value_).value; }
+  std::int64_t number() const { return std::get<std::int64_t>(value_); }
+  const std::string& string() const { return std::get<std::string>(value_); }
+  MediaTime time() const { return std::get<MediaTime>(value_); }
+  const std::vector<Attr>& list() const;
+  std::vector<Attr>& mutable_list();
+
+  // Checked accessors, for callers handling untrusted documents.
+  StatusOr<std::string> AsId() const;
+  StatusOr<std::int64_t> AsNumber() const;
+  StatusOr<std::string> AsString() const;
+  StatusOr<MediaTime> AsTime() const;
+
+  // Deep structural equality.
+  bool operator==(const AttrValue& other) const;
+  bool operator!=(const AttrValue& other) const { return !(*this == other); }
+
+  // Concrete-syntax rendering, e.g. `"a string"`, `12`, `3/25`, `(a 1 b 2)`.
+  std::string ToString() const;
+
+ private:
+  template <typename T>
+  explicit AttrValue(T v) : value_(std::move(v)) {}
+
+  std::variant<IdValue, std::int64_t, std::string, MediaTime, std::vector<Attr>> value_;
+};
+
+struct Attr {
+  std::string name;
+  AttrValue value;
+  bool operator==(const Attr& other) const { return name == other.name && value == other.value; }
+};
+
+}  // namespace cmif
+
+#endif  // SRC_ATTR_VALUE_H_

@@ -1,0 +1,116 @@
+#include "src/base/lexer.h"
+
+#include <cctype>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kWord:
+      return "word";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+StatusOr<Token> Lexer::Peek() {
+  if (!has_peeked_) {
+    CMIF_ASSIGN_OR_RETURN(peeked_, Lex());
+    has_peeked_ = true;
+  }
+  return peeked_;
+}
+
+StatusOr<Token> Lexer::Next() {
+  if (has_peeked_) {
+    has_peeked_ = false;
+    return peeked_;
+  }
+  return Lex();
+}
+
+StatusOr<Token> Lexer::Expect(TokenKind kind) {
+  CMIF_ASSIGN_OR_RETURN(Token token, Next());
+  if (token.kind != kind) {
+    return DataLossError(StrFormat("line %d: expected %s, got %s '%s'", token.line,
+                                   std::string(TokenKindName(kind)).c_str(),
+                                   std::string(TokenKindName(token.kind)).c_str(),
+                                   token.text.c_str()));
+  }
+  return token;
+}
+
+StatusOr<Token> Lexer::Lex() {
+  // Skip whitespace and ';' comments.
+  while (pos_ < input_.size()) {
+    char c = input_[pos_];
+    if (c == '\n') {
+      ++line_;
+      ++pos_;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos_;
+    } else if (c == ';') {
+      while (pos_ < input_.size() && input_[pos_] != '\n') {
+        ++pos_;
+      }
+    } else {
+      break;
+    }
+  }
+  if (pos_ >= input_.size()) {
+    return Token{TokenKind::kEnd, "", line_};
+  }
+  char c = input_[pos_];
+  if (c == '(') {
+    ++pos_;
+    return Token{TokenKind::kLParen, "(", line_};
+  }
+  if (c == ')') {
+    ++pos_;
+    return Token{TokenKind::kRParen, ")", line_};
+  }
+  if (c == '"') {
+    ++pos_;
+    std::size_t start = pos_;
+    while (pos_ < input_.size()) {
+      if (input_[pos_] == '\\' && pos_ + 1 < input_.size()) {
+        pos_ += 2;
+      } else if (input_[pos_] == '"') {
+        break;
+      } else {
+        if (input_[pos_] == '\n') {
+          ++line_;
+        }
+        ++pos_;
+      }
+    }
+    if (pos_ >= input_.size()) {
+      return DataLossError(StrFormat("line %d: unterminated string", line_));
+    }
+    std::string body = UnescapeString(input_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return Token{TokenKind::kString, std::move(body), line_};
+  }
+  // Bare word: everything up to whitespace, parens, quote or comment.
+  std::size_t start = pos_;
+  while (pos_ < input_.size()) {
+    char w = input_[pos_];
+    if (std::isspace(static_cast<unsigned char>(w)) || w == '(' || w == ')' || w == '"' ||
+        w == ';') {
+      break;
+    }
+    ++pos_;
+  }
+  return Token{TokenKind::kWord, std::string(input_.substr(start, pos_ - start)), line_};
+}
+
+}  // namespace cmif

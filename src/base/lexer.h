@@ -1,0 +1,57 @@
+// A small tokenizer for the CMIF concrete syntax and the DDBMS catalog
+// format: parenthesized lists of bare words and quoted strings, with ';'
+// line comments. Words cover IDs, numbers and rational times; the parsers
+// interpret them.
+#ifndef SRC_BASE_LEXER_H_
+#define SRC_BASE_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+
+namespace cmif {
+
+enum class TokenKind {
+  kLParen = 0,
+  kRParen,
+  kWord,    // bare token: identifier, number, or rational
+  kString,  // quoted string, already unescaped
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // word contents or unescaped string body
+  int line = 1;      // 1-based source line, for error messages
+};
+
+// Tokenizes an in-memory buffer. The buffer must outlive the lexer.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  // The current token without consuming it.
+  StatusOr<Token> Peek();
+  // Consumes and returns the current token.
+  StatusOr<Token> Next();
+  // Consumes the current token, which must have `kind`; DataLoss otherwise.
+  StatusOr<Token> Expect(TokenKind kind);
+
+  int line() const { return line_; }
+
+ private:
+  StatusOr<Token> Lex();
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool has_peeked_ = false;
+  Token peeked_;
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+}  // namespace cmif
+
+#endif  // SRC_BASE_LEXER_H_

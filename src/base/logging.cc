@@ -1,0 +1,43 @@
+#include "src/base/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace cmif {
+namespace {
+
+LogLevel g_threshold = LogLevel::kWarning;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogThreshold(LogLevel level) { g_threshold = level; }
+
+LogLevel GetLogThreshold() { return g_threshold; }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  if (level < g_threshold) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line, message.c_str());
+}
+
+}  // namespace cmif

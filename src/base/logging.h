@@ -1,0 +1,41 @@
+// Minimal leveled logging. Libraries log sparingly (warnings about dropped
+// "may" arcs, filter decisions); tools may raise the verbosity.
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cmif {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global threshold; messages below it are discarded. Defaults to kWarning.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+// Emit one log line (used by the CMIF_LOG macro; callable directly too).
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Internal helper: builds the message with stream syntax, emits on destruction.
+class LogCapture {
+ public:
+  LogCapture(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogCapture() { LogMessage(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace cmif
+
+// Usage: CMIF_LOG(kWarning) << "dropped may-arc " << arc;
+#define CMIF_LOG(severity) \
+  ::cmif::LogCapture(::cmif::LogLevel::severity, __FILE__, __LINE__).stream()
+
+#endif  // SRC_BASE_LOGGING_H_

@@ -1,0 +1,138 @@
+#include "src/base/media_time.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+
+namespace cmif {
+namespace {
+
+// Normalize a possibly-large intermediate rational back into int64 range.
+MediaTime Normalize(__int128 num, __int128 den) {
+  assert(den != 0);
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  __int128 a = num < 0 ? -num : num;
+  __int128 b = den;
+  while (b != 0) {
+    __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a > 1) {
+    num /= a;
+    den /= a;
+  }
+  assert(num <= INT64_MAX && num >= INT64_MIN && den <= INT64_MAX);
+  return MediaTime::Rational(static_cast<std::int64_t>(num), static_cast<std::int64_t>(den));
+}
+
+}  // namespace
+
+MediaTime MediaTime::Rational(std::int64_t num, std::int64_t den) {
+  assert(den != 0 && "MediaTime denominator must be nonzero");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  std::int64_t g = std::gcd(num < 0 ? -num : num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  return MediaTime(num, den);
+}
+
+std::int64_t MediaTime::ToUnits(std::int64_t units_per_second) const {
+  __int128 scaled = static_cast<__int128>(num_) * units_per_second;
+  __int128 d = den_;
+  // Round to nearest, ties away from zero.
+  __int128 half = d / 2;
+  __int128 q = scaled >= 0 ? (scaled + half) / d : (scaled - half) / d;
+  return static_cast<std::int64_t>(q);
+}
+
+std::string MediaTime::ToString() const {
+  std::ostringstream os;
+  os << num_;
+  if (den_ != 1) {
+    os << '/' << den_;
+  }
+  return os.str();
+}
+
+MediaTime MediaTime::operator+(MediaTime other) const {
+  __int128 num =
+      static_cast<__int128>(num_) * other.den_ + static_cast<__int128>(other.num_) * den_;
+  __int128 den = static_cast<__int128>(den_) * other.den_;
+  return Normalize(num, den);
+}
+
+MediaTime MediaTime::operator-(MediaTime other) const { return *this + (-other); }
+
+MediaTime MediaTime::operator*(std::int64_t factor) const {
+  return Normalize(static_cast<__int128>(num_) * factor, den_);
+}
+
+MediaTime MediaTime::MulRational(std::int64_t num, std::int64_t den) const {
+  assert(den != 0);
+  return Normalize(static_cast<__int128>(num_) * num, static_cast<__int128>(den_) * den);
+}
+
+bool operator<(MediaTime a, MediaTime b) {
+  return static_cast<__int128>(a.num_) * b.den_ < static_cast<__int128>(b.num_) * a.den_;
+}
+
+std::ostream& operator<<(std::ostream& os, MediaTime t) { return os << t.ToString(); }
+
+StatusOr<MediaTime> ParseMediaTime(const std::string& text) {
+  if (text.empty()) {
+    return InvalidArgumentError("empty time literal");
+  }
+  std::size_t slash = text.find('/');
+  std::size_t dot = text.find('.');
+  errno = 0;
+  char* end = nullptr;
+  if (slash != std::string::npos) {
+    std::int64_t num = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + slash || errno != 0) {
+      return DataLossError("bad rational numerator in '" + text + "'");
+    }
+    const char* dstart = text.c_str() + slash + 1;
+    std::int64_t den = std::strtoll(dstart, &end, 10);
+    if (*end != '\0' || end == dstart || errno != 0 || den == 0) {
+      return DataLossError("bad rational denominator in '" + text + "'");
+    }
+    return MediaTime::Rational(num, den);
+  }
+  if (dot != std::string::npos) {
+    // X.Y decimal seconds, up to 9 fractional digits.
+    std::int64_t whole = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + dot || errno != 0) {
+      return DataLossError("bad decimal in '" + text + "'");
+    }
+    std::string frac = text.substr(dot + 1);
+    if (frac.empty() || frac.size() > 9 ||
+        frac.find_first_not_of("0123456789") != std::string::npos) {
+      return DataLossError("bad fractional part in '" + text + "'");
+    }
+    std::int64_t scale = 1;
+    for (std::size_t i = 0; i < frac.size(); ++i) {
+      scale *= 10;
+    }
+    std::int64_t fnum = std::strtoll(frac.c_str(), &end, 10);
+    bool negative = text[0] == '-';
+    std::int64_t num = whole * scale + (negative ? -fnum : fnum);
+    return MediaTime::Rational(num, scale);
+  }
+  std::int64_t s = std::strtoll(text.c_str(), &end, 10);
+  if (*end != '\0' || end == text.c_str() || errno != 0) {
+    return DataLossError("bad time literal '" + text + "'");
+  }
+  return MediaTime::Seconds(s);
+}
+
+}  // namespace cmif

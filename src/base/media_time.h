@@ -1,0 +1,87 @@
+// Exact rational time. The paper expresses offsets "in terms of media-
+// dependent units (such as seconds, frames, bytes, etc.)" (section 5.3.2);
+// mixing 25 fps frames with 8 kHz samples and milliseconds must not drift,
+// so all document time is carried as a normalized rational number of seconds.
+#ifndef SRC_BASE_MEDIA_TIME_H_
+#define SRC_BASE_MEDIA_TIME_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "src/base/status.h"
+
+namespace cmif {
+
+// A point in (or span of) time, as an exact rational count of seconds.
+// Always normalized: gcd(num, den) == 1, den > 0. Value-semantic, ordered.
+class MediaTime {
+ public:
+  // Zero time.
+  constexpr MediaTime() = default;
+
+  // num/den seconds. den must be nonzero; the result is normalized.
+  static MediaTime Rational(std::int64_t num, std::int64_t den);
+
+  static MediaTime Seconds(std::int64_t s) { return MediaTime(s, 1); }
+  static MediaTime Millis(std::int64_t ms) { return Rational(ms, 1000); }
+  static MediaTime Micros(std::int64_t us) { return Rational(us, 1000000); }
+  // `frames` at `fps` frames per second (fps > 0).
+  static MediaTime Frames(std::int64_t frames, std::int64_t fps) { return Rational(frames, fps); }
+  // `samples` at `rate` samples per second (rate > 0).
+  static MediaTime Samples(std::int64_t samples, std::int64_t rate) {
+    return Rational(samples, rate);
+  }
+  // `bytes` through a channel of `bytes_per_second` (must be > 0).
+  static MediaTime Bytes(std::int64_t bytes, std::int64_t bytes_per_second) {
+    return Rational(bytes, bytes_per_second);
+  }
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_negative() const { return num_ < 0; }
+  bool is_positive() const { return num_ > 0; }
+
+  // Approximate value in seconds, for display and measurement only.
+  double ToSecondsF() const { return static_cast<double>(num_) / static_cast<double>(den_); }
+  // Rounded (toward nearest) count of whole units, e.g. ToUnits(1000) = ms.
+  std::int64_t ToUnits(std::int64_t units_per_second) const;
+
+  // "num/den" or "num" when den == 1 (seconds).
+  std::string ToString() const;
+
+  MediaTime operator+(MediaTime other) const;
+  MediaTime operator-(MediaTime other) const;
+  MediaTime operator-() const { return MediaTime(-num_, den_); }
+  MediaTime& operator+=(MediaTime other) { return *this = *this + other; }
+  MediaTime& operator-=(MediaTime other) { return *this = *this - other; }
+
+  // Scale by an integer factor (e.g. repeat counts).
+  MediaTime operator*(std::int64_t factor) const;
+  // Scale by a rational rate, e.g. slow-motion at 1/2 speed divides by 1/2.
+  MediaTime MulRational(std::int64_t num, std::int64_t den) const;
+
+  friend bool operator==(MediaTime a, MediaTime b) { return a.num_ == b.num_ && a.den_ == b.den_; }
+  friend bool operator!=(MediaTime a, MediaTime b) { return !(a == b); }
+  friend bool operator<(MediaTime a, MediaTime b);
+  friend bool operator>(MediaTime a, MediaTime b) { return b < a; }
+  friend bool operator<=(MediaTime a, MediaTime b) { return !(b < a); }
+  friend bool operator>=(MediaTime a, MediaTime b) { return !(a < b); }
+
+ private:
+  constexpr MediaTime(std::int64_t num, std::int64_t den) : num_(num), den_(den) {}
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, MediaTime t);
+
+// Parse "N", "N/D", or "X.Y" seconds. Rejects division by zero and garbage.
+StatusOr<MediaTime> ParseMediaTime(const std::string& text);
+
+}  // namespace cmif
+
+#endif  // SRC_BASE_MEDIA_TIME_H_

@@ -1,0 +1,68 @@
+#include "src/base/random.h"
+
+namespace cmif {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(s);
+  }
+}
+
+std::uint64_t Rng::Next() {
+  // xoshiro256**
+  std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    std::uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0) {
+    return false;
+  }
+  if (p >= 1) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+}  // namespace cmif

@@ -1,0 +1,33 @@
+// Deterministic PRNG for workload generation (benches, property tests).
+// A fixed algorithm (splitmix64 + xoshiro256**) keeps generated documents
+// identical across standard libraries and platforms.
+#ifndef SRC_BASE_RANDOM_H_
+#define SRC_BASE_RANDOM_H_
+
+#include <cstdint>
+
+namespace cmif {
+
+// Value-semantic deterministic random generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t Next();
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // Bernoulli with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace cmif
+
+#endif  // SRC_BASE_RANDOM_H_

@@ -1,0 +1,136 @@
+// Status and StatusOr: the error-handling vocabulary used across the CMIF
+// libraries. No exceptions cross library boundaries; fallible operations
+// return Status (or StatusOr<T> when they produce a value).
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cmif {
+
+// Broad error categories. The message carries the detail; the code is what
+// callers branch on.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // a named entity does not exist
+  kAlreadyExists,     // uniqueness rule violated
+  kFailedPrecondition,// operation not valid in the current state
+  kOutOfRange,        // index/slice/clip outside the valid range
+  kUnimplemented,     // feature intentionally not supported
+  kDataLoss,          // parse error or corrupted input
+  kResourceExhausted, // capability/resource limit hit
+  kInfeasible,        // constraint system has no solution
+  kInternal,          // invariant violation inside the library
+};
+
+// Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error result. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  // Success.
+  Status() = default;
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors mirroring the StatusCode values.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status DataLossError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InfeasibleError(std::string message);
+Status InternalError(std::string message);
+
+// A value or an error. Exactly one of the two is present.
+template <typename T>
+class StatusOr {
+ public:
+  // Error state. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit by design
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+  // Value state.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define CMIF_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::cmif::Status cmif_status_ = (expr);   \
+    if (!cmif_status_.ok()) {               \
+      return cmif_status_;                  \
+    }                                       \
+  } while (0)
+
+// Evaluate a StatusOr expression; on error return the status, otherwise bind
+// the value to `lhs`. Usage: CMIF_ASSIGN_OR_RETURN(auto v, Compute());
+#define CMIF_ASSIGN_OR_RETURN(lhs, expr)                       \
+  CMIF_ASSIGN_OR_RETURN_IMPL_(CMIF_CONCAT_(cmif_sor_, __LINE__), lhs, expr)
+
+#define CMIF_CONCAT_INNER_(a, b) a##b
+#define CMIF_CONCAT_(a, b) CMIF_CONCAT_INNER_(a, b)
+#define CMIF_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace cmif
+
+#endif  // SRC_BASE_STATUS_H_

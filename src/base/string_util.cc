@@ -1,0 +1,231 @@
+#include "src/base/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+namespace cmif {
+
+std::vector<std::string> SplitString(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view TrimString(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string QuoteString(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string UnescapeString(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      ++i;
+      switch (text[i]) {
+        case 'n':
+          out.push_back('\n');
+          break;
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        default:
+          out.push_back('\\');
+          out.push_back(text[i]);
+      }
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+bool IsValidId(std::string_view text) {
+  if (text.empty()) {
+    return false;
+  }
+  char first = text[0];
+  if (!std::isalpha(static_cast<unsigned char>(first)) && first != '_') {
+    return false;
+  }
+  for (char c : text.substr(1)) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '.' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+namespace {
+constexpr char kB64Alphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int B64Value(char c) {
+  if (c >= 'A' && c <= 'Z') {
+    return c - 'A';
+  }
+  if (c >= 'a' && c <= 'z') {
+    return c - 'a' + 26;
+  }
+  if (c >= '0' && c <= '9') {
+    return c - '0' + 52;
+  }
+  if (c == '+') {
+    return 62;
+  }
+  if (c == '/') {
+    return 63;
+  }
+  return -1;
+}
+}  // namespace
+
+std::string Base64Encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= bytes.size()) {
+    std::uint32_t v = static_cast<std::uint8_t>(bytes[i]) << 16 |
+                      static_cast<std::uint8_t>(bytes[i + 1]) << 8 |
+                      static_cast<std::uint8_t>(bytes[i + 2]);
+    out.push_back(kB64Alphabet[(v >> 18) & 63]);
+    out.push_back(kB64Alphabet[(v >> 12) & 63]);
+    out.push_back(kB64Alphabet[(v >> 6) & 63]);
+    out.push_back(kB64Alphabet[v & 63]);
+    i += 3;
+  }
+  std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[i])) << 16;
+    out.push_back(kB64Alphabet[(v >> 18) & 63]);
+    out.push_back(kB64Alphabet[(v >> 12) & 63]);
+    out += "==";
+  } else if (rest == 2) {
+    std::uint32_t v = static_cast<std::uint8_t>(bytes[i]) << 16 |
+                      static_cast<std::uint8_t>(bytes[i + 1]) << 8;
+    out.push_back(kB64Alphabet[(v >> 18) & 63]);
+    out.push_back(kB64Alphabet[(v >> 12) & 63]);
+    out.push_back(kB64Alphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+StatusOr<std::string> Base64Decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    return DataLossError("base64 length is not a multiple of 4");
+  }
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (int j = 0; j < 4; ++j) {
+      char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last two positions of the last group.
+        if (i + 4 != text.size() || j < 2) {
+          return DataLossError("misplaced base64 padding");
+        }
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) {
+        return DataLossError("data after base64 padding");
+      }
+      int value = B64Value(c);
+      if (value < 0) {
+        return DataLossError(std::string("invalid base64 character '") + c + "'");
+      }
+      v = v << 6 | static_cast<std::uint32_t>(value);
+    }
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    if (pad < 2) {
+      out.push_back(static_cast<char>((v >> 8) & 0xff));
+    }
+    if (pad < 1) {
+      out.push_back(static_cast<char>(v & 0xff));
+    }
+  }
+  return out;
+}
+
+}  // namespace cmif

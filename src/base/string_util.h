@@ -1,0 +1,48 @@
+// Small string helpers shared across the CMIF libraries.
+#ifndef SRC_BASE_STRING_UTIL_H_
+#define SRC_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace cmif {
+
+// Split `text` on `sep`; empty fields are preserved ("a//b" -> {"a","","b"}).
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+// Strip leading and trailing ASCII whitespace.
+std::string_view TrimString(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Quote a string for the CMIF concrete syntax: wraps in double quotes and
+// backslash-escapes '"', '\\', and newlines.
+std::string QuoteString(std::string_view text);
+
+// Inverse of QuoteString for the text between the quotes (no surrounding
+// quotes expected). Unknown escapes are passed through verbatim.
+std::string UnescapeString(std::string_view text);
+
+// True if `text` is a valid CMIF ID: nonempty, [A-Za-z_][A-Za-z0-9_.-]*.
+// IDs "contain a character value without embedded spaces" (section 5.2).
+bool IsValidId(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+// Join the elements with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+// Standard base64 (RFC 4648, with padding). Used to embed binary media
+// payloads in text catalogs and immediate nodes.
+std::string Base64Encode(std::string_view bytes);
+// Decodes base64; rejects non-alphabet characters and bad padding.
+StatusOr<std::string> Base64Decode(std::string_view text);
+
+}  // namespace cmif
+
+#endif  // SRC_BASE_STRING_UTIL_H_

@@ -1,0 +1,126 @@
+#include "src/ddbms/descriptor.h"
+
+namespace cmif {
+
+MediaType DataDescriptor::Medium() const {
+  std::string name = attrs_.GetIdOr(std::string(kDescMedium), "text");
+  auto parsed = ParseMediaType(name);
+  return parsed.ok() ? *parsed : MediaType::kText;
+}
+
+MediaTime DataDescriptor::DeclaredDuration() const {
+  return attrs_.GetTimeOr(kDescDuration, MediaTime());
+}
+
+std::int64_t DataDescriptor::DeclaredBytes() const { return attrs_.GetNumberOr(kDescBytes, 0); }
+
+void DataDescriptor::DeriveAttrsFrom(const DataBlock& block) {
+  attrs_.Set(std::string(kDescMedium), AttrValue::Id(std::string(MediaTypeName(block.medium()))));
+  attrs_.Set(std::string(kDescBytes), AttrValue::Number(static_cast<std::int64_t>(block.ByteSize())));
+  MediaTime duration = block.IntrinsicDuration();
+  if (!duration.is_zero()) {
+    attrs_.Set(std::string(kDescDuration), AttrValue::Time(duration));
+  }
+  if (block.is_generator()) {
+    // Generator payloads have no materialized media to inspect; callers add
+    // rate/resolution attributes from the generator parameters themselves.
+    return;
+  }
+  switch (block.medium()) {
+    case MediaType::kAudio:
+      attrs_.Set(std::string(kDescRate), AttrValue::Number(block.audio().rate()));
+      attrs_.Set(std::string(kDescFormat), AttrValue::String("pcm16"));
+      break;
+    case MediaType::kVideo:
+      attrs_.Set(std::string(kDescRate), AttrValue::Number(block.video().fps()));
+      attrs_.Set(std::string(kDescWidth), AttrValue::Number(block.video().width()));
+      attrs_.Set(std::string(kDescHeight), AttrValue::Number(block.video().height()));
+      attrs_.Set(std::string(kDescFormat), AttrValue::String("raw-rgb8"));
+      attrs_.Set(std::string(kDescColorBits), AttrValue::Number(8));
+      break;
+    case MediaType::kImage:
+    case MediaType::kGraphic:
+      if (!block.is_generator()) {
+        attrs_.Set(std::string(kDescWidth), AttrValue::Number(block.image().width()));
+        attrs_.Set(std::string(kDescHeight), AttrValue::Number(block.image().height()));
+      }
+      attrs_.Set(std::string(kDescFormat), AttrValue::String("raw-rgb8"));
+      attrs_.Set(std::string(kDescColorBits), AttrValue::Number(8));
+      break;
+    case MediaType::kText:
+      attrs_.Set(std::string(kDescFormat), AttrValue::String("plain"));
+      break;
+  }
+}
+
+Status BlockStore::Put(std::string key, DataBlock block) {
+  if (Has(key)) {
+    return AlreadyExistsError("block '" + key + "' already stored");
+  }
+  blocks_.emplace_back(std::move(key), std::move(block));
+  return Status::Ok();
+}
+
+void BlockStore::Set(std::string key, DataBlock block) {
+  for (auto& [existing, value] : blocks_) {
+    if (existing == key) {
+      value = std::move(block);
+      return;
+    }
+  }
+  blocks_.emplace_back(std::move(key), std::move(block));
+}
+
+StatusOr<DataBlock> BlockStore::Get(const std::string& key) const {
+  for (const auto& [existing, value] : blocks_) {
+    if (existing == key) {
+      return value;
+    }
+  }
+  return NotFoundError("block '" + key + "' not in store");
+}
+
+bool BlockStore::Has(const std::string& key) const {
+  for (const auto& [existing, value] : blocks_) {
+    (void)value;
+    if (existing == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BlockStore::Remove(const std::string& key) {
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->first == key) {
+      blocks_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t BlockStore::TotalBytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, block] : blocks_) {
+    (void)key;
+    total += block.ByteSize();
+  }
+  return total;
+}
+
+StatusOr<DataBlock> ResolveContent(const DataDescriptor& descriptor, const BlockStore& store) {
+  const ContentRef& content = descriptor.content();
+  if (const auto* inline_block = std::get_if<DataBlock>(&content)) {
+    return *inline_block;
+  }
+  if (const auto* key = std::get_if<std::string>(&content)) {
+    return store.Get(*key);
+  }
+  if (const auto* generator = std::get_if<GeneratorSpec>(&content)) {
+    return GeneratorRegistry::Global().Run(*generator);
+  }
+  return FailedPreconditionError("descriptor '" + descriptor.id() + "' carries no content");
+}
+
+}  // namespace cmif

@@ -1,0 +1,97 @@
+// Data descriptors: "collections of attributes that describe the nature of
+// the data block" (section 3.1, Figure 2). A descriptor names the block, says
+// what it is (medium, format, resolution, length, resources) and where its
+// bytes live. A database "may be used to locate and access various data
+// blocks based on the attributes in the data descriptors".
+#ifndef SRC_DDBMS_DESCRIPTOR_H_
+#define SRC_DDBMS_DESCRIPTOR_H_
+
+#include <string>
+#include <variant>
+
+#include "src/attr/attr_list.h"
+#include "src/base/status.h"
+#include "src/media/data_block.h"
+#include "src/media/media_type.h"
+
+namespace cmif {
+
+// Conventional descriptor attribute names used throughout this library.
+inline constexpr std::string_view kDescMedium = "medium";        // ID: text|audio|video|...
+inline constexpr std::string_view kDescDuration = "duration";    // TIME intrinsic length
+inline constexpr std::string_view kDescBytes = "bytes";          // NUMBER payload size
+inline constexpr std::string_view kDescFormat = "format";        // STRING encoding name
+inline constexpr std::string_view kDescWidth = "width";          // NUMBER pixels
+inline constexpr std::string_view kDescHeight = "height";        // NUMBER pixels
+inline constexpr std::string_view kDescRate = "rate";            // NUMBER fps or sample rate
+inline constexpr std::string_view kDescColorBits = "color_bits"; // NUMBER bits per channel
+inline constexpr std::string_view kDescKeywords = "keywords";    // STRING search keys
+inline constexpr std::string_view kDescSource = "source";        // STRING provenance
+
+// Where a descriptor's bytes live.
+//  - monostate: attributes only (descriptor-without-data transport mode);
+//  - std::string: key of a block held by a BlockStore ("storage server");
+//  - GeneratorSpec: a program producing the block on demand;
+//  - DataBlock: inline payload carried with the descriptor.
+using ContentRef = std::variant<std::monostate, std::string, GeneratorSpec, DataBlock>;
+
+// A named bundle of attributes plus a content reference.
+class DataDescriptor {
+ public:
+  DataDescriptor() = default;
+  DataDescriptor(std::string id, AttrList attrs) : id_(std::move(id)), attrs_(std::move(attrs)) {}
+
+  const std::string& id() const { return id_; }
+  const AttrList& attrs() const { return attrs_; }
+  AttrList& mutable_attrs() { return attrs_; }
+
+  const ContentRef& content() const { return content_; }
+  void set_content(ContentRef content) { content_ = std::move(content); }
+  bool has_content() const { return !std::holds_alternative<std::monostate>(content_); }
+
+  // The declared medium (from the medium attribute), defaulting to text —
+  // "the data is either text (the default) or another medium" (section 5.1).
+  MediaType Medium() const;
+  // Declared intrinsic duration; zero when unspecified.
+  MediaTime DeclaredDuration() const;
+  // Declared payload size; zero when unspecified.
+  std::int64_t DeclaredBytes() const;
+
+  // Fills medium/duration/bytes (and width/height/rate where known) from an
+  // actual block. Used by the capture tools.
+  void DeriveAttrsFrom(const DataBlock& block);
+
+ private:
+  std::string id_;
+  AttrList attrs_;
+  ContentRef content_;
+};
+
+// The "common storage server": named blocks that descriptors reference by
+// key via the File attribute. In the paper this would be a distributed file
+// or database service; here it is an in-process map.
+class BlockStore {
+ public:
+  // Stores a block under `key`; error if the key exists.
+  Status Put(std::string key, DataBlock block);
+  // Replaces or inserts.
+  void Set(std::string key, DataBlock block);
+  StatusOr<DataBlock> Get(const std::string& key) const;
+  bool Has(const std::string& key) const;
+  bool Remove(const std::string& key);
+  std::size_t size() const { return blocks_.size(); }
+  // Total payload bytes held (the "massive amounts of media-based data").
+  std::size_t TotalBytes() const;
+
+ private:
+  std::vector<std::pair<std::string, DataBlock>> blocks_;
+};
+
+// Materializes a descriptor's data block: inline blocks are returned as-is,
+// store keys are fetched from `store`, generators are run via the global
+// GeneratorRegistry. Descriptors without content yield FailedPrecondition.
+StatusOr<DataBlock> ResolveContent(const DataDescriptor& descriptor, const BlockStore& store);
+
+}  // namespace cmif
+
+#endif  // SRC_DDBMS_DESCRIPTOR_H_

@@ -1,0 +1,129 @@
+#include "src/ddbms/persist.h"
+
+#include <sstream>
+
+#include "src/attr/parse.h"
+#include "src/base/lexer.h"
+#include "src/base/string_util.h"
+
+namespace cmif {
+namespace {
+
+StatusOr<std::string> EncodeInlinePayload(const DataBlock& block) {
+  switch (block.medium()) {
+    case MediaType::kText:
+      return block.text().text();
+    case MediaType::kAudio:
+      return Base64Encode(EncodeWav(block.audio()));
+    case MediaType::kImage:
+    case MediaType::kGraphic:
+      return Base64Encode(EncodePpm(block.image()));
+    case MediaType::kVideo:
+      return UnimplementedError("inline video is not supported; use store or generator content");
+  }
+  return InternalError("unknown medium");
+}
+
+StatusOr<DataBlock> DecodeInlinePayload(MediaType medium, const std::string& body) {
+  switch (medium) {
+    case MediaType::kText:
+      return DataBlock::FromText(TextBlock(body, TextFormatting{}));
+    case MediaType::kAudio: {
+      CMIF_ASSIGN_OR_RETURN(std::string wav, Base64Decode(body));
+      CMIF_ASSIGN_OR_RETURN(AudioBuffer audio, DecodeWav(wav));
+      return DataBlock::FromAudio(std::move(audio));
+    }
+    case MediaType::kImage:
+    case MediaType::kGraphic: {
+      CMIF_ASSIGN_OR_RETURN(std::string ppm, Base64Decode(body));
+      CMIF_ASSIGN_OR_RETURN(Raster image, DecodePpm(ppm));
+      return DataBlock::FromImage(std::move(image), medium);
+    }
+    case MediaType::kVideo:
+      return UnimplementedError("inline video is not supported");
+  }
+  return InternalError("unknown medium");
+}
+
+}  // namespace
+
+StatusOr<std::string> WriteDescriptor(const DataDescriptor& descriptor) {
+  std::ostringstream os;
+  os << "(descriptor " << descriptor.id() << " " << descriptor.attrs().ToString();
+  const ContentRef& content = descriptor.content();
+  if (const auto* key = std::get_if<std::string>(&content)) {
+    os << " store " << QuoteString(*key);
+  } else if (const auto* gen = std::get_if<GeneratorSpec>(&content)) {
+    os << " generator " << gen->generator << " " << QuoteString(gen->params) << " "
+       << gen->duration.ToString() << " " << gen->approx_bytes;
+  } else if (const auto* block = std::get_if<DataBlock>(&content)) {
+    CMIF_ASSIGN_OR_RETURN(std::string body, EncodeInlinePayload(*block));
+    os << " inline " << MediaTypeName(block->medium()) << " " << QuoteString(body);
+  }
+  os << ")";
+  return os.str();
+}
+
+StatusOr<std::string> WriteCatalog(const DescriptorStore& store) {
+  std::string out = "; CMIF descriptor catalog\n";
+  for (const DataDescriptor& d : store.descriptors()) {
+    CMIF_ASSIGN_OR_RETURN(std::string line, WriteDescriptor(d));
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<DescriptorStore> ReadCatalog(const std::string& text) {
+  DescriptorStore store;
+  Lexer lexer(text);
+  while (true) {
+    CMIF_ASSIGN_OR_RETURN(Token token, lexer.Peek());
+    if (token.kind == TokenKind::kEnd) {
+      return store;
+    }
+    CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kLParen).status());
+    CMIF_ASSIGN_OR_RETURN(Token keyword, lexer.Expect(TokenKind::kWord));
+    if (keyword.text != "descriptor") {
+      return DataLossError(StrFormat("line %d: expected 'descriptor', got '%s'", keyword.line,
+                                     keyword.text.c_str()));
+    }
+    CMIF_ASSIGN_OR_RETURN(Token id, lexer.Expect(TokenKind::kWord));
+    CMIF_ASSIGN_OR_RETURN(AttrList attrs, ParseAttrList(lexer));
+    DataDescriptor descriptor(id.text, std::move(attrs));
+
+    CMIF_ASSIGN_OR_RETURN(Token next, lexer.Next());
+    if (next.kind == TokenKind::kWord) {
+      if (next.text == "store") {
+        CMIF_ASSIGN_OR_RETURN(Token key, lexer.Expect(TokenKind::kString));
+        descriptor.set_content(key.text);
+      } else if (next.text == "generator") {
+        GeneratorSpec spec;
+        CMIF_ASSIGN_OR_RETURN(Token name, lexer.Expect(TokenKind::kWord));
+        spec.generator = name.text;
+        CMIF_ASSIGN_OR_RETURN(Token params, lexer.Expect(TokenKind::kString));
+        spec.params = params.text;
+        CMIF_ASSIGN_OR_RETURN(Token duration, lexer.Expect(TokenKind::kWord));
+        CMIF_ASSIGN_OR_RETURN(spec.duration, ParseMediaTime(duration.text));
+        CMIF_ASSIGN_OR_RETURN(Token bytes, lexer.Expect(TokenKind::kWord));
+        spec.approx_bytes = static_cast<std::size_t>(std::strtoll(bytes.text.c_str(), nullptr, 10));
+        descriptor.set_content(std::move(spec));
+      } else if (next.text == "inline") {
+        CMIF_ASSIGN_OR_RETURN(Token medium_word, lexer.Expect(TokenKind::kWord));
+        CMIF_ASSIGN_OR_RETURN(MediaType medium, ParseMediaType(medium_word.text));
+        CMIF_ASSIGN_OR_RETURN(Token body, lexer.Expect(TokenKind::kString));
+        CMIF_ASSIGN_OR_RETURN(DataBlock block, DecodeInlinePayload(medium, body.text));
+        descriptor.set_content(std::move(block));
+      } else {
+        return DataLossError(StrFormat("line %d: unknown content kind '%s'", next.line,
+                                       next.text.c_str()));
+      }
+      CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kRParen).status());
+    } else if (next.kind != TokenKind::kRParen) {
+      return DataLossError(StrFormat("line %d: expected content kind or ')'", next.line));
+    }
+    CMIF_RETURN_IF_ERROR(store.Add(std::move(descriptor)));
+  }
+}
+
+}  // namespace cmif

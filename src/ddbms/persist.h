@@ -1,0 +1,34 @@
+// Text-catalog persistence for descriptor stores. A catalog is a sequence of
+// s-expressions, one per descriptor:
+//
+//   (descriptor <id> (<attrs...>))                          ; attributes only
+//   (descriptor <id> (<attrs...>) store "<block key>")      ; storage-server ref
+//   (descriptor <id> (<attrs...>) generator <name> "<params>" <duration> <bytes>)
+//   (descriptor <id> (<attrs...>) inline <medium> "<base64 or text>")
+//
+// Inline payloads use the medium's codec: text verbatim, audio as base64 WAV,
+// image/graphic as base64 PPM. Inline video is intentionally unsupported —
+// transport video via the store or a generator.
+#ifndef SRC_DDBMS_PERSIST_H_
+#define SRC_DDBMS_PERSIST_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/ddbms/store.h"
+
+namespace cmif {
+
+// Serializes every descriptor of `store` into catalog text.
+StatusOr<std::string> WriteCatalog(const DescriptorStore& store);
+
+// Parses catalog text into a fresh store (no indexes). Errors are kDataLoss
+// with line information.
+StatusOr<DescriptorStore> ReadCatalog(const std::string& text);
+
+// Serializes one descriptor (the catalog line without a trailing newline).
+StatusOr<std::string> WriteDescriptor(const DataDescriptor& descriptor);
+
+}  // namespace cmif
+
+#endif  // SRC_DDBMS_PERSIST_H_

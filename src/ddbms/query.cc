@@ -1,0 +1,310 @@
+#include "src/ddbms/query.h"
+
+#include <cctype>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+Query Query::Eq(std::string name, AttrValue value) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kEq;
+  node->name = std::move(name);
+  node->value = std::move(value);
+  return Query(std::move(node));
+}
+
+Query Query::Range(std::string name, std::int64_t lo, std::int64_t hi) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kRange;
+  node->name = std::move(name);
+  node->lo = lo;
+  node->hi = hi;
+  return Query(std::move(node));
+}
+
+Query Query::Has(std::string name) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kHas;
+  node->name = std::move(name);
+  return Query(std::move(node));
+}
+
+Query Query::And(std::vector<Query> children) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  node->children = std::move(children);
+  return Query(std::move(node));
+}
+
+Query Query::Or(std::vector<Query> children) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  node->children = std::move(children);
+  return Query(std::move(node));
+}
+
+Query Query::Not(Query child) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kNot;
+  node->children.push_back(std::move(child));
+  return Query(std::move(node));
+}
+
+bool Query::Matches(const AttrList& attrs) const {
+  switch (node_->kind) {
+    case Kind::kEq: {
+      const AttrValue* v = attrs.Find(node_->name);
+      if (v == nullptr) {
+        return false;
+      }
+      if (*v == node_->value) {
+        return true;
+      }
+      // NUMBER query values match whole-second TIME attributes and vice versa.
+      if (node_->value.is_number() && v->is_time()) {
+        return v->time() == MediaTime::Seconds(node_->value.number());
+      }
+      return false;
+    }
+    case Kind::kRange: {
+      const AttrValue* v = attrs.Find(node_->name);
+      if (v == nullptr || !v->is_number()) {
+        return false;
+      }
+      return v->number() >= node_->lo && v->number() <= node_->hi;
+    }
+    case Kind::kHas:
+      return attrs.Has(node_->name);
+    case Kind::kAnd:
+      for (const Query& child : node_->children) {
+        if (!child.Matches(attrs)) {
+          return false;
+        }
+      }
+      return true;
+    case Kind::kOr:
+      for (const Query& child : node_->children) {
+        if (child.Matches(attrs)) {
+          return true;
+        }
+      }
+      return false;
+    case Kind::kNot:
+      return !node_->children[0].Matches(attrs);
+  }
+  return false;
+}
+
+std::string Query::ToString() const {
+  switch (node_->kind) {
+    case Kind::kEq:
+      return node_->name + "=" + node_->value.ToString();
+    case Kind::kRange:
+      return StrFormat("%s:[%lld,%lld]", node_->name.c_str(),
+                       static_cast<long long>(node_->lo), static_cast<long long>(node_->hi));
+    case Kind::kHas:
+      return "has(" + node_->name + ")";
+    case Kind::kAnd: {
+      std::vector<std::string> parts;
+      for (const Query& child : node_->children) {
+        parts.push_back(child.ToString());
+      }
+      return "(" + JoinStrings(parts, " & ") + ")";
+    }
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      for (const Query& child : node_->children) {
+        parts.push_back(child.ToString());
+      }
+      return "(" + JoinStrings(parts, " | ") + ")";
+    }
+    case Kind::kNot:
+      return "!" + node_->children[0].ToString();
+  }
+  return "?";
+}
+
+namespace {
+
+// Recursive-descent parser over the raw text (the query syntax is not
+// s-expression shaped, so it does not use the shared Lexer).
+class QueryParser {
+ public:
+  explicit QueryParser(std::string_view text) : text_(text) {}
+
+  StatusOr<Query> Parse() {
+    CMIF_ASSIGN_OR_RETURN(Query q, ParseOr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return DataLossError(StrFormat("trailing garbage at position %zu in query", pos_));
+    }
+    return q;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Query> ParseOr() {
+    CMIF_ASSIGN_OR_RETURN(Query first, ParseAnd());
+    std::vector<Query> children{first};
+    while (Eat('|')) {
+      CMIF_ASSIGN_OR_RETURN(Query next, ParseAnd());
+      children.push_back(next);
+    }
+    return children.size() == 1 ? children[0] : Query::Or(std::move(children));
+  }
+
+  StatusOr<Query> ParseAnd() {
+    CMIF_ASSIGN_OR_RETURN(Query first, ParseFactor());
+    std::vector<Query> children{first};
+    while (Eat('&')) {
+      CMIF_ASSIGN_OR_RETURN(Query next, ParseFactor());
+      children.push_back(next);
+    }
+    return children.size() == 1 ? children[0] : Query::And(std::move(children));
+  }
+
+  StatusOr<Query> ParseFactor() {
+    if (Eat('!')) {
+      CMIF_ASSIGN_OR_RETURN(Query child, ParseFactor());
+      return Query::Not(std::move(child));
+    }
+    if (Eat('(')) {
+      CMIF_ASSIGN_OR_RETURN(Query inner, ParseOr());
+      if (!Eat(')')) {
+        return DataLossError("missing ')' in query");
+      }
+      return inner;
+    }
+    return ParsePredicate();
+  }
+
+  StatusOr<std::string> ParseName() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_' ||
+            text_[pos_] == '.' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return DataLossError(StrFormat("expected a name at position %zu", start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  StatusOr<std::int64_t> ParseInt() {
+    SkipSpace();
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return DataLossError("expected an integer in query");
+    }
+    return std::strtoll(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr, 10);
+  }
+
+  StatusOr<Query> ParsePredicate() {
+    CMIF_ASSIGN_OR_RETURN(std::string name, ParseName());
+    if (name == "has" && Eat('(')) {
+      CMIF_ASSIGN_OR_RETURN(std::string attr, ParseName());
+      if (!Eat(')')) {
+        return DataLossError("missing ')' after has(");
+      }
+      return Query::Has(std::move(attr));
+    }
+    if (Eat('=')) {
+      CMIF_ASSIGN_OR_RETURN(AttrValue value, ParseValue());
+      return Query::Eq(std::move(name), std::move(value));
+    }
+    if (Eat(':')) {
+      if (!Eat('[')) {
+        return DataLossError("expected '[' after ':' in range predicate");
+      }
+      CMIF_ASSIGN_OR_RETURN(std::int64_t lo, ParseInt());
+      if (!Eat(',')) {
+        return DataLossError("expected ',' in range predicate");
+      }
+      CMIF_ASSIGN_OR_RETURN(std::int64_t hi, ParseInt());
+      if (!Eat(']')) {
+        return DataLossError("expected ']' in range predicate");
+      }
+      return Query::Range(std::move(name), lo, hi);
+    }
+    return DataLossError("predicate '" + name + "' needs '=', ':[lo,hi]' or has(...)");
+  }
+
+  StatusOr<AttrValue> ParseValue() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      ++pos_;
+      std::size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) {
+        return DataLossError("unterminated string in query");
+      }
+      std::string body(text_.substr(start, pos_ - start));
+      ++pos_;
+      return AttrValue::String(std::move(body));
+    }
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool all_digits = true;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_' ||
+            text_[pos_] == '.' || text_[pos_] == '-')) {
+      if (!std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        all_digits = false;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return DataLossError("expected a value in query");
+    }
+    std::string word(text_.substr(start, pos_ - start));
+    if (all_digits || (word.size() > 1 && (word[0] == '-' || word[0] == '+'))) {
+      bool numeric = true;
+      for (std::size_t i = word[0] == '-' || word[0] == '+' ? 1 : 0; i < word.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(word[i]))) {
+          numeric = false;
+          break;
+        }
+      }
+      if (numeric) {
+        return AttrValue::Number(std::strtoll(word.c_str(), nullptr, 10));
+      }
+    }
+    return AttrValue::Id(std::move(word));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Query> ParseQuery(std::string_view text) { return QueryParser(text).Parse(); }
+
+}  // namespace cmif

@@ -1,0 +1,73 @@
+// Attribute queries over data descriptors. Section 6: "if the attributes
+// contain search key information, then many time consuming activities
+// relating to finding detailed information in large multimedia databases may
+// be simplified". Queries are predicate trees over descriptor attribute
+// lists, with a small concrete syntax:
+//
+//   query  := term ('|' term)*                      -- or
+//   term   := factor ('&' factor)*                  -- and
+//   factor := '!' factor | '(' query ')' | pred
+//   pred   := name '=' value                        -- equality
+//           | name ':' '[' int ',' int ']'          -- inclusive number range
+//           | 'has' '(' name ')'                    -- attribute presence
+//   value  := id | integer | "string"
+#ifndef SRC_DDBMS_QUERY_H_
+#define SRC_DDBMS_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/attr/attr_list.h"
+#include "src/base/status.h"
+
+namespace cmif {
+
+// An immutable predicate tree. Value-semantic (cheap shared copies).
+class Query {
+ public:
+  enum class Kind { kEq, kRange, kHas, kAnd, kOr, kNot };
+
+  static Query Eq(std::string name, AttrValue value);
+  // Inclusive numeric range on a NUMBER attribute.
+  static Query Range(std::string name, std::int64_t lo, std::int64_t hi);
+  static Query Has(std::string name);
+  static Query And(std::vector<Query> children);
+  static Query Or(std::vector<Query> children);
+  static Query Not(Query child);
+
+  Kind kind() const { return node_->kind; }
+  const std::string& attr_name() const { return node_->name; }
+  const AttrValue& value() const { return node_->value; }
+  std::int64_t lo() const { return node_->lo; }
+  std::int64_t hi() const { return node_->hi; }
+  const std::vector<Query>& children() const { return node_->children; }
+
+  // True if `attrs` satisfies the predicate. Eq on a NUMBER value also
+  // matches TIME attributes of equal whole-second value.
+  bool Matches(const AttrList& attrs) const;
+
+  // Round-trippable rendering in the concrete syntax.
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    Kind kind;
+    std::string name;
+    AttrValue value;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    std::vector<Query> children;
+  };
+  explicit Query(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+// Parses the concrete query syntax above; errors are kDataLoss.
+StatusOr<Query> ParseQuery(std::string_view text);
+
+}  // namespace cmif
+
+#endif  // SRC_DDBMS_QUERY_H_

@@ -1,0 +1,183 @@
+#include "src/ddbms/store.h"
+
+#include <algorithm>
+
+namespace cmif {
+
+Status DescriptorStore::Add(DataDescriptor descriptor) {
+  if (descriptor.id().empty()) {
+    return InvalidArgumentError("descriptor id must not be empty");
+  }
+  if (slot_by_id_.contains(descriptor.id())) {
+    return AlreadyExistsError("descriptor '" + descriptor.id() + "' already stored");
+  }
+  std::size_t slot = descriptors_.size();
+  slot_by_id_.emplace(descriptor.id(), slot);
+  descriptors_.push_back(std::move(descriptor));
+  IndexDescriptor(slot);
+  return Status::Ok();
+}
+
+void DescriptorStore::Upsert(DataDescriptor descriptor) {
+  auto it = slot_by_id_.find(descriptor.id());
+  if (it == slot_by_id_.end()) {
+    (void)Add(std::move(descriptor));
+    return;
+  }
+  descriptors_[it->second] = std::move(descriptor);
+  RebuildIndexes();
+}
+
+const DataDescriptor* DescriptorStore::Get(const std::string& id) const {
+  auto it = slot_by_id_.find(id);
+  return it == slot_by_id_.end() ? nullptr : &descriptors_[it->second];
+}
+
+bool DescriptorStore::Remove(const std::string& id) {
+  auto it = slot_by_id_.find(id);
+  if (it == slot_by_id_.end()) {
+    return false;
+  }
+  std::size_t slot = it->second;
+  slot_by_id_.erase(it);
+  descriptors_.erase(descriptors_.begin() + static_cast<std::ptrdiff_t>(slot));
+  // Slots after the removed one shift down.
+  for (auto& [other_id, other_slot] : slot_by_id_) {
+    (void)other_id;
+    if (other_slot > slot) {
+      --other_slot;
+    }
+  }
+  RebuildIndexes();
+  return true;
+}
+
+void DescriptorStore::CreateIndex(const std::string& attr_name) {
+  if (indexes_.contains(attr_name)) {
+    return;
+  }
+  indexes_.emplace(attr_name, Index{});
+  Index& index = indexes_[attr_name];
+  for (std::size_t slot = 0; slot < descriptors_.size(); ++slot) {
+    const AttrValue* v = descriptors_[slot].attrs().Find(attr_name);
+    if (v == nullptr) {
+      continue;
+    }
+    index.by_value[v->ToString()].push_back(slot);
+    if (v->is_number()) {
+      index.by_number[v->number()].push_back(slot);
+    }
+  }
+}
+
+bool DescriptorStore::HasIndex(const std::string& attr_name) const {
+  return indexes_.contains(attr_name);
+}
+
+void DescriptorStore::IndexDescriptor(std::size_t slot) {
+  for (auto& [attr_name, index] : indexes_) {
+    const AttrValue* v = descriptors_[slot].attrs().Find(attr_name);
+    if (v == nullptr) {
+      continue;
+    }
+    index.by_value[v->ToString()].push_back(slot);
+    if (v->is_number()) {
+      index.by_number[v->number()].push_back(slot);
+    }
+  }
+}
+
+void DescriptorStore::RebuildIndexes() {
+  std::vector<std::string> names;
+  names.reserve(indexes_.size());
+  for (const auto& [name, index] : indexes_) {
+    (void)index;
+    names.push_back(name);
+  }
+  indexes_.clear();
+  for (const std::string& name : names) {
+    CreateIndex(name);
+  }
+}
+
+std::optional<std::vector<std::size_t>> DescriptorStore::IndexCandidates(
+    const Query& query) const {
+  switch (query.kind()) {
+    case Query::Kind::kEq: {
+      auto it = indexes_.find(query.attr_name());
+      if (it == indexes_.end()) {
+        return std::nullopt;
+      }
+      auto hit = it->second.by_value.find(query.value().ToString());
+      if (hit == it->second.by_value.end()) {
+        return std::vector<std::size_t>{};
+      }
+      return hit->second;
+    }
+    case Query::Kind::kRange: {
+      auto it = indexes_.find(query.attr_name());
+      if (it == indexes_.end()) {
+        return std::nullopt;
+      }
+      std::vector<std::size_t> slots;
+      auto lo = it->second.by_number.lower_bound(query.lo());
+      auto hi = it->second.by_number.upper_bound(query.hi());
+      for (auto cursor = lo; cursor != hi; ++cursor) {
+        slots.insert(slots.end(), cursor->second.begin(), cursor->second.end());
+      }
+      std::sort(slots.begin(), slots.end());
+      return slots;
+    }
+    case Query::Kind::kAnd: {
+      // The narrowest indexed conjunct prunes; the full predicate filters.
+      std::optional<std::vector<std::size_t>> best;
+      for (const Query& child : query.children()) {
+        auto candidates = IndexCandidates(child);
+        if (candidates.has_value() &&
+            (!best.has_value() || candidates->size() < best->size())) {
+          best = std::move(candidates);
+        }
+      }
+      return best;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::vector<const DataDescriptor*> DescriptorStore::Execute(const Query& query,
+                                                            QueryStats* stats) const {
+  std::optional<std::vector<std::size_t>> candidates = IndexCandidates(query);
+  if (!candidates.has_value()) {
+    return ExecuteScan(query, stats);
+  }
+  if (stats != nullptr) {
+    stats->used_index = true;
+    stats->candidates_examined = candidates->size();
+  }
+  std::vector<const DataDescriptor*> out;
+  for (std::size_t slot : *candidates) {
+    const DataDescriptor& d = descriptors_[slot];
+    if (query.Matches(d.attrs())) {
+      out.push_back(&d);
+    }
+  }
+  return out;
+}
+
+std::vector<const DataDescriptor*> DescriptorStore::ExecuteScan(const Query& query,
+                                                                QueryStats* stats) const {
+  if (stats != nullptr) {
+    stats->used_index = false;
+    stats->candidates_examined = descriptors_.size();
+  }
+  std::vector<const DataDescriptor*> out;
+  for (const DataDescriptor& d : descriptors_) {
+    if (query.Matches(d.attrs())) {
+      out.push_back(&d);
+    }
+  }
+  return out;
+}
+
+}  // namespace cmif

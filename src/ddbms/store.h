@@ -1,0 +1,82 @@
+// The descriptor database of Figure 2: "a database management system may be
+// used to locate and access various data blocks based on the attributes in
+// the data descriptors". Descriptors are looked up by id or by attribute
+// query; attributes can be indexed so that equality and numeric-range
+// predicates avoid a full scan.
+#ifndef SRC_DDBMS_STORE_H_
+#define SRC_DDBMS_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ddbms/descriptor.h"
+#include "src/ddbms/query.h"
+
+namespace cmif {
+
+// Execution statistics, for tests and the Figure-2 bench.
+struct QueryStats {
+  bool used_index = false;
+  // Descriptors the engine evaluated the full predicate on.
+  std::size_t candidates_examined = 0;
+};
+
+// An in-process descriptor database with optional per-attribute indexes.
+class DescriptorStore {
+ public:
+  DescriptorStore() = default;
+
+  // Adds a descriptor; error if its id is empty or already present.
+  Status Add(DataDescriptor descriptor);
+  // Replaces an existing descriptor (matched by id) or adds a new one.
+  void Upsert(DataDescriptor descriptor);
+  // nullptr when absent. The pointer is invalidated by mutations.
+  const DataDescriptor* Get(const std::string& id) const;
+  // Removes by id; true if something was removed.
+  bool Remove(const std::string& id);
+
+  std::size_t size() const { return descriptors_.size(); }
+  bool empty() const { return descriptors_.empty(); }
+
+  // Builds an equality + numeric-range index over `attr_name`. Incrementally
+  // maintained by Add/Upsert/Remove afterwards. Idempotent.
+  void CreateIndex(const std::string& attr_name);
+  bool HasIndex(const std::string& attr_name) const;
+
+  // Evaluates `query`, using an index when the query (or one conjunct of a
+  // top-level AND) is an Eq/Range over an indexed attribute. Results are in
+  // insertion order. Pointers are invalidated by mutations.
+  std::vector<const DataDescriptor*> Execute(const Query& query, QueryStats* stats = nullptr) const;
+  // Forces a full scan (the baseline the paper's attribute-index argument is
+  // measured against).
+  std::vector<const DataDescriptor*> ExecuteScan(const Query& query,
+                                                 QueryStats* stats = nullptr) const;
+
+  // All descriptors in insertion order.
+  const std::vector<DataDescriptor>& descriptors() const { return descriptors_; }
+
+ private:
+  struct Index {
+    // Canonical value text -> descriptor slots, for Eq.
+    std::map<std::string, std::vector<std::size_t>> by_value;
+    // NUMBER attributes additionally indexed for Range.
+    std::map<std::int64_t, std::vector<std::size_t>> by_number;
+  };
+
+  void IndexDescriptor(std::size_t slot);
+  void RebuildIndexes();
+  // The slots an index narrows `query` to, or nullopt when no index applies.
+  std::optional<std::vector<std::size_t>> IndexCandidates(const Query& query) const;
+
+  std::vector<DataDescriptor> descriptors_;
+  std::unordered_map<std::string, std::size_t> slot_by_id_;
+  std::unordered_map<std::string, Index> indexes_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_DDBMS_STORE_H_

@@ -1,0 +1,133 @@
+#include "src/doc/builder.h"
+
+namespace cmif {
+
+DocBuilder::DocBuilder(NodeKind root_kind) : document_(root_kind), cursor_(&document_.root()) {}
+
+void DocBuilder::Fail(Status status) {
+  if (first_error_.ok() && !status.ok()) {
+    first_error_ = std::move(status);
+  }
+}
+
+DocBuilder& DocBuilder::DefineChannel(std::string name, MediaType medium, AttrList extra) {
+  Fail(document_.channels().Define(std::move(name), medium, std::move(extra)));
+  return *this;
+}
+
+DocBuilder& DocBuilder::DefineStyle(std::string name, AttrList body) {
+  Fail(document_.styles().Define(std::move(name), std::move(body)));
+  return *this;
+}
+
+Node& DocBuilder::Attach(NodeKind kind, const std::string& name, bool descend) {
+  if (cursor_->is_leaf()) {
+    // Adding a sibling after a leaf: pop to the enclosing composite first.
+    cursor_ = cursor_->parent();
+  }
+  auto added = cursor_->AddChild(kind);
+  if (!added.ok()) {
+    Fail(added.status());
+    return *cursor_;
+  }
+  Node* node = *added;
+  if (!name.empty()) {
+    node->set_name(name);
+  }
+  if (descend || node->is_leaf()) {
+    cursor_ = node;
+  }
+  return *node;
+}
+
+DocBuilder& DocBuilder::Seq(std::string name) {
+  Attach(NodeKind::kSeq, name, /*descend=*/true);
+  return *this;
+}
+
+DocBuilder& DocBuilder::Par(std::string name) {
+  Attach(NodeKind::kPar, name, /*descend=*/true);
+  return *this;
+}
+
+DocBuilder& DocBuilder::Ext(std::string name, std::string descriptor_id) {
+  Node& node = Attach(NodeKind::kExt, name, /*descend=*/false);
+  if (!descriptor_id.empty()) {
+    node.attrs().Set(std::string(kAttrFile), AttrValue::String(std::move(descriptor_id)));
+  }
+  return *this;
+}
+
+DocBuilder& DocBuilder::ImmText(std::string name, std::string text) {
+  Node& node = Attach(NodeKind::kImm, name, /*descend=*/false);
+  node.set_immediate_data(DataBlock::FromText(TextBlock(std::move(text), TextFormatting{})));
+  return *this;
+}
+
+DocBuilder& DocBuilder::Imm(std::string name, DataBlock data) {
+  Node& node = Attach(NodeKind::kImm, name, /*descend=*/false);
+  if (data.medium() != MediaType::kText) {
+    node.attrs().Set(std::string(kAttrMedium),
+                     AttrValue::Id(std::string(MediaTypeName(data.medium()))));
+  }
+  node.set_immediate_data(std::move(data));
+  return *this;
+}
+
+DocBuilder& DocBuilder::Up() {
+  // From a leaf, Up means "leave the enclosing composite": pop twice.
+  if (cursor_->is_leaf() && cursor_->parent() != nullptr) {
+    cursor_ = cursor_->parent();
+  }
+  if (cursor_->parent() == nullptr) {
+    Fail(FailedPreconditionError("Up() called at the root"));
+    return *this;
+  }
+  cursor_ = cursor_->parent();
+  return *this;
+}
+
+DocBuilder& DocBuilder::ToRoot() {
+  cursor_ = &document_.root();
+  return *this;
+}
+
+DocBuilder& DocBuilder::Attr(std::string name, AttrValue value) {
+  cursor_->attrs().Set(std::move(name), std::move(value));
+  return *this;
+}
+
+DocBuilder& DocBuilder::OnChannel(std::string channel) {
+  return Attr(std::string(kAttrChannel), AttrValue::Id(std::move(channel)));
+}
+
+DocBuilder& DocBuilder::WithDuration(MediaTime duration) {
+  return Attr(std::string(kAttrDuration), AttrValue::Time(duration));
+}
+
+DocBuilder& DocBuilder::WithStyle(std::string style) {
+  return Attr(std::string(kAttrStyle), AttrValue::Id(std::move(style)));
+}
+
+DocBuilder& DocBuilder::Arc(SyncArc arc) {
+  Status shape = arc.CheckShape();
+  if (!shape.ok()) {
+    Fail(std::move(shape));
+    return *this;
+  }
+  cursor_->AddArc(std::move(arc));
+  return *this;
+}
+
+StatusOr<Document> DocBuilder::Build() {
+  if (built_) {
+    return FailedPreconditionError("Build() called twice on the same DocBuilder");
+  }
+  built_ = true;
+  if (!first_error_.ok()) {
+    return first_error_;
+  }
+  return std::move(document_);
+}
+
+}  // namespace cmif

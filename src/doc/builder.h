@@ -1,0 +1,77 @@
+// A fluent builder for CMIF documents — the programmatic face of the
+// paper's Document Structure Mapping Tool (section 2). A cursor walks the
+// tree as it grows: Seq/Par descend into the new composite node, Ext/Imm
+// position on the new leaf so attributes and arcs can be attached, and
+// adding a sibling while positioned on a leaf pops back automatically.
+//
+//   DocBuilder b;
+//   b.DefineChannel("video", MediaType::kVideo)
+//    .Par("story1")
+//      .Ext("head", "desc-talking-head").OnChannel("video")
+//      .Ext("voice", "desc-speech").OnChannel("audio")
+//    .Up();
+//   CMIF_ASSIGN_OR_RETURN(Document doc, b.Build());
+#ifndef SRC_DOC_BUILDER_H_
+#define SRC_DOC_BUILDER_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/doc/document.h"
+
+namespace cmif {
+
+// Builds one document. The first error sticks and is reported by Build();
+// intermediate calls keep chaining so construction code stays linear.
+class DocBuilder {
+ public:
+  explicit DocBuilder(NodeKind root_kind = NodeKind::kSeq);
+
+  // -- Root dictionaries ----------------------------------------------------
+  DocBuilder& DefineChannel(std::string name, MediaType medium, AttrList extra = AttrList());
+  DocBuilder& DefineStyle(std::string name, AttrList body);
+
+  // -- Structure ------------------------------------------------------------
+  // Adds a sequential/parallel child and descends into it.
+  DocBuilder& Seq(std::string name = "");
+  DocBuilder& Par(std::string name = "");
+  // Adds an external leaf referencing data descriptor `descriptor_id` (the
+  // file attribute) and positions on it. Pass "" to rely on an inherited
+  // file attribute.
+  DocBuilder& Ext(std::string name, std::string descriptor_id);
+  // Adds an immediate text leaf and positions on it.
+  DocBuilder& ImmText(std::string name, std::string text);
+  // Adds an immediate leaf holding an arbitrary block and positions on it.
+  DocBuilder& Imm(std::string name, DataBlock data);
+  // Ascends to the parent composite node.
+  DocBuilder& Up();
+  // Ascends to the root.
+  DocBuilder& ToRoot();
+
+  // -- Attributes and arcs on the current node -------------------------------
+  DocBuilder& Attr(std::string name, AttrValue value);
+  DocBuilder& OnChannel(std::string channel);
+  DocBuilder& WithDuration(MediaTime duration);
+  DocBuilder& WithStyle(std::string style);
+  DocBuilder& Arc(SyncArc arc);
+
+  // The node the cursor is on (for advanced tweaks mid-build).
+  Node& current() { return *cursor_; }
+
+  // Returns the finished document, or the first construction error. The
+  // builder is consumed.
+  StatusOr<Document> Build();
+
+ private:
+  Node& Attach(NodeKind kind, const std::string& name, bool descend);
+  void Fail(Status status);
+
+  Document document_;
+  Node* cursor_;
+  Status first_error_;
+  bool built_ = false;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_DOC_BUILDER_H_

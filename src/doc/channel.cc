@@ -1,0 +1,59 @@
+#include "src/doc/channel.h"
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+Status ChannelDictionary::Define(std::string name, MediaType medium, AttrList extra) {
+  if (!IsValidId(name)) {
+    return InvalidArgumentError("channel name '" + name + "' is not a valid ID");
+  }
+  if (Has(name)) {
+    return AlreadyExistsError("channel '" + name + "' already defined");
+  }
+  channels_.push_back(ChannelDef{std::move(name), medium, std::move(extra)});
+  return Status::Ok();
+}
+
+const ChannelDef* ChannelDictionary::Find(std::string_view name) const {
+  for (const ChannelDef& channel : channels_) {
+    if (channel.name == name) {
+      return &channel;
+    }
+  }
+  return nullptr;
+}
+
+AttrValue ChannelDictionary::ToAttrValue() const {
+  std::vector<Attr> entries;
+  entries.reserve(channels_.size());
+  for (const ChannelDef& channel : channels_) {
+    std::vector<Attr> body;
+    body.push_back(Attr{"medium", AttrValue::Id(std::string(MediaTypeName(channel.medium)))});
+    for (const Attr& extra : channel.extra.attrs()) {
+      body.push_back(extra);
+    }
+    entries.push_back(Attr{channel.name, AttrValue::List(std::move(body))});
+  }
+  return AttrValue::List(std::move(entries));
+}
+
+StatusOr<ChannelDictionary> ChannelDictionary::FromAttrValue(const AttrValue& value) {
+  if (!value.is_list()) {
+    return InvalidArgumentError("channel_dict must be a LIST value");
+  }
+  ChannelDictionary dict;
+  for (const Attr& entry : value.list()) {
+    if (!entry.value.is_list()) {
+      return InvalidArgumentError("channel definition '" + entry.name + "' must be a LIST");
+    }
+    AttrList body = AttrList::FromAttrs(entry.value.list());
+    CMIF_ASSIGN_OR_RETURN(std::string medium_name, body.GetId("medium"));
+    CMIF_ASSIGN_OR_RETURN(MediaType medium, ParseMediaType(medium_name));
+    body.Remove("medium");
+    CMIF_RETURN_IF_ERROR(dict.Define(entry.name, medium, std::move(body)));
+  }
+  return dict;
+}
+
+}  // namespace cmif

@@ -1,0 +1,55 @@
+// Synchronization channels (section 3.1): "each channel describes how data
+// of a single medium is manipulated in the document. ... Events that are
+// placed on a single channel are synchronized in linear time order ... Two
+// events that are placed on separate channels may be executed in parallel."
+// The channel dictionary lives on the root node (Figure 7).
+#ifndef SRC_DOC_CHANNEL_H_
+#define SRC_DOC_CHANNEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/attr/attr_list.h"
+#include "src/base/status.h"
+#include "src/media/media_type.h"
+
+namespace cmif {
+
+// One channel definition: a name, the single medium it carries, and
+// free-form extra attributes (presentation preferences etc.).
+struct ChannelDef {
+  std::string name;
+  MediaType medium = MediaType::kText;
+  AttrList extra;
+  bool operator==(const ChannelDef& other) const {
+    return name == other.name && medium == other.medium && extra == other.extra;
+  }
+};
+
+// The ordered set of channels of a document. "It is possible to have several
+// channels of the same medium type."
+class ChannelDictionary {
+ public:
+  ChannelDictionary() = default;
+
+  // Defines a channel; error on duplicate or invalid names.
+  Status Define(std::string name, MediaType medium, AttrList extra = AttrList());
+
+  const ChannelDef* Find(std::string_view name) const;
+  bool Has(std::string_view name) const { return Find(name) != nullptr; }
+  std::size_t size() const { return channels_.size(); }
+  bool empty() const { return channels_.empty(); }
+  const std::vector<ChannelDef>& channels() const { return channels_; }
+
+  // Conversion to/from the root node's channel_dict attribute value: a LIST
+  // of (channel_name -> LIST(medium <id> ...extras)) entries.
+  AttrValue ToAttrValue() const;
+  static StatusOr<ChannelDictionary> FromAttrValue(const AttrValue& value);
+
+ private:
+  std::vector<ChannelDef> channels_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_DOC_CHANNEL_H_

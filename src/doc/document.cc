@@ -1,0 +1,63 @@
+#include "src/doc/document.h"
+
+namespace cmif {
+
+Document::Document(NodeKind root_kind)
+    : root_(std::make_unique<Node>(root_kind == NodeKind::kPar ? NodeKind::kPar
+                                                               : NodeKind::kSeq)) {}
+
+StatusOr<std::optional<AttrValue>> Document::ResolveAttr(const Node& node,
+                                                         std::string_view name) const {
+  std::vector<const AttrList*> chain = node.AttrChainFromRoot();
+  return ResolveAttribute(chain, name, registry(), styles_);
+}
+
+StatusOr<AttrList> Document::EffectiveAttrs(const Node& node) const {
+  std::vector<const AttrList*> chain = node.AttrChainFromRoot();
+  return cmif::EffectiveAttrs(chain, registry(), styles_);
+}
+
+StatusOr<std::string> Document::ChannelOf(const Node& node) const {
+  CMIF_ASSIGN_OR_RETURN(std::optional<AttrValue> value, ResolveAttr(node, kAttrChannel));
+  if (!value.has_value()) {
+    return NotFoundError("node " + node.DisplayPath() + " has no channel attribute");
+  }
+  return value->AsId();
+}
+
+void Document::StoreDictionariesOnRoot() {
+  if (styles_.size() > 0) {
+    root_->attrs().Set(std::string(kAttrStyleDict), styles_.ToAttrValue());
+  } else {
+    root_->attrs().Remove(kAttrStyleDict);
+  }
+  if (!channels_.empty()) {
+    root_->attrs().Set(std::string(kAttrChannelDict), channels_.ToAttrValue());
+  } else {
+    root_->attrs().Remove(kAttrChannelDict);
+  }
+}
+
+Status Document::LoadDictionariesFromRoot() {
+  if (const AttrValue* styles = root_->attrs().Find(kAttrStyleDict)) {
+    CMIF_ASSIGN_OR_RETURN(styles_, StyleDictionary::FromAttrValue(*styles));
+  } else {
+    styles_ = StyleDictionary();
+  }
+  if (const AttrValue* channels = root_->attrs().Find(kAttrChannelDict)) {
+    CMIF_ASSIGN_OR_RETURN(channels_, ChannelDictionary::FromAttrValue(*channels));
+  } else {
+    channels_ = ChannelDictionary();
+  }
+  return Status::Ok();
+}
+
+Document Document::Clone() const {
+  Document copy(root_->kind());
+  copy.root_ = root_->Clone();
+  copy.channels_ = channels_;
+  copy.styles_ = styles_;
+  return copy;
+}
+
+}  // namespace cmif

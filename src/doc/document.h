@@ -1,0 +1,69 @@
+// The CMIF document: a tree of nodes plus the root-level channel and style
+// dictionaries. "At the root of the tree is a general node that describes
+// the summary structure of a document ... a place where various directory
+// attributes are found and ... an implied timing reference point for all
+// other nodes" (section 5.1).
+#ifndef SRC_DOC_DOCUMENT_H_
+#define SRC_DOC_DOCUMENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/attr/inherit.h"
+#include "src/attr/registry.h"
+#include "src/attr/style.h"
+#include "src/doc/channel.h"
+#include "src/doc/node.h"
+
+namespace cmif {
+
+// Owns the node tree and the root dictionaries. Movable, clonable, not
+// copyable.
+class Document {
+ public:
+  // A fresh document whose root is a composite node of `root_kind`.
+  explicit Document(NodeKind root_kind = NodeKind::kSeq);
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  Node& root() { return *root_; }
+  const Node& root() const { return *root_; }
+
+  ChannelDictionary& channels() { return channels_; }
+  const ChannelDictionary& channels() const { return channels_; }
+  StyleDictionary& styles() { return styles_; }
+  const StyleDictionary& styles() const { return styles_; }
+
+  // The attribute registry used for inheritance and validation (the
+  // standard Figure-7 registry).
+  const AttrRegistry& registry() const { return AttrRegistry::Standard(); }
+
+  // Effective value of one attribute at `node`, honoring styles and
+  // inheritance. nullopt when unset.
+  StatusOr<std::optional<AttrValue>> ResolveAttr(const Node& node, std::string_view name) const;
+  // The node's complete effective attribute list.
+  StatusOr<AttrList> EffectiveAttrs(const Node& node) const;
+  // The channel the node's data is directed to (the effective "channel"
+  // attribute); NotFound when unset.
+  StatusOr<std::string> ChannelOf(const Node& node) const;
+
+  // Writes the dictionaries into the root node's style_dict / channel_dict
+  // attributes (done automatically by the serializer).
+  void StoreDictionariesOnRoot();
+  // Rebuilds the dictionaries from the root attributes (done automatically
+  // by the parser). Existing dictionary contents are replaced.
+  Status LoadDictionariesFromRoot();
+
+  // Deep copy.
+  Document Clone() const;
+
+ private:
+  std::unique_ptr<Node> root_;
+  ChannelDictionary channels_;
+  StyleDictionary styles_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_DOC_DOCUMENT_H_

@@ -1,0 +1,156 @@
+#include "src/doc/edit.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+namespace {
+
+// An arc with its endpoints resolved to node pointers, taken before surgery.
+struct ArcSnapshot {
+  Node* owner;
+  std::size_t index;
+  const Node* source;  // nullptr = unresolvable before the edit (left alone)
+  const Node* dest;
+};
+
+std::vector<ArcSnapshot> SnapshotArcs(Document& document) {
+  std::vector<ArcSnapshot> snapshots;
+  document.root().VisitMutable([&snapshots](Node& node) {
+    for (std::size_t i = 0; i < node.arcs().size(); ++i) {
+      const SyncArc& arc = node.arcs()[i];
+      auto source = node.Resolve(arc.source);
+      auto dest = node.Resolve(arc.dest);
+      snapshots.push_back(ArcSnapshot{&node, i, source.ok() ? *source : nullptr,
+                                      dest.ok() ? *dest : nullptr});
+    }
+  });
+  return snapshots;
+}
+
+std::unordered_set<const Node*> AliveNodes(const Document& document) {
+  std::unordered_set<const Node*> alive;
+  document.root().Visit([&alive](const Node& node) { alive.insert(&node); });
+  return alive;
+}
+
+// Re-anchors every snapshotted arc after surgery. Arcs whose owner vanished
+// disappear silently with their subtree; arcs whose endpoints vanished or
+// can no longer be addressed are removed from their owner and reported.
+EditReport ReanchorArcs(Document& document, const std::vector<ArcSnapshot>& snapshots) {
+  EditReport report;
+  std::unordered_set<const Node*> alive = AliveNodes(document);
+  // Removals per owner, applied back-to-front so indexes stay valid.
+  std::map<Node*, std::vector<std::pair<std::size_t, std::string>>> removals;
+
+  for (const ArcSnapshot& snapshot : snapshots) {
+    if (!alive.contains(snapshot.owner)) {
+      continue;  // the arc went away with its subtree
+    }
+    if (snapshot.source == nullptr || snapshot.dest == nullptr) {
+      continue;  // was already dangling before the edit; validator territory
+    }
+    SyncArc& arc = snapshot.owner->arcs()[snapshot.index];
+    if (!alive.contains(snapshot.source) || !alive.contains(snapshot.dest)) {
+      removals[snapshot.owner].emplace_back(snapshot.index,
+                                            "endpoint was deleted by the edit");
+      continue;
+    }
+    auto source_path = snapshot.owner->PathTo(*snapshot.source);
+    auto dest_path = snapshot.owner->PathTo(*snapshot.dest);
+    if (!source_path.ok() || !dest_path.ok()) {
+      removals[snapshot.owner].emplace_back(
+          snapshot.index, "endpoint is no longer addressable by a named path");
+      continue;
+    }
+    if (arc.source != *source_path || arc.dest != *dest_path) {
+      arc.source = *source_path;
+      arc.dest = *dest_path;
+      ++report.rewritten_arcs;
+    }
+  }
+
+  for (auto& [owner, indexed] : removals) {
+    std::sort(indexed.begin(), indexed.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [index, reason] : indexed) {
+      report.dropped_arcs.push_back(
+          DroppedArc{owner->DisplayPath(), owner->arcs()[index], reason});
+      owner->arcs().erase(owner->arcs().begin() + static_cast<std::ptrdiff_t>(index));
+    }
+  }
+  return report;
+}
+
+Status CheckSiblingName(const Node& parent, const Node* self, const std::string& name) {
+  for (const auto& child : parent.children()) {
+    if (child.get() != self && child->name() == name) {
+      return AlreadyExistsError("a sibling named '" + name + "' already exists under " +
+                                parent.DisplayPath());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<EditReport> RenameNode(Document& document, Node& node, const std::string& new_name) {
+  if (!IsValidId(new_name)) {
+    return InvalidArgumentError("'" + new_name + "' is not a valid node name");
+  }
+  if (node.parent() != nullptr) {
+    CMIF_RETURN_IF_ERROR(CheckSiblingName(*node.parent(), &node, new_name));
+  }
+  std::vector<ArcSnapshot> snapshots = SnapshotArcs(document);
+  node.set_name(new_name);
+  return ReanchorArcs(document, snapshots);
+}
+
+StatusOr<EditReport> DeleteSubtree(Document& document, Node& node) {
+  Node* parent = node.parent();
+  if (parent == nullptr) {
+    return FailedPreconditionError("the root node cannot be deleted");
+  }
+  std::vector<ArcSnapshot> snapshots = SnapshotArcs(document);
+  for (std::size_t i = 0; i < parent->children().size(); ++i) {
+    if (&parent->ChildAt(i) == &node) {
+      CMIF_RETURN_IF_ERROR(parent->TakeChild(i).status());  // dropped on return
+      return ReanchorArcs(document, snapshots);
+    }
+  }
+  return InternalError("node not found under its own parent");
+}
+
+StatusOr<EditReport> MoveSubtree(Document& document, Node& node, Node& new_parent,
+                                 std::size_t index) {
+  Node* parent = node.parent();
+  if (parent == nullptr) {
+    return FailedPreconditionError("the root node cannot be moved");
+  }
+  if (!new_parent.is_composite()) {
+    return FailedPreconditionError("the destination must be a seq or par node");
+  }
+  for (const Node* cursor = &new_parent; cursor != nullptr; cursor = cursor->parent()) {
+    if (cursor == &node) {
+      return InvalidArgumentError("cannot move a node into its own subtree");
+    }
+  }
+  std::string name = node.name();
+  if (!name.empty()) {
+    CMIF_RETURN_IF_ERROR(CheckSiblingName(new_parent, &node, name));
+  }
+  std::vector<ArcSnapshot> snapshots = SnapshotArcs(document);
+  for (std::size_t i = 0; i < parent->children().size(); ++i) {
+    if (&parent->ChildAt(i) == &node) {
+      CMIF_ASSIGN_OR_RETURN(std::unique_ptr<Node> detached, parent->TakeChild(i));
+      CMIF_RETURN_IF_ERROR(new_parent.InsertChild(index, std::move(detached)).status());
+      return ReanchorArcs(document, snapshots);
+    }
+  }
+  return InternalError("node not found under its own parent");
+}
+
+}  // namespace cmif

@@ -1,0 +1,48 @@
+// Structure editing with synchronization-arc consistency. The pipeline's
+// reading tools may "edit a document" (section 2); because arcs reference
+// nodes by relative path, naive tree surgery silently breaks them. These
+// operations re-anchor every affected arc (or drop arcs that can no longer
+// bind, reporting them).
+#ifndef SRC_DOC_EDIT_H_
+#define SRC_DOC_EDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/doc/document.h"
+
+namespace cmif {
+
+// Arcs removed by an edit, with the reason.
+struct DroppedArc {
+  std::string owner_path;  // display path of the node the arc was written on
+  SyncArc arc;
+  std::string reason;
+};
+
+// The outcome of one editing operation.
+struct EditReport {
+  std::vector<DroppedArc> dropped_arcs;
+  std::size_t rewritten_arcs = 0;  // arcs whose paths were re-anchored
+};
+
+// Renames `node` (a valid ID, unique among its siblings) and rewrites every
+// arc path in the document that traverses it.
+StatusOr<EditReport> RenameNode(Document& document, Node& node, const std::string& new_name);
+
+// Deletes the subtree rooted at `node` (not the root). Arcs with an endpoint
+// inside the subtree are dropped and reported; arcs elsewhere are preserved.
+StatusOr<EditReport> DeleteSubtree(Document& document, Node& node);
+
+// Moves the subtree rooted at `node` under `new_parent` at `index`
+// (clamped). The subtree must not contain `new_parent`; the parent must be
+// composite. Arcs between the moved subtree and the rest of the document
+// are re-anchored; arcs that cannot be expressed afterwards (an unnamed
+// node on the new path) are dropped and reported.
+StatusOr<EditReport> MoveSubtree(Document& document, Node& node, Node& new_parent,
+                                 std::size_t index);
+
+}  // namespace cmif
+
+#endif  // SRC_DOC_EDIT_H_

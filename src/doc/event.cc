@@ -1,0 +1,165 @@
+#include "src/doc/event.h"
+
+namespace cmif {
+namespace {
+
+// Fills the event's duration window from, in order of preference:
+// an explicit duration attribute (rigid), the block/descriptor intrinsic
+// length (rigid for continuous media, a stretchable minimum for discrete).
+void FillDuration(EventDescriptor& event, const DataDescriptor* descriptor,
+                  const Node& node) {
+  if (const AttrValue* explicit_duration = event.effective_attrs.Find(kAttrDuration)) {
+    auto t = explicit_duration->AsTime();
+    if (t.ok()) {
+      event.min_duration = *t;
+      event.max_duration = *t;
+      return;
+    }
+  }
+  MediaTime intrinsic;
+  if (node.kind() == NodeKind::kImm) {
+    intrinsic = node.immediate_data().IntrinsicDuration();
+  } else if (descriptor != nullptr) {
+    intrinsic = descriptor->DeclaredDuration();
+  }
+  bool continuous = event.medium == MediaType::kAudio || event.medium == MediaType::kVideo;
+  event.min_duration = intrinsic;
+  if (continuous && !intrinsic.is_zero()) {
+    event.max_duration = intrinsic;  // rigid
+  } else {
+    event.max_duration = std::nullopt;  // stretchable
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<EventDescriptor>> CollectEvents(const Document& document,
+                                                     const DescriptorStore* store) {
+  std::vector<EventDescriptor> events;
+  Status failure;
+  document.root().Visit([&](const Node& node) {
+    if (!failure.ok() || !node.is_leaf()) {
+      return;
+    }
+    EventDescriptor event;
+    event.node = &node;
+
+    auto attrs = document.EffectiveAttrs(node);
+    if (!attrs.ok()) {
+      failure = attrs.status();
+      return;
+    }
+    event.effective_attrs = std::move(attrs).value();
+
+    const AttrValue* channel_attr = event.effective_attrs.Find(kAttrChannel);
+    if (channel_attr == nullptr || !channel_attr->is_id()) {
+      failure = FailedPreconditionError("leaf " + node.DisplayPath() +
+                                        " has no channel attribute");
+      return;
+    }
+    event.channel = channel_attr->id();
+    const ChannelDef* channel = document.channels().Find(event.channel);
+    if (channel == nullptr) {
+      failure = NotFoundError("leaf " + node.DisplayPath() + " uses undefined channel '" +
+                              event.channel + "'");
+      return;
+    }
+    event.medium = channel->medium;
+
+    const DataDescriptor* descriptor = nullptr;
+    if (node.kind() == NodeKind::kExt) {
+      const AttrValue* file_attr = event.effective_attrs.Find(kAttrFile);
+      if (file_attr == nullptr || !file_attr->is_string()) {
+        failure = FailedPreconditionError("external node " + node.DisplayPath() +
+                                          " has no file attribute");
+        return;
+      }
+      event.descriptor_id = file_attr->string();
+      if (store != nullptr) {
+        descriptor = store->Get(event.descriptor_id);
+      }
+    }
+    FillDuration(event, descriptor, node);
+    events.push_back(std::move(event));
+  });
+  if (!failure.ok()) {
+    return failure;
+  }
+  return events;
+}
+
+namespace {
+
+// Reads a two-field (begin/length) sub-selection list.
+StatusOr<std::pair<std::int64_t, std::int64_t>> ReadRange(const AttrValue& value,
+                                                          std::string_view attr) {
+  if (!value.is_list()) {
+    return InvalidArgumentError(std::string(attr) + " must be a LIST");
+  }
+  AttrList fields = AttrList::FromAttrs(value.list());
+  CMIF_ASSIGN_OR_RETURN(std::int64_t begin, fields.GetNumber("begin"));
+  CMIF_ASSIGN_OR_RETURN(std::int64_t length, fields.GetNumber("length"));
+  return std::make_pair(begin, length);
+}
+
+}  // namespace
+
+StatusOr<DataBlock> MaterializeEvent(const EventDescriptor& event, const DescriptorStore& store,
+                                     const BlockStore& blocks) {
+  DataBlock block;
+  if (event.node->kind() == NodeKind::kImm) {
+    block = event.node->immediate_data();
+  } else {
+    const DataDescriptor* descriptor = store.Get(event.descriptor_id);
+    if (descriptor == nullptr) {
+      return NotFoundError("descriptor '" + event.descriptor_id + "' not stored");
+    }
+    CMIF_ASSIGN_OR_RETURN(block, ResolveContent(*descriptor, blocks));
+  }
+
+  if (const AttrValue* clip = event.effective_attrs.Find(kAttrClip)) {
+    CMIF_ASSIGN_OR_RETURN(auto range, ReadRange(*clip, kAttrClip));
+    CMIF_ASSIGN_OR_RETURN(AudioBuffer audio, block.AsAudio());
+    CMIF_ASSIGN_OR_RETURN(AudioBuffer clipped,
+                          audio.Clip(static_cast<std::size_t>(range.first),
+                                     static_cast<std::size_t>(range.second)));
+    block = DataBlock::FromAudio(std::move(clipped));
+  }
+  if (const AttrValue* slice = event.effective_attrs.Find(kAttrSlice)) {
+    CMIF_ASSIGN_OR_RETURN(auto range, ReadRange(*slice, kAttrSlice));
+    CMIF_ASSIGN_OR_RETURN(VideoSegment video, block.AsVideo());
+    CMIF_ASSIGN_OR_RETURN(VideoSegment sliced,
+                          video.Slice(static_cast<std::size_t>(range.first),
+                                      static_cast<std::size_t>(range.second)));
+    block = DataBlock::FromVideo(std::move(sliced));
+  }
+  if (const AttrValue* crop = event.effective_attrs.Find(kAttrCrop)) {
+    if (!crop->is_list()) {
+      return InvalidArgumentError("crop must be a LIST");
+    }
+    AttrList fields = AttrList::FromAttrs(crop->list());
+    CMIF_ASSIGN_OR_RETURN(std::int64_t x, fields.GetNumber("x"));
+    CMIF_ASSIGN_OR_RETURN(std::int64_t y, fields.GetNumber("y"));
+    CMIF_ASSIGN_OR_RETURN(std::int64_t w, fields.GetNumber("w"));
+    CMIF_ASSIGN_OR_RETURN(std::int64_t h, fields.GetNumber("h"));
+    CMIF_ASSIGN_OR_RETURN(Raster image, block.AsImage());
+    CMIF_ASSIGN_OR_RETURN(Raster cropped,
+                          image.Crop(static_cast<int>(x), static_cast<int>(y),
+                                     static_cast<int>(w), static_cast<int>(h)));
+    block = DataBlock::FromImage(std::move(cropped), block.medium());
+  }
+  return block;
+}
+
+std::vector<const EventDescriptor*> EventsOnChannel(const std::vector<EventDescriptor>& events,
+                                                    std::string_view channel) {
+  std::vector<const EventDescriptor*> out;
+  for (const EventDescriptor& event : events) {
+    if (event.channel == channel) {
+      out.push_back(&event);
+    }
+  }
+  return out;
+}
+
+}  // namespace cmif

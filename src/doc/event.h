@@ -1,0 +1,71 @@
+// Event descriptors: "a collection of attributes that describe how a single
+// instance of a data block is integrated into a multimedia document"
+// (section 3.1). Where a data descriptor describes the block itself, the
+// event descriptor describes one use of it: which channel it plays on, with
+// what effective attributes, and for how long. "The event descriptor can be
+// used to define multiple uses of a single data descriptor."
+#ifndef SRC_DOC_EVENT_H_
+#define SRC_DOC_EVENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/media_time.h"
+#include "src/base/status.h"
+#include "src/ddbms/store.h"
+#include "src/doc/document.h"
+
+namespace cmif {
+
+// One scheduled use of a data block (one leaf node of the document).
+struct EventDescriptor {
+  // The leaf (external or immediate) node this event realizes.
+  const Node* node = nullptr;
+  // Resolved channel name (effective "channel" attribute).
+  std::string channel;
+  // The channel's medium.
+  MediaType medium = MediaType::kText;
+  // For external nodes: the data descriptor id (effective "file" attribute).
+  // Empty for immediate nodes.
+  std::string descriptor_id;
+  // Duration window. Continuous media (audio, video) are rigid:
+  // min == max == the intrinsic length. Discrete media (text, stills) are
+  // stretchable: [min_duration, unbounded), letting the scheduler implement
+  // the paper's "stretch" on one channel while another catches up. An
+  // explicit duration attribute pins the window to that exact value.
+  MediaTime min_duration;
+  std::optional<MediaTime> max_duration;
+  // Styles expanded and inherited attributes folded in.
+  AttrList effective_attrs;
+
+  bool is_rigid() const { return max_duration.has_value() && *max_duration == min_duration; }
+};
+
+// Collects the events of `document` in document order (pre-order over
+// leaves). `store` supplies declared durations for external nodes; it may be
+// null, in which case external durations come only from duration attributes
+// (absent ones yield stretchable zero-minimum events).
+//
+// Errors: a leaf without a resolvable channel, a channel not in the
+// dictionary, or an external node without a file attribute.
+StatusOr<std::vector<EventDescriptor>> CollectEvents(const Document& document,
+                                                     const DescriptorStore* store);
+
+// The events of one channel, in document order.
+std::vector<const EventDescriptor*> EventsOnChannel(const std::vector<EventDescriptor>& events,
+                                                    std::string_view channel);
+
+// Materializes the event's payload: immediate data or the resolved
+// descriptor content, with the paper's sub-selection attributes applied —
+// Clip ("part of a sound fragment", fields begin/length in samples), Slice
+// ("subsection of the file", begin/length in frames for video), and Crop
+// ("subimage of an image", x/y/w/h). A sub-selection attribute on the wrong
+// medium is a FailedPrecondition; out-of-range selections propagate the
+// media layer's OutOfRange.
+StatusOr<DataBlock> MaterializeEvent(const EventDescriptor& event, const DescriptorStore& store,
+                                     const BlockStore& blocks);
+
+}  // namespace cmif
+
+#endif  // SRC_DOC_EVENT_H_

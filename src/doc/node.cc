@@ -1,0 +1,234 @@
+#include "src/doc/node.h"
+
+#include <algorithm>
+
+#include "src/attr/registry.h"
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+std::string_view NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kSeq:
+      return "seq";
+    case NodeKind::kPar:
+      return "par";
+    case NodeKind::kExt:
+      return "ext";
+    case NodeKind::kImm:
+      return "imm";
+  }
+  return "?";
+}
+
+StatusOr<NodeKind> ParseNodeKind(std::string_view name) {
+  if (name == "seq") {
+    return NodeKind::kSeq;
+  }
+  if (name == "par") {
+    return NodeKind::kPar;
+  }
+  if (name == "ext") {
+    return NodeKind::kExt;
+  }
+  if (name == "imm") {
+    return NodeKind::kImm;
+  }
+  return InvalidArgumentError("unknown node kind '" + std::string(name) + "'");
+}
+
+std::string Node::name() const { return attrs_.GetIdOr(std::string(kAttrName), ""); }
+
+void Node::set_name(std::string name) {
+  attrs_.Set(std::string(kAttrName), AttrValue::Id(std::move(name)));
+}
+
+Node* Node::FindChild(std::string_view name) {
+  for (const auto& child : children_) {
+    if (child->name() == name) {
+      return child.get();
+    }
+  }
+  return nullptr;
+}
+
+const Node* Node::FindChild(std::string_view name) const {
+  return const_cast<Node*>(this)->FindChild(name);
+}
+
+StatusOr<Node*> Node::AddChild(std::unique_ptr<Node> child) {
+  if (is_leaf()) {
+    return FailedPreconditionError(std::string(NodeKindName(kind_)) +
+                                   " nodes are leaves and cannot have children");
+  }
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+StatusOr<Node*> Node::AddChild(NodeKind kind) { return AddChild(std::make_unique<Node>(kind)); }
+
+StatusOr<Node*> Node::InsertChild(std::size_t index, std::unique_ptr<Node> child) {
+  if (is_leaf()) {
+    return FailedPreconditionError(std::string(NodeKindName(kind_)) +
+                                   " nodes are leaves and cannot have children");
+  }
+  index = std::min(index, children_.size());
+  child->parent_ = this;
+  Node* raw = child.get();
+  children_.insert(children_.begin() + static_cast<std::ptrdiff_t>(index), std::move(child));
+  return raw;
+}
+
+StatusOr<std::unique_ptr<Node>> Node::TakeChild(std::size_t index) {
+  if (index >= children_.size()) {
+    return OutOfRangeError(StrFormat("no child at index %zu (have %zu)", index,
+                                     children_.size()));
+  }
+  std::unique_ptr<Node> child = std::move(children_[index]);
+  children_.erase(children_.begin() + static_cast<std::ptrdiff_t>(index));
+  child->parent_ = nullptr;
+  return child;
+}
+
+std::vector<const Node*> Node::PathFromRoot() const {
+  std::vector<const Node*> path;
+  for (const Node* n = this; n != nullptr; n = n->parent_) {
+    path.push_back(n);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<const AttrList*> Node::AttrChainFromRoot() const {
+  std::vector<const AttrList*> chain;
+  for (const Node* n : PathFromRoot()) {
+    chain.push_back(&n->attrs());
+  }
+  return chain;
+}
+
+std::string Node::DisplayPath() const {
+  if (parent_ == nullptr) {
+    return "/";
+  }
+  std::string out;
+  std::vector<const Node*> path = PathFromRoot();
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const Node* n = path[i];
+    std::string name = n->name();
+    if (name.empty()) {
+      // Positional fallback for unnamed nodes.
+      const Node* p = path[i - 1];
+      for (std::size_t j = 0; j < p->children_.size(); ++j) {
+        if (p->children_[j].get() == n) {
+          name = StrFormat("#%zu", j);
+          break;
+        }
+      }
+    }
+    out += '/';
+    out += name;
+  }
+  return out;
+}
+
+int Node::Depth() const {
+  int depth = 0;
+  for (const Node* n = parent_; n != nullptr; n = n->parent_) {
+    ++depth;
+  }
+  return depth;
+}
+
+std::size_t Node::SubtreeSize() const {
+  std::size_t total = 1;
+  for (const auto& child : children_) {
+    total += child->SubtreeSize();
+  }
+  return total;
+}
+
+StatusOr<Node*> Node::Resolve(const NodePath& path) {
+  Node* current = this;
+  if (path.is_absolute()) {
+    while (current->parent_ != nullptr) {
+      current = current->parent_;
+    }
+  }
+  for (const std::string& segment : path.segments()) {
+    if (segment == "..") {
+      if (current->parent_ == nullptr) {
+        return NotFoundError("path '" + path.ToString() + "' ascends above the root");
+      }
+      current = current->parent_;
+      continue;
+    }
+    Node* child = current->FindChild(segment);
+    if (child == nullptr) {
+      return NotFoundError("no child named '" + segment + "' under " + current->DisplayPath() +
+                           " (resolving '" + path.ToString() + "')");
+    }
+    current = child;
+  }
+  return current;
+}
+
+StatusOr<const Node*> Node::Resolve(const NodePath& path) const {
+  CMIF_ASSIGN_OR_RETURN(Node * node, const_cast<Node*>(this)->Resolve(path));
+  return static_cast<const Node*>(node);
+}
+
+StatusOr<NodePath> Node::PathTo(const Node& target) const {
+  std::vector<const Node*> mine = PathFromRoot();
+  std::vector<const Node*> theirs = target.PathFromRoot();
+  if (mine.front() != theirs.front()) {
+    return InvalidArgumentError("nodes live in different trees");
+  }
+  std::size_t common = 0;
+  while (common < mine.size() && common < theirs.size() && mine[common] == theirs[common]) {
+    ++common;
+  }
+  std::vector<std::string> segments;
+  for (std::size_t i = common; i < mine.size(); ++i) {
+    segments.emplace_back("..");
+  }
+  for (std::size_t i = common; i < theirs.size(); ++i) {
+    std::string name = theirs[i]->name();
+    if (name.empty()) {
+      return FailedPreconditionError("node " + theirs[i]->DisplayPath() +
+                                     " is unnamed and cannot appear in a path");
+    }
+    segments.push_back(std::move(name));
+  }
+  return NodePath::Relative(std::move(segments));
+}
+
+void Node::Visit(const std::function<void(const Node&)>& fn) const {
+  fn(*this);
+  for (const auto& child : children_) {
+    child->Visit(fn);
+  }
+}
+
+void Node::VisitMutable(const std::function<void(Node&)>& fn) {
+  fn(*this);
+  for (const auto& child : children_) {
+    child->VisitMutable(fn);
+  }
+}
+
+std::unique_ptr<Node> Node::Clone() const {
+  auto copy = std::make_unique<Node>(kind_);
+  copy->attrs_ = attrs_;
+  copy->immediate_data_ = immediate_data_;
+  copy->arcs_ = arcs_;
+  for (const auto& child : children_) {
+    std::unique_ptr<Node> child_copy = child->Clone();
+    child_copy->parent_ = copy.get();
+    copy->children_.push_back(std::move(child_copy));
+  }
+  return copy;
+}
+
+}  // namespace cmif

@@ -1,0 +1,124 @@
+// CMIF tree nodes (section 5.1). "Each node in the tree can be one of four
+// types": Sequential (children execute left-to-right), Parallel (children
+// execute together), External (a leaf pointing to a data descriptor), and
+// Immediate (a leaf containing data directly).
+#ifndef SRC_DOC_NODE_H_
+#define SRC_DOC_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/attr/attr_list.h"
+#include "src/base/status.h"
+#include "src/doc/path.h"
+#include "src/doc/sync_arc.h"
+#include "src/media/data_block.h"
+
+namespace cmif {
+
+enum class NodeKind {
+  kSeq = 0,
+  kPar,
+  kExt,
+  kImm,
+};
+
+std::string_view NodeKindName(NodeKind kind);
+StatusOr<NodeKind> ParseNodeKind(std::string_view name);
+
+// One node of the document tree. Nodes own their children; the parent link
+// is maintained automatically. Not copyable (use Clone), movable only via
+// the owning unique_ptr.
+class Node {
+ public:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  bool is_leaf() const { return kind_ == NodeKind::kExt || kind_ == NodeKind::kImm; }
+  bool is_composite() const { return !is_leaf(); }
+
+  const AttrList& attrs() const { return attrs_; }
+  AttrList& attrs() { return attrs_; }
+
+  // The node's name attribute, or "" when unnamed. "Names are optional, and
+  // relative to their parent: no two (direct) children of the same parent
+  // may have the same name" (Figure 7) — enforced by the validator.
+  std::string name() const;
+  void set_name(std::string name);
+
+  Node* parent() { return parent_; }
+  const Node* parent() const { return parent_; }
+  bool is_root() const { return parent_ == nullptr; }
+
+  // -- Children (composite nodes) ------------------------------------------
+  const std::vector<std::unique_ptr<Node>>& children() const { return children_; }
+  std::size_t child_count() const { return children_.size(); }
+  Node& ChildAt(std::size_t i) { return *children_[i]; }
+  const Node& ChildAt(std::size_t i) const { return *children_[i]; }
+  // The child with the given name attribute, or nullptr.
+  Node* FindChild(std::string_view name);
+  const Node* FindChild(std::string_view name) const;
+
+  // Appends a child; FailedPrecondition on leaf nodes. Returns the child.
+  StatusOr<Node*> AddChild(std::unique_ptr<Node> child);
+  // Convenience: appends a fresh node of `kind`.
+  StatusOr<Node*> AddChild(NodeKind kind);
+  // Detaches and returns the child at `index` (parent link cleared).
+  StatusOr<std::unique_ptr<Node>> TakeChild(std::size_t index);
+  // Inserts a child at `index` (clamped to the child count).
+  StatusOr<Node*> InsertChild(std::size_t index, std::unique_ptr<Node> child);
+
+  // -- Immediate data (imm leaves) -----------------------------------------
+  const DataBlock& immediate_data() const { return immediate_data_; }
+  void set_immediate_data(DataBlock data) { immediate_data_ = std::move(data); }
+
+  // -- Synchronization arcs written on this node ---------------------------
+  const std::vector<SyncArc>& arcs() const { return arcs_; }
+  std::vector<SyncArc>& arcs() { return arcs_; }
+  void AddArc(SyncArc arc) { arcs_.push_back(std::move(arc)); }
+
+  // -- Tree queries ---------------------------------------------------------
+  // Nodes from the root (front) down to this node (back).
+  std::vector<const Node*> PathFromRoot() const;
+  // Attribute lists along PathFromRoot, for the inheritance resolver.
+  std::vector<const AttrList*> AttrChainFromRoot() const;
+  // A diagnostic path such as "/story1/video" (unnamed nodes appear as #i).
+  std::string DisplayPath() const;
+  // Distance from the root (root = 0).
+  int Depth() const;
+  // Number of nodes in this subtree including this node.
+  std::size_t SubtreeSize() const;
+
+  // Resolves `path` relative to this node (absolute paths restart from the
+  // root). ".." ascends; names descend. NotFound with the display path on
+  // failure.
+  StatusOr<Node*> Resolve(const NodePath& path);
+  StatusOr<const Node*> Resolve(const NodePath& path) const;
+
+  // The relative path from this node to `target` (ancestor hops as "..").
+  // Both nodes must live in the same tree.
+  StatusOr<NodePath> PathTo(const Node& target) const;
+
+  // Pre-order traversal of the subtree.
+  void Visit(const std::function<void(const Node&)>& fn) const;
+  void VisitMutable(const std::function<void(Node&)>& fn);
+
+  // Deep copy (children, attributes, arcs, immediate data).
+  std::unique_ptr<Node> Clone() const;
+
+ private:
+  NodeKind kind_;
+  Node* parent_ = nullptr;
+  AttrList attrs_;
+  std::vector<std::unique_ptr<Node>> children_;
+  DataBlock immediate_data_;
+  std::vector<SyncArc> arcs_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_DOC_NODE_H_

@@ -1,0 +1,54 @@
+#include "src/doc/path.h"
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+StatusOr<NodePath> NodePath::Parse(std::string_view text) {
+  NodePath path;
+  if (text.empty() || text == ".") {
+    return path;
+  }
+  std::string_view rest = text;
+  if (rest[0] == '/') {
+    path.absolute_ = true;
+    rest.remove_prefix(1);
+    if (rest.empty()) {
+      return path;  // "/" = the root itself
+    }
+  }
+  for (const std::string& segment : SplitString(rest, '/')) {
+    if (segment == ".") {
+      continue;
+    }
+    if (segment != ".." && !IsValidId(segment)) {
+      return InvalidArgumentError("path segment '" + segment + "' is not a valid node name");
+    }
+    path.segments_.push_back(segment);
+  }
+  return path;
+}
+
+NodePath NodePath::Relative(std::vector<std::string> segments) {
+  NodePath path;
+  path.segments_ = std::move(segments);
+  return path;
+}
+
+NodePath NodePath::Absolute(std::vector<std::string> segments) {
+  NodePath path;
+  path.absolute_ = true;
+  path.segments_ = std::move(segments);
+  return path;
+}
+
+std::string NodePath::ToString() const {
+  std::string out = absolute_ ? "/" : "";
+  out += JoinStrings(segments_, "/");
+  if (out.empty()) {
+    out = ".";
+  }
+  return out;
+}
+
+}  // namespace cmif

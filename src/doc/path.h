@@ -1,0 +1,47 @@
+// Relative node path names. Synchronization arcs reference their source and
+// destination "by using named nodes" with "a relative path name in the tree";
+// "the empty name specifies the current node itself" (section 5.3.2).
+//
+// Concrete syntax: segments joined by '/'. A leading '/' makes the path
+// absolute (from the root). ".." ascends to the parent; every other segment
+// descends into the child with that name. The empty string is the current
+// node.
+#ifndef SRC_DOC_PATH_H_
+#define SRC_DOC_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace cmif {
+
+// A parsed path. Value-semantic.
+class NodePath {
+ public:
+  // The empty (self) path.
+  NodePath() = default;
+
+  // Parses the syntax above. Segment names must be valid IDs or "..".
+  static StatusOr<NodePath> Parse(std::string_view text);
+  // A path of the given segments, relative.
+  static NodePath Relative(std::vector<std::string> segments);
+  // An absolute path of the given segments.
+  static NodePath Absolute(std::vector<std::string> segments);
+
+  bool is_absolute() const { return absolute_; }
+  bool is_self() const { return !absolute_ && segments_.empty(); }
+  const std::vector<std::string>& segments() const { return segments_; }
+
+  std::string ToString() const;
+
+  bool operator==(const NodePath& other) const = default;
+
+ private:
+  bool absolute_ = false;
+  std::vector<std::string> segments_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_DOC_PATH_H_

@@ -1,0 +1,117 @@
+#include "src/doc/stats.h"
+
+#include <set>
+#include <sstream>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+namespace {
+
+// Rough serialized footprint of an attribute value.
+std::size_t ValueBytes(const AttrValue& value) {
+  switch (value.kind()) {
+    case AttrKind::kId:
+      return value.id().size();
+    case AttrKind::kNumber:
+    case AttrKind::kTime:
+      return 8;
+    case AttrKind::kString:
+      return value.string().size() + 2;
+    case AttrKind::kList: {
+      std::size_t total = 2;
+      for (const Attr& attr : value.list()) {
+        total += attr.name.size() + 1 + ValueBytes(attr.value);
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+DocumentStats ComputeStats(const Document& document, const DescriptorStore* store) {
+  DocumentStats stats;
+  stats.channel_count = document.channels().size();
+  stats.style_count = document.styles().size();
+  std::set<std::string> descriptors;
+
+  document.root().Visit([&](const Node& node) {
+    ++stats.total_nodes;
+    switch (node.kind()) {
+      case NodeKind::kSeq:
+        ++stats.seq_nodes;
+        break;
+      case NodeKind::kPar:
+        ++stats.par_nodes;
+        break;
+      case NodeKind::kExt:
+        ++stats.ext_nodes;
+        break;
+      case NodeKind::kImm:
+        ++stats.imm_nodes;
+        break;
+    }
+    stats.max_depth = std::max(stats.max_depth, node.Depth());
+    stats.arc_count += node.arcs().size();
+    for (const SyncArc& arc : node.arcs()) {
+      if (arc.rigor == ArcRigor::kMust) {
+        ++stats.must_arcs;
+      } else {
+        ++stats.may_arcs;
+      }
+    }
+    stats.attr_count += node.attrs().size();
+    stats.structure_bytes += 8;  // node framing
+    for (const Attr& attr : node.attrs().attrs()) {
+      stats.structure_bytes += attr.name.size() + 1 + ValueBytes(attr.value);
+    }
+
+    if (node.is_leaf()) {
+      auto channel = document.ChannelOf(node);
+      ++stats.events_per_channel[channel.ok() ? *channel : std::string()];
+      if (node.kind() == NodeKind::kExt) {
+        auto file = document.ResolveAttr(node, kAttrFile);
+        if (file.ok() && file->has_value() && (*file)->is_string()) {
+          descriptors.insert((*file)->string());
+        }
+      }
+    }
+  });
+
+  stats.distinct_descriptors = descriptors.size();
+  if (store != nullptr) {
+    for (const std::string& id : descriptors) {
+      if (const DataDescriptor* d = store->Get(id)) {
+        stats.referenced_bytes += static_cast<std::size_t>(d->DeclaredBytes());
+      }
+    }
+  }
+  return stats;
+}
+
+std::string StatsToString(const DocumentStats& stats) {
+  std::ostringstream os;
+  os << "nodes: " << stats.total_nodes << " (seq " << stats.seq_nodes << ", par "
+     << stats.par_nodes << ", ext " << stats.ext_nodes << ", imm " << stats.imm_nodes << ")\n";
+  os << "depth: " << stats.max_depth << "\n";
+  os << "arcs: " << stats.arc_count << " (must " << stats.must_arcs << ", may " << stats.may_arcs
+     << ")\n";
+  os << "attributes: " << stats.attr_count << "\n";
+  os << "channels: " << stats.channel_count << ", styles: " << stats.style_count << "\n";
+  os << "events per channel:\n";
+  for (const auto& [channel, count] : stats.events_per_channel) {
+    os << "  " << (channel.empty() ? "(unassigned)" : channel) << ": " << count << "\n";
+  }
+  os << "descriptors referenced: " << stats.distinct_descriptors << "\n";
+  os << StrFormat("structure bytes: %zu vs media bytes: %zu (ratio 1:%.1f)\n",
+                  stats.structure_bytes, stats.referenced_bytes,
+                  stats.structure_bytes == 0
+                      ? 0.0
+                      : static_cast<double>(stats.referenced_bytes) /
+                            static_cast<double>(stats.structure_bytes));
+  return os.str();
+}
+
+}  // namespace cmif

@@ -1,0 +1,50 @@
+// Document statistics: the document structure's "internal table-of-contents
+// function" (section 2). Everything here is computed from the structure and
+// the descriptor attributes alone — never from media payloads — which is the
+// paper's core efficiency argument (section 6).
+#ifndef SRC_DOC_STATS_H_
+#define SRC_DOC_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "src/base/media_time.h"
+#include "src/ddbms/store.h"
+#include "src/doc/document.h"
+
+namespace cmif {
+
+struct DocumentStats {
+  std::size_t total_nodes = 0;
+  std::size_t seq_nodes = 0;
+  std::size_t par_nodes = 0;
+  std::size_t ext_nodes = 0;
+  std::size_t imm_nodes = 0;
+  int max_depth = 0;
+  std::size_t arc_count = 0;
+  std::size_t must_arcs = 0;
+  std::size_t may_arcs = 0;
+  std::size_t attr_count = 0;  // attributes across all nodes
+  std::size_t channel_count = 0;
+  std::size_t style_count = 0;
+  // Leaf events per channel name (channel "" collects unassigned leaves).
+  std::map<std::string, std::size_t> events_per_channel;
+  // Distinct data descriptors referenced by external nodes.
+  std::size_t distinct_descriptors = 0;
+  // Total declared payload bytes behind those descriptors (from their
+  // attributes, not from the data). 0 when no store is supplied.
+  std::size_t referenced_bytes = 0;
+  // Size of the structural description itself (nodes + attrs, estimated).
+  std::size_t structure_bytes = 0;
+};
+
+// Walks the tree once. `store` is optional and only feeds referenced_bytes /
+// missing-descriptor detection.
+DocumentStats ComputeStats(const Document& document, const DescriptorStore* store = nullptr);
+
+// A human-readable table-of-contents rendering.
+std::string StatsToString(const DocumentStats& stats);
+
+}  // namespace cmif
+
+#endif  // SRC_DOC_STATS_H_

@@ -1,0 +1,91 @@
+#include "src/doc/sync_arc.h"
+
+#include <sstream>
+
+namespace cmif {
+
+std::string_view ArcEdgeName(ArcEdge edge) {
+  return edge == ArcEdge::kBegin ? "begin" : "end";
+}
+
+std::string_view ArcRigorName(ArcRigor rigor) {
+  return rigor == ArcRigor::kMust ? "must" : "may";
+}
+
+StatusOr<ArcEdge> ParseArcEdge(std::string_view name) {
+  if (name == "begin") {
+    return ArcEdge::kBegin;
+  }
+  if (name == "end") {
+    return ArcEdge::kEnd;
+  }
+  return InvalidArgumentError("unknown arc edge '" + std::string(name) + "'");
+}
+
+StatusOr<ArcRigor> ParseArcRigor(std::string_view name) {
+  if (name == "must") {
+    return ArcRigor::kMust;
+  }
+  if (name == "may") {
+    return ArcRigor::kMay;
+  }
+  return InvalidArgumentError("unknown arc rigor '" + std::string(name) + "'");
+}
+
+Status SyncArc::CheckShape() const {
+  if (offset.is_negative()) {
+    return InvalidArgumentError("arc offset must be non-negative, got " + offset.ToString());
+  }
+  if (min_delay.is_positive()) {
+    return InvalidArgumentError("a positive min_delay has no meaning (got " +
+                                min_delay.ToString() + ")");
+  }
+  if (max_delay.has_value() && max_delay->is_negative()) {
+    return InvalidArgumentError("a negative max_delay has no meaning (got " +
+                                max_delay->ToString() + ")");
+  }
+  if (max_delay.has_value() && *max_delay < min_delay) {
+    return InvalidArgumentError("max_delay " + max_delay->ToString() + " below min_delay " +
+                                min_delay.ToString());
+  }
+  return Status::Ok();
+}
+
+std::string SyncArc::ToString() const {
+  std::ostringstream os;
+  os << ArcEdgeName(source_edge) << "-" << ArcRigorName(rigor) << " " << source.ToString() << " "
+     << offset.ToString() << " " << ArcEdgeName(dest_edge) << ":" << dest.ToString() << " "
+     << min_delay.ToString() << " " << (max_delay.has_value() ? max_delay->ToString() : "inf");
+  return os.str();
+}
+
+SyncArc HardArc(NodePath source, ArcEdge source_edge, NodePath dest, ArcEdge dest_edge,
+                MediaTime offset, ArcRigor rigor) {
+  SyncArc arc;
+  arc.source = std::move(source);
+  arc.source_edge = source_edge;
+  arc.dest = std::move(dest);
+  arc.dest_edge = dest_edge;
+  arc.offset = offset;
+  arc.rigor = rigor;
+  arc.min_delay = MediaTime();
+  arc.max_delay = MediaTime();
+  return arc;
+}
+
+SyncArc WindowArc(NodePath source, ArcEdge source_edge, NodePath dest, ArcEdge dest_edge,
+                  MediaTime offset, MediaTime min_delay, std::optional<MediaTime> max_delay,
+                  ArcRigor rigor) {
+  SyncArc arc;
+  arc.source = std::move(source);
+  arc.source_edge = source_edge;
+  arc.dest = std::move(dest);
+  arc.dest_edge = dest_edge;
+  arc.offset = offset;
+  arc.min_delay = min_delay;
+  arc.max_delay = max_delay;
+  arc.rigor = rigor;
+  return arc;
+}
+
+}  // namespace cmif

@@ -1,0 +1,78 @@
+// Synchronization arcs (Figure 9): "type source offset destination
+// min_delay max_delay". An arc is a directed connection from the controlling
+// event to the controlled event. The general synchronization equation
+// (section 5.3.1) is
+//
+//     t_ref + delta <= t_actual <= t_ref + epsilon
+//
+// where t_ref is the source edge's time plus the offset, delta (min_delay)
+// is <= 0 ("a negative delay represents the ability to start the target node
+// sooner"; a positive minimum "has no meaning"), and epsilon (max_delay) is
+// >= 0 and possibly infinite.
+#ifndef SRC_DOC_SYNC_ARC_H_
+#define SRC_DOC_SYNC_ARC_H_
+
+#include <optional>
+#include <string>
+
+#include "src/base/media_time.h"
+#include "src/base/status.h"
+#include "src/doc/path.h"
+
+namespace cmif {
+
+// Which edge of an event an arc endpoint attaches to. "Synchronization arcs
+// can be placed at the beginning of an event or at the end" (section 3.1).
+enum class ArcEdge { kBegin = 0, kEnd };
+
+// Must/may hardness. "May synchronization is ... desirable but not
+// essential. Must ... tells the implementation environment that it should do
+// all it can, even at the expense of overall system performance" (5.3.2).
+enum class ArcRigor { kMust = 0, kMay };
+
+std::string_view ArcEdgeName(ArcEdge edge);
+std::string_view ArcRigorName(ArcRigor rigor);
+StatusOr<ArcEdge> ParseArcEdge(std::string_view name);
+StatusOr<ArcRigor> ParseArcRigor(std::string_view name);
+
+// One synchronization arc, owned by the node it is written on; source and
+// destination paths are relative to that node ("the empty name specifies the
+// current node itself").
+struct SyncArc {
+  // The paper's "type" field: the source edge plus the rigor. We also carry
+  // the destination edge (default begin) so end-to-end joins ("a new video
+  // sequence may not start until the caption text is over") are first-class.
+  ArcEdge source_edge = ArcEdge::kBegin;
+  ArcEdge dest_edge = ArcEdge::kBegin;
+  ArcRigor rigor = ArcRigor::kMust;
+  NodePath source;  // controlling node
+  NodePath dest;    // controlled node
+  // Non-negative offset from the source edge, in document time (media-
+  // dependent units are converted by the authoring layer).
+  MediaTime offset;
+  // delta <= 0: how much earlier than the reference the target may start.
+  MediaTime min_delay;
+  // epsilon >= 0: how much later; nullopt = unbounded ("possibly infinite").
+  std::optional<MediaTime> max_delay = MediaTime();
+
+  // Checks the sign conventions above; the paths are validated against the
+  // tree by the document validator.
+  Status CheckShape() const;
+
+  // The Figure-9 tabular rendering.
+  std::string ToString() const;
+
+  bool operator==(const SyncArc& other) const = default;
+};
+
+// A hard (0, 0) window: source edge (+offset) and destination edge coincide.
+SyncArc HardArc(NodePath source, ArcEdge source_edge, NodePath dest, ArcEdge dest_edge,
+                MediaTime offset = MediaTime(), ArcRigor rigor = ArcRigor::kMust);
+// A relaxed window [min_delay, max_delay] around the reference.
+SyncArc WindowArc(NodePath source, ArcEdge source_edge, NodePath dest, ArcEdge dest_edge,
+                  MediaTime offset, MediaTime min_delay, std::optional<MediaTime> max_delay,
+                  ArcRigor rigor = ArcRigor::kMust);
+
+}  // namespace cmif
+
+#endif  // SRC_DOC_SYNC_ARC_H_

@@ -1,0 +1,271 @@
+#include "src/doc/validate.h"
+
+#include <set>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+bool ValidationReport::ok() const { return error_count() == 0; }
+
+std::size_t ValidationReport::error_count() const {
+  std::size_t n = 0;
+  for (const ValidationIssue& issue : issues) {
+    if (issue.severity == IssueSeverity::kError) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t ValidationReport::warning_count() const { return issues.size() - error_count(); }
+
+std::string ValidationReport::ToString() const {
+  std::string out;
+  for (const ValidationIssue& issue : issues) {
+    out += issue.severity == IssueSeverity::kError ? "ERROR " : "WARN  ";
+    out += issue.node_path;
+    out += ": ";
+    out += issue.message;
+    out += '\n';
+  }
+  return out;
+}
+
+Status ValidationReport::ToStatus() const {
+  for (const ValidationIssue& issue : issues) {
+    if (issue.severity == IssueSeverity::kError) {
+      return FailedPreconditionError(StrFormat("%zu validation error(s); first: %s: %s",
+                                               error_count(), issue.node_path.c_str(),
+                                               issue.message.c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+class Validator {
+ public:
+  Validator(const Document& document, const DescriptorStore* store)
+      : document_(document), store_(store) {}
+
+  ValidationReport Run() {
+    CheckStyles();
+    CheckNode(document_.root());
+    return std::move(report_);
+  }
+
+ private:
+  void Error(const Node& node, std::string message) {
+    report_.issues.push_back(
+        ValidationIssue{IssueSeverity::kError, node.DisplayPath(), std::move(message)});
+  }
+  void Warn(const Node& node, std::string message) {
+    report_.issues.push_back(
+        ValidationIssue{IssueSeverity::kWarning, node.DisplayPath(), std::move(message)});
+  }
+
+  void CheckStyles() {
+    Status status = document_.styles().Validate();
+    if (!status.ok()) {
+      Error(document_.root(), "style dictionary invalid: " + status.message());
+    }
+  }
+
+  static unsigned PlacementBit(const Node& node) {
+    if (node.is_root()) {
+      return kOnRoot;
+    }
+    switch (node.kind()) {
+      case NodeKind::kSeq:
+        return kOnSeq;
+      case NodeKind::kPar:
+        return kOnPar;
+      case NodeKind::kExt:
+        return kOnExt;
+      case NodeKind::kImm:
+        return kOnImm;
+    }
+    return 0;
+  }
+
+  void CheckAttrs(const Node& node) {
+    unsigned placement = PlacementBit(node);
+    for (const Attr& attr : node.attrs().attrs()) {
+      const AttrSpec* spec = document_.registry().Find(attr.name);
+      if (spec == nullptr) {
+        continue;  // arbitrary attributes pass through uninterpreted
+      }
+      if ((spec->placement & placement) == 0) {
+        Error(node, StrFormat("attribute '%s' is not allowed on a %s%s node", attr.name.c_str(),
+                              node.is_root() ? "root " : "",
+                              std::string(NodeKindName(node.kind())).c_str()));
+      }
+      if (spec->kind.has_value() && attr.value.kind() != *spec->kind &&
+          !(*spec->kind == AttrKind::kTime && attr.value.is_number())) {
+        Error(node, StrFormat("attribute '%s' must be %s, got %s", attr.name.c_str(),
+                              std::string(AttrKindName(*spec->kind)).c_str(),
+                              std::string(AttrKindName(attr.value.kind())).c_str()));
+      }
+    }
+    if (const AttrValue* name = node.attrs().Find(kAttrName)) {
+      if (!name->is_id() || !IsValidId(name->id())) {
+        Error(node, "name attribute must be a valid ID");
+      }
+    }
+    if (const AttrValue* style = node.attrs().Find(kAttrStyle)) {
+      auto expanded = document_.styles().ExpandStyleValue(*style);
+      if (!expanded.ok()) {
+        Error(node, "style reference invalid: " + expanded.status().message());
+      }
+    }
+  }
+
+  void CheckSiblingNames(const Node& node) {
+    std::set<std::string> seen;
+    for (const auto& child : node.children()) {
+      std::string name = child->name();
+      if (name.empty()) {
+        continue;
+      }
+      if (!seen.insert(name).second) {
+        Error(*child, "duplicate sibling name '" + name + "'");
+      }
+    }
+  }
+
+  void CheckLeafMedia(const Node& node) {
+    // Resolve the channel; a leaf without one cannot be presented.
+    auto channel_name = document_.ChannelOf(node);
+    const ChannelDef* channel = nullptr;
+    if (!channel_name.ok()) {
+      Warn(node, "leaf has no channel attribute; it will never be presented");
+    } else {
+      channel = document_.channels().Find(*channel_name);
+      if (channel == nullptr) {
+        Error(node, "channel '" + *channel_name + "' is not defined on the root");
+      }
+    }
+
+    if (node.kind() == NodeKind::kExt) {
+      auto file = document_.ResolveAttr(node, kAttrFile);
+      if (!file.ok() || !file->has_value()) {
+        Error(node, "external node has no file attribute (own or inherited)");
+      } else if (!(*file)->is_string()) {
+        Error(node, "file attribute must be a STRING");
+      } else if (store_ != nullptr) {
+        const DataDescriptor* descriptor = store_->Get((*file)->string());
+        if (descriptor == nullptr) {
+          Error(node, "data descriptor '" + (*file)->string() + "' not found in the database");
+        } else if (channel != nullptr && descriptor->Medium() != channel->medium) {
+          Error(node, StrFormat("descriptor medium %s does not match channel medium %s",
+                                std::string(MediaTypeName(descriptor->Medium())).c_str(),
+                                std::string(MediaTypeName(channel->medium)).c_str()));
+        }
+      }
+    }
+
+    if (node.kind() == NodeKind::kImm) {
+      std::string declared = node.attrs().GetIdOr(std::string(kAttrMedium), "text");
+      auto medium = ParseMediaType(declared);
+      if (!medium.ok()) {
+        Error(node, "medium attribute invalid: " + medium.status().message());
+      } else if (node.immediate_data().medium() != *medium) {
+        Error(node, StrFormat("immediate data is %s but the medium attribute says %s",
+                              std::string(MediaTypeName(node.immediate_data().medium())).c_str(),
+                              declared.c_str()));
+      }
+      if (channel != nullptr && node.immediate_data().medium() != channel->medium) {
+        Error(node, StrFormat("immediate data medium %s does not match channel medium %s",
+                              std::string(MediaTypeName(node.immediate_data().medium())).c_str(),
+                              std::string(MediaTypeName(channel->medium)).c_str()));
+      }
+    }
+  }
+
+  // slice/crop/clip are LISTs of NUMBERs with fixed field names.
+  void CheckRegionAttrs(const Node& node) {
+    static constexpr struct {
+      std::string_view attr;
+      std::string_view fields[4];
+      std::size_t field_count;
+    } kShapes[] = {
+        {kAttrSlice, {"begin", "length", "", ""}, 2},
+        {kAttrClip, {"begin", "length", "", ""}, 2},
+        {kAttrCrop, {"x", "y", "w", "h"}, 4},
+    };
+    for (const auto& shape : kShapes) {
+      const AttrValue* v = node.attrs().Find(shape.attr);
+      if (v == nullptr) {
+        continue;
+      }
+      if (!v->is_list()) {
+        Error(node, std::string(shape.attr) + " must be a LIST");
+        continue;
+      }
+      AttrList fields = AttrList::FromAttrs(v->list());
+      for (std::size_t i = 0; i < shape.field_count; ++i) {
+        auto n = fields.GetNumber(shape.fields[i]);
+        if (!n.ok()) {
+          Error(node, StrFormat("%s needs NUMBER field '%s'", std::string(shape.attr).c_str(),
+                                std::string(shape.fields[i]).c_str()));
+        } else if (*n < 0) {
+          Error(node, StrFormat("%s field '%s' must be non-negative",
+                                std::string(shape.attr).c_str(),
+                                std::string(shape.fields[i]).c_str()));
+        }
+      }
+    }
+  }
+
+  void CheckArcs(const Node& node) {
+    for (const SyncArc& arc : node.arcs()) {
+      Status shape = arc.CheckShape();
+      if (!shape.ok()) {
+        Error(node, "sync arc invalid: " + shape.message());
+        continue;
+      }
+      auto source = node.Resolve(arc.source);
+      if (!source.ok()) {
+        Error(node, "arc source does not resolve: " + source.status().message());
+      }
+      auto dest = node.Resolve(arc.dest);
+      if (!dest.ok()) {
+        Error(node, "arc destination does not resolve: " + dest.status().message());
+      }
+      if (source.ok() && dest.ok() && *source == *dest && arc.source_edge == arc.dest_edge) {
+        Error(node, "arc connects a node edge to itself");
+      }
+    }
+  }
+
+  void CheckNode(const Node& node) {
+    CheckAttrs(node);
+    CheckArcs(node);
+    if (node.is_composite()) {
+      CheckSiblingNames(node);
+      if (node.children().empty() && !node.is_root()) {
+        Warn(node, std::string(NodeKindName(node.kind())) + " node has no children");
+      }
+      for (const auto& child : node.children()) {
+        CheckNode(*child);
+      }
+    } else {
+      CheckLeafMedia(node);
+      CheckRegionAttrs(node);
+    }
+  }
+
+  const Document& document_;
+  const DescriptorStore* store_;
+  ValidationReport report_;
+};
+
+}  // namespace
+
+ValidationReport ValidateDocument(const Document& document, const DescriptorStore* store) {
+  return Validator(document, store).Run();
+}
+
+}  // namespace cmif

@@ -1,0 +1,58 @@
+// Document validation: the "global consistency rules" of section 5.2 plus
+// structural checks needed before scheduling. Validation never mutates the
+// document; it reports issues so that authoring tools can "signal problems,
+// allowing other mechanisms to provide solutions" (section 5.3.3).
+#ifndef SRC_DOC_VALIDATE_H_
+#define SRC_DOC_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ddbms/store.h"
+#include "src/doc/document.h"
+
+namespace cmif {
+
+enum class IssueSeverity { kWarning = 0, kError };
+
+// One finding, anchored to a node's display path.
+struct ValidationIssue {
+  IssueSeverity severity = IssueSeverity::kError;
+  std::string node_path;
+  std::string message;
+};
+
+// The full set of findings from one validation pass.
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  bool ok() const;
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  // One line per issue: "ERROR /story1/video: ...".
+  std::string ToString() const;
+  // OK, or FailedPrecondition summarizing the first error.
+  Status ToStatus() const;
+};
+
+// Checks, in document order:
+//  - node names are valid IDs and unique among direct siblings (Figure 7);
+//  - standard attributes appear only on permitted node kinds with the
+//    registered value kind; root-only dictionaries stay on the root;
+//  - style references exist and style definitions are acyclic;
+//  - channel references name defined channels; leaves have a channel
+//    (warning when the channel is missing entirely);
+//  - external nodes carry (or inherit) a file attribute; when `store` is
+//    given, the referenced descriptor must exist and its medium must match
+//    the channel's medium;
+//  - immediate nodes carry data whose medium matches the medium attribute;
+//  - slice/crop/clip attributes are well-formed lists on the right media;
+//  - sync arcs satisfy the sign conventions (offset >= 0, min_delay <= 0,
+//    max_delay >= 0) and both endpoint paths resolve to nodes.
+ValidationReport ValidateDocument(const Document& document,
+                                  const DescriptorStore* store = nullptr);
+
+}  // namespace cmif
+
+#endif  // SRC_DOC_VALIDATE_H_

@@ -1,0 +1,187 @@
+#include "src/fmt/parser.h"
+
+#include "src/attr/parse.h"
+#include "src/base/lexer.h"
+#include "src/base/string_util.h"
+
+namespace cmif {
+namespace {
+
+StatusOr<MediaTime> ParseTimeWord(const Token& token) {
+  auto t = ParseMediaTime(token.text);
+  if (!t.ok()) {
+    return DataLossError(StrFormat("line %d: expected a time, got '%s'", token.line,
+                                   token.text.c_str()));
+  }
+  return *t;
+}
+
+// Parses the arc body after "(syncarc" up to and including the ')'.
+StatusOr<SyncArc> ParseArcBody(Lexer& lexer) {
+  SyncArc arc;
+  CMIF_ASSIGN_OR_RETURN(Token source_edge, lexer.Expect(TokenKind::kWord));
+  CMIF_ASSIGN_OR_RETURN(arc.source_edge, ParseArcEdge(source_edge.text));
+  CMIF_ASSIGN_OR_RETURN(Token rigor, lexer.Expect(TokenKind::kWord));
+  CMIF_ASSIGN_OR_RETURN(arc.rigor, ParseArcRigor(rigor.text));
+  CMIF_ASSIGN_OR_RETURN(Token source, lexer.Expect(TokenKind::kWord));
+  CMIF_ASSIGN_OR_RETURN(arc.source, NodePath::Parse(source.text));
+  CMIF_ASSIGN_OR_RETURN(Token offset, lexer.Expect(TokenKind::kWord));
+  CMIF_ASSIGN_OR_RETURN(arc.offset, ParseTimeWord(offset));
+  CMIF_ASSIGN_OR_RETURN(Token dest_edge, lexer.Expect(TokenKind::kWord));
+  CMIF_ASSIGN_OR_RETURN(arc.dest_edge, ParseArcEdge(dest_edge.text));
+  CMIF_ASSIGN_OR_RETURN(Token dest, lexer.Expect(TokenKind::kWord));
+  CMIF_ASSIGN_OR_RETURN(arc.dest, NodePath::Parse(dest.text));
+  CMIF_ASSIGN_OR_RETURN(Token min_delay, lexer.Expect(TokenKind::kWord));
+  CMIF_ASSIGN_OR_RETURN(arc.min_delay, ParseTimeWord(min_delay));
+  CMIF_ASSIGN_OR_RETURN(Token max_delay, lexer.Expect(TokenKind::kWord));
+  if (max_delay.text == "inf") {
+    arc.max_delay = std::nullopt;
+  } else {
+    CMIF_ASSIGN_OR_RETURN(MediaTime t, ParseTimeWord(max_delay));
+    arc.max_delay = t;
+  }
+  CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kRParen).status());
+  Status shape = arc.CheckShape();
+  if (!shape.ok()) {
+    return DataLossError(StrFormat("line %d: %s", max_delay.line, shape.message().c_str()));
+  }
+  return arc;
+}
+
+// Parses "(data <medium> \"base64\")" after the "data" word.
+StatusOr<DataBlock> ParseDataPayload(Lexer& lexer) {
+  CMIF_ASSIGN_OR_RETURN(Token medium_word, lexer.Expect(TokenKind::kWord));
+  CMIF_ASSIGN_OR_RETURN(MediaType medium, ParseMediaType(medium_word.text));
+  CMIF_ASSIGN_OR_RETURN(Token body, lexer.Expect(TokenKind::kString));
+  CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kRParen).status());
+  switch (medium) {
+    case MediaType::kAudio: {
+      CMIF_ASSIGN_OR_RETURN(std::string wav, Base64Decode(body.text));
+      CMIF_ASSIGN_OR_RETURN(AudioBuffer audio, DecodeWav(wav));
+      return DataBlock::FromAudio(std::move(audio));
+    }
+    case MediaType::kImage:
+    case MediaType::kGraphic: {
+      CMIF_ASSIGN_OR_RETURN(std::string ppm, Base64Decode(body.text));
+      CMIF_ASSIGN_OR_RETURN(Raster image, DecodePpm(ppm));
+      return DataBlock::FromImage(std::move(image), medium);
+    }
+    case MediaType::kText:
+      return DataBlock::FromText(TextBlock(body.text, TextFormatting{}));
+    case MediaType::kVideo:
+      return DataLossError(StrFormat("line %d: immediate video payloads are not supported",
+                                     medium_word.line));
+  }
+  return InternalError("unknown medium");
+}
+
+// Parses a node starting after its '(' and kind word.
+StatusOr<std::unique_ptr<Node>> ParseNodeBody(Lexer& lexer, NodeKind kind, int open_line) {
+  auto node = std::make_unique<Node>(kind);
+  CMIF_ASSIGN_OR_RETURN(node->attrs(), ParseAttrList(lexer));
+  bool have_payload = false;
+  while (true) {
+    CMIF_ASSIGN_OR_RETURN(Token token, lexer.Next());
+    if (token.kind == TokenKind::kRParen) {
+      break;
+    }
+    if (token.kind == TokenKind::kString) {
+      // Immediate text payload.
+      if (kind != NodeKind::kImm) {
+        return DataLossError(StrFormat("line %d: only imm nodes carry inline text", token.line));
+      }
+      node->set_immediate_data(DataBlock::FromText(TextBlock(token.text, TextFormatting{})));
+      have_payload = true;
+      continue;
+    }
+    if (token.kind != TokenKind::kLParen) {
+      return DataLossError(StrFormat("line %d: unexpected %s in node body", token.line,
+                                     std::string(TokenKindName(token.kind)).c_str()));
+    }
+    CMIF_ASSIGN_OR_RETURN(Token head, lexer.Expect(TokenKind::kWord));
+    if (head.text == "syncarc") {
+      CMIF_ASSIGN_OR_RETURN(SyncArc arc, ParseArcBody(lexer));
+      node->AddArc(std::move(arc));
+      continue;
+    }
+    if (head.text == "data") {
+      if (kind != NodeKind::kImm) {
+        return DataLossError(StrFormat("line %d: only imm nodes carry data payloads", head.line));
+      }
+      CMIF_ASSIGN_OR_RETURN(DataBlock block, ParseDataPayload(lexer));
+      node->set_immediate_data(std::move(block));
+      have_payload = true;
+      continue;
+    }
+    auto child_kind = ParseNodeKind(head.text);
+    if (!child_kind.ok()) {
+      return DataLossError(StrFormat("line %d: unknown form '%s' in node body", head.line,
+                                     head.text.c_str()));
+    }
+    if (node->is_leaf()) {
+      return DataLossError(StrFormat("line %d: %s nodes cannot have children", head.line,
+                                     std::string(NodeKindName(kind)).c_str()));
+    }
+    CMIF_ASSIGN_OR_RETURN(std::unique_ptr<Node> child,
+                          ParseNodeBody(lexer, *child_kind, head.line));
+    CMIF_RETURN_IF_ERROR(node->AddChild(std::move(child)).status());
+  }
+  if (kind == NodeKind::kImm && !have_payload) {
+    return DataLossError(StrFormat("line %d: imm node has no payload", open_line));
+  }
+  return node;
+}
+
+StatusOr<std::unique_ptr<Node>> ParseOneNode(Lexer& lexer) {
+  CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kLParen).status());
+  CMIF_ASSIGN_OR_RETURN(Token head, lexer.Expect(TokenKind::kWord));
+  CMIF_ASSIGN_OR_RETURN(NodeKind kind, ParseNodeKind(head.text));
+  return ParseNodeBody(lexer, kind, head.line);
+}
+
+}  // namespace
+
+StatusOr<Document> ParseDocument(const std::string& text) {
+  Lexer lexer(text);
+  CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kLParen).status());
+  CMIF_ASSIGN_OR_RETURN(Token head, lexer.Expect(TokenKind::kWord));
+  if (head.text != "cmif") {
+    return DataLossError(StrFormat("line %d: expected 'cmif', got '%s'", head.line,
+                                   head.text.c_str()));
+  }
+  CMIF_ASSIGN_OR_RETURN(std::unique_ptr<Node> root, ParseOneNode(lexer));
+  if (root->is_leaf()) {
+    return DataLossError("the root node must be seq or par");
+  }
+  CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kRParen).status());
+  CMIF_ASSIGN_OR_RETURN(Token end, lexer.Next());
+  if (end.kind != TokenKind::kEnd) {
+    return DataLossError(StrFormat("line %d: trailing input after the document", end.line));
+  }
+
+  Document document(root->kind());
+  // Graft the parsed tree in: move children and attributes onto the fresh
+  // root (Document owns its root node).
+  document.root().attrs() = root->attrs();
+  for (const SyncArc& arc : root->arcs()) {
+    document.root().AddArc(arc);
+  }
+  while (!root->children().empty()) {
+    CMIF_ASSIGN_OR_RETURN(std::unique_ptr<Node> child, root->TakeChild(0));
+    CMIF_RETURN_IF_ERROR(document.root().AddChild(std::move(child)).status());
+  }
+  CMIF_RETURN_IF_ERROR(document.LoadDictionariesFromRoot());
+  return document;
+}
+
+StatusOr<std::unique_ptr<Node>> ParseNode(const std::string& text) {
+  Lexer lexer(text);
+  CMIF_ASSIGN_OR_RETURN(std::unique_ptr<Node> node, ParseOneNode(lexer));
+  CMIF_ASSIGN_OR_RETURN(Token end, lexer.Next());
+  if (end.kind != TokenKind::kEnd) {
+    return DataLossError(StrFormat("line %d: trailing input after the node", end.line));
+  }
+  return node;
+}
+
+}  // namespace cmif

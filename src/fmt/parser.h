@@ -1,0 +1,22 @@
+// The CMIF concrete syntax parser (grammar in src/fmt/writer.h). Produces a
+// Document with the root dictionaries already loaded; run ValidateDocument
+// for the global consistency rules.
+#ifndef SRC_FMT_PARSER_H_
+#define SRC_FMT_PARSER_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/doc/document.h"
+
+namespace cmif {
+
+// Parses a full "(cmif ...)" document. Errors are kDataLoss with line info.
+StatusOr<Document> ParseDocument(const std::string& text);
+
+// Parses a single node subtree (no 'cmif' wrapper).
+StatusOr<std::unique_ptr<Node>> ParseNode(const std::string& text);
+
+}  // namespace cmif
+
+#endif  // SRC_FMT_PARSER_H_

@@ -1,0 +1,160 @@
+#include "src/fmt/tree_view.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/attr/registry.h"
+#include "src/base/string_util.h"
+
+namespace cmif {
+namespace {
+
+std::string NodeLabel(const Node& node) {
+  std::string label = node.name();
+  if (label.empty()) {
+    label = "(unnamed)";
+  }
+  label += " [";
+  label += NodeKindName(node.kind());
+  if (const AttrValue* file = node.attrs().Find(kAttrFile)) {
+    if (file->is_string()) {
+      label += " file=" + QuoteString(file->string());
+    }
+  }
+  if (const AttrValue* channel = node.attrs().Find(kAttrChannel)) {
+    if (channel->is_id()) {
+      label += " channel=" + channel->id();
+    }
+  }
+  label += "]";
+  return label;
+}
+
+void AppendConventional(const Node& node, const std::string& prefix, bool last, bool is_root,
+                        std::ostringstream& os) {
+  if (is_root) {
+    os << NodeLabel(node) << "\n";
+  } else {
+    os << prefix << (last ? "`- " : "+- ") << NodeLabel(node) << "\n";
+  }
+  std::string child_prefix = is_root ? "" : prefix + (last ? "   " : "|  ");
+  for (std::size_t i = 0; i < node.children().size(); ++i) {
+    AppendConventional(node.ChildAt(i), child_prefix, i + 1 == node.children().size(), false,
+                       os);
+  }
+}
+
+void AppendEmbedded(const Node& node, int depth, std::ostringstream& os) {
+  os << std::string(static_cast<std::size_t>(depth) * 2, ' ') << "[ ";
+  std::string name = node.name();
+  if (!name.empty()) {
+    os << name << " ";
+  }
+  os << NodeKindName(node.kind());
+  if (node.children().empty()) {
+    os << " ]\n";
+    return;
+  }
+  os << "\n";
+  for (const auto& child : node.children()) {
+    AppendEmbedded(*child, depth + 1, os);
+  }
+  os << std::string(static_cast<std::size_t>(depth) * 2, ' ') << "]\n";
+}
+
+void Pad(std::ostringstream& os, const std::string& text, std::size_t width) {
+  os << text;
+  for (std::size_t i = text.size(); i < width; ++i) {
+    os << ' ';
+  }
+}
+
+}  // namespace
+
+std::string ConventionalTreeView(const Node& root) {
+  std::ostringstream os;
+  AppendConventional(root, "", true, true, os);
+  return os.str();
+}
+
+std::string EmbeddedTreeView(const Node& root) {
+  std::ostringstream os;
+  AppendEmbedded(root, 0, os);
+  return os.str();
+}
+
+std::string ArcTableView(const Node& root) {
+  std::ostringstream os;
+  os << "owner                    type        source          offset  dest                 "
+        "min     max\n";
+  os << "-----------------------  ----------  --------------  ------  -------------------  "
+        "------  ------\n";
+  root.Visit([&os](const Node& node) {
+    for (const SyncArc& arc : node.arcs()) {
+      Pad(os, node.DisplayPath(), 25);
+      std::string type =
+          std::string(ArcEdgeName(arc.source_edge)) + "-" + std::string(ArcRigorName(arc.rigor));
+      Pad(os, type, 12);
+      Pad(os, arc.source.ToString(), 16);
+      Pad(os, arc.offset.ToString(), 8);
+      Pad(os, std::string(ArcEdgeName(arc.dest_edge)) + ":" + arc.dest.ToString(), 21);
+      Pad(os, arc.min_delay.ToString(), 8);
+      os << (arc.max_delay.has_value() ? arc.max_delay->ToString() : "inf") << "\n";
+    }
+  });
+  return os.str();
+}
+
+std::string TimelineView(const std::vector<TimelineRow>& rows, int columns) {
+  MediaTime horizon;
+  std::size_t label_width = 8;
+  for (const TimelineRow& row : rows) {
+    label_width = std::max(label_width, row.channel.size() + 1);
+    for (const TimelineSpan& span : row.spans) {
+      horizon = std::max(horizon, span.end);
+    }
+  }
+  double total = horizon.ToSecondsF();
+  int chart = std::max(columns - static_cast<int>(label_width) - 2, 10);
+  std::ostringstream os;
+  for (const TimelineRow& row : rows) {
+    std::string lane(static_cast<std::size_t>(chart), '.');
+    for (const TimelineSpan& span : row.spans) {
+      int begin = total <= 0 ? 0 : static_cast<int>(span.start.ToSecondsF() / total * chart);
+      int end = total <= 0 ? 0 : static_cast<int>(span.end.ToSecondsF() / total * chart);
+      begin = std::clamp(begin, 0, chart - 1);
+      end = std::clamp(end, begin + 1, chart);
+      for (int i = begin; i < end; ++i) {
+        lane[static_cast<std::size_t>(i)] = '=';
+      }
+      lane[static_cast<std::size_t>(begin)] = '|';
+      // Overlay as much of the label as fits inside the span.
+      for (std::size_t j = 0; j < span.label.size() && begin + 1 + static_cast<int>(j) < end;
+           ++j) {
+        lane[static_cast<std::size_t>(begin) + 1 + j] = span.label[j];
+      }
+    }
+    Pad(os, row.channel, label_width);
+    os << "|" << lane << "|\n";
+  }
+  os << std::string(label_width, ' ') << "0" << std::string(static_cast<std::size_t>(chart) - 6, ' ')
+     << StrFormat("%6.1fs\n", total);
+  return os.str();
+}
+
+std::string TimelineTable(const std::vector<TimelineRow>& rows) {
+  std::ostringstream os;
+  os << "channel      event                      start      end\n";
+  os << "-----------  -------------------------  ---------  ---------\n";
+  for (const TimelineRow& row : rows) {
+    for (const TimelineSpan& span : row.spans) {
+      Pad(os, row.channel, 13);
+      Pad(os, span.label, 27);
+      Pad(os, StrFormat("%.3f", span.start.ToSecondsF()), 11);
+      os << StrFormat("%.3f", span.end.ToSecondsF()) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cmif

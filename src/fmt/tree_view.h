@@ -1,0 +1,61 @@
+// Structure renderers for the paper's figures: the CMIF tree in conventional
+// and embedded form (Figure 5), the synchronization-arc table (Figure 9),
+// and the channel/timeline view (Figures 3, 4b and 10).
+#ifndef SRC_FMT_TREE_VIEW_H_
+#define SRC_FMT_TREE_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/media_time.h"
+#include "src/doc/document.h"
+
+namespace cmif {
+
+// Figure 5a: the conventional node-and-branch tree.
+//
+//   news [seq]
+//   +- story1 [par]
+//   |  +- video1 [ext file="d1"]
+//   ...
+std::string ConventionalTreeView(const Node& root);
+
+// Figure 5b: the embedded (nested box) form.
+//
+//   [ news seq
+//     [ story1 par
+//       [ video1 ext ] [ audio1 ext ] ] ]
+std::string EmbeddedTreeView(const Node& root);
+
+// Figure 9: one table row per synchronization arc in the document, with the
+// owning node's display path.
+//
+//   owner        type        source  offset  dest         min  max
+std::string ArcTableView(const Node& root);
+
+// One presented span on a channel lane.
+struct TimelineSpan {
+  std::string label;
+  MediaTime start;
+  MediaTime end;
+};
+
+// One channel lane of a timeline.
+struct TimelineRow {
+  std::string channel;
+  std::vector<TimelineSpan> spans;
+};
+
+// Figures 3/10: ASCII channel-by-channel timeline. `columns` is the chart
+// width in characters; time is scaled to the latest span end.
+//
+//   audio   |=story3=====|......|=story4====|
+//   video   |=head==|=scene==|..|=head======|
+std::string TimelineView(const std::vector<TimelineRow>& rows, int columns = 72);
+
+// A plain tabular rendering of the same rows (start/end per span), exact.
+std::string TimelineTable(const std::vector<TimelineRow>& rows);
+
+}  // namespace cmif
+
+#endif  // SRC_FMT_TREE_VIEW_H_

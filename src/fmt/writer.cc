@@ -1,0 +1,116 @@
+#include "src/fmt/writer.h"
+
+#include <sstream>
+
+#include "src/base/string_util.h"
+#include "src/doc/stats.h"
+
+namespace cmif {
+namespace {
+
+std::string TimeText(MediaTime t) {
+  // Whole numbers are still written as rationals so the parser classifies
+  // them as TIME, not NUMBER.
+  if (t.den() == 1) {
+    return t.ToString() + "/1";
+  }
+  return t.ToString();
+}
+
+StatusOr<std::string> ImmPayloadText(const DataBlock& data) {
+  switch (data.medium()) {
+    case MediaType::kText:
+      return QuoteString(data.text().text());
+    case MediaType::kAudio:
+      return "(data audio " + QuoteString(Base64Encode(EncodeWav(data.audio()))) + ")";
+    case MediaType::kImage:
+      return "(data image " + QuoteString(Base64Encode(EncodePpm(data.image()))) + ")";
+    case MediaType::kGraphic:
+      return "(data graphic " + QuoteString(Base64Encode(EncodePpm(data.image()))) + ")";
+    case MediaType::kVideo:
+      return UnimplementedError(
+          "immediate video payloads cannot be serialized; use an external node");
+  }
+  return InternalError("unknown medium");
+}
+
+std::string ArcText(const SyncArc& arc) {
+  std::ostringstream os;
+  os << "(syncarc " << ArcEdgeName(arc.source_edge) << " " << ArcRigorName(arc.rigor) << " "
+     << arc.source.ToString() << " " << TimeText(arc.offset) << " "
+     << ArcEdgeName(arc.dest_edge) << " " << arc.dest.ToString() << " "
+     << TimeText(arc.min_delay) << " "
+     << (arc.max_delay.has_value() ? TimeText(*arc.max_delay) : "inf") << ")";
+  return os.str();
+}
+
+class Writer {
+ public:
+  explicit Writer(const WriteOptions& options) : options_(options) {}
+
+  Status Append(const Node& node, int depth) {
+    Indent(depth);
+    os_ << "(" << NodeKindName(node.kind());
+    os_ << " " << node.attrs().ToString();
+    if (node.kind() == NodeKind::kImm) {
+      CMIF_ASSIGN_OR_RETURN(std::string payload, ImmPayloadText(node.immediate_data()));
+      os_ << " " << payload;
+    }
+    bool multiline = !node.children().empty() || !node.arcs().empty();
+    for (const SyncArc& arc : node.arcs()) {
+      os_ << "\n";
+      Indent(depth + 1);
+      os_ << ArcText(arc);
+    }
+    for (const auto& child : node.children()) {
+      os_ << "\n";
+      CMIF_RETURN_IF_ERROR(Append(*child, depth + 1));
+    }
+    if (multiline) {
+      os_ << "\n";
+      Indent(depth);
+    }
+    os_ << ")";
+    return Status::Ok();
+  }
+
+  void Indent(int depth) {
+    for (int i = 0; i < depth * options_.indent_width; ++i) {
+      os_ << ' ';
+    }
+  }
+
+  std::ostringstream& stream() { return os_; }
+
+ private:
+  WriteOptions options_;
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+StatusOr<std::string> WriteDocument(const Document& document, const WriteOptions& options) {
+  // Serialize a clone so storing the dictionaries does not mutate the input.
+  Document copy = document.Clone();
+  copy.StoreDictionariesOnRoot();
+
+  Writer writer(options);
+  if (options.header_comment) {
+    DocumentStats stats = ComputeStats(copy);
+    writer.stream() << StrFormat("; CMIF document: %zu nodes, %zu arcs, %zu channels\n",
+                                 stats.total_nodes, stats.arc_count, stats.channel_count);
+  }
+  writer.stream() << "(cmif\n";
+  CMIF_RETURN_IF_ERROR(writer.Append(copy.root(), 1));
+  writer.stream() << "\n)\n";
+  return writer.stream().str();
+}
+
+StatusOr<std::string> WriteNode(const Node& node, const WriteOptions& options) {
+  Writer writer(options);
+  CMIF_RETURN_IF_ERROR(writer.Append(node, 0));
+  writer.stream() << "\n";
+  return writer.stream().str();
+}
+
+}  // namespace cmif

@@ -1,0 +1,49 @@
+// The CMIF concrete syntax writer. The paper specifies the structure of a
+// document ("a human-readable document that can be passed from one location
+// to another with or without the underlying data", section 5) but its
+// companion syntax report [Rossum91] is not available, so this library
+// defines an s-expression syntax that round-trips every structural element:
+//
+//   document := '(' 'cmif' node ')'
+//   node     := '(' kind attrlist item* ')'
+//   kind     := 'seq' | 'par' | 'ext' | 'imm'
+//   attrlist := '(' (name value)* ')'
+//   item     := node                              ; child of a seq/par
+//             | '(' 'syncarc' arc ')'             ; arc written on this node
+//             | string                            ; imm payload: plain text
+//             | '(' 'data' medium string ')'      ; imm payload: base64 codec
+//   arc      := edge rigor word time edge word time (time | 'inf')
+//               (source-edge rigor source-path offset dest-edge dest-path
+//                min-delay max-delay)
+//
+// Values follow src/attr/parse.h: IDs, integers (NUMBER), N/D or decimals
+// (TIME), quoted strings, and nested lists. ';' starts a line comment.
+#ifndef SRC_FMT_WRITER_H_
+#define SRC_FMT_WRITER_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/doc/document.h"
+
+namespace cmif {
+
+// Serialization knobs.
+struct WriteOptions {
+  // Spaces per nesting level.
+  int indent_width = 2;
+  // Emit a header comment with summary statistics.
+  bool header_comment = true;
+};
+
+// Renders the document (dictionaries are stored onto the root first, via a
+// clone — the input is not mutated). Errors only for unserializable
+// immediate payloads (inline video).
+StatusOr<std::string> WriteDocument(const Document& document, const WriteOptions& options = {});
+
+// Renders a single subtree (no 'cmif' wrapper, no dictionaries).
+StatusOr<std::string> WriteNode(const Node& node, const WriteOptions& options = {});
+
+}  // namespace cmif
+
+#endif  // SRC_FMT_WRITER_H_

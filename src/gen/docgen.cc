@@ -1,0 +1,183 @@
+#include "src/gen/docgen.h"
+
+#include "src/base/random.h"
+#include "src/base/string_util.h"
+#include "src/doc/builder.h"
+
+namespace cmif {
+namespace {
+
+constexpr MediaType kChannelMedia[] = {MediaType::kText, MediaType::kAudio, MediaType::kVideo,
+                                       MediaType::kGraphic};
+
+class Generator {
+ public:
+  explicit Generator(const GenOptions& options) : options_(options), rng_(options.seed) {}
+
+  StatusOr<GenWorkload> Run() {
+    GenWorkload workload;
+    DocBuilder builder(NodeKind::kSeq);
+    builder.ToRoot().Attr(std::string(kAttrName), AttrValue::Id("generated"));
+    for (int c = 0; c < options_.channels; ++c) {
+      builder.DefineChannel(ChannelName(c), kChannelMedia[c % 4]);
+    }
+    if (options_.with_styles) {
+      AttrList body;
+      body.Set(std::string(kAttrTFormatting),
+               AttrValue::List({Attr{"font", AttrValue::Id("fixed")},
+                                Attr{"size", AttrValue::Number(10)}}));
+      builder.DefineStyle("gen_text", std::move(body));
+      AttrList derived;
+      derived.Set(std::string(kAttrStyle), AttrValue::Id("gen_text"));
+      derived.Set("emphasis", AttrValue::Number(1));
+      builder.DefineStyle("gen_text_emph", std::move(derived));
+    }
+    // A random branching process can die out early; keep appending top-level
+    // sections until the leaf target is met.
+    while (leaves_ < options_.target_leaves) {
+      builder.ToRoot();
+      CMIF_RETURN_IF_ERROR(Grow(builder, workload.store, 0));
+    }
+    CMIF_ASSIGN_OR_RETURN(workload.document, builder.Build());
+    return workload;
+  }
+
+ private:
+  std::string ChannelName(int c) { return StrFormat("ch%d", c); }
+
+  // Adds children to the composite the builder cursor is on.
+  Status Grow(DocBuilder& builder, DescriptorStore& store, int depth) {
+    Node& owner = builder.current();  // arcs attach to this composite
+    int fanout = static_cast<int>(rng_.NextInRange(2, options_.max_fanout));
+    std::vector<std::string> names;
+    for (int i = 0; i < fanout && leaves_ < options_.target_leaves; ++i) {
+      std::string name = StrFormat("n%d", name_counter_++);
+      names.push_back(name);
+      bool make_leaf = depth >= options_.max_depth || rng_.NextBool(0.55);
+      if (make_leaf) {
+        CMIF_RETURN_IF_ERROR(AddLeaf(builder, store, name));
+      } else {
+        if (rng_.NextBool(options_.par_probability)) {
+          builder.Par(name);
+        } else {
+          builder.Seq(name);
+        }
+        CMIF_RETURN_IF_ERROR(Grow(builder, store, depth + 1));
+        builder.Up();
+      }
+    }
+    // Forward arcs between the named children of this composite.
+    if (names.size() >= 2) {
+      int arcs = rng_.NextBool(options_.arcs_per_composite) ? 1 : 0;
+      if (rng_.NextDouble() < options_.arcs_per_composite - 1) {
+        ++arcs;  // allow > 1 arc per composite at high settings
+      }
+      for (int a = 0; a < arcs; ++a) {
+        std::size_t i = static_cast<std::size_t>(
+            rng_.NextBelow(static_cast<std::uint64_t>(names.size() - 1)));
+        std::size_t j = i + 1 + static_cast<std::size_t>(rng_.NextBelow(
+                                    static_cast<std::uint64_t>(names.size() - i - 1)));
+        SyncArc arc;
+        arc.source_edge = rng_.NextBool() ? ArcEdge::kBegin : ArcEdge::kEnd;
+        arc.dest_edge = ArcEdge::kBegin;
+        arc.rigor = rng_.NextBool(options_.may_fraction) ? ArcRigor::kMay : ArcRigor::kMust;
+        auto source = NodePath::Parse(names[i]);
+        auto dest = NodePath::Parse(names[j]);
+        if (!source.ok() || !dest.ok()) {
+          return source.ok() ? dest.status() : source.status();
+        }
+        arc.source = *source;
+        arc.dest = *dest;
+        arc.offset = MediaTime::Millis(rng_.NextInRange(0, 500));
+        arc.min_delay = MediaTime();
+        if (options_.tight_windows) {
+          arc.max_delay = MediaTime::Millis(rng_.NextInRange(0, 300));
+        } else {
+          arc.max_delay = std::nullopt;
+        }
+        CMIF_RETURN_IF_ERROR(arc.CheckShape());
+        owner.AddArc(std::move(arc));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status AddLeaf(DocBuilder& builder, DescriptorStore& store, const std::string& name) {
+    ++leaves_;
+    int channel = static_cast<int>(rng_.NextBelow(static_cast<std::uint64_t>(
+        options_.channels > 0 ? options_.channels : 1)));
+    MediaType medium = kChannelMedia[channel % 4];
+    MediaTime duration = MediaTime::Millis(rng_.NextInRange(500, 4000));
+    if (medium == MediaType::kText && rng_.NextBool(0.6)) {
+      builder.ImmText(name, StrFormat("generated text %d", leaves_))
+          .OnChannel(ChannelName(channel))
+          .WithDuration(duration);
+      if (options_.with_styles && rng_.NextBool(0.3)) {
+        builder.WithStyle(rng_.NextBool() ? "gen_text" : "gen_text_emph");
+      }
+      return Status::Ok();
+    }
+    // External leaf: register a generator descriptor.
+    std::string id = StrFormat("gen-desc-%d", leaves_);
+    DataDescriptor descriptor(id, AttrList());
+    descriptor.mutable_attrs().Set(std::string(kDescMedium),
+                                   AttrValue::Id(std::string(MediaTypeName(medium))));
+    descriptor.mutable_attrs().Set(std::string(kDescDuration), AttrValue::Time(duration));
+    GeneratorSpec spec;
+    spec.duration = duration;
+    switch (medium) {
+      case MediaType::kAudio:
+        spec.generator = "tone";
+        spec.params = StrFormat("rate=8000,hz=%d", static_cast<int>(rng_.NextInRange(100, 999)));
+        spec.approx_bytes = static_cast<std::size_t>(duration.ToUnits(8000)) * 2;
+        descriptor.mutable_attrs().Set(std::string(kDescRate), AttrValue::Number(8000));
+        break;
+      case MediaType::kVideo:
+        spec.generator = "flying_bird";
+        spec.params = "width=32,height=24,fps=25";
+        spec.approx_bytes = static_cast<std::size_t>(duration.ToUnits(25)) * 32 * 24 * 3;
+        descriptor.mutable_attrs().Set(std::string(kDescRate), AttrValue::Number(25));
+        descriptor.mutable_attrs().Set(std::string(kDescWidth), AttrValue::Number(32));
+        descriptor.mutable_attrs().Set(std::string(kDescHeight), AttrValue::Number(24));
+        descriptor.mutable_attrs().Set(std::string(kDescColorBits), AttrValue::Number(8));
+        break;
+      case MediaType::kGraphic:
+      case MediaType::kImage:
+        spec.generator = "test_card";
+        spec.params = StrFormat("width=32,height=24,seed=%d", leaves_);
+        spec.approx_bytes = 32 * 24 * 3;
+        descriptor.mutable_attrs().Set(std::string(kDescWidth), AttrValue::Number(32));
+        descriptor.mutable_attrs().Set(std::string(kDescHeight), AttrValue::Number(24));
+        descriptor.mutable_attrs().Set(std::string(kDescColorBits), AttrValue::Number(8));
+        break;
+      case MediaType::kText:
+        spec.generator = "test_card";  // unused; text ext leaves carry text descriptors
+        break;
+    }
+    descriptor.mutable_attrs().Set(std::string(kDescBytes),
+                                   AttrValue::Number(static_cast<std::int64_t>(spec.approx_bytes)));
+    if (medium == MediaType::kText) {
+      DataBlock block =
+          DataBlock::FromText(TextBlock(StrFormat("external text %d", leaves_), {}));
+      descriptor.set_content(std::move(block));
+    } else {
+      descriptor.set_content(std::move(spec));
+    }
+    CMIF_RETURN_IF_ERROR(store.Add(std::move(descriptor)));
+    builder.Ext(name, id).OnChannel(ChannelName(channel)).WithDuration(duration);
+    return Status::Ok();
+  }
+
+  const GenOptions& options_;
+  Rng rng_;
+  int leaves_ = 0;
+  int name_counter_ = 0;
+};
+
+}  // namespace
+
+StatusOr<GenWorkload> GenerateRandomDocument(const GenOptions& options) {
+  return Generator(options).Run();
+}
+
+}  // namespace cmif

@@ -1,0 +1,53 @@
+// Random CMIF workload generation: parameterized documents for property
+// tests and the parameter-sweep benches. Generation is deterministic in the
+// seed, so failures reproduce exactly.
+#ifndef SRC_GEN_DOCGEN_H_
+#define SRC_GEN_DOCGEN_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/ddbms/store.h"
+#include "src/doc/document.h"
+
+namespace cmif {
+
+// Shape parameters for one random document.
+struct GenOptions {
+  // Approximate number of leaf events.
+  int target_leaves = 50;
+  // Maximum composite nesting below the root.
+  int max_depth = 4;
+  // Children per composite node, drawn in [2, max_fanout].
+  int max_fanout = 4;
+  // Number of channels; media cycle through text/audio/video/graphic.
+  int channels = 4;
+  // Probability that a composite node is parallel (else sequential).
+  double par_probability = 0.4;
+  // Expected explicit arcs per composite node. Generated arcs always point
+  // forward in document order.
+  double arcs_per_composite = 0.5;
+  // Fraction of generated arcs that are "may" rather than "must".
+  double may_fraction = 0.5;
+  // When true, arcs get finite max_delay windows, which can over-constrain
+  // the document (for conflict tests/benches); when false, arcs are
+  // lower-bound-only and the document is always feasible.
+  bool tight_windows = false;
+  // Attach a style dictionary and style references.
+  bool with_styles = true;
+  std::uint64_t seed = 1;
+};
+
+// A generated workload: the document plus descriptors for its ext leaves.
+struct GenWorkload {
+  Document document{NodeKind::kSeq};
+  DescriptorStore store;
+};
+
+// Builds one random document. The result always passes ValidateDocument;
+// with tight_windows=false it is also always schedulable.
+StatusOr<GenWorkload> GenerateRandomDocument(const GenOptions& options);
+
+}  // namespace cmif
+
+#endif  // SRC_GEN_DOCGEN_H_

@@ -1,0 +1,212 @@
+#include "src/media/audio.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/base/random.h"
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+AudioBuffer::AudioBuffer(int rate, int channels, std::size_t frames)
+    : rate_(rate), channels_(channels), samples_(frames * channels, 0) {}
+
+MediaTime AudioBuffer::Duration() const {
+  if (rate_ <= 0) {
+    return MediaTime();
+  }
+  return MediaTime::Samples(static_cast<std::int64_t>(frames()), rate_);
+}
+
+StatusOr<AudioBuffer> AudioBuffer::Clip(std::size_t begin, std::size_t length) const {
+  if (begin > frames() || length > frames() - begin) {
+    return OutOfRangeError(StrFormat("clip [%zu,+%zu) outside %zu frames", begin, length,
+                                     frames()));
+  }
+  AudioBuffer out(rate_, channels_, length);
+  std::copy(samples_.begin() + static_cast<std::ptrdiff_t>(begin * channels_),
+            samples_.begin() + static_cast<std::ptrdiff_t>((begin + length) * channels_),
+            out.samples_.begin());
+  return out;
+}
+
+StatusOr<AudioBuffer> AudioBuffer::Resample(int new_rate) const {
+  if (new_rate <= 0) {
+    return InvalidArgumentError("resample rate must be positive");
+  }
+  if (new_rate == rate_ || empty()) {
+    AudioBuffer out = *this;
+    out.rate_ = new_rate;
+    return out;
+  }
+  std::size_t new_frames =
+      static_cast<std::size_t>(static_cast<std::uint64_t>(frames()) * new_rate / rate_);
+  AudioBuffer out(new_rate, channels_, new_frames);
+  for (std::size_t f = 0; f < new_frames; ++f) {
+    std::size_t src = static_cast<std::size_t>(static_cast<std::uint64_t>(f) * rate_ / new_rate);
+    for (int c = 0; c < channels_; ++c) {
+      out.SetSample(f, c, Sample(src, c));
+    }
+  }
+  return out;
+}
+
+AudioBuffer AudioBuffer::ToMono() const {
+  if (channels_ <= 1) {
+    return *this;
+  }
+  AudioBuffer out(rate_, 1, frames());
+  for (std::size_t f = 0; f < frames(); ++f) {
+    int sum = 0;
+    for (int c = 0; c < channels_; ++c) {
+      sum += Sample(f, c);
+    }
+    out.SetSample(f, 0, static_cast<std::int16_t>(sum / channels_));
+  }
+  return out;
+}
+
+double AudioBuffer::RmsLevel() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  double acc = 0;
+  for (std::int16_t s : samples_) {
+    double v = s / 32768.0;
+    acc += v * v;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+namespace {
+
+void PutU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void PutU16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+std::uint32_t GetU32(const std::string& bytes, std::size_t pos) {
+  return static_cast<std::uint8_t>(bytes[pos]) |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[pos + 1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[pos + 2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[pos + 3])) << 24;
+}
+
+std::uint16_t GetU16(const std::string& bytes, std::size_t pos) {
+  return static_cast<std::uint16_t>(static_cast<std::uint8_t>(bytes[pos]) |
+                                    static_cast<std::uint8_t>(bytes[pos + 1]) << 8);
+}
+
+}  // namespace
+
+std::string EncodeWav(const AudioBuffer& audio) {
+  std::uint32_t data_bytes = static_cast<std::uint32_t>(audio.byte_size());
+  std::string out;
+  out.reserve(44 + data_bytes);
+  out += "RIFF";
+  PutU32(out, 36 + data_bytes);
+  out += "WAVEfmt ";
+  PutU32(out, 16);
+  PutU16(out, 1);  // PCM
+  PutU16(out, static_cast<std::uint16_t>(audio.channels()));
+  PutU32(out, static_cast<std::uint32_t>(audio.rate()));
+  std::uint32_t byte_rate = static_cast<std::uint32_t>(audio.rate()) * audio.channels() * 2;
+  PutU32(out, byte_rate);
+  PutU16(out, static_cast<std::uint16_t>(audio.channels() * 2));  // block align
+  PutU16(out, 16);                                                // bits per sample
+  out += "data";
+  PutU32(out, data_bytes);
+  for (std::int16_t s : audio.samples()) {
+    PutU16(out, static_cast<std::uint16_t>(s));
+  }
+  return out;
+}
+
+StatusOr<AudioBuffer> DecodeWav(const std::string& bytes) {
+  if (bytes.size() < 44 || bytes.compare(0, 4, "RIFF") != 0 ||
+      bytes.compare(8, 4, "WAVE") != 0) {
+    return DataLossError("not a RIFF/WAVE file");
+  }
+  std::size_t pos = 12;
+  int channels = 0;
+  int rate = 0;
+  int bits = 0;
+  std::size_t data_pos = 0;
+  std::size_t data_len = 0;
+  while (pos + 8 <= bytes.size()) {
+    std::string id = bytes.substr(pos, 4);
+    std::uint32_t len = GetU32(bytes, pos + 4);
+    pos += 8;
+    if (pos + len > bytes.size()) {
+      return DataLossError("truncated WAV chunk '" + id + "'");
+    }
+    if (id == "fmt ") {
+      if (len < 16) {
+        return DataLossError("short fmt chunk");
+      }
+      if (GetU16(bytes, pos) != 1) {
+        return DataLossError("only PCM WAV is supported");
+      }
+      channels = GetU16(bytes, pos + 2);
+      rate = static_cast<int>(GetU32(bytes, pos + 4));
+      bits = GetU16(bytes, pos + 14);
+    } else if (id == "data") {
+      data_pos = pos;
+      data_len = len;
+    }
+    pos += len + (len & 1);  // chunks are word-aligned
+  }
+  if (rate <= 0 || channels <= 0 || channels > 2 || bits != 16) {
+    return DataLossError("unsupported WAV format (need PCM16, 1-2 channels)");
+  }
+  if (data_pos == 0) {
+    return DataLossError("WAV has no data chunk");
+  }
+  std::size_t total_samples = data_len / 2;
+  AudioBuffer out(rate, channels, total_samples / static_cast<std::size_t>(channels));
+  for (std::size_t i = 0; i < total_samples; ++i) {
+    std::int16_t s = static_cast<std::int16_t>(GetU16(bytes, data_pos + i * 2));
+    out.SetSample(i / static_cast<std::size_t>(channels),
+                  static_cast<int>(i % static_cast<std::size_t>(channels)), s);
+  }
+  return out;
+}
+
+AudioBuffer MakeTone(int rate, MediaTime duration, double hz, double amplitude) {
+  std::size_t frames = static_cast<std::size_t>(std::max<std::int64_t>(duration.ToUnits(rate), 0));
+  AudioBuffer out(rate, 1, frames);
+  amplitude = std::clamp(amplitude, 0.0, 1.0);
+  for (std::size_t f = 0; f < frames; ++f) {
+    double t = static_cast<double>(f) / rate;
+    double v = std::sin(2 * 3.14159265358979 * hz * t) * amplitude;
+    out.SetSample(f, 0, static_cast<std::int16_t>(v * 32767));
+  }
+  return out;
+}
+
+AudioBuffer MakeSpeechLike(int rate, MediaTime duration, std::uint64_t seed) {
+  std::size_t frames = static_cast<std::size_t>(std::max<std::int64_t>(duration.ToUnits(rate), 0));
+  AudioBuffer out(rate, 1, frames);
+  Rng rng(seed);
+  double lp = 0;           // one-pole low-pass state (band-limits the noise)
+  double syllable_hz = 3;  // ~3 syllables per second
+  for (std::size_t f = 0; f < frames; ++f) {
+    double t = static_cast<double>(f) / rate;
+    double noise = rng.NextDouble() * 2 - 1;
+    lp += 0.12 * (noise - lp);
+    double envelope = 0.55 + 0.45 * std::sin(2 * 3.14159265358979 * syllable_hz * t);
+    double v = lp * envelope * 0.8;
+    out.SetSample(f, 0, static_cast<std::int16_t>(std::clamp(v, -1.0, 1.0) * 32767));
+  }
+  return out;
+}
+
+}  // namespace cmif

@@ -1,0 +1,75 @@
+// PCM audio: the payload of audio data blocks. Mono/stereo signed 16-bit with
+// a WAV (RIFF) codec, the Clip attribute's "part of a sound fragment"
+// operation, and the constraint filter's sample-rate reduction.
+#ifndef SRC_MEDIA_AUDIO_H_
+#define SRC_MEDIA_AUDIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/media_time.h"
+#include "src/base/status.h"
+
+namespace cmif {
+
+// Interleaved signed 16-bit PCM. Value-semantic.
+class AudioBuffer {
+ public:
+  AudioBuffer() = default;
+  // Silence of `frames` sample-frames. rate > 0, channels in {1, 2}.
+  AudioBuffer(int rate, int channels, std::size_t frames);
+
+  int rate() const { return rate_; }
+  int channels() const { return channels_; }
+  // Sample-frames (samples per channel).
+  std::size_t frames() const { return channels_ == 0 ? 0 : samples_.size() / channels_; }
+  std::size_t byte_size() const { return samples_.size() * sizeof(std::int16_t); }
+  bool empty() const { return samples_.empty(); }
+
+  // Exact duration: frames / rate seconds.
+  MediaTime Duration() const;
+
+  std::int16_t Sample(std::size_t frame, int channel) const {
+    return samples_[frame * channels_ + channel];
+  }
+  void SetSample(std::size_t frame, int channel, std::int16_t v) {
+    samples_[frame * channels_ + channel] = v;
+  }
+  const std::vector<std::int16_t>& samples() const { return samples_; }
+
+  // The Clip attribute: frames [begin, begin + length). Out-of-range is an
+  // error surfaced as a document conflict.
+  StatusOr<AudioBuffer> Clip(std::size_t begin, std::size_t length) const;
+
+  // Constraint filter: naive decimation/zero-order-hold resample to new_rate.
+  StatusOr<AudioBuffer> Resample(int new_rate) const;
+  // Constraint filter: stereo -> mono mixdown (no-op on mono).
+  AudioBuffer ToMono() const;
+
+  // RMS level in [0, 1], for tests and capability decisions.
+  double RmsLevel() const;
+
+  bool operator==(const AudioBuffer& other) const = default;
+
+ private:
+  int rate_ = 0;
+  int channels_ = 0;
+  std::vector<std::int16_t> samples_;
+};
+
+// RIFF/WAVE PCM16 encoding.
+std::string EncodeWav(const AudioBuffer& audio);
+// Parses PCM16 RIFF/WAVE; errors are kDataLoss.
+StatusOr<AudioBuffer> DecodeWav(const std::string& bytes);
+
+// Synthetic sources (stand-ins for the paper's audio capture tools).
+// A sine tone of `duration`, `hz` hertz at `amplitude` in [0,1].
+AudioBuffer MakeTone(int rate, MediaTime duration, double hz, double amplitude);
+// Speech-like babble: band-limited noise with a syllabic envelope. The
+// announcer's voice in the Evening News workload.
+AudioBuffer MakeSpeechLike(int rate, MediaTime duration, std::uint64_t seed);
+
+}  // namespace cmif
+
+#endif  // SRC_MEDIA_AUDIO_H_

@@ -1,0 +1,194 @@
+#include "src/media/data_block.h"
+
+#include <cstdlib>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+DataBlock DataBlock::FromText(TextBlock text) {
+  DataBlock b;
+  b.medium_ = MediaType::kText;
+  b.payload_ = std::move(text);
+  return b;
+}
+
+DataBlock DataBlock::FromAudio(AudioBuffer audio) {
+  DataBlock b;
+  b.medium_ = MediaType::kAudio;
+  b.payload_ = std::move(audio);
+  return b;
+}
+
+DataBlock DataBlock::FromVideo(VideoSegment video) {
+  DataBlock b;
+  b.medium_ = MediaType::kVideo;
+  b.payload_ = std::move(video);
+  return b;
+}
+
+DataBlock DataBlock::FromImage(Raster image, MediaType medium) {
+  DataBlock b;
+  b.medium_ = medium == MediaType::kGraphic ? MediaType::kGraphic : MediaType::kImage;
+  b.payload_ = std::move(image);
+  return b;
+}
+
+DataBlock DataBlock::FromGenerator(MediaType medium, GeneratorSpec spec) {
+  DataBlock b;
+  b.medium_ = medium;
+  b.payload_ = std::move(spec);
+  return b;
+}
+
+StatusOr<TextBlock> DataBlock::AsText() const {
+  if (const auto* t = std::get_if<TextBlock>(&payload_)) {
+    return *t;
+  }
+  return FailedPreconditionError("data block is not text");
+}
+
+StatusOr<AudioBuffer> DataBlock::AsAudio() const {
+  if (const auto* a = std::get_if<AudioBuffer>(&payload_)) {
+    return *a;
+  }
+  return FailedPreconditionError("data block is not audio");
+}
+
+StatusOr<VideoSegment> DataBlock::AsVideo() const {
+  if (const auto* v = std::get_if<VideoSegment>(&payload_)) {
+    return *v;
+  }
+  return FailedPreconditionError("data block is not video");
+}
+
+StatusOr<Raster> DataBlock::AsImage() const {
+  if (const auto* r = std::get_if<Raster>(&payload_)) {
+    return *r;
+  }
+  return FailedPreconditionError("data block is not an image");
+}
+
+MediaTime DataBlock::IntrinsicDuration() const {
+  if (const auto* t = std::get_if<TextBlock>(&payload_)) {
+    return t->ReadingDuration();
+  }
+  if (const auto* a = std::get_if<AudioBuffer>(&payload_)) {
+    return a->Duration();
+  }
+  if (const auto* v = std::get_if<VideoSegment>(&payload_)) {
+    return v->Duration();
+  }
+  if (const auto* g = std::get_if<GeneratorSpec>(&payload_)) {
+    return g->duration;
+  }
+  return MediaTime();  // stills have no intrinsic length
+}
+
+std::size_t DataBlock::ByteSize() const {
+  if (const auto* t = std::get_if<TextBlock>(&payload_)) {
+    return t->byte_size();
+  }
+  if (const auto* a = std::get_if<AudioBuffer>(&payload_)) {
+    return a->byte_size();
+  }
+  if (const auto* v = std::get_if<VideoSegment>(&payload_)) {
+    return v->byte_size();
+  }
+  if (const auto* r = std::get_if<Raster>(&payload_)) {
+    return r->byte_size();
+  }
+  if (const auto* g = std::get_if<GeneratorSpec>(&payload_)) {
+    return g->approx_bytes;
+  }
+  return 0;
+}
+
+namespace {
+
+// Parses "key=value,key=value" generator parameter strings.
+std::int64_t ParamInt(const std::string& params, std::string_view key, std::int64_t fallback) {
+  for (const std::string& pair : SplitString(params, ',')) {
+    std::vector<std::string> kv = SplitString(pair, '=');
+    if (kv.size() == 2 && TrimString(kv[0]) == key) {
+      return std::strtoll(std::string(TrimString(kv[1])).c_str(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+double ParamDouble(const std::string& params, std::string_view key, double fallback) {
+  for (const std::string& pair : SplitString(params, ',')) {
+    std::vector<std::string> kv = SplitString(pair, '=');
+    if (kv.size() == 2 && TrimString(kv[0]) == key) {
+      return std::strtod(std::string(TrimString(kv[1])).c_str(), nullptr);
+    }
+  }
+  return fallback;
+}
+
+void RegisterBuiltins(GeneratorRegistry& registry) {
+  (void)registry.Register("flying_bird", [](const GeneratorSpec& spec) -> StatusOr<DataBlock> {
+    int w = static_cast<int>(ParamInt(spec.params, "width", 64));
+    int h = static_cast<int>(ParamInt(spec.params, "height", 48));
+    int fps = static_cast<int>(ParamInt(spec.params, "fps", 25));
+    return DataBlock::FromVideo(MakeFlyingBirdSegment(w, h, fps, spec.duration));
+  });
+  (void)registry.Register("talking_head", [](const GeneratorSpec& spec) -> StatusOr<DataBlock> {
+    int w = static_cast<int>(ParamInt(spec.params, "width", 64));
+    int h = static_cast<int>(ParamInt(spec.params, "height", 48));
+    int fps = static_cast<int>(ParamInt(spec.params, "fps", 25));
+    std::uint64_t seed = static_cast<std::uint64_t>(ParamInt(spec.params, "seed", 1));
+    return DataBlock::FromVideo(MakeTalkingHeadSegment(w, h, fps, spec.duration, seed));
+  });
+  (void)registry.Register("test_card", [](const GeneratorSpec& spec) -> StatusOr<DataBlock> {
+    int w = static_cast<int>(ParamInt(spec.params, "width", 64));
+    int h = static_cast<int>(ParamInt(spec.params, "height", 48));
+    std::uint32_t seed = static_cast<std::uint32_t>(ParamInt(spec.params, "seed", 1));
+    return DataBlock::FromImage(MakeTestCard(w, h, seed), MediaType::kGraphic);
+  });
+  (void)registry.Register("tone", [](const GeneratorSpec& spec) -> StatusOr<DataBlock> {
+    int rate = static_cast<int>(ParamInt(spec.params, "rate", 8000));
+    double hz = ParamDouble(spec.params, "hz", 440);
+    double amp = ParamDouble(spec.params, "amplitude", 0.5);
+    return DataBlock::FromAudio(MakeTone(rate, spec.duration, hz, amp));
+  });
+  (void)registry.Register("speech", [](const GeneratorSpec& spec) -> StatusOr<DataBlock> {
+    int rate = static_cast<int>(ParamInt(spec.params, "rate", 8000));
+    std::uint64_t seed = static_cast<std::uint64_t>(ParamInt(spec.params, "seed", 1));
+    return DataBlock::FromAudio(MakeSpeechLike(rate, spec.duration, seed));
+  });
+}
+
+}  // namespace
+
+GeneratorRegistry& GeneratorRegistry::Global() {
+  static GeneratorRegistry* const kGlobal = [] {
+    auto* r = new GeneratorRegistry();
+    RegisterBuiltins(*r);
+    return r;
+  }();
+  return *kGlobal;
+}
+
+Status GeneratorRegistry::Register(std::string name, GeneratorFn fn) {
+  for (const auto& [existing, unused] : generators_) {
+    (void)unused;
+    if (existing == name) {
+      return AlreadyExistsError("generator '" + name + "' already registered");
+    }
+  }
+  generators_.emplace_back(std::move(name), std::move(fn));
+  return Status::Ok();
+}
+
+StatusOr<DataBlock> GeneratorRegistry::Run(const GeneratorSpec& spec) const {
+  for (const auto& [name, fn] : generators_) {
+    if (name == spec.generator) {
+      return fn(spec);
+    }
+  }
+  return NotFoundError("generator '" + spec.generator + "' not registered");
+}
+
+}  // namespace cmif

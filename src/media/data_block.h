@@ -1,0 +1,104 @@
+// Data blocks: "the basic atomic element of single-media data" (section 3.1).
+// "Examples may be sound clips, video segments, text blocks, graphics images
+// ... They may also be programs that produce information of a particular
+// type." The fundamental property is atomicity: a block is never further
+// decomposed or sub-scheduled by CMIF.
+#ifndef SRC_MEDIA_DATA_BLOCK_H_
+#define SRC_MEDIA_DATA_BLOCK_H_
+
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "src/base/media_time.h"
+#include "src/base/status.h"
+#include "src/media/audio.h"
+#include "src/media/media_type.h"
+#include "src/media/raster.h"
+#include "src/media/text.h"
+#include "src/media/video.h"
+
+namespace cmif {
+
+class DataBlock;
+
+// A "program that produces information of a particular type": the generator
+// is invoked to materialize the block's payload on demand (e.g. a graphics
+// program rendering a 3-D image, per the paper's example).
+struct GeneratorSpec {
+  // Registered generator name, e.g. "flying_bird".
+  std::string generator;
+  // Free-form parameter string interpreted by the generator.
+  std::string params;
+  // Declared duration and approximate size, available without running it.
+  MediaTime duration;
+  std::size_t approx_bytes = 0;
+  bool operator==(const GeneratorSpec& other) const = default;
+};
+
+// An atomic single-media payload.
+class DataBlock {
+ public:
+  DataBlock() = default;
+
+  static DataBlock FromText(TextBlock text);
+  static DataBlock FromAudio(AudioBuffer audio);
+  static DataBlock FromVideo(VideoSegment video);
+  // `medium` distinguishes kImage from kGraphic (both raster payloads).
+  static DataBlock FromImage(Raster image, MediaType medium = MediaType::kImage);
+  static DataBlock FromGenerator(MediaType medium, GeneratorSpec spec);
+
+  MediaType medium() const { return medium_; }
+  bool is_generator() const { return std::holds_alternative<GeneratorSpec>(payload_); }
+
+  // Payload accessors; the caller must have checked the medium (or use the
+  // typed Status variants below).
+  const TextBlock& text() const { return std::get<TextBlock>(payload_); }
+  const AudioBuffer& audio() const { return std::get<AudioBuffer>(payload_); }
+  const VideoSegment& video() const { return std::get<VideoSegment>(payload_); }
+  const Raster& image() const { return std::get<Raster>(payload_); }
+  const GeneratorSpec& generator() const { return std::get<GeneratorSpec>(payload_); }
+
+  StatusOr<TextBlock> AsText() const;
+  StatusOr<AudioBuffer> AsAudio() const;
+  StatusOr<VideoSegment> AsVideo() const;
+  StatusOr<Raster> AsImage() const;
+
+  // Intrinsic presentation length: exact for audio/video, reading time for
+  // text, zero for stills (their event supplies the duration), declared for
+  // generators.
+  MediaTime IntrinsicDuration() const;
+
+  // Approximate in-memory payload size; the "often massive amounts of
+  // media-based data" the attribute layer lets tools avoid touching.
+  std::size_t ByteSize() const;
+
+  bool operator==(const DataBlock& other) const = default;
+
+ private:
+  MediaType medium_ = MediaType::kText;
+  std::variant<TextBlock, AudioBuffer, VideoSegment, Raster, GeneratorSpec> payload_;
+};
+
+// Registry of named generator programs. Thread-compatible (register at
+// startup, run from anywhere afterwards).
+class GeneratorRegistry {
+ public:
+  using GeneratorFn = std::function<StatusOr<DataBlock>(const GeneratorSpec&)>;
+
+  // The process-wide registry, pre-populated with the built-in synthetic
+  // generators ("flying_bird", "talking_head", "test_card", "tone",
+  // "speech"). Parameter string format: "key=value,key=value".
+  static GeneratorRegistry& Global();
+
+  Status Register(std::string name, GeneratorFn fn);
+  // Materializes a generator block's payload. NotFound for unknown names.
+  StatusOr<DataBlock> Run(const GeneratorSpec& spec) const;
+
+ private:
+  std::vector<std::pair<std::string, GeneratorFn>> generators_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_MEDIA_DATA_BLOCK_H_

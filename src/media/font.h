@@ -1,0 +1,29 @@
+// A built-in 5x7 bitmap font so the virtual display can render caption and
+// label text without any external font files. Uppercase-only glyph set
+// (lowercase input is folded); unknown characters render as a hollow box.
+#ifndef SRC_MEDIA_FONT_H_
+#define SRC_MEDIA_FONT_H_
+
+#include <string_view>
+
+#include "src/media/raster.h"
+
+namespace cmif {
+
+inline constexpr int kGlyphWidth = 5;
+inline constexpr int kGlyphHeight = 7;
+// One blank column between glyphs.
+inline constexpr int kGlyphAdvance = kGlyphWidth + 1;
+
+// Width in pixels of `text` at `scale`.
+int TextWidth(std::string_view text, int scale = 1);
+// Height in pixels of one line at `scale`.
+int TextHeight(int scale = 1);
+
+// Draws one line of text with its top-left corner at (x, y), clipped to the
+// target. scale >= 1 integer-scales each glyph pixel.
+void DrawText(Raster& target, int x, int y, std::string_view text, Pixel color, int scale = 1);
+
+}  // namespace cmif
+
+#endif  // SRC_MEDIA_FONT_H_

@@ -1,0 +1,90 @@
+#include "src/media/media_type.h"
+
+namespace cmif {
+
+std::string_view MediaTypeName(MediaType type) {
+  switch (type) {
+    case MediaType::kText:
+      return "text";
+    case MediaType::kAudio:
+      return "audio";
+    case MediaType::kVideo:
+      return "video";
+    case MediaType::kImage:
+      return "image";
+    case MediaType::kGraphic:
+      return "graphic";
+  }
+  return "?";
+}
+
+StatusOr<MediaType> ParseMediaType(std::string_view name) {
+  if (name == "text") {
+    return MediaType::kText;
+  }
+  if (name == "audio") {
+    return MediaType::kAudio;
+  }
+  if (name == "video") {
+    return MediaType::kVideo;
+  }
+  if (name == "image") {
+    return MediaType::kImage;
+  }
+  if (name == "graphic") {
+    return MediaType::kGraphic;
+  }
+  return InvalidArgumentError("unknown media type '" + std::string(name) + "'");
+}
+
+std::string_view MediaUnitName(MediaUnit unit) {
+  switch (unit) {
+    case MediaUnit::kSeconds:
+      return "seconds";
+    case MediaUnit::kFrames:
+      return "frames";
+    case MediaUnit::kSamples:
+      return "samples";
+    case MediaUnit::kBytes:
+      return "bytes";
+    case MediaUnit::kCharacters:
+      return "characters";
+  }
+  return "?";
+}
+
+StatusOr<MediaUnit> ParseMediaUnit(std::string_view name) {
+  if (name == "seconds") {
+    return MediaUnit::kSeconds;
+  }
+  if (name == "frames") {
+    return MediaUnit::kFrames;
+  }
+  if (name == "samples") {
+    return MediaUnit::kSamples;
+  }
+  if (name == "bytes") {
+    return MediaUnit::kBytes;
+  }
+  if (name == "characters") {
+    return MediaUnit::kCharacters;
+  }
+  return InvalidArgumentError("unknown media unit '" + std::string(name) + "'");
+}
+
+MediaUnit DefaultUnitFor(MediaType type) {
+  switch (type) {
+    case MediaType::kText:
+      return MediaUnit::kCharacters;
+    case MediaType::kAudio:
+      return MediaUnit::kSamples;
+    case MediaType::kVideo:
+      return MediaUnit::kFrames;
+    case MediaType::kImage:
+    case MediaType::kGraphic:
+      return MediaUnit::kSeconds;
+  }
+  return MediaUnit::kSeconds;
+}
+
+}  // namespace cmif

@@ -1,0 +1,48 @@
+// Media taxonomy. The paper's example channels carry video, audio, graphic
+// (still image), caption text and label text; channels declare exactly one
+// medium ("each channel definition defines the medium used by that channel",
+// Figure 7).
+#ifndef SRC_MEDIA_MEDIA_TYPE_H_
+#define SRC_MEDIA_MEDIA_TYPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+
+namespace cmif {
+
+// The media a data block / channel can carry.
+enum class MediaType {
+  kText = 0,   // formatted text (captions, labels)
+  kAudio,      // PCM sound
+  kVideo,      // frame sequences
+  kImage,      // still raster graphics
+  kGraphic,    // structured graphics (rendered to rasters in this library)
+};
+
+// Canonical lowercase name, e.g. "audio".
+std::string_view MediaTypeName(MediaType type);
+
+// Parse a canonical name; error on unknown names.
+StatusOr<MediaType> ParseMediaType(std::string_view name);
+
+// The natural unit in which offsets on this medium are expressed
+// (section 5.3.2: "seconds, frames, bytes, etc.").
+enum class MediaUnit {
+  kSeconds = 0,
+  kFrames,
+  kSamples,
+  kBytes,
+  kCharacters,
+};
+
+std::string_view MediaUnitName(MediaUnit unit);
+StatusOr<MediaUnit> ParseMediaUnit(std::string_view name);
+
+// The default unit used by each medium.
+MediaUnit DefaultUnitFor(MediaType type);
+
+}  // namespace cmif
+
+#endif  // SRC_MEDIA_MEDIA_TYPE_H_

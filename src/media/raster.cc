@@ -1,0 +1,236 @@
+#include "src/media/raster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/random.h"
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+Raster::Raster(int width, int height, Pixel fill)
+    : width_(std::max(width, 0)),
+      height_(std::max(height, 0)),
+      pixels_(static_cast<std::size_t>(width_) * height_, fill) {}
+
+void Raster::FillRect(int x, int y, int w, int h, Pixel p) {
+  int x0 = std::clamp(x, 0, width_);
+  int y0 = std::clamp(y, 0, height_);
+  int x1 = std::clamp(x + w, 0, width_);
+  int y1 = std::clamp(y + h, 0, height_);
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) {
+      Put(xx, yy, p);
+    }
+  }
+}
+
+StatusOr<Raster> Raster::Crop(int x, int y, int w, int h) const {
+  if (w <= 0 || h <= 0) {
+    return InvalidArgumentError(StrFormat("crop size %dx%d must be positive", w, h));
+  }
+  if (x < 0 || y < 0 || x + w > width_ || y + h > height_) {
+    return OutOfRangeError(StrFormat("crop (%d,%d %dx%d) outside image %dx%d", x, y, w, h,
+                                     width_, height_));
+  }
+  Raster out(w, h);
+  for (int yy = 0; yy < h; ++yy) {
+    for (int xx = 0; xx < w; ++xx) {
+      out.Put(xx, yy, At(x + xx, y + yy));
+    }
+  }
+  return out;
+}
+
+Raster Raster::QuantizeColor(int bits) const {
+  bits = std::clamp(bits, 1, 8);
+  int shift = 8 - bits;
+  // Requantize and rescale so white stays white.
+  auto q = [shift, bits](std::uint8_t v) -> std::uint8_t {
+    int level = v >> shift;
+    int max_level = (1 << bits) - 1;
+    return static_cast<std::uint8_t>(max_level == 0 ? 0 : level * 255 / max_level);
+  };
+  Raster out = *this;
+  for (Pixel& p : out.pixels_) {
+    p = Pixel{q(p.r), q(p.g), q(p.b)};
+  }
+  return out;
+}
+
+Raster Raster::ToMonochrome() const {
+  Raster out = *this;
+  for (Pixel& p : out.pixels_) {
+    // BT.601 integer luma.
+    std::uint8_t y = static_cast<std::uint8_t>((77 * p.r + 150 * p.g + 29 * p.b) >> 8);
+    p = Pixel{y, y, y};
+  }
+  return out;
+}
+
+StatusOr<Raster> Raster::Downscale(int new_width, int new_height) const {
+  if (new_width <= 0 || new_height <= 0) {
+    return InvalidArgumentError("downscale target must be positive");
+  }
+  if (new_width > width_ || new_height > height_) {
+    return InvalidArgumentError(StrFormat("downscale target %dx%d exceeds source %dx%d",
+                                          new_width, new_height, width_, height_));
+  }
+  Raster out(new_width, new_height);
+  for (int y = 0; y < new_height; ++y) {
+    int sy0 = y * height_ / new_height;
+    int sy1 = std::max((y + 1) * height_ / new_height, sy0 + 1);
+    for (int x = 0; x < new_width; ++x) {
+      int sx0 = x * width_ / new_width;
+      int sx1 = std::max((x + 1) * width_ / new_width, sx0 + 1);
+      long r = 0;
+      long g = 0;
+      long b = 0;
+      long n = 0;
+      for (int sy = sy0; sy < sy1; ++sy) {
+        for (int sx = sx0; sx < sx1; ++sx) {
+          Pixel p = At(sx, sy);
+          r += p.r;
+          g += p.g;
+          b += p.b;
+          ++n;
+        }
+      }
+      out.Put(x, y,
+              Pixel{static_cast<std::uint8_t>(r / n), static_cast<std::uint8_t>(g / n),
+                    static_cast<std::uint8_t>(b / n)});
+    }
+  }
+  return out;
+}
+
+Raster Raster::UpscaleNearest(int factor) const {
+  if (factor <= 1 || empty()) {
+    return *this;
+  }
+  Raster out(width_ * factor, height_ * factor);
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      out.Put(x, y, At(x / factor, y / factor));
+    }
+  }
+  return out;
+}
+
+std::string EncodePpm(const Raster& image) {
+  std::string out = StrFormat("P6\n%d %d\n255\n", image.width(), image.height());
+  out.reserve(out.size() + image.byte_size());
+  for (const Pixel& p : image.pixels()) {
+    out.push_back(static_cast<char>(p.r));
+    out.push_back(static_cast<char>(p.g));
+    out.push_back(static_cast<char>(p.b));
+  }
+  return out;
+}
+
+namespace {
+
+// Reads the next whitespace-delimited token, skipping '#' comments.
+bool NextPpmToken(const std::string& bytes, std::size_t& pos, std::string& token) {
+  while (pos < bytes.size()) {
+    char c = bytes[pos];
+    if (c == '#') {
+      while (pos < bytes.size() && bytes[pos] != '\n') {
+        ++pos;
+      }
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else {
+      break;
+    }
+  }
+  std::size_t start = pos;
+  while (pos < bytes.size() && !std::isspace(static_cast<unsigned char>(bytes[pos]))) {
+    ++pos;
+  }
+  token = bytes.substr(start, pos - start);
+  return !token.empty();
+}
+
+}  // namespace
+
+StatusOr<Raster> DecodePpm(const std::string& bytes) {
+  std::size_t pos = 0;
+  std::string token;
+  if (!NextPpmToken(bytes, pos, token) || token != "P6") {
+    return DataLossError("not a binary PPM (missing P6 magic)");
+  }
+  int fields[3];
+  for (int& field : fields) {
+    if (!NextPpmToken(bytes, pos, token)) {
+      return DataLossError("truncated PPM header");
+    }
+    char* end = nullptr;
+    long v = std::strtol(token.c_str(), &end, 10);
+    if (*end != '\0' || v < 0 || v > 1 << 20) {
+      return DataLossError("bad PPM header field '" + token + "'");
+    }
+    field = static_cast<int>(v);
+  }
+  if (fields[2] != 255) {
+    return DataLossError("only maxval 255 PPMs are supported");
+  }
+  ++pos;  // the single whitespace after maxval
+  std::size_t need = static_cast<std::size_t>(fields[0]) * fields[1] * 3;
+  if (bytes.size() - pos < need) {
+    return DataLossError("truncated PPM pixel data");
+  }
+  Raster out(fields[0], fields[1]);
+  for (int y = 0; y < fields[1]; ++y) {
+    for (int x = 0; x < fields[0]; ++x) {
+      Pixel p{static_cast<std::uint8_t>(bytes[pos]), static_cast<std::uint8_t>(bytes[pos + 1]),
+              static_cast<std::uint8_t>(bytes[pos + 2])};
+      pos += 3;
+      out.Put(x, y, p);
+    }
+  }
+  return out;
+}
+
+std::string EncodePgm(const Raster& image) {
+  std::string out = StrFormat("P5\n%d %d\n255\n", image.width(), image.height());
+  for (const Pixel& p : image.pixels()) {
+    out.push_back(static_cast<char>((77 * p.r + 150 * p.g + 29 * p.b) >> 8));
+  }
+  return out;
+}
+
+Raster MakeTestCard(int width, int height, std::uint32_t seed) {
+  static constexpr Pixel kBars[] = {
+      {255, 255, 255}, {255, 255, 0}, {0, 255, 255}, {0, 255, 0},
+      {255, 0, 255},   {255, 0, 0},   {0, 0, 255},   {16, 16, 16},
+  };
+  Raster out(width, height);
+  Rng rng(seed);
+  int rotate = static_cast<int>(rng.NextBelow(8));
+  for (int x = 0; x < width; ++x) {
+    int bar = (x * 8 / std::max(width, 1) + rotate) % 8;
+    for (int y = 0; y < height; ++y) {
+      out.Put(x, y, kBars[bar]);
+    }
+  }
+  // A seed-dependent marker block so different cards differ beyond rotation.
+  int mx = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(std::max(width / 2, 1))));
+  int my = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(std::max(height / 2, 1))));
+  out.FillRect(mx, my, std::max(width / 8, 1), std::max(height / 8, 1), Pixel{0, 0, 0});
+  return out;
+}
+
+Raster MakeFlyingBirdFrame(int width, int height, double phase) {
+  Raster out(width, height, Pixel{40, 80, 160});  // sky
+  phase -= std::floor(phase);
+  int bw = std::max(width / 8, 2);
+  int bh = std::max(height / 8, 2);
+  int x = static_cast<int>(phase * (width - bw));
+  int wob = static_cast<int>(std::sin(phase * 2 * 3.14159265358979) * height / 8);
+  int y = height / 2 - bh / 2 + wob;
+  out.FillRect(x, y, bw, bh, Pixel{230, 230, 230});  // the bird
+  return out;
+}
+
+}  // namespace cmif

@@ -1,0 +1,84 @@
+// Raster images: the atomic payload of image/graphic data blocks and the
+// frames of video segments. Self-contained RGB8 buffer with PPM/PGM codecs
+// and the constraint-filter operations the paper's pipeline performs
+// ("24-bit color to 8-bit color, color to monochrome, high-resolution to low
+// resolution", section 2), plus the Crop attribute's subimage operation.
+#ifndef SRC_MEDIA_RASTER_H_
+#define SRC_MEDIA_RASTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace cmif {
+
+// One RGB8 pixel.
+struct Pixel {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+  bool operator==(const Pixel& other) const = default;
+};
+
+// A width x height RGB8 image, row-major. Value-semantic.
+class Raster {
+ public:
+  Raster() = default;
+  // Solid-filled image. width/height must be >= 0.
+  Raster(int width, int height, Pixel fill = Pixel{});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+  std::size_t byte_size() const { return pixels_.size() * sizeof(Pixel); }
+
+  // Unchecked pixel access; (x, y) must be in range.
+  Pixel At(int x, int y) const { return pixels_[static_cast<std::size_t>(y) * width_ + x]; }
+  void Put(int x, int y, Pixel p) { pixels_[static_cast<std::size_t>(y) * width_ + x] = p; }
+
+  const std::vector<Pixel>& pixels() const { return pixels_; }
+
+  // Fills the axis-aligned rectangle clamped to the image bounds.
+  void FillRect(int x, int y, int w, int h, Pixel p);
+
+  // The Crop attribute: the subimage at (x, y) sized w x h. Out-of-bounds
+  // rectangles are errors (the validator reports them as conflicts).
+  StatusOr<Raster> Crop(int x, int y, int w, int h) const;
+
+  // Constraint filters.
+  // Quantizes each channel to `bits` (1..8) significant bits.
+  Raster QuantizeColor(int bits) const;
+  // Luma-only version of the image (color -> monochrome filter).
+  Raster ToMonochrome() const;
+  // Box-filter downscale to new_width x new_height (both >= 1 and <= current).
+  StatusOr<Raster> Downscale(int new_width, int new_height) const;
+  // Nearest-neighbor integer upscale by `factor` (>= 1).
+  Raster UpscaleNearest(int factor) const;
+
+  bool operator==(const Raster& other) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Pixel> pixels_;
+};
+
+// Binary PPM (P6) encoding of the image.
+std::string EncodePpm(const Raster& image);
+// Parses a binary PPM (P6); errors are kDataLoss.
+StatusOr<Raster> DecodePpm(const std::string& bytes);
+// Binary PGM (P5) of the luma channel.
+std::string EncodePgm(const Raster& image);
+
+// Synthetic sources (stand-ins for the paper's media capture tools).
+// A labeled color-bar test card.
+Raster MakeTestCard(int width, int height, std::uint32_t seed);
+// A flat background with a contrasting moving box at `phase` in [0,1) — the
+// "flying bird" of the paper's introduction, one frame of it.
+Raster MakeFlyingBirdFrame(int width, int height, double phase);
+
+}  // namespace cmif
+
+#endif  // SRC_MEDIA_RASTER_H_

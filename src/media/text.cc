@@ -1,0 +1,55 @@
+#include "src/media/text.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cmif {
+
+MediaTime TextBlock::ReadingDuration(int chars_per_second) const {
+  if (chars_per_second <= 0) {
+    chars_per_second = 15;
+  }
+  MediaTime t = MediaTime::Rational(static_cast<std::int64_t>(text_.size()), chars_per_second);
+  MediaTime floor = MediaTime::Seconds(1);
+  return t < floor ? floor : t;
+}
+
+std::vector<std::string> TextBlock::WrapLines(int columns) const {
+  std::vector<std::string> lines;
+  int indent = std::max(formatting_.indent, 0);
+  int usable = std::max(columns - indent, 1);
+  std::string pad(static_cast<std::size_t>(indent), ' ');
+
+  std::istringstream words(text_);
+  std::string word;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      lines.push_back(pad + current);
+      current.clear();
+    }
+  };
+  while (words >> word) {
+    while (static_cast<int>(word.size()) > usable) {
+      flush();
+      lines.push_back(pad + word.substr(0, static_cast<std::size_t>(usable)));
+      word.erase(0, static_cast<std::size_t>(usable));
+    }
+    if (current.empty()) {
+      current = word;
+    } else if (static_cast<int>(current.size() + 1 + word.size()) <= usable) {
+      current += ' ';
+      current += word;
+    } else {
+      flush();
+      current = word;
+    }
+  }
+  flush();
+  if (lines.empty() && !text_.empty()) {
+    lines.push_back(pad);  // whitespace-only text still occupies a line
+  }
+  return lines;
+}
+
+}  // namespace cmif

@@ -1,0 +1,58 @@
+// Text blocks: captions, labels and immediate-node data. Carries the
+// T_Formatting shorthand parameters (font, size, indent, vspace — Figure 7)
+// and a line breaker used by the virtual text renderer.
+#ifndef SRC_MEDIA_TEXT_H_
+#define SRC_MEDIA_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/media_time.h"
+#include "src/base/status.h"
+
+namespace cmif {
+
+// The T_Formatting parameters. "It is wise not to use these attributes
+// directly but to place them in a style definition" (Figure 7).
+struct TextFormatting {
+  std::string font = "default";
+  int size = 12;    // points
+  int indent = 0;   // columns
+  int vspace = 1;   // blank lines between paragraphs
+  bool operator==(const TextFormatting& other) const = default;
+};
+
+// A formatted text fragment.
+class TextBlock {
+ public:
+  TextBlock() = default;
+  TextBlock(std::string text, TextFormatting formatting)
+      : text_(std::move(text)), formatting_(formatting) {}
+
+  const std::string& text() const { return text_; }
+  const TextFormatting& formatting() const { return formatting_; }
+  void set_formatting(TextFormatting f) { formatting_ = f; }
+
+  std::size_t byte_size() const { return text_.size(); }
+  bool empty() const { return text_.empty(); }
+
+  // Reading duration estimate: `chars_per_second` characters per second,
+  // minimum one second. Used when a caption has no explicit duration; the
+  // paper's conflict example (section 5.3.3) is "text must be displayed long
+  // enough to be readable".
+  MediaTime ReadingDuration(int chars_per_second = 15) const;
+
+  // Greedy word wrap into lines of at most `columns` columns, honoring the
+  // formatting's indent on every line. Words longer than a line are split.
+  std::vector<std::string> WrapLines(int columns) const;
+
+  bool operator==(const TextBlock& other) const = default;
+
+ private:
+  std::string text_;
+  TextFormatting formatting_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_MEDIA_TEXT_H_

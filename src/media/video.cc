@@ -1,0 +1,103 @@
+#include "src/media/video.h"
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+std::size_t VideoSegment::byte_size() const {
+  std::size_t total = 0;
+  for (const Raster& f : frames_) {
+    total += f.byte_size();
+  }
+  return total;
+}
+
+MediaTime VideoSegment::Duration() const {
+  if (fps_ <= 0) {
+    return MediaTime();
+  }
+  return MediaTime::Frames(static_cast<std::int64_t>(frames_.size()), fps_);
+}
+
+Status VideoSegment::Append(Raster frame) {
+  if (!frames_.empty() &&
+      (frame.width() != width() || frame.height() != height())) {
+    return InvalidArgumentError(StrFormat("frame size %dx%d differs from segment %dx%d",
+                                          frame.width(), frame.height(), width(), height()));
+  }
+  frames_.push_back(std::move(frame));
+  return Status::Ok();
+}
+
+StatusOr<VideoSegment> VideoSegment::Slice(std::size_t begin, std::size_t length) const {
+  if (begin > frames_.size() || length > frames_.size() - begin) {
+    return OutOfRangeError(StrFormat("slice [%zu,+%zu) outside %zu frames", begin, length,
+                                     frames_.size()));
+  }
+  VideoSegment out(fps_);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.frames_.push_back(frames_[begin + i]);
+  }
+  return out;
+}
+
+StatusOr<VideoSegment> VideoSegment::SubsampleRate(int factor) const {
+  if (factor < 1) {
+    return InvalidArgumentError("subsample factor must be >= 1");
+  }
+  if (fps_ % factor != 0) {
+    return InvalidArgumentError(StrFormat("factor %d does not divide fps %d", factor, fps_));
+  }
+  VideoSegment out(fps_ / factor);
+  for (std::size_t i = 0; i < frames_.size(); i += static_cast<std::size_t>(factor)) {
+    out.frames_.push_back(frames_[i]);
+  }
+  return out;
+}
+
+StatusOr<VideoSegment> VideoSegment::DownscaleFrames(int new_width, int new_height) const {
+  VideoSegment out(fps_);
+  for (const Raster& f : frames_) {
+    CMIF_ASSIGN_OR_RETURN(Raster scaled, f.Downscale(new_width, new_height));
+    out.frames_.push_back(std::move(scaled));
+  }
+  return out;
+}
+
+VideoSegment VideoSegment::QuantizeColor(int bits) const {
+  VideoSegment out(fps_);
+  for (const Raster& f : frames_) {
+    out.frames_.push_back(f.QuantizeColor(bits));
+  }
+  return out;
+}
+
+VideoSegment MakeFlyingBirdSegment(int width, int height, int fps, MediaTime duration) {
+  VideoSegment out(fps);
+  std::int64_t n = duration.ToUnits(fps);
+  for (std::int64_t i = 0; i < n; ++i) {
+    double phase = n <= 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(n);
+    (void)out.Append(MakeFlyingBirdFrame(width, height, phase));
+  }
+  return out;
+}
+
+VideoSegment MakeTalkingHeadSegment(int width, int height, int fps, MediaTime duration,
+                                    std::uint64_t seed) {
+  VideoSegment out(fps);
+  Raster base = MakeTestCard(width, height, static_cast<std::uint32_t>(seed));
+  std::int64_t n = duration.ToUnits(fps);
+  int mouth_w = std::max(width / 6, 1);
+  int mouth_h = std::max(height / 12, 1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    Raster frame = base;
+    // Mouth toggles roughly three times a second, like the speech envelope.
+    bool open = (i * 6 / std::max(fps, 1)) % 2 == 0;
+    frame.FillRect(width / 2 - mouth_w / 2, height * 2 / 3, mouth_w,
+                   open ? mouth_h : mouth_h / 2, Pixel{180, 30, 30});
+    (void)out.Append(std::move(frame));
+  }
+  return out;
+}
+
+}  // namespace cmif

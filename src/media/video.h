@@ -1,0 +1,66 @@
+// Video segments: frame sequences at a fixed rate. Provides the Slice
+// attribute's subsequence operation and the constraint filter's "full-frame-
+// rate video to sub-sampled rate video" reduction (section 2).
+#ifndef SRC_MEDIA_VIDEO_H_
+#define SRC_MEDIA_VIDEO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/media_time.h"
+#include "src/base/status.h"
+#include "src/media/raster.h"
+
+namespace cmif {
+
+// A sequence of equally-sized frames at `fps` frames per second.
+class VideoSegment {
+ public:
+  VideoSegment() = default;
+  explicit VideoSegment(int fps) : fps_(fps) {}
+
+  int fps() const { return fps_; }
+  std::size_t frame_count() const { return frames_.size(); }
+  bool empty() const { return frames_.empty(); }
+  int width() const { return frames_.empty() ? 0 : frames_[0].width(); }
+  int height() const { return frames_.empty() ? 0 : frames_[0].height(); }
+  std::size_t byte_size() const;
+
+  // Exact duration: frame_count / fps seconds.
+  MediaTime Duration() const;
+
+  const Raster& Frame(std::size_t index) const { return frames_[index]; }
+  const std::vector<Raster>& frames() const { return frames_; }
+
+  // Appends a frame; error if its size differs from existing frames.
+  Status Append(Raster frame);
+
+  // The Slice attribute: frames [begin, begin + length).
+  StatusOr<VideoSegment> Slice(std::size_t begin, std::size_t length) const;
+
+  // Constraint filters.
+  // Keep every `factor`-th frame; the rate divides accordingly (factor >= 1,
+  // must divide fps so the resulting rate is integral).
+  StatusOr<VideoSegment> SubsampleRate(int factor) const;
+  // Downscale every frame.
+  StatusOr<VideoSegment> DownscaleFrames(int new_width, int new_height) const;
+  // Quantize every frame's color depth.
+  VideoSegment QuantizeColor(int bits) const;
+
+  bool operator==(const VideoSegment& other) const = default;
+
+ private:
+  int fps_ = 0;
+  std::vector<Raster> frames_;
+};
+
+// Synthetic sources (stand-ins for the paper's video capture tools).
+// A segment of the flying bird crossing the screen once over `duration`.
+VideoSegment MakeFlyingBirdSegment(int width, int height, int fps, MediaTime duration);
+// "Talking head": a static test card with a mouth rectangle toggling.
+VideoSegment MakeTalkingHeadSegment(int width, int height, int fps, MediaTime duration,
+                                    std::uint64_t seed);
+
+}  // namespace cmif
+
+#endif  // SRC_MEDIA_VIDEO_H_

@@ -1,0 +1,189 @@
+#include "src/news/evening_news.h"
+
+#include "src/base/string_util.h"
+#include "src/doc/builder.h"
+#include "src/pipeline/capture.h"
+
+namespace cmif {
+namespace {
+
+// The captions of the stolen-paintings story (Figure 10), reused (with the
+// story number substituted) for every story.
+constexpr const char* kCaptionTexts[] = {
+    "Tonight: paintings worth ten million stolen from the municipal museum.",
+    "The thieves entered through the roof shortly after closing time.",
+    "Two early van Goghs are among the missing works.",
+    "The museum's insurers have offered a substantial reward.",
+};
+
+AttrList RegionExtra(std::string_view region) {
+  AttrList extra;
+  extra.Set("region", AttrValue::Id(std::string(region)));
+  return extra;
+}
+
+AttrList SpeakerExtra(std::string_view speaker) {
+  AttrList extra;
+  extra.Set("speaker", AttrValue::Id(std::string(speaker)));
+  return extra;
+}
+
+}  // namespace
+
+StatusOr<NewsWorkload> BuildEveningNews(const NewsOptions& options) {
+  if (options.stories < 1) {
+    return InvalidArgumentError("a broadcast needs at least one story");
+  }
+  NewsWorkload workload;
+  CaptureSession capture(workload.store, workload.blocks, options.materialize_media);
+
+  const MediaTime length = options.story_length;
+  const MediaTime third = length.MulRational(1, 3);
+  const MediaTime half = length.MulRational(1, 2);
+  const MediaTime sixth = length.MulRational(1, 6);
+  const MediaTime quarter_story = length.MulRational(1, 4);  // caption duration
+  const MediaTime quarter_s = MediaTime::Rational(1, 4);     // sync window
+  const MediaTime half_s = MediaTime::Rational(1, 2);
+
+  // -- Capture (synthetic media blocks + descriptors) ------------------------
+  CMIF_RETURN_IF_ERROR(capture.CaptureTone("opening-theme", MediaTime::Seconds(2), 660,
+                                           "theme opening"));
+  for (int i = 0; i < options.stories; ++i) {
+    std::uint64_t seed = options.seed + static_cast<std::uint64_t>(i) * 101;
+    std::string p = StrFormat("story%d-", i + 1);
+    CMIF_RETURN_IF_ERROR(capture.CaptureTalkingHead(
+        p + "head1", third, seed, options.video_width, options.video_height,
+        options.video_fps, "announcer talking-head"));
+    CMIF_RETURN_IF_ERROR(capture.CaptureFlyingBird(
+        p + "scene", half, options.video_width, options.video_height, options.video_fps,
+        "crime scene on-location"));
+    CMIF_RETURN_IF_ERROR(capture.CaptureTalkingHead(
+        p + "head2", sixth, seed + 1, options.video_width, options.video_height,
+        options.video_fps, "announcer talking-head close"));
+    CMIF_RETURN_IF_ERROR(capture.CaptureSpeech(p + "voice", length, seed + 2,
+                                               options.audio_rate, "announcer dutch report"));
+    for (int g = 1; g <= 3; ++g) {
+      CMIF_RETURN_IF_ERROR(capture.CaptureGraphic(
+          p + StrFormat("graphic%d", g), seed + 10 + static_cast<std::uint64_t>(g),
+          options.video_width, options.video_height,
+          g == 3 ? "insurance graph" : "stolen painting"));
+    }
+  }
+
+  // -- Document structure -----------------------------------------------------
+  DocBuilder builder(NodeKind::kSeq);
+  builder.ToRoot().Attr(std::string(kAttrName), AttrValue::Id("news"));
+  builder.DefineChannel(std::string(kNewsVideo), MediaType::kVideo, RegionExtra("main"))
+      .DefineChannel(std::string(kNewsAudio), MediaType::kAudio, SpeakerExtra("center"))
+      .DefineChannel(std::string(kNewsGraphic), MediaType::kGraphic, RegionExtra("inset"))
+      .DefineChannel(std::string(kNewsCaption), MediaType::kText, RegionExtra("caption_strip"))
+      .DefineChannel(std::string(kNewsLabel), MediaType::kText, RegionExtra("label_strip"));
+
+  // Styles: caption and label text formatting (Figure 7 recommends styles
+  // over raw T_Formatting attributes).
+  AttrList caption_style;
+  caption_style.Set(std::string(kAttrTFormatting),
+                    AttrValue::List({Attr{"font", AttrValue::Id("helvetica")},
+                                     Attr{"size", AttrValue::Number(18)},
+                                     Attr{"indent", AttrValue::Number(2)},
+                                     Attr{"vspace", AttrValue::Number(1)}}));
+  AttrList label_style;
+  label_style.Set(std::string(kAttrTFormatting),
+                  AttrValue::List({Attr{"font", AttrValue::Id("helvetica-bold")},
+                                   Attr{"size", AttrValue::Number(24)},
+                                   Attr{"indent", AttrValue::Number(0)},
+                                   Attr{"vspace", AttrValue::Number(0)}}));
+  builder.DefineStyle("caption_text", std::move(caption_style));
+  builder.DefineStyle("label_text", std::move(label_style));
+
+  // Opening: theme + title card.
+  builder.Par("opening")
+      .Ext("theme", "opening-theme")
+      .OnChannel(std::string(kNewsAudio))
+      .ImmText("title", "The Evening News")
+      .OnChannel(std::string(kNewsLabel))
+      .WithStyle("label_text")
+      .WithDuration(MediaTime::Seconds(2))
+      .Up();
+
+  auto path = [](std::string_view text) {
+    auto parsed = NodePath::Parse(text);
+    return parsed.ok() ? *parsed : NodePath();
+  };
+
+  for (int i = 0; i < options.stories; ++i) {
+    std::string p = StrFormat("story%d-", i + 1);
+    builder.Par(StrFormat("story%d", i + 1));
+
+    // Video: talking head, on-location scene, talking head (Figure 4b).
+    builder.Seq("video")
+        .OnChannel(std::string(kNewsVideo))
+        .Ext("v1", p + "head1")
+        .Ext("v2", p + "scene")
+        .Ext("v3", p + "head2")
+        .Up();
+
+    // Audio: the announcer's continuous report.
+    builder.Ext("voice", p + "voice").OnChannel(std::string(kNewsAudio));
+
+    // Graphics: two paintings and the insurance graph.
+    builder.Seq("graphics").OnChannel(std::string(kNewsGraphic));
+    for (int g = 1; g <= 3; ++g) {
+      builder.Ext(StrFormat("g%d", g), p + StrFormat("graphic%d", g)).WithDuration(third);
+    }
+    builder.Up();
+
+    // Captions: the translated text, fixed reading durations.
+    builder.Seq("captions").OnChannel(std::string(kNewsCaption)).WithStyle("caption_text");
+    for (int c = 0; c < 4; ++c) {
+      builder.ImmText(StrFormat("c%d", c + 1), kCaptionTexts[c]).WithDuration(quarter_story);
+    }
+    builder.Up();
+
+    // Labels: story, museum and announcer names.
+    builder.Seq("labels").OnChannel(std::string(kNewsLabel)).WithStyle("label_text");
+    builder.ImmText("l1", StrFormat("Story %d: Stolen van Goghs", i + 1))
+        .WithDuration(quarter_story)
+        .ImmText("l2", "Municipal Museum")
+        .WithDuration(quarter_story)
+        .ImmText("l3", "Anchor: A. Verhoeven")
+        .WithDuration(quarter_story)
+        .Up();
+
+    // -- The explicit arcs of section 5.3.4, written on the story par --------
+    // (a) The graphic channel is synchronized with the start of the audio.
+    builder.Arc(WindowArc(path("voice"), ArcEdge::kBegin, path("graphics"), ArcEdge::kBegin,
+                          MediaTime(), MediaTime(), quarter_s, ArcRigor::kMust));
+    // (b) Explicit synchronization between the second and third graphics
+    // (the first pair stays implicitly sequential).
+    builder.Arc(WindowArc(path("graphics/g2"), ArcEdge::kEnd, path("graphics/g3"),
+                          ArcEdge::kBegin, MediaTime(), MediaTime(), half_s, ArcRigor::kMust));
+    // (c) The captioned text is start-synchronized with the video portion —
+    // not the audio.
+    builder.Arc(HardArc(path("video"), ArcEdge::kBegin, path("captions"), ArcEdge::kBegin));
+    // (d) The end of the second caption triggers the second graphic at an
+    // offset — "this illustrates the use of an offset within an arc".
+    builder.Arc(HardArc(path("captions/c2"), ArcEdge::kEnd, path("graphics/g2"),
+                        ArcEdge::kBegin, half_s));
+    // (e) A new video sequence may not start until the caption text is over
+    // — the freeze-frame arc.
+    builder.Arc(WindowArc(path("captions/c4"), ArcEdge::kEnd, path("video/v3"),
+                          ArcEdge::kBegin, MediaTime(), MediaTime(), std::nullopt,
+                          ArcRigor::kMust));
+    // (f) Labels are may-synchronized — "if the label is a little late, then
+    // there is no reason for panic".
+    builder.Arc(WindowArc(path("video"), ArcEdge::kBegin, path("labels/l1"), ArcEdge::kBegin,
+                          MediaTime(), MediaTime(), quarter_s, ArcRigor::kMay));
+    builder.Arc(WindowArc(path("graphics/g2"), ArcEdge::kBegin, path("labels/l2"),
+                          ArcEdge::kBegin, MediaTime(), MediaTime(), quarter_s, ArcRigor::kMay));
+    builder.Arc(WindowArc(path("video/v3"), ArcEdge::kBegin, path("labels/l3"),
+                          ArcEdge::kBegin, MediaTime(), MediaTime(), quarter_s, ArcRigor::kMay));
+
+    builder.Up();  // close the story par
+  }
+
+  CMIF_ASSIGN_OR_RETURN(workload.document, builder.Build());
+  return workload;
+}
+
+}  // namespace cmif

@@ -1,0 +1,70 @@
+// The Evening News workload (sections 4 and 5.3.4, Figures 4 and 10): the
+// paper's running example, built programmatically. Five synchronization
+// channels — video, audio, graphic, caption, label — carry each story's
+// talking-head/crime-scene video, the announcer's (Dutch) speech, stolen-
+// painting stills, translated captions and identifying labels, tied together
+// by the exact explicit arcs the paper walks through:
+//
+//   * the graphic sequence is start-synchronized with the story's audio;
+//   * the second and third graphics are explicitly chained (the first two
+//     are implicitly sequential);
+//   * the captions are start-synchronized with the video, NOT the audio
+//     ("this allows one story to be presented for local consumption and
+//     another for global presentation");
+//   * the end of the second caption triggers the second graphic, with an
+//     offset;
+//   * the end of the fourth caption blocks the next video block ("a new
+//     video sequence may not start until the caption text is over" — the
+//     freeze-frame case);
+//   * the label channel carries may-synchronized titles ("if the label is a
+//     little late, then there is no reason for panic").
+#ifndef SRC_NEWS_EVENING_NEWS_H_
+#define SRC_NEWS_EVENING_NEWS_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/ddbms/store.h"
+#include "src/doc/document.h"
+
+namespace cmif {
+
+// Workload parameters. Defaults produce the paper's three-segment story at
+// laptop-friendly media sizes.
+struct NewsOptions {
+  // Number of stories in the broadcast (>= 1).
+  int stories = 3;
+  // Length of one story's audio report; video segments split it 1/3-1/2-1/6.
+  MediaTime story_length = MediaTime::Seconds(12);
+  // Media parameters for the synthetic capture tools.
+  int video_width = 64;
+  int video_height = 48;
+  int video_fps = 25;
+  int audio_rate = 8000;
+  // Materialize payloads into the block store (true) or keep generator
+  // descriptors only (false, the transport mode).
+  bool materialize_media = false;
+  std::uint64_t seed = 1;
+};
+
+// A built workload: the document plus its databases.
+struct NewsWorkload {
+  Document document{NodeKind::kSeq};
+  DescriptorStore store;
+  BlockStore blocks;
+};
+
+// Builds the full broadcast: capture (synthetic), descriptors, the document
+// tree, channels, styles, and the explicit arcs above for every story.
+StatusOr<NewsWorkload> BuildEveningNews(const NewsOptions& options = {});
+
+// Channel names used by the workload.
+inline constexpr std::string_view kNewsVideo = "video";
+inline constexpr std::string_view kNewsAudio = "audio";
+inline constexpr std::string_view kNewsGraphic = "graphic";
+inline constexpr std::string_view kNewsCaption = "caption";
+inline constexpr std::string_view kNewsLabel = "label";
+
+}  // namespace cmif
+
+#endif  // SRC_NEWS_EVENING_NEWS_H_

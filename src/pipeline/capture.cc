@@ -1,0 +1,129 @@
+#include "src/pipeline/capture.h"
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+Status CaptureSession::Register(const std::string& id, MediaType medium, GeneratorSpec spec,
+                                const std::string& keywords) {
+  DataDescriptor descriptor(id, AttrList());
+  if (materialize_) {
+    CMIF_ASSIGN_OR_RETURN(DataBlock block, GeneratorRegistry::Global().Run(spec));
+    descriptor.DeriveAttrsFrom(block);
+    CMIF_RETURN_IF_ERROR(blocks_.Put(id, std::move(block)));
+    descriptor.set_content(id);  // store key
+  } else {
+    // Derive attributes from the spec alone — no media bytes are produced.
+    DataBlock placeholder = DataBlock::FromGenerator(medium, spec);
+    descriptor.DeriveAttrsFrom(placeholder);
+    // Parse the media parameters back out of the generator spec so that
+    // constraint filters can plan from attributes alone.
+    for (const std::string& pair : SplitString(spec.params, ',')) {
+      std::vector<std::string> kv = SplitString(pair, '=');
+      if (kv.size() != 2) {
+        continue;
+      }
+      std::string key(TrimString(kv[0]));
+      if (key == "rate" || key == "fps" || key == "width" || key == "height") {
+        std::int64_t value = std::strtoll(std::string(TrimString(kv[1])).c_str(), nullptr, 10);
+        descriptor.mutable_attrs().Set(key == "fps" ? std::string(kDescRate) : key,
+                                       AttrValue::Number(value));
+      }
+    }
+    if (medium == MediaType::kVideo || medium == MediaType::kImage ||
+        medium == MediaType::kGraphic) {
+      descriptor.mutable_attrs().Set(std::string(kDescColorBits), AttrValue::Number(8));
+      descriptor.mutable_attrs().Set(std::string(kDescFormat), AttrValue::String("raw-rgb8"));
+    } else if (medium == MediaType::kAudio) {
+      descriptor.mutable_attrs().Set(std::string(kDescFormat), AttrValue::String("pcm16"));
+    }
+    descriptor.set_content(std::move(spec));
+  }
+  if (!keywords.empty()) {
+    descriptor.mutable_attrs().Set(std::string(kDescKeywords), AttrValue::String(keywords));
+  }
+  return store_.Add(std::move(descriptor));
+}
+
+namespace {
+
+// Attribute-only byte estimates so descriptor-only capture still reports
+// realistic sizes (used by transfer-time modelling and Figure-1 ratios).
+std::size_t AudioBytes(MediaTime duration, int rate) {
+  return static_cast<std::size_t>(std::max<std::int64_t>(duration.ToUnits(rate), 0)) * 2;
+}
+
+std::size_t VideoBytes(MediaTime duration, int width, int height, int fps) {
+  return static_cast<std::size_t>(std::max<std::int64_t>(duration.ToUnits(fps), 0)) *
+         static_cast<std::size_t>(width) * static_cast<std::size_t>(height) * 3;
+}
+
+}  // namespace
+
+Status CaptureSession::CaptureSpeech(const std::string& id, MediaTime duration,
+                                     std::uint64_t seed, int rate,
+                                     const std::string& keywords) {
+  GeneratorSpec spec;
+  spec.generator = "speech";
+  spec.params = StrFormat("rate=%d,seed=%llu", rate, static_cast<unsigned long long>(seed));
+  spec.duration = duration;
+  spec.approx_bytes = AudioBytes(duration, rate);
+  return Register(id, MediaType::kAudio, std::move(spec), keywords);
+}
+
+Status CaptureSession::CaptureTone(const std::string& id, MediaTime duration, double hz,
+                                   const std::string& keywords) {
+  GeneratorSpec spec;
+  spec.generator = "tone";
+  spec.params = StrFormat("rate=8000,hz=%.1f", hz);
+  spec.duration = duration;
+  spec.approx_bytes = AudioBytes(duration, 8000);
+  return Register(id, MediaType::kAudio, std::move(spec), keywords);
+}
+
+Status CaptureSession::CaptureTalkingHead(const std::string& id, MediaTime duration,
+                                          std::uint64_t seed, int width, int height, int fps,
+                                          const std::string& keywords) {
+  GeneratorSpec spec;
+  spec.generator = "talking_head";
+  spec.params = StrFormat("width=%d,height=%d,fps=%d,seed=%llu", width, height, fps,
+                          static_cast<unsigned long long>(seed));
+  spec.duration = duration;
+  spec.approx_bytes = VideoBytes(duration, width, height, fps);
+  return Register(id, MediaType::kVideo, std::move(spec), keywords);
+}
+
+Status CaptureSession::CaptureFlyingBird(const std::string& id, MediaTime duration, int width,
+                                         int height, int fps, const std::string& keywords) {
+  GeneratorSpec spec;
+  spec.generator = "flying_bird";
+  spec.params = StrFormat("width=%d,height=%d,fps=%d", width, height, fps);
+  spec.duration = duration;
+  spec.approx_bytes = VideoBytes(duration, width, height, fps);
+  return Register(id, MediaType::kVideo, std::move(spec), keywords);
+}
+
+Status CaptureSession::CaptureGraphic(const std::string& id, std::uint64_t seed, int width,
+                                      int height, const std::string& keywords) {
+  GeneratorSpec spec;
+  spec.generator = "test_card";
+  spec.params = StrFormat("width=%d,height=%d,seed=%llu", width, height,
+                          static_cast<unsigned long long>(seed));
+  spec.duration = MediaTime();
+  spec.approx_bytes = static_cast<std::size_t>(width) * static_cast<std::size_t>(height) * 3;
+  return Register(id, MediaType::kGraphic, std::move(spec), keywords);
+}
+
+Status CaptureSession::CaptureText(const std::string& id, const std::string& text,
+                                   const std::string& keywords) {
+  DataDescriptor descriptor(id, AttrList());
+  DataBlock block = DataBlock::FromText(TextBlock(text, TextFormatting{}));
+  descriptor.DeriveAttrsFrom(block);
+  if (!keywords.empty()) {
+    descriptor.mutable_attrs().Set(std::string(kDescKeywords), AttrValue::String(keywords));
+  }
+  descriptor.set_content(std::move(block));  // inline: text is tiny
+  return store_.Add(std::move(descriptor));
+}
+
+}  // namespace cmif

@@ -1,0 +1,55 @@
+// Media Block Capture Tools (section 2): "a set of tools that allow the user
+// to iteratively capture the atomic pieces of information that will be
+// included in a composite document ... our focus is on providing descriptive
+// tools", i.e. compiling descriptors. Here capture is synthetic (see
+// DESIGN.md): each Capture* call registers a data descriptor — with derived
+// attributes — whose content is either a generator spec (descriptor-only
+// mode) or a materialized block in the BlockStore.
+#ifndef SRC_PIPELINE_CAPTURE_H_
+#define SRC_PIPELINE_CAPTURE_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/ddbms/store.h"
+
+namespace cmif {
+
+// Captures into one descriptor store + block store pair.
+class CaptureSession {
+ public:
+  // When materialize is false, descriptors carry generator specs and no
+  // media bytes exist anywhere — the paper's "descriptor without data"
+  // transport mode. When true, payloads are generated into `blocks`.
+  CaptureSession(DescriptorStore& store, BlockStore& blocks, bool materialize)
+      : store_(store), blocks_(blocks), materialize_(materialize) {}
+
+  // Each call registers descriptor `id` and returns it. `keywords` feeds the
+  // search-key attribute (section 6).
+  Status CaptureSpeech(const std::string& id, MediaTime duration, std::uint64_t seed,
+                       int rate = 8000, const std::string& keywords = "");
+  Status CaptureTone(const std::string& id, MediaTime duration, double hz,
+                     const std::string& keywords = "");
+  Status CaptureTalkingHead(const std::string& id, MediaTime duration, std::uint64_t seed,
+                            int width = 64, int height = 48, int fps = 25,
+                            const std::string& keywords = "");
+  Status CaptureFlyingBird(const std::string& id, MediaTime duration, int width = 64,
+                           int height = 48, int fps = 25, const std::string& keywords = "");
+  Status CaptureGraphic(const std::string& id, std::uint64_t seed, int width = 64,
+                        int height = 48, const std::string& keywords = "");
+  // Text is always materialized (it is its own descriptor-sized payload).
+  Status CaptureText(const std::string& id, const std::string& text,
+                     const std::string& keywords = "");
+
+ private:
+  Status Register(const std::string& id, MediaType medium, GeneratorSpec spec,
+                  const std::string& keywords);
+
+  DescriptorStore& store_;
+  BlockStore& blocks_;
+  bool materialize_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_PIPELINE_CAPTURE_H_

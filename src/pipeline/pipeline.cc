@@ -1,0 +1,130 @@
+#include "src/pipeline/pipeline.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "src/base/string_util.h"
+#include "src/doc/event.h"
+#include "src/present/virtual_env.h"
+
+namespace cmif {
+namespace {
+
+class StageTimer {
+ public:
+  explicit StageTimer(std::vector<StageTiming>& stages) : stages_(stages) {}
+
+  template <typename Fn>
+  auto Time(std::string stage, Fn&& fn) {
+    auto start = std::chrono::steady_clock::now();
+    auto result = fn();
+    auto end = std::chrono::steady_clock::now();
+    stages_.push_back(StageTiming{
+        std::move(stage),
+        std::chrono::duration<double, std::milli>(end - start).count()});
+    return result;
+  }
+
+ private:
+  std::vector<StageTiming>& stages_;
+};
+
+}  // namespace
+
+double PipelineReport::TotalMillis() const {
+  double total = 0;
+  for (const StageTiming& stage : stages) {
+    total += stage.millis;
+  }
+  return total;
+}
+
+double PipelineReport::DescriptorOnlyMillis() const {
+  double total = 0;
+  for (const StageTiming& stage : stages) {
+    if (stage.stage != "filter-apply") {
+      total += stage.millis;
+    }
+  }
+  return total;
+}
+
+std::string PipelineReport::Summary() const {
+  std::ostringstream os;
+  for (const StageTiming& stage : stages) {
+    os << StrFormat("  %-18s %10.3f ms\n", stage.stage.c_str(), stage.millis);
+  }
+  os << StrFormat("  total %.3f ms (descriptor-only %.3f ms)\n", TotalMillis(),
+                  DescriptorOnlyMillis());
+  os << StrFormat("  schedule: %s, %zu dropped may-arcs; playback: %zu freezes\n",
+                  schedule.feasible ? "feasible" : "INFEASIBLE", schedule.dropped_arcs.size(),
+                  playback.trace.FreezeCount());
+  return os.str();
+}
+
+StatusOr<PipelineReport> RunPipeline(const Document& document, const DescriptorStore& store,
+                                     const BlockStore& blocks, const PipelineOptions& options) {
+  PipelineReport report;
+  StageTimer timer(report.stages);
+
+  // Stage 1: structure validation (the Document Structure Mapping Tool's
+  // output check).
+  report.validation = timer.Time("validate", [&] { return ValidateDocument(document, &store); });
+  CMIF_RETURN_IF_ERROR(report.validation.ToStatus());
+
+  // Stage 2: presentation mapping into the virtual environment.
+  VirtualEnvironment env =
+      VirtualEnvironment::NewsLayout(options.canvas_width, options.canvas_height);
+  auto mapped = timer.Time("present-map",
+                           [&] { return PresentationMap::AutoMap(document.channels(), env); });
+  CMIF_RETURN_IF_ERROR(mapped.status());
+  report.presentation_map = std::move(mapped).value();
+  CMIF_RETURN_IF_ERROR(report.presentation_map.Validate(document.channels(), env));
+
+  // Stage 3a: constraint-filter planning (descriptor attributes only).
+  auto plan = timer.Time("filter-plan",
+                         [&] { return PlanDocumentFilter(document, store, options.profile); });
+  CMIF_RETURN_IF_ERROR(plan.status());
+  report.filter = std::move(plan).value();
+
+  // Stage 3b: optional filter application (touches the media payloads).
+  DescriptorStore filtered;
+  const DescriptorStore* playback_store = &store;
+  if (options.apply_filters) {
+    auto applied = timer.Time(
+        "filter-apply", [&] { return ApplyDocumentFilter(store, blocks, report.filter); });
+    CMIF_RETURN_IF_ERROR(applied.status());
+    filtered = std::move(applied).value();
+    playback_store = &filtered;
+  }
+
+  // Stage 4: scheduling with capability constraints from the profile.
+  auto events = timer.Time("collect-events",
+                           [&] { return CollectEvents(document, playback_store); });
+  CMIF_RETURN_IF_ERROR(events.status());
+  auto scheduled = timer.Time("schedule", [&]() -> StatusOr<ScheduleResult> {
+    ScheduleOptions schedule_options;
+    CMIF_ASSIGN_OR_RETURN(TimeGraph graph,
+                          TimeGraph::Build(document, *events, schedule_options.graph));
+    CMIF_RETURN_IF_ERROR(
+        InjectCapabilityConstraints(graph, document, *events, options.profile));
+    return SolveSchedule(graph, *events, schedule_options);
+  });
+  CMIF_RETURN_IF_ERROR(scheduled.status());
+  report.schedule = std::move(scheduled).value();
+  if (!report.schedule.feasible) {
+    return report;  // conflicts are in the report; nothing to play
+  }
+
+  // Stage 5: viewing.
+  PlayerOptions player = options.player;
+  player.profile = options.profile;
+  auto played = timer.Time("play", [&] {
+    return Play(document, report.schedule.schedule, playback_store, player);
+  });
+  CMIF_RETURN_IF_ERROR(played.status());
+  report.playback = std::move(played).value();
+  return report;
+}
+
+}  // namespace cmif

@@ -1,0 +1,64 @@
+// The CWI/Multimedia Pipeline (Figure 1), end to end: document structure in,
+// validated + presentation-mapped + constraint-filtered + scheduled + played
+// out. Each stage is timed separately so the Figure-1 bench can contrast the
+// descriptor-only stages (validation, mapping, planning, scheduling) with
+// the data-touching stage (filter application) — the paper's section-6
+// efficiency argument.
+#ifndef SRC_PIPELINE_PIPELINE_H_
+#define SRC_PIPELINE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/doc/validate.h"
+#include "src/player/engine.h"
+#include "src/present/filter.h"
+#include "src/present/presentation_map.h"
+#include "src/sched/conflict.h"
+
+namespace cmif {
+
+// Wall time of one stage.
+struct StageTiming {
+  std::string stage;
+  double millis = 0;
+};
+
+struct PipelineOptions {
+  SystemProfile profile = WorkstationProfile();
+  // Canvas for the virtual presentation environment.
+  int canvas_width = 640;
+  int canvas_height = 480;
+  // When true the filter stage materializes and reduces actual payloads
+  // (requires blocks/generators); when false the pipeline stays
+  // descriptor-only throughout.
+  bool apply_filters = false;
+  PlayerOptions player;
+};
+
+// Everything the pipeline produced.
+struct PipelineReport {
+  std::vector<StageTiming> stages;
+  ValidationReport validation;
+  PresentationMap presentation_map;
+  FilterReport filter;
+  ScheduleResult schedule;
+  PlaybackResult playback;
+
+  double TotalMillis() const;
+  // Milliseconds spent in stages that never touch media payloads.
+  double DescriptorOnlyMillis() const;
+  std::string Summary() const;
+};
+
+// Runs structure -> presentation mapping -> constraint filtering ->
+// scheduling -> viewing. Fails fast on validation errors or an infeasible
+// schedule (after may-arc relaxation).
+StatusOr<PipelineReport> RunPipeline(const Document& document, const DescriptorStore& store,
+                                     const BlockStore& blocks,
+                                     const PipelineOptions& options = {});
+
+}  // namespace cmif
+
+#endif  // SRC_PIPELINE_PIPELINE_H_

@@ -1,0 +1,36 @@
+#include "src/player/clock.h"
+
+#include <cassert>
+
+namespace cmif {
+
+void VirtualClock::SetRate(std::int64_t num, std::int64_t den) {
+  assert(num > 0 && den > 0 && "playback rate must be positive");
+  rate_num_ = num;
+  rate_den_ = den;
+}
+
+void VirtualClock::AdvanceDocument(MediaTime delta) {
+  if (delta.is_negative() || delta.is_zero()) {
+    return;
+  }
+  document_time_ += delta;
+  // presentation delta = document delta / rate = delta * den / num.
+  presentation_time_ += delta.MulRational(rate_den_, rate_num_);
+}
+
+void VirtualClock::AdvanceDocumentTo(MediaTime target) {
+  if (target > document_time_) {
+    AdvanceDocument(target - document_time_);
+  }
+}
+
+void VirtualClock::Freeze(MediaTime duration) {
+  if (duration.is_negative() || duration.is_zero()) {
+    return;
+  }
+  presentation_time_ += duration;
+  frozen_total_ += duration;
+}
+
+}  // namespace cmif

@@ -1,0 +1,53 @@
+// The virtual presentation clock. Playback is a deterministic discrete-event
+// simulation: the clock only moves when the engine advances it, which makes
+// freeze-frame and slow-motion ("it is possible to alter the rate of
+// presentation", section 4) exact and reproducible.
+#ifndef SRC_PLAYER_CLOCK_H_
+#define SRC_PLAYER_CLOCK_H_
+
+#include <cstdint>
+
+#include "src/base/media_time.h"
+
+namespace cmif {
+
+// Maps document time to presentation time under a rational rate and
+// accumulated freezes. presentation(t) grows as doc time advances; while
+// frozen, presentation time advances but document time does not.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  // Current document-time position.
+  MediaTime document_time() const { return document_time_; }
+  // Total presentation (wall-simulation) time elapsed, including freezes.
+  MediaTime presentation_time() const { return presentation_time_; }
+  // Total time spent frozen so far.
+  MediaTime frozen_total() const { return frozen_total_; }
+
+  // Playback rate as a rational (num/den of document seconds per
+  // presentation second). 1/1 = normal, 1/2 = slow motion, 2/1 = fast.
+  void SetRate(std::int64_t num, std::int64_t den);
+  std::int64_t rate_num() const { return rate_num_; }
+  std::int64_t rate_den() const { return rate_den_; }
+
+  // Advances document time by `delta` (>= 0); presentation time grows by
+  // delta / rate.
+  void AdvanceDocument(MediaTime delta);
+  // Advances document time to `target` if it is ahead of the current
+  // position (no-op otherwise).
+  void AdvanceDocumentTo(MediaTime target);
+  // Freeze-frame: presentation time passes, document time stands still.
+  void Freeze(MediaTime duration);
+
+ private:
+  MediaTime document_time_;
+  MediaTime presentation_time_;
+  MediaTime frozen_total_;
+  std::int64_t rate_num_ = 1;
+  std::int64_t rate_den_ = 1;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_PLAYER_CLOCK_H_

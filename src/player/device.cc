@@ -1,0 +1,28 @@
+#include "src/player/device.h"
+
+#include <algorithm>
+
+namespace cmif {
+
+MediaTime VirtualDevice::EarliestStart(MediaTime requested, std::size_t payload_bytes) const {
+  // The device is released at next_free_, then needs its setup time.
+  MediaTime ready = next_free_ + timing_.setup;
+  // Payload transfer begins once the device is ready; it can run ahead of
+  // the requested time (prefetch) but not before `ready`.
+  MediaTime transfer;
+  if (timing_.bandwidth_bytes_per_s > 0 && payload_bytes > 0) {
+    transfer = MediaTime::Bytes(static_cast<std::int64_t>(payload_bytes),
+                                timing_.bandwidth_bytes_per_s);
+  }
+  MediaTime transfer_start = std::max(ready, requested - transfer - timing_.latency);
+  return transfer_start + transfer + timing_.latency;
+}
+
+void VirtualDevice::Present(std::string event_label, MediaTime requested, MediaTime started,
+                            MediaTime end, std::size_t payload_bytes) {
+  records_.push_back(
+      PresentationRecord{std::move(event_label), requested, started, end, payload_bytes});
+  next_free_ = end;
+}
+
+}  // namespace cmif

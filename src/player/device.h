@@ -1,0 +1,65 @@
+// Virtual output devices. One device realizes one synchronization channel;
+// its timing model (latency, setup, bandwidth) comes from a SystemProfile.
+// Devices record everything they "present" so tests can assert on outcomes
+// without any physical display or loudspeaker — the substitution for the
+// paper's workstation hardware (see DESIGN.md).
+#ifndef SRC_PLAYER_DEVICE_H_
+#define SRC_PLAYER_DEVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/media_time.h"
+#include "src/media/media_type.h"
+#include "src/present/capability.h"
+
+namespace cmif {
+
+// One presentation performed by a device.
+struct PresentationRecord {
+  std::string event_label;
+  MediaTime requested;   // the schedule's begin time
+  MediaTime started;     // when the device actually showed it
+  MediaTime finished;    // when it was replaced / completed
+  std::size_t payload_bytes = 0;
+
+  MediaTime Lateness() const { return started - requested; }
+};
+
+// A channel's output device.
+class VirtualDevice {
+ public:
+  VirtualDevice(std::string channel, MediaType medium, DeviceTiming timing)
+      : channel_(std::move(channel)), medium_(medium), timing_(timing) {}
+
+  const std::string& channel() const { return channel_; }
+  MediaType medium() const { return medium_; }
+  const DeviceTiming& timing() const { return timing_; }
+
+  // The earliest time a presentation requested at `requested` with
+  // `payload_bytes` of data can actually start, given the device's previous
+  // commitment, setup time, transfer bandwidth and latency. Transfer may be
+  // prefetched while the device is idle but not before the previous
+  // presentation releases it.
+  MediaTime EarliestStart(MediaTime requested, std::size_t payload_bytes) const;
+
+  // Commits a presentation: records it and occupies the device until `end`.
+  void Present(std::string event_label, MediaTime requested, MediaTime started, MediaTime end,
+               std::size_t payload_bytes);
+
+  // When the device becomes free again.
+  MediaTime next_free() const { return next_free_; }
+
+  const std::vector<PresentationRecord>& records() const { return records_; }
+
+ private:
+  std::string channel_;
+  MediaType medium_;
+  DeviceTiming timing_;
+  MediaTime next_free_;
+  std::vector<PresentationRecord> records_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_PLAYER_DEVICE_H_

@@ -1,0 +1,131 @@
+#include "src/player/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace cmif {
+namespace {
+
+// The tolerance for one event: the tightest finite max_delay among explicit
+// must arcs pointing at its begin edge, else the engine default.
+MediaTime ToleranceFor(const Document& document, const Node& target,
+                       MediaTime default_tolerance) {
+  std::optional<MediaTime> tightest;
+  document.root().Visit([&](const Node& node) {
+    for (const SyncArc& arc : node.arcs()) {
+      if (arc.rigor != ArcRigor::kMust || arc.dest_edge != ArcEdge::kBegin ||
+          !arc.max_delay.has_value()) {
+        continue;
+      }
+      auto dest = node.Resolve(arc.dest);
+      if (!dest.ok() || *dest != &target) {
+        continue;
+      }
+      if (!tightest.has_value() || *arc.max_delay < *tightest) {
+        tightest = *arc.max_delay;
+      }
+    }
+  });
+  return tightest.value_or(default_tolerance);
+}
+
+// Payload size of one event, attribute-derived (never touches media bytes).
+std::size_t PayloadBytes(const EventDescriptor& event, const DescriptorStore* store) {
+  if (event.node->kind() == NodeKind::kImm) {
+    return event.node->immediate_data().ByteSize();
+  }
+  if (store != nullptr) {
+    if (const DataDescriptor* descriptor = store->Get(event.descriptor_id)) {
+      return static_cast<std::size_t>(descriptor->DeclaredBytes());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule,
+                              const DescriptorStore* store, const PlayerOptions& options) {
+  PlaybackResult result;
+  result.clock.SetRate(options.rate_num, options.rate_den);
+
+  // One device per channel.
+  std::map<std::string, std::size_t> device_of;
+  for (const ChannelDef& channel : document.channels().channels()) {
+    device_of.emplace(channel.name, result.devices.size());
+    result.devices.emplace_back(channel.name, channel.medium,
+                                options.profile.TimingFor(channel.medium));
+  }
+
+  // Events in begin order (stable on document order for ties).
+  std::vector<const ScheduledEvent*> ordered;
+  ordered.reserve(schedule.events().size());
+  for (const ScheduledEvent& event : schedule.events()) {
+    ordered.push_back(&event);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ScheduledEvent* a, const ScheduledEvent* b) {
+                     return a->begin < b->begin;
+                   });
+
+  MediaTime shift;  // accumulated freeze time
+  for (const ScheduledEvent* scheduled : ordered) {
+    // Skip events wholly before the start position. A zero-duration event
+    // exactly at the start position still plays.
+    if (scheduled->end <= options.start_at && scheduled->begin < options.start_at) {
+      ++result.events_skipped;
+      continue;
+    }
+    auto device_it = device_of.find(scheduled->event.channel);
+    if (device_it == device_of.end()) {
+      return FailedPreconditionError("event " + scheduled->event.node->DisplayPath() +
+                                     " plays on unknown channel '" + scheduled->event.channel +
+                                     "'");
+    }
+    VirtualDevice& device = result.devices[device_it->second];
+
+    MediaTime target = scheduled->begin + shift;
+    std::size_t bytes = PayloadBytes(scheduled->event, store);
+    MediaTime earliest = device.EarliestStart(target, bytes);
+    MediaTime actual = std::max(target, earliest);
+    MediaTime lateness = actual - target;
+
+    TraceEntry entry;
+    entry.label = scheduled->event.node->name().empty()
+                      ? scheduled->event.node->DisplayPath()
+                      : scheduled->event.node->name();
+    entry.channel = scheduled->event.channel;
+    entry.scheduled_begin = scheduled->begin;
+    entry.target_begin = target;
+    entry.lateness = lateness;
+
+    if (options.enable_freeze && lateness.is_positive()) {
+      MediaTime tolerance =
+          ToleranceFor(document, *scheduled->event.node, options.default_tolerance);
+      if (lateness > tolerance) {
+        // Freeze the document: everything downstream slips by the lateness,
+        // preserving relative (must) synchronization.
+        entry.caused_freeze = true;
+        entry.freeze_amount = lateness;
+        shift += lateness;
+        result.clock.Freeze(lateness);
+        target = scheduled->begin + shift;
+        entry.target_begin = target;
+        entry.lateness = MediaTime();
+        actual = target;
+      }
+    }
+
+    MediaTime duration = scheduled->end - scheduled->begin;
+    MediaTime end = actual + duration;
+    entry.actual_begin = actual;
+    entry.actual_end = end;
+    device.Present(entry.label, target, actual, end, bytes);
+    result.clock.AdvanceDocumentTo(scheduled->end);
+    result.trace.Append(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace cmif

@@ -1,0 +1,58 @@
+// The playback engine: a deterministic discrete-event executor that drives a
+// computed schedule against virtual devices. It realizes the paper's
+// must/may semantics at run time: when a device cannot honor a "must"
+// relationship within its tolerance, the engine freezes the document clock
+// ("this may require a freeze-frame video operation to support the
+// synchronization", section 5.3.4) so the relationship survives at the
+// expense of overall presentation time; "may" lateness is merely recorded.
+#ifndef SRC_PLAYER_ENGINE_H_
+#define SRC_PLAYER_ENGINE_H_
+
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ddbms/store.h"
+#include "src/player/clock.h"
+#include "src/player/device.h"
+#include "src/player/trace.h"
+#include "src/sched/schedule.h"
+
+namespace cmif {
+
+// Run controls.
+struct PlayerOptions {
+  SystemProfile profile = WorkstationProfile();
+  // Playback rate (document seconds per presentation second).
+  std::int64_t rate_num = 1;
+  std::int64_t rate_den = 1;
+  // Lateness tolerated before a must-bound event forces a freeze; an
+  // explicit incoming must arc with a finite max_delay overrides this with
+  // that (tighter or looser) bound.
+  MediaTime default_tolerance = MediaTime::Millis(50);
+  // When false, nothing freezes: all lateness is recorded as jitter.
+  bool enable_freeze = true;
+  // Start position (document time); events wholly before it are skipped —
+  // the navigation scenario of section 5.3.3.
+  MediaTime start_at;
+};
+
+// The outcome of one run.
+struct PlaybackResult {
+  PlaybackTrace trace;
+  // Final clock: presentation_time includes freezes and rate scaling.
+  VirtualClock clock;
+  // Per-channel devices with their presentation records.
+  std::vector<VirtualDevice> devices;
+  std::size_t events_skipped = 0;  // due to start_at
+};
+
+// Plays `schedule` (computed for `document`) on devices built from the
+// profile. `blocks` supplies payload sizes for transfer-time modelling; it
+// may be null (sizes then come from descriptor attributes only, via the
+// store, which may also be null).
+StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule,
+                              const DescriptorStore* store, const PlayerOptions& options = {});
+
+}  // namespace cmif
+
+#endif  // SRC_PLAYER_ENGINE_H_

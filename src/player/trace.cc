@@ -1,0 +1,74 @@
+#include "src/player/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+std::size_t PlaybackTrace::FreezeCount() const {
+  std::size_t n = 0;
+  for (const TraceEntry& entry : entries_) {
+    if (entry.caused_freeze) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+MediaTime PlaybackTrace::TotalFreeze() const {
+  MediaTime total;
+  for (const TraceEntry& entry : entries_) {
+    total += entry.freeze_amount;
+  }
+  return total;
+}
+
+std::map<std::string, ChannelJitter> PlaybackTrace::JitterByChannel() const {
+  std::map<std::string, ChannelJitter> out;
+  for (const TraceEntry& entry : entries_) {
+    ChannelJitter& jitter = out[entry.channel];
+    double ms = entry.lateness.ToSecondsF() * 1000;
+    jitter.mean_lateness_ms =
+        (jitter.mean_lateness_ms * static_cast<double>(jitter.presentations) + ms) /
+        static_cast<double>(jitter.presentations + 1);
+    jitter.max_lateness_ms = std::max(jitter.max_lateness_ms, ms);
+    ++jitter.presentations;
+  }
+  return out;
+}
+
+Status PlaybackTrace::Verify() const {
+  std::map<std::string, const TraceEntry*> last_on_channel;
+  for (const TraceEntry& entry : entries_) {
+    if (entry.actual_begin < entry.target_begin) {
+      return InternalError("event '" + entry.label + "' started before its target time");
+    }
+    if (entry.actual_end < entry.actual_begin) {
+      return InternalError("event '" + entry.label + "' ended before it started");
+    }
+    auto [it, inserted] = last_on_channel.try_emplace(entry.channel, &entry);
+    if (!inserted) {
+      if (entry.actual_begin < it->second->actual_end) {
+        return InternalError("channel '" + entry.channel + "' overlaps: '" +
+                             it->second->label + "' and '" + entry.label + "'");
+      }
+      it->second = &entry;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string PlaybackTrace::Summary() const {
+  std::ostringstream os;
+  os << StrFormat("%zu presentations, %zu freezes (%.3fs frozen)\n", entries_.size(),
+                  FreezeCount(), TotalFreeze().ToSecondsF());
+  for (const auto& [channel, jitter] : JitterByChannel()) {
+    os << StrFormat("  %-10s %4zu events, lateness mean %.2fms max %.2fms\n", channel.c_str(),
+                    jitter.presentations, jitter.mean_lateness_ms, jitter.max_lateness_ms);
+  }
+  return os.str();
+}
+
+}  // namespace cmif

@@ -1,0 +1,67 @@
+// Playback traces: the observable outcome of a simulated presentation run.
+// Jitter statistics and freeze accounting let tests and benches quantify
+// what the paper only argues qualitatively — how must/may synchronization
+// and device speed interact (sections 5.3.2-5.3.4).
+#ifndef SRC_PLAYER_TRACE_H_
+#define SRC_PLAYER_TRACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/media_time.h"
+#include "src/base/status.h"
+
+namespace cmif {
+
+// One event's playback outcome.
+struct TraceEntry {
+  std::string label;
+  std::string channel;
+  MediaTime scheduled_begin;  // original schedule position
+  MediaTime target_begin;     // schedule position plus accumulated freezes
+  MediaTime actual_begin;
+  MediaTime actual_end;
+  // actual_begin - target_begin (>= 0).
+  MediaTime lateness;
+  // True when this event's lateness exceeded its tolerance and the engine
+  // froze the rest of the document to preserve a "must" relationship.
+  bool caused_freeze = false;
+  MediaTime freeze_amount;
+};
+
+// Lateness statistics for one channel.
+struct ChannelJitter {
+  std::size_t presentations = 0;
+  double mean_lateness_ms = 0;
+  double max_lateness_ms = 0;
+};
+
+// The full run record.
+class PlaybackTrace {
+ public:
+  void Append(TraceEntry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  std::size_t FreezeCount() const;
+  MediaTime TotalFreeze() const;
+
+  // Per-channel lateness stats.
+  std::map<std::string, ChannelJitter> JitterByChannel() const;
+
+  // Consistency checks: per channel, presentations do not overlap and stay
+  // in order; no event starts before its target.
+  Status Verify() const;
+
+  // A compact multi-line summary.
+  std::string Summary() const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_PLAYER_TRACE_H_

@@ -1,0 +1,71 @@
+#include "src/present/capability.h"
+
+namespace cmif {
+
+const DeviceTiming& SystemProfile::TimingFor(MediaType medium) const {
+  switch (medium) {
+    case MediaType::kVideo:
+      return video;
+    case MediaType::kAudio:
+      return audio;
+    case MediaType::kImage:
+    case MediaType::kGraphic:
+      return image;
+    case MediaType::kText:
+      return text;
+  }
+  return text;
+}
+
+SystemProfile WorkstationProfile() {
+  SystemProfile p;
+  p.name = "workstation";
+  p.max_color_bits = 8;
+  p.color = true;
+  p.max_width = 1280;
+  p.max_height = 1024;
+  p.max_video_fps = 25;
+  p.max_audio_rate = 44100;
+  p.max_audio_channels = 2;
+  p.video = DeviceTiming{MediaTime::Millis(5), MediaTime::Millis(10), 40'000'000};
+  p.audio = DeviceTiming{MediaTime::Millis(5), MediaTime::Millis(5), 10'000'000};
+  p.image = DeviceTiming{MediaTime::Millis(5), MediaTime::Millis(10), 40'000'000};
+  p.text = DeviceTiming{MediaTime::Millis(1), MediaTime::Millis(1), 0};
+  return p;
+}
+
+SystemProfile PersonalSystemProfile() {
+  SystemProfile p;
+  p.name = "personal";
+  p.max_color_bits = 3;
+  p.color = true;
+  p.max_width = 320;
+  p.max_height = 240;
+  p.max_video_fps = 12;
+  p.max_audio_rate = 11025;
+  p.max_audio_channels = 1;
+  p.video = DeviceTiming{MediaTime::Millis(40), MediaTime::Millis(80), 2'000'000};
+  p.audio = DeviceTiming{MediaTime::Millis(30), MediaTime::Millis(30), 1'000'000};
+  p.image = DeviceTiming{MediaTime::Millis(60), MediaTime::Millis(120), 2'000'000};
+  p.text = DeviceTiming{MediaTime::Millis(10), MediaTime::Millis(10), 0};
+  return p;
+}
+
+SystemProfile PortableMonoProfile() {
+  SystemProfile p;
+  p.name = "portable-mono";
+  p.max_color_bits = 1;
+  p.color = false;
+  p.max_width = 160;
+  p.max_height = 120;
+  p.max_video_fps = 5;
+  p.max_audio_rate = 8000;
+  p.max_audio_channels = 1;
+  p.video = DeviceTiming{MediaTime::Millis(200), MediaTime::Millis(500), 250'000};
+  p.audio = DeviceTiming{MediaTime::Millis(100), MediaTime::Millis(100), 125'000};
+  p.image = DeviceTiming{MediaTime::Millis(250), MediaTime::Millis(500), 250'000};
+  p.text = DeviceTiming{MediaTime::Millis(50), MediaTime::Millis(50), 0};
+  return p;
+}
+
+}  // namespace cmif

@@ -1,0 +1,59 @@
+// Target-system capability profiles. The constraint filtering tools map a
+// document "from the virtual presentation environment to a physical
+// presentation environment" (section 2); a profile describes the physical
+// side: color depth, resolution, rates, and device timing. Profiles also
+// feed kCapability constraints into the scheduler, producing the paper's
+// class-2 conflicts (section 5.3.3).
+#ifndef SRC_PRESENT_CAPABILITY_H_
+#define SRC_PRESENT_CAPABILITY_H_
+
+#include <string>
+
+#include "src/base/media_time.h"
+#include "src/media/media_type.h"
+
+namespace cmif {
+
+// Per-medium device timing.
+struct DeviceTiming {
+  // Fixed delay between commanding a presentation and it appearing.
+  MediaTime latency;
+  // Re-arm time between two presentations on the same channel.
+  MediaTime setup;
+  // Sustained transfer rate for payload bytes; 0 = infinite.
+  std::int64_t bandwidth_bytes_per_s = 0;
+};
+
+// What a target system can do.
+struct SystemProfile {
+  std::string name;
+  // Display.
+  int max_color_bits = 8;      // bits per channel (8 = 24-bit color)
+  bool color = true;           // false = monochrome output
+  int max_width = 1280;
+  int max_height = 1024;
+  int max_video_fps = 25;
+  // Audio.
+  int max_audio_rate = 44100;
+  int max_audio_channels = 2;
+  // Device timing per medium.
+  DeviceTiming video;
+  DeviceTiming audio;
+  DeviceTiming image;
+  DeviceTiming text;
+
+  const DeviceTiming& TimingFor(MediaType medium) const;
+};
+
+// A 1991 research workstation: full color, full rate, fast devices.
+SystemProfile WorkstationProfile();
+// A modest personal system: 8-bit color (3 bits/channel), quarter
+// resolution, 12 fps video, 11 kHz mono audio, slower devices.
+SystemProfile PersonalSystemProfile();
+// A portable monochrome terminal: text and low-rate audio only, tiny
+// display, long setup times. The stress profile for conflict benches.
+SystemProfile PortableMonoProfile();
+
+}  // namespace cmif
+
+#endif  // SRC_PRESENT_CAPABILITY_H_

@@ -1,0 +1,171 @@
+#include "src/present/compositor.h"
+
+#include <algorithm>
+
+#include "src/media/font.h"
+#include "src/media/text.h"
+
+namespace cmif {
+namespace {
+
+// The event visible on `channel` at time t: the active one, or (for the
+// hold policy) the latest one that already ended with no successor active.
+const ScheduledEvent* VisibleOn(const Schedule& schedule, std::string_view channel, MediaTime t,
+                                bool hold) {
+  const ScheduledEvent* visible = nullptr;
+  for (const ScheduledEvent& event : schedule.events()) {
+    if (event.event.channel != channel || event.begin > t) {
+      continue;
+    }
+    if (t < event.end) {
+      return &event;  // actively presented
+    }
+    if (hold && (visible == nullptr || event.end > visible->end)) {
+      visible = &event;  // candidate to hold
+    }
+  }
+  return visible;
+}
+
+// Draws `image` into the region: downscaled when larger, integer-upscaled
+// (nearest neighbor) when much smaller, centered either way.
+void BlitFitted(Raster& canvas, const ScreenRegion& region, const Raster& image) {
+  const Raster* source = &image;
+  Raster scaled;
+  if (image.width() * 2 <= region.width && image.height() * 2 <= region.height &&
+      !image.empty()) {
+    int factor = std::min(region.width / image.width(), region.height / image.height());
+    scaled = image.UpscaleNearest(factor);
+    source = &scaled;
+  } else if (image.width() > region.width || image.height() > region.height) {
+    double sx = static_cast<double>(region.width) / image.width();
+    double sy = static_cast<double>(region.height) / image.height();
+    double s = std::min(sx, sy);
+    int w = std::max(static_cast<int>(image.width() * s), 1);
+    int h = std::max(static_cast<int>(image.height() * s), 1);
+    auto down = image.Downscale(w, h);
+    if (!down.ok()) {
+      return;
+    }
+    scaled = std::move(down).value();
+    source = &scaled;
+  }
+  int ox = region.x + (region.width - source->width()) / 2;
+  int oy = region.y + (region.height - source->height()) / 2;
+  for (int y = 0; y < source->height(); ++y) {
+    for (int x = 0; x < source->width(); ++x) {
+      int cx = ox + x;
+      int cy = oy + y;
+      if (cx >= 0 && cy >= 0 && cx < canvas.width() && cy < canvas.height()) {
+        canvas.Put(cx, cy, source->At(x, y));
+      }
+    }
+  }
+}
+
+void DrawTextBlock(Raster& canvas, const ScreenRegion& region, const TextBlock& text,
+                   const CompositorOptions& options) {
+  int scale = std::max(options.text_scale, 1);
+  int columns = std::max(region.width / (kGlyphAdvance * scale), 4);
+  std::vector<std::string> lines = text.WrapLines(columns);
+  int line_height = TextHeight(scale) + scale;
+  int y = region.y + scale;
+  for (const std::string& line : lines) {
+    if (y + TextHeight(scale) > region.y + region.height) {
+      break;  // region full
+    }
+    DrawText(canvas, region.x + scale, y, line, options.text_color, scale);
+    y += line_height;
+  }
+}
+
+}  // namespace
+
+StatusOr<Raster> ComposeFrame(const Document& document, const Schedule& schedule,
+                              const PresentationMap& map, const VirtualEnvironment& env,
+                              const DescriptorStore& store, const BlockStore& blocks,
+                              MediaTime t, const CompositorOptions& options) {
+  Raster canvas(env.canvas_width(), env.canvas_height(), options.background);
+
+  // Regions draw in ascending z order so strips overlay the body.
+  std::vector<const ChannelDef*> channels;
+  for (const ChannelDef& channel : document.channels().channels()) {
+    if (channel.medium != MediaType::kAudio) {
+      channels.push_back(&channel);
+    }
+  }
+  std::stable_sort(channels.begin(), channels.end(),
+                   [&](const ChannelDef* a, const ChannelDef* b) {
+                     const ChannelBinding* ba = map.Find(a->name);
+                     const ChannelBinding* bb = map.Find(b->name);
+                     const ScreenRegion* ra = ba ? env.FindRegion(ba->region) : nullptr;
+                     const ScreenRegion* rb = bb ? env.FindRegion(bb->region) : nullptr;
+                     return (ra ? ra->z_order : 0) < (rb ? rb->z_order : 0);
+                   });
+
+  for (const ChannelDef* channel : channels) {
+    const ChannelBinding* binding = map.Find(channel->name);
+    if (binding == nullptr || binding->region.empty()) {
+      continue;
+    }
+    const ScreenRegion* region = env.FindRegion(binding->region);
+    if (region == nullptr) {
+      continue;
+    }
+    bool hold = options.hold_discrete_media && channel->medium != MediaType::kVideo;
+    const ScheduledEvent* visible = VisibleOn(schedule, channel->name, t, hold);
+    if (visible == nullptr) {
+      continue;
+    }
+    CMIF_ASSIGN_OR_RETURN(DataBlock block, MaterializeEvent(visible->event, store, blocks));
+    switch (block.medium()) {
+      case MediaType::kVideo: {
+        const VideoSegment& video = block.video();
+        if (video.empty() || video.fps() <= 0) {
+          break;
+        }
+        // Clamp into range so a held last frame renders during freeze gaps.
+        std::int64_t index = (t - visible->begin).ToUnits(video.fps());
+        index = std::clamp<std::int64_t>(index, 0,
+                                         static_cast<std::int64_t>(video.frame_count()) - 1);
+        BlitFitted(canvas, *region, video.Frame(static_cast<std::size_t>(index)));
+        break;
+      }
+      case MediaType::kImage:
+      case MediaType::kGraphic:
+        BlitFitted(canvas, *region, block.image());
+        break;
+      case MediaType::kText:
+        DrawTextBlock(canvas, *region, block.text(), options);
+        break;
+      case MediaType::kAudio:
+        break;  // not visual
+    }
+  }
+  return canvas;
+}
+
+StatusOr<std::vector<Raster>> ComposeFilmStrip(const Document& document,
+                                               const Schedule& schedule,
+                                               const PresentationMap& map,
+                                               const VirtualEnvironment& env,
+                                               const DescriptorStore& store,
+                                               const BlockStore& blocks, MediaTime begin,
+                                               MediaTime end, int count,
+                                               const CompositorOptions& options) {
+  if (count <= 0 || end <= begin) {
+    return InvalidArgumentError("film strip needs count > 0 and end > begin");
+  }
+  std::vector<Raster> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+  MediaTime span = end - begin;
+  for (int i = 0; i < count; ++i) {
+    MediaTime t = begin + span.MulRational(i, count);
+    CMIF_ASSIGN_OR_RETURN(Raster frame,
+                          ComposeFrame(document, schedule, map, env, store, blocks, t, options));
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace cmif

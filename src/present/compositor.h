@@ -1,0 +1,49 @@
+// The frame compositor: renders one instant of a scheduled document onto
+// the virtual canvas — the paper's Figure 4a, produced by software. Visual
+// channels draw into their mapped regions (z-ordered); video shows the
+// frame at the current offset, stills and text hold until replaced (the
+// discrete-media hold that accompanies the scheduler's stretchable events).
+#ifndef SRC_PRESENT_COMPOSITOR_H_
+#define SRC_PRESENT_COMPOSITOR_H_
+
+#include "src/base/status.h"
+#include "src/ddbms/store.h"
+#include "src/doc/event.h"
+#include "src/media/raster.h"
+#include "src/present/presentation_map.h"
+#include "src/sched/schedule.h"
+
+namespace cmif {
+
+struct CompositorOptions {
+  Pixel background{12, 12, 12};
+  Pixel text_color{235, 235, 235};
+  // Text pixel scale (1 = 5x7 glyphs).
+  int text_scale = 1;
+  // Hold stills/text after their event ends until the next event on the
+  // channel begins.
+  bool hold_discrete_media = true;
+};
+
+// Renders the canvas at document time `t`. Channels without a visible event
+// leave their region showing the background. Payloads are materialized via
+// MaterializeEvent (clip/crop/slice respected).
+StatusOr<Raster> ComposeFrame(const Document& document, const Schedule& schedule,
+                              const PresentationMap& map, const VirtualEnvironment& env,
+                              const DescriptorStore& store, const BlockStore& blocks,
+                              MediaTime t, const CompositorOptions& options = {});
+
+// Renders `count` frames evenly spaced over [begin, end) — a contact sheet
+// of the presentation.
+StatusOr<std::vector<Raster>> ComposeFilmStrip(const Document& document,
+                                               const Schedule& schedule,
+                                               const PresentationMap& map,
+                                               const VirtualEnvironment& env,
+                                               const DescriptorStore& store,
+                                               const BlockStore& blocks, MediaTime begin,
+                                               MediaTime end, int count,
+                                               const CompositorOptions& options = {});
+
+}  // namespace cmif
+
+#endif  // SRC_PRESENT_COMPOSITOR_H_

@@ -1,0 +1,294 @@
+#include "src/present/filter.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+std::string_view FilterOpKindName(FilterOpKind kind) {
+  switch (kind) {
+    case FilterOpKind::kQuantizeColor:
+      return "quantize-color";
+    case FilterOpKind::kMonochrome:
+      return "monochrome";
+    case FilterOpKind::kDownscale:
+      return "downscale";
+    case FilterOpKind::kSubsampleFps:
+      return "subsample-fps";
+    case FilterOpKind::kResampleAudio:
+      return "resample-audio";
+    case FilterOpKind::kMixToMono:
+      return "mix-to-mono";
+  }
+  return "?";
+}
+
+std::string FilterOp::ToString() const {
+  switch (kind) {
+    case FilterOpKind::kDownscale:
+      return StrFormat("%s(%dx%d)", std::string(FilterOpKindName(kind)).c_str(), arg1, arg2);
+    case FilterOpKind::kMonochrome:
+    case FilterOpKind::kMixToMono:
+      return std::string(FilterOpKindName(kind));
+    default:
+      return StrFormat("%s(%d)", std::string(FilterOpKindName(kind)).c_str(), arg1);
+  }
+}
+
+FilterPlan PlanFilter(const DataDescriptor& descriptor, const SystemProfile& profile) {
+  FilterPlan plan;
+  plan.descriptor_id = descriptor.id();
+  plan.bytes_before = descriptor.DeclaredBytes();
+  plan.bytes_after = plan.bytes_before;
+  MediaType medium = descriptor.Medium();
+  const AttrList& attrs = descriptor.attrs();
+
+  auto scale_bytes = [&plan](double factor) {
+    plan.bytes_after = static_cast<std::int64_t>(static_cast<double>(plan.bytes_after) * factor);
+  };
+
+  switch (medium) {
+    case MediaType::kVideo: {
+      std::int64_t fps = attrs.GetNumberOr(kDescRate, 0);
+      if (fps > profile.max_video_fps) {
+        // Keep-every-N subsampling needs N to divide the source rate.
+        int factor = 0;
+        for (int candidate = 2; candidate <= fps; ++candidate) {
+          if (fps % candidate == 0 && fps / candidate <= profile.max_video_fps) {
+            factor = candidate;
+            break;
+          }
+        }
+        if (factor == 0) {
+          plan.supported = false;
+          plan.unsupported_reason =
+              StrFormat("no integral subsampling of %lld fps fits under %d fps",
+                        static_cast<long long>(fps), profile.max_video_fps);
+          return plan;
+        }
+        plan.ops.push_back(FilterOp{FilterOpKind::kSubsampleFps, factor, 0});
+        scale_bytes(1.0 / factor);
+      }
+      [[fallthrough]];
+    }
+    case MediaType::kImage:
+    case MediaType::kGraphic: {
+      std::int64_t width = attrs.GetNumberOr(kDescWidth, 0);
+      std::int64_t height = attrs.GetNumberOr(kDescHeight, 0);
+      if (width > profile.max_width || height > profile.max_height) {
+        // Preserve aspect; fit inside the profile box.
+        double sx = static_cast<double>(profile.max_width) / static_cast<double>(width);
+        double sy = static_cast<double>(profile.max_height) / static_cast<double>(height);
+        double s = std::min(sx, sy);
+        int new_w = std::max(static_cast<int>(static_cast<double>(width) * s), 1);
+        int new_h = std::max(static_cast<int>(static_cast<double>(height) * s), 1);
+        plan.ops.push_back(FilterOp{FilterOpKind::kDownscale, new_w, new_h});
+        scale_bytes(static_cast<double>(new_w) * new_h /
+                    (static_cast<double>(width) * static_cast<double>(height)));
+      }
+      std::int64_t bits = attrs.GetNumberOr(kDescColorBits, 8);
+      if (!profile.color) {
+        plan.ops.push_back(FilterOp{FilterOpKind::kMonochrome, 0, 0});
+        scale_bytes(1.0 / 3.0);
+      } else if (bits > profile.max_color_bits) {
+        plan.ops.push_back(FilterOp{FilterOpKind::kQuantizeColor, profile.max_color_bits, 0});
+        scale_bytes(static_cast<double>(profile.max_color_bits) / static_cast<double>(bits));
+      }
+      break;
+    }
+    case MediaType::kAudio: {
+      std::int64_t rate = attrs.GetNumberOr(kDescRate, 0);
+      if (rate > profile.max_audio_rate) {
+        plan.ops.push_back(FilterOp{FilterOpKind::kResampleAudio, profile.max_audio_rate, 0});
+        scale_bytes(static_cast<double>(profile.max_audio_rate) / static_cast<double>(rate));
+      }
+      if (profile.max_audio_channels < 2) {
+        plan.ops.push_back(FilterOp{FilterOpKind::kMixToMono, 0, 0});
+      }
+      break;
+    }
+    case MediaType::kText:
+      break;  // text always fits
+  }
+  return plan;
+}
+
+StatusOr<DataBlock> ApplyFilter(const DataBlock& block, const FilterPlan& plan) {
+  if (!plan.supported) {
+    return FailedPreconditionError("plan for '" + plan.descriptor_id + "' is unsupported: " +
+                                   plan.unsupported_reason);
+  }
+  DataBlock current = block;
+  for (const FilterOp& op : plan.ops) {
+    switch (op.kind) {
+      case FilterOpKind::kQuantizeColor:
+        if (current.medium() == MediaType::kVideo) {
+          current = DataBlock::FromVideo(current.video().QuantizeColor(op.arg1));
+        } else {
+          current = DataBlock::FromImage(current.image().QuantizeColor(op.arg1),
+                                         current.medium());
+        }
+        break;
+      case FilterOpKind::kMonochrome:
+        if (current.medium() == MediaType::kVideo) {
+          VideoSegment mono(current.video().fps());
+          for (const Raster& frame : current.video().frames()) {
+            CMIF_RETURN_IF_ERROR(mono.Append(frame.ToMonochrome()));
+          }
+          current = DataBlock::FromVideo(std::move(mono));
+        } else {
+          current = DataBlock::FromImage(current.image().ToMonochrome(), current.medium());
+        }
+        break;
+      case FilterOpKind::kDownscale:
+        if (current.medium() == MediaType::kVideo) {
+          CMIF_ASSIGN_OR_RETURN(VideoSegment scaled,
+                                current.video().DownscaleFrames(op.arg1, op.arg2));
+          current = DataBlock::FromVideo(std::move(scaled));
+        } else {
+          CMIF_ASSIGN_OR_RETURN(Raster scaled, current.image().Downscale(op.arg1, op.arg2));
+          current = DataBlock::FromImage(std::move(scaled), current.medium());
+        }
+        break;
+      case FilterOpKind::kSubsampleFps: {
+        CMIF_ASSIGN_OR_RETURN(VideoSegment sampled, current.video().SubsampleRate(op.arg1));
+        current = DataBlock::FromVideo(std::move(sampled));
+        break;
+      }
+      case FilterOpKind::kResampleAudio: {
+        CMIF_ASSIGN_OR_RETURN(AudioBuffer resampled, current.audio().Resample(op.arg1));
+        current = DataBlock::FromAudio(std::move(resampled));
+        break;
+      }
+      case FilterOpKind::kMixToMono:
+        current = DataBlock::FromAudio(current.audio().ToMono());
+        break;
+    }
+  }
+  return current;
+}
+
+std::string FilterReport::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("filter report: %zu descriptors, %zu need work, %zu unsupported\n",
+                  plans.size(),
+                  static_cast<std::size_t>(std::count_if(
+                      plans.begin(), plans.end(),
+                      [](const FilterPlan& p) { return p.NeedsWork(); })),
+                  unsupported);
+  os << StrFormat("bytes: %lld -> %lld (%.1f%%)\n",
+                  static_cast<long long>(total_bytes_before),
+                  static_cast<long long>(total_bytes_after),
+                  total_bytes_before == 0
+                      ? 100.0
+                      : 100.0 * static_cast<double>(total_bytes_after) /
+                            static_cast<double>(total_bytes_before));
+  for (const FilterPlan& plan : plans) {
+    if (!plan.supported) {
+      os << "  " << plan.descriptor_id << ": UNSUPPORTED (" << plan.unsupported_reason << ")\n";
+    } else if (plan.NeedsWork()) {
+      os << "  " << plan.descriptor_id << ":";
+      for (const FilterOp& op : plan.ops) {
+        os << " " << op.ToString();
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+StatusOr<FilterReport> PlanDocumentFilter(const Document& document, const DescriptorStore& store,
+                                          const SystemProfile& profile) {
+  FilterReport report;
+  std::vector<std::string> ids;
+  Status failure;
+  document.root().Visit([&](const Node& node) {
+    if (!failure.ok() || node.kind() != NodeKind::kExt) {
+      return;
+    }
+    auto file = document.ResolveAttr(node, kAttrFile);
+    if (!file.ok()) {
+      failure = file.status();
+      return;
+    }
+    if (!file->has_value() || !(*file)->is_string()) {
+      return;  // validator territory
+    }
+    const std::string& id = (*file)->string();
+    if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+      ids.push_back(id);
+    }
+  });
+  if (!failure.ok()) {
+    return failure;
+  }
+  for (const std::string& id : ids) {
+    const DataDescriptor* descriptor = store.Get(id);
+    if (descriptor == nullptr) {
+      return NotFoundError("descriptor '" + id + "' referenced but not stored");
+    }
+    FilterPlan plan = PlanFilter(*descriptor, profile);
+    report.total_bytes_before += plan.bytes_before;
+    report.total_bytes_after += plan.supported ? plan.bytes_after : 0;
+    if (!plan.supported) {
+      ++report.unsupported;
+    }
+    report.plans.push_back(std::move(plan));
+  }
+  return report;
+}
+
+StatusOr<DescriptorStore> ApplyDocumentFilter(const DescriptorStore& store,
+                                              const BlockStore& blocks,
+                                              const FilterReport& report) {
+  DescriptorStore filtered;
+  for (const FilterPlan& plan : report.plans) {
+    const DataDescriptor* descriptor = store.Get(plan.descriptor_id);
+    if (descriptor == nullptr) {
+      return NotFoundError("descriptor '" + plan.descriptor_id + "' vanished from the store");
+    }
+    DataDescriptor copy = *descriptor;
+    if (plan.supported && plan.NeedsWork()) {
+      CMIF_ASSIGN_OR_RETURN(DataBlock payload, ResolveContent(*descriptor, blocks));
+      CMIF_ASSIGN_OR_RETURN(DataBlock reduced, ApplyFilter(payload, plan));
+      copy.DeriveAttrsFrom(reduced);
+      copy.set_content(std::move(reduced));
+    }
+    CMIF_RETURN_IF_ERROR(filtered.Add(std::move(copy)));
+  }
+  return filtered;
+}
+
+Status InjectCapabilityConstraints(TimeGraph& graph, const Document& document,
+                                   const std::vector<EventDescriptor>& events,
+                                   const SystemProfile& profile) {
+  (void)document;
+  std::unordered_map<std::string, const EventDescriptor*> last_on_channel;
+  for (const EventDescriptor& event : events) {
+    const DeviceTiming& timing = profile.TimingFor(event.medium);
+    auto [it, inserted] = last_on_channel.try_emplace(event.channel, &event);
+    if (!inserted) {
+      if (timing.setup.is_positive()) {
+        CMIF_ASSIGN_OR_RETURN(int prev_end, graph.PointOf(*it->second->node, PointKind::kEnd));
+        CMIF_ASSIGN_OR_RETURN(int next_begin, graph.PointOf(*event.node, PointKind::kBegin));
+        Constraint c;
+        c.from = prev_end;
+        c.to = next_begin;
+        c.lo = timing.setup;
+        c.hi = std::nullopt;
+        c.origin = ConstraintOrigin::kCapability;
+        c.label = StrFormat("%s device setup %ss on channel '%s' before %s",
+                            profile.name.c_str(), timing.setup.ToString().c_str(),
+                            event.channel.c_str(), event.node->DisplayPath().c_str());
+        CMIF_RETURN_IF_ERROR(graph.AddConstraint(std::move(c)));
+      }
+      it->second = &event;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cmif

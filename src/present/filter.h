@@ -1,0 +1,96 @@
+// Constraint filtering tools (section 2): "24-bit color to 8-bit color,
+// color to monochrome, high-resolution to low resolution, full-frame-rate
+// video to sub-sampled rate video". Filtering is split the way the paper
+// argues it should be (section 6): *planning* reads only descriptor
+// attributes — small clusters of data — while *applying* touches the media
+// payloads. The Figure-1 bench measures that asymmetry.
+#ifndef SRC_PRESENT_FILTER_H_
+#define SRC_PRESENT_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ddbms/store.h"
+#include "src/doc/document.h"
+#include "src/doc/event.h"
+#include "src/present/capability.h"
+#include "src/sched/timegraph.h"
+
+namespace cmif {
+
+enum class FilterOpKind {
+  kQuantizeColor = 0,  // arg1 = bits per channel
+  kMonochrome,
+  kDownscale,          // arg1 = new width, arg2 = new height
+  kSubsampleFps,       // arg1 = keep-every-N factor
+  kResampleAudio,      // arg1 = new rate
+  kMixToMono,
+};
+
+std::string_view FilterOpKindName(FilterOpKind kind);
+
+// One planned reduction.
+struct FilterOp {
+  FilterOpKind kind = FilterOpKind::kQuantizeColor;
+  int arg1 = 0;
+  int arg2 = 0;
+  std::string ToString() const;
+};
+
+// The reductions one descriptor needs to fit a profile.
+struct FilterPlan {
+  std::string descriptor_id;
+  std::vector<FilterOp> ops;
+  // Declared payload size before, and the attribute-estimated size after.
+  std::int64_t bytes_before = 0;
+  std::int64_t bytes_after = 0;
+  // False when no reduction can make the block presentable (e.g. video on a
+  // profile whose fps limit does not divide the source rate).
+  bool supported = true;
+  std::string unsupported_reason;
+
+  bool NeedsWork() const { return !ops.empty(); }
+};
+
+// Plans the filter for one descriptor against `profile`, reading only its
+// attributes (width/height/rate/color_bits/bytes).
+FilterPlan PlanFilter(const DataDescriptor& descriptor, const SystemProfile& profile);
+
+// Applies a plan to an actual payload. Errors propagate from the media ops.
+StatusOr<DataBlock> ApplyFilter(const DataBlock& block, const FilterPlan& plan);
+
+// Planning across a whole document: one plan per referenced descriptor.
+struct FilterReport {
+  std::vector<FilterPlan> plans;
+  std::int64_t total_bytes_before = 0;
+  std::int64_t total_bytes_after = 0;
+  std::size_t unsupported = 0;
+  std::string ToString() const;
+};
+
+// Plans every descriptor referenced by `document` (descriptor-only pass).
+StatusOr<FilterReport> PlanDocumentFilter(const Document& document, const DescriptorStore& store,
+                                          const SystemProfile& profile);
+
+// Materializes a filtered database: resolves each planned descriptor's
+// payload from `store`/`blocks`, applies its plan, stores the reduced block
+// inline in the returned store and refreshes the descriptor attributes.
+// Unsupported descriptors are copied through unchanged (the player decides
+// whether to drop them).
+StatusOr<DescriptorStore> ApplyDocumentFilter(const DescriptorStore& store,
+                                              const BlockStore& blocks,
+                                              const FilterReport& report);
+
+// Injects the profile's device timing into a time graph as kCapability
+// constraints: consecutive events on one channel need at least the medium's
+// setup time between them, and each event needs the device latency after the
+// start of its enclosing composite. This produces the paper's class-2
+// conflicts when the document demands hard back-to-back synchronization.
+Status InjectCapabilityConstraints(TimeGraph& graph, const Document& document,
+                                   const std::vector<EventDescriptor>& events,
+                                   const SystemProfile& profile);
+
+}  // namespace cmif
+
+#endif  // SRC_PRESENT_FILTER_H_

@@ -1,0 +1,186 @@
+#include "src/present/presentation_map.h"
+
+#include <set>
+#include <sstream>
+
+#include "src/base/lexer.h"
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+Status PresentationMap::BindRegion(std::string channel, std::string region) {
+  if (Find(channel) != nullptr) {
+    return AlreadyExistsError("channel '" + channel + "' is already bound");
+  }
+  ChannelBinding binding;
+  binding.channel = std::move(channel);
+  binding.region = std::move(region);
+  bindings_.push_back(std::move(binding));
+  return Status::Ok();
+}
+
+Status PresentationMap::BindSpeaker(std::string channel, std::string speaker, int volume) {
+  if (Find(channel) != nullptr) {
+    return AlreadyExistsError("channel '" + channel + "' is already bound");
+  }
+  if (volume < 0 || volume > 100) {
+    return OutOfRangeError("volume must lie in [0, 100]");
+  }
+  ChannelBinding binding;
+  binding.channel = std::move(channel);
+  binding.speaker = std::move(speaker);
+  binding.volume = volume;
+  bindings_.push_back(std::move(binding));
+  return Status::Ok();
+}
+
+const ChannelBinding* PresentationMap::Find(std::string_view channel) const {
+  for (const ChannelBinding& binding : bindings_) {
+    if (binding.channel == channel) {
+      return &binding;
+    }
+  }
+  return nullptr;
+}
+
+Status PresentationMap::Validate(const ChannelDictionary& channels,
+                                 const VirtualEnvironment& env) const {
+  for (const ChannelDef& channel : channels.channels()) {
+    const ChannelBinding* binding = Find(channel.name);
+    if (binding == nullptr) {
+      return FailedPreconditionError("channel '" + channel.name + "' is unbound");
+    }
+    bool is_audio = channel.medium == MediaType::kAudio;
+    if (is_audio) {
+      if (binding->speaker.empty()) {
+        return FailedPreconditionError("audio channel '" + channel.name +
+                                       "' must bind to a speaker");
+      }
+      if (env.FindSpeaker(binding->speaker) == nullptr) {
+        return NotFoundError("speaker '" + binding->speaker + "' is not in the environment");
+      }
+    } else {
+      if (binding->region.empty()) {
+        return FailedPreconditionError("visual channel '" + channel.name +
+                                       "' must bind to a region");
+      }
+      if (env.FindRegion(binding->region) == nullptr) {
+        return NotFoundError("region '" + binding->region + "' is not in the environment");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<PresentationMap> PresentationMap::AutoMap(const ChannelDictionary& channels,
+                                                   const VirtualEnvironment& env) {
+  PresentationMap map;
+  std::set<std::string> claimed;
+  // First pass: honor preference attributes.
+  for (const ChannelDef& channel : channels.channels()) {
+    if (channel.medium == MediaType::kAudio) {
+      std::string speaker = channel.extra.GetIdOr("speaker", "");
+      if (!speaker.empty()) {
+        if (env.FindSpeaker(speaker) == nullptr) {
+          return NotFoundError("preferred speaker '" + speaker + "' does not exist");
+        }
+        CMIF_RETURN_IF_ERROR(map.BindSpeaker(channel.name, speaker));
+      }
+    } else {
+      std::string region = channel.extra.GetIdOr("region", "");
+      if (!region.empty()) {
+        if (env.FindRegion(region) == nullptr) {
+          return NotFoundError("preferred region '" + region + "' does not exist");
+        }
+        claimed.insert(region);
+        CMIF_RETURN_IF_ERROR(map.BindRegion(channel.name, region));
+      }
+    }
+  }
+  // Second pass: tile the rest.
+  std::size_t next_region = 0;
+  for (const ChannelDef& channel : channels.channels()) {
+    if (map.Find(channel.name) != nullptr) {
+      continue;
+    }
+    if (channel.medium == MediaType::kAudio) {
+      if (env.speakers().empty()) {
+        return ResourceExhaustedError("no speaker available for channel '" + channel.name + "'");
+      }
+      CMIF_RETURN_IF_ERROR(map.BindSpeaker(channel.name, env.speakers().front().name));
+    } else {
+      while (next_region < env.regions().size() &&
+             claimed.contains(env.regions()[next_region].name)) {
+        ++next_region;
+      }
+      if (next_region >= env.regions().size()) {
+        return ResourceExhaustedError("no region left for channel '" + channel.name + "'");
+      }
+      claimed.insert(env.regions()[next_region].name);
+      CMIF_RETURN_IF_ERROR(map.BindRegion(channel.name, env.regions()[next_region].name));
+    }
+  }
+  return map;
+}
+
+std::string PresentationMap::Serialize() const {
+  std::ostringstream os;
+  os << "(presmap\n";
+  for (const ChannelBinding& binding : bindings_) {
+    if (!binding.region.empty()) {
+      os << "  (bind " << binding.channel << " region " << binding.region << ")\n";
+    } else {
+      os << "  (bind " << binding.channel << " speaker " << binding.speaker << " volume "
+         << binding.volume << ")\n";
+    }
+  }
+  os << ")\n";
+  return os.str();
+}
+
+StatusOr<PresentationMap> PresentationMap::Parse(const std::string& text) {
+  PresentationMap map;
+  Lexer lexer(text);
+  CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kLParen).status());
+  CMIF_ASSIGN_OR_RETURN(Token head, lexer.Expect(TokenKind::kWord));
+  if (head.text != "presmap") {
+    return DataLossError("expected '(presmap', got '" + head.text + "'");
+  }
+  while (true) {
+    CMIF_ASSIGN_OR_RETURN(Token token, lexer.Next());
+    if (token.kind == TokenKind::kRParen) {
+      break;
+    }
+    if (token.kind != TokenKind::kLParen) {
+      return DataLossError(StrFormat("line %d: expected '(bind ...)'", token.line));
+    }
+    CMIF_ASSIGN_OR_RETURN(Token bind, lexer.Expect(TokenKind::kWord));
+    if (bind.text != "bind") {
+      return DataLossError(StrFormat("line %d: expected 'bind'", bind.line));
+    }
+    CMIF_ASSIGN_OR_RETURN(Token channel, lexer.Expect(TokenKind::kWord));
+    CMIF_ASSIGN_OR_RETURN(Token kind, lexer.Expect(TokenKind::kWord));
+    CMIF_ASSIGN_OR_RETURN(Token target, lexer.Expect(TokenKind::kWord));
+    if (kind.text == "region") {
+      CMIF_RETURN_IF_ERROR(map.BindRegion(channel.text, target.text));
+      CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kRParen).status());
+    } else if (kind.text == "speaker") {
+      int volume = 100;
+      CMIF_ASSIGN_OR_RETURN(Token next, lexer.Next());
+      if (next.kind == TokenKind::kWord && next.text == "volume") {
+        CMIF_ASSIGN_OR_RETURN(Token value, lexer.Expect(TokenKind::kWord));
+        volume = static_cast<int>(std::strtol(value.text.c_str(), nullptr, 10));
+        CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kRParen).status());
+      } else if (next.kind != TokenKind::kRParen) {
+        return DataLossError(StrFormat("line %d: expected 'volume' or ')'", next.line));
+      }
+      CMIF_RETURN_IF_ERROR(map.BindSpeaker(channel.text, target.text, volume));
+    } else {
+      return DataLossError(StrFormat("line %d: unknown binding kind '%s'", kind.line,
+                                     kind.text.c_str()));
+    }
+  }
+  return map;
+}
+
+}  // namespace cmif

@@ -1,0 +1,64 @@
+// The presentation map: the output of the Presentation Mapping Tool. "This
+// tool manipulates the definitions provided in the CMIF document and creates
+// a presentation map that can be manipulated separately from the document
+// itself" (section 2) — hence its own serialization, independent of the
+// document's.
+//
+// Catalog syntax, one binding per channel:
+//   (presmap
+//     (bind <channel> region <region_name>)
+//     (bind <channel> speaker <speaker_name> volume <number 0..100>))
+#ifndef SRC_PRESENT_PRESENTATION_MAP_H_
+#define SRC_PRESENT_PRESENTATION_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/doc/channel.h"
+#include "src/present/virtual_env.h"
+
+namespace cmif {
+
+// Where a channel's output goes.
+struct ChannelBinding {
+  std::string channel;
+  // Exactly one of the two names is set.
+  std::string region;   // visual channels
+  std::string speaker;  // audio channels
+  int volume = 100;     // audio only, percent
+  bool operator==(const ChannelBinding& other) const = default;
+};
+
+// Channel -> real-estate bindings, separate from the document.
+class PresentationMap {
+ public:
+  PresentationMap() = default;
+
+  Status BindRegion(std::string channel, std::string region);
+  Status BindSpeaker(std::string channel, std::string speaker, int volume = 100);
+
+  const ChannelBinding* Find(std::string_view channel) const;
+  const std::vector<ChannelBinding>& bindings() const { return bindings_; }
+
+  // Every channel must be bound to an existing region/speaker of `env`, with
+  // media routed appropriately (visual media to regions, audio to speakers).
+  Status Validate(const ChannelDictionary& channels, const VirtualEnvironment& env) const;
+
+  // Builds a map using "preference defaults" (section 2): channels carrying
+  // a "region"/"speaker" extra attribute bind there; remaining visual
+  // channels tile over the unclaimed regions in definition order; audio
+  // channels bind to the first speaker.
+  static StatusOr<PresentationMap> AutoMap(const ChannelDictionary& channels,
+                                           const VirtualEnvironment& env);
+
+  std::string Serialize() const;
+  static StatusOr<PresentationMap> Parse(const std::string& text);
+
+ private:
+  std::vector<ChannelBinding> bindings_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_PRESENT_PRESENTATION_MAP_H_

@@ -1,0 +1,91 @@
+#include "src/present/virtual_env.h"
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+Status VirtualEnvironment::AddRegion(ScreenRegion region) {
+  if (!IsValidId(region.name)) {
+    return InvalidArgumentError("region name '" + region.name + "' is not a valid ID");
+  }
+  if (FindRegion(region.name) != nullptr) {
+    return AlreadyExistsError("region '" + region.name + "' already defined");
+  }
+  if (region.width <= 0 || region.height <= 0 || region.x < 0 || region.y < 0 ||
+      region.x + region.width > canvas_width_ || region.y + region.height > canvas_height_) {
+    return OutOfRangeError(StrFormat("region '%s' (%d,%d %dx%d) leaves the %dx%d canvas",
+                                     region.name.c_str(), region.x, region.y, region.width,
+                                     region.height, canvas_width_, canvas_height_));
+  }
+  regions_.push_back(std::move(region));
+  return Status::Ok();
+}
+
+Status VirtualEnvironment::AddSpeaker(SpeakerOutput speaker) {
+  if (!IsValidId(speaker.name)) {
+    return InvalidArgumentError("speaker name '" + speaker.name + "' is not a valid ID");
+  }
+  if (FindSpeaker(speaker.name) != nullptr) {
+    return AlreadyExistsError("speaker '" + speaker.name + "' already defined");
+  }
+  if (speaker.pan < -1 || speaker.pan > 1) {
+    return OutOfRangeError("speaker pan must lie in [-1, 1]");
+  }
+  speakers_.push_back(std::move(speaker));
+  return Status::Ok();
+}
+
+const ScreenRegion* VirtualEnvironment::FindRegion(std::string_view name) const {
+  for (const ScreenRegion& region : regions_) {
+    if (region.name == name) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+const SpeakerOutput* VirtualEnvironment::FindSpeaker(std::string_view name) const {
+  for (const SpeakerOutput& speaker : speakers_) {
+    if (speaker.name == name) {
+      return &speaker;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<std::string, std::string>> VirtualEnvironment::OverlappingRegions() const {
+  std::vector<std::pair<std::string, std::string>> overlaps;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions_.size(); ++j) {
+      const ScreenRegion& a = regions_[i];
+      const ScreenRegion& b = regions_[j];
+      if (a.z_order != b.z_order) {
+        continue;
+      }
+      bool disjoint = a.x + a.width <= b.x || b.x + b.width <= a.x || a.y + a.height <= b.y ||
+                      b.y + b.height <= a.y;
+      if (!disjoint) {
+        overlaps.emplace_back(a.name, b.name);
+      }
+    }
+  }
+  return overlaps;
+}
+
+VirtualEnvironment VirtualEnvironment::NewsLayout(int canvas_width, int canvas_height) {
+  VirtualEnvironment env(canvas_width, canvas_height);
+  int label_h = canvas_height / 8;
+  int caption_h = canvas_height / 6;
+  int body_h = canvas_height - label_h - caption_h;
+  int main_w = canvas_width * 2 / 3;
+  (void)env.AddRegion(ScreenRegion{"label_strip", 0, 0, canvas_width, label_h, 2});
+  (void)env.AddRegion(ScreenRegion{"main", 0, label_h, main_w, body_h, 0});
+  (void)env.AddRegion(
+      ScreenRegion{"inset", main_w, label_h, canvas_width - main_w, body_h, 0});
+  (void)env.AddRegion(ScreenRegion{"caption_strip", 0, label_h + body_h, canvas_width,
+                                   caption_h, 2});
+  (void)env.AddSpeaker(SpeakerOutput{"center", 0});
+  return env;
+}
+
+}  // namespace cmif

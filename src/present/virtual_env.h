@@ -1,0 +1,70 @@
+// The virtual presentation environment: "this tool is used to allocate
+// virtual presentation 'real estate' (such as areas on a display or channels
+// of a loudspeaker) to a given multimedia document" (section 2). Regions and
+// speaker outputs are named; the presentation map binds channels to them.
+#ifndef SRC_PRESENT_VIRTUAL_ENV_H_
+#define SRC_PRESENT_VIRTUAL_ENV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/doc/channel.h"
+
+namespace cmif {
+
+// An axis-aligned screen region on the virtual canvas.
+struct ScreenRegion {
+  std::string name;
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+  int z_order = 0;  // higher draws on top (labels over video)
+};
+
+// One loudspeaker output.
+struct SpeakerOutput {
+  std::string name;
+  // Stereo position in [-1, 1]; 0 = center.
+  double pan = 0;
+};
+
+// A virtual canvas plus named regions and speaker outputs.
+class VirtualEnvironment {
+ public:
+  VirtualEnvironment(int canvas_width, int canvas_height)
+      : canvas_width_(canvas_width), canvas_height_(canvas_height) {}
+
+  int canvas_width() const { return canvas_width_; }
+  int canvas_height() const { return canvas_height_; }
+
+  // Defines a region; error when the name exists or the rectangle leaves
+  // the canvas.
+  Status AddRegion(ScreenRegion region);
+  Status AddSpeaker(SpeakerOutput speaker);
+
+  const ScreenRegion* FindRegion(std::string_view name) const;
+  const SpeakerOutput* FindSpeaker(std::string_view name) const;
+  const std::vector<ScreenRegion>& regions() const { return regions_; }
+  const std::vector<SpeakerOutput>& speakers() const { return speakers_; }
+
+  // True if two regions overlap at the same z order (a layout smell the
+  // presentation tool warns about).
+  std::vector<std::pair<std::string, std::string>> OverlappingRegions() const;
+
+  // A standard news-style layout on the canvas: a main video area, a graphic
+  // inset, a label strip on top, a caption strip at the bottom, and a center
+  // speaker. Region names: main, inset, label_strip, caption_strip.
+  static VirtualEnvironment NewsLayout(int canvas_width, int canvas_height);
+
+ private:
+  int canvas_width_;
+  int canvas_height_;
+  std::vector<ScreenRegion> regions_;
+  std::vector<SpeakerOutput> speakers_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_PRESENT_VIRTUAL_ENV_H_

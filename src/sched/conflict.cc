@@ -1,0 +1,88 @@
+#include "src/sched/conflict.h"
+
+#include "src/base/logging.h"
+
+namespace cmif {
+
+std::string_view ConflictClassName(ConflictClass cls) {
+  switch (cls) {
+    case ConflictClass::kAuthoring:
+      return "authoring";
+    case ConflictClass::kCapability:
+      return "capability";
+    case ConflictClass::kNavigation:
+      return "navigation";
+  }
+  return "?";
+}
+
+namespace {
+
+Conflict DescribeCycle(const TimeGraph& graph, const std::vector<std::size_t>& cycle) {
+  Conflict conflict;
+  bool capability = false;
+  for (std::size_t index : cycle) {
+    const Constraint& c = graph.constraints()[index];
+    conflict.cycle.push_back(std::string(ConstraintOriginName(c.origin)) + ": " + c.label);
+    if (c.origin == ConstraintOrigin::kCapability) {
+      capability = true;
+    }
+  }
+  conflict.cls = capability ? ConflictClass::kCapability : ConflictClass::kAuthoring;
+  conflict.description =
+      std::string(capability
+                      ? "device constraints make the requested synchronization unsatisfiable"
+                      : "the document's synchronization constraints contradict each other");
+  return conflict;
+}
+
+// The index of a droppable (explicit may) constraint in the cycle, or npos.
+std::size_t FindMayArc(const TimeGraph& graph, const std::vector<std::size_t>& cycle) {
+  for (std::size_t index : cycle) {
+    const Constraint& c = graph.constraints()[index];
+    if (c.origin == ConstraintOrigin::kExplicitArc && c.rigor == ArcRigor::kMay) {
+      return index;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+StatusOr<ScheduleResult> SolveSchedule(TimeGraph& graph,
+                                       const std::vector<EventDescriptor>& events,
+                                       const ScheduleOptions& options) {
+  ScheduleResult result;
+  for (std::size_t round = 0; round <= options.max_relaxations; ++round) {
+    result.solve = SolveStn(graph);
+    if (result.solve.feasible) {
+      result.feasible = true;
+      CMIF_ASSIGN_OR_RETURN(result.schedule, Schedule::FromSolve(graph, events, result.solve));
+      return result;
+    }
+    Conflict conflict = DescribeCycle(graph, result.solve.conflict_cycle);
+    std::size_t droppable =
+        options.relax_may_arcs ? FindMayArc(graph, result.solve.conflict_cycle)
+                               : static_cast<std::size_t>(-1);
+    result.conflicts.push_back(std::move(conflict));
+    if (droppable == static_cast<std::size_t>(-1)) {
+      result.feasible = false;
+      return result;
+    }
+    const Constraint& dropped = graph.constraints()[droppable];
+    CMIF_LOG(kInfo) << "relaxation: dropping may arc (" << dropped.label << ")";
+    result.dropped_arcs.push_back(dropped.label);
+    graph.Disable(droppable);
+  }
+  result.feasible = false;
+  return result;
+}
+
+StatusOr<ScheduleResult> ComputeSchedule(const Document& document,
+                                         const std::vector<EventDescriptor>& events,
+                                         const ScheduleOptions& options) {
+  CMIF_ASSIGN_OR_RETURN(TimeGraph graph, TimeGraph::Build(document, events, options.graph));
+  return SolveSchedule(graph, events, options);
+}
+
+}  // namespace cmif

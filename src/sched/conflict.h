@@ -1,0 +1,71 @@
+// Conflict detection and may-arc relaxation. Section 5.3.3 names three
+// conflict classes: (1) an unreasonable authored constraint, (2) device
+// characteristics that cannot support the document, and (3) navigation past
+// arcs whose sources never execute (handled in src/sched/navigate.h).
+// "CMIF plays a role in signalling problems, allowing other mechanisms to
+// provide solutions" — so conflicts carry the exact constraint cycle.
+#ifndef SRC_SCHED_CONFLICT_H_
+#define SRC_SCHED_CONFLICT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sched/schedule.h"
+#include "src/sched/solver.h"
+#include "src/sched/timegraph.h"
+
+namespace cmif {
+
+enum class ConflictClass {
+  kAuthoring = 0,  // section 5.3.3 case 1: the document over-constrains itself
+  kCapability,     // case 2: an injected device constraint is in the cycle
+  kNavigation,     // case 3: reported by AnalyzeSeek
+};
+
+std::string_view ConflictClassName(ConflictClass cls);
+
+// One inconsistent constraint cycle.
+struct Conflict {
+  ConflictClass cls = ConflictClass::kAuthoring;
+  std::string description;
+  // Labels of the constraints forming the negative cycle, in cycle order.
+  std::vector<std::string> cycle;
+};
+
+// Scheduling controls.
+struct ScheduleOptions {
+  TimeGraphOptions graph;
+  // When infeasible, repeatedly drop one "may" arc from the conflict cycle
+  // ("desirable but not essential", section 5.3.2) and re-solve.
+  bool relax_may_arcs = true;
+  std::size_t max_relaxations = 64;
+};
+
+// The outcome of scheduling one document.
+struct ScheduleResult {
+  bool feasible = false;
+  Schedule schedule;   // valid when feasible
+  SolveResult solve;   // raw point times / final conflict cycle
+  // Conflicts hit along the way. When feasible, these are the cycles that
+  // were broken by dropping may arcs; when infeasible, the last entry is the
+  // unbreakable cycle.
+  std::vector<Conflict> conflicts;
+  // Human-readable labels of the may arcs that were dropped.
+  std::vector<std::string> dropped_arcs;
+};
+
+// Solves `graph` (already built, possibly with capability constraints
+// injected), relaxing may arcs per `options`. The graph is mutated: dropped
+// arcs are disabled.
+StatusOr<ScheduleResult> SolveSchedule(TimeGraph& graph,
+                                       const std::vector<EventDescriptor>& events,
+                                       const ScheduleOptions& options = {});
+
+// Convenience: collect events, build the graph, and solve.
+StatusOr<ScheduleResult> ComputeSchedule(const Document& document,
+                                         const std::vector<EventDescriptor>& events,
+                                         const ScheduleOptions& options = {});
+
+}  // namespace cmif
+
+#endif  // SRC_SCHED_CONFLICT_H_

@@ -1,0 +1,110 @@
+#include "src/sched/navigate.h"
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+std::vector<Conflict> SeekAnalysis::Conflicts() const {
+  std::vector<Conflict> conflicts;
+  for (const InvalidatedArc& arc : invalidated) {
+    Conflict conflict;
+    conflict.cls = ConflictClass::kNavigation;
+    conflict.description = arc.reason;
+    conflict.cycle.push_back("arc #" + std::to_string(arc.arc_index) + " on " +
+                             arc.owner->DisplayPath());
+    conflicts.push_back(std::move(conflict));
+  }
+  return conflicts;
+}
+
+SeekAnalysis AnalyzeSeek(const Document& document, const Schedule& schedule, MediaTime target) {
+  SeekAnalysis analysis;
+  analysis.target = target;
+  for (const ScheduledEvent& event : schedule.events()) {
+    // A zero-duration event exactly at the target counts as active, matching
+    // the playback engine's resume rule.
+    if (event.end <= target && event.begin < target) {
+      analysis.skipped.push_back(&event);
+    } else if (event.begin <= target) {
+      analysis.active.push_back(&event);
+    } else {
+      analysis.pending.push_back(&event);
+    }
+  }
+
+  document.root().Visit([&](const Node& node) {
+    for (std::size_t i = 0; i < node.arcs().size(); ++i) {
+      const SyncArc& arc = node.arcs()[i];
+      auto source = node.Resolve(arc.source);
+      auto dest = node.Resolve(arc.dest);
+      if (!source.ok() || !dest.ok()) {
+        continue;  // the validator reports unresolvable endpoints
+      }
+      auto source_begin = schedule.BeginOf(**source);
+      auto source_end = schedule.EndOf(**source);
+      auto dest_end = schedule.EndOf(**dest);
+      if (!source_begin.ok() || !source_end.ok() || !dest_end.ok()) {
+        continue;
+      }
+      // The source executed only if some part of it lies at/after the seek
+      // point; a source wholly before the target is skipped, so arcs whose
+      // destination still matters cannot bind.
+      bool source_skipped = *source_end <= target && *source_begin < target;
+      bool dest_still_matters = *dest_end > target;
+      if (source_skipped && dest_still_matters) {
+        analysis.invalidated.push_back(InvalidatedArc{
+            &node, static_cast<int>(i),
+            "seek to " + target.ToString() + "s skips arc source " +
+                (*source)->DisplayPath() + "; incoming synchronization on " +
+                (*dest)->DisplayPath() + " is invalid"});
+      }
+    }
+  });
+  return analysis;
+}
+
+StatusOr<ScheduleResult> RescheduleFromSeek(const Document& document,
+                                            const std::vector<EventDescriptor>& events,
+                                            const Schedule& original, MediaTime target,
+                                            const ScheduleOptions& options) {
+  SeekAnalysis analysis = AnalyzeSeek(document, original, target);
+  CMIF_ASSIGN_OR_RETURN(TimeGraph graph, TimeGraph::Build(document, events, options.graph));
+
+  // Disable the constraints of invalidated arcs.
+  for (const InvalidatedArc& dead : analysis.invalidated) {
+    const std::vector<Constraint>& constraints = graph.constraints();
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+      if (constraints[i].origin == ConstraintOrigin::kExplicitArc &&
+          constraints[i].owner == dead.owner && constraints[i].arc_index == dead.arc_index) {
+        graph.Disable(i);
+      }
+    }
+  }
+
+  // Pin already-played events to their original times so the prefix of the
+  // timeline does not rewrite history.
+  for (const ScheduledEvent* skipped : analysis.skipped) {
+    CMIF_ASSIGN_OR_RETURN(int begin, graph.PointOf(*skipped->event.node, PointKind::kBegin));
+    CMIF_ASSIGN_OR_RETURN(int end, graph.PointOf(*skipped->event.node, PointKind::kEnd));
+    Constraint pin_begin;
+    pin_begin.from = 0;
+    pin_begin.to = begin;
+    pin_begin.lo = skipped->begin;
+    pin_begin.hi = skipped->begin;
+    pin_begin.origin = ConstraintOrigin::kStructure;
+    pin_begin.label =
+        StrFormat("seek pin begin of %s", skipped->event.node->DisplayPath().c_str());
+    CMIF_RETURN_IF_ERROR(graph.AddConstraint(std::move(pin_begin)));
+    Constraint pin_end = Constraint{};
+    pin_end.from = 0;
+    pin_end.to = end;
+    pin_end.lo = skipped->end;
+    pin_end.hi = skipped->end;
+    pin_end.origin = ConstraintOrigin::kStructure;
+    pin_end.label = StrFormat("seek pin end of %s", skipped->event.node->DisplayPath().c_str());
+    CMIF_RETURN_IF_ERROR(graph.AddConstraint(std::move(pin_end)));
+  }
+  return SolveSchedule(graph, events, options);
+}
+
+}  // namespace cmif

@@ -1,0 +1,58 @@
+// Navigation analysis (section 5.3.3, case 3): "in navigating through a
+// document, a reader may want to fast-forward to a document section that
+// contains a number of relative synchronization constraints for which the
+// source or destination are not active. ... the source of the arc must
+// execute in order for a synchronization condition to be true; if this is
+// not the case, all incoming synchronization arcs are considered invalid."
+#ifndef SRC_SCHED_NAVIGATE_H_
+#define SRC_SCHED_NAVIGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sched/conflict.h"
+#include "src/sched/schedule.h"
+
+namespace cmif {
+
+// An explicit arc that cannot bind after a seek.
+struct InvalidatedArc {
+  const Node* owner = nullptr;
+  int arc_index = -1;
+  std::string reason;
+};
+
+// The state of a document when playback (re)starts at `target`.
+struct SeekAnalysis {
+  MediaTime target;
+  // Events in flight at the target time (begin <= target < end).
+  std::vector<const ScheduledEvent*> active;
+  // Events entirely before the target: skipped, they will not execute.
+  std::vector<const ScheduledEvent*> skipped;
+  // Events still entirely ahead.
+  std::vector<const ScheduledEvent*> pending;
+  // Explicit arcs whose source lies wholly in the skipped region while the
+  // destination is active or pending — their sync conditions are invalid.
+  std::vector<InvalidatedArc> invalidated;
+
+  // Navigation conflicts (class kNavigation), one per invalidated arc.
+  std::vector<Conflict> Conflicts() const;
+};
+
+// Classifies every event and explicit arc of `schedule` against a seek to
+// `target`. Pointers borrow from `schedule` / the document.
+SeekAnalysis AnalyzeSeek(const Document& document, const Schedule& schedule, MediaTime target);
+
+// Recomputes the schedule for playback resuming at `target`: arcs whose
+// sources were skipped are disabled ("all incoming synchronization arcs are
+// considered to be invalid", section 5.3.3), and skipped events are pinned
+// to their original times so the already-played prefix stays fixed. The
+// remaining events may move earlier once dead arcs stop constraining them.
+StatusOr<ScheduleResult> RescheduleFromSeek(const Document& document,
+                                            const std::vector<EventDescriptor>& events,
+                                            const Schedule& original, MediaTime target,
+                                            const ScheduleOptions& options = {});
+
+}  // namespace cmif
+
+#endif  // SRC_SCHED_NAVIGATE_H_

@@ -1,0 +1,77 @@
+#include "src/sched/schedule.h"
+
+#include <algorithm>
+
+namespace cmif {
+
+StatusOr<Schedule> Schedule::FromSolve(const TimeGraph& graph,
+                                       const std::vector<EventDescriptor>& events,
+                                       const SolveResult& solve) {
+  if (!solve.feasible) {
+    return FailedPreconditionError("cannot build a schedule from an infeasible solve");
+  }
+  Schedule schedule;
+  for (std::size_t point = 0; point + 1 < graph.point_count(); point += 2) {
+    const Node* node = graph.NodeOfPoint(static_cast<int>(point));
+    if (node == nullptr) {
+      continue;
+    }
+    schedule.node_times_.emplace(
+        node, std::make_pair(solve.earliest[point], solve.earliest[point + 1]));
+  }
+  for (const EventDescriptor& event : events) {
+    auto it = schedule.node_times_.find(event.node);
+    if (it == schedule.node_times_.end()) {
+      return InternalError("event node " + event.node->DisplayPath() + " missing from solve");
+    }
+    schedule.events_.push_back(ScheduledEvent{event, it->second.first, it->second.second});
+  }
+  return schedule;
+}
+
+StatusOr<MediaTime> Schedule::BeginOf(const Node& node) const {
+  auto it = node_times_.find(&node);
+  if (it == node_times_.end()) {
+    return NotFoundError("node " + node.DisplayPath() + " is not in this schedule");
+  }
+  return it->second.first;
+}
+
+StatusOr<MediaTime> Schedule::EndOf(const Node& node) const {
+  auto it = node_times_.find(&node);
+  if (it == node_times_.end()) {
+    return NotFoundError("node " + node.DisplayPath() + " is not in this schedule");
+  }
+  return it->second.second;
+}
+
+MediaTime Schedule::MakeSpan() const {
+  MediaTime span;
+  for (const auto& [node, times] : node_times_) {
+    (void)node;
+    span = std::max(span, times.second);
+  }
+  return span;
+}
+
+std::vector<TimelineRow> Schedule::ToTimelineRows(const Document& document) const {
+  std::vector<TimelineRow> rows;
+  for (const ChannelDef& channel : document.channels().channels()) {
+    TimelineRow row;
+    row.channel = channel.name;
+    for (const ScheduledEvent& scheduled : events_) {
+      if (scheduled.event.channel != channel.name) {
+        continue;
+      }
+      std::string label = scheduled.event.node->name();
+      if (label.empty()) {
+        label = scheduled.event.node->DisplayPath();
+      }
+      row.spans.push_back(TimelineSpan{std::move(label), scheduled.begin, scheduled.end});
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace cmif

@@ -1,0 +1,60 @@
+// Concrete schedules: the earliest-time assignment of every node and event,
+// derived from a solved time graph. This is what the paper's presentation
+// tools consume: per-channel lanes of (event, begin, end) spans.
+#ifndef SRC_SCHED_SCHEDULE_H_
+#define SRC_SCHED_SCHEDULE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/doc/event.h"
+#include "src/fmt/tree_view.h"
+#include "src/sched/solver.h"
+#include "src/sched/timegraph.h"
+
+namespace cmif {
+
+// One scheduled event occurrence. The event descriptor is held by value so
+// a Schedule stays valid after the CollectEvents vector it was built from
+// goes away (schedules are passed across pipeline stages and sessions).
+struct ScheduledEvent {
+  EventDescriptor event;
+  MediaTime begin;
+  MediaTime end;
+
+  MediaTime Duration() const { return end - begin; }
+};
+
+// The timed document. Events appear in document order.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  // Extracts begin/end times for every node and event from a feasible solve.
+  static StatusOr<Schedule> FromSolve(const TimeGraph& graph,
+                                      const std::vector<EventDescriptor>& events,
+                                      const SolveResult& solve);
+
+  const std::vector<ScheduledEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  // Begin/end of any node (composite or leaf).
+  StatusOr<MediaTime> BeginOf(const Node& node) const;
+  StatusOr<MediaTime> EndOf(const Node& node) const;
+
+  // Completion time of the whole document.
+  MediaTime MakeSpan() const;
+
+  // Channel lanes for the Figure 3/10 timeline renderers, in channel
+  // definition order. Events are labelled with their node names.
+  std::vector<TimelineRow> ToTimelineRows(const Document& document) const;
+
+ private:
+  std::vector<ScheduledEvent> events_;
+  std::unordered_map<const Node*, std::pair<MediaTime, MediaTime>> node_times_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_SCHED_SCHEDULE_H_

@@ -1,0 +1,323 @@
+#include "src/sched/solver.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace cmif {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// One edge of the distance graph: t[head] - t[tail] <= weight.
+template <typename W>
+struct Edge {
+  int tail;
+  int head;
+  W weight;
+  std::size_t constraint;  // provenance
+};
+
+// Queue-based Bellman-Ford (SPFA): near-linear on the mostly-acyclic
+// networks CMIF structure produces. Fills dist/pred_edge from `source`;
+// returns an edge on/into a negative cycle, or npos. A vertex enqueued more
+// than V times proves a negative cycle.
+template <typename W>
+std::size_t Spfa(int source, std::size_t point_count, const std::vector<Edge<W>>& edges,
+                 std::vector<std::optional<W>>& dist, std::vector<int>& pred_edge) {
+  dist.assign(point_count, std::nullopt);
+  pred_edge.assign(point_count, -1);
+
+  std::vector<std::vector<int>> out_edges(point_count);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    out_edges[static_cast<std::size_t>(edges[e].tail)].push_back(static_cast<int>(e));
+  }
+
+  std::deque<int> queue;
+  std::vector<char> in_queue(point_count, 0);
+  std::vector<std::size_t> enqueues(point_count, 0);
+  dist[static_cast<std::size_t>(source)] = W();
+  queue.push_back(source);
+  in_queue[static_cast<std::size_t>(source)] = 1;
+  enqueues[static_cast<std::size_t>(source)] = 1;
+
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    in_queue[static_cast<std::size_t>(v)] = 0;
+    W base = *dist[static_cast<std::size_t>(v)];
+    for (int e : out_edges[static_cast<std::size_t>(v)]) {
+      const Edge<W>& edge = edges[static_cast<std::size_t>(e)];
+      W candidate = base + edge.weight;
+      auto& to = dist[static_cast<std::size_t>(edge.head)];
+      if (!to.has_value() || candidate < *to) {
+        to = candidate;
+        pred_edge[static_cast<std::size_t>(edge.head)] = e;
+        if (!in_queue[static_cast<std::size_t>(edge.head)]) {
+          if (++enqueues[static_cast<std::size_t>(edge.head)] > point_count) {
+            return static_cast<std::size_t>(e);  // negative cycle
+          }
+          in_queue[static_cast<std::size_t>(edge.head)] = 1;
+          // Smallest-label-first: processing low labels first sharply cuts
+          // re-relaxation on the near-acyclic graphs CMIF produces.
+          if (!queue.empty() &&
+              candidate < *dist[static_cast<std::size_t>(queue.front())]) {
+            queue.push_front(edge.head);
+          } else {
+            queue.push_back(edge.head);
+          }
+        }
+      }
+    }
+  }
+  return kNone;
+}
+
+// Classic edge-list Bellman-Ford: the O(V * E) ablation baseline.
+template <typename W>
+std::size_t BellmanFord(int source, std::size_t point_count, const std::vector<Edge<W>>& edges,
+                        std::vector<std::optional<W>>& dist, std::vector<int>& pred_edge) {
+  dist.assign(point_count, std::nullopt);
+  pred_edge.assign(point_count, -1);
+  dist[static_cast<std::size_t>(source)] = W();
+  bool changed = true;
+  for (std::size_t pass = 0; pass + 1 < point_count && changed; ++pass) {
+    changed = false;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      const Edge<W>& edge = edges[e];
+      const auto& from = dist[static_cast<std::size_t>(edge.tail)];
+      if (!from.has_value()) {
+        continue;
+      }
+      W candidate = *from + edge.weight;
+      auto& to = dist[static_cast<std::size_t>(edge.head)];
+      if (!to.has_value() || candidate < *to) {
+        to = candidate;
+        pred_edge[static_cast<std::size_t>(edge.head)] = static_cast<int>(e);
+        changed = true;
+      }
+    }
+  }
+  if (!changed) {
+    return kNone;
+  }
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const Edge<W>& edge = edges[e];
+    const auto& from = dist[static_cast<std::size_t>(edge.tail)];
+    if (!from.has_value()) {
+      continue;
+    }
+    W candidate = *from + edge.weight;
+    const auto& to = dist[static_cast<std::size_t>(edge.head)];
+    if (!to.has_value() || candidate < *to) {
+      return e;
+    }
+  }
+  return kNone;
+}
+
+// Walks predecessor edges from a vertex known to be affected by a negative
+// cycle until the cycle is isolated; returns its constraint indexes.
+template <typename W>
+std::vector<std::size_t> ExtractCycle(int start_vertex, std::size_t point_count,
+                                      const std::vector<Edge<W>>& edges,
+                                      const std::vector<int>& pred_edge) {
+  // Step back V times to guarantee we are inside the cycle.
+  int v = start_vertex;
+  for (std::size_t i = 0; i < point_count; ++i) {
+    int e = pred_edge[static_cast<std::size_t>(v)];
+    if (e < 0) {
+      break;
+    }
+    v = edges[static_cast<std::size_t>(e)].tail;
+  }
+  std::vector<std::size_t> cycle;
+  std::vector<bool> seen(point_count, false);
+  int cursor = v;
+  while (!seen[static_cast<std::size_t>(cursor)]) {
+    seen[static_cast<std::size_t>(cursor)] = true;
+    int e = pred_edge[static_cast<std::size_t>(cursor)];
+    if (e < 0) {
+      break;
+    }
+    cycle.push_back(edges[static_cast<std::size_t>(e)].constraint);
+    cursor = edges[static_cast<std::size_t>(e)].tail;
+    if (cursor == v) {
+      break;
+    }
+  }
+  std::reverse(cycle.begin(), cycle.end());
+  std::vector<std::size_t> unique;
+  for (std::size_t c : cycle) {
+    if (std::find(unique.begin(), unique.end(), c) == unique.end()) {
+      unique.push_back(c);
+    }
+  }
+  return unique;
+}
+
+// The rational edge lists of a graph's distance graph.
+struct RationalEdges {
+  std::vector<Edge<MediaTime>> forward;
+  std::vector<Edge<MediaTime>> backward;
+};
+
+RationalEdges BuildEdges(const TimeGraph& graph) {
+  RationalEdges out;
+  const std::vector<Constraint>& constraints = graph.constraints();
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    if (graph.IsDisabled(i)) {
+      continue;
+    }
+    const Constraint& c = constraints[i];
+    if (c.hi.has_value()) {
+      out.forward.push_back(Edge<MediaTime>{c.from, c.to, *c.hi, i});
+      out.backward.push_back(Edge<MediaTime>{c.to, c.from, *c.hi, i});
+    }
+    // Lower bound: t_from - t_to <= -lo.
+    out.forward.push_back(Edge<MediaTime>{c.to, c.from, -c.lo, i});
+    out.backward.push_back(Edge<MediaTime>{c.from, c.to, -c.lo, i});
+  }
+  return out;
+}
+
+// Rational weights pay a gcd on every relaxation. Nearly all real documents
+// use a handful of timebases (ms, fps, sample rates), so the weights share a
+// small common denominator L: rescale once to int64 "ticks" and relax with
+// plain integer arithmetic. Returns 0 when no safe L exists (fall back to
+// rational arithmetic).
+std::int64_t CommonDenominator(const std::vector<Edge<MediaTime>>& edges) {
+  constexpr std::int64_t kMaxLcm = 1'000'000'000;       // ticks per second cap
+  constexpr std::int64_t kMaxTicks = INT64_MAX >> 20;   // headroom for path sums
+  std::int64_t lcm = 1;
+  for (const Edge<MediaTime>& edge : edges) {
+    std::int64_t den = edge.weight.den();
+    std::int64_t g = std::gcd(lcm, den);
+    if (lcm / g > kMaxLcm / den) {
+      return 0;
+    }
+    lcm = lcm / g * den;
+    if (lcm > kMaxLcm) {
+      return 0;
+    }
+  }
+  for (const Edge<MediaTime>& edge : edges) {
+    std::int64_t scale = lcm / edge.weight.den();
+    std::int64_t num = edge.weight.num();
+    if (num > kMaxTicks / scale || num < -(kMaxTicks / scale)) {
+      return 0;
+    }
+  }
+  return lcm;
+}
+
+std::vector<Edge<std::int64_t>> ToTicks(const std::vector<Edge<MediaTime>>& edges,
+                                        std::int64_t lcm) {
+  std::vector<Edge<std::int64_t>> out;
+  out.reserve(edges.size());
+  for (const Edge<MediaTime>& edge : edges) {
+    out.push_back(Edge<std::int64_t>{edge.tail, edge.head,
+                                     edge.weight.num() * (lcm / edge.weight.den()),
+                                     edge.constraint});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<MediaTime> SolveResult::Slack(std::size_t point) const {
+  if (!feasible || point >= earliest.size() || !latest[point].has_value()) {
+    return std::nullopt;
+  }
+  return *latest[point] - earliest[point];
+}
+
+Status VerifySolution(const TimeGraph& graph, const std::vector<MediaTime>& times) {
+  if (times.size() != graph.point_count()) {
+    return InvalidArgumentError("time vector size does not match the graph");
+  }
+  const std::vector<Constraint>& constraints = graph.constraints();
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    if (graph.IsDisabled(i)) {
+      continue;
+    }
+    const Constraint& c = constraints[i];
+    MediaTime gap = times[static_cast<std::size_t>(c.to)] - times[static_cast<std::size_t>(c.from)];
+    if (gap < c.lo || (c.hi.has_value() && gap > *c.hi)) {
+      return FailedPreconditionError("constraint violated: " + c.label + " (gap " +
+                                     gap.ToString() + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Runs both passes over one weight representation and fills the result.
+// `to_time` converts a weight back to MediaTime.
+template <typename W, typename ToTime>
+void SolveWith(SolverAlgorithm algorithm, std::size_t n, const std::vector<Edge<W>>& forward,
+               const std::vector<Edge<W>>& backward, const ToTime& to_time,
+               SolveResult& result) {
+  auto run = [algorithm](int source, std::size_t points, const std::vector<Edge<W>>& edges,
+                         std::vector<std::optional<W>>& dist, std::vector<int>& pred_edge) {
+    if (algorithm == SolverAlgorithm::kSpfa) {
+      return Spfa(source, points, edges, dist, pred_edge);
+    }
+    return BellmanFord(source, points, edges, dist, pred_edge);
+  };
+
+  // Pass 1 (reversed graph): feasibility and earliest times.
+  std::vector<std::optional<W>> dist;
+  std::vector<int> pred;
+  std::size_t bad_edge = run(0, n, backward, dist, pred);
+  if (bad_edge != kNone) {
+    result.feasible = false;
+    result.conflict_cycle = ExtractCycle(backward[bad_edge].head, n, backward, pred);
+    return;
+  }
+  result.feasible = true;
+  result.earliest.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // dist[i] = shortest path i -> 0 in the distance graph; earliest = -dist.
+    result.earliest[i] = dist[i].has_value() ? -to_time(*dist[i]) : MediaTime();
+  }
+
+  // Pass 2 (forward graph): latest times. No negative cycle can appear here
+  // (same edge set).
+  std::vector<std::optional<W>> fwd;
+  (void)run(0, n, forward, fwd, pred);
+  result.latest.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.latest[i] =
+        fwd[i].has_value() ? std::optional<MediaTime>(to_time(*fwd[i])) : std::nullopt;
+  }
+}
+
+}  // namespace
+
+SolveResult SolveStn(const TimeGraph& graph, SolverAlgorithm algorithm) {
+  SolveResult result;
+  std::size_t n = graph.point_count();
+  if (n == 0) {
+    result.feasible = true;
+    return result;
+  }
+
+  RationalEdges edges = BuildEdges(graph);
+  std::int64_t lcm = CommonDenominator(edges.forward);
+  if (lcm > 0) {
+    // Integer fast path: all weights rescaled to ticks of 1/lcm seconds.
+    std::vector<Edge<std::int64_t>> forward = ToTicks(edges.forward, lcm);
+    std::vector<Edge<std::int64_t>> backward = ToTicks(edges.backward, lcm);
+    SolveWith(
+        algorithm, n, forward, backward,
+        [lcm](std::int64_t ticks) { return MediaTime::Rational(ticks, lcm); }, result);
+    return result;
+  }
+  SolveWith(
+      algorithm, n, edges.forward, edges.backward, [](MediaTime t) { return t; }, result);
+  return result;
+}
+
+}  // namespace cmif

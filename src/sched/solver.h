@@ -1,0 +1,55 @@
+// The STN solver: feasibility (negative-cycle detection over the distance
+// graph), earliest/latest time assignments, and slack. Arithmetic is exact
+// (rational MediaTime), so feasibility decisions never suffer float drift.
+#ifndef SRC_SCHED_SOLVER_H_
+#define SRC_SCHED_SOLVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/base/media_time.h"
+#include "src/base/status.h"
+#include "src/sched/timegraph.h"
+
+namespace cmif {
+
+// The outcome of solving one network.
+struct SolveResult {
+  bool feasible = false;
+  // Per time point, relative to point 0 (the root's begin). Populated only
+  // when feasible.
+  std::vector<MediaTime> earliest;
+  // nullopt = unbounded above. Populated only when feasible.
+  std::vector<std::optional<MediaTime>> latest;
+  // When infeasible: indexes (into TimeGraph::constraints()) of the
+  // constraints forming one negative cycle — the minimal inconsistent story
+  // to show the author.
+  std::vector<std::size_t> conflict_cycle;
+
+  // Latest − earliest for a point; nullopt when unbounded.
+  std::optional<MediaTime> Slack(std::size_t point) const;
+};
+
+// Shortest-path algorithm used by the solver.
+enum class SolverAlgorithm {
+  // Queue-based Bellman-Ford (SPFA): near-linear on the mostly-acyclic
+  // networks CMIF structure produces. The default.
+  kSpfa = 0,
+  // Classic edge-list Bellman-Ford: O(V * E) always. Kept as the ablation
+  // baseline (see bench/fig9_arcs).
+  kNaiveBellmanFord,
+};
+
+// Solves the network. Points are as numbered by the TimeGraph; disabled
+// constraints are skipped. Exact rational arithmetic throughout.
+SolveResult SolveStn(const TimeGraph& graph,
+                     SolverAlgorithm algorithm = SolverAlgorithm::kSpfa);
+
+// Checks that `times` satisfies every enabled constraint of `graph`; returns
+// the first violation as FailedPrecondition. The property tests assert this
+// on every earliest solution.
+Status VerifySolution(const TimeGraph& graph, const std::vector<MediaTime>& times);
+
+}  // namespace cmif
+
+#endif  // SRC_SCHED_SOLVER_H_

@@ -1,0 +1,198 @@
+#include "src/sched/timegraph.h"
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+std::string_view ConstraintOriginName(ConstraintOrigin origin) {
+  switch (origin) {
+    case ConstraintOrigin::kStructure:
+      return "structure";
+    case ConstraintOrigin::kDuration:
+      return "duration";
+    case ConstraintOrigin::kChannelOrder:
+      return "channel-order";
+    case ConstraintOrigin::kExplicitArc:
+      return "explicit-arc";
+    case ConstraintOrigin::kCapability:
+      return "capability";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::optional<MediaTime> kUnbounded = std::nullopt;
+
+Constraint Make(int from, int to, MediaTime lo, std::optional<MediaTime> hi,
+                ConstraintOrigin origin, std::string label) {
+  Constraint c;
+  c.from = from;
+  c.to = to;
+  c.lo = lo;
+  c.hi = hi;
+  c.origin = origin;
+  c.label = std::move(label);
+  return c;
+}
+
+}  // namespace
+
+StatusOr<int> TimeGraph::PointOf(const Node& node, PointKind kind) const {
+  auto it = base_index_.find(&node);
+  if (it == base_index_.end()) {
+    return NotFoundError("node " + node.DisplayPath() + " is not part of this time graph");
+  }
+  return it->second + (kind == PointKind::kEnd ? 1 : 0);
+}
+
+const Node* TimeGraph::NodeOfPoint(int point) const {
+  std::size_t base = static_cast<std::size_t>(point) / 2;
+  return base < node_of_base_.size() ? node_of_base_[base] : nullptr;
+}
+
+Status TimeGraph::AddConstraint(Constraint constraint) {
+  if (constraint.from < 0 || constraint.to < 0 ||
+      constraint.from >= static_cast<int>(point_count_) ||
+      constraint.to >= static_cast<int>(point_count_)) {
+    return OutOfRangeError("constraint endpoint out of range");
+  }
+  if (constraint.hi.has_value() && *constraint.hi < constraint.lo) {
+    return InvalidArgumentError("constraint upper bound below lower bound");
+  }
+  constraints_.push_back(std::move(constraint));
+  disabled_.push_back(false);
+  return Status::Ok();
+}
+
+StatusOr<TimeGraph> TimeGraph::Build(const Document& document,
+                                     const std::vector<EventDescriptor>& events,
+                                     const TimeGraphOptions& options) {
+  TimeGraph graph;
+
+  // Number the points: pre-order, begin = 2i, end = 2i + 1. The root's begin
+  // lands at index 0, the implied reference point.
+  document.root().Visit([&graph](const Node& node) {
+    int base = static_cast<int>(graph.node_of_base_.size()) * 2;
+    graph.base_index_.emplace(&node, base);
+    graph.node_of_base_.push_back(&node);
+  });
+  graph.point_count_ = graph.node_of_base_.size() * 2;
+
+  const MediaTime zero;
+  auto add = [&graph](Constraint c) {
+    graph.constraints_.push_back(std::move(c));
+    graph.disabled_.push_back(false);
+  };
+
+  // Duration windows for leaves with events; leaves without an event (e.g.
+  // no channel) get a [0, inf) window so they stay schedulable.
+  std::unordered_map<const Node*, const EventDescriptor*> event_of;
+  for (const EventDescriptor& event : events) {
+    event_of.emplace(event.node, &event);
+  }
+
+  // Structural default arcs.
+  Status failure;
+  document.root().Visit([&](const Node& node) {
+    if (!failure.ok()) {
+      return;
+    }
+    int begin = graph.base_index_.at(&node);
+    int end = begin + 1;
+    if (node.is_leaf()) {
+      auto it = event_of.find(&node);
+      MediaTime lo;
+      std::optional<MediaTime> hi = kUnbounded;
+      if (it != event_of.end()) {
+        lo = it->second->min_duration;
+        hi = it->second->max_duration;
+      }
+      add(Make(begin, end, lo, hi, ConstraintOrigin::kDuration,
+               "duration of " + node.DisplayPath()));
+      return;
+    }
+    if (node.children().empty()) {
+      add(Make(begin, end, zero, zero, ConstraintOrigin::kStructure,
+               "empty composite " + node.DisplayPath()));
+      return;
+    }
+    if (node.kind() == NodeKind::kSeq) {
+      int first_begin = graph.base_index_.at(&node.ChildAt(0));
+      add(Make(begin, first_begin, zero, kUnbounded, ConstraintOrigin::kStructure,
+               "seq start " + node.DisplayPath()));
+      for (std::size_t i = 0; i + 1 < node.children().size(); ++i) {
+        int prev_end = graph.base_index_.at(&node.ChildAt(i)) + 1;
+        int next_begin = graph.base_index_.at(&node.ChildAt(i + 1));
+        add(Make(prev_end, next_begin, zero, kUnbounded, ConstraintOrigin::kStructure,
+                 StrFormat("seq order %s #%zu -> #%zu", node.DisplayPath().c_str(), i, i + 1)));
+      }
+      int last_end = graph.base_index_.at(&node.ChildAt(node.children().size() - 1)) + 1;
+      add(Make(last_end, end, zero, zero, ConstraintOrigin::kStructure,
+               "seq join " + node.DisplayPath()));
+    } else {  // kPar
+      for (const auto& child : node.children()) {
+        int child_begin = graph.base_index_.at(child.get());
+        int child_end = child_begin + 1;
+        add(Make(begin, child_begin, zero, kUnbounded, ConstraintOrigin::kStructure,
+                 "par fork " + node.DisplayPath() + " -> " + child->DisplayPath()));
+        add(Make(child_end, end, zero, kUnbounded, ConstraintOrigin::kStructure,
+                 "par join " + child->DisplayPath() + " -> " + node.DisplayPath()));
+      }
+    }
+  });
+
+  // Channel serialization: linear time order within each channel.
+  if (options.serialize_channels) {
+    std::unordered_map<std::string, const EventDescriptor*> last_on_channel;
+    for (const EventDescriptor& event : events) {
+      auto [it, inserted] = last_on_channel.try_emplace(event.channel, &event);
+      if (!inserted) {
+        int prev_end = graph.base_index_.at(it->second->node) + 1;
+        int next_begin = graph.base_index_.at(event.node);
+        add(Make(prev_end, next_begin, zero, kUnbounded, ConstraintOrigin::kChannelOrder,
+                 "channel '" + event.channel + "' order " + it->second->node->DisplayPath() +
+                     " -> " + event.node->DisplayPath()));
+        it->second = &event;
+      }
+    }
+  }
+
+  // Explicit synchronization arcs.
+  document.root().Visit([&](const Node& node) {
+    if (!failure.ok()) {
+      return;
+    }
+    for (std::size_t i = 0; i < node.arcs().size(); ++i) {
+      const SyncArc& arc = node.arcs()[i];
+      auto source = node.Resolve(arc.source);
+      if (!source.ok()) {
+        failure = source.status();
+        return;
+      }
+      auto dest = node.Resolve(arc.dest);
+      if (!dest.ok()) {
+        failure = dest.status();
+        return;
+      }
+      int from = graph.base_index_.at(*source) + (arc.source_edge == ArcEdge::kEnd ? 1 : 0);
+      int to = graph.base_index_.at(*dest) + (arc.dest_edge == ArcEdge::kEnd ? 1 : 0);
+      Constraint c = Make(from, to, arc.offset + arc.min_delay,
+                          arc.max_delay.has_value()
+                              ? std::optional<MediaTime>(arc.offset + *arc.max_delay)
+                              : kUnbounded,
+                          ConstraintOrigin::kExplicitArc,
+                          "arc " + arc.ToString() + " on " + node.DisplayPath());
+      c.owner = &node;
+      c.arc_index = static_cast<int>(i);
+      c.rigor = arc.rigor;
+      add(std::move(c));
+    }
+  });
+  if (!failure.ok()) {
+    return failure;
+  }
+  return graph;
+}
+
+}  // namespace cmif

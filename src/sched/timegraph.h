@@ -1,0 +1,112 @@
+// The time graph: CMIF synchronization compiled into a Simple Temporal
+// Network. Every node contributes a begin and an end time point; every
+// default structural arc (section 5.3.1), duration window, channel ordering
+// rule and explicit synchronization arc contributes a difference constraint
+//
+//     lo <= t_to - t_from <= hi        (hi possibly unbounded)
+//
+// which is exactly the paper's synchronization equation
+// t_ref + delta <= t_actual <= t_ref + epsilon with t_ref = t_from + offset.
+//
+// Default arcs ("correspond to fork and join operations"):
+//   seq S(c1..cn):  B(c1) >= B(S); B(c{k+1}) >= E(ck); E(S) == E(cn)
+//   par P(c1..cn):  B(ck) >= B(P); E(P) >= E(ck) for every child
+//   empty composite: E == B
+// The "as soon as possible" / "when the slowest parallel node finishes"
+// semantics fall out of the earliest solution of the network.
+#ifndef SRC_SCHED_TIMEGRAPH_H_
+#define SRC_SCHED_TIMEGRAPH_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/media_time.h"
+#include "src/base/status.h"
+#include "src/doc/document.h"
+#include "src/doc/event.h"
+
+namespace cmif {
+
+// Which end of a node a time point represents.
+enum class PointKind { kBegin = 0, kEnd };
+
+// Where a constraint came from, for conflict reporting (section 5.3.3).
+enum class ConstraintOrigin {
+  kStructure = 0,  // default seq/par arc
+  kDuration,       // event duration window
+  kChannelOrder,   // linear time order on one channel (section 3.1)
+  kExplicitArc,    // an authored synchronization arc
+  kCapability,     // injected by a constraint filter / device model
+};
+
+std::string_view ConstraintOriginName(ConstraintOrigin origin);
+
+// One difference constraint: lo <= t[to] - t[from] <= hi.
+struct Constraint {
+  int from = 0;
+  int to = 0;
+  MediaTime lo;
+  std::optional<MediaTime> hi;  // nullopt = unbounded above
+  ConstraintOrigin origin = ConstraintOrigin::kStructure;
+  // For kExplicitArc: the node the arc is written on and the arc's index in
+  // that node's arc list.
+  const Node* owner = nullptr;
+  int arc_index = -1;
+  // Droppable when infeasible? Explicit "may" arcs are; everything else is
+  // binding.
+  ArcRigor rigor = ArcRigor::kMust;
+  // Human-readable description for conflict reports.
+  std::string label;
+};
+
+// Options controlling graph construction.
+struct TimeGraphOptions {
+  // Enforce "events placed on a single channel are synchronized in linear
+  // time order" (section 3.1) between consecutive events of each channel.
+  bool serialize_channels = true;
+};
+
+// The compiled network. Point 0 is always the root's begin — the "implied
+// timing reference point for all other nodes" (section 5.1).
+class TimeGraph {
+ public:
+  // Compiles `document`. `events` supplies leaf duration windows and channel
+  // order (from CollectEvents). Errors: unresolvable arc endpoints.
+  static StatusOr<TimeGraph> Build(const Document& document,
+                                   const std::vector<EventDescriptor>& events,
+                                   const TimeGraphOptions& options = {});
+
+  std::size_t point_count() const { return point_count_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  // The time-point index of a node edge; the node must belong to the
+  // document the graph was built from.
+  StatusOr<int> PointOf(const Node& node, PointKind kind) const;
+  // Reverse lookup for diagnostics: the node and edge of a point index.
+  const Node* NodeOfPoint(int point) const;
+  PointKind KindOfPoint(int point) const { return point % 2 == 0 ? PointKind::kBegin : PointKind::kEnd; }
+
+  // Injects an additional constraint (capability filters, tests). Indexes
+  // must be < point_count().
+  Status AddConstraint(Constraint constraint);
+
+  // Marks a constraint as removed (used by may-arc relaxation). Removed
+  // constraints are skipped by the solver.
+  void Disable(std::size_t constraint_index) { disabled_[constraint_index] = true; }
+  bool IsDisabled(std::size_t constraint_index) const { return disabled_[constraint_index]; }
+
+ private:
+  TimeGraph() = default;
+
+  std::size_t point_count_ = 0;
+  std::vector<Constraint> constraints_;
+  std::vector<bool> disabled_;
+  std::unordered_map<const Node*, int> base_index_;  // node -> begin point
+  std::vector<const Node*> node_of_base_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_SCHED_TIMEGRAPH_H_

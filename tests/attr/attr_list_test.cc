@@ -1,0 +1,129 @@
+#include "src/attr/attr_list.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(AttrListTest, AddEnforcesUniqueness) {
+  // "Each name may occur at most once in each list" (section 5.2).
+  AttrList list;
+  EXPECT_TRUE(list.Add("x", AttrValue::Number(1)).ok());
+  Status dup = list.Add("x", AttrValue::Number(2));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(AttrListTest, SetReplaces) {
+  AttrList list;
+  list.Set("x", AttrValue::Number(1));
+  list.Set("x", AttrValue::Number(2));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.Find("x")->number(), 2);
+}
+
+TEST(AttrListTest, FindReturnsNullWhenAbsent) {
+  AttrList list;
+  EXPECT_EQ(list.Find("missing"), nullptr);
+  EXPECT_FALSE(list.Has("missing"));
+}
+
+TEST(AttrListTest, RemoveDeletes) {
+  AttrList list;
+  list.Set("a", AttrValue::Number(1));
+  list.Set("b", AttrValue::Number(2));
+  EXPECT_TRUE(list.Remove("a"));
+  EXPECT_FALSE(list.Remove("a"));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list.Has("b"));
+}
+
+TEST(AttrListTest, OrderIsPreserved) {
+  AttrList list;
+  list.Set("z", AttrValue::Number(1));
+  list.Set("a", AttrValue::Number(2));
+  list.Set("m", AttrValue::Number(3));
+  ASSERT_EQ(list.attrs().size(), 3u);
+  EXPECT_EQ(list.attrs()[0].name, "z");
+  EXPECT_EQ(list.attrs()[1].name, "a");
+  EXPECT_EQ(list.attrs()[2].name, "m");
+}
+
+TEST(AttrListTest, TypedGettersReportErrors) {
+  AttrList list;
+  list.Set("n", AttrValue::Number(5));
+  list.Set("s", AttrValue::String("str"));
+  EXPECT_EQ(*list.GetNumber("n"), 5);
+  EXPECT_EQ(*list.GetString("s"), "str");
+  EXPECT_EQ(list.GetNumber("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(list.GetNumber("s").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AttrListTest, GetTimeAcceptsNumbers) {
+  AttrList list;
+  list.Set("d", AttrValue::Number(3));
+  auto t = list.GetTime("d");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, MediaTime::Seconds(3));
+}
+
+TEST(AttrListTest, OrGettersFallBack) {
+  AttrList list;
+  list.Set("n", AttrValue::Number(5));
+  EXPECT_EQ(list.GetNumberOr("n", -1), 5);
+  EXPECT_EQ(list.GetNumberOr("missing", -1), -1);
+  EXPECT_EQ(list.GetIdOr("n", "dflt"), "dflt");  // kind mismatch -> fallback
+  EXPECT_EQ(list.GetStringOr("missing", "x"), "x");
+  EXPECT_EQ(list.GetTimeOr("missing", MediaTime::Seconds(9)), MediaTime::Seconds(9));
+}
+
+TEST(AttrListTest, MergeFromOverrides) {
+  AttrList base;
+  base.Set("a", AttrValue::Number(1));
+  base.Set("b", AttrValue::Number(2));
+  AttrList overlay;
+  overlay.Set("b", AttrValue::Number(20));
+  overlay.Set("c", AttrValue::Number(30));
+  base.MergeFrom(overlay);
+  EXPECT_EQ(base.Find("a")->number(), 1);
+  EXPECT_EQ(base.Find("b")->number(), 20);
+  EXPECT_EQ(base.Find("c")->number(), 30);
+}
+
+TEST(AttrListTest, FillDefaultsKeepsExisting) {
+  AttrList list;
+  list.Set("a", AttrValue::Number(1));
+  AttrList defaults;
+  defaults.Set("a", AttrValue::Number(100));
+  defaults.Set("b", AttrValue::Number(200));
+  list.FillDefaultsFrom(defaults);
+  EXPECT_EQ(list.Find("a")->number(), 1);
+  EXPECT_EQ(list.Find("b")->number(), 200);
+}
+
+TEST(AttrListTest, FromAttrsLastWins) {
+  AttrList list = AttrList::FromAttrs(
+      {Attr{"x", AttrValue::Number(1)}, Attr{"x", AttrValue::Number(2)}});
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.Find("x")->number(), 2);
+}
+
+TEST(AttrListTest, ToStringMatchesListValue) {
+  AttrList list;
+  list.Set("k", AttrValue::Id("v"));
+  EXPECT_EQ(list.ToString(), "(k v)");
+  EXPECT_EQ(AttrList().ToString(), "()");
+}
+
+TEST(AttrListTest, EqualityIsOrderSensitive) {
+  AttrList a;
+  a.Set("x", AttrValue::Number(1));
+  a.Set("y", AttrValue::Number(2));
+  AttrList b;
+  b.Set("y", AttrValue::Number(2));
+  b.Set("x", AttrValue::Number(1));
+  EXPECT_FALSE(a == b);  // serialization order matters for fidelity
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,130 @@
+#include "src/attr/inherit.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+class InheritTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(styles_
+                    .Define("caption", AttrList::FromAttrs(
+                                           {{"font", AttrValue::Id("serif")},
+                                            {std::string(kAttrChannel), AttrValue::Id("txt")}}))
+                    .ok());
+  }
+
+  std::optional<AttrValue> Resolve(std::vector<const AttrList*> chain, std::string_view name) {
+    auto result = ResolveAttribute(chain, name, AttrRegistry::Standard(), styles_);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? *result : std::nullopt;
+  }
+
+  StyleDictionary styles_;
+};
+
+TEST_F(InheritTest, OwnAttributeWins) {
+  AttrList root;
+  root.Set(std::string(kAttrChannel), AttrValue::Id("root_ch"));
+  AttrList node;
+  node.Set(std::string(kAttrChannel), AttrValue::Id("node_ch"));
+  auto v = Resolve({&root, &node}, kAttrChannel);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->id(), "node_ch");
+}
+
+TEST_F(InheritTest, InheritedAttributeFallsBackToAncestors) {
+  // "Channel ... is inherited by children unless explicitly overridden."
+  AttrList root;
+  root.Set(std::string(kAttrChannel), AttrValue::Id("root_ch"));
+  AttrList mid;
+  AttrList leaf;
+  auto v = Resolve({&root, &mid, &leaf}, kAttrChannel);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->id(), "root_ch");
+}
+
+TEST_F(InheritTest, NearestAncestorWins) {
+  AttrList root;
+  root.Set(std::string(kAttrChannel), AttrValue::Id("far"));
+  AttrList mid;
+  mid.Set(std::string(kAttrChannel), AttrValue::Id("near"));
+  AttrList leaf;
+  auto v = Resolve({&root, &mid, &leaf}, kAttrChannel);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->id(), "near");
+}
+
+TEST_F(InheritTest, NonInheritedAttributeDoesNotPropagate) {
+  // "Others only affect the node on which they are present" (section 5.2).
+  AttrList root;
+  root.Set(std::string(kAttrDuration), AttrValue::Time(MediaTime::Seconds(5)));
+  AttrList leaf;
+  EXPECT_FALSE(Resolve({&root, &leaf}, kAttrDuration).has_value());
+  // But it resolves on the node itself.
+  EXPECT_TRUE(Resolve({&root}, kAttrDuration).has_value());
+}
+
+TEST_F(InheritTest, StyleProvidesAttributes) {
+  AttrList root;
+  AttrList node;
+  node.Set(std::string(kAttrStyle), AttrValue::Id("caption"));
+  auto v = Resolve({&root, &node}, "font");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->id(), "serif");
+}
+
+TEST_F(InheritTest, OwnAttributeBeatsStyle) {
+  AttrList node;
+  node.Set(std::string(kAttrStyle), AttrValue::Id("caption"));
+  node.Set("font", AttrValue::Id("sans"));
+  auto v = Resolve({&node}, "font");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->id(), "sans");
+}
+
+TEST_F(InheritTest, AncestorStyleFeedsInheritedAttribute) {
+  // A style on an ancestor can set an inherited attribute (channel).
+  AttrList parent;
+  parent.Set(std::string(kAttrStyle), AttrValue::Id("caption"));
+  AttrList leaf;
+  auto v = Resolve({&parent, &leaf}, kAttrChannel);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->id(), "txt");
+}
+
+TEST_F(InheritTest, UnknownStyleIsAnError) {
+  AttrList node;
+  node.Set(std::string(kAttrStyle), AttrValue::Id("ghost"));
+  std::vector<const AttrList*> chain{&node};
+  auto result = ResolveAttribute(chain, "font", AttrRegistry::Standard(), styles_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(InheritTest, EmptyChainResolvesNothing) {
+  std::vector<const AttrList*> chain;
+  auto result = ResolveAttribute(chain, kAttrChannel, AttrRegistry::Standard(), styles_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->has_value());
+}
+
+TEST_F(InheritTest, EffectiveAttrsMergesEverything) {
+  AttrList root;
+  root.Set(std::string(kAttrChannel), AttrValue::Id("inherited_ch"));
+  root.Set(std::string(kAttrTitle), AttrValue::String("not inherited"));
+  AttrList node;
+  node.Set(std::string(kAttrStyle), AttrValue::Id("caption"));
+  node.Set(std::string(kAttrName), AttrValue::Id("leaf"));
+  auto effective = EffectiveAttrs({{&root, &node}}, AttrRegistry::Standard(), styles_);
+  ASSERT_TRUE(effective.ok());
+  // Style channel overrides the inherited one (nearer level).
+  EXPECT_EQ(effective->Find(kAttrChannel)->id(), "txt");
+  EXPECT_EQ(effective->Find("font")->id(), "serif");
+  EXPECT_EQ(effective->Find(kAttrName)->id(), "leaf");
+  EXPECT_FALSE(effective->Has(kAttrTitle));  // title does not inherit
+  EXPECT_FALSE(effective->Has(kAttrStyle));  // consumed
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,115 @@
+#include "src/attr/parse.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+StatusOr<AttrValue> ParseValueText(std::string_view text) {
+  Lexer lexer(text);
+  return ParseAttrValue(lexer);
+}
+
+TEST(ClassifyWordTest, IntegersAreNumbers) {
+  auto v = ClassifyWord(Token{TokenKind::kWord, "42", 1});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->number(), 42);
+  auto negative = ClassifyWord(Token{TokenKind::kWord, "-7", 1});
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative->number(), -7);
+}
+
+TEST(ClassifyWordTest, RationalsAreTimes) {
+  auto v = ClassifyWord(Token{TokenKind::kWord, "3/25", 1});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->time(), MediaTime::Rational(3, 25));
+}
+
+TEST(ClassifyWordTest, DecimalsAreTimes) {
+  auto v = ClassifyWord(Token{TokenKind::kWord, "1.5", 1});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->time(), MediaTime::Rational(3, 2));
+}
+
+TEST(ClassifyWordTest, WordsAreIds) {
+  auto v = ClassifyWord(Token{TokenKind::kWord, "hello_world-1", 1});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->id(), "hello_world-1");
+}
+
+TEST(ClassifyWordTest, GarbageIsRejected) {
+  EXPECT_FALSE(ClassifyWord(Token{TokenKind::kWord, "3x/", 1}).ok());
+  EXPECT_FALSE(ClassifyWord(Token{TokenKind::kWord, "9lives", 1}).ok());
+}
+
+TEST(ParseAttrValueTest, StringsAndLists) {
+  auto s = ParseValueText("\"two words\"");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->string(), "two words");
+
+  auto list = ParseValueText("(a 1 b \"x\" c (d 2/1))");
+  ASSERT_TRUE(list.ok());
+  ASSERT_TRUE(list->is_list());
+  ASSERT_EQ(list->list().size(), 3u);
+  EXPECT_EQ(list->list()[0].value.number(), 1);
+  EXPECT_EQ(list->list()[1].value.string(), "x");
+  EXPECT_TRUE(list->list()[2].value.is_list());
+  EXPECT_EQ(list->list()[2].value.list()[0].value.time(), MediaTime::Seconds(2));
+}
+
+TEST(ParseAttrListTest, ParsesNameValuePairs) {
+  Lexer lexer("(name intro duration 5/2 title \"Opening\")");
+  auto list = ParseAttrList(lexer);
+  ASSERT_TRUE(list.ok()) << list.status();
+  EXPECT_EQ(list->Find("name")->id(), "intro");
+  EXPECT_EQ(list->Find("duration")->time(), MediaTime::Rational(5, 2));
+  EXPECT_EQ(list->Find("title")->string(), "Opening");
+}
+
+TEST(ParseAttrListTest, EmptyList) {
+  Lexer lexer("()");
+  auto list = ParseAttrList(lexer);
+  ASSERT_TRUE(list.ok());
+  EXPECT_TRUE(list->empty());
+}
+
+TEST(ParseAttrListTest, DuplicateNamesAreDataLoss) {
+  Lexer lexer("(x 1 x 2)");
+  auto list = ParseAttrList(lexer);
+  EXPECT_EQ(list.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ParseAttrListTest, BadAttributeNameIsDataLoss) {
+  Lexer lexer("(9bad 1)");
+  EXPECT_EQ(ParseAttrList(lexer).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ParseAttrListTest, MissingValueIsDataLoss) {
+  Lexer lexer("(x)");
+  EXPECT_FALSE(ParseAttrList(lexer).ok());
+}
+
+TEST(ParseAttrListTest, MissingOpenParenIsDataLoss) {
+  Lexer lexer("x 1");
+  EXPECT_EQ(ParseAttrList(lexer).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ParseRoundTripTest, ValueToStringParsesBack) {
+  const AttrValue values[] = {
+      AttrValue::Id("word"),
+      AttrValue::Number(-12),
+      AttrValue::String("hello \"there\"\nworld"),
+      AttrValue::Time(MediaTime::Rational(7, 3)),
+      AttrValue::Time(MediaTime::Seconds(4)),
+      AttrValue::List({Attr{"k", AttrValue::Number(1)},
+                       Attr{"nested", AttrValue::List({Attr{"q", AttrValue::Id("z")}})}}),
+  };
+  for (const AttrValue& v : values) {
+    auto parsed = ParseValueText(v.ToString());
+    ASSERT_TRUE(parsed.ok()) << v.ToString() << ": " << parsed.status();
+    EXPECT_EQ(*parsed, v) << v.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cmif

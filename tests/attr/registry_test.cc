@@ -1,0 +1,75 @@
+#include "src/attr/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(AttrRegistryTest, StandardHasFigure7Attributes) {
+  const AttrRegistry& registry = AttrRegistry::Standard();
+  for (std::string_view name : {kAttrName, kAttrStyleDict, kAttrStyle, kAttrChannelDict,
+                                kAttrChannel, kAttrFile, kAttrTFormatting, kAttrSlice,
+                                kAttrCrop, kAttrClip}) {
+    EXPECT_NE(registry.Find(name), nullptr) << name;
+  }
+}
+
+TEST(AttrRegistryTest, InheritanceMatchesFigure7) {
+  const AttrRegistry& registry = AttrRegistry::Standard();
+  // "Channel ... is inherited by children unless explicitly overridden";
+  // "File ... is inherited, so that multiple external nodes can refer to
+  // subsections of the same file."
+  EXPECT_TRUE(registry.IsInherited(kAttrChannel));
+  EXPECT_TRUE(registry.IsInherited(kAttrFile));
+  EXPECT_FALSE(registry.IsInherited(kAttrName));
+  EXPECT_FALSE(registry.IsInherited(kAttrStyle));
+  EXPECT_FALSE(registry.IsInherited(kAttrDuration));
+  EXPECT_FALSE(registry.IsInherited("unregistered-attr"));
+}
+
+TEST(AttrRegistryTest, RootOnlyDictionaries) {
+  const AttrRegistry& registry = AttrRegistry::Standard();
+  // "It should currently only occur on the root node" (Figure 7, twice).
+  EXPECT_EQ(registry.Find(kAttrStyleDict)->placement, kOnRoot);
+  EXPECT_EQ(registry.Find(kAttrChannelDict)->placement, kOnRoot);
+}
+
+TEST(AttrRegistryTest, PlacementRestrictions) {
+  const AttrRegistry& registry = AttrRegistry::Standard();
+  EXPECT_EQ(registry.Find(kAttrSlice)->placement, kOnExt);
+  EXPECT_EQ(registry.Find(kAttrMedium)->placement, kOnImm);
+  EXPECT_EQ(registry.Find(kAttrCrop)->placement, kOnLeaf);
+  EXPECT_EQ(registry.Find(kAttrName)->placement, kOnAnyNode);
+}
+
+TEST(AttrRegistryTest, KindsAreRegistered) {
+  const AttrRegistry& registry = AttrRegistry::Standard();
+  EXPECT_EQ(registry.Find(kAttrName)->kind, AttrKind::kId);
+  EXPECT_EQ(registry.Find(kAttrFile)->kind, AttrKind::kString);
+  EXPECT_EQ(registry.Find(kAttrDuration)->kind, AttrKind::kTime);
+  EXPECT_EQ(registry.Find(kAttrChannelDict)->kind, AttrKind::kList);
+  EXPECT_FALSE(registry.Find(kAttrStyle)->kind.has_value());  // ID or LIST
+}
+
+TEST(AttrRegistryTest, UnknownAttributesAreNotRegistered) {
+  EXPECT_EQ(AttrRegistry::Standard().Find("application-specific"), nullptr);
+}
+
+TEST(AttrRegistryTest, CustomRegistryRejectsDuplicates) {
+  AttrRegistry registry;
+  ASSERT_TRUE(registry.Register(AttrSpec{"custom", AttrKind::kNumber, false, kOnAnyNode, ""})
+                  .ok());
+  EXPECT_EQ(registry.Register(AttrSpec{"custom", std::nullopt, true, kOnRoot, ""}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_NE(registry.Find("custom"), nullptr);
+}
+
+TEST(AttrRegistryTest, TableRendersEveryRow) {
+  std::string table = AttrRegistry::Standard().ToTable();
+  for (const AttrSpec& spec : AttrRegistry::Standard().specs()) {
+    EXPECT_NE(table.find(spec.name), std::string::npos) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace cmif

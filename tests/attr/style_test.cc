@@ -1,0 +1,129 @@
+#include "src/attr/style.h"
+
+#include <gtest/gtest.h>
+
+#include "src/attr/registry.h"
+
+namespace cmif {
+namespace {
+
+AttrList Body(std::vector<Attr> attrs) { return AttrList::FromAttrs(std::move(attrs)); }
+
+TEST(StyleDictionaryTest, DefineAndFind) {
+  StyleDictionary dict;
+  ASSERT_TRUE(dict.Define("base", Body({{"size", AttrValue::Number(10)}})).ok());
+  EXPECT_TRUE(dict.Has("base"));
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(dict.Find("base")->Find("size")->number(), 10);
+}
+
+TEST(StyleDictionaryTest, RejectsDuplicatesAndBadNames) {
+  StyleDictionary dict;
+  ASSERT_TRUE(dict.Define("s", AttrList()).ok());
+  EXPECT_EQ(dict.Define("s", AttrList()).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(dict.Define("not a name", AttrList()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StyleDictionaryTest, ExpandSimple) {
+  StyleDictionary dict;
+  ASSERT_TRUE(dict.Define("s", Body({{"size", AttrValue::Number(12)}})).ok());
+  auto expanded = dict.Expand("s");
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded->Find("size")->number(), 12);
+}
+
+TEST(StyleDictionaryTest, ExpandUnknownIsNotFound) {
+  StyleDictionary dict;
+  EXPECT_EQ(dict.Expand("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(StyleDictionaryTest, DerivedStyleOverridesBase) {
+  // "Style definitions may refer to other style definitions" (Figure 7).
+  StyleDictionary dict;
+  ASSERT_TRUE(dict.Define("base", Body({{"size", AttrValue::Number(10)},
+                                        {"font", AttrValue::Id("serif")}})).ok());
+  ASSERT_TRUE(dict.Define("big", Body({{std::string(kAttrStyle), AttrValue::Id("base")},
+                                       {"size", AttrValue::Number(24)}})).ok());
+  auto expanded = dict.Expand("big");
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded->Find("size")->number(), 24);          // own wins
+  EXPECT_EQ(expanded->Find("font")->id(), "serif");         // inherited from base
+  EXPECT_FALSE(expanded->Has(kAttrStyle));                  // style attr consumed
+}
+
+TEST(StyleDictionaryTest, DirectCycleDetected) {
+  // "...as long as no style refers to itself, directly or indirectly."
+  StyleDictionary dict;
+  ASSERT_TRUE(dict.Define("a", Body({{std::string(kAttrStyle), AttrValue::Id("a")}})).ok());
+  EXPECT_EQ(dict.Expand("a").status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(dict.Validate().ok());
+}
+
+TEST(StyleDictionaryTest, IndirectCycleDetected) {
+  StyleDictionary dict;
+  ASSERT_TRUE(dict.Define("a", Body({{std::string(kAttrStyle), AttrValue::Id("b")}})).ok());
+  ASSERT_TRUE(dict.Define("b", Body({{std::string(kAttrStyle), AttrValue::Id("c")}})).ok());
+  ASSERT_TRUE(dict.Define("c", Body({{std::string(kAttrStyle), AttrValue::Id("a")}})).ok());
+  EXPECT_EQ(dict.Expand("a").status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StyleDictionaryTest, DiamondIsNotACycle) {
+  StyleDictionary dict;
+  ASSERT_TRUE(dict.Define("root", Body({{"x", AttrValue::Number(1)}})).ok());
+  ASSERT_TRUE(dict.Define("left", Body({{std::string(kAttrStyle), AttrValue::Id("root")},
+                                        {"l", AttrValue::Number(2)}})).ok());
+  ASSERT_TRUE(dict.Define("right", Body({{std::string(kAttrStyle), AttrValue::Id("root")},
+                                         {"r", AttrValue::Number(3)}})).ok());
+  AttrList both;
+  both.Set(std::string(kAttrStyle),
+           AttrValue::List({Attr{"s1", AttrValue::Id("left")},
+                            Attr{"s2", AttrValue::Id("right")}}));
+  ASSERT_TRUE(dict.Define("merged", both).ok());
+  auto expanded = dict.Expand("merged");
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  EXPECT_TRUE(expanded->Has("x"));
+  EXPECT_TRUE(expanded->Has("l"));
+  EXPECT_TRUE(expanded->Has("r"));
+  EXPECT_TRUE(dict.Validate().ok());
+}
+
+TEST(StyleDictionaryTest, ExpandStyleValueListLaterOverrides) {
+  StyleDictionary dict;
+  ASSERT_TRUE(dict.Define("one", Body({{"v", AttrValue::Number(1)}})).ok());
+  ASSERT_TRUE(dict.Define("two", Body({{"v", AttrValue::Number(2)}})).ok());
+  auto expanded = dict.ExpandStyleValue(AttrValue::List(
+      {Attr{"a", AttrValue::Id("one")}, Attr{"b", AttrValue::Id("two")}}));
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded->Find("v")->number(), 2);
+}
+
+TEST(StyleDictionaryTest, ExpandStyleValueRejectsNonIds) {
+  StyleDictionary dict;
+  EXPECT_EQ(dict.ExpandStyleValue(AttrValue::Number(3)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dict.ExpandStyleValue(AttrValue::List({Attr{"a", AttrValue::Number(1)}}))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StyleDictionaryTest, AttrValueRoundTrip) {
+  StyleDictionary dict;
+  ASSERT_TRUE(dict.Define("s1", Body({{"size", AttrValue::Number(10)}})).ok());
+  ASSERT_TRUE(dict.Define("s2", Body({{"font", AttrValue::Id("mono")}})).ok());
+  auto restored = StyleDictionary::FromAttrValue(dict.ToAttrValue());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->Names(), dict.Names());
+  EXPECT_EQ(*restored->Find("s1"), *dict.Find("s1"));
+  EXPECT_EQ(*restored->Find("s2"), *dict.Find("s2"));
+}
+
+TEST(StyleDictionaryTest, FromAttrValueRejectsNonLists) {
+  EXPECT_FALSE(StyleDictionary::FromAttrValue(AttrValue::Number(1)).ok());
+  EXPECT_FALSE(StyleDictionary::FromAttrValue(
+                   AttrValue::List({Attr{"s", AttrValue::Number(1)}}))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,87 @@
+#include "src/attr/value.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(AttrValueTest, DefaultIsEmptyString) {
+  AttrValue v;
+  EXPECT_EQ(v.kind(), AttrKind::kString);
+  EXPECT_EQ(v.string(), "");
+}
+
+TEST(AttrValueTest, KindsMatchConstructors) {
+  EXPECT_TRUE(AttrValue::Id("x").is_id());
+  EXPECT_TRUE(AttrValue::Number(3).is_number());
+  EXPECT_TRUE(AttrValue::String("s").is_string());
+  EXPECT_TRUE(AttrValue::Time(MediaTime::Seconds(1)).is_time());
+  EXPECT_TRUE(AttrValue::List({}).is_list());
+}
+
+TEST(AttrValueTest, AccessorsReturnContents) {
+  EXPECT_EQ(AttrValue::Id("abc").id(), "abc");
+  EXPECT_EQ(AttrValue::Number(-7).number(), -7);
+  EXPECT_EQ(AttrValue::String("hello world").string(), "hello world");
+  EXPECT_EQ(AttrValue::Time(MediaTime::Rational(1, 4)).time(), MediaTime::Rational(1, 4));
+}
+
+TEST(AttrValueTest, CheckedAccessorsRejectWrongKind) {
+  AttrValue number = AttrValue::Number(5);
+  EXPECT_FALSE(number.AsId().ok());
+  EXPECT_FALSE(number.AsString().ok());
+  EXPECT_TRUE(number.AsNumber().ok());
+}
+
+TEST(AttrValueTest, AsTimePromotesWholeSecondNumbers) {
+  // Whole-second NUMBERs are accepted where a TIME is expected (section 5.2
+  // keeps the value model minimal).
+  auto t = AttrValue::Number(3).AsTime();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, MediaTime::Seconds(3));
+  EXPECT_FALSE(AttrValue::String("3").AsTime().ok());
+}
+
+TEST(AttrValueTest, DeepEquality) {
+  AttrValue a = AttrValue::List({Attr{"x", AttrValue::Number(1)},
+                                 Attr{"y", AttrValue::List({Attr{"z", AttrValue::Id("q")}})}});
+  AttrValue b = AttrValue::List({Attr{"x", AttrValue::Number(1)},
+                                 Attr{"y", AttrValue::List({Attr{"z", AttrValue::Id("q")}})}});
+  AttrValue c = AttrValue::List({Attr{"x", AttrValue::Number(2)}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(AttrValue::Id("x"), AttrValue::String("x"));  // ID != STRING
+}
+
+TEST(AttrValueTest, ToStringForms) {
+  EXPECT_EQ(AttrValue::Id("word").ToString(), "word");
+  EXPECT_EQ(AttrValue::Number(12).ToString(), "12");
+  EXPECT_EQ(AttrValue::String("two words").ToString(), "\"two words\"");
+  // Whole-second TIMEs keep an explicit denominator to stay distinguishable
+  // from NUMBERs in the concrete syntax.
+  EXPECT_EQ(AttrValue::Time(MediaTime::Seconds(2)).ToString(), "2/1");
+  EXPECT_EQ(AttrValue::Time(MediaTime::Rational(3, 25)).ToString(), "3/25");
+}
+
+TEST(AttrValueTest, ListToStringNests) {
+  AttrValue v = AttrValue::List(
+      {Attr{"a", AttrValue::Number(1)}, Attr{"b", AttrValue::String("s")}});
+  EXPECT_EQ(v.ToString(), "(a 1 b \"s\")");
+}
+
+TEST(AttrValueTest, MutableListEdits) {
+  AttrValue v = AttrValue::List({Attr{"a", AttrValue::Number(1)}});
+  v.mutable_list().push_back(Attr{"b", AttrValue::Number(2)});
+  EXPECT_EQ(v.list().size(), 2u);
+}
+
+TEST(AttrKindNameTest, NamesAreStable) {
+  EXPECT_EQ(AttrKindName(AttrKind::kId), "ID");
+  EXPECT_EQ(AttrKindName(AttrKind::kNumber), "NUMBER");
+  EXPECT_EQ(AttrKindName(AttrKind::kString), "STRING");
+  EXPECT_EQ(AttrKindName(AttrKind::kTime), "TIME");
+  EXPECT_EQ(AttrKindName(AttrKind::kList), "LIST");
+}
+
+}  // namespace
+}  // namespace cmif

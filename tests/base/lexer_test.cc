@@ -1,0 +1,109 @@
+#include "src/base/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+std::vector<Token> LexAll(std::string_view input) {
+  Lexer lexer(input);
+  std::vector<Token> out;
+  while (true) {
+    auto token = lexer.Next();
+    EXPECT_TRUE(token.ok()) << token.status();
+    if (!token.ok() || token->kind == TokenKind::kEnd) {
+      return out;
+    }
+    out.push_back(*token);
+  }
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  Lexer lexer("");
+  auto token = lexer.Next();
+  ASSERT_TRUE(token.ok());
+  EXPECT_EQ(token->kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, ParensAndWords) {
+  auto tokens = LexAll("(seq name hello)");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[1].text, "seq");
+  EXPECT_EQ(tokens[2].text, "name");
+  EXPECT_EQ(tokens[3].text, "hello");
+  EXPECT_EQ(tokens[4].kind, TokenKind::kRParen);
+}
+
+TEST(LexerTest, StringsUnescape) {
+  auto tokens = LexAll(R"(("a \"quoted\" string" "line\nbreak"))");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "a \"quoted\" string");
+  EXPECT_EQ(tokens[2].text, "line\nbreak");
+}
+
+TEST(LexerTest, CommentsSkipToEol) {
+  auto tokens = LexAll("a ; this is a comment\nb");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].line, 2);
+}
+
+TEST(LexerTest, LineNumbersAdvance) {
+  auto tokens = LexAll("a\nb\n\nc");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(LexerTest, WordsStopAtDelimiters) {
+  auto tokens = LexAll("ab(cd)\"s\"ef");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].text, "ab");
+  EXPECT_EQ(tokens[2].text, "cd");
+  EXPECT_EQ(tokens[4].text, "s");
+  EXPECT_EQ(tokens[5].text, "ef");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  Lexer lexer("\"never closed");
+  EXPECT_FALSE(lexer.Next().ok());
+}
+
+TEST(LexerTest, PeekDoesNotConsume) {
+  Lexer lexer("x y");
+  auto p1 = lexer.Peek();
+  auto p2 = lexer.Peek();
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->text, "x");
+  EXPECT_EQ(p2->text, "x");
+  auto n = lexer.Next();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->text, "x");
+  auto next = lexer.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->text, "y");
+}
+
+TEST(LexerTest, ExpectMatchesKind) {
+  Lexer lexer("( word");
+  EXPECT_TRUE(lexer.Expect(TokenKind::kLParen).ok());
+  auto wrong = lexer.Expect(TokenKind::kString);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(LexerTest, RationalAndNegativeWords) {
+  auto tokens = LexAll("3/25 -42 1.5");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "3/25");
+  EXPECT_EQ(tokens[1].text, "-42");
+  EXPECT_EQ(tokens[2].text, "1.5");
+}
+
+}  // namespace
+}  // namespace cmif

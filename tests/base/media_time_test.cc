@@ -1,0 +1,140 @@
+#include "src/base/media_time.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(MediaTimeTest, DefaultIsZero) {
+  MediaTime t;
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(t.num(), 0);
+  EXPECT_EQ(t.den(), 1);
+}
+
+TEST(MediaTimeTest, RationalNormalizes) {
+  MediaTime t = MediaTime::Rational(4, 8);
+  EXPECT_EQ(t.num(), 1);
+  EXPECT_EQ(t.den(), 2);
+}
+
+TEST(MediaTimeTest, NegativeDenominatorNormalizesSign) {
+  MediaTime t = MediaTime::Rational(1, -2);
+  EXPECT_EQ(t.num(), -1);
+  EXPECT_EQ(t.den(), 2);
+  EXPECT_TRUE(t.is_negative());
+}
+
+TEST(MediaTimeTest, UnitConstructorsAgree) {
+  // 25 frames at 25 fps = 1 second = 8000 samples at 8 kHz.
+  EXPECT_EQ(MediaTime::Frames(25, 25), MediaTime::Seconds(1));
+  EXPECT_EQ(MediaTime::Samples(8000, 8000), MediaTime::Seconds(1));
+  EXPECT_EQ(MediaTime::Millis(1000), MediaTime::Seconds(1));
+  EXPECT_EQ(MediaTime::Bytes(1000, 1000), MediaTime::Seconds(1));
+}
+
+TEST(MediaTimeTest, MixedUnitArithmeticIsExact) {
+  // 1 frame at 25 fps + 1 sample at 8 kHz = 1/25 + 1/8000 = 321/8000.
+  MediaTime sum = MediaTime::Frames(1, 25) + MediaTime::Samples(1, 8000);
+  EXPECT_EQ(sum, MediaTime::Rational(321, 8000));
+}
+
+TEST(MediaTimeTest, SubtractionAndNegation) {
+  MediaTime a = MediaTime::Seconds(3);
+  MediaTime b = MediaTime::Millis(500);
+  EXPECT_EQ(a - b, MediaTime::Rational(5, 2));
+  EXPECT_EQ(-(a - b), MediaTime::Rational(-5, 2));
+}
+
+TEST(MediaTimeTest, ScalarMultiply) {
+  EXPECT_EQ(MediaTime::Millis(250) * 4, MediaTime::Seconds(1));
+  EXPECT_EQ(MediaTime::Seconds(3) * 0, MediaTime());
+}
+
+TEST(MediaTimeTest, MulRational) {
+  EXPECT_EQ(MediaTime::Seconds(12).MulRational(1, 3), MediaTime::Seconds(4));
+  EXPECT_EQ(MediaTime::Seconds(1).MulRational(3, 2), MediaTime::Rational(3, 2));
+}
+
+TEST(MediaTimeTest, ComparisonAcrossDenominators) {
+  EXPECT_LT(MediaTime::Rational(1, 3), MediaTime::Rational(1, 2));
+  EXPECT_GT(MediaTime::Rational(2, 3), MediaTime::Rational(1, 2));
+  EXPECT_LE(MediaTime::Rational(1, 2), MediaTime::Rational(2, 4));
+  EXPECT_GE(MediaTime::Rational(-1, 2), MediaTime::Rational(-3, 4));
+}
+
+TEST(MediaTimeTest, ToUnitsRoundsToNearest) {
+  EXPECT_EQ(MediaTime::Rational(1, 2).ToUnits(1000), 500);
+  EXPECT_EQ(MediaTime::Rational(1, 3).ToUnits(1000), 333);
+  EXPECT_EQ(MediaTime::Rational(2, 3).ToUnits(1000), 667);
+  EXPECT_EQ(MediaTime::Rational(-1, 2).ToUnits(1), -1);  // ties away from zero
+}
+
+TEST(MediaTimeTest, ToSecondsFApproximates) {
+  EXPECT_DOUBLE_EQ(MediaTime::Rational(1, 4).ToSecondsF(), 0.25);
+}
+
+TEST(MediaTimeTest, ToStringForms) {
+  EXPECT_EQ(MediaTime::Seconds(5).ToString(), "5");
+  EXPECT_EQ(MediaTime::Rational(3, 4).ToString(), "3/4");
+  EXPECT_EQ(MediaTime::Rational(-3, 4).ToString(), "-3/4");
+}
+
+TEST(MediaTimeParseTest, ParsesIntegerSeconds) {
+  auto t = ParseMediaTime("42");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, MediaTime::Seconds(42));
+}
+
+TEST(MediaTimeParseTest, ParsesRational) {
+  auto t = ParseMediaTime("-3/4");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, MediaTime::Rational(-3, 4));
+}
+
+TEST(MediaTimeParseTest, ParsesDecimal) {
+  auto t = ParseMediaTime("1.25");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, MediaTime::Rational(5, 4));
+  auto negative = ParseMediaTime("-0.5");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(*negative, MediaTime::Rational(-1, 2));
+}
+
+TEST(MediaTimeParseTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseMediaTime("").ok());
+  EXPECT_FALSE(ParseMediaTime("abc").ok());
+  EXPECT_FALSE(ParseMediaTime("1/0").ok());
+  EXPECT_FALSE(ParseMediaTime("1.").ok());
+  EXPECT_FALSE(ParseMediaTime("1.2.3").ok());
+  EXPECT_FALSE(ParseMediaTime("3/").ok());
+}
+
+TEST(MediaTimeParseTest, RoundTripsToString) {
+  for (const MediaTime t : {MediaTime::Rational(7, 3), MediaTime::Seconds(-2),
+                            MediaTime::Millis(125), MediaTime()}) {
+    auto parsed = ParseMediaTime(t.ToString());
+    ASSERT_TRUE(parsed.ok()) << t.ToString();
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+// Property sweep: a/b + c/d computed exactly for a grid of rationals.
+class MediaTimeArithmeticProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MediaTimeArithmeticProperty, AdditionMatchesCrossMultiplication) {
+  int i = GetParam();
+  std::int64_t a = i % 7 - 3;
+  std::int64_t b = i % 5 + 1;
+  std::int64_t c = (i * 3) % 11 - 5;
+  std::int64_t d = i % 9 + 1;
+  MediaTime sum = MediaTime::Rational(a, b) + MediaTime::Rational(c, d);
+  EXPECT_EQ(sum, MediaTime::Rational(a * d + c * b, b * d));
+  MediaTime diff = MediaTime::Rational(a, b) - MediaTime::Rational(c, d);
+  EXPECT_EQ(diff, MediaTime::Rational(a * d - c * b, b * d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MediaTimeArithmeticProperty, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace cmif

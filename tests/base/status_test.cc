@@ -1,0 +1,111 @@
+#include "src/base/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(InvalidArgumentError("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(DataLossError("").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ResourceExhaustedError("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(InfeasibleError("").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(NotFoundError("x"), NotFoundError("x"));
+  EXPECT_FALSE(NotFoundError("x") == NotFoundError("y"));
+  EXPECT_FALSE(NotFoundError("x") == InvalidArgumentError("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string taken = std::move(v).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+namespace helpers {
+Status FailIf(bool fail) {
+  if (fail) {
+    return InvalidArgumentError("asked to fail");
+  }
+  return Status::Ok();
+}
+
+Status Chained(bool fail) {
+  CMIF_RETURN_IF_ERROR(FailIf(fail));
+  return Status::Ok();
+}
+
+StatusOr<int> MaybeInt(bool fail) {
+  if (fail) {
+    return DataLossError("no int");
+  }
+  return 7;
+}
+
+StatusOr<int> Doubled(bool fail) {
+  CMIF_ASSIGN_OR_RETURN(int v, MaybeInt(fail));
+  return v * 2;
+}
+}  // namespace helpers
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(helpers::Chained(false).ok());
+  EXPECT_EQ(helpers::Chained(true).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnBindsAndPropagates) {
+  auto ok = helpers::Doubled(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 14);
+  auto bad = helpers::Doubled(true);
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInfeasible), "INFEASIBLE");
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,117 @@
+#include "src/base/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/random.h"
+
+namespace cmif {
+namespace {
+
+TEST(SplitStringTest, PreservesEmptyFields) {
+  EXPECT_EQ(SplitString("a//b", '/'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(SplitString(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(TrimStringTest, StripsBothEnds) {
+  EXPECT_EQ(TrimString("  abc\t\n"), "abc");
+  EXPECT_EQ(TrimString("abc"), "abc");
+  EXPECT_EQ(TrimString("   "), "");
+  EXPECT_EQ(TrimString(""), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(QuoteStringTest, EscapesSpecials) {
+  EXPECT_EQ(QuoteString("plain"), "\"plain\"");
+  EXPECT_EQ(QuoteString("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(QuoteString("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(QuoteString("a\nb"), "\"a\\nb\"");
+}
+
+TEST(QuoteStringTest, UnescapeInverts) {
+  for (const std::string s : {"plain", "with \"quotes\"", "back\\slash", "new\nline", ""}) {
+    std::string quoted = QuoteString(s);
+    // Strip the surrounding quotes before unescaping.
+    EXPECT_EQ(UnescapeString(std::string_view(quoted).substr(1, quoted.size() - 2)), s);
+  }
+}
+
+TEST(IsValidIdTest, AcceptsWordForms) {
+  EXPECT_TRUE(IsValidId("abc"));
+  EXPECT_TRUE(IsValidId("_x"));
+  EXPECT_TRUE(IsValidId("a-b.c_9"));
+}
+
+TEST(IsValidIdTest, RejectsBadForms) {
+  EXPECT_FALSE(IsValidId(""));
+  EXPECT_FALSE(IsValidId("9abc"));   // digit first
+  EXPECT_FALSE(IsValidId("-abc"));   // dash first
+  EXPECT_FALSE(IsValidId("a b"));    // embedded space (section 5.2)
+  EXPECT_FALSE(IsValidId("a/b"));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.0 / 3), "0.33");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(JoinStringsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(JoinStrings({}, "/"), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ", "), "solo");
+}
+
+TEST(Base64Test, KnownVectors) {
+  // RFC 4648 test vectors.
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeKnownVectors) {
+  auto d = Base64Decode("Zm9vYmFy");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, "foobar");
+}
+
+TEST(Base64Test, RejectsBadInput) {
+  EXPECT_FALSE(Base64Decode("abc").ok());       // not multiple of 4
+  EXPECT_FALSE(Base64Decode("ab!@").ok());      // bad alphabet
+  EXPECT_FALSE(Base64Decode("=abc").ok());      // misplaced padding
+  EXPECT_FALSE(Base64Decode("a=bc").ok());      // data after padding
+}
+
+// Property: decode(encode(x)) == x for random binary blobs.
+class Base64RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Base64RoundTrip, RandomBlob) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1);
+  std::size_t length = static_cast<std::size_t>(rng.NextBelow(512));
+  std::string blob;
+  blob.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    blob.push_back(static_cast<char>(rng.NextBelow(256)));
+  }
+  auto decoded = Base64Decode(Base64Encode(blob));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Base64RoundTrip, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace cmif

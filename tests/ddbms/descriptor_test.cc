@@ -1,0 +1,135 @@
+#include "src/ddbms/descriptor.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(DataDescriptorTest, MediumDefaultsToText) {
+  // "The data is either text (the default) or another medium" (section 5.1).
+  DataDescriptor descriptor("d1", AttrList());
+  EXPECT_EQ(descriptor.Medium(), MediaType::kText);
+}
+
+TEST(DataDescriptorTest, MediumFromAttribute) {
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("video"));
+  DataDescriptor descriptor("d1", attrs);
+  EXPECT_EQ(descriptor.Medium(), MediaType::kVideo);
+}
+
+TEST(DataDescriptorTest, DeclaredDurationAndBytes) {
+  AttrList attrs;
+  attrs.Set(std::string(kDescDuration), AttrValue::Time(MediaTime::Rational(5, 2)));
+  attrs.Set(std::string(kDescBytes), AttrValue::Number(1024));
+  DataDescriptor descriptor("d1", attrs);
+  EXPECT_EQ(descriptor.DeclaredDuration(), MediaTime::Rational(5, 2));
+  EXPECT_EQ(descriptor.DeclaredBytes(), 1024);
+  EXPECT_EQ(DataDescriptor("d2", AttrList()).DeclaredBytes(), 0);
+}
+
+TEST(DataDescriptorTest, DeriveFromAudio) {
+  DataDescriptor descriptor("d1", AttrList());
+  descriptor.DeriveAttrsFrom(DataBlock::FromAudio(MakeTone(8000, MediaTime::Seconds(2), 440, 0.5)));
+  EXPECT_EQ(descriptor.Medium(), MediaType::kAudio);
+  EXPECT_EQ(descriptor.DeclaredDuration(), MediaTime::Seconds(2));
+  EXPECT_EQ(descriptor.DeclaredBytes(), 32000);
+  EXPECT_EQ(*descriptor.attrs().GetNumber(kDescRate), 8000);
+  EXPECT_EQ(*descriptor.attrs().GetString(kDescFormat), "pcm16");
+}
+
+TEST(DataDescriptorTest, DeriveFromVideo) {
+  DataDescriptor descriptor("d1", AttrList());
+  descriptor.DeriveAttrsFrom(
+      DataBlock::FromVideo(MakeFlyingBirdSegment(32, 24, 10, MediaTime::Seconds(1))));
+  EXPECT_EQ(*descriptor.attrs().GetNumber(kDescWidth), 32);
+  EXPECT_EQ(*descriptor.attrs().GetNumber(kDescHeight), 24);
+  EXPECT_EQ(*descriptor.attrs().GetNumber(kDescRate), 10);
+  EXPECT_EQ(*descriptor.attrs().GetNumber(kDescColorBits), 8);
+}
+
+TEST(DataDescriptorTest, DeriveFromGeneratorSkipsPayloadFields) {
+  GeneratorSpec spec;
+  spec.generator = "tone";
+  spec.duration = MediaTime::Seconds(4);
+  spec.approx_bytes = 64000;
+  DataDescriptor descriptor("d1", AttrList());
+  descriptor.DeriveAttrsFrom(DataBlock::FromGenerator(MediaType::kAudio, spec));
+  EXPECT_EQ(descriptor.Medium(), MediaType::kAudio);
+  EXPECT_EQ(descriptor.DeclaredDuration(), MediaTime::Seconds(4));
+  EXPECT_EQ(descriptor.DeclaredBytes(), 64000);
+  EXPECT_FALSE(descriptor.attrs().Has(kDescRate));  // not derivable
+}
+
+TEST(BlockStoreTest, PutGetRemove) {
+  BlockStore store;
+  ASSERT_TRUE(store.Put("k1", DataBlock::FromText(TextBlock("x", {}))).ok());
+  EXPECT_EQ(store.Put("k1", DataBlock()).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(store.Has("k1"));
+  auto got = store.Get("k1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->text().text(), "x");
+  EXPECT_TRUE(store.Remove("k1"));
+  EXPECT_FALSE(store.Remove("k1"));
+  EXPECT_EQ(store.Get("k1").status().code(), StatusCode::kNotFound);
+}
+
+TEST(BlockStoreTest, SetUpserts) {
+  BlockStore store;
+  store.Set("k", DataBlock::FromText(TextBlock("first", {})));
+  store.Set("k", DataBlock::FromText(TextBlock("second", {})));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Get("k")->text().text(), "second");
+}
+
+TEST(BlockStoreTest, TotalBytesSums) {
+  BlockStore store;
+  store.Set("a", DataBlock::FromText(TextBlock("1234", {})));
+  store.Set("b", DataBlock::FromText(TextBlock("12", {})));
+  EXPECT_EQ(store.TotalBytes(), 6u);
+}
+
+TEST(ResolveContentTest, InlineBlock) {
+  DataDescriptor descriptor("d", AttrList());
+  descriptor.set_content(DataBlock::FromText(TextBlock("inline", {})));
+  BlockStore store;
+  auto block = ResolveContent(descriptor, store);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->text().text(), "inline");
+}
+
+TEST(ResolveContentTest, StoreKey) {
+  BlockStore store;
+  store.Set("key", DataBlock::FromText(TextBlock("stored", {})));
+  DataDescriptor descriptor("d", AttrList());
+  descriptor.set_content(std::string("key"));
+  auto block = ResolveContent(descriptor, store);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->text().text(), "stored");
+  // Missing key propagates NotFound.
+  descriptor.set_content(std::string("ghost"));
+  EXPECT_EQ(ResolveContent(descriptor, store).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResolveContentTest, GeneratorRuns) {
+  GeneratorSpec spec;
+  spec.generator = "test_card";
+  spec.params = "width=8,height=8,seed=1";
+  DataDescriptor descriptor("d", AttrList());
+  descriptor.set_content(spec);
+  BlockStore store;
+  auto block = ResolveContent(descriptor, store);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->image().width(), 8);
+}
+
+TEST(ResolveContentTest, NoContentIsFailedPrecondition) {
+  DataDescriptor descriptor("d", AttrList());
+  BlockStore store;
+  EXPECT_FALSE(descriptor.has_content());
+  EXPECT_EQ(ResolveContent(descriptor, store).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,128 @@
+#include "src/ddbms/persist.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(PersistTest, RoundTripAttributesOnly) {
+  DescriptorStore store;
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("video"));
+  attrs.Set(std::string(kDescKeywords), AttrValue::String("stolen painting"));
+  attrs.Set(std::string(kDescDuration), AttrValue::Time(MediaTime::Rational(7, 2)));
+  ASSERT_TRUE(store.Add(DataDescriptor("clip-1", attrs)).ok());
+
+  auto text = WriteCatalog(store);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto restored = ReadCatalog(*text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->size(), 1u);
+  const DataDescriptor* d = restored->Get("clip-1");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->attrs(), attrs);
+  EXPECT_FALSE(d->has_content());
+}
+
+TEST(PersistTest, RoundTripStoreKey) {
+  DescriptorStore store;
+  DataDescriptor d("d1", AttrList());
+  d.set_content(std::string("block key with spaces"));
+  ASSERT_TRUE(store.Add(std::move(d)).ok());
+  auto restored = ReadCatalog(*WriteCatalog(store));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(std::get<std::string>(restored->Get("d1")->content()), "block key with spaces");
+}
+
+TEST(PersistTest, RoundTripGenerator) {
+  DescriptorStore store;
+  DataDescriptor d("d1", AttrList());
+  GeneratorSpec spec;
+  spec.generator = "tone";
+  spec.params = "rate=8000,hz=440";
+  spec.duration = MediaTime::Rational(5, 2);
+  spec.approx_bytes = 40000;
+  d.set_content(spec);
+  ASSERT_TRUE(store.Add(std::move(d)).ok());
+  auto restored = ReadCatalog(*WriteCatalog(store));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const auto& restored_spec = std::get<GeneratorSpec>(restored->Get("d1")->content());
+  EXPECT_EQ(restored_spec, spec);
+}
+
+TEST(PersistTest, RoundTripInlineText) {
+  DescriptorStore store;
+  DataDescriptor d("d1", AttrList());
+  d.set_content(DataBlock::FromText(TextBlock("caption \"quoted\"\ntwo lines", {})));
+  ASSERT_TRUE(store.Add(std::move(d)).ok());
+  auto restored = ReadCatalog(*WriteCatalog(store));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const auto& block = std::get<DataBlock>(restored->Get("d1")->content());
+  EXPECT_EQ(block.text().text(), "caption \"quoted\"\ntwo lines");
+}
+
+TEST(PersistTest, RoundTripInlineAudio) {
+  DescriptorStore store;
+  DataDescriptor d("d1", AttrList());
+  AudioBuffer tone = MakeTone(8000, MediaTime::Millis(50), 440, 0.5);
+  d.set_content(DataBlock::FromAudio(tone));
+  ASSERT_TRUE(store.Add(std::move(d)).ok());
+  auto restored = ReadCatalog(*WriteCatalog(store));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const auto& block = std::get<DataBlock>(restored->Get("d1")->content());
+  EXPECT_EQ(block.audio(), tone);
+}
+
+TEST(PersistTest, RoundTripInlineImage) {
+  DescriptorStore store;
+  DataDescriptor d("d1", AttrList());
+  Raster card = MakeTestCard(16, 12, 9);
+  d.set_content(DataBlock::FromImage(card, MediaType::kGraphic));
+  ASSERT_TRUE(store.Add(std::move(d)).ok());
+  auto restored = ReadCatalog(*WriteCatalog(store));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const auto& block = std::get<DataBlock>(restored->Get("d1")->content());
+  EXPECT_EQ(block.medium(), MediaType::kGraphic);
+  EXPECT_EQ(block.image(), card);
+}
+
+TEST(PersistTest, InlineVideoIsUnsupported) {
+  DescriptorStore store;
+  DataDescriptor d("d1", AttrList());
+  d.set_content(DataBlock::FromVideo(MakeFlyingBirdSegment(8, 6, 5, MediaTime::Seconds(1))));
+  ASSERT_TRUE(store.Add(std::move(d)).ok());
+  EXPECT_EQ(WriteCatalog(store).status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(PersistTest, MultipleDescriptorsKeepOrder) {
+  DescriptorStore store;
+  for (const char* id : {"alpha", "beta", "gamma"}) {
+    ASSERT_TRUE(store.Add(DataDescriptor(id, AttrList())).ok());
+  }
+  auto restored = ReadCatalog(*WriteCatalog(store));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 3u);
+  EXPECT_EQ(restored->descriptors()[0].id(), "alpha");
+  EXPECT_EQ(restored->descriptors()[2].id(), "gamma");
+}
+
+TEST(PersistTest, ReadRejectsMalformedCatalogs) {
+  EXPECT_EQ(ReadCatalog("(notdescriptor x ())").status().code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(ReadCatalog("(descriptor d1 ()").ok());               // unterminated
+  EXPECT_FALSE(ReadCatalog("(descriptor d1 () mystery \"x\")").ok());  // unknown content kind
+  EXPECT_FALSE(ReadCatalog("(descriptor d1 () inline video \"x\")").ok());
+}
+
+TEST(PersistTest, EmptyCatalogIsEmptyStore) {
+  auto restored = ReadCatalog("; just a comment\n");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(PersistTest, DuplicateIdsInCatalogRejected) {
+  std::string text = "(descriptor d ())\n(descriptor d ())\n";
+  EXPECT_EQ(ReadCatalog(text).status().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace cmif

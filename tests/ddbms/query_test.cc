@@ -1,0 +1,123 @@
+#include "src/ddbms/query.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+AttrList Attrs(std::vector<Attr> attrs) { return AttrList::FromAttrs(std::move(attrs)); }
+
+TEST(QueryTest, EqMatchesExactValue) {
+  Query q = Query::Eq("medium", AttrValue::Id("audio"));
+  EXPECT_TRUE(q.Matches(Attrs({{"medium", AttrValue::Id("audio")}})));
+  EXPECT_FALSE(q.Matches(Attrs({{"medium", AttrValue::Id("video")}})));
+  EXPECT_FALSE(q.Matches(Attrs({})));
+  // ID does not match STRING of the same text.
+  EXPECT_FALSE(q.Matches(Attrs({{"medium", AttrValue::String("audio")}})));
+}
+
+TEST(QueryTest, EqNumberMatchesWholeSecondTime) {
+  Query q = Query::Eq("duration", AttrValue::Number(4));
+  EXPECT_TRUE(q.Matches(Attrs({{"duration", AttrValue::Time(MediaTime::Seconds(4))}})));
+  EXPECT_FALSE(q.Matches(Attrs({{"duration", AttrValue::Time(MediaTime::Rational(9, 2))}})));
+}
+
+TEST(QueryTest, RangeIsInclusive) {
+  Query q = Query::Range("bytes", 10, 20);
+  EXPECT_TRUE(q.Matches(Attrs({{"bytes", AttrValue::Number(10)}})));
+  EXPECT_TRUE(q.Matches(Attrs({{"bytes", AttrValue::Number(20)}})));
+  EXPECT_FALSE(q.Matches(Attrs({{"bytes", AttrValue::Number(21)}})));
+  EXPECT_FALSE(q.Matches(Attrs({{"bytes", AttrValue::Id("x")}})));  // non-number
+}
+
+TEST(QueryTest, HasChecksPresence) {
+  Query q = Query::Has("keywords");
+  EXPECT_TRUE(q.Matches(Attrs({{"keywords", AttrValue::String("")}})));
+  EXPECT_FALSE(q.Matches(Attrs({})));
+}
+
+TEST(QueryTest, BooleanCombinators) {
+  Query q = Query::And({Query::Eq("a", AttrValue::Number(1)),
+                        Query::Not(Query::Eq("b", AttrValue::Number(2)))});
+  EXPECT_TRUE(q.Matches(Attrs({{"a", AttrValue::Number(1)}})));
+  EXPECT_FALSE(q.Matches(Attrs({{"a", AttrValue::Number(1)}, {"b", AttrValue::Number(2)}})));
+
+  Query either = Query::Or({Query::Has("x"), Query::Has("y")});
+  EXPECT_TRUE(either.Matches(Attrs({{"y", AttrValue::Number(0)}})));
+  EXPECT_FALSE(either.Matches(Attrs({{"z", AttrValue::Number(0)}})));
+}
+
+TEST(ParseQueryTest, SimplePredicates) {
+  auto q = ParseQuery("medium=audio");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->kind(), Query::Kind::kEq);
+  EXPECT_TRUE(q->Matches(Attrs({{"medium", AttrValue::Id("audio")}})));
+
+  auto range = ParseQuery("bytes:[100,200]");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->kind(), Query::Kind::kRange);
+  EXPECT_EQ(range->lo(), 100);
+  EXPECT_EQ(range->hi(), 200);
+
+  auto has = ParseQuery("has(keywords)");
+  ASSERT_TRUE(has.ok());
+  EXPECT_EQ(has->kind(), Query::Kind::kHas);
+}
+
+TEST(ParseQueryTest, ValueForms) {
+  auto number = ParseQuery("n=42");
+  ASSERT_TRUE(number.ok());
+  EXPECT_TRUE(number->value().is_number());
+
+  auto text = ParseQuery("s=\"two words\"");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->value().string(), "two words");
+
+  auto id = ParseQuery("m=video");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(id->value().is_id());
+}
+
+TEST(ParseQueryTest, PrecedenceAndParens) {
+  // a=1 | b=2 & c=3  ==  a=1 | (b=2 & c=3)
+  auto q = ParseQuery("a=1 | b=2 & c=3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind(), Query::Kind::kOr);
+  ASSERT_EQ(q->children().size(), 2u);
+  EXPECT_EQ(q->children()[1].kind(), Query::Kind::kAnd);
+
+  auto grouped = ParseQuery("(a=1 | b=2) & c=3");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->kind(), Query::Kind::kAnd);
+}
+
+TEST(ParseQueryTest, NotBindsTightly) {
+  auto q = ParseQuery("!a=1 & b=2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind(), Query::Kind::kAnd);
+  EXPECT_EQ(q->children()[0].kind(), Query::Kind::kNot);
+  EXPECT_TRUE(q->Matches(Attrs({{"b", AttrValue::Number(2)}})));
+}
+
+TEST(ParseQueryTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("a=").ok());
+  EXPECT_FALSE(ParseQuery("a=1 trailing").ok());
+  EXPECT_FALSE(ParseQuery("a:[1,").ok());
+  EXPECT_FALSE(ParseQuery("(a=1").ok());
+  EXPECT_FALSE(ParseQuery("has(x").ok());
+  EXPECT_FALSE(ParseQuery("a").ok());
+}
+
+TEST(ParseQueryTest, ToStringReparses) {
+  for (const char* text : {"medium=audio", "bytes:[1,9] & has(k)", "!(a=1 | b=\"x\")"}) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    auto reparsed = ParseQuery(q->ToString());
+    ASSERT_TRUE(reparsed.ok()) << q->ToString();
+    EXPECT_EQ(reparsed->ToString(), q->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,156 @@
+#include "src/ddbms/store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+namespace {
+
+DataDescriptor Desc(const std::string& id, const std::string& medium, std::int64_t bytes) {
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id(medium));
+  attrs.Set(std::string(kDescBytes), AttrValue::Number(bytes));
+  return DataDescriptor(id, attrs);
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 30; ++i) {
+      const char* medium = i % 3 == 0 ? "audio" : (i % 3 == 1 ? "video" : "text");
+      ASSERT_TRUE(store_.Add(Desc(StrFormat("d%02d", i), medium, i * 100)).ok());
+    }
+  }
+
+  DescriptorStore store_;
+};
+
+TEST_F(StoreTest, AddRejectsDuplicatesAndEmptyIds) {
+  EXPECT_EQ(store_.Add(Desc("d00", "audio", 1)).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(store_.Add(Desc("", "audio", 1)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store_.size(), 30u);
+}
+
+TEST_F(StoreTest, GetFindsById) {
+  const DataDescriptor* d = store_.Get("d07");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->DeclaredBytes(), 700);
+  EXPECT_EQ(store_.Get("ghost"), nullptr);
+}
+
+TEST_F(StoreTest, RemoveKeepsLookupsConsistent) {
+  ASSERT_TRUE(store_.Remove("d10"));
+  EXPECT_FALSE(store_.Remove("d10"));
+  EXPECT_EQ(store_.size(), 29u);
+  // Every remaining descriptor is still findable by id.
+  for (const DataDescriptor& d : store_.descriptors()) {
+    EXPECT_EQ(store_.Get(d.id()), &d);
+  }
+}
+
+TEST_F(StoreTest, UpsertReplaces) {
+  store_.Upsert(Desc("d05", "graphic", 9999));
+  EXPECT_EQ(store_.size(), 30u);
+  EXPECT_EQ(store_.Get("d05")->Medium(), MediaType::kGraphic);
+  store_.Upsert(Desc("new", "text", 1));
+  EXPECT_EQ(store_.size(), 31u);
+}
+
+TEST_F(StoreTest, ScanAndIndexAgree) {
+  store_.CreateIndex(std::string(kDescMedium));
+  Query q = Query::Eq(std::string(kDescMedium), AttrValue::Id("video"));
+  QueryStats indexed_stats;
+  QueryStats scan_stats;
+  auto indexed = store_.Execute(q, &indexed_stats);
+  auto scanned = store_.ExecuteScan(q, &scan_stats);
+  EXPECT_TRUE(indexed_stats.used_index);
+  EXPECT_FALSE(scan_stats.used_index);
+  EXPECT_EQ(indexed.size(), 10u);
+  EXPECT_EQ(indexed, scanned);
+  // The index narrows the candidate set to exactly the hits.
+  EXPECT_EQ(indexed_stats.candidates_examined, 10u);
+  EXPECT_EQ(scan_stats.candidates_examined, 30u);
+}
+
+TEST_F(StoreTest, ExecuteWithoutIndexFallsBackToScan) {
+  Query q = Query::Eq(std::string(kDescMedium), AttrValue::Id("audio"));
+  QueryStats stats;
+  auto results = store_.Execute(q, &stats);
+  EXPECT_FALSE(stats.used_index);
+  EXPECT_EQ(results.size(), 10u);
+}
+
+TEST_F(StoreTest, RangeQueryUsesNumberIndex) {
+  store_.CreateIndex(std::string(kDescBytes));
+  Query q = Query::Range(std::string(kDescBytes), 500, 900);
+  QueryStats stats;
+  auto results = store_.Execute(q, &stats);
+  EXPECT_TRUE(stats.used_index);
+  EXPECT_EQ(results.size(), 5u);  // 500, 600, 700, 800, 900
+  EXPECT_EQ(results, store_.ExecuteScan(q));
+}
+
+TEST_F(StoreTest, AndPicksNarrowestIndexedConjunct) {
+  store_.CreateIndex(std::string(kDescMedium));
+  store_.CreateIndex(std::string(kDescBytes));
+  // bytes range [0, 200] matches 3 slots; medium=audio matches 10.
+  Query q = Query::And({Query::Eq(std::string(kDescMedium), AttrValue::Id("audio")),
+                        Query::Range(std::string(kDescBytes), 0, 200)});
+  QueryStats stats;
+  auto results = store_.Execute(q, &stats);
+  EXPECT_TRUE(stats.used_index);
+  EXPECT_LE(stats.candidates_examined, 3u);
+  EXPECT_EQ(results, store_.ExecuteScan(q));
+}
+
+TEST_F(StoreTest, IndexMaintainedAcrossMutations) {
+  store_.CreateIndex(std::string(kDescMedium));
+  ASSERT_TRUE(store_.Add(Desc("extra", "video", 1)).ok());
+  ASSERT_TRUE(store_.Remove("d01"));  // a video descriptor
+  store_.Upsert(Desc("d04", "video", 2));  // was video (4 % 3 == 1), stays video
+  Query q = Query::Eq(std::string(kDescMedium), AttrValue::Id("video"));
+  auto indexed = store_.Execute(q);
+  auto scanned = store_.ExecuteScan(q);
+  EXPECT_EQ(indexed, scanned);
+}
+
+TEST_F(StoreTest, IndexMissYieldsEmptyFast) {
+  store_.CreateIndex(std::string(kDescMedium));
+  Query q = Query::Eq(std::string(kDescMedium), AttrValue::Id("smell"));
+  QueryStats stats;
+  auto results = store_.Execute(q, &stats);
+  EXPECT_TRUE(stats.used_index);
+  EXPECT_EQ(stats.candidates_examined, 0u);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_F(StoreTest, OrNeverUsesIndex) {
+  store_.CreateIndex(std::string(kDescMedium));
+  Query q = Query::Or({Query::Eq(std::string(kDescMedium), AttrValue::Id("audio")),
+                       Query::Has("ghost")});
+  QueryStats stats;
+  auto results = store_.Execute(q, &stats);
+  EXPECT_FALSE(stats.used_index);  // OR may match outside any one index bucket
+  EXPECT_EQ(results.size(), 10u);
+}
+
+TEST_F(StoreTest, CreateIndexIsIdempotent) {
+  store_.CreateIndex(std::string(kDescMedium));
+  store_.CreateIndex(std::string(kDescMedium));
+  EXPECT_TRUE(store_.HasIndex(std::string(kDescMedium)));
+  Query q = Query::Eq(std::string(kDescMedium), AttrValue::Id("audio"));
+  EXPECT_EQ(store_.Execute(q).size(), 10u);
+}
+
+TEST_F(StoreTest, ResultsInInsertionOrder) {
+  store_.CreateIndex(std::string(kDescMedium));
+  Query q = Query::Eq(std::string(kDescMedium), AttrValue::Id("audio"));
+  auto results = store_.Execute(q);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LT(results[i - 1]->id(), results[i]->id());  // d00, d03, d06...
+  }
+}
+
+}  // namespace
+}  // namespace cmif

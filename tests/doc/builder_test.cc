@@ -1,0 +1,122 @@
+#include "src/doc/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(DocBuilderTest, BuildsNestedStructure) {
+  DocBuilder builder;
+  builder.DefineChannel("v", MediaType::kVideo)
+      .Par("scene")
+      .Ext("clip", "desc-1")
+      .OnChannel("v")
+      .ImmText("note", "hello")
+      .Up();
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const Node* scene = doc->root().FindChild("scene");
+  ASSERT_NE(scene, nullptr);
+  EXPECT_EQ(scene->kind(), NodeKind::kPar);
+  EXPECT_EQ(scene->child_count(), 2u);
+  const Node* clip = scene->FindChild("clip");
+  ASSERT_NE(clip, nullptr);
+  EXPECT_EQ(clip->attrs().Find(kAttrFile)->string(), "desc-1");
+  EXPECT_EQ(clip->attrs().Find(kAttrChannel)->id(), "v");
+  EXPECT_EQ(scene->FindChild("note")->immediate_data().text().text(), "hello");
+}
+
+TEST(DocBuilderTest, LeafCursorAutoPops) {
+  // Adding a sibling while positioned on a leaf pops to the composite.
+  DocBuilder builder;
+  builder.Seq("s").Ext("a", "d1").Ext("b", "d2").Ext("c", "d3").Up();
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root().FindChild("s")->child_count(), 3u);
+}
+
+TEST(DocBuilderTest, UpFromLeafLeavesComposite) {
+  DocBuilder builder;
+  builder.Seq("outer").Seq("inner").Ext("leaf", "d").Up();  // now at outer
+  builder.Ext("after", "d2");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  const Node* outer = doc->root().FindChild("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->child_count(), 2u);  // inner + after
+  EXPECT_NE(outer->FindChild("after"), nullptr);
+}
+
+TEST(DocBuilderTest, AttrHelpersApplyToCurrent) {
+  DocBuilder builder;
+  builder.Seq("s")
+      .ImmText("t", "x")
+      .WithDuration(MediaTime::Seconds(3))
+      .WithStyle("fancy")
+      .Attr("custom", AttrValue::Number(9));
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  const Node* t = doc->root().FindChild("s")->FindChild("t");
+  EXPECT_EQ(t->attrs().Find(kAttrDuration)->time(), MediaTime::Seconds(3));
+  EXPECT_EQ(t->attrs().Find(kAttrStyle)->id(), "fancy");
+  EXPECT_EQ(t->attrs().Find("custom")->number(), 9);
+}
+
+TEST(DocBuilderTest, ImmWithNonTextDataSetsMediumAttr) {
+  DocBuilder builder;
+  builder.Imm("pic", DataBlock::FromImage(MakeTestCard(8, 8, 1), MediaType::kGraphic));
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  const Node* pic = doc->root().FindChild("pic");
+  EXPECT_EQ(pic->attrs().Find(kAttrMedium)->id(), "graphic");
+}
+
+TEST(DocBuilderTest, ArcShapeErrorsStick) {
+  DocBuilder builder;
+  SyncArc bad = HardArc(NodePath(), ArcEdge::kBegin, *NodePath::Parse("x"), ArcEdge::kBegin);
+  bad.min_delay = MediaTime::Seconds(1);  // positive min has no meaning
+  builder.Arc(bad);
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DocBuilderTest, UpAtRootIsAnError) {
+  DocBuilder builder;
+  builder.Up();
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DocBuilderTest, FirstErrorWinsAndChainingContinues) {
+  DocBuilder builder;
+  builder.DefineChannel("dup", MediaType::kText).DefineChannel("dup", MediaType::kText);
+  builder.Seq("still-works");  // chaining after the error is safe
+  auto doc = builder.Build();
+  EXPECT_EQ(doc.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DocBuilderTest, BuildTwiceFails) {
+  DocBuilder builder;
+  ASSERT_TRUE(builder.Build().ok());
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DocBuilderTest, ToRootResetsCursor) {
+  DocBuilder builder;
+  builder.Seq("deep").Seq("deeper").ToRoot().Seq("top");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(doc->root().FindChild("top"), nullptr);
+  EXPECT_EQ(doc->root().child_count(), 2u);
+}
+
+TEST(DocBuilderTest, StylesAndChannelsLand) {
+  DocBuilder builder;
+  builder.DefineChannel("a", MediaType::kAudio)
+      .DefineStyle("s", AttrList::FromAttrs({{"x", AttrValue::Number(1)}}));
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->channels().Has("a"));
+  EXPECT_TRUE(doc->styles().Has("s"));
+}
+
+}  // namespace
+}  // namespace cmif

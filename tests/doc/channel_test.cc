@@ -1,0 +1,80 @@
+#include "src/doc/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(ChannelDictionaryTest, DefineAndFind) {
+  ChannelDictionary dict;
+  ASSERT_TRUE(dict.Define("video", MediaType::kVideo).ok());
+  ASSERT_TRUE(dict.Define("audio", MediaType::kAudio).ok());
+  EXPECT_EQ(dict.size(), 2u);
+  ASSERT_NE(dict.Find("video"), nullptr);
+  EXPECT_EQ(dict.Find("video")->medium, MediaType::kVideo);
+  EXPECT_EQ(dict.Find("ghost"), nullptr);
+}
+
+TEST(ChannelDictionaryTest, SeveralChannelsOfSameMedium) {
+  // "It is possible to have several channels of the same medium type"
+  // (section 3.1) — e.g. caption and label are both text.
+  ChannelDictionary dict;
+  ASSERT_TRUE(dict.Define("caption", MediaType::kText).ok());
+  ASSERT_TRUE(dict.Define("label", MediaType::kText).ok());
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(ChannelDictionaryTest, RejectsDuplicatesAndBadNames) {
+  ChannelDictionary dict;
+  ASSERT_TRUE(dict.Define("v", MediaType::kVideo).ok());
+  EXPECT_EQ(dict.Define("v", MediaType::kAudio).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(dict.Define("bad name", MediaType::kText).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ChannelDictionaryTest, ExtrasArePreserved) {
+  ChannelDictionary dict;
+  AttrList extra;
+  extra.Set("region", AttrValue::Id("main"));
+  ASSERT_TRUE(dict.Define("video", MediaType::kVideo, extra).ok());
+  EXPECT_EQ(dict.Find("video")->extra.Find("region")->id(), "main");
+}
+
+TEST(ChannelDictionaryTest, AttrValueRoundTrip) {
+  ChannelDictionary dict;
+  AttrList extra;
+  extra.Set("region", AttrValue::Id("inset"));
+  ASSERT_TRUE(dict.Define("graphic", MediaType::kGraphic, extra).ok());
+  ASSERT_TRUE(dict.Define("sound", MediaType::kAudio).ok());
+
+  auto restored = ChannelDictionary::FromAttrValue(dict.ToAttrValue());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->size(), 2u);
+  EXPECT_EQ(*restored->Find("graphic"), *dict.Find("graphic"));
+  EXPECT_EQ(*restored->Find("sound"), *dict.Find("sound"));
+}
+
+TEST(ChannelDictionaryTest, FromAttrValueRejectsMalformed) {
+  EXPECT_FALSE(ChannelDictionary::FromAttrValue(AttrValue::Number(1)).ok());
+  // Definition body must be a LIST with a medium.
+  EXPECT_FALSE(ChannelDictionary::FromAttrValue(
+                   AttrValue::List({Attr{"v", AttrValue::Id("video")}}))
+                   .ok());
+  EXPECT_FALSE(ChannelDictionary::FromAttrValue(
+                   AttrValue::List({Attr{"v", AttrValue::List({})}}))
+                   .ok());
+  EXPECT_FALSE(ChannelDictionary::FromAttrValue(
+                   AttrValue::List(
+                       {Attr{"v", AttrValue::List({Attr{"medium", AttrValue::Id("odor")}})}}))
+                   .ok());
+}
+
+TEST(ChannelDictionaryTest, OrderPreserved) {
+  ChannelDictionary dict;
+  ASSERT_TRUE(dict.Define("z", MediaType::kText).ok());
+  ASSERT_TRUE(dict.Define("a", MediaType::kText).ok());
+  EXPECT_EQ(dict.channels()[0].name, "z");
+  EXPECT_EQ(dict.channels()[1].name, "a");
+}
+
+}  // namespace
+}  // namespace cmif

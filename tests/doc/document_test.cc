@@ -1,0 +1,94 @@
+#include "src/doc/document.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(DocumentTest, RootKindIsCompositeOnly) {
+  EXPECT_EQ(Document(NodeKind::kSeq).root().kind(), NodeKind::kSeq);
+  EXPECT_EQ(Document(NodeKind::kPar).root().kind(), NodeKind::kPar);
+  // Leaf kinds coerce to seq — the root must be able to hold children.
+  EXPECT_EQ(Document(NodeKind::kExt).root().kind(), NodeKind::kSeq);
+}
+
+TEST(DocumentTest, ResolveAttrWalksInheritance) {
+  Document doc;
+  doc.root().attrs().Set(std::string(kAttrChannel), AttrValue::Id("main"));
+  Node* child = *doc.root().AddChild(NodeKind::kSeq);
+  Node* leaf = *child->AddChild(NodeKind::kExt);
+  auto v = doc.ResolveAttr(*leaf, kAttrChannel);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ((*v)->id(), "main");
+}
+
+TEST(DocumentTest, ChannelOfReportsMissing) {
+  Document doc;
+  Node* leaf = *doc.root().AddChild(NodeKind::kExt);
+  EXPECT_EQ(doc.ChannelOf(*leaf).status().code(), StatusCode::kNotFound);
+  leaf->attrs().Set(std::string(kAttrChannel), AttrValue::Id("x"));
+  auto channel = doc.ChannelOf(*leaf);
+  ASSERT_TRUE(channel.ok());
+  EXPECT_EQ(*channel, "x");
+}
+
+TEST(DocumentTest, StylesFeedEffectiveAttrs) {
+  Document doc;
+  ASSERT_TRUE(doc.styles()
+                  .Define("emphasis", AttrList::FromAttrs({{"weight", AttrValue::Id("bold")}}))
+                  .ok());
+  Node* leaf = *doc.root().AddChild(NodeKind::kImm);
+  leaf->attrs().Set(std::string(kAttrStyle), AttrValue::Id("emphasis"));
+  auto attrs = doc.EffectiveAttrs(*leaf);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->Find("weight")->id(), "bold");
+}
+
+TEST(DocumentTest, DictionariesRoundTripThroughRootAttrs) {
+  Document doc;
+  ASSERT_TRUE(doc.channels().Define("video", MediaType::kVideo).ok());
+  ASSERT_TRUE(doc.styles().Define("s", AttrList::FromAttrs({{"k", AttrValue::Number(1)}})).ok());
+  doc.StoreDictionariesOnRoot();
+  EXPECT_TRUE(doc.root().attrs().Has(kAttrChannelDict));
+  EXPECT_TRUE(doc.root().attrs().Has(kAttrStyleDict));
+
+  // A fresh document loads them back from the attributes.
+  Document loaded;
+  loaded.root().attrs() = doc.root().attrs();
+  ASSERT_TRUE(loaded.LoadDictionariesFromRoot().ok());
+  EXPECT_TRUE(loaded.channels().Has("video"));
+  EXPECT_TRUE(loaded.styles().Has("s"));
+}
+
+TEST(DocumentTest, StoreDictionariesRemovesEmpty) {
+  Document doc;
+  ASSERT_TRUE(doc.channels().Define("c", MediaType::kText).ok());
+  doc.StoreDictionariesOnRoot();
+  ASSERT_TRUE(doc.root().attrs().Has(kAttrChannelDict));
+  doc.channels() = ChannelDictionary();
+  doc.StoreDictionariesOnRoot();
+  EXPECT_FALSE(doc.root().attrs().Has(kAttrChannelDict));
+}
+
+TEST(DocumentTest, LoadRejectsMalformedDictionaries) {
+  Document doc;
+  doc.root().attrs().Set(std::string(kAttrChannelDict), AttrValue::Number(5));
+  EXPECT_FALSE(doc.LoadDictionariesFromRoot().ok());
+}
+
+TEST(DocumentTest, CloneIsDeep) {
+  Document doc;
+  ASSERT_TRUE(doc.channels().Define("video", MediaType::kVideo).ok());
+  Node* child = *doc.root().AddChild(NodeKind::kSeq);
+  child->set_name("original");
+
+  Document copy = doc.Clone();
+  EXPECT_TRUE(copy.channels().Has("video"));
+  ASSERT_NE(copy.root().FindChild("original"), nullptr);
+  copy.root().FindChild("original")->set_name("changed");
+  EXPECT_NE(doc.root().FindChild("original"), nullptr);  // original untouched
+}
+
+}  // namespace
+}  // namespace cmif

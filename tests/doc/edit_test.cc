@@ -1,0 +1,150 @@
+#include "src/doc/edit.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+
+namespace cmif {
+namespace {
+
+// root(seq) -> story(par) -> {video(seq) -> {v1, v2}, audio(ext)}, tail(seq)
+// with an arc on story: begin video/v1 -> begin audio.
+struct EditFixture {
+  EditFixture() {
+    DocBuilder builder;
+    builder.DefineChannel("screen", MediaType::kVideo)
+        .DefineChannel("sound", MediaType::kAudio);
+    builder.Par("story")
+        .Seq("video")
+        .Ext("v1", "d1")
+        .OnChannel("screen")
+        .Ext("v2", "d2")
+        .OnChannel("screen")
+        .Up()
+        .Ext("audio", "d3")
+        .OnChannel("sound");
+    builder.Up();  // from audio leaf to story... leaf Up pops twice -> root
+    builder.Seq("tail").Up();
+    auto built = builder.Build();
+    EXPECT_TRUE(built.ok());
+    doc = std::move(built).value();
+    Node* story = doc.root().FindChild("story");
+    story->AddArc(HardArc(*NodePath::Parse("video/v1"), ArcEdge::kBegin,
+                          *NodePath::Parse("audio"), ArcEdge::kBegin));
+  }
+
+  Node& At(const char* path) {
+    auto node = doc.root().Resolve(*NodePath::Parse(path));
+    EXPECT_TRUE(node.ok()) << path;
+    return **node;
+  }
+
+  Document doc{NodeKind::kSeq};
+};
+
+TEST(EditTest, RenameRewritesArcPaths) {
+  EditFixture f;
+  auto report = RenameNode(f.doc, f.At("story/video"), "clips");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->rewritten_arcs, 1u);
+  EXPECT_TRUE(report->dropped_arcs.empty());
+  const SyncArc& arc = f.At("story").arcs()[0];
+  EXPECT_EQ(arc.source.ToString(), "clips/v1");
+  // The arc still resolves.
+  EXPECT_TRUE(f.At("story").Resolve(arc.source).ok());
+}
+
+TEST(EditTest, RenameValidatesNames) {
+  EditFixture f;
+  EXPECT_EQ(RenameNode(f.doc, f.At("story/video"), "not a name").status().code(),
+            StatusCode::kInvalidArgument);
+  // Clashing with a sibling is rejected.
+  EXPECT_EQ(RenameNode(f.doc, f.At("story/video"), "audio").status().code(),
+            StatusCode::kAlreadyExists);
+  // Renaming to its own name is a no-op, not a clash.
+  auto self = RenameNode(f.doc, f.At("story/video"), "video");
+  EXPECT_TRUE(self.ok());
+  EXPECT_EQ(self->rewritten_arcs, 0u);
+}
+
+TEST(EditTest, DeleteSubtreeDropsArcsIntoIt) {
+  EditFixture f;
+  auto report = DeleteSubtree(f.doc, f.At("story/video"));
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->dropped_arcs.size(), 1u);
+  EXPECT_EQ(report->dropped_arcs[0].owner_path, "/story");
+  EXPECT_NE(report->dropped_arcs[0].reason.find("deleted"), std::string::npos);
+  EXPECT_TRUE(f.At("story").arcs().empty());
+  EXPECT_EQ(f.doc.root().FindChild("story")->child_count(), 1u);  // audio remains
+}
+
+TEST(EditTest, DeleteUnrelatedSubtreeKeepsArcs) {
+  EditFixture f;
+  auto report = DeleteSubtree(f.doc, f.At("tail"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->dropped_arcs.empty());
+  EXPECT_EQ(f.At("story").arcs().size(), 1u);
+}
+
+TEST(EditTest, DeleteRootIsRejected) {
+  EditFixture f;
+  EXPECT_EQ(DeleteSubtree(f.doc, f.doc.root()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EditTest, MoveRewritesArcAcrossTheTree) {
+  EditFixture f;
+  // Move the video seq out of the story into the tail.
+  auto report = MoveSubtree(f.doc, f.At("story/video"), f.At("tail"), 0);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->rewritten_arcs, 1u);
+  EXPECT_TRUE(report->dropped_arcs.empty());
+  const SyncArc& arc = f.At("story").arcs()[0];
+  // The arc now climbs out of the story and descends into the tail.
+  EXPECT_EQ(arc.source.ToString(), "../tail/video/v1");
+  EXPECT_TRUE(f.At("story").Resolve(arc.source).ok());
+  EXPECT_EQ(f.At("tail").child_count(), 1u);
+}
+
+TEST(EditTest, MoveIntoOwnSubtreeRejected) {
+  EditFixture f;
+  EXPECT_EQ(MoveSubtree(f.doc, f.At("story"), f.At("story/video"), 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EditTest, MoveOntoLeafRejected) {
+  EditFixture f;
+  EXPECT_EQ(MoveSubtree(f.doc, f.At("tail"), f.At("story/audio"), 0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EditTest, MoveRespectsSiblingNames) {
+  EditFixture f;
+  Node* clash = *f.doc.root().AddChild(NodeKind::kSeq);
+  clash->set_name("video");
+  EXPECT_EQ(MoveSubtree(f.doc, f.At("story/video"), f.doc.root(), 0).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(EditTest, MoveInsertsAtIndex) {
+  EditFixture f;
+  auto report = MoveSubtree(f.doc, f.At("tail"), f.At("story"), 0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(f.At("story").ChildAt(0).name(), "tail");
+  EXPECT_EQ(f.At("story").child_count(), 3u);
+}
+
+TEST(EditTest, MoveToUnaddressablePositionDropsArc) {
+  EditFixture f;
+  // An unnamed composite in the root: nodes moved under it cannot be
+  // addressed by named paths.
+  Node* anon = *f.doc.root().AddChild(NodeKind::kSeq);
+  auto report = MoveSubtree(f.doc, f.At("story/video"), *anon, 0);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->dropped_arcs.size(), 1u);
+  EXPECT_NE(report->dropped_arcs[0].reason.find("no longer addressable"), std::string::npos);
+  EXPECT_TRUE(f.At("story").arcs().empty());
+}
+
+}  // namespace
+}  // namespace cmif

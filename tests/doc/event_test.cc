@@ -1,0 +1,171 @@
+#include "src/doc/event.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+
+namespace cmif {
+namespace {
+
+class EventTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Descriptors: a 2s audio clip and a still graphic.
+    AttrList audio_attrs;
+    audio_attrs.Set(std::string(kDescMedium), AttrValue::Id("audio"));
+    audio_attrs.Set(std::string(kDescDuration), AttrValue::Time(MediaTime::Seconds(2)));
+    ASSERT_TRUE(store_.Add(DataDescriptor("clip", audio_attrs)).ok());
+    AttrList still_attrs;
+    still_attrs.Set(std::string(kDescMedium), AttrValue::Id("graphic"));
+    ASSERT_TRUE(store_.Add(DataDescriptor("still", still_attrs)).ok());
+  }
+
+  DescriptorStore store_;
+};
+
+TEST_F(EventTest, CollectsLeavesInDocumentOrder) {
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio)
+      .DefineChannel("pic", MediaType::kGraphic)
+      .Par("p")
+      .Ext("a", "clip")
+      .OnChannel("sound")
+      .Ext("b", "still")
+      .OnChannel("pic")
+      .Up();
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, &store_);
+  ASSERT_TRUE(events.ok()) << events.status();
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].node->name(), "a");
+  EXPECT_EQ((*events)[0].channel, "sound");
+  EXPECT_EQ((*events)[0].medium, MediaType::kAudio);
+  EXPECT_EQ((*events)[0].descriptor_id, "clip");
+  EXPECT_EQ((*events)[1].node->name(), "b");
+}
+
+TEST_F(EventTest, ContinuousMediaAreRigid) {
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio).Ext("a", "clip").OnChannel("sound");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, &store_);
+  ASSERT_TRUE(events.ok());
+  const EventDescriptor& event = events->front();
+  EXPECT_EQ(event.min_duration, MediaTime::Seconds(2));
+  ASSERT_TRUE(event.max_duration.has_value());
+  EXPECT_EQ(*event.max_duration, MediaTime::Seconds(2));
+  EXPECT_TRUE(event.is_rigid());
+}
+
+TEST_F(EventTest, StillsAreStretchable) {
+  DocBuilder builder;
+  builder.DefineChannel("pic", MediaType::kGraphic).Ext("g", "still").OnChannel("pic");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, &store_);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->front().min_duration, MediaTime());
+  EXPECT_FALSE(events->front().max_duration.has_value());
+  EXPECT_FALSE(events->front().is_rigid());
+}
+
+TEST_F(EventTest, ExplicitDurationPinsWindow) {
+  DocBuilder builder;
+  builder.DefineChannel("pic", MediaType::kGraphic)
+      .Ext("g", "still")
+      .OnChannel("pic")
+      .WithDuration(MediaTime::Seconds(4));
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, &store_);
+  ASSERT_TRUE(events.ok());
+  EXPECT_TRUE(events->front().is_rigid());
+  EXPECT_EQ(events->front().min_duration, MediaTime::Seconds(4));
+}
+
+TEST_F(EventTest, ImmediateTextUsesReadingTime) {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText)
+      .ImmText("t", std::string(30, 'x'))
+      .OnChannel("txt");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->front().min_duration, MediaTime::Seconds(2));  // 30 chars @ 15 cps
+  EXPECT_FALSE(events->front().max_duration.has_value());          // stretchable
+}
+
+TEST_F(EventTest, InheritedChannelResolves) {
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio)
+      .Seq("s")
+      .OnChannel("sound")
+      .Ext("a", "clip")
+      .Up();
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, &store_);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->front().channel, "sound");
+}
+
+TEST_F(EventTest, MissingChannelIsAnError) {
+  DocBuilder builder;
+  builder.Ext("a", "clip");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(CollectEvents(*doc, &store_).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EventTest, UndefinedChannelIsAnError) {
+  DocBuilder builder;
+  builder.Ext("a", "clip").OnChannel("ghost");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(CollectEvents(*doc, &store_).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EventTest, ExtWithoutFileIsAnError) {
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio).Ext("a", "").OnChannel("sound");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(CollectEvents(*doc, &store_).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EventTest, NullStoreLeavesExtStretchable) {
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio).Ext("a", "clip").OnChannel("sound");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->front().min_duration, MediaTime());
+  EXPECT_FALSE(events->front().max_duration.has_value());
+}
+
+TEST_F(EventTest, EventsOnChannelFilters) {
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio)
+      .DefineChannel("pic", MediaType::kGraphic)
+      .Ext("a", "clip")
+      .OnChannel("sound")
+      .Ext("g", "still")
+      .OnChannel("pic")
+      .Ext("b", "clip")
+      .OnChannel("sound");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, &store_);
+  ASSERT_TRUE(events.ok());
+  auto sound = EventsOnChannel(*events, "sound");
+  ASSERT_EQ(sound.size(), 2u);
+  EXPECT_EQ(sound[0]->node->name(), "a");
+  EXPECT_EQ(sound[1]->node->name(), "b");
+}
+
+}  // namespace
+}  // namespace cmif

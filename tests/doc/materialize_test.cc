@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+#include "src/doc/event.h"
+
+namespace cmif {
+namespace {
+
+class MaterializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A 1s tone in the block store, referenced by descriptor "tone".
+    AudioBuffer tone = MakeTone(8000, MediaTime::Seconds(1), 440, 0.5);
+    ASSERT_TRUE(blocks_.Put("tone-bytes", DataBlock::FromAudio(tone)).ok());
+    AttrList tone_attrs;
+    tone_attrs.Set(std::string(kDescMedium), AttrValue::Id("audio"));
+    DataDescriptor tone_desc("tone", tone_attrs);
+    tone_desc.set_content(std::string("tone-bytes"));
+    ASSERT_TRUE(store_.Add(std::move(tone_desc)).ok());
+
+    // A 10-frame video via generator.
+    AttrList video_attrs;
+    video_attrs.Set(std::string(kDescMedium), AttrValue::Id("video"));
+    DataDescriptor video_desc("clip", video_attrs);
+    GeneratorSpec spec;
+    spec.generator = "flying_bird";
+    spec.params = "width=16,height=12,fps=10";
+    spec.duration = MediaTime::Seconds(1);
+    video_desc.set_content(std::move(spec));
+    ASSERT_TRUE(store_.Add(std::move(video_desc)).ok());
+
+    // A 16x12 graphic inline.
+    AttrList image_attrs;
+    image_attrs.Set(std::string(kDescMedium), AttrValue::Id("graphic"));
+    DataDescriptor image_desc("card", image_attrs);
+    image_desc.set_content(DataBlock::FromImage(MakeTestCard(16, 12, 3), MediaType::kGraphic));
+    ASSERT_TRUE(store_.Add(std::move(image_desc)).ok());
+  }
+
+  EventDescriptor EventFor(DocBuilder& builder) {
+    auto doc = builder.Build();
+    EXPECT_TRUE(doc.ok());
+    doc_ = std::move(doc).value();
+    auto events = CollectEvents(doc_, &store_);
+    EXPECT_TRUE(events.ok()) << events.status();
+    EXPECT_EQ(events->size(), 1u);
+    return events->front();
+  }
+
+  DescriptorStore store_;
+  BlockStore blocks_;
+  Document doc_{NodeKind::kSeq};
+};
+
+TEST_F(MaterializeTest, PlainExternalResolves) {
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio).Ext("a", "tone").OnChannel("sound");
+  EventDescriptor event = EventFor(builder);
+  auto block = MaterializeEvent(event, store_, blocks_);
+  ASSERT_TRUE(block.ok()) << block.status();
+  EXPECT_EQ(block->audio().frames(), 8000u);
+}
+
+TEST_F(MaterializeTest, ImmediateDataPassesThrough) {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText).ImmText("t", "hello").OnChannel("txt");
+  EventDescriptor event = EventFor(builder);
+  auto block = MaterializeEvent(event, store_, blocks_);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->text().text(), "hello");
+}
+
+TEST_F(MaterializeTest, ClipSelectsSamples) {
+  // Clip: "a part of a sound fragment" (Figure 7).
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio)
+      .Ext("a", "tone")
+      .OnChannel("sound")
+      .Attr(std::string(kAttrClip), AttrValue::List({Attr{"begin", AttrValue::Number(2000)},
+                                                     Attr{"length", AttrValue::Number(4000)}}));
+  EventDescriptor event = EventFor(builder);
+  auto block = MaterializeEvent(event, store_, blocks_);
+  ASSERT_TRUE(block.ok()) << block.status();
+  EXPECT_EQ(block->audio().frames(), 4000u);
+}
+
+TEST_F(MaterializeTest, SliceSelectsFrames) {
+  // Slice: "a subsection of the file used by an external node" (Figure 7).
+  DocBuilder builder;
+  builder.DefineChannel("screen", MediaType::kVideo)
+      .Ext("v", "clip")
+      .OnChannel("screen")
+      .Attr(std::string(kAttrSlice), AttrValue::List({Attr{"begin", AttrValue::Number(3)},
+                                                      Attr{"length", AttrValue::Number(4)}}));
+  EventDescriptor event = EventFor(builder);
+  auto block = MaterializeEvent(event, store_, blocks_);
+  ASSERT_TRUE(block.ok()) << block.status();
+  EXPECT_EQ(block->video().frame_count(), 4u);
+}
+
+TEST_F(MaterializeTest, CropSelectsSubimage) {
+  DocBuilder builder;
+  builder.DefineChannel("pic", MediaType::kGraphic)
+      .Ext("g", "card")
+      .OnChannel("pic")
+      .Attr(std::string(kAttrCrop),
+            AttrValue::List({Attr{"x", AttrValue::Number(4)}, Attr{"y", AttrValue::Number(2)},
+                             Attr{"w", AttrValue::Number(8)}, Attr{"h", AttrValue::Number(6)}}));
+  EventDescriptor event = EventFor(builder);
+  auto block = MaterializeEvent(event, store_, blocks_);
+  ASSERT_TRUE(block.ok()) << block.status();
+  EXPECT_EQ(block->image().width(), 8);
+  EXPECT_EQ(block->image().height(), 6);
+  EXPECT_EQ(block->medium(), MediaType::kGraphic);
+}
+
+TEST_F(MaterializeTest, ClipOnVideoIsAnError) {
+  DocBuilder builder;
+  builder.DefineChannel("screen", MediaType::kVideo)
+      .Ext("v", "clip")
+      .OnChannel("screen")
+      .Attr(std::string(kAttrClip), AttrValue::List({Attr{"begin", AttrValue::Number(0)},
+                                                     Attr{"length", AttrValue::Number(1)}}));
+  EventDescriptor event = EventFor(builder);
+  EXPECT_EQ(MaterializeEvent(event, store_, blocks_).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MaterializeTest, OutOfRangeSelectionPropagates) {
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio)
+      .Ext("a", "tone")
+      .OnChannel("sound")
+      .Attr(std::string(kAttrClip),
+            AttrValue::List({Attr{"begin", AttrValue::Number(7000)},
+                             Attr{"length", AttrValue::Number(5000)}}));
+  EventDescriptor event = EventFor(builder);
+  EXPECT_EQ(MaterializeEvent(event, store_, blocks_).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(MaterializeTest, MissingDescriptorIsNotFound) {
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio).Ext("a", "tone").OnChannel("sound");
+  EventDescriptor event = EventFor(builder);
+  event.descriptor_id = "ghost";
+  EXPECT_EQ(MaterializeEvent(event, store_, blocks_).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MaterializeTest, InheritedClipApplies) {
+  // Clip set on the parent applies to the leaf through effective attrs?
+  // Clip is NOT inherited per the registry, so it must not leak down.
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio)
+      .Seq("s")
+      .Attr(std::string(kAttrClip), AttrValue::List({Attr{"begin", AttrValue::Number(0)},
+                                                     Attr{"length", AttrValue::Number(10)}}))
+      .Ext("a", "tone")
+      .OnChannel("sound")
+      .Up();
+  EventDescriptor event = EventFor(builder);
+  auto block = MaterializeEvent(event, store_, blocks_);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->audio().frames(), 8000u);  // full fragment: clip did not inherit
+}
+
+}  // namespace
+}  // namespace cmif

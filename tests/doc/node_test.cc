@@ -1,0 +1,172 @@
+#include "src/doc/node.h"
+
+#include <gtest/gtest.h>
+
+#include "src/attr/registry.h"
+
+namespace cmif {
+namespace {
+
+// Builds:   root(seq) -> a(par) -> {x(ext), y(imm)}, b(ext)
+struct SmallTree {
+  SmallTree() : root(NodeKind::kSeq) {
+    root.set_name("root");
+    Node* a = *root.AddChild(NodeKind::kPar);
+    a->set_name("a");
+    Node* x = *a->AddChild(NodeKind::kExt);
+    x->set_name("x");
+    Node* y = *a->AddChild(NodeKind::kImm);
+    y->set_name("y");
+    y->set_immediate_data(DataBlock::FromText(TextBlock("imm data", {})));
+    Node* b = *root.AddChild(NodeKind::kExt);
+    b->set_name("b");
+    this->a = a;
+    this->x = x;
+    this->y = y;
+    this->b = b;
+  }
+  Node root;
+  Node* a;
+  Node* x;
+  Node* y;
+  Node* b;
+};
+
+TEST(NodeTest, KindPredicates) {
+  EXPECT_TRUE(Node(NodeKind::kSeq).is_composite());
+  EXPECT_TRUE(Node(NodeKind::kPar).is_composite());
+  EXPECT_TRUE(Node(NodeKind::kExt).is_leaf());
+  EXPECT_TRUE(Node(NodeKind::kImm).is_leaf());
+}
+
+TEST(NodeTest, KindNamesRoundTrip) {
+  for (NodeKind kind : {NodeKind::kSeq, NodeKind::kPar, NodeKind::kExt, NodeKind::kImm}) {
+    auto parsed = ParseNodeKind(NodeKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseNodeKind("loop").ok());
+}
+
+TEST(NodeTest, LeavesRejectChildren) {
+  Node leaf(NodeKind::kExt);
+  EXPECT_EQ(leaf.AddChild(NodeKind::kSeq).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NodeTest, ParentLinksMaintained) {
+  SmallTree t;
+  EXPECT_EQ(t.a->parent(), &t.root);
+  EXPECT_EQ(t.x->parent(), t.a);
+  EXPECT_TRUE(t.root.is_root());
+  EXPECT_FALSE(t.x->is_root());
+}
+
+TEST(NodeTest, FindChildByName) {
+  SmallTree t;
+  EXPECT_EQ(t.root.FindChild("a"), t.a);
+  EXPECT_EQ(t.root.FindChild("ghost"), nullptr);
+  EXPECT_EQ(t.a->FindChild("y"), t.y);
+}
+
+TEST(NodeTest, NameComesFromAttr) {
+  Node node(NodeKind::kSeq);
+  EXPECT_EQ(node.name(), "");
+  node.set_name("fred");
+  EXPECT_EQ(node.name(), "fred");
+  EXPECT_EQ(node.attrs().Find(kAttrName)->id(), "fred");
+}
+
+TEST(NodeTest, DisplayPathUsesNamesAndIndexes) {
+  SmallTree t;
+  EXPECT_EQ(t.root.DisplayPath(), "/");
+  EXPECT_EQ(t.x->DisplayPath(), "/a/x");
+  Node* anon = *t.a->AddChild(NodeKind::kExt);
+  EXPECT_EQ(anon->DisplayPath(), "/a/#2");
+}
+
+TEST(NodeTest, DepthAndSubtreeSize) {
+  SmallTree t;
+  EXPECT_EQ(t.root.Depth(), 0);
+  EXPECT_EQ(t.x->Depth(), 2);
+  EXPECT_EQ(t.root.SubtreeSize(), 5u);
+  EXPECT_EQ(t.a->SubtreeSize(), 3u);
+}
+
+TEST(NodeTest, ResolveRelativePaths) {
+  SmallTree t;
+  auto x = t.root.Resolve(*NodePath::Parse("a/x"));
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*x, t.x);
+  auto self = t.a->Resolve(NodePath());
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(*self, t.a);
+  auto up = t.x->Resolve(*NodePath::Parse("../y"));
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(*up, t.y);
+}
+
+TEST(NodeTest, ResolveAbsoluteRestartsAtRoot) {
+  SmallTree t;
+  auto b = t.x->Resolve(*NodePath::Parse("/b"));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, t.b);
+}
+
+TEST(NodeTest, ResolveErrors) {
+  SmallTree t;
+  EXPECT_EQ(t.root.Resolve(*NodePath::Parse("ghost")).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.root.Resolve(*NodePath::Parse("..")).status().code(), StatusCode::kNotFound);
+}
+
+TEST(NodeTest, PathToComputesRelativePath) {
+  SmallTree t;
+  auto p = t.x->PathTo(*t.b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "../../b");
+  auto resolved = t.x->Resolve(*p);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, t.b);
+  auto self = t.a->PathTo(*t.a);
+  ASSERT_TRUE(self.ok());
+  EXPECT_TRUE(self->is_self());
+}
+
+TEST(NodeTest, PathToRejectsUnnamedTargets) {
+  SmallTree t;
+  Node* anon = *t.root.AddChild(NodeKind::kExt);
+  EXPECT_EQ(t.x->PathTo(*anon).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NodeTest, VisitIsPreOrder) {
+  SmallTree t;
+  std::vector<std::string> order;
+  t.root.Visit([&order](const Node& node) { order.push_back(node.name()); });
+  EXPECT_EQ(order, (std::vector<std::string>{"root", "a", "x", "y", "b"}));
+}
+
+TEST(NodeTest, TakeChildDetaches) {
+  SmallTree t;
+  auto taken = t.root.TakeChild(0);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ((*taken)->parent(), nullptr);
+  EXPECT_EQ((*taken)->name(), "a");
+  EXPECT_EQ(t.root.child_count(), 1u);
+  EXPECT_EQ(t.root.TakeChild(5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(NodeTest, CloneIsDeepAndIndependent) {
+  SmallTree t;
+  t.x->AddArc(HardArc(NodePath(), ArcEdge::kBegin, *NodePath::Parse("../y"), ArcEdge::kBegin));
+  std::unique_ptr<Node> copy = t.root.Clone();
+  EXPECT_EQ(copy->SubtreeSize(), t.root.SubtreeSize());
+  EXPECT_EQ(copy->FindChild("a")->FindChild("x")->arcs().size(), 1u);
+  EXPECT_EQ(copy->FindChild("a")->FindChild("y")->immediate_data().text().text(), "imm data");
+  // Mutating the copy leaves the original alone.
+  copy->FindChild("a")->set_name("renamed");
+  EXPECT_EQ(t.a->name(), "a");
+  // Parent links in the clone are internally consistent.
+  EXPECT_EQ(copy->FindChild("renamed")->parent(), copy.get());
+}
+
+}  // namespace
+}  // namespace cmif

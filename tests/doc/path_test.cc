@@ -1,0 +1,81 @@
+#include "src/doc/path.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(NodePathTest, EmptyIsSelf) {
+  // "The empty name specifies the current node itself" (section 5.3.2).
+  auto p = NodePath::Parse("");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->is_self());
+  EXPECT_FALSE(p->is_absolute());
+  EXPECT_EQ(p->ToString(), ".");
+}
+
+TEST(NodePathTest, DotIsSelf) {
+  auto p = NodePath::Parse(".");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->is_self());
+}
+
+TEST(NodePathTest, RelativeSegments) {
+  auto p = NodePath::Parse("story1/video/v2");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->is_absolute());
+  EXPECT_EQ(p->segments(), (std::vector<std::string>{"story1", "video", "v2"}));
+  EXPECT_EQ(p->ToString(), "story1/video/v2");
+}
+
+TEST(NodePathTest, AbsolutePaths) {
+  auto p = NodePath::Parse("/news/story1");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->is_absolute());
+  EXPECT_EQ(p->segments().size(), 2u);
+  EXPECT_EQ(p->ToString(), "/news/story1");
+
+  auto root = NodePath::Parse("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->is_absolute());
+  EXPECT_TRUE(root->segments().empty());
+}
+
+TEST(NodePathTest, ParentSegments) {
+  auto p = NodePath::Parse("../sibling");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->segments(), (std::vector<std::string>{"..", "sibling"}));
+}
+
+TEST(NodePathTest, DotSegmentsAreSkipped) {
+  auto p = NodePath::Parse("a/./b");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->segments(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(NodePathTest, RejectsInvalidSegmentNames) {
+  EXPECT_FALSE(NodePath::Parse("a/9bad").ok());
+  EXPECT_FALSE(NodePath::Parse("has space").ok());
+}
+
+TEST(NodePathTest, FactoriesAndEquality) {
+  NodePath a = NodePath::Relative({"x", "y"});
+  NodePath b = NodePath::Relative({"x", "y"});
+  NodePath c = NodePath::Absolute({"x", "y"});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(c.ToString(), "/x/y");
+}
+
+TEST(NodePathTest, RoundTripsThroughToString) {
+  for (const char* text : {".", "a", "a/b/c", "/a", "/", "../x", "../../y"}) {
+    auto p = NodePath::Parse(text);
+    ASSERT_TRUE(p.ok()) << text;
+    auto again = NodePath::Parse(p->ToString());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, *p) << text;
+  }
+}
+
+}  // namespace
+}  // namespace cmif

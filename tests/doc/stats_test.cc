@@ -1,0 +1,87 @@
+#include "src/doc/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+#include "src/news/evening_news.h"
+
+namespace cmif {
+namespace {
+
+TEST(StatsTest, CountsNodeKinds) {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText)
+      .Par("p")
+      .ImmText("a", "x")
+      .OnChannel("txt")
+      .ImmText("b", "y")
+      .OnChannel("txt")
+      .Up()
+      .Seq("s")
+      .Ext("c", "d1")
+      .OnChannel("txt")
+      .Up();
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  DocumentStats stats = ComputeStats(*doc);
+  EXPECT_EQ(stats.total_nodes, 6u);  // root + p + a + b + s + c
+  EXPECT_EQ(stats.seq_nodes, 2u);    // root and s
+  EXPECT_EQ(stats.par_nodes, 1u);
+  EXPECT_EQ(stats.imm_nodes, 2u);
+  EXPECT_EQ(stats.ext_nodes, 1u);
+  EXPECT_EQ(stats.max_depth, 2);
+  EXPECT_EQ(stats.channel_count, 1u);
+  EXPECT_EQ(stats.events_per_channel.at("txt"), 3u);
+  EXPECT_EQ(stats.distinct_descriptors, 1u);
+}
+
+TEST(StatsTest, ArcRigorCounts) {
+  DocBuilder builder;
+  builder.Seq("s").ImmText("a", "x").ImmText("b", "y").Up();
+  builder.Arc(HardArc(*NodePath::Parse("s/a"), ArcEdge::kEnd, *NodePath::Parse("s/b"),
+                      ArcEdge::kBegin));
+  builder.Arc(WindowArc(*NodePath::Parse("s/a"), ArcEdge::kBegin, *NodePath::Parse("s/b"),
+                        ArcEdge::kBegin, MediaTime(), MediaTime(), std::nullopt,
+                        ArcRigor::kMay));
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  DocumentStats stats = ComputeStats(*doc);
+  EXPECT_EQ(stats.arc_count, 2u);
+  EXPECT_EQ(stats.must_arcs, 1u);
+  EXPECT_EQ(stats.may_arcs, 1u);
+}
+
+TEST(StatsTest, UnassignedLeavesCollected) {
+  DocBuilder builder;
+  builder.ImmText("orphan", "x");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  DocumentStats stats = ComputeStats(*doc);
+  EXPECT_EQ(stats.events_per_channel.at(""), 1u);
+}
+
+TEST(StatsTest, ReferencedBytesComeFromStoreAttributes) {
+  // The paper's section-6 argument: summary information without touching
+  // media data. referenced_bytes derives from descriptor attributes only.
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  DocumentStats with_store = ComputeStats(workload->document, &workload->store);
+  DocumentStats without_store = ComputeStats(workload->document);
+  EXPECT_GT(with_store.referenced_bytes, 1000000u);  // megabytes of media
+  EXPECT_EQ(without_store.referenced_bytes, 0u);
+  // The structural description is orders of magnitude smaller.
+  EXPECT_LT(with_store.structure_bytes * 100, with_store.referenced_bytes);
+}
+
+TEST(StatsTest, RenderingMentionsEverySection) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  std::string text = StatsToString(ComputeStats(workload->document, &workload->store));
+  for (const char* fragment : {"nodes:", "depth:", "arcs:", "channels:", "events per channel",
+                               "structure bytes"}) {
+    EXPECT_NE(text.find(fragment), std::string::npos) << fragment;
+  }
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,92 @@
+#include "src/doc/sync_arc.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(SyncArcTest, EdgeAndRigorNamesRoundTrip) {
+  EXPECT_EQ(*ParseArcEdge(ArcEdgeName(ArcEdge::kBegin)), ArcEdge::kBegin);
+  EXPECT_EQ(*ParseArcEdge(ArcEdgeName(ArcEdge::kEnd)), ArcEdge::kEnd);
+  EXPECT_EQ(*ParseArcRigor(ArcRigorName(ArcRigor::kMust)), ArcRigor::kMust);
+  EXPECT_EQ(*ParseArcRigor(ArcRigorName(ArcRigor::kMay)), ArcRigor::kMay);
+  EXPECT_FALSE(ParseArcEdge("middle").ok());
+  EXPECT_FALSE(ParseArcRigor("should").ok());
+}
+
+TEST(SyncArcTest, HardArcHasZeroWindow) {
+  SyncArc arc = HardArc(*NodePath::Parse("a"), ArcEdge::kEnd, *NodePath::Parse("b"),
+                        ArcEdge::kBegin);
+  EXPECT_EQ(arc.min_delay, MediaTime());
+  ASSERT_TRUE(arc.max_delay.has_value());
+  EXPECT_EQ(*arc.max_delay, MediaTime());
+  EXPECT_EQ(arc.rigor, ArcRigor::kMust);
+  EXPECT_TRUE(arc.CheckShape().ok());
+}
+
+TEST(SyncArcTest, CheckShapeSignConventions) {
+  // "A positive [minimum] delay has no meaning ... a negative [maximum]
+  // delay has no meaning" (section 5.3.1).
+  SyncArc arc = HardArc(NodePath(), ArcEdge::kBegin, *NodePath::Parse("b"), ArcEdge::kBegin);
+  arc.min_delay = MediaTime::Millis(10);
+  EXPECT_EQ(arc.CheckShape().code(), StatusCode::kInvalidArgument);
+
+  arc.min_delay = MediaTime::Millis(-10);
+  arc.max_delay = MediaTime::Millis(-5);
+  EXPECT_EQ(arc.CheckShape().code(), StatusCode::kInvalidArgument);
+
+  arc.max_delay = MediaTime::Millis(20);
+  EXPECT_TRUE(arc.CheckShape().ok());
+}
+
+TEST(SyncArcTest, NegativeOffsetRejected) {
+  SyncArc arc = HardArc(NodePath(), ArcEdge::kBegin, *NodePath::Parse("b"), ArcEdge::kBegin,
+                        MediaTime::Millis(-100));
+  EXPECT_EQ(arc.CheckShape().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SyncArcTest, UnboundedMaxDelayIsLegal) {
+  // "Maximum tolerable delay: a period (possibly infinite)".
+  SyncArc arc = WindowArc(*NodePath::Parse("a"), ArcEdge::kEnd, *NodePath::Parse("b"),
+                          ArcEdge::kBegin, MediaTime(), MediaTime(), std::nullopt);
+  EXPECT_TRUE(arc.CheckShape().ok());
+  EXPECT_FALSE(arc.max_delay.has_value());
+}
+
+TEST(SyncArcTest, NegativeMinAllowsEarlierStart) {
+  // "A negative delay represents the ability to start the target node sooner
+  // than the indicated reference time."
+  SyncArc arc = WindowArc(*NodePath::Parse("a"), ArcEdge::kBegin, *NodePath::Parse("b"),
+                          ArcEdge::kBegin, MediaTime::Seconds(2), MediaTime::Millis(-500),
+                          MediaTime::Millis(250));
+  EXPECT_TRUE(arc.CheckShape().ok());
+}
+
+TEST(SyncArcTest, WindowOrderingChecked) {
+  SyncArc arc = WindowArc(NodePath(), ArcEdge::kBegin, *NodePath::Parse("b"), ArcEdge::kBegin,
+                          MediaTime(), MediaTime::Millis(-100), MediaTime::Millis(-200));
+  // max_delay (-200ms) is both negative and below min: rejected.
+  EXPECT_FALSE(arc.CheckShape().ok());
+}
+
+TEST(SyncArcTest, ToStringTabularForm) {
+  SyncArc arc = WindowArc(*NodePath::Parse("captions/c2"), ArcEdge::kEnd,
+                          *NodePath::Parse("graphics/g2"), ArcEdge::kBegin,
+                          MediaTime::Rational(1, 2), MediaTime(), MediaTime());
+  EXPECT_EQ(arc.ToString(), "end-must captions/c2 1/2 begin:graphics/g2 0 0");
+  arc.max_delay = std::nullopt;
+  arc.rigor = ArcRigor::kMay;
+  EXPECT_EQ(arc.ToString(), "end-may captions/c2 1/2 begin:graphics/g2 0 inf");
+}
+
+TEST(SyncArcTest, Equality) {
+  SyncArc a = HardArc(*NodePath::Parse("x"), ArcEdge::kBegin, *NodePath::Parse("y"),
+                      ArcEdge::kBegin);
+  SyncArc b = a;
+  EXPECT_EQ(a, b);
+  b.offset = MediaTime::Millis(1);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace cmif

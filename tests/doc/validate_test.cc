@@ -1,0 +1,213 @@
+#include "src/doc/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+
+namespace cmif {
+namespace {
+
+bool HasIssueContaining(const ValidationReport& report, std::string_view fragment,
+                        IssueSeverity severity = IssueSeverity::kError) {
+  for (const ValidationIssue& issue : report.issues) {
+    if (issue.severity == severity && issue.message.find(fragment) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+DescriptorStore MakeStore() {
+  DescriptorStore store;
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("audio"));
+  attrs.Set(std::string(kDescDuration), AttrValue::Time(MediaTime::Seconds(1)));
+  EXPECT_TRUE(store.Add(DataDescriptor("clip", attrs)).ok());
+  return store;
+}
+
+Document GoodDoc() {
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio).Ext("a", "clip").OnChannel("sound");
+  auto doc = builder.Build();
+  EXPECT_TRUE(doc.ok());
+  return std::move(doc).value();
+}
+
+TEST(ValidateTest, CleanDocumentPasses) {
+  Document doc = GoodDoc();
+  DescriptorStore store = MakeStore();
+  ValidationReport report = ValidateDocument(doc, &store);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.ToStatus().ok());
+}
+
+TEST(ValidateTest, DuplicateSiblingNames) {
+  // "No two (direct) children of the same parent may have the same name."
+  Document doc = GoodDoc();
+  Node* dup1 = *doc.root().AddChild(NodeKind::kSeq);
+  dup1->set_name("twin");
+  Node* dup2 = *doc.root().AddChild(NodeKind::kSeq);
+  dup2->set_name("twin");
+  ValidationReport report = ValidateDocument(doc);
+  EXPECT_TRUE(HasIssueContaining(report, "duplicate sibling name"));
+  // The same name at different levels is fine.
+  Node* nested = *dup1->AddChild(NodeKind::kSeq);
+  nested->set_name("twin");
+  dup2->set_name("other");
+  EXPECT_FALSE(HasIssueContaining(ValidateDocument(doc), "duplicate sibling name"));
+}
+
+TEST(ValidateTest, RootOnlyAttributesFlagged) {
+  Document doc = GoodDoc();
+  Node* child = *doc.root().AddChild(NodeKind::kSeq);
+  child->attrs().Set(std::string(kAttrChannelDict), AttrValue::List({}));
+  ValidationReport report = ValidateDocument(doc);
+  EXPECT_TRUE(HasIssueContaining(report, "not allowed"));
+}
+
+TEST(ValidateTest, AttributeKindMismatch) {
+  Document doc = GoodDoc();
+  doc.root().attrs().Set(std::string(kAttrFile), AttrValue::Number(3));  // must be STRING
+  ValidationReport report = ValidateDocument(doc);
+  EXPECT_TRUE(HasIssueContaining(report, "must be STRING"));
+}
+
+TEST(ValidateTest, BadNameAttr) {
+  Document doc = GoodDoc();
+  doc.root().attrs().Set(std::string(kAttrName), AttrValue::String("not an id"));
+  EXPECT_TRUE(HasIssueContaining(ValidateDocument(doc), "name attribute"));
+}
+
+TEST(ValidateTest, UnknownStyleReference) {
+  Document doc = GoodDoc();
+  doc.root().attrs().Set(std::string(kAttrStyle), AttrValue::Id("ghost"));
+  EXPECT_TRUE(HasIssueContaining(ValidateDocument(doc), "style reference"));
+}
+
+TEST(ValidateTest, CyclicStyleDictionary) {
+  Document doc = GoodDoc();
+  AttrList self_ref;
+  self_ref.Set(std::string(kAttrStyle), AttrValue::Id("loop"));
+  ASSERT_TRUE(doc.styles().Define("loop", self_ref).ok());
+  EXPECT_TRUE(HasIssueContaining(ValidateDocument(doc), "style dictionary invalid"));
+}
+
+TEST(ValidateTest, UndefinedChannelOnLeaf) {
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio).Ext("a", "clip").OnChannel("nosuch");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(HasIssueContaining(ValidateDocument(*doc), "not defined"));
+}
+
+TEST(ValidateTest, MissingChannelIsOnlyAWarning) {
+  DocBuilder builder;
+  builder.Ext("a", "");  // neither channel nor file
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  ValidationReport report = ValidateDocument(*doc);
+  EXPECT_TRUE(HasIssueContaining(report, "no channel", IssueSeverity::kWarning));
+  EXPECT_TRUE(HasIssueContaining(report, "no file attribute"));  // still an error
+}
+
+TEST(ValidateTest, MissingDescriptorAgainstStore) {
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio).Ext("a", "ghost").OnChannel("sound");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  DescriptorStore store = MakeStore();
+  EXPECT_TRUE(HasIssueContaining(ValidateDocument(*doc, &store), "not found in the database"));
+  // Without a store the reference is not checkable and passes.
+  EXPECT_FALSE(HasIssueContaining(ValidateDocument(*doc), "not found in the database"));
+}
+
+TEST(ValidateTest, MediumMismatchAgainstChannel) {
+  DocBuilder builder;
+  builder.DefineChannel("screen", MediaType::kVideo).Ext("a", "clip").OnChannel("screen");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  DescriptorStore store = MakeStore();  // clip is audio
+  EXPECT_TRUE(
+      HasIssueContaining(ValidateDocument(*doc, &store), "does not match channel medium"));
+}
+
+TEST(ValidateTest, ImmMediumMismatch) {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText)
+      .Imm("pic", DataBlock::FromImage(MakeTestCard(4, 4, 1), MediaType::kGraphic))
+      .OnChannel("txt");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  ValidationReport report = ValidateDocument(*doc);
+  EXPECT_TRUE(HasIssueContaining(report, "does not match channel medium"));
+}
+
+TEST(ValidateTest, RegionAttrShapes) {
+  Document doc = GoodDoc();
+  Node* leaf = doc.root().FindChild("a");
+  ASSERT_NE(leaf, nullptr);
+  // clip needs begin + length NUMBER fields.
+  leaf->attrs().Set(std::string(kAttrClip),
+                    AttrValue::List({Attr{"begin", AttrValue::Number(0)}}));
+  EXPECT_TRUE(HasIssueContaining(ValidateDocument(doc), "needs NUMBER field 'length'"));
+  leaf->attrs().Set(std::string(kAttrClip),
+                    AttrValue::List({Attr{"begin", AttrValue::Number(-1)},
+                                     Attr{"length", AttrValue::Number(5)}}));
+  EXPECT_TRUE(HasIssueContaining(ValidateDocument(doc), "must be non-negative"));
+  leaf->attrs().Set(std::string(kAttrClip),
+                    AttrValue::List({Attr{"begin", AttrValue::Number(0)},
+                                     Attr{"length", AttrValue::Number(5)}}));
+  EXPECT_FALSE(HasIssueContaining(ValidateDocument(doc), "needs NUMBER"));
+}
+
+TEST(ValidateTest, ArcEndpointsMustResolve) {
+  Document doc = GoodDoc();
+  doc.root().AddArc(
+      HardArc(*NodePath::Parse("ghost"), ArcEdge::kBegin, *NodePath::Parse("a"),
+              ArcEdge::kBegin));
+  EXPECT_TRUE(HasIssueContaining(ValidateDocument(doc), "arc source does not resolve"));
+}
+
+TEST(ValidateTest, SelfEdgeArcFlagged) {
+  Document doc = GoodDoc();
+  doc.root().AddArc(HardArc(*NodePath::Parse("a"), ArcEdge::kBegin, *NodePath::Parse("a"),
+                            ArcEdge::kBegin));
+  EXPECT_TRUE(HasIssueContaining(ValidateDocument(doc), "connects a node edge to itself"));
+  // begin -> end of the same node is a legal duration-style constraint.
+  Document doc2 = GoodDoc();
+  doc2.root().AddArc(HardArc(*NodePath::Parse("a"), ArcEdge::kBegin, *NodePath::Parse("a"),
+                             ArcEdge::kEnd));
+  EXPECT_FALSE(HasIssueContaining(ValidateDocument(doc2), "connects a node edge to itself"));
+}
+
+TEST(ValidateTest, MalformedArcWindowFlagged) {
+  Document doc = GoodDoc();
+  SyncArc arc = HardArc(*NodePath::Parse("a"), ArcEdge::kBegin, NodePath(), ArcEdge::kBegin);
+  arc.min_delay = MediaTime::Seconds(1);  // positive min
+  doc.root().AddArc(arc);
+  EXPECT_TRUE(HasIssueContaining(ValidateDocument(doc), "sync arc invalid"));
+}
+
+TEST(ValidateTest, EmptyCompositeWarns) {
+  Document doc = GoodDoc();
+  (void)*doc.root().AddChild(NodeKind::kPar);
+  ValidationReport report = ValidateDocument(doc);
+  EXPECT_TRUE(HasIssueContaining(report, "no children", IssueSeverity::kWarning));
+  EXPECT_TRUE(report.ok());  // warnings do not fail validation
+}
+
+TEST(ValidateTest, ReportRendering) {
+  DocBuilder builder;
+  builder.Ext("a", "");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  ValidationReport report = ValidateDocument(*doc);
+  EXPECT_GT(report.error_count(), 0u);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("ERROR"), std::string::npos);
+  EXPECT_EQ(report.ToStatus().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,110 @@
+#include "src/fmt/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fmt/writer.h"
+
+namespace cmif {
+namespace {
+
+TEST(ParserTest, MinimalDocument) {
+  auto doc = ParseDocument("(cmif (seq ()))");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root().kind(), NodeKind::kSeq);
+  EXPECT_EQ(doc->root().child_count(), 0u);
+}
+
+TEST(ParserTest, ParRootAndChildren) {
+  auto doc = ParseDocument(R"((cmif (par (name top)
+    (ext (name a file "d1"))
+    (imm (name b) "text payload"))))");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root().kind(), NodeKind::kPar);
+  EXPECT_EQ(doc->root().name(), "top");
+  ASSERT_EQ(doc->root().child_count(), 2u);
+  EXPECT_EQ(doc->root().ChildAt(0).attrs().Find(kAttrFile)->string(), "d1");
+  EXPECT_EQ(doc->root().ChildAt(1).immediate_data().text().text(), "text payload");
+}
+
+TEST(ParserTest, DictionariesLoadFromRoot) {
+  auto doc = ParseDocument(R"((cmif (seq (
+    channel_dict (video (medium video) caption (medium text))
+    style_dict (big (size 24))))))");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_TRUE(doc->channels().Has("video"));
+  EXPECT_EQ(doc->channels().Find("caption")->medium, MediaType::kText);
+  EXPECT_TRUE(doc->styles().Has("big"));
+}
+
+TEST(ParserTest, SyncArcsAttach) {
+  auto doc = ParseDocument(R"((cmif (seq ()
+    (syncarc end must a 1/2 begin b 0/1 inf)
+    (seq (name a)) (seq (name b)))))");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->root().arcs().size(), 1u);
+  const SyncArc& arc = doc->root().arcs()[0];
+  EXPECT_EQ(arc.source_edge, ArcEdge::kEnd);
+  EXPECT_EQ(arc.rigor, ArcRigor::kMust);
+  EXPECT_EQ(arc.offset, MediaTime::Rational(1, 2));
+  EXPECT_FALSE(arc.max_delay.has_value());
+}
+
+TEST(ParserTest, DataPayloadDecodes) {
+  // Round-trip through the writer to get a valid base64 image payload.
+  Document original;
+  Node* imm = *original.root().AddChild(NodeKind::kImm);
+  imm->attrs().Set(std::string(kAttrMedium), AttrValue::Id("image"));
+  imm->set_immediate_data(DataBlock::FromImage(MakeTestCard(8, 6, 2)));
+  auto text = WriteDocument(original);
+  ASSERT_TRUE(text.ok());
+  auto doc = ParseDocument(*text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root().ChildAt(0).immediate_data().image(), MakeTestCard(8, 6, 2));
+}
+
+TEST(ParserTest, CommentsAndWhitespaceIgnored) {
+  auto doc = ParseDocument("; header\n(cmif ; mid\n (seq () ; tail\n ))\n");
+  EXPECT_TRUE(doc.ok()) << doc.status();
+}
+
+TEST(ParserTest, RejectsStructuralErrors) {
+  EXPECT_FALSE(ParseDocument("").ok());
+  EXPECT_FALSE(ParseDocument("(notcmif (seq ()))").ok());
+  EXPECT_FALSE(ParseDocument("(cmif (ext ()))").ok());           // leaf root
+  EXPECT_FALSE(ParseDocument("(cmif (seq ()) trailing)").ok());  // garbage
+  EXPECT_FALSE(ParseDocument("(cmif (seq ())").ok());            // unterminated
+  EXPECT_FALSE(ParseDocument("(cmif (loop ()))").ok());          // unknown kind
+}
+
+TEST(ParserTest, RejectsLeafWithChildren) {
+  EXPECT_FALSE(ParseDocument("(cmif (seq () (ext () (seq ()))))").ok());
+}
+
+TEST(ParserTest, RejectsImmWithoutPayload) {
+  EXPECT_FALSE(ParseDocument("(cmif (seq () (imm (name x))))").ok());
+}
+
+TEST(ParserTest, RejectsTextPayloadOnNonImm) {
+  EXPECT_FALSE(ParseDocument("(cmif (seq () \"stray\"))").ok());
+}
+
+TEST(ParserTest, RejectsBadArcShape) {
+  // Positive min_delay has no meaning.
+  EXPECT_FALSE(
+      ParseDocument("(cmif (seq () (syncarc begin must a 0/1 begin b 1/1 2/1)))").ok());
+}
+
+TEST(ParserTest, RejectsDuplicateAttrs) {
+  EXPECT_FALSE(ParseDocument("(cmif (seq (name a name b)))").ok());
+}
+
+TEST(ParseNodeTest, SubtreeWithoutWrapper) {
+  auto node = ParseNode("(par (name p) (ext (name x file \"d\")))");
+  ASSERT_TRUE(node.ok()) << node.status();
+  EXPECT_EQ((*node)->kind(), NodeKind::kPar);
+  EXPECT_EQ((*node)->child_count(), 1u);
+  EXPECT_FALSE(ParseNode("(seq ()) extra").ok());
+}
+
+}  // namespace
+}  // namespace cmif

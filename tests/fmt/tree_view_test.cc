@@ -1,0 +1,101 @@
+#include "src/fmt/tree_view.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+
+namespace cmif {
+namespace {
+
+Document SampleDoc() {
+  DocBuilder builder;
+  builder.DefineChannel("v", MediaType::kVideo)
+      .Par("story")
+      .Ext("clip", "d1")
+      .OnChannel("v")
+      .ImmText("label", "x")
+      .Up();
+  builder.Arc(HardArc(*NodePath::Parse("story/clip"), ArcEdge::kBegin,
+                      *NodePath::Parse("story/label"), ArcEdge::kBegin));
+  auto doc = builder.Build();
+  EXPECT_TRUE(doc.ok());
+  return std::move(doc).value();
+}
+
+TEST(ConventionalTreeViewTest, DrawsBranches) {
+  Document doc = SampleDoc();
+  std::string view = ConventionalTreeView(doc.root());
+  // Figure 5a: node-and-branch form with one line per node.
+  EXPECT_NE(view.find("+- clip [ext file=\"d1\" channel=v]"), std::string::npos) << view;
+  EXPECT_NE(view.find("`- label [imm]"), std::string::npos);
+  EXPECT_NE(view.find("story [par]"), std::string::npos);
+}
+
+TEST(ConventionalTreeViewTest, UnnamedNodesGetIndexes) {
+  Node root(NodeKind::kSeq);
+  (void)root.AddChild(NodeKind::kExt);
+  std::string view = ConventionalTreeView(root);
+  EXPECT_NE(view.find("(unnamed)"), std::string::npos);
+}
+
+TEST(EmbeddedTreeViewTest, NestsBrackets) {
+  Document doc = SampleDoc();
+  std::string view = EmbeddedTreeView(doc.root());
+  // Figure 5b: the embedded form nests each node inside its parent.
+  EXPECT_NE(view.find("[ story par"), std::string::npos) << view;
+  EXPECT_NE(view.find("  [ clip ext ]"), std::string::npos);
+  // Brackets balance.
+  EXPECT_EQ(std::count(view.begin(), view.end(), '['),
+            std::count(view.begin(), view.end(), ']'));
+}
+
+TEST(ArcTableViewTest, OneRowPerArc) {
+  Document doc = SampleDoc();
+  std::string table = ArcTableView(doc.root());
+  // Figure 9 columns.
+  EXPECT_NE(table.find("type"), std::string::npos);
+  EXPECT_NE(table.find("min"), std::string::npos);
+  EXPECT_NE(table.find("begin-must"), std::string::npos);
+  EXPECT_NE(table.find("story/clip"), std::string::npos);
+  EXPECT_NE(table.find("begin:story/label"), std::string::npos);
+}
+
+TEST(TimelineViewTest, ScalesSpansToColumns) {
+  std::vector<TimelineRow> rows = {
+      {"video", {{"a", MediaTime(), MediaTime::Seconds(5)},
+                 {"b", MediaTime::Seconds(5), MediaTime::Seconds(10)}}},
+      {"audio", {{"voice", MediaTime(), MediaTime::Seconds(10)}}},
+  };
+  std::string view = TimelineView(rows, 60);
+  EXPECT_NE(view.find("video"), std::string::npos);
+  EXPECT_NE(view.find("audio"), std::string::npos);
+  EXPECT_NE(view.find("|a"), std::string::npos);
+  EXPECT_NE(view.find("10.0s"), std::string::npos);
+  // Every lane line has the same width.
+  std::vector<std::size_t> widths;
+  std::istringstream lines(view);
+  std::string line;
+  while (std::getline(lines, line)) {
+    widths.push_back(line.size());
+  }
+  ASSERT_GE(widths.size(), 3u);
+  EXPECT_EQ(widths[0], widths[1]);
+}
+
+TEST(TimelineViewTest, EmptyRowsRenderWithoutCrashing) {
+  std::vector<TimelineRow> rows = {{"silent", {}}};
+  std::string view = TimelineView(rows);
+  EXPECT_NE(view.find("silent"), std::string::npos);
+}
+
+TEST(TimelineTableTest, ExactTimes) {
+  std::vector<TimelineRow> rows = {
+      {"graphic", {{"g1", MediaTime::Rational(13, 4), MediaTime::Rational(29, 4)}}}};
+  std::string table = TimelineTable(rows);
+  EXPECT_NE(table.find("3.250"), std::string::npos);
+  EXPECT_NE(table.find("7.250"), std::string::npos);
+  EXPECT_NE(table.find("g1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmif

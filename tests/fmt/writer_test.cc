@@ -1,0 +1,114 @@
+#include "src/fmt/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+#include "src/news/evening_news.h"
+
+namespace cmif {
+namespace {
+
+TEST(WriterTest, MinimalDocument) {
+  Document doc;
+  auto text = WriteDocument(doc, WriteOptions{.indent_width = 2, .header_comment = false});
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "(cmif\n  (seq ())\n)\n");
+}
+
+TEST(WriterTest, HeaderCommentCarriesStats) {
+  Document doc;
+  auto text = WriteDocument(doc);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->find("; CMIF document:"), 0u);
+}
+
+TEST(WriterTest, DictionariesAreStoredOnRoot) {
+  DocBuilder builder;
+  builder.DefineChannel("video", MediaType::kVideo);
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto text = WriteDocument(*doc);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("channel_dict"), std::string::npos);
+  EXPECT_NE(text->find("(medium video)"), std::string::npos);
+  // Serialization must not mutate the input document's root attrs.
+  EXPECT_FALSE(doc->root().attrs().Has(kAttrChannelDict));
+}
+
+TEST(WriterTest, ImmediateTextSerializesInline) {
+  DocBuilder builder;
+  builder.ImmText("t", "caption \"text\"");
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto text = WriteDocument(*doc);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("\"caption \\\"text\\\"\""), std::string::npos);
+}
+
+TEST(WriterTest, ImmediateAudioUsesDataForm) {
+  DocBuilder builder;
+  builder.Imm("beep", DataBlock::FromAudio(MakeTone(8000, MediaTime::Millis(10), 440, 0.5)));
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto text = WriteDocument(*doc);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("(data audio \""), std::string::npos);
+}
+
+TEST(WriterTest, ImmediateVideoIsUnserializable) {
+  DocBuilder builder;
+  builder.Imm("clip", DataBlock::FromVideo(MakeFlyingBirdSegment(8, 6, 5, MediaTime::Seconds(1))));
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(WriteDocument(*doc).status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(WriterTest, ArcsAppearAsSyncarcForms) {
+  DocBuilder builder;
+  builder.Seq("s").ImmText("a", "x").ImmText("b", "y").Up();
+  builder.Arc(WindowArc(*NodePath::Parse("s/a"), ArcEdge::kEnd, *NodePath::Parse("s/b"),
+                        ArcEdge::kBegin, MediaTime::Rational(1, 2), MediaTime(), std::nullopt,
+                        ArcRigor::kMay));
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto text = WriteDocument(*doc);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("(syncarc end may s/a 1/2 begin s/b 0/1 inf)"), std::string::npos)
+      << *text;
+}
+
+TEST(WriterTest, WriteNodeSubtree) {
+  Node node(NodeKind::kPar);
+  node.set_name("p");
+  (void)node.AddChild(NodeKind::kSeq);
+  auto text = WriteNode(node);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->find("(par"), 0u);
+  EXPECT_NE(text->find("(seq ())"), std::string::npos);
+}
+
+TEST(WriterTest, IndentWidthRespected) {
+  DocBuilder builder;
+  builder.Seq("s").ImmText("t", "x").Up();
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto wide = WriteDocument(*doc, WriteOptions{.indent_width = 4, .header_comment = false});
+  ASSERT_TRUE(wide.ok());
+  // The imm leaf sits at depth 3 (cmif wrapper -> root -> seq -> imm).
+  EXPECT_NE(wide->find("\n            (imm"), std::string::npos);
+}
+
+TEST(WriterTest, NewsDocumentSerializesCompletely) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  auto text = WriteDocument(workload->document);
+  ASSERT_TRUE(text.ok());
+  // All five channels, stories, and arcs are present.
+  for (const char* fragment : {"channel_dict", "style_dict", "story1", "story3", "syncarc",
+                               "captions", "Evening News"}) {
+    EXPECT_NE(text->find(fragment), std::string::npos) << fragment;
+  }
+}
+
+}  // namespace
+}  // namespace cmif

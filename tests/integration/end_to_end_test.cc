@@ -1,0 +1,121 @@
+// Full-system scenarios: author -> validate -> transport -> filter ->
+// schedule -> play, across capability profiles, with navigation. These are
+// the paper's claims exercised end to end.
+#include <gtest/gtest.h>
+
+#include "src/ddbms/persist.h"
+#include "src/doc/stats.h"
+#include "src/doc/validate.h"
+#include "src/fmt/parser.h"
+#include "src/fmt/writer.h"
+#include "src/news/evening_news.h"
+#include "src/pipeline/pipeline.h"
+#include "src/sched/navigate.h"
+
+namespace cmif {
+namespace {
+
+TEST(EndToEndTest, AuthorTransportFilterPlay) {
+  // System A: author and serialize (structure + catalog, no media bytes).
+  NewsOptions news_options;
+  news_options.stories = 2;
+  auto workload = BuildEveningNews(news_options);
+  ASSERT_TRUE(workload.ok());
+  auto document_text = WriteDocument(workload->document);
+  ASSERT_TRUE(document_text.ok());
+  auto catalog_text = WriteCatalog(workload->store);
+  ASSERT_TRUE(catalog_text.ok());
+  // The transported artifacts are tiny compared to the referenced media.
+  DocumentStats stats = ComputeStats(workload->document, &workload->store);
+  EXPECT_LT(document_text->size() + catalog_text->size(), stats.referenced_bytes / 50);
+
+  // System B: parse, validate, run the pipeline on a weak profile.
+  auto document_b = ParseDocument(*document_text);
+  ASSERT_TRUE(document_b.ok());
+  auto store_b = ReadCatalog(*catalog_text);
+  ASSERT_TRUE(store_b.ok());
+  EXPECT_TRUE(ValidateDocument(*document_b, &*store_b).ok());
+
+  PipelineOptions pipeline_options;
+  pipeline_options.profile = PersonalSystemProfile();
+  BlockStore no_blocks;
+  auto report = RunPipeline(*document_b, *store_b, no_blocks, pipeline_options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->schedule.feasible);
+  EXPECT_TRUE(report->playback.trace.Verify().ok());
+}
+
+TEST(EndToEndTest, SeekResumePlaysTail) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok());
+  auto scheduled = ComputeSchedule(workload->document, *events);
+  ASSERT_TRUE(scheduled.ok() && scheduled->feasible);
+
+  MediaTime seek = MediaTime::Seconds(20);
+  SeekAnalysis analysis = AnalyzeSeek(workload->document, scheduled->schedule, seek);
+  PlayerOptions options;
+  options.start_at = seek;
+  auto resumed = Play(workload->document, scheduled->schedule, &workload->store, options);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->events_skipped, analysis.skipped.size());
+  EXPECT_EQ(resumed->trace.size(),
+            scheduled->schedule.events().size() - analysis.skipped.size());
+}
+
+TEST(EndToEndTest, HardSyncSurvivesSlowDeviceViaFreeze) {
+  // On the portable profile the document freezes rather than breaking must
+  // arcs; relative synchronization is preserved in the trace.
+  NewsOptions news_options;
+  news_options.stories = 1;
+  auto workload = BuildEveningNews(news_options);
+  ASSERT_TRUE(workload.ok());
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok());
+  auto scheduled = ComputeSchedule(workload->document, *events);
+  ASSERT_TRUE(scheduled.ok() && scheduled->feasible);
+
+  PlayerOptions options;
+  options.profile = PortableMonoProfile();
+  auto run = Play(workload->document, scheduled->schedule, &workload->store, options);
+  ASSERT_TRUE(run.ok());
+  ASSERT_GT(run->trace.FreezeCount(), 0u);
+  // Relative order per channel survived every freeze.
+  EXPECT_TRUE(run->trace.Verify().ok());
+}
+
+TEST(EndToEndTest, DescriptorOnlyManipulationNeverTouchesMedia) {
+  // The section-6 claim: everything up to playback works on a store with no
+  // media payloads at all (attributes only).
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  DescriptorStore attribute_only;
+  for (const DataDescriptor& d : workload->store.descriptors()) {
+    ASSERT_TRUE(attribute_only.Add(DataDescriptor(d.id(), d.attrs())).ok());
+  }
+  EXPECT_TRUE(ValidateDocument(workload->document, &attribute_only).ok());
+  auto events = CollectEvents(workload->document, &attribute_only);
+  ASSERT_TRUE(events.ok());
+  auto scheduled = ComputeSchedule(workload->document, *events);
+  ASSERT_TRUE(scheduled.ok());
+  EXPECT_TRUE(scheduled->feasible);
+  auto plan = PlanDocumentFilter(workload->document, attribute_only, PersonalSystemProfile());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->plans.size(), 0u);
+}
+
+TEST(EndToEndTest, CatalogTransportPreservesQueries) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  auto restored = ReadCatalog(*WriteCatalog(workload->store));
+  ASSERT_TRUE(restored.ok());
+  restored->CreateIndex("medium");
+  auto query = ParseQuery("medium=video");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(restored->Execute(*query).size(),
+            workload->store.ExecuteScan(*query).size());
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,126 @@
+// Failure injection on the transport layer: mutated, truncated and garbage
+// inputs must never crash the parsers — they return kDataLoss (or parse, if
+// the mutation happens to stay well-formed). Runs hundreds of deterministic
+// mutations over the serialized Evening News and descriptor catalog.
+#include <gtest/gtest.h>
+
+#include "src/base/random.h"
+#include "src/ddbms/persist.h"
+#include "src/fmt/parser.h"
+#include "src/fmt/writer.h"
+#include "src/news/evening_news.h"
+
+namespace cmif {
+namespace {
+
+std::string NewsText() {
+  static const std::string* const kText = [] {
+    auto workload = BuildEveningNews(NewsOptions{});
+    auto text = WriteDocument(workload->document);
+    return new std::string(std::move(text).value());
+  }();
+  return *kText;
+}
+
+std::string CatalogText() {
+  static const std::string* const kText = [] {
+    auto workload = BuildEveningNews(NewsOptions{});
+    auto text = WriteCatalog(workload->store);
+    return new std::string(std::move(text).value());
+  }();
+  return *kText;
+}
+
+std::string Mutate(std::string text, Rng& rng) {
+  switch (rng.NextBelow(4)) {
+    case 0: {  // truncate
+      text.resize(rng.NextBelow(text.size() + 1));
+      break;
+    }
+    case 1: {  // flip one byte
+      if (!text.empty()) {
+        std::size_t pos = static_cast<std::size_t>(rng.NextBelow(text.size()));
+        text[pos] = static_cast<char>(rng.NextBelow(256));
+      }
+      break;
+    }
+    case 2: {  // delete a span
+      if (text.size() > 2) {
+        std::size_t pos = static_cast<std::size_t>(rng.NextBelow(text.size() - 1));
+        std::size_t len = static_cast<std::size_t>(
+            rng.NextBelow(std::min<std::uint64_t>(text.size() - pos, 40)));
+        text.erase(pos, len);
+      }
+      break;
+    }
+    default: {  // insert noise
+      std::size_t pos = static_cast<std::size_t>(rng.NextBelow(text.size() + 1));
+      std::string noise;
+      for (int i = 0; i < 8; ++i) {
+        noise.push_back("()\"; abc0/-"[rng.NextBelow(11)]);
+      }
+      text.insert(pos, noise);
+      break;
+    }
+  }
+  return text;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, MutatedDocumentsNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7349 + 11);
+  std::string base = NewsText();
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = Mutate(base, rng);
+    auto parsed = ParseDocument(mutated);  // must not crash or hang
+    if (parsed.ok()) {
+      // Accidentally-valid documents must re-serialize.
+      EXPECT_TRUE(WriteDocument(*parsed).ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, MutatedCatalogsNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 3);
+  std::string base = CatalogText();
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = Mutate(base, rng);
+    auto parsed = ReadCatalog(mutated);
+    if (parsed.ok()) {
+      EXPECT_TRUE(WriteCatalog(*parsed).ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, PureGarbageIsRejectedCleanly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 101);
+  std::string garbage;
+  for (int i = 0; i < 200; ++i) {
+    garbage.push_back(static_cast<char>(rng.NextBelow(256)));
+  }
+  EXPECT_FALSE(ParseDocument(garbage).ok());
+  EXPECT_FALSE(ReadCatalog(garbage).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 8));
+
+TEST(ParserFuzzTest, DeeplyNestedInputDoesNotOverflowQuickly) {
+  // 2k nesting levels of seq nodes: parses (recursion depth is bounded by
+  // input size, which transports keep modest) and round-trips.
+  std::string deep = "(cmif ";
+  for (int i = 0; i < 2000; ++i) {
+    deep += "(seq () ";
+  }
+  deep += "(imm () \"x\")";
+  for (int i = 0; i < 2000; ++i) {
+    deep += ")";
+  }
+  deep += ")";
+  auto parsed = ParseDocument(deep);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->root().SubtreeSize(), 2001u);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,81 @@
+// Property: serialize(parse(serialize(doc))) is a fixed point, and parsing
+// recovers the exact structure (kinds, names, attributes, arcs, payloads)
+// for arbitrary generated documents. This is the transportability claim of
+// the paper's abstract made executable.
+#include <gtest/gtest.h>
+
+#include "src/fmt/parser.h"
+#include "src/fmt/writer.h"
+#include "src/gen/docgen.h"
+#include "src/news/evening_news.h"
+
+namespace cmif {
+namespace {
+
+// Structural equality of two trees.
+void ExpectSameTree(const Node& a, const Node& b, const std::string& where) {
+  EXPECT_EQ(a.kind(), b.kind()) << where;
+  EXPECT_EQ(a.attrs(), b.attrs()) << where;
+  EXPECT_EQ(a.arcs(), b.arcs()) << where;
+  if (a.kind() == NodeKind::kImm) {
+    EXPECT_EQ(a.immediate_data(), b.immediate_data()) << where;
+  }
+  ASSERT_EQ(a.child_count(), b.child_count()) << where;
+  for (std::size_t i = 0; i < a.child_count(); ++i) {
+    ExpectSameTree(a.ChildAt(i), b.ChildAt(i), where + "/" + std::to_string(i));
+  }
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripProperty, GeneratedDocumentsSurviveTransport) {
+  GenOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam()) * 97 + 13;
+  options.target_leaves = 30 + GetParam() * 5;
+  options.arcs_per_composite = 0.7;
+  auto workload = GenerateRandomDocument(options);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  auto text = WriteDocument(workload->document);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto parsed = ParseDocument(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  // Dictionaries survive.
+  EXPECT_EQ(parsed->channels().size(), workload->document.channels().size());
+  EXPECT_EQ(parsed->styles().size(), workload->document.styles().size());
+
+  // Serialization is a fixed point.
+  auto text2 = WriteDocument(*parsed);
+  ASSERT_TRUE(text2.ok());
+  EXPECT_EQ(*text, *text2);
+
+  // The tree is structurally identical except for the dictionaries the
+  // writer stores on the root; compare children subtree by subtree.
+  ASSERT_EQ(parsed->root().child_count(), workload->document.root().child_count());
+  for (std::size_t i = 0; i < parsed->root().child_count(); ++i) {
+    ExpectSameTree(workload->document.root().ChildAt(i), parsed->root().ChildAt(i),
+                   "child " + std::to_string(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty, ::testing::Range(0, 15));
+
+TEST(RoundTripNewsTest, EveningNewsSurvivesTransport) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  auto text = WriteDocument(workload->document);
+  ASSERT_TRUE(text.ok());
+  auto parsed = ParseDocument(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto text2 = WriteDocument(*parsed);
+  ASSERT_TRUE(text2.ok());
+  EXPECT_EQ(*text, *text2);
+  for (std::size_t i = 0; i < parsed->root().child_count(); ++i) {
+    ExpectSameTree(workload->document.root().ChildAt(i), parsed->root().ChildAt(i),
+                   "news child " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace cmif

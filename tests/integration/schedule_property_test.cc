@@ -1,0 +1,107 @@
+// Schedule invariants over generated documents:
+//  - the earliest schedule satisfies every constraint exactly;
+//  - parents contain their children in time;
+//  - seq children never overlap; channel events never overlap;
+//  - transport (serialize + parse) preserves the schedule to the tick.
+#include <gtest/gtest.h>
+
+#include "src/fmt/parser.h"
+#include "src/fmt/writer.h"
+#include "src/gen/docgen.h"
+#include "src/sched/conflict.h"
+
+namespace cmif {
+namespace {
+
+class ScheduleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleProperty, InvariantsHold) {
+  GenOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam()) * 131 + 3;
+  options.target_leaves = 50;
+  options.arcs_per_composite = 0.6;
+  auto workload = GenerateRandomDocument(options);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  const Document& doc = workload->document;
+
+  auto events = CollectEvents(doc, &workload->store);
+  ASSERT_TRUE(events.ok()) << events.status();
+  auto result = ComputeSchedule(doc, *events);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->feasible);
+  const Schedule& schedule = result->schedule;
+
+  // Containment: every node lies within its parent's interval.
+  doc.root().Visit([&](const Node& node) {
+    if (node.parent() == nullptr) {
+      return;
+    }
+    auto begin = schedule.BeginOf(node);
+    auto end = schedule.EndOf(node);
+    auto parent_begin = schedule.BeginOf(*node.parent());
+    auto parent_end = schedule.EndOf(*node.parent());
+    ASSERT_TRUE(begin.ok() && end.ok() && parent_begin.ok() && parent_end.ok());
+    EXPECT_GE(*begin, *parent_begin) << node.DisplayPath();
+    EXPECT_LE(*end, *parent_end) << node.DisplayPath();
+    EXPECT_LE(*begin, *end) << node.DisplayPath();
+  });
+
+  // Seq children are ordered without overlap.
+  doc.root().Visit([&](const Node& node) {
+    if (node.kind() != NodeKind::kSeq) {
+      return;
+    }
+    for (std::size_t i = 0; i + 1 < node.child_count(); ++i) {
+      auto prev_end = schedule.EndOf(node.ChildAt(i));
+      auto next_begin = schedule.BeginOf(node.ChildAt(i + 1));
+      ASSERT_TRUE(prev_end.ok() && next_begin.ok());
+      EXPECT_LE(*prev_end, *next_begin) << node.DisplayPath() << " child " << i;
+    }
+  });
+
+  // Channel events do not overlap ("linear time order", section 3.1).
+  for (const ChannelDef& channel : doc.channels().channels()) {
+    MediaTime last_end = MediaTime::Seconds(-1);
+    for (const ScheduledEvent& scheduled : schedule.events()) {
+      if (scheduled.event.channel != channel.name) {
+        continue;
+      }
+      EXPECT_GE(scheduled.begin, std::max(last_end, MediaTime())) << channel.name;
+      last_end = scheduled.end;
+    }
+  }
+}
+
+TEST_P(ScheduleProperty, TransportPreservesTiming) {
+  GenOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam()) * 57 + 29;
+  options.target_leaves = 30;
+  auto workload = GenerateRandomDocument(options);
+  ASSERT_TRUE(workload.ok());
+
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok());
+  auto before = ComputeSchedule(workload->document, *events);
+  ASSERT_TRUE(before.ok() && before->feasible);
+
+  auto text = WriteDocument(workload->document);
+  ASSERT_TRUE(text.ok());
+  auto parsed = ParseDocument(*text);
+  ASSERT_TRUE(parsed.ok());
+  auto events_after = CollectEvents(*parsed, &workload->store);
+  ASSERT_TRUE(events_after.ok());
+  auto after = ComputeSchedule(*parsed, *events_after);
+  ASSERT_TRUE(after.ok() && after->feasible);
+
+  ASSERT_EQ(before->schedule.events().size(), after->schedule.events().size());
+  for (std::size_t i = 0; i < before->schedule.events().size(); ++i) {
+    EXPECT_EQ(before->schedule.events()[i].begin, after->schedule.events()[i].begin) << i;
+    EXPECT_EQ(before->schedule.events()[i].end, after->schedule.events()[i].end) << i;
+  }
+  EXPECT_EQ(before->schedule.MakeSpan(), after->schedule.MakeSpan());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,119 @@
+#include "src/media/audio.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(AudioBufferTest, ConstructionIsSilence) {
+  AudioBuffer audio(8000, 1, 100);
+  EXPECT_EQ(audio.rate(), 8000);
+  EXPECT_EQ(audio.channels(), 1);
+  EXPECT_EQ(audio.frames(), 100u);
+  EXPECT_EQ(audio.byte_size(), 200u);
+  EXPECT_EQ(audio.Sample(50, 0), 0);
+  EXPECT_DOUBLE_EQ(audio.RmsLevel(), 0.0);
+}
+
+TEST(AudioBufferTest, DurationIsExact) {
+  AudioBuffer audio(8000, 1, 4000);
+  EXPECT_EQ(audio.Duration(), MediaTime::Rational(1, 2));
+  EXPECT_EQ(AudioBuffer().Duration(), MediaTime());
+}
+
+TEST(AudioBufferTest, ClipExtractsFrames) {
+  AudioBuffer audio(8000, 1, 10);
+  for (std::size_t f = 0; f < 10; ++f) {
+    audio.SetSample(f, 0, static_cast<std::int16_t>(f));
+  }
+  auto clipped = audio.Clip(3, 4);
+  ASSERT_TRUE(clipped.ok());
+  EXPECT_EQ(clipped->frames(), 4u);
+  EXPECT_EQ(clipped->Sample(0, 0), 3);
+  EXPECT_EQ(clipped->Sample(3, 0), 6);
+}
+
+TEST(AudioBufferTest, ClipOutOfRangeIsError) {
+  AudioBuffer audio(8000, 1, 10);
+  EXPECT_EQ(audio.Clip(8, 5).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(audio.Clip(11, 0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(audio.Clip(10, 0).ok());  // empty clip at the end is legal
+}
+
+TEST(AudioBufferTest, ResampleHalvesFrames) {
+  AudioBuffer audio = MakeTone(8000, MediaTime::Seconds(1), 440, 0.5);
+  auto resampled = audio.Resample(4000);
+  ASSERT_TRUE(resampled.ok());
+  EXPECT_EQ(resampled->rate(), 4000);
+  EXPECT_EQ(resampled->frames(), 4000u);
+  // Energy is approximately preserved by decimation of a tone.
+  EXPECT_NEAR(resampled->RmsLevel(), audio.RmsLevel(), 0.02);
+}
+
+TEST(AudioBufferTest, ResampleRejectsBadRate) {
+  AudioBuffer audio(8000, 1, 10);
+  EXPECT_FALSE(audio.Resample(0).ok());
+  EXPECT_FALSE(audio.Resample(-1).ok());
+}
+
+TEST(AudioBufferTest, ToMonoAveragesChannels) {
+  AudioBuffer stereo(8000, 2, 2);
+  stereo.SetSample(0, 0, 100);
+  stereo.SetSample(0, 1, 300);
+  AudioBuffer mono = stereo.ToMono();
+  EXPECT_EQ(mono.channels(), 1);
+  EXPECT_EQ(mono.Sample(0, 0), 200);
+  // Mono input passes through unchanged.
+  EXPECT_EQ(mono.ToMono(), mono);
+}
+
+TEST(WavCodecTest, RoundTripMono) {
+  AudioBuffer audio = MakeTone(8000, MediaTime::Millis(250), 330, 0.7);
+  auto decoded = DecodeWav(EncodeWav(audio));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, audio);
+}
+
+TEST(WavCodecTest, RoundTripStereo) {
+  AudioBuffer audio(44100, 2, 100);
+  for (std::size_t f = 0; f < 100; ++f) {
+    audio.SetSample(f, 0, static_cast<std::int16_t>(f * 3));
+    audio.SetSample(f, 1, static_cast<std::int16_t>(-static_cast<int>(f)));
+  }
+  auto decoded = DecodeWav(EncodeWav(audio));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, audio);
+}
+
+TEST(WavCodecTest, RejectsGarbage) {
+  EXPECT_EQ(DecodeWav("not a wav").status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(DecodeWav(std::string(44, 'x')).status().code(), StatusCode::kDataLoss);
+  // Truncated data chunk.
+  std::string truncated = EncodeWav(MakeTone(8000, MediaTime::Millis(100), 440, 0.5));
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(DecodeWav(truncated).ok());
+}
+
+TEST(SynthTest, ToneHasExpectedLevel) {
+  // A full-scale sine has RMS 1/sqrt(2); at amplitude 0.5, ~0.354.
+  AudioBuffer tone = MakeTone(8000, MediaTime::Seconds(1), 440, 0.5);
+  EXPECT_NEAR(tone.RmsLevel(), 0.3535, 0.01);
+  EXPECT_EQ(tone.frames(), 8000u);
+}
+
+TEST(SynthTest, ToneAmplitudeClamped) {
+  AudioBuffer loud = MakeTone(8000, MediaTime::Millis(100), 440, 5.0);
+  EXPECT_LE(loud.RmsLevel(), 0.8);
+}
+
+TEST(SynthTest, SpeechLikeIsDeterministicAndAudible) {
+  AudioBuffer a = MakeSpeechLike(8000, MediaTime::Seconds(1), 42);
+  AudioBuffer b = MakeSpeechLike(8000, MediaTime::Seconds(1), 42);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.RmsLevel(), 0.01);
+  AudioBuffer c = MakeSpeechLike(8000, MediaTime::Seconds(1), 43);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace cmif

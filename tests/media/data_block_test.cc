@@ -1,0 +1,134 @@
+#include "src/media/data_block.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(DataBlockTest, TextBlockProperties) {
+  DataBlock block = DataBlock::FromText(TextBlock("caption text here", {}));
+  EXPECT_EQ(block.medium(), MediaType::kText);
+  EXPECT_FALSE(block.is_generator());
+  EXPECT_EQ(block.ByteSize(), 17u);
+  // Text's intrinsic duration is its reading time (floor 1s).
+  EXPECT_EQ(block.IntrinsicDuration(), MediaTime::Rational(17, 15));
+}
+
+TEST(DataBlockTest, AudioBlockProperties) {
+  DataBlock block = DataBlock::FromAudio(MakeTone(8000, MediaTime::Seconds(2), 440, 0.5));
+  EXPECT_EQ(block.medium(), MediaType::kAudio);
+  EXPECT_EQ(block.IntrinsicDuration(), MediaTime::Seconds(2));
+  EXPECT_EQ(block.ByteSize(), 32000u);
+}
+
+TEST(DataBlockTest, VideoBlockProperties) {
+  DataBlock block =
+      DataBlock::FromVideo(MakeFlyingBirdSegment(16, 12, 10, MediaTime::Seconds(1)));
+  EXPECT_EQ(block.medium(), MediaType::kVideo);
+  EXPECT_EQ(block.IntrinsicDuration(), MediaTime::Seconds(1));
+}
+
+TEST(DataBlockTest, ImageHasNoIntrinsicDuration) {
+  // Stills get their length from the event, not the data (section 5.1).
+  DataBlock block = DataBlock::FromImage(MakeTestCard(8, 8, 1));
+  EXPECT_EQ(block.medium(), MediaType::kImage);
+  EXPECT_EQ(block.IntrinsicDuration(), MediaTime());
+}
+
+TEST(DataBlockTest, GraphicMediumIsPreserved) {
+  DataBlock block = DataBlock::FromImage(MakeTestCard(8, 8, 1), MediaType::kGraphic);
+  EXPECT_EQ(block.medium(), MediaType::kGraphic);
+}
+
+TEST(DataBlockTest, TypedAccessorsCheckMedium) {
+  DataBlock block = DataBlock::FromText(TextBlock("x", {}));
+  EXPECT_TRUE(block.AsText().ok());
+  EXPECT_FALSE(block.AsAudio().ok());
+  EXPECT_FALSE(block.AsVideo().ok());
+  EXPECT_FALSE(block.AsImage().ok());
+}
+
+TEST(DataBlockTest, GeneratorCarriesDeclaredMetadata) {
+  GeneratorSpec spec;
+  spec.generator = "tone";
+  spec.params = "rate=8000,hz=440";
+  spec.duration = MediaTime::Seconds(3);
+  spec.approx_bytes = 48000;
+  DataBlock block = DataBlock::FromGenerator(MediaType::kAudio, spec);
+  EXPECT_TRUE(block.is_generator());
+  EXPECT_EQ(block.IntrinsicDuration(), MediaTime::Seconds(3));
+  EXPECT_EQ(block.ByteSize(), 48000u);
+}
+
+TEST(GeneratorRegistryTest, BuiltinsMaterialize) {
+  GeneratorSpec spec;
+  spec.generator = "tone";
+  spec.params = "rate=8000,hz=220,amplitude=0.5";
+  spec.duration = MediaTime::Seconds(1);
+  auto block = GeneratorRegistry::Global().Run(spec);
+  ASSERT_TRUE(block.ok()) << block.status();
+  EXPECT_EQ(block->medium(), MediaType::kAudio);
+  EXPECT_EQ(block->audio().frames(), 8000u);
+}
+
+TEST(GeneratorRegistryTest, AllBuiltinsRun) {
+  for (const char* name : {"flying_bird", "talking_head", "test_card", "tone", "speech"}) {
+    GeneratorSpec spec;
+    spec.generator = name;
+    spec.params = "width=16,height=12,fps=10,rate=8000,seed=3";
+    spec.duration = MediaTime::Millis(500);
+    auto block = GeneratorRegistry::Global().Run(spec);
+    EXPECT_TRUE(block.ok()) << name << ": " << block.status();
+  }
+}
+
+TEST(GeneratorRegistryTest, UnknownGeneratorIsNotFound) {
+  GeneratorSpec spec;
+  spec.generator = "does-not-exist";
+  EXPECT_EQ(GeneratorRegistry::Global().Run(spec).status().code(), StatusCode::kNotFound);
+}
+
+TEST(GeneratorRegistryTest, CustomRegistration) {
+  GeneratorRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("fixed-text",
+                            [](const GeneratorSpec&) -> StatusOr<DataBlock> {
+                              return DataBlock::FromText(TextBlock("fixed", {}));
+                            })
+                  .ok());
+  EXPECT_EQ(registry.Register("fixed-text", nullptr).code(), StatusCode::kAlreadyExists);
+  GeneratorSpec spec;
+  spec.generator = "fixed-text";
+  auto block = registry.Run(spec);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->text().text(), "fixed");
+}
+
+TEST(MediaTypeTest, NamesRoundTrip) {
+  for (MediaType type : {MediaType::kText, MediaType::kAudio, MediaType::kVideo,
+                         MediaType::kImage, MediaType::kGraphic}) {
+    auto parsed = ParseMediaType(MediaTypeName(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(ParseMediaType("smellovision").ok());
+}
+
+TEST(MediaTypeTest, DefaultUnits) {
+  EXPECT_EQ(DefaultUnitFor(MediaType::kVideo), MediaUnit::kFrames);
+  EXPECT_EQ(DefaultUnitFor(MediaType::kAudio), MediaUnit::kSamples);
+  EXPECT_EQ(DefaultUnitFor(MediaType::kText), MediaUnit::kCharacters);
+  EXPECT_EQ(DefaultUnitFor(MediaType::kImage), MediaUnit::kSeconds);
+}
+
+TEST(MediaUnitTest, NamesRoundTrip) {
+  for (MediaUnit unit : {MediaUnit::kSeconds, MediaUnit::kFrames, MediaUnit::kSamples,
+                         MediaUnit::kBytes, MediaUnit::kCharacters}) {
+    auto parsed = ParseMediaUnit(MediaUnitName(unit));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, unit);
+  }
+}
+
+}  // namespace
+}  // namespace cmif

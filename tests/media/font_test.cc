@@ -1,0 +1,79 @@
+#include "src/media/font.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+int LitPixels(const Raster& image) {
+  int lit = 0;
+  for (const Pixel& p : image.pixels()) {
+    if (p != Pixel{}) {
+      ++lit;
+    }
+  }
+  return lit;
+}
+
+TEST(FontTest, MetricsMatchGlyphGrid) {
+  EXPECT_EQ(TextWidth(""), 0);
+  EXPECT_EQ(TextWidth("A"), kGlyphWidth);                       // no trailing gap
+  EXPECT_EQ(TextWidth("AB"), kGlyphAdvance + kGlyphWidth);      // one gap
+  EXPECT_EQ(TextWidth("A", 3), kGlyphWidth * 3);
+  EXPECT_EQ(TextHeight(), kGlyphHeight);
+  EXPECT_EQ(TextHeight(2), kGlyphHeight * 2);
+}
+
+TEST(FontTest, DrawLightsPixels) {
+  Raster canvas(40, 10);
+  DrawText(canvas, 0, 0, "HI", Pixel{255, 255, 255});
+  EXPECT_GT(LitPixels(canvas), 10);
+}
+
+TEST(FontTest, SpaceDrawsNothing) {
+  Raster canvas(20, 10);
+  DrawText(canvas, 0, 0, "   ", Pixel{255, 255, 255});
+  EXPECT_EQ(LitPixels(canvas), 0);
+}
+
+TEST(FontTest, LowercaseFoldsToUppercase) {
+  Raster upper(20, 10);
+  Raster lower(20, 10);
+  DrawText(upper, 0, 0, "ABC", Pixel{255, 0, 0});
+  DrawText(lower, 0, 0, "abc", Pixel{255, 0, 0});
+  EXPECT_EQ(upper, lower);
+}
+
+TEST(FontTest, UnknownCharactersRenderAsBox) {
+  Raster canvas(10, 10);
+  DrawText(canvas, 0, 0, "~", Pixel{255, 255, 255});
+  // The hollow box outline: 2*5 + 2*5 corners shared -> 20 pixels.
+  EXPECT_EQ(LitPixels(canvas), 20);
+}
+
+TEST(FontTest, ScaleMultipliesCoverage) {
+  Raster small(20, 10);
+  Raster big(40, 20);
+  DrawText(small, 0, 0, "O", Pixel{1, 1, 1}, 1);
+  DrawText(big, 0, 0, "O", Pixel{1, 1, 1}, 2);
+  EXPECT_EQ(LitPixels(big), LitPixels(small) * 4);
+}
+
+TEST(FontTest, ClipsAtCanvasEdges) {
+  Raster canvas(8, 4);
+  // Drawing partially outside must not crash and must stay in bounds.
+  DrawText(canvas, -3, -3, "WW", Pixel{9, 9, 9});
+  DrawText(canvas, 6, 2, "WW", Pixel{9, 9, 9});
+  SUCCEED();
+}
+
+TEST(FontTest, DistinctLettersDiffer) {
+  Raster a(10, 10);
+  Raster b(10, 10);
+  DrawText(a, 0, 0, "A", Pixel{255, 255, 255});
+  DrawText(b, 0, 0, "B", Pixel{255, 255, 255});
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace cmif

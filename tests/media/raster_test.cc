@@ -1,0 +1,137 @@
+#include "src/media/raster.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(RasterTest, ConstructionFills) {
+  Raster image(4, 3, Pixel{10, 20, 30});
+  EXPECT_EQ(image.width(), 4);
+  EXPECT_EQ(image.height(), 3);
+  EXPECT_EQ(image.byte_size(), 4u * 3u * 3u);
+  EXPECT_EQ(image.At(3, 2), (Pixel{10, 20, 30}));
+}
+
+TEST(RasterTest, PutAndGet) {
+  Raster image(2, 2);
+  image.Put(1, 0, Pixel{255, 0, 0});
+  EXPECT_EQ(image.At(1, 0), (Pixel{255, 0, 0}));
+  EXPECT_EQ(image.At(0, 0), Pixel{});
+}
+
+TEST(RasterTest, FillRectClampsToBounds) {
+  Raster image(4, 4);
+  image.FillRect(-2, -2, 4, 4, Pixel{1, 1, 1});  // overlaps top-left 2x2
+  EXPECT_EQ(image.At(0, 0), (Pixel{1, 1, 1}));
+  EXPECT_EQ(image.At(1, 1), (Pixel{1, 1, 1}));
+  EXPECT_EQ(image.At(2, 2), Pixel{});
+}
+
+TEST(RasterTest, CropExtractsSubimage) {
+  Raster image(4, 4);
+  image.Put(2, 1, Pixel{9, 9, 9});
+  auto cropped = image.Crop(2, 1, 2, 2);
+  ASSERT_TRUE(cropped.ok());
+  EXPECT_EQ(cropped->width(), 2);
+  EXPECT_EQ(cropped->height(), 2);
+  EXPECT_EQ(cropped->At(0, 0), (Pixel{9, 9, 9}));
+}
+
+TEST(RasterTest, CropOutOfBoundsIsError) {
+  Raster image(4, 4);
+  EXPECT_EQ(image.Crop(3, 3, 2, 2).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(image.Crop(0, 0, 0, 1).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(image.Crop(-1, 0, 2, 2).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RasterTest, QuantizePreservesExtremes) {
+  Raster image(2, 1);
+  image.Put(0, 0, Pixel{255, 255, 255});
+  image.Put(1, 0, Pixel{0, 0, 0});
+  Raster q = image.QuantizeColor(3);
+  EXPECT_EQ(q.At(0, 0), (Pixel{255, 255, 255}));  // white stays white
+  EXPECT_EQ(q.At(1, 0), (Pixel{0, 0, 0}));
+}
+
+TEST(RasterTest, QuantizeReducesLevels) {
+  Raster image(256, 1);
+  for (int x = 0; x < 256; ++x) {
+    image.Put(x, 0, Pixel{static_cast<std::uint8_t>(x), 0, 0});
+  }
+  Raster q = image.QuantizeColor(1);
+  std::set<std::uint8_t> levels;
+  for (int x = 0; x < 256; ++x) {
+    levels.insert(q.At(x, 0).r);
+  }
+  EXPECT_EQ(levels.size(), 2u);  // 1 bit -> two levels
+}
+
+TEST(RasterTest, MonochromeEqualizesChannels) {
+  Raster image(1, 1);
+  image.Put(0, 0, Pixel{200, 50, 10});
+  Raster mono = image.ToMonochrome();
+  Pixel p = mono.At(0, 0);
+  EXPECT_EQ(p.r, p.g);
+  EXPECT_EQ(p.g, p.b);
+}
+
+TEST(RasterTest, DownscaleAverages) {
+  Raster image(2, 2);
+  image.Put(0, 0, Pixel{100, 0, 0});
+  image.Put(1, 0, Pixel{200, 0, 0});
+  image.Put(0, 1, Pixel{100, 0, 0});
+  image.Put(1, 1, Pixel{200, 0, 0});
+  auto scaled = image.Downscale(1, 1);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(scaled->At(0, 0).r, 150);
+}
+
+TEST(RasterTest, DownscaleRejectsUpscale) {
+  Raster image(2, 2);
+  EXPECT_FALSE(image.Downscale(4, 4).ok());
+  EXPECT_FALSE(image.Downscale(0, 1).ok());
+}
+
+TEST(PpmCodecTest, RoundTrip) {
+  Raster image = MakeTestCard(16, 12, 5);
+  auto decoded = DecodePpm(EncodePpm(image));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, image);
+}
+
+TEST(PpmCodecTest, HandlesComments) {
+  std::string data = "P6\n# a comment\n1 1\n255\n";
+  data.append(3, '\x42');
+  auto decoded = DecodePpm(data);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->At(0, 0), (Pixel{0x42, 0x42, 0x42}));
+}
+
+TEST(PpmCodecTest, RejectsBadMagicAndTruncation) {
+  EXPECT_EQ(DecodePpm("P5\n1 1\n255\nx").status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(DecodePpm("P6\n2 2\n255\nxy").status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(DecodePpm("P6\n1 1\n128\nabc").status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PgmCodecTest, EncodesLuma) {
+  Raster image(1, 1, Pixel{255, 255, 255});
+  std::string pgm = EncodePgm(image);
+  EXPECT_EQ(pgm.substr(0, 2), "P5");
+  EXPECT_EQ(static_cast<std::uint8_t>(pgm.back()), 255);
+}
+
+TEST(SyntheticTest, TestCardIsDeterministic) {
+  EXPECT_EQ(MakeTestCard(32, 24, 7), MakeTestCard(32, 24, 7));
+  EXPECT_FALSE(MakeTestCard(32, 24, 7) == MakeTestCard(32, 24, 8));
+}
+
+TEST(SyntheticTest, FlyingBirdMoves) {
+  Raster early = MakeFlyingBirdFrame(64, 48, 0.1);
+  Raster late = MakeFlyingBirdFrame(64, 48, 0.9);
+  EXPECT_FALSE(early == late);
+  EXPECT_EQ(early.width(), 64);
+}
+
+}  // namespace
+}  // namespace cmif

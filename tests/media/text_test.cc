@@ -1,0 +1,76 @@
+#include "src/media/text.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(TextBlockTest, BasicAccessors) {
+  TextBlock block("hello world", TextFormatting{"serif", 14, 2, 1});
+  EXPECT_EQ(block.text(), "hello world");
+  EXPECT_EQ(block.formatting().font, "serif");
+  EXPECT_EQ(block.byte_size(), 11u);
+  EXPECT_FALSE(block.empty());
+}
+
+TEST(TextBlockTest, ReadingDurationScalesWithLength) {
+  TextBlock small("short", {});
+  TextBlock large(std::string(150, 'x'), {});
+  EXPECT_EQ(small.ReadingDuration(15), MediaTime::Seconds(1));  // floor of 1s
+  EXPECT_EQ(large.ReadingDuration(15), MediaTime::Seconds(10));
+}
+
+TEST(TextBlockTest, ReadingDurationGuardsBadRate) {
+  TextBlock block(std::string(30, 'x'), {});
+  EXPECT_EQ(block.ReadingDuration(0), MediaTime::Seconds(2));  // falls back to 15 cps
+}
+
+TEST(TextBlockTest, WrapBreaksAtWords) {
+  TextBlock block("the quick brown fox jumps", {});
+  auto lines = block.WrapLines(10);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "the quick");
+  EXPECT_EQ(lines[1], "brown fox");
+  EXPECT_EQ(lines[2], "jumps");
+}
+
+TEST(TextBlockTest, WrapHonorsIndent) {
+  TextFormatting fmt;
+  fmt.indent = 3;
+  TextBlock block("a b", fmt);
+  auto lines = block.WrapLines(10);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "   a b");
+}
+
+TEST(TextBlockTest, WrapSplitsOverlongWords) {
+  TextBlock block("abcdefghij", {});
+  auto lines = block.WrapLines(4);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "abcd");
+  EXPECT_EQ(lines[1], "efgh");
+  EXPECT_EQ(lines[2], "ij");
+}
+
+TEST(TextBlockTest, WrapEmptyText) {
+  TextBlock block("", {});
+  EXPECT_TRUE(block.WrapLines(10).empty());
+}
+
+TEST(TextBlockTest, WrapCollapsesWhitespace) {
+  TextBlock block("a    b\n\nc", {});
+  auto lines = block.WrapLines(20);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "a b c");
+}
+
+TEST(TextFormattingTest, DefaultsMatchFigure7Shorthand) {
+  TextFormatting fmt;
+  EXPECT_EQ(fmt.font, "default");
+  EXPECT_EQ(fmt.size, 12);
+  EXPECT_EQ(fmt.indent, 0);
+  EXPECT_EQ(fmt.vspace, 1);
+}
+
+}  // namespace
+}  // namespace cmif

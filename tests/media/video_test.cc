@@ -1,0 +1,105 @@
+#include "src/media/video.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+VideoSegment MakeCounter(int fps, int frames) {
+  VideoSegment segment(fps);
+  for (int i = 0; i < frames; ++i) {
+    Raster frame(8, 6, Pixel{static_cast<std::uint8_t>(i), 0, 0});
+    EXPECT_TRUE(segment.Append(std::move(frame)).ok());
+  }
+  return segment;
+}
+
+TEST(VideoSegmentTest, AppendAndDuration) {
+  VideoSegment segment = MakeCounter(25, 50);
+  EXPECT_EQ(segment.frame_count(), 50u);
+  EXPECT_EQ(segment.Duration(), MediaTime::Seconds(2));
+  EXPECT_EQ(segment.width(), 8);
+  EXPECT_EQ(segment.height(), 6);
+  EXPECT_EQ(segment.byte_size(), 50u * 8u * 6u * 3u);
+}
+
+TEST(VideoSegmentTest, AppendRejectsMismatchedSize) {
+  VideoSegment segment(25);
+  ASSERT_TRUE(segment.Append(Raster(8, 6)).ok());
+  EXPECT_EQ(segment.Append(Raster(4, 4)).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VideoSegmentTest, SliceExtractsFrames) {
+  VideoSegment segment = MakeCounter(25, 10);
+  auto sliced = segment.Slice(4, 3);
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced->frame_count(), 3u);
+  EXPECT_EQ(sliced->Frame(0).At(0, 0).r, 4);
+  EXPECT_EQ(sliced->fps(), 25);
+}
+
+TEST(VideoSegmentTest, SliceOutOfRangeIsError) {
+  VideoSegment segment = MakeCounter(25, 10);
+  EXPECT_EQ(segment.Slice(8, 5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(VideoSegmentTest, SubsampleKeepsEveryNth) {
+  VideoSegment segment = MakeCounter(25, 25);
+  auto sampled = segment.SubsampleRate(5);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(sampled->fps(), 5);
+  EXPECT_EQ(sampled->frame_count(), 5u);
+  EXPECT_EQ(sampled->Frame(1).At(0, 0).r, 5);
+  // Duration is preserved by rate subsampling.
+  EXPECT_EQ(sampled->Duration(), segment.Duration());
+}
+
+TEST(VideoSegmentTest, SubsampleRejectsNonDivisor) {
+  VideoSegment segment = MakeCounter(25, 25);
+  EXPECT_EQ(segment.SubsampleRate(4).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(segment.SubsampleRate(0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(segment.SubsampleRate(1).ok());
+}
+
+TEST(VideoSegmentTest, DownscaleFrames) {
+  VideoSegment segment = MakeCounter(25, 4);
+  auto scaled = segment.DownscaleFrames(4, 3);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(scaled->width(), 4);
+  EXPECT_EQ(scaled->height(), 3);
+  EXPECT_EQ(scaled->frame_count(), 4u);
+}
+
+TEST(VideoSegmentTest, QuantizeColorAppliesPerFrame) {
+  VideoSegment segment = MakeCounter(25, 2);
+  VideoSegment quantized = segment.QuantizeColor(1);
+  EXPECT_EQ(quantized.frame_count(), 2u);
+  // Frame 1 (value 1) quantizes to 0 at 1 bit.
+  EXPECT_EQ(quantized.Frame(1).At(0, 0).r, 0);
+}
+
+TEST(SyntheticVideoTest, FlyingBirdSegmentShape) {
+  VideoSegment segment = MakeFlyingBirdSegment(32, 24, 10, MediaTime::Seconds(2));
+  EXPECT_EQ(segment.frame_count(), 20u);
+  EXPECT_EQ(segment.Duration(), MediaTime::Seconds(2));
+  EXPECT_FALSE(segment.Frame(0) == segment.Frame(10));  // the bird moved
+}
+
+TEST(SyntheticVideoTest, TalkingHeadDeterministic) {
+  VideoSegment a = MakeTalkingHeadSegment(32, 24, 10, MediaTime::Seconds(1), 3);
+  VideoSegment b = MakeTalkingHeadSegment(32, 24, 10, MediaTime::Seconds(1), 3);
+  ASSERT_EQ(a.frame_count(), b.frame_count());
+  for (std::size_t i = 0; i < a.frame_count(); ++i) {
+    EXPECT_EQ(a.Frame(i), b.Frame(i));
+  }
+}
+
+TEST(SyntheticVideoTest, EmptySegmentHasZeroDuration) {
+  VideoSegment segment(25);
+  EXPECT_TRUE(segment.empty());
+  EXPECT_EQ(segment.Duration(), MediaTime());
+  EXPECT_EQ(segment.width(), 0);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,168 @@
+#include "src/news/evening_news.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/validate.h"
+#include "src/sched/conflict.h"
+
+namespace cmif {
+namespace {
+
+TEST(EveningNewsTest, StructureMatchesFigure4b) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  const Document& doc = workload->document;
+  // Five channels, one per Figure-4a display element.
+  for (std::string_view channel : {kNewsVideo, kNewsAudio, kNewsGraphic, kNewsCaption,
+                                   kNewsLabel}) {
+    EXPECT_TRUE(doc.channels().Has(channel)) << channel;
+  }
+  // Opening + 3 stories.
+  EXPECT_EQ(doc.root().child_count(), 4u);
+  const Node* story = doc.root().FindChild("story1");
+  ASSERT_NE(story, nullptr);
+  EXPECT_EQ(story->kind(), NodeKind::kPar);
+  // Video seq has the talking-head / scene / talking-head split.
+  const Node* video = story->FindChild("video");
+  ASSERT_NE(video, nullptr);
+  EXPECT_EQ(video->kind(), NodeKind::kSeq);
+  EXPECT_EQ(video->child_count(), 3u);
+  // Graphics: two paintings and the insurance graph.
+  EXPECT_EQ(story->FindChild("graphics")->child_count(), 3u);
+  // Captions and labels.
+  EXPECT_EQ(story->FindChild("captions")->child_count(), 4u);
+  EXPECT_EQ(story->FindChild("labels")->child_count(), 3u);
+}
+
+TEST(EveningNewsTest, ArcsMatchSection534) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  const Node* story = workload->document.root().FindChild("story1");
+  ASSERT_NE(story, nullptr);
+  // Eight arcs per story: five musts + three may-labels.
+  ASSERT_EQ(story->arcs().size(), 8u);
+  std::size_t musts = 0;
+  std::size_t mays = 0;
+  for (const SyncArc& arc : story->arcs()) {
+    (arc.rigor == ArcRigor::kMust ? musts : mays) += 1;
+  }
+  EXPECT_EQ(musts, 5u);
+  EXPECT_EQ(mays, 3u);
+  // The offset arc (caption c2 end -> graphic g2 begin, +1/2s) is present.
+  bool found_offset_arc = false;
+  for (const SyncArc& arc : story->arcs()) {
+    if (arc.offset == MediaTime::Rational(1, 2) && arc.source_edge == ArcEdge::kEnd) {
+      found_offset_arc = true;
+      EXPECT_EQ(arc.dest.ToString(), "graphics/g2");
+    }
+  }
+  EXPECT_TRUE(found_offset_arc);
+}
+
+TEST(EveningNewsTest, ValidatesCleanly) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  ValidationReport report = ValidateDocument(workload->document, &workload->store);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.warning_count(), 0u) << report.ToString();
+}
+
+TEST(EveningNewsTest, ScheduleMatchesTheWorkedExample) {
+  // The timing walk-through of section 5.3.4 at story_length = 12s.
+  NewsOptions options;
+  options.stories = 1;
+  auto workload = BuildEveningNews(options);
+  ASSERT_TRUE(workload.ok());
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok());
+  auto result = ComputeSchedule(workload->document, *events);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->feasible);
+  EXPECT_TRUE(result->dropped_arcs.empty());
+
+  const Node& root = workload->document.root();
+  auto node = [&root](const char* path) {
+    auto resolved = root.Resolve(*NodePath::Parse(path));
+    EXPECT_TRUE(resolved.ok()) << path;
+    return *resolved;
+  };
+  const Schedule& schedule = result->schedule;
+  MediaTime t0 = *schedule.BeginOf(*node("story1"));  // after the 2s opening
+  EXPECT_EQ(t0, MediaTime::Seconds(2));
+  // Captions start with the video at the story start.
+  EXPECT_EQ(*schedule.BeginOf(*node("story1/captions")), t0);
+  EXPECT_EQ(*schedule.BeginOf(*node("story1/video")), t0);
+  // c2 ends at t0+6 (two 3s captions); g2 begins exactly 1/2s later.
+  EXPECT_EQ(*schedule.EndOf(*node("story1/captions/c2")), t0 + MediaTime::Seconds(6));
+  EXPECT_EQ(*schedule.BeginOf(*node("story1/graphics/g2")),
+            t0 + MediaTime::Rational(13, 2));
+  // v3 waits for c4's end (t0+12) although the video seq frees it at t0+10:
+  // the freeze-frame arc in action.
+  EXPECT_EQ(*schedule.EndOf(*node("story1/captions/c4")), t0 + MediaTime::Seconds(12));
+  EXPECT_EQ(*schedule.BeginOf(*node("story1/video/v3")), t0 + MediaTime::Seconds(12));
+  EXPECT_GT(*schedule.BeginOf(*node("story1/video/v3")),
+            *schedule.EndOf(*node("story1/video/v2")));
+}
+
+TEST(EveningNewsTest, StoriesAreSequential) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok());
+  auto result = ComputeSchedule(workload->document, *events);
+  ASSERT_TRUE(result.ok() && result->feasible);
+  const Node& root = workload->document.root();
+  MediaTime end1 = *result->schedule.EndOf(*root.FindChild("story1"));
+  MediaTime begin2 = *result->schedule.BeginOf(*root.FindChild("story2"));
+  EXPECT_GE(begin2, end1);
+}
+
+TEST(EveningNewsTest, ParameterValidation) {
+  NewsOptions options;
+  options.stories = 0;
+  EXPECT_EQ(BuildEveningNews(options).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EveningNewsTest, ScalesToManyStories) {
+  NewsOptions options;
+  options.stories = 10;
+  auto workload = BuildEveningNews(options);
+  ASSERT_TRUE(workload.ok());
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 2u + 10u * 14u);  // opening(2) + 14 events/story
+  auto result = ComputeSchedule(workload->document, *events);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->feasible);
+}
+
+TEST(EveningNewsTest, MaterializedMediaMatchesDeclaredAttributes) {
+  NewsOptions options;
+  options.stories = 1;
+  options.materialize_media = true;
+  auto workload = BuildEveningNews(options);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_GT(workload->blocks.size(), 0u);
+  for (const DataDescriptor& descriptor : workload->store.descriptors()) {
+    auto block = ResolveContent(descriptor, workload->blocks);
+    ASSERT_TRUE(block.ok()) << descriptor.id();
+    EXPECT_EQ(block->medium(), descriptor.Medium()) << descriptor.id();
+    EXPECT_EQ(static_cast<std::int64_t>(block->ByteSize()), descriptor.DeclaredBytes())
+        << descriptor.id();
+  }
+}
+
+TEST(EveningNewsTest, DeterministicForSeed) {
+  NewsOptions options;
+  options.stories = 1;
+  auto a = BuildEveningNews(options);
+  auto b = BuildEveningNews(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->store.size(), b->store.size());
+  for (std::size_t i = 0; i < a->store.descriptors().size(); ++i) {
+    EXPECT_EQ(a->store.descriptors()[i].attrs(), b->store.descriptors()[i].attrs());
+  }
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,95 @@
+#include "src/pipeline/capture.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(CaptureTest, DescriptorOnlyModeProducesNoMediaBytes) {
+  DescriptorStore store;
+  BlockStore blocks;
+  CaptureSession capture(store, blocks, /*materialize=*/false);
+  ASSERT_TRUE(capture.CaptureSpeech("voice", MediaTime::Seconds(4), 7).ok());
+  ASSERT_TRUE(capture.CaptureFlyingBird("bird", MediaTime::Seconds(2)).ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(blocks.size(), 0u);  // nothing materialized
+  // Descriptors still declare realistic sizes and durations from attributes.
+  const DataDescriptor* voice = store.Get("voice");
+  ASSERT_NE(voice, nullptr);
+  EXPECT_EQ(voice->Medium(), MediaType::kAudio);
+  EXPECT_EQ(voice->DeclaredDuration(), MediaTime::Seconds(4));
+  EXPECT_EQ(voice->DeclaredBytes(), 4 * 8000 * 2);
+  EXPECT_EQ(*voice->attrs().GetNumber(kDescRate), 8000);
+  EXPECT_TRUE(std::holds_alternative<GeneratorSpec>(voice->content()));
+}
+
+TEST(CaptureTest, MaterializedModeFillsBlockStore) {
+  DescriptorStore store;
+  BlockStore blocks;
+  CaptureSession capture(store, blocks, /*materialize=*/true);
+  ASSERT_TRUE(capture.CaptureTone("beep", MediaTime::Millis(100), 440).ok());
+  EXPECT_EQ(blocks.size(), 1u);
+  const DataDescriptor* beep = store.Get("beep");
+  ASSERT_NE(beep, nullptr);
+  // Content is a store key; resolving yields the actual audio.
+  auto block = ResolveContent(*beep, blocks);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->audio().frames(), 800u);
+}
+
+TEST(CaptureTest, VideoAttributesDeclared) {
+  DescriptorStore store;
+  BlockStore blocks;
+  CaptureSession capture(store, blocks, false);
+  ASSERT_TRUE(capture.CaptureTalkingHead("head", MediaTime::Seconds(2), 1, 80, 60, 20).ok());
+  const DataDescriptor* head = store.Get("head");
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(*head->attrs().GetNumber(kDescWidth), 80);
+  EXPECT_EQ(*head->attrs().GetNumber(kDescHeight), 60);
+  EXPECT_EQ(*head->attrs().GetNumber(kDescRate), 20);
+  EXPECT_EQ(head->DeclaredBytes(), 2 * 20 * 80 * 60 * 3);
+}
+
+TEST(CaptureTest, GraphicAndTextCapture) {
+  DescriptorStore store;
+  BlockStore blocks;
+  CaptureSession capture(store, blocks, false);
+  ASSERT_TRUE(capture.CaptureGraphic("card", 5, 32, 24, "test pattern").ok());
+  ASSERT_TRUE(capture.CaptureText("note", "hello there", "greeting").ok());
+  EXPECT_EQ(store.Get("card")->Medium(), MediaType::kGraphic);
+  EXPECT_EQ(*store.Get("card")->attrs().GetString(kDescKeywords), "test pattern");
+  // Text is always inline.
+  EXPECT_TRUE(std::holds_alternative<DataBlock>(store.Get("note")->content()));
+  BlockStore empty;
+  auto note = ResolveContent(*store.Get("note"), empty);
+  ASSERT_TRUE(note.ok());
+  EXPECT_EQ(note->text().text(), "hello there");
+}
+
+TEST(CaptureTest, DuplicateIdsRejected) {
+  DescriptorStore store;
+  BlockStore blocks;
+  CaptureSession capture(store, blocks, false);
+  ASSERT_TRUE(capture.CaptureTone("x", MediaTime::Millis(10), 440).ok());
+  EXPECT_EQ(capture.CaptureTone("x", MediaTime::Millis(10), 440).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CaptureTest, DescriptorOnlyAndMaterializedAgreeOnAttributes) {
+  DescriptorStore store_a;
+  BlockStore blocks_a;
+  CaptureSession lazy(store_a, blocks_a, false);
+  ASSERT_TRUE(lazy.CaptureSpeech("v", MediaTime::Seconds(1), 3).ok());
+
+  DescriptorStore store_b;
+  BlockStore blocks_b;
+  CaptureSession eager(store_b, blocks_b, true);
+  ASSERT_TRUE(eager.CaptureSpeech("v", MediaTime::Seconds(1), 3).ok());
+
+  // The declared size/duration must match what materialization produces.
+  EXPECT_EQ(store_a.Get("v")->DeclaredBytes(), store_b.Get("v")->DeclaredBytes());
+  EXPECT_EQ(store_a.Get("v")->DeclaredDuration(), store_b.Get("v")->DeclaredDuration());
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,96 @@
+#include "src/pipeline/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/news/evening_news.h"
+
+namespace cmif {
+namespace {
+
+TEST(PipelineTest, DescriptorOnlyRunCompletes) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  PipelineOptions options;
+  auto report = RunPipeline(workload->document, workload->store, workload->blocks, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->validation.ok());
+  EXPECT_TRUE(report->schedule.feasible);
+  EXPECT_GT(report->playback.trace.size(), 0u);
+  EXPECT_TRUE(report->playback.trace.Verify().ok());
+  // All six stages ran.
+  EXPECT_EQ(report->stages.size(), 6u);
+  EXPECT_GT(report->TotalMillis(), 0.0);
+  // Descriptor-only mode: no filter-apply stage ran.
+  EXPECT_DOUBLE_EQ(report->DescriptorOnlyMillis(), report->TotalMillis());
+}
+
+TEST(PipelineTest, ApplyFiltersStageTouchesData) {
+  NewsOptions news_options;
+  news_options.stories = 1;
+  news_options.materialize_media = true;
+  auto workload = BuildEveningNews(news_options);
+  ASSERT_TRUE(workload.ok());
+  PipelineOptions options;
+  options.profile = PersonalSystemProfile();
+  options.apply_filters = true;
+  auto report = RunPipeline(workload->document, workload->store, workload->blocks, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->stages.size(), 7u);  // + filter-apply
+  EXPECT_LT(report->DescriptorOnlyMillis(), report->TotalMillis());
+  EXPECT_LT(report->filter.total_bytes_after, report->filter.total_bytes_before);
+}
+
+TEST(PipelineTest, ValidationFailureStopsThePipeline) {
+  Document doc;
+  Node* leaf = *doc.root().AddChild(NodeKind::kExt);  // no file, no channel
+  (void)leaf;
+  DescriptorStore store;
+  BlockStore blocks;
+  auto report = RunPipeline(doc, store, blocks, PipelineOptions{});
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PipelineTest, SummaryMentionsStagesAndOutcome) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  auto report =
+      RunPipeline(workload->document, workload->store, workload->blocks, PipelineOptions{});
+  ASSERT_TRUE(report.ok());
+  std::string summary = report->Summary();
+  for (const char* fragment : {"validate", "present-map", "filter-plan", "schedule", "play",
+                               "feasible"}) {
+    EXPECT_NE(summary.find(fragment), std::string::npos) << fragment;
+  }
+}
+
+TEST(PipelineTest, PresentationMapBindsEveryChannel) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  auto report =
+      RunPipeline(workload->document, workload->store, workload->blocks, PipelineOptions{});
+  ASSERT_TRUE(report.ok());
+  for (const ChannelDef& channel : workload->document.channels().channels()) {
+    EXPECT_NE(report->presentation_map.Find(channel.name), nullptr) << channel.name;
+  }
+  // Preferences from the channel extras were honored.
+  EXPECT_EQ(report->presentation_map.Find("video")->region, "main");
+  EXPECT_EQ(report->presentation_map.Find("caption")->region, "caption_strip");
+}
+
+TEST(PipelineTest, SlowerProfileFreezesMore) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  PipelineOptions fast;
+  fast.profile = WorkstationProfile();
+  auto fast_report = RunPipeline(workload->document, workload->store, workload->blocks, fast);
+  ASSERT_TRUE(fast_report.ok());
+  PipelineOptions slow;
+  slow.profile = PersonalSystemProfile();
+  auto slow_report = RunPipeline(workload->document, workload->store, workload->blocks, slow);
+  ASSERT_TRUE(slow_report.ok());
+  EXPECT_GE(slow_report->playback.trace.FreezeCount(),
+            fast_report->playback.trace.FreezeCount());
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,74 @@
+#include "src/player/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(VirtualClockTest, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.document_time(), MediaTime());
+  EXPECT_EQ(clock.presentation_time(), MediaTime());
+  EXPECT_EQ(clock.frozen_total(), MediaTime());
+  EXPECT_EQ(clock.rate_num(), 1);
+  EXPECT_EQ(clock.rate_den(), 1);
+}
+
+TEST(VirtualClockTest, AdvanceTracksBothTimescales) {
+  VirtualClock clock;
+  clock.AdvanceDocument(MediaTime::Seconds(3));
+  EXPECT_EQ(clock.document_time(), MediaTime::Seconds(3));
+  EXPECT_EQ(clock.presentation_time(), MediaTime::Seconds(3));
+}
+
+TEST(VirtualClockTest, SlowMotionStretchesPresentationTime) {
+  // Section 4: "it is possible to alter the rate of presentation (such as
+  // freeze-framing or using slow-motion)".
+  VirtualClock clock;
+  clock.SetRate(1, 2);  // half speed
+  clock.AdvanceDocument(MediaTime::Seconds(4));
+  EXPECT_EQ(clock.document_time(), MediaTime::Seconds(4));
+  EXPECT_EQ(clock.presentation_time(), MediaTime::Seconds(8));
+}
+
+TEST(VirtualClockTest, FastForwardCompressesPresentationTime) {
+  VirtualClock clock;
+  clock.SetRate(2, 1);
+  clock.AdvanceDocument(MediaTime::Seconds(4));
+  EXPECT_EQ(clock.presentation_time(), MediaTime::Seconds(2));
+}
+
+TEST(VirtualClockTest, FreezeHoldsDocumentTime) {
+  VirtualClock clock;
+  clock.AdvanceDocument(MediaTime::Seconds(2));
+  clock.Freeze(MediaTime::Seconds(1));
+  EXPECT_EQ(clock.document_time(), MediaTime::Seconds(2));
+  EXPECT_EQ(clock.presentation_time(), MediaTime::Seconds(3));
+  EXPECT_EQ(clock.frozen_total(), MediaTime::Seconds(1));
+}
+
+TEST(VirtualClockTest, AdvanceToIsMonotone) {
+  VirtualClock clock;
+  clock.AdvanceDocumentTo(MediaTime::Seconds(5));
+  EXPECT_EQ(clock.document_time(), MediaTime::Seconds(5));
+  clock.AdvanceDocumentTo(MediaTime::Seconds(3));  // no-op backwards
+  EXPECT_EQ(clock.document_time(), MediaTime::Seconds(5));
+}
+
+TEST(VirtualClockTest, NegativeAndZeroDeltasIgnored) {
+  VirtualClock clock;
+  clock.AdvanceDocument(MediaTime::Seconds(-1));
+  clock.Freeze(MediaTime());
+  EXPECT_EQ(clock.document_time(), MediaTime());
+  EXPECT_EQ(clock.presentation_time(), MediaTime());
+}
+
+TEST(VirtualClockTest, RationalRatesAreExact) {
+  VirtualClock clock;
+  clock.SetRate(3, 4);  // 3/4 document seconds per presentation second
+  clock.AdvanceDocument(MediaTime::Seconds(3));
+  EXPECT_EQ(clock.presentation_time(), MediaTime::Seconds(4));
+}
+
+}  // namespace
+}  // namespace cmif

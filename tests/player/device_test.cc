@@ -1,0 +1,61 @@
+#include "src/player/device.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+DeviceTiming FastTiming() {
+  return DeviceTiming{MediaTime::Millis(5), MediaTime::Millis(10), 1'000'000};
+}
+
+TEST(VirtualDeviceTest, IdleDeviceMeetsRequestedTime) {
+  VirtualDevice device("video", MediaType::kVideo, FastTiming());
+  // Requested far in the future: prefetch hides transfer and latency.
+  MediaTime start = device.EarliestStart(MediaTime::Seconds(10), 100'000);
+  EXPECT_EQ(start, MediaTime::Seconds(10));
+}
+
+TEST(VirtualDeviceTest, ImmediateRequestPaysLatencyAndTransfer) {
+  VirtualDevice device("video", MediaType::kVideo, FastTiming());
+  // At t=0 the device needs setup (10ms) + transfer (100ms) + latency (5ms).
+  MediaTime start = device.EarliestStart(MediaTime(), 100'000);
+  EXPECT_EQ(start, MediaTime::Millis(115));
+}
+
+TEST(VirtualDeviceTest, ZeroBandwidthMeansFreeTransfer) {
+  DeviceTiming timing{MediaTime::Millis(5), MediaTime::Millis(10), 0};
+  VirtualDevice device("text", MediaType::kText, timing);
+  MediaTime start = device.EarliestStart(MediaTime(), 1'000'000);
+  EXPECT_EQ(start, MediaTime::Millis(15));  // setup + latency only
+}
+
+TEST(VirtualDeviceTest, BusyDeviceDelaysNextPresentation) {
+  VirtualDevice device("video", MediaType::kVideo, FastTiming());
+  device.Present("first", MediaTime(), MediaTime(), MediaTime::Seconds(5), 0);
+  EXPECT_EQ(device.next_free(), MediaTime::Seconds(5));
+  // A request at 4s must wait for release + setup + latency.
+  MediaTime start = device.EarliestStart(MediaTime::Seconds(4), 0);
+  EXPECT_EQ(start, MediaTime::Seconds(5) + MediaTime::Millis(15));
+}
+
+TEST(VirtualDeviceTest, RecordsAccumulate) {
+  VirtualDevice device("audio", MediaType::kAudio, FastTiming());
+  device.Present("a", MediaTime(), MediaTime::Millis(20), MediaTime::Seconds(1), 500);
+  device.Present("b", MediaTime::Seconds(1), MediaTime::Seconds(1), MediaTime::Seconds(2), 0);
+  ASSERT_EQ(device.records().size(), 2u);
+  EXPECT_EQ(device.records()[0].event_label, "a");
+  EXPECT_EQ(device.records()[0].Lateness(), MediaTime::Millis(20));
+  EXPECT_EQ(device.records()[1].Lateness(), MediaTime());
+  EXPECT_EQ(device.records()[0].payload_bytes, 500u);
+}
+
+TEST(VirtualDeviceTest, AccessorsExposeConfiguration) {
+  VirtualDevice device("graphic", MediaType::kGraphic, FastTiming());
+  EXPECT_EQ(device.channel(), "graphic");
+  EXPECT_EQ(device.medium(), MediaType::kGraphic);
+  EXPECT_EQ(device.timing().setup, MediaTime::Millis(10));
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,148 @@
+// Deeper playback-engine scenarios: combined rate + freeze, bandwidth-bound
+// transfers, device occupancy interactions, and full-document replay
+// consistency after edits.
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+#include "src/doc/edit.h"
+#include "src/news/evening_news.h"
+#include "src/player/engine.h"
+#include "src/sched/conflict.h"
+
+namespace cmif {
+namespace {
+
+struct Built {
+  Document doc{NodeKind::kSeq};
+  std::vector<EventDescriptor> events;
+  Schedule schedule;
+  DescriptorStore store;
+};
+
+Built Schedule1sAudio(std::int64_t bytes) {
+  Built b;
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("audio"));
+  attrs.Set(std::string(kDescDuration), AttrValue::Time(MediaTime::Seconds(1)));
+  attrs.Set(std::string(kDescBytes), AttrValue::Number(bytes));
+  EXPECT_TRUE(b.store.Add(DataDescriptor("clip", attrs)).ok());
+  DocBuilder builder;
+  builder.DefineChannel("sound", MediaType::kAudio).Ext("a", "clip").OnChannel("sound");
+  auto doc = builder.Build();
+  EXPECT_TRUE(doc.ok());
+  b.doc = std::move(doc).value();
+  auto events = CollectEvents(b.doc, &b.store);
+  EXPECT_TRUE(events.ok());
+  b.events = std::move(events).value();
+  auto result = ComputeSchedule(b.doc, b.events);
+  EXPECT_TRUE(result.ok() && result->feasible);
+  b.schedule = std::move(result)->schedule;
+  return b;
+}
+
+TEST(EngineMoreTest, TransferTimeDelaysLargePayloads) {
+  // 1 MB through a 1 MB/s device at t=0 cannot start on time.
+  Built b = Schedule1sAudio(1'000'000);
+  PlayerOptions options;
+  options.profile.audio = DeviceTiming{MediaTime(), MediaTime(), 1'000'000};
+  options.enable_freeze = false;
+  auto run = Play(b.doc, b.schedule, &b.store, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->trace.entries()[0].lateness, MediaTime::Seconds(1));
+}
+
+TEST(EngineMoreTest, TinyPayloadStartsOnTime) {
+  Built b = Schedule1sAudio(100);
+  PlayerOptions options;
+  options.profile.audio = DeviceTiming{MediaTime(), MediaTime(), 1'000'000};
+  auto run = Play(b.doc, b.schedule, &b.store, options);
+  ASSERT_TRUE(run.ok());
+  // 100 bytes at 1 MB/s = 0.1 ms, under the 50 ms default tolerance.
+  EXPECT_EQ(run->trace.FreezeCount(), 0u);
+  EXPECT_LT(run->trace.entries()[0].lateness, MediaTime::Millis(1));
+}
+
+TEST(EngineMoreTest, RateAndFreezeCompose) {
+  Built b = Schedule1sAudio(1'000'000);
+  PlayerOptions options;
+  options.profile.audio = DeviceTiming{MediaTime(), MediaTime(), 1'000'000};
+  options.rate_num = 1;
+  options.rate_den = 2;  // slow motion
+  auto run = Play(b.doc, b.schedule, &b.store, options);
+  ASSERT_TRUE(run.ok());
+  // Document spans 1s -> 2s at half speed, plus the 1s transfer freeze.
+  EXPECT_EQ(run->clock.presentation_time(), MediaTime::Seconds(3));
+  EXPECT_EQ(run->clock.frozen_total(), MediaTime::Seconds(1));
+}
+
+TEST(EngineMoreTest, ReplayAfterDeleteEditStaysConsistent) {
+  // Delete story2 from the news, re-validate, re-schedule, re-play.
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  Node* story2 = workload->document.root().FindChild("story2");
+  ASSERT_NE(story2, nullptr);
+  auto edit = DeleteSubtree(workload->document, *story2);
+  ASSERT_TRUE(edit.ok()) << edit.status();
+
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok()) << events.status();
+  auto result = ComputeSchedule(workload->document, *events);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->feasible);
+  auto run = Play(workload->document, result->schedule, &workload->store);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->trace.Verify().ok());
+  // One fewer story: roughly a third shorter than the 3-story broadcast.
+  EXPECT_LT(result->schedule.MakeSpan(), MediaTime::Seconds(35));
+}
+
+TEST(EngineMoreTest, ReplayAfterMoveEditStaysConsistent) {
+  // Swap story order: move story3 before story1; arcs inside stories are
+  // self-contained, so everything still schedules and plays.
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  Node* story3 = workload->document.root().FindChild("story3");
+  ASSERT_NE(story3, nullptr);
+  auto edit = MoveSubtree(workload->document, *story3, workload->document.root(), 1);
+  ASSERT_TRUE(edit.ok()) << edit.status();
+  EXPECT_TRUE(edit->dropped_arcs.empty());
+
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok());
+  auto result = ComputeSchedule(workload->document, *events);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->feasible);
+  EXPECT_EQ(workload->document.root().ChildAt(1).name(), "story3");
+}
+
+TEST(EngineMoreTest, ZeroDurationEventsPlayInstantly) {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText)
+      .ImmText("blip", "x")
+      .OnChannel("txt")
+      .WithDuration(MediaTime());
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto result = ComputeSchedule(*doc, *events);
+  ASSERT_TRUE(result.ok() && result->feasible);
+  DescriptorStore store;
+  auto run = Play(*doc, result->schedule, &store);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->trace.entries()[0].actual_end, run->trace.entries()[0].actual_begin);
+  EXPECT_TRUE(run->trace.Verify().ok());
+}
+
+TEST(EngineMoreTest, EmptyScheduleIsANoOp) {
+  Document doc;
+  DescriptorStore store;
+  Schedule empty;
+  auto run = Play(doc, empty, &store);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->trace.size(), 0u);
+  EXPECT_EQ(run->clock.presentation_time(), MediaTime());
+}
+
+}  // namespace
+}  // namespace cmif

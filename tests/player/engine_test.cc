@@ -1,0 +1,162 @@
+#include "src/player/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+#include "src/news/evening_news.h"
+#include "src/sched/conflict.h"
+
+namespace cmif {
+namespace {
+
+struct Playable {
+  Document doc{NodeKind::kSeq};
+  std::vector<EventDescriptor> events;
+  Schedule schedule;
+  DescriptorStore store;
+};
+
+// Two 1s text events back to back on one channel.
+Playable TextChain() {
+  Playable p;
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  builder.ImmText("a", "x").OnChannel("txt").WithDuration(MediaTime::Seconds(1));
+  builder.ImmText("b", "y").OnChannel("txt").WithDuration(MediaTime::Seconds(1));
+  auto doc = builder.Build();
+  EXPECT_TRUE(doc.ok());
+  p.doc = std::move(doc).value();
+  auto events = CollectEvents(p.doc, nullptr);
+  EXPECT_TRUE(events.ok());
+  p.events = std::move(events).value();
+  auto result = ComputeSchedule(p.doc, p.events);
+  EXPECT_TRUE(result.ok() && result->feasible);
+  p.schedule = std::move(result)->schedule;
+  return p;
+}
+
+TEST(EngineTest, FastDevicesPlayOnSchedule) {
+  Playable p = TextChain();
+  auto result = Play(p.doc, p.schedule, &p.store);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->trace.size(), 2u);
+  EXPECT_EQ(result->trace.FreezeCount(), 0u);
+  EXPECT_TRUE(result->trace.Verify().ok());
+  EXPECT_EQ(result->clock.document_time(), MediaTime::Seconds(2));
+}
+
+TEST(EngineTest, SlowDeviceForcesFreeze) {
+  Playable p = TextChain();
+  PlayerOptions options;
+  options.profile = WorkstationProfile();
+  // Make the text device brutally slow: 500ms setup >> 50ms tolerance.
+  options.profile.text.setup = MediaTime::Millis(500);
+  auto result = Play(p.doc, p.schedule, &p.store, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->trace.FreezeCount(), 1u);
+  EXPECT_GT(result->clock.frozen_total(), MediaTime());
+  EXPECT_TRUE(result->trace.Verify().ok());
+}
+
+TEST(EngineTest, FreezeDisabledRecordsLatenessInstead) {
+  Playable p = TextChain();
+  PlayerOptions options;
+  options.profile.text.setup = MediaTime::Millis(500);
+  options.enable_freeze = false;
+  auto result = Play(p.doc, p.schedule, &p.store, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->trace.FreezeCount(), 0u);
+  auto jitter = result->trace.JitterByChannel();
+  EXPECT_GT(jitter["txt"].max_lateness_ms, 100.0);
+}
+
+TEST(EngineTest, StartAtSkipsEarlyEvents) {
+  Playable p = TextChain();
+  PlayerOptions options;
+  options.start_at = MediaTime::Rational(3, 2);  // inside event b
+  auto result = Play(p.doc, p.schedule, &p.store, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->events_skipped, 1u);
+  EXPECT_EQ(result->trace.size(), 1u);
+  EXPECT_EQ(result->trace.entries()[0].label, "b");
+}
+
+TEST(EngineTest, SlowMotionScalesPresentationTime) {
+  Playable p = TextChain();
+  PlayerOptions options;
+  options.rate_num = 1;
+  options.rate_den = 2;
+  auto result = Play(p.doc, p.schedule, &p.store, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clock.presentation_time(), MediaTime::Seconds(4));
+}
+
+TEST(EngineTest, DevicesRecordPresentations) {
+  Playable p = TextChain();
+  auto result = Play(p.doc, p.schedule, &p.store);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->devices.size(), 1u);
+  EXPECT_EQ(result->devices[0].channel(), "txt");
+  EXPECT_EQ(result->devices[0].records().size(), 2u);
+}
+
+TEST(EngineTest, MustArcToleranceOverridesDefault) {
+  // An explicit must arc with a generous max_delay lets the event run later
+  // than the engine default without freezing.
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  builder.Par("p")
+      .ImmText("a", "x")
+      .OnChannel("txt")
+      .WithDuration(MediaTime::Seconds(1))
+      .Up();
+  builder.Arc(WindowArc(NodePath(), ArcEdge::kBegin, *NodePath::Parse("p/a"),
+                        ArcEdge::kBegin, MediaTime(), MediaTime(), MediaTime::Seconds(2)));
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto scheduled = ComputeSchedule(*doc, *events);
+  ASSERT_TRUE(scheduled.ok() && scheduled->feasible);
+  PlayerOptions options;
+  options.profile.text.setup = MediaTime::Millis(500);  // late, but within 2s
+  DescriptorStore store;
+  auto result = Play(*doc, scheduled->schedule, &store, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->trace.FreezeCount(), 0u);  // the 2s window absorbed it
+}
+
+TEST(EngineTest, NewsPlaysCleanOnWorkstationFreezesOnPortable) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok());
+  auto scheduled = ComputeSchedule(workload->document, *events);
+  ASSERT_TRUE(scheduled.ok() && scheduled->feasible);
+
+  PlayerOptions fast;
+  fast.profile = WorkstationProfile();
+  auto fast_run = Play(workload->document, scheduled->schedule, &workload->store, fast);
+  ASSERT_TRUE(fast_run.ok());
+  EXPECT_EQ(fast_run->trace.FreezeCount(), 0u);
+
+  PlayerOptions slow;
+  slow.profile = PortableMonoProfile();
+  auto slow_run = Play(workload->document, scheduled->schedule, &workload->store, slow);
+  ASSERT_TRUE(slow_run.ok());
+  EXPECT_GT(slow_run->trace.FreezeCount(), 0u);
+  EXPECT_TRUE(slow_run->trace.Verify().ok());
+  // The freeze-frame stretches the presentation beyond the document span.
+  EXPECT_GT(slow_run->clock.presentation_time(), scheduled->schedule.MakeSpan());
+}
+
+TEST(EngineTest, UnknownChannelIsAnError) {
+  Playable p = TextChain();
+  // Remove the channel from the document's dictionary after scheduling.
+  p.doc.channels() = ChannelDictionary();
+  auto result = Play(p.doc, p.schedule, &p.store);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,96 @@
+#include "src/player/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TraceEntry Entry(const char* label, const char* channel, int target_ms, int actual_ms,
+                 int end_ms, bool froze = false) {
+  TraceEntry entry;
+  entry.label = label;
+  entry.channel = channel;
+  entry.scheduled_begin = MediaTime::Millis(target_ms);
+  entry.target_begin = MediaTime::Millis(target_ms);
+  entry.actual_begin = MediaTime::Millis(actual_ms);
+  entry.actual_end = MediaTime::Millis(end_ms);
+  entry.lateness = MediaTime::Millis(actual_ms - target_ms);
+  entry.caused_freeze = froze;
+  if (froze) {
+    entry.freeze_amount = entry.lateness;
+  }
+  return entry;
+}
+
+TEST(PlaybackTraceTest, FreezeAccounting) {
+  PlaybackTrace trace;
+  trace.Append(Entry("a", "video", 0, 0, 1000));
+  trace.Append(Entry("b", "video", 1000, 1200, 2200, true));
+  trace.Append(Entry("c", "video", 2200, 2300, 3300, true));
+  EXPECT_EQ(trace.FreezeCount(), 2u);
+  EXPECT_EQ(trace.TotalFreeze(), MediaTime::Millis(300));
+  EXPECT_EQ(trace.size(), 3u);
+}
+
+TEST(PlaybackTraceTest, JitterStatsPerChannel) {
+  PlaybackTrace trace;
+  trace.Append(Entry("a", "video", 0, 10, 500));
+  trace.Append(Entry("b", "video", 500, 530, 1000));
+  trace.Append(Entry("x", "audio", 0, 0, 1000));
+  auto jitter = trace.JitterByChannel();
+  ASSERT_EQ(jitter.size(), 2u);
+  EXPECT_EQ(jitter["video"].presentations, 2u);
+  EXPECT_DOUBLE_EQ(jitter["video"].mean_lateness_ms, 20.0);
+  EXPECT_DOUBLE_EQ(jitter["video"].max_lateness_ms, 30.0);
+  EXPECT_DOUBLE_EQ(jitter["audio"].max_lateness_ms, 0.0);
+}
+
+TEST(PlaybackTraceTest, VerifyPassesOnCleanTrace) {
+  PlaybackTrace trace;
+  trace.Append(Entry("a", "video", 0, 0, 1000));
+  trace.Append(Entry("b", "video", 1000, 1000, 2000));
+  EXPECT_TRUE(trace.Verify().ok());
+}
+
+TEST(PlaybackTraceTest, VerifyCatchesOverlap) {
+  PlaybackTrace trace;
+  trace.Append(Entry("a", "video", 0, 0, 1500));
+  trace.Append(Entry("b", "video", 1000, 1000, 2000));  // starts inside a
+  EXPECT_FALSE(trace.Verify().ok());
+}
+
+TEST(PlaybackTraceTest, VerifyCatchesEarlyStart) {
+  PlaybackTrace trace;
+  TraceEntry entry = Entry("a", "video", 1000, 500, 1500);
+  EXPECT_FALSE(([&] {
+                 PlaybackTrace t;
+                 t.Append(entry);
+                 return t.Verify();
+               }())
+                   .ok());
+}
+
+TEST(PlaybackTraceTest, VerifyCatchesNegativeDuration) {
+  PlaybackTrace trace;
+  TraceEntry entry = Entry("a", "video", 0, 100, 50);
+  trace.Append(entry);
+  EXPECT_FALSE(trace.Verify().ok());
+}
+
+TEST(PlaybackTraceTest, DifferentChannelsMayOverlap) {
+  PlaybackTrace trace;
+  trace.Append(Entry("a", "video", 0, 0, 2000));
+  trace.Append(Entry("x", "audio", 0, 0, 2000));
+  EXPECT_TRUE(trace.Verify().ok());
+}
+
+TEST(PlaybackTraceTest, SummaryMentionsChannels) {
+  PlaybackTrace trace;
+  trace.Append(Entry("a", "video", 0, 5, 1000));
+  std::string summary = trace.Summary();
+  EXPECT_NE(summary.find("video"), std::string::npos);
+  EXPECT_NE(summary.find("1 presentations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,42 @@
+#include "src/present/capability.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(CapabilityTest, ProfilesAreOrderedByStrength) {
+  SystemProfile workstation = WorkstationProfile();
+  SystemProfile personal = PersonalSystemProfile();
+  SystemProfile portable = PortableMonoProfile();
+  EXPECT_GT(workstation.max_video_fps, personal.max_video_fps);
+  EXPECT_GT(personal.max_video_fps, portable.max_video_fps);
+  EXPECT_GT(workstation.max_audio_rate, personal.max_audio_rate);
+  EXPECT_GT(workstation.max_width, personal.max_width);
+  EXPECT_TRUE(workstation.color);
+  EXPECT_FALSE(portable.color);
+}
+
+TEST(CapabilityTest, TimingForSelectsMedium) {
+  SystemProfile profile = PersonalSystemProfile();
+  EXPECT_EQ(profile.TimingFor(MediaType::kVideo).setup, profile.video.setup);
+  EXPECT_EQ(profile.TimingFor(MediaType::kAudio).latency, profile.audio.latency);
+  EXPECT_EQ(profile.TimingFor(MediaType::kImage).setup, profile.image.setup);
+  EXPECT_EQ(profile.TimingFor(MediaType::kGraphic).setup, profile.image.setup);
+  EXPECT_EQ(profile.TimingFor(MediaType::kText).setup, profile.text.setup);
+}
+
+TEST(CapabilityTest, SlowerProfilesHaveSlowerDevices) {
+  SystemProfile workstation = WorkstationProfile();
+  SystemProfile portable = PortableMonoProfile();
+  EXPECT_LT(workstation.video.setup, portable.video.setup);
+  EXPECT_GT(workstation.video.bandwidth_bytes_per_s, portable.video.bandwidth_bytes_per_s);
+}
+
+TEST(CapabilityTest, NamesAreDistinct) {
+  EXPECT_NE(WorkstationProfile().name, PersonalSystemProfile().name);
+  EXPECT_NE(PersonalSystemProfile().name, PortableMonoProfile().name);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,147 @@
+#include "src/present/compositor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/news/evening_news.h"
+#include "src/sched/conflict.h"
+
+namespace cmif {
+namespace {
+
+class CompositorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    NewsOptions options;
+    options.stories = 1;
+    auto workload = BuildEveningNews(options);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(workload).value();
+    auto events = CollectEvents(workload_.document, &workload_.store);
+    ASSERT_TRUE(events.ok());
+    auto result = ComputeSchedule(workload_.document, *events);
+    ASSERT_TRUE(result.ok() && result->feasible);
+    schedule_ = std::move(result)->schedule;
+    env_ = VirtualEnvironment::NewsLayout(320, 240);
+    auto map = PresentationMap::AutoMap(workload_.document.channels(), env_);
+    ASSERT_TRUE(map.ok());
+    map_ = std::move(map).value();
+  }
+
+  StatusOr<Raster> Frame(MediaTime t, CompositorOptions options = {}) {
+    return ComposeFrame(workload_.document, schedule_, map_, env_, workload_.store,
+                        workload_.blocks, t, options);
+  }
+
+  static int NonBackground(const Raster& frame, Pixel background) {
+    int n = 0;
+    for (const Pixel& p : frame.pixels()) {
+      if (p != background) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  NewsWorkload workload_;
+  Schedule schedule_;
+  VirtualEnvironment env_{320, 240};
+  PresentationMap map_;
+};
+
+TEST_F(CompositorTest, FrameHasCanvasDimensions) {
+  auto frame = Frame(MediaTime::Seconds(3));
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->width(), 320);
+  EXPECT_EQ(frame->height(), 240);
+}
+
+TEST_F(CompositorTest, MidStoryFrameShowsContent) {
+  CompositorOptions options;
+  auto frame = Frame(MediaTime::Seconds(9), options);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  // Video + graphic + caption + label should light a sizable share of the
+  // canvas.
+  EXPECT_GT(NonBackground(*frame, options.background), 320 * 240 / 10);
+}
+
+TEST_F(CompositorTest, BeforeStartOnlyBackground) {
+  CompositorOptions options;
+  options.hold_discrete_media = false;
+  // At a time before anything is scheduled... time 0 has the opening par.
+  // Use a fresh empty document instead.
+  Document empty;
+  Schedule no_schedule;
+  VirtualEnvironment env = VirtualEnvironment::NewsLayout(64, 48);
+  PresentationMap map;
+  auto frame = ComposeFrame(empty, no_schedule, map, env, workload_.store, workload_.blocks,
+                            MediaTime(), options);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(NonBackground(*frame, options.background), 0);
+}
+
+TEST_F(CompositorTest, HoldKeepsStillsVisibleAfterTheirEvent) {
+  // Label l1 runs [2, 5); at 5.5 the label strip still shows it (hold) while
+  // the no-hold compositor clears it... unless l2 started. l2 begins at 8.5
+  // (with graphic g2), so 5.5 is inside the gap.
+  CompositorOptions hold;
+  CompositorOptions no_hold;
+  no_hold.hold_discrete_media = false;
+  auto held = Frame(MediaTime::Rational(11, 2), hold);
+  auto bare = Frame(MediaTime::Rational(11, 2), no_hold);
+  ASSERT_TRUE(held.ok() && bare.ok());
+  EXPECT_GT(NonBackground(*held, hold.background), NonBackground(*bare, no_hold.background));
+}
+
+TEST_F(CompositorTest, VideoFrameAdvancesWithTime) {
+  auto early = Frame(MediaTime::Rational(13, 2));
+  auto late = Frame(MediaTime::Seconds(7));
+  ASSERT_TRUE(early.ok() && late.ok());
+  EXPECT_FALSE(*early == *late);  // the scene moved
+}
+
+TEST_F(CompositorTest, FreezeGapShowsHeldLastFrame) {
+  // Between v2's end (t0+10=12s) and v3's begin (t0+12=14s) the video region
+  // holds v2's last frame under the hold policy.
+  auto frame = Frame(MediaTime::Seconds(13));
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  CompositorOptions options;
+  EXPECT_GT(NonBackground(*frame, options.background), 0);
+}
+
+TEST_F(CompositorTest, FilmStripProducesRequestedFrames) {
+  auto strip = ComposeFilmStrip(workload_.document, schedule_, map_, env_, workload_.store,
+                                workload_.blocks, MediaTime::Seconds(2),
+                                MediaTime::Seconds(14), 6);
+  ASSERT_TRUE(strip.ok()) << strip.status();
+  EXPECT_EQ(strip->size(), 6u);
+  for (const Raster& frame : *strip) {
+    EXPECT_EQ(frame.width(), 320);
+  }
+}
+
+TEST_F(CompositorTest, FilmStripValidatesArguments) {
+  EXPECT_FALSE(ComposeFilmStrip(workload_.document, schedule_, map_, env_, workload_.store,
+                                workload_.blocks, MediaTime::Seconds(5), MediaTime::Seconds(2),
+                                3)
+                   .ok());
+  EXPECT_FALSE(ComposeFilmStrip(workload_.document, schedule_, map_, env_, workload_.store,
+                                workload_.blocks, MediaTime(), MediaTime::Seconds(1), 0)
+                   .ok());
+}
+
+TEST(RasterUpscaleTest, NearestNeighborScales) {
+  Raster image(2, 1);
+  image.Put(0, 0, Pixel{10, 0, 0});
+  image.Put(1, 0, Pixel{0, 20, 0});
+  Raster big = image.UpscaleNearest(3);
+  EXPECT_EQ(big.width(), 6);
+  EXPECT_EQ(big.height(), 3);
+  EXPECT_EQ(big.At(2, 2), (Pixel{10, 0, 0}));
+  EXPECT_EQ(big.At(3, 0), (Pixel{0, 20, 0}));
+  // Factor <= 1 is the identity.
+  EXPECT_EQ(image.UpscaleNearest(1), image);
+  EXPECT_EQ(image.UpscaleNearest(0), image);
+}
+
+}  // namespace
+}  // namespace cmif

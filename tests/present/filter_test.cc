@@ -1,0 +1,211 @@
+#include "src/present/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/news/evening_news.h"
+
+namespace cmif {
+namespace {
+
+DataDescriptor VideoDesc(int width, int height, int fps, int color_bits) {
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("video"));
+  attrs.Set(std::string(kDescWidth), AttrValue::Number(width));
+  attrs.Set(std::string(kDescHeight), AttrValue::Number(height));
+  attrs.Set(std::string(kDescRate), AttrValue::Number(fps));
+  attrs.Set(std::string(kDescColorBits), AttrValue::Number(color_bits));
+  attrs.Set(std::string(kDescBytes), AttrValue::Number(width * height * 3 * fps));
+  return DataDescriptor("v", attrs);
+}
+
+TEST(PlanFilterTest, FittingMediaNeedNoWork) {
+  SystemProfile profile = WorkstationProfile();
+  FilterPlan plan = PlanFilter(VideoDesc(320, 240, 25, 8), profile);
+  EXPECT_TRUE(plan.supported);
+  EXPECT_FALSE(plan.NeedsWork());
+  EXPECT_EQ(plan.bytes_after, plan.bytes_before);
+}
+
+TEST(PlanFilterTest, PersonalProfileSubsamplesAndQuantizes) {
+  SystemProfile profile = PersonalSystemProfile();  // 12 fps, 3-bit color
+  FilterPlan plan = PlanFilter(VideoDesc(64, 48, 25, 8), profile);
+  ASSERT_TRUE(plan.supported);
+  // fps 25 -> factor 5 (first divisor bringing it under 12) -> 5 fps.
+  ASSERT_GE(plan.ops.size(), 2u);
+  EXPECT_EQ(plan.ops[0].kind, FilterOpKind::kSubsampleFps);
+  EXPECT_EQ(plan.ops[0].arg1, 5);
+  EXPECT_EQ(plan.ops.back().kind, FilterOpKind::kQuantizeColor);
+  EXPECT_EQ(plan.ops.back().arg1, 3);
+  EXPECT_LT(plan.bytes_after, plan.bytes_before);
+}
+
+TEST(PlanFilterTest, OversizedImagesDownscalePreservingAspect) {
+  SystemProfile profile = PersonalSystemProfile();  // 320x240 max
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("image"));
+  attrs.Set(std::string(kDescWidth), AttrValue::Number(1280));
+  attrs.Set(std::string(kDescHeight), AttrValue::Number(480));
+  attrs.Set(std::string(kDescColorBits), AttrValue::Number(8));
+  attrs.Set(std::string(kDescBytes), AttrValue::Number(1280 * 480 * 3));
+  FilterPlan plan = PlanFilter(DataDescriptor("i", attrs), profile);
+  ASSERT_TRUE(plan.supported);
+  ASSERT_FALSE(plan.ops.empty());
+  EXPECT_EQ(plan.ops[0].kind, FilterOpKind::kDownscale);
+  // Aspect 8:3 fits at 320x120.
+  EXPECT_EQ(plan.ops[0].arg1, 320);
+  EXPECT_EQ(plan.ops[0].arg2, 120);
+}
+
+TEST(PlanFilterTest, MonochromeProfileDropsColor) {
+  SystemProfile profile = PortableMonoProfile();
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("graphic"));
+  attrs.Set(std::string(kDescWidth), AttrValue::Number(64));
+  attrs.Set(std::string(kDescHeight), AttrValue::Number(48));
+  attrs.Set(std::string(kDescColorBits), AttrValue::Number(8));
+  FilterPlan plan = PlanFilter(DataDescriptor("g", attrs), profile);
+  ASSERT_TRUE(plan.supported);
+  bool has_mono = false;
+  for (const FilterOp& op : plan.ops) {
+    if (op.kind == FilterOpKind::kMonochrome) {
+      has_mono = true;
+    }
+  }
+  EXPECT_TRUE(has_mono);
+}
+
+TEST(PlanFilterTest, AudioResampleAndMixdown) {
+  SystemProfile profile = PersonalSystemProfile();  // 11025 Hz mono
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("audio"));
+  attrs.Set(std::string(kDescRate), AttrValue::Number(44100));
+  attrs.Set(std::string(kDescBytes), AttrValue::Number(44100 * 4));
+  FilterPlan plan = PlanFilter(DataDescriptor("a", attrs), profile);
+  ASSERT_TRUE(plan.supported);
+  ASSERT_EQ(plan.ops.size(), 2u);
+  EXPECT_EQ(plan.ops[0].kind, FilterOpKind::kResampleAudio);
+  EXPECT_EQ(plan.ops[0].arg1, 11025);
+  EXPECT_EQ(plan.ops[1].kind, FilterOpKind::kMixToMono);
+}
+
+TEST(PlanFilterTest, TextAlwaysFits) {
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("text"));
+  FilterPlan plan = PlanFilter(DataDescriptor("t", attrs), PortableMonoProfile());
+  EXPECT_TRUE(plan.supported);
+  EXPECT_FALSE(plan.NeedsWork());
+}
+
+TEST(PlanFilterTest, ImpossibleRateIsUnsupported) {
+  SystemProfile profile = PersonalSystemProfile();
+  profile.max_video_fps = 6;  // 25 fps has no divisor <= 6 except 25 itself -> 25/5=5 <= 6 OK
+  FilterPlan plan = PlanFilter(VideoDesc(64, 48, 25, 8), profile);
+  EXPECT_TRUE(plan.supported);
+  profile.max_video_fps = 4;  // 25 -> 25/25=1 fits? factor 25 gives 1 fps, fine.
+  plan = PlanFilter(VideoDesc(64, 48, 25, 8), profile);
+  EXPECT_TRUE(plan.supported);
+  // A prime fps just above the cap with no divisor under it: 7 fps, cap 6;
+  // factor 7 -> 1 fps, still supported. Truly unsupported needs fps whose
+  // only divisors exceed the cap... impossible since fps/fps = 1. So verify
+  // supported always holds for positive caps:
+  profile.max_video_fps = 1;
+  plan = PlanFilter(VideoDesc(64, 48, 25, 8), profile);
+  EXPECT_TRUE(plan.supported);
+}
+
+TEST(ApplyFilterTest, OpsTransformRealPayloads) {
+  SystemProfile profile = PersonalSystemProfile();
+  FilterPlan plan = PlanFilter(VideoDesc(64, 48, 25, 8), profile);
+  ASSERT_TRUE(plan.supported);
+  DataBlock video =
+      DataBlock::FromVideo(MakeFlyingBirdSegment(64, 48, 25, MediaTime::Seconds(1)));
+  auto reduced = ApplyFilter(video, plan);
+  ASSERT_TRUE(reduced.ok()) << reduced.status();
+  EXPECT_EQ(reduced->video().fps(), 5);
+  EXPECT_EQ(reduced->video().frame_count(), 5u);
+  // Color is quantized to 3 bits: all channel values collapse to 8 levels
+  // scaled over [0,255].
+  EXPECT_LT(reduced->ByteSize(), video.ByteSize() + 1);
+}
+
+TEST(ApplyFilterTest, AudioPlanApplies) {
+  SystemProfile profile = PersonalSystemProfile();
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("audio"));
+  attrs.Set(std::string(kDescRate), AttrValue::Number(44100));
+  FilterPlan plan = PlanFilter(DataDescriptor("a", attrs), profile);
+  DataBlock audio = DataBlock::FromAudio(MakeTone(44100, MediaTime::Millis(100), 440, 0.5));
+  auto reduced = ApplyFilter(audio, plan);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->audio().rate(), 11025);
+  EXPECT_EQ(reduced->audio().channels(), 1);
+}
+
+TEST(ApplyFilterTest, UnsupportedPlanFails) {
+  FilterPlan plan;
+  plan.supported = false;
+  plan.unsupported_reason = "because";
+  EXPECT_EQ(ApplyFilter(DataBlock(), plan).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DocumentFilterTest, NewsPlansAndApplies) {
+  NewsOptions options;
+  options.stories = 1;
+  options.materialize_media = true;
+  auto workload = BuildEveningNews(options);
+  ASSERT_TRUE(workload.ok());
+  SystemProfile profile = PersonalSystemProfile();
+  auto report = PlanDocumentFilter(workload->document, workload->store, profile);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->unsupported, 0u);
+  EXPECT_LT(report->total_bytes_after, report->total_bytes_before);
+  EXPECT_FALSE(report->ToString().empty());
+
+  auto filtered = ApplyDocumentFilter(workload->store, workload->blocks, *report);
+  ASSERT_TRUE(filtered.ok()) << filtered.status();
+  EXPECT_EQ(filtered->size(), report->plans.size());
+  // Reduced descriptors carry refreshed attributes and inline payloads.
+  const DataDescriptor* head = filtered->Get("story1-head1");
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(*head->attrs().GetNumber(kDescRate), 5);  // 25 fps / 5
+  EXPECT_TRUE(std::holds_alternative<DataBlock>(head->content()));
+}
+
+TEST(DocumentFilterTest, MissingDescriptorReported) {
+  Document doc;
+  Node* leaf = *doc.root().AddChild(NodeKind::kExt);
+  leaf->attrs().Set(std::string(kAttrFile), AttrValue::String("ghost"));
+  DescriptorStore store;
+  EXPECT_EQ(PlanDocumentFilter(doc, store, WorkstationProfile()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(InjectCapabilityTest, AddsSetupConstraintsPerChannel) {
+  NewsOptions options;
+  options.stories = 1;
+  auto workload = BuildEveningNews(options);
+  ASSERT_TRUE(workload.ok());
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok());
+  auto graph = TimeGraph::Build(workload->document, *events);
+  ASSERT_TRUE(graph.ok());
+  std::size_t before = graph->constraints().size();
+  ASSERT_TRUE(InjectCapabilityConstraints(*graph, workload->document, *events,
+                                          PortableMonoProfile())
+                  .ok());
+  std::size_t added = graph->constraints().size() - before;
+  EXPECT_GT(added, 0u);
+  for (std::size_t i = before; i < graph->constraints().size(); ++i) {
+    EXPECT_EQ(graph->constraints()[i].origin, ConstraintOrigin::kCapability);
+    EXPECT_TRUE(graph->constraints()[i].lo.is_positive());
+  }
+}
+
+TEST(FilterOpTest, ToStringForms) {
+  EXPECT_EQ((FilterOp{FilterOpKind::kDownscale, 320, 240}.ToString()), "downscale(320x240)");
+  EXPECT_EQ((FilterOp{FilterOpKind::kMonochrome, 0, 0}.ToString()), "monochrome");
+  EXPECT_EQ((FilterOp{FilterOpKind::kSubsampleFps, 5, 0}.ToString()), "subsample-fps(5)");
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,117 @@
+#include "src/present/presentation_map.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+ChannelDictionary NewsChannels() {
+  ChannelDictionary dict;
+  AttrList main_pref;
+  main_pref.Set("region", AttrValue::Id("main"));
+  EXPECT_TRUE(dict.Define("video", MediaType::kVideo, main_pref).ok());
+  EXPECT_TRUE(dict.Define("audio", MediaType::kAudio).ok());
+  EXPECT_TRUE(dict.Define("caption", MediaType::kText).ok());
+  return dict;
+}
+
+TEST(PresentationMapTest, BindAndFind) {
+  PresentationMap map;
+  ASSERT_TRUE(map.BindRegion("video", "main").ok());
+  ASSERT_TRUE(map.BindSpeaker("audio", "center", 80).ok());
+  ASSERT_NE(map.Find("video"), nullptr);
+  EXPECT_EQ(map.Find("video")->region, "main");
+  EXPECT_EQ(map.Find("audio")->volume, 80);
+  EXPECT_EQ(map.Find("ghost"), nullptr);
+}
+
+TEST(PresentationMapTest, DoubleBindRejected) {
+  PresentationMap map;
+  ASSERT_TRUE(map.BindRegion("video", "main").ok());
+  EXPECT_EQ(map.BindRegion("video", "inset").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(map.BindSpeaker("video", "center").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(PresentationMapTest, VolumeRangeChecked) {
+  PresentationMap map;
+  EXPECT_EQ(map.BindSpeaker("a", "s", -1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(map.BindSpeaker("a", "s", 101).code(), StatusCode::kOutOfRange);
+}
+
+TEST(PresentationMapTest, AutoMapHonorsPreferences) {
+  // "Some of the mapping information may come from 'preference' defaults"
+  // (section 2).
+  VirtualEnvironment env = VirtualEnvironment::NewsLayout(640, 480);
+  ChannelDictionary channels = NewsChannels();
+  auto map = PresentationMap::AutoMap(channels, env);
+  ASSERT_TRUE(map.ok()) << map.status();
+  EXPECT_EQ(map->Find("video")->region, "main");  // the preference
+  EXPECT_EQ(map->Find("audio")->speaker, "center");
+  // caption tiles into the first unclaimed region.
+  EXPECT_FALSE(map->Find("caption")->region.empty());
+  EXPECT_NE(map->Find("caption")->region, "main");
+  EXPECT_TRUE(map->Validate(channels, env).ok());
+}
+
+TEST(PresentationMapTest, AutoMapFailsWhenRealEstateRunsOut) {
+  VirtualEnvironment env(100, 100);
+  ASSERT_TRUE(env.AddRegion(ScreenRegion{"only", 0, 0, 100, 100, 0}).ok());
+  ChannelDictionary channels;
+  ASSERT_TRUE(channels.Define("v1", MediaType::kVideo).ok());
+  ASSERT_TRUE(channels.Define("v2", MediaType::kVideo).ok());
+  EXPECT_EQ(PresentationMap::AutoMap(channels, env).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(PresentationMapTest, AutoMapFailsWithoutSpeakers) {
+  VirtualEnvironment env(100, 100);
+  ChannelDictionary channels;
+  ASSERT_TRUE(channels.Define("sound", MediaType::kAudio).ok());
+  EXPECT_EQ(PresentationMap::AutoMap(channels, env).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(PresentationMapTest, AutoMapRejectsUnknownPreference) {
+  VirtualEnvironment env(100, 100);
+  ASSERT_TRUE(env.AddRegion(ScreenRegion{"r", 0, 0, 100, 100, 0}).ok());
+  ChannelDictionary channels;
+  AttrList pref;
+  pref.Set("region", AttrValue::Id("ghost"));
+  ASSERT_TRUE(channels.Define("v", MediaType::kVideo, pref).ok());
+  EXPECT_EQ(PresentationMap::AutoMap(channels, env).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PresentationMapTest, ValidateCatchesMisbindings) {
+  VirtualEnvironment env = VirtualEnvironment::NewsLayout(640, 480);
+  ChannelDictionary channels = NewsChannels();
+  PresentationMap map;
+  // Unbound channel.
+  EXPECT_EQ(map.Validate(channels, env).code(), StatusCode::kFailedPrecondition);
+  // Audio bound to a region instead of a speaker.
+  ASSERT_TRUE(map.BindRegion("audio", "main").ok());
+  ASSERT_TRUE(map.BindRegion("video", "main").ok());
+  ASSERT_TRUE(map.BindRegion("caption", "caption_strip").ok());
+  EXPECT_EQ(map.Validate(channels, env).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PresentationMapTest, SerializeParseRoundTrip) {
+  // "A presentation map that can be manipulated separately from the document
+  // itself" (section 2) — hence its own round-trippable format.
+  PresentationMap map;
+  ASSERT_TRUE(map.BindRegion("video", "main").ok());
+  ASSERT_TRUE(map.BindSpeaker("audio", "center", 65).ok());
+  auto restored = PresentationMap::Parse(map.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->bindings().size(), 2u);
+  EXPECT_EQ(restored->bindings()[0], map.bindings()[0]);
+  EXPECT_EQ(restored->bindings()[1], map.bindings()[1]);
+}
+
+TEST(PresentationMapTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(PresentationMap::Parse("(notpresmap)").ok());
+  EXPECT_FALSE(PresentationMap::Parse("(presmap (bind a strange b))").ok());
+  EXPECT_FALSE(PresentationMap::Parse("(presmap (bind a region)").ok());
+}
+
+}  // namespace
+}  // namespace cmif

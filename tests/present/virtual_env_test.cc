@@ -1,0 +1,69 @@
+#include "src/present/virtual_env.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(VirtualEnvTest, AddAndFindRegions) {
+  VirtualEnvironment env(640, 480);
+  ASSERT_TRUE(env.AddRegion(ScreenRegion{"main", 0, 0, 320, 480, 0}).ok());
+  ASSERT_NE(env.FindRegion("main"), nullptr);
+  EXPECT_EQ(env.FindRegion("main")->width, 320);
+  EXPECT_EQ(env.FindRegion("ghost"), nullptr);
+}
+
+TEST(VirtualEnvTest, RegionValidation) {
+  VirtualEnvironment env(100, 100);
+  EXPECT_EQ(env.AddRegion(ScreenRegion{"off", 50, 50, 60, 60, 0}).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(env.AddRegion(ScreenRegion{"zero", 0, 0, 0, 10, 0}).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(env.AddRegion(ScreenRegion{"bad name", 0, 0, 10, 10, 0}).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(env.AddRegion(ScreenRegion{"ok", 0, 0, 100, 100, 0}).ok());
+  EXPECT_EQ(env.AddRegion(ScreenRegion{"ok", 0, 0, 10, 10, 0}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(VirtualEnvTest, SpeakerValidation) {
+  VirtualEnvironment env(100, 100);
+  ASSERT_TRUE(env.AddSpeaker(SpeakerOutput{"left", -1}).ok());
+  EXPECT_EQ(env.AddSpeaker(SpeakerOutput{"left", 0}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(env.AddSpeaker(SpeakerOutput{"far", 2}).code(), StatusCode::kOutOfRange);
+  EXPECT_NE(env.FindSpeaker("left"), nullptr);
+}
+
+TEST(VirtualEnvTest, OverlapDetectionRespectsZOrder) {
+  VirtualEnvironment env(100, 100);
+  ASSERT_TRUE(env.AddRegion(ScreenRegion{"a", 0, 0, 60, 60, 0}).ok());
+  ASSERT_TRUE(env.AddRegion(ScreenRegion{"b", 50, 50, 50, 50, 0}).ok());  // overlaps a
+  ASSERT_TRUE(env.AddRegion(ScreenRegion{"overlay", 0, 0, 100, 100, 1}).ok());  // z=1
+  auto overlaps = env.OverlappingRegions();
+  ASSERT_EQ(overlaps.size(), 1u);
+  EXPECT_EQ(overlaps[0], std::make_pair(std::string("a"), std::string("b")));
+}
+
+TEST(VirtualEnvTest, DisjointRegionsDoNotOverlap) {
+  VirtualEnvironment env(100, 100);
+  ASSERT_TRUE(env.AddRegion(ScreenRegion{"left", 0, 0, 50, 100, 0}).ok());
+  ASSERT_TRUE(env.AddRegion(ScreenRegion{"right", 50, 0, 50, 100, 0}).ok());
+  EXPECT_TRUE(env.OverlappingRegions().empty());
+}
+
+TEST(VirtualEnvTest, NewsLayoutIsWellFormed) {
+  VirtualEnvironment env = VirtualEnvironment::NewsLayout(640, 480);
+  for (const char* region : {"main", "inset", "label_strip", "caption_strip"}) {
+    EXPECT_NE(env.FindRegion(region), nullptr) << region;
+  }
+  EXPECT_NE(env.FindSpeaker("center"), nullptr);
+  // Strips ride above the body at z 2; body regions tile without overlap.
+  EXPECT_TRUE(env.OverlappingRegions().empty());
+  // main and inset partition the body width.
+  const ScreenRegion* main = env.FindRegion("main");
+  const ScreenRegion* inset = env.FindRegion("inset");
+  EXPECT_EQ(main->width + inset->width, 640);
+}
+
+}  // namespace
+}  // namespace cmif

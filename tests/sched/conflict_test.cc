@@ -1,0 +1,152 @@
+#include "src/sched/conflict.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+
+namespace cmif {
+namespace {
+
+// Two parallel rigid events with a contradictory pair of arcs; the second
+// arc's rigor is configurable so relaxation behaviour can be probed.
+StatusOr<Document> ContradictoryDoc(ArcRigor second_arc_rigor) {
+  DocBuilder builder;
+  builder.DefineChannel("t1", MediaType::kText).DefineChannel("t2", MediaType::kText);
+  builder.Par("p")
+      .ImmText("a", "x")
+      .OnChannel("t1")
+      .WithDuration(MediaTime::Seconds(1))
+      .ImmText("b", "y")
+      .OnChannel("t2")
+      .WithDuration(MediaTime::Seconds(1))
+      .Up();
+  builder.Arc(HardArc(*NodePath::Parse("p/a"), ArcEdge::kBegin, *NodePath::Parse("p/b"),
+                      ArcEdge::kBegin, MediaTime::Seconds(1)));
+  builder.Arc(HardArc(*NodePath::Parse("p/b"), ArcEdge::kBegin, *NodePath::Parse("p/a"),
+                      ArcEdge::kBegin, MediaTime::Seconds(1), second_arc_rigor));
+  return builder.Build();
+}
+
+TEST(ConflictTest, MustMustConflictIsUnresolvable) {
+  auto doc = ContradictoryDoc(ArcRigor::kMust);
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto result = ComputeSchedule(*doc, *events);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->feasible);
+  ASSERT_FALSE(result->conflicts.empty());
+  EXPECT_EQ(result->conflicts.back().cls, ConflictClass::kAuthoring);
+  EXPECT_FALSE(result->conflicts.back().cycle.empty());
+  EXPECT_TRUE(result->dropped_arcs.empty());
+}
+
+TEST(ConflictTest, MayArcIsDroppedToRestoreFeasibility) {
+  // "May synchronization is ... desirable but not essential" (section 5.3.2).
+  auto doc = ContradictoryDoc(ArcRigor::kMay);
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto result = ComputeSchedule(*doc, *events);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->feasible);
+  EXPECT_EQ(result->dropped_arcs.size(), 1u);
+  EXPECT_EQ(result->conflicts.size(), 1u);  // the cycle that was broken
+  // The surviving must arc holds: b begins 1s after a.
+  auto b = doc->root().Resolve(*NodePath::Parse("p/b"));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*result->schedule.BeginOf(**b), MediaTime::Seconds(1));
+}
+
+TEST(ConflictTest, RelaxationCanBeDisabled) {
+  auto doc = ContradictoryDoc(ArcRigor::kMay);
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  ScheduleOptions options;
+  options.relax_may_arcs = false;
+  auto result = ComputeSchedule(*doc, *events, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->feasible);
+  EXPECT_TRUE(result->dropped_arcs.empty());
+}
+
+TEST(ConflictTest, CapabilityConstraintClassifiesAsClass2) {
+  // A hard zero-gap arc between consecutive same-channel events collides
+  // with an injected device setup time: the paper's class-2 conflict.
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  builder.Seq("s")
+      .ImmText("a", "x")
+      .OnChannel("txt")
+      .WithDuration(MediaTime::Seconds(1))
+      .ImmText("b", "y")
+      .OnChannel("txt")
+      .WithDuration(MediaTime::Seconds(1))
+      .Up();
+  builder.Arc(HardArc(*NodePath::Parse("s/a"), ArcEdge::kEnd, *NodePath::Parse("s/b"),
+                      ArcEdge::kBegin));  // exactly back-to-back
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto graph = TimeGraph::Build(*doc, *events);
+  ASSERT_TRUE(graph.ok());
+  // Inject a 100ms setup requirement between the two text events.
+  auto a = doc->root().Resolve(*NodePath::Parse("s/a"));
+  auto b = doc->root().Resolve(*NodePath::Parse("s/b"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  Constraint setup;
+  setup.from = *graph->PointOf(**a, PointKind::kEnd);
+  setup.to = *graph->PointOf(**b, PointKind::kBegin);
+  setup.lo = MediaTime::Millis(100);
+  setup.hi = std::nullopt;
+  setup.origin = ConstraintOrigin::kCapability;
+  setup.label = "text device setup 100ms";
+  ASSERT_TRUE(graph->AddConstraint(setup).ok());
+
+  auto result = SolveSchedule(*graph, *events);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->feasible);
+  ASSERT_FALSE(result->conflicts.empty());
+  EXPECT_EQ(result->conflicts.back().cls, ConflictClass::kCapability);
+}
+
+TEST(ConflictTest, MultipleMayArcsDroppedIteratively) {
+  DocBuilder builder;
+  builder.DefineChannel("t1", MediaType::kText)
+      .DefineChannel("t2", MediaType::kText)
+      .DefineChannel("t3", MediaType::kText);
+  builder.Par("p");
+  for (const char* name : {"a", "b", "c"}) {
+    builder.ImmText(name, "x")
+        .OnChannel(std::string("t") + std::to_string(name[0] - 'a' + 1))
+        .WithDuration(MediaTime::Seconds(1));
+  }
+  builder.Up();
+  // A 3-cycle of may arcs, each demanding a 1s forward shift.
+  const char* pairs[][2] = {{"p/a", "p/b"}, {"p/b", "p/c"}, {"p/c", "p/a"}};
+  for (const auto& pair : pairs) {
+    builder.Arc(HardArc(*NodePath::Parse(pair[0]), ArcEdge::kBegin,
+                        *NodePath::Parse(pair[1]), ArcEdge::kBegin, MediaTime::Seconds(1),
+                        ArcRigor::kMay));
+  }
+  auto doc = builder.Build();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto result = ComputeSchedule(*doc, *events);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->feasible);
+  // Breaking the 3-cycle needs exactly one dropped arc.
+  EXPECT_EQ(result->dropped_arcs.size(), 1u);
+}
+
+TEST(ConflictTest, ConflictClassNames) {
+  EXPECT_EQ(ConflictClassName(ConflictClass::kAuthoring), "authoring");
+  EXPECT_EQ(ConflictClassName(ConflictClass::kCapability), "capability");
+  EXPECT_EQ(ConflictClassName(ConflictClass::kNavigation), "navigation");
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,151 @@
+#include "src/sched/navigate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+
+namespace cmif {
+namespace {
+
+// seq of three 2s text events, with an explicit arc from a's end to c's
+// begin (source wholly in the first third of the timeline).
+struct NavFixture {
+  NavFixture() {
+    DocBuilder builder;
+    builder.DefineChannel("txt", MediaType::kText);
+    for (const char* name : {"a", "b", "c"}) {
+      builder.ImmText(name, "x").OnChannel("txt").WithDuration(MediaTime::Seconds(2));
+    }
+    builder.ToRoot().Arc(WindowArc(*NodePath::Parse("a"), ArcEdge::kEnd,
+                                   *NodePath::Parse("c"), ArcEdge::kBegin, MediaTime(),
+                                   MediaTime(), std::nullopt));
+    auto built = builder.Build();
+    EXPECT_TRUE(built.ok());
+    doc = std::move(built).value();
+    auto collected = CollectEvents(doc, nullptr);
+    EXPECT_TRUE(collected.ok());
+    events = std::move(collected).value();
+    auto result = ComputeSchedule(doc, events);
+    EXPECT_TRUE(result.ok() && result->feasible);
+    schedule = std::move(result)->schedule;
+  }
+  Document doc{NodeKind::kSeq};
+  std::vector<EventDescriptor> events;
+  Schedule schedule;
+};
+
+TEST(NavigateTest, SeekAtZeroEverythingPending) {
+  NavFixture f;
+  SeekAnalysis analysis = AnalyzeSeek(f.doc, f.schedule, MediaTime());
+  EXPECT_EQ(analysis.skipped.size(), 0u);
+  EXPECT_EQ(analysis.active.size(), 1u);  // a begins exactly at 0
+  EXPECT_EQ(analysis.pending.size(), 2u);
+  EXPECT_TRUE(analysis.invalidated.empty());
+}
+
+TEST(NavigateTest, SeekMidwayClassifiesEvents) {
+  NavFixture f;
+  SeekAnalysis analysis = AnalyzeSeek(f.doc, f.schedule, MediaTime::Seconds(3));
+  // a: [0,2) skipped; b: [2,4) active; c: [4,6) pending.
+  ASSERT_EQ(analysis.skipped.size(), 1u);
+  EXPECT_EQ(analysis.skipped[0]->event.node->name(), "a");
+  ASSERT_EQ(analysis.active.size(), 1u);
+  EXPECT_EQ(analysis.active[0]->event.node->name(), "b");
+  ASSERT_EQ(analysis.pending.size(), 1u);
+  EXPECT_EQ(analysis.pending[0]->event.node->name(), "c");
+}
+
+TEST(NavigateTest, SkippedSourceInvalidatesArc) {
+  // "The source of the arc must execute in order for a synchronization
+  // condition to be true; if this is not the case, all incoming
+  // synchronization arcs are considered to be invalid" (section 5.3.3).
+  NavFixture f;
+  SeekAnalysis analysis = AnalyzeSeek(f.doc, f.schedule, MediaTime::Seconds(3));
+  ASSERT_EQ(analysis.invalidated.size(), 1u);
+  EXPECT_EQ(analysis.invalidated[0].owner, &f.doc.root());
+  EXPECT_EQ(analysis.invalidated[0].arc_index, 0);
+  EXPECT_NE(analysis.invalidated[0].reason.find("/a"), std::string::npos);
+  auto conflicts = analysis.Conflicts();
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].cls, ConflictClass::kNavigation);
+}
+
+TEST(NavigateTest, ArcWithDeadDestinationIsNotReported) {
+  // Seeking past BOTH endpoints: the arc no longer matters.
+  NavFixture f;
+  SeekAnalysis analysis = AnalyzeSeek(f.doc, f.schedule, MediaTime::Seconds(100));
+  EXPECT_TRUE(analysis.invalidated.empty());
+  EXPECT_EQ(analysis.skipped.size(), 3u);
+}
+
+TEST(NavigateTest, ActiveSourceKeepsArcValid) {
+  // Seek to 1s: a is still active (it will "execute"), so the arc binds.
+  NavFixture f;
+  SeekAnalysis analysis = AnalyzeSeek(f.doc, f.schedule, MediaTime::Seconds(1));
+  EXPECT_TRUE(analysis.invalidated.empty());
+}
+
+// A fixture where the explicit arc actually delays its destination: the
+// end of a pushes c 3s out (c at 5s instead of its structural 4s).
+struct DelayedFixture {
+  DelayedFixture() {
+    DocBuilder builder;
+    builder.DefineChannel("txt", MediaType::kText);
+    for (const char* name : {"a", "b", "c"}) {
+      builder.ImmText(name, "x").OnChannel("txt").WithDuration(MediaTime::Seconds(2));
+    }
+    builder.ToRoot().Arc(WindowArc(*NodePath::Parse("a"), ArcEdge::kEnd,
+                                   *NodePath::Parse("c"), ArcEdge::kBegin,
+                                   MediaTime::Seconds(3), MediaTime(), std::nullopt));
+    auto built = builder.Build();
+    EXPECT_TRUE(built.ok());
+    doc = std::move(built).value();
+    auto collected = CollectEvents(doc, nullptr);
+    EXPECT_TRUE(collected.ok());
+    events = std::move(collected).value();
+    auto result = ComputeSchedule(doc, events);
+    EXPECT_TRUE(result.ok() && result->feasible);
+    schedule = std::move(result)->schedule;
+  }
+  Document doc{NodeKind::kSeq};
+  std::vector<EventDescriptor> events;
+  Schedule schedule;
+};
+
+TEST(RescheduleFromSeekTest, InvalidatedArcStopsConstraining) {
+  DelayedFixture f;
+  // Original: a [0,2), b [2,4), c [5,7) (arc: c >= a.end + 3 = 5).
+  const Node* c = f.doc.root().FindChild("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(*f.schedule.BeginOf(*c), MediaTime::Seconds(5));
+
+  // Seek to 3s: a is skipped, its arc is invalid, so c relaxes to its
+  // structural earliest (4s, after b).
+  auto rescheduled = RescheduleFromSeek(f.doc, f.events, f.schedule, MediaTime::Seconds(3));
+  ASSERT_TRUE(rescheduled.ok()) << rescheduled.status();
+  ASSERT_TRUE(rescheduled->feasible);
+  EXPECT_EQ(*rescheduled->schedule.BeginOf(*c), MediaTime::Seconds(4));
+}
+
+TEST(RescheduleFromSeekTest, SkippedPrefixIsPinned) {
+  DelayedFixture f;
+  auto rescheduled = RescheduleFromSeek(f.doc, f.events, f.schedule, MediaTime::Seconds(3));
+  ASSERT_TRUE(rescheduled.ok() && rescheduled->feasible);
+  const Node* a = f.doc.root().FindChild("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*rescheduled->schedule.BeginOf(*a), *f.schedule.BeginOf(*a));
+  EXPECT_EQ(*rescheduled->schedule.EndOf(*a), *f.schedule.EndOf(*a));
+}
+
+TEST(RescheduleFromSeekTest, NoSeekMatchesOriginal) {
+  DelayedFixture f;
+  auto rescheduled = RescheduleFromSeek(f.doc, f.events, f.schedule, MediaTime());
+  ASSERT_TRUE(rescheduled.ok() && rescheduled->feasible);
+  for (std::size_t i = 0; i < f.schedule.events().size(); ++i) {
+    EXPECT_EQ(rescheduled->schedule.events()[i].begin, f.schedule.events()[i].begin);
+    EXPECT_EQ(rescheduled->schedule.events()[i].end, f.schedule.events()[i].end);
+  }
+}
+
+}  // namespace
+}  // namespace cmif

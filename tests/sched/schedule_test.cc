@@ -1,0 +1,93 @@
+#include "src/sched/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+#include "src/sched/conflict.h"
+
+namespace cmif {
+namespace {
+
+StatusOr<Document> SmallDoc() {
+  DocBuilder builder;
+  builder.DefineChannel("t1", MediaType::kText).DefineChannel("t2", MediaType::kText);
+  builder.Par("p")
+      .ImmText("a", "x")
+      .OnChannel("t1")
+      .WithDuration(MediaTime::Seconds(2))
+      .ImmText("b", "y")
+      .OnChannel("t2")
+      .WithDuration(MediaTime::Seconds(3))
+      .Up();
+  return builder.Build();
+}
+
+TEST(ScheduleTest, FromSolvePopulatesEventsAndNodes) {
+  auto doc = SmallDoc();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto result = ComputeSchedule(*doc, *events);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->feasible);
+  const Schedule& schedule = result->schedule;
+  ASSERT_EQ(schedule.events().size(), 2u);
+  EXPECT_EQ(schedule.events()[0].begin, MediaTime());
+  EXPECT_EQ(schedule.events()[0].end, MediaTime::Seconds(2));
+  EXPECT_EQ(schedule.events()[0].Duration(), MediaTime::Seconds(2));
+  // Composite node times are queryable too.
+  auto p = doc->root().Resolve(*NodePath::Parse("p"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*schedule.BeginOf(**p), MediaTime());
+  EXPECT_EQ(*schedule.EndOf(**p), MediaTime::Seconds(3));
+  EXPECT_EQ(schedule.MakeSpan(), MediaTime::Seconds(3));
+}
+
+TEST(ScheduleTest, NodeLookupFailsForForeignNodes) {
+  auto doc = SmallDoc();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto result = ComputeSchedule(*doc, *events);
+  ASSERT_TRUE(result.ok() && result->feasible);
+  Node stranger(NodeKind::kSeq);
+  EXPECT_EQ(result->schedule.BeginOf(stranger).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ScheduleTest, FromSolveRejectsInfeasible) {
+  auto doc = SmallDoc();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto graph = TimeGraph::Build(*doc, *events);
+  ASSERT_TRUE(graph.ok());
+  SolveResult infeasible;
+  infeasible.feasible = false;
+  EXPECT_EQ(Schedule::FromSolve(*graph, *events, infeasible).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ScheduleTest, TimelineRowsFollowChannelOrder) {
+  auto doc = SmallDoc();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto result = ComputeSchedule(*doc, *events);
+  ASSERT_TRUE(result.ok() && result->feasible);
+  auto rows = result->schedule.ToTimelineRows(*doc);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].channel, "t1");
+  ASSERT_EQ(rows[0].spans.size(), 1u);
+  EXPECT_EQ(rows[0].spans[0].label, "a");
+  EXPECT_EQ(rows[1].channel, "t2");
+  EXPECT_EQ(rows[1].spans[0].end, MediaTime::Seconds(3));
+}
+
+TEST(ScheduleTest, EmptyScheduleMakeSpanIsZero) {
+  Schedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.MakeSpan(), MediaTime());
+}
+
+}  // namespace
+}  // namespace cmif

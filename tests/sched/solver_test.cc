@@ -1,0 +1,272 @@
+#include "src/sched/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+#include "src/gen/docgen.h"
+
+namespace cmif {
+namespace {
+
+// seq root with three rigid text events of 1, 2, 3 seconds.
+StatusOr<Document> ChainDoc() {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  for (int i = 0; i < 3; ++i) {
+    builder.ImmText(std::string(1, static_cast<char>('a' + i)), "x")
+        .OnChannel("txt")
+        .WithDuration(MediaTime::Seconds(i + 1));
+  }
+  return builder.Build();
+}
+
+struct Solved {
+  Document doc{NodeKind::kSeq};
+  std::vector<EventDescriptor> events;
+  TimeGraph graph = *TimeGraph::Build(Document(), {});
+  SolveResult result;
+};
+
+Solved SolveDoc(StatusOr<Document> doc_or) {
+  Solved s;
+  EXPECT_TRUE(doc_or.ok());
+  s.doc = std::move(doc_or).value();
+  auto events = CollectEvents(s.doc, nullptr);
+  EXPECT_TRUE(events.ok());
+  s.events = std::move(events).value();
+  auto graph = TimeGraph::Build(s.doc, s.events);
+  EXPECT_TRUE(graph.ok());
+  s.graph = std::move(graph).value();
+  s.result = SolveStn(s.graph);
+  return s;
+}
+
+MediaTime EarliestOf(const Solved& s, const char* path, PointKind kind) {
+  auto node = s.doc.root().Resolve(*NodePath::Parse(path));
+  EXPECT_TRUE(node.ok());
+  auto point = s.graph.PointOf(**node, kind);
+  EXPECT_TRUE(point.ok());
+  return s.result.earliest[static_cast<std::size_t>(*point)];
+}
+
+TEST(SolverTest, SequentialChainSchedulesBackToBack) {
+  Solved s = SolveDoc(ChainDoc());
+  ASSERT_TRUE(s.result.feasible);
+  EXPECT_EQ(EarliestOf(s, "a", PointKind::kBegin), MediaTime());
+  EXPECT_EQ(EarliestOf(s, "a", PointKind::kEnd), MediaTime::Seconds(1));
+  EXPECT_EQ(EarliestOf(s, "b", PointKind::kBegin), MediaTime::Seconds(1));
+  EXPECT_EQ(EarliestOf(s, "c", PointKind::kBegin), MediaTime::Seconds(3));
+  EXPECT_EQ(EarliestOf(s, "c", PointKind::kEnd), MediaTime::Seconds(6));
+  // seq join: root end == last child end.
+  EXPECT_EQ(s.result.earliest[1], MediaTime::Seconds(6));
+}
+
+TEST(SolverTest, EarliestSolutionSatisfiesAllConstraints) {
+  Solved s = SolveDoc(ChainDoc());
+  ASSERT_TRUE(s.result.feasible);
+  EXPECT_TRUE(VerifySolution(s.graph, s.result.earliest).ok());
+}
+
+TEST(SolverTest, ParallelChildrenStartTogether) {
+  DocBuilder builder;
+  builder.DefineChannel("t1", MediaType::kText).DefineChannel("t2", MediaType::kText);
+  builder.Par("p")
+      .ImmText("fast", "x")
+      .OnChannel("t1")
+      .WithDuration(MediaTime::Seconds(1))
+      .ImmText("slow", "y")
+      .OnChannel("t2")
+      .WithDuration(MediaTime::Seconds(5))
+      .Up();
+  Solved s = SolveDoc(builder.Build());
+  ASSERT_TRUE(s.result.feasible);
+  EXPECT_EQ(EarliestOf(s, "p/fast", PointKind::kBegin), MediaTime());
+  EXPECT_EQ(EarliestOf(s, "p/slow", PointKind::kBegin), MediaTime());
+  // "Start the successor when the slowest parallel node finishes": the par's
+  // end is the max of the children's ends in the earliest solution.
+  EXPECT_EQ(EarliestOf(s, "p", PointKind::kEnd), MediaTime::Seconds(5));
+}
+
+TEST(SolverTest, ExplicitOffsetArcShiftsDestination) {
+  DocBuilder builder;
+  builder.DefineChannel("t1", MediaType::kText).DefineChannel("t2", MediaType::kText);
+  builder.Par("p")
+      .ImmText("src", "x")
+      .OnChannel("t1")
+      .WithDuration(MediaTime::Seconds(4))
+      .ImmText("dst", "y")
+      .OnChannel("t2")
+      .WithDuration(MediaTime::Seconds(1))
+      .Up();
+  builder.Arc(HardArc(*NodePath::Parse("p/src"), ArcEdge::kBegin, *NodePath::Parse("p/dst"),
+                      ArcEdge::kBegin, MediaTime::Rational(3, 2)));
+  Solved s = SolveDoc(builder.Build());
+  ASSERT_TRUE(s.result.feasible);
+  EXPECT_EQ(EarliestOf(s, "p/dst", PointKind::kBegin), MediaTime::Rational(3, 2));
+}
+
+TEST(SolverTest, ContradictoryArcsYieldConflictCycle) {
+  DocBuilder builder;
+  builder.DefineChannel("t1", MediaType::kText).DefineChannel("t2", MediaType::kText);
+  builder.Par("p")
+      .ImmText("a", "x")
+      .OnChannel("t1")
+      .WithDuration(MediaTime::Seconds(2))
+      .ImmText("b", "y")
+      .OnChannel("t2")
+      .WithDuration(MediaTime::Seconds(2))
+      .Up();
+  // b must start exactly 1s after a, and a exactly 1s after b: impossible.
+  builder.Arc(HardArc(*NodePath::Parse("p/a"), ArcEdge::kBegin, *NodePath::Parse("p/b"),
+                      ArcEdge::kBegin, MediaTime::Seconds(1)));
+  builder.Arc(HardArc(*NodePath::Parse("p/b"), ArcEdge::kBegin, *NodePath::Parse("p/a"),
+                      ArcEdge::kBegin, MediaTime::Seconds(1)));
+  Solved s = SolveDoc(builder.Build());
+  ASSERT_FALSE(s.result.feasible);
+  ASSERT_FALSE(s.result.conflict_cycle.empty());
+  // The reported cycle mentions at least one of the authored arcs.
+  bool has_arc = false;
+  for (std::size_t index : s.result.conflict_cycle) {
+    if (s.graph.constraints()[index].origin == ConstraintOrigin::kExplicitArc) {
+      has_arc = true;
+    }
+  }
+  EXPECT_TRUE(has_arc);
+}
+
+TEST(SolverTest, RigidDurationAgainstUpperBoundConflicts) {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  builder.Seq("s")
+      .ImmText("long", "x")
+      .OnChannel("txt")
+      .WithDuration(MediaTime::Seconds(10))
+      .Up();
+  // The seq must END no later than 5s after it begins: impossible with a
+  // rigid 10s child.
+  builder.Arc(WindowArc(NodePath(), ArcEdge::kBegin, *NodePath::Parse("s"), ArcEdge::kEnd,
+                        MediaTime(), MediaTime(), MediaTime::Seconds(5)));
+  Solved s = SolveDoc(builder.Build());
+  EXPECT_FALSE(s.result.feasible);
+}
+
+TEST(SolverTest, LatestTimesAndSlack) {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  builder.Par("p")
+      .ImmText("pinned", "x")
+      .OnChannel("txt")
+      .WithDuration(MediaTime::Seconds(5))
+      .Up();
+  // A second, shorter leaf constrained to finish before the par ends has
+  // slack; events pinned by equality have none.
+  Solved s = SolveDoc(builder.Build());
+  ASSERT_TRUE(s.result.feasible);
+  auto pinned = s.doc.root().Resolve(*NodePath::Parse("p/pinned"));
+  ASSERT_TRUE(pinned.ok());
+  auto begin_point = s.graph.PointOf(**pinned, PointKind::kBegin);
+  ASSERT_TRUE(begin_point.ok());
+  // Nothing bounds this document above: latest is unbounded.
+  EXPECT_FALSE(s.result.latest[static_cast<std::size_t>(*begin_point)].has_value());
+  EXPECT_FALSE(s.result.Slack(static_cast<std::size_t>(*begin_point)).has_value());
+}
+
+TEST(SolverTest, BoundedSlackComputed) {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  builder.Par("p")
+      .ImmText("a", "x")
+      .OnChannel("txt")
+      .WithDuration(MediaTime::Seconds(1))
+      .Up();
+  // a's begin must be within [0, 3] of the root begin.
+  builder.Arc(WindowArc(NodePath(), ArcEdge::kBegin, *NodePath::Parse("p/a"),
+                        ArcEdge::kBegin, MediaTime(), MediaTime(), MediaTime::Seconds(3)));
+  Solved s = SolveDoc(builder.Build());
+  ASSERT_TRUE(s.result.feasible);
+  auto a = s.doc.root().Resolve(*NodePath::Parse("p/a"));
+  ASSERT_TRUE(a.ok());
+  auto point = s.graph.PointOf(**a, PointKind::kBegin);
+  ASSERT_TRUE(point.ok());
+  auto slack = s.result.Slack(static_cast<std::size_t>(*point));
+  ASSERT_TRUE(slack.has_value());
+  EXPECT_EQ(*slack, MediaTime::Seconds(3));
+}
+
+TEST(SolverTest, VerifySolutionDetectsViolations) {
+  Solved s = SolveDoc(ChainDoc());
+  ASSERT_TRUE(s.result.feasible);
+  std::vector<MediaTime> broken = s.result.earliest;
+  broken[2] = broken[2] + MediaTime::Seconds(100);  // displace one point
+  EXPECT_FALSE(VerifySolution(s.graph, broken).ok());
+  EXPECT_FALSE(VerifySolution(s.graph, {}).ok());  // size mismatch
+}
+
+TEST(SolverTest, EmptyGraphIsFeasible) {
+  Document doc;
+  auto graph = TimeGraph::Build(doc, {});
+  ASSERT_TRUE(graph.ok());
+  SolveResult result = SolveStn(*graph);
+  EXPECT_TRUE(result.feasible);
+}
+
+// Property: every feasible random document's earliest schedule satisfies
+// every constraint, and all times are non-negative.
+class SolverProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverProperty, EarliestIsFeasibleAndNonNegative) {
+  GenOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam()) * 31 + 7;
+  options.target_leaves = 40;
+  options.arcs_per_composite = 0.8;
+  auto workload = GenerateRandomDocument(options);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok()) << events.status();
+  auto graph = TimeGraph::Build(workload->document, *events);
+  ASSERT_TRUE(graph.ok());
+  SolveResult result = SolveStn(*graph);
+  ASSERT_TRUE(result.feasible) << "lower-bound-only random docs must be feasible";
+  EXPECT_TRUE(VerifySolution(*graph, result.earliest).ok());
+  for (MediaTime t : result.earliest) {
+    EXPECT_GE(t, MediaTime());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProperty, ::testing::Range(0, 12));
+
+// Property: SPFA and the naive Bellman-Ford baseline agree exactly — on
+// feasibility and on every earliest/latest time — for random documents,
+// both feasible (lower-bound arcs) and over-constrained (tight windows).
+class SolverEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverEquivalence, SpfaMatchesNaiveBellmanFord) {
+  GenOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam()) * 19 + 5;
+  options.target_leaves = 40;
+  options.arcs_per_composite = 1.2;
+  options.tight_windows = GetParam() % 2 == 1;  // odd seeds: likely infeasible
+  auto workload = GenerateRandomDocument(options);
+  ASSERT_TRUE(workload.ok());
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok());
+  auto graph = TimeGraph::Build(workload->document, *events);
+  ASSERT_TRUE(graph.ok());
+
+  SolveResult spfa = SolveStn(*graph, SolverAlgorithm::kSpfa);
+  SolveResult naive = SolveStn(*graph, SolverAlgorithm::kNaiveBellmanFord);
+  ASSERT_EQ(spfa.feasible, naive.feasible);
+  if (spfa.feasible) {
+    EXPECT_EQ(spfa.earliest, naive.earliest);
+    EXPECT_EQ(spfa.latest, naive.latest);
+  } else {
+    // Both report a valid (possibly different) inconsistent cycle.
+    EXPECT_FALSE(spfa.conflict_cycle.empty());
+    EXPECT_FALSE(naive.conflict_cycle.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverEquivalence, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,177 @@
+#include "src/sched/timegraph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+
+namespace cmif {
+namespace {
+
+// A par of two text leaves inside a seq root.
+StatusOr<Document> TwoLeafDoc() {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText)
+      .Par("p")
+      .ImmText("a", "xx")
+      .OnChannel("txt")
+      .WithDuration(MediaTime::Seconds(2))
+      .ImmText("b", "yy")
+      .OnChannel("txt")
+      .WithDuration(MediaTime::Seconds(3))
+      .Up();
+  return builder.Build();
+}
+
+std::size_t CountOrigin(const TimeGraph& graph, ConstraintOrigin origin) {
+  std::size_t n = 0;
+  for (const Constraint& c : graph.constraints()) {
+    if (c.origin == origin) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(TimeGraphTest, TwoPointsPerNode) {
+  auto doc = TwoLeafDoc();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto graph = TimeGraph::Build(*doc, *events);
+  ASSERT_TRUE(graph.ok());
+  // 4 nodes (root, p, a, b) -> 8 points; point 0 is the root's begin.
+  EXPECT_EQ(graph->point_count(), 8u);
+  auto root_begin = graph->PointOf(doc->root(), PointKind::kBegin);
+  ASSERT_TRUE(root_begin.ok());
+  EXPECT_EQ(*root_begin, 0);
+  auto root_end = graph->PointOf(doc->root(), PointKind::kEnd);
+  ASSERT_TRUE(root_end.ok());
+  EXPECT_EQ(*root_end, 1);
+}
+
+TEST(TimeGraphTest, PointLookupFailsForForeignNodes) {
+  auto doc = TwoLeafDoc();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto graph = TimeGraph::Build(*doc, *events);
+  ASSERT_TRUE(graph.ok());
+  Node stranger(NodeKind::kSeq);
+  EXPECT_EQ(graph->PointOf(stranger, PointKind::kBegin).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TimeGraphTest, StructureConstraintsForPar) {
+  auto doc = TwoLeafDoc();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto graph = TimeGraph::Build(*doc, *events);
+  ASSERT_TRUE(graph.ok());
+  // par p: 2 forks + 2 joins; seq root: start + join = 2. Total structure 6.
+  EXPECT_EQ(CountOrigin(*graph, ConstraintOrigin::kStructure), 6u);
+  // Two leaf duration windows.
+  EXPECT_EQ(CountOrigin(*graph, ConstraintOrigin::kDuration), 2u);
+  // a and b share one channel: one ordering constraint.
+  EXPECT_EQ(CountOrigin(*graph, ConstraintOrigin::kChannelOrder), 1u);
+}
+
+TEST(TimeGraphTest, ChannelSerializationCanBeDisabled) {
+  auto doc = TwoLeafDoc();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  TimeGraphOptions options;
+  options.serialize_channels = false;
+  auto graph = TimeGraph::Build(*doc, *events, options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(CountOrigin(*graph, ConstraintOrigin::kChannelOrder), 0u);
+}
+
+TEST(TimeGraphTest, ExplicitArcsBecomeConstraints) {
+  auto doc = TwoLeafDoc();
+  ASSERT_TRUE(doc.ok());
+  doc->root().AddArc(WindowArc(*NodePath::Parse("p/a"), ArcEdge::kEnd,
+                               *NodePath::Parse("p/b"), ArcEdge::kBegin,
+                               MediaTime::Rational(1, 2), MediaTime::Millis(-100),
+                               MediaTime::Millis(200), ArcRigor::kMay));
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto graph = TimeGraph::Build(*doc, *events);
+  ASSERT_TRUE(graph.ok());
+  const Constraint* arc_constraint = nullptr;
+  for (const Constraint& c : graph->constraints()) {
+    if (c.origin == ConstraintOrigin::kExplicitArc) {
+      arc_constraint = &c;
+    }
+  }
+  ASSERT_NE(arc_constraint, nullptr);
+  // lo = offset + min_delay = 1/2 - 1/10 = 2/5; hi = 1/2 + 1/5 = 7/10.
+  EXPECT_EQ(arc_constraint->lo, MediaTime::Rational(2, 5));
+  ASSERT_TRUE(arc_constraint->hi.has_value());
+  EXPECT_EQ(*arc_constraint->hi, MediaTime::Rational(7, 10));
+  EXPECT_EQ(arc_constraint->rigor, ArcRigor::kMay);
+  EXPECT_EQ(arc_constraint->owner, &doc->root());
+  EXPECT_EQ(arc_constraint->arc_index, 0);
+}
+
+TEST(TimeGraphTest, UnresolvableArcFailsBuild) {
+  auto doc = TwoLeafDoc();
+  ASSERT_TRUE(doc.ok());
+  doc->root().AddArc(HardArc(*NodePath::Parse("ghost"), ArcEdge::kBegin,
+                             *NodePath::Parse("p/b"), ArcEdge::kBegin));
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(TimeGraph::Build(*doc, *events).status().code(), StatusCode::kNotFound);
+}
+
+TEST(TimeGraphTest, AddConstraintValidates) {
+  auto doc = TwoLeafDoc();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto graph = TimeGraph::Build(*doc, *events);
+  ASSERT_TRUE(graph.ok());
+  Constraint c;
+  c.from = 0;
+  c.to = 999;  // out of range
+  EXPECT_EQ(graph->AddConstraint(c).code(), StatusCode::kOutOfRange);
+  c.to = 1;
+  c.lo = MediaTime::Seconds(2);
+  c.hi = MediaTime::Seconds(1);  // hi < lo
+  EXPECT_EQ(graph->AddConstraint(c).code(), StatusCode::kInvalidArgument);
+  c.hi = MediaTime::Seconds(3);
+  EXPECT_TRUE(graph->AddConstraint(c).ok());
+}
+
+TEST(TimeGraphTest, DisableMarksConstraints) {
+  auto doc = TwoLeafDoc();
+  ASSERT_TRUE(doc.ok());
+  auto events = CollectEvents(*doc, nullptr);
+  ASSERT_TRUE(events.ok());
+  auto graph = TimeGraph::Build(*doc, *events);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(graph->IsDisabled(0));
+  graph->Disable(0);
+  EXPECT_TRUE(graph->IsDisabled(0));
+}
+
+TEST(TimeGraphTest, EmptyCompositeGetsZeroDuration) {
+  Document doc;
+  (void)*doc.root().AddChild(NodeKind::kPar);
+  auto graph = TimeGraph::Build(doc, {});
+  ASSERT_TRUE(graph.ok());
+  bool found_empty = false;
+  for (const Constraint& c : graph->constraints()) {
+    if (c.label.find("empty composite") != std::string::npos) {
+      found_empty = true;
+      EXPECT_EQ(c.lo, MediaTime());
+      ASSERT_TRUE(c.hi.has_value());
+      EXPECT_EQ(*c.hi, MediaTime());
+    }
+  }
+  EXPECT_TRUE(found_empty);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,290 @@
+// cmif_tool — command-line front end for the CMIF pipeline.
+//
+//   cmif_tool sample-news [stories]          write news.cmif + news.catalog
+//   cmif_tool check <doc> [catalog]          validate + statistics
+//   cmif_tool tree <doc>                     Figure-5 views
+//   cmif_tool arcs <doc>                     Figure-9 arc table
+//   cmif_tool schedule <doc> [catalog]       timeline (Figure 3/10 view)
+//   cmif_tool play <doc> <catalog> [profile] simulate playback, print trace
+//   cmif_tool render <doc> <catalog> <sec> <out.ppm>   compose one frame
+//
+// Profiles: workstation (default), personal, portable.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/ddbms/persist.h"
+#include "src/doc/stats.h"
+#include "src/doc/validate.h"
+#include "src/fmt/parser.h"
+#include "src/fmt/tree_view.h"
+#include "src/fmt/writer.h"
+#include "src/news/evening_news.h"
+#include "src/player/engine.h"
+#include "src/present/compositor.h"
+#include "src/sched/conflict.h"
+
+namespace cmif {
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return FailedPreconditionError("cannot write '" + path + "'");
+  }
+  out << contents;
+  return Status::Ok();
+}
+
+StatusOr<Document> LoadDocument(const std::string& path) {
+  CMIF_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseDocument(text);
+}
+
+StatusOr<DescriptorStore> LoadCatalog(const std::string& path) {
+  if (path.empty()) {
+    return DescriptorStore();
+  }
+  CMIF_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ReadCatalog(text);
+}
+
+SystemProfile ProfileByName(const std::string& name) {
+  if (name == "personal") {
+    return PersonalSystemProfile();
+  }
+  if (name == "portable") {
+    return PortableMonoProfile();
+  }
+  return WorkstationProfile();
+}
+
+int CmdSampleNews(int stories) {
+  NewsOptions options;
+  options.stories = stories;
+  auto workload = BuildEveningNews(options);
+  if (!workload.ok()) {
+    return Fail(workload.status());
+  }
+  auto doc_text = WriteDocument(workload->document);
+  if (!doc_text.ok()) {
+    return Fail(doc_text.status());
+  }
+  auto catalog_text = WriteCatalog(workload->store);
+  if (!catalog_text.ok()) {
+    return Fail(catalog_text.status());
+  }
+  if (Status s = WriteFile("news.cmif", *doc_text); !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = WriteFile("news.catalog", *catalog_text); !s.ok()) {
+    return Fail(s);
+  }
+  std::cout << "wrote news.cmif (" << doc_text->size() << " bytes) and news.catalog ("
+            << catalog_text->size() << " bytes)\n";
+  return 0;
+}
+
+int CmdCheck(const std::string& doc_path, const std::string& catalog_path) {
+  auto doc = LoadDocument(doc_path);
+  if (!doc.ok()) {
+    return Fail(doc.status());
+  }
+  auto store = LoadCatalog(catalog_path);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  ValidationReport report =
+      ValidateDocument(*doc, catalog_path.empty() ? nullptr : &*store);
+  std::cout << report.ToString();
+  std::cout << StatsToString(
+      ComputeStats(*doc, catalog_path.empty() ? nullptr : &*store));
+  std::cout << (report.ok() ? "OK" : "INVALID") << " (" << report.error_count() << " errors, "
+            << report.warning_count() << " warnings)\n";
+  return report.ok() ? 0 : 1;
+}
+
+int CmdTree(const std::string& doc_path) {
+  auto doc = LoadDocument(doc_path);
+  if (!doc.ok()) {
+    return Fail(doc.status());
+  }
+  std::cout << "---- conventional ----\n"
+            << ConventionalTreeView(doc->root()) << "---- embedded ----\n"
+            << EmbeddedTreeView(doc->root());
+  return 0;
+}
+
+int CmdArcs(const std::string& doc_path) {
+  auto doc = LoadDocument(doc_path);
+  if (!doc.ok()) {
+    return Fail(doc.status());
+  }
+  std::cout << ArcTableView(doc->root());
+  return 0;
+}
+
+StatusOr<ScheduleResult> ScheduleOf(const Document& doc, const DescriptorStore* store) {
+  CMIF_ASSIGN_OR_RETURN(std::vector<EventDescriptor> events, CollectEvents(doc, store));
+  return ComputeSchedule(doc, events);
+}
+
+int CmdSchedule(const std::string& doc_path, const std::string& catalog_path) {
+  auto doc = LoadDocument(doc_path);
+  if (!doc.ok()) {
+    return Fail(doc.status());
+  }
+  auto store = LoadCatalog(catalog_path);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  auto result = ScheduleOf(*doc, catalog_path.empty() ? nullptr : &*store);
+  if (!result.ok()) {
+    return Fail(result.status());
+  }
+  if (!result->feasible) {
+    std::cout << "INFEASIBLE\n";
+    for (const Conflict& conflict : result->conflicts) {
+      std::cout << "[" << ConflictClassName(conflict.cls) << "] " << conflict.description
+                << "\n";
+      for (const std::string& label : conflict.cycle) {
+        std::cout << "  " << label << "\n";
+      }
+    }
+    return 1;
+  }
+  for (const std::string& dropped : result->dropped_arcs) {
+    std::cout << "dropped may-arc: " << dropped << "\n";
+  }
+  std::cout << TimelineView(result->schedule.ToTimelineRows(*doc));
+  std::cout << TimelineTable(result->schedule.ToTimelineRows(*doc));
+  return 0;
+}
+
+int CmdPlay(const std::string& doc_path, const std::string& catalog_path,
+            const std::string& profile_name) {
+  auto doc = LoadDocument(doc_path);
+  if (!doc.ok()) {
+    return Fail(doc.status());
+  }
+  auto store = LoadCatalog(catalog_path);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  auto result = ScheduleOf(*doc, &*store);
+  if (!result.ok()) {
+    return Fail(result.status());
+  }
+  if (!result->feasible) {
+    std::cerr << "document does not schedule; run 'schedule' for the conflicts\n";
+    return 1;
+  }
+  PlayerOptions options;
+  options.profile = ProfileByName(profile_name);
+  auto run = Play(*doc, result->schedule, &*store, options);
+  if (!run.ok()) {
+    return Fail(run.status());
+  }
+  std::cout << "profile: " << options.profile.name << "\n" << run->trace.Summary();
+  std::cout << "presentation time: " << run->clock.presentation_time().ToSecondsF() << "s ("
+            << run->clock.frozen_total().ToSecondsF() << "s frozen)\n";
+  return 0;
+}
+
+int CmdRender(const std::string& doc_path, const std::string& catalog_path,
+              const std::string& seconds, const std::string& out_path) {
+  auto doc = LoadDocument(doc_path);
+  if (!doc.ok()) {
+    return Fail(doc.status());
+  }
+  auto store = LoadCatalog(catalog_path);
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  auto t = ParseMediaTime(seconds);
+  if (!t.ok()) {
+    return Fail(t.status());
+  }
+  auto result = ScheduleOf(*doc, &*store);
+  if (!result.ok() || !result->feasible) {
+    std::cerr << "document does not schedule\n";
+    return 1;
+  }
+  VirtualEnvironment env = VirtualEnvironment::NewsLayout(640, 480);
+  auto map = PresentationMap::AutoMap(doc->channels(), env);
+  if (!map.ok()) {
+    return Fail(map.status());
+  }
+  BlockStore blocks;
+  CompositorOptions options;
+  options.text_scale = 2;
+  auto frame =
+      ComposeFrame(*doc, result->schedule, *map, env, *store, blocks, *t, options);
+  if (!frame.ok()) {
+    return Fail(frame.status());
+  }
+  if (Status s = WriteFile(out_path, EncodePpm(*frame)); !s.ok()) {
+    return Fail(s);
+  }
+  std::cout << "wrote " << out_path << " (" << frame->width() << "x" << frame->height()
+            << " at t=" << t->ToSecondsF() << "s)\n";
+  return 0;
+}
+
+int Usage() {
+  std::cerr << "usage: cmif_tool <sample-news [stories] | check <doc> [catalog] | tree <doc> |"
+               " arcs <doc> |\n"
+               "                  schedule <doc> [catalog] | play <doc> <catalog> [profile] |\n"
+               "                  render <doc> <catalog> <seconds> <out.ppm>>\n";
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  auto arg = [&](int i) { return i < argc ? std::string(argv[i]) : std::string(); };
+  if (command == "sample-news") {
+    return CmdSampleNews(argc > 2 ? std::atoi(argv[2]) : 3);
+  }
+  if (command == "check" && argc >= 3) {
+    return CmdCheck(arg(2), arg(3));
+  }
+  if (command == "tree" && argc >= 3) {
+    return CmdTree(arg(2));
+  }
+  if (command == "arcs" && argc >= 3) {
+    return CmdArcs(arg(2));
+  }
+  if (command == "schedule" && argc >= 3) {
+    return CmdSchedule(arg(2), arg(3));
+  }
+  if (command == "play" && argc >= 4) {
+    return CmdPlay(arg(2), arg(3), arg(4));
+  }
+  if (command == "render" && argc >= 6) {
+    return CmdRender(arg(2), arg(3), arg(4), arg(5));
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) { return cmif::Run(argc, argv); }
