@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fragment.dir/fig10_fragment.cc.o"
+  "CMakeFiles/fig10_fragment.dir/fig10_fragment.cc.o.d"
+  "fig10_fragment"
+  "fig10_fragment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fragment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

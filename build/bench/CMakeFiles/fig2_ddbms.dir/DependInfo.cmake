@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_ddbms.cc" "bench/CMakeFiles/fig2_ddbms.dir/fig2_ddbms.cc.o" "gcc" "bench/CMakeFiles/fig2_ddbms.dir/fig2_ddbms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/cmif_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/news/CMakeFiles/cmif_news.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/cmif_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/player/CMakeFiles/cmif_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/present/CMakeFiles/cmif_present.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cmif_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmt/CMakeFiles/cmif_fmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/cmif_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddbms/CMakeFiles/cmif_ddbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cmif_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/attr/CMakeFiles/cmif_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cmif_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

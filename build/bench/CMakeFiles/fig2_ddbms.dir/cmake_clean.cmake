@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ddbms.dir/fig2_ddbms.cc.o"
+  "CMakeFiles/fig2_ddbms.dir/fig2_ddbms.cc.o.d"
+  "fig2_ddbms"
+  "fig2_ddbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ddbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

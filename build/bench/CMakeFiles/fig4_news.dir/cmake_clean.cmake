@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_news.dir/fig4_news.cc.o"
+  "CMakeFiles/fig4_news.dir/fig4_news.cc.o.d"
+  "fig4_news"
+  "fig4_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

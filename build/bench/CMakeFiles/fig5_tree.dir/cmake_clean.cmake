@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tree.dir/fig5_tree.cc.o"
+  "CMakeFiles/fig5_tree.dir/fig5_tree.cc.o.d"
+  "fig5_tree"
+  "fig5_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_nodes.dir/fig6_nodes.cc.o"
+  "CMakeFiles/fig6_nodes.dir/fig6_nodes.cc.o.d"
+  "fig6_nodes"
+  "fig6_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_attrs.dir/fig7_attrs.cc.o"
+  "CMakeFiles/fig7_attrs.dir/fig7_attrs.cc.o.d"
+  "fig7_attrs"
+  "fig7_attrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_attrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

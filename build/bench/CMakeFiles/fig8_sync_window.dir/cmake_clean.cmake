@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sync_window.dir/fig8_sync_window.cc.o"
+  "CMakeFiles/fig8_sync_window.dir/fig8_sync_window.cc.o.d"
+  "fig8_sync_window"
+  "fig8_sync_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sync_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

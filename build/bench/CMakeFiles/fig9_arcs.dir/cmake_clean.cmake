@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_arcs.dir/fig9_arcs.cc.o"
+  "CMakeFiles/fig9_arcs.dir/fig9_arcs.cc.o.d"
+  "fig9_arcs"
+  "fig9_arcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_arcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

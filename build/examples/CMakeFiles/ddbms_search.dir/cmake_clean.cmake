@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbms_search.dir/ddbms_search.cpp.o"
+  "CMakeFiles/ddbms_search.dir/ddbms_search.cpp.o.d"
+  "ddbms_search"
+  "ddbms_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbms_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evening_news.dir/evening_news.cpp.o"
+  "CMakeFiles/evening_news.dir/evening_news.cpp.o.d"
+  "evening_news"
+  "evening_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evening_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

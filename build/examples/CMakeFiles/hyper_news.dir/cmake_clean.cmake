@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyper_news.dir/hyper_news.cpp.o"
+  "CMakeFiles/hyper_news.dir/hyper_news.cpp.o.d"
+  "hyper_news"
+  "hyper_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyper_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

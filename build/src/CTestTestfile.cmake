@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("attr")
+subdirs("media")
+subdirs("ddbms")
+subdirs("doc")
+subdirs("fmt")
+subdirs("sched")
+subdirs("present")
+subdirs("player")
+subdirs("pipeline")
+subdirs("news")
+subdirs("gen")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attr/attr_list.cc" "src/attr/CMakeFiles/cmif_attr.dir/attr_list.cc.o" "gcc" "src/attr/CMakeFiles/cmif_attr.dir/attr_list.cc.o.d"
+  "/root/repo/src/attr/inherit.cc" "src/attr/CMakeFiles/cmif_attr.dir/inherit.cc.o" "gcc" "src/attr/CMakeFiles/cmif_attr.dir/inherit.cc.o.d"
+  "/root/repo/src/attr/parse.cc" "src/attr/CMakeFiles/cmif_attr.dir/parse.cc.o" "gcc" "src/attr/CMakeFiles/cmif_attr.dir/parse.cc.o.d"
+  "/root/repo/src/attr/registry.cc" "src/attr/CMakeFiles/cmif_attr.dir/registry.cc.o" "gcc" "src/attr/CMakeFiles/cmif_attr.dir/registry.cc.o.d"
+  "/root/repo/src/attr/style.cc" "src/attr/CMakeFiles/cmif_attr.dir/style.cc.o" "gcc" "src/attr/CMakeFiles/cmif_attr.dir/style.cc.o.d"
+  "/root/repo/src/attr/value.cc" "src/attr/CMakeFiles/cmif_attr.dir/value.cc.o" "gcc" "src/attr/CMakeFiles/cmif_attr.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cmif_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

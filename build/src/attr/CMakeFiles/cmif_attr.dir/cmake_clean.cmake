@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_attr.dir/attr_list.cc.o"
+  "CMakeFiles/cmif_attr.dir/attr_list.cc.o.d"
+  "CMakeFiles/cmif_attr.dir/inherit.cc.o"
+  "CMakeFiles/cmif_attr.dir/inherit.cc.o.d"
+  "CMakeFiles/cmif_attr.dir/parse.cc.o"
+  "CMakeFiles/cmif_attr.dir/parse.cc.o.d"
+  "CMakeFiles/cmif_attr.dir/registry.cc.o"
+  "CMakeFiles/cmif_attr.dir/registry.cc.o.d"
+  "CMakeFiles/cmif_attr.dir/style.cc.o"
+  "CMakeFiles/cmif_attr.dir/style.cc.o.d"
+  "CMakeFiles/cmif_attr.dir/value.cc.o"
+  "CMakeFiles/cmif_attr.dir/value.cc.o.d"
+  "libcmif_attr.a"
+  "libcmif_attr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_attr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

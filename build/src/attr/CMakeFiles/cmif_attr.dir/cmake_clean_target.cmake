@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmif_attr.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/lexer.cc" "src/base/CMakeFiles/cmif_base.dir/lexer.cc.o" "gcc" "src/base/CMakeFiles/cmif_base.dir/lexer.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/base/CMakeFiles/cmif_base.dir/logging.cc.o" "gcc" "src/base/CMakeFiles/cmif_base.dir/logging.cc.o.d"
+  "/root/repo/src/base/media_time.cc" "src/base/CMakeFiles/cmif_base.dir/media_time.cc.o" "gcc" "src/base/CMakeFiles/cmif_base.dir/media_time.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/base/CMakeFiles/cmif_base.dir/random.cc.o" "gcc" "src/base/CMakeFiles/cmif_base.dir/random.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/base/CMakeFiles/cmif_base.dir/status.cc.o" "gcc" "src/base/CMakeFiles/cmif_base.dir/status.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "src/base/CMakeFiles/cmif_base.dir/string_util.cc.o" "gcc" "src/base/CMakeFiles/cmif_base.dir/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_base.dir/lexer.cc.o"
+  "CMakeFiles/cmif_base.dir/lexer.cc.o.d"
+  "CMakeFiles/cmif_base.dir/logging.cc.o"
+  "CMakeFiles/cmif_base.dir/logging.cc.o.d"
+  "CMakeFiles/cmif_base.dir/media_time.cc.o"
+  "CMakeFiles/cmif_base.dir/media_time.cc.o.d"
+  "CMakeFiles/cmif_base.dir/random.cc.o"
+  "CMakeFiles/cmif_base.dir/random.cc.o.d"
+  "CMakeFiles/cmif_base.dir/status.cc.o"
+  "CMakeFiles/cmif_base.dir/status.cc.o.d"
+  "CMakeFiles/cmif_base.dir/string_util.cc.o"
+  "CMakeFiles/cmif_base.dir/string_util.cc.o.d"
+  "libcmif_base.a"
+  "libcmif_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

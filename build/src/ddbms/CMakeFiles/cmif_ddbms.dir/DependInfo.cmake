@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddbms/descriptor.cc" "src/ddbms/CMakeFiles/cmif_ddbms.dir/descriptor.cc.o" "gcc" "src/ddbms/CMakeFiles/cmif_ddbms.dir/descriptor.cc.o.d"
+  "/root/repo/src/ddbms/persist.cc" "src/ddbms/CMakeFiles/cmif_ddbms.dir/persist.cc.o" "gcc" "src/ddbms/CMakeFiles/cmif_ddbms.dir/persist.cc.o.d"
+  "/root/repo/src/ddbms/query.cc" "src/ddbms/CMakeFiles/cmif_ddbms.dir/query.cc.o" "gcc" "src/ddbms/CMakeFiles/cmif_ddbms.dir/query.cc.o.d"
+  "/root/repo/src/ddbms/store.cc" "src/ddbms/CMakeFiles/cmif_ddbms.dir/store.cc.o" "gcc" "src/ddbms/CMakeFiles/cmif_ddbms.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attr/CMakeFiles/cmif_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cmif_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cmif_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_ddbms.dir/descriptor.cc.o"
+  "CMakeFiles/cmif_ddbms.dir/descriptor.cc.o.d"
+  "CMakeFiles/cmif_ddbms.dir/persist.cc.o"
+  "CMakeFiles/cmif_ddbms.dir/persist.cc.o.d"
+  "CMakeFiles/cmif_ddbms.dir/query.cc.o"
+  "CMakeFiles/cmif_ddbms.dir/query.cc.o.d"
+  "CMakeFiles/cmif_ddbms.dir/store.cc.o"
+  "CMakeFiles/cmif_ddbms.dir/store.cc.o.d"
+  "libcmif_ddbms.a"
+  "libcmif_ddbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_ddbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

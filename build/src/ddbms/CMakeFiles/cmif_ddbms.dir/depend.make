@@ -1,0 +1,2 @@
+# Empty dependencies file for cmif_ddbms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doc/builder.cc" "src/doc/CMakeFiles/cmif_doc.dir/builder.cc.o" "gcc" "src/doc/CMakeFiles/cmif_doc.dir/builder.cc.o.d"
+  "/root/repo/src/doc/channel.cc" "src/doc/CMakeFiles/cmif_doc.dir/channel.cc.o" "gcc" "src/doc/CMakeFiles/cmif_doc.dir/channel.cc.o.d"
+  "/root/repo/src/doc/document.cc" "src/doc/CMakeFiles/cmif_doc.dir/document.cc.o" "gcc" "src/doc/CMakeFiles/cmif_doc.dir/document.cc.o.d"
+  "/root/repo/src/doc/edit.cc" "src/doc/CMakeFiles/cmif_doc.dir/edit.cc.o" "gcc" "src/doc/CMakeFiles/cmif_doc.dir/edit.cc.o.d"
+  "/root/repo/src/doc/event.cc" "src/doc/CMakeFiles/cmif_doc.dir/event.cc.o" "gcc" "src/doc/CMakeFiles/cmif_doc.dir/event.cc.o.d"
+  "/root/repo/src/doc/node.cc" "src/doc/CMakeFiles/cmif_doc.dir/node.cc.o" "gcc" "src/doc/CMakeFiles/cmif_doc.dir/node.cc.o.d"
+  "/root/repo/src/doc/path.cc" "src/doc/CMakeFiles/cmif_doc.dir/path.cc.o" "gcc" "src/doc/CMakeFiles/cmif_doc.dir/path.cc.o.d"
+  "/root/repo/src/doc/stats.cc" "src/doc/CMakeFiles/cmif_doc.dir/stats.cc.o" "gcc" "src/doc/CMakeFiles/cmif_doc.dir/stats.cc.o.d"
+  "/root/repo/src/doc/sync_arc.cc" "src/doc/CMakeFiles/cmif_doc.dir/sync_arc.cc.o" "gcc" "src/doc/CMakeFiles/cmif_doc.dir/sync_arc.cc.o.d"
+  "/root/repo/src/doc/validate.cc" "src/doc/CMakeFiles/cmif_doc.dir/validate.cc.o" "gcc" "src/doc/CMakeFiles/cmif_doc.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attr/CMakeFiles/cmif_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cmif_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddbms/CMakeFiles/cmif_ddbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cmif_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

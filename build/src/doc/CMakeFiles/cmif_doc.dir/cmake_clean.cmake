@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_doc.dir/builder.cc.o"
+  "CMakeFiles/cmif_doc.dir/builder.cc.o.d"
+  "CMakeFiles/cmif_doc.dir/channel.cc.o"
+  "CMakeFiles/cmif_doc.dir/channel.cc.o.d"
+  "CMakeFiles/cmif_doc.dir/document.cc.o"
+  "CMakeFiles/cmif_doc.dir/document.cc.o.d"
+  "CMakeFiles/cmif_doc.dir/edit.cc.o"
+  "CMakeFiles/cmif_doc.dir/edit.cc.o.d"
+  "CMakeFiles/cmif_doc.dir/event.cc.o"
+  "CMakeFiles/cmif_doc.dir/event.cc.o.d"
+  "CMakeFiles/cmif_doc.dir/node.cc.o"
+  "CMakeFiles/cmif_doc.dir/node.cc.o.d"
+  "CMakeFiles/cmif_doc.dir/path.cc.o"
+  "CMakeFiles/cmif_doc.dir/path.cc.o.d"
+  "CMakeFiles/cmif_doc.dir/stats.cc.o"
+  "CMakeFiles/cmif_doc.dir/stats.cc.o.d"
+  "CMakeFiles/cmif_doc.dir/sync_arc.cc.o"
+  "CMakeFiles/cmif_doc.dir/sync_arc.cc.o.d"
+  "CMakeFiles/cmif_doc.dir/validate.cc.o"
+  "CMakeFiles/cmif_doc.dir/validate.cc.o.d"
+  "libcmif_doc.a"
+  "libcmif_doc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

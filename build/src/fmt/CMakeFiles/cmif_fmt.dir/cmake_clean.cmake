@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_fmt.dir/parser.cc.o"
+  "CMakeFiles/cmif_fmt.dir/parser.cc.o.d"
+  "CMakeFiles/cmif_fmt.dir/tree_view.cc.o"
+  "CMakeFiles/cmif_fmt.dir/tree_view.cc.o.d"
+  "CMakeFiles/cmif_fmt.dir/writer.cc.o"
+  "CMakeFiles/cmif_fmt.dir/writer.cc.o.d"
+  "libcmif_fmt.a"
+  "libcmif_fmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_fmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cmif_fmt.
+# This may be replaced when dependencies are built.

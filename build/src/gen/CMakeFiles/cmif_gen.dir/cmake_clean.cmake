@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_gen.dir/docgen.cc.o"
+  "CMakeFiles/cmif_gen.dir/docgen.cc.o.d"
+  "libcmif_gen.a"
+  "libcmif_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

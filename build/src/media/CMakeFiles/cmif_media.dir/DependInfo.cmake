@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/audio.cc" "src/media/CMakeFiles/cmif_media.dir/audio.cc.o" "gcc" "src/media/CMakeFiles/cmif_media.dir/audio.cc.o.d"
+  "/root/repo/src/media/data_block.cc" "src/media/CMakeFiles/cmif_media.dir/data_block.cc.o" "gcc" "src/media/CMakeFiles/cmif_media.dir/data_block.cc.o.d"
+  "/root/repo/src/media/font.cc" "src/media/CMakeFiles/cmif_media.dir/font.cc.o" "gcc" "src/media/CMakeFiles/cmif_media.dir/font.cc.o.d"
+  "/root/repo/src/media/media_type.cc" "src/media/CMakeFiles/cmif_media.dir/media_type.cc.o" "gcc" "src/media/CMakeFiles/cmif_media.dir/media_type.cc.o.d"
+  "/root/repo/src/media/raster.cc" "src/media/CMakeFiles/cmif_media.dir/raster.cc.o" "gcc" "src/media/CMakeFiles/cmif_media.dir/raster.cc.o.d"
+  "/root/repo/src/media/text.cc" "src/media/CMakeFiles/cmif_media.dir/text.cc.o" "gcc" "src/media/CMakeFiles/cmif_media.dir/text.cc.o.d"
+  "/root/repo/src/media/video.cc" "src/media/CMakeFiles/cmif_media.dir/video.cc.o" "gcc" "src/media/CMakeFiles/cmif_media.dir/video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cmif_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_media.dir/audio.cc.o"
+  "CMakeFiles/cmif_media.dir/audio.cc.o.d"
+  "CMakeFiles/cmif_media.dir/data_block.cc.o"
+  "CMakeFiles/cmif_media.dir/data_block.cc.o.d"
+  "CMakeFiles/cmif_media.dir/font.cc.o"
+  "CMakeFiles/cmif_media.dir/font.cc.o.d"
+  "CMakeFiles/cmif_media.dir/media_type.cc.o"
+  "CMakeFiles/cmif_media.dir/media_type.cc.o.d"
+  "CMakeFiles/cmif_media.dir/raster.cc.o"
+  "CMakeFiles/cmif_media.dir/raster.cc.o.d"
+  "CMakeFiles/cmif_media.dir/text.cc.o"
+  "CMakeFiles/cmif_media.dir/text.cc.o.d"
+  "CMakeFiles/cmif_media.dir/video.cc.o"
+  "CMakeFiles/cmif_media.dir/video.cc.o.d"
+  "libcmif_media.a"
+  "libcmif_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

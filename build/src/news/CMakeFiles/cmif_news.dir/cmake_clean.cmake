@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_news.dir/evening_news.cc.o"
+  "CMakeFiles/cmif_news.dir/evening_news.cc.o.d"
+  "libcmif_news.a"
+  "libcmif_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_pipeline.dir/capture.cc.o"
+  "CMakeFiles/cmif_pipeline.dir/capture.cc.o.d"
+  "CMakeFiles/cmif_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/cmif_pipeline.dir/pipeline.cc.o.d"
+  "libcmif_pipeline.a"
+  "libcmif_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

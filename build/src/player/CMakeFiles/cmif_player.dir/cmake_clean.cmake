@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_player.dir/clock.cc.o"
+  "CMakeFiles/cmif_player.dir/clock.cc.o.d"
+  "CMakeFiles/cmif_player.dir/device.cc.o"
+  "CMakeFiles/cmif_player.dir/device.cc.o.d"
+  "CMakeFiles/cmif_player.dir/engine.cc.o"
+  "CMakeFiles/cmif_player.dir/engine.cc.o.d"
+  "CMakeFiles/cmif_player.dir/trace.cc.o"
+  "CMakeFiles/cmif_player.dir/trace.cc.o.d"
+  "libcmif_player.a"
+  "libcmif_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/present/capability.cc" "src/present/CMakeFiles/cmif_present.dir/capability.cc.o" "gcc" "src/present/CMakeFiles/cmif_present.dir/capability.cc.o.d"
+  "/root/repo/src/present/compositor.cc" "src/present/CMakeFiles/cmif_present.dir/compositor.cc.o" "gcc" "src/present/CMakeFiles/cmif_present.dir/compositor.cc.o.d"
+  "/root/repo/src/present/filter.cc" "src/present/CMakeFiles/cmif_present.dir/filter.cc.o" "gcc" "src/present/CMakeFiles/cmif_present.dir/filter.cc.o.d"
+  "/root/repo/src/present/presentation_map.cc" "src/present/CMakeFiles/cmif_present.dir/presentation_map.cc.o" "gcc" "src/present/CMakeFiles/cmif_present.dir/presentation_map.cc.o.d"
+  "/root/repo/src/present/virtual_env.cc" "src/present/CMakeFiles/cmif_present.dir/virtual_env.cc.o" "gcc" "src/present/CMakeFiles/cmif_present.dir/virtual_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/doc/CMakeFiles/cmif_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cmif_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmt/CMakeFiles/cmif_fmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddbms/CMakeFiles/cmif_ddbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/attr/CMakeFiles/cmif_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cmif_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cmif_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

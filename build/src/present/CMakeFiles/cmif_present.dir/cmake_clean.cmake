@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_present.dir/capability.cc.o"
+  "CMakeFiles/cmif_present.dir/capability.cc.o.d"
+  "CMakeFiles/cmif_present.dir/compositor.cc.o"
+  "CMakeFiles/cmif_present.dir/compositor.cc.o.d"
+  "CMakeFiles/cmif_present.dir/filter.cc.o"
+  "CMakeFiles/cmif_present.dir/filter.cc.o.d"
+  "CMakeFiles/cmif_present.dir/presentation_map.cc.o"
+  "CMakeFiles/cmif_present.dir/presentation_map.cc.o.d"
+  "CMakeFiles/cmif_present.dir/virtual_env.cc.o"
+  "CMakeFiles/cmif_present.dir/virtual_env.cc.o.d"
+  "libcmif_present.a"
+  "libcmif_present.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_present.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/conflict.cc" "src/sched/CMakeFiles/cmif_sched.dir/conflict.cc.o" "gcc" "src/sched/CMakeFiles/cmif_sched.dir/conflict.cc.o.d"
+  "/root/repo/src/sched/navigate.cc" "src/sched/CMakeFiles/cmif_sched.dir/navigate.cc.o" "gcc" "src/sched/CMakeFiles/cmif_sched.dir/navigate.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/sched/CMakeFiles/cmif_sched.dir/schedule.cc.o" "gcc" "src/sched/CMakeFiles/cmif_sched.dir/schedule.cc.o.d"
+  "/root/repo/src/sched/solver.cc" "src/sched/CMakeFiles/cmif_sched.dir/solver.cc.o" "gcc" "src/sched/CMakeFiles/cmif_sched.dir/solver.cc.o.d"
+  "/root/repo/src/sched/timegraph.cc" "src/sched/CMakeFiles/cmif_sched.dir/timegraph.cc.o" "gcc" "src/sched/CMakeFiles/cmif_sched.dir/timegraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/doc/CMakeFiles/cmif_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmt/CMakeFiles/cmif_fmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddbms/CMakeFiles/cmif_ddbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/attr/CMakeFiles/cmif_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cmif_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cmif_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_sched.dir/conflict.cc.o"
+  "CMakeFiles/cmif_sched.dir/conflict.cc.o.d"
+  "CMakeFiles/cmif_sched.dir/navigate.cc.o"
+  "CMakeFiles/cmif_sched.dir/navigate.cc.o.d"
+  "CMakeFiles/cmif_sched.dir/schedule.cc.o"
+  "CMakeFiles/cmif_sched.dir/schedule.cc.o.d"
+  "CMakeFiles/cmif_sched.dir/solver.cc.o"
+  "CMakeFiles/cmif_sched.dir/solver.cc.o.d"
+  "CMakeFiles/cmif_sched.dir/timegraph.cc.o"
+  "CMakeFiles/cmif_sched.dir/timegraph.cc.o.d"
+  "libcmif_sched.a"
+  "libcmif_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attr_test.dir/attr/attr_list_test.cc.o"
+  "CMakeFiles/attr_test.dir/attr/attr_list_test.cc.o.d"
+  "CMakeFiles/attr_test.dir/attr/inherit_test.cc.o"
+  "CMakeFiles/attr_test.dir/attr/inherit_test.cc.o.d"
+  "CMakeFiles/attr_test.dir/attr/parse_test.cc.o"
+  "CMakeFiles/attr_test.dir/attr/parse_test.cc.o.d"
+  "CMakeFiles/attr_test.dir/attr/registry_test.cc.o"
+  "CMakeFiles/attr_test.dir/attr/registry_test.cc.o.d"
+  "CMakeFiles/attr_test.dir/attr/style_test.cc.o"
+  "CMakeFiles/attr_test.dir/attr/style_test.cc.o.d"
+  "CMakeFiles/attr_test.dir/attr/value_test.cc.o"
+  "CMakeFiles/attr_test.dir/attr/value_test.cc.o.d"
+  "attr_test"
+  "attr_test.pdb"
+  "attr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddbms_test.dir/ddbms/descriptor_test.cc.o"
+  "CMakeFiles/ddbms_test.dir/ddbms/descriptor_test.cc.o.d"
+  "CMakeFiles/ddbms_test.dir/ddbms/persist_test.cc.o"
+  "CMakeFiles/ddbms_test.dir/ddbms/persist_test.cc.o.d"
+  "CMakeFiles/ddbms_test.dir/ddbms/query_test.cc.o"
+  "CMakeFiles/ddbms_test.dir/ddbms/query_test.cc.o.d"
+  "CMakeFiles/ddbms_test.dir/ddbms/store_test.cc.o"
+  "CMakeFiles/ddbms_test.dir/ddbms/store_test.cc.o.d"
+  "ddbms_test"
+  "ddbms_test.pdb"
+  "ddbms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddbms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_test.dir/doc/builder_test.cc.o"
+  "CMakeFiles/doc_test.dir/doc/builder_test.cc.o.d"
+  "CMakeFiles/doc_test.dir/doc/channel_test.cc.o"
+  "CMakeFiles/doc_test.dir/doc/channel_test.cc.o.d"
+  "CMakeFiles/doc_test.dir/doc/document_test.cc.o"
+  "CMakeFiles/doc_test.dir/doc/document_test.cc.o.d"
+  "CMakeFiles/doc_test.dir/doc/edit_test.cc.o"
+  "CMakeFiles/doc_test.dir/doc/edit_test.cc.o.d"
+  "CMakeFiles/doc_test.dir/doc/event_test.cc.o"
+  "CMakeFiles/doc_test.dir/doc/event_test.cc.o.d"
+  "CMakeFiles/doc_test.dir/doc/materialize_test.cc.o"
+  "CMakeFiles/doc_test.dir/doc/materialize_test.cc.o.d"
+  "CMakeFiles/doc_test.dir/doc/node_test.cc.o"
+  "CMakeFiles/doc_test.dir/doc/node_test.cc.o.d"
+  "CMakeFiles/doc_test.dir/doc/path_test.cc.o"
+  "CMakeFiles/doc_test.dir/doc/path_test.cc.o.d"
+  "CMakeFiles/doc_test.dir/doc/stats_test.cc.o"
+  "CMakeFiles/doc_test.dir/doc/stats_test.cc.o.d"
+  "CMakeFiles/doc_test.dir/doc/sync_arc_test.cc.o"
+  "CMakeFiles/doc_test.dir/doc/sync_arc_test.cc.o.d"
+  "CMakeFiles/doc_test.dir/doc/validate_test.cc.o"
+  "CMakeFiles/doc_test.dir/doc/validate_test.cc.o.d"
+  "doc_test"
+  "doc_test.pdb"
+  "doc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmt_test.dir/fmt/parser_test.cc.o"
+  "CMakeFiles/fmt_test.dir/fmt/parser_test.cc.o.d"
+  "CMakeFiles/fmt_test.dir/fmt/tree_view_test.cc.o"
+  "CMakeFiles/fmt_test.dir/fmt/tree_view_test.cc.o.d"
+  "CMakeFiles/fmt_test.dir/fmt/writer_test.cc.o"
+  "CMakeFiles/fmt_test.dir/fmt/writer_test.cc.o.d"
+  "fmt_test"
+  "fmt_test.pdb"
+  "fmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

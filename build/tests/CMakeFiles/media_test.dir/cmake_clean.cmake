@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_test.dir/media/audio_test.cc.o"
+  "CMakeFiles/media_test.dir/media/audio_test.cc.o.d"
+  "CMakeFiles/media_test.dir/media/data_block_test.cc.o"
+  "CMakeFiles/media_test.dir/media/data_block_test.cc.o.d"
+  "CMakeFiles/media_test.dir/media/font_test.cc.o"
+  "CMakeFiles/media_test.dir/media/font_test.cc.o.d"
+  "CMakeFiles/media_test.dir/media/raster_test.cc.o"
+  "CMakeFiles/media_test.dir/media/raster_test.cc.o.d"
+  "CMakeFiles/media_test.dir/media/text_test.cc.o"
+  "CMakeFiles/media_test.dir/media/text_test.cc.o.d"
+  "CMakeFiles/media_test.dir/media/video_test.cc.o"
+  "CMakeFiles/media_test.dir/media/video_test.cc.o.d"
+  "media_test"
+  "media_test.pdb"
+  "media_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_test.dir/news/evening_news_test.cc.o"
+  "CMakeFiles/news_test.dir/news/evening_news_test.cc.o.d"
+  "news_test"
+  "news_test.pdb"
+  "news_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

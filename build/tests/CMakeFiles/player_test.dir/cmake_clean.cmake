@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/player_test.dir/player/clock_test.cc.o"
+  "CMakeFiles/player_test.dir/player/clock_test.cc.o.d"
+  "CMakeFiles/player_test.dir/player/device_test.cc.o"
+  "CMakeFiles/player_test.dir/player/device_test.cc.o.d"
+  "CMakeFiles/player_test.dir/player/engine_more_test.cc.o"
+  "CMakeFiles/player_test.dir/player/engine_more_test.cc.o.d"
+  "CMakeFiles/player_test.dir/player/engine_test.cc.o"
+  "CMakeFiles/player_test.dir/player/engine_test.cc.o.d"
+  "CMakeFiles/player_test.dir/player/trace_test.cc.o"
+  "CMakeFiles/player_test.dir/player/trace_test.cc.o.d"
+  "player_test"
+  "player_test.pdb"
+  "player_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/player_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

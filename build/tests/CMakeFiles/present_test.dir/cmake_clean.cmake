@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/present_test.dir/present/capability_test.cc.o"
+  "CMakeFiles/present_test.dir/present/capability_test.cc.o.d"
+  "CMakeFiles/present_test.dir/present/compositor_test.cc.o"
+  "CMakeFiles/present_test.dir/present/compositor_test.cc.o.d"
+  "CMakeFiles/present_test.dir/present/filter_test.cc.o"
+  "CMakeFiles/present_test.dir/present/filter_test.cc.o.d"
+  "CMakeFiles/present_test.dir/present/presentation_map_test.cc.o"
+  "CMakeFiles/present_test.dir/present/presentation_map_test.cc.o.d"
+  "CMakeFiles/present_test.dir/present/virtual_env_test.cc.o"
+  "CMakeFiles/present_test.dir/present/virtual_env_test.cc.o.d"
+  "present_test"
+  "present_test.pdb"
+  "present_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/present_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

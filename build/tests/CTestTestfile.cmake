@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/attr_test[1]_include.cmake")
+include("/root/repo/build/tests/media_test[1]_include.cmake")
+include("/root/repo/build/tests/ddbms_test[1]_include.cmake")
+include("/root/repo/build/tests/doc_test[1]_include.cmake")
+include("/root/repo/build/tests/fmt_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/present_test[1]_include.cmake")
+include("/root/repo/build/tests/player_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/news_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

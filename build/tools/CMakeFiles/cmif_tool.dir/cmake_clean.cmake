@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmif_tool.dir/cmif_tool.cc.o"
+  "CMakeFiles/cmif_tool.dir/cmif_tool.cc.o.d"
+  "cmif_tool"
+  "cmif_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmif_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
