@@ -1,0 +1,88 @@
+// Shared --bench-json support for the fig* benchmark mains. Each main strips
+// the flag before benchmark::Initialize sees it and, when a path was given,
+// appends one machine-readable JSON line per run:
+//   {"bench":"fig1_pipeline","fields":{"total_ms":12.3,...}}
+// tools/run_benches.sh merges these lines into BENCH_PR1.json.
+#ifndef BENCH_BENCH_JSON_H_
+#define BENCH_BENCH_JSON_H_
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace cmif {
+namespace bench {
+
+// Removes "--bench-json <path>" from argv and returns the path ("" when the
+// flag is absent) so google-benchmark never sees the foreign flag.
+inline std::string ExtractBenchJsonPath(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--bench-json" && i + 1 < *argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return path;
+}
+
+// Appends one {"bench":name,"fields":{...}} line; no-op when path is empty.
+inline void AppendBenchJson(const std::string& path, const std::string& name,
+                            const std::vector<std::pair<std::string, double>>& fields) {
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream file(path, std::ios::app);
+  if (!file) {
+    std::cerr << "bench-json: cannot append to '" << path << "'\n";
+    return;
+  }
+  file << "{\"bench\":" << obs::JsonQuote(name) << ",\"fields\":{";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) {
+      file << ",";
+    }
+    first = false;
+    file << obs::JsonQuote(key) << ":" << obs::JsonNumber(value);
+  }
+  file << "}}\n";
+}
+
+// Mean wall-clock milliseconds of `fn` over `runs` calls (one warmup first).
+template <typename Fn>
+double MeanMillis(int runs, Fn&& fn) {
+  fn();
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < runs; ++i) {
+    fn();
+  }
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count() / runs;
+}
+
+// Minimum of `batches` independent MeanMillis estimates — robust against
+// transient interference when two numbers from separate runs are compared.
+template <typename Fn>
+double MinOfMeansMillis(int batches, int runs, Fn&& fn) {
+  double best = MeanMillis(runs, fn);
+  for (int i = 1; i < batches; ++i) {
+    best = std::min(best, MeanMillis(runs, fn));
+  }
+  return best;
+}
+
+}  // namespace bench
+}  // namespace cmif
+
+#endif  // BENCH_BENCH_JSON_H_

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench/bench_json.h"
 #include "src/base/string_util.h"
 #include "src/fmt/tree_view.h"
 #include "src/news/evening_news.h"
@@ -51,12 +52,13 @@ Fragment& SharedFragment() {
   return *kFragment;
 }
 
-void PrintFigure() {
+void PrintFigure(const std::string& bench_json) {
   Fragment& fragment = SharedFragment();
   std::cout << "==== Figure 10: the news fragment timeline ====\n"
             << TimelineView(fragment.schedule.ToTimelineRows(fragment.workload.document));
   std::cout << "\n==== playback across target profiles ====\n";
   std::cout << "profile        freezes  frozen(s)  max-late video(ms)  max-late label(ms)\n";
+  std::vector<std::pair<std::string, double>> fields;
   for (const SystemProfile& profile :
        {WorkstationProfile(), PersonalSystemProfile(), PortableMonoProfile()}) {
     PlayerOptions options;
@@ -71,7 +73,12 @@ void PrintFigure() {
     std::cout << StrFormat("%-14s %-8zu %-10.3f %-19.2f %.2f\n", profile.name.c_str(),
                            run->trace.FreezeCount(), run->trace.TotalFreeze().ToSecondsF(),
                            jitter["video"].max_lateness_ms, jitter["label"].max_lateness_ms);
+    fields.emplace_back(profile.name + "_freezes",
+                        static_cast<double>(run->trace.FreezeCount()));
+    fields.emplace_back(profile.name + "_frozen_s", run->trace.TotalFreeze().ToSecondsF());
+    fields.emplace_back(profile.name + "_video_p99_ms", jitter["video"].p99_lateness_ms);
   }
+  bench::AppendBenchJson(bench_json, "fig10_fragment", fields);
   // The freeze-frame gap the arcs force: v2 end to v3 begin.
   const Node& root = fragment.workload.document.root();
   auto v2 = root.Resolve(*NodePath::Parse("story1/video/v2"));
@@ -130,7 +137,8 @@ BENCHMARK(BM_PlayFromSeek);
 }  // namespace cmif
 
 int main(int argc, char** argv) {
-  cmif::PrintFigure();
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

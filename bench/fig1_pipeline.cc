@@ -9,7 +9,9 @@
 
 #include <iostream>
 
+#include "bench/bench_json.h"
 #include "src/news/evening_news.h"
+#include "src/obs/obs.h"
 #include "src/pipeline/pipeline.h"
 
 namespace cmif {
@@ -30,9 +32,11 @@ NewsWorkload& MaterializedNews() {
   return *kWorkload;
 }
 
-void PrintFigure() {
+void PrintFigure(const std::string& bench_json) {
   NewsWorkload& workload = MaterializedNews();
   std::cout << "==== Figure 1: pipeline stages, descriptor-only vs with-data ====\n";
+  double descriptor_only_ms = 0;
+  double with_data_ms = 0;
   for (bool apply : {false, true}) {
     PipelineOptions options;
     options.profile = PersonalSystemProfile();
@@ -42,6 +46,7 @@ void PrintFigure() {
       std::cerr << report.status() << "\n";
       return;
     }
+    (apply ? with_data_ms : descriptor_only_ms) = report->TotalMillis();
     std::cout << "\n-- mode: " << (apply ? "with-data (filters applied)" : "descriptor-only")
               << " --\n"
               << report->Summary();
@@ -49,6 +54,42 @@ void PrintFigure() {
       std::cout << report->filter.ToString();
     }
   }
+
+  // The instrumentation overhead contract: the same binary, the same
+  // descriptor-only pipeline, with obs runtime-disabled (the default; every
+  // probe is one relaxed atomic load) versus runtime-enabled (spans and
+  // metrics recorded). tools/run_benches.sh additionally runs this figure
+  // from a -DCMIF_OBS=OFF build to compare the disabled path against probes
+  // compiled out entirely — that delta is the "disabled overhead" claim.
+  PipelineOptions options;
+  options.profile = PersonalSystemProfile();
+  options.apply_filters = false;
+  auto run_once = [&] {
+    auto report = RunPipeline(workload.document, workload.store, workload.blocks, options);
+    benchmark::DoNotOptimize(report);
+  };
+  constexpr int kBatches = 5;
+  constexpr int kRuns = 40;
+  double obs_disabled_ms = bench::MinOfMeansMillis(kBatches, kRuns, run_once);
+  double obs_enabled_ms;
+  {
+    obs::ScopedEnable enable;
+    obs_enabled_ms = bench::MinOfMeansMillis(kBatches, kRuns, run_once);
+  }
+  obs::ResetAll();
+  double obs_enabled_overhead_pct =
+      obs_disabled_ms > 0 ? (obs_enabled_ms - obs_disabled_ms) / obs_disabled_ms * 100 : 0;
+  std::cout << "\n-- instrumentation overhead (descriptor-only pipeline) --\n"
+            << "  obs disabled  " << obs_disabled_ms << " ms\n"
+            << "  obs enabled   " << obs_enabled_ms << " ms  (" << obs_enabled_overhead_pct
+            << "%)\n";
+
+  bench::AppendBenchJson(bench_json, "fig1_pipeline",
+                         {{"descriptor_only_ms", descriptor_only_ms},
+                          {"with_data_ms", with_data_ms},
+                          {"obs_disabled_ms", obs_disabled_ms},
+                          {"obs_enabled_ms", obs_enabled_ms},
+                          {"obs_enabled_overhead_pct", obs_enabled_overhead_pct}});
 }
 
 void BM_Stage_Validate(benchmark::State& state) {
@@ -136,7 +177,8 @@ BENCHMARK(BM_EndToEnd_WithData);
 }  // namespace cmif
 
 int main(int argc, char** argv) {
-  cmif::PrintFigure();
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

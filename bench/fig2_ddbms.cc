@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench/bench_json.h"
 #include "src/base/string_util.h"
 #include "src/ddbms/store.h"
 
@@ -36,9 +37,12 @@ DescriptorStore MakeStore(std::int64_t n, bool with_index) {
   return store;
 }
 
-void PrintFigure() {
+void PrintFigure(const std::string& bench_json) {
   std::cout << "==== Figure 2: descriptor lookup, index vs scan ====\n";
   std::cout << "store size   query                       index-cand   scan-cand\n";
+  std::size_t last_indexed = 0;
+  std::size_t last_scanned = 0;
+  std::size_t last_hits = 0;
   for (std::int64_t n : {100, 1000, 10000, 100000}) {
     DescriptorStore store = MakeStore(n, true);
     auto query = ParseQuery("medium=video & edition=7");
@@ -52,7 +56,15 @@ void PrintFigure() {
     if (a.size() != b.size()) {
       std::cerr << "MISMATCH\n";
     }
+    last_indexed = indexed.candidates_examined;
+    last_scanned = scanned.candidates_examined;
+    last_hits = a.size();
   }
+  bench::AppendBenchJson(bench_json, "fig2_ddbms",
+                         {{"store_size", 100000},
+                          {"indexed_candidates", static_cast<double>(last_indexed)},
+                          {"scan_candidates", static_cast<double>(last_scanned)},
+                          {"hits", static_cast<double>(last_hits)}});
 }
 
 void BM_IndexedEq(benchmark::State& state) {
@@ -123,7 +135,8 @@ BENCHMARK(BM_AddWithIndexes);
 }  // namespace cmif
 
 int main(int argc, char** argv) {
-  cmif::PrintFigure();
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

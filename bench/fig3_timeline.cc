@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench/bench_json.h"
 #include "src/fmt/tree_view.h"
 #include "src/gen/docgen.h"
 #include "src/sched/conflict.h"
@@ -29,7 +30,7 @@ GenWorkload MakeDoc(int leaves, int channels, std::uint64_t seed = 11) {
   return std::move(workload).value();
 }
 
-void PrintFigure() {
+void PrintFigure(const std::string& bench_json) {
   GenWorkload workload = MakeDoc(14, 4);
   auto events = CollectEvents(workload.document, &workload.store);
   if (!events.ok()) {
@@ -45,6 +46,14 @@ void PrintFigure() {
             << TimelineView(result->schedule.ToTimelineRows(workload.document))
             << "\narc table (Figure 9 form):\n"
             << ArcTableView(workload.document.root());
+
+  GenWorkload big = MakeDoc(400, 5);
+  auto big_events = CollectEvents(big.document, &big.store);
+  double schedule_ms =
+      bench::MeanMillis(10, [&] { (void)ComputeSchedule(big.document, *big_events); });
+  bench::AppendBenchJson(bench_json, "fig3_timeline",
+                         {{"events", static_cast<double>(big_events->size())},
+                          {"schedule_ms", schedule_ms}});
 }
 
 void BM_ComputeTimeline(benchmark::State& state) {
@@ -91,7 +100,8 @@ BENCHMARK(BM_RenderTimelineView);
 }  // namespace cmif
 
 int main(int argc, char** argv) {
-  cmif::PrintFigure();
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "bench/bench_json.h"
 #include "src/doc/stats.h"
 #include "src/doc/validate.h"
 #include "src/fmt/tree_view.h"
@@ -27,7 +28,7 @@ NewsWorkload& SharedNews() {
   return *kWorkload;
 }
 
-void PrintFigure() {
+void PrintFigure(const std::string& bench_json) {
   NewsWorkload& workload = SharedNews();
   std::cout << "==== Figure 4b: the CMIF template ====\n"
             << ConventionalTreeView(workload.document.root());
@@ -46,6 +47,13 @@ void PrintFigure() {
             << "\n==== exact rows ====\n"
             << TimelineTable(result->schedule.ToTimelineRows(workload.document));
   std::cout << StatsToString(ComputeStats(workload.document, &workload.store));
+
+  double schedule_ms =
+      bench::MeanMillis(20, [&] { (void)ComputeSchedule(workload.document, *events); });
+  bench::AppendBenchJson(bench_json, "fig4_news",
+                         {{"nodes", static_cast<double>(workload.document.root().SubtreeSize())},
+                          {"events", static_cast<double>(events->size())},
+                          {"schedule_ms", schedule_ms}});
 }
 
 void BM_BuildNews(benchmark::State& state) {
@@ -96,7 +104,8 @@ BENCHMARK(BM_PlayNews);
 }  // namespace cmif
 
 int main(int argc, char** argv) {
-  cmif::PrintFigure();
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

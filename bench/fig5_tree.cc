@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench/bench_json.h"
 #include "src/fmt/parser.h"
 #include "src/fmt/tree_view.h"
 #include "src/fmt/writer.h"
@@ -29,12 +30,21 @@ GenWorkload MakeDoc(int leaves, int max_depth, int max_fanout) {
   return std::move(workload).value();
 }
 
-void PrintFigure() {
+void PrintFigure(const std::string& bench_json) {
   GenWorkload workload = MakeDoc(8, 3, 3);
   std::cout << "==== Figure 5a: conventional form ====\n"
             << ConventionalTreeView(workload.document.root())
             << "\n==== Figure 5b: embedded form ====\n"
             << EmbeddedTreeView(workload.document.root());
+
+  GenWorkload big = MakeDoc(400, 5, 4);
+  auto text = WriteDocument(big.document);
+  double serialize_ms = bench::MeanMillis(20, [&] { (void)WriteDocument(big.document); });
+  double parse_ms = bench::MeanMillis(20, [&] { (void)ParseDocument(*text); });
+  bench::AppendBenchJson(bench_json, "fig5_tree",
+                         {{"bytes", static_cast<double>(text->size())},
+                          {"serialize_ms", serialize_ms},
+                          {"parse_ms", parse_ms}});
 }
 
 void BM_Serialize(benchmark::State& state) {
@@ -107,7 +117,8 @@ BENCHMARK(BM_CloneTree)->Arg(100)->Arg(400);
 }  // namespace cmif
 
 int main(int argc, char** argv) {
-  cmif::PrintFigure();
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

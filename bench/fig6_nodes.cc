@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "bench/bench_json.h"
 #include "src/attr/registry.h"
 #include "src/fmt/writer.h"
 
@@ -35,13 +36,17 @@ std::unique_ptr<Node> SampleNode(NodeKind kind) {
   return node;
 }
 
-void PrintFigure() {
+void PrintFigure(const std::string& bench_json) {
   std::cout << "==== Figure 6: the four node formats ====\n";
+  std::vector<std::pair<std::string, double>> fields;
   for (NodeKind kind : {NodeKind::kSeq, NodeKind::kPar, NodeKind::kImm, NodeKind::kExt}) {
     auto node = SampleNode(kind);
     auto text = WriteNode(*node, WriteOptions{.indent_width = 2, .header_comment = false});
     std::cout << "-- " << NodeKindName(kind) << "node --\n" << *text;
+    fields.emplace_back(std::string(NodeKindName(kind)) + "_bytes",
+                        static_cast<double>(text->size()));
   }
+  bench::AppendBenchJson(bench_json, "fig6_nodes", fields);
 }
 
 void BM_NodeConstruct(benchmark::State& state) {
@@ -121,7 +126,8 @@ BENCHMARK(BM_ResolvePath)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace cmif
 
 int main(int argc, char** argv) {
-  cmif::PrintFigure();
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

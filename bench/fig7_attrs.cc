@@ -7,15 +7,23 @@
 
 #include <iostream>
 
+#include "bench/bench_json.h"
 #include "src/attr/inherit.h"
 #include "src/base/string_util.h"
 
 namespace cmif {
 namespace {
 
-void PrintFigure() {
+StyleDictionary ChainedStyles(int depth);
+
+void PrintFigure(const std::string& bench_json) {
   std::cout << "==== Figure 7: the standard attribute table ====\n"
             << AttrRegistry::Standard().ToTable();
+
+  StyleDictionary styles = ChainedStyles(64);
+  double expand_ms = bench::MeanMillis(50, [&] { (void)styles.Expand("s63"); });
+  bench::AppendBenchJson(bench_json, "fig7_attrs",
+                         {{"style_chain_depth", 64}, {"expand_chain_ms", expand_ms}});
 }
 
 void BM_RegistryFind(benchmark::State& state) {
@@ -115,7 +123,8 @@ BENCHMARK(BM_NonInheritedShortCircuits);
 }  // namespace cmif
 
 int main(int argc, char** argv) {
-  cmif::PrintFigure();
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

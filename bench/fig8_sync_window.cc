@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench/bench_json.h"
 #include "src/base/string_util.h"
 #include "src/news/evening_news.h"
 #include "src/present/filter.h"
@@ -55,9 +56,12 @@ std::pair<bool, std::size_t> SolveUnder(NewsWorkload& workload, const SystemProf
   return {result->feasible, result->dropped_arcs.size()};
 }
 
-void PrintFigure() {
+void PrintFigure(const std::string& bench_json) {
   std::cout << "==== Figure 8: delay-window sweep (must-arc max_delay) ====\n";
   std::cout << "profile       window(ms)  feasible  dropped-may-arcs\n";
+  int feasible_count = 0;
+  int total_configs = 0;
+  std::size_t dropped_total = 0;
   for (const SystemProfile& profile :
        {WorkstationProfile(), PersonalSystemProfile(), PortableMonoProfile()}) {
     for (std::int64_t max_ms : {0L, 50L, 250L, 1000L, -1L}) {
@@ -66,8 +70,15 @@ void PrintFigure() {
       std::cout << StrFormat("%-13s %-11s %-9s %zu\n", profile.name.c_str(),
                              max_ms < 0 ? "inf" : std::to_string(max_ms).c_str(),
                              feasible ? "yes" : "NO", dropped);
+      ++total_configs;
+      feasible_count += feasible ? 1 : 0;
+      dropped_total += dropped;
     }
   }
+  bench::AppendBenchJson(bench_json, "fig8_sync_window",
+                         {{"configs", static_cast<double>(total_configs)},
+                          {"feasible", static_cast<double>(feasible_count)},
+                          {"dropped_may_arcs_total", static_cast<double>(dropped_total)}});
 }
 
 void BM_SolveWithWindow(benchmark::State& state) {
@@ -114,7 +125,8 @@ BENCHMARK(BM_InjectCapability);
 }  // namespace cmif
 
 int main(int argc, char** argv) {
-  cmif::PrintFigure();
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench/bench_json.h"
 #include "src/base/string_util.h"
 #include "src/fmt/tree_view.h"
 #include "src/gen/docgen.h"
@@ -38,10 +39,29 @@ std::size_t CountArcs(const Document& doc) {
   return n;
 }
 
-void PrintFigure() {
+void PrintFigure(const std::string& bench_json) {
   GenWorkload workload = MakeDoc(10, 1.2, 0.5);
   std::cout << "==== Figure 9: synchronization arcs in tabular form ====\n"
             << ArcTableView(workload.document.root());
+
+  GenWorkload big = MakeDoc(200, 1.5, 0.0);
+  auto events = CollectEvents(big.document, &big.store);
+  auto graph = TimeGraph::Build(big.document, *events);
+  SolveResult spfa = SolveStn(*graph, SolverAlgorithm::kSpfa);
+  SolveResult bellman_ford = SolveStn(*graph, SolverAlgorithm::kNaiveBellmanFord);
+  double spfa_ms =
+      bench::MeanMillis(20, [&] { (void)SolveStn(*graph, SolverAlgorithm::kSpfa); });
+  double bf_ms = bench::MeanMillis(
+      20, [&] { (void)SolveStn(*graph, SolverAlgorithm::kNaiveBellmanFord); });
+  bench::AppendBenchJson(
+      bench_json, "fig9_arcs",
+      {{"constraints", static_cast<double>(graph->constraints().size())},
+       {"spfa_propagations", static_cast<double>(spfa.stats.propagations)},
+       {"spfa_iterations", static_cast<double>(spfa.stats.iterations)},
+       {"bf_propagations", static_cast<double>(bellman_ford.stats.propagations)},
+       {"bf_iterations", static_cast<double>(bellman_ford.stats.iterations)},
+       {"spfa_ms", spfa_ms},
+       {"bf_ms", bf_ms}});
 }
 
 void BM_SolveVsArcs(benchmark::State& state) {
@@ -145,7 +165,8 @@ BENCHMARK(BM_ArcTableRender);
 }  // namespace cmif
 
 int main(int argc, char** argv) {
-  cmif::PrintFigure();
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,5 +1,6 @@
 #include "src/base/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
@@ -8,7 +9,30 @@ namespace {
 
 LogLevel g_threshold = LogLevel::kWarning;
 
-const char* LevelTag(LogLevel level) {
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+// The default sink: the pre-LogSink stderr behaviour, unchanged.
+class StderrLogSink : public LogSink {
+ public:
+  void Write(LogLevel level, const char* file, int line, const std::string& message) override {
+    std::fprintf(stderr, "[%.*s %s:%d] %s\n", static_cast<int>(LogLevelTag(level).size()),
+                 LogLevelTag(level).data(), Basename(file), line, message.c_str());
+  }
+};
+
+LogSink* DefaultSink() {
+  static StderrLogSink* const kSink = new StderrLogSink();
+  return kSink;
+}
+
+std::atomic<LogSink*> g_sink{nullptr};  // nullptr = default stderr sink
+
+}  // namespace
+
+std::string_view LogLevelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "D";
@@ -22,22 +46,50 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
-const char* Basename(const char* path) {
-  const char* slash = std::strrchr(path, '/');
-  return slash != nullptr ? slash + 1 : path;
-}
-
-}  // namespace
-
 void SetLogThreshold(LogLevel level) { g_threshold = level; }
 
 LogLevel GetLogThreshold() { return g_threshold; }
+
+LogSink* SetLogSink(LogSink* sink) {
+  LogSink* previous = g_sink.exchange(sink, std::memory_order_acq_rel);
+  return previous;
+}
 
 void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
   if (level < g_threshold) {
     return;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line, message.c_str());
+  LogSink* sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) {
+    sink = DefaultSink();
+  }
+  sink->Write(level, file, line, message);
+}
+
+void ScopedLogCapture::Write(LogLevel level, const char* file, int line,
+                             const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(Line{level, Basename(file), line, message});
+}
+
+std::vector<ScopedLogCapture::Line> ScopedLogCapture::lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+std::size_t ScopedLogCapture::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+bool ScopedLogCapture::Contains(std::string_view needle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Line& line : lines_) {
+    if (line.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace cmif

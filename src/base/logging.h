@@ -1,21 +1,72 @@
 // Minimal leveled logging. Libraries log sparingly (warnings about dropped
-// "may" arcs, filter decisions); tools may raise the verbosity.
+// "may" arcs, filter decisions); tools may raise the verbosity. Output goes
+// through a pluggable LogSink so tests and structured exporters can capture
+// lines; the default sink writes to stderr.
 #ifndef SRC_BASE_LOGGING_H_
 #define SRC_BASE_LOGGING_H_
 
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace cmif {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
+// One-letter tag for a level: "D", "I", "W", "E".
+std::string_view LogLevelTag(LogLevel level);
+
 // Global threshold; messages below it are discarded. Defaults to kWarning.
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
 
+// Destination for log lines that pass the threshold. Implementations must be
+// thread-safe: Write may be called concurrently.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, const char* file, int line,
+                     const std::string& message) = 0;
+};
+
+// Replaces the global sink; nullptr restores the default stderr sink.
+// Returns the previous sink (nullptr when it was the default). The caller
+// keeps ownership and must keep the sink alive while installed.
+LogSink* SetLogSink(LogSink* sink);
+
 // Emit one log line (used by the CMIF_LOG macro; callable directly too).
 void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Test helper: captures every log line that passes the threshold while
+// alive, then restores the previously installed sink.
+class ScopedLogCapture : public LogSink {
+ public:
+  struct Line {
+    LogLevel level;
+    std::string file;  // basename
+    int line;
+    std::string message;
+  };
+
+  ScopedLogCapture() : previous_(SetLogSink(this)) {}
+  ~ScopedLogCapture() override { SetLogSink(previous_); }
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  void Write(LogLevel level, const char* file, int line, const std::string& message) override;
+
+  std::vector<Line> lines() const;
+  std::size_t size() const;
+  // True if any captured message contains `needle`.
+  bool Contains(std::string_view needle) const;
+
+ private:
+  LogSink* previous_;
+  mutable std::mutex mu_;
+  std::vector<Line> lines_;
+};
 
 // Internal helper: builds the message with stream syntax, emits on destruction.
 class LogCapture {

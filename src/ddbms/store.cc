@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
 namespace cmif {
 
 Status DescriptorStore::Add(DataDescriptor descriptor) {
@@ -30,7 +33,13 @@ void DescriptorStore::Upsert(DataDescriptor descriptor) {
 
 const DataDescriptor* DescriptorStore::Get(const std::string& id) const {
   auto it = slot_by_id_.find(id);
-  return it == slot_by_id_.end() ? nullptr : &descriptors_[it->second];
+  const DataDescriptor* found = it == slot_by_id_.end() ? nullptr : &descriptors_[it->second];
+  if (obs::Enabled()) {
+    static obs::Counter& hits = obs::GetCounter("ddbms.store.hits");
+    static obs::Counter& misses = obs::GetCounter("ddbms.store.misses");
+    (found != nullptr ? hits : misses).Add();
+  }
+  return found;
 }
 
 bool DescriptorStore::Remove(const std::string& id) {
@@ -151,6 +160,12 @@ std::vector<const DataDescriptor*> DescriptorStore::Execute(const Query& query,
   if (!candidates.has_value()) {
     return ExecuteScan(query, stats);
   }
+  if (obs::Enabled()) {
+    obs::GetCounter("ddbms.queries").Add();
+    obs::GetCounter("ddbms.queries_indexed").Add();
+    obs::GetCounter("ddbms.candidates_examined")
+        .Add(static_cast<std::int64_t>(candidates->size()));
+  }
   if (stats != nullptr) {
     stats->used_index = true;
     stats->candidates_examined = candidates->size();
@@ -167,6 +182,12 @@ std::vector<const DataDescriptor*> DescriptorStore::Execute(const Query& query,
 
 std::vector<const DataDescriptor*> DescriptorStore::ExecuteScan(const Query& query,
                                                                 QueryStats* stats) const {
+  if (obs::Enabled()) {
+    obs::GetCounter("ddbms.queries").Add();
+    obs::GetCounter("ddbms.queries_scanned").Add();
+    obs::GetCounter("ddbms.candidates_examined")
+        .Add(static_cast<std::int64_t>(descriptors_.size()));
+  }
   if (stats != nullptr) {
     stats->used_index = false;
     stats->candidates_examined = descriptors_.size();

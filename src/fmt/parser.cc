@@ -1,5 +1,8 @@
 #include "src/fmt/parser.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
 #include "src/attr/parse.h"
 #include "src/base/lexer.h"
 #include "src/base/string_util.h"
@@ -142,6 +145,9 @@ StatusOr<std::unique_ptr<Node>> ParseOneNode(Lexer& lexer) {
 }  // namespace
 
 StatusOr<Document> ParseDocument(const std::string& text) {
+  obs::Span span("fmt.parse");
+  obs::ScopedLatency latency("fmt.parse_ms");
+  span.Annotate("bytes", text.size());
   Lexer lexer(text);
   CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kLParen).status());
   CMIF_ASSIGN_OR_RETURN(Token head, lexer.Expect(TokenKind::kWord));
@@ -171,6 +177,12 @@ StatusOr<Document> ParseDocument(const std::string& text) {
     CMIF_RETURN_IF_ERROR(document.root().AddChild(std::move(child)).status());
   }
   CMIF_RETURN_IF_ERROR(document.LoadDictionariesFromRoot());
+  span.Annotate("nodes", document.root().SubtreeSize());
+  if (obs::Enabled()) {
+    obs::GetCounter("fmt.documents_parsed").Add();
+    obs::GetCounter("fmt.nodes_parsed")
+        .Add(static_cast<std::int64_t>(document.root().SubtreeSize()));
+  }
   return document;
 }
 

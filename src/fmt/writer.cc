@@ -1,5 +1,8 @@
 #include "src/fmt/writer.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
 #include <sstream>
 
 #include "src/base/string_util.h"
@@ -90,6 +93,14 @@ class Writer {
 }  // namespace
 
 StatusOr<std::string> WriteDocument(const Document& document, const WriteOptions& options) {
+  obs::Span span("fmt.serialize");
+  obs::ScopedLatency latency("fmt.serialize_ms");
+  span.Annotate("nodes", document.root().SubtreeSize());
+  if (obs::Enabled()) {
+    obs::GetCounter("fmt.documents_written").Add();
+    obs::GetCounter("fmt.nodes_written")
+        .Add(static_cast<std::int64_t>(document.root().SubtreeSize()));
+  }
   // Serialize a clone so storing the dictionaries does not mutate the input.
   Document copy = document.Clone();
   copy.StoreDictionariesOnRoot();

@@ -1,0 +1,175 @@
+#include "src/obs/export.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/base/string_util.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace cmif {
+namespace obs {
+namespace {
+
+void AppendMetadataEvent(std::ostringstream& os, const char* name, int pid, int tid,
+                         const std::string& value, bool& first) {
+  if (!first) {
+    os << ",\n";
+  }
+  first = false;
+  os << "{\"name\":" << JsonQuote(name) << ",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"tid\":" << tid << ",\"args\":{\"name\":" << JsonQuote(value) << "}}";
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return FailedPreconditionError("cannot write '" + path + "'");
+  }
+  out << contents;
+  out.flush();
+  if (!out) {
+    return FailedPreconditionError("failed writing '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ChromeTraceJson() {
+  std::vector<SpanRecord> spans = SnapshotSpans();
+  std::vector<std::pair<int, std::string>> tracks = SnapshotTracks();
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  AppendMetadataEvent(os, "process_name", kProcessPid, 0, "cmif", first);
+  AppendMetadataEvent(os, "process_name", kTimelinePid, 0, "media timeline", first);
+  for (const auto& [tid, name] : tracks) {
+    AppendMetadataEvent(os, "thread_name", kTimelinePid, tid, name, first);
+  }
+  for (const SpanRecord& span : spans) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "{\"name\":" << JsonQuote(span.name) << ",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":"
+       << JsonNumber(span.start_us) << ",\"dur\":" << JsonNumber(span.duration_us)
+       << ",\"pid\":" << span.pid << ",\"tid\":" << span.tid;
+    os << ",\"args\":{\"span_id\":" << JsonNumber(static_cast<std::int64_t>(span.id))
+       << ",\"parent_id\":" << JsonNumber(static_cast<std::int64_t>(span.parent_id));
+    for (const auto& [key, value] : span.args) {
+      os << "," << JsonQuote(key) << ":" << value;
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  return WriteStringToFile(path, ChromeTraceJson());
+}
+
+std::string MetricsJsonl() {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  std::ostringstream os;
+  registry.VisitCounters([&](const std::string& name, const Counter& counter) {
+    os << "{\"type\":\"counter\",\"name\":" << JsonQuote(name)
+       << ",\"value\":" << JsonNumber(counter.value()) << "}\n";
+  });
+  registry.VisitGauges([&](const std::string& name, const Gauge& gauge) {
+    os << "{\"type\":\"gauge\",\"name\":" << JsonQuote(name)
+       << ",\"value\":" << JsonNumber(gauge.value()) << "}\n";
+  });
+  registry.VisitHistograms([&](const std::string& name, const Histogram& histogram) {
+    os << "{\"type\":\"histogram\",\"name\":" << JsonQuote(name)
+       << ",\"count\":" << JsonNumber(static_cast<std::int64_t>(histogram.count()))
+       << ",\"sum\":" << JsonNumber(histogram.sum())
+       << ",\"mean\":" << JsonNumber(histogram.mean())
+       << ",\"min\":" << JsonNumber(histogram.min())
+       << ",\"max\":" << JsonNumber(histogram.max())
+       << ",\"p50\":" << JsonNumber(histogram.Percentile(50))
+       << ",\"p95\":" << JsonNumber(histogram.Percentile(95))
+       << ",\"p99\":" << JsonNumber(histogram.Percentile(99)) << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      std::uint64_t n = histogram.BucketCountAt(i);
+      if (n == 0) {
+        continue;
+      }
+      if (!first) {
+        os << ",";
+      }
+      first = false;
+      // "le" follows the Prometheus convention: the bucket's upper bound.
+      double upper = Histogram::BucketUpperBound(i);
+      os << "{\"le\":" << (std::isinf(upper) ? std::string("\"inf\"") : JsonNumber(upper))
+         << ",\"n\":" << JsonNumber(static_cast<std::int64_t>(n)) << "}";
+    }
+    os << "]}\n";
+  });
+  return os.str();
+}
+
+Status WriteMetricsJsonl(const std::string& path) {
+  return WriteStringToFile(path, MetricsJsonl());
+}
+
+std::string TextReport() {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  std::ostringstream os;
+  os << "== observability report ==\n";
+  bool any = false;
+  registry.VisitCounters([&](const std::string& name, const Counter& counter) {
+    if (counter.value() != 0) {
+      os << StrFormat("  counter  %-40s %12lld\n", name.c_str(),
+                      static_cast<long long>(counter.value()));
+      any = true;
+    }
+  });
+  registry.VisitGauges([&](const std::string& name, const Gauge& gauge) {
+    if (gauge.value() != 0) {
+      os << StrFormat("  gauge    %-40s %12lld\n", name.c_str(),
+                      static_cast<long long>(gauge.value()));
+      any = true;
+    }
+  });
+  registry.VisitHistograms([&](const std::string& name, const Histogram& histogram) {
+    if (histogram.count() != 0) {
+      os << StrFormat(
+          "  histo    %-40s n=%llu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+          name.c_str(), static_cast<unsigned long long>(histogram.count()), histogram.mean(),
+          histogram.Percentile(50), histogram.Percentile(95), histogram.Percentile(99),
+          histogram.max());
+      any = true;
+    }
+  });
+  std::size_t span_count = SnapshotSpans().size();
+  os << StrFormat("  spans    %zu recorded\n", span_count);
+  if (!any && span_count == 0) {
+    os << "  (nothing recorded; is observability enabled?)\n";
+  }
+  return os.str();
+}
+
+void JsonlLogSink::Write(LogLevel level, const char* file, int line,
+                         const std::string& message) {
+  std::string_view path(file);
+  std::size_t slash = path.rfind('/');
+  if (slash != std::string_view::npos) {
+    path.remove_prefix(slash + 1);
+  }
+  // One self-contained line; streams may interleave between lines only.
+  std::ostringstream os;
+  os << "{\"type\":\"log\",\"level\":" << JsonQuote(LogLevelTag(level))
+     << ",\"file\":" << JsonQuote(path) << ",\"line\":" << JsonNumber(static_cast<std::int64_t>(line))
+     << ",\"message\":" << JsonQuote(message) << "}\n";
+  out_ << os.str();
+}
+
+}  // namespace obs
+}  // namespace cmif

@@ -1,0 +1,51 @@
+// Exporters for the instrumentation buffers: Chrome trace_event JSON
+// (loadable in about:tracing / https://ui.perfetto.dev), a JSONL structured
+// event stream, and a compact text report. All exporters snapshot under the
+// recorder locks and may run while instrumentation is still being recorded.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/base/logging.h"
+#include "src/base/status.h"
+
+namespace cmif {
+namespace obs {
+
+// The full span buffer as one Chrome trace JSON object:
+//   {"displayTimeUnit":"ms","traceEvents":[...]}
+// Wall-clock spans appear under pid 1 ("cmif"), synthetic media-timeline
+// events under pid 2 ("media timeline") with one named thread per track.
+std::string ChromeTraceJson();
+Status WriteChromeTrace(const std::string& path);
+
+// Every registered metric as one JSON object per line:
+//   {"type":"counter","name":...,"value":...}
+//   {"type":"gauge","name":...,"value":...}
+//   {"type":"histogram","name":...,"count":...,"mean":...,"p50":...,
+//    "p95":...,"p99":...,"min":...,"max":...,"buckets":[{"le":...,"n":...}]}
+std::string MetricsJsonl();
+Status WriteMetricsJsonl(const std::string& path);
+
+// Human-readable metric + span totals, for terminal output.
+std::string TextReport();
+
+// A LogSink that renders every log line as one JSONL structured event
+//   {"type":"log","level":"W","file":...,"line":...,"message":...}
+// on the given stream — the bridge from src/base logging into the same
+// machine-readable stream as the metrics.
+class JsonlLogSink : public LogSink {
+ public:
+  explicit JsonlLogSink(std::ostream& out) : out_(out) {}
+  void Write(LogLevel level, const char* file, int line, const std::string& message) override;
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace obs
+}  // namespace cmif
+
+#endif  // SRC_OBS_EXPORT_H_

@@ -1,0 +1,395 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+namespace obs {
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  // Integers small enough to be exact render without a fraction.
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    return JsonNumber(static_cast<std::int64_t>(value));
+  }
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc()) {
+    return "null";
+  }
+  return std::string(buf, ptr);
+}
+
+std::string JsonNumber(std::int64_t value) { return std::to_string(value); }
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+std::string JsonValue::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return boolean_ ? "true" : "false";
+    case Kind::kNumber:
+      return JsonNumber(number_);
+    case Kind::kString:
+      return JsonQuote(string_);
+    case Kind::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          out.push_back(',');
+        }
+        out += array_[i].ToString();
+      }
+      out.push_back(']');
+      return out;
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) {
+          out.push_back(',');
+        }
+        out += JsonQuote(members_[i].first);
+        out.push_back(':');
+        out += members_[i].second.ToString();
+      }
+      out.push_back('}');
+      return out;
+    }
+  }
+  return "null";
+}
+
+JsonValue JsonValue::Null() { return JsonValue(); }
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.boolean_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    CMIF_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return DataLossError(StrFormat("JSON error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue() {
+    if (++depth_ > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    StatusOr<JsonValue> result = [&]() -> StatusOr<JsonValue> {
+      char c = text_[pos_];
+      if (c == '{') {
+        return ParseObject();
+      }
+      if (c == '[') {
+        return ParseArray();
+      }
+      if (c == '"') {
+        auto s = ParseString();
+        if (!s.ok()) {
+          return s.status();
+        }
+        return JsonValue::String(*std::move(s));
+      }
+      if (ConsumeWord("true")) {
+        return JsonValue::Bool(true);
+      }
+      if (ConsumeWord("false")) {
+        return JsonValue::Bool(false);
+      }
+      if (ConsumeWord("null")) {
+        return JsonValue::Null();
+      }
+      return ParseNumber();
+    }();
+    --depth_;
+    return result;
+  }
+
+  StatusOr<JsonValue> ParseObject() {
+    Consume('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return JsonValue::Object(std::move(members));
+    }
+    while (true) {
+      SkipWhitespace();
+      CMIF_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' in object");
+      }
+      CMIF_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return JsonValue::Object(std::move(members));
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray() {
+    Consume('[');
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return JsonValue::Array(std::move(items));
+    }
+    while (true) {
+      CMIF_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return JsonValue::Array(std::move(items));
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Consume('"')) {
+      return Error("expected '\"'");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("expected a value");
+    }
+    double value = 0;
+    auto [ptr, ec] = std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      return Error("malformed number");
+    }
+    return JsonValue::Number(value);
+  }
+
+  static constexpr int kMaxDepth = 256;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(std::string_view text) { return JsonParser(text).Parse(); }
+
+}  // namespace obs
+}  // namespace cmif

@@ -1,0 +1,78 @@
+// Minimal JSON support for the observability exporters: escaping/formatting
+// helpers used by the writers, and a small recursive-descent parser so tests
+// (and future tooling) can round-trip exported traces and reports without an
+// external dependency.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace cmif {
+namespace obs {
+
+// RFC 8259 string escaping, including the surrounding quotes.
+std::string JsonQuote(std::string_view s);
+
+// Shortest round-trippable rendering of a finite double ("null" for NaN/inf,
+// which JSON cannot represent).
+std::string JsonNumber(double value);
+std::string JsonNumber(std::int64_t value);
+
+// A parsed JSON value. Objects preserve member order.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool boolean() const { return boolean_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const { return members_; }
+
+  // First member with this key, or nullptr.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Serializes back to compact JSON.
+  std::string ToString() const;
+
+  static JsonValue Null();
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool boolean_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses one JSON document (trailing whitespace allowed, nothing else).
+// Errors are kDataLoss with an offset hint.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace obs
+}  // namespace cmif
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,211 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/obs/obs.h"
+
+namespace cmif {
+namespace obs {
+namespace {
+
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t Histogram::BucketFor(double value) {
+  if (!(value >= 0.001)) {  // also catches NaN and negatives
+    return 0;
+  }
+  int exponent = std::ilogb(value * 1000.0);
+  std::size_t bucket = static_cast<std::size_t>(exponent) + 1;
+  return std::min(bucket, kBucketCount - 1);
+}
+
+double Histogram::BucketLowerBound(std::size_t i) {
+  return i == 0 ? 0.0 : std::ldexp(0.001, static_cast<int>(i) - 1);
+}
+
+double Histogram::BucketUpperBound(std::size_t i) {
+  return i + 1 >= kBucketCount ? std::numeric_limits<double>::infinity()
+                               : std::ldexp(0.001, static_cast<int>(i));
+}
+
+void Histogram::Record(double value) {
+  if (std::isnan(value)) {
+    return;
+  }
+  value = std::max(value, 0.0);
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+double Histogram::mean() const {
+  std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const {
+  double value = min_.load(std::memory_order_relaxed);
+  return std::isinf(value) ? 0.0 : value;
+}
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::Percentile(double p) const {
+  std::array<std::uint64_t, kBucketCount> snapshot;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(total);
+  double cumulative = 0;
+  std::size_t bucket = kBucketCount - 1;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (cumulative + static_cast<double>(snapshot[i]) >= rank && snapshot[i] > 0) {
+      bucket = i;
+      break;
+    }
+    cumulative += static_cast<double>(snapshot[i]);
+  }
+  double lower = BucketLowerBound(bucket);
+  double upper = std::isinf(BucketUpperBound(bucket)) ? max() : BucketUpperBound(bucket);
+  double inside = snapshot[bucket] == 0
+                      ? 0.0
+                      : (rank - cumulative) / static_cast<double>(snapshot[bucket]);
+  double value = lower + std::clamp(inside, 0.0, 1.0) * (upper - lower);
+  // Interpolation cannot leave the observed range.
+  return std::clamp(value, min(), max());
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* const kInstance = new MetricsRegistry();
+  return *kInstance;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::VisitCounters(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    fn(name, *counter);
+  }
+}
+
+void MetricsRegistry::VisitGauges(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, gauge] : gauges_) {
+    fn(name, *gauge);
+  }
+}
+
+void MetricsRegistry::VisitHistograms(
+    const std::function<void(const std::string&, const Histogram&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, histogram] : histograms_) {
+    fn(name, *histogram);
+  }
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+Counter& GetCounter(std::string_view name) { return MetricsRegistry::Instance().GetCounter(name); }
+
+Gauge& GetGauge(std::string_view name) { return MetricsRegistry::Instance().GetGauge(name); }
+
+Histogram& GetHistogram(std::string_view name) {
+  return MetricsRegistry::Instance().GetHistogram(name);
+}
+
+ScopedLatency::ScopedLatency(std::string_view histogram_name) {
+  if (Enabled()) {
+    histogram_ = &GetHistogram(histogram_name);
+    start_ = std::chrono::steady_clock::now();
+  }
+}
+
+ScopedLatency::~ScopedLatency() {
+  if (histogram_ != nullptr) {
+    histogram_->Record(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count());
+  }
+}
+
+}  // namespace obs
+}  // namespace cmif

@@ -1,0 +1,144 @@
+// The metrics registry: named counters, gauges, and fixed-bucket latency
+// histograms with percentile extraction. All instruments are thread-safe and
+// have stable addresses for the lifetime of the process, so instrumented
+// code may cache references (the static-local pattern). Values are reset for
+// tests; the objects themselves are never destroyed.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmif {
+namespace obs {
+
+// A monotonically increasing event count.
+class Counter {
+ public:
+  void Add(std::int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// A last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// A fixed-bucket histogram over non-negative values (canonically latency in
+// milliseconds). Buckets are log-scaled: bucket 0 holds [0, 1µs), bucket i
+// holds [2^(i-1), 2^i) µs-equivalents, the last bucket holds the overflow.
+// Recording is lock-free; percentile reads interpolate inside the bucket and
+// clamp to the exactly-tracked min/max, so a single-valued histogram reports
+// that value exactly.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 40;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  // Smallest / largest recorded value; 0 when empty.
+  double min() const;
+  double max() const;
+  // The value at percentile `p` in [0, 100]; 0 when empty.
+  double Percentile(double p) const;
+
+  // Lower/upper bound of bucket `i` in recorded-value units.
+  static double BucketLowerBound(std::size_t i);
+  static double BucketUpperBound(std::size_t i);
+  std::uint64_t BucketCountAt(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  static std::size_t BucketFor(double value);
+
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  // +infinity while empty, so concurrent first records cannot lose a minimum.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0};
+};
+
+// The process-wide registry of named instruments.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  // Finds or creates. The returned reference is valid forever.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  // Visits every instrument in name order (all counters, then gauges, then
+  // histograms). The callbacks run with the registry lock held: do not
+  // re-enter the registry from them.
+  void VisitCounters(const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void VisitGauges(const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void VisitHistograms(const std::function<void(const std::string&, const Histogram&)>& fn) const;
+
+  // Zeroes every instrument's value. Objects (and cached references to them)
+  // stay valid.
+  void ResetValues();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Registry accessors (shorthand for MetricsRegistry::Instance().Get*).
+Counter& GetCounter(std::string_view name);
+Gauge& GetGauge(std::string_view name);
+Histogram& GetHistogram(std::string_view name);
+
+// RAII: when observability is enabled at construction, records the elapsed
+// wall-clock milliseconds into the named histogram on destruction.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(std::string_view histogram_name);
+  ~ScopedLatency();
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace cmif
+
+#endif  // SRC_OBS_METRICS_H_

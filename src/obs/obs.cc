@@ -1,0 +1,167 @@
+#include "src/obs/obs.h"
+
+#include <map>
+#include <mutex>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+
+namespace cmif {
+namespace obs {
+
+#ifndef CMIF_OBS_DISABLED
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void SetEnabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+#endif
+
+namespace {
+
+// The process-wide recorder. Leaked singletons: instrumented destructors may
+// run at exit.
+struct Recorder {
+  std::mutex mu;
+  std::vector<SpanRecord> spans;
+  std::map<std::string, int, std::less<>> tracks;
+  int next_track_tid = 1;
+};
+
+Recorder& GetRecorder() {
+  static Recorder* const kRecorder = new Recorder();
+  return *kRecorder;
+}
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<int> g_next_thread_id{1};
+
+// Per-thread state: a small stable id and the stack of open span ids.
+struct ThreadState {
+  int tid = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::uint64_t> open_spans;
+};
+
+ThreadState& GetThreadState() {
+  thread_local ThreadState state;
+  return state;
+}
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point kStart = std::chrono::steady_clock::now();
+  return kStart;
+}
+
+double MicrosSinceStart(std::chrono::steady_clock::time_point at) {
+  return std::chrono::duration<double, std::micro>(at - ProcessStart()).count();
+}
+
+}  // namespace
+
+Span::Span(std::string_view name) {
+  if (!Enabled()) {
+    return;
+  }
+  active_ = true;
+  ThreadState& state = GetThreadState();
+  record_.name = std::string(name);
+  record_.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  record_.parent_id = state.open_spans.empty() ? 0 : state.open_spans.back();
+  record_.tid = state.tid;
+  state.open_spans.push_back(record_.id);
+  start_ = std::chrono::steady_clock::now();
+  record_.start_us = MicrosSinceStart(start_);
+}
+
+Span::~Span() {
+  if (!active_) {
+    return;
+  }
+  record_.duration_us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start_)
+          .count();
+  ThreadState& state = GetThreadState();
+  if (!state.open_spans.empty() && state.open_spans.back() == record_.id) {
+    state.open_spans.pop_back();
+  }
+  Recorder& recorder = GetRecorder();
+  std::lock_guard<std::mutex> lock(recorder.mu);
+  recorder.spans.push_back(std::move(record_));
+}
+
+void Span::Annotate(std::string_view key, std::string_view value) {
+  if (active_) {
+    record_.args.emplace_back(std::string(key), JsonQuote(value));
+  }
+}
+
+void Span::Annotate(std::string_view key, double value) {
+  if (active_) {
+    record_.args.emplace_back(std::string(key), JsonNumber(value));
+  }
+}
+
+void Span::AnnotateInt(std::string_view key, std::int64_t value) {
+  if (active_) {
+    record_.args.emplace_back(std::string(key), JsonNumber(value));
+  }
+}
+
+int TimelineTrack(std::string_view name) {
+  Recorder& recorder = GetRecorder();
+  std::lock_guard<std::mutex> lock(recorder.mu);
+  auto it = recorder.tracks.find(name);
+  if (it == recorder.tracks.end()) {
+    it = recorder.tracks.emplace(std::string(name), recorder.next_track_tid++).first;
+  }
+  return it->second;
+}
+
+void EmitTimelineEvent(int track, std::string_view name, double start_us, double duration_us,
+                       std::vector<std::pair<std::string, std::string>> args) {
+  if (!Enabled()) {
+    return;
+  }
+  SpanRecord record;
+  record.name = std::string(name);
+  record.args = std::move(args);
+  record.start_us = start_us;
+  record.duration_us = duration_us;
+  record.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  record.pid = kTimelinePid;
+  record.tid = track;
+  Recorder& recorder = GetRecorder();
+  std::lock_guard<std::mutex> lock(recorder.mu);
+  recorder.spans.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> SnapshotSpans() {
+  Recorder& recorder = GetRecorder();
+  std::lock_guard<std::mutex> lock(recorder.mu);
+  return recorder.spans;
+}
+
+std::vector<std::pair<int, std::string>> SnapshotTracks() {
+  Recorder& recorder = GetRecorder();
+  std::lock_guard<std::mutex> lock(recorder.mu);
+  std::vector<std::pair<int, std::string>> out;
+  out.reserve(recorder.tracks.size());
+  for (const auto& [name, tid] : recorder.tracks) {
+    out.emplace_back(tid, name);
+  }
+  return out;
+}
+
+void ResetSpans() {
+  Recorder& recorder = GetRecorder();
+  std::lock_guard<std::mutex> lock(recorder.mu);
+  recorder.spans.clear();
+}
+
+void ResetAll() {
+  ResetSpans();
+  MetricsRegistry::Instance().ResetValues();
+}
+
+}  // namespace obs
+}  // namespace cmif

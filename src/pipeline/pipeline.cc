@@ -5,6 +5,8 @@
 
 #include "src/base/string_util.h"
 #include "src/doc/event.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
 #include "src/present/virtual_env.h"
 
 namespace cmif {
@@ -19,9 +21,11 @@ class StageTimer {
     auto start = std::chrono::steady_clock::now();
     auto result = fn();
     auto end = std::chrono::steady_clock::now();
-    stages_.push_back(StageTiming{
-        std::move(stage),
-        std::chrono::duration<double, std::milli>(end - start).count()});
+    double millis = std::chrono::duration<double, std::milli>(end - start).count();
+    if (obs::Enabled()) {
+      obs::GetHistogram("pipeline." + stage + "_ms").Record(millis);
+    }
+    stages_.push_back(StageTiming{std::move(stage), millis});
     return result;
   }
 
@@ -66,52 +70,90 @@ StatusOr<PipelineReport> RunPipeline(const Document& document, const DescriptorS
                                      const BlockStore& blocks, const PipelineOptions& options) {
   PipelineReport report;
   StageTimer timer(report.stages);
+  obs::Span pipeline_span("pipeline");
+  pipeline_span.Annotate("apply_filters", options.apply_filters);
+  pipeline_span.Annotate("profile", options.profile.name);
+  if (obs::Enabled()) {
+    obs::GetCounter("pipeline.runs").Add();
+  }
 
   // Stage 1: structure validation (the Document Structure Mapping Tool's
   // output check).
-  report.validation = timer.Time("validate", [&] { return ValidateDocument(document, &store); });
+  {
+    obs::Span span("validate");
+    report.validation =
+        timer.Time("validate", [&] { return ValidateDocument(document, &store); });
+    span.Annotate("nodes", document.root().SubtreeSize());
+    span.Annotate("errors", report.validation.error_count());
+    span.Annotate("warnings", report.validation.warning_count());
+  }
   CMIF_RETURN_IF_ERROR(report.validation.ToStatus());
 
   // Stage 2: presentation mapping into the virtual environment.
   VirtualEnvironment env =
       VirtualEnvironment::NewsLayout(options.canvas_width, options.canvas_height);
-  auto mapped = timer.Time("present-map",
-                           [&] { return PresentationMap::AutoMap(document.channels(), env); });
-  CMIF_RETURN_IF_ERROR(mapped.status());
-  report.presentation_map = std::move(mapped).value();
+  {
+    obs::Span span("present-map");
+    auto mapped = timer.Time("present-map",
+                             [&] { return PresentationMap::AutoMap(document.channels(), env); });
+    CMIF_RETURN_IF_ERROR(mapped.status());
+    report.presentation_map = std::move(mapped).value();
+    span.Annotate("channels", document.channels().channels().size());
+  }
   CMIF_RETURN_IF_ERROR(report.presentation_map.Validate(document.channels(), env));
 
   // Stage 3a: constraint-filter planning (descriptor attributes only).
-  auto plan = timer.Time("filter-plan",
-                         [&] { return PlanDocumentFilter(document, store, options.profile); });
-  CMIF_RETURN_IF_ERROR(plan.status());
-  report.filter = std::move(plan).value();
+  {
+    obs::Span span("filter-plan");
+    auto plan = timer.Time("filter-plan",
+                           [&] { return PlanDocumentFilter(document, store, options.profile); });
+    CMIF_RETURN_IF_ERROR(plan.status());
+    report.filter = std::move(plan).value();
+    span.Annotate("descriptors", report.filter.plans.size());
+    span.Annotate("bytes_before", report.filter.total_bytes_before);
+    span.Annotate("bytes_after", report.filter.total_bytes_after);
+  }
 
   // Stage 3b: optional filter application (touches the media payloads).
   DescriptorStore filtered;
   const DescriptorStore* playback_store = &store;
   if (options.apply_filters) {
+    obs::Span span("filter-apply");
     auto applied = timer.Time(
         "filter-apply", [&] { return ApplyDocumentFilter(store, blocks, report.filter); });
     CMIF_RETURN_IF_ERROR(applied.status());
     filtered = std::move(applied).value();
     playback_store = &filtered;
+    span.Annotate("bytes_touched", report.filter.total_bytes_before);
+    span.Annotate("descriptors", filtered.size());
   }
 
   // Stage 4: scheduling with capability constraints from the profile.
-  auto events = timer.Time("collect-events",
-                           [&] { return CollectEvents(document, playback_store); });
+  StatusOr<std::vector<EventDescriptor>> events = [&] {
+    obs::Span span("collect-events");
+    auto collected = timer.Time("collect-events",
+                                [&] { return CollectEvents(document, playback_store); });
+    if (collected.ok()) {
+      span.Annotate("events", collected->size());
+    }
+    return collected;
+  }();
   CMIF_RETURN_IF_ERROR(events.status());
-  auto scheduled = timer.Time("schedule", [&]() -> StatusOr<ScheduleResult> {
-    ScheduleOptions schedule_options;
-    CMIF_ASSIGN_OR_RETURN(TimeGraph graph,
-                          TimeGraph::Build(document, *events, schedule_options.graph));
-    CMIF_RETURN_IF_ERROR(
-        InjectCapabilityConstraints(graph, document, *events, options.profile));
-    return SolveSchedule(graph, *events, schedule_options);
-  });
-  CMIF_RETURN_IF_ERROR(scheduled.status());
-  report.schedule = std::move(scheduled).value();
+  {
+    obs::Span span("schedule");
+    auto scheduled = timer.Time("schedule", [&]() -> StatusOr<ScheduleResult> {
+      ScheduleOptions schedule_options;
+      CMIF_ASSIGN_OR_RETURN(TimeGraph graph,
+                            TimeGraph::Build(document, *events, schedule_options.graph));
+      CMIF_RETURN_IF_ERROR(
+          InjectCapabilityConstraints(graph, document, *events, options.profile));
+      return SolveSchedule(graph, *events, schedule_options);
+    });
+    CMIF_RETURN_IF_ERROR(scheduled.status());
+    report.schedule = std::move(scheduled).value();
+    span.Annotate("feasible", report.schedule.feasible);
+    span.Annotate("dropped_arcs", report.schedule.dropped_arcs.size());
+  }
   if (!report.schedule.feasible) {
     return report;  // conflicts are in the report; nothing to play
   }
@@ -119,11 +161,16 @@ StatusOr<PipelineReport> RunPipeline(const Document& document, const DescriptorS
   // Stage 5: viewing.
   PlayerOptions player = options.player;
   player.profile = options.profile;
-  auto played = timer.Time("play", [&] {
-    return Play(document, report.schedule.schedule, playback_store, player);
-  });
-  CMIF_RETURN_IF_ERROR(played.status());
-  report.playback = std::move(played).value();
+  {
+    obs::Span span("play");
+    auto played = timer.Time("play", [&] {
+      return Play(document, report.schedule.schedule, playback_store, player);
+    });
+    CMIF_RETURN_IF_ERROR(played.status());
+    report.playback = std::move(played).value();
+    span.Annotate("presentations", report.playback.trace.size());
+    span.Annotate("freezes", report.playback.trace.FreezeCount());
+  }
   return report;
 }
 

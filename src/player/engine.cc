@@ -4,6 +4,10 @@
 #include <map>
 #include <optional>
 
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
 namespace cmif {
 namespace {
 
@@ -48,6 +52,11 @@ std::size_t PayloadBytes(const EventDescriptor& event, const DescriptorStore* st
 StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule,
                               const DescriptorStore* store, const PlayerOptions& options) {
   PlaybackResult result;
+  obs::Span run_span("player.run");
+  obs::ScopedLatency run_latency("player.run_ms");
+  if (obs::Enabled()) {
+    obs::GetCounter("player.runs").Add();
+  }
   result.clock.SetRate(options.rate_num, options.rate_den);
 
   // One device per channel.
@@ -123,8 +132,29 @@ StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule
     entry.actual_end = end;
     device.Present(entry.label, target, actual, end, bytes);
     result.clock.AdvanceDocumentTo(scheduled->end);
+    if (obs::Enabled()) {
+      // `lateness` is the raw device lateness, before any freeze absorbed it.
+      double lateness_ms = lateness.ToSecondsF() * 1000;
+      obs::GetHistogram("player.lateness_ms." + entry.channel).Record(lateness_ms);
+      if (entry.caused_freeze) {
+        obs::GetCounter("player.freezes").Add();
+        obs::GetHistogram("player.freeze_ms").Record(entry.freeze_amount.ToSecondsF() * 1000);
+      }
+      // The presentation itself, as a media-timeline span (one Perfetto track
+      // per channel, timestamped in media time).
+      int track = obs::TimelineTrack("channel:" + entry.channel);
+      obs::EmitTimelineEvent(
+          track, entry.label, entry.actual_begin.ToSecondsF() * 1e6,
+          (entry.actual_end - entry.actual_begin).ToSecondsF() * 1e6,
+          {{"lateness_ms", obs::JsonNumber(lateness_ms)},
+           {"bytes", obs::JsonNumber(static_cast<std::int64_t>(bytes))},
+           {"froze", entry.caused_freeze ? "true" : "false"}});
+    }
     result.trace.Append(std::move(entry));
   }
+  run_span.Annotate("presentations", result.trace.size());
+  run_span.Annotate("skipped", result.events_skipped);
+  run_span.Annotate("freezes", result.trace.FreezeCount());
   return result;
 }
 

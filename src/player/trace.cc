@@ -1,9 +1,12 @@
 #include "src/player/trace.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
 #include "src/base/string_util.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
 
 namespace cmif {
 
@@ -27,6 +30,9 @@ MediaTime PlaybackTrace::TotalFreeze() const {
 
 std::map<std::string, ChannelJitter> PlaybackTrace::JitterByChannel() const {
   std::map<std::string, ChannelJitter> out;
+  // Histograms are neither copyable nor movable (atomics), so they live
+  // beside the result map during the pass.
+  std::map<std::string, std::unique_ptr<obs::Histogram>> histograms;
   for (const TraceEntry& entry : entries_) {
     ChannelJitter& jitter = out[entry.channel];
     double ms = entry.lateness.ToSecondsF() * 1000;
@@ -35,6 +41,17 @@ std::map<std::string, ChannelJitter> PlaybackTrace::JitterByChannel() const {
         static_cast<double>(jitter.presentations + 1);
     jitter.max_lateness_ms = std::max(jitter.max_lateness_ms, ms);
     ++jitter.presentations;
+    auto& histogram = histograms[entry.channel];
+    if (histogram == nullptr) {
+      histogram = std::make_unique<obs::Histogram>();
+    }
+    histogram->Record(ms);
+  }
+  for (auto& [channel, histogram] : histograms) {
+    ChannelJitter& jitter = out[channel];
+    jitter.p50_lateness_ms = histogram->Percentile(50);
+    jitter.p95_lateness_ms = histogram->Percentile(95);
+    jitter.p99_lateness_ms = histogram->Percentile(99);
   }
   return out;
 }
@@ -58,6 +75,45 @@ Status PlaybackTrace::Verify() const {
     }
   }
   return Status::Ok();
+}
+
+std::string PlaybackTrace::ToJson() const {
+  std::ostringstream os;
+  os << "{\"presentations\":" << entries_.size() << ",\"freezes\":" << FreezeCount()
+     << ",\"total_freeze_s\":" << obs::JsonNumber(TotalFreeze().ToSecondsF());
+  os << ",\"entries\":[";
+  bool first = true;
+  for (const TraceEntry& entry : entries_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"label\":" << obs::JsonQuote(entry.label)
+       << ",\"channel\":" << obs::JsonQuote(entry.channel)
+       << ",\"scheduled_begin_s\":" << obs::JsonNumber(entry.scheduled_begin.ToSecondsF())
+       << ",\"target_begin_s\":" << obs::JsonNumber(entry.target_begin.ToSecondsF())
+       << ",\"actual_begin_s\":" << obs::JsonNumber(entry.actual_begin.ToSecondsF())
+       << ",\"actual_end_s\":" << obs::JsonNumber(entry.actual_end.ToSecondsF())
+       << ",\"lateness_ms\":" << obs::JsonNumber(entry.lateness.ToSecondsF() * 1000)
+       << ",\"caused_freeze\":" << (entry.caused_freeze ? "true" : "false")
+       << ",\"freeze_ms\":" << obs::JsonNumber(entry.freeze_amount.ToSecondsF() * 1000) << "}";
+  }
+  os << "],\"jitter\":{";
+  first = true;
+  for (const auto& [channel, jitter] : JitterByChannel()) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << obs::JsonQuote(channel) << ":{\"presentations\":" << jitter.presentations
+       << ",\"mean_lateness_ms\":" << obs::JsonNumber(jitter.mean_lateness_ms)
+       << ",\"max_lateness_ms\":" << obs::JsonNumber(jitter.max_lateness_ms)
+       << ",\"p50_lateness_ms\":" << obs::JsonNumber(jitter.p50_lateness_ms)
+       << ",\"p95_lateness_ms\":" << obs::JsonNumber(jitter.p95_lateness_ms)
+       << ",\"p99_lateness_ms\":" << obs::JsonNumber(jitter.p99_lateness_ms) << "}";
+  }
+  os << "}}";
+  return os.str();
 }
 
 std::string PlaybackTrace::Summary() const {

@@ -30,11 +30,17 @@ struct TraceEntry {
   MediaTime freeze_amount;
 };
 
-// Lateness statistics for one channel.
+// Lateness statistics for one channel. Percentiles come from an
+// obs::Histogram over the channel's per-event lateness, so they carry the
+// histogram's log-bucket resolution (exact for uniform traces, bucket-
+// interpolated otherwise); mean and max are exact.
 struct ChannelJitter {
   std::size_t presentations = 0;
   double mean_lateness_ms = 0;
   double max_lateness_ms = 0;
+  double p50_lateness_ms = 0;
+  double p95_lateness_ms = 0;
+  double p99_lateness_ms = 0;
 };
 
 // The full run record.
@@ -57,6 +63,11 @@ class PlaybackTrace {
 
   // A compact multi-line summary.
   std::string Summary() const;
+
+  // The full run record as one JSON object: entries, per-channel jitter
+  // (including percentiles), and freeze totals. Parseable with
+  // obs::ParseJson.
+  std::string ToJson() const;
 
  private:
   std::vector<TraceEntry> entries_;

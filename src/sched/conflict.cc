@@ -1,6 +1,8 @@
 #include "src/sched/conflict.h"
 
 #include "src/base/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
 
 namespace cmif {
 
@@ -53,11 +55,27 @@ StatusOr<ScheduleResult> SolveSchedule(TimeGraph& graph,
                                        const std::vector<EventDescriptor>& events,
                                        const ScheduleOptions& options) {
   ScheduleResult result;
+  obs::Span span("solve-schedule");
+  if (obs::Enabled()) {
+    obs::GetCounter("sched.schedules").Add();
+  }
+  std::size_t rounds = 0;
   for (std::size_t round = 0; round <= options.max_relaxations; ++round) {
+    rounds = round + 1;
     result.solve = SolveStn(graph);
     if (result.solve.feasible) {
       result.feasible = true;
       CMIF_ASSIGN_OR_RETURN(result.schedule, Schedule::FromSolve(graph, events, result.solve));
+      if (obs::Enabled()) {
+        // Every round beyond the first was an infeasibility backtrack that
+        // dropped one may arc and re-solved.
+        obs::GetCounter("sched.backtracks").Add(static_cast<std::int64_t>(rounds - 1));
+        obs::GetCounter("sched.may_arcs_dropped")
+            .Add(static_cast<std::int64_t>(result.dropped_arcs.size()));
+      }
+      span.Annotate("rounds", rounds);
+      span.Annotate("dropped_arcs", result.dropped_arcs.size());
+      span.Annotate("feasible", true);
       return result;
     }
     Conflict conflict = DescribeCycle(graph, result.solve.conflict_cycle);
@@ -67,6 +85,12 @@ StatusOr<ScheduleResult> SolveSchedule(TimeGraph& graph,
     result.conflicts.push_back(std::move(conflict));
     if (droppable == static_cast<std::size_t>(-1)) {
       result.feasible = false;
+      if (obs::Enabled()) {
+        obs::GetCounter("sched.backtracks").Add(static_cast<std::int64_t>(rounds - 1));
+        obs::GetCounter("sched.infeasible_documents").Add();
+      }
+      span.Annotate("rounds", rounds);
+      span.Annotate("feasible", false);
       return result;
     }
     const Constraint& dropped = graph.constraints()[droppable];

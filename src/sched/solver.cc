@@ -4,6 +4,9 @@
 #include <deque>
 #include <numeric>
 
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
 namespace cmif {
 namespace {
 
@@ -24,7 +27,8 @@ struct Edge {
 // than V times proves a negative cycle.
 template <typename W>
 std::size_t Spfa(int source, std::size_t point_count, const std::vector<Edge<W>>& edges,
-                 std::vector<std::optional<W>>& dist, std::vector<int>& pred_edge) {
+                 std::vector<std::optional<W>>& dist, std::vector<int>& pred_edge,
+                 SolveStats& stats) {
   dist.assign(point_count, std::nullopt);
   pred_edge.assign(point_count, -1);
 
@@ -44,6 +48,7 @@ std::size_t Spfa(int source, std::size_t point_count, const std::vector<Edge<W>>
   while (!queue.empty()) {
     int v = queue.front();
     queue.pop_front();
+    ++stats.iterations;
     in_queue[static_cast<std::size_t>(v)] = 0;
     W base = *dist[static_cast<std::size_t>(v)];
     for (int e : out_edges[static_cast<std::size_t>(v)]) {
@@ -52,6 +57,7 @@ std::size_t Spfa(int source, std::size_t point_count, const std::vector<Edge<W>>
       auto& to = dist[static_cast<std::size_t>(edge.head)];
       if (!to.has_value() || candidate < *to) {
         to = candidate;
+        ++stats.propagations;
         pred_edge[static_cast<std::size_t>(edge.head)] = e;
         if (!in_queue[static_cast<std::size_t>(edge.head)]) {
           if (++enqueues[static_cast<std::size_t>(edge.head)] > point_count) {
@@ -76,12 +82,14 @@ std::size_t Spfa(int source, std::size_t point_count, const std::vector<Edge<W>>
 // Classic edge-list Bellman-Ford: the O(V * E) ablation baseline.
 template <typename W>
 std::size_t BellmanFord(int source, std::size_t point_count, const std::vector<Edge<W>>& edges,
-                        std::vector<std::optional<W>>& dist, std::vector<int>& pred_edge) {
+                        std::vector<std::optional<W>>& dist, std::vector<int>& pred_edge,
+                        SolveStats& stats) {
   dist.assign(point_count, std::nullopt);
   pred_edge.assign(point_count, -1);
   dist[static_cast<std::size_t>(source)] = W();
   bool changed = true;
   for (std::size_t pass = 0; pass + 1 < point_count && changed; ++pass) {
+    ++stats.iterations;
     changed = false;
     for (std::size_t e = 0; e < edges.size(); ++e) {
       const Edge<W>& edge = edges[e];
@@ -94,6 +102,7 @@ std::size_t BellmanFord(int source, std::size_t point_count, const std::vector<E
       if (!to.has_value() || candidate < *to) {
         to = candidate;
         pred_edge[static_cast<std::size_t>(edge.head)] = static_cast<int>(e);
+        ++stats.propagations;
         changed = true;
       }
     }
@@ -259,12 +268,14 @@ template <typename W, typename ToTime>
 void SolveWith(SolverAlgorithm algorithm, std::size_t n, const std::vector<Edge<W>>& forward,
                const std::vector<Edge<W>>& backward, const ToTime& to_time,
                SolveResult& result) {
-  auto run = [algorithm](int source, std::size_t points, const std::vector<Edge<W>>& edges,
-                         std::vector<std::optional<W>>& dist, std::vector<int>& pred_edge) {
+  auto run = [algorithm, &result](int source, std::size_t points,
+                                  const std::vector<Edge<W>>& edges,
+                                  std::vector<std::optional<W>>& dist,
+                                  std::vector<int>& pred_edge) {
     if (algorithm == SolverAlgorithm::kSpfa) {
-      return Spfa(source, points, edges, dist, pred_edge);
+      return Spfa(source, points, edges, dist, pred_edge, result.stats);
     }
-    return BellmanFord(source, points, edges, dist, pred_edge);
+    return BellmanFord(source, points, edges, dist, pred_edge, result.stats);
   };
 
   // Pass 1 (reversed graph): feasibility and earliest times.
@@ -273,6 +284,7 @@ void SolveWith(SolverAlgorithm algorithm, std::size_t n, const std::vector<Edge<
   std::size_t bad_edge = run(0, n, backward, dist, pred);
   if (bad_edge != kNone) {
     result.feasible = false;
+    ++result.stats.negative_cycles;
     result.conflict_cycle = ExtractCycle(backward[bad_edge].head, n, backward, pred);
     return;
   }
@@ -298,6 +310,8 @@ void SolveWith(SolverAlgorithm algorithm, std::size_t n, const std::vector<Edge<
 
 SolveResult SolveStn(const TimeGraph& graph, SolverAlgorithm algorithm) {
   SolveResult result;
+  obs::Span span("solve-stn");
+  obs::ScopedLatency latency("sched.solver.solve_ms");
   std::size_t n = graph.point_count();
   if (n == 0) {
     result.feasible = true;
@@ -313,10 +327,25 @@ SolveResult SolveStn(const TimeGraph& graph, SolverAlgorithm algorithm) {
     SolveWith(
         algorithm, n, forward, backward,
         [lcm](std::int64_t ticks) { return MediaTime::Rational(ticks, lcm); }, result);
-    return result;
+  } else {
+    SolveWith(
+        algorithm, n, edges.forward, edges.backward, [](MediaTime t) { return t; }, result);
   }
-  SolveWith(
-      algorithm, n, edges.forward, edges.backward, [](MediaTime t) { return t; }, result);
+  if (obs::Enabled()) {
+    obs::GetCounter("sched.solver.solves").Add();
+    obs::GetCounter("sched.solver.propagations")
+        .Add(static_cast<std::int64_t>(result.stats.propagations));
+    obs::GetCounter("sched.solver.iterations")
+        .Add(static_cast<std::int64_t>(result.stats.iterations));
+    if (!result.feasible) {
+      obs::GetCounter("sched.solver.infeasible").Add();
+    }
+    span.Annotate("points", n);
+    span.Annotate("constraints", graph.constraints().size());
+    span.Annotate("propagations", result.stats.propagations);
+    span.Annotate("iterations", result.stats.iterations);
+    span.Annotate("feasible", result.feasible);
+  }
   return result;
 }
 

@@ -13,6 +13,18 @@
 
 namespace cmif {
 
+// Work counters for one SolveStn call (both passes), for the observability
+// metrics and the algorithm-comparison benches.
+struct SolveStats {
+  // Successful distance improvements (label propagations).
+  std::size_t propagations = 0;
+  // Queue pops (SPFA) or full edge-list passes (Bellman-Ford).
+  std::size_t iterations = 0;
+  // Negative cycles hit (0 or 1 per solve; counted across relaxation loops
+  // by the scheduler as infeasibility backtracks).
+  std::size_t negative_cycles = 0;
+};
+
 // The outcome of solving one network.
 struct SolveResult {
   bool feasible = false;
@@ -25,6 +37,7 @@ struct SolveResult {
   // constraints forming one negative cycle — the minimal inconsistent story
   // to show the author.
   std::vector<std::size_t> conflict_cycle;
+  SolveStats stats;
 
   // Latest − earliest for a point; nullopt when unbounded.
   std::optional<MediaTime> Slack(std::size_t point) const;

@@ -1,0 +1,62 @@
+#include "src/base/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace {
+
+TEST(LogLevelTagTest, OneLetterPerLevel) {
+  EXPECT_EQ(LogLevelTag(LogLevel::kDebug), "D");
+  EXPECT_EQ(LogLevelTag(LogLevel::kInfo), "I");
+  EXPECT_EQ(LogLevelTag(LogLevel::kWarning), "W");
+  EXPECT_EQ(LogLevelTag(LogLevel::kError), "E");
+}
+
+TEST(ScopedLogCaptureTest, CapturesLinesAboveThreshold) {
+  ScopedLogCapture capture;
+  CMIF_LOG(kWarning) << "captured " << 7;
+  CMIF_LOG(kError) << "also captured";
+  ASSERT_EQ(capture.size(), 2u);
+  auto lines = capture.lines();
+  EXPECT_EQ(lines[0].level, LogLevel::kWarning);
+  EXPECT_EQ(lines[0].message, "captured 7");
+  EXPECT_EQ(lines[0].file, "logging_test.cc");
+  EXPECT_GT(lines[0].line, 0);
+  EXPECT_TRUE(capture.Contains("also captured"));
+  EXPECT_FALSE(capture.Contains("never logged"));
+}
+
+TEST(ScopedLogCaptureTest, ThresholdStillFilters) {
+  ScopedLogCapture capture;
+  ASSERT_EQ(GetLogThreshold(), LogLevel::kWarning);
+  CMIF_LOG(kDebug) << "below threshold";
+  CMIF_LOG(kInfo) << "also below";
+  EXPECT_EQ(capture.size(), 0u);
+  SetLogThreshold(LogLevel::kDebug);
+  CMIF_LOG(kDebug) << "now visible";
+  SetLogThreshold(LogLevel::kWarning);
+  EXPECT_TRUE(capture.Contains("now visible"));
+}
+
+TEST(ScopedLogCaptureTest, NestedCapturesRestoreThePreviousSink) {
+  ScopedLogCapture outer;
+  {
+    ScopedLogCapture inner;
+    CMIF_LOG(kWarning) << "inner only";
+    EXPECT_EQ(inner.size(), 1u);
+  }
+  CMIF_LOG(kWarning) << "outer again";
+  EXPECT_FALSE(outer.Contains("inner only"));
+  EXPECT_TRUE(outer.Contains("outer again"));
+}
+
+TEST(SetLogSinkTest, NullRestoresDefaultAndReturnsPrevious) {
+  ScopedLogCapture capture;
+  LogSink* previous = SetLogSink(nullptr);  // back to stderr default
+  EXPECT_EQ(previous, &capture);
+  // Reinstall so the capture's destructor restores cleanly.
+  SetLogSink(&capture);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,194 @@
+#include "src/obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace cmif {
+namespace obs {
+namespace {
+
+// Splits JSONL text into parsed objects, failing the test on a bad line.
+std::vector<JsonValue> ParseJsonl(const std::string& text) {
+  std::vector<JsonValue> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    auto parsed = ParseJson(line);
+    EXPECT_TRUE(parsed.ok()) << line;
+    if (parsed.ok()) {
+      lines.push_back(*std::move(parsed));
+    }
+  }
+  return lines;
+}
+
+TEST(ChromeTraceTest, RoundTripsThroughTheJsonParser) {
+  ResetAll();
+  {
+    ScopedEnable enable;
+    Span outer("outer");
+    outer.Annotate("k", "v");
+    { Span inner("inner"); }
+    int track = TimelineTrack("channel:video");
+    EmitTimelineEvent(track, "clip", 0.0, 1000.0);
+  }
+  auto trace = ParseJson(ChromeTraceJson());
+  ASSERT_TRUE(trace.ok());
+  const JsonValue* unit = trace->Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string(), "ms");
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  bool saw_process_meta = false;
+  bool saw_outer = false;
+  bool saw_inner_with_parent = false;
+  bool saw_timeline_clip = false;
+  std::uint64_t outer_id = 0;
+  for (const JsonValue& event : events->array()) {
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string() == "M") {
+      const JsonValue* name = event.Find("name");
+      if (name != nullptr && name->string() == "process_name") {
+        saw_process_meta = true;
+      }
+      continue;
+    }
+    EXPECT_EQ(ph->string(), "X");
+    const JsonValue* name = event.Find("name");
+    ASSERT_NE(name, nullptr);
+    if (name->string() == "outer") {
+      saw_outer = true;
+      EXPECT_DOUBLE_EQ(event.Find("pid")->number(), kProcessPid);
+      EXPECT_GE(event.Find("dur")->number(), 0.0);
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->Find("k")->string(), "v");
+      outer_id = static_cast<std::uint64_t>(args->Find("span_id")->number());
+    }
+  }
+  // Second pass now that outer_id is known.
+  for (const JsonValue& event : events->array()) {
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr) {
+      continue;
+    }
+    if (name->string() == "inner") {
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      saw_inner_with_parent =
+          static_cast<std::uint64_t>(args->Find("parent_id")->number()) == outer_id;
+    }
+    if (name->string() == "clip") {
+      saw_timeline_clip = event.Find("pid")->number() == kTimelinePid;
+    }
+  }
+  EXPECT_TRUE(saw_process_meta);
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner_with_parent);
+  EXPECT_TRUE(saw_timeline_clip);
+  ResetAll();
+}
+
+TEST(MetricsJsonlTest, EmitsParseableLinesWithPercentiles) {
+  MetricsRegistry::Instance().ResetValues();
+  GetCounter("export.test.counter").Add(12);
+  GetGauge("export.test.gauge").Set(-4);
+  Histogram& histogram = GetHistogram("export.test.histogram");
+  for (int i = 0; i < 100; ++i) {
+    histogram.Record(1.0 + i * 0.1);
+  }
+  auto lines = ParseJsonl(MetricsJsonl());
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  bool saw_histogram = false;
+  for (const JsonValue& line : lines) {
+    const JsonValue* name = line.Find("name");
+    const JsonValue* type = line.Find("type");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(type, nullptr);
+    if (name->string() == "export.test.counter") {
+      saw_counter = true;
+      EXPECT_EQ(type->string(), "counter");
+      EXPECT_DOUBLE_EQ(line.Find("value")->number(), 12.0);
+    }
+    if (name->string() == "export.test.gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(type->string(), "gauge");
+      EXPECT_DOUBLE_EQ(line.Find("value")->number(), -4.0);
+    }
+    if (name->string() == "export.test.histogram") {
+      saw_histogram = true;
+      EXPECT_EQ(type->string(), "histogram");
+      EXPECT_DOUBLE_EQ(line.Find("count")->number(), 100.0);
+      EXPECT_GT(line.Find("p50")->number(), 0.0);
+      EXPECT_LE(line.Find("p50")->number(), line.Find("p99")->number());
+      EXPECT_DOUBLE_EQ(line.Find("min")->number(), 1.0);
+      ASSERT_NE(line.Find("buckets"), nullptr);
+      EXPECT_TRUE(line.Find("buckets")->is_array());
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_histogram);
+  MetricsRegistry::Instance().ResetValues();
+}
+
+TEST(TextReportTest, MentionsNonZeroInstruments) {
+  MetricsRegistry::Instance().ResetValues();
+  GetCounter("export.test.text").Add(3);
+  std::string report = TextReport();
+  EXPECT_NE(report.find("export.test.text"), std::string::npos);
+  MetricsRegistry::Instance().ResetValues();
+}
+
+TEST(JsonlLogSinkTest, RendersLogLinesAsJson) {
+  std::ostringstream out;
+  JsonlLogSink sink(out);
+  LogSink* previous = SetLogSink(&sink);
+  CMIF_LOG(kWarning) << "structured " << 42;
+  SetLogSink(previous);
+  auto lines = ParseJsonl(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].Find("type")->string(), "log");
+  EXPECT_EQ(lines[0].Find("level")->string(), "W");
+  EXPECT_EQ(lines[0].Find("message")->string(), "structured 42");
+  EXPECT_GT(lines[0].Find("line")->number(), 0.0);
+}
+
+TEST(WriteExportersTest, WriteFilesToDisk) {
+  ResetAll();
+  {
+    ScopedEnable enable;
+    Span span("written");
+  }
+  GetCounter("export.test.write").Add(1);
+  std::string trace_path = ::testing::TempDir() + "/obs_trace.json";
+  std::string metrics_path = ::testing::TempDir() + "/obs_metrics.jsonl";
+  ASSERT_TRUE(WriteChromeTrace(trace_path).ok());
+  ASSERT_TRUE(WriteMetricsJsonl(metrics_path).ok());
+  std::ifstream trace_file(trace_path);
+  std::stringstream trace_text;
+  trace_text << trace_file.rdbuf();
+  EXPECT_TRUE(ParseJson(trace_text.str()).ok());
+  EXPECT_FALSE(WriteChromeTrace("/nonexistent-dir/x.json").ok());
+  MetricsRegistry::Instance().ResetValues();
+  ResetAll();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cmif

@@ -1,0 +1,91 @@
+#include "src/obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace cmif {
+namespace obs {
+namespace {
+
+TEST(JsonQuoteTest, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(JsonQuote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonQuote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(JsonQuote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(JsonNumberTest, IntegersRenderWithoutFraction) {
+  EXPECT_EQ(JsonNumber(3.0), "3");
+  EXPECT_EQ(JsonNumber(std::int64_t{-42}), "-42");
+  EXPECT_EQ(JsonNumber(0.0), "0");
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonNumberTest, DoublesRoundTrip) {
+  std::string text = JsonNumber(1.5);
+  EXPECT_EQ(text, "1.5");
+  auto parsed = ParseJson(JsonNumber(0.1));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->number(), 0.1);
+}
+
+TEST(ParseJsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->boolean());
+  EXPECT_FALSE(ParseJson("false")->boolean());
+  EXPECT_DOUBLE_EQ(ParseJson("-2.5e2")->number(), -250.0);
+  EXPECT_EQ(ParseJson("\"a\\u0041b\"")->string(), "aAb");
+}
+
+TEST(ParseJsonTest, ParsesNestedStructure) {
+  auto v = ParseJson(R"({"a":[1,2,{"b":"c"}],"d":null})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[0].number(), 1.0);
+  const JsonValue* b = a->array()[2].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->string(), "c");
+  EXPECT_TRUE(v->Find("d")->is_null());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(ParseJsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("1 trailing").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+}
+
+TEST(ParseJsonTest, RoundTripsThroughToString) {
+  const std::string text = R"({"name":"x","values":[1,2.5,true,null],"nested":{"k":"v"}})";
+  auto v = ParseJson(text);
+  ASSERT_TRUE(v.ok());
+  auto again = ParseJson(v->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), v->ToString());
+}
+
+TEST(JsonValueTest, FactoriesBuildWhatTheyClaim) {
+  JsonValue object = JsonValue::Object(
+      {{"n", JsonValue::Number(7)}, {"s", JsonValue::String("hi")}});
+  EXPECT_TRUE(object.is_object());
+  EXPECT_DOUBLE_EQ(object.Find("n")->number(), 7.0);
+  EXPECT_EQ(object.Find("s")->string(), "hi");
+  EXPECT_EQ(object.ToString(), R"({"n":7,"s":"hi"})");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cmif

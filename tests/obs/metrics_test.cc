@@ -1,0 +1,175 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/obs/obs.h"
+
+namespace cmif {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Set(-3);
+  EXPECT_EQ(gauge.value(), -3);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValueIsReportedExactly) {
+  Histogram h;
+  h.Record(3.7);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.7);
+  EXPECT_DOUBLE_EQ(h.max(), 3.7);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 3.7);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 3.7);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 3.7);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.7);
+}
+
+TEST(HistogramTest, PercentilesOrderAndBracketTheData) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(i * 0.1);  // 0.1 .. 100 ms
+  }
+  double p50 = h.Percentile(50);
+  double p95 = h.Percentile(95);
+  double p99 = h.Percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  // Log-bucket interpolation: p50 of a uniform 0.1..100 spread lands within
+  // a factor of two of the true median.
+  EXPECT_GT(p50, 25.0);
+  EXPECT_LT(p50, 100.0);
+  EXPECT_GT(p99, 50.0);
+}
+
+TEST(HistogramTest, NegativeAndNaNInputsAreSafe) {
+  Histogram h;
+  h.Record(-5.0);  // clamped to 0
+  h.Record(std::numeric_limits<double>::quiet_NaN());  // skipped
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundsAreMonotonic) {
+  for (std::size_t i = 0; i + 1 < Histogram::kBucketCount; ++i) {
+    EXPECT_LT(Histogram::BucketLowerBound(i), Histogram::BucketUpperBound(i));
+    EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(i), Histogram::BucketLowerBound(i + 1));
+  }
+}
+
+TEST(HistogramTest, ResetRestoresEmptyState) {
+  Histogram h;
+  h.Record(5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+  h.Record(2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+}
+
+TEST(MetricsRegistryTest, InstrumentsKeepStableAddresses) {
+  Counter& a = GetCounter("test.stable");
+  a.Add(5);
+  MetricsRegistry::Instance().ResetValues();
+  Counter& b = GetCounter("test.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 0);
+}
+
+TEST(MetricsRegistryTest, VisitSeesRegisteredInstruments) {
+  GetCounter("test.visit.counter").Add(3);
+  GetGauge("test.visit.gauge").Set(7);
+  GetHistogram("test.visit.histogram").Record(1.0);
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  bool saw_histogram = false;
+  MetricsRegistry::Instance().VisitCounters(
+      [&](const std::string& name, const Counter& counter) {
+        if (name == "test.visit.counter") {
+          saw_counter = true;
+          EXPECT_EQ(counter.value(), 3);
+        }
+      });
+  MetricsRegistry::Instance().VisitGauges([&](const std::string& name, const Gauge& gauge) {
+    saw_gauge |= name == "test.visit.gauge" && gauge.value() == 7;
+  });
+  MetricsRegistry::Instance().VisitHistograms(
+      [&](const std::string& name, const Histogram& histogram) {
+        saw_histogram |= name == "test.visit.histogram" && histogram.count() == 1;
+      });
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_histogram);
+  MetricsRegistry::Instance().ResetValues();
+}
+
+TEST(MetricsRegistryTest, ConcurrentCounterHammerLosesNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  Counter& counter = GetCounter("test.hammer.counter");
+  Histogram& histogram = GetHistogram("test.hammer.histogram");
+  counter.Reset();
+  histogram.Reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram, t] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.Add();
+        histogram.Record(0.001 * ((t * kIncrements + i) % 997));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.value(), kThreads * kIncrements);
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.001 * 996);
+  MetricsRegistry::Instance().ResetValues();
+}
+
+TEST(ScopedLatencyTest, RecordsOnlyWhenEnabled) {
+  Histogram& histogram = GetHistogram("test.scoped_latency");
+  histogram.Reset();
+  { ScopedLatency latency("test.scoped_latency"); }
+  EXPECT_EQ(histogram.count(), 0u);  // obs disabled by default
+  {
+    ScopedEnable enable;
+    ScopedLatency latency("test.scoped_latency");
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+  MetricsRegistry::Instance().ResetValues();
+  ResetAll();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cmif

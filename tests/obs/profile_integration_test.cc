@@ -1,0 +1,129 @@
+// End-to-end instrumentation check on the Evening News: run the full
+// pipeline with observability enabled and assert that the exported trace and
+// metrics tell the whole capture→structure→map→filter→schedule→play story.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/fmt/parser.h"
+#include "src/fmt/writer.h"
+#include "src/news/evening_news.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/pipeline/pipeline.h"
+
+namespace cmif {
+namespace obs {
+namespace {
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans, std::string_view name) {
+  auto it = std::find_if(spans.begin(), spans.end(),
+                         [&](const SpanRecord& s) { return s.name == name; });
+  return it == spans.end() ? nullptr : &*it;
+}
+
+TEST(ProfileIntegrationTest, PipelineRunEmitsTheFullStory) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+
+  ResetAll();
+  MetricsRegistry::Instance().ResetValues();
+  {
+    ScopedEnable enable;
+    // The profile tool's extra framing: parse under a "structure" span.
+    auto text = WriteDocument(workload->document);
+    ASSERT_TRUE(text.ok());
+    {
+      Span structure("structure");
+      ASSERT_TRUE(ParseDocument(*text).ok());
+    }
+    PipelineOptions options;
+    options.profile = PersonalSystemProfile();
+    options.apply_filters = true;
+    auto report = RunPipeline(workload->document, workload->store, workload->blocks, options);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->schedule.feasible);
+  }
+
+  auto spans = SnapshotSpans();
+  const SpanRecord* pipeline = FindSpan(spans, "pipeline");
+  ASSERT_NE(pipeline, nullptr);
+  // Every stage nests under the pipeline span.
+  for (const char* stage : {"validate", "present-map", "filter-plan", "filter-apply",
+                            "collect-events", "schedule", "play"}) {
+    const SpanRecord* span = FindSpan(spans, stage);
+    ASSERT_NE(span, nullptr) << stage;
+    EXPECT_EQ(span->parent_id, pipeline->id) << stage;
+  }
+  // The parse ran under "structure", and the solver under "schedule".
+  const SpanRecord* structure = FindSpan(spans, "structure");
+  const SpanRecord* parse = FindSpan(spans, "fmt.parse");
+  ASSERT_NE(structure, nullptr);
+  ASSERT_NE(parse, nullptr);
+  EXPECT_EQ(parse->parent_id, structure->id);
+  ASSERT_NE(FindSpan(spans, "solve-stn"), nullptr);
+
+  // Solver work counters made it into the registry.
+  EXPECT_GT(GetCounter("sched.solver.solves").value(), 0);
+  EXPECT_GT(GetCounter("sched.solver.iterations").value(), 0);
+  EXPECT_GT(GetCounter("sched.solver.propagations").value(), 0);
+  EXPECT_GT(GetCounter("pipeline.runs").value(), 0);
+  EXPECT_GT(GetCounter("fmt.documents_parsed").value(), 0);
+
+  // Per-channel lateness histograms exist for the news channels.
+  bool saw_lateness = false;
+  MetricsRegistry::Instance().VisitHistograms(
+      [&](const std::string& name, const Histogram& histogram) {
+        if (name.rfind("player.lateness_ms.", 0) == 0) {
+          saw_lateness |= histogram.count() > 0;
+        }
+      });
+  EXPECT_TRUE(saw_lateness);
+
+  // The exported trace parses and carries both process tracks.
+  auto trace = ParseJson(ChromeTraceJson());
+  ASSERT_TRUE(trace.ok());
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_wall = false;
+  bool saw_timeline = false;
+  for (const JsonValue& event : events->array()) {
+    const JsonValue* pid = event.Find("pid");
+    const JsonValue* ph = event.Find("ph");
+    if (pid == nullptr || ph == nullptr || ph->string() != "X") {
+      continue;
+    }
+    saw_wall |= pid->number() == kProcessPid;
+    saw_timeline |= pid->number() == kTimelinePid;
+  }
+  EXPECT_TRUE(saw_wall);
+  EXPECT_TRUE(saw_timeline);
+
+  // The metrics stream parses line by line and includes the solver counters.
+  std::string jsonl = MetricsJsonl();
+  EXPECT_NE(jsonl.find("sched.solver.iterations"), std::string::npos);
+  EXPECT_NE(jsonl.find("player.lateness_ms."), std::string::npos);
+
+  ResetAll();
+  MetricsRegistry::Instance().ResetValues();
+}
+
+TEST(ProfileIntegrationTest, DisabledRunRecordsNothing) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  ResetAll();
+  MetricsRegistry::Instance().ResetValues();
+  ASSERT_FALSE(Enabled());
+  PipelineOptions options;
+  options.profile = PersonalSystemProfile();
+  auto report = RunPipeline(workload->document, workload->store, workload->blocks, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(SnapshotSpans().empty());
+  EXPECT_EQ(GetCounter("pipeline.runs").value(), 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cmif

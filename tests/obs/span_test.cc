@@ -1,0 +1,148 @@
+#include "src/obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+namespace cmif {
+namespace obs {
+namespace {
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans, std::string_view name) {
+  auto it = std::find_if(spans.begin(), spans.end(),
+                         [&](const SpanRecord& s) { return s.name == name; });
+  return it == spans.end() ? nullptr : &*it;
+}
+
+TEST(SpanTest, DisabledSpansRecordNothing) {
+  ResetAll();
+  ASSERT_FALSE(Enabled());
+  {
+    Span span("ghost");
+    span.Annotate("k", "v");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(SnapshotSpans().empty());
+}
+
+TEST(SpanTest, NestedSpansLinkParentIds) {
+  ResetAll();
+  ScopedEnable enable;
+  {
+    Span outer("outer");
+    EXPECT_TRUE(outer.active());
+    {
+      Span inner("inner");
+      { Span leaf("leaf"); }
+    }
+    Span sibling("sibling");
+  }
+  auto spans = SnapshotSpans();
+  const SpanRecord* outer = FindSpan(spans, "outer");
+  const SpanRecord* inner = FindSpan(spans, "inner");
+  const SpanRecord* leaf = FindSpan(spans, "leaf");
+  const SpanRecord* sibling = FindSpan(spans, "sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(inner->parent_id, outer->id);
+  EXPECT_EQ(leaf->parent_id, inner->id);
+  EXPECT_EQ(sibling->parent_id, outer->id);
+  ResetAll();
+}
+
+TEST(SpanTest, SpanTimesNestWithinParent) {
+  ResetAll();
+  ScopedEnable enable;
+  {
+    Span outer("outer");
+    { Span inner("inner"); }
+  }
+  auto spans = SnapshotSpans();
+  const SpanRecord* outer = FindSpan(spans, "outer");
+  const SpanRecord* inner = FindSpan(spans, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(inner->start_us, outer->start_us);
+  EXPECT_LE(inner->start_us + inner->duration_us,
+            outer->start_us + outer->duration_us + 1.0);
+  ResetAll();
+}
+
+TEST(SpanTest, AnnotationsArePreRenderedJson) {
+  ResetAll();
+  ScopedEnable enable;
+  {
+    Span span("annotated");
+    span.Annotate("text", "hello");
+    span.Annotate("count", std::size_t{7});
+    span.Annotate("ratio", 0.5);
+    span.Annotate("flag", true);
+  }
+  auto spans = SnapshotSpans();
+  const SpanRecord* span = FindSpan(spans, "annotated");
+  ASSERT_NE(span, nullptr);
+  ASSERT_EQ(span->args.size(), 4u);
+  EXPECT_EQ(span->args[0].first, "text");
+  EXPECT_EQ(span->args[0].second, "\"hello\"");
+  EXPECT_EQ(span->args[1].second, "7");
+  EXPECT_EQ(span->args[2].second, "0.5");
+  EXPECT_EQ(span->args[3].second, "1");
+  ResetAll();
+}
+
+TEST(SpanTest, ThreadsGetDistinctTids) {
+  ResetAll();
+  ScopedEnable enable;
+  { Span here("main-thread"); }
+  std::thread other([] { Span there("other-thread"); });
+  other.join();
+  auto spans = SnapshotSpans();
+  const SpanRecord* here = FindSpan(spans, "main-thread");
+  const SpanRecord* there = FindSpan(spans, "other-thread");
+  ASSERT_NE(here, nullptr);
+  ASSERT_NE(there, nullptr);
+  EXPECT_NE(here->tid, there->tid);
+  EXPECT_EQ(there->parent_id, 0u);  // nesting is per-thread
+  ResetAll();
+}
+
+TEST(SpanTest, TimelineTracksAreStableAndNamed) {
+  ResetAll();
+  ScopedEnable enable;
+  int video = TimelineTrack("channel:video");
+  int audio = TimelineTrack("channel:audio");
+  EXPECT_NE(video, audio);
+  EXPECT_EQ(TimelineTrack("channel:video"), video);
+  EmitTimelineEvent(video, "clip", 1000.0, 2000.0, {{"bytes", "42"}});
+  auto spans = SnapshotSpans();
+  const SpanRecord* clip = FindSpan(spans, "clip");
+  ASSERT_NE(clip, nullptr);
+  EXPECT_EQ(clip->pid, kTimelinePid);
+  EXPECT_EQ(clip->tid, video);
+  EXPECT_DOUBLE_EQ(clip->start_us, 1000.0);
+  EXPECT_DOUBLE_EQ(clip->duration_us, 2000.0);
+  auto tracks = SnapshotTracks();
+  bool found = false;
+  for (const auto& [tid, name] : tracks) {
+    found |= tid == video && name == "channel:video";
+  }
+  EXPECT_TRUE(found);
+  ResetAll();
+}
+
+TEST(SpanTest, ResetSpansClearsBufferOnly) {
+  ResetAll();
+  ScopedEnable enable;
+  { Span span("gone"); }
+  EXPECT_FALSE(SnapshotSpans().empty());
+  ResetSpans();
+  EXPECT_TRUE(SnapshotSpans().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cmif

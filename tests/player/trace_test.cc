@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/json.h"
+
 namespace cmif {
 namespace {
 
@@ -90,6 +92,46 @@ TEST(PlaybackTraceTest, SummaryMentionsChannels) {
   std::string summary = trace.Summary();
   EXPECT_NE(summary.find("video"), std::string::npos);
   EXPECT_NE(summary.find("1 presentations"), std::string::npos);
+}
+
+TEST(PlaybackTraceTest, JitterPercentilesTrackLateness) {
+  PlaybackTrace trace;
+  // A single lateness value: every percentile reports it exactly.
+  trace.Append(Entry("x", "audio", 0, 12, 1000));
+  // A spread on video: percentiles order and bracket the data.
+  for (int i = 0; i < 100; ++i) {
+    trace.Append(Entry("v", "video", i * 1000, i * 1000 + i, i * 1000 + 500));
+  }
+  auto jitter = trace.JitterByChannel();
+  EXPECT_DOUBLE_EQ(jitter["audio"].p50_lateness_ms, 12.0);
+  EXPECT_DOUBLE_EQ(jitter["audio"].p99_lateness_ms, 12.0);
+  EXPECT_LE(jitter["video"].p50_lateness_ms, jitter["video"].p95_lateness_ms);
+  EXPECT_LE(jitter["video"].p95_lateness_ms, jitter["video"].p99_lateness_ms);
+  EXPECT_LE(jitter["video"].p99_lateness_ms, jitter["video"].max_lateness_ms);
+  EXPECT_GT(jitter["video"].p95_lateness_ms, 0.0);
+}
+
+TEST(PlaybackTraceTest, ToJsonRoundTripsThroughTheParser) {
+  PlaybackTrace trace;
+  trace.Append(Entry("a", "video", 0, 10, 500));
+  trace.Append(Entry("b", "video", 500, 700, 1200, true));
+  auto parsed = obs::ParseJson(trace.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->Find("presentations")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("freezes")->number(), 1.0);
+  const obs::JsonValue* entries = parsed->Find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->array().size(), 2u);
+  EXPECT_EQ(entries->array()[0].Find("label")->string(), "a");
+  EXPECT_DOUBLE_EQ(entries->array()[1].Find("lateness_ms")->number(), 200.0);
+  EXPECT_TRUE(entries->array()[1].Find("caused_freeze")->boolean());
+  const obs::JsonValue* jitter = parsed->Find("jitter");
+  ASSERT_NE(jitter, nullptr);
+  const obs::JsonValue* video = jitter->Find("video");
+  ASSERT_NE(video, nullptr);
+  EXPECT_DOUBLE_EQ(video->Find("presentations")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(video->Find("max_lateness_ms")->number(), 200.0);
+  EXPECT_GT(video->Find("p99_lateness_ms")->number(), 0.0);
 }
 
 }  // namespace

@@ -7,11 +7,15 @@
 //   cmif_tool schedule <doc> [catalog]       timeline (Figure 3/10 view)
 //   cmif_tool play <doc> <catalog> [profile] simulate playback, print trace
 //   cmif_tool render <doc> <catalog> <sec> <out.ppm>   compose one frame
+//   cmif_tool profile <doc> <catalog> [profile] [--trace out.json] [--metrics out.jsonl]
+//                                            run instrumented, export trace + metrics
 //
 // Profiles: workstation (default), personal, portable.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <vector>
 
 #include "src/ddbms/persist.h"
 #include "src/doc/stats.h"
@@ -20,6 +24,9 @@
 #include "src/fmt/tree_view.h"
 #include "src/fmt/writer.h"
 #include "src/news/evening_news.h"
+#include "src/obs/export.h"
+#include "src/obs/obs.h"
+#include "src/pipeline/pipeline.h"
 #include "src/player/engine.h"
 #include "src/present/compositor.h"
 #include "src/sched/conflict.h"
@@ -246,11 +253,112 @@ int CmdRender(const std::string& doc_path, const std::string& catalog_path,
   return 0;
 }
 
+// profile <doc> <catalog> [profile] [--trace out.json] [--metrics out.jsonl]
+// Runs the full pipeline with instrumentation on and exports the run:
+// Chrome trace JSON (open in ui.perfetto.dev), metrics JSONL, and a text
+// report on stdout.
+int CmdProfile(const std::vector<std::string>& args) {
+  std::vector<std::string> positional;
+  std::string trace_path;
+  std::string metrics_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i] == "--metrics" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() < 2 || positional.size() > 3) {
+    std::cerr << "usage: cmif_tool profile <doc> <catalog> [profile]"
+                 " [--trace out.json] [--metrics out.jsonl]\n";
+    return 2;
+  }
+  const std::string& doc_path = positional[0];
+  const std::string& catalog_path = positional[1];
+  std::string profile_name = positional.size() > 2 ? positional[2] : "";
+
+  obs::ScopedEnable enable;
+  obs::ResetAll();
+
+  // Capture: pull the raw bytes off storage.
+  std::string doc_text;
+  std::string catalog_text;
+  {
+    obs::Span span("capture");
+    span.Annotate("document", doc_path);
+    auto text = ReadFile(doc_path);
+    if (!text.ok()) {
+      return Fail(text.status());
+    }
+    doc_text = std::move(text).value();
+    std::size_t bytes = doc_text.size();
+    if (!catalog_path.empty()) {
+      auto catalog = ReadFile(catalog_path);
+      if (!catalog.ok()) {
+        return Fail(catalog.status());
+      }
+      catalog_text = std::move(catalog).value();
+      bytes += catalog_text.size();
+    }
+    span.Annotate("bytes", bytes);
+  }
+
+  // Structure: parse the document and catalog into the in-memory forms.
+  std::optional<Document> document;
+  DescriptorStore store;
+  {
+    obs::Span span("structure");
+    auto parsed = ParseDocument(doc_text);
+    if (!parsed.ok()) {
+      return Fail(parsed.status());
+    }
+    document.emplace(std::move(parsed).value());
+    if (!catalog_text.empty()) {
+      auto catalog = ReadCatalog(catalog_text);
+      if (!catalog.ok()) {
+        return Fail(catalog.status());
+      }
+      store = std::move(catalog).value();
+    }
+    span.Annotate("nodes", document->root().SubtreeSize());
+    span.Annotate("descriptors", store.size());
+  }
+
+  // Map → filter → schedule → play, with per-stage spans from RunPipeline.
+  BlockStore blocks;
+  PipelineOptions options;
+  options.profile = ProfileByName(profile_name);
+  auto report = RunPipeline(*document, store, blocks, options);
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+
+  if (!trace_path.empty()) {
+    if (Status s = obs::WriteChromeTrace(trace_path); !s.ok()) {
+      return Fail(s);
+    }
+    std::cout << "wrote trace " << trace_path << " (load in ui.perfetto.dev)\n";
+  }
+  if (!metrics_path.empty()) {
+    if (Status s = obs::WriteMetricsJsonl(metrics_path); !s.ok()) {
+      return Fail(s);
+    }
+    std::cout << "wrote metrics " << metrics_path << "\n";
+  }
+  std::cout << "profile: " << options.profile.name << "\n" << report->Summary() << "\n";
+  std::cout << obs::TextReport();
+  return 0;
+}
+
 int Usage() {
   std::cerr << "usage: cmif_tool <sample-news [stories] | check <doc> [catalog] | tree <doc> |"
                " arcs <doc> |\n"
                "                  schedule <doc> [catalog] | play <doc> <catalog> [profile] |\n"
-               "                  render <doc> <catalog> <seconds> <out.ppm>>\n";
+               "                  render <doc> <catalog> <seconds> <out.ppm> |\n"
+               "                  profile <doc> <catalog> [profile] [--trace out.json]"
+               " [--metrics out.jsonl]>\n";
   return 2;
 }
 
@@ -280,6 +388,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "render" && argc >= 6) {
     return CmdRender(arg(2), arg(3), arg(4), arg(5));
+  }
+  if (command == "profile" && argc >= 4) {
+    return CmdProfile(std::vector<std::string>(argv + 2, argv + argc));
   }
   return Usage();
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Runs every fig* bench figure with --bench-json and merges the emitted
+# JSONL lines into one JSON array.
+#
+#   tools/run_benches.sh [build-dir] [out.json]
+#
+# Default: build + BENCH_PR1.json. Pass --full in BENCH_ARGS to also run the
+# google-benchmark suites; by default only the figures run (the JSON lines
+# come from the figures, not the BM_* loops).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_PR1.json}"
+BENCH_ARGS="${BENCH_ARGS:---benchmark_filter=^$}"
+
+FIGS=(fig1_pipeline fig2_ddbms fig3_timeline fig4_news fig5_tree
+      fig6_nodes fig7_attrs fig8_sync_window fig9_arcs fig10_fragment)
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+for fig in "${FIGS[@]}"; do
+  bin="$BUILD_DIR/bench/$fig"
+  if [[ ! -x "$bin" ]]; then
+    echo "skipping $fig: $bin not built" >&2
+    continue
+  fi
+  echo "== $fig ==" >&2
+  "$bin" --bench-json "$TMP" $BENCH_ARGS > /dev/null
+done
+
+if [[ ! -s "$TMP" ]]; then
+  echo "no bench JSON lines produced; is $BUILD_DIR built?" >&2
+  exit 1
+fi
+
+# Disabled-instrumentation overhead: rebuild fig1 with the probes compiled
+# out (-DCMIF_OBS=OFF) and compare its pipeline time against the instrumented
+# binary's runtime-disabled time. Skip with SKIP_NOOBS=1.
+if [[ "${SKIP_NOOBS:-}" != "1" ]]; then
+  NOOBS_DIR="${BUILD_DIR%/}-noobs"
+  echo "== fig1_pipeline (compiled-out baseline, $NOOBS_DIR) ==" >&2
+  cmake -S . -B "$NOOBS_DIR" -DCMIF_OBS=OFF > /dev/null
+  cmake --build "$NOOBS_DIR" --target fig1_pipeline -j"$(nproc)" > /dev/null
+  TMP2="$(mktemp)"
+  "$NOOBS_DIR/bench/fig1_pipeline" --bench-json "$TMP2" $BENCH_ARGS > /dev/null
+  sed 's/"fig1_pipeline"/"fig1_pipeline_noobs"/' "$TMP2" >> "$TMP"
+  rm -f "$TMP2"
+  if command -v python3 > /dev/null; then
+    python3 - "$TMP" <<'EOF'
+import json, sys
+path = sys.argv[1]
+by = {}
+with open(path) as f:
+    for line in f:
+        entry = json.loads(line)
+        by[entry["bench"]] = entry["fields"]
+instrumented = by.get("fig1_pipeline", {}).get("obs_disabled_ms")
+baseline = by.get("fig1_pipeline_noobs", {}).get("obs_disabled_ms")
+if instrumented and baseline:
+    pct = (instrumented - baseline) / baseline * 100
+    with open(path, "a") as f:
+        f.write(json.dumps({"bench": "obs_disabled_overhead", "fields": {
+            "compiled_out_ms": baseline,
+            "compiled_in_disabled_ms": instrumented,
+            "overhead_pct": round(pct, 3)}}) + "\n")
+    print(f"disabled-instrumentation overhead: {pct:.2f}%", file=sys.stderr)
+EOF
+  fi
+fi
+
+{
+  echo "["
+  sed '$!s/$/,/' "$TMP"
+  echo "]"
+} > "$OUT"
+echo "wrote $OUT ($(wc -l < "$TMP") benches)" >&2
