@@ -1,5 +1,8 @@
 #include "src/base/random.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace cmif {
 namespace {
 
@@ -63,6 +66,28 @@ bool Rng::NextBool(double p) {
     return true;
   }
   return NextDouble() < p;
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : skew_(s) {
+  cdf_.resize(n == 0 ? 1 : n);
+  double total = 0;
+  for (std::size_t k = 0; k < cdf_.size(); ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& value : cdf_) {
+    value /= total;
+  }
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<std::size_t>(it - cdf_.begin());
 }
 
 }  // namespace cmif

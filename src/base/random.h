@@ -4,7 +4,9 @@
 #ifndef SRC_BASE_RANDOM_H_
 #define SRC_BASE_RANDOM_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace cmif {
 
@@ -26,6 +28,27 @@ class Rng {
 
  private:
   std::uint64_t state_[4];
+};
+
+// Zipf (power-law) distribution over ranks [0, n): rank k is drawn with
+// probability proportional to 1/(k+1)^s. s = 0 degenerates to uniform;
+// s = 1.0 is the classic web-request popularity curve. The CDF is
+// precomputed, so sampling is one Rng draw plus a binary search and the
+// sequence is fully determined by the Rng seed.
+class ZipfDistribution {
+ public:
+  // n must be > 0; s must be >= 0.
+  ZipfDistribution(std::size_t n, double s);
+
+  std::size_t size() const { return cdf_.size(); }
+  double skew() const { return skew_; }
+
+  // Draws a rank in [0, n) using `rng`.
+  std::size_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+  double skew_ = 0;
 };
 
 }  // namespace cmif

@@ -228,4 +228,21 @@ StatusOr<std::string> Base64Decode(std::string_view text) {
   return out;
 }
 
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t Fnv1a64Combine(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffULL;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 }  // namespace cmif

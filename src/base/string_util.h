@@ -2,6 +2,7 @@
 #ifndef SRC_BASE_STRING_UTIL_H_
 #define SRC_BASE_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +37,12 @@ std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 
 
 // Join the elements with `sep`.
 std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+// 64-bit FNV-1a hash: a stable, platform-independent content hash (unlike
+// std::hash) for cache keys and deterministic sharding.
+std::uint64_t Fnv1a64(std::string_view bytes);
+// Mixes `value` into `hash` as if its 8 bytes were appended (little-endian).
+std::uint64_t Fnv1a64Combine(std::uint64_t hash, std::uint64_t value);
 
 // Standard base64 (RFC 4648, with padding). Used to embed binary media
 // payloads in text catalogs and immediate nodes.

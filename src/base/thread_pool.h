@@ -1,0 +1,135 @@
+// A fixed-size worker pool for the serving layer: dependency-free,
+// work-stealing-free (one shared FIFO queue, mutex + condition variable),
+// with a minimal Future-style handle for task results. The design goal is
+// predictable behaviour under TSan rather than peak queue throughput — the
+// serve workload amortizes one dequeue over an entire pipeline run.
+#ifndef SRC_BASE_THREAD_POOL_H_
+#define SRC_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cmif {
+
+namespace internal {
+
+// Shared state between a Future and the task that fulfills it.
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<T> value;
+
+  void Set(T v) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      value = std::move(v);
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace internal
+
+// A one-shot handle to a task's result. Take() blocks until the task ran and
+// moves the value out; valid() is false for default-constructed handles and
+// after Take().
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  // True once the producing task has stored its result.
+  bool Ready() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->value.has_value();
+  }
+
+  // Blocks until the result is available and moves it out of the handle.
+  T Take() {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->value.has_value(); });
+    T result = std::move(*state_->value);
+    lock.unlock();
+    state_.reset();
+    return result;
+  }
+
+ private:
+  template <typename U>
+  friend class FuturePromise;
+  explicit Future(std::shared_ptr<internal::FutureState<T>> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+template <typename T>
+class FuturePromise {
+ public:
+  FuturePromise() : state_(std::make_shared<internal::FutureState<T>>()) {}
+  Future<T> GetFuture() { return Future<T>(state_); }
+  void Set(T value) { state_->Set(std::move(value)); }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+// Fixed-size thread pool. Tasks run in submission order (FIFO); destruction
+// drains the queue before joining the workers.
+class ThreadPool {
+ public:
+  // threads < 1 is clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a fire-and-forget task.
+  void Run(std::function<void()> task);
+
+  // Enqueues a task and returns a Future for its (non-void) result.
+  template <typename Fn, typename R = std::invoke_result_t<Fn&>>
+  Future<R> Submit(Fn fn) {
+    static_assert(!std::is_void_v<R>, "Submit requires a value-returning task; use Run for void");
+    FuturePromise<R> promise;
+    Future<R> future = promise.GetFuture();
+    Run([promise, fn = std::move(fn)]() mutable { promise.Set(fn()); });
+    return future;
+  }
+
+  // Blocks until the queue is empty and every worker is idle. Tasks may keep
+  // being submitted concurrently; this returns at some instant where nothing
+  // was queued or running.
+  void WaitIdle();
+
+  // The hardware concurrency, clamped to at least 1.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_;       // workers wait for tasks / stop
+  std::condition_variable idle_;       // WaitIdle waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_BASE_THREAD_POOL_H_

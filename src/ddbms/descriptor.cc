@@ -109,6 +109,13 @@ std::size_t BlockStore::TotalBytes() const {
   return total;
 }
 
+void BlockStore::ForEach(
+    const std::function<void(const std::string&, const DataBlock&)>& fn) const {
+  for (const auto& [key, block] : blocks_) {
+    fn(key, block);
+  }
+}
+
 StatusOr<DataBlock> ResolveContent(const DataDescriptor& descriptor, const BlockStore& store) {
   const ContentRef& content = descriptor.content();
   if (const auto* inline_block = std::get_if<DataBlock>(&content)) {

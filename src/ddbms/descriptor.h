@@ -6,6 +6,7 @@
 #ifndef SRC_DDBMS_DESCRIPTOR_H_
 #define SRC_DDBMS_DESCRIPTOR_H_
 
+#include <functional>
 #include <string>
 #include <variant>
 
@@ -82,6 +83,8 @@ class BlockStore {
   std::size_t size() const { return blocks_.size(); }
   // Total payload bytes held (the "massive amounts of media-based data").
   std::size_t TotalBytes() const;
+  // Visits every (key, block) in insertion order.
+  void ForEach(const std::function<void(const std::string&, const DataBlock&)>& fn) const;
 
  private:
   std::vector<std::pair<std::string, DataBlock>> blocks_;

@@ -1,0 +1,106 @@
+#include "src/ddbms/shared_store.h"
+
+#include <algorithm>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+ShardedRwLock::ShardedRwLock(int stripes) : stripes_(std::max(1, stripes)) {
+  stripes_storage_ = std::make_unique<Stripe[]>(stripes_);
+}
+
+std::size_t ShardedRwLock::StripeFor(std::thread::id id) const {
+  std::size_t raw = std::hash<std::thread::id>{}(id);
+  // Mix: thread ids are often small sequential integers.
+  return Fnv1a64Combine(0xcbf29ce484222325ULL, raw) % static_cast<std::size_t>(stripes_);
+}
+
+ShardedRwLock::ReadGuard::ReadGuard(const ShardedRwLock& lock)
+    : mu_(lock.stripes_storage_[lock.StripeFor(std::this_thread::get_id())].mu) {
+  mu_.lock_shared();
+}
+
+ShardedRwLock::ReadGuard::~ReadGuard() { mu_.unlock_shared(); }
+
+ShardedRwLock::WriteGuard::WriteGuard(const ShardedRwLock& lock) : lock_(lock) {
+  for (int i = 0; i < lock_.stripes_; ++i) {
+    lock_.stripes_storage_[i].mu.lock();
+  }
+}
+
+ShardedRwLock::WriteGuard::~WriteGuard() {
+  for (int i = lock_.stripes_ - 1; i >= 0; --i) {
+    lock_.stripes_storage_[i].mu.unlock();
+  }
+}
+
+Status SharedDescriptorStore::Add(DataDescriptor descriptor) {
+  return WithWrite([&](DescriptorStore& store) { return store.Add(std::move(descriptor)); });
+}
+
+void SharedDescriptorStore::Upsert(DataDescriptor descriptor) {
+  WithWrite([&](DescriptorStore& store) {
+    store.Upsert(std::move(descriptor));
+    return 0;
+  });
+}
+
+bool SharedDescriptorStore::Remove(const std::string& id) {
+  return WithWrite([&](DescriptorStore& store) { return store.Remove(id); });
+}
+
+std::optional<DataDescriptor> SharedDescriptorStore::GetCopy(const std::string& id) const {
+  return WithRead([&](const DescriptorStore& store) -> std::optional<DataDescriptor> {
+    const DataDescriptor* found = store.Get(id);
+    if (found == nullptr) {
+      return std::nullopt;
+    }
+    return *found;
+  });
+}
+
+std::vector<DataDescriptor> SharedDescriptorStore::ExecuteCopy(const Query& query,
+                                                               QueryStats* stats) const {
+  return WithRead([&](const DescriptorStore& store) {
+    std::vector<DataDescriptor> results;
+    for (const DataDescriptor* descriptor : store.Execute(query, stats)) {
+      results.push_back(*descriptor);
+    }
+    return results;
+  });
+}
+
+std::size_t SharedDescriptorStore::size() const {
+  return WithRead([](const DescriptorStore& store) { return store.size(); });
+}
+
+Status SharedBlockStore::Put(std::string key, DataBlock block) {
+  return WithWrite(
+      [&](BlockStore& store) { return store.Put(std::move(key), std::move(block)); });
+}
+
+void SharedBlockStore::Set(std::string key, DataBlock block) {
+  WithWrite([&](BlockStore& store) {
+    store.Set(std::move(key), std::move(block));
+    return 0;
+  });
+}
+
+StatusOr<DataBlock> SharedBlockStore::Get(const std::string& key) const {
+  return WithRead([&](const BlockStore& store) { return store.Get(key); });
+}
+
+bool SharedBlockStore::Has(const std::string& key) const {
+  return WithRead([&](const BlockStore& store) { return store.Has(key); });
+}
+
+std::size_t SharedBlockStore::size() const {
+  return WithRead([](const BlockStore& store) { return store.size(); });
+}
+
+std::size_t SharedBlockStore::TotalBytes() const {
+  return WithRead([](const BlockStore& store) { return store.TotalBytes(); });
+}
+
+}  // namespace cmif

@@ -1,0 +1,171 @@
+// Thread-safe sharing of one ddbms instance across pipeline workers. The
+// serving workload is read-dominated — the descriptor-only pipeline stages
+// never mutate the stores — so protection is a *sharded* reader-writer lock
+// (the classic "big-reader" pattern): readers take a shared lock on one
+// cache-line-padded stripe chosen by their thread id, writers take every
+// stripe in order. Concurrent readers on different stripes never touch the
+// same atomic, so read-side scaling is linear; writes are rare (captures)
+// and pay the full sweep.
+//
+// Each wrapper also maintains a generation counter, bumped on every write
+// section. The serve-layer mapping cache folds the generation into its keys,
+// so any mutation of the shared catalog implicitly invalidates every cached
+// compilation that might have read it.
+#ifndef SRC_DDBMS_SHARED_STORE_H_
+#define SRC_DDBMS_SHARED_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/ddbms/descriptor.h"
+#include "src/ddbms/store.h"
+
+namespace cmif {
+
+// N independent shared_mutexes, padded so each lives on its own cache line.
+class ShardedRwLock {
+ public:
+  static constexpr int kDefaultStripes = 8;
+
+  explicit ShardedRwLock(int stripes = kDefaultStripes);
+  ShardedRwLock(const ShardedRwLock&) = delete;
+  ShardedRwLock& operator=(const ShardedRwLock&) = delete;
+
+  int stripes() const { return stripes_; }
+
+  // Shared-locks the calling thread's stripe for the guard's lifetime.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const ShardedRwLock& lock);
+    ~ReadGuard();
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    std::shared_mutex& mu_;
+  };
+
+  // Exclusively locks every stripe, in index order (deadlock-free against
+  // other writers; readers hold a single stripe and cannot cycle).
+  class WriteGuard {
+   public:
+    explicit WriteGuard(const ShardedRwLock& lock);
+    ~WriteGuard();
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+   private:
+    const ShardedRwLock& lock_;
+  };
+
+ private:
+  struct alignas(64) Stripe {
+    mutable std::shared_mutex mu;
+  };
+
+  // The stripe this thread's readers use.
+  std::size_t StripeFor(std::thread::id id) const;
+
+  std::unique_ptr<Stripe[]> stripes_storage_;
+  int stripes_;
+};
+
+// A DescriptorStore shared between pipeline workers. Readers get the plain
+// single-threaded store under a striped shared lock (so the existing
+// pipeline API, which takes `const DescriptorStore&`, works unchanged);
+// writers get exclusive access and bump the generation.
+class SharedDescriptorStore {
+ public:
+  explicit SharedDescriptorStore(DescriptorStore store = {},
+                                 int stripes = ShardedRwLock::kDefaultStripes)
+      : store_(std::move(store)), lock_(stripes) {}
+
+  // Runs `fn(const DescriptorStore&)` under a read lock and returns its
+  // result. The store reference must not escape the callback.
+  template <typename Fn>
+  auto WithRead(Fn&& fn) const {
+    ShardedRwLock::ReadGuard guard(lock_);
+    return std::forward<Fn>(fn)(store_);
+  }
+
+  // Runs `fn(DescriptorStore&)` under the exclusive lock, then bumps the
+  // generation. The store reference must not escape the callback.
+  template <typename Fn>
+  auto WithWrite(Fn&& fn) {
+    ShardedRwLock::WriteGuard guard(lock_);
+    auto cleanup = [this] { generation_.fetch_add(1, std::memory_order_release); };
+    struct Bump {
+      decltype(cleanup) fn;
+      ~Bump() { fn(); }
+    } bump{cleanup};
+    return std::forward<Fn>(fn)(store_);
+  }
+
+  // Monotonic count of completed write sections.
+  std::uint64_t generation() const { return generation_.load(std::memory_order_acquire); }
+
+  // Point-op conveniences (each is one locked section).
+  Status Add(DataDescriptor descriptor);
+  void Upsert(DataDescriptor descriptor);
+  bool Remove(const std::string& id);
+  // Copy-out lookup; nullopt when absent (no pointer can outlive the lock).
+  std::optional<DataDescriptor> GetCopy(const std::string& id) const;
+  // Copy-out query execution.
+  std::vector<DataDescriptor> ExecuteCopy(const Query& query, QueryStats* stats = nullptr) const;
+  std::size_t size() const;
+
+ private:
+  DescriptorStore store_;
+  ShardedRwLock lock_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+// A BlockStore shared the same way.
+class SharedBlockStore {
+ public:
+  explicit SharedBlockStore(BlockStore store = {}, int stripes = ShardedRwLock::kDefaultStripes)
+      : store_(std::move(store)), lock_(stripes) {}
+
+  template <typename Fn>
+  auto WithRead(Fn&& fn) const {
+    ShardedRwLock::ReadGuard guard(lock_);
+    return std::forward<Fn>(fn)(store_);
+  }
+
+  template <typename Fn>
+  auto WithWrite(Fn&& fn) {
+    ShardedRwLock::WriteGuard guard(lock_);
+    auto cleanup = [this] { generation_.fetch_add(1, std::memory_order_release); };
+    struct Bump {
+      decltype(cleanup) fn;
+      ~Bump() { fn(); }
+    } bump{cleanup};
+    return std::forward<Fn>(fn)(store_);
+  }
+
+  std::uint64_t generation() const { return generation_.load(std::memory_order_acquire); }
+
+  Status Put(std::string key, DataBlock block);
+  void Set(std::string key, DataBlock block);
+  StatusOr<DataBlock> Get(const std::string& key) const;
+  bool Has(const std::string& key) const;
+  std::size_t size() const;
+  std::size_t TotalBytes() const;
+
+ private:
+  BlockStore store_;
+  ShardedRwLock lock_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace cmif
+
+#endif  // SRC_DDBMS_SHARED_STORE_H_

@@ -78,8 +78,19 @@ StatusOr<DataBlock> ParseDataPayload(Lexer& lexer) {
   return InternalError("unknown medium");
 }
 
+// Hostile inputs can nest arbitrarily deep; the parser recurses per level,
+// so without a cap a few KB of "(seq () ..." overflows the stack (sanitizer
+// builds, with their larger frames, overflow first). Real documents are
+// depth < 20; 256 is far beyond any transportable document.
+constexpr int kMaxParseDepth = 256;
+
 // Parses a node starting after its '(' and kind word.
-StatusOr<std::unique_ptr<Node>> ParseNodeBody(Lexer& lexer, NodeKind kind, int open_line) {
+StatusOr<std::unique_ptr<Node>> ParseNodeBody(Lexer& lexer, NodeKind kind, int open_line,
+                                              int depth = 0) {
+  if (depth >= kMaxParseDepth) {
+    return DataLossError(
+        StrFormat("line %d: nodes nested deeper than %d levels", open_line, kMaxParseDepth));
+  }
   auto node = std::make_unique<Node>(kind);
   CMIF_ASSIGN_OR_RETURN(node->attrs(), ParseAttrList(lexer));
   bool have_payload = false;
@@ -126,7 +137,7 @@ StatusOr<std::unique_ptr<Node>> ParseNodeBody(Lexer& lexer, NodeKind kind, int o
                                      std::string(NodeKindName(kind)).c_str()));
     }
     CMIF_ASSIGN_OR_RETURN(std::unique_ptr<Node> child,
-                          ParseNodeBody(lexer, *child_kind, head.line));
+                          ParseNodeBody(lexer, *child_kind, head.line, depth + 1));
     CMIF_RETURN_IF_ERROR(node->AddChild(std::move(child)).status());
   }
   if (kind == NodeKind::kImm && !have_payload) {

@@ -157,6 +157,9 @@ StatusOr<PipelineReport> RunPipeline(const Document& document, const DescriptorS
   if (!report.schedule.feasible) {
     return report;  // conflicts are in the report; nothing to play
   }
+  if (!options.run_player) {
+    return report;  // compile-only mode: the caller plays (or serves) later
+  }
 
   // Stage 5: viewing.
   PlayerOptions player = options.player;

@@ -34,6 +34,10 @@ struct PipelineOptions {
   // (requires blocks/generators); when false the pipeline stays
   // descriptor-only throughout.
   bool apply_filters = false;
+  // When false the pipeline stops after a feasible schedule — the serving
+  // layer compiles presentations server-side and playback happens at the
+  // client, so the play stage is skipped entirely.
+  bool run_player = true;
   PlayerOptions player;
 };
 

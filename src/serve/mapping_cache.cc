@@ -1,0 +1,88 @@
+#include "src/serve/mapping_cache.h"
+
+#include <algorithm>
+
+#include "src/base/string_util.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace cmif {
+
+std::size_t CompiledPresentation::CostBytes() const {
+  std::size_t bytes = map.Serialize().size();
+  for (const FilterPlan& plan : filter.plans) {
+    bytes += plan.descriptor_id.size() + plan.ops.size() * sizeof(FilterOp);
+  }
+  bytes += schedule.schedule.events().size() * sizeof(ScheduledEvent);
+  return bytes;
+}
+
+std::size_t MappingCacheKeyHash::operator()(const MappingCacheKey& key) const {
+  std::uint64_t hash = Fnv1a64(key.profile);
+  hash = Fnv1a64Combine(hash, key.document_hash);
+  hash = Fnv1a64Combine(hash, key.channel_hash);
+  hash = Fnv1a64Combine(hash, key.store_generation);
+  return static_cast<std::size_t>(hash);
+}
+
+MappingCache::MappingCache(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::shared_ptr<const CompiledPresentation> MappingCache::Get(const MappingCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    if (obs::Enabled()) {
+      obs::GetCounter("serve.cache.misses").Add();
+    }
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  std::shared_ptr<const CompiledPresentation> value = it->second->second;
+  std::size_t saved = value->CostBytes();
+  stats_.bytes_saved += saved;
+  if (obs::Enabled()) {
+    obs::GetCounter("serve.cache.hits").Add();
+    obs::GetCounter("serve.cache.bytes_saved").Add(static_cast<std::int64_t>(saved));
+  }
+  return value;
+}
+
+void MappingCache::Put(const MappingCacheKey& key,
+                       std::shared_ptr<const CompiledPresentation> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+    if (obs::Enabled()) {
+      obs::GetCounter("serve.cache.evictions").Add();
+    }
+  }
+  stats_.entries = lru_.size();
+}
+
+MappingCache::Stats MappingCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats snapshot = stats_;
+  snapshot.entries = lru_.size();
+  return snapshot;
+}
+
+void MappingCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+}
+
+}  // namespace cmif

@@ -1,0 +1,239 @@
+#include "src/serve/serve.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+
+#include "src/base/random.h"
+#include "src/base/string_util.h"
+#include "src/base/thread_pool.h"
+#include "src/fmt/writer.h"
+#include "src/news/evening_news.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/pipeline/pipeline.h"
+
+namespace cmif {
+namespace {
+
+std::uint64_t HashChannels(const ChannelDictionary& channels) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const ChannelDef& channel : channels.channels()) {
+    hash = Fnv1a64Combine(hash, Fnv1a64(channel.name));
+    hash = Fnv1a64Combine(hash, static_cast<std::uint64_t>(channel.medium));
+  }
+  return hash;
+}
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+Status ServeCorpus::AddDocument(std::string name, Document document,
+                                const DescriptorStore& catalog, const BlockStore& blocks) {
+  auto entry = std::make_unique<ServeDocument>();
+  entry->name = std::move(name);
+  entry->document = std::move(document);
+  CMIF_ASSIGN_OR_RETURN(std::string text, WriteDocument(entry->document));
+  // The cached schedules hold node pointers into the registered document, so
+  // the key hashes document *identity* (content + corpus slot), never letting
+  // two corpus entries with identical text share a compiled entry.
+  entry->document_hash = Fnv1a64Combine(Fnv1a64(text), documents_.size());
+  entry->channel_hash = HashChannels(entry->document.channels());
+  store_.WithWrite([&](DescriptorStore& store) {
+    for (const DataDescriptor& descriptor : catalog.descriptors()) {
+      store.Upsert(descriptor);
+    }
+    return 0;
+  });
+  blocks_.WithWrite([&](BlockStore& store) {
+    blocks.ForEach([&](const std::string& key, const DataBlock& block) { store.Set(key, block); });
+    return 0;
+  });
+  documents_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<ServeCorpus>> BuildNewsCorpus(int documents, int max_stories,
+                                                       std::uint64_t seed) {
+  if (documents < 1 || max_stories < 1) {
+    return InvalidArgumentError("corpus needs at least one document and one story");
+  }
+  auto corpus = std::make_unique<ServeCorpus>();
+  for (int i = 0; i < documents; ++i) {
+    NewsOptions options;
+    options.stories = i % max_stories + 1;
+    options.seed = seed;  // shared seed => shared story prefixes merge cleanly
+    CMIF_ASSIGN_OR_RETURN(NewsWorkload workload, BuildEveningNews(options));
+    CMIF_RETURN_IF_ERROR(corpus->AddDocument(StrFormat("news-%d-s%d", i, options.stories),
+                                             std::move(workload.document), workload.store,
+                                             workload.blocks));
+  }
+  return corpus;
+}
+
+std::vector<ServeRequest> GenerateTrace(std::size_t corpus_size, std::size_t requests,
+                                        const ServeOptions& options) {
+  std::vector<ServeRequest> trace;
+  if (corpus_size == 0 || options.profiles.empty()) {
+    return trace;
+  }
+  trace.reserve(requests);
+  Rng rng(options.seed);
+  ZipfDistribution popularity(corpus_size, options.zipf_skew);
+  for (std::size_t i = 0; i < requests; ++i) {
+    ServeRequest request;
+    request.document = popularity.Sample(rng);
+    request.profile = static_cast<std::size_t>(rng.NextBelow(options.profiles.size()));
+    trace.push_back(request);
+  }
+  return trace;
+}
+
+std::string ServeStats::Summary() const {
+  std::string out;
+  out += StrFormat("  requests %zu (%zu errors), wall %.3f ms, %.1f req/s\n", requests, errors,
+                   wall_ms, throughput_rps);
+  out += StrFormat("  latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n", p50_ms, p95_ms, p99_ms);
+  std::uint64_t lookups = cache_hits + cache_misses;
+  double hit_pct = lookups > 0 ? 100.0 * static_cast<double>(cache_hits) / lookups : 0;
+  out += StrFormat("  cache %llu hits / %llu misses (%.1f%% hit rate)\n",
+                   static_cast<unsigned long long>(cache_hits),
+                   static_cast<unsigned long long>(cache_misses), hit_pct);
+  return out;
+}
+
+ServeLoop::ServeLoop(ServeCorpus& corpus, ServeOptions options)
+    : corpus_(corpus), options_(std::move(options)), cache_(options_.cache_capacity) {}
+
+StatusOr<std::shared_ptr<const CompiledPresentation>> ServeLoop::Handle(
+    const ServeRequest& request) {
+  if (request.document >= corpus_.size() || request.profile >= options_.profiles.size()) {
+    return InvalidArgumentError("serve request outside corpus/profile range");
+  }
+  const ServeDocument& doc = corpus_.document(request.document);
+  const SystemProfile& profile = options_.profiles[request.profile];
+  obs::Span span("serve-request");
+  span.Annotate("document", doc.name);
+  span.Annotate("profile", profile.name);
+  if (obs::Enabled()) {
+    obs::GetCounter("serve.requests").Add();
+  }
+
+  MappingCacheKey key;
+  key.document_hash = doc.document_hash;
+  key.channel_hash = doc.channel_hash;
+  key.profile = profile.name;
+  if (options_.use_cache) {
+    key.store_generation = corpus_.store().generation();
+    if (std::shared_ptr<const CompiledPresentation> hit = cache_.Get(key)) {
+      span.Annotate("cache", "hit");
+      return hit;
+    }
+  }
+  span.Annotate("cache", options_.use_cache ? "miss" : "off");
+
+  // Cold path: compile under the shared stores' read locks. The generation
+  // is re-read inside the lock — writers bump it before releasing, so the
+  // value observed here exactly identifies the catalog state the compile ran
+  // against, and the entry can never alias a newer catalog.
+  auto compiled = corpus_.store().WithRead(
+      [&](const DescriptorStore& store) -> StatusOr<std::shared_ptr<const CompiledPresentation>> {
+        key.store_generation = corpus_.store().generation();
+        return corpus_.blocks().WithRead(
+            [&](const BlockStore& blocks) -> StatusOr<std::shared_ptr<const CompiledPresentation>> {
+              PipelineOptions pipeline_options;
+              pipeline_options.profile = profile;
+              pipeline_options.run_player = false;
+              CMIF_ASSIGN_OR_RETURN(PipelineReport report,
+                                    RunPipeline(doc.document, store, blocks, pipeline_options));
+              auto result = std::make_shared<CompiledPresentation>();
+              result->map = std::move(report.presentation_map);
+              result->filter = std::move(report.filter);
+              result->schedule = std::move(report.schedule);
+              return std::shared_ptr<const CompiledPresentation>(std::move(result));
+            });
+      });
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  if (options_.use_cache) {
+    cache_.Put(key, *compiled);
+  }
+  return *compiled;
+}
+
+StatusOr<ServeStats> ServeLoop::Run(const std::vector<ServeRequest>& trace) {
+  struct WorkerResult {
+    std::vector<double> latencies_ms;
+    std::size_t errors = 0;
+  };
+
+  MappingCache::Stats cache_before = cache_.stats();
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&]() {
+    WorkerResult result;
+    for (;;) {
+      std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trace.size()) {
+        return result;
+      }
+      auto start = std::chrono::steady_clock::now();
+      auto response = Handle(trace[i]);
+      auto end = std::chrono::steady_clock::now();
+      double millis = std::chrono::duration<double, std::milli>(end - start).count();
+      result.latencies_ms.push_back(millis);
+      if (obs::Enabled()) {
+        obs::GetHistogram("serve.request_ms").Record(millis);
+      }
+      if (!response.ok()) {
+        ++result.errors;
+      }
+    }
+  };
+
+  ThreadPool pool(options_.threads);
+  std::vector<Future<WorkerResult>> futures;
+  futures.reserve(pool.size());
+  auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < pool.size(); ++i) {
+    futures.push_back(pool.Submit(worker));
+  }
+  std::vector<double> latencies;
+  latencies.reserve(trace.size());
+  ServeStats stats;
+  for (Future<WorkerResult>& future : futures) {
+    WorkerResult result = future.Take();
+    stats.errors += result.errors;
+    latencies.insert(latencies.end(), result.latencies_ms.begin(), result.latencies_ms.end());
+  }
+  auto wall_end = std::chrono::steady_clock::now();
+
+  stats.requests = trace.size();
+  stats.wall_ms = std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  stats.throughput_rps =
+      stats.wall_ms > 0 ? static_cast<double>(trace.size()) / (stats.wall_ms / 1000.0) : 0;
+  MappingCache::Stats cache_after = cache_.stats();
+  stats.cache_hits = cache_after.hits - cache_before.hits;
+  stats.cache_misses = cache_after.misses - cache_before.misses;
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50_ms = PercentileOfSorted(latencies, 50);
+  stats.p95_ms = PercentileOfSorted(latencies, 95);
+  stats.p99_ms = PercentileOfSorted(latencies, 99);
+  if (obs::Enabled()) {
+    obs::GetGauge("serve.last_throughput_rps").Set(static_cast<std::int64_t>(stats.throughput_rps));
+  }
+  return stats;
+}
+
+}  // namespace cmif

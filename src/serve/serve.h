@@ -1,0 +1,134 @@
+// The concurrent document-serving layer: one shared ddbms instance, a
+// thread pool of pipeline workers, and the compiled-presentation cache. A
+// request is a (document, profile) pair; the response is the compiled
+// presentation (map + filter report + schedule) that a client-side player
+// would consume. Request traces are synthetic with Zipf-distributed document
+// popularity — the multi-client shape of a news server where a few broadcasts
+// are hot and the long tail is cold.
+#ifndef SRC_SERVE_SERVE_H_
+#define SRC_SERVE_SERVE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ddbms/shared_store.h"
+#include "src/doc/document.h"
+#include "src/present/capability.h"
+#include "src/serve/mapping_cache.h"
+
+namespace cmif {
+
+// One servable document: the parsed tree plus its precomputed content hash
+// (documents are immutable once registered; descriptors live in the shared
+// store, not here).
+struct ServeDocument {
+  std::string name;
+  Document document{NodeKind::kSeq};
+  std::uint64_t document_hash = 0;
+  std::uint64_t channel_hash = 0;
+};
+
+// The server's corpus: every registered document over one shared descriptor
+// database and block store ("one ddbms instance serves all workers").
+class ServeCorpus {
+ public:
+  ServeCorpus() = default;
+  ServeCorpus(const ServeCorpus&) = delete;
+  ServeCorpus& operator=(const ServeCorpus&) = delete;
+
+  // Registers a document and merges its catalog into the shared stores.
+  // Descriptor ids shared between documents must reference identical content
+  // (the Evening News variants overlap this way by construction).
+  Status AddDocument(std::string name, Document document, const DescriptorStore& catalog,
+                     const BlockStore& blocks);
+
+  std::size_t size() const { return documents_.size(); }
+  const ServeDocument& document(std::size_t i) const { return *documents_[i]; }
+
+  SharedDescriptorStore& store() { return store_; }
+  const SharedDescriptorStore& store() const { return store_; }
+  SharedBlockStore& blocks() { return blocks_; }
+  const SharedBlockStore& blocks() const { return blocks_; }
+
+ private:
+  // unique_ptr so ServeDocument addresses (and the Node pointers inside
+  // cached Schedules) stay stable as the corpus grows.
+  std::vector<std::unique_ptr<ServeDocument>> documents_;
+  SharedDescriptorStore store_;
+  SharedBlockStore blocks_;
+};
+
+// Builds a corpus of Evening News variants: document i has (i % max_stories)
+// + 1 stories, so variants share story prefixes and their descriptors merge
+// consistently into the shared catalog.
+StatusOr<std::unique_ptr<ServeCorpus>> BuildNewsCorpus(int documents, int max_stories = 3,
+                                                       std::uint64_t seed = 1);
+
+// One synthetic request.
+struct ServeRequest {
+  std::size_t document = 0;  // index into the corpus
+  std::size_t profile = 0;   // index into ServeOptions::profiles
+};
+
+struct ServeOptions {
+  int threads = 4;
+  // Zipf skew of document popularity (0 = uniform, 1.0 = classic web trace).
+  double zipf_skew = 1.0;
+  std::uint64_t seed = 1;
+  std::size_t cache_capacity = 128;
+  bool use_cache = true;
+  // Profiles requests are served against, chosen uniformly per request.
+  std::vector<SystemProfile> profiles = {WorkstationProfile(), PersonalSystemProfile()};
+};
+
+// Deterministic Zipf request trace over `corpus_size` documents: the same
+// (corpus_size, options.seed, options.zipf_skew, profile count) always
+// yields the same trace.
+std::vector<ServeRequest> GenerateTrace(std::size_t corpus_size, std::size_t requests,
+                                        const ServeOptions& options);
+
+// Aggregate results of one ServeLoop run.
+struct ServeStats {
+  std::size_t requests = 0;
+  std::size_t errors = 0;  // requests whose pipeline failed
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double wall_ms = 0;
+  double throughput_rps = 0;
+  // Per-request latency percentiles (milliseconds).
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+
+  std::string Summary() const;
+};
+
+// The serve driver: fans a request trace out over a thread pool. Workers
+// pull requests from a shared atomic cursor (no per-request future
+// round-trips) and run the compile pipeline — or hit the cache — under the
+// shared store's read lock.
+class ServeLoop {
+ public:
+  ServeLoop(ServeCorpus& corpus, ServeOptions options);
+
+  // Serves one request synchronously on the calling thread.
+  StatusOr<std::shared_ptr<const CompiledPresentation>> Handle(const ServeRequest& request);
+
+  // Serves the whole trace on `options.threads` workers and aggregates.
+  StatusOr<ServeStats> Run(const std::vector<ServeRequest>& trace);
+
+  MappingCache& cache() { return cache_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  ServeCorpus& corpus_;
+  ServeOptions options_;
+  MappingCache cache_;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_SERVE_SERVE_H_

@@ -1,0 +1,90 @@
+#include "src/base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+namespace cmif {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  std::vector<Future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[i].Take(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, FutureInvalidAfterTake) {
+  ThreadPool pool(1);
+  Future<int> future = pool.Submit([] { return 7; });
+  EXPECT_TRUE(future.valid());
+  EXPECT_EQ(future.Take(), 7);
+  EXPECT_FALSE(future.valid());
+}
+
+TEST(ThreadPoolTest, RunAndWaitIdleDrainsQueue) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Run([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Run([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  Future<std::thread::id> future = pool.Submit([] { return std::this_thread::get_id(); });
+  EXPECT_NE(future.Take(), std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, ThreadCountClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.Submit([] { return 42; }).Take(), 42);
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ManyProducersOneConsumerPool) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &sum, p] {
+      for (int i = 0; i < 100; ++i) {
+        pool.Run([&sum, p, i] { sum.fetch_add(p * 1000 + i, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (std::thread& producer : producers) {
+    producer.join();
+  }
+  pool.WaitIdle();
+  long expected = 0;
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < 100; ++i) {
+      expected += p * 1000 + i;
+    }
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -105,21 +105,31 @@ TEST_P(ParserFuzz, PureGarbageIsRejectedCleanly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 8));
 
-TEST(ParserFuzzTest, DeeplyNestedInputDoesNotOverflowQuickly) {
-  // 2k nesting levels of seq nodes: parses (recursion depth is bounded by
-  // input size, which transports keep modest) and round-trips.
+std::string NestedSeqDocument(int levels) {
   std::string deep = "(cmif ";
-  for (int i = 0; i < 2000; ++i) {
+  for (int i = 0; i < levels; ++i) {
     deep += "(seq () ";
   }
   deep += "(imm () \"x\")";
-  for (int i = 0; i < 2000; ++i) {
+  for (int i = 0; i < levels; ++i) {
     deep += ")";
   }
   deep += ")";
-  auto parsed = ParseDocument(deep);
+  return deep;
+}
+
+TEST(ParserFuzzTest, DeeplyNestedInputDoesNotOverflowQuickly) {
+  // The parser recurses per nesting level, so hostile input must hit the
+  // depth cap as a clean error — not a stack overflow (sanitizer builds,
+  // with their larger frames, would crash first without the cap).
+  auto rejected = ParseDocument(NestedSeqDocument(2000));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kDataLoss);
+
+  // Well beyond any real document, but under the cap: parses fine.
+  auto parsed = ParseDocument(NestedSeqDocument(200));
   ASSERT_TRUE(parsed.ok()) << parsed.status();
-  EXPECT_EQ(parsed->root().SubtreeSize(), 2001u);
+  EXPECT_EQ(parsed->root().SubtreeSize(), 201u);
 }
 
 }  // namespace

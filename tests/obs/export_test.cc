@@ -34,6 +34,10 @@ std::vector<JsonValue> ParseJsonl(const std::string& text) {
 }
 
 TEST(ChromeTraceTest, RoundTripsThroughTheJsonParser) {
+#ifdef CMIF_OBS_DISABLED
+  GTEST_SKIP() << "probes compiled out (-DCMIF_OBS=OFF)";
+#endif
+
   ResetAll();
   {
     ScopedEnable enable;

@@ -157,6 +157,10 @@ TEST(MetricsRegistryTest, ConcurrentCounterHammerLosesNothing) {
 }
 
 TEST(ScopedLatencyTest, RecordsOnlyWhenEnabled) {
+#ifdef CMIF_OBS_DISABLED
+  GTEST_SKIP() << "probes compiled out (-DCMIF_OBS=OFF)";
+#endif
+
   Histogram& histogram = GetHistogram("test.scoped_latency");
   histogram.Reset();
   { ScopedLatency latency("test.scoped_latency"); }

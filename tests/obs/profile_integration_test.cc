@@ -25,6 +25,10 @@ const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans, std::string_vie
 }
 
 TEST(ProfileIntegrationTest, PipelineRunEmitsTheFullStory) {
+#ifdef CMIF_OBS_DISABLED
+  GTEST_SKIP() << "probes compiled out (-DCMIF_OBS=OFF)";
+#endif
+
   auto workload = BuildEveningNews(NewsOptions{});
   ASSERT_TRUE(workload.ok());
 

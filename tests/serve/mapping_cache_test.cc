@@ -1,0 +1,102 @@
+#include "src/serve/mapping_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace cmif {
+namespace {
+
+MappingCacheKey Key(std::uint64_t doc, const std::string& profile = "workstation",
+                    std::uint64_t generation = 0) {
+  MappingCacheKey key;
+  key.document_hash = doc;
+  key.channel_hash = doc ^ 0x5555;
+  key.store_generation = generation;
+  key.profile = profile;
+  return key;
+}
+
+std::shared_ptr<const CompiledPresentation> Entry(const std::string& channel) {
+  auto entry = std::make_shared<CompiledPresentation>();
+  EXPECT_TRUE(entry->map.BindRegion(channel, "main").ok());
+  return entry;
+}
+
+TEST(MappingCacheTest, MissThenHit) {
+  MappingCache cache(4);
+  EXPECT_EQ(cache.Get(Key(1)), nullptr);
+  cache.Put(Key(1), Entry("video"));
+  auto hit = cache.Get(Key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->map.bindings().size(), 1u);
+  MappingCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes_saved, 0u);
+}
+
+TEST(MappingCacheTest, DistinctKeyComponentsAreDistinctEntries) {
+  MappingCache cache(8);
+  cache.Put(Key(1, "workstation", 0), Entry("a"));
+  EXPECT_EQ(cache.Get(Key(2, "workstation", 0)), nullptr);  // other document hash
+  EXPECT_EQ(cache.Get(Key(1, "personal", 0)), nullptr);     // other profile
+  EXPECT_EQ(cache.Get(Key(1, "workstation", 1)), nullptr);  // newer generation
+  EXPECT_NE(cache.Get(Key(1, "workstation", 0)), nullptr);
+}
+
+TEST(MappingCacheTest, EvictsLeastRecentlyUsed) {
+  MappingCache cache(2);
+  cache.Put(Key(1), Entry("a"));
+  cache.Put(Key(2), Entry("b"));
+  EXPECT_NE(cache.Get(Key(1)), nullptr);  // refresh 1; 2 is now LRU
+  cache.Put(Key(3), Entry("c"));          // evicts 2
+  EXPECT_EQ(cache.Get(Key(2)), nullptr);
+  EXPECT_NE(cache.Get(Key(1)), nullptr);
+  EXPECT_NE(cache.Get(Key(3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(MappingCacheTest, HeldEntrySurvivesEviction) {
+  MappingCache cache(1);
+  cache.Put(Key(1), Entry("a"));
+  auto held = cache.Get(Key(1));
+  ASSERT_NE(held, nullptr);
+  cache.Put(Key(2), Entry("b"));  // evicts key 1
+  EXPECT_EQ(cache.Get(Key(1)), nullptr);
+  // The response in flight is unaffected by the eviction.
+  EXPECT_EQ(held->map.bindings().size(), 1u);
+}
+
+TEST(MappingCacheTest, PutReplacesExistingKey) {
+  MappingCache cache(2);
+  cache.Put(Key(1), Entry("old"));
+  cache.Put(Key(1), Entry("new"));
+  auto hit = cache.Get(Key(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->map.bindings()[0].channel, "new");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(MappingCacheTest, ClearDropsEntriesKeepsStats) {
+  MappingCache cache(4);
+  cache.Put(Key(1), Entry("a"));
+  EXPECT_NE(cache.Get(Key(1)), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Get(Key(1)), nullptr);
+  MappingCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(MappingCacheTest, CapacityClampedToOne) {
+  MappingCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.Put(Key(1), Entry("a"));
+  cache.Put(Key(2), Entry("b"));
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,173 @@
+// Concurrency hammer for the shared ddbms wrappers: N threads mix captures
+// (writes) with point gets and attribute queries (reads) over one store.
+// These are the TSan targets of the CI thread-sanitizer job; assertions are
+// deliberately coarse (no lost writes, consistent copies, generation
+// monotonic) because the interesting property is the absence of data races.
+#include "src/ddbms/shared_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/attr/attr_list.h"
+#include "src/base/string_util.h"
+#include "src/media/data_block.h"
+#include "src/media/text.h"
+
+namespace cmif {
+namespace {
+
+DataDescriptor MakeDescriptor(const std::string& id, std::int64_t bytes) {
+  AttrList attrs;
+  attrs.Set("medium", AttrValue::Id("text"));
+  attrs.Set("bytes", AttrValue::Number(bytes));
+  return DataDescriptor(id, std::move(attrs));
+}
+
+TEST(SharedDescriptorStoreTest, PointOpsRoundTrip) {
+  SharedDescriptorStore store;
+  EXPECT_TRUE(store.Add(MakeDescriptor("a", 10)).ok());
+  EXPECT_FALSE(store.Add(MakeDescriptor("a", 10)).ok());  // duplicate id
+  store.Upsert(MakeDescriptor("b", 20));
+  EXPECT_EQ(store.size(), 2u);
+  auto copy = store.GetCopy("b");
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(copy->DeclaredBytes(), 20);
+  EXPECT_FALSE(store.GetCopy("missing").has_value());
+  EXPECT_TRUE(store.Remove("a"));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SharedDescriptorStoreTest, GenerationBumpsOnEveryWriteSection) {
+  SharedDescriptorStore store;
+  EXPECT_EQ(store.generation(), 0u);
+  store.Upsert(MakeDescriptor("a", 1));
+  EXPECT_EQ(store.generation(), 1u);
+  store.WithWrite([](DescriptorStore& inner) {
+    inner.Upsert(MakeDescriptor("b", 2));
+    inner.Upsert(MakeDescriptor("c", 3));
+    return 0;
+  });
+  EXPECT_EQ(store.generation(), 2u);  // one section, one bump
+  (void)store.GetCopy("a");
+  EXPECT_EQ(store.generation(), 2u);  // reads never bump
+}
+
+TEST(SharedDescriptorStoreTest, ConcurrentCaptureAndQueryHammer) {
+  SharedDescriptorStore store;
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kPerWriter = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&store, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        store.Upsert(MakeDescriptor(StrFormat("w%d-d%d", w, i), w * 1000 + i));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&store, &stop, &reads, r] {
+      Query query = Query::Eq("medium", AttrValue::Id("text"));
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<DataDescriptor> results = store.ExecuteCopy(query);
+        for (const DataDescriptor& descriptor : results) {
+          // Every copied-out descriptor must be internally consistent.
+          ASSERT_FALSE(descriptor.id().empty());
+        }
+        auto copy = store.GetCopy(StrFormat("w%d-d%d", r % kWriters, 0));
+        if (copy.has_value()) {
+          ASSERT_EQ(copy->id(), StrFormat("w%d-d%d", r % kWriters, 0));
+        }
+        ++local;
+      }
+      reads.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    threads[w].join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (int t = kWriters; t < kWriters + kReaders; ++t) {
+    threads[t].join();
+  }
+
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kWriters * kPerWriter));
+  EXPECT_EQ(store.generation(), static_cast<std::uint64_t>(kWriters * kPerWriter));
+  EXPECT_GT(reads.load(), 0u);
+}
+
+TEST(SharedBlockStoreTest, ConcurrentPutAndGetHammer) {
+  SharedBlockStore store;
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 50;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&store, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        DataBlock block =
+            DataBlock::FromText(TextBlock(StrFormat("payload %d/%d", w, i), TextFormatting{}));
+        store.Set(StrFormat("w%d-b%d", w, i), std::move(block));
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&store, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)store.TotalBytes();
+        if (store.Has("w0-b0")) {
+          ASSERT_TRUE(store.Get("w0-b0").ok());
+        }
+      }
+    });
+  }
+  for (std::thread& writer : threads) {
+    writer.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kWriters * kPerWriter));
+  EXPECT_GT(store.TotalBytes(), 0u);
+}
+
+TEST(ShardedRwLockTest, ManyConcurrentReadersOneWriter) {
+  ShardedRwLock lock(4);
+  EXPECT_EQ(lock.stripes(), 4);
+  int shared_value = 0;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ShardedRwLock::ReadGuard guard(lock);
+        int value = shared_value;
+        ASSERT_GE(value, 0);
+      }
+    });
+  }
+  for (int i = 0; i < 1000; ++i) {
+    ShardedRwLock::WriteGuard guard(lock);
+    ++shared_value;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(shared_value, 1000);
+}
+
+}  // namespace
+}  // namespace cmif

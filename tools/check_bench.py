@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh run against a committed baseline.
+
+Usage:
+  tools/check_bench.py BASELINE.json CURRENT.json [--threshold PCT]
+                       [--noise-floor-ms MS]
+
+Both files are the JSON arrays written by tools/run_benches.sh (one
+{"bench": ..., "fields": {...}} object per figure). Every wall-time field
+(name ending in `_ms`) present in both files is compared; the gate fails if
+any regresses by more than the threshold (default 15%).
+
+Knobs (flag wins over env, env over default):
+  --threshold / CMIF_BENCH_THRESHOLD   allowed regression in percent (15)
+  --noise-floor-ms / CMIF_BENCH_NOISE_FLOOR_MS
+        baselines faster than this are skipped — sub-tenth-millisecond
+        timings on shared CI runners are dominated by scheduler noise (0.05)
+  CMIF_SKIP_BENCH_GATE=1               report but always exit 0; escape
+        hatch for PRs that intentionally trade wall time for a feature —
+        use it in the workflow env and say why in the PR description.
+
+Fields added or removed between baseline and current are reported but never
+fail the gate: new figures have no baseline to regress against.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            entries = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"check_bench: cannot read {path}: {err}")
+    return {entry["bench"]: entry.get("fields", {}) for entry in entries}
+
+
+def env_float(name, default):
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        sys.exit(f"check_bench: {name}={value!r} is not a number")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float,
+                        default=env_float("CMIF_BENCH_THRESHOLD", 15.0),
+                        help="allowed regression in percent (default 15)")
+    parser.add_argument("--noise-floor-ms", type=float,
+                        default=env_float("CMIF_BENCH_NOISE_FLOOR_MS", 0.05),
+                        help="skip baselines faster than this (default 0.05)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    regressions = []
+    compared = 0
+    for bench, base_fields in sorted(baseline.items()):
+        cur_fields = current.get(bench)
+        if cur_fields is None:
+            print(f"  [absent ] {bench}: not in current run")
+            continue
+        for field, base in sorted(base_fields.items()):
+            if not field.endswith("_ms") or not isinstance(base, (int, float)):
+                continue
+            cur = cur_fields.get(field)
+            if not isinstance(cur, (int, float)):
+                print(f"  [absent ] {bench}.{field}: not in current run")
+                continue
+            if base < args.noise_floor_ms:
+                print(f"  [noise  ] {bench}.{field}: baseline {base:.4f}ms "
+                      f"below floor {args.noise_floor_ms}ms, skipped")
+                continue
+            compared += 1
+            delta = (cur - base) / base * 100
+            tag = "ok"
+            if delta > args.threshold:
+                tag = "REGRESS"
+                regressions.append((bench, field, base, cur, delta))
+            print(f"  [{tag:<7}] {bench}.{field}: "
+                  f"{base:.4f}ms -> {cur:.4f}ms ({delta:+.1f}%)")
+    for bench in sorted(set(current) - set(baseline)):
+        print(f"  [new    ] {bench}: no baseline, not gated")
+
+    print(f"check_bench: {compared} timings compared, "
+          f"{len(regressions)} over the {args.threshold:g}% threshold")
+    if regressions and os.environ.get("CMIF_SKIP_BENCH_GATE") == "1":
+        print("check_bench: CMIF_SKIP_BENCH_GATE=1 set — reporting only")
+        return 0
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@
 //   cmif_tool render <doc> <catalog> <sec> <out.ppm>   compose one frame
 //   cmif_tool profile <doc> <catalog> [profile] [--trace out.json] [--metrics out.jsonl]
 //                                            run instrumented, export trace + metrics
+//   cmif_tool serve [--docs K] [--requests N] [--threads T] [--zipf S]
+//                   [--seed X] [--cache C | --no-cache]
+//                                            serve a synthetic Zipf trace concurrently
 //
 // Profiles: workstation (default), personal, portable.
 #include <fstream>
@@ -30,6 +33,7 @@
 #include "src/player/engine.h"
 #include "src/present/compositor.h"
 #include "src/sched/conflict.h"
+#include "src/serve/serve.h"
 
 namespace cmif {
 namespace {
@@ -352,13 +356,72 @@ int CmdProfile(const std::vector<std::string>& args) {
   return 0;
 }
 
+// serve [--docs K] [--requests N] [--threads T] [--zipf S] [--seed X]
+//       [--cache C | --no-cache]
+// Builds a news corpus over one shared descriptor database, replays a
+// deterministic Zipf request trace on a worker pool, and reports throughput,
+// latency percentiles, cache effectiveness and the per-stage histograms.
+int CmdServe(const std::vector<std::string>& args) {
+  int docs = 8;
+  std::size_t requests = 256;
+  ServeOptions options;
+  auto number_after = [&](std::size_t& i) -> std::optional<long> {
+    if (i + 1 >= args.size()) {
+      return std::nullopt;
+    }
+    return std::atol(args[++i].c_str());
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::optional<long> value;
+    if (args[i] == "--docs" && (value = number_after(i))) {
+      docs = static_cast<int>(*value);
+    } else if (args[i] == "--requests" && (value = number_after(i))) {
+      requests = static_cast<std::size_t>(*value);
+    } else if (args[i] == "--threads" && (value = number_after(i))) {
+      options.threads = static_cast<int>(*value);
+    } else if (args[i] == "--seed" && (value = number_after(i))) {
+      options.seed = static_cast<std::uint64_t>(*value);
+    } else if (args[i] == "--cache" && (value = number_after(i))) {
+      options.cache_capacity = static_cast<std::size_t>(*value);
+    } else if (args[i] == "--zipf" && i + 1 < args.size()) {
+      options.zipf_skew = std::atof(args[++i].c_str());
+    } else if (args[i] == "--no-cache") {
+      options.use_cache = false;
+    } else {
+      std::cerr << "serve: unknown argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+
+  auto corpus = BuildNewsCorpus(docs);
+  if (!corpus.ok()) {
+    return Fail(corpus.status());
+  }
+  obs::ScopedEnable enable;
+  obs::ResetAll();
+  ServeLoop loop(**corpus, options);
+  std::vector<ServeRequest> trace = GenerateTrace((*corpus)->size(), requests, options);
+  std::cout << "serving " << requests << " requests over " << docs << " documents ("
+            << (*corpus)->store().size() << " shared descriptors), " << options.threads
+            << " threads, Zipf(" << options.zipf_skew << ")"
+            << (options.use_cache ? "" : ", cache off") << "\n";
+  auto stats = loop.Run(trace);
+  if (!stats.ok()) {
+    return Fail(stats.status());
+  }
+  std::cout << stats->Summary() << "\n" << obs::TextReport();
+  return 0;
+}
+
 int Usage() {
   std::cerr << "usage: cmif_tool <sample-news [stories] | check <doc> [catalog] | tree <doc> |"
                " arcs <doc> |\n"
                "                  schedule <doc> [catalog] | play <doc> <catalog> [profile] |\n"
                "                  render <doc> <catalog> <seconds> <out.ppm> |\n"
                "                  profile <doc> <catalog> [profile] [--trace out.json]"
-               " [--metrics out.jsonl]>\n";
+               " [--metrics out.jsonl] |\n"
+               "                  serve [--docs K] [--requests N] [--threads T] [--zipf S]"
+               " [--seed X] [--cache C | --no-cache]>\n";
   return 2;
 }
 
@@ -391,6 +454,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "profile" && argc >= 4) {
     return CmdProfile(std::vector<std::string>(argv + 2, argv + argc));
+  }
+  if (command == "serve") {
+    return CmdServe(std::vector<std::string>(argv + 2, argv + argc));
   }
   return Usage();
 }

@@ -4,17 +4,20 @@
 #
 #   tools/run_benches.sh [build-dir] [out.json]
 #
-# Default: build + BENCH_PR1.json. Pass --full in BENCH_ARGS to also run the
-# google-benchmark suites; by default only the figures run (the JSON lines
-# come from the figures, not the BM_* loops).
+# Default: build + BENCH_PR${CMIF_PR:-1}.json — set CMIF_PR=<N> (or pass the
+# output path explicitly) to write the per-PR baseline BENCH_PR<N>.json that
+# tools/check_bench.py gates against. Pass --full in BENCH_ARGS to also run
+# the google-benchmark suites; by default only the figures run (the JSON
+# lines come from the figures, not the BM_* loops).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR1.json}"
+OUT="${2:-BENCH_PR${CMIF_PR:-1}.json}"
 BENCH_ARGS="${BENCH_ARGS:---benchmark_filter=^$}"
 
 FIGS=(fig1_pipeline fig2_ddbms fig3_timeline fig4_news fig5_tree
-      fig6_nodes fig7_attrs fig8_sync_window fig9_arcs fig10_fragment)
+      fig6_nodes fig7_attrs fig8_sync_window fig9_arcs fig10_fragment
+      fig11_serve)
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
