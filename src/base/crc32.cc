@@ -1,0 +1,34 @@
+#include "src/base/crc32.h"
+
+#include <array>
+
+namespace cmif {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t crc, std::string_view bytes) {
+  crc = ~crc;
+  for (unsigned char c : bytes) {
+    crc = (crc >> 8) ^ kTable[(crc ^ c) & 0xFF];
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32(std::string_view bytes) { return Crc32Update(0, bytes); }
+
+}  // namespace cmif

@@ -41,8 +41,8 @@ StatusOr<Token> Lexer::Next() {
 StatusOr<Token> Lexer::Expect(TokenKind kind) {
   CMIF_ASSIGN_OR_RETURN(Token token, Next());
   if (token.kind != kind) {
-    return DataLossError(StrFormat("line %d: expected %s, got %s '%s'", token.line,
-                                   std::string(TokenKindName(kind)).c_str(),
+    return DataLossError(StrFormat("line %d (offset %zu): expected %s, got %s '%s'", token.line,
+                                   token.offset, std::string(TokenKindName(kind)).c_str(),
                                    std::string(TokenKindName(token.kind)).c_str(),
                                    token.text.c_str()));
   }
@@ -67,16 +67,17 @@ StatusOr<Token> Lexer::Lex() {
     }
   }
   if (pos_ >= input_.size()) {
-    return Token{TokenKind::kEnd, "", line_};
+    return Token{TokenKind::kEnd, "", line_, pos_};
   }
+  std::size_t token_offset = pos_;
   char c = input_[pos_];
   if (c == '(') {
     ++pos_;
-    return Token{TokenKind::kLParen, "(", line_};
+    return Token{TokenKind::kLParen, "(", line_, token_offset};
   }
   if (c == ')') {
     ++pos_;
-    return Token{TokenKind::kRParen, ")", line_};
+    return Token{TokenKind::kRParen, ")", line_, token_offset};
   }
   if (c == '"') {
     ++pos_;
@@ -94,11 +95,12 @@ StatusOr<Token> Lexer::Lex() {
       }
     }
     if (pos_ >= input_.size()) {
-      return DataLossError(StrFormat("line %d: unterminated string", line_));
+      return DataLossError(
+          StrFormat("line %d (offset %zu): unterminated string", line_, token_offset));
     }
     std::string body = UnescapeString(input_.substr(start, pos_ - start));
     ++pos_;  // closing quote
-    return Token{TokenKind::kString, std::move(body), line_};
+    return Token{TokenKind::kString, std::move(body), line_, token_offset};
   }
   // Bare word: everything up to whitespace, parens, quote or comment.
   std::size_t start = pos_;
@@ -110,7 +112,8 @@ StatusOr<Token> Lexer::Lex() {
     }
     ++pos_;
   }
-  return Token{TokenKind::kWord, std::string(input_.substr(start, pos_ - start)), line_};
+  return Token{TokenKind::kWord, std::string(input_.substr(start, pos_ - start)), line_,
+               token_offset};
 }
 
 }  // namespace cmif

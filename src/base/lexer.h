@@ -24,6 +24,7 @@ struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;  // word contents or unescaped string body
   int line = 1;      // 1-based source line, for error messages
+  std::size_t offset = 0;  // byte offset of the token's first character
 };
 
 // Tokenizes an in-memory buffer. The buffer must outlive the lexer.
@@ -39,6 +40,25 @@ class Lexer {
   StatusOr<Token> Expect(TokenKind kind);
 
   int line() const { return line_; }
+  // Byte offset of the next unconsumed character (of the peeked token's
+  // first character when one is buffered).
+  std::size_t offset() const { return has_peeked_ ? peeked_.offset : pos_; }
+
+  // Bounded lookahead: Save() captures the full lexer position, Restore()
+  // rewinds to it (used e.g. to sniff an optional catalog header form).
+  struct Checkpoint {
+    std::size_t pos = 0;
+    int line = 1;
+    bool has_peeked = false;
+    Token peeked;
+  };
+  Checkpoint Save() const { return Checkpoint{pos_, line_, has_peeked_, peeked_}; }
+  void Restore(const Checkpoint& checkpoint) {
+    pos_ = checkpoint.pos;
+    line_ = checkpoint.line;
+    has_peeked_ = checkpoint.has_peeked;
+    peeked_ = checkpoint.peeked;
+  }
 
  private:
   StatusOr<Token> Lex();

@@ -27,6 +27,7 @@ enum class StatusCode {
   kResourceExhausted, // capability/resource limit hit
   kInfeasible,        // constraint system has no solution
   kInternal,          // invariant violation inside the library
+  kUnavailable,       // transient failure; retrying may succeed
 };
 
 // Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
@@ -70,6 +71,7 @@ Status DataLossError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status InfeasibleError(std::string message);
 Status InternalError(std::string message);
+Status UnavailableError(std::string message);
 
 // A value or an error. Exactly one of the two is present.
 template <typename T>

@@ -1,5 +1,10 @@
 #include "src/ddbms/descriptor.h"
 
+#include <algorithm>
+
+#include "src/base/string_util.h"
+#include "src/fault/fault.h"
+
 namespace cmif {
 
 MediaType DataDescriptor::Medium() const {
@@ -72,6 +77,12 @@ void BlockStore::Set(std::string key, DataBlock block) {
 }
 
 StatusOr<DataBlock> BlockStore::Get(const std::string& key) const {
+  // The paper's storage server lived on a distributed OS where any fetch
+  // could fail transiently, slow down, or stall; the chaos plans reproduce
+  // that here. No plan installed => one relaxed atomic load.
+  if (fault::Enabled()) {
+    CMIF_RETURN_IF_ERROR(fault::InjectPoint("ddbms.block.get"));
+  }
   for (const auto& [existing, value] : blocks_) {
     if (existing == key) {
       return value;
@@ -128,6 +139,67 @@ StatusOr<DataBlock> ResolveContent(const DataDescriptor& descriptor, const Block
     return GeneratorRegistry::Global().Run(*generator);
   }
   return FailedPreconditionError("descriptor '" + descriptor.id() + "' carries no content");
+}
+
+DataBlock MakePlaceholderBlock(const DataDescriptor& descriptor) {
+  MediaTime duration = descriptor.DeclaredDuration();
+  switch (descriptor.Medium()) {
+    case MediaType::kAudio: {
+      int rate = static_cast<int>(descriptor.attrs().GetNumberOr(kDescRate, 8000));
+      rate = std::clamp(rate, 1000, 48000);
+      MediaTime length = duration.is_positive() ? duration : MediaTime::Seconds(1);
+      auto frames = static_cast<std::size_t>(length.ToSecondsF() * rate);
+      return DataBlock::FromAudio(AudioBuffer(rate, 1, std::max<std::size_t>(1, frames)));
+    }
+    case MediaType::kImage:
+    case MediaType::kGraphic: {
+      int width = static_cast<int>(descriptor.attrs().GetNumberOr(kDescWidth, 64));
+      int height = static_cast<int>(descriptor.attrs().GetNumberOr(kDescHeight, 48));
+      Raster card(std::clamp(width, 8, 128), std::clamp(height, 8, 128),
+                  Pixel{0x60, 0x60, 0x60});
+      return DataBlock::FromImage(std::move(card), descriptor.Medium());
+    }
+    case MediaType::kVideo: {
+      int fps = static_cast<int>(descriptor.attrs().GetNumberOr(kDescRate, 25));
+      fps = std::clamp(fps, 1, 60);
+      VideoSegment segment(fps);
+      // Solid low-resolution frames covering the declared duration, capped so
+      // a placeholder never costs meaningful memory regardless of what the
+      // attributes claim the real payload was.
+      double seconds = duration.is_positive() ? duration.ToSecondsF() : 1.0;
+      auto frames = static_cast<std::size_t>(seconds * fps);
+      frames = std::clamp<std::size_t>(frames, 1, 250);
+      for (std::size_t i = 0; i < frames; ++i) {
+        (void)segment.Append(Raster(32, 24, Pixel{0x60, 0x60, 0x60}));
+      }
+      return DataBlock::FromVideo(std::move(segment));
+    }
+    case MediaType::kText:
+      break;
+  }
+  return DataBlock::FromText(TextBlock("[" + descriptor.id() + " unavailable]", {}));
+}
+
+StatusOr<ResolvedContent> ResolveContentWithRecovery(const DataDescriptor& descriptor,
+                                                     const BlockStore& store,
+                                                     const fault::RetryPolicy& policy) {
+  if (!descriptor.has_content()) {
+    return FailedPreconditionError("descriptor '" + descriptor.id() + "' carries no content");
+  }
+  ResolvedContent resolved;
+  auto fetched = fault::Retry(
+      policy, [&] { return ResolveContent(descriptor, store); },
+      /*salt=*/Fnv1a64(descriptor.id()), &resolved.attempts);
+  if (fetched.ok()) {
+    resolved.block = *std::move(fetched);
+    resolved.outcome =
+        resolved.attempts > 1 ? ResolveOutcome::kRecovered : ResolveOutcome::kHealthy;
+    return resolved;
+  }
+  resolved.error = fetched.status();
+  resolved.outcome = ResolveOutcome::kPlaceholder;
+  resolved.block = MakePlaceholderBlock(descriptor);
+  return resolved;
 }
 
 }  // namespace cmif

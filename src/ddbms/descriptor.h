@@ -12,6 +12,7 @@
 
 #include "src/attr/attr_list.h"
 #include "src/base/status.h"
+#include "src/fault/retry.h"
 #include "src/media/data_block.h"
 #include "src/media/media_type.h"
 
@@ -94,6 +95,36 @@ class BlockStore {
 // store keys are fetched from `store`, generators are run via the global
 // GeneratorRegistry. Descriptors without content yield FailedPrecondition.
 StatusOr<DataBlock> ResolveContent(const DataDescriptor& descriptor, const BlockStore& store);
+
+// Synthesizes a stand-in block from a descriptor's declared attributes alone
+// — silence for audio, a solid card for images/video, an "[id unavailable]"
+// caption for text — preserving the declared duration (and roughly the
+// declared geometry, capped so a placeholder is always cheap) so schedules
+// and sync arcs computed against the real block still hold.
+DataBlock MakePlaceholderBlock(const DataDescriptor& descriptor);
+
+// What ResolveContentWithRecovery did to produce its block.
+enum class ResolveOutcome {
+  kHealthy = 0,    // the real payload
+  kRecovered,      // the real payload, after retrying a transient failure
+  kPlaceholder,    // the payload was unrecoverable; a placeholder substitutes
+};
+
+struct ResolvedContent {
+  DataBlock block;
+  ResolveOutcome outcome = ResolveOutcome::kHealthy;
+  int attempts = 1;
+  Status error;  // the terminal fetch error behind a placeholder
+};
+
+// ResolveContent with the recovery ladder applied to store fetches: retry
+// transient (kUnavailable) failures under `policy`, and on a permanent or
+// retry-exhausted failure degrade to MakePlaceholderBlock instead of
+// failing. Only descriptors *without any* content still yield an error —
+// there is nothing declared to stand in for.
+StatusOr<ResolvedContent> ResolveContentWithRecovery(const DataDescriptor& descriptor,
+                                                     const BlockStore& store,
+                                                     const fault::RetryPolicy& policy);
 
 }  // namespace cmif
 

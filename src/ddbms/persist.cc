@@ -3,8 +3,10 @@
 #include <sstream>
 
 #include "src/attr/parse.h"
+#include "src/base/crc32.h"
 #include "src/base/lexer.h"
 #include "src/base/string_util.h"
+#include "src/fault/fault.h"
 
 namespace cmif {
 namespace {
@@ -45,48 +47,72 @@ StatusOr<DataBlock> DecodeInlinePayload(MediaType medium, const std::string& bod
   return InternalError("unknown medium");
 }
 
-}  // namespace
-
-StatusOr<std::string> WriteDescriptor(const DataDescriptor& descriptor) {
-  std::ostringstream os;
-  os << "(descriptor " << descriptor.id() << " " << descriptor.attrs().ToString();
-  const ContentRef& content = descriptor.content();
-  if (const auto* key = std::get_if<std::string>(&content)) {
-    os << " store " << QuoteString(*key);
-  } else if (const auto* gen = std::get_if<GeneratorSpec>(&content)) {
-    os << " generator " << gen->generator << " " << QuoteString(gen->params) << " "
-       << gen->duration.ToString() << " " << gen->approx_bytes;
-  } else if (const auto* block = std::get_if<DataBlock>(&content)) {
-    CMIF_ASSIGN_OR_RETURN(std::string body, EncodeInlinePayload(*block));
-    os << " inline " << MediaTypeName(block->medium()) << " " << QuoteString(body);
+// Parses the optional "(catalog version <v> descriptors <n>)" header.
+// Returns the declared descriptor count, or -1 for a version-1 catalog
+// (no header present; nothing is consumed in that case).
+StatusOr<std::int64_t> ParseCatalogHeader(Lexer& lexer) {
+  CMIF_ASSIGN_OR_RETURN(Token open, lexer.Peek());
+  if (open.kind != TokenKind::kLParen) {
+    return std::int64_t{-1};
   }
-  os << ")";
-  return os.str();
+  // Look ahead past the paren: only commit once the keyword is "catalog".
+  Lexer::Checkpoint checkpoint = lexer.Save();
+  CMIF_RETURN_IF_ERROR(lexer.Next().status());
+  CMIF_ASSIGN_OR_RETURN(Token keyword, lexer.Peek());
+  if (keyword.kind != TokenKind::kWord || keyword.text != "catalog") {
+    lexer.Restore(checkpoint);
+    return std::int64_t{-1};
+  }
+  CMIF_RETURN_IF_ERROR(lexer.Next().status());
+  CMIF_ASSIGN_OR_RETURN(Token version_word, lexer.Expect(TokenKind::kWord));
+  if (version_word.text != "version") {
+    return DataLossError(StrFormat("line %d (offset %zu): expected 'version' in catalog header",
+                                   version_word.line, version_word.offset));
+  }
+  CMIF_ASSIGN_OR_RETURN(Token version, lexer.Expect(TokenKind::kWord));
+  long version_number = std::strtol(version.text.c_str(), nullptr, 10);
+  if (version_number < 1 || version_number > kCatalogVersion) {
+    return DataLossError(StrFormat("line %d (offset %zu): unsupported catalog version '%s'",
+                                   version.line, version.offset, version.text.c_str()));
+  }
+  CMIF_ASSIGN_OR_RETURN(Token descriptors_word, lexer.Expect(TokenKind::kWord));
+  if (descriptors_word.text != "descriptors") {
+    return DataLossError(
+        StrFormat("line %d (offset %zu): expected 'descriptors' in catalog header",
+                  descriptors_word.line, descriptors_word.offset));
+  }
+  CMIF_ASSIGN_OR_RETURN(Token count, lexer.Expect(TokenKind::kWord));
+  std::int64_t declared = std::strtoll(count.text.c_str(), nullptr, 10);
+  if (declared < 0) {
+    return DataLossError(StrFormat("line %d (offset %zu): bad descriptor count '%s'", count.line,
+                                   count.offset, count.text.c_str()));
+  }
+  CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kRParen).status());
+  return declared;
 }
 
-StatusOr<std::string> WriteCatalog(const DescriptorStore& store) {
-  std::string out = "; CMIF descriptor catalog\n";
-  for (const DataDescriptor& d : store.descriptors()) {
-    CMIF_ASSIGN_OR_RETURN(std::string line, WriteDescriptor(d));
-    out += line;
-    out += '\n';
-  }
-  return out;
-}
-
-StatusOr<DescriptorStore> ReadCatalog(const std::string& text) {
+StatusOr<DescriptorStore> ParseCatalog(const std::string& text) {
   DescriptorStore store;
   Lexer lexer(text);
+  CMIF_ASSIGN_OR_RETURN(std::int64_t declared_count, ParseCatalogHeader(lexer));
+  std::int64_t parsed_count = 0;
   while (true) {
     CMIF_ASSIGN_OR_RETURN(Token token, lexer.Peek());
     if (token.kind == TokenKind::kEnd) {
+      if (declared_count >= 0 && parsed_count != declared_count) {
+        return DataLossError(StrFormat(
+            "truncated catalog: header declares %lld descriptors but input ends after %lld "
+            "(offset %zu)",
+            static_cast<long long>(declared_count), static_cast<long long>(parsed_count),
+            token.offset));
+      }
       return store;
     }
     CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kLParen).status());
     CMIF_ASSIGN_OR_RETURN(Token keyword, lexer.Expect(TokenKind::kWord));
     if (keyword.text != "descriptor") {
-      return DataLossError(StrFormat("line %d: expected 'descriptor', got '%s'", keyword.line,
-                                     keyword.text.c_str()));
+      return DataLossError(StrFormat("line %d (offset %zu): expected 'descriptor', got '%s'",
+                                     keyword.line, keyword.offset, keyword.text.c_str()));
     }
     CMIF_ASSIGN_OR_RETURN(Token id, lexer.Expect(TokenKind::kWord));
     CMIF_ASSIGN_OR_RETURN(AttrList attrs, ParseAttrList(lexer));
@@ -112,18 +138,81 @@ StatusOr<DescriptorStore> ReadCatalog(const std::string& text) {
         CMIF_ASSIGN_OR_RETURN(Token medium_word, lexer.Expect(TokenKind::kWord));
         CMIF_ASSIGN_OR_RETURN(MediaType medium, ParseMediaType(medium_word.text));
         CMIF_ASSIGN_OR_RETURN(Token body, lexer.Expect(TokenKind::kString));
+        // Optional "crc <hex>" suffix (version 2): verify before decoding,
+        // so a corrupted payload is reported as corruption, not as a codec
+        // error deeper in.
+        CMIF_ASSIGN_OR_RETURN(Token after_body, lexer.Peek());
+        if (after_body.kind == TokenKind::kWord && after_body.text == "crc") {
+          CMIF_RETURN_IF_ERROR(lexer.Next().status());
+          CMIF_ASSIGN_OR_RETURN(Token checksum, lexer.Expect(TokenKind::kWord));
+          std::uint32_t declared_crc =
+              static_cast<std::uint32_t>(std::strtoul(checksum.text.c_str(), nullptr, 16));
+          std::uint32_t actual_crc = Crc32(body.text);
+          if (actual_crc != declared_crc) {
+            return DataLossError(StrFormat(
+                "line %d (offset %zu): inline payload of descriptor '%s' fails its CRC-32 check "
+                "(declared %08x, computed %08x) — the catalog is corrupted",
+                body.line, body.offset, id.text.c_str(), declared_crc, actual_crc));
+          }
+        }
         CMIF_ASSIGN_OR_RETURN(DataBlock block, DecodeInlinePayload(medium, body.text));
         descriptor.set_content(std::move(block));
       } else {
-        return DataLossError(StrFormat("line %d: unknown content kind '%s'", next.line,
-                                       next.text.c_str()));
+        return DataLossError(StrFormat("line %d (offset %zu): unknown content kind '%s'",
+                                       next.line, next.offset, next.text.c_str()));
       }
       CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kRParen).status());
     } else if (next.kind != TokenKind::kRParen) {
-      return DataLossError(StrFormat("line %d: expected content kind or ')'", next.line));
+      return DataLossError(StrFormat("line %d (offset %zu): expected content kind or ')'",
+                                     next.line, next.offset));
     }
     CMIF_RETURN_IF_ERROR(store.Add(std::move(descriptor)));
+    ++parsed_count;
   }
+}
+
+}  // namespace
+
+StatusOr<std::string> WriteDescriptor(const DataDescriptor& descriptor) {
+  std::ostringstream os;
+  os << "(descriptor " << descriptor.id() << " " << descriptor.attrs().ToString();
+  const ContentRef& content = descriptor.content();
+  if (const auto* key = std::get_if<std::string>(&content)) {
+    os << " store " << QuoteString(*key);
+  } else if (const auto* gen = std::get_if<GeneratorSpec>(&content)) {
+    os << " generator " << gen->generator << " " << QuoteString(gen->params) << " "
+       << gen->duration.ToString() << " " << gen->approx_bytes;
+  } else if (const auto* block = std::get_if<DataBlock>(&content)) {
+    CMIF_ASSIGN_OR_RETURN(std::string body, EncodeInlinePayload(*block));
+    os << " inline " << MediaTypeName(block->medium()) << " " << QuoteString(body) << " crc "
+       << StrFormat("%08x", Crc32(body));
+  }
+  os << ")";
+  return os.str();
+}
+
+StatusOr<std::string> WriteCatalog(const DescriptorStore& store) {
+  std::string out = "; CMIF descriptor catalog\n";
+  out += StrFormat("(catalog version %d descriptors %zu)\n", kCatalogVersion,
+                   store.descriptors().size());
+  for (const DataDescriptor& d : store.descriptors()) {
+    CMIF_ASSIGN_OR_RETURN(std::string line, WriteDescriptor(d));
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<DescriptorStore> ReadCatalog(const std::string& text) {
+  // The corruption fault site mutates the persisted image before parsing —
+  // the CRC/offset machinery below is what detects it.
+  if (fault::Enabled()) {
+    std::string mutated = text;
+    if (fault::MaybeCorrupt("ddbms.persist.read", mutated)) {
+      return ParseCatalog(mutated);
+    }
+  }
+  return ParseCatalog(text);
 }
 
 }  // namespace cmif

@@ -1,14 +1,22 @@
-// Text-catalog persistence for descriptor stores. A catalog is a sequence of
-// s-expressions, one per descriptor:
+// Text-catalog persistence for descriptor stores. A version-2 catalog opens
+// with a header form followed by one s-expression per descriptor:
 //
+//   (catalog version 2 descriptors <count>)
 //   (descriptor <id> (<attrs...>))                          ; attributes only
 //   (descriptor <id> (<attrs...>) store "<block key>")      ; storage-server ref
 //   (descriptor <id> (<attrs...>) generator <name> "<params>" <duration> <bytes>)
-//   (descriptor <id> (<attrs...>) inline <medium> "<base64 or text>")
+//   (descriptor <id> (<attrs...>) inline <medium> "<base64 or text>" crc <hex>)
 //
 // Inline payloads use the medium's codec: text verbatim, audio as base64 WAV,
 // image/graphic as base64 PPM. Inline video is intentionally unsupported —
 // transport video via the store or a generator.
+//
+// Robustness: the header's descriptor count detects truncation between
+// descriptors (a cleanly cut file is NOT silently loaded as a partial
+// store), the per-payload CRC-32 detects corrupted inline payloads, and
+// every load error is structured kDataLoss carrying the line *and byte
+// offset* of the failure. Version-1 catalogs (no header, no crc suffix) are
+// still read for back-compat; they simply lack the two integrity checks.
 #ifndef SRC_DDBMS_PERSIST_H_
 #define SRC_DDBMS_PERSIST_H_
 
@@ -19,11 +27,17 @@
 
 namespace cmif {
 
-// Serializes every descriptor of `store` into catalog text.
+// The catalog format version WriteCatalog emits.
+inline constexpr int kCatalogVersion = 2;
+
+// Serializes every descriptor of `store` into catalog text (version 2:
+// header with descriptor count, CRC-32 on every inline payload).
 StatusOr<std::string> WriteCatalog(const DescriptorStore& store);
 
 // Parses catalog text into a fresh store (no indexes). Errors are kDataLoss
-// with line information.
+// with line and byte-offset information; a version-2 catalog additionally
+// fails on truncation (count mismatch) and on inline-payload CRC mismatch.
+// Subject to the "ddbms.persist.read" corruption fault site.
 StatusOr<DescriptorStore> ReadCatalog(const std::string& text);
 
 // Serializes one descriptor (the catalog line without a trailing newline).

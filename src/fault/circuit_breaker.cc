@@ -1,0 +1,125 @@
+#include "src/fault/circuit_breaker.h"
+
+namespace cmif {
+namespace fault {
+
+std::string_view BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kClosed) {
+    return true;
+  }
+  if (state_ == BreakerState::kOpen) {
+    if (GlobalClock().NowMicros() < reopen_at_micros_) {
+      ++rejected_;
+      return false;
+    }
+    state_ = BreakerState::kHalfOpen;
+    half_open_successes_ = 0;
+    half_open_in_flight_ = 0;
+  }
+  // Half-open: admit a bounded probe round.
+  if (half_open_in_flight_ >= options_.half_open_probes) {
+    ++rejected_;
+    return false;
+  }
+  ++half_open_in_flight_;
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ != BreakerState::kHalfOpen) {
+    return;
+  }
+  if (half_open_in_flight_ > 0) {
+    --half_open_in_flight_;
+  }
+  if (++half_open_successes_ >= options_.half_open_successes) {
+    state_ = BreakerState::kClosed;
+    half_open_successes_ = 0;
+    half_open_in_flight_ = 0;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t now = GlobalClock().NowMicros();
+  if (state_ == BreakerState::kHalfOpen) {
+    OpenLocked(now);  // a failed probe reopens immediately
+    return;
+  }
+  if (state_ == BreakerState::kOpen) {
+    return;  // already failing fast
+  }
+  if (++consecutive_failures_ >= options_.failure_threshold) {
+    OpenLocked(now);
+  }
+}
+
+void CircuitBreaker::OpenLocked(std::int64_t now_micros) {
+  state_ = BreakerState::kOpen;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  half_open_in_flight_ = 0;
+  reopen_at_micros_ = now_micros + options_.open_ms * 1000;
+  ++opens_;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+std::uint64_t CircuitBreaker::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+CircuitBreaker& BreakerSet::For(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(key);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(std::string(key), std::make_unique<CircuitBreaker>(options_)).first;
+  }
+  return *it->second;
+}
+
+std::map<std::string, BreakerState> BreakerSet::States() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, BreakerState> states;
+  for (const auto& [key, breaker] : breakers_) {
+    states.emplace(key, breaker->state());
+  }
+  return states;
+}
+
+std::uint64_t BreakerSet::TotalOpens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [key, breaker] : breakers_) {
+    (void)key;
+    total += breaker->opens();
+  }
+  return total;
+}
+
+}  // namespace fault
+}  // namespace cmif

@@ -1,0 +1,90 @@
+// Circuit breakers for the recovery layer: after `failure_threshold`
+// consecutive failures a breaker opens and fails fast (Allow() == false) for
+// `open_ms`; the first Allow() after the window moves it to half-open, where
+// a bounded number of probe requests run — `half_open_successes` consecutive
+// successes close the circuit, any failure reopens it. Time comes from
+// fault::GlobalClock() so transitions are exactly testable with a FakeClock.
+//
+// BreakerSet keys breakers by name (a store shard, a playback channel) with
+// stable addresses, mirroring the obs::MetricsRegistry pattern.
+#ifndef SRC_FAULT_CIRCUIT_BREAKER_H_
+#define SRC_FAULT_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/fault/clock.h"
+
+namespace cmif {
+namespace fault {
+
+enum class BreakerState { kClosed = 0, kOpen, kHalfOpen };
+
+std::string_view BreakerStateName(BreakerState state);
+
+struct BreakerOptions {
+  int failure_threshold = 5;      // consecutive failures that open the circuit
+  std::int64_t open_ms = 1000;    // fail-fast window before probing resumes
+  int half_open_successes = 2;    // consecutive probe successes that close it
+  int half_open_probes = 2;       // probes admitted per half-open round
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions options = {}) : options_(options) {}
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  // May this call proceed? Open circuits answer false until the open window
+  // elapses, then transition to half-open and admit up to half_open_probes
+  // calls; excess probes are rejected until their results arrive.
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const;
+  // Times the circuit has opened since construction.
+  std::uint64_t opens() const;
+  // Calls rejected by an open (or probe-saturated half-open) circuit.
+  std::uint64_t rejected() const;
+
+ private:
+  void OpenLocked(std::int64_t now_micros);
+
+  BreakerOptions options_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int half_open_in_flight_ = 0;
+  std::int64_t reopen_at_micros_ = 0;
+  std::uint64_t opens_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+// Named breakers with stable addresses (references stay valid forever).
+class BreakerSet {
+ public:
+  explicit BreakerSet(BreakerOptions options = {}) : options_(options) {}
+
+  CircuitBreaker& For(std::string_view key);
+  // Snapshot of (key, state) pairs in key order.
+  std::map<std::string, BreakerState> States() const;
+  // Sum of opens() over all breakers.
+  std::uint64_t TotalOpens() const;
+
+ private:
+  BreakerOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>, std::less<>> breakers_;
+};
+
+}  // namespace fault
+}  // namespace cmif
+
+#endif  // SRC_FAULT_CIRCUIT_BREAKER_H_

@@ -1,0 +1,86 @@
+#include "src/fault/clock.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace cmif {
+namespace fault {
+namespace {
+
+constexpr std::int64_t kNoDeadline = INT64_MAX;
+
+std::atomic<Clock*> g_clock{nullptr};
+
+thread_local std::int64_t t_deadline_micros = kNoDeadline;
+
+}  // namespace
+
+std::int64_t SystemClock::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepMicros(std::int64_t micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+std::int64_t FakeClock::NowMicros() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_micros_;
+}
+
+void FakeClock::SleepMicros(std::int64_t micros) {
+  if (micros <= 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  now_micros_ += micros;
+  slept_micros_ += micros;
+}
+
+void FakeClock::AdvanceMicros(std::int64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_micros_ += micros;
+}
+
+std::int64_t FakeClock::slept_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slept_micros_;
+}
+
+Clock& GlobalClock() {
+  static SystemClock* system_clock = new SystemClock();
+  Clock* override_clock = g_clock.load(std::memory_order_acquire);
+  return override_clock != nullptr ? *override_clock : *system_clock;
+}
+
+void SetGlobalClockForTest(Clock* clock) { g_clock.store(clock, std::memory_order_release); }
+
+ScopedDeadline::ScopedDeadline(std::int64_t budget_ms) : previous_(t_deadline_micros) {
+  if (budget_ms > 0) {
+    std::int64_t deadline = GlobalClock().NowMicros() + budget_ms * 1000;
+    if (deadline < t_deadline_micros) {
+      t_deadline_micros = deadline;
+    }
+  }
+}
+
+ScopedDeadline::~ScopedDeadline() { t_deadline_micros = previous_; }
+
+std::int64_t RemainingDeadlineMicros() {
+  if (t_deadline_micros == kNoDeadline) {
+    return kNoDeadline;
+  }
+  return t_deadline_micros - GlobalClock().NowMicros();
+}
+
+bool DeadlineExpired() {
+  return t_deadline_micros != kNoDeadline && GlobalClock().NowMicros() >= t_deadline_micros;
+}
+
+}  // namespace fault
+}  // namespace cmif

@@ -1,0 +1,86 @@
+// The recovery layer's time source: an injectable clock plus per-attempt
+// deadlines. Retry backoff, circuit-breaker open windows, and injected
+// latency/stall sleeps all go through GlobalClock(), so tests swap in a
+// FakeClock and every timing assertion becomes exact and instant.
+//
+// Deadlines are thread-local and absolute: a ScopedDeadline bounds one
+// attempt, injected sleeps clamp themselves to the remaining budget, and an
+// expired deadline turns a stall into a fast kUnavailable instead of a hang.
+// This file is always compiled (it is the recovery layer, not the injection
+// layer); only the src/fault/fault.h probes respect CMIF_FAULT_DISABLED.
+#ifndef SRC_FAULT_CLOCK_H_
+#define SRC_FAULT_CLOCK_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace cmif {
+namespace fault {
+
+// Monotonic time + sleep. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Microseconds on an arbitrary monotonic epoch.
+  virtual std::int64_t NowMicros() = 0;
+  // Blocks (or virtually advances) for `micros`; negative is a no-op.
+  virtual void SleepMicros(std::int64_t micros) = 0;
+};
+
+// std::chrono::steady_clock + std::this_thread::sleep_for.
+class SystemClock : public Clock {
+ public:
+  std::int64_t NowMicros() override;
+  void SleepMicros(std::int64_t micros) override;
+};
+
+// A manually advanced clock: Sleep advances time instead of blocking, so
+// backoff/open-window tests run in microseconds of wall time.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(std::int64_t start_micros = 0) : now_micros_(start_micros) {}
+
+  std::int64_t NowMicros() override;
+  void SleepMicros(std::int64_t micros) override;
+  // Advances without a sleeper (e.g. to expire a breaker's open window).
+  void AdvanceMicros(std::int64_t micros);
+  // Total virtual time spent inside SleepMicros.
+  std::int64_t slept_micros() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t now_micros_ = 0;
+  std::int64_t slept_micros_ = 0;
+};
+
+// The process clock used by retry, breakers, and injected sleeps. Defaults
+// to a SystemClock singleton.
+Clock& GlobalClock();
+// Overrides the global clock (nullptr restores the system clock). Test-only;
+// not synchronized against in-flight sleepers.
+void SetGlobalClockForTest(Clock* clock);
+
+// RAII per-attempt deadline on the calling thread, measured on GlobalClock().
+// Nested deadlines keep the tighter (earlier) bound; destruction restores the
+// outer one. budget_ms <= 0 means "no deadline" (the scope is a no-op).
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(std::int64_t budget_ms);
+  ~ScopedDeadline();
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  std::int64_t previous_;
+};
+
+// Microseconds left before the innermost deadline on this thread; a large
+// positive sentinel (> 10^15) when none is set.
+std::int64_t RemainingDeadlineMicros();
+// True when a deadline is set and has passed.
+bool DeadlineExpired();
+
+}  // namespace fault
+}  // namespace cmif
+
+#endif  // SRC_FAULT_CLOCK_H_

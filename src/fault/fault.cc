@@ -1,0 +1,447 @@
+#include "src/fault/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "src/base/string_util.h"
+#include "src/fault/clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace cmif {
+namespace fault {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// The plan plus per-site decision counters, guarded by one mutex. Probes
+// only reach this after the relaxed Enabled() check, so the lock is never
+// taken on a fault-free hot path.
+struct PlanState {
+  std::mutex mu;
+  FaultPlan plan;
+  std::map<std::string, std::uint64_t, std::less<>> site_counters;
+
+  std::atomic<std::uint64_t> transient{0};
+  std::atomic<std::uint64_t> latency{0};
+  std::atomic<std::uint64_t> stall{0};
+  std::atomic<std::uint64_t> corrupt{0};
+  std::atomic<std::uint64_t> probes{0};
+};
+
+PlanState& State() {
+  static PlanState* state = new PlanState();
+  return *state;
+}
+
+bool SitePatternMatches(std::string_view pattern, std::string_view site) {
+  if (site.size() < pattern.size() || site.substr(0, pattern.size()) != pattern) {
+    return false;
+  }
+  return site.size() == pattern.size() || site[pattern.size()] == '.';
+}
+
+// One deterministic decision for `site`: draws u from (seed, site, call
+// index) and maps it onto the config's cumulative probability bands.
+struct Decision {
+  FaultKind kind = FaultKind::kNone;
+  FaultSiteConfig config;
+  std::uint64_t draw = 0;  // raw hash, reused to pick corruption positions
+};
+
+Decision Decide(std::string_view site) {
+  PlanState& state = State();
+  FaultSiteConfig config;
+  std::uint64_t seed = 0;
+  std::uint64_t index = 0;
+  bool matched = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (const auto& [pattern, site_config] : state.plan.sites) {
+      if (SitePatternMatches(pattern, site)) {
+        config = site_config;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return {};
+    }
+    seed = state.plan.seed;
+    auto it = state.site_counters.find(site);
+    if (it == state.site_counters.end()) {
+      it = state.site_counters.emplace(std::string(site), 0).first;
+    }
+    index = it->second++;
+  }
+  state.probes.fetch_add(1, std::memory_order_relaxed);
+
+  Decision decision;
+  decision.config = config;
+  decision.draw = SplitMix64(seed ^ Fnv1a64(site) ^ index * 0x9E3779B97F4A7C15ULL);
+  double u = static_cast<double>(decision.draw >> 11) * 0x1.0p-53;
+  double edge = config.transient_p;
+  if (u < edge) {
+    decision.kind = FaultKind::kTransient;
+    return decision;
+  }
+  edge += config.latency_p;
+  if (u < edge) {
+    decision.kind = FaultKind::kLatency;
+    return decision;
+  }
+  edge += config.stall_p;
+  if (u < edge) {
+    decision.kind = FaultKind::kStall;
+    return decision;
+  }
+  edge += config.corrupt_p;
+  if (u < edge) {
+    decision.kind = FaultKind::kCorrupt;
+  }
+  return decision;
+}
+
+void CountInjection(FaultKind kind) {
+  PlanState& state = State();
+  switch (kind) {
+    case FaultKind::kTransient:
+      state.transient.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::kLatency:
+      state.latency.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::kStall:
+      state.stall.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::kCorrupt:
+      state.corrupt.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::kNone:
+      return;
+  }
+  if (obs::Enabled()) {
+    obs::GetCounter(std::string("fault.injected.") + std::string(FaultKindName(kind))).Add();
+  }
+}
+
+// Sleeps for `ms` of injected delay, clamped to the thread's remaining
+// deadline budget. Returns false when the full delay did not fit.
+bool SleepWithinDeadline(std::int64_t ms) {
+  std::int64_t want = ms * 1000;
+  std::int64_t remaining = RemainingDeadlineMicros();
+  std::int64_t granted = std::min(want, std::max<std::int64_t>(remaining, 0));
+  GlobalClock().SleepMicros(granted);
+  return granted >= want && !DeadlineExpired();
+}
+
+Status ParsePlanEntry(std::string_view entry, FaultPlan& plan) {
+  std::size_t colon = entry.find(':');
+  if (colon == std::string_view::npos) {
+    return InvalidArgumentError(StrFormat("fault plan entry '%s' has no ':' (want site:kind=p)",
+                                          std::string(entry).c_str()));
+  }
+  std::string site(TrimString(entry.substr(0, colon)));
+  if (site.empty()) {
+    return InvalidArgumentError("fault plan entry has an empty site pattern");
+  }
+  FaultSiteConfig config;
+  for (const std::string& part : SplitString(entry.substr(colon + 1), ',')) {
+    std::string_view setting = TrimString(part);
+    std::size_t eq = setting.find('=');
+    if (eq == std::string_view::npos) {
+      return InvalidArgumentError(StrFormat("fault setting '%s' has no '='",
+                                            std::string(setting).c_str()));
+    }
+    std::string_view kind = TrimString(setting.substr(0, eq));
+    std::string_view value = TrimString(setting.substr(eq + 1));
+    std::int64_t delay_ms = -1;
+    std::size_t at = value.find('@');
+    if (at != std::string_view::npos) {
+      std::string_view delay = value.substr(at + 1);
+      if (delay.size() >= 2 && delay.substr(delay.size() - 2) == "ms") {
+        delay = delay.substr(0, delay.size() - 2);
+      }
+      delay_ms = std::strtoll(std::string(delay).c_str(), nullptr, 10);
+      if (delay_ms <= 0) {
+        return InvalidArgumentError(StrFormat("fault delay in '%s' must be positive milliseconds",
+                                              std::string(setting).c_str()));
+      }
+      value = value.substr(0, at);
+    }
+    double p = std::strtod(std::string(value).c_str(), nullptr);
+    if (p < 0 || p > 1) {
+      return InvalidArgumentError(StrFormat("fault probability in '%s' must be in [0,1]",
+                                            std::string(setting).c_str()));
+    }
+    if (kind == "transient") {
+      config.transient_p = p;
+    } else if (kind == "latency") {
+      config.latency_p = p;
+      if (delay_ms > 0) {
+        config.latency_ms = delay_ms;
+      }
+    } else if (kind == "stall") {
+      config.stall_p = p;
+      if (delay_ms > 0) {
+        config.stall_ms = delay_ms;
+      }
+    } else if (kind == "corrupt") {
+      config.corrupt_p = p;
+    } else {
+      return InvalidArgumentError(StrFormat(
+          "unknown fault kind '%s' (want transient|latency|stall|corrupt)",
+          std::string(kind).c_str()));
+    }
+  }
+  if (config.transient_p + config.latency_p + config.stall_p + config.corrupt_p > 1.0) {
+    return InvalidArgumentError(
+        StrFormat("fault probabilities for site '%s' sum past 1.0", site.c_str()));
+  }
+  plan.sites.emplace_back(std::move(site), config);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kLatency:
+      return "latency";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+StatusOr<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  FaultPlan plan;
+  for (const std::string& raw : SplitString(spec, ';')) {
+    std::string_view entry = TrimString(raw);
+    if (entry.empty()) {
+      continue;
+    }
+    if (StartsWith(entry, "seed=")) {
+      plan.seed = std::strtoull(std::string(entry.substr(5)).c_str(), nullptr, 10);
+      continue;
+    }
+    CMIF_RETURN_IF_ERROR(ParsePlanEntry(entry, plan));
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out = StrFormat("seed=%llu", static_cast<unsigned long long>(seed));
+  for (const auto& [site, config] : sites) {
+    out += ';';
+    out += site;
+    out += ':';
+    std::vector<std::string> settings;
+    if (config.transient_p > 0) {
+      settings.push_back(StrFormat("transient=%g", config.transient_p));
+    }
+    if (config.latency_p > 0) {
+      settings.push_back(StrFormat("latency=%g@%lldms", config.latency_p,
+                                   static_cast<long long>(config.latency_ms)));
+    }
+    if (config.stall_p > 0) {
+      settings.push_back(
+          StrFormat("stall=%g@%lldms", config.stall_p, static_cast<long long>(config.stall_ms)));
+    }
+    if (config.corrupt_p > 0) {
+      settings.push_back(StrFormat("corrupt=%g", config.corrupt_p));
+    }
+    out += JoinStrings(settings, ",");
+  }
+  return out;
+}
+
+FaultPlan StandardChaosPlan(int level, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (level <= 0) {
+    return plan;
+  }
+  double scale = static_cast<double>(level);
+  auto capped = [&](double base) { return std::min(0.9, base * scale); };
+
+  FaultSiteConfig block;
+  block.transient_p = capped(0.02);
+  block.latency_p = capped(0.05);
+  block.latency_ms = 10;
+  block.stall_p = capped(0.005);
+  block.stall_ms = 100;
+  plan.sites.emplace_back("ddbms.block.get", block);
+
+  FaultSiteConfig persist;
+  persist.corrupt_p = capped(0.05);
+  plan.sites.emplace_back("ddbms.persist.read", persist);
+
+  FaultSiteConfig compile;
+  compile.transient_p = capped(0.01);
+  compile.latency_p = capped(0.02);
+  compile.latency_ms = 5;
+  compile.stall_p = capped(0.002);
+  compile.stall_ms = 150;
+  plan.sites.emplace_back("serve.compile", compile);
+
+  FaultSiteConfig device;
+  device.transient_p = capped(0.01);
+  device.latency_p = capped(0.05);
+  device.latency_ms = 20;
+  plan.sites.emplace_back("player.device", device);
+  return plan;
+}
+
+#ifndef CMIF_FAULT_DISABLED
+namespace detail {
+std::atomic<bool> g_active{false};
+}  // namespace detail
+#endif
+
+void SetPlan(FaultPlan plan) {
+  PlanState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.plan = std::move(plan);
+    state.site_counters.clear();
+  }
+  ResetCounts();
+#ifndef CMIF_FAULT_DISABLED
+  bool active = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (const auto& [site, config] : state.plan.sites) {
+      (void)site;
+      if (!config.empty()) {
+        active = true;
+        break;
+      }
+    }
+  }
+  detail::g_active.store(active, std::memory_order_relaxed);
+#endif
+}
+
+void ClearPlan() { SetPlan(FaultPlan{.seed = 1, .sites = {}}); }
+
+FaultPlan CurrentPlan() {
+  PlanState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.plan;
+}
+
+InjectionCounts Counts() {
+  PlanState& state = State();
+  InjectionCounts counts;
+  counts.transient = state.transient.load(std::memory_order_relaxed);
+  counts.latency = state.latency.load(std::memory_order_relaxed);
+  counts.stall = state.stall.load(std::memory_order_relaxed);
+  counts.corrupt = state.corrupt.load(std::memory_order_relaxed);
+  counts.probes = state.probes.load(std::memory_order_relaxed);
+  return counts;
+}
+
+void ResetCounts() {
+  PlanState& state = State();
+  state.transient.store(0, std::memory_order_relaxed);
+  state.latency.store(0, std::memory_order_relaxed);
+  state.stall.store(0, std::memory_order_relaxed);
+  state.corrupt.store(0, std::memory_order_relaxed);
+  state.probes.store(0, std::memory_order_relaxed);
+}
+
+#ifndef CMIF_FAULT_DISABLED
+
+Status InjectPoint(std::string_view site) {
+  if (!Enabled()) {
+    return Status::Ok();
+  }
+  Decision decision = Decide(site);
+  switch (decision.kind) {
+    case FaultKind::kNone:
+    case FaultKind::kCorrupt:  // corruption is for MaybeCorrupt sites
+      return Status::Ok();
+    case FaultKind::kTransient:
+      CountInjection(FaultKind::kTransient);
+      return UnavailableError(StrFormat("injected transient fault at %s",
+                                        std::string(site).c_str()));
+    case FaultKind::kLatency:
+      CountInjection(FaultKind::kLatency);
+      if (!SleepWithinDeadline(decision.config.latency_ms)) {
+        return UnavailableError(StrFormat("injected latency at %s exceeded the attempt deadline",
+                                          std::string(site).c_str()));
+      }
+      return Status::Ok();
+    case FaultKind::kStall:
+      CountInjection(FaultKind::kStall);
+      // A stall hangs until the deadline aborts it (or for its full length
+      // when no deadline is set) and then fails: stalls are never absorbed.
+      SleepWithinDeadline(decision.config.stall_ms);
+      return UnavailableError(StrFormat("injected stall at %s", std::string(site).c_str()));
+  }
+  return Status::Ok();
+}
+
+DeviceFault InjectDeviceFault(std::string_view site) {
+  DeviceFault fault;
+  if (!Enabled()) {
+    return fault;
+  }
+  Decision decision = Decide(site);
+  switch (decision.kind) {
+    case FaultKind::kNone:
+    case FaultKind::kCorrupt:
+      break;
+    case FaultKind::kTransient:
+      CountInjection(FaultKind::kTransient);
+      fault.drop = true;
+      break;
+    case FaultKind::kLatency:
+      CountInjection(FaultKind::kLatency);
+      fault.extra_latency_ms = decision.config.latency_ms;
+      break;
+    case FaultKind::kStall:
+      CountInjection(FaultKind::kStall);
+      fault.extra_latency_ms = decision.config.stall_ms;
+      break;
+  }
+  return fault;
+}
+
+bool MaybeCorrupt(std::string_view site, std::string& payload) {
+  if (!Enabled() || payload.empty()) {
+    return false;
+  }
+  Decision decision = Decide(site);
+  if (decision.kind != FaultKind::kCorrupt) {
+    return false;
+  }
+  CountInjection(FaultKind::kCorrupt);
+  // Flip a byte at up to four deterministic positions derived from the draw.
+  std::uint64_t bits = decision.draw;
+  for (int i = 0; i < 4; ++i) {
+    std::size_t position = static_cast<std::size_t>(bits % payload.size());
+    payload[position] = static_cast<char>(payload[position] ^ static_cast<char>(0x20 | (i + 1)));
+    bits = SplitMix64(bits);
+  }
+  return true;
+}
+
+#endif  // CMIF_FAULT_DISABLED
+
+}  // namespace fault
+}  // namespace cmif

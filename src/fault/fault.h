@@ -1,0 +1,159 @@
+// Deterministic fault injection: seeded FaultPlans that make store reads,
+// catalog loads, compiles, and playback devices fail, slow down, stall, or
+// corrupt — reproducibly. The overhead contract mirrors src/obs: with
+// CMIF_FAULT_DISABLED defined every probe here compiles to nothing; in a
+// normal build a probe with no plan installed costs one relaxed atomic load.
+//
+// Sites are dotted names ("ddbms.block.get", "player.device.video"); a plan
+// entry's site pattern matches by prefix, so "player.device" covers every
+// channel. Each decision hashes (plan seed, site name, per-site call index),
+// so a given plan replays the exact same fault sequence on every run —
+// chaos tests and bench/fig12_chaos are deterministic.
+//
+// Probe families:
+//  - InjectPoint(site): wall-clock operations returning Status. May return
+//    kUnavailable (transient / stall) or sleep (latency) through
+//    fault::GlobalClock(), clamped to the caller's ScopedDeadline so an
+//    injected stall can never hang a request.
+//  - InjectDeviceFault(site): virtual-time playback faults (extra device
+//    latency or a dropped presentation); never sleeps.
+//  - MaybeCorrupt(site, payload): deterministic byte flips for persisted
+//    payloads; detected downstream by CRC checks (src/ddbms/persist).
+#ifndef SRC_FAULT_FAULT_H_
+#define SRC_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace cmif {
+namespace fault {
+
+// What one probe decision injects.
+enum class FaultKind {
+  kNone = 0,
+  kTransient,  // fail fast with kUnavailable
+  kLatency,    // succeed after latency_ms
+  kStall,      // hang for stall_ms (deadline-clamped), then kUnavailable
+  kCorrupt,    // flip payload bytes (corruptible sites only)
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+// Per-site fault probabilities. The four probabilities are disjoint outcomes
+// of one uniform draw; their sum must be <= 1 (the remainder is "no fault").
+struct FaultSiteConfig {
+  double transient_p = 0;
+  double latency_p = 0;
+  double stall_p = 0;
+  double corrupt_p = 0;
+  std::int64_t latency_ms = 5;    // injected service delay
+  std::int64_t stall_ms = 250;    // injected hang before the stall fails
+
+  bool empty() const { return transient_p <= 0 && latency_p <= 0 && stall_p <= 0 && corrupt_p <= 0; }
+};
+
+// A seeded set of (site pattern, config) entries. Patterns match sites by
+// dotted-prefix ("player.device" matches "player.device.video" and itself;
+// it does not match "player.devices"). The first matching entry wins.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<std::pair<std::string, FaultSiteConfig>> sites;
+
+  bool empty() const { return sites.empty(); }
+
+  // Parses a plan spec, the `--faults=` syntax:
+  //   seed=42;ddbms.block.get:transient=0.05,latency=0.1@20ms;serve.compile:stall=0.01@250ms
+  // Entries are ';'-separated. "seed=<n>" sets the seed; every other entry is
+  // "<site>:<kind>=<p>[@<delay>ms][,...]" with kinds transient, latency,
+  // stall, corrupt (delay applies to latency/stall).
+  static StatusOr<FaultPlan> Parse(std::string_view spec);
+
+  // The spec form of this plan (parseable by Parse).
+  std::string ToString() const;
+};
+
+// A canonical escalation ladder for chaos runs: level 0 is fault-free and
+// each level raises probabilities across the store/compile/device sites.
+// bench/fig12_chaos quotes its acceptance numbers at level 2.
+FaultPlan StandardChaosPlan(int level, std::uint64_t seed = 42);
+
+#ifdef CMIF_FAULT_DISABLED
+constexpr bool Enabled() { return false; }
+#else
+namespace detail {
+extern std::atomic<bool> g_active;
+}  // namespace detail
+
+// True when a plan is installed. Probes are no-ops otherwise.
+inline bool Enabled() { return detail::g_active.load(std::memory_order_relaxed); }
+#endif
+
+// Installs `plan` process-wide (resets per-site call counters and injection
+// totals); an empty plan deactivates the probes.
+void SetPlan(FaultPlan plan);
+// Uninstalls any plan.
+void ClearPlan();
+// The installed plan (empty when none).
+FaultPlan CurrentPlan();
+
+// RAII install/restore for tests and scoped chaos sections.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(FaultPlan plan) : previous_(CurrentPlan()) { SetPlan(std::move(plan)); }
+  ~ScopedPlan() { SetPlan(std::move(previous_)); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+
+ private:
+  FaultPlan previous_;
+};
+
+// Running totals of injected faults since the last SetPlan/ResetCounts.
+struct InjectionCounts {
+  std::uint64_t transient = 0;
+  std::uint64_t latency = 0;
+  std::uint64_t stall = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t probes = 0;  // decisions taken while a plan was active
+
+  std::uint64_t total() const { return transient + latency + stall + corrupt; }
+};
+
+InjectionCounts Counts();
+void ResetCounts();
+
+// A virtual-time playback fault (no wall-clock effect).
+struct DeviceFault {
+  std::int64_t extra_latency_ms = 0;  // added to the device's start latency
+  bool drop = false;                  // the presentation is lost entirely
+};
+
+#ifdef CMIF_FAULT_DISABLED
+inline Status InjectPoint(std::string_view) { return Status::Ok(); }
+inline DeviceFault InjectDeviceFault(std::string_view) { return {}; }
+inline bool MaybeCorrupt(std::string_view, std::string&) { return false; }
+#else
+// Wall-clock probe: Ok (possibly after an injected sleep) or kUnavailable.
+// Sleeps run on fault::GlobalClock() and are clamped to the remaining
+// ScopedDeadline budget; a stall whose budget ran out fails immediately.
+Status InjectPoint(std::string_view site);
+
+// Virtual-time probe for the playback engine: maps transient_p to a dropped
+// presentation and latency_p/stall_p to extra virtual device latency.
+DeviceFault InjectDeviceFault(std::string_view site);
+
+// Deterministically flips a few bytes of `payload` with probability
+// corrupt_p. Returns true when the payload was mutated.
+bool MaybeCorrupt(std::string_view site, std::string& payload);
+#endif
+
+}  // namespace fault
+}  // namespace cmif
+
+#endif  // SRC_FAULT_FAULT_H_

@@ -1,0 +1,37 @@
+#include "src/fault/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cmif {
+namespace fault {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::int64_t BackoffDelayMs(const RetryPolicy& policy, int attempt, std::uint64_t salt) {
+  if (attempt <= 1 || policy.initial_backoff_ms <= 0) {
+    return 0;
+  }
+  double base = static_cast<double>(policy.initial_backoff_ms) *
+                std::pow(std::max(1.0, policy.multiplier), attempt - 2);
+  base = std::min(base, static_cast<double>(policy.max_backoff_ms));
+  double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter > 0) {
+    std::uint64_t h =
+        SplitMix64(policy.seed ^ salt * 0x9E3779B97F4A7C15ULL ^ static_cast<std::uint64_t>(attempt));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    base = base * (1.0 - jitter) + base * jitter * u;
+  }
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(base));
+}
+
+}  // namespace fault
+}  // namespace cmif

@@ -1,0 +1,81 @@
+// The retry policy of the recovery layer: capped exponential backoff with
+// deterministic jitter and an optional per-attempt deadline. Only
+// kUnavailable is retryable — every other code is a permanent answer and is
+// returned on the first attempt. Backoff sleeps and deadlines run on
+// fault::GlobalClock(), so a FakeClock makes the timing exactly testable.
+#ifndef SRC_FAULT_RETRY_H_
+#define SRC_FAULT_RETRY_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "src/base/status.h"
+#include "src/fault/clock.h"
+
+namespace cmif {
+namespace fault {
+
+struct RetryPolicy {
+  int max_attempts = 4;                  // total tries, including the first
+  std::int64_t initial_backoff_ms = 1;   // delay before the second attempt
+  double multiplier = 2.0;               // growth per subsequent attempt
+  std::int64_t max_backoff_ms = 100;     // cap on any single delay
+  double jitter = 0.5;                   // fraction of each delay randomized
+  std::int64_t attempt_deadline_ms = 0;  // per-attempt budget; 0 = none
+  std::uint64_t seed = 1;                // jitter determinism
+};
+
+// True when `status` is worth retrying (kUnavailable).
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+// The backoff delay before attempt `attempt` (2-based: there is no delay
+// before the first attempt). Exponential in (attempt - 2), capped at
+// max_backoff_ms, with the top `jitter` fraction replaced by a deterministic
+// hash of (policy.seed, salt, attempt) — so two breakers retrying the same
+// shard spread out, yet a fixed seed replays exactly.
+std::int64_t BackoffDelayMs(const RetryPolicy& policy, int attempt, std::uint64_t salt = 0);
+
+namespace internal {
+inline bool StatusOf(const Status& status, Status* out) {
+  *out = status;
+  return status.ok();
+}
+template <typename T>
+bool StatusOf(const StatusOr<T>& result, Status* out) {
+  *out = result.ok() ? Status::Ok() : result.status();
+  return result.ok();
+}
+}  // namespace internal
+
+// Runs `fn` (returning Status or StatusOr<T>) up to policy.max_attempts
+// times, sleeping the backoff delay between attempts and bounding each
+// attempt with policy.attempt_deadline_ms. Returns the first success or
+// non-retryable error, else the last retryable error. `salt` diversifies the
+// jitter stream (e.g. a request hash); `attempts_out`, when non-null,
+// receives the number of attempts consumed.
+template <typename Fn>
+auto Retry(const RetryPolicy& policy, Fn&& fn, std::uint64_t salt = 0,
+           int* attempts_out = nullptr) -> decltype(fn()) {
+  int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    auto result = [&] {
+      ScopedDeadline deadline(policy.attempt_deadline_ms);
+      return fn();
+    }();
+    if (attempts_out != nullptr) {
+      *attempts_out = attempt;
+    }
+    Status status;
+    if (internal::StatusOf(result, &status) || !IsRetryable(status) || attempt >= max_attempts) {
+      return result;
+    }
+    GlobalClock().SleepMicros(BackoffDelayMs(policy, attempt + 1, salt) * 1000);
+  }
+}
+
+}  // namespace fault
+}  // namespace cmif
+
+#endif  // SRC_FAULT_RETRY_H_

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <sstream>
+#include <variant>
 
 #include "src/base/string_util.h"
 #include "src/doc/event.h"
@@ -46,7 +47,7 @@ double PipelineReport::TotalMillis() const {
 double PipelineReport::DescriptorOnlyMillis() const {
   double total = 0;
   for (const StageTiming& stage : stages) {
-    if (stage.stage != "filter-apply") {
+    if (stage.stage != "filter-apply" && stage.stage != "recover") {
       total += stage.millis;
     }
   }
@@ -114,13 +115,49 @@ StatusOr<PipelineReport> RunPipeline(const Document& document, const DescriptorS
     span.Annotate("bytes_after", report.filter.total_bytes_after);
   }
 
+  // Stage 3a.5 (optional): recovery — materialize every store-backed payload
+  // up front, retrying transient fetch failures and substituting synthesized
+  // placeholder blocks for unrecoverable ones, so the data-touching stages
+  // below cannot fail on block loss.
+  DescriptorStore recovered;
+  const DescriptorStore* filter_source = &store;
+  if (options.apply_filters && options.enable_degradation) {
+    obs::Span span("recover");
+    Status recover_status = timer.Time("recover", [&]() -> Status {
+      for (const DataDescriptor& descriptor : store.descriptors()) {
+        DataDescriptor copy = descriptor;
+        if (std::holds_alternative<std::string>(descriptor.content())) {
+          CMIF_ASSIGN_OR_RETURN(ResolvedContent resolved,
+                                ResolveContentWithRecovery(descriptor, blocks, options.retry));
+          copy.set_content(std::move(resolved.block));
+          if (resolved.outcome == ResolveOutcome::kRecovered) {
+            ++report.degradation.blocks_recovered;
+          } else if (resolved.outcome == ResolveOutcome::kPlaceholder) {
+            ++report.degradation.blocks_placeholder;
+            report.degradation.placeholder_ids.push_back(descriptor.id());
+          }
+        }
+        recovered.Upsert(std::move(copy));
+      }
+      return Status::Ok();
+    });
+    CMIF_RETURN_IF_ERROR(recover_status);
+    filter_source = &recovered;
+    span.Annotate("recovered", report.degradation.blocks_recovered);
+    span.Annotate("placeholders", report.degradation.blocks_placeholder);
+    if (obs::Enabled() && report.degradation.blocks_placeholder > 0) {
+      obs::GetCounter("pipeline.placeholder_blocks")
+          .Add(static_cast<std::int64_t>(report.degradation.blocks_placeholder));
+    }
+  }
+
   // Stage 3b: optional filter application (touches the media payloads).
   DescriptorStore filtered;
   const DescriptorStore* playback_store = &store;
   if (options.apply_filters) {
     obs::Span span("filter-apply");
     auto applied = timer.Time(
-        "filter-apply", [&] { return ApplyDocumentFilter(store, blocks, report.filter); });
+        "filter-apply", [&] { return ApplyDocumentFilter(*filter_source, blocks, report.filter); });
     CMIF_RETURN_IF_ERROR(applied.status());
     filtered = std::move(applied).value();
     playback_store = &filtered;

@@ -12,6 +12,7 @@
 
 #include "src/base/status.h"
 #include "src/doc/validate.h"
+#include "src/fault/retry.h"
 #include "src/player/engine.h"
 #include "src/present/filter.h"
 #include "src/present/presentation_map.h"
@@ -39,6 +40,23 @@ struct PipelineOptions {
   // client, so the play stage is skipped entirely.
   bool run_player = true;
   PlayerOptions player;
+  // Graceful degradation of the data-touching path (off by default; the
+  // fault-free pipeline is byte-identical with it off). When on and
+  // apply_filters is set, a "recover" stage materializes every store-backed
+  // payload up front — retrying transient (kUnavailable) fetch failures
+  // under `retry` and substituting MakePlaceholderBlock for unrecoverable
+  // ones — so the filter/playback stages never fail on block loss.
+  bool enable_degradation = false;
+  fault::RetryPolicy retry;
+};
+
+// What the recover stage had to do (empty on healthy runs).
+struct DegradationReport {
+  std::size_t blocks_recovered = 0;    // real payload fetched after retries
+  std::size_t blocks_placeholder = 0;  // placeholder substituted
+  std::vector<std::string> placeholder_ids;  // descriptor ids degraded
+
+  bool degraded() const { return blocks_placeholder > 0; }
 };
 
 // Everything the pipeline produced.
@@ -49,6 +67,7 @@ struct PipelineReport {
   FilterReport filter;
   ScheduleResult schedule;
   PlaybackResult playback;
+  DegradationReport degradation;
 
   double TotalMillis() const;
   // Milliseconds spent in stages that never touch media payloads.

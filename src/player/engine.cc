@@ -3,13 +3,33 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <set>
 
+#include "src/fault/fault.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 
 namespace cmif {
 namespace {
+
+// Channel priority for load shedding: captions and labels go first ("if the
+// label is a little late, there is no reason for panic", section 5.3.2),
+// the primary video feed last.
+int MediumPriority(MediaType medium) {
+  switch (medium) {
+    case MediaType::kText:
+      return 0;
+    case MediaType::kGraphic:
+    case MediaType::kImage:
+      return 1;
+    case MediaType::kAudio:
+      return 2;
+    case MediaType::kVideo:
+      return 3;
+  }
+  return 3;
+}
 
 // The tolerance for one event: the tightest finite max_delay among explicit
 // must arcs pointing at its begin edge, else the engine default.
@@ -78,6 +98,12 @@ StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule
                      return a->begin < b->begin;
                    });
 
+  // Recovery state: per-channel device breakers and the set of shed
+  // channels. Breakers only ever record failures when a fault plan targets
+  // the player's devices, so fault-free runs never touch this.
+  fault::BreakerSet breakers(options.channel_breaker);
+  std::set<std::string> dropped;
+
   MediaTime shift;  // accumulated freeze time
   for (const ScheduledEvent* scheduled : ordered) {
     // Skip events wholly before the start position. A zero-duration event
@@ -92,11 +118,54 @@ StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule
                                      " plays on unknown channel '" + scheduled->event.channel +
                                      "'");
     }
+    if (!dropped.empty() && dropped.count(scheduled->event.channel) > 0) {
+      ++result.suppressed_events;
+      continue;
+    }
     VirtualDevice& device = result.devices[device_it->second];
 
+    fault::DeviceFault device_fault;
+    if (fault::Enabled()) {
+      device_fault = fault::InjectDeviceFault("player.device." + scheduled->event.channel);
+      fault::CircuitBreaker& breaker = breakers.For(scheduled->event.channel);
+      if (device_fault.drop || device_fault.extra_latency_ms > 0) {
+        breaker.RecordFailure();
+        if (options.enable_degradation && breaker.state() == fault::BreakerState::kOpen) {
+          // The channel's device is misbehaving persistently: shed the
+          // lowest-priority live channel so the rest of the presentation
+          // keeps its sync windows.
+          const VirtualDevice* victim = nullptr;
+          for (const VirtualDevice& candidate : result.devices) {
+            if (dropped.count(candidate.channel()) > 0) {
+              continue;
+            }
+            if (victim == nullptr ||
+                MediumPriority(candidate.medium()) < MediumPriority(victim->medium())) {
+              victim = &candidate;
+            }
+          }
+          if (victim != nullptr) {
+            dropped.insert(victim->channel());
+            result.dropped_channels.push_back(victim->channel());
+            if (obs::Enabled()) {
+              obs::GetCounter("player.dropped_channels").Add();
+            }
+          }
+        }
+      } else {
+        breaker.RecordSuccess();
+      }
+    }
+
     MediaTime target = scheduled->begin + shift;
-    std::size_t bytes = PayloadBytes(scheduled->event, store);
+    // A dropped payload degrades to a locally synthesized placeholder: it
+    // occupies the exact scheduled slot (no transfer cost), so downstream
+    // sync arcs are unaffected.
+    std::size_t bytes = device_fault.drop ? 0 : PayloadBytes(scheduled->event, store);
     MediaTime earliest = device.EarliestStart(target, bytes);
+    if (device_fault.extra_latency_ms > 0) {
+      earliest += MediaTime::Millis(device_fault.extra_latency_ms);
+    }
     MediaTime actual = std::max(target, earliest);
     MediaTime lateness = actual - target;
 
@@ -108,11 +177,18 @@ StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule
     entry.scheduled_begin = scheduled->begin;
     entry.target_begin = target;
     entry.lateness = lateness;
+    entry.degraded = device_fault.drop;
+    if (entry.degraded) {
+      ++result.degraded_events;
+      if (obs::Enabled()) {
+        obs::GetCounter("player.degraded").Add();
+      }
+    }
 
-    if (options.enable_freeze && lateness.is_positive()) {
+    if (lateness.is_positive()) {
       MediaTime tolerance =
           ToleranceFor(document, *scheduled->event.node, options.default_tolerance);
-      if (lateness > tolerance) {
+      if (options.enable_freeze && lateness > tolerance) {
         // Freeze the document: everything downstream slips by the lateness,
         // preserving relative (must) synchronization.
         entry.caused_freeze = true;
@@ -123,6 +199,11 @@ StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule
         entry.target_begin = target;
         entry.lateness = MediaTime();
         actual = target;
+      } else if (lateness > tolerance) {
+        // Freezing disabled and the must window missed: record the
+        // violation (the chaos bench asserts this stays zero when the
+        // recovery ladder is on).
+        ++result.sync_violations;
       }
     }
 
@@ -155,6 +236,8 @@ StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule
   run_span.Annotate("presentations", result.trace.size());
   run_span.Annotate("skipped", result.events_skipped);
   run_span.Annotate("freezes", result.trace.FreezeCount());
+  run_span.Annotate("degraded", result.degraded_events);
+  run_span.Annotate("suppressed", result.suppressed_events);
   return result;
 }
 

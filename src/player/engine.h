@@ -8,10 +8,12 @@
 #ifndef SRC_PLAYER_ENGINE_H_
 #define SRC_PLAYER_ENGINE_H_
 
+#include <string>
 #include <vector>
 
 #include "src/base/status.h"
 #include "src/ddbms/store.h"
+#include "src/fault/circuit_breaker.h"
 #include "src/player/clock.h"
 #include "src/player/device.h"
 #include "src/player/trace.h"
@@ -34,6 +36,17 @@ struct PlayerOptions {
   // Start position (document time); events wholly before it are skipped —
   // the navigation scenario of section 5.3.3.
   MediaTime start_at;
+  // Graceful degradation under device faults (only reachable when a fault
+  // plan targets "player.device.*"; fault-free runs are unaffected). When a
+  // channel's circuit breaker opens, the lowest-priority live channel (text
+  // first, then graphics, audio, video) is shed for the rest of the run;
+  // individual lost payloads always present a placeholder in their scheduled
+  // slot so sync arcs keep holding.
+  bool enable_degradation = false;
+  // Per-channel device breaker tuning (failures = dropped/faulted
+  // presentations on that channel).
+  fault::BreakerOptions channel_breaker{.failure_threshold = 3, .open_ms = 60000,
+                                        .half_open_successes = 2, .half_open_probes = 2};
 };
 
 // The outcome of one run.
@@ -44,6 +57,13 @@ struct PlaybackResult {
   // Per-channel devices with their presentation records.
   std::vector<VirtualDevice> devices;
   std::size_t events_skipped = 0;  // due to start_at
+  // Degradation accounting (all zero on fault-free runs).
+  std::size_t degraded_events = 0;    // placeholder substituted for lost payload
+  std::size_t suppressed_events = 0;  // events on channels shed after a breaker opened
+  std::vector<std::string> dropped_channels;  // shed channels, in drop order
+  // Events whose post-recovery lateness exceeded their must-arc tolerance
+  // window — zero whenever freezing is enabled, by construction.
+  std::size_t sync_violations = 0;
 };
 
 // Plays `schedule` (computed for `document`) on devices built from the

@@ -28,6 +28,16 @@ MediaTime PlaybackTrace::TotalFreeze() const {
   return total;
 }
 
+std::size_t PlaybackTrace::DegradedCount() const {
+  std::size_t n = 0;
+  for (const TraceEntry& entry : entries_) {
+    if (entry.degraded) {
+      ++n;
+    }
+  }
+  return n;
+}
+
 std::map<std::string, ChannelJitter> PlaybackTrace::JitterByChannel() const {
   std::map<std::string, ChannelJitter> out;
   // Histograms are neither copyable nor movable (atomics), so they live
@@ -96,6 +106,7 @@ std::string PlaybackTrace::ToJson() const {
        << ",\"actual_end_s\":" << obs::JsonNumber(entry.actual_end.ToSecondsF())
        << ",\"lateness_ms\":" << obs::JsonNumber(entry.lateness.ToSecondsF() * 1000)
        << ",\"caused_freeze\":" << (entry.caused_freeze ? "true" : "false")
+       << ",\"degraded\":" << (entry.degraded ? "true" : "false")
        << ",\"freeze_ms\":" << obs::JsonNumber(entry.freeze_amount.ToSecondsF() * 1000) << "}";
   }
   os << "],\"jitter\":{";

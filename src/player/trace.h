@@ -28,6 +28,9 @@ struct TraceEntry {
   // froze the rest of the document to preserve a "must" relationship.
   bool caused_freeze = false;
   MediaTime freeze_amount;
+  // True when the real payload was lost to a device fault and a placeholder
+  // block was presented in its scheduled slot instead.
+  bool degraded = false;
 };
 
 // Lateness statistics for one channel. Percentiles come from an
@@ -53,6 +56,8 @@ class PlaybackTrace {
 
   std::size_t FreezeCount() const;
   MediaTime TotalFreeze() const;
+  // Presentations that substituted a placeholder for a lost payload.
+  std::size_t DegradedCount() const;
 
   // Per-channel lateness stats.
   std::map<std::string, ChannelJitter> JitterByChannel() const;

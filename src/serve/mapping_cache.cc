@@ -49,6 +49,30 @@ std::shared_ptr<const CompiledPresentation> MappingCache::Get(const MappingCache
   return value;
 }
 
+std::shared_ptr<const CompiledPresentation> MappingCache::GetStale(const MappingCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_ptr<const CompiledPresentation>* best = nullptr;
+  std::uint64_t best_generation = 0;
+  for (const auto& [entry_key, value] : lru_) {
+    if (entry_key.document_hash != key.document_hash ||
+        entry_key.channel_hash != key.channel_hash || entry_key.profile != key.profile) {
+      continue;
+    }
+    if (best == nullptr || entry_key.store_generation > best_generation) {
+      best = &value;
+      best_generation = entry_key.store_generation;
+    }
+  }
+  if (best == nullptr) {
+    return nullptr;
+  }
+  ++stats_.stale_hits;
+  if (obs::Enabled()) {
+    obs::GetCounter("serve.cache.stale_hits").Add();
+  }
+  return *best;
+}
+
 void MappingCache::Put(const MappingCacheKey& key,
                        std::shared_ptr<const CompiledPresentation> value) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -63,6 +63,7 @@ class MappingCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t stale_hits = 0;  // GetStale lookups that found an entry
     std::uint64_t evictions = 0;
     std::uint64_t bytes_saved = 0;  // sum of CostBytes() over hits
     std::size_t entries = 0;
@@ -73,6 +74,14 @@ class MappingCache {
 
   // nullptr on miss. Hits refresh recency and bump hit counters.
   std::shared_ptr<const CompiledPresentation> Get(const MappingCacheKey& key);
+
+  // Degraded lookup: the freshest entry matching `key` on every field
+  // *except* store_generation. Used by the serve loop's stale-while-error
+  // path — a compile failed, so a presentation built against an older
+  // catalog beats no presentation at all. Does not refresh recency and does
+  // not count as a regular hit (stale_hits instead), so degraded serving
+  // never masquerades as healthy cache behavior.
+  std::shared_ptr<const CompiledPresentation> GetStale(const MappingCacheKey& key);
 
   // Inserts (or replaces) an entry, evicting the least recently used entry
   // when over capacity.

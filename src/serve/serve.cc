@@ -8,6 +8,7 @@
 #include "src/base/random.h"
 #include "src/base/string_util.h"
 #include "src/base/thread_pool.h"
+#include "src/fault/fault.h"
 #include "src/fmt/writer.h"
 #include "src/news/evening_news.h"
 #include "src/obs/metrics.h"
@@ -100,10 +101,29 @@ std::vector<ServeRequest> GenerateTrace(std::size_t corpus_size, std::size_t req
   return trace;
 }
 
+std::string_view ServeOutcomeName(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kHealthy:
+      return "healthy";
+    case ServeOutcome::kRecovered:
+      return "recovered";
+    case ServeOutcome::kDegraded:
+      return "degraded";
+    case ServeOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
 std::string ServeStats::Summary() const {
   std::string out;
   out += StrFormat("  requests %zu (%zu errors), wall %.3f ms, %.1f req/s\n", requests, errors,
                    wall_ms, throughput_rps);
+  if (degraded > 0 || recovered > 0 || exceptions > 0 || breaker_opens > 0) {
+    out += StrFormat(
+        "  recovery: %zu degraded, %zu recovered, %zu exceptions, %llu breaker opens\n", degraded,
+        recovered, exceptions, static_cast<unsigned long long>(breaker_opens));
+  }
   out += StrFormat("  latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n", p50_ms, p95_ms, p99_ms);
   std::uint64_t lookups = cache_hits + cache_misses;
   double hit_pct = lookups > 0 ? 100.0 * static_cast<double>(cache_hits) / lookups : 0;
@@ -114,12 +134,17 @@ std::string ServeStats::Summary() const {
 }
 
 ServeLoop::ServeLoop(ServeCorpus& corpus, ServeOptions options)
-    : corpus_(corpus), options_(std::move(options)), cache_(options_.cache_capacity) {}
+    : corpus_(corpus),
+      options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      breakers_(options_.compile_breaker) {}
 
-StatusOr<std::shared_ptr<const CompiledPresentation>> ServeLoop::Handle(
-    const ServeRequest& request) {
+ServeResponse ServeLoop::Serve(const ServeRequest& request) {
+  ServeResponse response;
   if (request.document >= corpus_.size() || request.profile >= options_.profiles.size()) {
-    return InvalidArgumentError("serve request outside corpus/profile range");
+    response.outcome = ServeOutcome::kFailed;
+    response.error = InvalidArgumentError("serve request outside corpus/profile range");
+    return response;
   }
   const ServeDocument& doc = corpus_.document(request.document);
   const SystemProfile& profile = options_.profiles[request.profile];
@@ -138,48 +163,115 @@ StatusOr<std::shared_ptr<const CompiledPresentation>> ServeLoop::Handle(
     key.store_generation = corpus_.store().generation();
     if (std::shared_ptr<const CompiledPresentation> hit = cache_.Get(key)) {
       span.Annotate("cache", "hit");
-      return hit;
+      response.presentation = std::move(hit);
+      response.cache_hit = true;
+      return response;
     }
   }
   span.Annotate("cache", options_.use_cache ? "miss" : "off");
 
-  // Cold path: compile under the shared stores' read locks. The generation
-  // is re-read inside the lock — writers bump it before releasing, so the
-  // value observed here exactly identifies the catalog state the compile ran
-  // against, and the entry can never alias a newer catalog.
-  auto compiled = corpus_.store().WithRead(
-      [&](const DescriptorStore& store) -> StatusOr<std::shared_ptr<const CompiledPresentation>> {
-        key.store_generation = corpus_.store().generation();
-        return corpus_.blocks().WithRead(
-            [&](const BlockStore& blocks) -> StatusOr<std::shared_ptr<const CompiledPresentation>> {
-              PipelineOptions pipeline_options;
-              pipeline_options.profile = profile;
-              pipeline_options.run_player = false;
-              CMIF_ASSIGN_OR_RETURN(PipelineReport report,
-                                    RunPipeline(doc.document, store, blocks, pipeline_options));
-              auto result = std::make_shared<CompiledPresentation>();
-              result->map = std::move(report.presentation_map);
-              result->filter = std::move(report.filter);
-              result->schedule = std::move(report.schedule);
-              return std::shared_ptr<const CompiledPresentation>(std::move(result));
-            });
-      });
-  if (!compiled.ok()) {
-    return compiled.status();
+  // Degraded fallback, shared between the fail-fast and compile-failed
+  // paths: the freshest stale cache entry for this (document, profile).
+  auto degrade = [&](Status error) {
+    response.error = std::move(error);
+    if (options_.enable_degraded && options_.use_cache) {
+      if (std::shared_ptr<const CompiledPresentation> stale = cache_.GetStale(key)) {
+        response.presentation = std::move(stale);
+        response.outcome = ServeOutcome::kDegraded;
+        span.Annotate("outcome", "degraded");
+        if (obs::Enabled()) {
+          obs::GetCounter("serve.degraded.requests").Add();
+        }
+        return;
+      }
+    }
+    response.outcome = ServeOutcome::kFailed;
+    span.Annotate("outcome", "failed");
+    if (obs::Enabled()) {
+      obs::GetCounter("serve.failed.requests").Add();
+    }
+  };
+
+  // Fail fast while this document's breaker is open: don't burn a pipeline
+  // run (and its retries) on a document that is currently hopeless.
+  fault::CircuitBreaker& breaker = breakers_.For(doc.name);
+  if (!breaker.Allow()) {
+    degrade(UnavailableError("compile breaker open for document '" + doc.name + "'"));
+    return response;
   }
+
+  // Cold path: compile under the shared stores' read locks, retrying
+  // transient (kUnavailable) failures. The generation is re-read inside the
+  // lock — writers bump it before releasing, so the value observed here
+  // exactly identifies the catalog state the compile ran against, and the
+  // entry can never alias a newer catalog.
+  auto compile_once = [&]() -> StatusOr<std::shared_ptr<const CompiledPresentation>> {
+    if (fault::Enabled()) {
+      CMIF_RETURN_IF_ERROR(fault::InjectPoint("serve.compile"));
+    }
+    return corpus_.store().WithRead(
+        [&](const DescriptorStore& store) -> StatusOr<std::shared_ptr<const CompiledPresentation>> {
+          key.store_generation = corpus_.store().generation();
+          return corpus_.blocks().WithRead(
+              [&](const BlockStore& blocks) -> StatusOr<std::shared_ptr<const CompiledPresentation>> {
+                PipelineOptions pipeline_options;
+                pipeline_options.profile = profile;
+                pipeline_options.run_player = false;
+                CMIF_ASSIGN_OR_RETURN(PipelineReport report,
+                                      RunPipeline(doc.document, store, blocks, pipeline_options));
+                auto result = std::make_shared<CompiledPresentation>();
+                result->map = std::move(report.presentation_map);
+                result->filter = std::move(report.filter);
+                result->schedule = std::move(report.schedule);
+                return std::shared_ptr<const CompiledPresentation>(std::move(result));
+              });
+        });
+  };
+  std::uint64_t salt = Fnv1a64Combine(doc.document_hash, Fnv1a64(profile.name));
+  auto compiled = fault::Retry(options_.retry, compile_once, salt, &response.attempts);
+  if (!compiled.ok()) {
+    breaker.RecordFailure();
+    degrade(compiled.status());
+    return response;
+  }
+  breaker.RecordSuccess();
+  if (response.attempts > 1) {
+    response.outcome = ServeOutcome::kRecovered;
+    span.Annotate("outcome", "recovered");
+    span.Annotate("attempts", response.attempts);
+    if (obs::Enabled()) {
+      obs::GetCounter("serve.recovered.requests").Add();
+    }
+  }
+  // Only fresh compiles are cached — a degraded (stale) response never
+  // re-enters the cache under the current generation's key.
   if (options_.use_cache) {
     cache_.Put(key, *compiled);
   }
-  return *compiled;
+  response.presentation = *compiled;
+  return response;
+}
+
+StatusOr<std::shared_ptr<const CompiledPresentation>> ServeLoop::Handle(
+    const ServeRequest& request) {
+  ServeResponse response = Serve(request);
+  if (!response.served()) {
+    return response.error;
+  }
+  return std::move(response.presentation);
 }
 
 StatusOr<ServeStats> ServeLoop::Run(const std::vector<ServeRequest>& trace) {
   struct WorkerResult {
     std::vector<double> latencies_ms;
     std::size_t errors = 0;
+    std::size_t degraded = 0;
+    std::size_t recovered = 0;
+    std::size_t exceptions = 0;
   };
 
   MappingCache::Stats cache_before = cache_.stats();
+  std::uint64_t opens_before = breakers_.TotalOpens();
   std::atomic<std::size_t> cursor{0};
   auto worker = [&]() {
     WorkerResult result;
@@ -189,15 +281,45 @@ StatusOr<ServeStats> ServeLoop::Run(const std::vector<ServeRequest>& trace) {
         return result;
       }
       auto start = std::chrono::steady_clock::now();
-      auto response = Handle(trace[i]);
+      // A worker must survive anything a request throws: an escaped exception
+      // would take down the whole pool and, before this guard, was silently
+      // absorbed by the future machinery. Thrown requests count as errors.
+      bool threw = false;
+      ServeResponse response;
+      try {
+        if (options_.request_hook) {
+          options_.request_hook(trace[i]);
+        }
+        response = Serve(trace[i]);
+      } catch (...) {
+        threw = true;
+      }
       auto end = std::chrono::steady_clock::now();
       double millis = std::chrono::duration<double, std::milli>(end - start).count();
       result.latencies_ms.push_back(millis);
       if (obs::Enabled()) {
         obs::GetHistogram("serve.request_ms").Record(millis);
       }
-      if (!response.ok()) {
+      if (threw) {
+        ++result.exceptions;
         ++result.errors;
+        if (obs::Enabled()) {
+          obs::GetCounter("serve.worker_exceptions").Add();
+        }
+        continue;
+      }
+      switch (response.outcome) {
+        case ServeOutcome::kHealthy:
+          break;
+        case ServeOutcome::kRecovered:
+          ++result.recovered;
+          break;
+        case ServeOutcome::kDegraded:
+          ++result.degraded;
+          break;
+        case ServeOutcome::kFailed:
+          ++result.errors;
+          break;
       }
     }
   };
@@ -215,9 +337,13 @@ StatusOr<ServeStats> ServeLoop::Run(const std::vector<ServeRequest>& trace) {
   for (Future<WorkerResult>& future : futures) {
     WorkerResult result = future.Take();
     stats.errors += result.errors;
+    stats.degraded += result.degraded;
+    stats.recovered += result.recovered;
+    stats.exceptions += result.exceptions;
     latencies.insert(latencies.end(), result.latencies_ms.begin(), result.latencies_ms.end());
   }
   auto wall_end = std::chrono::steady_clock::now();
+  stats.breaker_opens = breakers_.TotalOpens() - opens_before;
 
   stats.requests = trace.size();
   stats.wall_ms = std::chrono::duration<double, std::milli>(wall_end - wall_start).count();

@@ -9,13 +9,17 @@
 #define SRC_SERVE_SERVE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/base/status.h"
 #include "src/ddbms/shared_store.h"
 #include "src/doc/document.h"
+#include "src/fault/circuit_breaker.h"
+#include "src/fault/retry.h"
 #include "src/present/capability.h"
 #include "src/serve/mapping_cache.h"
 
@@ -82,6 +86,20 @@ struct ServeOptions {
   bool use_cache = true;
   // Profiles requests are served against, chosen uniformly per request.
   std::vector<SystemProfile> profiles = {WorkstationProfile(), PersonalSystemProfile()};
+  // Recovery ladder around the compile path. Retries apply to kUnavailable
+  // compile failures (the only code fault injection produces); the breaker is
+  // keyed per document, so one persistently failing document fails fast
+  // without starving the rest of the corpus.
+  fault::RetryPolicy retry;
+  fault::BreakerOptions compile_breaker;
+  // When true, a request whose compile fails (or is rejected by an open
+  // breaker) is answered from the freshest stale cache entry for the same
+  // (document, profile) — reported as degraded, never re-cached as healthy.
+  bool enable_degraded = false;
+  // Test seam: runs on the worker thread before each request in Run().
+  // Exceptions it throws are counted in ServeStats::exceptions (satellite:
+  // worker exceptions must surface as errors, not vanish).
+  std::function<void(const ServeRequest&)> request_hook;
 };
 
 // Deterministic Zipf request trace over `corpus_size` documents: the same
@@ -90,10 +108,37 @@ struct ServeOptions {
 std::vector<ServeRequest> GenerateTrace(std::size_t corpus_size, std::size_t requests,
                                         const ServeOptions& options);
 
+// How one request ended. kHealthy/kRecovered carry a fresh compile (the
+// latter after at least one retry), kDegraded carries a stale presentation
+// served because the fresh compile failed, kFailed carries only an error.
+enum class ServeOutcome { kHealthy = 0, kRecovered, kDegraded, kFailed };
+
+std::string_view ServeOutcomeName(ServeOutcome outcome);
+
+// The full answer to one request: distinguishes degraded from failed (the
+// degraded-vs-failed split the chaos bench measures).
+struct ServeResponse {
+  std::shared_ptr<const CompiledPresentation> presentation;
+  ServeOutcome outcome = ServeOutcome::kHealthy;
+  int attempts = 1;   // compile attempts consumed (1 on cache hits)
+  bool cache_hit = false;
+  Status error;       // the compile error behind kDegraded / kFailed
+
+  // True when the client got a presentation, healthy or not.
+  bool served() const { return outcome != ServeOutcome::kFailed; }
+};
+
 // Aggregate results of one ServeLoop run.
 struct ServeStats {
   std::size_t requests = 0;
-  std::size_t errors = 0;  // requests whose pipeline failed
+  // Requests that produced no presentation: failed compiles plus worker
+  // exceptions. Degraded responses are NOT errors — they served a (stale)
+  // presentation and are counted separately.
+  std::size_t errors = 0;
+  std::size_t degraded = 0;     // served stale after a compile failure
+  std::size_t recovered = 0;    // healthy after >= 1 retry
+  std::size_t exceptions = 0;   // worker-thread exceptions (included in errors)
+  std::uint64_t breaker_opens = 0;  // compile-breaker opens during the run
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   double wall_ms = 0;
@@ -114,19 +159,29 @@ class ServeLoop {
  public:
   ServeLoop(ServeCorpus& corpus, ServeOptions options);
 
-  // Serves one request synchronously on the calling thread.
+  // Serves one request synchronously on the calling thread, running the full
+  // recovery ladder: cache -> breaker gate -> compile with retries -> stale
+  // fallback. Never throws; every outcome (including kFailed) comes back as
+  // a ServeResponse.
+  ServeResponse Serve(const ServeRequest& request);
+
+  // Compatibility wrapper over Serve(): the presentation on success (healthy,
+  // recovered, or degraded), the error status on failure.
   StatusOr<std::shared_ptr<const CompiledPresentation>> Handle(const ServeRequest& request);
 
   // Serves the whole trace on `options.threads` workers and aggregates.
   StatusOr<ServeStats> Run(const std::vector<ServeRequest>& trace);
 
   MappingCache& cache() { return cache_; }
+  fault::BreakerSet& breakers() { return breakers_; }
   const ServeOptions& options() const { return options_; }
 
  private:
   ServeCorpus& corpus_;
   ServeOptions options_;
   MappingCache cache_;
+  // Per-document compile breakers (keyed by document name).
+  fault::BreakerSet breakers_;
 };
 
 }  // namespace cmif

@@ -1,0 +1,44 @@
+#include "src/base/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cmif {
+namespace {
+
+TEST(Crc32Test, CheckValue) {
+  // The canonical CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32(""), 0u); }
+
+TEST(Crc32Test, KnownVectors) {
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"), 0x414FA339u);
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlips) {
+  std::string payload(256, 'x');
+  std::uint32_t clean = Crc32(payload);
+  for (std::size_t i : {std::size_t{0}, payload.size() / 2, payload.size() - 1}) {
+    std::string mutated = payload;
+    mutated[i] = static_cast<char>(mutated[i] ^ 1);
+    EXPECT_NE(Crc32(mutated), clean) << "flip at " << i;
+  }
+}
+
+TEST(Crc32Test, IncrementalUpdateMatchesOneShot) {
+  std::string text = "split across several update calls";
+  std::uint32_t crc = 0;
+  crc = Crc32Update(crc, text.substr(0, 5));
+  crc = Crc32Update(crc, text.substr(5, 11));
+  crc = Crc32Update(crc, "");
+  crc = Crc32Update(crc, text.substr(16));
+  EXPECT_EQ(crc, Crc32(text));
+}
+
+}  // namespace
+}  // namespace cmif

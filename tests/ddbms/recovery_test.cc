@@ -1,0 +1,182 @@
+// The store-fetch recovery ladder: retry transient failures, degrade to a
+// declared-attribute placeholder when the payload is unrecoverable, and keep
+// the placeholder's timing envelope equal to the real block's so downstream
+// schedules still hold.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/ddbms/descriptor.h"
+#include "src/fault/clock.h"
+#include "src/fault/fault.h"
+#include "src/media/raster.h"
+
+namespace cmif {
+namespace {
+
+class GlobalFakeClock {
+ public:
+  GlobalFakeClock() { fault::SetGlobalClockForTest(&clock_); }
+  ~GlobalFakeClock() { fault::SetGlobalClockForTest(nullptr); }
+  fault::FakeClock* operator->() { return &clock_; }
+
+ private:
+  fault::FakeClock clock_;
+};
+
+DataDescriptor StoreBacked(const std::string& id, const std::string& key,
+                           const std::string& medium) {
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id(medium));
+  DataDescriptor descriptor(id, std::move(attrs));
+  descriptor.set_content(key);
+  return descriptor;
+}
+
+fault::RetryPolicy FastPolicy() {
+  fault::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_ms = 1;
+  policy.jitter = 0;
+  return policy;
+}
+
+TEST(PlaceholderTest, TextNamesTheMissingDescriptor) {
+  DataDescriptor descriptor("caption-3", AttrList());
+  DataBlock block = MakePlaceholderBlock(descriptor);
+  ASSERT_EQ(block.medium(), MediaType::kText);
+  EXPECT_EQ(block.text().text(), "[caption-3 unavailable]");
+}
+
+TEST(PlaceholderTest, AudioIsSilenceAtDeclaredRateAndDuration) {
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("audio"));
+  attrs.Set(std::string(kDescRate), AttrValue::Number(16000));
+  attrs.Set(std::string(kDescDuration), AttrValue::Time(MediaTime::Seconds(2)));
+  DataBlock block = MakePlaceholderBlock(DataDescriptor("song", std::move(attrs)));
+  ASSERT_EQ(block.medium(), MediaType::kAudio);
+  EXPECT_EQ(block.audio().rate(), 16000);
+  EXPECT_EQ(block.audio().channels(), 1);
+  EXPECT_EQ(block.audio().frames(), 32000u);
+  EXPECT_EQ(block.IntrinsicDuration(), MediaTime::Seconds(2));
+}
+
+TEST(PlaceholderTest, RasterGeometryIsCappedToStayCheap) {
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("image"));
+  attrs.Set(std::string(kDescWidth), AttrValue::Number(4000));
+  attrs.Set(std::string(kDescHeight), AttrValue::Number(3000));
+  DataBlock block = MakePlaceholderBlock(DataDescriptor("photo", std::move(attrs)));
+  ASSERT_EQ(block.medium(), MediaType::kImage);
+  EXPECT_EQ(block.image().width(), 128);
+  EXPECT_EQ(block.image().height(), 128);
+}
+
+TEST(PlaceholderTest, VideoCoversDeclaredDurationWithCappedFrames) {
+  AttrList attrs;
+  attrs.Set(std::string(kDescMedium), AttrValue::Id("video"));
+  attrs.Set(std::string(kDescRate), AttrValue::Number(25));
+  attrs.Set(std::string(kDescDuration), AttrValue::Time(MediaTime::Seconds(4)));
+  DataBlock block = MakePlaceholderBlock(DataDescriptor("clip", std::move(attrs)));
+  ASSERT_EQ(block.medium(), MediaType::kVideo);
+  EXPECT_EQ(block.video().fps(), 25);
+  EXPECT_EQ(block.video().frame_count(), 100u);
+  // An absurd declared duration must not make the placeholder expensive.
+  AttrList huge;
+  huge.Set(std::string(kDescMedium), AttrValue::Id("video"));
+  huge.Set(std::string(kDescRate), AttrValue::Number(25));
+  huge.Set(std::string(kDescDuration), AttrValue::Time(MediaTime::Seconds(3600)));
+  DataBlock capped = MakePlaceholderBlock(DataDescriptor("movie", std::move(huge)));
+  EXPECT_LE(capped.video().frame_count(), 250u);
+}
+
+TEST(RecoveryTest, HealthyFetchPassesThrough) {
+  BlockStore blocks;
+  blocks.Set("k", DataBlock::FromText(TextBlock("payload", {})));
+  auto resolved = ResolveContentWithRecovery(StoreBacked("d", "k", "text"), blocks, FastPolicy());
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  EXPECT_EQ(resolved->outcome, ResolveOutcome::kHealthy);
+  EXPECT_EQ(resolved->attempts, 1);
+  EXPECT_EQ(resolved->block.text().text(), "payload");
+}
+
+TEST(RecoveryTest, NoContentIsStillAnError) {
+  BlockStore blocks;
+  auto resolved =
+      ResolveContentWithRecovery(DataDescriptor("empty", AttrList()), blocks, FastPolicy());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RecoveryTest, PermanentFailureDegradesToPlaceholderImmediately) {
+  BlockStore blocks;  // key absent: NotFound is not retryable
+  auto resolved =
+      ResolveContentWithRecovery(StoreBacked("photo", "missing", "graphic"), blocks, FastPolicy());
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  EXPECT_EQ(resolved->outcome, ResolveOutcome::kPlaceholder);
+  EXPECT_EQ(resolved->attempts, 1);
+  EXPECT_EQ(resolved->error.code(), StatusCode::kNotFound);
+  EXPECT_EQ(resolved->block.medium(), MediaType::kGraphic);
+}
+
+#ifndef CMIF_FAULT_DISABLED
+
+fault::FaultPlan TransientPlan(double p, std::uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  fault::FaultSiteConfig config;
+  config.transient_p = p;
+  plan.sites.emplace_back("ddbms.block.get", config);
+  return plan;
+}
+
+TEST(RecoveryTest, TransientFaultsAreRetriedIntoRecovery) {
+  GlobalFakeClock clock;
+  BlockStore blocks;
+  blocks.Set("k", DataBlock::FromText(TextBlock("payload", {})));
+  fault::ScopedPlan chaos(TransientPlan(0.5, 11));
+  int healthy = 0;
+  int recovered = 0;
+  int placeholder = 0;
+  for (int i = 0; i < 32; ++i) {
+    auto resolved =
+        ResolveContentWithRecovery(StoreBacked("d" + std::to_string(i), "k", "text"), blocks,
+                                   FastPolicy());
+    ASSERT_TRUE(resolved.ok()) << resolved.status();
+    switch (resolved->outcome) {
+      case ResolveOutcome::kHealthy:
+        ++healthy;
+        break;
+      case ResolveOutcome::kRecovered:
+        ++recovered;
+        EXPECT_GT(resolved->attempts, 1);
+        EXPECT_EQ(resolved->block.text().text(), "payload") << "recovery returns the real payload";
+        break;
+      case ResolveOutcome::kPlaceholder:
+        ++placeholder;
+        break;
+    }
+  }
+  EXPECT_EQ(healthy + recovered + placeholder, 32);
+  EXPECT_GT(healthy, 0) << "a 0.5 plan should let some first attempts through";
+  EXPECT_GT(recovered, 0) << "a 0.5 plan should force some retries";
+}
+
+TEST(RecoveryTest, ExhaustedRetriesDegradeToPlaceholder) {
+  GlobalFakeClock clock;
+  BlockStore blocks;
+  blocks.Set("k", DataBlock::FromText(TextBlock("payload", {})));
+  fault::ScopedPlan chaos(TransientPlan(1.0, 11));
+  fault::RetryPolicy policy = FastPolicy();
+  auto resolved = ResolveContentWithRecovery(StoreBacked("caption", "k", "text"), blocks, policy);
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  EXPECT_EQ(resolved->outcome, ResolveOutcome::kPlaceholder);
+  EXPECT_EQ(resolved->attempts, policy.max_attempts);
+  EXPECT_EQ(resolved->error.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(resolved->block.text().text(), "[caption unavailable]");
+}
+
+#endif  // CMIF_FAULT_DISABLED
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,133 @@
+#include "src/fault/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace fault {
+namespace {
+
+class GlobalFakeClock {
+ public:
+  GlobalFakeClock() { SetGlobalClockForTest(&clock_); }
+  ~GlobalFakeClock() { SetGlobalClockForTest(nullptr); }
+  FakeClock* operator->() { return &clock_; }
+
+ private:
+  FakeClock clock_;
+};
+
+BreakerOptions TestOptions() {
+  BreakerOptions options;
+  options.failure_threshold = 3;
+  options.open_ms = 100;
+  options.half_open_successes = 2;
+  options.half_open_probes = 2;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  GlobalFakeClock clock;
+  CircuitBreaker breaker(TestOptions());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+  // A success resets the consecutive-failure count.
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.opens(), 0u);
+}
+
+TEST(CircuitBreakerTest, OpensAtThresholdAndFailsFast) {
+  GlobalFakeClock clock;
+  CircuitBreaker breaker(TestOptions());
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.rejected(), 2u);
+}
+
+TEST(CircuitBreakerTest, OpenToHalfOpenToClosed) {
+  GlobalFakeClock clock;
+  CircuitBreaker breaker(TestOptions());
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure();
+  }
+  EXPECT_FALSE(breaker.Allow());
+
+  clock->AdvanceMicros(100 * 1000);  // the open window elapses
+  EXPECT_TRUE(breaker.Allow());      // first probe transitions to half-open
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow());      // second probe fits the round
+  EXPECT_FALSE(breaker.Allow());     // probe budget exhausted
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensImmediately) {
+  GlobalFakeClock clock;
+  CircuitBreaker breaker(TestOptions());
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure();
+  }
+  clock->AdvanceMicros(100 * 1000);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordFailure();  // one failed probe is enough
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_FALSE(breaker.Allow());
+  // The reopened window is timed from the failure, not the original open.
+  clock->AdvanceMicros(99 * 1000);
+  EXPECT_FALSE(breaker.Allow());
+  clock->AdvanceMicros(2 * 1000);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, SuccessWhileClosedIsCheapNoop) {
+  GlobalFakeClock clock;
+  CircuitBreaker breaker(TestOptions());
+  for (int i = 0; i < 100; ++i) {
+    breaker.RecordSuccess();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.opens(), 0u);
+  EXPECT_EQ(breaker.rejected(), 0u);
+}
+
+TEST(BreakerSetTest, StableAddressesPerKey) {
+  GlobalFakeClock clock;
+  BreakerSet set(TestOptions());
+  CircuitBreaker* video = &set.For("video");
+  CircuitBreaker* audio = &set.For("audio");
+  EXPECT_NE(video, audio);
+  EXPECT_EQ(&set.For("video"), video);
+  EXPECT_EQ(&set.For("audio"), audio);
+}
+
+TEST(BreakerSetTest, StatesAndTotalOpens) {
+  GlobalFakeClock clock;
+  BreakerSet set(TestOptions());
+  for (int i = 0; i < 3; ++i) {
+    set.For("video").RecordFailure();
+  }
+  set.For("audio").RecordSuccess();
+  auto states = set.States();
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_EQ(states["video"], BreakerState::kOpen);
+  EXPECT_EQ(states["audio"], BreakerState::kClosed);
+  EXPECT_EQ(set.TotalOpens(), 1u);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace cmif

@@ -1,0 +1,89 @@
+#include "src/fault/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace cmif {
+namespace fault {
+namespace {
+
+class GlobalFakeClock {
+ public:
+  explicit GlobalFakeClock(std::int64_t start_micros = 0) : clock_(start_micros) {
+    SetGlobalClockForTest(&clock_);
+  }
+  ~GlobalFakeClock() { SetGlobalClockForTest(nullptr); }
+  FakeClock& operator*() { return clock_; }
+  FakeClock* operator->() { return &clock_; }
+
+ private:
+  FakeClock clock_;
+};
+
+TEST(FakeClockTest, SleepAdvancesInsteadOfBlocking) {
+  FakeClock clock(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.SleepMicros(500);
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  EXPECT_EQ(clock.slept_micros(), 500);
+  clock.SleepMicros(-10);  // negative is a no-op
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  clock.AdvanceMicros(250);
+  EXPECT_EQ(clock.NowMicros(), 1750);
+  EXPECT_EQ(clock.slept_micros(), 500);  // advances are not sleeps
+}
+
+TEST(FakeClockTest, GlobalOverrideAndRestore) {
+  {
+    GlobalFakeClock fake(42);
+    EXPECT_EQ(GlobalClock().NowMicros(), 42);
+  }
+  // Back on the system clock: time moves forward on its own epoch.
+  std::int64_t a = GlobalClock().NowMicros();
+  std::int64_t b = GlobalClock().NowMicros();
+  EXPECT_GE(b, a);
+}
+
+TEST(ScopedDeadlineTest, NoDeadlineByDefault) {
+  EXPECT_FALSE(DeadlineExpired());
+  EXPECT_GT(RemainingDeadlineMicros(), std::int64_t{1000} * 1000 * 1000 * 1000);
+}
+
+TEST(ScopedDeadlineTest, BoundsAndExpires) {
+  GlobalFakeClock fake;
+  ScopedDeadline deadline(10);  // 10 ms
+  EXPECT_EQ(RemainingDeadlineMicros(), 10'000);
+  EXPECT_FALSE(DeadlineExpired());
+  fake->AdvanceMicros(9'000);
+  EXPECT_EQ(RemainingDeadlineMicros(), 1'000);
+  fake->AdvanceMicros(2'000);
+  EXPECT_TRUE(DeadlineExpired());
+  EXPECT_LE(RemainingDeadlineMicros(), 0);
+}
+
+TEST(ScopedDeadlineTest, NestedKeepsTighterBoundAndRestores) {
+  GlobalFakeClock fake;
+  ScopedDeadline outer(100);
+  EXPECT_EQ(RemainingDeadlineMicros(), 100'000);
+  {
+    ScopedDeadline inner(10);
+    EXPECT_EQ(RemainingDeadlineMicros(), 10'000);
+    {
+      // A looser nested deadline must not extend the inner bound.
+      ScopedDeadline looser(50);
+      EXPECT_EQ(RemainingDeadlineMicros(), 10'000);
+    }
+    EXPECT_EQ(RemainingDeadlineMicros(), 10'000);
+  }
+  EXPECT_EQ(RemainingDeadlineMicros(), 100'000);
+}
+
+TEST(ScopedDeadlineTest, NonPositiveBudgetIsNoDeadline) {
+  ScopedDeadline none(0);
+  EXPECT_FALSE(DeadlineExpired());
+  ScopedDeadline negative(-5);
+  EXPECT_FALSE(DeadlineExpired());
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace cmif

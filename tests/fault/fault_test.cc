@@ -1,0 +1,246 @@
+#include "src/fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fault/clock.h"
+
+namespace cmif {
+namespace fault {
+namespace {
+
+class GlobalFakeClock {
+ public:
+  GlobalFakeClock() { SetGlobalClockForTest(&clock_); }
+  ~GlobalFakeClock() { SetGlobalClockForTest(nullptr); }
+  FakeClock* operator->() { return &clock_; }
+
+ private:
+  FakeClock clock_;
+};
+
+TEST(FaultPlanTest, ParseFullSpec) {
+  auto plan = FaultPlan::Parse(
+      "seed=42;ddbms.block.get:transient=0.05,latency=0.1@20ms;serve.compile:stall=0.01@250ms");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->seed, 42u);
+  ASSERT_EQ(plan->sites.size(), 2u);
+  EXPECT_EQ(plan->sites[0].first, "ddbms.block.get");
+  EXPECT_DOUBLE_EQ(plan->sites[0].second.transient_p, 0.05);
+  EXPECT_DOUBLE_EQ(plan->sites[0].second.latency_p, 0.1);
+  EXPECT_EQ(plan->sites[0].second.latency_ms, 20);
+  EXPECT_EQ(plan->sites[1].first, "serve.compile");
+  EXPECT_DOUBLE_EQ(plan->sites[1].second.stall_p, 0.01);
+  EXPECT_EQ(plan->sites[1].second.stall_ms, 250);
+}
+
+TEST(FaultPlanTest, ParseRejectsBadSpecs) {
+  EXPECT_FALSE(FaultPlan::Parse("no-colon-here").ok());
+  EXPECT_FALSE(FaultPlan::Parse("site:mystery=0.5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("site:transient=1.5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("site:transient=0.6,latency=0.6").ok());  // sum > 1
+  EXPECT_FALSE(FaultPlan::Parse("site:latency=0.5@-3ms").ok());
+  EXPECT_FALSE(FaultPlan::Parse(":transient=0.5").ok());  // empty site
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  auto plan = FaultPlan::Parse(
+      "seed=7;ddbms.block.get:transient=0.05,latency=0.1@20ms,stall=0.01@100ms;"
+      "ddbms.persist.read:corrupt=0.25");
+  ASSERT_TRUE(plan.ok());
+  auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->seed, plan->seed);
+  ASSERT_EQ(reparsed->sites.size(), plan->sites.size());
+  for (std::size_t i = 0; i < plan->sites.size(); ++i) {
+    EXPECT_EQ(reparsed->sites[i].first, plan->sites[i].first);
+    EXPECT_DOUBLE_EQ(reparsed->sites[i].second.transient_p, plan->sites[i].second.transient_p);
+    EXPECT_DOUBLE_EQ(reparsed->sites[i].second.corrupt_p, plan->sites[i].second.corrupt_p);
+    EXPECT_EQ(reparsed->sites[i].second.latency_ms, plan->sites[i].second.latency_ms);
+    EXPECT_EQ(reparsed->sites[i].second.stall_ms, plan->sites[i].second.stall_ms);
+  }
+}
+
+TEST(FaultPlanTest, StandardChaosPlanEscalates) {
+  EXPECT_TRUE(StandardChaosPlan(0).empty());
+  FaultPlan level1 = StandardChaosPlan(1);
+  FaultPlan level3 = StandardChaosPlan(3);
+  ASSERT_FALSE(level1.empty());
+  ASSERT_EQ(level1.sites.size(), level3.sites.size());
+  EXPECT_GT(level3.sites[0].second.transient_p, level1.sites[0].second.transient_p);
+  // The ladder's spec form parses back.
+  EXPECT_TRUE(FaultPlan::Parse(level1.ToString()).ok());
+}
+
+#ifdef CMIF_FAULT_DISABLED
+
+TEST(FaultProbeTest, DisabledBuildCompilesProbesToNoops) {
+  ScopedPlan chaos(StandardChaosPlan(3));
+  EXPECT_FALSE(Enabled());
+  EXPECT_TRUE(InjectPoint("ddbms.block.get").ok());
+  DeviceFault fault = InjectDeviceFault("player.device.video");
+  EXPECT_FALSE(fault.drop);
+  EXPECT_EQ(fault.extra_latency_ms, 0);
+  std::string payload = "payload";
+  EXPECT_FALSE(MaybeCorrupt("ddbms.persist.read", payload));
+  EXPECT_EQ(payload, "payload");
+}
+
+#else  // probes compiled in
+
+FaultPlan SingleSite(const std::string& site, FaultSiteConfig config, std::uint64_t seed = 9) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.sites.emplace_back(site, config);
+  return plan;
+}
+
+TEST(FaultProbeTest, DisabledWithoutPlanAndAfterClear) {
+  EXPECT_FALSE(Enabled());
+  {
+    FaultSiteConfig config;
+    config.transient_p = 1.0;
+    ScopedPlan chaos(SingleSite("x", config));
+    EXPECT_TRUE(Enabled());
+  }
+  EXPECT_FALSE(Enabled());
+  EXPECT_TRUE(InjectPoint("x").ok());
+}
+
+TEST(FaultProbeTest, TransientAlwaysFailsWithUnavailable) {
+  FaultSiteConfig config;
+  config.transient_p = 1.0;
+  ScopedPlan chaos(SingleSite("ddbms.block.get", config));
+  Status status = InjectPoint("ddbms.block.get");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Counts().transient, 1u);
+  EXPECT_EQ(Counts().probes, 1u);
+}
+
+TEST(FaultProbeTest, UnmatchedSiteNeverFaults) {
+  FaultSiteConfig config;
+  config.transient_p = 1.0;
+  ScopedPlan chaos(SingleSite("ddbms.block.get", config));
+  EXPECT_TRUE(InjectPoint("serve.compile").ok());
+  // Prefix matching needs a '.' boundary: "ddbms.block.getx" is a different
+  // site, "ddbms.block.get.sub" is covered.
+  EXPECT_TRUE(InjectPoint("ddbms.block.getx").ok());
+  EXPECT_EQ(InjectPoint("ddbms.block.get.sub").code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultProbeTest, DeterministicSequenceReplaysExactly) {
+  FaultSiteConfig config;
+  config.transient_p = 0.5;
+  auto sequence = [&](std::uint64_t seed) {
+    ScopedPlan chaos(SingleSite("site", config, seed));
+    std::vector<bool> failed;
+    for (int i = 0; i < 64; ++i) {
+      failed.push_back(!InjectPoint("site").ok());
+    }
+    return failed;
+  };
+  std::vector<bool> first = sequence(9);
+  std::vector<bool> second = sequence(9);
+  EXPECT_EQ(first, second) << "same plan seed must replay the same fault sequence";
+  EXPECT_NE(first, sequence(10)) << "different seed should diverge";
+  // A 0.5 plan should actually fault sometimes and pass sometimes.
+  std::size_t failures = 0;
+  for (bool f : first) {
+    failures += f ? 1 : 0;
+  }
+  EXPECT_GT(failures, 0u);
+  EXPECT_LT(failures, first.size());
+}
+
+TEST(FaultProbeTest, LatencySleepsOnTheGlobalClock) {
+  GlobalFakeClock clock;
+  FaultSiteConfig config;
+  config.latency_p = 1.0;
+  config.latency_ms = 15;
+  ScopedPlan chaos(SingleSite("slow", config));
+  EXPECT_TRUE(InjectPoint("slow").ok());
+  EXPECT_EQ(clock->slept_micros(), 15'000);
+  EXPECT_EQ(Counts().latency, 1u);
+}
+
+TEST(FaultProbeTest, LatencyExceedingDeadlineFails) {
+  GlobalFakeClock clock;
+  FaultSiteConfig config;
+  config.latency_p = 1.0;
+  config.latency_ms = 15;
+  ScopedPlan chaos(SingleSite("slow", config));
+  ScopedDeadline deadline(5);
+  Status status = InjectPoint("slow");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  // The sleep was clamped to the 5 ms budget — the probe cannot overshoot.
+  EXPECT_EQ(clock->slept_micros(), 5'000);
+}
+
+TEST(FaultProbeTest, StallIsDeadlineClampedAndAlwaysFails) {
+  GlobalFakeClock clock;
+  FaultSiteConfig config;
+  config.stall_p = 1.0;
+  config.stall_ms = 250;
+  ScopedPlan chaos(SingleSite("hang", config));
+  {
+    ScopedDeadline deadline(20);
+    EXPECT_EQ(InjectPoint("hang").code(), StatusCode::kUnavailable);
+    EXPECT_EQ(clock->slept_micros(), 20'000) << "stall must not outlive the deadline";
+  }
+  // Without a deadline the stall runs its full length, then still fails.
+  EXPECT_EQ(InjectPoint("hang").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(clock->slept_micros(), 20'000 + 250'000);
+  EXPECT_EQ(Counts().stall, 2u);
+}
+
+TEST(FaultProbeTest, DeviceFaultsNeverSleep) {
+  GlobalFakeClock clock;
+  FaultSiteConfig config;
+  config.latency_p = 0.5;
+  config.transient_p = 0.5;
+  ScopedPlan chaos(SingleSite("player.device", config));
+  bool saw_drop = false;
+  bool saw_latency = false;
+  for (int i = 0; i < 64; ++i) {
+    DeviceFault fault = InjectDeviceFault("player.device.video");
+    saw_drop = saw_drop || fault.drop;
+    saw_latency = saw_latency || fault.extra_latency_ms > 0;
+  }
+  EXPECT_TRUE(saw_drop);
+  EXPECT_TRUE(saw_latency);
+  EXPECT_EQ(clock->slept_micros(), 0) << "playback faults are virtual-time only";
+}
+
+TEST(FaultProbeTest, CorruptionMutatesDeterministically) {
+  FaultSiteConfig config;
+  config.corrupt_p = 1.0;
+  const std::string original(64, 'a');
+  auto corrupt_once = [&] {
+    ScopedPlan chaos(SingleSite("ddbms.persist.read", config));
+    std::string payload = original;
+    EXPECT_TRUE(MaybeCorrupt("ddbms.persist.read", payload));
+    return payload;
+  };
+  std::string first = corrupt_once();
+  EXPECT_NE(first, original);
+  EXPECT_EQ(first.size(), original.size());
+  EXPECT_EQ(first, corrupt_once()) << "corruption positions derive from the seed";
+}
+
+TEST(FaultProbeTest, InjectPointIgnoresCorruptBand) {
+  FaultSiteConfig config;
+  config.corrupt_p = 1.0;
+  ScopedPlan chaos(SingleSite("x", config));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(InjectPoint("x").ok());
+  }
+  EXPECT_EQ(Counts().corrupt, 0u);
+}
+
+#endif  // CMIF_FAULT_DISABLED
+
+}  // namespace
+}  // namespace fault
+}  // namespace cmif

@@ -1,0 +1,181 @@
+#include "src/fault/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace cmif {
+namespace fault {
+namespace {
+
+class GlobalFakeClock {
+ public:
+  GlobalFakeClock() { SetGlobalClockForTest(&clock_); }
+  ~GlobalFakeClock() { SetGlobalClockForTest(nullptr); }
+  FakeClock* operator->() { return &clock_; }
+
+ private:
+  FakeClock clock_;
+};
+
+RetryPolicy NoJitterPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 4;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 100;
+  policy.jitter = 0;
+  return policy;
+}
+
+TEST(BackoffTest, ExponentialWithoutJitter) {
+  RetryPolicy policy = NoJitterPolicy();
+  EXPECT_EQ(BackoffDelayMs(policy, 2), 4);
+  EXPECT_EQ(BackoffDelayMs(policy, 3), 8);
+  EXPECT_EQ(BackoffDelayMs(policy, 4), 16);
+  EXPECT_EQ(BackoffDelayMs(policy, 5), 32);
+}
+
+TEST(BackoffTest, CappedAtMaxBackoff) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.max_backoff_ms = 10;
+  EXPECT_EQ(BackoffDelayMs(policy, 2), 4);
+  EXPECT_EQ(BackoffDelayMs(policy, 3), 8);
+  EXPECT_EQ(BackoffDelayMs(policy, 4), 10);
+  EXPECT_EQ(BackoffDelayMs(policy, 9), 10);
+}
+
+TEST(BackoffTest, JitterIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 16;
+  policy.jitter = 0.5;
+  policy.seed = 7;
+  for (int attempt = 2; attempt <= 6; ++attempt) {
+    std::int64_t a = BackoffDelayMs(policy, attempt, /*salt=*/123);
+    std::int64_t b = BackoffDelayMs(policy, attempt, /*salt=*/123);
+    EXPECT_EQ(a, b) << "same (seed, salt, attempt) must give the same delay";
+    EXPECT_GE(a, 1);
+    EXPECT_LE(a, policy.max_backoff_ms);
+  }
+  // Different salts decorrelate the jitter stream (not equal for every
+  // attempt; a single collision is fine).
+  bool any_difference = false;
+  for (int attempt = 2; attempt <= 6; ++attempt) {
+    if (BackoffDelayMs(policy, attempt, 1) != BackoffDelayMs(policy, attempt, 2)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RetryTest, FirstSuccessNeedsNoSleep) {
+  GlobalFakeClock clock;
+  int calls = 0;
+  int attempts = 0;
+  Status status = Retry(
+      NoJitterPolicy(),
+      [&] {
+        ++calls;
+        return Status::Ok();
+      },
+      /*salt=*/0, &attempts);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(clock->slept_micros(), 0);
+}
+
+TEST(RetryTest, RetriesUnavailableWithExactBackoff) {
+  GlobalFakeClock clock;
+  int calls = 0;
+  int attempts = 0;
+  Status status = Retry(
+      NoJitterPolicy(),
+      [&]() -> Status {
+        ++calls;
+        if (calls < 3) {
+          return UnavailableError("transient");
+        }
+        return Status::Ok();
+      },
+      /*salt=*/0, &attempts);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3);
+  // Slept exactly the backoff before attempts 2 and 3: 4 ms + 8 ms.
+  EXPECT_EQ(clock->slept_micros(), (4 + 8) * 1000);
+}
+
+TEST(RetryTest, ExhaustsAttemptsAndReturnsLastError) {
+  GlobalFakeClock clock;
+  int calls = 0;
+  Status status = Retry(NoJitterPolicy(), [&]() -> Status {
+    ++calls;
+    return UnavailableError("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(clock->slept_micros(), (4 + 8 + 16) * 1000);
+}
+
+TEST(RetryTest, NonRetryableReturnsImmediately) {
+  GlobalFakeClock clock;
+  int calls = 0;
+  Status status = Retry(NoJitterPolicy(), [&]() -> Status {
+    ++calls;
+    return InvalidArgumentError("permanent");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock->slept_micros(), 0);
+}
+
+TEST(RetryTest, WorksWithStatusOr) {
+  GlobalFakeClock clock;
+  int calls = 0;
+  auto result = Retry(NoJitterPolicy(), [&]() -> StatusOr<int> {
+    ++calls;
+    if (calls < 2) {
+      return UnavailableError("transient");
+    }
+    return 42;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, AttemptDeadlineBoundsEachAttempt) {
+  GlobalFakeClock clock;
+  RetryPolicy policy = NoJitterPolicy();
+  policy.attempt_deadline_ms = 25;
+  std::vector<std::int64_t> budgets;
+  Status status = Retry(policy, [&]() -> Status {
+    budgets.push_back(RemainingDeadlineMicros());
+    return UnavailableError("transient");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  ASSERT_EQ(budgets.size(), 4u);
+  for (std::int64_t budget : budgets) {
+    EXPECT_EQ(budget, 25'000) << "each attempt gets a fresh deadline";
+  }
+  EXPECT_FALSE(DeadlineExpired());  // restored after the last attempt
+}
+
+TEST(RetryTest, ZeroAttemptsStillRunsOnce) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.max_attempts = 0;
+  int calls = 0;
+  Status status = Retry(policy, [&]() -> Status {
+    ++calls;
+    return UnavailableError("transient");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace cmif

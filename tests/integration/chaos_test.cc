@@ -1,0 +1,140 @@
+// End-to-end chaos: the Evening News serve trace and the full playback
+// pipeline under StandardChaosPlan. These are the test-suite form of the
+// fig12_chaos acceptance numbers — completion stays >= 99% under the
+// standard plan and sync arcs never break — plus the determinism contract
+// that the same chaos seed replays the same run.
+//
+// These tests sleep through injected latency on the real clock, so they are
+// registered with an explicit ctest TIMEOUT (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "src/fault/fault.h"
+#include "src/news/evening_news.h"
+#include "src/pipeline/pipeline.h"
+#include "src/serve/serve.h"
+
+namespace cmif {
+namespace {
+
+constexpr std::uint64_t kChaosSeed = 42;
+constexpr int kStandardLevel = 2;
+
+ServeOptions ChaosOptions(int threads) {
+  ServeOptions options;
+  options.threads = threads;
+  options.seed = 12;
+  options.enable_degraded = true;
+  options.retry.max_attempts = 4;
+  options.retry.attempt_deadline_ms = 500;
+  return options;
+}
+
+#ifndef CMIF_FAULT_DISABLED
+
+TEST(ChaosServeTest, StandardPlanKeepsCompletionAboveNinetyNinePercent) {
+  auto corpus = BuildNewsCorpus(4);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  ServeOptions options = ChaosOptions(4);
+  ServeLoop loop(**corpus, options);
+  std::vector<ServeRequest> trace = GenerateTrace((*corpus)->size(), 128, options);
+
+  // A warm server (the steady-state shape): prime fault-free, then
+  // invalidate so the chaos pass compiles cold with stale entries to fall
+  // back on.
+  auto prime = loop.Run(trace);
+  ASSERT_TRUE(prime.ok()) << prime.status();
+  ASSERT_EQ(prime->errors, 0u);
+  (*corpus)->store().WithWrite([](DescriptorStore&) { return 0; });
+
+  fault::InjectionCounts counts;
+  auto stats = [&] {
+    fault::ScopedPlan chaos(fault::StandardChaosPlan(kStandardLevel, kChaosSeed));
+    fault::ResetCounts();
+    auto run = loop.Run(trace);
+    counts = fault::Counts();
+    return run;
+  }();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->requests, 128u);
+  // The acceptance bar: >= 99% of requests produce a presentation.
+  EXPECT_LE(stats->errors * 100, stats->requests) << stats->Summary();
+  EXPECT_GT(counts.probes, 0u) << "the chaos pass must actually exercise the fault sites";
+}
+
+TEST(ChaosServeTest, SingleThreadedChaosRunReplaysExactly) {
+  auto run = [] {
+    auto corpus = BuildNewsCorpus(3);
+    EXPECT_TRUE(corpus.ok());
+    ServeOptions options = ChaosOptions(1);
+    ServeLoop loop(**corpus, options);
+    std::vector<ServeRequest> trace = GenerateTrace((*corpus)->size(), 48, options);
+    fault::ScopedPlan chaos(fault::StandardChaosPlan(kStandardLevel, kChaosSeed));
+    fault::ResetCounts();
+    auto stats = loop.Run(trace);
+    fault::InjectionCounts counts = fault::Counts();
+    EXPECT_TRUE(stats.ok());
+    return std::make_tuple(stats->errors, stats->degraded, stats->recovered, counts.probes,
+                           counts.transient, counts.latency, counts.stall);
+  };
+  EXPECT_EQ(run(), run()) << "one worker + one seed must replay decision for decision";
+}
+
+TEST(ChaosPlaybackTest, FullPipelineDegradesWithoutSyncViolations) {
+  NewsOptions news;
+  news.stories = 2;
+  news.materialize_media = true;
+  auto workload = BuildEveningNews(news);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  PipelineOptions options;
+  options.profile = PersonalSystemProfile();
+  options.apply_filters = true;
+  options.enable_degradation = true;
+  options.player.enable_degradation = true;
+  auto report = [&] {
+    fault::ScopedPlan chaos(fault::StandardChaosPlan(kStandardLevel, kChaosSeed));
+    return RunPipeline(workload->document, workload->store, workload->blocks, options);
+  }();
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Degradation may or may not fire at this seed's draw — but a violation or
+  // an inconsistent trace is a failure regardless.
+  EXPECT_TRUE(report->playback.trace.Verify().ok());
+  EXPECT_EQ(report->playback.sync_violations, 0u);
+  EXPECT_GT(report->playback.trace.size(), 0u);
+}
+
+TEST(ChaosPlaybackTest, RecoveryStageShieldsPlaybackFromBlockLoss) {
+  NewsOptions news;
+  news.stories = 1;
+  news.materialize_media = true;  // store-key content is what the stage recovers
+  auto workload = BuildEveningNews(news);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  PipelineOptions options;
+  options.apply_filters = true;
+  options.enable_degradation = true;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 1;
+  // Every store fetch fails permanently: without the recovery stage the
+  // pipeline would error out; with it, every store-backed block becomes a
+  // placeholder and the run completes.
+  fault::FaultPlan plan;
+  plan.seed = kChaosSeed;
+  fault::FaultSiteConfig config;
+  config.transient_p = 1.0;
+  plan.sites.emplace_back("ddbms.block.get", config);
+  auto report = [&] {
+    fault::ScopedPlan chaos(std::move(plan));
+    return RunPipeline(workload->document, workload->store, workload->blocks, options);
+  }();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->degradation.blocks_placeholder, 0u);
+  EXPECT_TRUE(report->degradation.degraded());
+  EXPECT_FALSE(report->degradation.placeholder_ids.empty());
+}
+
+#endif  // CMIF_FAULT_DISABLED
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,134 @@
+// Playback degradation under device faults: lost payloads present a
+// placeholder in their scheduled slot (sync holds), and a persistently
+// failing device sheds the lowest-priority channel instead of killing the
+// presentation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/doc/builder.h"
+#include "src/fault/fault.h"
+#include "src/media/raster.h"
+#include "src/player/engine.h"
+#include "src/sched/conflict.h"
+
+namespace cmif {
+namespace {
+
+struct Playable {
+  Document doc{NodeKind::kSeq};
+  std::vector<EventDescriptor> events;
+  Schedule schedule;
+  DescriptorStore store;
+};
+
+// Alternating text captions and graphic slides on two channels: the graphic
+// channel is the fault target, the text channel is the lowest-priority
+// shedding victim.
+Playable CaptionedSlides(int pairs) {
+  Playable p;
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  builder.DefineChannel("img", MediaType::kGraphic);
+  for (int i = 0; i < pairs; ++i) {
+    std::string n = std::to_string(i);
+    builder.ImmText("caption-" + n, "slide " + n).OnChannel("txt").WithDuration(
+        MediaTime::Seconds(1));
+    builder.Imm("slide-" + n, DataBlock::FromImage(MakeTestCard(16, 12, i), MediaType::kGraphic))
+        .OnChannel("img")
+        .WithDuration(MediaTime::Seconds(1));
+  }
+  auto doc = builder.Build();
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  p.doc = std::move(doc).value();
+  auto events = CollectEvents(p.doc, nullptr);
+  EXPECT_TRUE(events.ok()) << events.status();
+  p.events = std::move(events).value();
+  auto result = ComputeSchedule(p.doc, p.events);
+  EXPECT_TRUE(result.ok() && result->feasible);
+  p.schedule = std::move(result)->schedule;
+  return p;
+}
+
+TEST(PlayerDegradationTest, FaultFreeRunsAreUnaffected) {
+  Playable p = CaptionedSlides(3);
+  PlayerOptions options;
+  options.enable_degradation = true;
+  auto result = Play(p.doc, p.schedule, &p.store, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->degraded_events, 0u);
+  EXPECT_EQ(result->suppressed_events, 0u);
+  EXPECT_TRUE(result->dropped_channels.empty());
+  EXPECT_EQ(result->sync_violations, 0u);
+}
+
+#ifndef CMIF_FAULT_DISABLED
+
+fault::FaultPlan DeviceDropPlan(const std::string& channel, double p) {
+  fault::FaultPlan plan;
+  plan.seed = 3;
+  fault::FaultSiteConfig config;
+  config.transient_p = p;  // the transient band drops the payload
+  plan.sites.emplace_back("player.device." + channel, config);
+  return plan;
+}
+
+TEST(PlayerDegradationTest, LostPayloadsPresentPlaceholdersInTheirSlot) {
+  Playable p = CaptionedSlides(4);
+  fault::ScopedPlan chaos(DeviceDropPlan("img", 1.0));
+  auto result = Play(p.doc, p.schedule, &p.store);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Every graphic payload was lost; every slot still presented (a
+  // placeholder), so the trace is full-length and consistent.
+  EXPECT_EQ(result->degraded_events, 4u);
+  EXPECT_EQ(result->trace.size(), 8u);
+  EXPECT_EQ(result->trace.DegradedCount(), 4u);
+  for (const TraceEntry& entry : result->trace.entries()) {
+    EXPECT_EQ(entry.degraded, entry.channel == "img") << entry.label;
+  }
+  EXPECT_TRUE(result->trace.Verify().ok());
+  EXPECT_EQ(result->sync_violations, 0u) << "freezes absorb what tolerance cannot";
+  // Without enable_degradation nothing is shed.
+  EXPECT_TRUE(result->dropped_channels.empty());
+  EXPECT_EQ(result->suppressed_events, 0u);
+}
+
+TEST(PlayerDegradationTest, PersistentFaultsShedTheLowestPriorityChannel) {
+  Playable p = CaptionedSlides(6);
+  PlayerOptions options;
+  options.enable_degradation = true;
+  options.channel_breaker.failure_threshold = 2;
+  fault::ScopedPlan chaos(DeviceDropPlan("img", 1.0));
+  auto result = Play(p.doc, p.schedule, &p.store, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The second lost slide opens the img breaker; the shedding victim is the
+  // lowest-priority live channel — text before graphics.
+  ASSERT_FALSE(result->dropped_channels.empty());
+  EXPECT_EQ(result->dropped_channels[0], "txt");
+  EXPECT_GT(result->suppressed_events, 0u) << "later captions are skipped, not presented";
+  EXPECT_GT(result->degraded_events, 0u);
+  // Whatever was presented stays consistent and inside its sync windows.
+  EXPECT_TRUE(result->trace.Verify().ok());
+  EXPECT_EQ(result->sync_violations, 0u);
+}
+
+TEST(PlayerDegradationTest, DegradationReplaysDeterministically) {
+  auto run = [] {
+    Playable p = CaptionedSlides(5);
+    PlayerOptions options;
+    options.enable_degradation = true;
+    fault::ScopedPlan chaos(DeviceDropPlan("img", 0.5));
+    auto result = Play(p.doc, p.schedule, &p.store, options);
+    EXPECT_TRUE(result.ok());
+    return std::make_tuple(result->degraded_events, result->suppressed_events,
+                           result->dropped_channels);
+  };
+  EXPECT_EQ(run(), run()) << "the same plan seed must degrade the same way";
+}
+
+#endif  // CMIF_FAULT_DISABLED
+
+}  // namespace
+}  // namespace cmif

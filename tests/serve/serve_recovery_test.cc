@@ -1,0 +1,208 @@
+// The serve loop's recovery ladder: worker exceptions surface as counted
+// errors (regression for the silently-absorbed-exception bug), failed
+// compiles degrade to stale cache entries without ever re-entering the cache
+// as healthy, and the per-document breaker fails fast.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "src/fault/clock.h"
+#include "src/fault/fault.h"
+#include "src/serve/serve.h"
+
+namespace cmif {
+namespace {
+
+class GlobalFakeClock {
+ public:
+  GlobalFakeClock() { fault::SetGlobalClockForTest(&clock_); }
+  ~GlobalFakeClock() { fault::SetGlobalClockForTest(nullptr); }
+  fault::FakeClock* operator->() { return &clock_; }
+
+ private:
+  fault::FakeClock clock_;
+};
+
+std::unique_ptr<ServeCorpus> Corpus(int documents) {
+  auto corpus = BuildNewsCorpus(documents);
+  EXPECT_TRUE(corpus.ok()) << corpus.status();
+  return std::move(corpus).value();
+}
+
+ServeOptions RecoveryOptions() {
+  ServeOptions options;
+  options.threads = 1;
+  options.enable_degraded = true;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_ms = 1;
+  options.retry.jitter = 0;
+  return options;
+}
+
+// Regression: an exception escaping a worker used to be absorbed by the
+// future machinery — the run "succeeded" with silently missing requests. It
+// must complete and count the throw as both an exception and an error.
+TEST(ServeRecoveryTest, WorkerExceptionsAreCountedAsErrors) {
+  auto corpus = Corpus(2);
+  ServeOptions options;
+  options.threads = 2;
+  std::atomic<int> calls{0};
+  options.request_hook = [&calls](const ServeRequest&) {
+    if (calls.fetch_add(1, std::memory_order_relaxed) % 10 == 3) {
+      throw std::runtime_error("hook blew up");
+    }
+  };
+  ServeLoop loop(*corpus, options);
+  std::vector<ServeRequest> trace = GenerateTrace(corpus->size(), 50, options);
+  auto stats = loop.Run(trace);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->requests, 50u);
+  EXPECT_EQ(stats->exceptions, 5u);
+  EXPECT_GE(stats->errors, stats->exceptions) << "every exception is also an error";
+  EXPECT_EQ(stats->errors, stats->exceptions) << "nothing else should fail in this run";
+}
+
+TEST(ServeRecoveryTest, FailureWithoutStaleEntryIsFailedNotDegraded) {
+  auto corpus = Corpus(1);
+  ServeLoop loop(*corpus, RecoveryOptions());
+  ServeRequest request;
+  request.document = 9;  // out of range: nothing cached, nothing to degrade to
+  ServeResponse response = loop.Serve(request);
+  EXPECT_EQ(response.outcome, ServeOutcome::kFailed);
+  EXPECT_FALSE(response.served());
+  EXPECT_FALSE(response.error.ok());
+}
+
+TEST(MappingCacheStaleTest, GetStaleIgnoresGenerationAndPrefersFreshest) {
+  MappingCache cache(8);
+  MappingCacheKey key;
+  key.document_hash = 1;
+  key.channel_hash = 2;
+  key.profile = "workstation";
+  auto old_entry = std::make_shared<const CompiledPresentation>();
+  auto new_entry = std::make_shared<const CompiledPresentation>();
+  key.store_generation = 3;
+  cache.Put(key, old_entry);
+  key.store_generation = 7;
+  cache.Put(key, new_entry);
+
+  key.store_generation = 9;  // current generation: a regular Get misses
+  EXPECT_EQ(cache.Get(key), nullptr);
+  EXPECT_EQ(cache.GetStale(key), new_entry) << "stale lookup picks the freshest generation";
+
+  MappingCacheKey other = key;
+  other.profile = "personal";
+  EXPECT_EQ(cache.GetStale(other), nullptr) << "profile must still match exactly";
+
+  MappingCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.stale_hits, 1u);
+  EXPECT_EQ(stats.hits, 0u) << "degraded lookups never masquerade as healthy hits";
+}
+
+#ifndef CMIF_FAULT_DISABLED
+
+fault::FaultPlan CompileFailPlan(double p) {
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  fault::FaultSiteConfig config;
+  config.transient_p = p;
+  plan.sites.emplace_back("serve.compile", config);
+  return plan;
+}
+
+TEST(ServeRecoveryTest, DegradedServesStaleAndNeverCachesIt) {
+  GlobalFakeClock clock;
+  auto corpus = Corpus(1);
+  ServeLoop loop(*corpus, RecoveryOptions());
+  ServeRequest request;
+
+  // Prime one healthy compile into the cache, then invalidate it.
+  ServeResponse healthy = loop.Serve(request);
+  ASSERT_EQ(healthy.outcome, ServeOutcome::kHealthy);
+  ASSERT_NE(healthy.presentation, nullptr);
+  corpus->store().WithWrite([](DescriptorStore&) { return 0; });
+
+  {
+    fault::ScopedPlan chaos(CompileFailPlan(1.0));
+    ServeResponse degraded = loop.Serve(request);
+    EXPECT_EQ(degraded.outcome, ServeOutcome::kDegraded);
+    EXPECT_TRUE(degraded.served());
+    EXPECT_EQ(degraded.presentation, healthy.presentation)
+        << "the degraded answer is the stale pre-invalidation compile";
+    EXPECT_EQ(degraded.error.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(degraded.attempts, 2) << "retries were exhausted before degrading";
+  }
+  EXPECT_EQ(loop.cache().stats().stale_hits, 1u);
+
+  // The degraded response must not have been cached under the current
+  // generation: with the faults gone, the next request compiles fresh.
+  MappingCache::Stats before = loop.cache().stats();
+  ServeResponse fresh = loop.Serve(request);
+  EXPECT_EQ(fresh.outcome, ServeOutcome::kHealthy);
+  EXPECT_EQ(loop.cache().stats().hits, before.hits) << "no healthy hit for a degraded entry";
+  EXPECT_EQ(loop.cache().stats().misses, before.misses + 1);
+
+  // And the fresh compile IS cached: the request after it hits.
+  ServeResponse warm = loop.Serve(request);
+  EXPECT_TRUE(warm.cache_hit);
+}
+
+TEST(ServeRecoveryTest, RetriesTurnTransientFaultsIntoRecoveredResponses) {
+  GlobalFakeClock clock;
+  auto corpus = Corpus(1);
+  ServeOptions options = RecoveryOptions();
+  options.retry.max_attempts = 8;
+  ServeLoop loop(*corpus, options);
+  fault::ScopedPlan chaos(CompileFailPlan(0.5));
+  bool saw_recovered = false;
+  for (int i = 0; i < 12 && !saw_recovered; ++i) {
+    // Each generation bump forces the next request through the compile path.
+    corpus->store().WithWrite([](DescriptorStore&) { return 0; });
+    ServeResponse response = loop.Serve(ServeRequest{});
+    ASSERT_NE(response.outcome, ServeOutcome::kFailed) << response.error;
+    if (response.outcome == ServeOutcome::kRecovered) {
+      saw_recovered = true;
+      EXPECT_GT(response.attempts, 1);
+      EXPECT_NE(response.presentation, nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_recovered) << "a 0.5 fault rate with 8 attempts must recover at least once";
+}
+
+TEST(ServeRecoveryTest, OpenBreakerFailsFastWithoutCompiling) {
+  GlobalFakeClock clock;
+  auto corpus = Corpus(1);
+  ServeOptions options = RecoveryOptions();
+  options.retry.max_attempts = 1;  // each request = one compile failure
+  options.compile_breaker.failure_threshold = 2;
+  options.compile_breaker.open_ms = 60'000;
+  ServeLoop loop(*corpus, options);
+  ServeRequest request;
+
+  ServeResponse healthy = loop.Serve(request);
+  ASSERT_EQ(healthy.outcome, ServeOutcome::kHealthy);
+  corpus->store().WithWrite([](DescriptorStore&) { return 0; });
+
+  {
+    fault::ScopedPlan chaos(CompileFailPlan(1.0));
+    fault::ResetCounts();
+    ASSERT_EQ(loop.Serve(request).outcome, ServeOutcome::kDegraded);
+    ASSERT_EQ(loop.Serve(request).outcome, ServeOutcome::kDegraded);
+    EXPECT_EQ(fault::Counts().probes, 2u);
+    // Threshold reached: the document's breaker is open and the next request
+    // is answered without touching the compile path (no new probes).
+    ServeResponse fast = loop.Serve(request);
+    EXPECT_EQ(fast.outcome, ServeOutcome::kDegraded);
+    EXPECT_EQ(fault::Counts().probes, 2u) << "an open breaker must not attempt a compile";
+    EXPECT_NE(fast.error.message().find("breaker open"), std::string::npos)
+        << fast.error.message();
+  }
+}
+
+#endif  // CMIF_FAULT_DISABLED
+
+}  // namespace
+}  // namespace cmif

@@ -10,8 +10,9 @@
 //   cmif_tool profile <doc> <catalog> [profile] [--trace out.json] [--metrics out.jsonl]
 //                                            run instrumented, export trace + metrics
 //   cmif_tool serve [--docs K] [--requests N] [--threads T] [--zipf S]
-//                   [--seed X] [--cache C | --no-cache]
-//                                            serve a synthetic Zipf trace concurrently
+//                   [--seed X] [--cache C | --no-cache] [--faults <plan | level:N>]
+//                                            serve a synthetic Zipf trace concurrently,
+//                                            optionally under a fault-injection plan
 //
 // Profiles: workstation (default), personal, portable.
 #include <fstream>
@@ -22,6 +23,7 @@
 
 #include "src/ddbms/persist.h"
 #include "src/doc/stats.h"
+#include "src/fault/fault.h"
 #include "src/doc/validate.h"
 #include "src/fmt/parser.h"
 #include "src/fmt/tree_view.h"
@@ -365,11 +367,27 @@ int CmdServe(const std::vector<std::string>& args) {
   int docs = 8;
   std::size_t requests = 256;
   ServeOptions options;
+  std::optional<fault::FaultPlan> fault_plan;
   auto number_after = [&](std::size_t& i) -> std::optional<long> {
     if (i + 1 >= args.size()) {
       return std::nullopt;
     }
     return std::atol(args[++i].c_str());
+  };
+  auto parse_faults = [&](const std::string& spec) -> bool {
+    // `level:N` is shorthand for the escalating chaos plan the Figure-12
+    // bench uses; anything else is a full plan spec.
+    if (spec.rfind("level:", 0) == 0) {
+      fault_plan = fault::StandardChaosPlan(std::atoi(spec.c_str() + 6));
+      return true;
+    }
+    auto parsed = fault::FaultPlan::Parse(spec);
+    if (!parsed.ok()) {
+      std::cerr << "serve: bad --faults plan: " << parsed.status().message() << "\n";
+      return false;
+    }
+    fault_plan = std::move(parsed).value();
+    return true;
   };
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::optional<long> value;
@@ -387,10 +405,23 @@ int CmdServe(const std::vector<std::string>& args) {
       options.zipf_skew = std::atof(args[++i].c_str());
     } else if (args[i] == "--no-cache") {
       options.use_cache = false;
+    } else if (args[i] == "--faults" && i + 1 < args.size()) {
+      if (!parse_faults(args[++i])) {
+        return 2;
+      }
+    } else if (args[i].rfind("--faults=", 0) == 0) {
+      if (!parse_faults(args[i].substr(9))) {
+        return 2;
+      }
     } else {
       std::cerr << "serve: unknown argument '" << args[i] << "'\n";
       return 2;
     }
+  }
+  if (fault_plan.has_value()) {
+    // Faulted serving implies the recovery ladder: retries stay at their
+    // defaults and degraded (stale-cache) responses are allowed.
+    options.enable_degraded = true;
   }
 
   auto corpus = BuildNewsCorpus(docs);
@@ -399,6 +430,12 @@ int CmdServe(const std::vector<std::string>& args) {
   }
   obs::ScopedEnable enable;
   obs::ResetAll();
+  std::optional<fault::ScopedPlan> chaos;
+  if (fault_plan.has_value()) {
+    fault::ResetCounts();
+    chaos.emplace(*fault_plan);
+    std::cout << "fault plan: " << fault_plan->ToString() << "\n";
+  }
   ServeLoop loop(**corpus, options);
   std::vector<ServeRequest> trace = GenerateTrace((*corpus)->size(), requests, options);
   std::cout << "serving " << requests << " requests over " << docs << " documents ("
@@ -408,6 +445,12 @@ int CmdServe(const std::vector<std::string>& args) {
   auto stats = loop.Run(trace);
   if (!stats.ok()) {
     return Fail(stats.status());
+  }
+  if (fault_plan.has_value()) {
+    fault::InjectionCounts counts = fault::Counts();
+    std::cout << "  injected: " << counts.transient << " transient, " << counts.latency
+              << " latency, " << counts.stall << " stalls, " << counts.corrupt << " corrupt ("
+              << counts.probes << " probes)\n";
   }
   std::cout << stats->Summary() << "\n" << obs::TextReport();
   return 0;
@@ -421,7 +464,7 @@ int Usage() {
                "                  profile <doc> <catalog> [profile] [--trace out.json]"
                " [--metrics out.jsonl] |\n"
                "                  serve [--docs K] [--requests N] [--threads T] [--zipf S]"
-               " [--seed X] [--cache C | --no-cache]>\n";
+               " [--seed X] [--cache C | --no-cache] [--faults <plan | level:N>]>\n";
   return 2;
 }
 

@@ -17,7 +17,7 @@ BENCH_ARGS="${BENCH_ARGS:---benchmark_filter=^$}"
 
 FIGS=(fig1_pipeline fig2_ddbms fig3_timeline fig4_news fig5_tree
       fig6_nodes fig7_attrs fig8_sync_window fig9_arcs fig10_fragment
-      fig11_serve)
+      fig11_serve fig12_chaos)
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -70,6 +70,20 @@ if instrumented and baseline:
     print(f"disabled-instrumentation overhead: {pct:.2f}%", file=sys.stderr)
 EOF
   fi
+fi
+
+# Disabled-fault-injection overhead: rebuild fig12 with the fault probes
+# compiled out (-DCMIF_FAULT=OFF) and compare the warm serve path against the
+# instrumented binary's no-plan path. Skip with SKIP_NOFAULT=1.
+if [[ "${SKIP_NOFAULT:-}" != "1" ]]; then
+  NOFAULT_DIR="${BUILD_DIR%/}-nofault"
+  echo "== fig12_chaos (compiled-out baseline, $NOFAULT_DIR) ==" >&2
+  cmake -S . -B "$NOFAULT_DIR" -DCMIF_FAULT=OFF > /dev/null
+  cmake --build "$NOFAULT_DIR" --target fig12_chaos -j"$(nproc)" > /dev/null
+  TMP3="$(mktemp)"
+  "$NOFAULT_DIR/bench/fig12_chaos" --bench-json "$TMP3" $BENCH_ARGS > /dev/null
+  sed 's/"fig12_chaos"/"fig12_chaos_nofault"/' "$TMP3" >> "$TMP"
+  rm -f "$TMP3"
 fi
 
 {
