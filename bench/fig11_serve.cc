@@ -15,7 +15,7 @@
 
 #include "bench/bench_json.h"
 #include "src/base/thread_pool.h"
-#include "src/serve/serve.h"
+#include "src/api/cmif.h"
 
 namespace cmif {
 namespace {

@@ -26,8 +26,7 @@
 #include "src/ddbms/persist.h"
 #include "src/fault/fault.h"
 #include "src/news/evening_news.h"
-#include "src/pipeline/pipeline.h"
-#include "src/serve/serve.h"
+#include "src/api/cmif.h"
 
 namespace cmif {
 namespace {
@@ -125,7 +124,7 @@ void PlaybackSection(std::vector<std::pair<std::string, double>>& fields) {
   options.player.enable_degradation = true;
   auto report = [&] {
     fault::ScopedPlan chaos(fault::StandardChaosPlan(kStandardLevel, kChaosSeed));
-    return RunPipeline(workload->document, workload->store, workload->blocks, options);
+    return api::Play(workload->document, workload->store, workload->blocks, options);
   }();
   if (!report.ok()) {
     std::cerr << report.status() << "\n";

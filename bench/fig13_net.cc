@@ -1,0 +1,302 @@
+// Figure 13 (beyond the paper) — networked presentation delivery. The CMIF
+// document server of the paper's transportable-document story: a NetServer
+// exposes the concurrent ServeLoop over the length-prefixed, CRC-framed wire
+// protocol on a loopback socket, and a NetClient replays the Figure-11 Zipf
+// trace against it. Three sections: correctness (every wire response is
+// byte-identical to an in-process compile of the same document under the
+// same profile, checked by hash), loopback throughput with latency
+// percentiles cold vs warm (how much the socket + serialization costs over
+// the in-process path), and a chaos replay (faults injected at the net.* and
+// serve-side sites; every request must still be answered).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/api/cmif.h"
+#include "src/base/string_util.h"
+#include "src/fault/fault.h"
+
+namespace cmif {
+namespace {
+
+constexpr int kDocuments = 8;
+constexpr std::size_t kRequests = 256;
+
+ServeOptions BaseOptions() {
+  ServeOptions options;
+  options.zipf_skew = 1.0;
+  options.seed = 13;
+  options.threads = 2;
+  return options;
+}
+
+// The in-process ground truth: hash of the canonical serialization of a
+// direct (no socket, no cache) compile per (document, profile).
+StatusOr<std::map<std::pair<std::string, std::string>, std::uint64_t>> ExpectedHashes(
+    ServeCorpus& corpus, const ServeOptions& options) {
+  std::map<std::pair<std::string, std::string>, std::uint64_t> hashes;
+  for (std::size_t d = 0; d < corpus.size(); ++d) {
+    const ServeDocument& doc = corpus.document(d);
+    for (const SystemProfile& profile : options.profiles) {
+      PipelineOptions pipeline_options;
+      pipeline_options.profile = profile;
+      auto report = corpus.store().WithRead([&](const DescriptorStore& store) {
+        return corpus.blocks().WithRead([&](const BlockStore& blocks) {
+          return api::Compile(doc.document, store, blocks, pipeline_options);
+        });
+      });
+      if (!report.ok()) {
+        return report.status();
+      }
+      CompiledPresentation compiled;
+      compiled.map = report->presentation_map;
+      compiled.filter = report->filter;
+      compiled.schedule = report->schedule;
+      hashes[{doc.name, profile.name}] = api::PresentationHash(compiled);
+    }
+  }
+  return hashes;
+}
+
+struct ReplayResult {
+  double throughput_rps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  std::size_t answered = 0;
+  std::size_t degraded = 0;
+  std::size_t mismatches = 0;
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  std::size_t index = static_cast<std::size_t>(p * (sorted.size() - 1));
+  return sorted[index];
+}
+
+// Replays `trace` through one persistent client connection; checks each
+// response body against its own hash and (when ground truth is supplied)
+// against the in-process compile.
+ReplayResult Replay(
+    api::NetClient& client, const ServeCorpus& corpus, const ServeOptions& options,
+    const std::vector<ServeRequest>& trace,
+    const std::map<std::pair<std::string, std::string>, std::uint64_t>* expected) {
+  ReplayResult result;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(trace.size());
+  auto begin = std::chrono::steady_clock::now();
+  for (const ServeRequest& request : trace) {
+    api::PresentRequest wire_request;
+    wire_request.document = corpus.document(request.document).name;
+    wire_request.profile = options.profiles[request.profile % options.profiles.size()].name;
+    auto start = std::chrono::steady_clock::now();
+    auto response = client.Present(wire_request);
+    auto end = std::chrono::steady_clock::now();
+    if (!response.ok()) {
+      std::cerr << "request failed: " << response.status() << "\n";
+      continue;
+    }
+    latencies_ms.push_back(std::chrono::duration<double, std::milli>(end - start).count());
+    ++result.answered;
+    if (response->outcome == ServeOutcome::kDegraded) {
+      ++result.degraded;
+    }
+    if (Fnv1a64(response->presentation) != response->presentation_hash) {
+      ++result.mismatches;
+    } else if (expected != nullptr && response->outcome != ServeOutcome::kDegraded) {
+      auto it = expected->find({wire_request.document, wire_request.profile});
+      if (it == expected->end() || it->second != response->presentation_hash) {
+        ++result.mismatches;
+      }
+    }
+  }
+  auto total = std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+  result.throughput_rps = total > 0 ? static_cast<double>(result.answered) / total : 0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = Percentile(latencies_ms, 0.50);
+  result.p95_ms = Percentile(latencies_ms, 0.95);
+  result.p99_ms = Percentile(latencies_ms, 0.99);
+  return result;
+}
+
+void PrintFigure(const std::string& bench_json) {
+  auto corpus = api::BuildNewsCorpus(kDocuments);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status() << "\n";
+    std::abort();
+  }
+  ServeOptions options = BaseOptions();
+  std::vector<ServeRequest> trace = api::GenerateTrace(kDocuments, kRequests, options);
+  auto expected = ExpectedHashes(**corpus, options);
+  if (!expected.ok()) {
+    std::cerr << expected.status() << "\n";
+    std::abort();
+  }
+
+  std::cout << "==== Figure 13: networked delivery over the CMIF wire protocol ====\n";
+  std::cout << "corpus " << kDocuments << " documents, trace " << kRequests
+            << " requests, Zipf(1.0), loopback TCP, 2 server workers\n\n";
+
+  ServeLoop loop(**corpus, options);
+  api::NetServer server(loop);
+  if (Status s = server.Start(); !s.ok()) {
+    std::cerr << s << "\n";
+    std::abort();
+  }
+  api::NetClientOptions client_options;
+  client_options.port = server.port();
+  api::NetClient client(client_options);
+
+  // Cold: the server loop's mapping cache is empty, every request compiles.
+  ReplayResult cold = Replay(client, **corpus, options, trace, &*expected);
+  // Warm: same trace again — every compile is a cache hit; what is left is
+  // socket + framing + serialization.
+  ReplayResult warm = Replay(client, **corpus, options, trace, &*expected);
+  server.Stop();
+  if (cold.answered != kRequests || warm.answered != kRequests) {
+    std::cerr << "loopback replay dropped requests: cold " << cold.answered << ", warm "
+              << warm.answered << " of " << kRequests << "\n";
+    std::abort();
+  }
+  if (cold.mismatches != 0 || warm.mismatches != 0) {
+    std::cerr << "wire responses diverged from in-process compile: cold " << cold.mismatches
+              << ", warm " << warm.mismatches << "\n";
+    std::abort();
+  }
+
+  std::cout << "  cold: " << cold.throughput_rps << " req/s, p50 " << cold.p50_ms << " ms, p95 "
+            << cold.p95_ms << " ms, p99 " << cold.p99_ms << " ms\n";
+  std::cout << "  warm: " << warm.throughput_rps << " req/s, p50 " << warm.p50_ms << " ms, p95 "
+            << warm.p95_ms << " ms, p99 " << warm.p99_ms << " ms\n";
+  std::cout << "  all " << kRequests << " responses byte-identical to in-process compile "
+            << "(hash-checked)\n";
+
+  // Chaos replay over the socket: level-3 faults hit both the serve-side
+  // compile sites and the net.* sites (accept drops, read/write failures,
+  // frame corruption). The client's reconnect-and-resend ladder plus the
+  // server's recovery ladder must still answer every request.
+  std::size_t chaos_answered = 0;
+  std::size_t chaos_degraded = 0;
+  std::uint64_t chaos_reconnects = 0;
+  {
+    ServeOptions chaos_options = BaseOptions();
+    chaos_options.enable_degraded = true;
+    ServeLoop chaos_loop(**corpus, chaos_options);
+    api::NetServer chaos_server(chaos_loop);
+    if (Status s = chaos_server.Start(); !s.ok()) {
+      std::cerr << s << "\n";
+      std::abort();
+    }
+    fault::ResetCounts();
+    fault::ScopedPlan chaos(fault::StandardChaosPlan(3));
+    api::NetClientOptions chaos_client_options;
+    chaos_client_options.port = chaos_server.port();
+    chaos_client_options.retry.max_attempts = 8;
+    api::NetClient chaos_client(chaos_client_options);
+    ReplayResult replay = Replay(chaos_client, **corpus, chaos_options, trace, nullptr);
+    chaos_answered = replay.answered;
+    chaos_degraded = replay.degraded;
+    chaos_reconnects = chaos_client.reconnects();
+    chaos_server.Stop();
+  }
+  std::cout << "\n  chaos (level 3): " << chaos_answered << "/" << kRequests << " answered, "
+            << chaos_degraded << " degraded, " << chaos_reconnects << " reconnects\n";
+  if (chaos_answered != kRequests) {
+    std::cerr << "chaos replay lost requests\n";
+    std::abort();
+  }
+
+  bench::AppendBenchJson(
+      bench_json, "fig13_net",
+      {{"requests", static_cast<double>(kRequests)},
+       {"cold_rps", cold.throughput_rps},
+       {"cold_p50_ms", cold.p50_ms},
+       {"cold_p95_ms", cold.p95_ms},
+       {"cold_p99_ms", cold.p99_ms},
+       {"warm_rps", warm.throughput_rps},
+       {"warm_p50_ms", warm.p50_ms},
+       {"warm_p95_ms", warm.p95_ms},
+       {"warm_p99_ms", warm.p99_ms},
+       {"hash_mismatches", static_cast<double>(cold.mismatches + warm.mismatches)},
+       {"chaos_answered", static_cast<double>(chaos_answered)},
+       {"chaos_degraded", static_cast<double>(chaos_degraded)},
+       {"chaos_reconnects", static_cast<double>(chaos_reconnects)}});
+}
+
+void BM_LoopbackWarmRequest(benchmark::State& state) {
+  static ServeCorpus* const kCorpus = [] {
+    auto corpus = api::BuildNewsCorpus(2);
+    if (!corpus.ok()) {
+      std::abort();
+    }
+    return corpus->release();
+  }();
+  static ServeLoop* const kLoop = new ServeLoop(*kCorpus, BaseOptions());
+  static api::NetServer* const kServer = [] {
+    auto* server = new api::NetServer(*kLoop);
+    if (!server->Start().ok()) {
+      std::abort();
+    }
+    return server;
+  }();
+  api::NetClientOptions client_options;
+  client_options.port = kServer->port();
+  api::NetClient client(client_options);
+  api::PresentRequest request;
+  request.document = kCorpus->document(0).name;
+  if (!client.Present(request).ok()) {
+    std::abort();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Present(request));
+  }
+}
+BENCHMARK(BM_LoopbackWarmRequest);
+
+void BM_LoopbackPing(benchmark::State& state) {
+  static ServeCorpus* const kCorpus = [] {
+    auto corpus = api::BuildNewsCorpus(1);
+    if (!corpus.ok()) {
+      std::abort();
+    }
+    return corpus->release();
+  }();
+  static ServeLoop* const kLoop = new ServeLoop(*kCorpus, BaseOptions());
+  static api::NetServer* const kServer = [] {
+    auto* server = new api::NetServer(*kLoop);
+    if (!server->Start().ok()) {
+      std::abort();
+    }
+    return server;
+  }();
+  api::NetClientOptions client_options;
+  client_options.port = kServer->port();
+  api::NetClient client(client_options);
+  for (auto _ : state) {
+    if (!client.Ping().ok()) {
+      std::abort();
+    }
+  }
+}
+BENCHMARK(BM_LoopbackPing);
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

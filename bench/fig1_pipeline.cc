@@ -12,7 +12,7 @@
 #include "bench/bench_json.h"
 #include "src/news/evening_news.h"
 #include "src/obs/obs.h"
-#include "src/pipeline/pipeline.h"
+#include "src/api/cmif.h"
 
 namespace cmif {
 namespace {
@@ -41,7 +41,7 @@ void PrintFigure(const std::string& bench_json) {
     PipelineOptions options;
     options.profile = PersonalSystemProfile();
     options.apply_filters = apply;
-    auto report = RunPipeline(workload.document, workload.store, workload.blocks, options);
+    auto report = api::Play(workload.document, workload.store, workload.blocks, options);
     if (!report.ok()) {
       std::cerr << report.status() << "\n";
       return;
@@ -65,7 +65,7 @@ void PrintFigure(const std::string& bench_json) {
   options.profile = PersonalSystemProfile();
   options.apply_filters = false;
   auto run_once = [&] {
-    auto report = RunPipeline(workload.document, workload.store, workload.blocks, options);
+    auto report = api::Play(workload.document, workload.store, workload.blocks, options);
     benchmark::DoNotOptimize(report);
   };
   constexpr int kBatches = 5;
@@ -156,7 +156,7 @@ void BM_EndToEnd_DescriptorOnly(benchmark::State& state) {
   options.apply_filters = false;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        RunPipeline(workload.document, workload.store, workload.blocks, options));
+        api::Play(workload.document, workload.store, workload.blocks, options));
   }
 }
 BENCHMARK(BM_EndToEnd_DescriptorOnly);
@@ -168,7 +168,7 @@ void BM_EndToEnd_WithData(benchmark::State& state) {
   options.apply_filters = true;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        RunPipeline(workload.document, workload.store, workload.blocks, options));
+        api::Play(workload.document, workload.store, workload.blocks, options));
   }
 }
 BENCHMARK(BM_EndToEnd_WithData);

@@ -11,7 +11,7 @@
 #include "src/doc/validate.h"
 #include "src/fmt/tree_view.h"
 #include "src/news/evening_news.h"
-#include "src/pipeline/pipeline.h"
+#include "src/api/cmif.h"
 
 namespace cmif {
 namespace {

@@ -9,7 +9,7 @@
 #include "src/doc/stats.h"
 #include "src/fmt/tree_view.h"
 #include "src/news/evening_news.h"
-#include "src/pipeline/pipeline.h"
+#include "src/api/cmif.h"
 #include "src/present/compositor.h"
 
 using namespace cmif;
@@ -62,7 +62,7 @@ int main() {
     std::cout << "\n==== pipeline on profile '" << profile.name << "' ====\n";
     PipelineOptions pipeline_options;
     pipeline_options.profile = profile;
-    auto report = RunPipeline(doc, workload->store, workload->blocks, pipeline_options);
+    auto report = api::Play(doc, workload->store, workload->blocks, pipeline_options);
     if (!report.ok()) {
       std::cerr << report.status() << "\n";
       return 1;

@@ -9,7 +9,7 @@
 #include "src/fmt/parser.h"
 #include "src/fmt/tree_view.h"
 #include "src/fmt/writer.h"
-#include "src/pipeline/capture.h"
+#include "src/api/cmif.h"
 #include "src/player/engine.h"
 #include "src/sched/conflict.h"
 
@@ -19,7 +19,7 @@ int main() {
   // 1. Capture two media blocks (synthetic, descriptor-only).
   DescriptorStore store;
   BlockStore blocks;
-  CaptureSession capture(store, blocks, /*materialize=*/false);
+  api::CaptureSession capture(store, blocks, /*materialize=*/false);
   if (Status s = capture.CaptureSpeech("welcome-voice", MediaTime::Seconds(4), 7); !s.ok()) {
     std::cerr << s << "\n";
     return 1;

@@ -11,7 +11,7 @@
 #include "src/fmt/parser.h"
 #include "src/fmt/writer.h"
 #include "src/news/evening_news.h"
-#include "src/pipeline/pipeline.h"
+#include "src/api/cmif.h"
 
 using namespace cmif;
 
@@ -64,7 +64,7 @@ int main() {
   PipelineOptions pipeline_options;
   pipeline_options.profile = PersonalSystemProfile();
   BlockStore no_blocks;  // system B regenerates payloads from the generators
-  auto report = RunPipeline(*document_b, *store_b, no_blocks, pipeline_options);
+  auto report = api::Play(*document_b, *store_b, no_blocks, pipeline_options);
   if (!report.ok()) {
     return Fail(report.status());
   }

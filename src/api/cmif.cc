@@ -1,0 +1,30 @@
+#include "src/api/cmif.h"
+
+#include "src/ddbms/persist.h"
+#include "src/fmt/parser.h"
+
+namespace cmif {
+namespace api {
+
+StatusOr<Document> LoadDocument(const std::string& text) { return ParseDocument(text); }
+
+StatusOr<DescriptorStore> LoadCatalog(const std::string& text) { return ReadCatalog(text); }
+
+StatusOr<CompileReport> Compile(const Document& document, const DescriptorStore& store,
+                                const BlockStore& blocks, const PipelineOptions& options) {
+  return CompilePresentation(document, store, blocks, options);
+}
+
+StatusOr<PipelineReport> Play(const Document& document, const DescriptorStore& store,
+                              const BlockStore& blocks, const PipelineOptions& options) {
+  return RunPipeline(document, store, blocks, options);
+}
+
+StatusOr<ServeStats> Serve(ServeCorpus& corpus, const ServeOptions& options,
+                           const std::vector<ServeRequest>& trace) {
+  ServeLoop loop(corpus, options);
+  return loop.Run(trace);
+}
+
+}  // namespace api
+}  // namespace cmif

@@ -1,0 +1,103 @@
+// cmif::api — the one header front-end programs compile against. Everything
+// a tool, bench, or embedding application needs from the pipeline, serving,
+// and networking layers is exported here with stable Status/StatusOr
+// signatures; the headers under src/pipeline, src/serve, and src/net are
+// internal and may reshuffle between releases (CI greps that nothing outside
+// src/ and tests/ includes them directly).
+//
+// The four entry points:
+//   LoadDocument / LoadCatalog   text -> Document / DescriptorStore
+//   Compile                      document -> compiled presentation
+//                                (validate, map, filter-plan, schedule)
+//   Play                         Compile plus the viewing stage
+//   Serve                        a request trace over a ServeLoop
+// plus the serving types (ServeLoop et al.), the networked delivery layer
+// (NetServer / NetClient and the PresentRequest/PresentResponse messages),
+// and the capture tools. Names under cmif::api are aliases, not copies: an
+// api::PipelineOptions IS a cmif::PipelineOptions, so internal code and
+// facade code interoperate without conversion.
+#ifndef SRC_API_CMIF_H_
+#define SRC_API_CMIF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/presentation_wire.h"
+#include "src/net/protocol.h"
+#include "src/net/server.h"
+#include "src/net/wire.h"
+#include "src/pipeline/capture.h"
+#include "src/pipeline/pipeline.h"
+#include "src/serve/mapping_cache.h"
+#include "src/serve/serve.h"
+
+namespace cmif {
+namespace api {
+
+// ---- documents -----------------------------------------------------------
+
+// Parses CMIF document source text.
+StatusOr<Document> LoadDocument(const std::string& text);
+// Parses data-descriptor catalog text (the ddbms persist format).
+StatusOr<DescriptorStore> LoadCatalog(const std::string& text);
+
+// ---- compiling and playing -----------------------------------------------
+
+using cmif::PipelineMode;
+using cmif::PipelineOptions;
+using cmif::StageTiming;
+using cmif::CompileReport;
+using cmif::PipelineReport;
+using cmif::DegradationReport;
+using cmif::CaptureSession;
+
+// Compiles `document` against `options.profile`: validate -> presentation
+// map -> filter plan -> schedule. Never plays.
+StatusOr<CompileReport> Compile(const Document& document, const DescriptorStore& store,
+                                const BlockStore& blocks, const PipelineOptions& options = {});
+
+// Compile plus the viewing stage (honors options.mode; the default plays).
+StatusOr<PipelineReport> Play(const Document& document, const DescriptorStore& store,
+                              const BlockStore& blocks, const PipelineOptions& options = {});
+
+// ---- serving -------------------------------------------------------------
+
+using cmif::CompiledPresentation;
+using cmif::MappingCache;
+using cmif::ServeCorpus;
+using cmif::ServeDocument;
+using cmif::ServeRequest;
+using cmif::ServeResponse;
+using cmif::ServeOptions;
+using cmif::ServeOutcome;
+using cmif::ServeOutcomeName;
+using cmif::ServeStats;
+using cmif::ServeLoop;
+using cmif::BuildNewsCorpus;
+using cmif::GenerateTrace;
+
+// Replays `trace` over a fresh ServeLoop on `corpus` (ServeOptions::threads
+// workers) and aggregates. Equivalent to ServeLoop(corpus, options).Run(trace)
+// for callers that do not need to keep the loop.
+StatusOr<ServeStats> Serve(ServeCorpus& corpus, const ServeOptions& options,
+                           const std::vector<ServeRequest>& trace);
+
+// ---- networked delivery --------------------------------------------------
+
+namespace net = cmif::net;
+
+using net::PresentRequest;
+using net::PresentResponse;
+using net::NetServer;
+using net::NetServerOptions;
+using net::NetClient;
+using net::NetClientOptions;
+using net::SerializePresentation;
+using net::PresentationHash;
+
+}  // namespace api
+}  // namespace cmif
+
+#endif  // SRC_API_CMIF_H_

@@ -1,0 +1,243 @@
+#include "src/base/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+namespace {
+
+Status ErrnoError(const char* what) {
+  return UnavailableError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+StatusOr<sockaddr_in> MakeAddress(const std::string& host, int port) {
+  if (port < 0 || port > 65535) {
+    return InvalidArgumentError(StrFormat("port %d out of range", port));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("not a numeric IPv4 address: '" + host + "'");
+  }
+  return addr;
+}
+
+Status SetTimeoutOption(int fd, int option, int millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    return ErrnoError("setsockopt timeout");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+Status Socket::SetTimeouts(int recv_ms, int send_ms) {
+  if (!valid()) {
+    return FailedPreconditionError("socket not open");
+  }
+  if (recv_ms > 0) {
+    CMIF_RETURN_IF_ERROR(SetTimeoutOption(fd_, SO_RCVTIMEO, recv_ms));
+  }
+  if (send_ms > 0) {
+    CMIF_RETURN_IF_ERROR(SetTimeoutOption(fd_, SO_SNDTIMEO, send_ms));
+  }
+  return Status::Ok();
+}
+
+Status Socket::SetNoDelay() {
+  if (!valid()) {
+    return FailedPreconditionError("socket not open");
+  }
+  int on = 1;
+  if (setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on)) != 0) {
+    return ErrnoError("setsockopt TCP_NODELAY");
+  }
+  return Status::Ok();
+}
+
+StatusOr<bool> Socket::ReadExactOrEof(char* buffer, std::size_t n) {
+  if (!valid()) {
+    return FailedPreconditionError("socket not open");
+  }
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd_, buffer + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0) {
+        return false;  // clean EOF at a message boundary
+      }
+      return UnavailableError(
+          StrFormat("connection closed mid-read (%zu of %zu bytes)", got, n));
+    }
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return UnavailableError("socket read timed out");
+      }
+      return ErrnoError("recv");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+Status Socket::ReadExact(char* buffer, std::size_t n) {
+  CMIF_ASSIGN_OR_RETURN(bool open, ReadExactOrEof(buffer, n));
+  if (!open) {
+    return UnavailableError("connection closed by peer");
+  }
+  return Status::Ok();
+}
+
+Status Socket::WriteAll(std::string_view bytes) {
+  if (!valid()) {
+    return FailedPreconditionError("socket not open");
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return UnavailableError("socket write timed out");
+      }
+      return ErrnoError("send");
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return Status::Ok();
+}
+
+ListenSocket::~ListenSocket() {
+  int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+Status ListenSocket::Listen(const std::string& host, int port, int backlog) {
+  if (valid()) {
+    return FailedPreconditionError("listener already open");
+  }
+  CMIF_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(host, port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoError("socket");
+  }
+  int on = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = ErrnoError("bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status status = ErrnoError("listen");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status status = ErrnoError("getsockname");
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  closed_.store(false);
+  fd_.store(fd);
+  return Status::Ok();
+}
+
+StatusOr<Socket> ListenSocket::Accept() {
+  int fd = fd_.load();
+  if (fd < 0 || closed_.load()) {
+    return UnavailableError("listener closed");
+  }
+  for (;;) {
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) {
+      if (closed_.load()) {
+        ::close(conn);
+        return UnavailableError("listener closed");
+      }
+      return Socket(conn);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (closed_.load()) {
+      return UnavailableError("listener closed");
+    }
+    return ErrnoError("accept");
+  }
+}
+
+void ListenSocket::Close() {
+  bool was_closed = closed_.exchange(true);
+  int fd = fd_.load();
+  if (!was_closed && fd >= 0) {
+    // shutdown() wakes a blocked accept(); the fd stays allocated until the
+    // destructor so a racing Accept() never touches a recycled descriptor.
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+StatusOr<Socket> ConnectTcp(const std::string& host, int port, int io_timeout_ms) {
+  CMIF_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(host, port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoError("socket");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = UnavailableError(
+        StrFormat("connect %s:%d: %s", host.c_str(), port, std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  Socket socket(fd);
+  CMIF_RETURN_IF_ERROR(socket.SetTimeouts(io_timeout_ms, io_timeout_ms));
+  CMIF_RETURN_IF_ERROR(socket.SetNoDelay());
+  return socket;
+}
+
+}  // namespace cmif

@@ -1,0 +1,100 @@
+// Thin RAII wrappers over blocking POSIX TCP sockets, the transport under
+// the CMIF wire protocol (src/net). Status-based like everything else: no
+// exceptions, no errno leaking past this header. IPv4 numeric addresses only
+// ("127.0.0.1") — the serving layer binds loopback or an explicit interface
+// address; name resolution is a deployment concern, not a library one.
+//
+// Thread contract: a Socket is used by one thread at a time, except
+// ShutdownBoth(), which may be called from another thread to unblock a
+// pending read/write (the blocked call returns kUnavailable). ListenSocket
+// follows the same pattern: Close() from any thread unblocks Accept().
+#ifndef SRC_BASE_SOCKET_H_
+#define SRC_BASE_SOCKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+
+namespace cmif {
+
+// One connected TCP stream. Move-only; the destructor closes the fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close();
+  // Half-close both directions without releasing the fd: safe from another
+  // thread while this socket is blocked in a read/write, which then fails
+  // with kUnavailable. The fd itself is reclaimed by Close()/the destructor,
+  // so there is no close/reuse race with the blocked thread.
+  void ShutdownBoth();
+
+  // Blocking-IO deadlines (SO_RCVTIMEO / SO_SNDTIMEO); 0 = no timeout.
+  Status SetTimeouts(int recv_ms, int send_ms);
+  // Disables Nagle coalescing — the wire protocol writes one frame per
+  // request/response and latency benches need it on the wire immediately.
+  Status SetNoDelay();
+
+  // Reads exactly `n` bytes. Returns false on a clean EOF *before the first
+  // byte* (the peer closed between messages); a mid-read EOF, timeout, or
+  // socket error is kUnavailable.
+  StatusOr<bool> ReadExactOrEof(char* buffer, std::size_t n);
+  // ReadExactOrEof with EOF-at-start also an error (kUnavailable).
+  Status ReadExact(char* buffer, std::size_t n);
+
+  // Writes all of `bytes` (kUnavailable on any error; SIGPIPE suppressed).
+  Status WriteAll(std::string_view bytes);
+
+ private:
+  int fd_ = -1;
+};
+
+// A bound, listening TCP socket.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket();
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  // Binds `host:port` (port 0 = ephemeral; see port()) and listens.
+  Status Listen(const std::string& host, int port, int backlog);
+
+  // The actually bound port (resolves port 0 after Listen).
+  int port() const { return port_; }
+  bool valid() const { return fd_.load() >= 0; }
+
+  // Blocks for the next connection. kUnavailable once Close() was called or
+  // on a listener error.
+  StatusOr<Socket> Accept();
+
+  // Shuts the listener down (idempotent, any thread): a blocked Accept()
+  // and all future ones return kUnavailable. The fd is released by the
+  // destructor.
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+  std::atomic<bool> closed_{false};
+  int port_ = 0;
+};
+
+// Blocking connect to `host:port`, then applies `io_timeout_ms` to reads and
+// writes (0 = none).
+StatusOr<Socket> ConnectTcp(const std::string& host, int port, int io_timeout_ms = 0);
+
+}  // namespace cmif
+
+#endif  // SRC_BASE_SOCKET_H_

@@ -1,0 +1,40 @@
+#include "src/base/varint.h"
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+
+std::size_t PutVarint64(std::string& out, std::uint64_t value) {
+  std::size_t appended = 0;
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+    ++appended;
+  }
+  out.push_back(static_cast<char>(value));
+  return appended + 1;
+}
+
+StatusOr<std::uint64_t> GetVarint64(std::string_view bytes, std::size_t* pos) {
+  std::uint64_t value = 0;
+  std::size_t start = *pos;
+  for (std::size_t i = 0; i < kMaxVarint64Bytes; ++i) {
+    if (start + i >= bytes.size()) {
+      return DataLossError(StrFormat("varint truncated at byte offset %zu", start + i));
+    }
+    std::uint8_t byte = static_cast<std::uint8_t>(bytes[start + i]);
+    // The 10th byte may only carry the final high bit of a uint64.
+    if (i == kMaxVarint64Bytes - 1 && byte > 1) {
+      return DataLossError(StrFormat("varint overflows uint64 at byte offset %zu", start));
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *pos = start + i + 1;
+      return value;
+    }
+  }
+  return DataLossError(StrFormat("varint longer than %zu bytes at byte offset %zu",
+                                 kMaxVarint64Bytes, start));
+}
+
+}  // namespace cmif

@@ -1,0 +1,33 @@
+// LEB128 variable-length integers: the length encoding of the CMIF wire
+// protocol (src/net/wire.h). Little-endian base-128, low 7 bits per byte,
+// high bit = continuation; at most 10 bytes encode any uint64. The encoder
+// is canonical (no redundant trailing zero groups); the decoder accepts any
+// terminated encoding up to 10 bytes and reports truncation and overlength
+// as structured kDataLoss, the same contract as the persist-v2 reader.
+#ifndef SRC_BASE_VARINT_H_
+#define SRC_BASE_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+
+namespace cmif {
+
+// The longest possible uint64 varint.
+inline constexpr std::size_t kMaxVarint64Bytes = 10;
+
+// Appends the canonical encoding of `value` to `out`; returns the number of
+// bytes appended (1..10).
+std::size_t PutVarint64(std::string& out, std::uint64_t value);
+
+// Decodes one varint starting at `bytes[*pos]` and advances `*pos` past it.
+// kDataLoss when the buffer ends mid-varint or the encoding runs past 10
+// bytes; `*pos` is left at the start of the bad varint.
+StatusOr<std::uint64_t> GetVarint64(std::string_view bytes, std::size_t* pos);
+
+}  // namespace cmif
+
+#endif  // SRC_BASE_VARINT_H_

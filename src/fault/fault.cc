@@ -303,6 +303,21 @@ FaultPlan StandardChaosPlan(int level, std::uint64_t seed) {
   device.latency_p = capped(0.05);
   device.latency_ms = 20;
   plan.sites.emplace_back("player.device", device);
+
+  // Network path (src/net): transient accept/read/write failures plus
+  // in-transit frame corruption. No stalls — socket reads have no
+  // ScopedDeadline, and the client's reconnect ladder is the recovery under
+  // test, not timeout clamping.
+  FaultSiteConfig net_accept;
+  net_accept.transient_p = capped(0.02);
+  plan.sites.emplace_back("net.accept", net_accept);
+  FaultSiteConfig net_io;
+  net_io.transient_p = capped(0.01);
+  plan.sites.emplace_back("net.read", net_io);
+  plan.sites.emplace_back("net.write", net_io);
+  FaultSiteConfig net_corrupt;
+  net_corrupt.corrupt_p = capped(0.02);
+  plan.sites.emplace_back("net.frame_corrupt", net_corrupt);
   return plan;
 }
 

@@ -1,0 +1,98 @@
+#include "src/net/client.h"
+
+#include <utility>
+
+#include "src/base/string_util.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace cmif {
+namespace net {
+
+NetClient::NetClient(NetClientOptions options) : options_(std::move(options)) {}
+
+void NetClient::Disconnect() { socket_.Close(); }
+
+Status NetClient::EnsureConnected() {
+  if (socket_.valid()) {
+    return Status::Ok();
+  }
+  CMIF_ASSIGN_OR_RETURN(socket_,
+                        ConnectTcp(options_.host, options_.port, options_.io_timeout_ms));
+  if (ever_connected_) {
+    ++reconnects_;
+    if (obs::Enabled()) {
+      obs::GetCounter("net.client.reconnects").Add();
+    }
+  }
+  ever_connected_ = true;
+  return Status::Ok();
+}
+
+StatusOr<Frame> NetClient::RoundTripOnce(FrameType type, const std::string& payload) {
+  CMIF_RETURN_IF_ERROR(EnsureConnected());
+  Status written = WriteFrame(socket_, type, payload);
+  if (!written.ok()) {
+    Disconnect();
+    return written.code() == StatusCode::kUnavailable
+               ? written
+               : UnavailableError("send failed: " + written.ToString());
+  }
+  StatusOr<std::optional<Frame>> frame = ReadFrame(socket_, options_.limits);
+  if (!frame.ok()) {
+    // kDataLoss here means a corrupt inbound frame: the stream is
+    // desynchronized, so reconnecting (and resending) is the only recovery —
+    // map it to kUnavailable to make the retry wrapper do exactly that.
+    Disconnect();
+    return UnavailableError("receive failed: " + frame.status().ToString());
+  }
+  if (!frame->has_value()) {
+    Disconnect();
+    return UnavailableError("connection closed by server");
+  }
+  if ((*frame)->type == FrameType::kError) {
+    // kError always precedes a server-side drop; don't reuse the stream.
+    Disconnect();
+    Status wire_status;
+    CMIF_RETURN_IF_ERROR(DecodeWireStatus((*frame)->payload, &wire_status));
+    if (wire_status.code() == StatusCode::kDataLoss) {
+      // The server saw a corrupt frame — ours was damaged in transit.
+      return UnavailableError("request corrupted in transit: " + wire_status.ToString());
+    }
+    return wire_status.ok() ? InternalError("server sent an OK error frame") : wire_status;
+  }
+  return *std::move(*frame);
+}
+
+StatusOr<Frame> NetClient::RoundTrip(FrameType type, const std::string& payload) {
+  std::uint64_t salt = Fnv1a64(payload);
+  return fault::Retry(
+      options_.retry, [&] { return RoundTripOnce(type, payload); }, salt);
+}
+
+StatusOr<PresentResponse> NetClient::Present(const PresentRequest& request) {
+  obs::ScopedLatency latency("net.client.request_ms");
+  CMIF_ASSIGN_OR_RETURN(Frame frame, RoundTrip(FrameType::kRequest, EncodeRequest(request)));
+  if (frame.type != FrameType::kResponse) {
+    Disconnect();
+    return InternalError(StrFormat("expected a response frame, got %s",
+                                   std::string(FrameTypeName(frame.type)).c_str()));
+  }
+  StatusOr<PresentResponse> response = DecodeResponse(frame.payload);
+  if (!response.ok()) {
+    Disconnect();  // CRC passed but the message is malformed: version skew
+  }
+  return response;
+}
+
+Status NetClient::Ping() {
+  CMIF_ASSIGN_OR_RETURN(Frame frame, RoundTrip(FrameType::kPing, "cmif-ping"));
+  if (frame.type != FrameType::kPong || frame.payload != "cmif-ping") {
+    Disconnect();
+    return InternalError("malformed pong");
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace cmif

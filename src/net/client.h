@@ -1,0 +1,75 @@
+// The CMIF presentation client: one persistent connection to a NetServer
+// with transport-level recovery. Requests are read-only compiles, hence
+// idempotent, so the client may retry a whole round trip after any transport
+// failure: it reconnects and resends under the serve layer's RetryPolicy.
+// A kDataLoss from the wire (corrupt frame in either direction) also drops
+// the connection and retries — the stream is desynchronized, but a fresh
+// connection starts clean — which is how a chaos replay over the socket
+// still answers 100% of requests.
+#ifndef SRC_NET_CLIENT_H_
+#define SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/socket.h"
+#include "src/base/status.h"
+#include "src/fault/retry.h"
+#include "src/net/protocol.h"
+#include "src/net/wire.h"
+
+namespace cmif {
+namespace net {
+
+struct NetClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  // Socket read/write deadline per call; 0 = none.
+  int io_timeout_ms = 10000;
+  // Transport retry ladder (reconnect + resend). max_attempts = 1 disables
+  // retries entirely.
+  fault::RetryPolicy retry;
+  WireLimits limits;
+};
+
+// Not thread-safe: one client per thread (connections are cheap; the server
+// handles each one sequentially anyway).
+class NetClient {
+ public:
+  explicit NetClient(NetClientOptions options);
+
+  // One request round trip, with transport retries. A successfully
+  // transported answer is returned whole — including kFailed outcomes, whose
+  // error sits inside the response — while transport and protocol failures
+  // (connect refused, desync, overload rejection) are the StatusOr error.
+  StatusOr<PresentResponse> Present(const PresentRequest& request);
+
+  // Liveness probe: a kPing frame echoed back as kPong.
+  Status Ping();
+
+  // Drops the connection; the next call reconnects.
+  void Disconnect();
+  bool connected() const { return socket_.valid(); }
+
+  // Reconnections performed after the initial connect (a transport-recovery
+  // count for tests and the chaos bench).
+  std::uint64_t reconnects() const { return reconnects_; }
+
+ private:
+  Status EnsureConnected();
+  // Sends one frame and reads the answer on the current connection. Any
+  // failure (including kDataLoss desync) disconnects and maps to
+  // kUnavailable so the retry wrapper re-runs it.
+  StatusOr<Frame> RoundTripOnce(FrameType type, const std::string& payload);
+  StatusOr<Frame> RoundTrip(FrameType type, const std::string& payload);
+
+  NetClientOptions options_;
+  Socket socket_;
+  bool ever_connected_ = false;
+  std::uint64_t reconnects_ = 0;
+};
+
+}  // namespace net
+}  // namespace cmif
+
+#endif  // SRC_NET_CLIENT_H_

@@ -1,0 +1,109 @@
+#include "src/net/presentation_wire.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/base/string_util.h"
+#include "src/doc/node.h"
+#include "src/media/media_type.h"
+
+namespace cmif {
+namespace net {
+namespace {
+
+bool ChannelSelected(const std::vector<std::string>& channels, std::string_view channel) {
+  if (channels.empty()) {
+    return true;
+  }
+  return std::find(channels.begin(), channels.end(), channel) != channels.end();
+}
+
+void AppendTime(std::string& out, MediaTime t) {
+  // Exact rational, never a float: "num/den" (den omitted when 1).
+  out += t.ToString();
+}
+
+}  // namespace
+
+std::string SerializePresentation(const CompiledPresentation& presentation,
+                                  const std::vector<std::string>& channels) {
+  std::string out;
+  out += "(presentation\n";
+
+  // Map bindings, in map order, restricted to the selection.
+  out += " (map\n";
+  for (const ChannelBinding& binding : presentation.map.bindings()) {
+    if (!ChannelSelected(channels, binding.channel)) {
+      continue;
+    }
+    if (!binding.region.empty()) {
+      out += StrFormat("  (bind %s region %s)\n", QuoteString(binding.channel).c_str(),
+                       QuoteString(binding.region).c_str());
+    } else {
+      out += StrFormat("  (bind %s speaker %s volume %d)\n", QuoteString(binding.channel).c_str(),
+                       QuoteString(binding.speaker).c_str(), binding.volume);
+    }
+  }
+  out += " )\n";
+
+  // Schedule first collects which descriptors a selection keeps, so the
+  // filter section below can be restricted consistently.
+  std::unordered_set<std::string> kept_descriptors;
+  std::string schedule_text;
+  schedule_text += StrFormat(" (schedule feasible %d makespan ",
+                             presentation.schedule.feasible ? 1 : 0);
+  AppendTime(schedule_text, presentation.schedule.schedule.MakeSpan());
+  schedule_text += "\n";
+  for (const ScheduledEvent& scheduled : presentation.schedule.schedule.events()) {
+    if (!ChannelSelected(channels, scheduled.event.channel)) {
+      continue;
+    }
+    if (!scheduled.event.descriptor_id.empty()) {
+      kept_descriptors.insert(scheduled.event.descriptor_id);
+    }
+    schedule_text += StrFormat(
+        "  (event %s channel %s medium %s descriptor %s begin ",
+        QuoteString(scheduled.event.node ? scheduled.event.node->DisplayPath() : "").c_str(),
+        QuoteString(scheduled.event.channel).c_str(),
+        std::string(MediaTypeName(scheduled.event.medium)).c_str(),
+        QuoteString(scheduled.event.descriptor_id).c_str());
+    AppendTime(schedule_text, scheduled.begin);
+    schedule_text += " end ";
+    AppendTime(schedule_text, scheduled.end);
+    schedule_text += ")\n";
+  }
+  for (const std::string& arc : presentation.schedule.dropped_arcs) {
+    schedule_text += StrFormat("  (dropped-arc %s)\n", QuoteString(arc).c_str());
+  }
+  schedule_text += " )\n";
+
+  // Filter plans, in plan order; only plans a selected event still uses.
+  out += " (filter\n";
+  for (const FilterPlan& plan : presentation.filter.plans) {
+    if (!channels.empty() && kept_descriptors.count(plan.descriptor_id) == 0) {
+      continue;
+    }
+    out += StrFormat("  (plan %s bytes %lld -> %lld supported %d",
+                     QuoteString(plan.descriptor_id).c_str(),
+                     static_cast<long long>(plan.bytes_before),
+                     static_cast<long long>(plan.bytes_after), plan.supported ? 1 : 0);
+    for (const FilterOp& op : plan.ops) {
+      out += StrFormat(" (op %s %d %d)", std::string(FilterOpKindName(op.kind)).c_str(), op.arg1,
+                       op.arg2);
+    }
+    out += ")\n";
+  }
+  out += " )\n";
+
+  out += schedule_text;
+  out += ")\n";
+  return out;
+}
+
+std::uint64_t PresentationHash(const CompiledPresentation& presentation,
+                               const std::vector<std::string>& channels) {
+  return Fnv1a64(SerializePresentation(presentation, channels));
+}
+
+}  // namespace net
+}  // namespace cmif

@@ -1,0 +1,35 @@
+// Canonical text serialization of a compiled presentation, the payload body
+// of a PresentResponse. Canonical means byte-identical for equal inputs:
+// deterministic field order, exact rational times (never floats), and events
+// keyed by stable document coordinates (channel, node path, descriptor id)
+// rather than pointers — so a presentation compiled on the server and the
+// same compile run in-process hash to the same Fnv1a64, which is the fig13
+// acceptance check and the client's end-to-end integrity probe.
+#ifndef SRC_NET_PRESENTATION_WIRE_H_
+#define SRC_NET_PRESENTATION_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serve/mapping_cache.h"
+
+namespace cmif {
+namespace net {
+
+// Renders `presentation` as canonical s-expression text. `channels`
+// restricts the map bindings, filter plans, and scheduled events to the
+// named channels (empty = everything). Filter plans have no channel of their
+// own, so under a selection they are restricted to descriptors used by a
+// selected event.
+std::string SerializePresentation(const CompiledPresentation& presentation,
+                                  const std::vector<std::string>& channels = {});
+
+// Fnv1a64 over SerializePresentation(presentation, channels).
+std::uint64_t PresentationHash(const CompiledPresentation& presentation,
+                               const std::vector<std::string>& channels = {});
+
+}  // namespace net
+}  // namespace cmif
+
+#endif  // SRC_NET_PRESENTATION_WIRE_H_

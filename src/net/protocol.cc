@@ -1,0 +1,147 @@
+#include "src/net/protocol.h"
+
+#include "src/base/string_util.h"
+#include "src/base/varint.h"
+
+namespace cmif {
+namespace net {
+namespace {
+
+void PutString(std::string& out, std::string_view value) {
+  PutVarint64(out, value.size());
+  out.append(value);
+}
+
+StatusOr<std::string> GetString(std::string_view bytes, std::size_t* pos) {
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t length, GetVarint64(bytes, pos));
+  if (bytes.size() - *pos < length) {
+    return DataLossError(StrFormat("string of %llu bytes truncated at offset %zu",
+                                   static_cast<unsigned long long>(length), *pos));
+  }
+  std::string value(bytes.substr(*pos, length));
+  *pos += length;
+  return value;
+}
+
+StatusOr<bool> GetBool(std::string_view bytes, std::size_t* pos) {
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t raw, GetVarint64(bytes, pos));
+  if (raw > 1) {
+    return DataLossError(StrFormat("bool field has value %llu at offset %zu",
+                                   static_cast<unsigned long long>(raw), *pos));
+  }
+  return raw == 1;
+}
+
+Status CheckFullyConsumed(std::string_view bytes, std::size_t pos) {
+  if (pos != bytes.size()) {
+    return DataLossError(
+        StrFormat("%zu trailing bytes after message at offset %zu", bytes.size() - pos, pos));
+  }
+  return Status::Ok();
+}
+
+StatusOr<StatusCode> CheckStatusCode(std::uint64_t raw) {
+  if (raw > static_cast<std::uint64_t>(StatusCode::kUnavailable)) {
+    return DataLossError(
+        StrFormat("unknown status code %llu", static_cast<unsigned long long>(raw)));
+  }
+  return static_cast<StatusCode>(raw);
+}
+
+StatusOr<ServeOutcome> CheckOutcome(std::uint64_t raw) {
+  if (raw > static_cast<std::uint64_t>(ServeOutcome::kFailed)) {
+    return DataLossError(
+        StrFormat("unknown serve outcome %llu", static_cast<unsigned long long>(raw)));
+  }
+  return static_cast<ServeOutcome>(raw);
+}
+
+}  // namespace
+
+std::string EncodeRequest(const PresentRequest& request) {
+  std::string out;
+  PutString(out, request.document);
+  PutString(out, request.profile);
+  PutVarint64(out, request.channels.size());
+  for (const std::string& channel : request.channels) {
+    PutString(out, channel);
+  }
+  PutVarint64(out, request.want_body ? 1 : 0);
+  PutVarint64(out, request.allow_degraded ? 1 : 0);
+  return out;
+}
+
+StatusOr<PresentRequest> DecodeRequest(std::string_view payload) {
+  PresentRequest request;
+  std::size_t pos = 0;
+  CMIF_ASSIGN_OR_RETURN(request.document, GetString(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(request.profile, GetString(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t channels, GetVarint64(payload, &pos));
+  if (channels > payload.size()) {  // each selected channel costs >= 1 byte
+    return DataLossError(StrFormat("channel count %llu exceeds payload size",
+                                   static_cast<unsigned long long>(channels)));
+  }
+  request.channels.reserve(channels);
+  for (std::uint64_t i = 0; i < channels; ++i) {
+    CMIF_ASSIGN_OR_RETURN(std::string channel, GetString(payload, &pos));
+    request.channels.push_back(std::move(channel));
+  }
+  CMIF_ASSIGN_OR_RETURN(request.want_body, GetBool(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(request.allow_degraded, GetBool(payload, &pos));
+  CMIF_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));
+  return request;
+}
+
+std::string EncodeResponse(const PresentResponse& response) {
+  std::string out;
+  PutVarint64(out, static_cast<std::uint64_t>(response.outcome));
+  PutVarint64(out, static_cast<std::uint64_t>(response.attempts < 0 ? 0 : response.attempts));
+  PutVarint64(out, response.cache_hit ? 1 : 0);
+  PutVarint64(out, static_cast<std::uint64_t>(response.error.code()));
+  PutString(out, response.error.message());
+  PutString(out, response.presentation);
+  PutVarint64(out, response.presentation_hash);
+  return out;
+}
+
+StatusOr<PresentResponse> DecodeResponse(std::string_view payload) {
+  PresentResponse response;
+  std::size_t pos = 0;
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t outcome, GetVarint64(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(response.outcome, CheckOutcome(outcome));
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t attempts, GetVarint64(payload, &pos));
+  if (attempts > 1u << 20) {
+    return DataLossError(StrFormat("implausible attempt count %llu",
+                                   static_cast<unsigned long long>(attempts)));
+  }
+  response.attempts = static_cast<int>(attempts);
+  CMIF_ASSIGN_OR_RETURN(response.cache_hit, GetBool(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t code, GetVarint64(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(StatusCode status_code, CheckStatusCode(code));
+  CMIF_ASSIGN_OR_RETURN(std::string message, GetString(payload, &pos));
+  response.error = Status(status_code, std::move(message));
+  CMIF_ASSIGN_OR_RETURN(response.presentation, GetString(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(response.presentation_hash, GetVarint64(payload, &pos));
+  CMIF_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));
+  return response;
+}
+
+std::string EncodeWireStatus(const Status& status) {
+  std::string out;
+  PutVarint64(out, static_cast<std::uint64_t>(status.code()));
+  PutString(out, status.message());
+  return out;
+}
+
+Status DecodeWireStatus(std::string_view payload, Status* decoded) {
+  std::size_t pos = 0;
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t code, GetVarint64(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(StatusCode status_code, CheckStatusCode(code));
+  CMIF_ASSIGN_OR_RETURN(std::string message, GetString(payload, &pos));
+  CMIF_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));
+  *decoded = Status(status_code, std::move(message));
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace cmif

@@ -1,0 +1,78 @@
+// The CMIF request/response messages carried inside wire frames
+// (src/net/wire.h). A request names a corpus document, a capability profile,
+// and an optional channel selection; the response is the server-compiled
+// presentation (serialized canonically, see src/net/presentation_wire.h)
+// plus the serve outcome — healthy, recovered, degraded, or failed — so a
+// client can tell a fresh compile from a stale fallback.
+//
+// Encoding: varint-prefixed fields in fixed order (the same LEB128 as the
+// frame length). Every decoder returns kDataLoss on truncated or malformed
+// payloads; unknown trailing bytes are also kDataLoss — the version byte in
+// the frame header is the compatibility mechanism, not silent field skipping.
+#ifndef SRC_NET_PROTOCOL_H_
+#define SRC_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/serve/serve.h"
+
+namespace cmif {
+namespace net {
+
+// What a client asks for.
+struct PresentRequest {
+  // Corpus document name (e.g. "news-3-s2").
+  std::string document;
+  // Capability profile name (e.g. "workstation"); empty selects the server's
+  // first configured profile.
+  std::string profile;
+  // Channel selection: serialize only these channels of the compiled
+  // presentation (empty = all). Selection never changes what is compiled or
+  // cached — only what travels back.
+  std::vector<std::string> channels;
+  // When false the response carries only the presentation hash, not the
+  // serialized body (a cheap integrity probe).
+  bool want_body = true;
+  // When false the server answers kFailed instead of serving a stale
+  // presentation from the degraded path.
+  bool allow_degraded = true;
+};
+
+// What the server answers. `outcome` mirrors the serve layer's ladder; a
+// kFailed response carries only the error fields.
+struct PresentResponse {
+  ServeOutcome outcome = ServeOutcome::kFailed;
+  int attempts = 1;
+  bool cache_hit = false;
+  // The compile error behind kDegraded / kFailed (kOk otherwise).
+  Status error;
+  // Canonical serialization of the compiled presentation restricted to the
+  // requested channels; empty when failed or !want_body.
+  std::string presentation;
+  // Fnv1a64 of the full canonical serialization (all requested channels),
+  // present whenever a presentation was served — the client's end-to-end
+  // integrity check against an in-process compile.
+  std::uint64_t presentation_hash = 0;
+};
+
+std::string EncodeRequest(const PresentRequest& request);
+StatusOr<PresentRequest> DecodeRequest(std::string_view payload);
+
+std::string EncodeResponse(const PresentResponse& response);
+StatusOr<PresentResponse> DecodeResponse(std::string_view payload);
+
+// Protocol-level errors (bad frame, unknown document, server overload)
+// travel as a kError frame whose payload is an encoded Status. Decode
+// writes the carried status to *decoded and returns the decode result
+// itself (kDataLoss on a malformed payload) — StatusOr<Status> would be
+// ambiguous between the two states.
+std::string EncodeWireStatus(const Status& status);
+Status DecodeWireStatus(std::string_view payload, Status* decoded);
+
+}  // namespace net
+}  // namespace cmif
+
+#endif  // SRC_NET_PROTOCOL_H_

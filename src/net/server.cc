@@ -1,0 +1,269 @@
+#include "src/net/server.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+#include "src/base/string_util.h"
+#include "src/fault/fault.h"
+#include "src/net/presentation_wire.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace cmif {
+namespace net {
+
+NetServer::NetServer(ServeLoop& loop, NetServerOptions options)
+    : loop_(loop), options_(std::move(options)) {
+  if (options_.workers < 1) {
+    options_.workers = 1;
+  }
+  if (options_.max_pending_connections < 1) {
+    options_.max_pending_connections = 1;
+  }
+}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (running_) {
+    return FailedPreconditionError("server already started");
+  }
+  const ServeCorpus& corpus = loop_.corpus();
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    documents_[corpus.document(i).name] = i;
+  }
+  const std::vector<SystemProfile>& profiles = loop_.options().profiles;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    profiles_[profiles[i].name] = i;
+  }
+  CMIF_RETURN_IF_ERROR(listener_.Listen(options_.host, options_.port, options_.accept_backlog));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+  }
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  worker_threads_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    worker_threads_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void NetServer::Stop() {
+  if (!running_) {
+    return;
+  }
+  listener_.Close();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Unblock workers parked in connection reads. The worker owns the fd and
+    // closes it only after deregistering under mu_, so these fds are live.
+    for (int fd : live_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  queue_cv_.notify_all();
+  accept_thread_.join();
+  for (std::thread& worker : worker_threads_) {
+    worker.join();
+  }
+  worker_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.clear();
+    if (obs::Enabled()) {
+      obs::GetGauge("net.queue_depth").Set(0);
+    }
+  }
+  running_ = false;
+}
+
+NetServer::Stats NetServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void NetServer::AcceptLoop() {
+  for (;;) {
+    StatusOr<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      return;  // listener closed (Stop) or hard listener error
+    }
+    Socket socket = std::move(accepted).value();
+    // The accept fault site models a flaky front end: the connection is
+    // dropped right after the handshake and the client retries.
+    if (fault::Enabled() && !fault::InjectPoint("net.accept").ok()) {
+      continue;  // socket destructor closes the connection
+    }
+    socket.SetTimeouts(options_.io_timeout_ms, options_.io_timeout_ms);
+    socket.SetNoDelay();
+    bool rejected = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        return;
+      }
+      if (pending_.size() >= options_.max_pending_connections) {
+        rejected = true;
+        ++stats_.rejected;
+      } else {
+        ++stats_.connections;
+        pending_.push_back(std::move(socket));
+        if (obs::Enabled()) {
+          obs::GetGauge("net.queue_depth").Set(static_cast<std::int64_t>(pending_.size()));
+        }
+      }
+    }
+    if (rejected) {
+      if (obs::Enabled()) {
+        obs::GetCounter("net.rejected").Add();
+      }
+      // Best effort: tell the client why before closing.
+      WriteFrame(socket, FrameType::kError,
+                 EncodeWireStatus(ResourceExhaustedError(StrFormat(
+                     "server overloaded: %zu connections pending", options_.max_pending_connections))));
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void NetServer::WorkerLoop() {
+  for (;;) {
+    Socket socket;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_) {
+        return;
+      }
+      socket = std::move(pending_.front());
+      pending_.pop_front();
+      if (obs::Enabled()) {
+        obs::GetGauge("net.queue_depth").Set(static_cast<std::int64_t>(pending_.size()));
+      }
+      live_fds_.insert(socket.fd());
+    }
+    HandleConnection(std::move(socket));
+  }
+}
+
+void NetServer::HandleConnection(Socket socket) {
+  if (obs::Enabled()) {
+    obs::GetCounter("net.server.connections").Add();
+  }
+  for (;;) {
+    StatusOr<std::optional<Frame>> frame = ReadFrame(socket, options_.limits);
+    bool drop = false;
+    if (!frame.ok()) {
+      // A corrupt frame gets a structured answer before the drop; transport
+      // errors (EOF mid-frame, timeout, Stop's shutdown) just drop.
+      if (frame.status().code() == StatusCode::kDataLoss) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.protocol_errors;
+        }
+        WriteFrame(socket, FrameType::kError, EncodeWireStatus(frame.status()));
+      }
+      drop = true;
+    } else if (!frame->has_value()) {
+      drop = true;  // clean EOF: the client is done
+    } else if (!HandleFrame(socket, **frame).ok()) {
+      drop = true;
+    }
+    if (drop) {
+      std::lock_guard<std::mutex> lock(mu_);
+      live_fds_.erase(socket.fd());
+      break;
+    }
+  }
+  // The fd is deregistered; Stop() can no longer shut it down, so closing
+  // it here (by ~Socket) cannot race a recycled descriptor.
+}
+
+Status NetServer::HandleFrame(Socket& socket, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kPing:
+      return WriteFrame(socket, FrameType::kPong, frame.payload);
+    case FrameType::kRequest:
+      break;
+    default: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.protocol_errors;
+      }
+      WriteFrame(socket, FrameType::kError,
+                 EncodeWireStatus(InvalidArgumentError(
+                     StrFormat("unexpected %s frame", std::string(FrameTypeName(frame.type)).c_str()))));
+      return InvalidArgumentError("unexpected frame type");
+    }
+  }
+
+  obs::Span span("net-request");
+  obs::ScopedLatency latency("net.request_ms");
+  StatusOr<PresentRequest> request = DecodeRequest(frame.payload);
+  if (!request.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.protocol_errors;
+    }
+    WriteFrame(socket, FrameType::kError, EncodeWireStatus(request.status()));
+    return request.status();  // kDataLoss: payload desync, drop
+  }
+  span.Annotate("document", request->document);
+  PresentResponse response = HandleRequest(*request);
+  span.Annotate("outcome", std::string(ServeOutcomeName(response.outcome)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+  if (obs::Enabled()) {
+    obs::GetCounter("net.server.requests").Add();
+  }
+  return WriteFrame(socket, FrameType::kResponse, EncodeResponse(response));
+}
+
+PresentResponse NetServer::HandleRequest(const PresentRequest& request) {
+  PresentResponse response;
+  auto doc = documents_.find(request.document);
+  if (doc == documents_.end()) {
+    response.error = NotFoundError("unknown document '" + request.document + "'");
+    return response;
+  }
+  ServeRequest serve_request;
+  serve_request.document = doc->second;
+  if (!request.profile.empty()) {
+    auto profile = profiles_.find(request.profile);
+    if (profile == profiles_.end()) {
+      response.error = NotFoundError("unknown profile '" + request.profile + "'");
+      return response;
+    }
+    serve_request.profile = profile->second;
+  }
+
+  ServeResponse served = loop_.Serve(serve_request);
+  response.attempts = served.attempts;
+  response.cache_hit = served.cache_hit;
+  response.error = served.error;
+  if (!served.served() ||
+      (served.outcome == ServeOutcome::kDegraded && !request.allow_degraded)) {
+    response.outcome = ServeOutcome::kFailed;
+    if (response.error.ok()) {
+      response.error = UnavailableError("degraded response refused by request");
+    }
+    return response;
+  }
+  response.outcome = served.outcome;
+  std::string body = SerializePresentation(*served.presentation, request.channels);
+  response.presentation_hash = Fnv1a64(body);
+  if (request.want_body) {
+    response.presentation = std::move(body);
+  }
+  return response;
+}
+
+}  // namespace net
+}  // namespace cmif

@@ -1,0 +1,111 @@
+// The CMIF presentation server: a blocking TCP front end over a ServeLoop.
+// One accept thread feeds a bounded queue of accepted connections; a fixed
+// pool of worker threads drains it, each handling one connection at a time
+// (requests on a connection are served strictly in order — that sequencing
+// is the per-connection backpressure: a client cannot have two compiles in
+// flight on one socket). When the pending queue is full the server answers
+// kResourceExhausted on a kError frame and closes — overload is an explicit
+// signal, never an unbounded queue.
+//
+// A request frame carries a PresentRequest; the answer is a kResponse frame
+// with the compiled presentation (or a degraded/failed PresentResponse), or
+// a kError frame for protocol-level failures (malformed frame, unknown
+// document or profile). After any kDataLoss on the wire the stream is
+// desynchronized and the connection is dropped.
+#ifndef SRC_NET_SERVER_H_
+#define SRC_NET_SERVER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/socket.h"
+#include "src/base/status.h"
+#include "src/net/protocol.h"
+#include "src/net/wire.h"
+#include "src/serve/serve.h"
+
+namespace cmif {
+namespace net {
+
+struct NetServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;       // 0 = ephemeral; NetServer::port() after Start()
+  int workers = 2;    // connection-handling threads
+  int accept_backlog = 16;
+  // Accepted connections waiting for a worker; one more is rejected with
+  // kResourceExhausted.
+  std::size_t max_pending_connections = 16;
+  // Per-connection read/write deadline; 0 = none. Bounds how long a worker
+  // can be held by a silent client.
+  int io_timeout_ms = 10000;
+  WireLimits limits;
+};
+
+class NetServer {
+ public:
+  struct Stats {
+    std::uint64_t connections = 0;      // accepted and queued
+    std::uint64_t rejected = 0;         // refused with kResourceExhausted
+    std::uint64_t requests = 0;         // request frames answered
+    std::uint64_t protocol_errors = 0;  // kError frames sent
+  };
+
+  // `loop` (and the corpus behind it) must outlive the server.
+  explicit NetServer(ServeLoop& loop, NetServerOptions options = {});
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds, then spawns the accept thread and worker pool.
+  Status Start();
+  // Unblocks every thread (listener close + shutdown of live connections)
+  // and joins them. Idempotent; also run by the destructor.
+  void Stop();
+
+  // The bound port (resolves an ephemeral request after Start()).
+  int port() const { return listener_.port(); }
+  bool running() const { return running_; }
+
+  Stats stats() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(Socket socket);
+  // One request frame -> one response frame. A non-OK return means a kError
+  // frame was (or could not be) sent and the connection must drop.
+  Status HandleFrame(Socket& socket, const Frame& frame);
+  PresentResponse HandleRequest(const PresentRequest& request);
+
+  ServeLoop& loop_;
+  NetServerOptions options_;
+  ListenSocket listener_;
+  // Name -> index resolution for the wire's string identifiers, built once
+  // at Start() (the corpus and profile set are fixed for the loop's life).
+  std::unordered_map<std::string, std::size_t> documents_;
+  std::unordered_map<std::string, std::size_t> profiles_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+  bool running_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Socket> pending_;          // guarded by mu_
+  bool stopping_ = false;               // guarded by mu_
+  std::unordered_set<int> live_fds_;    // guarded by mu_; see RegisterConnection
+  Stats stats_;                         // guarded by mu_
+};
+
+}  // namespace net
+}  // namespace cmif
+
+#endif  // SRC_NET_SERVER_H_

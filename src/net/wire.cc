@@ -1,0 +1,202 @@
+#include "src/net/wire.h"
+
+#include "src/base/crc32.h"
+#include "src/base/string_util.h"
+#include "src/base/varint.h"
+#include "src/fault/fault.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace cmif {
+namespace net {
+namespace {
+
+// Little-endian u32, the same byte order regardless of host.
+void PutU32Le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+std::uint32_t GetU32Le(const char* bytes) {
+  return static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[0])) |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[3])) << 24;
+}
+
+StatusOr<FrameType> CheckFrameType(std::uint8_t raw) {
+  switch (raw) {
+    case 1:
+      return FrameType::kRequest;
+    case 2:
+      return FrameType::kResponse;
+    case 3:
+      return FrameType::kError;
+    case 4:
+      return FrameType::kPing;
+    case 5:
+      return FrameType::kPong;
+    default:
+      return DataLossError(StrFormat("unknown frame type %u", raw));
+  }
+}
+
+}  // namespace
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kRequest:
+      return "request";
+    case FrameType::kResponse:
+      return "response";
+    case FrameType::kError:
+      return "error";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameMagic.size() + 2 + kMaxVarint64Bytes + payload.size() + 4);
+  out.append(kFrameMagic);
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(type));
+  PutVarint64(out, payload.size());
+  out.append(payload);
+  // CRC over everything after the magic: version, type, length, payload.
+  std::uint32_t crc = Crc32(std::string_view(out).substr(kFrameMagic.size()));
+  PutU32Le(out, crc);
+  return out;
+}
+
+StatusOr<Frame> DecodeFrame(std::string_view bytes, std::size_t* consumed,
+                            const WireLimits& limits) {
+  constexpr std::size_t kMagicEnd = 4;
+  if (bytes.size() < kMagicEnd + 2) {
+    return DataLossError(StrFormat("frame truncated: %zu header bytes", bytes.size()));
+  }
+  if (bytes.substr(0, kMagicEnd) != kFrameMagic) {
+    return DataLossError("bad frame magic (expected \"CMIF\")");
+  }
+  std::uint8_t version = static_cast<std::uint8_t>(bytes[kMagicEnd]);
+  if (version != kWireVersion) {
+    return DataLossError(StrFormat("unsupported wire version %u", version));
+  }
+  CMIF_ASSIGN_OR_RETURN(FrameType type,
+                        CheckFrameType(static_cast<std::uint8_t>(bytes[kMagicEnd + 1])));
+  std::size_t pos = kMagicEnd + 2;
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t length, GetVarint64(bytes, &pos));
+  if (length > limits.max_payload_bytes) {
+    return DataLossError(StrFormat("frame payload of %llu bytes exceeds the %zu-byte limit",
+                                   static_cast<unsigned long long>(length),
+                                   limits.max_payload_bytes));
+  }
+  if (bytes.size() - pos < length + 4) {
+    return DataLossError(StrFormat("frame truncated at byte offset %zu (payload needs %llu+4)",
+                                   bytes.size(), static_cast<unsigned long long>(length)));
+  }
+  std::uint32_t expected = Crc32(bytes.substr(kMagicEnd, pos - kMagicEnd + length));
+  std::uint32_t actual = GetU32Le(bytes.data() + pos + length);
+  if (expected != actual) {
+    return DataLossError(StrFormat("frame crc mismatch (stored %08x, computed %08x)", actual,
+                                   expected));
+  }
+  Frame frame;
+  frame.type = type;
+  frame.payload.assign(bytes.substr(pos, length));
+  *consumed = pos + length + 4;
+  return frame;
+}
+
+Status WriteFrame(Socket& socket, FrameType type, std::string_view payload) {
+  if (fault::Enabled()) {
+    CMIF_RETURN_IF_ERROR(fault::InjectPoint("net.write"));
+  }
+  std::string encoded = EncodeFrame(type, payload);
+  if (fault::Enabled()) {
+    // In-transit corruption: the receiver's CRC check turns it into a
+    // structured kDataLoss and drops the connection.
+    fault::MaybeCorrupt("net.frame_corrupt", encoded);
+  }
+  if (obs::Enabled()) {
+    obs::GetCounter("net.tx_bytes").Add(static_cast<std::int64_t>(encoded.size()));
+    obs::GetCounter("net.tx_frames").Add();
+  }
+  return socket.WriteAll(encoded);
+}
+
+StatusOr<std::optional<Frame>> ReadFrame(Socket& socket, const WireLimits& limits) {
+  if (fault::Enabled()) {
+    CMIF_RETURN_IF_ERROR(fault::InjectPoint("net.read"));
+  }
+  // Magic + version + type; a clean EOF here means the peer is simply done.
+  char head[6];
+  CMIF_ASSIGN_OR_RETURN(bool open, socket.ReadExactOrEof(head, sizeof(head)));
+  if (!open) {
+    return std::optional<Frame>();
+  }
+  std::size_t rx = sizeof(head);
+  if (std::string_view(head, 4) != kFrameMagic) {
+    return DataLossError("bad frame magic (expected \"CMIF\")");
+  }
+  std::uint8_t version = static_cast<std::uint8_t>(head[4]);
+  if (version != kWireVersion) {
+    return DataLossError(StrFormat("unsupported wire version %u", version));
+  }
+  CMIF_ASSIGN_OR_RETURN(FrameType type, CheckFrameType(static_cast<std::uint8_t>(head[5])));
+  std::uint32_t crc = Crc32(std::string_view(head + 4, 2));
+
+  // Length varint, one byte at a time (it self-terminates).
+  std::string length_bytes;
+  std::uint64_t length = 0;
+  for (std::size_t i = 0;; ++i) {
+    if (i >= kMaxVarint64Bytes) {
+      return DataLossError("frame length varint longer than 10 bytes");
+    }
+    char byte;
+    CMIF_RETURN_IF_ERROR(socket.ReadExact(&byte, 1));
+    ++rx;
+    length_bytes.push_back(byte);
+    if ((static_cast<std::uint8_t>(byte) & 0x80) == 0) {
+      std::size_t pos = 0;
+      CMIF_ASSIGN_OR_RETURN(length, GetVarint64(length_bytes, &pos));
+      break;
+    }
+  }
+  crc = Crc32Update(crc, length_bytes);
+  if (length > limits.max_payload_bytes) {
+    return DataLossError(StrFormat("frame payload of %llu bytes exceeds the %zu-byte limit",
+                                   static_cast<unsigned long long>(length),
+                                   limits.max_payload_bytes));
+  }
+
+  Frame frame;
+  frame.type = type;
+  frame.payload.resize(length);
+  if (length > 0) {
+    CMIF_RETURN_IF_ERROR(socket.ReadExact(frame.payload.data(), length));
+    rx += length;
+    crc = Crc32Update(crc, frame.payload);
+  }
+  char stored[4];
+  CMIF_RETURN_IF_ERROR(socket.ReadExact(stored, sizeof(stored)));
+  rx += sizeof(stored);
+  if (obs::Enabled()) {
+    obs::GetCounter("net.rx_bytes").Add(static_cast<std::int64_t>(rx));
+    obs::GetCounter("net.rx_frames").Add();
+  }
+  if (GetU32Le(stored) != crc) {
+    return DataLossError(StrFormat("frame crc mismatch (stored %08x, computed %08x)",
+                                   GetU32Le(stored), crc));
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace net
+}  // namespace cmif

@@ -1,0 +1,85 @@
+// The CMIF wire protocol framing: length-prefixed, CRC-framed binary frames
+// carrying the request/response messages of src/net/protocol.h. The frame
+// reuses the persist-v2 integrity machinery — varint lengths (src/base/
+// varint.h) and CRC-32 (src/base/crc32.h) — so a corrupted or truncated
+// frame is always a structured kDataLoss, never a crash or a silently wrong
+// message:
+//
+//   frame := magic "CMIF" | u8 version (1) | u8 type | varint payload_len
+//            | payload bytes | u32le crc
+//
+// The CRC covers everything after the magic (version, type, length varint,
+// payload), so a single flipped bit anywhere in the frame body or header is
+// detected; magic and CRC bytes protect themselves by failing the equality
+// check. After any decode error the stream is desynchronized — the only
+// safe recovery is to drop the connection, which both endpoints do.
+//
+// The socket read/write paths double as fault-injection sites: "net.read"
+// and "net.write" can fail transiently, and "net.frame_corrupt" flips bytes
+// of an encoded frame in transit (detected by the CRC on the far side), so
+// fig12-style chaos replays cover the network path end to end.
+#ifndef SRC_NET_WIRE_H_
+#define SRC_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/base/socket.h"
+#include "src/base/status.h"
+
+namespace cmif {
+namespace net {
+
+inline constexpr std::string_view kFrameMagic = "CMIF";
+inline constexpr std::uint8_t kWireVersion = 1;
+
+// What a frame carries. kError is a protocol-level failure (overload, bad
+// frame, bad message) encoded as a wire Status; application-level outcomes
+// (degraded, failed compiles) travel inside a kResponse.
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+  kPing = 4,
+  kPong = 5,
+};
+
+std::string_view FrameTypeName(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+struct WireLimits {
+  // Upper bound on one frame's payload; a length prefix beyond this is
+  // rejected before any allocation (a corrupted varint cannot OOM the peer).
+  std::size_t max_payload_bytes = 8u << 20;
+};
+
+// Renders one complete frame.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+// Decodes the frame at the front of `bytes`. On success `*consumed` is the
+// frame's total size. Truncation, a bad magic/version/type, an oversized
+// length, and a CRC mismatch are all kDataLoss with the byte offset of the
+// failure.
+StatusOr<Frame> DecodeFrame(std::string_view bytes, std::size_t* consumed,
+                            const WireLimits& limits = {});
+
+// Blocking frame IO over a socket. WriteFrame probes the "net.write" fault
+// site and the "net.frame_corrupt" corruption site; ReadFrame probes
+// "net.read". Both count net.tx_bytes / net.rx_bytes when obs is enabled.
+Status WriteFrame(Socket& socket, FrameType type, std::string_view payload);
+
+// nullopt on a clean EOF at a frame boundary (the peer is done). Transport
+// failures are kUnavailable; corrupt/truncated frames are kDataLoss.
+StatusOr<std::optional<Frame>> ReadFrame(Socket& socket, const WireLimits& limits = {});
+
+}  // namespace net
+}  // namespace cmif
+
+#endif  // SRC_NET_WIRE_H_

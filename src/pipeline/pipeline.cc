@@ -34,9 +34,16 @@ class StageTimer {
   std::vector<StageTiming>& stages_;
 };
 
+// The filtered descriptor store a compile materialized, when it did — the
+// playback stage must read the same payloads the filter stage produced.
+struct CompileArtifacts {
+  DescriptorStore filtered;
+  bool use_filtered = false;
+};
+
 }  // namespace
 
-double PipelineReport::TotalMillis() const {
+double CompileReport::TotalMillis() const {
   double total = 0;
   for (const StageTiming& stage : stages) {
     total += stage.millis;
@@ -44,7 +51,7 @@ double PipelineReport::TotalMillis() const {
   return total;
 }
 
-double PipelineReport::DescriptorOnlyMillis() const {
+double CompileReport::DescriptorOnlyMillis() const {
   double total = 0;
   for (const StageTiming& stage : stages) {
     if (stage.stage != "filter-apply" && stage.stage != "recover") {
@@ -54,29 +61,41 @@ double PipelineReport::DescriptorOnlyMillis() const {
   return total;
 }
 
-std::string PipelineReport::Summary() const {
+std::string CompileReport::Summary() const {
   std::ostringstream os;
   for (const StageTiming& stage : stages) {
     os << StrFormat("  %-18s %10.3f ms\n", stage.stage.c_str(), stage.millis);
   }
   os << StrFormat("  total %.3f ms (descriptor-only %.3f ms)\n", TotalMillis(),
                   DescriptorOnlyMillis());
-  os << StrFormat("  schedule: %s, %zu dropped may-arcs; playback: %zu freezes\n",
-                  schedule.feasible ? "feasible" : "INFEASIBLE", schedule.dropped_arcs.size(),
-                  playback.trace.FreezeCount());
+  os << StrFormat("  schedule: %s, %zu dropped may-arcs\n",
+                  schedule.feasible ? "feasible" : "INFEASIBLE", schedule.dropped_arcs.size());
   return os.str();
 }
 
-StatusOr<PipelineReport> RunPipeline(const Document& document, const DescriptorStore& store,
-                                     const BlockStore& blocks, const PipelineOptions& options) {
-  PipelineReport report;
-  StageTimer timer(report.stages);
-  obs::Span pipeline_span("pipeline");
-  pipeline_span.Annotate("apply_filters", options.apply_filters);
-  pipeline_span.Annotate("profile", options.profile.name);
+std::string PipelineReport::Summary() const {
+  std::string out = CompileReport::Summary();
+  out += StrFormat("  playback: %zu freezes\n", playback.trace.FreezeCount());
+  return out;
+}
+
+namespace {
+
+// The root "pipeline" span is owned by the public entry points, not by
+// CompileInto, so a play stage can nest under the same span as the compile
+// stages.
+void AnnotatePipelineSpan(obs::Span& span, const PipelineOptions& options) {
+  span.Annotate("apply_filters", options.apply_filters);
+  span.Annotate("profile", options.profile.name);
   if (obs::Enabled()) {
     obs::GetCounter("pipeline.runs").Add();
   }
+}
+
+Status CompileInto(const Document& document, const DescriptorStore& store,
+                   const BlockStore& blocks, const PipelineOptions& options,
+                   CompileReport& report, CompileArtifacts& artifacts) {
+  StageTimer timer(report.stages);
 
   // Stage 1: structure validation (the Document Structure Mapping Tool's
   // output check).
@@ -152,17 +171,17 @@ StatusOr<PipelineReport> RunPipeline(const Document& document, const DescriptorS
   }
 
   // Stage 3b: optional filter application (touches the media payloads).
-  DescriptorStore filtered;
   const DescriptorStore* playback_store = &store;
   if (options.apply_filters) {
     obs::Span span("filter-apply");
     auto applied = timer.Time(
         "filter-apply", [&] { return ApplyDocumentFilter(*filter_source, blocks, report.filter); });
     CMIF_RETURN_IF_ERROR(applied.status());
-    filtered = std::move(applied).value();
-    playback_store = &filtered;
+    artifacts.filtered = std::move(applied).value();
+    artifacts.use_filtered = true;
+    playback_store = &artifacts.filtered;
     span.Annotate("bytes_touched", report.filter.total_bytes_before);
-    span.Annotate("descriptors", filtered.size());
+    span.Annotate("descriptors", artifacts.filtered.size());
   }
 
   // Stage 4: scheduling with capability constraints from the profile.
@@ -191,14 +210,42 @@ StatusOr<PipelineReport> RunPipeline(const Document& document, const DescriptorS
     span.Annotate("feasible", report.schedule.feasible);
     span.Annotate("dropped_arcs", report.schedule.dropped_arcs.size());
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<CompileReport> CompilePresentation(const Document& document,
+                                            const DescriptorStore& store,
+                                            const BlockStore& blocks,
+                                            const PipelineOptions& options) {
+  CompileReport report;
+  CompileArtifacts artifacts;
+  obs::Span pipeline_span("pipeline");
+  AnnotatePipelineSpan(pipeline_span, options);
+  CMIF_RETURN_IF_ERROR(CompileInto(document, store, blocks, options, report, artifacts));
+  return report;
+}
+
+StatusOr<PipelineReport> RunPipeline(const Document& document, const DescriptorStore& store,
+                                     const BlockStore& blocks, const PipelineOptions& options) {
+  PipelineReport report;
+  CompileArtifacts artifacts;
+  obs::Span pipeline_span("pipeline");
+  AnnotatePipelineSpan(pipeline_span, options);
+  CMIF_RETURN_IF_ERROR(CompileInto(document, store, blocks, options, report, artifacts));
   if (!report.schedule.feasible) {
     return report;  // conflicts are in the report; nothing to play
   }
-  if (!options.run_player) {
-    return report;  // compile-only mode: the caller plays (or serves) later
+  // The deprecated run_player=false spelling forces compile-only for one
+  // more release; PipelineMode is the way to say it now.
+  if (options.mode == PipelineMode::kCompileOnly || !options.run_player) {
+    return report;  // compile-only: the caller plays (or serves) later
   }
 
   // Stage 5: viewing.
+  const DescriptorStore* playback_store = artifacts.use_filtered ? &artifacts.filtered : &store;
+  StageTimer timer(report.stages);
   PlayerOptions player = options.player;
   player.profile = options.profile;
   {

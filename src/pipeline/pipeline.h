@@ -26,6 +26,14 @@ struct StageTiming {
   double millis = 0;
 };
 
+// How far the pipeline runs. kCompileOnly stops after a feasible schedule —
+// the serving layer compiles presentations server-side and playback happens
+// at the client; kCompileAndPlay is the full Figure-1 run, viewing included.
+enum class PipelineMode {
+  kCompileOnly = 0,
+  kCompileAndPlay,
+};
+
 struct PipelineOptions {
   SystemProfile profile = WorkstationProfile();
   // Canvas for the virtual presentation environment.
@@ -35,9 +43,10 @@ struct PipelineOptions {
   // (requires blocks/generators); when false the pipeline stays
   // descriptor-only throughout.
   bool apply_filters = false;
-  // When false the pipeline stops after a feasible schedule — the serving
-  // layer compiles presentations server-side and playback happens at the
-  // client, so the play stage is skipped entirely.
+  PipelineMode mode = PipelineMode::kCompileAndPlay;
+  // DEPRECATED: pre-PipelineMode spelling of kCompileOnly. run_player=false
+  // still forces compile-only for one release; new code sets `mode` (or
+  // calls CompilePresentation, which ignores both fields).
   bool run_player = true;
   PlayerOptions player;
   // Graceful degradation of the data-touching path (off by default; the
@@ -59,14 +68,15 @@ struct DegradationReport {
   bool degraded() const { return blocks_placeholder > 0; }
 };
 
-// Everything the pipeline produced.
-struct PipelineReport {
+// Everything the compile stages (validate through schedule) produced. This
+// is the whole result of a kCompileOnly run — no playback fields to leave
+// empty — and what the serving layer caches and ships over the wire.
+struct CompileReport {
   std::vector<StageTiming> stages;
   ValidationReport validation;
   PresentationMap presentation_map;
   FilterReport filter;
   ScheduleResult schedule;
-  PlaybackResult playback;
   DegradationReport degradation;
 
   double TotalMillis() const;
@@ -75,9 +85,26 @@ struct PipelineReport {
   std::string Summary() const;
 };
 
+// A full run's products: the compile plus the viewing stage.
+struct PipelineReport : CompileReport {
+  PlaybackResult playback;
+
+  // CompileReport::Summary plus the playback line.
+  std::string Summary() const;
+};
+
 // Runs structure -> presentation mapping -> constraint filtering ->
-// scheduling -> viewing. Fails fast on validation errors or an infeasible
-// schedule (after may-arc relaxation).
+// scheduling, never playback (PipelineOptions::mode/run_player are ignored).
+// Fails fast on validation errors; an infeasible schedule is returned in the
+// report, conflicts attached.
+StatusOr<CompileReport> CompilePresentation(const Document& document,
+                                            const DescriptorStore& store,
+                                            const BlockStore& blocks,
+                                            const PipelineOptions& options = {});
+
+// CompilePresentation plus, in kCompileAndPlay mode (the default), the
+// viewing stage. An infeasible schedule (after may-arc relaxation) skips
+// playback and comes back in the report, conflicts attached.
 StatusOr<PipelineReport> RunPipeline(const Document& document, const DescriptorStore& store,
                                      const BlockStore& blocks,
                                      const PipelineOptions& options = {});

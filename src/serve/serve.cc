@@ -216,9 +216,9 @@ ServeResponse ServeLoop::Serve(const ServeRequest& request) {
               [&](const BlockStore& blocks) -> StatusOr<std::shared_ptr<const CompiledPresentation>> {
                 PipelineOptions pipeline_options;
                 pipeline_options.profile = profile;
-                pipeline_options.run_player = false;
-                CMIF_ASSIGN_OR_RETURN(PipelineReport report,
-                                      RunPipeline(doc.document, store, blocks, pipeline_options));
+                CMIF_ASSIGN_OR_RETURN(
+                    CompileReport report,
+                    CompilePresentation(doc.document, store, blocks, pipeline_options));
                 auto result = std::make_shared<CompiledPresentation>();
                 result->map = std::move(report.presentation_map);
                 result->filter = std::move(report.filter);

@@ -175,6 +175,7 @@ class ServeLoop {
   MappingCache& cache() { return cache_; }
   fault::BreakerSet& breakers() { return breakers_; }
   const ServeOptions& options() const { return options_; }
+  const ServeCorpus& corpus() const { return corpus_; }
 
  private:
   ServeCorpus& corpus_;

@@ -1,0 +1,110 @@
+// The cmif::api facade contract: the four entry points work end to end, the
+// exported names are aliases (not copies) of the internal types, and the
+// facade alone is enough to drive load -> compile -> play -> serve -> fetch
+// over the wire — the exact surface tools, benches, and embeddings build on.
+#include "src/api/cmif.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "src/ddbms/persist.h"
+#include "src/fmt/writer.h"
+#include "src/news/evening_news.h"
+
+namespace cmif {
+namespace {
+
+TEST(ApiTest, AliasesAreTheInternalTypes) {
+  static_assert(std::is_same_v<api::PipelineOptions, PipelineOptions>);
+  static_assert(std::is_same_v<api::CompileReport, CompileReport>);
+  static_assert(std::is_same_v<api::PipelineReport, PipelineReport>);
+  static_assert(std::is_same_v<api::ServeLoop, ServeLoop>);
+  static_assert(std::is_same_v<api::NetClient, net::NetClient>);
+  static_assert(std::is_same_v<api::PresentRequest, net::PresentRequest>);
+  SUCCEED();
+}
+
+TEST(ApiTest, LoadDocumentRoundTripsThroughWriter) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  auto text = WriteDocument(workload->document);
+  ASSERT_TRUE(text.ok());
+  auto document = api::LoadDocument(*text);
+  ASSERT_TRUE(document.ok()) << document.status();
+  EXPECT_EQ(document->root().SubtreeSize(), workload->document.root().SubtreeSize());
+  auto catalog_text = WriteCatalog(workload->store);
+  ASSERT_TRUE(catalog_text.ok());
+  auto store = api::LoadCatalog(*catalog_text);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store->size(), workload->store.size());
+}
+
+TEST(ApiTest, LoadErrorsAreStructured) {
+  EXPECT_FALSE(api::LoadDocument("(not a cmif document").ok());
+  EXPECT_FALSE(api::LoadCatalog("(garbage").ok());
+}
+
+TEST(ApiTest, CompileNeverPlays) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  auto compiled =
+      api::Compile(workload->document, workload->store, workload->blocks);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  EXPECT_TRUE(compiled->schedule.feasible);
+  EXPECT_EQ(compiled->stages.size(), 5u);
+  // Even an explicit play request cannot make Compile play.
+  api::PipelineOptions options;
+  options.mode = api::PipelineMode::kCompileAndPlay;
+  auto still_compiled = api::Compile(workload->document, workload->store, workload->blocks, options);
+  ASSERT_TRUE(still_compiled.ok());
+  EXPECT_EQ(still_compiled->stages.size(), 5u);
+}
+
+TEST(ApiTest, PlayHonorsMode) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  auto played = api::Play(workload->document, workload->store, workload->blocks);
+  ASSERT_TRUE(played.ok()) << played.status();
+  EXPECT_GT(played->playback.trace.size(), 0u);
+  api::PipelineOptions options;
+  options.mode = api::PipelineMode::kCompileOnly;
+  auto compiled = api::Play(workload->document, workload->store, workload->blocks, options);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->playback.trace.size(), 0u);
+}
+
+TEST(ApiTest, ServeRunsATrace) {
+  auto corpus = api::BuildNewsCorpus(2);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  api::ServeOptions options;
+  options.threads = 2;
+  auto trace = api::GenerateTrace((*corpus)->size(), 32, options);
+  auto stats = api::Serve(**corpus, options, trace);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->requests, 32u);
+  EXPECT_EQ(stats->errors, 0u);
+}
+
+TEST(ApiTest, FullNetworkedDeliveryThroughTheFacadeOnly) {
+  auto corpus = api::BuildNewsCorpus(1);
+  ASSERT_TRUE(corpus.ok());
+  api::ServeOptions options;
+  options.threads = 1;
+  api::ServeLoop loop(**corpus, options);
+  api::NetServer server(loop);
+  ASSERT_TRUE(server.Start().ok());
+  api::NetClientOptions client_options;
+  client_options.port = server.port();
+  api::NetClient client(client_options);
+  api::PresentRequest request;
+  request.document = (*corpus)->document(0).name;
+  auto response = client.Present(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->outcome, api::ServeOutcome::kHealthy);
+  EXPECT_FALSE(response->presentation.empty());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace cmif

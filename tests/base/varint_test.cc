@@ -1,0 +1,92 @@
+// LEB128 varints: canonical encoding, full round trips, and the structured
+// kDataLoss contract on truncated or overlength input.
+#include "src/base/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cmif {
+namespace {
+
+std::string Encode(std::uint64_t value) {
+  std::string out;
+  PutVarint64(out, value);
+  return out;
+}
+
+TEST(VarintTest, KnownEncodings) {
+  EXPECT_EQ(Encode(0), std::string("\x00", 1));
+  EXPECT_EQ(Encode(1), "\x01");
+  EXPECT_EQ(Encode(127), "\x7f");
+  EXPECT_EQ(Encode(128), std::string("\x80\x01", 2));
+  EXPECT_EQ(Encode(300), std::string("\xac\x02", 2));
+  EXPECT_EQ(Encode(std::numeric_limits<std::uint64_t>::max()).size(), kMaxVarint64Bytes);
+}
+
+TEST(VarintTest, ReturnsBytesAppended) {
+  std::string out = "prefix";
+  EXPECT_EQ(PutVarint64(out, 0), 1u);
+  EXPECT_EQ(PutVarint64(out, 1u << 14), 3u);
+  EXPECT_EQ(out.size(), 6u + 1u + 3u);
+}
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  std::vector<std::uint64_t> values = {0, 1, 127, 128, 16383, 16384, 2097151, 2097152};
+  for (int shift = 0; shift < 64; ++shift) {
+    values.push_back(std::uint64_t{1} << shift);
+    values.push_back((std::uint64_t{1} << shift) - 1);
+  }
+  values.push_back(std::numeric_limits<std::uint64_t>::max());
+  for (std::uint64_t value : values) {
+    std::string bytes = Encode(value);
+    std::size_t pos = 0;
+    auto decoded = GetVarint64(bytes, &pos);
+    ASSERT_TRUE(decoded.ok()) << value << ": " << decoded.status();
+    EXPECT_EQ(*decoded, value);
+    EXPECT_EQ(pos, bytes.size());
+  }
+}
+
+TEST(VarintTest, DecodesMidBufferAndAdvances) {
+  std::string bytes = "xy";
+  PutVarint64(bytes, 300);
+  PutVarint64(bytes, 7);
+  std::size_t pos = 2;
+  auto first = GetVarint64(bytes, &pos);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 300u);
+  auto second = GetVarint64(bytes, &pos);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 7u);
+  EXPECT_EQ(pos, bytes.size());
+}
+
+TEST(VarintTest, TruncationIsDataLossAndPosUnmoved) {
+  std::string bytes = Encode(std::uint64_t{1} << 40);
+  for (std::size_t cut = 0; cut + 1 < bytes.size(); ++cut) {
+    std::size_t pos = 0;
+    auto result = GetVarint64(bytes.substr(0, cut), &pos);
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss) << "cut=" << cut;
+    EXPECT_EQ(pos, 0u);
+  }
+}
+
+TEST(VarintTest, OverlengthEncodingIsDataLoss) {
+  // Eleven continuation bytes never terminate a uint64 varint.
+  std::string bytes(kMaxVarint64Bytes + 1, '\x80');
+  std::size_t pos = 0;
+  auto result = GetVarint64(bytes, &pos);
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(VarintTest, EmptyInputIsDataLoss) {
+  std::size_t pos = 0;
+  EXPECT_EQ(GetVarint64("", &pos).status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,311 @@
+// Server/client integration over a real loopback socket: request round
+// trips, protocol-error handling, backpressure, concurrent clients (the
+// TSan target), clean shutdown with blocked connections, and a chaos replay
+// where every request must still be answered. Uses ephemeral ports
+// (port = 0) throughout so suites can run in parallel.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/cmif.h"
+#include "src/base/socket.h"
+#include "src/base/string_util.h"
+#include "src/fault/fault.h"
+
+namespace cmif {
+namespace net {
+namespace {
+
+struct Harness {
+  std::unique_ptr<ServeCorpus> corpus;
+  std::unique_ptr<ServeLoop> loop;
+  std::unique_ptr<NetServer> server;
+
+  static Harness Start(int documents, ServeOptions options = {},
+                       NetServerOptions net_options = {}) {
+    Harness h;
+    auto corpus = api::BuildNewsCorpus(documents);
+    EXPECT_TRUE(corpus.ok()) << corpus.status();
+    h.corpus = std::move(corpus).value();
+    options.threads = 2;
+    h.loop = std::make_unique<ServeLoop>(*h.corpus, options);
+    h.server = std::make_unique<NetServer>(*h.loop, net_options);
+    Status started = h.server->Start();
+    EXPECT_TRUE(started.ok()) << started;
+    return h;
+  }
+
+  NetClient Client() const {
+    NetClientOptions options;
+    options.port = server->port();
+    return NetClient(options);
+  }
+};
+
+TEST(LoopbackTest, StartStopWithoutTraffic) {
+  Harness h = Harness::Start(1);
+  EXPECT_GT(h.server->port(), 0);
+  EXPECT_TRUE(h.server->running());
+  h.server->Stop();
+  EXPECT_FALSE(h.server->running());
+  // Stop is idempotent.
+  h.server->Stop();
+}
+
+TEST(LoopbackTest, PingRoundTrip) {
+  Harness h = Harness::Start(1);
+  NetClient client = h.Client();
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.Ping().ok());  // same connection
+  EXPECT_EQ(client.reconnects(), 0u);
+  h.server->Stop();
+}
+
+TEST(LoopbackTest, PresentMatchesInProcessCompile) {
+  Harness h = Harness::Start(2);
+  NetClient client = h.Client();
+  PresentRequest request;
+  request.document = h.corpus->document(0).name;
+  request.profile = "workstation";
+  auto response = client.Present(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->outcome, ServeOutcome::kHealthy);
+  EXPECT_FALSE(response->presentation.empty());
+  EXPECT_EQ(Fnv1a64(response->presentation), response->presentation_hash);
+
+  // Byte identity: the wire body hashes to what an in-process compile of
+  // the same document under the same profile serializes to.
+  const ServeDocument& doc = h.corpus->document(0);
+  PipelineOptions options;
+  options.profile = WorkstationProfile();
+  auto direct = h.corpus->store().WithRead([&](const DescriptorStore& store) {
+    return h.corpus->blocks().WithRead([&](const BlockStore& blocks) {
+      return api::Compile(doc.document, store, blocks, options);
+    });
+  });
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  CompiledPresentation compiled;
+  compiled.map = direct->presentation_map;
+  compiled.filter = direct->filter;
+  compiled.schedule = direct->schedule;
+  EXPECT_EQ(api::SerializePresentation(compiled), response->presentation);
+
+  // Second fetch is served from the mapping cache, still byte-identical.
+  auto warm = client.Present(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->presentation, response->presentation);
+  h.server->Stop();
+}
+
+TEST(LoopbackTest, UnknownDocumentAndProfileFailStructurally) {
+  Harness h = Harness::Start(1);
+  NetClient client = h.Client();
+  PresentRequest request;
+  request.document = "no-such-document";
+  auto response = client.Present(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->outcome, ServeOutcome::kFailed);
+  EXPECT_EQ(response->error.code(), StatusCode::kNotFound);
+
+  request.document = h.corpus->document(0).name;
+  request.profile = "no-such-profile";
+  response = client.Present(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->outcome, ServeOutcome::kFailed);
+  EXPECT_EQ(response->error.code(), StatusCode::kNotFound);
+
+  // The connection survived both application-level failures.
+  request.profile = "";
+  response = client.Present(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->outcome, ServeOutcome::kHealthy);
+  EXPECT_EQ(client.reconnects(), 0u);
+  h.server->Stop();
+}
+
+TEST(LoopbackTest, HashOnlyAndChannelSelection) {
+  Harness h = Harness::Start(1);
+  NetClient client = h.Client();
+  PresentRequest request;
+  request.document = h.corpus->document(0).name;
+  auto full = client.Present(request);
+  ASSERT_TRUE(full.ok()) << full.status();
+
+  // want_body = false: no body, same hash as the full fetch.
+  request.want_body = false;
+  auto probe = client.Present(request);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE(probe->presentation.empty());
+  EXPECT_EQ(probe->presentation_hash, full->presentation_hash);
+
+  // Channel selection: a restricted body, hashed over the restriction.
+  request.want_body = true;
+  request.channels = {"audio"};
+  auto selected = client.Present(request);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_LT(selected->presentation.size(), full->presentation.size());
+  EXPECT_EQ(Fnv1a64(selected->presentation), selected->presentation_hash);
+  EXPECT_NE(selected->presentation.find("\"audio\""), std::string::npos);
+  EXPECT_EQ(selected->presentation.find("\"video\""), std::string::npos);
+  h.server->Stop();
+}
+
+TEST(LoopbackTest, MalformedBytesGetErrorFrameThenDrop) {
+  Harness h = Harness::Start(1);
+  auto socket = ConnectTcp("127.0.0.1", h.server->port(), 5000);
+  ASSERT_TRUE(socket.ok()) << socket.status();
+  // Garbage that is not a frame: the server answers kError and drops.
+  ASSERT_TRUE(socket->WriteAll("XXXXGARBAGE-NOT-A-FRAME").ok());
+  auto frame = ReadFrame(*socket, {});
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->type, FrameType::kError);
+  Status carried;
+  ASSERT_TRUE(DecodeWireStatus((*frame)->payload, &carried).ok());
+  EXPECT_EQ(carried.code(), StatusCode::kDataLoss);
+  // ...then the drop: either a clean EOF or a reset (the server closed with
+  // our trailing garbage unread, which TCP reports as RST) — never another
+  // frame.
+  auto dropped = ReadFrame(*socket, {});
+  if (dropped.ok()) {
+    EXPECT_FALSE(dropped->has_value());
+  } else {
+    EXPECT_EQ(dropped.status().code(), StatusCode::kUnavailable) << dropped.status();
+  }
+  EXPECT_EQ(h.server->stats().protocol_errors, 1u);
+  h.server->Stop();
+}
+
+TEST(LoopbackTest, CorruptedFramesFailStructurallyThenRecover) {
+  Harness h = Harness::Start(1);
+  NetClientOptions client_options;
+  client_options.port = h.server->port();
+  client_options.retry.max_attempts = 3;
+  NetClient client(client_options);
+  PresentRequest request;
+  request.document = h.corpus->document(0).name;
+  {
+    // Corrupt every frame in transit: the far side's CRC rejects each one,
+    // the client reconnects and resends until its attempts run out, and the
+    // failure is a structured kUnavailable — never a hang or a wrong answer.
+    auto plan = fault::FaultPlan::Parse("net.frame_corrupt:corrupt=1");
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    fault::ScopedPlan chaos(*plan);
+    auto response = client.Present(request);
+    ASSERT_FALSE(response.ok());
+    EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+    EXPECT_GE(client.reconnects(), 1u);
+  }
+  // Chaos over: the same client reconnects and serves cleanly.
+  auto response = client.Present(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->outcome, ServeOutcome::kHealthy);
+  h.server->Stop();
+}
+
+TEST(LoopbackTest, ConcurrentClientsSeeConsistentBytes) {
+  Harness h = Harness::Start(4);
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 16;
+  std::vector<std::uint64_t> hashes(kClients, 0);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      NetClient client = h.Client();
+      std::uint64_t combined = 0;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        PresentRequest request;
+        request.document = h.corpus->document(i % h.corpus->size()).name;
+        request.profile = i % 2 == 0 ? "workstation" : "personal";
+        auto response = client.Present(request);
+        if (!response.ok() || response->outcome == ServeOutcome::kFailed) {
+          ADD_FAILURE() << "client " << c << " request " << i << " failed";
+          return;
+        }
+        if (Fnv1a64(response->presentation) != response->presentation_hash) {
+          ADD_FAILURE() << "hash mismatch at client " << c << " request " << i;
+          return;
+        }
+        combined = Fnv1a64Combine(combined, response->presentation_hash);
+      }
+      hashes[c] = combined;
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  // Same request sequence => same bytes => same combined hash on every client.
+  for (int c = 1; c < kClients; ++c) {
+    EXPECT_EQ(hashes[c], hashes[0]) << "client " << c;
+  }
+  NetServer::Stats stats = h.server->stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kClients) * kRequestsPerClient);
+  h.server->Stop();
+}
+
+TEST(LoopbackTest, StopUnblocksIdleConnections) {
+  Harness h = Harness::Start(1);
+  NetClient client = h.Client();
+  ASSERT_TRUE(client.Ping().ok());
+  // The server worker is now blocked reading this connection; Stop() must
+  // shut it down rather than hang on join.
+  h.server->Stop();
+  EXPECT_FALSE(h.server->running());
+  // The dropped connection surfaces as a transport error on the next use.
+  PresentRequest request;
+  request.document = h.corpus->document(0).name;
+  EXPECT_FALSE(client.Present(request).ok());
+}
+
+TEST(LoopbackTest, ChaosReplayAnswersEveryRequest) {
+  // Level-3 chaos across serve and net fault sites. Transport failures are
+  // retried by the client, compile failures ride the serve recovery ladder;
+  // every request must come back answered (degraded allowed, hangs not).
+  ServeOptions options;
+  options.enable_degraded = true;
+  Harness h = Harness::Start(2, options);
+  fault::ScopedPlan chaos(fault::StandardChaosPlan(3));
+  NetClientOptions client_options;
+  client_options.port = h.server->port();
+  client_options.retry.max_attempts = 8;
+  NetClient client(client_options);
+  constexpr int kRequests = 48;
+  int answered = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    PresentRequest request;
+    request.document = h.corpus->document(i % h.corpus->size()).name;
+    request.profile = i % 2 == 0 ? "workstation" : "personal";
+    auto response = client.Present(request);
+    ASSERT_TRUE(response.ok()) << "request " << i << ": " << response.status();
+    if (response->outcome != ServeOutcome::kFailed) {
+      ++answered;
+      if (!response->presentation.empty()) {
+        EXPECT_EQ(Fnv1a64(response->presentation), response->presentation_hash) << i;
+      }
+    }
+  }
+  EXPECT_EQ(answered, kRequests);
+  h.server->Stop();
+}
+
+TEST(LoopbackTest, ServesAfterClientVanishes) {
+  Harness h = Harness::Start(1);
+  {
+    NetClient client = h.Client();
+    ASSERT_TRUE(client.Ping().ok());
+  }  // destructor closes the connection mid-session
+  NetClient second = h.Client();
+  PresentRequest request;
+  request.document = h.corpus->document(0).name;
+  auto response = second.Present(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->outcome, ServeOutcome::kHealthy);
+  h.server->Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cmif

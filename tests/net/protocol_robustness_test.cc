@@ -1,0 +1,173 @@
+// The protocol messages' robustness contract: request/response/status
+// payloads round-trip exactly, and every single-byte mutation or truncation
+// of a valid encoding either round-trips to the identical message (a flip
+// inside a string body changes only that string's bytes) or fails as a
+// structured kDataLoss — never a crash, an allocation blow-up, or a
+// silently mis-fielded message.
+#include "src/net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cmif {
+namespace net {
+namespace {
+
+PresentRequest SampleRequest() {
+  PresentRequest request;
+  request.document = "news-3-s2";
+  request.profile = "portable";
+  request.channels = {"video", "caption"};
+  request.want_body = false;
+  request.allow_degraded = false;
+  return request;
+}
+
+PresentResponse SampleResponse() {
+  PresentResponse response;
+  response.outcome = ServeOutcome::kDegraded;
+  response.attempts = 3;
+  response.cache_hit = true;
+  response.error = UnavailableError("compile failed under chaos");
+  response.presentation = "(presentation\n (map)\n)";
+  response.presentation_hash = 0x0123456789abcdefull;
+  return response;
+}
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  PresentRequest request = SampleRequest();
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->document, request.document);
+  EXPECT_EQ(decoded->profile, request.profile);
+  EXPECT_EQ(decoded->channels, request.channels);
+  EXPECT_EQ(decoded->want_body, request.want_body);
+  EXPECT_EQ(decoded->allow_degraded, request.allow_degraded);
+}
+
+TEST(ProtocolTest, DefaultRequestRoundTrip) {
+  auto decoded = DecodeRequest(EncodeRequest(PresentRequest{}));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->document.empty());
+  EXPECT_TRUE(decoded->channels.empty());
+  EXPECT_TRUE(decoded->want_body);
+  EXPECT_TRUE(decoded->allow_degraded);
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  PresentResponse response = SampleResponse();
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->outcome, response.outcome);
+  EXPECT_EQ(decoded->attempts, response.attempts);
+  EXPECT_EQ(decoded->cache_hit, response.cache_hit);
+  EXPECT_EQ(decoded->error.code(), response.error.code());
+  EXPECT_EQ(decoded->error.message(), response.error.message());
+  EXPECT_EQ(decoded->presentation, response.presentation);
+  EXPECT_EQ(decoded->presentation_hash, response.presentation_hash);
+}
+
+TEST(ProtocolTest, WireStatusRoundTrip) {
+  std::string encoded = EncodeWireStatus(ResourceExhaustedError("queue full"));
+  Status decoded;
+  ASSERT_TRUE(DecodeWireStatus(encoded, &decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded.message(), "queue full");
+}
+
+TEST(ProtocolRobustnessTest, TruncatedRequestsAreDataLoss) {
+  std::string encoded = EncodeRequest(SampleRequest());
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    auto result = DecodeRequest(encoded.substr(0, cut));
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss) << "cut=" << cut;
+  }
+}
+
+TEST(ProtocolRobustnessTest, TruncatedResponsesAreDataLoss) {
+  std::string encoded = EncodeResponse(SampleResponse());
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    auto result = DecodeResponse(encoded.substr(0, cut));
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss) << "cut=" << cut;
+  }
+}
+
+TEST(ProtocolRobustnessTest, MutatedRequestsNeverMisfield) {
+  // Fuzz-style sweep: every byte, every flipped bit. The decode either fails
+  // as kDataLoss or yields a request whose non-string fields are still in
+  // range (a flip inside a string body legitimately alters that string).
+  std::string encoded = EncodeRequest(SampleRequest());
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = encoded;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      auto result = DecodeRequest(mutated);
+      if (!result.ok()) {
+        EXPECT_EQ(result.status().code(), StatusCode::kDataLoss)
+            << "byte " << i << " bit " << bit << ": " << result.status();
+      } else {
+        EXPECT_LE(result->channels.size(), mutated.size()) << "byte " << i;
+      }
+    }
+  }
+}
+
+TEST(ProtocolRobustnessTest, MutatedResponsesNeverMisfield) {
+  std::string encoded = EncodeResponse(SampleResponse());
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    std::string mutated = encoded;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xff);
+    auto result = DecodeResponse(mutated);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kDataLoss) << "byte " << i;
+    } else {
+      EXPECT_LE(static_cast<int>(result->outcome), static_cast<int>(ServeOutcome::kFailed));
+      EXPECT_LE(result->attempts, 1 << 20);
+    }
+  }
+}
+
+TEST(ProtocolRobustnessTest, TrailingBytesAreDataLoss) {
+  // Unknown trailing fields are rejected, not skipped: the frame version
+  // byte is the compatibility mechanism.
+  auto request = DecodeRequest(EncodeRequest(SampleRequest()) + "extra");
+  EXPECT_EQ(request.status().code(), StatusCode::kDataLoss);
+  auto response = DecodeResponse(EncodeResponse(SampleResponse()) + "x");
+  EXPECT_EQ(response.status().code(), StatusCode::kDataLoss);
+  Status decoded;
+  EXPECT_EQ(DecodeWireStatus(EncodeWireStatus(InternalError("e")) + "y", &decoded).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(ProtocolRobustnessTest, HugeClaimedCountsAreRejectedBeforeAllocation) {
+  // A channel count far beyond the payload size must fail fast.
+  std::string payload;
+  payload.push_back(0);  // document ""
+  payload.push_back(0);  // profile ""
+  payload += std::string("\xff\xff\xff\xff\x0f", 5);  // channel count ~4 billion
+  auto result = DecodeRequest(payload);
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ProtocolRobustnessTest, OutOfRangeEnumsAreRejected) {
+  // Booleans must be exactly 0 or 1, status codes and outcomes in range.
+  PresentRequest request = SampleRequest();
+  std::string encoded = EncodeRequest(request);
+  // want_body is the second-to-last byte (bools are trailing fixed fields).
+  encoded[encoded.size() - 2] = 7;
+  auto result = DecodeRequest(encoded);
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ProtocolRobustnessTest, GarbageIsHandledStructurally) {
+  for (const char* garbage : {"", "\x01", "not a message at all", "\xff\xff\xff\xff"}) {
+    EXPECT_EQ(DecodeRequest(garbage).status().code(), StatusCode::kDataLoss);
+    EXPECT_EQ(DecodeResponse(garbage).status().code(), StatusCode::kDataLoss);
+    Status decoded;
+    EXPECT_EQ(DecodeWireStatus(garbage, &decoded).code(), StatusCode::kDataLoss);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cmif

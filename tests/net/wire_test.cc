@@ -1,0 +1,142 @@
+// Wire framing: golden frame layout, round trips, and the robustness
+// contract — every mutation or truncation of a valid frame decodes to a
+// structured kDataLoss (mirroring tests/ddbms/persist_robustness_test.cc for
+// the persist layer), never a crash, a hang, or a silently wrong frame.
+#include "src/net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+namespace cmif {
+namespace net {
+namespace {
+
+TEST(WireTest, GoldenFrameLayout) {
+  // "hi" as a ping: magic, version 1, type 4, length 2, payload, CRC.
+  std::string frame = EncodeFrame(FrameType::kPing, "hi");
+  ASSERT_EQ(frame.size(), 4u + 1u + 1u + 1u + 2u + 4u);
+  EXPECT_EQ(frame.substr(0, 4), "CMIF");
+  EXPECT_EQ(static_cast<unsigned char>(frame[4]), kWireVersion);
+  EXPECT_EQ(static_cast<unsigned char>(frame[5]), 4u);  // kPing
+  EXPECT_EQ(static_cast<unsigned char>(frame[6]), 2u);  // varint length
+  EXPECT_EQ(frame.substr(7, 2), "hi");
+}
+
+TEST(WireTest, EncodeDecodeRoundTrip) {
+  for (FrameType type : {FrameType::kRequest, FrameType::kResponse, FrameType::kError,
+                         FrameType::kPing, FrameType::kPong}) {
+    std::string payload(300, '\x5a');  // two-byte length varint
+    payload += std::string(1, '\0');   // embedded NUL must survive
+    std::string encoded = EncodeFrame(type, payload);
+    std::size_t consumed = 0;
+    auto frame = DecodeFrame(encoded, &consumed);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    EXPECT_EQ(frame->type, type);
+    EXPECT_EQ(frame->payload, payload);
+    EXPECT_EQ(consumed, encoded.size());
+  }
+}
+
+TEST(WireTest, DecodeStopsAtFrameBoundary) {
+  std::string stream = EncodeFrame(FrameType::kPing, "a") + EncodeFrame(FrameType::kPong, "b");
+  std::size_t consumed = 0;
+  auto first = DecodeFrame(stream, &consumed);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->payload, "a");
+  auto second = DecodeFrame(stream.substr(consumed), &consumed);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->payload, "b");
+}
+
+TEST(WireTest, EmptyPayloadRoundTrips) {
+  std::string encoded = EncodeFrame(FrameType::kPong, "");
+  std::size_t consumed = 0;
+  auto frame = DecodeFrame(encoded, &consumed);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(WireRobustnessTest, EveryBitFlipIsDetected) {
+  // Exhaustive single-byte mutation over the whole frame. Whatever byte is
+  // damaged — magic, version, type, length, payload, or the CRC itself —
+  // decode must fail with a structured error, never succeed with different
+  // bytes.
+  std::string frame = EncodeFrame(FrameType::kRequest, "payload-under-test");
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::string corrupted = frame;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x01);
+    std::size_t consumed = 0;
+    auto result = DecodeFrame(corrupted, &consumed, {});
+    EXPECT_FALSE(result.ok()) << "flip at byte " << i << " decoded successfully";
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kDataLoss) << "byte " << i;
+    }
+  }
+}
+
+TEST(WireRobustnessTest, EveryTruncationIsDetected) {
+  std::string frame = EncodeFrame(FrameType::kResponse, "0123456789");
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    std::size_t consumed = 0;
+    auto result = DecodeFrame(frame.substr(0, cut), &consumed, {});
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss) << "cut=" << cut;
+  }
+}
+
+TEST(WireRobustnessTest, ErrorsCarryByteOffsets) {
+  // Header and length intact, payload cut: the error names the offset.
+  std::string frame = EncodeFrame(FrameType::kPing, "x");
+  std::size_t consumed = 0;
+  auto result = DecodeFrame(frame.substr(0, 8), &consumed, {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("offset"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(WireRobustnessTest, OversizedLengthRejectedBeforeAllocation) {
+  // A frame claiming a 1 GiB payload must be rejected by the limit check on
+  // the length prefix alone — decode never tries to allocate or read it.
+  std::string header = "CMIF";
+  header.push_back(static_cast<char>(kWireVersion));
+  header.push_back(static_cast<char>(FrameType::kRequest));
+  // varint for 1 GiB: 0x80 0x80 0x80 0x80 0x04
+  header += std::string("\x80\x80\x80\x80\x04", 5);
+  std::size_t consumed = 0;
+  auto result = DecodeFrame(header, &consumed, {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(result.status().message().find("exceeds"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(WireRobustnessTest, WrongMagicAndVersionAreRejected) {
+  std::string frame = EncodeFrame(FrameType::kPing, "x");
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  std::size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(bad_magic, &consumed, {}).status().code(), StatusCode::kDataLoss);
+
+  std::string bad_version = frame;
+  bad_version[4] = 9;  // future version: CRC also fails, but version is first
+  auto result = DecodeFrame(bad_version, &consumed, {});
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(result.status().message().find("version"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(WireRobustnessTest, UnknownFrameTypeIsRejected) {
+  // Type 9 with a recomputed-valid CRC is unreachable via EncodeFrame, so
+  // build the frame by hand around the encoder: flip type then fix nothing —
+  // the type check must fire before (or as) the CRC check does.
+  std::string frame = EncodeFrame(FrameType::kPing, "x");
+  frame[5] = 9;
+  std::size_t consumed = 0;
+  auto result = DecodeFrame(frame, &consumed, {});
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cmif

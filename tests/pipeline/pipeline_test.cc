@@ -77,6 +77,56 @@ TEST(PipelineTest, PresentationMapBindsEveryChannel) {
   EXPECT_EQ(report->presentation_map.Find("caption")->region, "caption_strip");
 }
 
+TEST(PipelineModeTest, CompileOnlySkipsPlayback) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  PipelineOptions options;
+  options.mode = PipelineMode::kCompileOnly;
+  auto report = RunPipeline(workload->document, workload->store, workload->blocks, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->schedule.feasible);
+  // Five stages: validate, present-map, filter-plan, collect-events, schedule.
+  EXPECT_EQ(report->stages.size(), 5u);
+  for (const StageTiming& stage : report->stages) {
+    EXPECT_NE(stage.stage, "play");
+  }
+  EXPECT_EQ(report->playback.trace.size(), 0u);
+}
+
+TEST(PipelineModeTest, DeprecatedRunPlayerFalseStillCompilesOnly) {
+  // One-PR shim: the pre-PipelineMode spelling must behave identically.
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  PipelineOptions options;
+  options.run_player = false;
+  auto report = RunPipeline(workload->document, workload->store, workload->blocks, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->stages.size(), 5u);
+  EXPECT_EQ(report->playback.trace.size(), 0u);
+}
+
+TEST(PipelineModeTest, CompilePresentationCarriesNoPlaybackFields) {
+  auto workload = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(workload.ok());
+  auto compiled =
+      CompilePresentation(workload->document, workload->store, workload->blocks, PipelineOptions{});
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  EXPECT_TRUE(compiled->validation.ok());
+  EXPECT_TRUE(compiled->schedule.feasible);
+  EXPECT_EQ(compiled->stages.size(), 5u);
+  // CompileReport has no playback member at all; its summary says nothing
+  // about playback, while a played PipelineReport's does.
+  EXPECT_EQ(compiled->Summary().find("playback"), std::string::npos);
+  auto played =
+      RunPipeline(workload->document, workload->store, workload->blocks, PipelineOptions{});
+  ASSERT_TRUE(played.ok());
+  EXPECT_NE(played->Summary().find("playback"), std::string::npos);
+  // The compile-only stages match the full run's compile prefix.
+  EXPECT_EQ(compiled->presentation_map.Serialize(), played->presentation_map.Serialize());
+  EXPECT_EQ(compiled->schedule.schedule.events().size(),
+            played->schedule.schedule.events().size());
+}
+
 TEST(PipelineTest, SlowerProfileFreezesMore) {
   auto workload = BuildEveningNews(NewsOptions{});
   ASSERT_TRUE(workload.ok());

@@ -94,8 +94,7 @@ TEST(ServeLoopTest, CacheHitIsBitIdenticalToColdPath) {
     return corpus->blocks().WithRead([&](const BlockStore& blocks) {
       PipelineOptions pipeline_options;
       pipeline_options.profile = options.profiles[request.profile];
-      pipeline_options.run_player = false;
-      return RunPipeline(doc.document, store, blocks, pipeline_options);
+      return CompilePresentation(doc.document, store, blocks, pipeline_options);
     });
   });
   ASSERT_TRUE(direct.ok()) << direct.status();

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# CLI contract test for cmif_tool (ctest: cli_test). Asserts the exit-code
+# discipline — 0 success, 1 runtime/validation failure, 2 usage or bad
+# flags, usage text on stderr only — and drives one serve --listen /
+# request round trip over a loopback socket.
+set -u
+
+TOOL="${1:?usage: cli_test.sh /path/to/cmif_tool}"
+case "$TOOL" in /*) ;; *) TOOL="$PWD/$TOOL" ;; esac
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+cd "$TMP"
+
+failures=0
+check() { # check <description> <expected-exit> <actual-exit>
+  if [ "$2" -ne "$3" ]; then
+    echo "FAIL: $1 (expected exit $2, got $3)" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $1"
+  fi
+}
+
+# --- usage and flag errors exit 2, with text on stderr only ---------------
+"$TOOL" >out.txt 2>err.txt
+check "no arguments exits 2" 2 $?
+[ -s out.txt ] && { echo "FAIL: usage leaked to stdout" >&2; failures=$((failures+1)); }
+grep -q "usage:" err.txt || { echo "FAIL: usage text missing from stderr" >&2; failures=$((failures+1)); }
+
+"$TOOL" frobnicate >/dev/null 2>&1
+check "unknown subcommand exits 2" 2 $?
+
+"$TOOL" check >/dev/null 2>&1
+check "check without a document exits 2" 2 $?
+
+"$TOOL" serve --docs banana >/dev/null 2>&1
+check "non-numeric --docs exits 2" 2 $?
+
+"$TOOL" serve --bogus-flag >/dev/null 2>&1
+check "unknown serve flag exits 2" 2 $?
+
+"$TOOL" sample-news -3 >/dev/null 2>&1
+check "negative story count exits 2" 2 $?
+
+"$TOOL" request --doc news-0-s1 >/dev/null 2>&1
+check "request without --port exits 2" 2 $?
+
+"$TOOL" request --port 1 >/dev/null 2>&1
+check "request without --doc exits 2" 2 $?
+
+# --- runtime failures exit 1 ----------------------------------------------
+"$TOOL" check /no/such/file.cmif >/dev/null 2>&1
+check "missing document exits 1" 1 $?
+
+# --- success paths exit 0 -------------------------------------------------
+"$TOOL" sample-news >/dev/null 2>&1
+check "sample-news exits 0" 0 $?
+[ -f news.cmif ] || { echo "FAIL: news.cmif not written" >&2; failures=$((failures+1)); }
+
+"$TOOL" check news.cmif news.catalog >/dev/null 2>&1
+check "check on a valid document exits 0" 0 $?
+
+"$TOOL" serve --docs 2 --requests 16 --threads 1 >/dev/null 2>&1
+check "in-process serve replay exits 0" 0 $?
+
+# --- serve --listen / request round trip ----------------------------------
+mkfifo ctl
+"$TOOL" serve --listen 0 --docs 2 <ctl >serve.out 2>serve.err &
+server_pid=$!
+exec 9>ctl  # hold the control stream open
+port=""
+for _ in $(seq 100); do
+  port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' serve.out)"
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "FAIL: server never reported its port" >&2
+  cat serve.err >&2
+  failures=$((failures + 1))
+else
+  "$TOOL" request --port "$port" --doc news-0-s1 --profile personal >request.out 2>&1
+  check "request against the live server exits 0" 0 $?
+  grep -q "outcome: healthy" request.out || {
+    echo "FAIL: request did not report a healthy outcome" >&2
+    failures=$((failures + 1))
+  }
+  grep -q "presentation-hash:" request.out || {
+    echo "FAIL: request did not print the presentation hash" >&2
+    failures=$((failures + 1))
+  }
+
+  "$TOOL" request --port "$port" --doc no-such-doc >/dev/null 2>&1
+  check "request for an unknown document exits 1" 1 $?
+fi
+exec 9>&-  # EOF on stdin stops the server
+wait "$server_pid"
+check "server exits 0 after stdin closes" 0 $?
+
+# A request with nobody listening is a runtime failure, not a hang.
+"$TOOL" request --port "${port:-1}" --doc news-0-s1 --retries 1 >/dev/null 2>&1
+check "request against a dead server exits 1" 1 $?
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures check(s) failed" >&2
+  exit 1
+fi
+echo "all CLI checks passed"

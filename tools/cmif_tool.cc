@@ -1,4 +1,6 @@
-// cmif_tool — command-line front end for the CMIF pipeline.
+// cmif_tool — command-line front end for the CMIF pipeline. Compiles against
+// the public facade (src/api/cmif.h) only; pipeline/serve/net internals stay
+// behind it.
 //
 //   cmif_tool sample-news [stories]          write news.cmif + news.catalog
 //   cmif_tool check <doc> [catalog]          validate + statistics
@@ -11,38 +13,55 @@
 //                                            run instrumented, export trace + metrics
 //   cmif_tool serve [--docs K] [--requests N] [--threads T] [--zipf S]
 //                   [--seed X] [--cache C | --no-cache] [--faults <plan | level:N>]
-//                                            serve a synthetic Zipf trace concurrently,
-//                                            optionally under a fault-injection plan
+//                                            serve a synthetic Zipf trace concurrently
+//   cmif_tool serve --listen <port> [--host A] [--workers W] [--docs K] [...]
+//                                            serve over TCP until stdin closes
+//   cmif_tool request --port <port> --doc <name> [--host A] [--profile <name>]
+//                     [--channels a,b] [--no-body] [--retries N]
+//                                            fetch one compiled presentation
 //
 // Profiles: workstation (default), personal, portable.
+//
+// Exit codes: 0 success, 1 runtime/validation failure, 2 usage or bad flags.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <vector>
 
+#include "src/api/cmif.h"
+#include "src/base/string_util.h"
 #include "src/ddbms/persist.h"
 #include "src/doc/stats.h"
-#include "src/fault/fault.h"
 #include "src/doc/validate.h"
-#include "src/fmt/parser.h"
+#include "src/fault/fault.h"
 #include "src/fmt/tree_view.h"
 #include "src/fmt/writer.h"
 #include "src/news/evening_news.h"
 #include "src/obs/export.h"
 #include "src/obs/obs.h"
-#include "src/pipeline/pipeline.h"
 #include "src/player/engine.h"
 #include "src/present/compositor.h"
 #include "src/sched/conflict.h"
-#include "src/serve/serve.h"
 
 namespace cmif {
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitFailure = 1;  // runtime error or failed validation
+constexpr int kExitUsage = 2;    // bad command line
+
 int Fail(const Status& status) {
   std::cerr << "error: " << status << "\n";
-  return 1;
+  return kExitFailure;
+}
+
+// Bad flags always exit kExitUsage with a message on stderr.
+int BadFlag(const std::string& message) {
+  std::cerr << "cmif_tool: " << message << "\n";
+  return kExitUsage;
 }
 
 StatusOr<std::string> ReadFile(const std::string& path) {
@@ -64,17 +83,17 @@ Status WriteFile(const std::string& path, const std::string& contents) {
   return Status::Ok();
 }
 
-StatusOr<Document> LoadDocument(const std::string& path) {
+StatusOr<Document> LoadDocumentFile(const std::string& path) {
   CMIF_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
-  return ParseDocument(text);
+  return api::LoadDocument(text);
 }
 
-StatusOr<DescriptorStore> LoadCatalog(const std::string& path) {
+StatusOr<DescriptorStore> LoadCatalogFile(const std::string& path) {
   if (path.empty()) {
     return DescriptorStore();
   }
   CMIF_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
-  return ReadCatalog(text);
+  return api::LoadCatalog(text);
 }
 
 SystemProfile ProfileByName(const std::string& name) {
@@ -87,9 +106,41 @@ SystemProfile ProfileByName(const std::string& name) {
   return WorkstationProfile();
 }
 
-int CmdSampleNews(int stories) {
+// Strict numeric flag parsing: "--docs banana" is a usage error, not zero.
+std::optional<long> ParseLong(const std::string& text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> ParseDouble(const std::string& text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return std::nullopt;
+  }
+  return value;
+}
+
+int CmdSampleNews(const std::string& stories_arg) {
   NewsOptions options;
-  options.stories = stories;
+  if (!stories_arg.empty()) {
+    std::optional<long> stories = ParseLong(stories_arg);
+    if (!stories || *stories < 1) {
+      return BadFlag("sample-news: story count must be a positive integer, got '" + stories_arg +
+                     "'");
+    }
+    options.stories = static_cast<int>(*stories);
+  }
   auto workload = BuildEveningNews(options);
   if (!workload.ok()) {
     return Fail(workload.status());
@@ -110,15 +161,15 @@ int CmdSampleNews(int stories) {
   }
   std::cout << "wrote news.cmif (" << doc_text->size() << " bytes) and news.catalog ("
             << catalog_text->size() << " bytes)\n";
-  return 0;
+  return kExitOk;
 }
 
 int CmdCheck(const std::string& doc_path, const std::string& catalog_path) {
-  auto doc = LoadDocument(doc_path);
+  auto doc = LoadDocumentFile(doc_path);
   if (!doc.ok()) {
     return Fail(doc.status());
   }
-  auto store = LoadCatalog(catalog_path);
+  auto store = LoadCatalogFile(catalog_path);
   if (!store.ok()) {
     return Fail(store.status());
   }
@@ -129,27 +180,27 @@ int CmdCheck(const std::string& doc_path, const std::string& catalog_path) {
       ComputeStats(*doc, catalog_path.empty() ? nullptr : &*store));
   std::cout << (report.ok() ? "OK" : "INVALID") << " (" << report.error_count() << " errors, "
             << report.warning_count() << " warnings)\n";
-  return report.ok() ? 0 : 1;
+  return report.ok() ? kExitOk : kExitFailure;
 }
 
 int CmdTree(const std::string& doc_path) {
-  auto doc = LoadDocument(doc_path);
+  auto doc = LoadDocumentFile(doc_path);
   if (!doc.ok()) {
     return Fail(doc.status());
   }
   std::cout << "---- conventional ----\n"
             << ConventionalTreeView(doc->root()) << "---- embedded ----\n"
             << EmbeddedTreeView(doc->root());
-  return 0;
+  return kExitOk;
 }
 
 int CmdArcs(const std::string& doc_path) {
-  auto doc = LoadDocument(doc_path);
+  auto doc = LoadDocumentFile(doc_path);
   if (!doc.ok()) {
     return Fail(doc.status());
   }
   std::cout << ArcTableView(doc->root());
-  return 0;
+  return kExitOk;
 }
 
 StatusOr<ScheduleResult> ScheduleOf(const Document& doc, const DescriptorStore* store) {
@@ -158,11 +209,11 @@ StatusOr<ScheduleResult> ScheduleOf(const Document& doc, const DescriptorStore* 
 }
 
 int CmdSchedule(const std::string& doc_path, const std::string& catalog_path) {
-  auto doc = LoadDocument(doc_path);
+  auto doc = LoadDocumentFile(doc_path);
   if (!doc.ok()) {
     return Fail(doc.status());
   }
-  auto store = LoadCatalog(catalog_path);
+  auto store = LoadCatalogFile(catalog_path);
   if (!store.ok()) {
     return Fail(store.status());
   }
@@ -179,23 +230,23 @@ int CmdSchedule(const std::string& doc_path, const std::string& catalog_path) {
         std::cout << "  " << label << "\n";
       }
     }
-    return 1;
+    return kExitFailure;
   }
   for (const std::string& dropped : result->dropped_arcs) {
     std::cout << "dropped may-arc: " << dropped << "\n";
   }
   std::cout << TimelineView(result->schedule.ToTimelineRows(*doc));
   std::cout << TimelineTable(result->schedule.ToTimelineRows(*doc));
-  return 0;
+  return kExitOk;
 }
 
 int CmdPlay(const std::string& doc_path, const std::string& catalog_path,
             const std::string& profile_name) {
-  auto doc = LoadDocument(doc_path);
+  auto doc = LoadDocumentFile(doc_path);
   if (!doc.ok()) {
     return Fail(doc.status());
   }
-  auto store = LoadCatalog(catalog_path);
+  auto store = LoadCatalogFile(catalog_path);
   if (!store.ok()) {
     return Fail(store.status());
   }
@@ -205,7 +256,7 @@ int CmdPlay(const std::string& doc_path, const std::string& catalog_path,
   }
   if (!result->feasible) {
     std::cerr << "document does not schedule; run 'schedule' for the conflicts\n";
-    return 1;
+    return kExitFailure;
   }
   PlayerOptions options;
   options.profile = ProfileByName(profile_name);
@@ -216,16 +267,16 @@ int CmdPlay(const std::string& doc_path, const std::string& catalog_path,
   std::cout << "profile: " << options.profile.name << "\n" << run->trace.Summary();
   std::cout << "presentation time: " << run->clock.presentation_time().ToSecondsF() << "s ("
             << run->clock.frozen_total().ToSecondsF() << "s frozen)\n";
-  return 0;
+  return kExitOk;
 }
 
 int CmdRender(const std::string& doc_path, const std::string& catalog_path,
               const std::string& seconds, const std::string& out_path) {
-  auto doc = LoadDocument(doc_path);
+  auto doc = LoadDocumentFile(doc_path);
   if (!doc.ok()) {
     return Fail(doc.status());
   }
-  auto store = LoadCatalog(catalog_path);
+  auto store = LoadCatalogFile(catalog_path);
   if (!store.ok()) {
     return Fail(store.status());
   }
@@ -236,7 +287,7 @@ int CmdRender(const std::string& doc_path, const std::string& catalog_path,
   auto result = ScheduleOf(*doc, &*store);
   if (!result.ok() || !result->feasible) {
     std::cerr << "document does not schedule\n";
-    return 1;
+    return kExitFailure;
   }
   VirtualEnvironment env = VirtualEnvironment::NewsLayout(640, 480);
   auto map = PresentationMap::AutoMap(doc->channels(), env);
@@ -256,7 +307,7 @@ int CmdRender(const std::string& doc_path, const std::string& catalog_path,
   }
   std::cout << "wrote " << out_path << " (" << frame->width() << "x" << frame->height()
             << " at t=" << t->ToSecondsF() << "s)\n";
-  return 0;
+  return kExitOk;
 }
 
 // profile <doc> <catalog> [profile] [--trace out.json] [--metrics out.jsonl]
@@ -272,6 +323,8 @@ int CmdProfile(const std::vector<std::string>& args) {
       trace_path = args[++i];
     } else if (args[i] == "--metrics" && i + 1 < args.size()) {
       metrics_path = args[++i];
+    } else if (args[i].rfind("--", 0) == 0) {
+      return BadFlag("profile: unknown flag '" + args[i] + "'");
     } else {
       positional.push_back(args[i]);
     }
@@ -279,7 +332,7 @@ int CmdProfile(const std::vector<std::string>& args) {
   if (positional.size() < 2 || positional.size() > 3) {
     std::cerr << "usage: cmif_tool profile <doc> <catalog> [profile]"
                  " [--trace out.json] [--metrics out.jsonl]\n";
-    return 2;
+    return kExitUsage;
   }
   const std::string& doc_path = positional[0];
   const std::string& catalog_path = positional[1];
@@ -316,13 +369,13 @@ int CmdProfile(const std::vector<std::string>& args) {
   DescriptorStore store;
   {
     obs::Span span("structure");
-    auto parsed = ParseDocument(doc_text);
+    auto parsed = api::LoadDocument(doc_text);
     if (!parsed.ok()) {
       return Fail(parsed.status());
     }
     document.emplace(std::move(parsed).value());
     if (!catalog_text.empty()) {
-      auto catalog = ReadCatalog(catalog_text);
+      auto catalog = api::LoadCatalog(catalog_text);
       if (!catalog.ok()) {
         return Fail(catalog.status());
       }
@@ -332,11 +385,11 @@ int CmdProfile(const std::vector<std::string>& args) {
     span.Annotate("descriptors", store.size());
   }
 
-  // Map → filter → schedule → play, with per-stage spans from RunPipeline.
+  // Map → filter → schedule → play, with per-stage spans from the pipeline.
   BlockStore blocks;
-  PipelineOptions options;
+  api::PipelineOptions options;
   options.profile = ProfileByName(profile_name);
-  auto report = RunPipeline(*document, store, blocks, options);
+  auto report = api::Play(*document, store, blocks, options);
   if (!report.ok()) {
     return Fail(report.status());
   }
@@ -355,30 +408,40 @@ int CmdProfile(const std::vector<std::string>& args) {
   }
   std::cout << "profile: " << options.profile.name << "\n" << report->Summary() << "\n";
   std::cout << obs::TextReport();
-  return 0;
+  return kExitOk;
 }
 
 // serve [--docs K] [--requests N] [--threads T] [--zipf S] [--seed X]
-//       [--cache C | --no-cache]
-// Builds a news corpus over one shared descriptor database, replays a
-// deterministic Zipf request trace on a worker pool, and reports throughput,
-// latency percentiles, cache effectiveness and the per-stage histograms.
+//       [--cache C | --no-cache] [--faults <plan | level:N>]
+//       [--listen PORT [--host A] [--workers W]]
+// Without --listen: builds a news corpus over one shared descriptor
+// database, replays a deterministic Zipf request trace on a worker pool, and
+// reports throughput, latency percentiles, cache effectiveness and the
+// per-stage histograms. With --listen: exposes the same ServeLoop over the
+// CMIF wire protocol on a TCP port until stdin reaches EOF.
 int CmdServe(const std::vector<std::string>& args) {
   int docs = 8;
   std::size_t requests = 256;
-  ServeOptions options;
+  api::ServeOptions options;
+  api::NetServerOptions net_options;
+  bool listen = false;
   std::optional<fault::FaultPlan> fault_plan;
-  auto number_after = [&](std::size_t& i) -> std::optional<long> {
+  auto long_after = [&](std::size_t& i) -> std::optional<long> {
     if (i + 1 >= args.size()) {
       return std::nullopt;
     }
-    return std::atol(args[++i].c_str());
+    return ParseLong(args[++i]);
   };
   auto parse_faults = [&](const std::string& spec) -> bool {
     // `level:N` is shorthand for the escalating chaos plan the Figure-12
     // bench uses; anything else is a full plan spec.
     if (spec.rfind("level:", 0) == 0) {
-      fault_plan = fault::StandardChaosPlan(std::atoi(spec.c_str() + 6));
+      std::optional<long> level = ParseLong(spec.substr(6));
+      if (!level) {
+        std::cerr << "serve: bad --faults level '" << spec << "'\n";
+        return false;
+      }
+      fault_plan = fault::StandardChaosPlan(static_cast<int>(*level));
       return true;
     }
     auto parsed = fault::FaultPlan::Parse(spec);
@@ -391,31 +454,41 @@ int CmdServe(const std::vector<std::string>& args) {
   };
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::optional<long> value;
-    if (args[i] == "--docs" && (value = number_after(i))) {
+    if (args[i] == "--docs" && (value = long_after(i))) {
       docs = static_cast<int>(*value);
-    } else if (args[i] == "--requests" && (value = number_after(i))) {
+    } else if (args[i] == "--requests" && (value = long_after(i))) {
       requests = static_cast<std::size_t>(*value);
-    } else if (args[i] == "--threads" && (value = number_after(i))) {
+    } else if (args[i] == "--threads" && (value = long_after(i))) {
       options.threads = static_cast<int>(*value);
-    } else if (args[i] == "--seed" && (value = number_after(i))) {
+    } else if (args[i] == "--seed" && (value = long_after(i))) {
       options.seed = static_cast<std::uint64_t>(*value);
-    } else if (args[i] == "--cache" && (value = number_after(i))) {
+    } else if (args[i] == "--cache" && (value = long_after(i))) {
       options.cache_capacity = static_cast<std::size_t>(*value);
+    } else if (args[i] == "--listen" && (value = long_after(i))) {
+      listen = true;
+      net_options.port = static_cast<int>(*value);
+    } else if (args[i] == "--workers" && (value = long_after(i))) {
+      net_options.workers = static_cast<int>(*value);
+    } else if (args[i] == "--host" && i + 1 < args.size()) {
+      net_options.host = args[++i];
     } else if (args[i] == "--zipf" && i + 1 < args.size()) {
-      options.zipf_skew = std::atof(args[++i].c_str());
+      std::optional<double> skew = ParseDouble(args[++i]);
+      if (!skew) {
+        return BadFlag("serve: --zipf needs a number, got '" + args[i] + "'");
+      }
+      options.zipf_skew = *skew;
     } else if (args[i] == "--no-cache") {
       options.use_cache = false;
     } else if (args[i] == "--faults" && i + 1 < args.size()) {
       if (!parse_faults(args[++i])) {
-        return 2;
+        return kExitUsage;
       }
     } else if (args[i].rfind("--faults=", 0) == 0) {
       if (!parse_faults(args[i].substr(9))) {
-        return 2;
+        return kExitUsage;
       }
     } else {
-      std::cerr << "serve: unknown argument '" << args[i] << "'\n";
-      return 2;
+      return BadFlag("serve: unknown or malformed argument '" + args[i] + "'");
     }
   }
   if (fault_plan.has_value()) {
@@ -424,7 +497,7 @@ int CmdServe(const std::vector<std::string>& args) {
     options.enable_degraded = true;
   }
 
-  auto corpus = BuildNewsCorpus(docs);
+  auto corpus = api::BuildNewsCorpus(docs);
   if (!corpus.ok()) {
     return Fail(corpus.status());
   }
@@ -436,8 +509,28 @@ int CmdServe(const std::vector<std::string>& args) {
     chaos.emplace(*fault_plan);
     std::cout << "fault plan: " << fault_plan->ToString() << "\n";
   }
-  ServeLoop loop(**corpus, options);
-  std::vector<ServeRequest> trace = GenerateTrace((*corpus)->size(), requests, options);
+  api::ServeLoop loop(**corpus, options);
+
+  if (listen) {
+    api::NetServer server(loop, net_options);
+    if (Status s = server.Start(); !s.ok()) {
+      return Fail(s);
+    }
+    std::cout << "listening on " << net_options.host << ":" << server.port() << " ("
+              << docs << " documents, " << net_options.workers << " workers)\n"
+              << "close stdin (Ctrl-D) to stop\n"
+              << std::flush;
+    // Serve until the controlling stream closes — scriptable and signal-free.
+    std::cin.ignore(std::numeric_limits<std::streamsize>::max());
+    server.Stop();
+    api::NetServer::Stats stats = server.stats();
+    std::cout << "served " << stats.requests << " requests over " << stats.connections
+              << " connections (" << stats.protocol_errors << " protocol errors, "
+              << stats.rejected << " rejected)\n";
+    return kExitOk;
+  }
+
+  std::vector<api::ServeRequest> trace = api::GenerateTrace((*corpus)->size(), requests, options);
   std::cout << "serving " << requests << " requests over " << docs << " documents ("
             << (*corpus)->store().size() << " shared descriptors), " << options.threads
             << " threads, Zipf(" << options.zipf_skew << ")"
@@ -453,7 +546,69 @@ int CmdServe(const std::vector<std::string>& args) {
               << counts.probes << " probes)\n";
   }
   std::cout << stats->Summary() << "\n" << obs::TextReport();
-  return 0;
+  return kExitOk;
+}
+
+// request --port P --doc NAME [--host A] [--profile NAME] [--channels a,b]
+//         [--no-body] [--retries N]
+// One wire round trip against a `serve --listen` server: prints the outcome
+// line, the presentation hash, and (unless --no-body) the canonical
+// presentation text.
+int CmdRequest(const std::vector<std::string>& args) {
+  api::NetClientOptions client_options;
+  api::PresentRequest request;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::optional<long> value;
+    auto long_after = [&](std::size_t& j) -> std::optional<long> {
+      if (j + 1 >= args.size()) {
+        return std::nullopt;
+      }
+      return ParseLong(args[++j]);
+    };
+    if (args[i] == "--port" && (value = long_after(i))) {
+      client_options.port = static_cast<int>(*value);
+    } else if (args[i] == "--retries" && (value = long_after(i))) {
+      client_options.retry.max_attempts = static_cast<int>(*value);
+    } else if (args[i] == "--host" && i + 1 < args.size()) {
+      client_options.host = args[++i];
+    } else if (args[i] == "--doc" && i + 1 < args.size()) {
+      request.document = args[++i];
+    } else if (args[i] == "--profile" && i + 1 < args.size()) {
+      request.profile = args[++i];
+    } else if (args[i] == "--channels" && i + 1 < args.size()) {
+      request.channels = SplitString(args[++i], ',');
+    } else if (args[i] == "--no-body") {
+      request.want_body = false;
+    } else if (args[i] == "--no-degraded") {
+      request.allow_degraded = false;
+    } else {
+      return BadFlag("request: unknown or malformed argument '" + args[i] + "'");
+    }
+  }
+  if (client_options.port <= 0) {
+    return BadFlag("request: --port is required");
+  }
+  if (request.document.empty()) {
+    return BadFlag("request: --doc is required");
+  }
+  api::NetClient client(client_options);
+  auto response = client.Present(request);
+  if (!response.ok()) {
+    return Fail(response.status());
+  }
+  std::cout << "outcome: " << api::ServeOutcomeName(response->outcome) << " ("
+            << response->attempts << (response->attempts == 1 ? " attempt" : " attempts")
+            << ", cache " << (response->cache_hit ? "hit" : "miss") << ")\n";
+  if (response->outcome == api::ServeOutcome::kFailed) {
+    std::cerr << "error: " << response->error << "\n";
+    return kExitFailure;
+  }
+  std::cout << StrFormat("presentation-hash: %016llx\n",
+                         static_cast<unsigned long long>(response->presentation_hash));
+  if (request.want_body) {
+    std::cout << response->presentation;
+  }
+  return kExitOk;
 }
 
 int Usage() {
@@ -464,8 +619,11 @@ int Usage() {
                "                  profile <doc> <catalog> [profile] [--trace out.json]"
                " [--metrics out.jsonl] |\n"
                "                  serve [--docs K] [--requests N] [--threads T] [--zipf S]"
-               " [--seed X] [--cache C | --no-cache] [--faults <plan | level:N>]>\n";
-  return 2;
+               " [--seed X] [--cache C | --no-cache] [--faults <plan | level:N>]"
+               " [--listen PORT [--host A] [--workers W]] |\n"
+               "                  request --port P --doc NAME [--host A] [--profile NAME]"
+               " [--channels a,b] [--no-body] [--retries N]>\n";
+  return kExitUsage;
 }
 
 int Run(int argc, char** argv) {
@@ -475,7 +633,7 @@ int Run(int argc, char** argv) {
   std::string command = argv[1];
   auto arg = [&](int i) { return i < argc ? std::string(argv[i]) : std::string(); };
   if (command == "sample-news") {
-    return CmdSampleNews(argc > 2 ? std::atoi(argv[2]) : 3);
+    return CmdSampleNews(arg(2));
   }
   if (command == "check" && argc >= 3) {
     return CmdCheck(arg(2), arg(3));
@@ -500,6 +658,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "serve") {
     return CmdServe(std::vector<std::string>(argv + 2, argv + argc));
+  }
+  if (command == "request") {
+    return CmdRequest(std::vector<std::string>(argv + 2, argv + argc));
   }
   return Usage();
 }
