@@ -1,0 +1,154 @@
+// Figure 14 — differential conformance throughput. How many generated
+// documents per second the full differential driver sustains (oracle solve,
+// relaxation replay, serialize/parse and wire round trips, player-vs-
+// simulator comparison), and the price of the deliberately naive reference
+// implementations: oracle-vs-production solver time on the same graphs.
+// Expected shape: the driver clears hundreds of documents/sec — cheap enough
+// to run thousands of seeds in CI — and the O(V*E) oracle trails SPFA by a
+// growing factor as documents grow.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench/bench_json.h"
+#include "src/base/string_util.h"
+#include "src/check/differential.h"
+#include "src/check/oracle.h"
+#include "src/doc/event.h"
+#include "src/gen/docgen.h"
+#include "src/sched/solver.h"
+
+namespace cmif {
+namespace {
+
+check::CheckReport MustRun(const check::CheckOptions& options) {
+  auto report = check::RunDifferentialCheck(options);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    std::abort();
+  }
+  if (!report->ok()) {
+    std::cerr << report->Summary();
+    std::abort();
+  }
+  return std::move(report).value();
+}
+
+TimeGraph GraphForSeed(std::uint64_t seed, int leaves) {
+  GenOptions options = check::PathologicalGenOptions(seed, leaves);
+  auto workload = GenerateRandomDocument(options);
+  if (!workload.ok()) {
+    std::cerr << workload.status() << "\n";
+    std::abort();
+  }
+  auto events = CollectEvents(workload->document, &workload->store);
+  auto graph = TimeGraph::Build(workload->document, *events);
+  if (!graph.ok()) {
+    std::cerr << graph.status() << "\n";
+    std::abort();
+  }
+  return std::move(graph).value();
+}
+
+void PrintFigure(const std::string& bench_json) {
+  std::cout << "==== Figure 14: differential conformance throughput ====\n";
+
+  check::CheckOptions options;
+  options.base_seed = 1;
+  options.count = 400;
+  options.target_leaves = 12;
+  options.shrink = false;  // a clean run never shrinks; keep timing honest
+  double driver_ms = 0;
+  check::CheckReport report;
+  driver_ms = bench::MeanMillis(1, [&] { report = MustRun(options); });
+  double docs_per_sec = 1000.0 * static_cast<double>(report.documents) / driver_ms;
+  std::cout << StrFormat(
+      "differential driver: %zu documents in %.1f ms (%.0f docs/sec)\n"
+      "  verdicts: %zu feasible, %zu relaxed, %zu infeasible; %zu oracle sweeps\n",
+      report.documents, driver_ms, docs_per_sec, report.feasible, report.relaxed,
+      report.infeasible, report.oracle_passes);
+
+  // Oracle-vs-production ratio on a fixed graph population.
+  std::vector<TimeGraph> graphs;
+  for (std::uint64_t seed = 100; seed < 116; ++seed) {
+    graphs.push_back(GraphForSeed(seed, 24));
+  }
+  double oracle_ms = bench::MeanMillis(10, [&] {
+    for (const TimeGraph& graph : graphs) {
+      benchmark::DoNotOptimize(check::OracleSolve(graph));
+    }
+  });
+  double spfa_ms = bench::MeanMillis(10, [&] {
+    for (const TimeGraph& graph : graphs) {
+      benchmark::DoNotOptimize(SolveStn(graph, SolverAlgorithm::kSpfa));
+    }
+  });
+  double ratio = spfa_ms > 0 ? oracle_ms / spfa_ms : 0;
+  std::cout << StrFormat(
+      "solver ratio over %zu graphs: oracle %.2f ms vs spfa %.2f ms (%.1fx slower)\n",
+      graphs.size(), oracle_ms, spfa_ms, ratio);
+
+  bench::AppendBenchJson(bench_json, "fig14_check",
+                         {{"documents", static_cast<double>(report.documents)},
+                          {"driver_ms", driver_ms},
+                          {"docs_per_sec", docs_per_sec},
+                          {"feasible", static_cast<double>(report.feasible)},
+                          {"relaxed", static_cast<double>(report.relaxed)},
+                          {"infeasible", static_cast<double>(report.infeasible)},
+                          {"oracle_ms", oracle_ms},
+                          {"spfa_ms", spfa_ms},
+                          {"oracle_over_spfa", ratio}});
+}
+
+void BM_DifferentialDocument(benchmark::State& state) {
+  // One full differential check per iteration, sweeping document size.
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    GenOptions options =
+        check::PathologicalGenOptions(seed++, static_cast<int>(state.range(0)));
+    auto workload = GenerateRandomDocument(options);
+    if (!workload.ok()) {
+      state.SkipWithError("generator failed");
+      return;
+    }
+    check::CheckCounters counters;
+    Status verdict = check::CheckDocument(workload->document, &workload->store, "bench",
+                                          WorkstationProfile(), &counters);
+    if (!verdict.ok()) {
+      state.SkipWithError("differential divergence");
+      return;
+    }
+    benchmark::DoNotOptimize(counters);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DifferentialDocument)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_OracleSolve(benchmark::State& state) {
+  TimeGraph graph = GraphForSeed(7, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check::OracleSolve(graph));
+  }
+  state.SetLabel(StrFormat("%zu constraints", graph.constraints().size()));
+}
+BENCHMARK(BM_OracleSolve)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ProductionSolve(benchmark::State& state) {
+  TimeGraph graph = GraphForSeed(7, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveStn(graph, SolverAlgorithm::kSpfa));
+  }
+  state.SetLabel(StrFormat("%zu constraints", graph.constraints().size()));
+}
+BENCHMARK(BM_ProductionSolve)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,573 @@
+#include "src/check/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/string_util.h"
+#include "src/check/oracle.h"
+#include "src/check/simulator.h"
+#include "src/doc/edit.h"
+#include "src/doc/event.h"
+#include "src/fmt/parser.h"
+#include "src/fmt/writer.h"
+#include "src/net/presentation_wire.h"
+#include "src/net/protocol.h"
+#include "src/net/wire.h"
+#include "src/pipeline/pipeline.h"
+#include "src/player/engine.h"
+#include "src/present/filter.h"
+#include "src/sched/conflict.h"
+#include "src/sched/solver.h"
+#include "src/serve/mapping_cache.h"
+
+namespace cmif {
+namespace check {
+namespace {
+
+// SplitMix64 finalizer: decorrelates consecutive document indexes so every
+// generated document explores an independent region of the pathology space.
+std::uint64_t MixSeed(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+Status Diverged(const std::string& tag, const std::string& check, const std::string& detail) {
+  return FailedPreconditionError(
+      StrFormat("[%s] %s differential diverged: %s", tag.c_str(), check.c_str(), detail.c_str()));
+}
+
+// Exact comparison of two earliest-time vectors.
+Status CompareTimes(const std::string& tag, const std::string& check,
+                    const std::vector<MediaTime>& a, const std::string& a_name,
+                    const std::vector<MediaTime>& b, const std::string& b_name) {
+  if (a.size() != b.size()) {
+    return Diverged(tag, check,
+                    StrFormat("%s has %zu points, %s has %zu", a_name.c_str(), a.size(),
+                              b_name.c_str(), b.size()));
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      return Diverged(tag, check,
+                      StrFormat("point %zu: %s=%s, %s=%s", i, a_name.c_str(),
+                                a[i].ToString().c_str(), b_name.c_str(),
+                                b[i].ToString().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+// Solver differential on one (already built) graph. Compares SPFA, naive
+// Bellman-Ford, and the oracle on the pristine graph, then runs may-arc
+// relaxation and re-judges the relaxed graph with the oracle.
+Status CheckSolver(TimeGraph& graph, const std::vector<EventDescriptor>& events,
+                   const std::string& tag, const std::string& check, bool expect_capability_free,
+                   ScheduleResult* production, CheckCounters* counters) {
+  OracleResult oracle = OracleSolve(graph);
+  if (counters != nullptr) {
+    counters->oracle_passes += oracle.passes;
+  }
+  SolveResult spfa = SolveStn(graph, SolverAlgorithm::kSpfa);
+  SolveResult naive = SolveStn(graph, SolverAlgorithm::kNaiveBellmanFord);
+  if (spfa.feasible != oracle.feasible) {
+    return Diverged(tag, check,
+                    StrFormat("SPFA says %s, oracle says %s",
+                              spfa.feasible ? "feasible" : "infeasible",
+                              oracle.feasible ? "feasible" : "infeasible"));
+  }
+  if (spfa.feasible != naive.feasible) {
+    return Diverged(tag, check, "SPFA and naive Bellman-Ford disagree on feasibility");
+  }
+  if (oracle.feasible) {
+    CMIF_RETURN_IF_ERROR(CompareTimes(tag, check, spfa.earliest, "spfa", oracle.times, "oracle"));
+    CMIF_RETURN_IF_ERROR(CompareTimes(tag, check, spfa.earliest, "spfa", naive.earliest, "bf"));
+    if (Status s = VerifySolution(graph, oracle.times); !s.ok()) {
+      return Diverged(tag, check, "oracle times violate a constraint: " + s.message());
+    }
+  }
+
+  // Relaxation: the production scheduler may drop may-arcs; the oracle must
+  // agree with whatever graph it settled on.
+  CMIF_ASSIGN_OR_RETURN(ScheduleResult sched, SolveSchedule(graph, events));
+  if (sched.conflicts.empty() != oracle.feasible) {
+    return Diverged(tag, check,
+                    StrFormat("production %s conflicts but pristine graph is %s",
+                              sched.conflicts.empty() ? "saw no" : "recorded",
+                              oracle.feasible ? "feasible" : "infeasible"));
+  }
+  OracleResult relaxed = OracleSolve(graph);  // sees the disabled arcs
+  if (sched.feasible != relaxed.feasible) {
+    return Diverged(tag, check,
+                    StrFormat("after relaxation production says %s, oracle says %s",
+                              sched.feasible ? "feasible" : "infeasible",
+                              relaxed.feasible ? "feasible" : "infeasible"));
+  }
+  if (sched.feasible) {
+    CMIF_RETURN_IF_ERROR(
+        CompareTimes(tag, check, sched.solve.earliest, "production", relaxed.times, "oracle"));
+    // The schedule's event times must be exactly the earliest assignment.
+    for (const ScheduledEvent& event : sched.schedule.events()) {
+      CMIF_ASSIGN_OR_RETURN(int begin, graph.PointOf(*event.event.node, PointKind::kBegin));
+      CMIF_ASSIGN_OR_RETURN(int end, graph.PointOf(*event.event.node, PointKind::kEnd));
+      if (event.begin != relaxed.times[static_cast<std::size_t>(begin)] ||
+          event.end != relaxed.times[static_cast<std::size_t>(end)]) {
+        return Diverged(tag, check,
+                        "scheduled event " + event.event.node->DisplayPath() +
+                            " does not sit at the oracle's earliest times");
+      }
+    }
+  } else {
+    if (sched.conflicts.empty()) {
+      return Diverged(tag, check, "infeasible production schedule carries no conflict");
+    }
+    // Classification: when ignoring capability constraints makes the network
+    // feasible, every unbreakable cycle runs through a capability constraint
+    // and production must have said so. (The converse is not required: a
+    // mixed cycle can legitimately be reported as kCapability while a pure
+    // authoring cycle also exists.)
+    ConflictClass cls = sched.conflicts.back().cls;
+    bool capability_blamed = OracleBlamesCapability(graph);
+    if (capability_blamed && cls != ConflictClass::kCapability) {
+      return Diverged(tag, check,
+                      "oracle blames the device model but production classified the conflict as " +
+                          std::string(ConflictClassName(cls)));
+    }
+    if (expect_capability_free && cls != ConflictClass::kAuthoring) {
+      return Diverged(tag, check,
+                      "graph has no capability constraints but conflict classified as " +
+                          std::string(ConflictClassName(cls)));
+    }
+  }
+  if (production != nullptr) {
+    *production = std::move(sched);
+  }
+  return Status::Ok();
+}
+
+// Compares the production playback engine against the simulator, entry by
+// entry, under one freeze setting.
+Status ComparePlayback(const Document& document, const Schedule& schedule,
+                       const DescriptorStore* store, const SystemProfile& profile,
+                       bool enable_freeze, const std::string& tag) {
+  const std::string check = enable_freeze ? "player(freeze)" : "player(no-freeze)";
+  PlayerOptions player_options;
+  player_options.profile = profile;
+  player_options.enable_freeze = enable_freeze;
+  CMIF_ASSIGN_OR_RETURN(PlaybackResult played, Play(document, schedule, store, player_options));
+  SimulatorOptions sim_options;
+  sim_options.profile = profile;
+  sim_options.enable_freeze = enable_freeze;
+  CMIF_ASSIGN_OR_RETURN(SimResult simulated,
+                        SimulatePlayback(document, schedule, store, sim_options));
+  if (played.trace.size() != simulated.entries.size()) {
+    return Diverged(tag, check,
+                    StrFormat("engine presented %zu events, simulator %zu", played.trace.size(),
+                              simulated.entries.size()));
+  }
+  for (std::size_t i = 0; i < simulated.entries.size(); ++i) {
+    const TraceEntry& real = played.trace.entries()[i];
+    const SimEntry& sim = simulated.entries[i];
+    if (real.label != sim.label || real.channel != sim.channel ||
+        real.scheduled_begin != sim.scheduled_begin || real.target_begin != sim.target_begin ||
+        real.actual_begin != sim.actual_begin || real.actual_end != sim.actual_end ||
+        real.lateness != sim.lateness || real.caused_freeze != sim.caused_freeze ||
+        real.freeze_amount != sim.freeze_amount) {
+      return Diverged(tag, check,
+                      StrFormat("entry %zu ('%s') differs between engine and simulator", i,
+                                real.label.c_str()));
+    }
+  }
+  if (played.sync_violations != simulated.sync_violations) {
+    return Diverged(tag, check,
+                    StrFormat("engine counted %zu sync violations, simulator %zu",
+                              played.sync_violations, simulated.sync_violations));
+  }
+  if (enable_freeze && played.sync_violations != 0) {
+    return Diverged(tag, check, "sync violations with freezing enabled");
+  }
+  if (played.trace.TotalFreeze() != simulated.total_freeze) {
+    return Diverged(tag, check, "total freeze time differs");
+  }
+  if (played.clock.document_time() != simulated.document_time ||
+      played.clock.presentation_time() != simulated.presentation_time ||
+      played.clock.frozen_total() != simulated.frozen_total) {
+    return Diverged(tag, check, "final clock state differs");
+  }
+  if (Status s = played.trace.Verify(); !s.ok()) {
+    return Diverged(tag, check, "engine trace fails Verify: " + s.message());
+  }
+  return Status::Ok();
+}
+
+// Serialize -> parse -> serialize must be byte-identical, and the reparsed
+// document must schedule exactly like the original.
+Status CheckDocumentRoundTrip(const Document& document, const DescriptorStore* store,
+                              const ScheduleResult& original, const std::string& tag,
+                              Document* reparsed_out) {
+  CMIF_ASSIGN_OR_RETURN(std::string text, WriteDocument(document));
+  StatusOr<Document> reparsed = ParseDocument(text);
+  if (!reparsed.ok()) {
+    return Diverged(tag, "serialize/parse", "serialized document does not parse: " +
+                                                reparsed.status().message());
+  }
+  CMIF_ASSIGN_OR_RETURN(std::string text2, WriteDocument(*reparsed));
+  if (text != text2) {
+    return Diverged(tag, "serialize/parse", "second serialization is not a fixed point");
+  }
+  CMIF_ASSIGN_OR_RETURN(std::vector<EventDescriptor> events, CollectEvents(*reparsed, store));
+  CMIF_ASSIGN_OR_RETURN(ScheduleResult resched, ComputeSchedule(*reparsed, events));
+  if (resched.feasible != original.feasible) {
+    return Diverged(tag, "serialize/parse", "reparsed document's feasibility changed");
+  }
+  if (resched.feasible) {
+    const auto& a = original.schedule.events();
+    const auto& b = resched.schedule.events();
+    if (a.size() != b.size()) {
+      return Diverged(tag, "serialize/parse", "reparsed schedule has a different event count");
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].begin != b[i].begin || a[i].end != b[i].end ||
+          a[i].event.channel != b[i].event.channel ||
+          a[i].event.node->DisplayPath() != b[i].event.node->DisplayPath()) {
+        return Diverged(tag, "serialize/parse",
+                        "reparsed schedule shifted event " + a[i].event.node->DisplayPath());
+      }
+    }
+  }
+  if (reparsed_out != nullptr) {
+    *reparsed_out = std::move(*reparsed);
+  }
+  return Status::Ok();
+}
+
+// compile -> serialize -> parse -> compile must be a PresentationHash fixed
+// point, and compile -> wire-encode -> decode must return the identical
+// canonical presentation.
+Status CheckPipelineRoundTrips(const Document& document, const Document& reparsed,
+                               const DescriptorStore& store, const SystemProfile& profile,
+                               const std::string& tag) {
+  BlockStore blocks;
+  PipelineOptions options;
+  options.profile = profile;
+  options.mode = PipelineMode::kCompileOnly;
+  CMIF_ASSIGN_OR_RETURN(CompileReport first, CompilePresentation(document, store, blocks, options));
+  CMIF_ASSIGN_OR_RETURN(CompileReport second,
+                        CompilePresentation(reparsed, store, blocks, options));
+  CompiledPresentation cp1{first.presentation_map, first.filter, first.schedule};
+  CompiledPresentation cp2{second.presentation_map, second.filter, second.schedule};
+  std::uint64_t h1 = net::PresentationHash(cp1);
+  std::uint64_t h2 = net::PresentationHash(cp2);
+  if (h1 != h2) {
+    return Diverged(tag, "compile/serialize/parse/compile",
+                    StrFormat("PresentationHash %016llx != %016llx",
+                              static_cast<unsigned long long>(h1),
+                              static_cast<unsigned long long>(h2)));
+  }
+
+  // Wire round trip: response -> frame -> decode -> response.
+  std::string body = net::SerializePresentation(cp1);
+  net::PresentResponse response;
+  response.outcome = ServeOutcome::kHealthy;
+  response.presentation = body;
+  response.presentation_hash = h1;
+  std::string frame_bytes = net::EncodeFrame(net::FrameType::kResponse,
+                                             net::EncodeResponse(response));
+  std::size_t consumed = 0;
+  StatusOr<net::Frame> frame = net::DecodeFrame(frame_bytes, &consumed);
+  if (!frame.ok()) {
+    return Diverged(tag, "compile/wire/decode", "frame decode failed: " + frame.status().message());
+  }
+  if (consumed != frame_bytes.size() || frame->type != net::FrameType::kResponse) {
+    return Diverged(tag, "compile/wire/decode", "frame shape changed in transit");
+  }
+  StatusOr<net::PresentResponse> decoded = net::DecodeResponse(frame->payload);
+  if (!decoded.ok()) {
+    return Diverged(tag, "compile/wire/decode",
+                    "response decode failed: " + decoded.status().message());
+  }
+  if (decoded->presentation != body || decoded->presentation_hash != h1 ||
+      Fnv1a64(decoded->presentation) != h1) {
+    return Diverged(tag, "compile/wire/decode",
+                    "decoded presentation is not the canonical serialization");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+GenOptions PathologicalGenOptions(std::uint64_t seed, int target_leaves) {
+  std::uint64_t h = MixSeed(seed);
+  GenOptions gen;
+  gen.seed = seed;
+  gen.target_leaves = target_leaves;
+  gen.max_depth = 2 + static_cast<int>(h % 5);  // shallow fanout to deep nests
+  gen.max_fanout = 2 + static_cast<int>((h >> 3) % 4);
+  gen.channels = 1 + static_cast<int>((h >> 5) % 4);  // 1 = channel starvation
+  gen.par_probability = 0.2 + 0.15 * static_cast<double>((h >> 7) % 5);
+  gen.arcs_per_composite = 0.4 + 0.3 * static_cast<double>((h >> 10) % 4);
+  gen.may_fraction = 0.25 * static_cast<double>((h >> 12) % 4);
+  gen.tight_windows = ((h >> 14) & 3) != 0;  // 3 in 4: finite (maybe infeasible) windows
+  gen.cross_arc_rate = 0.25 * static_cast<double>((h >> 16) % 3);
+  gen.backward_arc_fraction = ((h >> 18) & 1) != 0 ? 0.3 : 0.0;
+  gen.zero_offset_fraction = ((h >> 19) & 1) != 0 ? 0.5 : 0.0;
+  gen.negative_delay_fraction = ((h >> 20) & 1) != 0 ? 0.5 : 0.0;
+  gen.with_styles = ((h >> 21) & 1) != 0;
+  return gen;
+}
+
+Status CheckDocument(const Document& document, const DescriptorStore* store,
+                     const std::string& tag, const SystemProfile& profile,
+                     CheckCounters* counters) {
+  CMIF_ASSIGN_OR_RETURN(std::vector<EventDescriptor> events, CollectEvents(document, store));
+
+  // 1. Solver differential on the authored constraints alone. The graph has
+  // no capability constraints, so any conflict must classify as authoring.
+  CMIF_ASSIGN_OR_RETURN(TimeGraph graph, TimeGraph::Build(document, events));
+  ScheduleResult production;
+  CMIF_RETURN_IF_ERROR(CheckSolver(graph, events, tag, "solver", /*expect_capability_free=*/true,
+                                   &production, counters));
+  if (counters != nullptr) {
+    if (!production.feasible) {
+      ++counters->infeasible;
+    } else if (production.conflicts.empty()) {
+      ++counters->feasible;
+    } else {
+      ++counters->relaxed;
+    }
+  }
+
+  // 2. Solver differential with the device model injected — the class-2
+  // conflict path of section 5.3.3.
+  CMIF_ASSIGN_OR_RETURN(TimeGraph capability_graph, TimeGraph::Build(document, events));
+  CMIF_RETURN_IF_ERROR(
+      InjectCapabilityConstraints(capability_graph, document, events, profile));
+  CMIF_RETURN_IF_ERROR(CheckSolver(capability_graph, events, tag, "solver+capability",
+                                   /*expect_capability_free=*/false, nullptr, counters));
+
+  // 3. Serialize/parse fixed point and schedule stability.
+  Document reparsed;
+  CMIF_RETURN_IF_ERROR(CheckDocumentRoundTrip(document, store, production, tag, &reparsed));
+
+  // 4. Pipeline-hash and wire round trips (need the descriptor catalog).
+  if (store != nullptr) {
+    CMIF_RETURN_IF_ERROR(CheckPipelineRoundTrips(document, reparsed, *store, profile, tag));
+  }
+
+  // 5. Player vs simulator on the production schedule, both freeze modes.
+  if (production.feasible) {
+    CMIF_RETURN_IF_ERROR(ComparePlayback(document, production.schedule, store, profile,
+                                         /*enable_freeze=*/true, tag));
+    CMIF_RETURN_IF_ERROR(ComparePlayback(document, production.schedule, store, profile,
+                                         /*enable_freeze=*/false, tag));
+  }
+  return Status::Ok();
+}
+
+StatusOr<CheckReport> RunDifferentialCheck(const CheckOptions& options) {
+  CheckReport report;
+  CheckCounters counters;
+  std::vector<std::uint64_t> seeds = options.seeds;
+  if (seeds.empty()) {
+    seeds.reserve(static_cast<std::size_t>(std::max(options.count, 0)));
+    for (int i = 0; i < options.count; ++i) {
+      seeds.push_back(MixSeed(options.base_seed + static_cast<std::uint64_t>(i)));
+    }
+  }
+  for (std::uint64_t seed : seeds) {
+    std::string tag = StrFormat("seed=0x%016llx", static_cast<unsigned long long>(seed));
+    GenOptions gen = PathologicalGenOptions(seed, options.target_leaves);
+    StatusOr<GenWorkload> workload = GenerateRandomDocument(gen);
+    if (!workload.ok()) {
+      report.failures.push_back(
+          CheckFailure{seed, "generator failed: " + workload.status().message(), ""});
+      continue;
+    }
+    ++report.documents;
+    Status verdict =
+        CheckDocument(workload->document, &workload->store, tag, options.profile, &counters);
+    if (verdict.ok()) {
+      continue;
+    }
+    CheckFailure failure;
+    failure.seed = seed;
+    failure.detail = verdict.message();
+    if (options.shrink) {
+      StatusOr<std::string> minimized =
+          ShrinkReproducer(workload->document, &workload->store, options.profile);
+      if (minimized.ok()) {
+        std::filesystem::path dir =
+            options.reproducer_dir.empty() ? "." : options.reproducer_dir;
+        std::filesystem::path path =
+            dir / StrFormat("repro-%016llx.cmif", static_cast<unsigned long long>(seed));
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        std::ofstream out(path);
+        if (out) {
+          out << *minimized;
+          failure.reproducer_path = path.string();
+        }
+      }
+    }
+    report.failures.push_back(std::move(failure));
+  }
+  report.feasible = counters.feasible;
+  report.relaxed = counters.relaxed;
+  report.infeasible = counters.infeasible;
+  report.oracle_passes = counters.oracle_passes;
+  return report;
+}
+
+namespace {
+
+// Child-index path of `node` from its root, for relocating the same node in
+// a clone.
+std::vector<std::size_t> IndexPath(const Node& node) {
+  std::vector<std::size_t> path;
+  const Node* current = &node;
+  while (current->parent() != nullptr) {
+    const Node* parent = current->parent();
+    for (std::size_t i = 0; i < parent->child_count(); ++i) {
+      if (&parent->ChildAt(i) == current) {
+        path.push_back(i);
+        break;
+      }
+    }
+    current = parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Node* NodeAtIndexPath(Document& document, const std::vector<std::size_t>& path) {
+  Node* node = &document.root();
+  for (std::size_t index : path) {
+    if (index >= node->child_count()) {
+      return nullptr;
+    }
+    node = &node->ChildAt(index);
+  }
+  return node;
+}
+
+}  // namespace
+
+StatusOr<std::string> ShrinkReproducer(const Document& document, const DescriptorStore* store,
+                                       const SystemProfile& profile) {
+  auto fails = [&](const Document& candidate) {
+    return !CheckDocument(candidate, store, "shrink", profile).ok();
+  };
+  if (!fails(document)) {
+    return FailedPreconditionError("document passes every check; nothing to shrink");
+  }
+  Document current = document.Clone();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Pass 1: delete whole subtrees (pre-order, so large subtrees go first).
+    std::vector<std::vector<std::size_t>> victims;
+    current.root().Visit([&](const Node& node) {
+      if (node.parent() != nullptr) {
+        victims.push_back(IndexPath(node));
+      }
+    });
+    for (const auto& path : victims) {
+      Document trial = current.Clone();
+      Node* victim = NodeAtIndexPath(trial, path);
+      if (victim == nullptr) {
+        continue;
+      }
+      if (!DeleteSubtree(trial, *victim).ok()) {
+        continue;
+      }
+      if (fails(trial)) {
+        current = std::move(trial);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) {
+      continue;
+    }
+    // Pass 2: delete individual arcs.
+    std::vector<std::pair<std::vector<std::size_t>, std::size_t>> arcs;
+    current.root().Visit([&](const Node& node) {
+      for (std::size_t i = 0; i < node.arcs().size(); ++i) {
+        arcs.emplace_back(IndexPath(node), i);
+      }
+    });
+    for (const auto& [path, index] : arcs) {
+      Document trial = current.Clone();
+      Node* owner = NodeAtIndexPath(trial, path);
+      if (owner == nullptr || index >= owner->arcs().size()) {
+        continue;
+      }
+      owner->arcs().erase(owner->arcs().begin() + static_cast<std::ptrdiff_t>(index));
+      if (fails(trial)) {
+        current = std::move(trial);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return WriteDocument(current);
+}
+
+Status ReplayCorpusText(const std::string& text, const std::string& tag) {
+  StatusOr<Document> document = ParseDocument(text);
+  if (!document.ok()) {
+    return FailedPreconditionError("[" + tag + "] corpus file does not parse: " +
+                                   document.status().message());
+  }
+  // Corpus files are self-contained: generated leaves pin their durations
+  // with duration attributes, so no catalog is needed to re-judge them.
+  return CheckDocument(*document, /*store=*/nullptr, tag, WorkstationProfile());
+}
+
+StatusOr<int> ReplayCorpusDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return NotFoundError("cannot open corpus dir '" + dir + "': " + ec.message());
+  }
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : it) {
+    if (entry.path().extension() == ".cmif") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      return NotFoundError("cannot read corpus file '" + path.string() + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    CMIF_RETURN_IF_ERROR(ReplayCorpusText(buffer.str(), path.filename().string()));
+  }
+  return static_cast<int>(files.size());
+}
+
+std::string CheckReport::Summary() const {
+  std::ostringstream os;
+  os << "checked " << documents << " documents: " << feasible << " feasible, " << relaxed
+     << " relaxed, " << infeasible << " infeasible (" << oracle_passes << " oracle sweeps)\n";
+  for (const CheckFailure& failure : failures) {
+    os << StrFormat("FAIL seed=0x%016llx: %s\n",
+                    static_cast<unsigned long long>(failure.seed), failure.detail.c_str());
+    if (!failure.reproducer_path.empty()) {
+      os << "  minimized reproducer: " << failure.reproducer_path << "\n";
+    }
+  }
+  if (failures.empty()) {
+    os << "zero divergences\n";
+  }
+  return os.str();
+}
+
+}  // namespace check
+}  // namespace cmif

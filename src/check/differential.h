@@ -1,0 +1,113 @@
+// The differential conformance driver. For each seed it generates one
+// pathology-biased document (src/gen), then asserts that the production
+// stack and the deliberately naive reference implementations agree:
+//
+//   solver     SolveStn (SPFA and Bellman-Ford) vs the fixed-point oracle —
+//              same feasibility verdict, identical exact earliest times,
+//              and after may-arc relaxation the same final assignment; on
+//              rejection, consistent conflict classification.
+//   round trip compile -> serialize -> parse -> compile is a fixed point of
+//              the FNV-1a PresentationHash, and compile -> wire-encode ->
+//              decode returns the identical canonical presentation.
+//   player     the production engine vs the event-by-event simulator —
+//              identical traces, zero sync violations with freezing on,
+//              identical violation counts with freezing off.
+//
+// On divergence the shrinker bisects the document (subtree deletion, then
+// arc deletion) down to a minimal reproducer and writes it as a parseable
+// corpus file whose root carries the generating seed.
+#ifndef SRC_CHECK_DIFFERENTIAL_H_
+#define SRC_CHECK_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/gen/docgen.h"
+#include "src/present/capability.h"
+
+namespace cmif {
+namespace check {
+
+// Controls one driver run.
+struct CheckOptions {
+  // First document seed; document i uses a seed derived from base_seed + i.
+  std::uint64_t base_seed = 1;
+  // Number of generated documents.
+  int count = 200;
+  // Explicit seed list; when non-empty it replaces base_seed/count (the CI
+  // nightly job replays a fixed list).
+  std::vector<std::uint64_t> seeds;
+  // Size of each generated document.
+  int target_leaves = 12;
+  // Shrink failures to minimal reproducers.
+  bool shrink = true;
+  // Directory minimized reproducers are written into ("" = current dir).
+  std::string reproducer_dir;
+  // Device model for the capability-injected differential and the player.
+  SystemProfile profile = WorkstationProfile();
+};
+
+// One divergence.
+struct CheckFailure {
+  std::uint64_t seed = 0;
+  std::string detail;           // which check diverged and how
+  std::string reproducer_path;  // minimized corpus file, when shrinking ran
+};
+
+// The outcome of a driver run.
+struct CheckReport {
+  std::size_t documents = 0;
+  std::size_t feasible = 0;    // schedulable as authored
+  std::size_t relaxed = 0;     // schedulable after dropping may arcs
+  std::size_t infeasible = 0;  // rejected by production and oracle alike
+  std::size_t oracle_passes = 0;  // total oracle sweeps, for the bench ratio
+  std::vector<CheckFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  // Human-readable outcome; failure lines always include the seed.
+  std::string Summary() const;
+};
+
+// Per-document verdict counters, shared by the driver and corpus replay.
+struct CheckCounters {
+  std::size_t feasible = 0;
+  std::size_t relaxed = 0;
+  std::size_t infeasible = 0;
+  std::size_t oracle_passes = 0;
+};
+
+// Derives the document shape for one seed, sweeping the paper's pathology
+// space: deep par/seq nesting, cross-subtree arcs, zero/negative offsets,
+// infeasible tolerance windows, and channel starvation (channels == 1).
+GenOptions PathologicalGenOptions(std::uint64_t seed, int target_leaves);
+
+// Runs every differential check on one document. With a non-null `store`
+// the full set runs (solver, pipeline-hash and wire round trips, player
+// replay); a null store runs the store-independent subset, which is what
+// corpus replay uses. The first divergence comes back as FailedPrecondition
+// with `tag` in the message.
+Status CheckDocument(const Document& document, const DescriptorStore* store,
+                     const std::string& tag, const SystemProfile& profile,
+                     CheckCounters* counters = nullptr);
+
+// The driver: generate, check, shrink-on-failure.
+StatusOr<CheckReport> RunDifferentialCheck(const CheckOptions& options);
+
+// Shrinks a failing document to a minimal one that still fails
+// CheckDocument, and returns its serialized text (a parseable corpus file).
+StatusOr<std::string> ShrinkReproducer(const Document& document, const DescriptorStore* store,
+                                       const SystemProfile& profile);
+
+// Replays one corpus file: parse, then run the store-independent checks.
+Status ReplayCorpusText(const std::string& text, const std::string& tag);
+
+// Replays every *.cmif file under `dir` (sorted by name); returns the
+// number of files replayed, or the first file's divergence.
+StatusOr<int> ReplayCorpusDir(const std::string& dir);
+
+}  // namespace check
+}  // namespace cmif
+
+#endif  // SRC_CHECK_DIFFERENTIAL_H_

@@ -1,0 +1,78 @@
+#include "src/check/oracle.h"
+
+#include <algorithm>
+
+namespace cmif {
+namespace check {
+namespace {
+
+// One chaotic-iteration solve. `ignore_capability` drops kCapability
+// constraints from consideration (for conflict classification).
+OracleResult Iterate(const TimeGraph& graph, bool ignore_capability) {
+  OracleResult result;
+  const std::size_t n = graph.point_count();
+  result.times.assign(n, MediaTime());
+  if (n == 0) {
+    result.feasible = true;
+    return result;
+  }
+  // A feasible network converges within point_count + 1 full sweeps: the
+  // sweeps are Bellman-Ford passes over the longest-path graph seeded from
+  // every point at once, and any simple propagation chain has at most
+  // point_count - 1 hops. Progress past the bound proves a positive cycle.
+  const std::size_t max_passes = n + 1;
+  bool changed = true;
+  while (changed && result.passes <= max_passes) {
+    changed = false;
+    ++result.passes;
+    for (std::size_t i = 0; i < graph.constraints().size(); ++i) {
+      if (graph.IsDisabled(i)) {
+        continue;
+      }
+      const Constraint& c = graph.constraints()[i];
+      if (ignore_capability && c.origin == ConstraintOrigin::kCapability) {
+        continue;
+      }
+      MediaTime& from = result.times[static_cast<std::size_t>(c.from)];
+      MediaTime& to = result.times[static_cast<std::size_t>(c.to)];
+      if (to < from + c.lo) {
+        to = from + c.lo;
+        changed = true;
+      }
+      if (c.hi.has_value() && to - *c.hi > from) {
+        from = to - *c.hi;
+        changed = true;
+      }
+    }
+  }
+  result.feasible = !changed;
+  if (!result.feasible) {
+    result.times.clear();
+    return result;
+  }
+  // Normalize to the production solver's frame: point 0 (the root's begin)
+  // is the zero of document time. The sweep can have lifted point 0 when an
+  // upper bound chained back into it; subtracting re-anchors without
+  // changing any difference.
+  MediaTime origin = result.times[0];
+  if (!origin.is_zero()) {
+    for (MediaTime& t : result.times) {
+      t -= origin;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+OracleResult OracleSolve(const TimeGraph& graph) { return Iterate(graph, false); }
+
+bool OracleBlamesCapability(const TimeGraph& graph) {
+  if (Iterate(graph, false).feasible) {
+    return false;  // nothing to blame
+  }
+  return Iterate(graph, true).feasible;
+}
+
+}  // namespace check
+}  // namespace cmif

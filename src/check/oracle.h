@@ -1,0 +1,53 @@
+// The reference scheduling oracle: a deliberately naive fixed-point solver
+// for the compiled time graph. Where src/sched/solver.cc runs SPFA over a
+// distance graph with an integer-tick fast path, the oracle does the obvious
+// thing — repeatedly sweep every difference constraint, raising times until
+// nothing changes — so its correctness is checkable by eye. The differential
+// driver (src/check/differential.h) asserts that the production solver and
+// this oracle agree on feasibility and, when feasible, on the exact earliest
+// assignment, for thousands of generated documents.
+#ifndef SRC_CHECK_ORACLE_H_
+#define SRC_CHECK_ORACLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/base/media_time.h"
+#include "src/sched/timegraph.h"
+
+namespace cmif {
+namespace check {
+
+// The oracle's verdict on one network.
+struct OracleResult {
+  bool feasible = false;
+  // Least solution with times[0] == 0 (the root's begin), populated only
+  // when feasible. Exact rational arithmetic, like the production solver.
+  std::vector<MediaTime> times;
+  // Full sweeps performed before convergence (or the divergence cutoff).
+  std::size_t passes = 0;
+};
+
+// Solves `graph` by chaotic iteration: start every point at zero and apply
+//
+//   t[to]   := max(t[to],   t[from] + lo)        (lower bound)
+//   t[from] := max(t[from], t[to]   - hi)        (upper bound, when finite)
+//
+// until a full sweep changes nothing. The least fixed point of these rules
+// is the earliest schedule; if sweeps still make progress after
+// point_count() + 1 passes a positive cycle exists (Bellman-Ford bound) and
+// the network is infeasible. O(passes * constraints) — quadratic in the
+// worst case, which is the point: no queues, no tick conversion, no early
+// exits to get wrong. Disabled constraints are skipped, so the oracle can
+// re-judge a graph after may-arc relaxation disabled some arcs.
+OracleResult OracleSolve(const TimeGraph& graph);
+
+// Classifies an infeasible graph the way section 5.3.3 separates case 1
+// from case 2: true when ignoring every kCapability constraint makes the
+// network feasible (the device model, not the author, over-constrained it).
+bool OracleBlamesCapability(const TimeGraph& graph);
+
+}  // namespace check
+}  // namespace cmif
+
+#endif  // SRC_CHECK_ORACLE_H_

@@ -1,0 +1,159 @@
+#include "src/check/simulator.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace cmif {
+namespace check {
+namespace {
+
+// One channel's device, reduced to the timing state the model needs.
+struct SimDevice {
+  DeviceTiming timing;
+  MediaTime free_at;
+
+  // When a presentation requested at `requested` can start: the device is
+  // released at free_at, spends its setup time, transfers the payload (the
+  // transfer may prefetch ahead of the requested time but not before the
+  // device is ready), then adds its output latency.
+  MediaTime EarliestStart(MediaTime requested, std::size_t bytes) const {
+    MediaTime ready = free_at + timing.setup;
+    MediaTime transfer;
+    if (timing.bandwidth_bytes_per_s > 0 && bytes > 0) {
+      transfer = MediaTime::Bytes(static_cast<std::int64_t>(bytes), timing.bandwidth_bytes_per_s);
+    }
+    MediaTime start = std::max(ready, requested - transfer - timing.latency);
+    return start + transfer + timing.latency;
+  }
+};
+
+// Declared payload bytes of one event, from immediate data or the catalog.
+std::size_t EventBytes(const EventDescriptor& event, const DescriptorStore* store) {
+  if (event.node->kind() == NodeKind::kImm) {
+    return event.node->immediate_data().ByteSize();
+  }
+  if (store != nullptr) {
+    if (const DataDescriptor* descriptor = store->Get(event.descriptor_id)) {
+      return static_cast<std::size_t>(descriptor->DeclaredBytes());
+    }
+  }
+  return 0;
+}
+
+// Per-node tolerance: the tightest finite max_delay among explicit must arcs
+// whose destination is the node's begin edge, else the default. One upfront
+// walk over every arc in the document.
+std::map<const Node*, MediaTime> ToleranceTable(const Document& document,
+                                                MediaTime default_tolerance) {
+  std::map<const Node*, std::optional<MediaTime>> tightest;
+  document.root().Visit([&](const Node& node) {
+    for (const SyncArc& arc : node.arcs()) {
+      if (arc.rigor != ArcRigor::kMust || arc.dest_edge != ArcEdge::kBegin ||
+          !arc.max_delay.has_value()) {
+        continue;
+      }
+      auto dest = node.Resolve(arc.dest);
+      if (!dest.ok()) {
+        continue;
+      }
+      std::optional<MediaTime>& slot = tightest[*dest];
+      if (!slot.has_value() || *arc.max_delay < *slot) {
+        slot = *arc.max_delay;
+      }
+    }
+  });
+  std::map<const Node*, MediaTime> table;
+  for (const auto& [node, window] : tightest) {
+    table[node] = window.value_or(default_tolerance);
+  }
+  return table;
+}
+
+}  // namespace
+
+StatusOr<SimResult> SimulatePlayback(const Document& document, const Schedule& schedule,
+                                     const DescriptorStore* store,
+                                     const SimulatorOptions& options) {
+  SimResult result;
+  std::map<std::string, SimDevice> devices;
+  for (const ChannelDef& channel : document.channels().channels()) {
+    devices.emplace(channel.name, SimDevice{options.profile.TimingFor(channel.medium), {}});
+  }
+  std::map<const Node*, MediaTime> tolerance =
+      ToleranceTable(document, options.default_tolerance);
+
+  std::vector<const ScheduledEvent*> ordered;
+  ordered.reserve(schedule.events().size());
+  for (const ScheduledEvent& event : schedule.events()) {
+    ordered.push_back(&event);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ScheduledEvent* a, const ScheduledEvent* b) {
+                     return a->begin < b->begin;
+                   });
+
+  MediaTime shift;  // accumulated freeze time
+  for (const ScheduledEvent* scheduled : ordered) {
+    if (scheduled->end <= options.start_at && scheduled->begin < options.start_at) {
+      ++result.events_skipped;
+      continue;
+    }
+    auto device_it = devices.find(scheduled->event.channel);
+    if (device_it == devices.end()) {
+      return FailedPreconditionError("simulated event " + scheduled->event.node->DisplayPath() +
+                                     " plays on unknown channel '" + scheduled->event.channel +
+                                     "'");
+    }
+    SimDevice& device = device_it->second;
+
+    SimEntry entry;
+    entry.label = scheduled->event.node->name().empty() ? scheduled->event.node->DisplayPath()
+                                                        : scheduled->event.node->name();
+    entry.channel = scheduled->event.channel;
+    entry.scheduled_begin = scheduled->begin;
+
+    MediaTime target = scheduled->begin + shift;
+    std::size_t bytes = EventBytes(scheduled->event, store);
+    MediaTime actual = std::max(target, device.EarliestStart(target, bytes));
+    MediaTime lateness = actual - target;
+    if (lateness.is_positive()) {
+      auto window = tolerance.find(scheduled->event.node);
+      MediaTime allowed =
+          window == tolerance.end() ? options.default_tolerance : window->second;
+      if (lateness > allowed) {
+        if (options.enable_freeze) {
+          entry.caused_freeze = true;
+          entry.freeze_amount = lateness;
+          result.total_freeze += lateness;
+          result.frozen_total += lateness;
+          result.presentation_time += lateness;
+          shift += lateness;
+          target = scheduled->begin + shift;
+          actual = target;
+          lateness = MediaTime();
+        } else {
+          ++result.sync_violations;
+        }
+      }
+    }
+    entry.target_begin = target;
+    entry.lateness = lateness;
+    entry.actual_begin = actual;
+    entry.actual_end = actual + (scheduled->end - scheduled->begin);
+    device.free_at = entry.actual_end;
+
+    // The document clock tracks the scheduled (not actual) end; the
+    // presentation clock scales by the playback rate.
+    if (scheduled->end > result.document_time) {
+      MediaTime delta = scheduled->end - result.document_time;
+      result.document_time = scheduled->end;
+      result.presentation_time += delta.MulRational(options.rate_den, options.rate_num);
+    }
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace check
+}  // namespace cmif

@@ -1,0 +1,72 @@
+// The reference player: an event-by-event virtual-clock simulator of the
+// production playback engine (src/player/engine.cc), written for obviousness.
+// It walks the schedule in begin order, models each channel's device as
+// three numbers (free-at, setup, latency) plus a bandwidth division, applies
+// the freeze-or-violate rule per event, and advances a scalar clock — no
+// observability, no fault hooks, no degradation ladder. The differential
+// driver replays every generated document through both implementations and
+// asserts the traces are identical entry by entry.
+#ifndef SRC_CHECK_SIMULATOR_H_
+#define SRC_CHECK_SIMULATOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/base/media_time.h"
+#include "src/base/status.h"
+#include "src/ddbms/store.h"
+#include "src/doc/document.h"
+#include "src/present/capability.h"
+#include "src/sched/schedule.h"
+
+namespace cmif {
+namespace check {
+
+// Mirror of the PlayerOptions fields the simulator models. Degradation and
+// fault knobs are deliberately absent: the simulator defines fault-free
+// semantics only.
+struct SimulatorOptions {
+  SystemProfile profile = WorkstationProfile();
+  std::int64_t rate_num = 1;
+  std::int64_t rate_den = 1;
+  MediaTime default_tolerance = MediaTime::Millis(50);
+  bool enable_freeze = true;
+  MediaTime start_at;
+};
+
+// One simulated presentation.
+struct SimEntry {
+  std::string label;
+  std::string channel;
+  MediaTime scheduled_begin;  // the schedule's position
+  MediaTime target_begin;     // scheduled_begin plus accumulated freezes
+  MediaTime actual_begin;
+  MediaTime actual_end;
+  MediaTime lateness;  // actual - target after any freeze absorbed it
+  bool caused_freeze = false;
+  MediaTime freeze_amount;
+};
+
+// The simulated run.
+struct SimResult {
+  std::vector<SimEntry> entries;
+  std::size_t events_skipped = 0;
+  std::size_t sync_violations = 0;
+  MediaTime total_freeze;
+  // Final clock state, mirroring VirtualClock under the configured rate.
+  MediaTime document_time;
+  MediaTime presentation_time;
+  MediaTime frozen_total;
+};
+
+// Simulates `schedule` (computed for `document`). `store` supplies declared
+// payload sizes for external events and may be null.
+StatusOr<SimResult> SimulatePlayback(const Document& document, const Schedule& schedule,
+                                     const DescriptorStore* store,
+                                     const SimulatorOptions& options = {});
+
+}  // namespace check
+}  // namespace cmif
+
+#endif  // SRC_CHECK_SIMULATOR_H_

@@ -18,6 +18,10 @@ class Generator {
     GenWorkload workload;
     DocBuilder builder(NodeKind::kSeq);
     builder.ToRoot().Attr(std::string(kAttrName), AttrValue::Id("generated"));
+    if (options_.record_seed) {
+      builder.Attr("gen_seed", AttrValue::String(StrFormat(
+                                   "0x%016llx", static_cast<unsigned long long>(options_.seed))));
+    }
     for (int c = 0; c < options_.channels; ++c) {
       builder.DefineChannel(ChannelName(c), kChannelMedia[c % 4]);
     }
@@ -36,8 +40,9 @@ class Generator {
     // sections until the leaf target is met.
     while (leaves_ < options_.target_leaves) {
       builder.ToRoot();
-      CMIF_RETURN_IF_ERROR(Grow(builder, workload.store, 0));
+      CMIF_RETURN_IF_ERROR(Grow(builder, workload.store, 0, {}));
     }
+    CMIF_RETURN_IF_ERROR(AddCrossArcs(builder));
     CMIF_ASSIGN_OR_RETURN(workload.document, builder.Build());
     return workload;
   }
@@ -45,14 +50,39 @@ class Generator {
  private:
   std::string ChannelName(int c) { return StrFormat("ch%d", c); }
 
-  // Adds children to the composite the builder cursor is on.
-  Status Grow(DocBuilder& builder, DescriptorStore& store, int depth) {
+  // Draws one arc offset, honouring the zero-offset pathology dial. The
+  // dial guards are short-circuit so a zero dial consumes no rng draws and
+  // the legacy stream for a seed is unchanged.
+  MediaTime DrawOffset() {
+    if (options_.zero_offset_fraction > 0 && rng_.NextBool(options_.zero_offset_fraction)) {
+      return MediaTime();
+    }
+    return MediaTime::Millis(rng_.NextInRange(0, 500));
+  }
+
+  // Draws one arc min_delay (always <= 0).
+  MediaTime DrawMinDelay() {
+    if (options_.negative_delay_fraction > 0 &&
+        rng_.NextBool(options_.negative_delay_fraction)) {
+      return MediaTime() - MediaTime::Millis(rng_.NextInRange(0, 250));
+    }
+    return MediaTime();
+  }
+
+  // Adds children to the composite the builder cursor is on. `prefix` is the
+  // root-relative path of that composite, used to record every named node
+  // for the cross-subtree arc pass.
+  Status Grow(DocBuilder& builder, DescriptorStore& store, int depth,
+              std::vector<std::string> prefix) {
     Node& owner = builder.current();  // arcs attach to this composite
     int fanout = static_cast<int>(rng_.NextInRange(2, options_.max_fanout));
     std::vector<std::string> names;
     for (int i = 0; i < fanout && leaves_ < options_.target_leaves; ++i) {
       std::string name = StrFormat("n%d", name_counter_++);
       names.push_back(name);
+      std::vector<std::string> child_path = prefix;
+      child_path.push_back(name);
+      node_paths_.push_back(child_path);
       bool make_leaf = depth >= options_.max_depth || rng_.NextBool(0.55);
       if (make_leaf) {
         CMIF_RETURN_IF_ERROR(AddLeaf(builder, store, name));
@@ -62,7 +92,7 @@ class Generator {
         } else {
           builder.Seq(name);
         }
-        CMIF_RETURN_IF_ERROR(Grow(builder, store, depth + 1));
+        CMIF_RETURN_IF_ERROR(Grow(builder, store, depth + 1, std::move(child_path)));
         builder.Up();
       }
     }
@@ -88,8 +118,8 @@ class Generator {
         }
         arc.source = *source;
         arc.dest = *dest;
-        arc.offset = MediaTime::Millis(rng_.NextInRange(0, 500));
-        arc.min_delay = MediaTime();
+        arc.offset = DrawOffset();
+        arc.min_delay = DrawMinDelay();
         if (options_.tight_windows) {
           arc.max_delay = MediaTime::Millis(rng_.NextInRange(0, 300));
         } else {
@@ -98,6 +128,50 @@ class Generator {
         CMIF_RETURN_IF_ERROR(arc.CheckShape());
         owner.AddArc(std::move(arc));
       }
+    }
+    return Status::Ok();
+  }
+
+  // Writes cross-subtree arcs on the root, between named nodes anywhere in
+  // the tree. Forward arcs pick i < j in creation (document) order; the
+  // backward fraction swaps them, which together with structural sequencing
+  // is the classic over-constraint pathology.
+  Status AddCrossArcs(DocBuilder& builder) {
+    if (options_.cross_arc_rate <= 0 || node_paths_.size() < 2) {
+      return Status::Ok();
+    }
+    double expected = options_.cross_arc_rate * leaves_;
+    int count = static_cast<int>(expected);
+    double fraction = expected - count;
+    if (fraction > 0 && rng_.NextBool(fraction)) {
+      ++count;
+    }
+    builder.ToRoot();
+    Node& root = builder.current();
+    for (int a = 0; a < count; ++a) {
+      std::size_t i = static_cast<std::size_t>(
+          rng_.NextBelow(static_cast<std::uint64_t>(node_paths_.size() - 1)));
+      std::size_t j = i + 1 + static_cast<std::size_t>(rng_.NextBelow(
+                                  static_cast<std::uint64_t>(node_paths_.size() - i - 1)));
+      if (options_.backward_arc_fraction > 0 &&
+          rng_.NextBool(options_.backward_arc_fraction)) {
+        std::swap(i, j);
+      }
+      SyncArc arc;
+      arc.source_edge = rng_.NextBool() ? ArcEdge::kBegin : ArcEdge::kEnd;
+      arc.dest_edge = ArcEdge::kBegin;
+      arc.rigor = rng_.NextBool(options_.may_fraction) ? ArcRigor::kMay : ArcRigor::kMust;
+      arc.source = NodePath::Relative(node_paths_[i]);
+      arc.dest = NodePath::Relative(node_paths_[j]);
+      arc.offset = DrawOffset();
+      arc.min_delay = DrawMinDelay();
+      if (options_.tight_windows && rng_.NextBool(0.7)) {
+        arc.max_delay = MediaTime::Millis(rng_.NextInRange(0, 300));
+      } else {
+        arc.max_delay = std::nullopt;
+      }
+      CMIF_RETURN_IF_ERROR(arc.CheckShape());
+      root.AddArc(std::move(arc));
     }
     return Status::Ok();
   }
@@ -172,12 +246,22 @@ class Generator {
   Rng rng_;
   int leaves_ = 0;
   int name_counter_ = 0;
+  // Root-relative path of every named node, in creation (document) order.
+  std::vector<std::vector<std::string>> node_paths_;
 };
 
 }  // namespace
 
 StatusOr<GenWorkload> GenerateRandomDocument(const GenOptions& options) {
-  return Generator(options).Run();
+  StatusOr<GenWorkload> workload = Generator(options).Run();
+  if (!workload.ok()) {
+    // Every failure path names the seed, so a report line alone reproduces.
+    return Status(workload.status().code(),
+                  StrFormat("docgen seed=0x%016llx: %s",
+                            static_cast<unsigned long long>(options.seed),
+                            workload.status().message().c_str()));
+  }
+  return workload;
 }
 
 }  // namespace cmif

@@ -36,6 +36,25 @@ struct GenOptions {
   // Attach a style dictionary and style references.
   bool with_styles = true;
   std::uint64_t seed = 1;
+
+  // -- Pathology dials (the src/check conformance harness) ------------------
+  // All default to off, which preserves the legacy generation stream for a
+  // given seed exactly.
+  // Expected cross-subtree arcs per generated leaf, written on the root
+  // between named nodes anywhere in the tree (the local arcs above only ever
+  // connect siblings).
+  double cross_arc_rate = 0.0;
+  // Fraction of cross-subtree arcs that point backward in document order —
+  // the over-constrained case that exercises conflict cycles.
+  double backward_arc_fraction = 0.0;
+  // Fraction of arcs whose offset is forced to exactly zero.
+  double zero_offset_fraction = 0.0;
+  // Fraction of arcs given a negative min_delay ("the ability to start the
+  // target node sooner", section 5.3.2).
+  double negative_delay_fraction = 0.0;
+  // Stamp the seed on the root as a gen_seed attribute, so every generated
+  // artifact carries its own reproduction recipe.
+  bool record_seed = true;
 };
 
 // A generated workload: the document plus descriptors for its ext leaves.

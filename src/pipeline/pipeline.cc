@@ -237,9 +237,7 @@ StatusOr<PipelineReport> RunPipeline(const Document& document, const DescriptorS
   if (!report.schedule.feasible) {
     return report;  // conflicts are in the report; nothing to play
   }
-  // The deprecated run_player=false spelling forces compile-only for one
-  // more release; PipelineMode is the way to say it now.
-  if (options.mode == PipelineMode::kCompileOnly || !options.run_player) {
+  if (options.mode == PipelineMode::kCompileOnly) {
     return report;  // compile-only: the caller plays (or serves) later
   }
 

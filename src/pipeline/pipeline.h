@@ -44,10 +44,6 @@ struct PipelineOptions {
   // descriptor-only throughout.
   bool apply_filters = false;
   PipelineMode mode = PipelineMode::kCompileAndPlay;
-  // DEPRECATED: pre-PipelineMode spelling of kCompileOnly. run_player=false
-  // still forces compile-only for one release; new code sets `mode` (or
-  // calls CompilePresentation, which ignores both fields).
-  bool run_player = true;
   PlayerOptions player;
   // Graceful degradation of the data-touching path (off by default; the
   // fault-free pipeline is byte-identical with it off). When on and
@@ -94,7 +90,7 @@ struct PipelineReport : CompileReport {
 };
 
 // Runs structure -> presentation mapping -> constraint filtering ->
-// scheduling, never playback (PipelineOptions::mode/run_player are ignored).
+// scheduling, never playback (PipelineOptions::mode is ignored).
 // Fails fast on validation errors; an infeasible schedule is returned in the
 // report, conflicts attached.
 StatusOr<CompileReport> CompilePresentation(const Document& document,

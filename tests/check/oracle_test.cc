@@ -1,0 +1,157 @@
+#include "src/check/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+#include "src/doc/event.h"
+#include "src/gen/docgen.h"
+#include "src/sched/solver.h"
+#include "src/sched/timegraph.h"
+
+namespace cmif {
+namespace check {
+namespace {
+
+struct Compiled {
+  Document doc{NodeKind::kSeq};
+  std::vector<EventDescriptor> events;
+  TimeGraph graph = *TimeGraph::Build(Document(), {});
+};
+
+Compiled Compile(StatusOr<Document> doc_or) {
+  Compiled c;
+  EXPECT_TRUE(doc_or.ok()) << doc_or.status();
+  c.doc = std::move(doc_or).value();
+  auto events = CollectEvents(c.doc, nullptr);
+  EXPECT_TRUE(events.ok()) << events.status();
+  c.events = std::move(events).value();
+  auto graph = TimeGraph::Build(c.doc, c.events);
+  EXPECT_TRUE(graph.ok()) << graph.status();
+  c.graph = std::move(graph).value();
+  return c;
+}
+
+// seq root with three rigid text events of 1, 2, 3 seconds.
+StatusOr<Document> ChainDoc() {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  for (int i = 0; i < 3; ++i) {
+    builder.ImmText(std::string(1, static_cast<char>('a' + i)), "x")
+        .OnChannel("txt")
+        .WithDuration(MediaTime::Seconds(i + 1));
+  }
+  return builder.Build();
+}
+
+TEST(OracleTest, ChainMatchesProductionSolver) {
+  Compiled c = Compile(ChainDoc());
+  OracleResult oracle = OracleSolve(c.graph);
+  SolveResult production = SolveStn(c.graph);
+  ASSERT_TRUE(oracle.feasible);
+  ASSERT_TRUE(production.feasible);
+  ASSERT_EQ(oracle.times.size(), production.earliest.size());
+  for (std::size_t i = 0; i < oracle.times.size(); ++i) {
+    EXPECT_EQ(oracle.times[i], production.earliest[i]) << "point " << i;
+  }
+  // The least solution is anchored at the reference point and satisfies
+  // every constraint of the network.
+  EXPECT_EQ(oracle.times[0], MediaTime());
+  EXPECT_TRUE(VerifySolution(c.graph, oracle.times).ok());
+  EXPECT_GT(oracle.passes, 0u);
+}
+
+TEST(OracleTest, RejectsOverConstrainedWindow) {
+  // b must begin within 100ms of a's begin, but a runs for a full second
+  // before b can start: a positive cycle.
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  builder.ImmText("a", "x").OnChannel("txt").WithDuration(MediaTime::Seconds(1));
+  builder.ImmText("b", "y").OnChannel("txt").WithDuration(MediaTime::Seconds(1));
+  builder.ToRoot().Arc(WindowArc(*NodePath::Parse("a"), ArcEdge::kBegin, *NodePath::Parse("b"),
+                                 ArcEdge::kBegin, MediaTime(), MediaTime(),
+                                 MediaTime::Millis(100)));
+  Compiled c = Compile(builder.Build());
+  OracleResult oracle = OracleSolve(c.graph);
+  SolveResult production = SolveStn(c.graph);
+  EXPECT_FALSE(oracle.feasible);
+  EXPECT_FALSE(production.feasible);
+}
+
+TEST(OracleTest, BlamesCapabilityOnlyForCapabilityCycles) {
+  Compiled c = Compile(ChainDoc());
+  EXPECT_FALSE(OracleBlamesCapability(c.graph));  // feasible: no blame at all
+
+  // An injected device limit that contradicts the chain: c must end within
+  // 1s of the root's begin, but the chain needs 6s.
+  Constraint limit;
+  limit.from = 0;
+  limit.to = 1;  // root end
+  limit.lo = MediaTime();
+  limit.hi = MediaTime::Seconds(1);
+  limit.origin = ConstraintOrigin::kCapability;
+  limit.label = "test capability limit";
+  ASSERT_TRUE(c.graph.AddConstraint(limit).ok());
+  EXPECT_FALSE(OracleSolve(c.graph).feasible);
+  EXPECT_TRUE(OracleBlamesCapability(c.graph));
+}
+
+TEST(OracleTest, DoesNotBlameCapabilityForAuthoringCycles) {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  builder.ImmText("a", "x").OnChannel("txt").WithDuration(MediaTime::Seconds(1));
+  builder.ImmText("b", "y").OnChannel("txt").WithDuration(MediaTime::Seconds(1));
+  builder.ToRoot().Arc(WindowArc(*NodePath::Parse("a"), ArcEdge::kBegin, *NodePath::Parse("b"),
+                                 ArcEdge::kBegin, MediaTime(), MediaTime(),
+                                 MediaTime::Millis(100)));
+  Compiled c = Compile(builder.Build());
+  ASSERT_FALSE(OracleSolve(c.graph).feasible);
+  // The cycle stands without any capability constraint, so ignoring them
+  // cannot rescue the document.
+  EXPECT_FALSE(OracleBlamesCapability(c.graph));
+}
+
+TEST(OracleTest, DisabledConstraintsAreIgnored) {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  builder.ImmText("a", "x").OnChannel("txt").WithDuration(MediaTime::Seconds(1));
+  builder.ImmText("b", "y").OnChannel("txt").WithDuration(MediaTime::Seconds(1));
+  builder.ToRoot().Arc(WindowArc(*NodePath::Parse("a"), ArcEdge::kBegin, *NodePath::Parse("b"),
+                                 ArcEdge::kBegin, MediaTime(), MediaTime(),
+                                 MediaTime::Millis(100), ArcRigor::kMay));
+  Compiled c = Compile(builder.Build());
+  ASSERT_FALSE(OracleSolve(c.graph).feasible);
+  // Relaxation disables the may arc; the oracle must see the graph the same
+  // way the production solver does afterwards.
+  for (std::size_t i = 0; i < c.graph.constraints().size(); ++i) {
+    if (c.graph.constraints()[i].origin == ConstraintOrigin::kExplicitArc) {
+      c.graph.Disable(i);
+    }
+  }
+  EXPECT_TRUE(OracleSolve(c.graph).feasible);
+}
+
+TEST(OracleTest, AgreesWithSolverOnRandomDocuments) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    GenOptions options;
+    options.seed = seed;
+    options.target_leaves = 10;
+    options.tight_windows = (seed % 2) == 0;
+    auto workload = GenerateRandomDocument(options);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+    SCOPED_TRACE(testing::Message() << "seed=" << seed);
+    auto events = CollectEvents(workload->document, &workload->store);
+    ASSERT_TRUE(events.ok()) << events.status();
+    auto graph = TimeGraph::Build(workload->document, *events);
+    ASSERT_TRUE(graph.ok()) << graph.status();
+    OracleResult oracle = OracleSolve(*graph);
+    SolveResult production = SolveStn(*graph);
+    ASSERT_EQ(oracle.feasible, production.feasible);
+    if (oracle.feasible) {
+      EXPECT_EQ(oracle.times, production.earliest);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace cmif

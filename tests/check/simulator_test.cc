@@ -1,0 +1,141 @@
+#include "src/check/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/doc/builder.h"
+#include "src/doc/event.h"
+#include "src/gen/docgen.h"
+#include "src/player/engine.h"
+#include "src/sched/conflict.h"
+
+namespace cmif {
+namespace check {
+namespace {
+
+struct Prepared {
+  Document doc{NodeKind::kSeq};
+  DescriptorStore store;
+  Schedule schedule;
+};
+
+Prepared Prepare(StatusOr<GenWorkload> workload_or) {
+  Prepared p;
+  EXPECT_TRUE(workload_or.ok()) << workload_or.status();
+  p.doc = std::move(workload_or->document);
+  p.store = std::move(workload_or->store);
+  auto events = CollectEvents(p.doc, &p.store);
+  EXPECT_TRUE(events.ok()) << events.status();
+  auto result = ComputeSchedule(p.doc, *events);
+  EXPECT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->feasible);
+  p.schedule = std::move(result->schedule);
+  return p;
+}
+
+StatusOr<GenWorkload> SmallWorkload(std::uint64_t seed) {
+  GenOptions options;
+  options.seed = seed;
+  options.target_leaves = 8;
+  return GenerateRandomDocument(options);
+}
+
+// The simulator's defining property: entry-for-entry equality with the
+// production engine, across profiles (which shift device latencies and
+// bandwidth, and hence freezes).
+void ExpectMatchesEngine(const Prepared& p, const PlayerOptions& player_options,
+                         const SimulatorOptions& sim_options) {
+  auto run = Play(p.doc, p.schedule, &p.store, player_options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  auto sim = SimulatePlayback(p.doc, p.schedule, &p.store, sim_options);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  ASSERT_EQ(sim->entries.size(), run->trace.entries().size());
+  for (std::size_t i = 0; i < sim->entries.size(); ++i) {
+    const SimEntry& ours = sim->entries[i];
+    const TraceEntry& theirs = run->trace.entries()[i];
+    SCOPED_TRACE(testing::Message() << "entry " << i << " (" << theirs.label << ")");
+    EXPECT_EQ(ours.label, theirs.label);
+    EXPECT_EQ(ours.channel, theirs.channel);
+    EXPECT_EQ(ours.scheduled_begin, theirs.scheduled_begin);
+    EXPECT_EQ(ours.target_begin, theirs.target_begin);
+    EXPECT_EQ(ours.actual_begin, theirs.actual_begin);
+    EXPECT_EQ(ours.actual_end, theirs.actual_end);
+    EXPECT_EQ(ours.lateness, theirs.lateness);
+    EXPECT_EQ(ours.caused_freeze, theirs.caused_freeze);
+    EXPECT_EQ(ours.freeze_amount, theirs.freeze_amount);
+  }
+  EXPECT_EQ(sim->events_skipped, run->events_skipped);
+  EXPECT_EQ(sim->sync_violations, run->sync_violations);
+  EXPECT_EQ(sim->total_freeze, run->trace.TotalFreeze());
+  EXPECT_EQ(sim->document_time, run->clock.document_time());
+  EXPECT_EQ(sim->presentation_time, run->clock.presentation_time());
+  EXPECT_EQ(sim->frozen_total, run->clock.frozen_total());
+}
+
+TEST(SimulatorTest, MatchesEngineOnWorkstation) {
+  Prepared p = Prepare(SmallWorkload(7));
+  ExpectMatchesEngine(p, PlayerOptions{}, SimulatorOptions{});
+}
+
+TEST(SimulatorTest, MatchesEngineOnSlowProfile) {
+  // The portable profile's long setups force freezes; the accounting must
+  // stay in lockstep.
+  Prepared p = Prepare(SmallWorkload(11));
+  PlayerOptions player;
+  player.profile = PortableMonoProfile();
+  SimulatorOptions sim;
+  sim.profile = PortableMonoProfile();
+  ExpectMatchesEngine(p, player, sim);
+}
+
+TEST(SimulatorTest, MatchesEngineWithFreezingOff) {
+  Prepared p = Prepare(SmallWorkload(13));
+  PlayerOptions player;
+  player.profile = PortableMonoProfile();
+  player.enable_freeze = false;
+  SimulatorOptions sim;
+  sim.profile = PortableMonoProfile();
+  sim.enable_freeze = false;
+  ExpectMatchesEngine(p, player, sim);
+}
+
+TEST(SimulatorTest, MatchesEngineWithStartAtAndRate) {
+  Prepared p = Prepare(SmallWorkload(17));
+  PlayerOptions player;
+  player.start_at = MediaTime::Seconds(2);
+  player.rate_num = 2;  // double speed
+  SimulatorOptions sim;
+  sim.start_at = MediaTime::Seconds(2);
+  sim.rate_num = 2;
+  ExpectMatchesEngine(p, player, sim);
+}
+
+TEST(SimulatorTest, FreezePreservesMustSynchronization) {
+  // With freezing on there are never violations — the paper's must
+  // semantics; the freeze total records the price paid.
+  Prepared p = Prepare(SmallWorkload(19));
+  SimulatorOptions sim;
+  sim.profile = PortableMonoProfile();
+  auto frozen = SimulatePlayback(p.doc, p.schedule, &p.store, sim);
+  ASSERT_TRUE(frozen.ok()) << frozen.status();
+  EXPECT_EQ(frozen->sync_violations, 0u);
+
+  sim.enable_freeze = false;
+  auto loose = SimulatePlayback(p.doc, p.schedule, &p.store, sim);
+  ASSERT_TRUE(loose.ok()) << loose.status();
+  if (frozen->total_freeze.is_positive()) {
+    EXPECT_GT(loose->sync_violations, 0u);
+  }
+}
+
+TEST(SimulatorTest, RejectsUnknownChannel) {
+  // A schedule naming a channel the document does not define is an infra
+  // error, not a silent skip.
+  Prepared p = Prepare(SmallWorkload(23));
+  Document empty(NodeKind::kSeq);  // no channel definitions at all
+  auto sim = SimulatePlayback(empty, p.schedule, &p.store, SimulatorOptions{});
+  EXPECT_FALSE(sim.ok());
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace cmif

@@ -18,6 +18,9 @@ class ScheduleProperty : public ::testing::TestWithParam<int> {};
 TEST_P(ScheduleProperty, InvariantsHold) {
   GenOptions options;
   options.seed = static_cast<std::uint64_t>(GetParam()) * 131 + 3;
+  // Any failure below must name the generating seed, so the log alone
+  // reproduces it (cmif_tool check --seeds <seed>).
+  SCOPED_TRACE(testing::Message() << "docgen seed=" << options.seed);
   options.target_leaves = 50;
   options.arcs_per_composite = 0.6;
   auto workload = GenerateRandomDocument(options);
@@ -75,9 +78,10 @@ TEST_P(ScheduleProperty, InvariantsHold) {
 TEST_P(ScheduleProperty, TransportPreservesTiming) {
   GenOptions options;
   options.seed = static_cast<std::uint64_t>(GetParam()) * 57 + 29;
+  SCOPED_TRACE(testing::Message() << "docgen seed=" << options.seed);
   options.target_leaves = 30;
   auto workload = GenerateRandomDocument(options);
-  ASSERT_TRUE(workload.ok());
+  ASSERT_TRUE(workload.ok()) << workload.status();
 
   auto events = CollectEvents(workload->document, &workload->store);
   ASSERT_TRUE(events.ok());

@@ -306,6 +306,121 @@ TEST(LoopbackTest, ServesAfterClientVanishes) {
   h.server->Stop();
 }
 
+// A hand-rolled misbehaving server: one thread, scripted per-connection
+// behavior, for reconnect-during-response edge cases a well-behaved
+// NetServer never produces.
+PresentResponse CannedResponse() {
+  PresentResponse response;
+  response.outcome = ServeOutcome::kHealthy;
+  response.presentation = "(presentation canned)";
+  response.presentation_hash = Fnv1a64(response.presentation);
+  return response;
+}
+
+TEST(LoopbackTest, ReconnectsWhenServerDiesMidResponse) {
+  ListenSocket listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0, 4).ok());
+  std::thread server([&listener] {
+    // Connection 1: read the request, write half a valid response frame,
+    // then slam the connection — the client sees EOF mid-frame.
+    auto first = listener.Accept();
+    if (first.ok()) {
+      auto request = ReadFrame(*first, {});
+      EXPECT_TRUE(request.ok()) << request.status();
+      std::string frame = EncodeFrame(FrameType::kResponse, EncodeResponse(CannedResponse()));
+      EXPECT_TRUE(first->WriteAll(std::string_view(frame).substr(0, frame.size() / 2)).ok());
+      first->Close();
+    }
+    // Connection 2: behave.
+    auto second = listener.Accept();
+    if (second.ok()) {
+      auto request = ReadFrame(*second, {});
+      EXPECT_TRUE(request.ok()) << request.status();
+      EXPECT_TRUE(WriteFrame(*second, FrameType::kResponse,
+                             EncodeResponse(CannedResponse()))
+                      .ok());
+    }
+  });
+
+  NetClientOptions options;
+  options.port = listener.port();
+  options.retry.max_attempts = 3;
+  NetClient client(options);
+  PresentRequest request;
+  request.document = "any";
+  auto response = client.Present(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->outcome, ServeOutcome::kHealthy);
+  EXPECT_EQ(response->presentation, "(presentation canned)");
+  EXPECT_GE(client.reconnects(), 1u) << "the half-written response must force a reconnect";
+  server.join();
+  listener.Close();
+}
+
+TEST(LoopbackTest, WrongFrameTypeIsStructuralNotRetried) {
+  // A *well-formed* frame of the wrong type means protocol version skew, not
+  // transport loss: the client must fail structurally (kInternal), drop the
+  // connection, and — unlike the truncated-response case — never burn retry
+  // attempts resending a request the server demonstrably received.
+  ListenSocket listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0, 4).ok());
+  std::thread server([&listener] {
+    auto conn = listener.Accept();
+    if (conn.ok()) {
+      auto request = ReadFrame(*conn, {});
+      EXPECT_TRUE(request.ok()) << request.status();
+      EXPECT_TRUE(WriteFrame(*conn, FrameType::kPong, "").ok());
+    }
+  });
+
+  NetClientOptions options;
+  options.port = listener.port();
+  options.retry.max_attempts = 3;
+  NetClient client(options);
+  PresentRequest request;
+  request.document = "any";
+  auto response = client.Present(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(client.reconnects(), 0u);
+  EXPECT_FALSE(client.connected()) << "a desynchronized stream must not be reused";
+  server.join();
+  listener.Close();
+}
+
+TEST(LoopbackTest, ReconnectBudgetExhaustedIsStructuredFailure) {
+  // Every connection dies mid-response: the client burns its attempts and
+  // reports kUnavailable instead of hanging or fabricating a response.
+  ListenSocket listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0, 4).ok());
+  std::thread server([&listener] {
+    for (int i = 0; i < 2; ++i) {
+      auto conn = listener.Accept();
+      if (!conn.ok()) {
+        return;
+      }
+      auto request = ReadFrame(*conn, {});
+      EXPECT_TRUE(request.ok()) << request.status();
+      std::string frame = EncodeFrame(FrameType::kResponse, EncodeResponse(CannedResponse()));
+      EXPECT_TRUE(conn->WriteAll(std::string_view(frame).substr(0, frame.size() / 3)).ok());
+      conn->Close();
+    }
+  });
+
+  NetClientOptions options;
+  options.port = listener.port();
+  options.retry.max_attempts = 2;
+  NetClient client(options);
+  PresentRequest request;
+  request.document = "any";
+  auto response = client.Present(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(client.reconnects(), 1u);
+  server.join();
+  listener.Close();
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace cmif

@@ -93,18 +93,6 @@ TEST(PipelineModeTest, CompileOnlySkipsPlayback) {
   EXPECT_EQ(report->playback.trace.size(), 0u);
 }
 
-TEST(PipelineModeTest, DeprecatedRunPlayerFalseStillCompilesOnly) {
-  // One-PR shim: the pre-PipelineMode spelling must behave identically.
-  auto workload = BuildEveningNews(NewsOptions{});
-  ASSERT_TRUE(workload.ok());
-  PipelineOptions options;
-  options.run_player = false;
-  auto report = RunPipeline(workload->document, workload->store, workload->blocks, options);
-  ASSERT_TRUE(report.ok()) << report.status();
-  EXPECT_EQ(report->stages.size(), 5u);
-  EXPECT_EQ(report->playback.trace.size(), 0u);
-}
-
 TEST(PipelineModeTest, CompilePresentationCarriesNoPlaybackFields) {
   auto workload = BuildEveningNews(NewsOptions{});
   ASSERT_TRUE(workload.ok());

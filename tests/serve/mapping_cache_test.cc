@@ -98,5 +98,55 @@ TEST(MappingCacheTest, CapacityClampedToOne) {
   EXPECT_EQ(cache.stats().entries, 1u);
 }
 
+TEST(MappingCacheTest, GetStaleDoesNotRefreshRecency) {
+  // A degraded lookup must not promote its entry: the stale path is a
+  // last-resort read, not a signal the entry is hot. If GetStale spliced,
+  // entry 2 (not 1) would be evicted below.
+  MappingCache cache(2);
+  cache.Put(Key(1, "workstation", 0), Entry("a"));  // becomes LRU
+  cache.Put(Key(2, "workstation", 0), Entry("b"));
+  EXPECT_NE(cache.GetStale(Key(1, "workstation", 5)), nullptr);
+  cache.Put(Key(3, "workstation", 0), Entry("c"));  // evicts 1, not 2
+  EXPECT_EQ(cache.Get(Key(1, "workstation", 0)), nullptr);
+  EXPECT_NE(cache.Get(Key(2, "workstation", 0)), nullptr);
+  EXPECT_NE(cache.Get(Key(3, "workstation", 0)), nullptr);
+}
+
+TEST(MappingCacheTest, GetStaleMissLeavesStatsUntouched) {
+  MappingCache cache(4);
+  cache.Put(Key(1), Entry("a"));
+  EXPECT_EQ(cache.GetStale(Key(2)), nullptr);  // nothing matches at all
+  MappingCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.stale_hits, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u) << "a degraded probe is not a regular miss";
+}
+
+TEST(MappingCacheTest, GetStaleHitDoesNotCountSavedBytes) {
+  // bytes_saved measures healthy compiles avoided; a stale fallback did not
+  // avoid the compile — the compile failed — so it must not inflate the
+  // counter.
+  MappingCache cache(4);
+  cache.Put(Key(1, "workstation", 0), Entry("a"));
+  EXPECT_NE(cache.GetStale(Key(1, "workstation", 9)), nullptr);
+  MappingCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.stale_hits, 1u);
+  EXPECT_EQ(stats.bytes_saved, 0u);
+}
+
+TEST(MappingCacheTest, GetStaleFallsBackAfterFreshestGenerationEvicted) {
+  // Eviction interplay: once the freshest generation is evicted, the stale
+  // path serves the next-freshest survivor rather than nothing.
+  MappingCache cache(2);
+  auto old_entry = Entry("old");
+  auto new_entry = Entry("new");
+  cache.Put(Key(1, "workstation", 3), old_entry);
+  cache.Put(Key(1, "workstation", 7), new_entry);
+  EXPECT_EQ(cache.GetStale(Key(1, "workstation", 9)), new_entry);
+  EXPECT_NE(cache.Get(Key(1, "workstation", 3)), nullptr);  // make gen 7 the LRU
+  cache.Put(Key(2, "workstation", 0), Entry("c"));          // evicts gen 7
+  EXPECT_EQ(cache.GetStale(Key(1, "workstation", 9)), old_entry);
+}
+
 }  // namespace
 }  // namespace cmif

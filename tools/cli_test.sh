@@ -60,6 +60,16 @@ check "sample-news exits 0" 0 $?
 "$TOOL" check news.cmif news.catalog >/dev/null 2>&1
 check "check on a valid document exits 0" 0 $?
 
+"$TOOL" check --count 5 --seed 7 --no-shrink >conf.out 2>&1
+check "conformance run exits 0" 0 $?
+grep -q "zero divergences" conf.out || {
+  echo "FAIL: conformance run did not report zero divergences" >&2
+  failures=$((failures + 1))
+}
+
+"$TOOL" check --seeds 3,99 --no-shrink >/dev/null 2>&1
+check "conformance seed list exits 0" 0 $?
+
 "$TOOL" serve --docs 2 --requests 16 --threads 1 >/dev/null 2>&1
 check "in-process serve replay exits 0" 0 $?
 

@@ -4,6 +4,9 @@
 //
 //   cmif_tool sample-news [stories]          write news.cmif + news.catalog
 //   cmif_tool check <doc> [catalog]          validate + statistics
+//   cmif_tool check [--count N] [--seed S] [--seeds a,b,c] [--leaves L]
+//                   [--no-shrink] [--shrink-dir D] [--replay <file|dir>]
+//                                            differential conformance run
 //   cmif_tool tree <doc>                     Figure-5 views
 //   cmif_tool arcs <doc>                     Figure-9 arc table
 //   cmif_tool schedule <doc> [catalog]       timeline (Figure 3/10 view)
@@ -24,6 +27,7 @@
 //
 // Exit codes: 0 success, 1 runtime/validation failure, 2 usage or bad flags.
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -33,6 +37,7 @@
 
 #include "src/api/cmif.h"
 #include "src/base/string_util.h"
+#include "src/check/differential.h"
 #include "src/ddbms/persist.h"
 #include "src/doc/stats.h"
 #include "src/doc/validate.h"
@@ -181,6 +186,86 @@ int CmdCheck(const std::string& doc_path, const std::string& catalog_path) {
   std::cout << (report.ok() ? "OK" : "INVALID") << " (" << report.error_count() << " errors, "
             << report.warning_count() << " warnings)\n";
   return report.ok() ? kExitOk : kExitFailure;
+}
+
+// Seeds may be decimal or 0x-hex (reports print them as hex).
+std::optional<std::uint64_t> ParseSeed(const std::string& text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+// check --count N --seed S ... : the differential conformance driver.
+int CmdConformance(const std::vector<std::string>& args) {
+  check::CheckOptions options;
+  std::string replay;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::optional<long> value;
+    auto long_after = [&](std::size_t& j) -> std::optional<long> {
+      if (j + 1 >= args.size()) {
+        return std::nullopt;
+      }
+      return ParseLong(args[++j]);
+    };
+    if (args[i] == "--count" && (value = long_after(i))) {
+      options.count = static_cast<int>(*value);
+    } else if (args[i] == "--leaves" && (value = long_after(i))) {
+      options.target_leaves = static_cast<int>(*value);
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      std::optional<std::uint64_t> seed = ParseSeed(args[++i]);
+      if (!seed) {
+        return BadFlag("check: --seed needs an integer, got '" + args[i] + "'");
+      }
+      options.base_seed = *seed;
+    } else if (args[i] == "--seeds" && i + 1 < args.size()) {
+      for (const std::string& part : SplitString(args[++i], ',')) {
+        std::optional<std::uint64_t> seed = ParseSeed(part);
+        if (!seed) {
+          return BadFlag("check: bad seed '" + part + "' in --seeds");
+        }
+        options.seeds.push_back(*seed);
+      }
+    } else if (args[i] == "--no-shrink") {
+      options.shrink = false;
+    } else if (args[i] == "--shrink-dir" && i + 1 < args.size()) {
+      options.reproducer_dir = args[++i];
+    } else if (args[i] == "--replay" && i + 1 < args.size()) {
+      replay = args[++i];
+    } else {
+      return BadFlag("check: unknown or malformed argument '" + args[i] + "'");
+    }
+  }
+  if (!replay.empty()) {
+    if (std::filesystem::is_directory(replay)) {
+      auto count = check::ReplayCorpusDir(replay);
+      if (!count.ok()) {
+        return Fail(count.status());
+      }
+      std::cout << "replayed " << *count << " corpus files from " << replay << ": OK\n";
+      return kExitOk;
+    }
+    auto text = ReadFile(replay);
+    if (!text.ok()) {
+      return Fail(text.status());
+    }
+    if (Status s = check::ReplayCorpusText(*text, replay); !s.ok()) {
+      return Fail(s);
+    }
+    std::cout << "replayed " << replay << ": OK\n";
+    return kExitOk;
+  }
+  auto report = check::RunDifferentialCheck(options);
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  std::cout << report->Summary();
+  return report->ok() ? kExitOk : kExitFailure;
 }
 
 int CmdTree(const std::string& doc_path) {
@@ -614,6 +699,8 @@ int CmdRequest(const std::vector<std::string>& args) {
 int Usage() {
   std::cerr << "usage: cmif_tool <sample-news [stories] | check <doc> [catalog] | tree <doc> |"
                " arcs <doc> |\n"
+               "                  check [--count N] [--seed S] [--seeds a,b,c] [--leaves L]"
+               " [--no-shrink] [--shrink-dir D] [--replay <file|dir>] |\n"
                "                  schedule <doc> [catalog] | play <doc> <catalog> [profile] |\n"
                "                  render <doc> <catalog> <seconds> <out.ppm> |\n"
                "                  profile <doc> <catalog> [profile] [--trace out.json]"
@@ -636,6 +723,11 @@ int Run(int argc, char** argv) {
     return CmdSampleNews(arg(2));
   }
   if (command == "check" && argc >= 3) {
+    // Flag-style arguments select the differential conformance driver; a
+    // document path selects classic validate-and-stats.
+    if (arg(2).rfind("--", 0) == 0) {
+      return CmdConformance(std::vector<std::string>(argv + 2, argv + argc));
+    }
     return CmdCheck(arg(2), arg(3));
   }
   if (command == "tree" && argc >= 3) {
