@@ -1,0 +1,183 @@
+// Figure 15 (beyond the paper) — the cost of end-to-end request tracing.
+// The same loopback replay as Figure 13, but with a client-originated
+// TraceContext on every request, swept over head-sampling rates 0 (context
+// carried, nothing recorded), 0.01 (production setting), and 1.0 (every
+// request harvests its server spans over the wire), with the flight recorder
+// off and on. The headline numbers are requests/second relative to the
+// untraced baseline: the unsampled path must be near-free — that is the
+// contract behind the always-on tracing story — and full sampling prices the
+// debugging mode.
+//
+// At rate 1.0 the replay also asserts the tentpole end-to-end property: each
+// response carries server spans tagged with the request's own trace id.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/api/cmif.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
+
+namespace cmif {
+namespace {
+
+constexpr int kDocuments = 4;
+constexpr std::size_t kRequests = 128;
+
+ServeOptions BaseOptions() {
+  ServeOptions options;
+  options.zipf_skew = 1.0;
+  options.seed = 15;
+  options.threads = 2;
+  return options;
+}
+
+struct TraceReplayResult {
+  double throughput_rps = 0;
+  std::size_t answered = 0;
+  std::size_t responses_with_spans = 0;
+  std::size_t span_total = 0;
+  std::size_t trace_id_mismatches = 0;
+};
+
+// Replays `trace` through one persistent connection. sample_rate < 0 means
+// untraced (no context on the wire at all); otherwise each request carries a
+// fresh client trace with that head-sampling rate.
+TraceReplayResult Replay(api::NetClient& client, const ServeCorpus& corpus,
+                         const ServeOptions& options, const std::vector<ServeRequest>& trace,
+                         double sample_rate) {
+  TraceReplayResult result;
+  auto begin = std::chrono::steady_clock::now();
+  for (const ServeRequest& request : trace) {
+    api::PresentRequest wire_request;
+    wire_request.document = corpus.document(request.document).name;
+    wire_request.profile = options.profiles[request.profile % options.profiles.size()].name;
+    if (sample_rate >= 0) {
+      wire_request.trace = obs::NewTrace(sample_rate);
+    }
+    auto response = client.Present(wire_request);
+    if (!response.ok()) {
+      std::cerr << "request failed: " << response.status() << "\n";
+      continue;
+    }
+    ++result.answered;
+    if (!response->server_spans.empty()) {
+      ++result.responses_with_spans;
+      result.span_total += response->server_spans.size();
+      for (const api::WireSpan& span : response->server_spans) {
+        if (span.trace_id != wire_request.trace.trace_id) {
+          ++result.trace_id_mismatches;
+        }
+      }
+    }
+    if (wire_request.trace.valid()) {
+      // Drop this trace's client-side spans so an hour of bench replay
+      // cannot grow the buffers (mirrors the server's harvest-on-response).
+      obs::TakeTraceSpans(wire_request.trace.trace_id);
+    }
+  }
+  auto total = std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+  result.throughput_rps = total > 0 ? static_cast<double>(result.answered) / total : 0;
+  return result;
+}
+
+void PrintFigure(const std::string& bench_json) {
+  auto corpus = api::BuildNewsCorpus(kDocuments);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status() << "\n";
+    std::abort();
+  }
+  ServeOptions options = BaseOptions();
+  std::vector<ServeRequest> trace = api::GenerateTrace(kDocuments, kRequests, options);
+
+  std::cout << "==== Figure 15: end-to-end tracing cost over loopback ====\n";
+  std::cout << "corpus " << kDocuments << " documents, trace " << kRequests
+            << " requests (warm cache), loopback TCP, sampling {untraced, 0, 0.01, 1.0}"
+            << " x flight {off, on}\n\n";
+
+  obs::ScopedEnable enable;
+  ServeLoop loop(**corpus, options);
+  api::NetServer server(loop);
+  if (Status s = server.Start(); !s.ok()) {
+    std::cerr << s << "\n";
+    std::abort();
+  }
+  api::NetClientOptions client_options;
+  client_options.port = server.port();
+  api::NetClient client(client_options);
+
+  // Warm the mapping cache so every measured request is a cache hit and the
+  // numbers isolate wire + tracing cost, not compile variance.
+  Replay(client, **corpus, options, trace, /*sample_rate=*/-1);
+  obs::ResetSpans();
+
+  struct Config {
+    const char* label;
+    const char* field;
+    double sample_rate;  // < 0 = untraced
+    bool flight;
+  };
+  const Config kConfigs[] = {
+      {"untraced", "untraced_rps", -1, false},
+      {"rate 0.00", "rate0_rps", 0.0, false},
+      {"rate 0.01", "rate1pct_rps", 0.01, false},
+      {"rate 1.00", "rate100_rps", 1.0, false},
+      {"rate 0.00 + flight", "flight_rate0_rps", 0.0, true},
+      {"rate 1.00 + flight", "flight_rate100_rps", 1.0, true},
+  };
+  std::vector<std::pair<std::string, double>> fields;
+  fields.emplace_back("requests", static_cast<double>(kRequests));
+  double untraced_rps = 0;
+  for (const Config& config : kConfigs) {
+    obs::FlightRecorder::SetEnabled(config.flight);
+    TraceReplayResult result = Replay(client, **corpus, options, trace, config.sample_rate);
+    obs::FlightRecorder::SetEnabled(false);
+    obs::ResetSpans();
+    if (result.answered != kRequests) {
+      std::cerr << "replay dropped requests: " << result.answered << " of " << kRequests << "\n";
+      std::abort();
+    }
+    if (config.sample_rate >= 1.0) {
+      // The tentpole assertion: full sampling returns the server's spans,
+      // every one tagged with the request's trace id.
+      if (result.responses_with_spans != kRequests || result.trace_id_mismatches != 0) {
+        std::cerr << "rate-1.0 replay broke span propagation: " << result.responses_with_spans
+                  << "/" << kRequests << " responses carried spans, "
+                  << result.trace_id_mismatches << " trace-id mismatches\n";
+        std::abort();
+      }
+    } else if (config.sample_rate == 0.0 && result.span_total != 0) {
+      std::cerr << "unsampled replay still returned " << result.span_total << " spans\n";
+      std::abort();
+    }
+    if (config.sample_rate < 0) {
+      untraced_rps = result.throughput_rps;
+    }
+    double relative =
+        untraced_rps > 0 ? result.throughput_rps / untraced_rps * 100 : 100;
+    std::cout << "  " << config.label << ": " << result.throughput_rps << " req/s ("
+              << relative << "% of untraced), " << result.span_total << " spans returned\n";
+    fields.emplace_back(config.field, result.throughput_rps);
+  }
+  server.Stop();
+  std::cout << "  rate-1.0 responses all carried spans with the request's trace id\n";
+
+  bench::AppendBenchJson(bench_json, "fig15_trace", fields);
+}
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  cmif::PrintFigure(bench_json);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

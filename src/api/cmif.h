@@ -90,12 +90,20 @@ namespace net = cmif::net;
 
 using net::PresentRequest;
 using net::PresentResponse;
+using net::WireSpan;
 using net::NetServer;
 using net::NetServerOptions;
 using net::NetClient;
 using net::NetClientOptions;
 using net::SerializePresentation;
 using net::PresentationHash;
+
+// Live server telemetry: the kStatsRequest/kStatsResponse payload and its
+// JSON rendering (`cmif_tool stats`). The tracing side — TraceContext,
+// NewTrace, ScopedTrace — lives in src/obs/trace.h, which front ends may
+// include directly like the rest of src/obs.
+using net::StatsSnapshot;
+using net::StatsSnapshotJson;
 
 }  // namespace api
 }  // namespace cmif

@@ -161,10 +161,12 @@ std::vector<const DataDescriptor*> DescriptorStore::Execute(const Query& query,
     return ExecuteScan(query, stats);
   }
   if (obs::Enabled()) {
-    obs::GetCounter("ddbms.queries").Add();
-    obs::GetCounter("ddbms.queries_indexed").Add();
-    obs::GetCounter("ddbms.candidates_examined")
-        .Add(static_cast<std::int64_t>(candidates->size()));
+    static obs::Counter& queries = obs::GetCounter("ddbms.queries");
+    static obs::Counter& indexed = obs::GetCounter("ddbms.queries_indexed");
+    static obs::Counter& examined = obs::GetCounter("ddbms.candidates_examined");
+    queries.Add();
+    indexed.Add();
+    examined.Add(static_cast<std::int64_t>(candidates->size()));
   }
   if (stats != nullptr) {
     stats->used_index = true;
@@ -183,10 +185,12 @@ std::vector<const DataDescriptor*> DescriptorStore::Execute(const Query& query,
 std::vector<const DataDescriptor*> DescriptorStore::ExecuteScan(const Query& query,
                                                                 QueryStats* stats) const {
   if (obs::Enabled()) {
-    obs::GetCounter("ddbms.queries").Add();
-    obs::GetCounter("ddbms.queries_scanned").Add();
-    obs::GetCounter("ddbms.candidates_examined")
-        .Add(static_cast<std::int64_t>(descriptors_.size()));
+    static obs::Counter& queries = obs::GetCounter("ddbms.queries");
+    static obs::Counter& scanned = obs::GetCounter("ddbms.queries_scanned");
+    static obs::Counter& examined = obs::GetCounter("ddbms.candidates_examined");
+    queries.Add();
+    scanned.Add();
+    examined.Add(static_cast<std::int64_t>(descriptors_.size()));
   }
   if (stats != nullptr) {
     stats->used_index = false;

@@ -1,5 +1,7 @@
 #include "src/fault/circuit_breaker.h"
 
+#include "src/obs/trace.h"
+
 namespace cmif {
 namespace fault {
 
@@ -76,6 +78,9 @@ void CircuitBreaker::OpenLocked(std::int64_t now_micros) {
   half_open_in_flight_ = 0;
   reopen_at_micros_ = now_micros + options_.open_ms * 1000;
   ++opens_;
+  // A breaker opening is an anomaly: force-sample the current trace and dump
+  // the flight recorder so the failures that tripped it are retained.
+  obs::RecordAnomaly("breaker.open");
 }
 
 BreakerState CircuitBreaker::state() const {

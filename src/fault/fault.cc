@@ -128,7 +128,16 @@ void CountInjection(FaultKind kind) {
       return;
   }
   if (obs::Enabled()) {
-    obs::GetCounter(std::string("fault.injected.") + std::string(FaultKindName(kind))).Add();
+    // One cached counter per kind: injection probes sit on hot paths and
+    // must not concatenate names or take the registry lock per hit.
+    static obs::Counter* const kInjected[] = {
+        nullptr,  // kNone returns above
+        &obs::GetCounter("fault.injected.transient"),
+        &obs::GetCounter("fault.injected.latency"),
+        &obs::GetCounter("fault.injected.stall"),
+        &obs::GetCounter("fault.injected.corrupt"),
+    };
+    kInjected[static_cast<std::size_t>(kind)]->Add();
   }
 }
 

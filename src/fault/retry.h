@@ -11,6 +11,7 @@
 
 #include "src/base/status.h"
 #include "src/fault/clock.h"
+#include "src/obs/trace.h"
 
 namespace cmif {
 namespace fault {
@@ -71,6 +72,9 @@ auto Retry(const RetryPolicy& policy, Fn&& fn, std::uint64_t salt = 0,
     if (internal::StatusOf(result, &status) || !IsRetryable(status) || attempt >= max_attempts) {
       return result;
     }
+    // About to retry: an anomaly by the always-sample rule — the request is
+    // already off the happy path, so its trace should survive sampling.
+    obs::RecordAnomaly("retry");
     GlobalClock().SleepMicros(BackoffDelayMs(policy, attempt + 1, salt) * 1000);
   }
 }

@@ -157,7 +157,8 @@ StatusOr<std::unique_ptr<Node>> ParseOneNode(Lexer& lexer) {
 
 StatusOr<Document> ParseDocument(const std::string& text) {
   obs::Span span("fmt.parse");
-  obs::ScopedLatency latency("fmt.parse_ms");
+  static obs::Histogram& parse_ms = obs::GetHistogram("fmt.parse_ms");
+  obs::ScopedLatency latency(parse_ms);
   span.Annotate("bytes", text.size());
   Lexer lexer(text);
   CMIF_RETURN_IF_ERROR(lexer.Expect(TokenKind::kLParen).status());
@@ -190,9 +191,10 @@ StatusOr<Document> ParseDocument(const std::string& text) {
   CMIF_RETURN_IF_ERROR(document.LoadDictionariesFromRoot());
   span.Annotate("nodes", document.root().SubtreeSize());
   if (obs::Enabled()) {
-    obs::GetCounter("fmt.documents_parsed").Add();
-    obs::GetCounter("fmt.nodes_parsed")
-        .Add(static_cast<std::int64_t>(document.root().SubtreeSize()));
+    static obs::Counter& documents = obs::GetCounter("fmt.documents_parsed");
+    static obs::Counter& nodes = obs::GetCounter("fmt.nodes_parsed");
+    documents.Add();
+    nodes.Add(static_cast<std::int64_t>(document.root().SubtreeSize()));
   }
   return document;
 }

@@ -94,12 +94,14 @@ class Writer {
 
 StatusOr<std::string> WriteDocument(const Document& document, const WriteOptions& options) {
   obs::Span span("fmt.serialize");
-  obs::ScopedLatency latency("fmt.serialize_ms");
+  static obs::Histogram& serialize_ms = obs::GetHistogram("fmt.serialize_ms");
+  obs::ScopedLatency latency(serialize_ms);
   span.Annotate("nodes", document.root().SubtreeSize());
   if (obs::Enabled()) {
-    obs::GetCounter("fmt.documents_written").Add();
-    obs::GetCounter("fmt.nodes_written")
-        .Add(static_cast<std::int64_t>(document.root().SubtreeSize()));
+    static obs::Counter& documents = obs::GetCounter("fmt.documents_written");
+    static obs::Counter& nodes = obs::GetCounter("fmt.nodes_written");
+    documents.Add();
+    nodes.Add(static_cast<std::int64_t>(document.root().SubtreeSize()));
   }
   // Serialize a clone so storing the dictionaries does not mutate the input.
   Document copy = document.Clone();

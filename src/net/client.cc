@@ -5,6 +5,7 @@
 #include "src/base/string_util.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
 
 namespace cmif {
 namespace net {
@@ -22,7 +23,8 @@ Status NetClient::EnsureConnected() {
   if (ever_connected_) {
     ++reconnects_;
     if (obs::Enabled()) {
-      obs::GetCounter("net.client.reconnects").Add();
+      static obs::Counter& reconnects = obs::GetCounter("net.client.reconnects");
+      reconnects.Add();
     }
   }
   ever_connected_ = true;
@@ -72,7 +74,28 @@ StatusOr<Frame> NetClient::RoundTrip(FrameType type, const std::string& payload)
 
 StatusOr<PresentResponse> NetClient::Present(const PresentRequest& request) {
   obs::ScopedLatency latency("net.client.request_ms");
-  CMIF_ASSIGN_OR_RETURN(Frame frame, RoundTrip(FrameType::kRequest, EncodeRequest(request)));
+  if (!request.trace.valid()) {
+    CMIF_ASSIGN_OR_RETURN(Frame frame, RoundTrip(FrameType::kRequest, EncodeRequest(request)));
+    return DecodePresentFrame(std::move(frame));
+  }
+  // Traced path: install the context, wrap the round trip in a client span,
+  // and point the server at that span so its harvested spans nest under it.
+  obs::ScopedTrace scoped_trace(request.trace);
+  obs::Span span("net-client-request");
+  PresentRequest traced = request;
+  if (span.id() != 0) {
+    traced.trace.parent_span_id = span.id();
+  }
+  span.Annotate("document", request.document);
+  CMIF_ASSIGN_OR_RETURN(Frame frame, RoundTrip(FrameType::kRequest, EncodeRequest(traced)));
+  StatusOr<PresentResponse> response = DecodePresentFrame(std::move(frame));
+  if (response.ok()) {
+    span.Annotate("server_spans", response->server_spans.size());
+  }
+  return response;
+}
+
+StatusOr<PresentResponse> NetClient::DecodePresentFrame(Frame frame) {
   if (frame.type != FrameType::kResponse) {
     Disconnect();
     return InternalError(StrFormat("expected a response frame, got %s",
@@ -83,6 +106,20 @@ StatusOr<PresentResponse> NetClient::Present(const PresentRequest& request) {
     Disconnect();  // CRC passed but the message is malformed: version skew
   }
   return response;
+}
+
+StatusOr<StatsSnapshot> NetClient::FetchStats() {
+  CMIF_ASSIGN_OR_RETURN(Frame frame, RoundTrip(FrameType::kStatsRequest, ""));
+  if (frame.type != FrameType::kStatsResponse) {
+    Disconnect();
+    return InternalError(StrFormat("expected a stats-response frame, got %s",
+                                   std::string(FrameTypeName(frame.type)).c_str()));
+  }
+  StatusOr<StatsSnapshot> snapshot = DecodeStatsSnapshot(frame.payload);
+  if (!snapshot.ok()) {
+    Disconnect();
+  }
+  return snapshot;
 }
 
 Status NetClient::Ping() {

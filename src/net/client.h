@@ -16,6 +16,7 @@
 #include "src/base/status.h"
 #include "src/fault/retry.h"
 #include "src/net/protocol.h"
+#include "src/net/stats.h"
 #include "src/net/wire.h"
 
 namespace cmif {
@@ -42,10 +43,18 @@ class NetClient {
   // transported answer is returned whole — including kFailed outcomes, whose
   // error sits inside the response — while transport and protocol failures
   // (connect refused, desync, overload rejection) are the StatusOr error.
+  //
+  // When `request.trace` is valid it is installed for the call's duration,
+  // the round trip records a "net-client-request" span, and the wire copy's
+  // parent_span_id is that span's id — so a sampled server hands back spans
+  // that nest under the client's own timeline.
   StatusOr<PresentResponse> Present(const PresentRequest& request);
 
   // Liveness probe: a kPing frame echoed back as kPong.
   Status Ping();
+
+  // Fetches the server's live telemetry (a kStatsRequest round trip).
+  StatusOr<StatsSnapshot> FetchStats();
 
   // Drops the connection; the next call reconnects.
   void Disconnect();
@@ -62,6 +71,9 @@ class NetClient {
   // kUnavailable so the retry wrapper re-runs it.
   StatusOr<Frame> RoundTripOnce(FrameType type, const std::string& payload);
   StatusOr<Frame> RoundTrip(FrameType type, const std::string& payload);
+  // Expects kResponse and decodes its PresentResponse (disconnecting on a
+  // malformed one).
+  StatusOr<PresentResponse> DecodePresentFrame(Frame frame);
 
   NetClientOptions options_;
   Socket socket_;

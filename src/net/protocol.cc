@@ -1,11 +1,18 @@
 #include "src/net/protocol.h"
 
+#include <bit>
+#include <cmath>
+
 #include "src/base/string_util.h"
 #include "src/base/varint.h"
 
 namespace cmif {
 namespace net {
 namespace {
+
+// Spans the wire accepts per response — a corrupted count cannot make the
+// decoder allocate unboundedly, and a chatty server cannot flood a client.
+constexpr std::uint64_t kMaxWireSpans = 4096;
 
 void PutString(std::string& out, std::string_view value) {
   PutVarint64(out, value.size());
@@ -30,6 +37,31 @@ StatusOr<bool> GetBool(std::string_view bytes, std::size_t* pos) {
                                    static_cast<unsigned long long>(raw), *pos));
   }
   return raw == 1;
+}
+
+// Doubles travel as their IEEE-754 bit pattern in fixed 8-byte
+// little-endian form — bit-exact across peers, unlike a decimal rendering.
+void PutF64(std::string& out, double value) {
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+StatusOr<double> GetF64(std::string_view bytes, std::size_t* pos) {
+  if (bytes.size() - *pos < 8) {
+    return DataLossError(StrFormat("f64 truncated at offset %zu", *pos));
+  }
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[*pos + i])) << (8 * i);
+  }
+  *pos += 8;
+  double value = std::bit_cast<double>(bits);
+  if (std::isnan(value) || std::isinf(value)) {
+    return DataLossError(StrFormat("non-finite f64 at offset %zu", *pos - 8));
+  }
+  return value;
 }
 
 Status CheckFullyConsumed(std::string_view bytes, std::size_t pos) {
@@ -68,6 +100,9 @@ std::string EncodeRequest(const PresentRequest& request) {
   }
   PutVarint64(out, request.want_body ? 1 : 0);
   PutVarint64(out, request.allow_degraded ? 1 : 0);
+  PutVarint64(out, request.trace.trace_id);
+  PutVarint64(out, request.trace.parent_span_id);
+  PutVarint64(out, request.trace.sampled ? 1 : 0);
   return out;
 }
 
@@ -88,6 +123,13 @@ StatusOr<PresentRequest> DecodeRequest(std::string_view payload) {
   }
   CMIF_ASSIGN_OR_RETURN(request.want_body, GetBool(payload, &pos));
   CMIF_ASSIGN_OR_RETURN(request.allow_degraded, GetBool(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(request.trace.trace_id, GetVarint64(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(request.trace.parent_span_id, GetVarint64(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(request.trace.sampled, GetBool(payload, &pos));
+  if (request.trace.trace_id == 0 &&
+      (request.trace.parent_span_id != 0 || request.trace.sampled)) {
+    return DataLossError("trace fields set without a trace id");
+  }
   CMIF_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));
   return request;
 }
@@ -101,6 +143,16 @@ std::string EncodeResponse(const PresentResponse& response) {
   PutString(out, response.error.message());
   PutString(out, response.presentation);
   PutVarint64(out, response.presentation_hash);
+  PutVarint64(out, response.server_spans.size());
+  for (const WireSpan& span : response.server_spans) {
+    PutString(out, span.name);
+    PutVarint64(out, span.id);
+    PutVarint64(out, span.parent_id);
+    PutVarint64(out, span.trace_id);
+    PutF64(out, span.start_us);
+    PutF64(out, span.duration_us);
+    PutVarint64(out, static_cast<std::uint64_t>(span.tid < 0 ? 0 : span.tid));
+  }
   return out;
 }
 
@@ -122,6 +174,33 @@ StatusOr<PresentResponse> DecodeResponse(std::string_view payload) {
   response.error = Status(status_code, std::move(message));
   CMIF_ASSIGN_OR_RETURN(response.presentation, GetString(payload, &pos));
   CMIF_ASSIGN_OR_RETURN(response.presentation_hash, GetVarint64(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t span_count, GetVarint64(payload, &pos));
+  // Each span costs >= 20 bytes on the wire (3 varints + 2 f64 + name + tid),
+  // so a count beyond payload size (or the hard cap) is corruption.
+  if (span_count > kMaxWireSpans || span_count > payload.size()) {
+    return DataLossError(
+        StrFormat("span count %llu exceeds bounds", static_cast<unsigned long long>(span_count)));
+  }
+  response.server_spans.reserve(span_count);
+  for (std::uint64_t i = 0; i < span_count; ++i) {
+    WireSpan span;
+    CMIF_ASSIGN_OR_RETURN(span.name, GetString(payload, &pos));
+    CMIF_ASSIGN_OR_RETURN(span.id, GetVarint64(payload, &pos));
+    CMIF_ASSIGN_OR_RETURN(span.parent_id, GetVarint64(payload, &pos));
+    CMIF_ASSIGN_OR_RETURN(span.trace_id, GetVarint64(payload, &pos));
+    CMIF_ASSIGN_OR_RETURN(span.start_us, GetF64(payload, &pos));
+    CMIF_ASSIGN_OR_RETURN(span.duration_us, GetF64(payload, &pos));
+    if (span.duration_us < 0) {
+      return DataLossError(StrFormat("negative span duration at offset %zu", pos));
+    }
+    CMIF_ASSIGN_OR_RETURN(std::uint64_t tid, GetVarint64(payload, &pos));
+    if (tid > 1u << 20) {
+      return DataLossError(
+          StrFormat("implausible span tid %llu", static_cast<unsigned long long>(tid)));
+    }
+    span.tid = static_cast<std::int32_t>(tid);
+    response.server_spans.push_back(std::move(span));
+  }
   CMIF_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));
   return response;
 }

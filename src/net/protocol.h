@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/obs/trace.h"
 #include "src/serve/serve.h"
 
 namespace cmif {
@@ -39,6 +40,24 @@ struct PresentRequest {
   // When false the server answers kFailed instead of serving a stale
   // presentation from the degraded path.
   bool allow_degraded = true;
+  // Cross-process trace context (src/obs/trace.h). trace_id 0 = untraced.
+  // When sampled, the server records spans under this id and returns them in
+  // PresentResponse::server_spans so the client can merge one timeline.
+  obs::TraceContext trace;
+};
+
+// One server-side span on the wire: the subset of obs::SpanRecord a client
+// needs to merge the server's timeline with its own (annotations stay
+// server-side). Timestamps are the server's process clock; the client
+// re-bases them when merging.
+struct WireSpan {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint64_t trace_id = 0;
+  double start_us = 0;
+  double duration_us = 0;
+  std::int32_t tid = 0;
 };
 
 // What the server answers. `outcome` mirrors the serve layer's ladder; a
@@ -56,6 +75,9 @@ struct PresentResponse {
   // present whenever a presentation was served — the client's end-to-end
   // integrity check against an in-process compile.
   std::uint64_t presentation_hash = 0;
+  // Spans the server harvested for the request's (sampled) trace id; empty
+  // for unsampled or untraced requests.
+  std::vector<WireSpan> server_spans;
 };
 
 std::string EncodeRequest(const PresentRequest& request);

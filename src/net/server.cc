@@ -2,6 +2,8 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "src/base/string_util.h"
@@ -9,6 +11,17 @@
 #include "src/net/presentation_wire.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
+
+namespace {
+
+std::uint64_t SteadyNowMicros() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
 
 namespace cmif {
 namespace net {
@@ -43,6 +56,7 @@ Status NetServer::Start() {
     stopping_ = false;
   }
   running_ = true;
+  started_us_ = SteadyNowMicros();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   worker_threads_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
@@ -188,6 +202,11 @@ Status NetServer::HandleFrame(Socket& socket, const Frame& frame) {
   switch (frame.type) {
     case FrameType::kPing:
       return WriteFrame(socket, FrameType::kPong, frame.payload);
+    case FrameType::kStatsRequest:
+      // A telemetry probe, not a compile: answered inline with a snapshot of
+      // the live counters so monitoring never queues behind a slow request.
+      return WriteFrame(socket, FrameType::kStatsResponse,
+                        EncodeStatsSnapshot(Snapshot()));
     case FrameType::kRequest:
       break;
     default: {
@@ -202,8 +221,7 @@ Status NetServer::HandleFrame(Socket& socket, const Frame& frame) {
     }
   }
 
-  obs::Span span("net-request");
-  obs::ScopedLatency latency("net.request_ms");
+  auto start = std::chrono::steady_clock::now();
   StatusOr<PresentRequest> request = DecodeRequest(frame.payload);
   if (!request.ok()) {
     {
@@ -213,17 +231,117 @@ Status NetServer::HandleFrame(Socket& socket, const Frame& frame) {
     WriteFrame(socket, FrameType::kError, EncodeWireStatus(request.status()));
     return request.status();  // kDataLoss: payload desync, drop
   }
-  span.Annotate("document", request->document);
-  PresentResponse response = HandleRequest(*request);
-  span.Annotate("outcome", std::string(ServeOutcomeName(response.outcome)));
+
+  // Adopt the client's trace context, or start a server-local trace for the
+  // configured fraction of untraced requests. The context is installed for
+  // the whole handling scope so every span below (serve, pipeline, sched)
+  // carries the trace id.
+  obs::TraceContext ctx = request->trace;
+  if (!ctx.valid() && options_.trace_sample_rate > 0) {
+    ctx = obs::NewTrace(options_.trace_sample_rate);
+  }
+  PresentResponse response;
+  bool sampled = false;
+  {
+    obs::ScopedTrace scoped_trace(ctx);
+    obs::Span span("net-request");
+    obs::ScopedLatency latency("net.request_ms");
+    span.Annotate("document", request->document);
+    response = HandleRequest(*request);
+    span.Annotate("outcome", std::string(ServeOutcomeName(response.outcome)));
+    // Read back through CurrentTrace(): an anomaly during handling (retry,
+    // breaker open, degraded compile) force-samples an unsampled trace.
+    sampled = ctx.valid() && obs::CurrentTrace().sampled;
+  }
+  double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  request_ms_.Record(elapsed_ms);
+  if (response.outcome == ServeOutcome::kFailed) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.outcome == ServeOutcome::kDegraded) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (sampled && obs::Enabled()) {
+    // Harvest this trace's spans (removing them — a long-lived server's span
+    // memory stays bounded) and hand them back on the response.
+    std::vector<obs::SpanRecord> harvested = obs::TakeTraceSpans(ctx.trace_id);
+    std::sort(harvested.begin(), harvested.end(),
+              [](const obs::SpanRecord& a, const obs::SpanRecord& b) {
+                return a.start_us < b.start_us;
+              });
+    if (harvested.size() > options_.max_response_spans) {
+      harvested.resize(options_.max_response_spans);
+    }
+    response.server_spans.reserve(harvested.size());
+    for (const obs::SpanRecord& record : harvested) {
+      WireSpan wire;
+      wire.name = record.name;
+      wire.id = record.id;
+      wire.parent_id = record.parent_id;
+      wire.trace_id = record.trace_id;
+      wire.start_us = record.start_us;
+      wire.duration_us = record.duration_us;
+      wire.tid = record.tid;
+      response.server_spans.push_back(std::move(wire));
+    }
+    traces_sampled_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (exemplars_.size() < kMaxExemplars) {
+      exemplars_.push_back(ctx.trace_id);
+    } else {
+      exemplars_[exemplar_next_ % kMaxExemplars] = ctx.trace_id;
+    }
+    ++exemplar_next_;
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.requests;
   }
   if (obs::Enabled()) {
-    obs::GetCounter("net.server.requests").Add();
+    static obs::Counter& requests = obs::GetCounter("net.server.requests");
+    requests.Add();
   }
   return WriteFrame(socket, FrameType::kResponse, EncodeResponse(response));
+}
+
+StatsSnapshot NetServer::Snapshot() const {
+  StatsSnapshot snapshot;
+  snapshot.uptime_us = running_ ? SteadyNowMicros() - started_us_ : 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.connections = stats_.connections;
+    snapshot.rejected = stats_.rejected;
+    snapshot.requests = stats_.requests;
+    snapshot.protocol_errors = stats_.protocol_errors;
+    snapshot.queue_depth = pending_.size();
+    snapshot.exemplar_trace_ids = exemplars_;
+  }
+  snapshot.failed = failed_.load(std::memory_order_relaxed);
+  snapshot.degraded = degraded_.load(std::memory_order_relaxed);
+  snapshot.request_count = request_ms_.count();
+  snapshot.request_ms_min = request_ms_.min();
+  snapshot.request_ms_max = request_ms_.max();
+  snapshot.request_ms_mean = request_ms_.mean();
+  snapshot.request_ms_p50 = request_ms_.Percentile(50);
+  snapshot.request_ms_p95 = request_ms_.Percentile(95);
+  snapshot.request_ms_p99 = request_ms_.Percentile(99);
+  const MappingCache::Stats cache = loop_.cache().stats();
+  snapshot.cache_hits = static_cast<std::uint64_t>(cache.hits);
+  snapshot.cache_misses = static_cast<std::uint64_t>(cache.misses);
+  snapshot.cache_stale_hits = static_cast<std::uint64_t>(cache.stale_hits);
+  snapshot.cache_evictions = static_cast<std::uint64_t>(cache.evictions);
+  snapshot.cache_entries = static_cast<std::uint64_t>(cache.entries);
+  for (const auto& [site, state] : loop_.breakers().States()) {
+    snapshot.breakers.emplace_back(site, static_cast<std::uint8_t>(state));
+  }
+  snapshot.breaker_opens = static_cast<std::uint64_t>(loop_.breakers().TotalOpens());
+  snapshot.anomalies = obs::AnomalyCount();
+  snapshot.traces_sampled = traces_sampled_.load(std::memory_order_relaxed);
+  snapshot.sample_rate = options_.trace_sample_rate;
+  return snapshot;
 }
 
 PresentResponse NetServer::HandleRequest(const PresentRequest& request) {

@@ -15,6 +15,7 @@
 #ifndef SRC_NET_SERVER_H_
 #define SRC_NET_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -29,7 +30,9 @@
 #include "src/base/socket.h"
 #include "src/base/status.h"
 #include "src/net/protocol.h"
+#include "src/net/stats.h"
 #include "src/net/wire.h"
+#include "src/obs/metrics.h"
 #include "src/serve/serve.h"
 
 namespace cmif {
@@ -47,6 +50,14 @@ struct NetServerOptions {
   // can be held by a silent client.
   int io_timeout_ms = 10000;
   WireLimits limits;
+  // Head-based sampling rate for requests that arrive without a trace
+  // context: the server starts its own trace for this fraction of them.
+  // Requests that carry a sampled client trace are always recorded (the
+  // client made the sampling decision at the head).
+  double trace_sample_rate = 0.0;
+  // Cap on spans returned in one PresentResponse; the deepest spans win
+  // because harvest order is start-time order and we keep the earliest.
+  std::size_t max_response_spans = 512;
 };
 
 class NetServer {
@@ -76,6 +87,12 @@ class NetServer {
 
   Stats stats() const;
 
+  // The live telemetry answered on a kStatsRequest frame: RED metrics from
+  // the always-on request histogram, MappingCache and breaker health from the
+  // serve loop, and tracing counters. Works whether or not obs is enabled —
+  // the histogram is a server member, not a registry instrument.
+  StatsSnapshot Snapshot() const;
+
  private:
   void AcceptLoop();
   void WorkerLoop();
@@ -96,6 +113,16 @@ class NetServer {
   std::thread accept_thread_;
   std::vector<std::thread> worker_threads_;
   bool running_ = false;
+  // steady_clock microseconds at Start(), for the snapshot's uptime.
+  std::uint64_t started_us_ = 0;
+
+  // RED duration distribution over every handled request, always on (its
+  // Record is lock-free and the stats frame must work with obs compiled
+  // out). Outcome/trace tallies ride alongside as plain atomics.
+  obs::Histogram request_ms_;
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> traces_sampled_{0};
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;
@@ -103,6 +130,10 @@ class NetServer {
   bool stopping_ = false;               // guarded by mu_
   std::unordered_set<int> live_fds_;    // guarded by mu_; see RegisterConnection
   Stats stats_;                         // guarded by mu_
+  // Ring of recent sampled trace ids — the exemplars in the stats snapshot.
+  static constexpr std::size_t kMaxExemplars = 16;
+  std::vector<std::uint64_t> exemplars_;  // guarded by mu_
+  std::size_t exemplar_next_ = 0;         // guarded by mu_
 };
 
 }  // namespace net

@@ -38,6 +38,10 @@ StatusOr<FrameType> CheckFrameType(std::uint8_t raw) {
       return FrameType::kPing;
     case 5:
       return FrameType::kPong;
+    case 6:
+      return FrameType::kStatsRequest;
+    case 7:
+      return FrameType::kStatsResponse;
     default:
       return DataLossError(StrFormat("unknown frame type %u", raw));
   }
@@ -57,6 +61,10 @@ std::string_view FrameTypeName(FrameType type) {
       return "ping";
     case FrameType::kPong:
       return "pong";
+    case FrameType::kStatsRequest:
+      return "stats-request";
+    case FrameType::kStatsResponse:
+      return "stats-response";
   }
   return "unknown";
 }
@@ -125,8 +133,10 @@ Status WriteFrame(Socket& socket, FrameType type, std::string_view payload) {
     fault::MaybeCorrupt("net.frame_corrupt", encoded);
   }
   if (obs::Enabled()) {
-    obs::GetCounter("net.tx_bytes").Add(static_cast<std::int64_t>(encoded.size()));
-    obs::GetCounter("net.tx_frames").Add();
+    static obs::Counter& tx_bytes = obs::GetCounter("net.tx_bytes");
+    static obs::Counter& tx_frames = obs::GetCounter("net.tx_frames");
+    tx_bytes.Add(static_cast<std::int64_t>(encoded.size()));
+    tx_frames.Add();
   }
   return socket.WriteAll(encoded);
 }
@@ -188,8 +198,10 @@ StatusOr<std::optional<Frame>> ReadFrame(Socket& socket, const WireLimits& limit
   CMIF_RETURN_IF_ERROR(socket.ReadExact(stored, sizeof(stored)));
   rx += sizeof(stored);
   if (obs::Enabled()) {
-    obs::GetCounter("net.rx_bytes").Add(static_cast<std::int64_t>(rx));
-    obs::GetCounter("net.rx_frames").Add();
+    static obs::Counter& rx_bytes = obs::GetCounter("net.rx_bytes");
+    static obs::Counter& rx_frames = obs::GetCounter("net.rx_frames");
+    rx_bytes.Add(static_cast<std::int64_t>(rx));
+    rx_frames.Add();
   }
   if (GetU32Le(stored) != crc) {
     return DataLossError(StrFormat("frame crc mismatch (stored %08x, computed %08x)",

@@ -34,17 +34,25 @@ namespace cmif {
 namespace net {
 
 inline constexpr std::string_view kFrameMagic = "CMIF";
-inline constexpr std::uint8_t kWireVersion = 1;
+// Version 2: PresentRequest carries a TraceContext, PresentResponse carries
+// harvested server spans, and the kStatsRequest/kStatsResponse pair exists.
+// Mixed-version peers fail cleanly at the frame header (kDataLoss), never by
+// misparsing a payload.
+inline constexpr std::uint8_t kWireVersion = 2;
 
 // What a frame carries. kError is a protocol-level failure (overload, bad
 // frame, bad message) encoded as a wire Status; application-level outcomes
-// (degraded, failed compiles) travel inside a kResponse.
+// (degraded, failed compiles) travel inside a kResponse. kStatsRequest (an
+// empty payload) asks for a live telemetry snapshot, answered by a
+// kStatsResponse carrying an encoded StatsSnapshot (src/net/stats.h).
 enum class FrameType : std::uint8_t {
   kRequest = 1,
   kResponse = 2,
   kError = 3,
   kPing = 4,
   kPong = 5,
+  kStatsRequest = 6,
+  kStatsResponse = 7,
 };
 
 std::string_view FrameTypeName(FrameType type);

@@ -39,15 +39,15 @@ Status WriteStringToFile(const std::string& path, const std::string& contents) {
 
 }  // namespace
 
-std::string ChromeTraceJson() {
-  std::vector<SpanRecord> spans = SnapshotSpans();
-  std::vector<std::pair<int, std::string>> tracks = SnapshotTracks();
-
+std::string ChromeTraceJsonFor(const std::vector<SpanRecord>& spans,
+                               const std::vector<std::pair<int, std::string>>& processes,
+                               const std::vector<std::pair<int, std::string>>& tracks) {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
-  AppendMetadataEvent(os, "process_name", kProcessPid, 0, "cmif", first);
-  AppendMetadataEvent(os, "process_name", kTimelinePid, 0, "media timeline", first);
+  for (const auto& [pid, name] : processes) {
+    AppendMetadataEvent(os, "process_name", pid, 0, name, first);
+  }
   for (const auto& [tid, name] : tracks) {
     AppendMetadataEvent(os, "thread_name", kTimelinePid, tid, name, first);
   }
@@ -61,6 +61,10 @@ std::string ChromeTraceJson() {
        << ",\"pid\":" << span.pid << ",\"tid\":" << span.tid;
     os << ",\"args\":{\"span_id\":" << JsonNumber(static_cast<std::int64_t>(span.id))
        << ",\"parent_id\":" << JsonNumber(static_cast<std::int64_t>(span.parent_id));
+    if (span.trace_id != 0) {
+      os << ",\"trace_id\":" << JsonQuote(StrFormat("%016llx", static_cast<unsigned long long>(
+                                                                   span.trace_id)));
+    }
     for (const auto& [key, value] : span.args) {
       os << "," << JsonQuote(key) << ":" << value;
     }
@@ -68,6 +72,14 @@ std::string ChromeTraceJson() {
   }
   os << "\n]}\n";
   return os.str();
+}
+
+std::string ChromeTraceJson() {
+  return ChromeTraceJsonFor(SnapshotSpans(),
+                            {{kProcessPid, "cmif"},
+                             {kTimelinePid, "media timeline"},
+                             {kFlightPid, "flight recorder"}},
+                            SnapshotTracks());
 }
 
 Status WriteChromeTrace(const std::string& path) {

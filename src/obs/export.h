@@ -7,9 +7,12 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/base/logging.h"
 #include "src/base/status.h"
+#include "src/obs/obs.h"
 
 namespace cmif {
 namespace obs {
@@ -18,8 +21,18 @@ namespace obs {
 //   {"displayTimeUnit":"ms","traceEvents":[...]}
 // Wall-clock spans appear under pid 1 ("cmif"), synthetic media-timeline
 // events under pid 2 ("media timeline") with one named thread per track.
+// Spans tagged with a trace id carry it as a hex "trace_id" arg.
 std::string ChromeTraceJson();
 Status WriteChromeTrace(const std::string& path);
+
+// Renders an explicit span list (rather than the live buffer) with the given
+// (pid, name) process labels and (tid, name) timeline tracks. The merged
+// cross-process export: cmif_tool request --trace feeds it the local spans
+// plus the spans the server harvested for the same trace id (re-tagged
+// kRemotePid), producing one timeline in one file.
+std::string ChromeTraceJsonFor(const std::vector<SpanRecord>& spans,
+                               const std::vector<std::pair<int, std::string>>& processes,
+                               const std::vector<std::pair<int, std::string>>& tracks = {});
 
 // Every registered metric as one JSON object per line:
 //   {"type":"counter","name":...,"value":...}

@@ -1,0 +1,193 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "src/obs/json.h"
+#include "src/obs/obs.h"
+
+namespace cmif {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_flight_enabled{false};
+
+constexpr std::size_t kNameWords = FlightRecorder::kNameBytes / 8;  // 3
+// kind+tid, trace_id, span_id, time_us, then the name words.
+constexpr std::size_t kPayloadWords = 4 + kNameWords;
+
+// One event slot, seqlock-published: `seq` is even when the payload is
+// stable, odd while the owning thread is writing. Every word is an atomic
+// accessed relaxed, so a racing reader sees garbage at worst — which the
+// seq re-check discards — never a data race.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> words[kPayloadWords];
+};
+
+struct Ring {
+  Slot slots[FlightRecorder::kCapacity];
+  // Next write index, monotonic; advisory for readers (each slot is
+  // validated by its own seq).
+  std::atomic<std::uint64_t> head{0};
+  int tid = 0;
+};
+
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<Ring*> rings;  // leaked; threads may outlive snapshots
+};
+
+RingRegistry& GetRingRegistry() {
+  static RingRegistry* const kRegistry = new RingRegistry();
+  return *kRegistry;
+}
+
+Ring& ThreadRing() {
+  thread_local Ring* const ring = [] {
+    Ring* fresh = new Ring();
+    fresh->tid = detail::CurrentTid();
+    RingRegistry& registry = GetRingRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.rings.push_back(fresh);
+    return fresh;
+  }();
+  return *ring;
+}
+
+std::uint64_t PackKindTid(FlightRecorder::EventKind kind, int tid) {
+  return static_cast<std::uint64_t>(static_cast<std::uint8_t>(kind)) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tid)) << 8);
+}
+
+// Copies one slot if it is stable across the read. Returns false (and leaves
+// *event alone) when the writer got there first.
+bool ReadSlot(const Slot& slot, FlightRecorder::Event* event) {
+  const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+  if (before == 0 || (before & 1) != 0) {
+    return false;  // never written, or mid-write
+  }
+  std::uint64_t words[kPayloadWords];
+  for (std::size_t i = 0; i < kPayloadWords; ++i) {
+    words[i] = slot.words[i].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.seq.load(std::memory_order_relaxed) != before) {
+    return false;  // overwritten mid-copy
+  }
+  event->kind = static_cast<FlightRecorder::EventKind>(words[0] & 0xff);
+  event->tid = static_cast<int>(static_cast<std::uint32_t>(words[0] >> 8));
+  event->trace_id = words[1];
+  event->span_id = words[2];
+  event->time_us = words[3];
+  char name[FlightRecorder::kNameBytes];
+  std::memcpy(name, &words[4], FlightRecorder::kNameBytes);
+  std::memcpy(event->name, name, FlightRecorder::kNameBytes);
+  event->name[FlightRecorder::kNameBytes] = '\0';
+  return true;
+}
+
+}  // namespace
+
+bool FlightRecorder::Enabled() { return g_flight_enabled.load(std::memory_order_relaxed); }
+
+void FlightRecorder::SetEnabled(bool on) {
+  g_flight_enabled.store(on, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Record(EventKind kind, std::uint64_t trace_id, std::uint64_t span_id,
+                            std::string_view name) {
+  if (!Enabled()) {
+    return;
+  }
+  Ring& ring = ThreadRing();
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[head % kCapacity];
+  const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_relaxed);  // odd: mid-write
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.words[0].store(PackKindTid(kind, ring.tid), std::memory_order_relaxed);
+  slot.words[1].store(trace_id, std::memory_order_relaxed);
+  slot.words[2].store(span_id, std::memory_order_relaxed);
+  slot.words[3].store(static_cast<std::uint64_t>(detail::NowMicros()),
+                      std::memory_order_relaxed);
+  char name_bytes[kNameBytes] = {};
+  std::memcpy(name_bytes, name.data(), std::min(name.size(), kNameBytes));
+  for (std::size_t i = 0; i < kNameWords; ++i) {
+    std::uint64_t word;
+    std::memcpy(&word, name_bytes + i * 8, 8);
+    slot.words[4 + i].store(word, std::memory_order_relaxed);
+  }
+  slot.seq.store(seq + 2, std::memory_order_release);  // even: stable
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::Snapshot() {
+  std::vector<Event> out;
+  RingRegistry& registry = GetRingRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (Ring* ring : registry.rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t count = std::min<std::uint64_t>(head, kCapacity);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      Event event;
+      if (ReadSlot(ring->slots[i % kCapacity], &event)) {
+        out.push_back(event);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    return a.time_us < b.time_us;
+  });
+  return out;
+}
+
+std::size_t FlightRecorder::DumpToSpans(std::string_view reason) {
+  std::vector<Event> events = Snapshot();
+  const std::string reason_json = JsonQuote(reason);
+  for (const Event& event : events) {
+    SpanRecord record;
+    record.name = event.name[0] != '\0' ? std::string(event.name) : std::string("(span-end)");
+    record.args.emplace_back("flight", JsonQuote(FlightEventKindName(event.kind)));
+    record.args.emplace_back("reason", reason_json);
+    record.start_us = static_cast<double>(event.time_us);
+    record.duration_us = 0;
+    record.id = event.span_id;
+    record.trace_id = event.trace_id;
+    record.pid = kFlightPid;
+    record.tid = event.tid;
+    detail::AppendSpan(std::move(record));
+  }
+  return events.size();
+}
+
+void FlightRecorder::Reset() {
+  RingRegistry& registry = GetRingRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (Ring* ring : registry.rings) {
+    // Mark every slot never-written. A racing owner thread may repopulate
+    // (or resurrect a slot it was mid-writing) after this returns — Reset
+    // only guarantees a quiesced recorder comes back empty.
+    for (Slot& slot : ring->slots) {
+      slot.seq.store(0, std::memory_order_release);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+std::string_view FlightEventKindName(FlightRecorder::EventKind kind) {
+  switch (kind) {
+    case FlightRecorder::EventKind::kSpanBegin:
+      return "begin";
+    case FlightRecorder::EventKind::kSpanEnd:
+      return "end";
+    case FlightRecorder::EventKind::kAnnotation:
+      return "annotation";
+  }
+  return "unknown";
+}
+
+}  // namespace obs
+}  // namespace cmif

@@ -1,0 +1,74 @@
+// The flight recorder: a fixed-size, lock-free, per-thread ring of compact
+// span/annotation events, written on every span begin/end while enabled —
+// including spans an unsampled trace suppressed — and dumped on anomaly for
+// postmortems. This is the escape hatch behind head sampling: the sampling
+// decision is made before anything goes wrong, so when something does, the
+// last N events per thread are still here.
+//
+// Writers are wait-free and allocation-free: each thread owns its ring and
+// publishes slots seqlock-style (an odd sequence marks a slot mid-write; a
+// reader that sees the sequence change mid-copy discards the slot). All slot
+// words are relaxed atomics, so concurrent dump/record is data-race-free
+// under TSan without any lock on the record path.
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cmif {
+namespace obs {
+
+class FlightRecorder {
+ public:
+  // Events retained per thread. Oldest are overwritten silently.
+  static constexpr std::size_t kCapacity = 256;
+  // Name bytes kept per event (longer names truncate).
+  static constexpr std::size_t kNameBytes = 24;
+
+  enum class EventKind : std::uint8_t {
+    kSpanBegin = 1,
+    kSpanEnd = 2,
+    kAnnotation = 3,
+  };
+
+  struct Event {
+    EventKind kind = EventKind::kSpanBegin;
+    int tid = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t time_us = 0;  // wall microseconds since process start
+    char name[kNameBytes + 1] = {};
+  };
+
+  // Off by default; one relaxed load per probe when off.
+  static bool Enabled();
+  static void SetEnabled(bool on);
+
+  // Appends one event to the calling thread's ring. Wait-free, no
+  // allocation after the thread's first call. No-op while disabled.
+  static void Record(EventKind kind, std::uint64_t trace_id, std::uint64_t span_id,
+                     std::string_view name);
+
+  // Copies every thread's retained events, oldest first (sorted by time).
+  // Slots being overwritten mid-copy are skipped, so a snapshot taken under
+  // writer fire returns at most kCapacity valid events per thread.
+  static std::vector<Event> Snapshot();
+
+  // The postmortem dump: converts Snapshot() into zero-duration SpanRecords
+  // under kFlightPid (annotated with `reason`) and appends them to the span
+  // buffer. Returns the number of events dumped.
+  static std::size_t DumpToSpans(std::string_view reason);
+
+  // Clears every thread's ring (test helper).
+  static void Reset();
+};
+
+std::string_view FlightEventKindName(FlightRecorder::EventKind kind);
+
+}  // namespace obs
+}  // namespace cmif
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

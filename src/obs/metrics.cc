@@ -199,6 +199,13 @@ ScopedLatency::ScopedLatency(std::string_view histogram_name) {
   }
 }
 
+ScopedLatency::ScopedLatency(Histogram& histogram) {
+  if (Enabled()) {
+    histogram_ = &histogram;
+    start_ = std::chrono::steady_clock::now();
+  }
+}
+
 ScopedLatency::~ScopedLatency() {
   if (histogram_ != nullptr) {
     histogram_->Record(std::chrono::duration<double, std::milli>(

@@ -129,6 +129,9 @@ Histogram& GetHistogram(std::string_view name);
 class ScopedLatency {
  public:
   explicit ScopedLatency(std::string_view histogram_name);
+  // Hot-path form: the caller cached the histogram (static-local pattern),
+  // so construction does no registry lookup and no string work.
+  explicit ScopedLatency(Histogram& histogram);
   ~ScopedLatency();
   ScopedLatency(const ScopedLatency&) = delete;
   ScopedLatency& operator=(const ScopedLatency&) = delete;

@@ -1,10 +1,14 @@
 #include "src/obs/obs.h"
 
+#include <algorithm>
 #include <map>
+#include <memory>
 #include <mutex>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace cmif {
 namespace obs {
@@ -19,27 +23,55 @@ void SetEnabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed
 
 namespace {
 
-// The process-wide recorder. Leaked singletons: instrumented destructors may
-// run at exit.
-struct Recorder {
+// Finished spans land in a per-thread buffer: the hot path takes one
+// uncontended per-thread lock (snapshot/harvest are the only other lockers)
+// instead of serializing every thread through a process-wide mutex. Buffers
+// are owned jointly by the thread (thread_local shared_ptr) and the registry
+// (so snapshots still see spans from exited threads). Leaked deliberately:
+// instrumented destructors may run at exit.
+struct ThreadBuffer {
   std::mutex mu;
   std::vector<SpanRecord> spans;
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+BufferRegistry& GetBufferRegistry() {
+  static BufferRegistry* const kRegistry = new BufferRegistry();
+  return *kRegistry;
+}
+
+// Timeline tracks keep the old process-wide table — track registration is
+// not a hot path.
+struct TrackTable {
+  std::mutex mu;
   std::map<std::string, int, std::less<>> tracks;
   int next_track_tid = 1;
 };
 
-Recorder& GetRecorder() {
-  static Recorder* const kRecorder = new Recorder();
-  return *kRecorder;
+TrackTable& GetTrackTable() {
+  static TrackTable* const kTracks = new TrackTable();
+  return *kTracks;
 }
 
 std::atomic<std::uint64_t> g_next_span_id{1};
 std::atomic<int> g_next_thread_id{1};
 
-// Per-thread state: a small stable id and the stack of open span ids.
+// Per-thread state: a small stable id, the stack of open span ids, and this
+// thread's share of the span buffer.
 struct ThreadState {
   int tid = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::uint64_t> open_spans;
+  std::shared_ptr<ThreadBuffer> buffer = std::make_shared<ThreadBuffer>();
+
+  ThreadState() {
+    BufferRegistry& registry = GetBufferRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.buffers.push_back(buffer);
+  }
 };
 
 ThreadState& GetThreadState() {
@@ -58,61 +90,121 @@ double MicrosSinceStart(std::chrono::steady_clock::time_point at) {
 
 }  // namespace
 
+namespace detail {
+
+double NowMicros() { return MicrosSinceStart(std::chrono::steady_clock::now()); }
+
+int CurrentTid() { return GetThreadState().tid; }
+
+void AppendSpan(SpanRecord record) {
+  ThreadBuffer& buffer = *GetThreadState().buffer;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.spans.push_back(std::move(record));
+}
+
+}  // namespace detail
+
 Span::Span(std::string_view name) {
   if (!Enabled()) {
     return;
   }
-  active_ = true;
+  const TraceContext& context = CurrentTrace();
+  const bool record = !context.valid() || context.sampled;
+  const bool flight = FlightRecorder::Enabled();
+  if (!record && !flight) {
+    return;  // unsampled and no flight recorder: zero work, zero allocation
+  }
   ThreadState& state = GetThreadState();
-  record_.name = std::string(name);
   record_.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
-  record_.parent_id = state.open_spans.empty() ? 0 : state.open_spans.back();
+  record_.trace_id = context.trace_id;
+  record_.parent_id =
+      state.open_spans.empty() ? context.parent_span_id : state.open_spans.back();
   record_.tid = state.tid;
-  state.open_spans.push_back(record_.id);
+  if (record) {
+    active_ = true;
+    record_.name = std::string(name);
+    state.open_spans.push_back(record_.id);
+  } else {
+    flight_only_ = true;
+  }
   start_ = std::chrono::steady_clock::now();
   record_.start_us = MicrosSinceStart(start_);
+  if (flight) {
+    FlightRecorder::Record(FlightRecorder::EventKind::kSpanBegin, context.trace_id,
+                           record_.id, name);
+  }
+}
+
+void Span::ReserveArgs() {
+  // Annotated spans typically carry a handful of args; one up-front
+  // reservation replaces the doubling reallocations of organic growth.
+  if (record_.args.capacity() == 0) {
+    record_.args.reserve(8);
+  }
 }
 
 Span::~Span() {
-  if (!active_) {
+  if (!active_ && !flight_only_) {
     return;
   }
   record_.duration_us =
       std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start_)
           .count();
+  if (FlightRecorder::Enabled()) {
+    FlightRecorder::Record(FlightRecorder::EventKind::kSpanEnd, record_.trace_id,
+                           record_.id, record_.name);
+  }
+  if (!active_) {
+    return;
+  }
   ThreadState& state = GetThreadState();
   if (!state.open_spans.empty() && state.open_spans.back() == record_.id) {
     state.open_spans.pop_back();
   }
-  Recorder& recorder = GetRecorder();
-  std::lock_guard<std::mutex> lock(recorder.mu);
-  recorder.spans.push_back(std::move(record_));
+  ThreadBuffer& buffer = *state.buffer;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.spans.push_back(std::move(record_));
 }
 
 void Span::Annotate(std::string_view key, std::string_view value) {
   if (active_) {
+    ReserveArgs();
     record_.args.emplace_back(std::string(key), JsonQuote(value));
+  }
+  if ((active_ || flight_only_) && FlightRecorder::Enabled()) {
+    FlightRecorder::Record(FlightRecorder::EventKind::kAnnotation, record_.trace_id,
+                           record_.id, key);
   }
 }
 
 void Span::Annotate(std::string_view key, double value) {
   if (active_) {
+    ReserveArgs();
     record_.args.emplace_back(std::string(key), JsonNumber(value));
+  }
+  if ((active_ || flight_only_) && FlightRecorder::Enabled()) {
+    FlightRecorder::Record(FlightRecorder::EventKind::kAnnotation, record_.trace_id,
+                           record_.id, key);
   }
 }
 
 void Span::AnnotateInt(std::string_view key, std::int64_t value) {
   if (active_) {
+    ReserveArgs();
     record_.args.emplace_back(std::string(key), JsonNumber(value));
+  }
+  if ((active_ || flight_only_) && FlightRecorder::Enabled()) {
+    FlightRecorder::Record(FlightRecorder::EventKind::kAnnotation, record_.trace_id,
+                           record_.id, key);
   }
 }
 
 int TimelineTrack(std::string_view name) {
-  Recorder& recorder = GetRecorder();
-  std::lock_guard<std::mutex> lock(recorder.mu);
-  auto it = recorder.tracks.find(name);
-  if (it == recorder.tracks.end()) {
-    it = recorder.tracks.emplace(std::string(name), recorder.next_track_tid++).first;
+  TrackTable& table = GetTrackTable();
+  std::lock_guard<std::mutex> lock(table.mu);
+  auto it = table.tracks.find(name);
+  if (it == table.tracks.end()) {
+    it = table.tracks.emplace(std::string(name), table.next_track_tid++).first;
   }
   return it->second;
 }
@@ -130,36 +222,107 @@ void EmitTimelineEvent(int track, std::string_view name, double start_us, double
   record.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   record.pid = kTimelinePid;
   record.tid = track;
-  Recorder& recorder = GetRecorder();
-  std::lock_guard<std::mutex> lock(recorder.mu);
-  recorder.spans.push_back(std::move(record));
+  detail::AppendSpan(std::move(record));
+}
+
+SpanRecord* TimelineBatch::Stage(int track, std::string_view name, double start_us,
+                                 double duration_us) {
+  if (!Enabled()) {
+    return nullptr;
+  }
+  if (staged_.capacity() == 0) {
+    // One up-front reservation instead of doubling through the first runs of
+    // a playback loop; a longer run still grows organically past this.
+    staged_.reserve(64);
+  }
+  SpanRecord& record = staged_.emplace_back();
+  record.name = std::string(name);
+  record.start_us = start_us;
+  record.duration_us = duration_us;
+  record.pid = kTimelinePid;
+  record.tid = track;
+  return &record;
+}
+
+void TimelineBatch::Flush() {
+  if (staged_.empty()) {
+    return;
+  }
+  // One id reservation and one buffer lock for the whole batch.
+  std::uint64_t first_id =
+      g_next_span_id.fetch_add(staged_.size(), std::memory_order_relaxed);
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    staged_[i].id = first_id + i;
+  }
+  ThreadBuffer& buffer = *GetThreadState().buffer;
+  {
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    buffer.spans.insert(buffer.spans.end(), std::make_move_iterator(staged_.begin()),
+                        std::make_move_iterator(staged_.end()));
+  }
+  staged_.clear();
 }
 
 std::vector<SpanRecord> SnapshotSpans() {
-  Recorder& recorder = GetRecorder();
-  std::lock_guard<std::mutex> lock(recorder.mu);
-  return recorder.spans;
+  std::vector<SpanRecord> out;
+  BufferRegistry& registry = GetBufferRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  std::stable_sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    return a.start_us < b.start_us;
+  });
+  return out;
+}
+
+std::vector<SpanRecord> TakeTraceSpans(std::uint64_t trace_id) {
+  std::vector<SpanRecord> out;
+  if (trace_id == 0) {
+    return out;
+  }
+  BufferRegistry& registry = GetBufferRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    auto split = std::stable_partition(
+        buffer->spans.begin(), buffer->spans.end(),
+        [trace_id](const SpanRecord& span) { return span.trace_id != trace_id; });
+    for (auto it = split; it != buffer->spans.end(); ++it) {
+      out.push_back(std::move(*it));
+    }
+    buffer->spans.erase(split, buffer->spans.end());
+  }
+  std::stable_sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    return a.start_us < b.start_us;
+  });
+  return out;
 }
 
 std::vector<std::pair<int, std::string>> SnapshotTracks() {
-  Recorder& recorder = GetRecorder();
-  std::lock_guard<std::mutex> lock(recorder.mu);
+  TrackTable& table = GetTrackTable();
+  std::lock_guard<std::mutex> lock(table.mu);
   std::vector<std::pair<int, std::string>> out;
-  out.reserve(recorder.tracks.size());
-  for (const auto& [name, tid] : recorder.tracks) {
+  out.reserve(table.tracks.size());
+  for (const auto& [name, tid] : table.tracks) {
     out.emplace_back(tid, name);
   }
   return out;
 }
 
 void ResetSpans() {
-  Recorder& recorder = GetRecorder();
-  std::lock_guard<std::mutex> lock(recorder.mu);
-  recorder.spans.clear();
+  BufferRegistry& registry = GetBufferRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->spans.clear();
+  }
 }
 
 void ResetAll() {
   ResetSpans();
+  FlightRecorder::Reset();
   MetricsRegistry::Instance().ResetValues();
 }
 

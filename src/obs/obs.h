@@ -25,9 +25,13 @@ namespace obs {
 
 // Wall-clock spans record under this Chrome-trace pid; synthetic
 // media-timeline events under kTimelinePid (so Perfetto shows the pipeline
-// and the presentation as two process tracks).
+// and the presentation as two process tracks). Flight-recorder postmortem
+// dumps land under kFlightPid; spans harvested from a remote server and
+// merged into a local trace under kRemotePid.
 inline constexpr int kProcessPid = 1;
 inline constexpr int kTimelinePid = 2;
+inline constexpr int kFlightPid = 3;
+inline constexpr int kRemotePid = 4;
 
 #ifdef CMIF_OBS_DISABLED
 constexpr bool Enabled() { return false; }
@@ -63,12 +67,18 @@ struct SpanRecord {
   double duration_us = 0;
   std::uint64_t id = 0;
   std::uint64_t parent_id = 0;  // 0 = no parent
+  // The cross-process trace this span belongs to (src/obs/trace.h);
+  // 0 = process-local.
+  std::uint64_t trace_id = 0;
   int pid = kProcessPid;
   int tid = 0;  // small per-thread id, or timeline track id
 };
 
 // A scoped wall-clock timer. Construction is a no-op unless Enabled(); the
-// record is appended at destruction.
+// record is appended at destruction to a per-thread buffer (one uncontended
+// lock, no cross-thread traffic on the hot path). When the thread carries an
+// unsampled TraceContext the span allocates nothing and records nothing
+// beyond its flight-recorder breadcrumb.
 class Span {
  public:
   explicit Span(std::string_view name);
@@ -93,8 +103,10 @@ class Span {
 
  private:
   void AnnotateInt(std::string_view key, std::int64_t value);
+  void ReserveArgs();
 
-  bool active_ = false;
+  bool active_ = false;        // records a SpanRecord at destruction
+  bool flight_only_ = false;   // suppressed by sampling; breadcrumbs only
   SpanRecord record_;
   std::chrono::steady_clock::time_point start_;
 };
@@ -108,15 +120,57 @@ int TimelineTrack(std::string_view name);
 void EmitTimelineEvent(int track, std::string_view name, double start_us, double duration_us,
                        std::vector<std::pair<std::string, std::string>> args = {});
 
-// Snapshot of all finished spans/events, in completion order.
+// Batches synthetic timeline events so a playback loop pays one id
+// reservation and one buffer append per run instead of one lock, one atomic
+// and one allocation per presented event. Stage() hands back the staged
+// record for in-place args (pre-rendered JSON values, as in SpanRecord);
+// Flush() — or destruction — publishes the whole batch.
+class TimelineBatch {
+ public:
+  TimelineBatch() = default;
+  ~TimelineBatch() { Flush(); }
+  TimelineBatch(const TimelineBatch&) = delete;
+  TimelineBatch& operator=(const TimelineBatch&) = delete;
+
+  // Stages a complete event on `track`; returns the staged record so the
+  // caller can emplace args directly. The pointer is valid until the next
+  // Stage()/Flush(). Returns nullptr (and stages nothing) unless Enabled().
+  SpanRecord* Stage(int track, std::string_view name, double start_us, double duration_us);
+
+  // Publishes every staged event to the calling thread's span buffer in one
+  // append. Safe to call repeatedly; retains capacity across rounds.
+  void Flush();
+
+ private:
+  std::vector<SpanRecord> staged_;
+};
+
+// Snapshot of all finished spans/events across every thread's buffer,
+// ordered by start time.
 std::vector<SpanRecord> SnapshotSpans();
 // Registered timeline tracks as (tid, name).
 std::vector<std::pair<int, std::string>> SnapshotTracks();
 
-// Clears the span buffer (not the metric values).
+// Extracts (removes and returns) every finished span tagged with `trace_id`.
+// The server's per-request harvest: sampled requests hand their spans back
+// on the wire and leave nothing behind, so a long-lived server's span memory
+// is bounded by its in-flight traces.
+std::vector<SpanRecord> TakeTraceSpans(std::uint64_t trace_id);
+
+// Clears the span buffers (not the metric values).
 void ResetSpans();
 // Clears spans and zeroes every registered metric.
 void ResetAll();
+
+namespace detail {
+// Microseconds since process start on the span clock (shared with the
+// flight recorder so dumped breadcrumbs align with spans).
+double NowMicros();
+// Appends a finished record to the calling thread's span buffer.
+void AppendSpan(SpanRecord record);
+// The calling thread's small stable tid.
+int CurrentTid();
+}  // namespace detail
 
 }  // namespace obs
 }  // namespace cmif

@@ -1,0 +1,91 @@
+#include "src/obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <limits>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace cmif {
+namespace obs {
+namespace {
+
+// splitmix64: the id generator needs decent bit dispersion, not security.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+TraceContext& CurrentTraceMutable() {
+  thread_local TraceContext current;
+  return current;
+}
+
+std::atomic<std::uint64_t> g_anomalies{0};
+
+}  // namespace
+
+bool SampleTrace(std::uint64_t trace_id, double rate) {
+  if (rate <= 0) {
+    return false;
+  }
+  if (rate >= 1) {
+    return true;
+  }
+  // Remix before comparing: the keep slice must not correlate with whatever
+  // structure the id generator has.
+  const double unit = static_cast<double>(Mix64(trace_id)) /
+                      static_cast<double>(std::numeric_limits<std::uint64_t>::max());
+  return unit < rate;
+}
+
+TraceContext NewTrace(double rate) {
+  // Distinct across processes and threads: a global counter mixed with the
+  // process start time and this thread's stack address.
+  static std::atomic<std::uint64_t> g_next{1};
+  static const std::uint64_t kProcessSalt = Mix64(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  thread_local const std::uint64_t kThreadSalt =
+      Mix64(reinterpret_cast<std::uintptr_t>(&g_next) ^
+            reinterpret_cast<std::uintptr_t>(&kThreadSalt));
+  TraceContext context;
+  do {
+    context.trace_id = Mix64(g_next.fetch_add(1, std::memory_order_relaxed) ^ kProcessSalt ^
+                             kThreadSalt);
+  } while (context.trace_id == 0);
+  context.sampled = SampleTrace(context.trace_id, rate);
+  return context;
+}
+
+const TraceContext& CurrentTrace() { return CurrentTraceMutable(); }
+
+ScopedTrace::ScopedTrace(const TraceContext& context) : previous_(CurrentTraceMutable()) {
+  CurrentTraceMutable() = context;
+}
+
+ScopedTrace::~ScopedTrace() { CurrentTraceMutable() = previous_; }
+
+void RecordAnomaly(std::string_view reason) {
+  g_anomalies.fetch_add(1, std::memory_order_relaxed);
+  if (Enabled()) {
+    static Counter& anomalies = GetCounter("obs.anomalies");
+    anomalies.Add();
+  }
+  TraceContext& current = CurrentTraceMutable();
+  if (current.valid() && !current.sampled) {
+    current.sampled = true;  // the rest of this request records
+  }
+  if (FlightRecorder::Enabled()) {
+    FlightRecorder::DumpToSpans(reason);
+  }
+}
+
+std::uint64_t AnomalyCount() { return g_anomalies.load(std::memory_order_relaxed); }
+
+}  // namespace obs
+}  // namespace cmif

@@ -1,0 +1,71 @@
+// Cross-process trace context: a (trace id, parent span id, sampling bit)
+// triple that travels inside PresentRequest wire frames so one trace id
+// stitches client and server spans into a single timeline. The context is
+// thread-local; Span (src/obs/obs.h) reads it to tag records with the trace
+// id, to link the thread's root span under the remote parent, and to skip
+// recording entirely — no allocation — when the trace is unsampled.
+//
+// Sampling is head-based and deterministic: the keep/drop decision is a pure
+// function of the trace id and the rate, so every process along the request
+// path agrees without coordination. Anomalies (errors, degraded compiles,
+// breaker opens, retries) override the head decision: RecordAnomaly flips
+// the current trace to sampled from that point on and dumps the flight
+// recorder (src/obs/flight_recorder.h) for the events leading up to it.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cmif {
+namespace obs {
+
+// The context carried on the wire. trace_id 0 means "no trace": spans record
+// normally (process-local profiling) and nothing propagates.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  bool sampled = false;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+// Deterministic head sampling: true iff `trace_id` falls in the keep slice
+// for `rate` (<= 0 never samples, >= 1 always). Pure, coordination-free.
+bool SampleTrace(std::uint64_t trace_id, double rate);
+
+// A fresh root context with a nonzero id and the head-sampling decision for
+// `rate` applied.
+TraceContext NewTrace(double rate);
+
+// The calling thread's current context; invalid() when none is installed.
+const TraceContext& CurrentTrace();
+
+// RAII install/restore of the thread's current context. Install an invalid
+// context to suspend tracing for a scope.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(const TraceContext& context);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
+// The always-sample-on-anomaly rule. Counts obs.anomalies, force-samples the
+// thread's current trace (subsequent spans record even if head sampling said
+// drop), and — when the flight recorder is enabled — dumps the retained
+// event history into the span buffer for the postmortem. Cheap enough for
+// error paths; never call it per healthy request.
+void RecordAnomaly(std::string_view reason);
+
+// Total RecordAnomaly calls since process start. Monotonic; counted even
+// when obs is disabled (the obs.anomalies counter only ticks when enabled).
+std::uint64_t AnomalyCount();
+
+}  // namespace obs
+}  // namespace cmif
+
+#endif  // SRC_OBS_TRACE_H_

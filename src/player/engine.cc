@@ -73,10 +73,13 @@ StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule
                               const DescriptorStore* store, const PlayerOptions& options) {
   PlaybackResult result;
   obs::Span run_span("player.run");
-  obs::ScopedLatency run_latency("player.run_ms");
+  static obs::Histogram& run_ms = obs::GetHistogram("player.run_ms");
+  obs::ScopedLatency run_latency(run_ms);
   if (obs::Enabled()) {
-    obs::GetCounter("player.runs").Add();
+    static obs::Counter& runs = obs::GetCounter("player.runs");
+    runs.Add();
   }
+  obs::TimelineBatch timeline;
   result.clock.SetRate(options.rate_num, options.rate_den);
 
   // One device per channel.
@@ -86,6 +89,25 @@ StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule
     result.devices.emplace_back(channel.name, channel.medium,
                                 options.profile.TimingFor(channel.medium));
   }
+
+  // Per-channel instrument handles, resolved once per run and indexed by the
+  // channel's device slot: the playback loop must not pay a name
+  // concatenation, a registry/track-table lookup, or even a map probe per
+  // presented event.
+  struct ChannelObs {
+    obs::Histogram* lateness = nullptr;
+    int track = 0;
+  };
+  std::vector<ChannelObs> channel_obs(result.devices.size());
+  auto obs_for_channel = [&channel_obs](std::size_t device_index,
+                                        const std::string& channel) -> ChannelObs& {
+    ChannelObs& slot = channel_obs[device_index];
+    if (slot.lateness == nullptr) {
+      slot.lateness = &obs::GetHistogram("player.lateness_ms." + channel);
+      slot.track = obs::TimelineTrack("channel:" + channel);
+    }
+    return slot;
+  };
 
   // Events in begin order (stable on document order for ties).
   std::vector<const ScheduledEvent*> ordered;
@@ -214,30 +236,46 @@ StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule
     device.Present(entry.label, target, actual, end, bytes);
     result.clock.AdvanceDocumentTo(scheduled->end);
     if (obs::Enabled()) {
+      ChannelObs& channel = obs_for_channel(device_it->second, entry.channel);
       // `lateness` is the raw device lateness, before any freeze absorbed it.
       double lateness_ms = lateness.ToSecondsF() * 1000;
-      obs::GetHistogram("player.lateness_ms." + entry.channel).Record(lateness_ms);
+      channel.lateness->Record(lateness_ms);
       if (entry.caused_freeze) {
-        obs::GetCounter("player.freezes").Add();
-        obs::GetHistogram("player.freeze_ms").Record(entry.freeze_amount.ToSecondsF() * 1000);
+        static obs::Counter& freezes = obs::GetCounter("player.freezes");
+        static obs::Histogram& freeze_ms = obs::GetHistogram("player.freeze_ms");
+        freezes.Add();
+        freeze_ms.Record(entry.freeze_amount.ToSecondsF() * 1000);
       }
       // The presentation itself, as a media-timeline span (one Perfetto track
-      // per channel, timestamped in media time).
-      int track = obs::TimelineTrack("channel:" + entry.channel);
-      obs::EmitTimelineEvent(
-          track, entry.label, entry.actual_begin.ToSecondsF() * 1e6,
-          (entry.actual_end - entry.actual_begin).ToSecondsF() * 1e6,
-          {{"lateness_ms", obs::JsonNumber(lateness_ms)},
-           {"bytes", obs::JsonNumber(static_cast<std::int64_t>(bytes))},
-           {"froze", entry.caused_freeze ? "true" : "false"}});
+      // per channel, timestamped in media time). Staged, not emitted: the
+      // whole run publishes as one batch when `timeline` goes out of scope.
+      // Args are sparse — only anomalous presentations (late, frozen, or
+      // degraded) pay the annotation formatting; a nominal event stages
+      // nothing but its name and slot.
+      if (obs::SpanRecord* slice = timeline.Stage(
+              channel.track, entry.label, entry.actual_begin.ToSecondsF() * 1e6,
+              (entry.actual_end - entry.actual_begin).ToSecondsF() * 1e6)) {
+        if (lateness_ms != 0 || entry.caused_freeze || entry.degraded) {
+          slice->args.reserve(3);
+          slice->args.emplace_back("lateness_ms", obs::JsonNumber(lateness_ms));
+          slice->args.emplace_back("bytes", obs::JsonNumber(static_cast<std::int64_t>(bytes)));
+          slice->args.emplace_back("froze", entry.caused_freeze ? "true" : "false");
+        }
+      }
     }
     result.trace.Append(std::move(entry));
   }
-  run_span.Annotate("presentations", result.trace.size());
-  run_span.Annotate("skipped", result.events_skipped);
-  run_span.Annotate("freezes", result.trace.FreezeCount());
-  run_span.Annotate("degraded", result.degraded_events);
-  run_span.Annotate("suppressed", result.suppressed_events);
+  // Sparse args: a nominal run's figures are all zero and the presentation
+  // count is visible as the timeline slice count; annotating every run would
+  // put five string/JSON conversions on the hot path for no information.
+  if (result.events_skipped > 0 || result.degraded_events > 0 ||
+      result.suppressed_events > 0 || result.trace.FreezeCount() > 0) {
+    run_span.Annotate("presentations", result.trace.size());
+    run_span.Annotate("skipped", result.events_skipped);
+    run_span.Annotate("freezes", result.trace.FreezeCount());
+    run_span.Annotate("degraded", result.degraded_events);
+    run_span.Annotate("suppressed", result.suppressed_events);
+  }
   return result;
 }
 

@@ -57,7 +57,8 @@ StatusOr<ScheduleResult> SolveSchedule(TimeGraph& graph,
   ScheduleResult result;
   obs::Span span("solve-schedule");
   if (obs::Enabled()) {
-    obs::GetCounter("sched.schedules").Add();
+    static obs::Counter& schedules = obs::GetCounter("sched.schedules");
+    schedules.Add();
   }
   std::size_t rounds = 0;
   for (std::size_t round = 0; round <= options.max_relaxations; ++round) {
@@ -69,13 +70,19 @@ StatusOr<ScheduleResult> SolveSchedule(TimeGraph& graph,
       if (obs::Enabled()) {
         // Every round beyond the first was an infeasibility backtrack that
         // dropped one may arc and re-solved.
-        obs::GetCounter("sched.backtracks").Add(static_cast<std::int64_t>(rounds - 1));
-        obs::GetCounter("sched.may_arcs_dropped")
-            .Add(static_cast<std::int64_t>(result.dropped_arcs.size()));
+        static obs::Counter& backtracks = obs::GetCounter("sched.backtracks");
+        static obs::Counter& dropped = obs::GetCounter("sched.may_arcs_dropped");
+        backtracks.Add(static_cast<std::int64_t>(rounds - 1));
+        dropped.Add(static_cast<std::int64_t>(result.dropped_arcs.size()));
       }
-      span.Annotate("rounds", rounds);
-      span.Annotate("dropped_arcs", result.dropped_arcs.size());
-      span.Annotate("feasible", true);
+      // Sparse args: a first-round feasible solve is the nominal case and its
+      // figures are all in the counters above; only a backtracked solve
+      // carries annotations.
+      if (rounds > 1) {
+        span.Annotate("rounds", rounds);
+        span.Annotate("dropped_arcs", result.dropped_arcs.size());
+        span.Annotate("feasible", true);
+      }
       return result;
     }
     Conflict conflict = DescribeCycle(graph, result.solve.conflict_cycle);
@@ -86,8 +93,10 @@ StatusOr<ScheduleResult> SolveSchedule(TimeGraph& graph,
     if (droppable == static_cast<std::size_t>(-1)) {
       result.feasible = false;
       if (obs::Enabled()) {
-        obs::GetCounter("sched.backtracks").Add(static_cast<std::int64_t>(rounds - 1));
-        obs::GetCounter("sched.infeasible_documents").Add();
+        static obs::Counter& backtracks = obs::GetCounter("sched.backtracks");
+        static obs::Counter& infeasible = obs::GetCounter("sched.infeasible_documents");
+        backtracks.Add(static_cast<std::int64_t>(rounds - 1));
+        infeasible.Add();
       }
       span.Annotate("rounds", rounds);
       span.Annotate("feasible", false);

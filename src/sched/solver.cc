@@ -311,7 +311,8 @@ void SolveWith(SolverAlgorithm algorithm, std::size_t n, const std::vector<Edge<
 SolveResult SolveStn(const TimeGraph& graph, SolverAlgorithm algorithm) {
   SolveResult result;
   obs::Span span("solve-stn");
-  obs::ScopedLatency latency("sched.solver.solve_ms");
+  static obs::Histogram& solve_ms = obs::GetHistogram("sched.solver.solve_ms");
+  obs::ScopedLatency latency(solve_ms);
   std::size_t n = graph.point_count();
   if (n == 0) {
     result.feasible = true;
@@ -332,19 +333,26 @@ SolveResult SolveStn(const TimeGraph& graph, SolverAlgorithm algorithm) {
         algorithm, n, edges.forward, edges.backward, [](MediaTime t) { return t; }, result);
   }
   if (obs::Enabled()) {
-    obs::GetCounter("sched.solver.solves").Add();
-    obs::GetCounter("sched.solver.propagations")
-        .Add(static_cast<std::int64_t>(result.stats.propagations));
-    obs::GetCounter("sched.solver.iterations")
-        .Add(static_cast<std::int64_t>(result.stats.iterations));
+    static obs::Counter& solves = obs::GetCounter("sched.solver.solves");
+    static obs::Counter& propagations = obs::GetCounter("sched.solver.propagations");
+    static obs::Counter& iterations = obs::GetCounter("sched.solver.iterations");
+    solves.Add();
+    propagations.Add(static_cast<std::int64_t>(result.stats.propagations));
+    iterations.Add(static_cast<std::int64_t>(result.stats.iterations));
     if (!result.feasible) {
-      obs::GetCounter("sched.solver.infeasible").Add();
+      static obs::Counter& infeasible = obs::GetCounter("sched.solver.infeasible");
+      infeasible.Add();
     }
-    span.Annotate("points", n);
-    span.Annotate("constraints", graph.constraints().size());
-    span.Annotate("propagations", result.stats.propagations);
-    span.Annotate("iterations", result.stats.iterations);
-    span.Annotate("feasible", result.feasible);
+    // Sparse args: the same figures land in the registry counters above on
+    // every solve; the span itself carries them only when the solve is
+    // anomalous, keeping the nominal hot path free of annotation churn.
+    if (!result.feasible) {
+      span.Annotate("points", n);
+      span.Annotate("constraints", graph.constraints().size());
+      span.Annotate("propagations", result.stats.propagations);
+      span.Annotate("iterations", result.stats.iterations);
+      span.Annotate("feasible", result.feasible);
+    }
   }
   return result;
 }

@@ -33,7 +33,8 @@ std::shared_ptr<const CompiledPresentation> MappingCache::Get(const MappingCache
   if (it == index_.end()) {
     ++stats_.misses;
     if (obs::Enabled()) {
-      obs::GetCounter("serve.cache.misses").Add();
+      static obs::Counter& misses = obs::GetCounter("serve.cache.misses");
+      misses.Add();
     }
     return nullptr;
   }
@@ -43,8 +44,10 @@ std::shared_ptr<const CompiledPresentation> MappingCache::Get(const MappingCache
   std::size_t saved = value->CostBytes();
   stats_.bytes_saved += saved;
   if (obs::Enabled()) {
-    obs::GetCounter("serve.cache.hits").Add();
-    obs::GetCounter("serve.cache.bytes_saved").Add(static_cast<std::int64_t>(saved));
+    static obs::Counter& hits = obs::GetCounter("serve.cache.hits");
+    static obs::Counter& bytes_saved = obs::GetCounter("serve.cache.bytes_saved");
+    hits.Add();
+    bytes_saved.Add(static_cast<std::int64_t>(saved));
   }
   return value;
 }
@@ -68,7 +71,8 @@ std::shared_ptr<const CompiledPresentation> MappingCache::GetStale(const Mapping
   }
   ++stats_.stale_hits;
   if (obs::Enabled()) {
-    obs::GetCounter("serve.cache.stale_hits").Add();
+    static obs::Counter& stale_hits = obs::GetCounter("serve.cache.stale_hits");
+    stale_hits.Add();
   }
   return *best;
 }
@@ -89,7 +93,8 @@ void MappingCache::Put(const MappingCacheKey& key,
     lru_.pop_back();
     ++stats_.evictions;
     if (obs::Enabled()) {
-      obs::GetCounter("serve.cache.evictions").Add();
+      static obs::Counter& evictions = obs::GetCounter("serve.cache.evictions");
+      evictions.Add();
     }
   }
   stats_.entries = lru_.size();

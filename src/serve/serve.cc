@@ -13,6 +13,7 @@
 #include "src/news/evening_news.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
 #include "src/pipeline/pipeline.h"
 
 namespace cmif {
@@ -152,7 +153,8 @@ ServeResponse ServeLoop::Serve(const ServeRequest& request) {
   span.Annotate("document", doc.name);
   span.Annotate("profile", profile.name);
   if (obs::Enabled()) {
-    obs::GetCounter("serve.requests").Add();
+    static obs::Counter& requests = obs::GetCounter("serve.requests");
+    requests.Add();
   }
 
   MappingCacheKey key;
@@ -180,16 +182,20 @@ ServeResponse ServeLoop::Serve(const ServeRequest& request) {
         response.outcome = ServeOutcome::kDegraded;
         span.Annotate("outcome", "degraded");
         if (obs::Enabled()) {
-          obs::GetCounter("serve.degraded.requests").Add();
+          static obs::Counter& degraded = obs::GetCounter("serve.degraded.requests");
+          degraded.Add();
         }
+        obs::RecordAnomaly("serve.degraded");
         return;
       }
     }
     response.outcome = ServeOutcome::kFailed;
     span.Annotate("outcome", "failed");
     if (obs::Enabled()) {
-      obs::GetCounter("serve.failed.requests").Add();
+      static obs::Counter& failed = obs::GetCounter("serve.failed.requests");
+      failed.Add();
     }
+    obs::RecordAnomaly("serve.failed");
   };
 
   // Fail fast while this document's breaker is open: don't burn a pipeline
@@ -240,7 +246,8 @@ ServeResponse ServeLoop::Serve(const ServeRequest& request) {
     span.Annotate("outcome", "recovered");
     span.Annotate("attempts", response.attempts);
     if (obs::Enabled()) {
-      obs::GetCounter("serve.recovered.requests").Add();
+      static obs::Counter& recovered = obs::GetCounter("serve.recovered.requests");
+      recovered.Add();
     }
   }
   // Only fresh compiles are cached — a degraded (stale) response never
@@ -298,13 +305,15 @@ StatusOr<ServeStats> ServeLoop::Run(const std::vector<ServeRequest>& trace) {
       double millis = std::chrono::duration<double, std::milli>(end - start).count();
       result.latencies_ms.push_back(millis);
       if (obs::Enabled()) {
-        obs::GetHistogram("serve.request_ms").Record(millis);
+        static obs::Histogram& request_ms = obs::GetHistogram("serve.request_ms");
+        request_ms.Record(millis);
       }
       if (threw) {
         ++result.exceptions;
         ++result.errors;
         if (obs::Enabled()) {
-          obs::GetCounter("serve.worker_exceptions").Add();
+          static obs::Counter& exceptions = obs::GetCounter("serve.worker_exceptions");
+          exceptions.Add();
         }
         continue;
       }
@@ -357,7 +366,8 @@ StatusOr<ServeStats> ServeLoop::Run(const std::vector<ServeRequest>& trace) {
   stats.p95_ms = PercentileOfSorted(latencies, 95);
   stats.p99_ms = PercentileOfSorted(latencies, 99);
   if (obs::Enabled()) {
-    obs::GetGauge("serve.last_throughput_rps").Set(static_cast<std::int64_t>(stats.throughput_rps));
+    static obs::Gauge& rps = obs::GetGauge("serve.last_throughput_rps");
+    rps.Set(static_cast<std::int64_t>(stats.throughput_rps));
   }
   return stats;
 }

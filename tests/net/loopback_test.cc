@@ -13,6 +13,8 @@
 #include "src/base/socket.h"
 #include "src/base/string_util.h"
 #include "src/fault/fault.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
 
 namespace cmif {
 namespace net {
@@ -303,6 +305,121 @@ TEST(LoopbackTest, ServesAfterClientVanishes) {
   auto response = second.Present(request);
   ASSERT_TRUE(response.ok()) << response.status();
   EXPECT_EQ(response->outcome, ServeOutcome::kHealthy);
+  h.server->Stop();
+}
+
+TEST(LoopbackTest, TracedRequestStitchesClientAndServerSpans) {
+#ifdef CMIF_OBS_DISABLED
+  GTEST_SKIP() << "probes compiled out (-DCMIF_OBS=OFF)";
+#endif
+
+  // The tentpole contract: one trace id minted at the client stitches the
+  // client span and the server's spans into a single timeline. The server
+  // ships its harvested spans back in the response; every one of them —
+  // including the request envelope span — carries the client's trace id.
+  obs::ResetAll();
+  obs::ScopedEnable enable;
+  Harness h = Harness::Start(1);
+  NetClient client = h.Client();
+  PresentRequest request;
+  request.document = h.corpus->document(0).name;
+  request.trace = obs::NewTrace(1.0);
+  auto response = client.Present(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->outcome, ServeOutcome::kHealthy);
+
+  ASSERT_FALSE(response->server_spans.empty());
+  bool saw_envelope = false;
+  for (const WireSpan& span : response->server_spans) {
+    EXPECT_EQ(span.trace_id, request.trace.trace_id) << span.name;
+    EXPECT_GE(span.duration_us, 0.0) << span.name;
+    saw_envelope |= span.name == "net-request";
+  }
+  EXPECT_TRUE(saw_envelope) << "server envelope span missing from the response";
+
+  // The client half of the same trace: its request span carries the same id,
+  // and the server's envelope span hangs off it across the wire.
+  auto client_spans = obs::TakeTraceSpans(request.trace.trace_id);
+  ASSERT_FALSE(client_spans.empty());
+  std::uint64_t client_span_id = 0;
+  for (const auto& span : client_spans) {
+    EXPECT_EQ(span.trace_id, request.trace.trace_id);
+    if (span.name == "net-client-request") {
+      client_span_id = span.id;
+    }
+  }
+  ASSERT_NE(client_span_id, 0u);
+  for (const WireSpan& span : response->server_spans) {
+    if (span.name == "net-request") {
+      EXPECT_EQ(span.parent_id, client_span_id);
+    }
+  }
+
+  // The sampled trace shows up as an exemplar in the live stats.
+  auto stats = client.FetchStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GE(stats->traces_sampled, 1u);
+  bool exemplar_found = false;
+  for (std::uint64_t id : stats->exemplar_trace_ids) {
+    exemplar_found |= id == request.trace.trace_id;
+  }
+  EXPECT_TRUE(exemplar_found);
+  h.server->Stop();
+  obs::ResetAll();
+}
+
+TEST(LoopbackTest, UntracedRequestsShipNoSpans) {
+  obs::ResetAll();
+  obs::ScopedEnable enable;
+  Harness h = Harness::Start(1);
+  NetClient client = h.Client();
+  PresentRequest request;
+  request.document = h.corpus->document(0).name;
+  auto response = client.Present(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->server_spans.empty());
+  h.server->Stop();
+  obs::ResetAll();
+}
+
+TEST(LoopbackTest, StatsOverTheWire) {
+  // Live RED metrics without any file export: a few requests (one of them a
+  // failure), then a kStatsRequest round trip returns a snapshot whose
+  // ladders and duration distribution reflect what just happened.
+  Harness h = Harness::Start(2);
+  NetClient client = h.Client();
+  constexpr int kRequests = 3;
+  for (int i = 0; i < kRequests; ++i) {
+    PresentRequest request;
+    request.document = h.corpus->document(i % h.corpus->size()).name;
+    auto response = client.Present(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+  }
+  PresentRequest bad;
+  bad.document = "no-such-document";
+  ASSERT_TRUE(client.Present(bad).ok());
+
+  auto stats = client.FetchStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->uptime_us, 0u);
+  EXPECT_GE(stats->connections, 1u);
+  EXPECT_EQ(stats->requests, static_cast<std::uint64_t>(kRequests) + 1);
+  EXPECT_EQ(stats->failed, 1u);
+  EXPECT_EQ(stats->request_count, static_cast<std::uint64_t>(kRequests) + 1);
+  EXPECT_GE(stats->request_ms_max, stats->request_ms_min);
+  EXPECT_GE(stats->request_ms_p99, stats->request_ms_p50);
+  EXPECT_GE(stats->cache_hits + stats->cache_misses, 1u);
+  EXPECT_EQ(stats->sample_rate, 0.0);
+  // Same connection serves presentation traffic after the stats frame.
+  PresentRequest again;
+  again.document = h.corpus->document(0).name;
+  EXPECT_TRUE(client.Present(again).ok());
+  EXPECT_EQ(client.reconnects(), 0u);
+
+  // The JSON rendering is the tool's output; spot-check the headline fields.
+  std::string json = StatsSnapshotJson(*stats);
+  EXPECT_NE(json.find("\"requests\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("request_rate_rps"), std::string::npos) << json;
   h.server->Stop();
 }
 

@@ -21,6 +21,9 @@ PresentRequest SampleRequest() {
   request.channels = {"video", "caption"};
   request.want_body = false;
   request.allow_degraded = false;
+  request.trace.trace_id = 0x1122334455667788ull;
+  request.trace.parent_span_id = 42;
+  request.trace.sampled = true;
   return request;
 }
 
@@ -32,6 +35,21 @@ PresentResponse SampleResponse() {
   response.error = UnavailableError("compile failed under chaos");
   response.presentation = "(presentation\n (map)\n)";
   response.presentation_hash = 0x0123456789abcdefull;
+  WireSpan span;
+  span.name = "net-request";
+  span.id = 2;
+  span.parent_id = 1;
+  span.trace_id = 0x1122334455667788ull;
+  span.start_us = 1250.5;
+  span.duration_us = 310.25;
+  span.tid = 3;
+  response.server_spans.push_back(span);
+  span.name = "pipeline";
+  span.id = 5;
+  span.parent_id = 2;
+  span.start_us = 1300.0;
+  span.duration_us = 200.0;
+  response.server_spans.push_back(span);
   return response;
 }
 
@@ -44,6 +62,9 @@ TEST(ProtocolTest, RequestRoundTrip) {
   EXPECT_EQ(decoded->channels, request.channels);
   EXPECT_EQ(decoded->want_body, request.want_body);
   EXPECT_EQ(decoded->allow_degraded, request.allow_degraded);
+  EXPECT_EQ(decoded->trace.trace_id, request.trace.trace_id);
+  EXPECT_EQ(decoded->trace.parent_span_id, request.trace.parent_span_id);
+  EXPECT_EQ(decoded->trace.sampled, request.trace.sampled);
 }
 
 TEST(ProtocolTest, DefaultRequestRoundTrip) {
@@ -53,6 +74,61 @@ TEST(ProtocolTest, DefaultRequestRoundTrip) {
   EXPECT_TRUE(decoded->channels.empty());
   EXPECT_TRUE(decoded->want_body);
   EXPECT_TRUE(decoded->allow_degraded);
+  EXPECT_FALSE(decoded->trace.valid());
+  EXPECT_FALSE(decoded->trace.sampled);
+}
+
+TEST(ProtocolTest, TraceContextEncodingGolden) {
+  // The version-2 wire layout of the trailing trace fields, byte for byte —
+  // a silent re-ordering or re-encoding would break mixed-build tracing even
+  // though same-build round-trips still pass.
+  PresentRequest request;
+  request.document = "d";
+  request.trace.trace_id = 42;
+  request.trace.parent_span_id = 7;
+  request.trace.sampled = true;
+  std::string encoded = EncodeRequest(request);
+  const std::string expected(
+      "\x01"
+      "d"
+      "\x00"          // profile ""
+      "\x00"          // channel count 0
+      "\x01"          // want_body
+      "\x01"          // allow_degraded
+      "\x2a"          // trace_id 42
+      "\x07"          // parent_span_id 7
+      "\x01",         // sampled
+      9);
+  EXPECT_EQ(encoded, expected);
+}
+
+TEST(ProtocolTest, ResponseServerSpansRoundTrip) {
+  PresentResponse response = SampleResponse();
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->server_spans.size(), response.server_spans.size());
+  for (std::size_t i = 0; i < response.server_spans.size(); ++i) {
+    const WireSpan& expect = response.server_spans[i];
+    const WireSpan& got = decoded->server_spans[i];
+    EXPECT_EQ(got.name, expect.name) << i;
+    EXPECT_EQ(got.id, expect.id) << i;
+    EXPECT_EQ(got.parent_id, expect.parent_id) << i;
+    EXPECT_EQ(got.trace_id, expect.trace_id) << i;
+    EXPECT_EQ(got.start_us, expect.start_us) << i;  // f64 bit pattern: exact
+    EXPECT_EQ(got.duration_us, expect.duration_us) << i;
+    EXPECT_EQ(got.tid, expect.tid) << i;
+  }
+}
+
+TEST(ProtocolRobustnessTest, TraceFieldsWithoutIdAreRejected) {
+  // parent/sampled without a trace id cannot be produced by an honest
+  // encoder; a decoder that accepted them would let spans dangle.
+  PresentRequest request;
+  request.document = "d";
+  std::string encoded = EncodeRequest(request);
+  ASSERT_EQ(encoded.back(), '\x00');  // sampled=false
+  encoded.back() = '\x01';            // sampled without a trace id
+  EXPECT_EQ(DecodeRequest(encoded).status().code(), StatusCode::kDataLoss);
 }
 
 TEST(ProtocolTest, ResponseRoundTrip) {
@@ -151,10 +227,11 @@ TEST(ProtocolRobustnessTest, HugeClaimedCountsAreRejectedBeforeAllocation) {
 
 TEST(ProtocolRobustnessTest, OutOfRangeEnumsAreRejected) {
   // Booleans must be exactly 0 or 1, status codes and outcomes in range.
+  // The trace sampling bit is the message's last byte.
   PresentRequest request = SampleRequest();
   std::string encoded = EncodeRequest(request);
-  // want_body is the second-to-last byte (bools are trailing fixed fields).
-  encoded[encoded.size() - 2] = 7;
+  ASSERT_EQ(encoded.back(), '\x01');  // trace.sampled
+  encoded.back() = 7;
   auto result = DecodeRequest(encoded);
   EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
 }

@@ -1,0 +1,153 @@
+// The stats frame has the same survival contract as the request/response
+// messages: a hostile or corrupted kStatsResponse payload decodes to a
+// structured kDataLoss — never a crash, an allocation blow-up, or a snapshot
+// with out-of-range fields. A valid encoding round-trips field-exactly.
+#include "src/net/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+
+namespace cmif {
+namespace net {
+namespace {
+
+StatsSnapshot SampleSnapshot() {
+  StatsSnapshot snapshot;
+  snapshot.uptime_us = 90'000'000;
+  snapshot.connections = 12;
+  snapshot.rejected = 1;
+  snapshot.requests = 240;
+  snapshot.protocol_errors = 2;
+  snapshot.failed = 3;
+  snapshot.degraded = 4;
+  snapshot.queue_depth = 5;
+  snapshot.request_count = 240;
+  snapshot.request_ms_min = 0.25;
+  snapshot.request_ms_max = 91.5;
+  snapshot.request_ms_mean = 4.125;
+  snapshot.request_ms_p50 = 3.5;
+  snapshot.request_ms_p95 = 20.0;
+  snapshot.request_ms_p99 = 80.0;
+  snapshot.exemplar_trace_ids = {0x1122334455667788ull, 0xdeadbeefcafef00dull};
+  snapshot.cache_hits = 100;
+  snapshot.cache_misses = 40;
+  snapshot.cache_stale_hits = 7;
+  snapshot.cache_evictions = 6;
+  snapshot.cache_entries = 34;
+  snapshot.breakers = {{"site-a", 0}, {"site-b", 1}, {"site-c", 2}};
+  snapshot.breaker_opens = 9;
+  snapshot.anomalies = 11;
+  snapshot.traces_sampled = 13;
+  snapshot.sample_rate = 0.01;
+  return snapshot;
+}
+
+TEST(StatsSnapshotTest, RoundTripPreservesEveryField) {
+  StatsSnapshot snapshot = SampleSnapshot();
+  auto decoded = DecodeStatsSnapshot(EncodeStatsSnapshot(snapshot));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->uptime_us, snapshot.uptime_us);
+  EXPECT_EQ(decoded->connections, snapshot.connections);
+  EXPECT_EQ(decoded->rejected, snapshot.rejected);
+  EXPECT_EQ(decoded->requests, snapshot.requests);
+  EXPECT_EQ(decoded->protocol_errors, snapshot.protocol_errors);
+  EXPECT_EQ(decoded->failed, snapshot.failed);
+  EXPECT_EQ(decoded->degraded, snapshot.degraded);
+  EXPECT_EQ(decoded->queue_depth, snapshot.queue_depth);
+  EXPECT_EQ(decoded->request_count, snapshot.request_count);
+  EXPECT_EQ(decoded->request_ms_min, snapshot.request_ms_min);
+  EXPECT_EQ(decoded->request_ms_max, snapshot.request_ms_max);
+  EXPECT_EQ(decoded->request_ms_mean, snapshot.request_ms_mean);
+  EXPECT_EQ(decoded->request_ms_p50, snapshot.request_ms_p50);
+  EXPECT_EQ(decoded->request_ms_p95, snapshot.request_ms_p95);
+  EXPECT_EQ(decoded->request_ms_p99, snapshot.request_ms_p99);
+  EXPECT_EQ(decoded->exemplar_trace_ids, snapshot.exemplar_trace_ids);
+  EXPECT_EQ(decoded->cache_hits, snapshot.cache_hits);
+  EXPECT_EQ(decoded->cache_misses, snapshot.cache_misses);
+  EXPECT_EQ(decoded->cache_stale_hits, snapshot.cache_stale_hits);
+  EXPECT_EQ(decoded->cache_evictions, snapshot.cache_evictions);
+  EXPECT_EQ(decoded->cache_entries, snapshot.cache_entries);
+  EXPECT_EQ(decoded->breakers, snapshot.breakers);
+  EXPECT_EQ(decoded->breaker_opens, snapshot.breaker_opens);
+  EXPECT_EQ(decoded->anomalies, snapshot.anomalies);
+  EXPECT_EQ(decoded->traces_sampled, snapshot.traces_sampled);
+  EXPECT_EQ(decoded->sample_rate, snapshot.sample_rate);
+}
+
+TEST(StatsSnapshotTest, DefaultSnapshotRoundTrips) {
+  auto decoded = DecodeStatsSnapshot(EncodeStatsSnapshot(StatsSnapshot{}));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->requests, 0u);
+  EXPECT_TRUE(decoded->exemplar_trace_ids.empty());
+  EXPECT_TRUE(decoded->breakers.empty());
+}
+
+TEST(StatsSnapshotTest, EveryTruncationIsDataLoss) {
+  std::string encoded = EncodeStatsSnapshot(SampleSnapshot());
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    auto result = DecodeStatsSnapshot(encoded.substr(0, cut));
+    ASSERT_FALSE(result.ok()) << "cut=" << cut;
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss) << "cut=" << cut;
+  }
+}
+
+TEST(StatsSnapshotTest, TrailingBytesAreDataLoss) {
+  std::string encoded = EncodeStatsSnapshot(SampleSnapshot());
+  auto result = DecodeStatsSnapshot(encoded + "z");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StatsSnapshotTest, EveryBitFlipFailsCleanlyOrStaysInRange) {
+  // Fuzz-style sweep: every byte, every flipped bit. The decode either fails
+  // as kDataLoss or yields a snapshot whose constrained fields are still in
+  // range (a flip inside a breaker-name body legitimately alters the name).
+  std::string encoded = EncodeStatsSnapshot(SampleSnapshot());
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = encoded;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      auto result = DecodeStatsSnapshot(mutated);
+      if (!result.ok()) {
+        EXPECT_EQ(result.status().code(), StatusCode::kDataLoss)
+            << "byte " << i << " bit " << bit;
+        continue;
+      }
+      EXPECT_GE(result->sample_rate, 0.0) << "byte " << i << " bit " << bit;
+      EXPECT_LE(result->sample_rate, 1.0) << "byte " << i << " bit " << bit;
+      for (const auto& [site, state] : result->breakers) {
+        EXPECT_LE(state, 2) << "byte " << i << " bit " << bit;
+      }
+      for (std::uint64_t id : result->exemplar_trace_ids) {
+        EXPECT_NE(id, 0u) << "byte " << i << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(StatsSnapshotTest, OutOfRangeBreakerStateIsRejected) {
+  StatsSnapshot snapshot = SampleSnapshot();
+  snapshot.breakers = {{"bad", 3}};
+  auto result = DecodeStatsSnapshot(EncodeStatsSnapshot(snapshot));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StatsSnapshotTest, JsonRendersHeadlineFields) {
+  std::string json = StatsSnapshotJson(SampleSnapshot());
+  EXPECT_NE(json.find("\"requests\": 240"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"uptime_s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("request_rate_rps"), std::string::npos) << json;
+  EXPECT_NE(json.find("1122334455667788"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"site-b\": \"open\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"site-c\": \"half-open\""), std::string::npos) << json;
+  EXPECT_NE(json.find("hit_rate"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cmif

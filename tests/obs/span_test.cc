@@ -154,6 +154,43 @@ TEST(SpanTest, TimelineTracksAreStableAndNamed) {
   ResetAll();
 }
 
+TEST(SpanTest, TimelineBatchPublishesOnFlushOnly) {
+#ifdef CMIF_OBS_DISABLED
+  GTEST_SKIP() << "probes compiled out (-DCMIF_OBS=OFF)";
+#endif
+
+  ResetAll();
+  {
+    // Disabled: Stage() declines and the destructor has nothing to publish.
+    TimelineBatch batch;
+    EXPECT_EQ(batch.Stage(1, "ghost", 0.0, 1.0), nullptr);
+  }
+  EXPECT_TRUE(SnapshotSpans().empty());
+
+  ScopedEnable enable;
+  int track = TimelineTrack("channel:batch");
+  TimelineBatch batch;
+  SpanRecord* first = batch.Stage(track, "clip-a", 100.0, 50.0);
+  ASSERT_NE(first, nullptr);
+  first->args.emplace_back("bytes", "42");
+  ASSERT_NE(batch.Stage(track, "clip-b", 200.0, 50.0), nullptr);
+  // Nothing reaches the shared buffer until the batch publishes.
+  EXPECT_TRUE(SnapshotSpans().empty());
+  batch.Flush();
+  auto spans = SnapshotSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "clip-a");
+  EXPECT_EQ(spans[0].pid, kTimelinePid);
+  EXPECT_EQ(spans[0].tid, track);
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0].first, "bytes");
+  EXPECT_NE(spans[0].id, spans[1].id);  // batch-reserved ids stay distinct
+  EXPECT_NE(spans[0].id, 0u);
+  batch.Flush();  // empty re-flush is a no-op
+  EXPECT_EQ(SnapshotSpans().size(), 2u);
+  ResetAll();
+}
+
 TEST(SpanTest, ResetSpansClearsBufferOnly) {
 #ifdef CMIF_OBS_DISABLED
   GTEST_SKIP() << "probes compiled out (-DCMIF_OBS=OFF)";

@@ -1,0 +1,222 @@
+// The cross-process tracing contract: deterministic head sampling, RAII
+// context install, span tagging and suppression, per-trace harvest, and the
+// always-sample-on-anomaly override.
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+
+#include "src/obs/obs.h"
+
+namespace cmif {
+namespace obs {
+namespace {
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans, std::string_view name) {
+  auto it = std::find_if(spans.begin(), spans.end(),
+                         [&](const SpanRecord& s) { return s.name == name; });
+  return it == spans.end() ? nullptr : &*it;
+}
+
+TEST(TraceSamplingTest, RateZeroNeverSamplesRateOneAlways) {
+  for (std::uint64_t id = 1; id < 1000; ++id) {
+    EXPECT_FALSE(SampleTrace(id, 0.0)) << id;
+    EXPECT_TRUE(SampleTrace(id, 1.0)) << id;
+  }
+}
+
+TEST(TraceSamplingTest, DecisionIsDeterministicPerId) {
+  // The whole point of head sampling: every process computes the same
+  // keep/drop bit from the id alone, no coordination.
+  for (std::uint64_t id = 1; id < 200; ++id) {
+    bool first = SampleTrace(id, 0.25);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      EXPECT_EQ(SampleTrace(id, 0.25), first) << id;
+    }
+  }
+}
+
+TEST(TraceSamplingTest, FractionalRateKeepsRoughlyThatFraction) {
+  int kept = 0;
+  const int kTrials = 4000;
+  for (int i = 1; i <= kTrials; ++i) {
+    TraceContext ctx = NewTrace(0.25);
+    if (ctx.sampled) {
+      ++kept;
+    }
+  }
+  // The id mix is high quality; 25% +/- 5 points over 4000 trials is lax.
+  EXPECT_GT(kept, kTrials / 5);
+  EXPECT_LT(kept, kTrials * 3 / 10);
+}
+
+TEST(TraceSamplingTest, HigherRateNeverDropsWhatLowerKept) {
+  // Monotone in rate: a trace kept at 1% is kept at any higher rate, so
+  // raising a server's sample rate only adds traces.
+  for (std::uint64_t id = 1; id < 500; ++id) {
+    if (SampleTrace(id, 0.01)) {
+      EXPECT_TRUE(SampleTrace(id, 0.5)) << id;
+    }
+    if (!SampleTrace(id, 0.5)) {
+      EXPECT_FALSE(SampleTrace(id, 0.01)) << id;
+    }
+  }
+}
+
+TEST(TraceTest, NewTraceIdsAreNonzeroAndDistinct) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    TraceContext ctx = NewTrace(1.0);
+    EXPECT_NE(ctx.trace_id, 0u);
+    EXPECT_TRUE(ctx.sampled);
+    EXPECT_EQ(ctx.parent_span_id, 0u);
+    seen.insert(ctx.trace_id);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(TraceTest, ScopedTraceInstallsAndRestores) {
+  EXPECT_FALSE(CurrentTrace().valid());
+  TraceContext outer;
+  outer.trace_id = 7;
+  outer.sampled = true;
+  {
+    ScopedTrace scoped_outer(outer);
+    EXPECT_EQ(CurrentTrace().trace_id, 7u);
+    TraceContext inner;
+    inner.trace_id = 9;
+    {
+      ScopedTrace scoped_inner(inner);
+      EXPECT_EQ(CurrentTrace().trace_id, 9u);
+      EXPECT_FALSE(CurrentTrace().sampled);
+    }
+    EXPECT_EQ(CurrentTrace().trace_id, 7u);
+    EXPECT_TRUE(CurrentTrace().sampled);
+  }
+  EXPECT_FALSE(CurrentTrace().valid());
+}
+
+TEST(TraceTest, SampledContextTagsSpansWithTraceIdAndParent) {
+#ifdef CMIF_OBS_DISABLED
+  GTEST_SKIP() << "probes compiled out (-DCMIF_OBS=OFF)";
+#endif
+
+  ResetAll();
+  ScopedEnable enable;
+  TraceContext ctx;
+  ctx.trace_id = 0xabcdefull;
+  ctx.parent_span_id = 77;  // the client span on the far side of the wire
+  ctx.sampled = true;
+  {
+    ScopedTrace scoped(ctx);
+    Span root("server-root");
+    { Span child("server-child"); }
+  }
+  auto spans = SnapshotSpans();
+  const SpanRecord* root = FindSpan(spans, "server-root");
+  const SpanRecord* child = FindSpan(spans, "server-child");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(root->trace_id, ctx.trace_id);
+  EXPECT_EQ(child->trace_id, ctx.trace_id);
+  // The thread's root span hangs off the remote parent; nesting below it is
+  // local as usual.
+  EXPECT_EQ(root->parent_id, 77u);
+  EXPECT_EQ(child->parent_id, root->id);
+  ResetAll();
+}
+
+TEST(TraceTest, UnsampledContextSuppressesRecords) {
+#ifdef CMIF_OBS_DISABLED
+  GTEST_SKIP() << "probes compiled out (-DCMIF_OBS=OFF)";
+#endif
+
+  ResetAll();
+  ScopedEnable enable;
+  TraceContext ctx;
+  ctx.trace_id = 0x1234;
+  ctx.sampled = false;
+  {
+    ScopedTrace scoped(ctx);
+    Span span("dropped");
+    span.Annotate("k", "v");
+  }
+  EXPECT_EQ(FindSpan(SnapshotSpans(), "dropped"), nullptr);
+  // No context at all records normally (process-local profiling).
+  { Span span("kept"); }
+  EXPECT_NE(FindSpan(SnapshotSpans(), "kept"), nullptr);
+  ResetAll();
+}
+
+TEST(TraceTest, TakeTraceSpansExtractsOnlyThatTrace) {
+#ifdef CMIF_OBS_DISABLED
+  GTEST_SKIP() << "probes compiled out (-DCMIF_OBS=OFF)";
+#endif
+
+  ResetAll();
+  ScopedEnable enable;
+  TraceContext a;
+  a.trace_id = 100;
+  a.sampled = true;
+  TraceContext b;
+  b.trace_id = 200;
+  b.sampled = true;
+  {
+    ScopedTrace scoped(a);
+    Span span("span-a");
+  }
+  {
+    ScopedTrace scoped(b);
+    Span span("span-b");
+  }
+  { Span span("untraced"); }
+
+  auto taken = TakeTraceSpans(100);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].name, "span-a");
+  EXPECT_EQ(taken[0].trace_id, 100u);
+  // Extraction removed trace 100 but left everything else.
+  auto rest = SnapshotSpans();
+  EXPECT_EQ(FindSpan(rest, "span-a"), nullptr);
+  EXPECT_NE(FindSpan(rest, "span-b"), nullptr);
+  EXPECT_NE(FindSpan(rest, "untraced"), nullptr);
+  EXPECT_TRUE(TakeTraceSpans(100).empty());
+  ResetAll();
+}
+
+TEST(TraceTest, RecordAnomalyForceSamplesCurrentTrace) {
+#ifdef CMIF_OBS_DISABLED
+  GTEST_SKIP() << "probes compiled out (-DCMIF_OBS=OFF)";
+#endif
+
+  ResetAll();
+  ScopedEnable enable;
+  TraceContext ctx;
+  ctx.trace_id = 42;
+  ctx.sampled = false;  // head sampling said drop...
+  {
+    ScopedTrace scoped(ctx);
+    { Span before("before-anomaly"); }
+    RecordAnomaly("test.retry");  // ...but an anomaly overrides
+    EXPECT_TRUE(CurrentTrace().sampled);
+    { Span after("after-anomaly"); }
+  }
+  auto spans = TakeTraceSpans(42);
+  EXPECT_EQ(FindSpan(spans, "before-anomaly"), nullptr);
+  EXPECT_NE(FindSpan(spans, "after-anomaly"), nullptr);
+  ResetAll();
+}
+
+TEST(TraceTest, AnomalyCountIsMonotonic) {
+  std::uint64_t before = AnomalyCount();
+  RecordAnomaly("test.count");
+  RecordAnomaly("test.count");
+  EXPECT_GE(AnomalyCount(), before + 2);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cmif

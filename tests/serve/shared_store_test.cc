@@ -76,7 +76,10 @@ TEST(SharedDescriptorStoreTest, ConcurrentCaptureAndQueryHammer) {
     threads.emplace_back([&store, &stop, &reads, r] {
       Query query = Query::Eq("medium", AttrValue::Id("text"));
       std::uint64_t local = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
+      // do-while: every reader completes at least one pass even if the
+      // writers finish before this thread is first scheduled (single-core
+      // machines), so the reads>0 assertion below is deterministic.
+      do {
         std::vector<DataDescriptor> results = store.ExecuteCopy(query);
         for (const DataDescriptor& descriptor : results) {
           // Every copied-out descriptor must be internally consistent.
@@ -87,7 +90,7 @@ TEST(SharedDescriptorStoreTest, ConcurrentCaptureAndQueryHammer) {
           ASSERT_EQ(copy->id(), StrFormat("w%d-d%d", r % kWriters, 0));
         }
         ++local;
-      }
+      } while (!stop.load(std::memory_order_relaxed));
       reads.fetch_add(local, std::memory_order_relaxed);
     });
   }

@@ -17,11 +17,13 @@
 //   cmif_tool serve [--docs K] [--requests N] [--threads T] [--zipf S]
 //                   [--seed X] [--cache C | --no-cache] [--faults <plan | level:N>]
 //                                            serve a synthetic Zipf trace concurrently
-//   cmif_tool serve --listen <port> [--host A] [--workers W] [--docs K] [...]
+//   cmif_tool serve --listen <port> [--host A] [--workers W] [--docs K]
+//                   [--sample RATE] [--flight] [...]
 //                                            serve over TCP until stdin closes
 //   cmif_tool request --port <port> --doc <name> [--host A] [--profile <name>]
-//                     [--channels a,b] [--no-body] [--retries N]
+//                     [--channels a,b] [--no-body] [--retries N] [--trace out.json]
 //                                            fetch one compiled presentation
+//   cmif_tool stats <host:port>              live server telemetry as JSON
 //
 // Profiles: workstation (default), personal, portable.
 //
@@ -46,7 +48,9 @@
 #include "src/fmt/writer.h"
 #include "src/news/evening_news.h"
 #include "src/obs/export.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
 #include "src/player/engine.h"
 #include "src/present/compositor.h"
 #include "src/sched/conflict.h"
@@ -554,6 +558,14 @@ int CmdServe(const std::vector<std::string>& args) {
       net_options.port = static_cast<int>(*value);
     } else if (args[i] == "--workers" && (value = long_after(i))) {
       net_options.workers = static_cast<int>(*value);
+    } else if (args[i] == "--sample" && i + 1 < args.size()) {
+      std::optional<double> rate = ParseDouble(args[++i]);
+      if (!rate || *rate < 0 || *rate > 1) {
+        return BadFlag("serve: --sample needs a rate in [0, 1], got '" + args[i] + "'");
+      }
+      net_options.trace_sample_rate = *rate;
+    } else if (args[i] == "--flight") {
+      obs::FlightRecorder::SetEnabled(true);
     } else if (args[i] == "--host" && i + 1 < args.size()) {
       net_options.host = args[++i];
     } else if (args[i] == "--zipf" && i + 1 < args.size()) {
@@ -602,7 +614,9 @@ int CmdServe(const std::vector<std::string>& args) {
       return Fail(s);
     }
     std::cout << "listening on " << net_options.host << ":" << server.port() << " ("
-              << docs << " documents, " << net_options.workers << " workers)\n"
+              << docs << " documents, " << net_options.workers << " workers, sample rate "
+              << net_options.trace_sample_rate
+              << (obs::FlightRecorder::Enabled() ? ", flight recorder on" : "") << ")\n"
               << "close stdin (Ctrl-D) to stop\n"
               << std::flush;
     // Serve until the controlling stream closes — scriptable and signal-free.
@@ -634,14 +648,57 @@ int CmdServe(const std::vector<std::string>& args) {
   return kExitOk;
 }
 
+// The cross-process merge behind `request --trace`: the client's own spans
+// for this trace plus the server's harvested spans (re-tagged kRemotePid and
+// re-based onto the client clock, nesting inside the client's round-trip
+// span) rendered as one Chrome trace for Perfetto / about:tracing.
+std::string MergedTraceJson(std::uint64_t trace_id,
+                            const std::vector<api::WireSpan>& server_spans) {
+  std::vector<obs::SpanRecord> spans = obs::TakeTraceSpans(trace_id);
+  double client_start = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "net-client-request") {
+      client_start = span.start_us;
+      break;
+    }
+  }
+  double server_min = 0;
+  for (const api::WireSpan& span : server_spans) {
+    if (server_min == 0 || span.start_us < server_min) {
+      server_min = span.start_us;
+    }
+  }
+  // The two processes have unrelated steady clocks; pin the server's first
+  // span to the moment the client's round-trip span opened. (Skew up to the
+  // request's one-way latency remains — good enough to read the nesting.)
+  double rebase = client_start - server_min;
+  for (const api::WireSpan& wire : server_spans) {
+    obs::SpanRecord record;
+    record.name = wire.name;
+    record.id = wire.id;
+    record.parent_id = wire.parent_id;
+    record.trace_id = wire.trace_id;
+    record.start_us = wire.start_us + rebase;
+    record.duration_us = wire.duration_us;
+    record.pid = obs::kRemotePid;
+    record.tid = wire.tid;
+    spans.push_back(std::move(record));
+  }
+  return obs::ChromeTraceJsonFor(
+      spans, {{obs::kProcessPid, "cmif client"}, {obs::kRemotePid, "cmif server"}});
+}
+
 // request --port P --doc NAME [--host A] [--profile NAME] [--channels a,b]
-//         [--no-body] [--retries N]
+//         [--no-body] [--retries N] [--trace out.json]
 // One wire round trip against a `serve --listen` server: prints the outcome
 // line, the presentation hash, and (unless --no-body) the canonical
-// presentation text.
+// presentation text. With --trace, the request carries an always-sampled
+// trace context and the merged client+server timeline is written as Chrome
+// trace JSON.
 int CmdRequest(const std::vector<std::string>& args) {
   api::NetClientOptions client_options;
   api::PresentRequest request;
+  std::string trace_out;
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::optional<long> value;
     auto long_after = [&](std::size_t& j) -> std::optional<long> {
@@ -666,6 +723,8 @@ int CmdRequest(const std::vector<std::string>& args) {
       request.want_body = false;
     } else if (args[i] == "--no-degraded") {
       request.allow_degraded = false;
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_out = args[++i];
     } else {
       return BadFlag("request: unknown or malformed argument '" + args[i] + "'");
     }
@@ -676,6 +735,13 @@ int CmdRequest(const std::vector<std::string>& args) {
   if (request.document.empty()) {
     return BadFlag("request: --doc is required");
   }
+  std::optional<obs::ScopedEnable> enable;
+  if (!trace_out.empty()) {
+    // An explicitly requested trace is always sampled: the point is one
+    // end-to-end timeline, not a statistical rate.
+    enable.emplace();
+    request.trace = obs::NewTrace(1.0);
+  }
   api::NetClient client(client_options);
   auto response = client.Present(request);
   if (!response.ok()) {
@@ -684,6 +750,16 @@ int CmdRequest(const std::vector<std::string>& args) {
   std::cout << "outcome: " << api::ServeOutcomeName(response->outcome) << " ("
             << response->attempts << (response->attempts == 1 ? " attempt" : " attempts")
             << ", cache " << (response->cache_hit ? "hit" : "miss") << ")\n";
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary);
+    out << MergedTraceJson(request.trace.trace_id, response->server_spans);
+    if (!out) {
+      return Fail(InternalError("cannot write trace to '" + trace_out + "'"));
+    }
+    std::cout << StrFormat("trace: %016llx (%zu server spans) -> %s\n",
+                           static_cast<unsigned long long>(request.trace.trace_id),
+                           response->server_spans.size(), trace_out.c_str());
+  }
   if (response->outcome == api::ServeOutcome::kFailed) {
     std::cerr << "error: " << response->error << "\n";
     return kExitFailure;
@@ -693,6 +769,48 @@ int CmdRequest(const std::vector<std::string>& args) {
   if (request.want_body) {
     std::cout << response->presentation;
   }
+  return kExitOk;
+}
+
+// stats <host:port> [--retries N]
+// Fetches a live telemetry snapshot over the wire (kStatsRequest) and prints
+// it as JSON: RED metrics with exemplar trace ids, cache hit rates, breaker
+// states, and queue depth.
+int CmdStats(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return BadFlag("stats: expected <host:port>");
+  }
+  api::NetClientOptions client_options;
+  const std::string& target = args[0];
+  std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= target.size()) {
+    return BadFlag("stats: expected <host:port>, got '" + target + "'");
+  }
+  std::optional<long> port = ParseLong(target.substr(colon + 1));
+  if (!port || *port <= 0 || *port > 65535) {
+    return BadFlag("stats: bad port in '" + target + "'");
+  }
+  if (colon > 0) {
+    client_options.host = target.substr(0, colon);
+  }
+  client_options.port = static_cast<int>(*port);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--retries" && i + 1 < args.size()) {
+      std::optional<long> retries = ParseLong(args[++i]);
+      if (!retries) {
+        return BadFlag("stats: --retries needs a number");
+      }
+      client_options.retry.max_attempts = static_cast<int>(*retries);
+    } else {
+      return BadFlag("stats: unknown or malformed argument '" + args[i] + "'");
+    }
+  }
+  api::NetClient client(client_options);
+  auto snapshot = client.FetchStats();
+  if (!snapshot.ok()) {
+    return Fail(snapshot.status());
+  }
+  std::cout << api::StatsSnapshotJson(*snapshot);
   return kExitOk;
 }
 
@@ -707,9 +825,10 @@ int Usage() {
                " [--metrics out.jsonl] |\n"
                "                  serve [--docs K] [--requests N] [--threads T] [--zipf S]"
                " [--seed X] [--cache C | --no-cache] [--faults <plan | level:N>]"
-               " [--listen PORT [--host A] [--workers W]] |\n"
+               " [--listen PORT [--host A] [--workers W] [--sample RATE] [--flight]] |\n"
                "                  request --port P --doc NAME [--host A] [--profile NAME]"
-               " [--channels a,b] [--no-body] [--retries N]>\n";
+               " [--channels a,b] [--no-body] [--retries N] [--trace out.json] |\n"
+               "                  stats <host:port> [--retries N]>\n";
   return kExitUsage;
 }
 
@@ -753,6 +872,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "request") {
     return CmdRequest(std::vector<std::string>(argv + 2, argv + argc));
+  }
+  if (command == "stats") {
+    return CmdStats(std::vector<std::string>(argv + 2, argv + argc));
   }
   return Usage();
 }

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end tracing smoke (CI: tracing-smoke). Starts serve --listen with
+# sampling and the flight recorder on, issues one traced request plus a
+# live stats fetch, and asserts the exported Chrome trace holds BOTH the
+# client's and the server's spans under one shared trace id — the
+# cross-process stitching contract of DESIGN.md §11.
+set -u
+
+TOOL="${1:?usage: trace_smoke.sh /path/to/cmif_tool}"
+case "$TOOL" in /*) ;; *) TOOL="$PWD/$TOOL" ;; esac
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+cd "$TMP"
+
+failures=0
+check() { # check <description> <expected-exit> <actual-exit>
+  if [ "$2" -ne "$3" ]; then
+    echo "FAIL: $1 (expected exit $2, got $3)" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $1"
+  fi
+}
+
+mkfifo ctl
+"$TOOL" serve --listen 0 --docs 2 --sample 1.0 --flight <ctl >serve.out 2>serve.err &
+server_pid=$!
+exec 9>ctl  # hold the control stream open
+port=""
+for _ in $(seq 100); do
+  port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' serve.out)"
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "FAIL: server never reported its port" >&2
+  cat serve.err >&2
+  exec 9>&-
+  wait "$server_pid"
+  exit 1
+fi
+
+"$TOOL" request --port "$port" --doc news-0-s1 --trace trace.json >request.out 2>&1
+check "traced request exits 0" 0 $?
+grep -q "trace:" request.out || {
+  echo "FAIL: request did not print its trace id" >&2
+  failures=$((failures + 1))
+}
+[ -s trace.json ] || { echo "FAIL: trace.json not written" >&2; failures=$((failures + 1)); }
+
+"$TOOL" stats "127.0.0.1:$port" >stats.json 2>stats.err
+check "stats fetch exits 0" 0 $?
+
+python3 - <<'EOF'
+import json, sys
+
+# One merged timeline: client spans under pid 1, server spans under pid 4,
+# every non-metadata event tagged with the same 16-hex-digit trace id.
+trace = json.load(open("trace.json"))
+events = trace["traceEvents"] if isinstance(trace, dict) else trace
+spans = [e for e in events if e.get("ph") == "X"]
+client = [e for e in spans if e.get("pid") == 1]
+server = [e for e in spans if e.get("pid") == 4]
+assert client, "no client spans (pid 1) in the exported trace"
+assert server, "no server spans (pid 4) in the exported trace"
+ids = {e.get("args", {}).get("trace_id") for e in spans}
+ids.discard(None)
+assert len(ids) == 1, f"expected one shared trace id, saw {ids}"
+names = {e.get("name") for e in spans}
+assert "net-client-request" in names, f"client envelope span missing: {names}"
+assert "net-request" in names, f"server envelope span missing: {names}"
+
+stats = json.load(open("stats.json"))
+assert stats["requests"] >= 1, stats
+assert stats["traces_sampled"] >= 1, stats
+assert stats["trace_sample_rate"] == 1.0, stats
+assert stats["request_ms"]["count"] >= 1, stats
+assert stats["exemplar_trace_ids"], stats
+print("ok: merged trace has client+server spans under one trace id "
+      f"({ids.pop()}), stats report {stats['requests']} request(s)")
+EOF
+check "merged trace and stats pass the python assertions" 0 $?
+
+exec 9>&-  # EOF on stdin stops the server
+wait "$server_pid"
+check "server exits 0 after stdin closes" 0 $?
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures check(s) failed" >&2
+  exit 1
+fi
+echo "tracing smoke passed"
