@@ -6,9 +6,14 @@
 // byte-identical to an in-process compile of the same document under the
 // same profile, checked by hash), loopback throughput with latency
 // percentiles cold vs warm (how much the socket + serialization costs over
-// the in-process path), and a chaos replay (faults injected at the net.* and
-// serve-side sites; every request must still be answered).
+// the in-process path), a chaos replay (faults injected at the net.* and
+// serve-side sites; every request must still be answered), a concurrent-
+// connection sweep (64/256/1024 open connections against one epoll reactor),
+// and an overload flood comparing the FIFO and EDF schedulers — EDF must
+// shed blown-deadline work while the queue wait of everything it serves
+// stays inside the deadline horizon (the CI overload gate).
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <chrono>
@@ -16,6 +21,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -129,6 +135,165 @@ ReplayResult Replay(
   return result;
 }
 
+// Raises the fd soft limit toward the hard limit so the 1k-connection sweep
+// never trips a conservative default ulimit.
+void RaiseFdLimit(std::size_t want) {
+  struct rlimit limit;
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) {
+    return;
+  }
+  if (limit.rlim_cur != RLIM_INFINITY && limit.rlim_cur < want) {
+    limit.rlim_cur = limit.rlim_max == RLIM_INFINITY
+                         ? want
+                         : std::min<rlim_t>(limit.rlim_max, want);
+    (void)setrlimit(RLIMIT_NOFILE, &limit);
+  }
+}
+
+struct SweepResult {
+  double throughput_rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::size_t answered = 0;
+};
+
+// N concurrent connections against one reactor, driven by a small pool of
+// client threads (bounded in-flight — the point of the sweep is epoll scale
+// with every connection open and periodically active, not dogpiling a
+// 1-vCPU runner). Warm cache, hash-only responses: what is measured is the
+// event loop, not the compiler.
+SweepResult ConnectionSweep(api::NetServer& server, const ServeCorpus& corpus,
+                            int connections, int rounds) {
+  constexpr int kDriverThreads = 8;
+  const int per_thread = connections / kDriverThreads;
+  std::vector<std::vector<double>> latencies(kDriverThreads);
+  std::vector<std::size_t> answered(kDriverThreads, 0);
+  auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> drivers;
+  drivers.reserve(kDriverThreads);
+  for (int t = 0; t < kDriverThreads; ++t) {
+    drivers.emplace_back([&, t] {
+      api::NetClientOptions client_options;
+      client_options.port = server.port();
+      client_options.io_timeout_ms = 60000;
+      std::vector<api::NetClient> clients;
+      clients.reserve(per_thread);
+      for (int c = 0; c < per_thread; ++c) {
+        clients.emplace_back(client_options);
+      }
+      for (int round = 0; round < rounds; ++round) {
+        for (int c = 0; c < per_thread; ++c) {
+          api::PresentRequest request;
+          request.document =
+              corpus.document((t * per_thread + c + round) % corpus.size()).name;
+          request.want_body = false;
+          auto start = std::chrono::steady_clock::now();
+          auto response = clients[c].Present(request);
+          auto end = std::chrono::steady_clock::now();
+          if (response.ok() && response->outcome != ServeOutcome::kFailed) {
+            ++answered[t];
+            latencies[t].push_back(
+                std::chrono::duration<double, std::milli>(end - start).count());
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& driver : drivers) {
+    driver.join();
+  }
+  auto total = std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+  SweepResult result;
+  std::vector<double> all;
+  for (int t = 0; t < kDriverThreads; ++t) {
+    result.answered += answered[t];
+    all.insert(all.end(), latencies[t].begin(), latencies[t].end());
+  }
+  std::sort(all.begin(), all.end());
+  result.p50_ms = Percentile(all, 0.50);
+  result.p99_ms = Percentile(all, 0.99);
+  result.throughput_rps = total > 0 ? static_cast<double>(result.answered) / total : 0;
+  return result;
+}
+
+struct OverloadResult {
+  std::size_t served = 0;
+  std::size_t shed = 0;
+  std::size_t failed = 0;
+  double admitted_p50_ms = 0;   // queue wait of served requests
+  double admitted_p99_ms = 0;
+  double shed_rate = 0;
+  double deadline_miss_rate = 0;  // served past their deadline budget
+};
+
+// Floods one scheduler policy far past capacity: a single kBatchRequest of
+// `total` no-cache compiles with deadlines spread 2..40 ms lands in the
+// scheduler all at once, against 2 workers that drain it over hundreds of
+// milliseconds. EDF must shed the work it can no longer serve in time and
+// keep the queue wait of everything it does serve inside the deadline
+// horizon; FIFO serves strictly in admission order — no shedding, but the
+// tail waits for the whole queue and blows through its deadline.
+StatusOr<OverloadResult> OverloadFlood(ServeCorpus& corpus, api::SchedPolicy policy,
+                                       std::size_t total) {
+  ServeOptions options = BaseOptions();
+  options.use_cache = false;  // every admitted request costs a real compile
+  ServeLoop loop(corpus, options);
+  api::NetServerOptions net_options;
+  net_options.workers = 2;
+  net_options.sched_policy = policy;
+  net_options.max_queue_depth = 2 * total;  // isolate deadline sheds from queue-full sheds
+  api::NetServer server(loop, net_options);
+  if (Status s = server.Start(); !s.ok()) {
+    return s;
+  }
+  api::NetClientOptions client_options;
+  client_options.port = server.port();
+  client_options.io_timeout_ms = 120000;
+  client_options.retry.max_attempts = 1;
+  api::NetClient client(client_options);
+  std::vector<api::PresentRequest> batch(total);
+  std::vector<std::int64_t> deadlines(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    batch[i].document = corpus.document(i % corpus.size()).name;
+    batch[i].want_body = false;
+    batch[i].allow_degraded = false;  // an expired request is shed, not degraded
+    deadlines[i] = 2 + static_cast<std::int64_t>((i * 7) % 39);
+    batch[i].deadline_ms = deadlines[i];
+  }
+  auto responses = client.PresentBatch(batch);
+  server.Stop();
+  if (!responses.ok()) {
+    return responses.status();
+  }
+  if (responses->size() != total) {
+    return InternalError(StrFormat("overload flood dropped responses: %zu of %zu",
+                                   responses->size(), total));
+  }
+  OverloadResult result;
+  std::vector<double> admitted_wait_ms;
+  for (std::size_t i = 0; i < total; ++i) {
+    const api::PresentResponse& response = (*responses)[i];
+    if (response.shed) {
+      ++result.shed;
+    } else if (response.outcome != ServeOutcome::kFailed) {
+      ++result.served;
+      admitted_wait_ms.push_back(response.queue_ms);
+      if (response.queue_ms > static_cast<double>(deadlines[i])) {
+        result.deadline_miss_rate += 1;
+      }
+    } else {
+      ++result.failed;
+    }
+  }
+  std::sort(admitted_wait_ms.begin(), admitted_wait_ms.end());
+  result.admitted_p50_ms = Percentile(admitted_wait_ms, 0.50);
+  result.admitted_p99_ms = Percentile(admitted_wait_ms, 0.99);
+  result.shed_rate = static_cast<double>(result.shed) / static_cast<double>(total);
+  result.deadline_miss_rate =
+      result.served > 0 ? result.deadline_miss_rate / static_cast<double>(result.served) : 0;
+  return result;
+}
+
 void PrintFigure(const std::string& bench_json) {
   auto corpus = api::BuildNewsCorpus(kDocuments);
   if (!corpus.ok()) {
@@ -216,6 +381,67 @@ void PrintFigure(const std::string& bench_json) {
     std::abort();
   }
 
+  // Concurrent-connection sweep: the same warm corpus behind one reactor at
+  // 64, 256, and 1024 open connections. Idle connections must cost one fd
+  // each, not one thread each — throughput and tails should hold roughly
+  // flat as the connection count grows 16x.
+  RaiseFdLimit(4096);
+  std::cout << "\n  connection sweep (warm, hash-only, 8 driver threads, 4 rounds):\n";
+  std::map<int, SweepResult> sweeps;
+  {
+    ServeOptions sweep_options = BaseOptions();
+    ServeLoop sweep_loop(**corpus, sweep_options);
+    api::NetServerOptions sweep_net_options;
+    sweep_net_options.workers = 4;
+    sweep_net_options.max_connections = 2048;
+    sweep_net_options.max_queue_depth = 2048;
+    api::NetServer sweep_server(sweep_loop, sweep_net_options);
+    if (Status s = sweep_server.Start(); !s.ok()) {
+      std::cerr << s << "\n";
+      std::abort();
+    }
+    for (int connections : {64, 256, 1024}) {
+      constexpr int kRounds = 4;
+      SweepResult sweep = ConnectionSweep(sweep_server, **corpus, connections, kRounds);
+      if (sweep.answered != static_cast<std::size_t>(connections) * kRounds) {
+        std::cerr << "connection sweep dropped requests at " << connections << " conns: "
+                  << sweep.answered << " of " << connections * kRounds << "\n";
+        std::abort();
+      }
+      std::cout << "    " << connections << " conns: " << sweep.throughput_rps
+                << " req/s, p50 " << sweep.p50_ms << " ms, p99 " << sweep.p99_ms << " ms\n";
+      sweeps[connections] = sweep;
+    }
+    sweep_server.Stop();
+  }
+
+  // Overload: FIFO vs EDF under a flood far past capacity. The gate lives on
+  // the EDF numbers — shedding must engage (shed_rate > 0) while the queue
+  // wait of everything actually served stays inside the deadline horizon.
+  constexpr std::size_t kOverloadRequests = 512;
+  auto fifo = OverloadFlood(**corpus, api::SchedPolicy::kFifo, kOverloadRequests);
+  auto edf = OverloadFlood(**corpus, api::SchedPolicy::kEdf, kOverloadRequests);
+  if (!fifo.ok() || !edf.ok()) {
+    std::cerr << "overload flood failed: " << (!fifo.ok() ? fifo.status() : edf.status())
+              << "\n";
+    std::abort();
+  }
+  std::cout << "\n  overload flood (" << kOverloadRequests
+            << " no-cache requests, deadlines 2-40 ms, 2 workers):\n";
+  std::cout << "    fifo: served " << fifo->served << ", shed " << fifo->shed
+            << ", queue-wait p50 " << fifo->admitted_p50_ms << " ms, p99 "
+            << fifo->admitted_p99_ms << " ms, deadline-miss rate "
+            << fifo->deadline_miss_rate << "\n";
+  std::cout << "    edf:  served " << edf->served << ", shed " << edf->shed
+            << ", queue-wait p50 " << edf->admitted_p50_ms << " ms, p99 "
+            << edf->admitted_p99_ms << " ms, deadline-miss rate "
+            << edf->deadline_miss_rate << "\n";
+  if (edf->shed == 0 || edf->served == 0) {
+    std::cerr << "overload flood did not overload: edf served " << edf->served << ", shed "
+              << edf->shed << "\n";
+    std::abort();
+  }
+
   bench::AppendBenchJson(
       bench_json, "fig13_net",
       {{"requests", static_cast<double>(kRequests)},
@@ -230,7 +456,23 @@ void PrintFigure(const std::string& bench_json) {
        {"hash_mismatches", static_cast<double>(cold.mismatches + warm.mismatches)},
        {"chaos_answered", static_cast<double>(chaos_answered)},
        {"chaos_degraded", static_cast<double>(chaos_degraded)},
-       {"chaos_reconnects", static_cast<double>(chaos_reconnects)}});
+       {"chaos_reconnects", static_cast<double>(chaos_reconnects)},
+       {"conns64_rps", sweeps[64].throughput_rps},
+       {"conns64_p50_ms", sweeps[64].p50_ms},
+       {"conns64_p99_ms", sweeps[64].p99_ms},
+       {"conns256_rps", sweeps[256].throughput_rps},
+       {"conns256_p50_ms", sweeps[256].p50_ms},
+       {"conns256_p99_ms", sweeps[256].p99_ms},
+       {"conns1024_rps", sweeps[1024].throughput_rps},
+       {"conns1024_p50_ms", sweeps[1024].p50_ms},
+       {"conns1024_p99_ms", sweeps[1024].p99_ms},
+       {"overload_requests", static_cast<double>(kOverloadRequests)},
+       {"p99_under_overload_ms", edf->admitted_p99_ms},
+       {"shed_rate", edf->shed_rate},
+       {"edf_deadline_miss_rate_under_overload", edf->deadline_miss_rate},
+       {"fifo_p99_under_overload_ms", fifo->admitted_p99_ms},
+       {"fifo_shed_rate_under_overload", fifo->shed_rate},
+       {"fifo_deadline_miss_rate_under_overload", fifo->deadline_miss_rate}});
 }
 
 void BM_LoopbackWarmRequest(benchmark::State& state) {

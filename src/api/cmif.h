@@ -98,6 +98,12 @@ using net::NetClientOptions;
 using net::SerializePresentation;
 using net::PresentationHash;
 
+// Deadline-aware request scheduling (the `serve --sched=fifo|edf` knob) and
+// its parser; RequestScheduler itself is server-internal.
+using net::SchedPolicy;
+using net::SchedPolicyName;
+using net::ParseSchedPolicy;
+
 // Live server telemetry: the kStatsRequest/kStatsResponse payload and its
 // JSON rendering (`cmif_tool stats`). The tracing side — TraceContext,
 // NewTrace, ScopedTrace — lives in src/obs/trace.h, which front ends may

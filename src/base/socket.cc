@@ -1,6 +1,7 @@
 #include "src/base/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -30,6 +31,14 @@ StatusOr<sockaddr_in> MakeAddress(const std::string& host, int port) {
     return InvalidArgumentError("not a numeric IPv4 address: '" + host + "'");
   }
   return addr;
+}
+
+Status SetNonBlockingFd(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoError("fcntl O_NONBLOCK");
+  }
+  return Status::Ok();
 }
 
 Status SetTimeoutOption(int fd, int option, int millis) {
@@ -147,6 +156,67 @@ Status Socket::WriteAll(std::string_view bytes) {
   return Status::Ok();
 }
 
+Status Socket::SetNonBlocking() {
+  if (!valid()) {
+    return FailedPreconditionError("socket not open");
+  }
+  return SetNonBlockingFd(fd_);
+}
+
+IoResult Socket::TryRead(char* buffer, std::size_t n) {
+  IoResult result;
+  if (!valid()) {
+    result.error = FailedPreconditionError("socket not open");
+    return result;
+  }
+  for (;;) {
+    ssize_t r = ::recv(fd_, buffer, n, 0);
+    if (r > 0) {
+      result.state = IoResult::State::kOk;
+      result.bytes = static_cast<std::size_t>(r);
+      return result;
+    }
+    if (r == 0) {
+      result.state = IoResult::State::kEof;
+      return result;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.state = IoResult::State::kWouldBlock;
+      return result;
+    }
+    result.error = ErrnoError("recv");
+    return result;
+  }
+}
+
+IoResult Socket::TryWrite(std::string_view bytes) {
+  IoResult result;
+  if (!valid()) {
+    result.error = FailedPreconditionError("socket not open");
+    return result;
+  }
+  for (;;) {
+    ssize_t w = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (w >= 0) {
+      result.state = IoResult::State::kOk;
+      result.bytes = static_cast<std::size_t>(w);
+      return result;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.state = IoResult::State::kWouldBlock;
+      return result;
+    }
+    result.error = ErrnoError("send");
+    return result;
+  }
+}
+
 ListenSocket::~ListenSocket() {
   int fd = fd_.exchange(-1);
   if (fd >= 0) {
@@ -204,6 +274,41 @@ StatusOr<Socket> ListenSocket::Accept() {
     }
     if (errno == EINTR) {
       continue;
+    }
+    if (closed_.load()) {
+      return UnavailableError("listener closed");
+    }
+    return ErrnoError("accept");
+  }
+}
+
+Status ListenSocket::SetNonBlocking() {
+  int fd = fd_.load();
+  if (fd < 0) {
+    return FailedPreconditionError("listener not open");
+  }
+  return SetNonBlockingFd(fd);
+}
+
+StatusOr<std::optional<Socket>> ListenSocket::TryAccept() {
+  int fd = fd_.load();
+  if (fd < 0 || closed_.load()) {
+    return UnavailableError("listener closed");
+  }
+  for (;;) {
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) {
+      if (closed_.load()) {
+        ::close(conn);
+        return UnavailableError("listener closed");
+      }
+      return std::optional<Socket>(Socket(conn));
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return std::optional<Socket>();
     }
     if (closed_.load()) {
       return UnavailableError("listener closed");

@@ -13,12 +13,27 @@
 
 #include <atomic>
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "src/base/status.h"
 
 namespace cmif {
+
+// Outcome of one non-blocking IO attempt (TryRead/TryWrite below). Exactly
+// one state applies; `bytes` is meaningful only for kOk.
+struct IoResult {
+  enum class State {
+    kOk,          // transferred `bytes` (> 0)
+    kWouldBlock,  // no progress possible now; wait for readiness
+    kEof,         // peer closed its write side (reads only)
+    kError,       // transport failure; see `error`
+  };
+  State state = State::kError;
+  std::size_t bytes = 0;
+  Status error;
+};
 
 // One connected TCP stream. Move-only; the destructor closes the fd.
 class Socket {
@@ -57,6 +72,15 @@ class Socket {
   // Writes all of `bytes` (kUnavailable on any error; SIGPIPE suppressed).
   Status WriteAll(std::string_view bytes);
 
+  // Switches the fd to O_NONBLOCK for use with the epoll reactor; the
+  // blocking helpers above must not be used afterwards.
+  Status SetNonBlocking();
+
+  // One recv()/send() attempt on a non-blocking socket. Never loops beyond
+  // EINTR; partial progress is kOk with the transferred byte count.
+  IoResult TryRead(char* buffer, std::size_t n);
+  IoResult TryWrite(std::string_view bytes);
+
  private:
   int fd_ = -1;
 };
@@ -75,10 +99,19 @@ class ListenSocket {
   // The actually bound port (resolves port 0 after Listen).
   int port() const { return port_; }
   bool valid() const { return fd_.load() >= 0; }
+  // The raw listener fd, for epoll registration (-1 when not listening).
+  int fd() const { return fd_.load(); }
 
   // Blocks for the next connection. kUnavailable once Close() was called or
   // on a listener error.
   StatusOr<Socket> Accept();
+
+  // Switches the listener to O_NONBLOCK (reactor use).
+  Status SetNonBlocking();
+
+  // Non-blocking accept: a socket, nullopt when no connection is pending,
+  // kUnavailable once closed.
+  StatusOr<std::optional<Socket>> TryAccept();
 
   // Shuts the listener down (idempotent, any thread): a blocked Accept()
   // and all future ones return kUnavailable. The fd is released by the

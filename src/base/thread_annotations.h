@@ -1,0 +1,57 @@
+// Clang thread-safety-analysis attribute macros (the Abseil/LLVM pattern).
+// libstdc++'s std::mutex carries no capability annotations, so annotating
+// members as GUARDED_BY(std::mutex) buys nothing — instead src/base/mutex.h
+// wraps std::mutex in an annotated cmif::Mutex and lock sites use the macros
+// below. Under any compiler without the attributes (gcc, old clang) every
+// macro expands to nothing, so annotated code stays portable; CI builds the
+// asan/tsan rows with clang and -Wthread-safety -Werror=thread-safety to
+// actually enforce them (CMake option CMIF_THREAD_SAFETY).
+#ifndef SRC_BASE_THREAD_ANNOTATIONS_H_
+#define SRC_BASE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CMIF_TSA_HAS(x) __has_attribute(x)
+#else
+#define CMIF_TSA_HAS(x) 0
+#endif
+
+#if CMIF_TSA_HAS(capability)
+#define CMIF_TSA(x) __attribute__((x))
+#else
+#define CMIF_TSA(x)
+#endif
+
+// On types: this class is a lockable capability ("mutex" names the kind in
+// diagnostics).
+#define CMIF_CAPABILITY(x) CMIF_TSA(capability(x))
+// On RAII guard types: constructing acquires, destructing releases.
+#define CMIF_SCOPED_CAPABILITY CMIF_TSA(scoped_lockable)
+
+// On data members: reads/writes require holding the named capability.
+#define CMIF_GUARDED_BY(x) CMIF_TSA(guarded_by(x))
+// On pointer/reference members: the pointee is guarded.
+#define CMIF_PT_GUARDED_BY(x) CMIF_TSA(pt_guarded_by(x))
+
+// On functions: caller must hold / must not hold the capability.
+#define CMIF_REQUIRES(...) CMIF_TSA(requires_capability(__VA_ARGS__))
+#define CMIF_REQUIRES_SHARED(...) CMIF_TSA(requires_shared_capability(__VA_ARGS__))
+#define CMIF_EXCLUDES(...) CMIF_TSA(locks_excluded(__VA_ARGS__))
+
+// On lock/unlock methods.
+#define CMIF_ACQUIRE(...) CMIF_TSA(acquire_capability(__VA_ARGS__))
+#define CMIF_ACQUIRE_SHARED(...) CMIF_TSA(acquire_shared_capability(__VA_ARGS__))
+#define CMIF_RELEASE(...) CMIF_TSA(release_capability(__VA_ARGS__))
+#define CMIF_RELEASE_SHARED(...) CMIF_TSA(release_shared_capability(__VA_ARGS__))
+// Releases a capability held in either mode (what a shared_mutex guard's
+// destructor does when the mode was chosen at runtime).
+#define CMIF_RELEASE_GENERIC(...) CMIF_TSA(release_generic_capability(__VA_ARGS__))
+#define CMIF_TRY_ACQUIRE(...) CMIF_TSA(try_acquire_capability(__VA_ARGS__))
+
+// On functions whose locking is deliberately invisible to the analysis
+// (e.g. lock stripes chosen by thread id).
+#define CMIF_NO_THREAD_SAFETY_ANALYSIS CMIF_TSA(no_thread_safety_analysis)
+
+// On return values: returns a reference to the named capability.
+#define CMIF_RETURN_CAPABILITY(x) CMIF_TSA(lock_returned(x))
+
+#endif  // SRC_BASE_THREAD_ANNOTATIONS_H_

@@ -25,13 +25,18 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/ddbms/descriptor.h"
 #include "src/ddbms/store.h"
 
 namespace cmif {
 
 // N independent shared_mutexes, padded so each lives on its own cache line.
-class ShardedRwLock {
+// Annotated as one capability for clang thread-safety analysis: the stripes
+// are an implementation detail (a reader holds exactly one, chosen by thread
+// id), but to callers the lock behaves like a single shared_mutex, and the
+// guards below model exactly that.
+class CMIF_CAPABILITY("mutex") ShardedRwLock {
  public:
   static constexpr int kDefaultStripes = 8;
 
@@ -42,10 +47,10 @@ class ShardedRwLock {
   int stripes() const { return stripes_; }
 
   // Shared-locks the calling thread's stripe for the guard's lifetime.
-  class ReadGuard {
+  class CMIF_SCOPED_CAPABILITY ReadGuard {
    public:
-    explicit ReadGuard(const ShardedRwLock& lock);
-    ~ReadGuard();
+    explicit ReadGuard(const ShardedRwLock& lock) CMIF_ACQUIRE_SHARED(lock);
+    ~ReadGuard() CMIF_RELEASE_GENERIC();
     ReadGuard(const ReadGuard&) = delete;
     ReadGuard& operator=(const ReadGuard&) = delete;
 
@@ -55,10 +60,10 @@ class ShardedRwLock {
 
   // Exclusively locks every stripe, in index order (deadlock-free against
   // other writers; readers hold a single stripe and cannot cycle).
-  class WriteGuard {
+  class CMIF_SCOPED_CAPABILITY WriteGuard {
    public:
-    explicit WriteGuard(const ShardedRwLock& lock);
-    ~WriteGuard();
+    explicit WriteGuard(const ShardedRwLock& lock) CMIF_ACQUIRE(lock);
+    ~WriteGuard() CMIF_RELEASE_GENERIC();
     WriteGuard(const WriteGuard&) = delete;
     WriteGuard& operator=(const WriteGuard&) = delete;
 

@@ -327,6 +327,17 @@ FaultPlan StandardChaosPlan(int level, std::uint64_t seed) {
   FaultSiteConfig net_corrupt;
   net_corrupt.corrupt_p = capped(0.02);
   plan.sites.emplace_back("net.frame_corrupt", net_corrupt);
+  // Reactor-era sites: a transient net.partial_write truncates one flush
+  // attempt to a single byte (short-write resumption under load); a
+  // net.slow_loris latency injection delays a client's frame write, aging
+  // the server's partial-frame timer.
+  FaultSiteConfig net_partial;
+  net_partial.transient_p = capped(0.05);
+  plan.sites.emplace_back("net.partial_write", net_partial);
+  FaultSiteConfig net_loris;
+  net_loris.latency_p = capped(0.02);
+  net_loris.latency_ms = 15;
+  plan.sites.emplace_back("net.slow_loris", net_loris);
   return plan;
 }
 

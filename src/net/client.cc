@@ -10,7 +10,13 @@
 namespace cmif {
 namespace net {
 
-NetClient::NetClient(NetClientOptions options) : options_(std::move(options)) {}
+NetClient::NetClient(NetClientOptions options) : options_(std::move(options)) {
+  if (options_.wire_version < kMinWireVersion) {
+    options_.wire_version = kMinWireVersion;
+  } else if (options_.wire_version > kWireVersion) {
+    options_.wire_version = kWireVersion;
+  }
+}
 
 void NetClient::Disconnect() { socket_.Close(); }
 
@@ -33,7 +39,7 @@ Status NetClient::EnsureConnected() {
 
 StatusOr<Frame> NetClient::RoundTripOnce(FrameType type, const std::string& payload) {
   CMIF_RETURN_IF_ERROR(EnsureConnected());
-  Status written = WriteFrame(socket_, type, payload);
+  Status written = WriteFrame(socket_, type, payload, options_.wire_version);
   if (!written.ok()) {
     Disconnect();
     return written.code() == StatusCode::kUnavailable
@@ -75,7 +81,9 @@ StatusOr<Frame> NetClient::RoundTrip(FrameType type, const std::string& payload)
 StatusOr<PresentResponse> NetClient::Present(const PresentRequest& request) {
   obs::ScopedLatency latency("net.client.request_ms");
   if (!request.trace.valid()) {
-    CMIF_ASSIGN_OR_RETURN(Frame frame, RoundTrip(FrameType::kRequest, EncodeRequest(request)));
+    CMIF_ASSIGN_OR_RETURN(
+        Frame frame,
+        RoundTrip(FrameType::kRequest, EncodeRequest(request, options_.wire_version)));
     return DecodePresentFrame(std::move(frame));
   }
   // Traced path: install the context, wrap the round trip in a client span,
@@ -87,7 +95,9 @@ StatusOr<PresentResponse> NetClient::Present(const PresentRequest& request) {
     traced.trace.parent_span_id = span.id();
   }
   span.Annotate("document", request.document);
-  CMIF_ASSIGN_OR_RETURN(Frame frame, RoundTrip(FrameType::kRequest, EncodeRequest(traced)));
+  CMIF_ASSIGN_OR_RETURN(
+      Frame frame,
+      RoundTrip(FrameType::kRequest, EncodeRequest(traced, options_.wire_version)));
   StatusOr<PresentResponse> response = DecodePresentFrame(std::move(frame));
   if (response.ok()) {
     span.Annotate("server_spans", response->server_spans.size());
@@ -101,11 +111,46 @@ StatusOr<PresentResponse> NetClient::DecodePresentFrame(Frame frame) {
     return InternalError(StrFormat("expected a response frame, got %s",
                                    std::string(FrameTypeName(frame.type)).c_str()));
   }
-  StatusOr<PresentResponse> response = DecodeResponse(frame.payload);
+  // Decode by the version the frame itself declares: the server mirrors the
+  // request frame's version, so a v2 request gets a v2-shaped answer even
+  // from a v3 server.
+  StatusOr<PresentResponse> response = DecodeResponse(frame.payload, frame.version);
   if (!response.ok()) {
     Disconnect();  // CRC passed but the message is malformed: version skew
   }
   return response;
+}
+
+StatusOr<std::vector<PresentResponse>> NetClient::PresentBatch(
+    const std::vector<PresentRequest>& requests) {
+  if (options_.wire_version < 3) {
+    return InvalidArgumentError("batch requests need wire v3 (client configured for v2)");
+  }
+  if (requests.size() > kMaxBatchMessages) {
+    return InvalidArgumentError(
+        StrFormat("batch of %zu exceeds kMaxBatchMessages", requests.size()));
+  }
+  obs::ScopedLatency latency("net.client.batch_ms");
+  CMIF_ASSIGN_OR_RETURN(
+      Frame frame, RoundTrip(FrameType::kBatchRequest,
+                             EncodeBatchRequest(requests, options_.wire_version)));
+  if (frame.type != FrameType::kBatchResponse) {
+    Disconnect();
+    return InternalError(StrFormat("expected a batch-response frame, got %s",
+                                   std::string(FrameTypeName(frame.type)).c_str()));
+  }
+  StatusOr<std::vector<PresentResponse>> responses =
+      DecodeBatchResponse(frame.payload, frame.version);
+  if (!responses.ok()) {
+    Disconnect();
+    return responses.status();
+  }
+  if (responses->size() != requests.size()) {
+    Disconnect();
+    return InternalError(StrFormat("batch answered %zu of %zu requests",
+                                   responses->size(), requests.size()));
+  }
+  return responses;
 }
 
 StatusOr<StatsSnapshot> NetClient::FetchStats() {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/base/socket.h"
 #include "src/base/status.h"
@@ -31,6 +32,11 @@ struct NetClientOptions {
   // retries entirely.
   fault::RetryPolicy retry;
   WireLimits limits;
+  // The frame version this client speaks (the server mirrors it per frame).
+  // Set to kMinWireVersion (2) to act as a legacy client: deadline_ms is
+  // then dropped from requests and batch calls are refused locally. Values
+  // outside [kMinWireVersion, kWireVersion] are clamped at construction.
+  std::uint8_t wire_version = kWireVersion;
 };
 
 // Not thread-safe: one client per thread (connections are cheap; the server
@@ -50,6 +56,13 @@ class NetClient {
   // that nest under the client's own timeline.
   StatusOr<PresentResponse> Present(const PresentRequest& request);
 
+  // Many requests in one kBatchRequest frame (wire v3+; kInvalidArgument
+  // when this client is configured for v2 or the batch exceeds
+  // kMaxBatchMessages). Responses answer positionally; shed/degraded
+  // outcomes sit inside their PresentResponse like in Present().
+  StatusOr<std::vector<PresentResponse>> PresentBatch(
+      const std::vector<PresentRequest>& requests);
+
   // Liveness probe: a kPing frame echoed back as kPong.
   Status Ping();
 
@@ -63,6 +76,9 @@ class NetClient {
   // Reconnections performed after the initial connect (a transport-recovery
   // count for tests and the chaos bench).
   std::uint64_t reconnects() const { return reconnects_; }
+
+  // The (clamped) wire version this client sends.
+  std::uint8_t wire_version() const { return options_.wire_version; }
 
  private:
   Status EnsureConnected();

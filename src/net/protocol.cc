@@ -90,7 +90,7 @@ StatusOr<ServeOutcome> CheckOutcome(std::uint64_t raw) {
 
 }  // namespace
 
-std::string EncodeRequest(const PresentRequest& request) {
+std::string EncodeRequest(const PresentRequest& request, std::uint8_t version) {
   std::string out;
   PutString(out, request.document);
   PutString(out, request.profile);
@@ -103,10 +103,13 @@ std::string EncodeRequest(const PresentRequest& request) {
   PutVarint64(out, request.trace.trace_id);
   PutVarint64(out, request.trace.parent_span_id);
   PutVarint64(out, request.trace.sampled ? 1 : 0);
+  if (version >= 3) {
+    PutVarint64(out, static_cast<std::uint64_t>(request.deadline_ms < 0 ? 0 : request.deadline_ms));
+  }
   return out;
 }
 
-StatusOr<PresentRequest> DecodeRequest(std::string_view payload) {
+StatusOr<PresentRequest> DecodeRequest(std::string_view payload, std::uint8_t version) {
   PresentRequest request;
   std::size_t pos = 0;
   CMIF_ASSIGN_OR_RETURN(request.document, GetString(payload, &pos));
@@ -130,11 +133,19 @@ StatusOr<PresentRequest> DecodeRequest(std::string_view payload) {
       (request.trace.parent_span_id != 0 || request.trace.sampled)) {
     return DataLossError("trace fields set without a trace id");
   }
+  if (version >= 3) {
+    CMIF_ASSIGN_OR_RETURN(std::uint64_t deadline, GetVarint64(payload, &pos));
+    if (deadline > static_cast<std::uint64_t>(1) << 40) {  // > ~34 years is corruption
+      return DataLossError(StrFormat("implausible deadline %llu ms",
+                                     static_cast<unsigned long long>(deadline)));
+    }
+    request.deadline_ms = static_cast<std::int64_t>(deadline);
+  }
   CMIF_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));
   return request;
 }
 
-std::string EncodeResponse(const PresentResponse& response) {
+std::string EncodeResponse(const PresentResponse& response, std::uint8_t version) {
   std::string out;
   PutVarint64(out, static_cast<std::uint64_t>(response.outcome));
   PutVarint64(out, static_cast<std::uint64_t>(response.attempts < 0 ? 0 : response.attempts));
@@ -153,10 +164,14 @@ std::string EncodeResponse(const PresentResponse& response) {
     PutF64(out, span.duration_us);
     PutVarint64(out, static_cast<std::uint64_t>(span.tid < 0 ? 0 : span.tid));
   }
+  if (version >= 3) {
+    PutVarint64(out, response.shed ? 1 : 0);
+    PutF64(out, response.queue_ms < 0 ? 0 : response.queue_ms);
+  }
   return out;
 }
 
-StatusOr<PresentResponse> DecodeResponse(std::string_view payload) {
+StatusOr<PresentResponse> DecodeResponse(std::string_view payload, std::uint8_t version) {
   PresentResponse response;
   std::size_t pos = 0;
   CMIF_ASSIGN_OR_RETURN(std::uint64_t outcome, GetVarint64(payload, &pos));
@@ -201,8 +216,80 @@ StatusOr<PresentResponse> DecodeResponse(std::string_view payload) {
     span.tid = static_cast<std::int32_t>(tid);
     response.server_spans.push_back(std::move(span));
   }
+  if (version >= 3) {
+    CMIF_ASSIGN_OR_RETURN(response.shed, GetBool(payload, &pos));
+    CMIF_ASSIGN_OR_RETURN(response.queue_ms, GetF64(payload, &pos));
+    if (response.queue_ms < 0) {
+      return DataLossError(StrFormat("negative queue_ms at offset %zu", pos));
+    }
+  }
   CMIF_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));
   return response;
+}
+
+namespace {
+
+// Shared batch plumbing: varint count, then each message length-prefixed.
+template <typename Message, typename Encode>
+std::string EncodeBatch(const std::vector<Message>& messages, std::uint8_t version,
+                        Encode&& encode) {
+  std::string out;
+  PutVarint64(out, messages.size());
+  for (const Message& message : messages) {
+    PutString(out, encode(message, version));
+  }
+  return out;
+}
+
+template <typename Message, typename Decode>
+StatusOr<std::vector<Message>> DecodeBatch(std::string_view payload, std::uint8_t version,
+                                           std::string_view what, Decode&& decode) {
+  std::size_t pos = 0;
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t count, GetVarint64(payload, &pos));
+  // Each message costs >= 1 byte on the wire, so a count beyond payload size
+  // (or the hard cap) is corruption, not a big batch.
+  if (count > kMaxBatchMessages || count > payload.size()) {
+    return DataLossError(StrFormat("batch %.*s count %llu exceeds bounds",
+                                   static_cast<int>(what.size()), what.data(),
+                                   static_cast<unsigned long long>(count)));
+  }
+  std::vector<Message> messages;
+  messages.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CMIF_ASSIGN_OR_RETURN(std::string encoded, GetString(payload, &pos));
+    CMIF_ASSIGN_OR_RETURN(Message message, decode(encoded, version));
+    messages.push_back(std::move(message));
+  }
+  CMIF_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));
+  return messages;
+}
+
+}  // namespace
+
+std::string EncodeBatchRequest(const std::vector<PresentRequest>& requests,
+                               std::uint8_t version) {
+  return EncodeBatch(requests, version,
+                     [](const PresentRequest& r, std::uint8_t v) { return EncodeRequest(r, v); });
+}
+
+StatusOr<std::vector<PresentRequest>> DecodeBatchRequest(std::string_view payload,
+                                                         std::uint8_t version) {
+  return DecodeBatch<PresentRequest>(
+      payload, version, "request",
+      [](std::string_view bytes, std::uint8_t v) { return DecodeRequest(bytes, v); });
+}
+
+std::string EncodeBatchResponse(const std::vector<PresentResponse>& responses,
+                                std::uint8_t version) {
+  return EncodeBatch(responses, version,
+                     [](const PresentResponse& r, std::uint8_t v) { return EncodeResponse(r, v); });
+}
+
+StatusOr<std::vector<PresentResponse>> DecodeBatchResponse(std::string_view payload,
+                                                           std::uint8_t version) {
+  return DecodeBatch<PresentResponse>(
+      payload, version, "response",
+      [](std::string_view bytes, std::uint8_t v) { return DecodeResponse(bytes, v); });
 }
 
 std::string EncodeWireStatus(const Status& status) {

@@ -1,0 +1,132 @@
+#include "src/net/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/base/string_util.h"
+
+namespace cmif {
+namespace net {
+namespace {
+
+// Heap order for kEdf: earliest deadline at the top; deadline 0 ("none")
+// sorts last; ties resolve in admission order so equal deadlines stay FIFO.
+// std::push_heap builds a max-heap, so the comparator says "less urgent".
+bool LessUrgent(const RequestScheduler::Item& a, const RequestScheduler::Item& b) {
+  std::int64_t da = a.deadline_us == 0 ? std::numeric_limits<std::int64_t>::max() : a.deadline_us;
+  std::int64_t db = b.deadline_us == 0 ? std::numeric_limits<std::int64_t>::max() : b.deadline_us;
+  if (da != db) {
+    return da > db;
+  }
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+std::string_view SchedPolicyName(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kFifo:
+      return "fifo";
+    case SchedPolicy::kEdf:
+      return "edf";
+  }
+  return "unknown";
+}
+
+StatusOr<SchedPolicy> ParseSchedPolicy(std::string_view name) {
+  if (name == "fifo") {
+    return SchedPolicy::kFifo;
+  }
+  if (name == "edf") {
+    return SchedPolicy::kEdf;
+  }
+  return InvalidArgumentError(
+      StrFormat("unknown scheduling policy \"%.*s\" (expected fifo or edf)",
+                static_cast<int>(name.size()), name.data()));
+}
+
+RequestScheduler::RequestScheduler(SchedulerOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : &fault::GlobalClock()) {}
+
+std::int64_t RequestScheduler::NowMicros() const { return clock_->NowMicros(); }
+
+Status RequestScheduler::Enqueue(std::int64_t deadline_ms, std::function<void(Item&)> work) {
+  std::int64_t now = NowMicros();
+  MutexLock lock(mu_);
+  std::size_t depth = options_.policy == SchedPolicy::kEdf ? heap_.size() : fifo_.size();
+  if (depth >= options_.max_queue_depth) {
+    ++stats_.shed_queue_full;
+    return ResourceExhaustedError(
+        StrFormat("scheduler queue full (%zu queued)", depth));
+  }
+  Item item;
+  item.seq = next_seq_++;
+  item.enqueue_us = now;
+  if (deadline_ms != 0) {
+    // Negative = the remaining budget is already spent (a caller that
+    // subtracted elapsed parse/transport time from a client deadline).
+    item.deadline_us = now + deadline_ms * 1000;
+  }
+  if (options_.policy == SchedPolicy::kEdf && item.deadline_us != 0 &&
+      item.deadline_us <= now) {
+    ++stats_.shed_expired;
+    return ResourceExhaustedError("deadline expired before admission");
+  }
+  item.work = std::move(work);
+  ++stats_.enqueued;
+  if (options_.policy == SchedPolicy::kEdf) {
+    heap_.push_back(std::move(item));
+    std::push_heap(heap_.begin(), heap_.end(), LessUrgent);
+    stats_.depth = heap_.size();
+  } else {
+    fifo_.push_back(std::move(item));
+    stats_.depth = fifo_.size();
+  }
+  stats_.max_depth = std::max(stats_.max_depth, stats_.depth);
+  return Status::Ok();
+}
+
+std::optional<RequestScheduler::Item> RequestScheduler::Dequeue() {
+  std::int64_t now = NowMicros();
+  MutexLock lock(mu_);
+  std::optional<Item> item;
+  if (options_.policy == SchedPolicy::kEdf) {
+    if (heap_.empty()) {
+      return std::nullopt;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), LessUrgent);
+    item = std::move(heap_.back());
+    heap_.pop_back();
+    stats_.depth = heap_.size();
+    if (item->deadline_us != 0 && item->deadline_us <= now) {
+      item->expired = true;
+      ++stats_.expired_in_queue;
+    }
+  } else {
+    if (fifo_.empty()) {
+      return std::nullopt;
+    }
+    item = std::move(fifo_.front());
+    fifo_.pop_front();
+    stats_.depth = fifo_.size();
+  }
+  item->queue_wait_us = std::max<std::int64_t>(0, now - item->enqueue_us);
+  ++stats_.dequeued;
+  stats_.total_queue_wait_ms += static_cast<double>(item->queue_wait_us) / 1000.0;
+  return item;
+}
+
+std::size_t RequestScheduler::depth() const {
+  MutexLock lock(mu_);
+  return options_.policy == SchedPolicy::kEdf ? heap_.size() : fifo_.size();
+}
+
+RequestScheduler::Stats RequestScheduler::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace net
+}  // namespace cmif

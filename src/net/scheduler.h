@@ -1,0 +1,127 @@
+// Pluggable request scheduling between the reactor and the worker pool, in
+// the style of the sledge serverless runtime's FIFO/EDF scheduler choice.
+// The reactor admits decoded requests here; ThreadPool workers drain them.
+//
+//  - kFifo reproduces the old blocking server's behavior: strict admission
+//    order, deadlines ignored. Under overload every request queues and tail
+//    latency balloons — that is the baseline the fig13 overload bench
+//    quantifies.
+//  - kEdf orders the queue by absolute deadline (earliest first; deadline-
+//    free requests sort last, FIFO among themselves) and *refuses* work it
+//    can no longer serve: a request whose deadline has already passed at
+//    admission is shed with kResourceExhausted instead of queued, and one
+//    whose deadline expires while queued is marked expired at dequeue so the
+//    server can degrade it (stale cache) rather than burn a worker on a
+//    full compile nobody is waiting for.
+//
+// Admission is also where backpressure lives: both policies shed when the
+// queue is at max_queue_depth (the structured alternative to an unbounded
+// queue OOM). Time comes from an injectable fault::Clock so scheduler unit
+// tests drive expiry with a FakeClock, and all shared state is under an
+// annotated cmif::Mutex (clang -Wthread-safety checks the locking).
+#ifndef SRC_NET_SCHEDULER_H_
+#define SRC_NET_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/base/mutex.h"
+#include "src/base/status.h"
+#include "src/fault/clock.h"
+
+namespace cmif {
+namespace net {
+
+enum class SchedPolicy : std::uint8_t {
+  kFifo = 0,
+  kEdf = 1,
+};
+
+std::string_view SchedPolicyName(SchedPolicy policy);
+// Parses "fifo" / "edf" (the --sched flag values); kInvalidArgument otherwise.
+StatusOr<SchedPolicy> ParseSchedPolicy(std::string_view name);
+
+struct SchedulerOptions {
+  SchedPolicy policy = SchedPolicy::kFifo;
+  // Queue-full shed threshold. Sized to survive a burst, not to hide
+  // sustained overload: on a 1-vCPU runner 256 queued compiles is already
+  // seconds of backlog.
+  std::size_t max_queue_depth = 256;
+  // Time source for deadlines; nullptr = fault::GlobalClock().
+  fault::Clock* clock = nullptr;
+};
+
+// A bounded two-policy priority queue of opaque work items.
+class RequestScheduler {
+ public:
+  // One admitted unit of work. The scheduler never runs `work`; workers
+  // dequeue an item and invoke it themselves with the queue-wait metadata
+  // filled in.
+  struct Item {
+    std::uint64_t seq = 0;            // admission order
+    std::int64_t deadline_us = 0;     // absolute on the scheduler clock; 0 = none
+    std::int64_t enqueue_us = 0;
+    std::int64_t queue_wait_us = 0;   // filled at dequeue
+    // kEdf only: the deadline passed while the item sat in the queue. The
+    // item is still returned (the caller owns the degrade-vs-fail decision);
+    // kFifo never sets this — ignoring deadlines is its contract.
+    bool expired = false;
+    std::function<void(Item&)> work;
+  };
+
+  struct Stats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dequeued = 0;
+    std::uint64_t shed_queue_full = 0;
+    std::uint64_t shed_expired = 0;     // refused at admission (kEdf)
+    std::uint64_t expired_in_queue = 0; // dequeued past their deadline (kEdf)
+    std::size_t depth = 0;
+    std::size_t max_depth = 0;
+    double total_queue_wait_ms = 0;
+  };
+
+  explicit RequestScheduler(SchedulerOptions options = {});
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  // Admits one request. deadline_ms is relative (0 = none; negative = the
+  // budget is already spent) and converted to an absolute deadline now;
+  // returns kResourceExhausted when the queue is full (both policies) or the
+  // deadline is already blown (kEdf) — the caller answers the client with a
+  // structured shed response.
+  Status Enqueue(std::int64_t deadline_ms, std::function<void(Item&)> work)
+      CMIF_EXCLUDES(mu_);
+
+  // Pops the next item per policy; nullopt when idle. Fills queue_wait_us
+  // and (kEdf) the expired flag.
+  std::optional<Item> Dequeue() CMIF_EXCLUDES(mu_);
+
+  SchedPolicy policy() const { return options_.policy; }
+  std::size_t depth() const CMIF_EXCLUDES(mu_);
+  Stats stats() const CMIF_EXCLUDES(mu_);
+
+ private:
+  std::int64_t NowMicros() const;
+
+  const SchedulerOptions options_;
+  fault::Clock* const clock_;
+
+  mutable Mutex mu_;
+  std::uint64_t next_seq_ CMIF_GUARDED_BY(mu_) = 0;
+  // kFifo: a plain deque. kEdf: a min-heap on (deadline, seq) — deadline 0
+  // sorts after every real deadline, so deadline-free work runs only when
+  // nothing urgent waits.
+  std::deque<Item> fifo_ CMIF_GUARDED_BY(mu_);
+  std::vector<Item> heap_ CMIF_GUARDED_BY(mu_);
+  Stats stats_ CMIF_GUARDED_BY(mu_);
+};
+
+}  // namespace net
+}  // namespace cmif
+
+#endif  // SRC_NET_SCHEDULER_H_

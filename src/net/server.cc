@@ -1,15 +1,12 @@
 #include "src/net/server.h"
 
-#include <sys/socket.h>
-
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <utility>
 
 #include "src/base/string_util.h"
-#include "src/fault/fault.h"
 #include "src/net/presentation_wire.h"
-#include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 #include "src/obs/trace.h"
 
@@ -31,17 +28,22 @@ NetServer::NetServer(ServeLoop& loop, NetServerOptions options)
   if (options_.workers < 1) {
     options_.workers = 1;
   }
-  if (options_.max_pending_connections < 1) {
-    options_.max_pending_connections = 1;
+  if (options_.max_queue_depth < 1) {
+    options_.max_queue_depth = 1;
+  }
+  if (options_.max_connections < 1) {
+    options_.max_connections = 1;
   }
 }
 
 NetServer::~NetServer() { Stop(); }
 
 Status NetServer::Start() {
-  if (running_) {
+  if (running_.load(std::memory_order_relaxed)) {
     return FailedPreconditionError("server already started");
   }
+  documents_.clear();
+  profiles_.clear();
   const ServeCorpus& corpus = loop_.corpus();
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     documents_[corpus.document(i).name] = i;
@@ -50,218 +52,387 @@ Status NetServer::Start() {
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     profiles_[profiles[i].name] = i;
   }
-  CMIF_RETURN_IF_ERROR(listener_.Listen(options_.host, options_.port, options_.accept_backlog));
+
+  SchedulerOptions sched;
+  sched.policy = options_.sched_policy;
+  sched.max_queue_depth = options_.max_queue_depth;
+  scheduler_ = std::make_unique<RequestScheduler>(sched);
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+
+  ReactorOptions reactor;
+  reactor.host = options_.host;
+  reactor.port = options_.port;
+  reactor.accept_backlog = options_.accept_backlog;
+  reactor.max_connections = options_.max_connections;
+  reactor.partial_frame_timeout_ms = options_.partial_frame_timeout_ms;
+  reactor.limits = options_.limits;
+  reactor_ = std::make_unique<Reactor>(
+      std::move(reactor),
+      [this](std::uint64_t conn_id, Frame frame) { OnFrame(conn_id, std::move(frame)); },
+      [this](std::uint64_t conn_id) { OnEof(conn_id); },
+      [this](std::uint64_t conn_id, const Status& error) { OnDesync(conn_id, error); },
+      [this](std::uint64_t conn_id, const Status&) { OnClosed(conn_id); });
+  Status started = reactor_->Start();
+  if (!started.ok()) {
+    reactor_.reset();
+    pool_.reset();
+    scheduler_.reset();
+    return started;
+  }
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = false;
+    MutexLock lock(mu_);
+    draining_ = false;
   }
-  running_ = true;
   started_us_ = SteadyNowMicros();
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  worker_threads_.reserve(static_cast<std::size_t>(options_.workers));
-  for (int i = 0; i < options_.workers; ++i) {
-    worker_threads_.emplace_back([this] { WorkerLoop(); });
-  }
+  running_.store(true, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 void NetServer::Stop() {
-  if (!running_) {
+  if (!running_.exchange(false, std::memory_order_relaxed)) {
     return;
   }
-  listener_.Close();
+  // Graceful ordering: no new connections, no new admissions, every admitted
+  // request answered, buffered responses flushed on the wire — and only then
+  // is the worker pool torn down.
+  reactor_->StopAccepting();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-    // Unblock workers parked in connection reads. The worker owns the fd and
-    // closes it only after deregistering under mu_, so these fds are live.
-    for (int fd : live_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
+    MutexLock lock(mu_);
+    draining_ = true;
+    while (outstanding_ > 0) {
+      idle_cv_.Wait(lock);
     }
   }
-  queue_cv_.notify_all();
-  accept_thread_.join();
-  for (std::thread& worker : worker_threads_) {
-    worker.join();
-  }
-  worker_threads_.clear();
+  reactor_->Stop();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    pending_.clear();
+    const Reactor::Stats reactor_stats = reactor_->stats();
+    MutexLock lock(mu_);
+    stats_.connections += reactor_stats.accepted;
+    stats_.rejected += reactor_stats.rejected_capacity;
+    conns_.clear();
     if (obs::Enabled()) {
       obs::GetGauge("net.queue_depth").Set(0);
     }
   }
-  running_ = false;
+  pool_.reset();
 }
 
 NetServer::Stats NetServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats snapshot;
+  {
+    MutexLock lock(mu_);
+    snapshot = stats_;
+  }
+  if (running_.load(std::memory_order_relaxed) && reactor_) {
+    const Reactor::Stats reactor_stats = reactor_->stats();
+    snapshot.connections += reactor_stats.accepted;
+    snapshot.rejected += reactor_stats.rejected_capacity;
+  }
+  return snapshot;
 }
 
-void NetServer::AcceptLoop() {
-  for (;;) {
-    StatusOr<Socket> accepted = listener_.Accept();
-    if (!accepted.ok()) {
-      return;  // listener closed (Stop) or hard listener error
+RequestScheduler::Stats NetServer::scheduler_stats() const {
+  return scheduler_ ? scheduler_->stats() : RequestScheduler::Stats{};
+}
+
+std::uint64_t NetServer::AssignSlot(std::uint64_t conn_id) {
+  MutexLock lock(mu_);
+  ConnState& conn = conns_[conn_id];
+  const std::uint64_t slot = conn.next_slot++;
+  conn.slots.emplace_back();
+  return slot;
+}
+
+void NetServer::CompleteSlot(std::uint64_t conn_id, std::uint64_t slot, FrameType type,
+                             std::string payload, std::uint8_t version, bool close_after) {
+  // Everything ready to flush is collected under the lock, then handed to
+  // the reactor outside it (SendFrame takes the reactor's own mailbox lock).
+  std::vector<Slot> ready;
+  bool close_on_drain = false;
+  {
+    MutexLock lock(mu_);
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) {
+      return;  // connection died while the request was in flight
     }
-    Socket socket = std::move(accepted).value();
-    // The accept fault site models a flaky front end: the connection is
-    // dropped right after the handshake and the client retries.
-    if (fault::Enabled() && !fault::InjectPoint("net.accept").ok()) {
-      continue;  // socket destructor closes the connection
+    ConnState& conn = it->second;
+    if (slot < conn.base_slot) {
+      return;
     }
-    socket.SetTimeouts(options_.io_timeout_ms, options_.io_timeout_ms);
-    socket.SetNoDelay();
-    bool rejected = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stopping_) {
-        return;
-      }
-      if (pending_.size() >= options_.max_pending_connections) {
-        rejected = true;
-        ++stats_.rejected;
-      } else {
-        ++stats_.connections;
-        pending_.push_back(std::move(socket));
-        if (obs::Enabled()) {
-          obs::GetGauge("net.queue_depth").Set(static_cast<std::int64_t>(pending_.size()));
-        }
-      }
+    const std::size_t index = static_cast<std::size_t>(slot - conn.base_slot);
+    if (index >= conn.slots.size()) {
+      return;
     }
-    if (rejected) {
-      if (obs::Enabled()) {
-        obs::GetCounter("net.rejected").Add();
-      }
-      // Best effort: tell the client why before closing.
-      WriteFrame(socket, FrameType::kError,
-                 EncodeWireStatus(ResourceExhaustedError(StrFormat(
-                     "server overloaded: %zu connections pending", options_.max_pending_connections))));
-    } else {
-      queue_cv_.notify_one();
+    Slot& pending = conn.slots[index];
+    pending.ready = true;
+    pending.close_after = close_after;
+    pending.type = type;
+    pending.version = version;
+    pending.payload = std::move(payload);
+    while (!conn.slots.empty() && conn.slots.front().ready) {
+      ready.push_back(std::move(conn.slots.front()));
+      conn.slots.pop_front();
+      ++conn.base_slot;
     }
+    close_on_drain = conn.eof && conn.slots.empty();
+  }
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    const bool last = i + 1 == ready.size();
+    const bool close = ready[i].close_after || (last && close_on_drain);
+    // kNotFound (connection raced away) is not worth propagating: the
+    // response had nowhere to go.
+    (void)reactor_->SendFrame(conn_id, ready[i].type, ready[i].payload, ready[i].version,
+                              close);
   }
 }
 
-void NetServer::WorkerLoop() {
-  for (;;) {
-    Socket socket;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
-      if (stopping_) {
-        return;
-      }
-      socket = std::move(pending_.front());
-      pending_.pop_front();
-      if (obs::Enabled()) {
-        obs::GetGauge("net.queue_depth").Set(static_cast<std::int64_t>(pending_.size()));
-      }
-      live_fds_.insert(socket.fd());
-    }
-    HandleConnection(std::move(socket));
-  }
+void NetServer::BumpProtocolErrors() {
+  MutexLock lock(mu_);
+  ++stats_.protocol_errors;
 }
 
-void NetServer::HandleConnection(Socket socket) {
-  if (obs::Enabled()) {
-    obs::GetCounter("net.server.connections").Add();
-  }
-  for (;;) {
-    StatusOr<std::optional<Frame>> frame = ReadFrame(socket, options_.limits);
-    bool drop = false;
-    if (!frame.ok()) {
-      // A corrupt frame gets a structured answer before the drop; transport
-      // errors (EOF mid-frame, timeout, Stop's shutdown) just drop.
-      if (frame.status().code() == StatusCode::kDataLoss) {
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          ++stats_.protocol_errors;
-        }
-        WriteFrame(socket, FrameType::kError, EncodeWireStatus(frame.status()));
-      }
-      drop = true;
-    } else if (!frame->has_value()) {
-      drop = true;  // clean EOF: the client is done
-    } else if (!HandleFrame(socket, **frame).ok()) {
-      drop = true;
-    }
-    if (drop) {
-      std::lock_guard<std::mutex> lock(mu_);
-      live_fds_.erase(socket.fd());
-      break;
-    }
-  }
-  // The fd is deregistered; Stop() can no longer shut it down, so closing
-  // it here (by ~Socket) cannot race a recycled descriptor.
+PresentResponse NetServer::ShedResponse(const Status& reason) const {
+  PresentResponse response;
+  response.outcome = ServeOutcome::kFailed;
+  response.attempts = 0;
+  response.error = reason;
+  response.shed = true;
+  return response;
 }
 
-Status NetServer::HandleFrame(Socket& socket, const Frame& frame) {
+void NetServer::OnFrame(std::uint64_t conn_id, Frame frame) {
   switch (frame.type) {
-    case FrameType::kPing:
-      return WriteFrame(socket, FrameType::kPong, frame.payload);
-    case FrameType::kStatsRequest:
+    case FrameType::kPing: {
+      const std::uint64_t slot = AssignSlot(conn_id);
+      CompleteSlot(conn_id, slot, FrameType::kPong, std::move(frame.payload), frame.version);
+      return;
+    }
+    case FrameType::kStatsRequest: {
       // A telemetry probe, not a compile: answered inline with a snapshot of
       // the live counters so monitoring never queues behind a slow request.
-      return WriteFrame(socket, FrameType::kStatsResponse,
-                        EncodeStatsSnapshot(Snapshot()));
-    case FrameType::kRequest:
-      break;
-    default: {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.protocol_errors;
+      const std::uint64_t slot = AssignSlot(conn_id);
+      CompleteSlot(conn_id, slot, FrameType::kStatsResponse, EncodeStatsSnapshot(Snapshot()),
+                   frame.version);
+      return;
+    }
+    case FrameType::kRequest: {
+      StatusOr<PresentRequest> request = DecodeRequest(frame.payload, frame.version);
+      if (!request.ok()) {
+        BumpProtocolErrors();
+        const std::uint64_t slot = AssignSlot(conn_id);
+        CompleteSlot(conn_id, slot, FrameType::kError, EncodeWireStatus(request.status()),
+                     frame.version, /*close_after=*/true);
+        return;
       }
-      WriteFrame(socket, FrameType::kError,
-                 EncodeWireStatus(InvalidArgumentError(
-                     StrFormat("unexpected %s frame", std::string(FrameTypeName(frame.type)).c_str()))));
-      return InvalidArgumentError("unexpected frame type");
+      const std::uint64_t slot = AssignSlot(conn_id);
+      const std::uint8_t version = frame.version;
+      Admit(std::move(*request),
+            [this, conn_id, slot, version](PresentResponse response) {
+              CompleteSlot(conn_id, slot, FrameType::kResponse,
+                           EncodeResponse(response, version), version);
+            });
+      return;
+    }
+    case FrameType::kBatchRequest: {
+      StatusOr<std::vector<PresentRequest>> requests =
+          DecodeBatchRequest(frame.payload, frame.version);
+      if (!requests.ok()) {
+        BumpProtocolErrors();
+        const std::uint64_t slot = AssignSlot(conn_id);
+        CompleteSlot(conn_id, slot, FrameType::kError, EncodeWireStatus(requests.status()),
+                     frame.version, /*close_after=*/true);
+        return;
+      }
+      const std::uint64_t slot = AssignSlot(conn_id);
+      const std::uint8_t version = frame.version;
+      if (requests->empty()) {
+        CompleteSlot(conn_id, slot, FrameType::kBatchResponse, EncodeBatchResponse({}, version),
+                     version);
+        return;
+      }
+      // Each batch element is scheduled independently (EDF interleaves them
+      // with every other connection's work); the batch answers as one frame
+      // once the last element lands.
+      auto batch = std::make_shared<BatchState>();
+      batch->responses.resize(requests->size());
+      batch->remaining.store(requests->size(), std::memory_order_relaxed);
+      for (std::size_t i = 0; i < requests->size(); ++i) {
+        Admit(std::move((*requests)[i]),
+              [this, conn_id, slot, version, batch, i](PresentResponse response) {
+                batch->responses[i] = std::move(response);
+                if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                  CompleteSlot(conn_id, slot, FrameType::kBatchResponse,
+                               EncodeBatchResponse(batch->responses, version), version);
+                }
+              });
+      }
+      return;
+    }
+    default: {
+      BumpProtocolErrors();
+      const std::uint64_t slot = AssignSlot(conn_id);
+      CompleteSlot(conn_id, slot, FrameType::kError,
+                   EncodeWireStatus(InvalidArgumentError(StrFormat(
+                       "unexpected %s frame",
+                       std::string(FrameTypeName(frame.type)).c_str()))),
+                   frame.version, /*close_after=*/true);
+      return;
     }
   }
+}
 
-  auto start = std::chrono::steady_clock::now();
-  StatusOr<PresentRequest> request = DecodeRequest(frame.payload);
-  if (!request.ok()) {
+void NetServer::OnEof(std::uint64_t conn_id) {
+  bool close_now = false;
+  {
+    MutexLock lock(mu_);
+    ConnState& conn = conns_[conn_id];
+    conn.eof = true;
+    close_now = conn.slots.empty();
+  }
+  if (close_now) {
+    reactor_->CloseConnection(conn_id);
+  }
+}
+
+void NetServer::OnDesync(std::uint64_t conn_id, const Status& error) {
+  BumpProtocolErrors();
+  // The error frame takes a slot like any response, so pipelined requests
+  // already in flight still answer (in order) before the connection drops.
+  // Encoded at the minimum supported version: after a desync we no longer
+  // know what the peer speaks, and v2 is readable by everyone.
+  const std::uint64_t slot = AssignSlot(conn_id);
+  CompleteSlot(conn_id, slot, FrameType::kError, EncodeWireStatus(error), kMinWireVersion,
+               /*close_after=*/true);
+}
+
+void NetServer::OnClosed(std::uint64_t conn_id) {
+  MutexLock lock(mu_);
+  conns_.erase(conn_id);
+}
+
+void NetServer::Admit(PresentRequest request, std::function<void(PresentResponse)> done) {
+  // Wraps `done` with the per-request accounting every completion path
+  // (served, degraded, shed) shares.
+  auto finish = [this, done = std::move(done)](PresentResponse response) {
+    if (response.outcome == ServeOutcome::kFailed) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    } else if (response.outcome == ServeOutcome::kDegraded) {
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.protocol_errors;
+      MutexLock lock(mu_);
+      ++stats_.requests;
+      if (response.shed) {
+        ++stats_.shed;
+      }
     }
-    WriteFrame(socket, FrameType::kError, EncodeWireStatus(request.status()));
-    return request.status();  // kDataLoss: payload desync, drop
+    if (obs::Enabled()) {
+      obs::GetCounter("net.server.requests").Add();
+    }
+    done(std::move(response));
+  };
+
+  bool draining = false;
+  {
+    MutexLock lock(mu_);
+    draining = draining_;
+    if (!draining) {
+      ++outstanding_;
+    }
+  }
+  if (draining) {
+    finish(ShedResponse(UnavailableError("server draining")));
+    return;
   }
 
+  const std::int64_t deadline_ms =
+      request.deadline_ms > 0 ? request.deadline_ms : options_.default_deadline_ms;
+  auto work = [this, request = std::move(request),
+               finish](RequestScheduler::Item& item) mutable {
+    finish(Process(request, item));
+    MutexLock lock(mu_);
+    if (--outstanding_ == 0) {
+      idle_cv_.NotifyAll();
+    }
+  };
+  Status admitted = scheduler_->Enqueue(deadline_ms, std::move(work));
+  if (!admitted.ok()) {
+    finish(ShedResponse(admitted));
+    MutexLock lock(mu_);
+    if (--outstanding_ == 0) {
+      idle_cv_.NotifyAll();
+    }
+    return;
+  }
+  if (obs::Enabled()) {
+    obs::GetGauge("net.queue_depth").Set(static_cast<std::int64_t>(scheduler_->depth()));
+  }
+  // The ticket pattern: the pool's own queue stays FIFO, but each ticket
+  // dequeues from the scheduler at execution time, so EDF decides which
+  // admitted request the freed worker actually runs.
+  pool_->Run([this] {
+    std::optional<RequestScheduler::Item> item = scheduler_->Dequeue();
+    if (item && item->work) {
+      item->work(*item);
+    }
+  });
+}
+
+PresentResponse NetServer::Process(const PresentRequest& request,
+                                   const RequestScheduler::Item& item) {
+  const auto start = std::chrono::steady_clock::now();
   // Adopt the client's trace context, or start a server-local trace for the
   // configured fraction of untraced requests. The context is installed for
   // the whole handling scope so every span below (serve, pipeline, sched)
   // carries the trace id.
-  obs::TraceContext ctx = request->trace;
+  obs::TraceContext ctx = request.trace;
   if (!ctx.valid() && options_.trace_sample_rate > 0) {
     ctx = obs::NewTrace(options_.trace_sample_rate);
   }
   PresentResponse response;
   bool sampled = false;
+  const double queue_wait_ms = static_cast<double>(item.queue_wait_us) / 1000.0;
   {
     obs::ScopedTrace scoped_trace(ctx);
     obs::Span span("net-request");
     obs::ScopedLatency latency("net.request_ms");
-    span.Annotate("document", request->document);
-    response = HandleRequest(*request);
+    span.Annotate("document", request.document);
+    span.Annotate("sched_policy", std::string(SchedPolicyName(scheduler_->policy())));
+    span.Annotate("queue_wait_ms", queue_wait_ms);
+    if (request.deadline_ms > 0) {
+      span.Annotate("deadline_ms", request.deadline_ms);
+    }
+    if (obs::Enabled() && item.queue_wait_us > 0) {
+      // The queue wait already happened (it started at enqueue, on the
+      // reactor thread) — emit it as an explicit-timing span so `request
+      // --trace` shows time-in-queue ahead of the serve spans.
+      const double now_us = obs::detail::NowMicros();
+      obs::EmitSpan("net-queue", now_us - static_cast<double>(item.queue_wait_us),
+                    static_cast<double>(item.queue_wait_us),
+                    {{"policy",
+                      "\"" + std::string(SchedPolicyName(scheduler_->policy())) + "\""}});
+    }
+    if (item.expired) {
+      response = request.allow_degraded
+                     ? HandleExpired(request)
+                     : ShedResponse(ResourceExhaustedError(
+                           "deadline expired in scheduler queue"));
+    } else {
+      response = HandleRequest(request);
+    }
+    response.queue_ms = queue_wait_ms;
     span.Annotate("outcome", std::string(ServeOutcomeName(response.outcome)));
+    if (response.shed) {
+      span.Annotate("shed", std::int64_t{1});
+    }
     // Read back through CurrentTrace(): an anomaly during handling (retry,
     // breaker open, degraded compile) force-samples an unsampled trace.
     sampled = ctx.valid() && obs::CurrentTrace().sampled;
   }
-  double elapsed_ms =
+  const double elapsed_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
   request_ms_.Record(elapsed_ms);
-  if (response.outcome == ServeOutcome::kFailed) {
-    failed_.fetch_add(1, std::memory_order_relaxed);
-  } else if (response.outcome == ServeOutcome::kDegraded) {
-    degraded_.fetch_add(1, std::memory_order_relaxed);
-  }
 
   if (sampled && obs::Enabled()) {
     // Harvest this trace's spans (removing them — a long-lived server's span
@@ -287,7 +458,7 @@ Status NetServer::HandleFrame(Socket& socket, const Frame& frame) {
       response.server_spans.push_back(std::move(wire));
     }
     traces_sampled_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (exemplars_.size() < kMaxExemplars) {
       exemplars_.push_back(ctx.trace_id);
     } else {
@@ -295,28 +466,60 @@ Status NetServer::HandleFrame(Socket& socket, const Frame& frame) {
     }
     ++exemplar_next_;
   }
+  return response;
+}
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.requests;
+PresentResponse NetServer::HandleExpired(const PresentRequest& request) {
+  const Status reason = ResourceExhaustedError("deadline expired in scheduler queue");
+  PresentResponse response;
+  auto doc = documents_.find(request.document);
+  if (doc == documents_.end()) {
+    response.error = NotFoundError("unknown document '" + request.document + "'");
+    return response;
   }
-  if (obs::Enabled()) {
-    static obs::Counter& requests = obs::GetCounter("net.server.requests");
-    requests.Add();
+  ServeRequest serve_request;
+  serve_request.document = doc->second;
+  if (!request.profile.empty()) {
+    auto profile = profiles_.find(request.profile);
+    if (profile == profiles_.end()) {
+      response.error = NotFoundError("unknown profile '" + request.profile + "'");
+      return response;
+    }
+    serve_request.profile = profile->second;
   }
-  return WriteFrame(socket, FrameType::kResponse, EncodeResponse(response));
+  ServeResponse served = loop_.ServeStale(serve_request, reason);
+  response.attempts = served.attempts;
+  response.cache_hit = served.cache_hit;
+  response.error = served.error;
+  if (!served.served()) {
+    // Nothing cached either: the request is shed outright.
+    return ShedResponse(reason);
+  }
+  response.outcome = served.outcome;
+  if (served.outcome == ServeOutcome::kDegraded) {
+    MutexLock lock(mu_);
+    ++stats_.degraded_deadline;
+  }
+  std::string body = SerializePresentation(*served.presentation, request.channels);
+  response.presentation_hash = Fnv1a64(body);
+  if (request.want_body) {
+    response.presentation = std::move(body);
+  }
+  return response;
 }
 
 StatsSnapshot NetServer::Snapshot() const {
   StatsSnapshot snapshot;
-  snapshot.uptime_us = running_ ? SteadyNowMicros() - started_us_ : 0;
+  snapshot.uptime_us =
+      running_.load(std::memory_order_relaxed) ? SteadyNowMicros() - started_us_ : 0;
+  const Stats totals = stats();
+  snapshot.connections = totals.connections;
+  snapshot.rejected = totals.rejected;
+  snapshot.requests = totals.requests;
+  snapshot.protocol_errors = totals.protocol_errors;
+  snapshot.queue_depth = scheduler_ ? scheduler_->depth() : 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    snapshot.connections = stats_.connections;
-    snapshot.rejected = stats_.rejected;
-    snapshot.requests = stats_.requests;
-    snapshot.protocol_errors = stats_.protocol_errors;
-    snapshot.queue_depth = pending_.size();
+    MutexLock lock(mu_);
     snapshot.exemplar_trace_ids = exemplars_;
   }
   snapshot.failed = failed_.load(std::memory_order_relaxed);

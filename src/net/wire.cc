@@ -26,7 +26,17 @@ std::uint32_t GetU32Le(const char* bytes) {
          static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[3])) << 24;
 }
 
-StatusOr<FrameType> CheckFrameType(std::uint8_t raw) {
+Status CheckVersion(std::uint8_t version) {
+  if (version < kMinWireVersion || version > kWireVersion) {
+    return DataLossError(StrFormat("unsupported wire version %u (accepts %u..%u)", version,
+                                   kMinWireVersion, kWireVersion));
+  }
+  return Status::Ok();
+}
+
+// The frame type namespace grows with the wire version: a type a peer's
+// declared version predates is as unparseable to it as an unknown one.
+StatusOr<FrameType> CheckFrameType(std::uint8_t raw, std::uint8_t version) {
   switch (raw) {
     case 1:
       return FrameType::kRequest;
@@ -42,8 +52,24 @@ StatusOr<FrameType> CheckFrameType(std::uint8_t raw) {
       return FrameType::kStatsRequest;
     case 7:
       return FrameType::kStatsResponse;
+    case 8:
+    case 9:
+      if (version < 3) {
+        return DataLossError(StrFormat("frame type %u requires wire version 3 (frame declares %u)",
+                                       raw, version));
+      }
+      return raw == 8 ? FrameType::kBatchRequest : FrameType::kBatchResponse;
     default:
       return DataLossError(StrFormat("unknown frame type %u", raw));
+  }
+}
+
+void CountRx(std::size_t bytes) {
+  if (obs::Enabled()) {
+    static obs::Counter& rx_bytes = obs::GetCounter("net.rx_bytes");
+    static obs::Counter& rx_frames = obs::GetCounter("net.rx_frames");
+    rx_bytes.Add(static_cast<std::int64_t>(bytes));
+    rx_frames.Add();
   }
 }
 
@@ -65,15 +91,19 @@ std::string_view FrameTypeName(FrameType type) {
       return "stats-request";
     case FrameType::kStatsResponse:
       return "stats-response";
+    case FrameType::kBatchRequest:
+      return "batch-request";
+    case FrameType::kBatchResponse:
+      return "batch-response";
   }
   return "unknown";
 }
 
-std::string EncodeFrame(FrameType type, std::string_view payload) {
+std::string EncodeFrame(FrameType type, std::string_view payload, std::uint8_t version) {
   std::string out;
   out.reserve(kFrameMagic.size() + 2 + kMaxVarint64Bytes + payload.size() + 4);
   out.append(kFrameMagic);
-  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(version));
   out.push_back(static_cast<char>(type));
   PutVarint64(out, payload.size());
   out.append(payload);
@@ -93,11 +123,9 @@ StatusOr<Frame> DecodeFrame(std::string_view bytes, std::size_t* consumed,
     return DataLossError("bad frame magic (expected \"CMIF\")");
   }
   std::uint8_t version = static_cast<std::uint8_t>(bytes[kMagicEnd]);
-  if (version != kWireVersion) {
-    return DataLossError(StrFormat("unsupported wire version %u", version));
-  }
+  CMIF_RETURN_IF_ERROR(CheckVersion(version));
   CMIF_ASSIGN_OR_RETURN(FrameType type,
-                        CheckFrameType(static_cast<std::uint8_t>(bytes[kMagicEnd + 1])));
+                        CheckFrameType(static_cast<std::uint8_t>(bytes[kMagicEnd + 1]), version));
   std::size_t pos = kMagicEnd + 2;
   CMIF_ASSIGN_OR_RETURN(std::uint64_t length, GetVarint64(bytes, &pos));
   if (length > limits.max_payload_bytes) {
@@ -117,16 +145,101 @@ StatusOr<Frame> DecodeFrame(std::string_view bytes, std::size_t* consumed,
   }
   Frame frame;
   frame.type = type;
+  frame.version = version;
   frame.payload.assign(bytes.substr(pos, length));
   *consumed = pos + length + 4;
   return frame;
 }
 
-Status WriteFrame(Socket& socket, FrameType type, std::string_view payload) {
+void FrameAssembler::Feed(std::string_view bytes) {
+  // Compact once the consumed prefix dominates, so a long-lived pipelined
+  // connection doesn't grow its buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+StatusOr<std::optional<Frame>> FrameAssembler::Next() {
+  if (!poisoned_.ok()) {
+    return poisoned_;
+  }
+  constexpr std::size_t kMagicEnd = 4;
+  std::string_view view = std::string_view(buffer_).substr(pos_);
+  // Validate whatever header prefix has arrived so garbage fails at the
+  // first wrong byte, not after a full (unbounded) "frame" accumulates.
+  std::size_t magic_have = std::min(view.size(), kMagicEnd);
+  if (view.substr(0, magic_have) != kFrameMagic.substr(0, magic_have)) {
+    poisoned_ = DataLossError("bad frame magic (expected \"CMIF\")");
+    return poisoned_;
+  }
+  if (view.size() < kMagicEnd + 2) {
+    return std::optional<Frame>();
+  }
+  std::uint8_t version = static_cast<std::uint8_t>(view[kMagicEnd]);
+  if (Status st = CheckVersion(version); !st.ok()) {
+    poisoned_ = std::move(st);
+    return poisoned_;
+  }
+  StatusOr<FrameType> type = CheckFrameType(static_cast<std::uint8_t>(view[kMagicEnd + 1]), version);
+  if (!type.ok()) {
+    poisoned_ = type.status();
+    return poisoned_;
+  }
+  // Length varint: self-terminating, so parse as far as the buffer goes.
+  std::size_t varint_end = kMagicEnd + 2;
+  while (true) {
+    if (varint_end - (kMagicEnd + 2) >= kMaxVarint64Bytes) {
+      poisoned_ = DataLossError("frame length varint longer than 10 bytes");
+      return poisoned_;
+    }
+    if (varint_end >= view.size()) {
+      return std::optional<Frame>();
+    }
+    if ((static_cast<std::uint8_t>(view[varint_end]) & 0x80) == 0) {
+      ++varint_end;
+      break;
+    }
+    ++varint_end;
+  }
+  std::size_t lpos = kMagicEnd + 2;
+  StatusOr<std::uint64_t> length = GetVarint64(view.substr(0, varint_end), &lpos);
+  if (!length.ok()) {
+    poisoned_ = length.status();
+    return poisoned_;
+  }
+  if (*length > limits_.max_payload_bytes) {
+    poisoned_ = DataLossError(StrFormat("frame payload of %llu bytes exceeds the %zu-byte limit",
+                                        static_cast<unsigned long long>(*length),
+                                        limits_.max_payload_bytes));
+    return poisoned_;
+  }
+  std::size_t total = varint_end + *length + 4;
+  if (view.size() < total) {
+    return std::optional<Frame>();
+  }
+  std::size_t consumed = 0;
+  StatusOr<Frame> frame = DecodeFrame(view.substr(0, total), &consumed, limits_);
+  if (!frame.ok()) {
+    poisoned_ = frame.status();
+    return poisoned_;
+  }
+  pos_ += consumed;
+  CountRx(consumed);
+  return std::optional<Frame>(std::move(*frame));
+}
+
+Status WriteFrame(Socket& socket, FrameType type, std::string_view payload,
+                  std::uint8_t version) {
   if (fault::Enabled()) {
     CMIF_RETURN_IF_ERROR(fault::InjectPoint("net.write"));
+    // A slow-loris sender: the frame still goes out, just late. Against the
+    // blocking server this only slows one connection's own requests; the
+    // reactor's partial-frame timeout is the real defense being exercised.
+    CMIF_RETURN_IF_ERROR(fault::InjectPoint("net.slow_loris"));
   }
-  std::string encoded = EncodeFrame(type, payload);
+  std::string encoded = EncodeFrame(type, payload, version);
   if (fault::Enabled()) {
     // In-transit corruption: the receiver's CRC check turns it into a
     // structured kDataLoss and drops the connection.
@@ -156,10 +269,9 @@ StatusOr<std::optional<Frame>> ReadFrame(Socket& socket, const WireLimits& limit
     return DataLossError("bad frame magic (expected \"CMIF\")");
   }
   std::uint8_t version = static_cast<std::uint8_t>(head[4]);
-  if (version != kWireVersion) {
-    return DataLossError(StrFormat("unsupported wire version %u", version));
-  }
-  CMIF_ASSIGN_OR_RETURN(FrameType type, CheckFrameType(static_cast<std::uint8_t>(head[5])));
+  CMIF_RETURN_IF_ERROR(CheckVersion(version));
+  CMIF_ASSIGN_OR_RETURN(FrameType type,
+                        CheckFrameType(static_cast<std::uint8_t>(head[5]), version));
   std::uint32_t crc = Crc32(std::string_view(head + 4, 2));
 
   // Length varint, one byte at a time (it self-terminates).
@@ -188,6 +300,7 @@ StatusOr<std::optional<Frame>> ReadFrame(Socket& socket, const WireLimits& limit
 
   Frame frame;
   frame.type = type;
+  frame.version = version;
   frame.payload.resize(length);
   if (length > 0) {
     CMIF_RETURN_IF_ERROR(socket.ReadExact(frame.payload.data(), length));
@@ -197,12 +310,7 @@ StatusOr<std::optional<Frame>> ReadFrame(Socket& socket, const WireLimits& limit
   char stored[4];
   CMIF_RETURN_IF_ERROR(socket.ReadExact(stored, sizeof(stored)));
   rx += sizeof(stored);
-  if (obs::Enabled()) {
-    static obs::Counter& rx_bytes = obs::GetCounter("net.rx_bytes");
-    static obs::Counter& rx_frames = obs::GetCounter("net.rx_frames");
-    rx_bytes.Add(static_cast<std::int64_t>(rx));
-    rx_frames.Add();
-  }
+  CountRx(rx);
   if (GetU32Le(stored) != crc) {
     return DataLossError(StrFormat("frame crc mismatch (stored %08x, computed %08x)",
                                    GetU32Le(stored), crc));

@@ -5,7 +5,7 @@
 // frame is always a structured kDataLoss, never a crash or a silently wrong
 // message:
 //
-//   frame := magic "CMIF" | u8 version (1) | u8 type | varint payload_len
+//   frame := magic "CMIF" | u8 version | u8 type | varint payload_len
 //            | payload bytes | u32le crc
 //
 // The CRC covers everything after the magic (version, type, length varint,
@@ -14,10 +14,17 @@
 // check. After any decode error the stream is desynchronized — the only
 // safe recovery is to drop the connection, which both endpoints do.
 //
+// Version negotiation is per-frame and implicit: a peer accepts any version
+// in [kMinWireVersion, kWireVersion], decodes the payload by the version the
+// frame declares, and answers in that same version. A v2 client therefore
+// talks to a v3 server without handshakes — its requests simply carry no
+// deadline, and the server's replies omit the v3 response fields.
+//
 // The socket read/write paths double as fault-injection sites: "net.read"
-// and "net.write" can fail transiently, and "net.frame_corrupt" flips bytes
-// of an encoded frame in transit (detected by the CRC on the far side), so
-// fig12-style chaos replays cover the network path end to end.
+// and "net.write" can fail transiently, "net.frame_corrupt" flips bytes of
+// an encoded frame in transit (detected by the CRC on the far side), and
+// "net.slow_loris" injects sender-side latency so a frame trickles out
+// slowly — the reactor's partial-frame timeout is what defends against it.
 #ifndef SRC_NET_WIRE_H_
 #define SRC_NET_WIRE_H_
 
@@ -34,17 +41,21 @@ namespace cmif {
 namespace net {
 
 inline constexpr std::string_view kFrameMagic = "CMIF";
-// Version 2: PresentRequest carries a TraceContext, PresentResponse carries
-// harvested server spans, and the kStatsRequest/kStatsResponse pair exists.
-// Mixed-version peers fail cleanly at the frame header (kDataLoss), never by
-// misparsing a payload.
-inline constexpr std::uint8_t kWireVersion = 2;
+// Version 3: PresentRequest carries an optional deadline, PresentResponse
+// carries shed/queue-wait fields, and the kBatchRequest/kBatchResponse pair
+// exists. Version 2 (TraceContext + kStats frames) is still accepted; a
+// frame below kMinWireVersion fails cleanly at the header (kDataLoss),
+// never by misparsing a payload.
+inline constexpr std::uint8_t kWireVersion = 3;
+inline constexpr std::uint8_t kMinWireVersion = 2;
 
 // What a frame carries. kError is a protocol-level failure (overload, bad
 // frame, bad message) encoded as a wire Status; application-level outcomes
 // (degraded, failed compiles) travel inside a kResponse. kStatsRequest (an
 // empty payload) asks for a live telemetry snapshot, answered by a
 // kStatsResponse carrying an encoded StatsSnapshot (src/net/stats.h).
+// kBatchRequest/kBatchResponse (v3+) carry several PresentRequests/
+// PresentResponses in one frame, answered positionally.
 enum class FrameType : std::uint8_t {
   kRequest = 1,
   kResponse = 2,
@@ -53,12 +64,17 @@ enum class FrameType : std::uint8_t {
   kPong = 5,
   kStatsRequest = 6,
   kStatsResponse = 7,
+  kBatchRequest = 8,
+  kBatchResponse = 9,
 };
 
 std::string_view FrameTypeName(FrameType type);
 
 struct Frame {
   FrameType type = FrameType::kError;
+  // The version declared in the frame header; responses mirror it so old
+  // clients get payloads they can parse.
+  std::uint8_t version = kWireVersion;
   std::string payload;
 };
 
@@ -68,8 +84,9 @@ struct WireLimits {
   std::size_t max_payload_bytes = 8u << 20;
 };
 
-// Renders one complete frame.
-std::string EncodeFrame(FrameType type, std::string_view payload);
+// Renders one complete frame in the given wire version.
+std::string EncodeFrame(FrameType type, std::string_view payload,
+                        std::uint8_t version = kWireVersion);
 
 // Decodes the frame at the front of `bytes`. On success `*consumed` is the
 // frame's total size. Truncation, a bad magic/version/type, an oversized
@@ -78,10 +95,39 @@ std::string EncodeFrame(FrameType type, std::string_view payload);
 StatusOr<Frame> DecodeFrame(std::string_view bytes, std::size_t* consumed,
                             const WireLimits& limits = {});
 
+// Incremental frame extraction for non-blocking IO: the reactor Feed()s
+// whatever recv() returned and drains complete frames with Next(). Header
+// fields are validated as soon as their bytes arrive, so garbage fails fast
+// even before a full frame is buffered.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(const WireLimits& limits = {}) : limits_(limits) {}
+
+  // Appends raw bytes received from the transport.
+  void Feed(std::string_view bytes);
+
+  // Extracts the next complete frame: a frame, nullopt when more bytes are
+  // needed, or kDataLoss when the stream is desynchronized (drop the
+  // connection; the assembler is poisoned and keeps returning the error).
+  StatusOr<std::optional<Frame>> Next();
+
+  // Bytes buffered but not yet consumed by a complete frame. Nonzero means
+  // a frame is in flight — the reactor's slow-loris timeout applies.
+  std::size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  WireLimits limits_;
+  std::string buffer_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+  Status poisoned_ = Status::Ok();
+};
+
 // Blocking frame IO over a socket. WriteFrame probes the "net.write" fault
-// site and the "net.frame_corrupt" corruption site; ReadFrame probes
-// "net.read". Both count net.tx_bytes / net.rx_bytes when obs is enabled.
-Status WriteFrame(Socket& socket, FrameType type, std::string_view payload);
+// site, the "net.frame_corrupt" corruption site, and the "net.slow_loris"
+// latency site; ReadFrame probes "net.read". Both count net.tx_bytes /
+// net.rx_bytes when obs is enabled.
+Status WriteFrame(Socket& socket, FrameType type, std::string_view payload,
+                  std::uint8_t version = kWireVersion);
 
 // nullopt on a clean EOF at a frame boundary (the peer is done). Transport
 // failures are kUnavailable; corrupt/truncated frames are kDataLoss.

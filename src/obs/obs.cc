@@ -199,6 +199,31 @@ void Span::AnnotateInt(std::string_view key, std::int64_t value) {
   }
 }
 
+std::uint64_t EmitSpan(std::string_view name, double start_us, double duration_us,
+                       std::vector<std::pair<std::string, std::string>> args) {
+  if (!Enabled()) {
+    return 0;
+  }
+  const TraceContext& context = CurrentTrace();
+  if (context.valid() && !context.sampled) {
+    return 0;
+  }
+  ThreadState& state = GetThreadState();
+  SpanRecord record;
+  record.name = std::string(name);
+  record.args = std::move(args);
+  record.start_us = start_us;
+  record.duration_us = duration_us;
+  record.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  record.parent_id =
+      state.open_spans.empty() ? context.parent_span_id : state.open_spans.back();
+  record.trace_id = context.trace_id;
+  record.tid = state.tid;
+  const std::uint64_t id = record.id;
+  detail::AppendSpan(std::move(record));
+  return id;
+}
+
 int TimelineTrack(std::string_view name) {
   TrackTable& table = GetTrackTable();
   std::lock_guard<std::mutex> lock(table.mu);

@@ -111,6 +111,16 @@ class Span {
   std::chrono::steady_clock::time_point start_;
 };
 
+// Appends an already-timed wall-clock span — for intervals known only after
+// the fact, like time spent waiting in a scheduler queue (measured at
+// dequeue, long after it started). `start_us` is microseconds since process
+// start on the span clock: detail::NowMicros() minus the elapsed wait.
+// Follows the same rules as Span: parents under the calling thread's
+// innermost live Span, tags with the current TraceContext, and records
+// nothing for unsampled traces. Returns the span id (0 when suppressed).
+std::uint64_t EmitSpan(std::string_view name, double start_us, double duration_us,
+                       std::vector<std::pair<std::string, std::string>> args = {});
+
 // Finds or registers a named synthetic-timeline track (a Chrome-trace thread
 // under kTimelinePid, e.g. one per playback channel). Returns its tid.
 int TimelineTrack(std::string_view name);

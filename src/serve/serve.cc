@@ -259,6 +259,43 @@ ServeResponse ServeLoop::Serve(const ServeRequest& request) {
   return response;
 }
 
+ServeResponse ServeLoop::ServeStale(const ServeRequest& request, Status reason) {
+  ServeResponse response;
+  if (request.document >= corpus_.size() || request.profile >= options_.profiles.size()) {
+    response.outcome = ServeOutcome::kFailed;
+    response.error = InvalidArgumentError("serve request outside corpus/profile range");
+    return response;
+  }
+  const ServeDocument& doc = corpus_.document(request.document);
+  const SystemProfile& profile = options_.profiles[request.profile];
+  MappingCacheKey key;
+  key.document_hash = doc.document_hash;
+  key.channel_hash = doc.channel_hash;
+  key.profile = profile.name;
+  key.store_generation = corpus_.store().generation();
+  if (options_.use_cache) {
+    if (std::shared_ptr<const CompiledPresentation> hit = cache_.Get(key)) {
+      response.presentation = std::move(hit);
+      response.cache_hit = true;
+      return response;  // kHealthy: the cache was fresh, nothing degraded
+    }
+    if (std::shared_ptr<const CompiledPresentation> stale = cache_.GetStale(key)) {
+      response.presentation = std::move(stale);
+      response.outcome = ServeOutcome::kDegraded;
+      response.error = std::move(reason);
+      if (obs::Enabled()) {
+        static obs::Counter& degraded = obs::GetCounter("serve.degraded.requests");
+        degraded.Add();
+      }
+      obs::RecordAnomaly("serve.degraded");
+      return response;
+    }
+  }
+  response.outcome = ServeOutcome::kFailed;
+  response.error = std::move(reason);
+  return response;
+}
+
 StatusOr<std::shared_ptr<const CompiledPresentation>> ServeLoop::Handle(
     const ServeRequest& request) {
   ServeResponse response = Serve(request);

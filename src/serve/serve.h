@@ -165,6 +165,14 @@ class ServeLoop {
   // a ServeResponse.
   ServeResponse Serve(const ServeRequest& request);
 
+  // Cache-only serving for work that must not compile — the net layer's
+  // blown-deadline degrade path. A fresh cache hit answers kHealthy; a stale
+  // entry answers kDegraded carrying `reason`; otherwise kFailed with
+  // `reason`. Never runs the pipeline, so it costs microseconds regardless
+  // of load, and ignores enable_degraded (the caller already decided to
+  // degrade — that is the point of calling this).
+  ServeResponse ServeStale(const ServeRequest& request, Status reason);
+
   // Compatibility wrapper over Serve(): the presentation on success (healthy,
   // recovered, or degraded), the error status on failure.
   StatusOr<std::shared_ptr<const CompiledPresentation>> Handle(const ServeRequest& request);

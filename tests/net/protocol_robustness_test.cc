@@ -24,6 +24,7 @@ PresentRequest SampleRequest() {
   request.trace.trace_id = 0x1122334455667788ull;
   request.trace.parent_span_id = 42;
   request.trace.sampled = true;
+  request.deadline_ms = 150;  // exercises the v3 tail in every sweep below
   return request;
 }
 
@@ -65,6 +66,7 @@ TEST(ProtocolTest, RequestRoundTrip) {
   EXPECT_EQ(decoded->trace.trace_id, request.trace.trace_id);
   EXPECT_EQ(decoded->trace.parent_span_id, request.trace.parent_span_id);
   EXPECT_EQ(decoded->trace.sampled, request.trace.sampled);
+  EXPECT_EQ(decoded->deadline_ms, request.deadline_ms);
 }
 
 TEST(ProtocolTest, DefaultRequestRoundTrip) {
@@ -87,7 +89,7 @@ TEST(ProtocolTest, TraceContextEncodingGolden) {
   request.trace.trace_id = 42;
   request.trace.parent_span_id = 7;
   request.trace.sampled = true;
-  std::string encoded = EncodeRequest(request);
+  std::string encoded = EncodeRequest(request, /*version=*/2);
   const std::string expected(
       "\x01"
       "d"
@@ -100,6 +102,70 @@ TEST(ProtocolTest, TraceContextEncodingGolden) {
       "\x01",         // sampled
       9);
   EXPECT_EQ(encoded, expected);
+}
+
+TEST(ProtocolTest, DeadlineEncodingGoldenV3) {
+  // The version-3 layout appends exactly one varint — the relative deadline
+  // — after the v2 fields, so a v3 payload is a v2 payload plus a tail.
+  PresentRequest request;
+  request.document = "d";
+  request.trace.trace_id = 42;
+  request.trace.parent_span_id = 7;
+  request.trace.sampled = true;
+  request.deadline_ms = 300;
+  std::string encoded = EncodeRequest(request, /*version=*/3);
+  const std::string expected(
+      "\x01"
+      "d"
+      "\x00"          // profile ""
+      "\x00"          // channel count 0
+      "\x01"          // want_body
+      "\x01"          // allow_degraded
+      "\x2a"          // trace_id 42
+      "\x07"          // parent_span_id 7
+      "\x01"          // sampled
+      "\xac\x02",     // deadline_ms 300 (LEB128)
+      11);
+  EXPECT_EQ(encoded, expected);
+  // And the v2 rendering of the same request drops the deadline entirely.
+  EXPECT_EQ(EncodeRequest(request, /*version=*/2), expected.substr(0, 9));
+}
+
+TEST(ProtocolTest, VersionedDecodeIsStructural) {
+  // A v3 payload carrying a deadline is trailing garbage to a v2 decoder,
+  // and a v2 payload is truncated to a v3 decoder — version mismatches fail
+  // structurally instead of silently mis-fielding.
+  PresentRequest request = SampleRequest();
+  request.deadline_ms = 25;
+  std::string v3 = EncodeRequest(request, /*version=*/3);
+  EXPECT_EQ(DecodeRequest(v3, /*version=*/2).status().code(), StatusCode::kDataLoss);
+  std::string v2 = EncodeRequest(request, /*version=*/2);
+  EXPECT_EQ(DecodeRequest(v2, /*version=*/3).status().code(), StatusCode::kDataLoss);
+  // Same-version decodes agree on everything but the v3-only field.
+  auto from_v2 = DecodeRequest(v2, /*version=*/2);
+  ASSERT_TRUE(from_v2.ok()) << from_v2.status();
+  EXPECT_EQ(from_v2->deadline_ms, 0);  // dropped by the v2 encoding
+  auto from_v3 = DecodeRequest(v3, /*version=*/3);
+  ASSERT_TRUE(from_v3.ok()) << from_v3.status();
+  EXPECT_EQ(from_v3->deadline_ms, 25);
+  EXPECT_EQ(from_v3->document, from_v2->document);
+}
+
+TEST(ProtocolTest, ResponseShedFieldsRoundTripV3) {
+  PresentResponse response;
+  response.outcome = ServeOutcome::kFailed;
+  response.error = ResourceExhaustedError("scheduler queue full");
+  response.shed = true;
+  response.queue_ms = 12.5;
+  auto decoded = DecodeResponse(EncodeResponse(response, /*version=*/3), /*version=*/3);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->shed);
+  EXPECT_EQ(decoded->queue_ms, 12.5);
+  // The v2 rendering has no shed bit: a legacy client sees a plain failure.
+  auto legacy = DecodeResponse(EncodeResponse(response, /*version=*/2), /*version=*/2);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  EXPECT_FALSE(legacy->shed);
+  EXPECT_EQ(legacy->error.code(), StatusCode::kResourceExhausted);
 }
 
 TEST(ProtocolTest, ResponseServerSpansRoundTrip) {
@@ -125,10 +191,15 @@ TEST(ProtocolRobustnessTest, TraceFieldsWithoutIdAreRejected) {
   // encoder; a decoder that accepted them would let spans dangle.
   PresentRequest request;
   request.document = "d";
-  std::string encoded = EncodeRequest(request);
+  std::string encoded = EncodeRequest(request, /*version=*/2);
   ASSERT_EQ(encoded.back(), '\x00');  // sampled=false
   encoded.back() = '\x01';            // sampled without a trace id
-  EXPECT_EQ(DecodeRequest(encoded).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(DecodeRequest(encoded, /*version=*/2).status().code(), StatusCode::kDataLoss);
+  // Same contract under v3, where the deadline varint trails the trace.
+  std::string v3 = EncodeRequest(request, /*version=*/3);
+  ASSERT_EQ(v3[v3.size() - 2], '\x00');  // sampled=false
+  v3[v3.size() - 2] = '\x01';
+  EXPECT_EQ(DecodeRequest(v3, /*version=*/3).status().code(), StatusCode::kDataLoss);
 }
 
 TEST(ProtocolTest, ResponseRoundTrip) {
@@ -229,10 +300,10 @@ TEST(ProtocolRobustnessTest, OutOfRangeEnumsAreRejected) {
   // Booleans must be exactly 0 or 1, status codes and outcomes in range.
   // The trace sampling bit is the message's last byte.
   PresentRequest request = SampleRequest();
-  std::string encoded = EncodeRequest(request);
+  std::string encoded = EncodeRequest(request, /*version=*/2);
   ASSERT_EQ(encoded.back(), '\x01');  // trace.sampled
   encoded.back() = 7;
-  auto result = DecodeRequest(encoded);
+  auto result = DecodeRequest(encoded, /*version=*/2);
   EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
 }
 
@@ -242,6 +313,76 @@ TEST(ProtocolRobustnessTest, GarbageIsHandledStructurally) {
     EXPECT_EQ(DecodeResponse(garbage).status().code(), StatusCode::kDataLoss);
     Status decoded;
     EXPECT_EQ(DecodeWireStatus(garbage, &decoded).code(), StatusCode::kDataLoss);
+    EXPECT_EQ(DecodeBatchRequest(garbage).status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(ProtocolTest, BatchRoundTrip) {
+  std::vector<PresentRequest> requests;
+  requests.push_back(SampleRequest());
+  PresentRequest second;
+  second.document = "news-1-s1";
+  second.deadline_ms = 20;
+  requests.push_back(second);
+  auto decoded = DecodeBatchRequest(EncodeBatchRequest(requests));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].document, "news-3-s2");
+  EXPECT_EQ((*decoded)[0].deadline_ms, 150);
+  EXPECT_EQ((*decoded)[1].document, "news-1-s1");
+  EXPECT_EQ((*decoded)[1].deadline_ms, 20);
+
+  std::vector<PresentResponse> responses;
+  responses.push_back(SampleResponse());
+  responses.push_back(PresentResponse{});
+  responses[1].shed = true;
+  responses[1].queue_ms = 3.25;
+  auto back = DecodeBatchResponse(EncodeBatchResponse(responses));
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].outcome, ServeOutcome::kDegraded);
+  EXPECT_TRUE((*back)[1].shed);
+  EXPECT_EQ((*back)[1].queue_ms, 3.25);
+}
+
+TEST(ProtocolTest, EmptyBatchRoundTrips) {
+  auto requests = DecodeBatchRequest(EncodeBatchRequest({}));
+  ASSERT_TRUE(requests.ok()) << requests.status();
+  EXPECT_TRUE(requests->empty());
+}
+
+TEST(ProtocolRobustnessTest, BatchCountsAreBoundedBeforeAllocation) {
+  // A claimed count beyond kMaxBatchMessages (or the payload size) fails
+  // fast — a corrupted count byte must not amplify into unbounded work.
+  std::string huge("\xff\xff\xff\xff\x0f", 5);  // count ~4 billion
+  EXPECT_EQ(DecodeBatchRequest(huge).status().code(), StatusCode::kDataLoss);
+  std::string over;
+  over.push_back('\x89');  // varint 1033 > kMaxBatchMessages
+  over.push_back('\x08');
+  over.append(2000, '\x00');
+  EXPECT_EQ(DecodeBatchRequest(over).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ProtocolRobustnessTest, MutatedBatchesNeverMisfield) {
+  std::vector<PresentRequest> requests(3, SampleRequest());
+  std::string encoded = EncodeBatchRequest(requests);
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    std::string mutated = encoded;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xff);
+    auto result = DecodeBatchRequest(mutated);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kDataLoss) << "byte " << i;
+    } else {
+      EXPECT_LE(result->size(), kMaxBatchMessages) << "byte " << i;
+    }
+  }
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    auto result = DecodeBatchRequest(encoded.substr(0, cut));
+    if (cut == 0) {
+      continue;  // zero bytes cannot even carry the count
+    }
+    EXPECT_FALSE(result.ok() && !result->empty() && result->size() != requests.size())
+        << "cut=" << cut;
   }
 }
 

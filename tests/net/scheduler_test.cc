@@ -1,0 +1,192 @@
+// RequestScheduler unit tests on a FakeClock: EDF ordering (earliest
+// absolute deadline first, deadline-free work last, FIFO tiebreak),
+// shed-at-admission for blown deadlines and full queues, expiry marking at
+// dequeue, and the FIFO policy's contract of ignoring deadlines entirely.
+#include "src/net/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fault/clock.h"
+
+namespace cmif {
+namespace net {
+namespace {
+
+// Enqueues a no-op item tagged with `tag`; dequeue order is read back
+// through the shared `order` vector.
+Status Push(RequestScheduler& scheduler, std::int64_t deadline_ms, std::string tag,
+            std::vector<std::string>& order) {
+  return scheduler.Enqueue(deadline_ms, [tag = std::move(tag), &order](
+                                            RequestScheduler::Item&) { order.push_back(tag); });
+}
+
+void RunNext(RequestScheduler& scheduler) {
+  auto item = scheduler.Dequeue();
+  ASSERT_TRUE(item.has_value());
+  item->work(*item);
+}
+
+TEST(SchedulerTest, ParseAndName) {
+  EXPECT_EQ(SchedPolicyName(SchedPolicy::kFifo), "fifo");
+  EXPECT_EQ(SchedPolicyName(SchedPolicy::kEdf), "edf");
+  auto fifo = ParseSchedPolicy("fifo");
+  ASSERT_TRUE(fifo.ok());
+  EXPECT_EQ(*fifo, SchedPolicy::kFifo);
+  auto edf = ParseSchedPolicy("edf");
+  ASSERT_TRUE(edf.ok());
+  EXPECT_EQ(*edf, SchedPolicy::kEdf);
+  EXPECT_EQ(ParseSchedPolicy("lifo").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchedulerTest, FifoPreservesAdmissionOrder) {
+  fault::FakeClock clock;
+  SchedulerOptions options;
+  options.policy = SchedPolicy::kFifo;
+  options.clock = &clock;
+  RequestScheduler scheduler(options);
+  std::vector<std::string> order;
+  ASSERT_TRUE(Push(scheduler, 5, "a", order).ok());
+  ASSERT_TRUE(Push(scheduler, 1, "b", order).ok());
+  ASSERT_TRUE(Push(scheduler, 0, "c", order).ok());
+  RunNext(scheduler);
+  RunNext(scheduler);
+  RunNext(scheduler);
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_FALSE(scheduler.Dequeue().has_value());
+}
+
+TEST(SchedulerTest, EdfOrdersByDeadline) {
+  fault::FakeClock clock;
+  SchedulerOptions options;
+  options.policy = SchedPolicy::kEdf;
+  options.clock = &clock;
+  RequestScheduler scheduler(options);
+  std::vector<std::string> order;
+  ASSERT_TRUE(Push(scheduler, 0, "none", order).ok());     // deadline-free: last
+  ASSERT_TRUE(Push(scheduler, 500, "late", order).ok());
+  ASSERT_TRUE(Push(scheduler, 10, "urgent", order).ok());
+  ASSERT_TRUE(Push(scheduler, 100, "mid", order).ok());
+  for (int i = 0; i < 4; ++i) {
+    RunNext(scheduler);
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"urgent", "mid", "late", "none"}));
+}
+
+TEST(SchedulerTest, EdfBreaksTiesInAdmissionOrder) {
+  fault::FakeClock clock;
+  SchedulerOptions options;
+  options.policy = SchedPolicy::kEdf;
+  options.clock = &clock;
+  RequestScheduler scheduler(options);
+  std::vector<std::string> order;
+  ASSERT_TRUE(Push(scheduler, 50, "first", order).ok());
+  ASSERT_TRUE(Push(scheduler, 50, "second", order).ok());
+  ASSERT_TRUE(Push(scheduler, 50, "third", order).ok());
+  for (int i = 0; i < 3; ++i) {
+    RunNext(scheduler);
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(SchedulerTest, EdfShedsExpiredAtAdmission) {
+  fault::FakeClock clock(1000000);
+  SchedulerOptions options;
+  options.policy = SchedPolicy::kEdf;
+  options.clock = &clock;
+  RequestScheduler scheduler(options);
+  std::vector<std::string> order;
+  // A negative relative deadline means the budget was spent before admission
+  // (e.g. transport time already exceeded the client deadline): EDF refuses
+  // it instead of queueing work nobody is waiting for.
+  Status shed = Push(scheduler, -5, "blown", order);
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(scheduler.stats().shed_expired, 1u);
+  EXPECT_EQ(scheduler.depth(), 0u);
+  // FIFO's contract is to ignore deadlines — the same admission succeeds.
+  SchedulerOptions fifo_options;
+  fifo_options.policy = SchedPolicy::kFifo;
+  fifo_options.clock = &clock;
+  RequestScheduler fifo(fifo_options);
+  EXPECT_TRUE(Push(fifo, -5, "blown", order).ok());
+  EXPECT_EQ(fifo.stats().shed_expired, 0u);
+}
+
+TEST(SchedulerTest, EdfMarksExpiredInQueue) {
+  fault::FakeClock clock;
+  SchedulerOptions options;
+  options.policy = SchedPolicy::kEdf;
+  options.clock = &clock;
+  RequestScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.Enqueue(10, [](RequestScheduler::Item&) {}).ok());
+  clock.AdvanceMicros(50000);  // 50ms later: the 10ms deadline is long gone
+  auto item = scheduler.Dequeue();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_TRUE(item->expired);
+  EXPECT_EQ(item->queue_wait_us, 50000);
+  EXPECT_EQ(scheduler.stats().expired_in_queue, 1u);
+}
+
+TEST(SchedulerTest, FifoNeverMarksExpired) {
+  fault::FakeClock clock;
+  SchedulerOptions options;
+  options.policy = SchedPolicy::kFifo;
+  options.clock = &clock;
+  RequestScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.Enqueue(10, [](RequestScheduler::Item&) {}).ok());
+  clock.AdvanceMicros(50000);
+  auto item = scheduler.Dequeue();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_FALSE(item->expired);  // ignoring deadlines is FIFO's contract
+  EXPECT_EQ(scheduler.stats().expired_in_queue, 0u);
+}
+
+TEST(SchedulerTest, BothPoliciesShedWhenQueueFull) {
+  for (SchedPolicy policy : {SchedPolicy::kFifo, SchedPolicy::kEdf}) {
+    fault::FakeClock clock;
+    SchedulerOptions options;
+    options.policy = policy;
+    options.max_queue_depth = 2;
+    options.clock = &clock;
+    RequestScheduler scheduler(options);
+    ASSERT_TRUE(scheduler.Enqueue(0, [](RequestScheduler::Item&) {}).ok());
+    ASSERT_TRUE(scheduler.Enqueue(0, [](RequestScheduler::Item&) {}).ok());
+    Status full = scheduler.Enqueue(0, [](RequestScheduler::Item&) {});
+    EXPECT_EQ(full.code(), StatusCode::kResourceExhausted) << SchedPolicyName(policy);
+    EXPECT_EQ(scheduler.stats().shed_queue_full, 1u);
+    EXPECT_EQ(scheduler.depth(), 2u);
+  }
+}
+
+TEST(SchedulerTest, QueueWaitIsMeasuredOnTheInjectedClock) {
+  fault::FakeClock clock;
+  SchedulerOptions options;
+  options.policy = SchedPolicy::kEdf;
+  options.clock = &clock;
+  RequestScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.Enqueue(0, [](RequestScheduler::Item&) {}).ok());
+  clock.AdvanceMicros(1234);
+  auto item = scheduler.Dequeue();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->queue_wait_us, 1234);
+  RequestScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.dequeued, 1u);
+  EXPECT_DOUBLE_EQ(stats.total_queue_wait_ms, 1.234);
+}
+
+TEST(SchedulerTest, DepthAndMaxDepthTrack) {
+  RequestScheduler scheduler;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(scheduler.Enqueue(0, [](RequestScheduler::Item&) {}).ok());
+  }
+  EXPECT_EQ(scheduler.depth(), 5u);
+  (void)scheduler.Dequeue();
+  EXPECT_EQ(scheduler.depth(), 4u);
+  EXPECT_EQ(scheduler.stats().max_depth, 5u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cmif

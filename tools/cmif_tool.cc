@@ -18,10 +18,12 @@
 //                   [--seed X] [--cache C | --no-cache] [--faults <plan | level:N>]
 //                                            serve a synthetic Zipf trace concurrently
 //   cmif_tool serve --listen <port> [--host A] [--workers W] [--docs K]
+//                   [--sched fifo|edf] [--max-queue N] [--deadline-ms D]
 //                   [--sample RATE] [--flight] [...]
 //                                            serve over TCP until stdin closes
 //   cmif_tool request --port <port> --doc <name> [--host A] [--profile <name>]
-//                     [--channels a,b] [--no-body] [--retries N] [--trace out.json]
+//                     [--channels a,b] [--no-body] [--retries N] [--deadline-ms D]
+//                     [--trace out.json]
 //                                            fetch one compiled presentation
 //   cmif_tool stats <host:port>              live server telemetry as JSON
 //
@@ -502,12 +504,17 @@ int CmdProfile(const std::vector<std::string>& args) {
 
 // serve [--docs K] [--requests N] [--threads T] [--zipf S] [--seed X]
 //       [--cache C | --no-cache] [--faults <plan | level:N>]
-//       [--listen PORT [--host A] [--workers W]]
+//       [--listen PORT [--host A] [--workers W] [--sched fifo|edf]
+//        [--max-queue N] [--deadline-ms D]]
 // Without --listen: builds a news corpus over one shared descriptor
 // database, replays a deterministic Zipf request trace on a worker pool, and
 // reports throughput, latency percentiles, cache effectiveness and the
 // per-stage histograms. With --listen: exposes the same ServeLoop over the
-// CMIF wire protocol on a TCP port until stdin reaches EOF.
+// CMIF wire protocol on a TCP port until stdin reaches EOF. --sched picks
+// the request scheduler between the reactor and the workers (default fifo);
+// --max-queue caps the scheduler queue (admission beyond it is shed with a
+// structured response); --deadline-ms assigns a default deadline to requests
+// that carry none, so EDF shedding also protects legacy v2 clients.
 int CmdServe(const std::vector<std::string>& args) {
   int docs = 8;
   std::size_t requests = 256;
@@ -558,6 +565,18 @@ int CmdServe(const std::vector<std::string>& args) {
       net_options.port = static_cast<int>(*value);
     } else if (args[i] == "--workers" && (value = long_after(i))) {
       net_options.workers = static_cast<int>(*value);
+    } else if ((args[i] == "--sched" && i + 1 < args.size()) ||
+               args[i].rfind("--sched=", 0) == 0) {
+      std::string name = args[i][7] == '=' ? args[i].substr(8) : args[++i];
+      auto policy = api::ParseSchedPolicy(name);
+      if (!policy.ok()) {
+        return BadFlag("serve: " + std::string(policy.status().message()));
+      }
+      net_options.sched_policy = *policy;
+    } else if (args[i] == "--max-queue" && (value = long_after(i))) {
+      net_options.max_queue_depth = static_cast<std::size_t>(*value);
+    } else if (args[i] == "--deadline-ms" && (value = long_after(i))) {
+      net_options.default_deadline_ms = *value;
     } else if (args[i] == "--sample" && i + 1 < args.size()) {
       std::optional<double> rate = ParseDouble(args[++i]);
       if (!rate || *rate < 0 || *rate > 1) {
@@ -614,7 +633,9 @@ int CmdServe(const std::vector<std::string>& args) {
       return Fail(s);
     }
     std::cout << "listening on " << net_options.host << ":" << server.port() << " ("
-              << docs << " documents, " << net_options.workers << " workers, sample rate "
+              << docs << " documents, " << net_options.workers << " workers, "
+              << api::SchedPolicyName(net_options.sched_policy) << " scheduling, queue "
+              << net_options.max_queue_depth << ", sample rate "
               << net_options.trace_sample_rate
               << (obs::FlightRecorder::Enabled() ? ", flight recorder on" : "") << ")\n"
               << "close stdin (Ctrl-D) to stop\n"
@@ -689,7 +710,7 @@ std::string MergedTraceJson(std::uint64_t trace_id,
 }
 
 // request --port P --doc NAME [--host A] [--profile NAME] [--channels a,b]
-//         [--no-body] [--retries N] [--trace out.json]
+//         [--no-body] [--retries N] [--deadline-ms D] [--trace out.json]
 // One wire round trip against a `serve --listen` server: prints the outcome
 // line, the presentation hash, and (unless --no-body) the canonical
 // presentation text. With --trace, the request carries an always-sampled
@@ -723,6 +744,10 @@ int CmdRequest(const std::vector<std::string>& args) {
       request.want_body = false;
     } else if (args[i] == "--no-degraded") {
       request.allow_degraded = false;
+    } else if (args[i] == "--deadline-ms" && (value = long_after(i))) {
+      // Carried on the wire (v3); an EDF server sheds this request with a
+      // structured response once the budget is blown instead of queueing it.
+      request.deadline_ms = *value;
     } else if (args[i] == "--trace" && i + 1 < args.size()) {
       trace_out = args[++i];
     } else {
@@ -825,9 +850,11 @@ int Usage() {
                " [--metrics out.jsonl] |\n"
                "                  serve [--docs K] [--requests N] [--threads T] [--zipf S]"
                " [--seed X] [--cache C | --no-cache] [--faults <plan | level:N>]"
-               " [--listen PORT [--host A] [--workers W] [--sample RATE] [--flight]] |\n"
+               " [--listen PORT [--host A] [--workers W] [--sched fifo|edf] [--max-queue N]"
+               " [--deadline-ms D] [--sample RATE] [--flight]] |\n"
                "                  request --port P --doc NAME [--host A] [--profile NAME]"
-               " [--channels a,b] [--no-body] [--retries N] [--trace out.json] |\n"
+               " [--channels a,b] [--no-body] [--retries N] [--deadline-ms D]"
+               " [--trace out.json] |\n"
                "                  stats <host:port> [--retries N]>\n";
   return kExitUsage;
 }
