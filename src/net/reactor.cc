@@ -43,7 +43,7 @@ Reactor::Reactor(ReactorOptions options, FrameHandler on_frame, EofHandler on_eo
 Reactor::~Reactor() { Stop(); }
 
 Status Reactor::Start() {
-  if (started_) {
+  if (started_.load(std::memory_order_acquire)) {
     return FailedPreconditionError("reactor already started");
   }
   CMIF_RETURN_IF_ERROR(listener_.Listen(options_.host, options_.port, options_.accept_backlog));
@@ -62,7 +62,10 @@ Status Reactor::Start() {
     return status;
   }
   wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
+  {
+    MutexLock lock(mu_);
+    wake_write_fd_ = pipe_fds[1];
+  }
 
   epoll_event ev{};
   ev.events = EPOLLIN;
@@ -73,7 +76,7 @@ Status Reactor::Start() {
 
   accepting_ = true;
   stopping_ = false;
-  started_ = true;
+  started_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Run(); });
   return Status::Ok();
 }
@@ -85,7 +88,10 @@ void Reactor::StopAccepting() {
 }
 
 void Reactor::Stop(std::int64_t drain_timeout_ms) {
-  if (!started_) {
+  // exchange makes concurrent Stops idempotent: exactly one caller posts the
+  // kStop op and tears down. Late SendFrame/CloseConnection callers still
+  // enqueue safely — PostOp's wake is a no-op once the write end closes.
+  if (!started_.exchange(false, std::memory_order_acq_rel)) {
     return;
   }
   Op op;
@@ -95,6 +101,9 @@ void Reactor::Stop(std::int64_t drain_timeout_ms) {
   if (thread_.joinable()) {
     thread_.join();
   }
+  // Thread ids can be recycled: clear ours after the join so a future thread
+  // that happens to reuse it never passes OnReactorThread().
+  reactor_tid_.store(std::thread::id(), std::memory_order_relaxed);
   listener_.Close();
   if (epoll_fd_ >= 0) {
     ::close(epoll_fd_);
@@ -104,11 +113,13 @@ void Reactor::Stop(std::int64_t drain_timeout_ms) {
     ::close(wake_read_fd_);
     wake_read_fd_ = -1;
   }
-  if (wake_write_fd_ >= 0) {
-    ::close(wake_write_fd_);
-    wake_write_fd_ = -1;
+  {
+    MutexLock lock(mu_);
+    if (wake_write_fd_ >= 0) {
+      ::close(wake_write_fd_);
+      wake_write_fd_ = -1;
+    }
   }
-  started_ = false;
 }
 
 Status Reactor::SendFrame(std::uint64_t conn_id, FrameType type, std::string_view payload,
@@ -160,18 +171,19 @@ Reactor::Stats Reactor::stats() const {
 }
 
 bool Reactor::OnReactorThread() const {
-  return started_ && std::this_thread::get_id() == thread_.get_id();
+  // Compares against the id published by Run() rather than thread_ itself:
+  // thread_ may be concurrently joined by Stop(), and a default id (set
+  // before Run starts / after Stop joins) matches no live thread.
+  return std::this_thread::get_id() == reactor_tid_.load(std::memory_order_relaxed);
 }
 
 void Reactor::PostOp(Op op) {
-  {
-    MutexLock lock(mu_);
-    mailbox_.push_back(std::move(op));
-  }
-  Wake();
-}
-
-void Reactor::Wake() {
+  MutexLock lock(mu_);
+  mailbox_.push_back(std::move(op));
+  // The wake happens under the same lock that guards the fd, so it can never
+  // race Stop()'s close (worst case of the unsynchronized version: a write
+  // to a recycled descriptor). The pipe is O_NONBLOCK; a full pipe already
+  // has a pending wake, so a dropped byte is harmless.
   if (wake_write_fd_ >= 0) {
     char byte = 1;
     [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
@@ -179,6 +191,7 @@ void Reactor::Wake() {
 }
 
 void Reactor::Run() {
+  reactor_tid_.store(std::this_thread::get_id(), std::memory_order_relaxed);
   std::vector<epoll_event> events(128);
   std::vector<std::pair<std::uint64_t, Status>> dead;
   std::int64_t last_sweep_us = NowUs();
@@ -288,6 +301,12 @@ void Reactor::HandleAccept() {
       ++stats_.accept_faults;
       continue;  // socket destructor closes the connection
     }
+    // Non-blocking before anything else: the best-effort reject write below
+    // relies on O_NONBLOCK — a blocking send() here would be the one
+    // syscall that can stall the event loop.
+    if (!socket.SetNonBlocking().ok()) {
+      continue;
+    }
     if (conns_.size() >= options_.max_connections) {
       {
         MutexLock lock(mu_);
@@ -306,9 +325,6 @@ void Reactor::HandleAccept() {
       continue;
     }
     socket.SetNoDelay();
-    if (!socket.SetNonBlocking().ok()) {
-      continue;
-    }
     std::uint64_t id = next_conn_id_++;
     auto conn = std::make_unique<Conn>(std::move(socket));
     conn->id = id;
@@ -338,6 +354,7 @@ void Reactor::HandleReadable(Conn& conn) {
     return;
   }
   char buffer[16384];
+  bool extracted_frame = false;
   for (;;) {
     IoResult io = conn.socket.TryRead(buffer, sizeof(buffer));
     if (io.state == IoResult::State::kWouldBlock) {
@@ -353,11 +370,10 @@ void Reactor::HandleReadable(Conn& conn) {
       MarkDead(conn, io.error);
       return;
     }
+    // No rx_bytes accounting here: the assembler's CountRx (wire.cc) already
+    // counts every consumed byte when a frame completes; adding the raw read
+    // as well would double the reported inbound traffic.
     conn.assembler.Feed(std::string_view(buffer, io.bytes));
-    if (obs::Enabled()) {
-      static obs::Counter& rx_bytes = obs::GetCounter("net.rx_bytes");
-      rx_bytes.Add(static_cast<std::int64_t>(io.bytes));
-    }
     for (;;) {
       StatusOr<std::optional<Frame>> next = conn.assembler.Next();
       if (!next.ok()) {
@@ -374,16 +390,21 @@ void Reactor::HandleReadable(Conn& conn) {
       if (!next->has_value()) {
         break;
       }
+      extracted_frame = true;
       on_frame_(conn.id, std::move(**next));
       if (conn.dead() || conn.desynced || stopping_) {
         return;
       }
     }
   }
-  // Track the age of an incomplete frame for the slow-loris sweep; a clean
-  // frame boundary resets the timer (idle connections are legitimate).
+  // Track the age of an incomplete frame for the slow-loris sweep. Any
+  // complete frame consumed this call re-stamps the timer: a busy pipelined
+  // peer whose read batches keep ending mid-frame is making progress, not
+  // trickling, and must not accumulate age toward the timeout. A clean frame
+  // boundary clears it entirely (idle connections between frames are
+  // legitimate and live forever).
   if (conn.assembler.buffered() > 0) {
-    if (conn.partial_since_us == 0) {
+    if (extracted_frame || conn.partial_since_us == 0) {
       conn.partial_since_us = NowUs();
     }
   } else {

@@ -11,8 +11,10 @@
 // RequestScheduler. Cross-thread calls (SendFrame / CloseConnection from
 // workers, Stop from anywhere) post to a mailbox and wake the loop through a
 // self-pipe; called *from* a handler they apply immediately, preserving
-// same-thread ordering. The mailbox is FIFO, so responses posted in order by
-// the server's per-connection sequencer hit the socket in order.
+// same-thread ordering. The mailbox is FIFO: frames reach the socket in the
+// order SendFrame was called, so a caller that needs responses in request
+// order (the server's per-connection sequencer) must serialize its SendFrame
+// calls — the server holds its sequencer lock across the hand-off.
 //
 // Defenses owned here: a connection cap (excess accepts get a kError frame
 // and an immediate close), the "net.accept" fault site (flaky front end
@@ -24,6 +26,7 @@
 #ifndef SRC_NET_REACTOR_H_
 #define SRC_NET_REACTOR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -145,7 +148,6 @@ class Reactor {
   void DestroyConn(std::uint64_t conn_id, const Status& reason);
   void ApplyOp(Op op);
   void PostOp(Op op) CMIF_EXCLUDES(mu_);
-  void Wake();
   bool OnReactorThread() const;
   void SweepPartialFrames(std::int64_t now_us);
   Status SendFrameLocked(std::uint64_t conn_id, std::string encoded, bool close_after);
@@ -159,9 +161,14 @@ class Reactor {
   ListenSocket listener_;
   int epoll_fd_ = -1;
   int wake_read_fd_ = -1;
-  int wake_write_fd_ = -1;
   std::thread thread_;
-  bool started_ = false;
+  // Atomics so SendFrame/CloseConnection stay safe from any thread even when
+  // racing Stop(): started_ gates re-entry into Stop, reactor_tid_ identifies
+  // the loop thread without touching thread_ (which Stop concurrently joins).
+  // Set at the top of Run(), cleared after the join — a default-constructed
+  // id never matches a live thread.
+  std::atomic<bool> started_{false};
+  std::atomic<std::thread::id> reactor_tid_{};
 
   // Reactor-thread-only state (no lock: single owner).
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
@@ -172,6 +179,10 @@ class Reactor {
 
   mutable Mutex mu_;
   std::vector<Op> mailbox_ CMIF_GUARDED_BY(mu_);
+  // The self-pipe write end is guarded so PostOp's wake can never race the
+  // close in Stop() (worst case a write to a recycled fd); Stop joins the
+  // loop thread before closing it under the lock.
+  int wake_write_fd_ CMIF_GUARDED_BY(mu_) = -1;
   Stats stats_ CMIF_GUARDED_BY(mu_);
 };
 

@@ -145,44 +145,43 @@ std::uint64_t NetServer::AssignSlot(std::uint64_t conn_id) {
 
 void NetServer::CompleteSlot(std::uint64_t conn_id, std::uint64_t slot, FrameType type,
                              std::string payload, std::uint8_t version, bool close_after) {
-  // Everything ready to flush is collected under the lock, then handed to
-  // the reactor outside it (SendFrame takes the reactor's own mailbox lock).
-  std::vector<Slot> ready;
-  bool close_on_drain = false;
-  {
-    MutexLock lock(mu_);
-    auto it = conns_.find(conn_id);
-    if (it == conns_.end()) {
-      return;  // connection died while the request was in flight
-    }
-    ConnState& conn = it->second;
-    if (slot < conn.base_slot) {
-      return;
-    }
-    const std::size_t index = static_cast<std::size_t>(slot - conn.base_slot);
-    if (index >= conn.slots.size()) {
-      return;
-    }
-    Slot& pending = conn.slots[index];
-    pending.ready = true;
-    pending.close_after = close_after;
-    pending.type = type;
-    pending.version = version;
-    pending.payload = std::move(payload);
-    while (!conn.slots.empty() && conn.slots.front().ready) {
-      ready.push_back(std::move(conn.slots.front()));
-      conn.slots.pop_front();
-      ++conn.base_slot;
-    }
-    close_on_drain = conn.eof && conn.slots.empty();
+  // The ready prefix is popped AND handed to the reactor while still holding
+  // mu_. Releasing the lock between the pop and SendFrame would open a race:
+  // a worker completing slot N+1 could post its response to the reactor's
+  // FIFO mailbox before the preempted worker that popped slot N, flushing
+  // responses out of request order (clients match responses positionally —
+  // the protocol has no request ids). SendFrame only takes the reactor's own
+  // mailbox lock and the reactor never acquires mu_ while holding it, so
+  // there is no lock cycle.
+  MutexLock lock(mu_);
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return;  // connection died while the request was in flight
   }
-  for (std::size_t i = 0; i < ready.size(); ++i) {
-    const bool last = i + 1 == ready.size();
-    const bool close = ready[i].close_after || (last && close_on_drain);
+  ConnState& conn = it->second;
+  if (slot < conn.base_slot) {
+    return;
+  }
+  const std::size_t index = static_cast<std::size_t>(slot - conn.base_slot);
+  if (index >= conn.slots.size()) {
+    return;
+  }
+  Slot& pending = conn.slots[index];
+  pending.ready = true;
+  pending.close_after = close_after;
+  pending.type = type;
+  pending.version = version;
+  pending.payload = std::move(payload);
+  while (!conn.slots.empty() && conn.slots.front().ready) {
+    Slot next = std::move(conn.slots.front());
+    conn.slots.pop_front();
+    ++conn.base_slot;
+    // conn.eof && slots.empty() can only hold on the final pop, so this is
+    // the old "close once the pipeline drains after EOF" condition.
+    const bool close = next.close_after || (conn.eof && conn.slots.empty());
     // kNotFound (connection raced away) is not worth propagating: the
     // response had nowhere to go.
-    (void)reactor_->SendFrame(conn_id, ready[i].type, ready[i].payload, ready[i].version,
-                              close);
+    (void)reactor_->SendFrame(conn_id, next.type, next.payload, next.version, close);
   }
 }
 

@@ -22,6 +22,8 @@
 #include "src/base/string_util.h"
 #include "src/fault/fault.h"
 #include "src/net/scheduler.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
 
 namespace cmif {
 namespace net {
@@ -154,6 +156,53 @@ TEST(ReactorServerTest, PipelinedRequestsAnswerInOrder) {
     EXPECT_NE(response->outcome, ServeOutcome::kFailed) << "response " << i;
     // In-order: response i answers request i (hashes cycle with documents).
     EXPECT_EQ(response->presentation_hash, expected_hashes[i]) << "response " << i;
+  }
+  h.server->Stop();
+}
+
+TEST(ReactorServerTest, PipelinedOrderHoldsUnderManyWorkers) {
+  // Regression for a response-ordering race: the per-connection ready-prefix
+  // pop and the reactor hand-off must be one atomic step, or a worker
+  // completing slot N+1 can post its response to the reactor's FIFO mailbox
+  // before the (preempted) worker that popped slot N. Uncached compiles plus
+  // many workers maximize concurrent adjacent completions.
+  NetServerOptions net_options;
+  net_options.workers = 4;
+  net_options.max_queue_depth = 1024;
+  ServeOptions options;
+  options.use_cache = false;  // every request is a real compile
+  Harness h = Harness::Start(4, options, net_options);
+  std::vector<std::uint64_t> hash_by_document;
+  {
+    NetClientOptions client_options;
+    client_options.port = h.server->port();
+    NetClient client(client_options);
+    for (int d = 0; d < 4; ++d) {
+      auto direct = client.Present(HashOnlyRequest(h, d));
+      ASSERT_TRUE(direct.ok()) << direct.status();
+      hash_by_document.push_back(direct->presentation_hash);
+    }
+  }
+  auto socket = ConnectTcp("127.0.0.1", h.server->port(), 30000);
+  ASSERT_TRUE(socket.ok()) << socket.status();
+  constexpr int kPipelined = 64;
+  for (int i = 0; i < kPipelined; ++i) {
+    ASSERT_TRUE(WriteFrame(*socket, FrameType::kRequest,
+                           EncodeRequest(HashOnlyRequest(h, i)))
+                    .ok());
+  }
+  for (int i = 0; i < kPipelined; ++i) {
+    auto frame = ReadFrame(*socket, {});
+    ASSERT_TRUE(frame.ok()) << "response " << i << ": " << frame.status();
+    ASSERT_TRUE(frame->has_value()) << "response " << i;
+    ASSERT_EQ((*frame)->type, FrameType::kResponse) << "response " << i;
+    auto response = DecodeResponse((*frame)->payload, (*frame)->version);
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_NE(response->outcome, ServeOutcome::kFailed) << "response " << i;
+    // Adjacent requests target different documents, so any swap of adjacent
+    // responses flips the hash.
+    EXPECT_EQ(response->presentation_hash, hash_by_document[i % 4])
+        << "response " << i << " answered out of order";
   }
   h.server->Stop();
 }
@@ -317,6 +366,49 @@ TEST(ReactorServerTest, SlowLorisPartialFrameIsDropped) {
   h.server->Stop();
 }
 
+TEST(ReactorServerTest, BusyPipelinedClientIsNotSlowLorisDropped) {
+  // Regression: a pipelined client whose read batches consistently end
+  // mid-frame makes continuous progress yet (before the fix) kept its
+  // original partial-frame timestamp — the timer only cleared when the
+  // assembler buffer emptied — so the sweep dropped an active connection.
+  // Every consumed frame must re-stamp the timer.
+  NetServerOptions net_options;
+  net_options.partial_frame_timeout_ms = 250;
+  Harness h = Harness::Start(1, {}, net_options);
+  auto socket = ConnectTcp("127.0.0.1", h.server->port(), 10000);
+  ASSERT_TRUE(socket.ok());
+  constexpr int kFrames = 8;
+  std::string stream;
+  std::vector<std::size_t> boundaries;  // cumulative end offset of frame i
+  for (int i = 0; i < kFrames; ++i) {
+    stream += EncodeFrame(FrameType::kPing, StrFormat("ping-%d", i));
+    boundaries.push_back(stream.size());
+  }
+  // Send chunks that each END halfway into the next frame: every batch
+  // completes one ping and leaves a partial tail buffered, for a total span
+  // of ~2x the partial-frame timeout. The connection must survive.
+  std::size_t sent = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    const std::size_t end = (i + 1 < kFrames)
+                                ? boundaries[i] + (boundaries[i + 1] - boundaries[i]) / 2
+                                : stream.size();
+    ASSERT_TRUE(
+        socket->WriteAll(std::string_view(stream).substr(sent, end - sent)).ok())
+        << "chunk " << i;
+    sent = end;
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  for (int i = 0; i < kFrames; ++i) {
+    auto pong = ReadFrame(*socket, {});
+    ASSERT_TRUE(pong.ok()) << "pong " << i << ": " << pong.status();
+    ASSERT_TRUE(pong->has_value()) << "pong " << i;
+    EXPECT_EQ((*pong)->type, FrameType::kPong);
+    EXPECT_EQ((*pong)->payload, StrFormat("ping-%d", i));
+  }
+  EXPECT_EQ(h.server->stats().protocol_errors, 0u);
+  h.server->Stop();
+}
+
 TEST(ReactorServerTest, IdleConnectionsAtFrameBoundarySurvive) {
   NetServerOptions net_options;
   net_options.partial_frame_timeout_ms = 100;
@@ -350,6 +442,32 @@ TEST(ReactorServerTest, PartialWriteFaultStillDeliversWholeResponses) {
     ASSERT_TRUE(response.ok()) << response.status();
     EXPECT_NE(response->outcome, ServeOutcome::kFailed);
   }
+  h.server->Stop();
+}
+
+// ---- telemetry -----------------------------------------------------------
+
+TEST(ReactorServerTest, RxBytesCountEachInboundByteOnce) {
+#ifdef CMIF_OBS_DISABLED
+  GTEST_SKIP() << "probes compiled out (-DCMIF_OBS=OFF)";
+#endif
+  // Regression: the reactor's raw-read accounting double-counted net.rx_bytes
+  // (the frame assembler already counts every consumed byte via CountRx).
+  Harness h = Harness::Start(1);
+  auto socket = ConnectTcp("127.0.0.1", h.server->port(), 5000);
+  ASSERT_TRUE(socket.ok());
+  obs::ScopedEnable enable;
+  const std::string ping = EncodeFrame(FrameType::kPing, "count-me-once");
+  const std::int64_t before = obs::GetCounter("net.rx_bytes").value();
+  ASSERT_TRUE(socket->WriteAll(ping).ok());
+  auto pong = ReadFrame(*socket, {});
+  ASSERT_TRUE(pong.ok() && pong->has_value());
+  ASSERT_EQ((*pong)->type, FrameType::kPong);
+  // The server counted the inbound ping once; this test's ReadFrame counted
+  // the inbound pong once. The pong mirrors the ping's payload and version,
+  // so both frames encode to the same size: exactly 2x, not 3x.
+  EXPECT_EQ(obs::GetCounter("net.rx_bytes").value() - before,
+            static_cast<std::int64_t>(2 * ping.size()));
   h.server->Stop();
 }
 
