@@ -66,6 +66,13 @@ StatusOr<PipelineReport> Play(const Document& document, const DescriptorStore& s
 
 using cmif::CompiledPresentation;
 using cmif::MappingCache;
+using cmif::MappingCacheKey;
+// The on-disk second tier behind MappingCache (ServeOptions::cache_dir /
+// `serve --cache-dir`) and the payload codec behind `cmif_tool cache`.
+using cmif::PersistentCache;
+using cmif::PersistentCacheFileName;
+using cmif::SerializeCompiledPresentation;
+using cmif::ParseCompiledPresentation;
 using cmif::ServeCorpus;
 using cmif::ServeDocument;
 using cmif::ServeRequest;

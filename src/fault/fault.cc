@@ -214,6 +214,18 @@ Status ParsePlanEntry(std::string_view entry, FaultPlan& plan) {
     return InvalidArgumentError(
         StrFormat("fault probabilities for site '%s' sum past 1.0", site.c_str()));
   }
+  if (!IsKnownFaultSitePattern(site)) {
+    std::string known;
+    for (std::string_view name : KnownFaultSites()) {
+      if (!known.empty()) {
+        known += ", ";
+      }
+      known += name;
+    }
+    return InvalidArgumentError(StrFormat(
+        "unknown fault site '%s' (the plan would silently do nothing); known sites: %s",
+        site.c_str(), known.c_str()));
+  }
   plan.sites.emplace_back(std::move(site), config);
   return Status::Ok();
 }
@@ -338,7 +350,59 @@ FaultPlan StandardChaosPlan(int level, std::uint64_t seed) {
   net_loris.latency_p = capped(0.02);
   net_loris.latency_ms = 15;
   plan.sites.emplace_back("net.slow_loris", net_loris);
+
+  // Persistent-cache commit path (src/serve/persistent_cache): transient
+  // write/fsync/rename failures abort a commit (the entry stays memory-only),
+  // corrupt writes land rotten bytes on disk that the CRC must catch on
+  // read, and transient reads are served as misses. No stalls — commits run
+  // on the write-behind thread with no ScopedDeadline to clamp them.
+  FaultSiteConfig pcache_write;
+  pcache_write.transient_p = capped(0.02);
+  pcache_write.corrupt_p = capped(0.02);
+  plan.sites.emplace_back("fs.pcache.write", pcache_write);
+  FaultSiteConfig pcache_read;
+  pcache_read.transient_p = capped(0.01);
+  plan.sites.emplace_back("fs.pcache.read", pcache_read);
+  FaultSiteConfig pcache_meta;
+  pcache_meta.transient_p = capped(0.01);
+  plan.sites.emplace_back("fs.pcache.rename", pcache_meta);
+  plan.sites.emplace_back("fs.pcache.fsync", pcache_meta);
   return plan;
+}
+
+const std::vector<std::string_view>& KnownFaultSites() {
+  // Keep in sync with every InjectPoint/InjectDeviceFault/MaybeCorrupt call
+  // site; tests/fault/fault_test.cc cross-checks the StandardChaosPlan
+  // entries against this list.
+  static const std::vector<std::string_view>* const kSites =
+      new std::vector<std::string_view>{
+          "ddbms.block.get",
+          "ddbms.persist.read",
+          "serve.compile",
+          "player.device",  // family: per-channel suffixes at runtime
+          "net.accept",
+          "net.read",
+          "net.write",
+          "net.frame_corrupt",
+          "net.partial_write",
+          "net.slow_loris",
+          "fs.pcache.write",
+          "fs.pcache.read",
+          "fs.pcache.rename",
+          "fs.pcache.fsync",
+      };
+  return *kSites;
+}
+
+bool IsKnownFaultSitePattern(std::string_view pattern) {
+  for (std::string_view site : KnownFaultSites()) {
+    // Covers the site ("net" -> "net.read") or specializes a family
+    // ("player.device.video" under "player.device").
+    if (SitePatternMatches(pattern, site) || SitePatternMatches(site, pattern)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 #ifndef CMIF_FAULT_DISABLED

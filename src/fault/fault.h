@@ -83,6 +83,19 @@ struct FaultPlan {
 // bench/fig12_chaos quotes its acceptance numbers at level 2.
 FaultPlan StandardChaosPlan(int level, std::uint64_t seed = 42);
 
+// Every dotted site name probed anywhere in the tree, in registry order.
+// Families with dynamic suffixes (the per-channel "player.device.<channel>"
+// probes) are listed by their stable prefix.
+const std::vector<std::string_view>& KnownFaultSites();
+
+// True when `pattern` could ever match a real probe: it prefix-covers a
+// registered site ("net" covers "net.read") or specializes a registered
+// family ("player.device.video" specializes "player.device").
+// FaultPlan::Parse rejects patterns this returns false for, so a typo like
+// "ddbms.blok.get" fails loudly instead of silently arming nothing. SetPlan
+// stays unrestricted — tests may probe ad-hoc sites.
+bool IsKnownFaultSitePattern(std::string_view pattern);
+
 #ifdef CMIF_FAULT_DISABLED
 constexpr bool Enabled() { return false; }
 #else

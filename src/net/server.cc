@@ -536,6 +536,16 @@ StatsSnapshot NetServer::Snapshot() const {
   snapshot.cache_stale_hits = static_cast<std::uint64_t>(cache.stale_hits);
   snapshot.cache_evictions = static_cast<std::uint64_t>(cache.evictions);
   snapshot.cache_entries = static_cast<std::uint64_t>(cache.entries);
+  if (PersistentCache* pcache = loop_.pcache()) {
+    const PersistentCache::Stats disk = pcache->stats();
+    snapshot.pcache_enabled = true;
+    snapshot.pcache_hits = disk.hits;
+    snapshot.pcache_misses = disk.misses;
+    snapshot.pcache_writes = disk.writes;
+    snapshot.pcache_quarantined = disk.quarantined;
+    snapshot.pcache_entries = static_cast<std::uint64_t>(disk.entries);
+    snapshot.pcache_disk_bytes = disk.disk_bytes;
+  }
   for (const auto& [site, state] : loop_.breakers().States()) {
     snapshot.breakers.emplace_back(site, static_cast<std::uint8_t>(state));
   }

@@ -82,6 +82,13 @@ std::string EncodeStatsSnapshot(const StatsSnapshot& snapshot) {
   PutVarint64(out, snapshot.cache_stale_hits);
   PutVarint64(out, snapshot.cache_evictions);
   PutVarint64(out, snapshot.cache_entries);
+  PutVarint64(out, snapshot.pcache_enabled ? 1 : 0);
+  PutVarint64(out, snapshot.pcache_hits);
+  PutVarint64(out, snapshot.pcache_misses);
+  PutVarint64(out, snapshot.pcache_writes);
+  PutVarint64(out, snapshot.pcache_quarantined);
+  PutVarint64(out, snapshot.pcache_entries);
+  PutVarint64(out, snapshot.pcache_disk_bytes);
   PutVarint64(out, snapshot.breakers.size());
   for (const auto& [site, state] : snapshot.breakers) {
     PutString(out, site);
@@ -130,6 +137,18 @@ StatusOr<StatsSnapshot> DecodeStatsSnapshot(std::string_view payload) {
   CMIF_ASSIGN_OR_RETURN(s.cache_stale_hits, GetVarint64(payload, &pos));
   CMIF_ASSIGN_OR_RETURN(s.cache_evictions, GetVarint64(payload, &pos));
   CMIF_ASSIGN_OR_RETURN(s.cache_entries, GetVarint64(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t pcache_enabled, GetVarint64(payload, &pos));
+  if (pcache_enabled > 1) {
+    return DataLossError(StrFormat("pcache_enabled flag %llu is not a bool",
+                                   static_cast<unsigned long long>(pcache_enabled)));
+  }
+  s.pcache_enabled = pcache_enabled == 1;
+  CMIF_ASSIGN_OR_RETURN(s.pcache_hits, GetVarint64(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(s.pcache_misses, GetVarint64(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(s.pcache_writes, GetVarint64(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(s.pcache_quarantined, GetVarint64(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(s.pcache_entries, GetVarint64(payload, &pos));
+  CMIF_ASSIGN_OR_RETURN(s.pcache_disk_bytes, GetVarint64(payload, &pos));
   CMIF_ASSIGN_OR_RETURN(std::uint64_t breakers, GetVarint64(payload, &pos));
   if (breakers > kMaxBreakers || breakers > payload.size()) {
     return DataLossError(StrFormat("breaker count %llu exceeds bounds",
@@ -208,6 +227,20 @@ std::string StatsSnapshotJson(const StatsSnapshot& s) {
            obs::JsonNumber(lookups > 0 ? static_cast<double>(s.cache_hits) / lookups : 0.0);
   cache += "}";
   field("mapping_cache", std::move(cache));
+  if (s.pcache_enabled) {
+    std::string pcache = "{";
+    pcache += "\"hits\": " + obs::JsonNumber(static_cast<std::int64_t>(s.pcache_hits));
+    pcache += ", \"misses\": " + obs::JsonNumber(static_cast<std::int64_t>(s.pcache_misses));
+    pcache += ", \"writes\": " + obs::JsonNumber(static_cast<std::int64_t>(s.pcache_writes));
+    pcache +=
+        ", \"quarantined\": " + obs::JsonNumber(static_cast<std::int64_t>(s.pcache_quarantined));
+    pcache += ", \"entries\": " + obs::JsonNumber(static_cast<std::int64_t>(s.pcache_entries));
+    pcache += ", \"disk_bytes\": " + obs::JsonNumber(static_cast<std::int64_t>(s.pcache_disk_bytes));
+    pcache += "}";
+    field("persistent_cache", std::move(pcache));
+  } else {
+    field("persistent_cache", "null");
+  }
   std::string breakers = "{";
   for (std::size_t i = 0; i < s.breakers.size(); ++i) {
     if (i > 0) breakers += ", ";

@@ -63,6 +63,17 @@ struct StatsSnapshot {
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_entries = 0;
 
+  // Persistent (disk-tier) cache health; all zero when the server runs
+  // without --cache-dir (pcache_enabled distinguishes "disabled" from
+  // "enabled but idle").
+  bool pcache_enabled = false;
+  std::uint64_t pcache_hits = 0;
+  std::uint64_t pcache_misses = 0;
+  std::uint64_t pcache_writes = 0;
+  std::uint64_t pcache_quarantined = 0;
+  std::uint64_t pcache_entries = 0;
+  std::uint64_t pcache_disk_bytes = 0;
+
   // Circuit breakers: (site name, state) where state is a
   // fault::BreakerState value (0 closed, 1 open, 2 half-open).
   std::vector<std::pair<std::string, std::uint8_t>> breakers;

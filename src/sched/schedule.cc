@@ -29,6 +29,15 @@ StatusOr<Schedule> Schedule::FromSolve(const TimeGraph& graph,
   return schedule;
 }
 
+Schedule Schedule::FromParts(
+    std::vector<ScheduledEvent> events,
+    std::unordered_map<const Node*, std::pair<MediaTime, MediaTime>> node_times) {
+  Schedule schedule;
+  schedule.events_ = std::move(events);
+  schedule.node_times_ = std::move(node_times);
+  return schedule;
+}
+
 StatusOr<MediaTime> Schedule::BeginOf(const Node& node) const {
   auto it = node_times_.find(&node);
   if (it == node_times_.end()) {
@@ -43,6 +52,13 @@ StatusOr<MediaTime> Schedule::EndOf(const Node& node) const {
     return NotFoundError("node " + node.DisplayPath() + " is not in this schedule");
   }
   return it->second.second;
+}
+
+void Schedule::VisitNodeTimes(
+    const std::function<void(const Node*, MediaTime, MediaTime)>& fn) const {
+  for (const auto& [node, times] : node_times_) {
+    fn(node, times.first, times.second);
+  }
 }
 
 MediaTime Schedule::MakeSpan() const {

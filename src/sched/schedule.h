@@ -4,7 +4,9 @@
 #ifndef SRC_SCHED_SCHEDULE_H_
 #define SRC_SCHED_SCHEDULE_H_
 
+#include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/base/status.h"
@@ -36,6 +38,15 @@ class Schedule {
                                       const std::vector<EventDescriptor>& events,
                                       const SolveResult& solve);
 
+  // Reassembles a schedule from already-solved parts: scheduled events (full
+  // descriptors plus begin/end) and the per-node time table. Used by the
+  // on-disk compiled-presentation cache (src/serve/persistent_cache) to
+  // rebuild a Schedule from its persisted form without re-solving; MakeSpan,
+  // BeginOf/EndOf and ToTimelineRows behave exactly as on the original.
+  static Schedule FromParts(
+      std::vector<ScheduledEvent> events,
+      std::unordered_map<const Node*, std::pair<MediaTime, MediaTime>> node_times);
+
   const std::vector<ScheduledEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
 
@@ -45,6 +56,12 @@ class Schedule {
 
   // Completion time of the whole document.
   MediaTime MakeSpan() const;
+
+  // Visits every (node, begin, end) row of the node time table, in
+  // unspecified order. The persistent cache serializer uses this to persist
+  // the table; everything else should go through BeginOf/EndOf.
+  void VisitNodeTimes(
+      const std::function<void(const Node*, MediaTime, MediaTime)>& fn) const;
 
   // Channel lanes for the Figure 3/10 timeline renderers, in channel
   // definition order. Events are labelled with their node names.

@@ -1,0 +1,219 @@
+// The on-disk second tier behind MappingCache: compiled presentations that
+// survive a process death, so a restarted server warms from disk instead of
+// re-running the pipeline (fig16 measures the gap; fig11 put it at ~196x).
+//
+// The format follows the persist-v2 discipline (versioned header, CRC-32 per
+// entry, structured kDataLoss with byte offsets) but is engineered for crash
+// consistency rather than mere detection:
+//
+//   <dir>/entries/<key>.cpe    committed entries, one file per cache key
+//   <dir>/manifest.journal     append-only commit journal (CRC'd lines)
+//   <dir>/tmp/                 in-flight writes (wiped at Open)
+//   <dir>/quarantine/          corrupt files moved aside, never served
+//
+// Commit protocol: an entry is serialized to tmp/, fsync'd, atomically
+// renamed into entries/, and only then recorded in the manifest journal
+// (followed by a directory fsync). A crash at any point leaves either a tmp
+// leftover (deleted at Open), an un-journaled orphan in entries/ (fully
+// CRC-verified at Open: adopted if intact, quarantined if torn), or a
+// journaled entry (trusted at Open after a cheap header/size check, CRC
+// verified on first read). A torn trailing journal line is tolerated and
+// dropped. Nothing corrupt is ever served: any header mismatch, truncation,
+// CRC failure, or reconstruction mismatch quarantines the file (counted in
+// serve.pcache.quarantined) and the caller recompiles transparently.
+//
+// Keys are the MappingCache tuple (document hash, channel hash, profile,
+// store generation), encoded in the file name and restated in the header.
+// Generation mismatch is the invalidation rule: an entry is only served to
+// the exact catalog state it was compiled against — a lookup under any other
+// generation misses, so catalog mutations orphan old disk entries just as
+// they do in-memory ones. The corpus build is deterministic, so a clean
+// restart reproduces the same generation and the disk tier hits.
+//
+// Writes are write-behind: Put enqueues on a bounded queue drained by one
+// background writer thread (overflow drops the write, counted — the entry
+// just stays memory-only). Get is called with the shared store read lock
+// held (the serve loop's cold path) so reconstruction sees exactly the
+// catalog state named by the key's generation.
+#ifndef SRC_SERVE_PERSISTENT_CACHE_H_
+#define SRC_SERVE_PERSISTENT_CACHE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ddbms/store.h"
+#include "src/doc/document.h"
+#include "src/serve/mapping_cache.h"
+
+namespace cmif {
+
+// Serializes the derived state of a compiled presentation into the canonical
+// entry payload: map bindings, full filter plans, schedule feasibility,
+// events with begin/end times, the per-node time table, dropped arcs and
+// conflicts. Everything SerializePresentation reads round-trips, so a
+// reconstructed entry is byte-identical on the wire (PresentationHash
+// equality is the contract, asserted by tests and the crash harness).
+std::string SerializeCompiledPresentation(const CompiledPresentation& compiled);
+
+// Rebuilds a compiled presentation from `payload`. The document and store
+// must be the ones the entry was compiled from (the key's hashes and
+// generation guarantee this at the call site): node display paths resolve
+// against the document tree and event descriptors are regenerated with
+// CollectEvents, cross-checked field by field against the persisted events.
+// Any mismatch is kDataLoss — treated as corruption by the cache. The
+// SolveResult inside the returned ScheduleResult carries only the
+// feasibility flag; raw solver point times are not persisted (nothing on the
+// serve path reads them).
+StatusOr<CompiledPresentation> ParseCompiledPresentation(std::string_view payload,
+                                                         const Document& document,
+                                                         const DescriptorStore& store);
+
+// The persistent cache. Thread-safe: the index and stats sit behind one
+// mutex; file reads and parses run outside it. One process owns a cache
+// directory at a time (single-writer; the index is loaded at Open and not
+// re-scanned).
+class PersistentCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;          // entry read, verified, reconstructed
+    std::uint64_t misses = 0;        // no committed entry for the key
+    std::uint64_t writes = 0;        // entries committed to disk
+    std::uint64_t write_errors = 0;  // commits aborted (I/O or fault injection)
+    std::uint64_t read_errors = 0;   // reads failed transiently (served as miss)
+    std::uint64_t quarantined = 0;   // corrupt files moved to quarantine/
+    std::uint64_t dropped_writes = 0;  // write-behind queue overflow
+    std::uint64_t journal_torn = 0;  // journal lines dropped at Open
+    std::uint64_t orphans_adopted = 0;  // un-journaled entries verified at Open
+    std::uint64_t bytes_written = 0;
+    std::uint64_t bytes_read = 0;
+    std::size_t entries = 0;       // committed entries in the index
+    std::uint64_t disk_bytes = 0;  // committed entry bytes on disk
+    double open_recovery_ms = 0;   // wall time of the last Open recovery scan
+  };
+
+  struct Options {
+    // Write-behind queue bound; a Put past it is dropped (counted).
+    std::size_t max_pending_writes = 256;
+  };
+
+  // One committed entry, as reported by List/Verify (operator tooling).
+  struct EntryInfo {
+    std::string file;  // file name within entries/
+    std::uint64_t document_hash = 0;
+    std::uint64_t channel_hash = 0;
+    std::uint64_t store_generation = 0;
+    std::string profile;
+    std::uint64_t bytes = 0;  // payload bytes
+    bool journaled = false;
+  };
+
+  struct VerifyReport {
+    std::size_t checked = 0;
+    std::size_t ok = 0;
+    std::vector<std::string> corrupt;  // file name: reason
+  };
+
+  // Opens (creating if needed) a cache directory and runs crash recovery:
+  // wipes tmp/, replays the manifest journal (tolerating a torn tail),
+  // verifies orphans, and builds the in-memory index. Fails only on
+  // unusable directories — corrupt entries are quarantined, never an error.
+  static StatusOr<std::unique_ptr<PersistentCache>> Open(std::string dir, Options options);
+  static StatusOr<std::unique_ptr<PersistentCache>> Open(std::string dir) {
+    return Open(std::move(dir), Options());
+  }
+
+  ~PersistentCache();
+  PersistentCache(const PersistentCache&) = delete;
+  PersistentCache& operator=(const PersistentCache&) = delete;
+
+  // nullptr on miss or on any failure (transient read errors count as
+  // misses; corruption quarantines the entry). On success the returned
+  // presentation references nodes of `document`, exactly like a fresh
+  // compile. Call with the shared store read lock held.
+  std::shared_ptr<const CompiledPresentation> Get(const MappingCacheKey& key,
+                                                  const Document& document,
+                                                  const DescriptorStore& store);
+
+  // Enqueues a write-behind commit of `compiled` under `key`. Returns false
+  // when the queue is full and the write was dropped.
+  bool Put(const MappingCacheKey& key, std::shared_ptr<const CompiledPresentation> compiled);
+
+  // Blocks until every enqueued write has committed (or failed).
+  void Flush();
+
+  Stats stats() const;
+  const std::string& dir() const { return dir_; }
+
+  // Operator tooling (cmif_tool cache {ls,verify,purge}); all static so the
+  // tool never has to take ownership of a live cache.
+  static StatusOr<std::vector<EntryInfo>> List(const std::string& dir);
+  // Read-only full verification: header, size and CRC of every entry file
+  // (committed or not). Never moves files.
+  static StatusOr<VerifyReport> Verify(const std::string& dir);
+  // Deletes entries, journal, tmp and quarantined files. The directory
+  // itself is kept.
+  static Status Purge(const std::string& dir);
+
+  // Deterministic kill-9 hook for the crash harness: the process raises
+  // SIGKILL at the `after`-th arrival at `point` on the writer thread.
+  // Points: "entry.partial" (half the entry bytes written), "entry.pre_fsync",
+  // "entry.pre_rename", "journal.pre_append", "journal.partial" (half the
+  // journal line written). An empty point disarms. Also armed by the
+  // CMIF_PCACHE_CRASH environment variable ("<point>:<n>"), read at Open.
+  static void SetCrashPlanForTest(std::string point, int after);
+
+ private:
+  PersistentCache(std::string dir, Options options);
+
+  struct IndexEntry {
+    std::string file;
+    std::uint64_t bytes = 0;  // payload bytes
+    std::uint32_t crc = 0;
+  };
+
+  struct PendingWrite {
+    MappingCacheKey key;
+    std::shared_ptr<const CompiledPresentation> compiled;
+  };
+
+  Status Recover();
+  void WriterLoop();
+  // Serializes and commits one entry; returns the committed payload size.
+  Status CommitEntry(const PendingWrite& write);
+  // Moves entries/<file> to quarantine/ and drops it from the index.
+  void Quarantine(const std::string& file, const Status& reason);
+
+  std::string dir_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, IndexEntry> index_;  // file name -> entry
+  Stats stats_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<PendingWrite> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::thread writer_;
+};
+
+// The canonical entry file name for a key: encodes every key field, so a
+// lookup is a single index probe and `cache ls` can report keys without
+// reading payloads.
+std::string PersistentCacheFileName(const MappingCacheKey& key);
+
+}  // namespace cmif
+
+#endif  // SRC_SERVE_PERSISTENT_CACHE_H_

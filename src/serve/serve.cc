@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "src/base/logging.h"
 #include "src/base/random.h"
 #include "src/base/string_util.h"
 #include "src/base/thread_pool.h"
@@ -131,6 +132,9 @@ std::string ServeStats::Summary() const {
   out += StrFormat("  cache %llu hits / %llu misses (%.1f%% hit rate)\n",
                    static_cast<unsigned long long>(cache_hits),
                    static_cast<unsigned long long>(cache_misses), hit_pct);
+  if (pcache_hits > 0) {
+    out += StrFormat("  disk cache %llu hits\n", static_cast<unsigned long long>(pcache_hits));
+  }
   return out;
 }
 
@@ -138,7 +142,19 @@ ServeLoop::ServeLoop(ServeCorpus& corpus, ServeOptions options)
     : corpus_(corpus),
       options_(std::move(options)),
       cache_(options_.cache_capacity),
-      breakers_(options_.compile_breaker) {}
+      breakers_(options_.compile_breaker) {
+  if (!options_.cache_dir.empty()) {
+    StatusOr<std::unique_ptr<PersistentCache>> opened = PersistentCache::Open(options_.cache_dir);
+    if (opened.ok()) {
+      pcache_ = std::move(*opened);
+    } else {
+      // Serving works memory-only; the disk tier is an accelerator, never a
+      // dependency. The reason stays queryable via pcache_status().
+      pcache_status_ = opened.status();
+      CMIF_LOG(kWarning) << "persistent cache disabled: " << pcache_status_.message();
+    }
+  }
+}
 
 ServeResponse ServeLoop::Serve(const ServeRequest& request) {
   ServeResponse response;
@@ -167,6 +183,26 @@ ServeResponse ServeLoop::Serve(const ServeRequest& request) {
       span.Annotate("cache", "hit");
       response.presentation = std::move(hit);
       response.cache_hit = true;
+      return response;
+    }
+  }
+  // Memory miss: fall through to the disk tier before paying for a compile.
+  // The read lock pins the catalog state, and the generation re-read under it
+  // names that state exactly — the same discipline as the compile path — so
+  // a reconstructed entry can never alias a newer catalog. A disk hit skips
+  // the breaker gate: it runs no pipeline, so there is nothing to protect.
+  if (options_.use_cache && pcache_ != nullptr) {
+    std::shared_ptr<const CompiledPresentation> disk = corpus_.store().WithRead(
+        [&](const DescriptorStore& store) -> std::shared_ptr<const CompiledPresentation> {
+          key.store_generation = corpus_.store().generation();
+          return pcache_->Get(key, doc.document, store);
+        });
+    if (disk != nullptr) {
+      cache_.Put(key, disk);  // promote: the next lookup is a memory hit
+      span.Annotate("cache", "disk-hit");
+      response.presentation = std::move(disk);
+      response.cache_hit = true;
+      response.disk_hit = true;
       return response;
     }
   }
@@ -254,6 +290,9 @@ ServeResponse ServeLoop::Serve(const ServeRequest& request) {
   // re-enters the cache under the current generation's key.
   if (options_.use_cache) {
     cache_.Put(key, *compiled);
+    if (pcache_ != nullptr) {
+      pcache_->Put(key, *compiled);  // write-behind; drops are counted
+    }
   }
   response.presentation = *compiled;
   return response;
@@ -315,6 +354,7 @@ StatusOr<ServeStats> ServeLoop::Run(const std::vector<ServeRequest>& trace) {
   };
 
   MappingCache::Stats cache_before = cache_.stats();
+  std::uint64_t pcache_hits_before = pcache_ != nullptr ? pcache_->stats().hits : 0;
   std::uint64_t opens_before = breakers_.TotalOpens();
   std::atomic<std::size_t> cursor{0};
   auto worker = [&]() {
@@ -398,6 +438,11 @@ StatusOr<ServeStats> ServeLoop::Run(const std::vector<ServeRequest>& trace) {
   MappingCache::Stats cache_after = cache_.stats();
   stats.cache_hits = cache_after.hits - cache_before.hits;
   stats.cache_misses = cache_after.misses - cache_before.misses;
+  if (pcache_ != nullptr) {
+    // A disk hit is counted as a memory miss plus a pcache hit — the tiers
+    // report independently, so hit rates stay interpretable per tier.
+    stats.pcache_hits = pcache_->stats().hits - pcache_hits_before;
+  }
   std::sort(latencies.begin(), latencies.end());
   stats.p50_ms = PercentileOfSorted(latencies, 50);
   stats.p95_ms = PercentileOfSorted(latencies, 95);

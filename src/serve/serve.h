@@ -22,6 +22,7 @@
 #include "src/fault/retry.h"
 #include "src/present/capability.h"
 #include "src/serve/mapping_cache.h"
+#include "src/serve/persistent_cache.h"
 
 namespace cmif {
 
@@ -84,6 +85,12 @@ struct ServeOptions {
   std::uint64_t seed = 1;
   std::size_t cache_capacity = 128;
   bool use_cache = true;
+  // When non-empty, an on-disk second tier (src/serve/persistent_cache)
+  // behind the memory cache: misses fall through to disk before compiling
+  // (promoting hits into memory), fresh compiles are written behind. The
+  // directory is opened at ServeLoop construction; an unusable directory is
+  // recorded in ServeLoop::pcache_status() and serving continues memory-only.
+  std::string cache_dir;
   // Profiles requests are served against, chosen uniformly per request.
   std::vector<SystemProfile> profiles = {WorkstationProfile(), PersonalSystemProfile()};
   // Recovery ladder around the compile path. Retries apply to kUnavailable
@@ -122,6 +129,7 @@ struct ServeResponse {
   ServeOutcome outcome = ServeOutcome::kHealthy;
   int attempts = 1;   // compile attempts consumed (1 on cache hits)
   bool cache_hit = false;
+  bool disk_hit = false;  // the hit came from the persistent tier
   Status error;       // the compile error behind kDegraded / kFailed
 
   // True when the client got a presentation, healthy or not.
@@ -141,6 +149,7 @@ struct ServeStats {
   std::uint64_t breaker_opens = 0;  // compile-breaker opens during the run
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t pcache_hits = 0;  // disk-tier hits (included in cache_hits)
   double wall_ms = 0;
   double throughput_rps = 0;
   // Per-request latency percentiles (milliseconds).
@@ -185,10 +194,17 @@ class ServeLoop {
   const ServeOptions& options() const { return options_; }
   const ServeCorpus& corpus() const { return corpus_; }
 
+  // The disk tier; nullptr when cache_dir is empty or Open failed.
+  PersistentCache* pcache() { return pcache_.get(); }
+  // Why the disk tier is absent (Ok when present or never requested).
+  const Status& pcache_status() const { return pcache_status_; }
+
  private:
   ServeCorpus& corpus_;
   ServeOptions options_;
   MappingCache cache_;
+  std::unique_ptr<PersistentCache> pcache_;
+  Status pcache_status_;
   // Per-document compile breakers (keyed by document name).
   fault::BreakerSet breakers_;
 };

@@ -37,12 +37,62 @@ TEST(FaultPlanTest, ParseFullSpec) {
 }
 
 TEST(FaultPlanTest, ParseRejectsBadSpecs) {
+  // Known sites throughout, so each spec is rejected for the reason under
+  // test rather than tripping the unknown-site check first.
   EXPECT_FALSE(FaultPlan::Parse("no-colon-here").ok());
-  EXPECT_FALSE(FaultPlan::Parse("site:mystery=0.5").ok());
-  EXPECT_FALSE(FaultPlan::Parse("site:transient=1.5").ok());
-  EXPECT_FALSE(FaultPlan::Parse("site:transient=0.6,latency=0.6").ok());  // sum > 1
-  EXPECT_FALSE(FaultPlan::Parse("site:latency=0.5@-3ms").ok());
+  EXPECT_FALSE(FaultPlan::Parse("serve.compile:mystery=0.5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("serve.compile:transient=1.5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("serve.compile:transient=0.6,latency=0.6").ok());  // sum > 1
+  EXPECT_FALSE(FaultPlan::Parse("serve.compile:latency=0.5@-3ms").ok());
   EXPECT_FALSE(FaultPlan::Parse(":transient=0.5").ok());  // empty site
+}
+
+TEST(FaultPlanTest, ParseRejectsUnknownSites) {
+  // A typo'd site would silently arm nothing; Parse must fail loudly and
+  // name the known registry in the error.
+  auto plan = FaultPlan::Parse("ddbms.blok.get:transient=0.5");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(plan.status().message().find("unknown fault site 'ddbms.blok.get'"),
+            std::string::npos)
+      << plan.status();
+  EXPECT_NE(plan.status().message().find("ddbms.block.get"), std::string::npos) << plan.status();
+  // One bad entry poisons the whole spec, even when others are valid.
+  EXPECT_FALSE(FaultPlan::Parse("serve.compile:transient=0.1;nope.nope:transient=0.1").ok());
+  // A registered site that merely prefix-shares a name is not a match.
+  EXPECT_FALSE(FaultPlan::Parse("serve.compiler:transient=0.1").ok());
+}
+
+TEST(FaultPlanTest, ParseAcceptsPrefixAndFamilyPatterns) {
+  // Prefix patterns cover whole subsystems ("net" arms every net.* probe).
+  EXPECT_TRUE(FaultPlan::Parse("net:transient=0.1").ok());
+  EXPECT_TRUE(FaultPlan::Parse("fs.pcache:transient=0.1").ok());
+  // Family specialization: "player.device" is registered as a family root,
+  // so per-channel specializations under it are real probes.
+  EXPECT_TRUE(FaultPlan::Parse("player.device:transient=0.1").ok());
+  EXPECT_TRUE(FaultPlan::Parse("player.device.video:transient=0.1").ok());
+  // Exact new pcache sites round-trip too.
+  EXPECT_TRUE(FaultPlan::Parse("fs.pcache.write:corrupt=0.2").ok());
+  EXPECT_TRUE(FaultPlan::Parse("fs.pcache.rename:transient=0.1").ok());
+}
+
+TEST(FaultPlanTest, KnownFaultSiteRegistry) {
+  const std::vector<std::string_view>& sites = KnownFaultSites();
+  ASSERT_FALSE(sites.empty());
+  for (std::string_view site : sites) {
+    EXPECT_TRUE(IsKnownFaultSitePattern(site)) << site;
+  }
+  EXPECT_FALSE(IsKnownFaultSitePattern(""));
+  EXPECT_FALSE(IsKnownFaultSitePattern("fs.pcache.writes"));
+#ifndef CMIF_FAULT_DISABLED
+  // SetPlan stays unrestricted: tests may arm ad-hoc sites directly.
+  FaultPlan adhoc;
+  FaultSiteConfig config;
+  config.transient_p = 1;
+  adhoc.sites.emplace_back("totally.made.up", config);
+  ScopedPlan scoped(adhoc);
+  EXPECT_EQ(InjectPoint("totally.made.up").code(), StatusCode::kUnavailable);
+#endif
 }
 
 TEST(FaultPlanTest, ToStringRoundTrips) {

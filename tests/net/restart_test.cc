@@ -1,0 +1,120 @@
+// End-to-end crash-recovery shape over a real loopback socket: fill the
+// persistent cache through one server, stop it, start a second server over
+// the same --cache-dir, and require byte-identical responses served from
+// the disk tier (pcache hits visible in the stats frame).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/cmif.h"
+
+namespace cmif {
+namespace net {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Harness {
+  std::unique_ptr<ServeCorpus> corpus;
+  std::unique_ptr<ServeLoop> loop;
+  std::unique_ptr<NetServer> server;
+
+  static Harness Start(int documents, ServeOptions options) {
+    Harness h;
+    auto corpus = api::BuildNewsCorpus(documents);
+    EXPECT_TRUE(corpus.ok()) << corpus.status();
+    h.corpus = std::move(corpus).value();
+    options.threads = 2;
+    h.loop = std::make_unique<ServeLoop>(*h.corpus, options);
+    EXPECT_TRUE(h.loop->pcache_status().ok()) << h.loop->pcache_status();
+    h.server = std::make_unique<NetServer>(*h.loop);
+    Status started = h.server->Start();
+    EXPECT_TRUE(started.ok()) << started;
+    return h;
+  }
+
+  NetClient Client() const {
+    NetClientOptions options;
+    options.port = server->port();
+    return NetClient(options);
+  }
+};
+
+TEST(RestartTest, WarmRestartServesByteIdenticalFromDisk) {
+  const int kDocuments = 3;
+  fs::path dir = fs::path(::testing::TempDir()) / "pcache_restart_e2e";
+  fs::remove_all(dir);
+  ServeOptions options;
+  options.cache_dir = dir.string();
+
+  // Run 1: cold server. Every presentation compiles, then lands on disk.
+  std::vector<std::string> documents;
+  std::vector<std::uint64_t> hashes;
+  {
+    Harness h = Harness::Start(kDocuments, options);
+    NetClient client = h.Client();
+    for (int i = 0; i < kDocuments; ++i) {
+      PresentRequest request;
+      request.document = h.corpus->document(i).name;
+      request.profile = "workstation";
+      auto response = client.Present(request);
+      ASSERT_TRUE(response.ok()) << response.status();
+      ASSERT_EQ(response->outcome, ServeOutcome::kHealthy);
+      EXPECT_FALSE(response->cache_hit);
+      documents.push_back(request.document);
+      hashes.push_back(response->presentation_hash);
+    }
+    auto stats = client.FetchStats();
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_TRUE(stats->pcache_enabled);
+    EXPECT_EQ(stats->pcache_hits, 0u);
+    h.loop->pcache()->Flush();  // write-behind: drain before "crashing"
+    h.server->Stop();
+  }
+
+  // Run 2: a new server process-equivalent over the same directory. The
+  // memory cache is empty; every first request must be a disk hit with the
+  // exact bytes of run 1.
+  Harness h = Harness::Start(kDocuments, options);
+  NetClient client = h.Client();
+  for (int i = 0; i < kDocuments; ++i) {
+    PresentRequest request;
+    request.document = documents[i];
+    request.profile = "workstation";
+    auto response = client.Present(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_EQ(response->outcome, ServeOutcome::kHealthy);
+    EXPECT_TRUE(response->cache_hit) << documents[i];
+    EXPECT_EQ(response->presentation_hash, hashes[i]) << documents[i];
+  }
+  auto stats = client.FetchStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->pcache_enabled);
+  EXPECT_EQ(stats->pcache_hits, static_cast<std::uint64_t>(kDocuments));
+  EXPECT_EQ(stats->pcache_entries, static_cast<std::uint64_t>(kDocuments));
+  EXPECT_EQ(stats->pcache_quarantined, 0u);
+  EXPECT_GT(stats->pcache_disk_bytes, 0u);
+  h.server->Stop();
+}
+
+TEST(RestartTest, UnusableCacheDirDegradesToMemoryOnly) {
+  // A cache_dir that cannot be created must not take the server down.
+  ServeOptions options;
+  options.threads = 1;
+  options.cache_dir = "/proc/definitely/not/writable";
+  auto corpus = api::BuildNewsCorpus(1);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  ServeLoop loop(**corpus, options);
+  EXPECT_EQ(loop.pcache(), nullptr);
+  EXPECT_FALSE(loop.pcache_status().ok());
+  ServeResponse response = loop.Serve(ServeRequest{});
+  EXPECT_TRUE(response.served());
+  EXPECT_FALSE(response.disk_hit);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cmif

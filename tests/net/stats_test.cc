@@ -38,6 +38,13 @@ StatsSnapshot SampleSnapshot() {
   snapshot.cache_stale_hits = 7;
   snapshot.cache_evictions = 6;
   snapshot.cache_entries = 34;
+  snapshot.pcache_enabled = true;
+  snapshot.pcache_hits = 55;
+  snapshot.pcache_misses = 21;
+  snapshot.pcache_writes = 44;
+  snapshot.pcache_quarantined = 2;
+  snapshot.pcache_entries = 42;
+  snapshot.pcache_disk_bytes = 123456;
   snapshot.breakers = {{"site-a", 0}, {"site-b", 1}, {"site-c", 2}};
   snapshot.breaker_opens = 9;
   snapshot.anomalies = 11;
@@ -71,6 +78,13 @@ TEST(StatsSnapshotTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(decoded->cache_stale_hits, snapshot.cache_stale_hits);
   EXPECT_EQ(decoded->cache_evictions, snapshot.cache_evictions);
   EXPECT_EQ(decoded->cache_entries, snapshot.cache_entries);
+  EXPECT_EQ(decoded->pcache_enabled, snapshot.pcache_enabled);
+  EXPECT_EQ(decoded->pcache_hits, snapshot.pcache_hits);
+  EXPECT_EQ(decoded->pcache_misses, snapshot.pcache_misses);
+  EXPECT_EQ(decoded->pcache_writes, snapshot.pcache_writes);
+  EXPECT_EQ(decoded->pcache_quarantined, snapshot.pcache_quarantined);
+  EXPECT_EQ(decoded->pcache_entries, snapshot.pcache_entries);
+  EXPECT_EQ(decoded->pcache_disk_bytes, snapshot.pcache_disk_bytes);
   EXPECT_EQ(decoded->breakers, snapshot.breakers);
   EXPECT_EQ(decoded->breaker_opens, snapshot.breaker_opens);
   EXPECT_EQ(decoded->anomalies, snapshot.anomalies);
@@ -146,6 +160,16 @@ TEST(StatsSnapshotTest, JsonRendersHeadlineFields) {
   EXPECT_NE(json.find("\"site-b\": \"open\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"site-c\": \"half-open\""), std::string::npos) << json;
   EXPECT_NE(json.find("hit_rate"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"persistent_cache\": {"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"quarantined\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"disk_bytes\": 123456"), std::string::npos) << json;
+}
+
+TEST(StatsSnapshotTest, JsonRendersNullPcacheWhenDisabled) {
+  StatsSnapshot snapshot = SampleSnapshot();
+  snapshot.pcache_enabled = false;
+  std::string json = StatsSnapshotJson(snapshot);
+  EXPECT_NE(json.find("\"persistent_cache\": null"), std::string::npos) << json;
 }
 
 }  // namespace

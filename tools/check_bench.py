@@ -36,6 +36,13 @@ Knobs (flag wins over env, env over default):
         under a flood far past capacity the EDF scheduler must actually
         shed. A zero shed rate means admission control silently stopped
         engaging — overload then reappears as unbounded tail latency.
+  --min-restart-speedup / CMIF_MIN_RESTART_SPEEDUP
+        floor for fig16_restart.restart_speedup in the CURRENT run
+        (default 10): a warm restart over a populated persistent cache
+        must serve the Zipf trace at least this many times faster than
+        cold compiles. Below the floor the disk tier has stopped paying
+        for itself — reads failing verification and silently recompiling
+        look healthy everywhere except here.
   CMIF_SKIP_BENCH_GATE=1               report but always exit 0; escape
         hatch for PRs that intentionally trade wall time for a feature —
         use it in the workflow env and say why in the PR description.
@@ -92,6 +99,10 @@ def main():
                         default=env_float("CMIF_MIN_SHED_RATE", 0.001),
                         help="floor for fig13_net.shed_rate under the"
                              " overload flood (default 0.001)")
+    parser.add_argument("--min-restart-speedup", type=float,
+                        default=env_float("CMIF_MIN_RESTART_SPEEDUP", 10.0),
+                        help="floor for fig16_restart.restart_speedup"
+                             " (default 10)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -181,11 +192,29 @@ def main():
         print("  [absent ] fig13_net.shed_rate: "
               "not in current run, shed floor not gated")
 
+    # Absolute restart budget: fig16 replays the serving trace against a
+    # fresh process over a populated persistent cache. The speedup floor is
+    # the whole point of the disk tier — gated on the current run alone.
+    restart_violations = []
+    speedup = current.get("fig16_restart", {}).get("restart_speedup")
+    if isinstance(speedup, (int, float)):
+        tag = "ok"
+        if speedup < args.min_restart_speedup:
+            tag = "REGRESS"
+            restart_violations.append(speedup)
+        print(f"  [{tag:<7}] fig16_restart.restart_speedup: "
+              f"x{speedup:.2f} (floor x{args.min_restart_speedup:g})")
+    else:
+        print("  [absent ] fig16_restart.restart_speedup: "
+              "not in current run, restart floor not gated")
+
     print(f"check_bench: {compared} timings compared, "
           f"{len(regressions)} over the {args.threshold:g}% threshold, "
           f"{len(overhead_violations)} obs-budget violations, "
-          f"{len(overload_violations)} overload-budget violations")
-    failures = bool(regressions or overhead_violations or overload_violations)
+          f"{len(overload_violations)} overload-budget violations, "
+          f"{len(restart_violations)} restart-budget violations")
+    failures = bool(regressions or overhead_violations or overload_violations
+                    or restart_violations)
     if failures and os.environ.get("CMIF_SKIP_BENCH_GATE") == "1":
         print("check_bench: CMIF_SKIP_BENCH_GATE=1 set — reporting only")
         return 0

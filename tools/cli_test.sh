@@ -111,6 +111,58 @@ check "server exits 0 after stdin closes" 0 $?
 "$TOOL" request --port "${port:-1}" --doc news-0-s1 --retries 1 >/dev/null 2>&1
 check "request against a dead server exits 1" 1 $?
 
+# --- persistent cache: serve --cache-dir and the cache subcommand ----------
+"$TOOL" cache >/dev/null 2>&1
+check "cache without arguments exits 2" 2 $?
+
+"$TOOL" cache frob pcache >/dev/null 2>&1
+check "unknown cache verb exits 2" 2 $?
+
+"$TOOL" serve --docs 2 --requests 16 --threads 1 --cache-dir pcache >serve_disk.out 2>&1
+check "serve --cache-dir exits 0" 0 $?
+grep -q "disk cache at" serve_disk.out || {
+  echo "FAIL: serve --cache-dir did not report the disk tier" >&2
+  failures=$((failures + 1))
+}
+
+"$TOOL" cache ls pcache >cache_ls.out 2>&1
+check "cache ls exits 0" 0 $?
+grep -q "entries," cache_ls.out || {
+  echo "FAIL: cache ls did not print an entry summary" >&2
+  failures=$((failures + 1))
+}
+grep -qv "^0 entries" cache_ls.out || {
+  echo "FAIL: serve --cache-dir left no entries behind" >&2
+  failures=$((failures + 1))
+}
+
+"$TOOL" cache verify pcache >/dev/null 2>&1
+check "cache verify on a healthy directory exits 0" 0 $?
+
+# Damage one entry: verify must exit 1 and name it, without moving files.
+victim="$(ls pcache/entries | head -1)"
+printf x >>"pcache/entries/$victim"
+"$TOOL" cache verify pcache >verify.out 2>&1
+check "cache verify with a corrupt entry exits 1" 1 $?
+grep -q "corrupt: $victim" verify.out || {
+  echo "FAIL: cache verify did not name the corrupt entry" >&2
+  failures=$((failures + 1))
+}
+[ -f "pcache/entries/$victim" ] || {
+  echo "FAIL: cache verify moved a file (must be read-only)" >&2
+  failures=$((failures + 1))
+}
+
+"$TOOL" cache purge pcache >/dev/null 2>&1
+check "cache purge exits 0" 0 $?
+[ -z "$(ls pcache/entries 2>/dev/null)" ] || {
+  echo "FAIL: cache purge left entries behind" >&2
+  failures=$((failures + 1))
+}
+
+"$TOOL" serve --docs 1 --requests 4 --threads 1 --cache-dir /proc/not/writable >/dev/null 2>&1
+check "serve with an unusable --cache-dir exits 1" 1 $?
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures check(s) failed" >&2
   exit 1

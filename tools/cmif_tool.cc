@@ -15,7 +15,8 @@
 //   cmif_tool profile <doc> <catalog> [profile] [--trace out.json] [--metrics out.jsonl]
 //                                            run instrumented, export trace + metrics
 //   cmif_tool serve [--docs K] [--requests N] [--threads T] [--zipf S]
-//                   [--seed X] [--cache C | --no-cache] [--faults <plan | level:N>]
+//                   [--seed X] [--cache C | --no-cache] [--cache-dir D]
+//                   [--faults <plan | level:N>]
 //                                            serve a synthetic Zipf trace concurrently
 //   cmif_tool serve --listen <port> [--host A] [--workers W] [--docs K]
 //                   [--sched fifo|edf] [--max-queue N] [--deadline-ms D]
@@ -26,6 +27,8 @@
 //                     [--trace out.json]
 //                                            fetch one compiled presentation
 //   cmif_tool stats <host:port>              live server telemetry as JSON
+//   cmif_tool cache <ls|verify|purge> <dir>  inspect / check / wipe a
+//                                            persistent cache directory
 //
 // Profiles: workstation (default), personal, portable.
 //
@@ -560,6 +563,8 @@ int CmdServe(const std::vector<std::string>& args) {
       options.seed = static_cast<std::uint64_t>(*value);
     } else if (args[i] == "--cache" && (value = long_after(i))) {
       options.cache_capacity = static_cast<std::size_t>(*value);
+    } else if (args[i] == "--cache-dir" && i + 1 < args.size()) {
+      options.cache_dir = args[++i];
     } else if (args[i] == "--listen" && (value = long_after(i))) {
       listen = true;
       net_options.port = static_cast<int>(*value);
@@ -626,6 +631,20 @@ int CmdServe(const std::vector<std::string>& args) {
     std::cout << "fault plan: " << fault_plan->ToString() << "\n";
   }
   api::ServeLoop loop(**corpus, options);
+  // An operator who asked for a disk tier deserves a hard failure, not the
+  // silent memory-only fallback embedded servers get.
+  if (!options.cache_dir.empty() && loop.pcache() == nullptr) {
+    return Fail(loop.pcache_status());
+  }
+  if (loop.pcache() != nullptr) {
+    const api::PersistentCache::Stats disk = loop.pcache()->stats();
+    std::cout << "disk cache at " << loop.pcache()->dir() << ": " << disk.entries
+              << " entries, " << disk.disk_bytes << " bytes"
+              << (disk.quarantined > 0
+                      ? ", " + std::to_string(disk.quarantined) + " quarantined at open"
+                      : "")
+              << "\n";
+  }
 
   if (listen) {
     api::NetServer server(loop, net_options);
@@ -839,6 +858,54 @@ int CmdStats(const std::vector<std::string>& args) {
   return kExitOk;
 }
 
+// cache <ls|verify|purge> <dir>
+// Operator tooling over a persistent cache directory (serve --cache-dir).
+//   ls      one line per committed entry: key fields, size, journal state
+//   verify  full read-only check (header, size, CRC) of every entry file;
+//           exits 1 when anything is corrupt, without moving files
+//   purge   deletes entries, journal, tmp and quarantined files
+int CmdCache(const std::vector<std::string>& args) {
+  if (args.size() != 2 ||
+      (args[0] != "ls" && args[0] != "verify" && args[0] != "purge")) {
+    return BadFlag("cache: expected <ls|verify|purge> <dir>");
+  }
+  const std::string& verb = args[0];
+  const std::string& dir = args[1];
+  if (verb == "ls") {
+    auto entries = api::PersistentCache::List(dir);
+    if (!entries.ok()) {
+      return Fail(entries.status());
+    }
+    std::uint64_t total_bytes = 0;
+    for (const api::PersistentCache::EntryInfo& info : *entries) {
+      std::cout << info.file << "  doc " << std::hex << info.document_hash << " chan "
+                << info.channel_hash << std::dec << " gen " << info.store_generation
+                << " profile " << info.profile << "  " << info.bytes << " bytes"
+                << (info.journaled ? "" : "  (orphan)") << "\n";
+      total_bytes += info.bytes;
+    }
+    std::cout << entries->size() << " entries, " << total_bytes << " payload bytes\n";
+    return kExitOk;
+  }
+  if (verb == "verify") {
+    auto report = api::PersistentCache::Verify(dir);
+    if (!report.ok()) {
+      return Fail(report.status());
+    }
+    for (const std::string& corrupt : report->corrupt) {
+      std::cout << "corrupt: " << corrupt << "\n";
+    }
+    std::cout << report->checked << " checked, " << report->ok << " ok, "
+              << report->corrupt.size() << " corrupt\n";
+    return report->corrupt.empty() ? kExitOk : kExitFailure;
+  }
+  if (Status s = api::PersistentCache::Purge(dir); !s.ok()) {
+    return Fail(s);
+  }
+  std::cout << "purged " << dir << "\n";
+  return kExitOk;
+}
+
 int Usage() {
   std::cerr << "usage: cmif_tool <sample-news [stories] | check <doc> [catalog] | tree <doc> |"
                " arcs <doc> |\n"
@@ -849,13 +916,15 @@ int Usage() {
                "                  profile <doc> <catalog> [profile] [--trace out.json]"
                " [--metrics out.jsonl] |\n"
                "                  serve [--docs K] [--requests N] [--threads T] [--zipf S]"
-               " [--seed X] [--cache C | --no-cache] [--faults <plan | level:N>]"
+               " [--seed X] [--cache C | --no-cache] [--cache-dir D]"
+               " [--faults <plan | level:N>]"
                " [--listen PORT [--host A] [--workers W] [--sched fifo|edf] [--max-queue N]"
                " [--deadline-ms D] [--sample RATE] [--flight]] |\n"
                "                  request --port P --doc NAME [--host A] [--profile NAME]"
                " [--channels a,b] [--no-body] [--retries N] [--deadline-ms D]"
                " [--trace out.json] |\n"
-               "                  stats <host:port> [--retries N]>\n";
+               "                  stats <host:port> [--retries N] |\n"
+               "                  cache <ls|verify|purge> <dir>>\n";
   return kExitUsage;
 }
 
@@ -902,6 +971,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "stats") {
     return CmdStats(std::vector<std::string>(argv + 2, argv + argc));
+  }
+  if (command == "cache") {
+    return CmdCache(std::vector<std::string>(argv + 2, argv + argc));
   }
   return Usage();
 }

@@ -1,0 +1,288 @@
+// Kill-9 restart chaos harness for the persistent compiled-presentation
+// cache. Each cycle forks a child server process that is SIGKILL'd by a
+// deterministic crash hook at a seeded point inside the cache commit
+// protocol (mid-entry-write, pre-fsync, pre-rename, pre-journal-append,
+// mid-journal-append). The parent then reopens the same cache directory and
+// verifies the crash-consistency contract:
+//
+//   1. zero corrupt entries served — every presentation answered after
+//      recovery is byte-identical (PresentationHash) to a pristine compile;
+//   2. the warm hit rate is restored — at most the one in-flight entry is
+//      lost per crash, everything previously committed still hits.
+//
+// Exit 0 when every cycle upholds both, 1 otherwise. Prints a JSON summary:
+//   {"cycles": 50, "kills": 43, "clean_exits": 7, "corrupt_served": 0, ...}
+//
+// Usage: crash_harness [--dir=<path>] [--cycles=N] [--docs=N] [--seed=N]
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/api/cmif.h"
+
+namespace cmif {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kCrashPoints[] = {
+    "entry.partial", "entry.pre_fsync", "entry.pre_rename", "journal.pre_append",
+    "journal.partial",
+};
+constexpr int kNumPoints = 5;
+
+struct HarnessOptions {
+  std::string dir;
+  int cycles = 50;
+  int docs = 4;
+  std::uint64_t seed = 42;
+};
+
+// The child: a server "process" that fills the cache and dies at the armed
+// crash point (the hook raises SIGKILL on the write-behind thread, so the
+// whole process vanishes mid-commit with no destructors run — exactly a
+// power cut). Returns an exit code for the no-crash control cycles.
+int RunChild(const HarnessOptions& options, const char* point, int after) {
+  PersistentCache::SetCrashPlanForTest(point, after);
+  auto corpus = api::BuildNewsCorpus(options.docs);
+  if (!corpus.ok()) {
+    return 2;
+  }
+  ServeOptions serve_options;
+  serve_options.threads = 2;
+  serve_options.cache_dir = options.dir;
+  ServeLoop loop(**corpus, serve_options);
+  if (loop.pcache() == nullptr) {
+    return 3;
+  }
+  for (int i = 0; i < options.docs; ++i) {
+    ServeResponse response = loop.Serve(ServeRequest{static_cast<std::size_t>(i), 0});
+    if (!response.served()) {
+      return 4;
+    }
+  }
+  loop.pcache()->Flush();
+  return 0;
+}
+
+struct CycleResult {
+  bool killed = false;
+  int exit_code = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t orphans_adopted = 0;
+  std::uint64_t journal_torn = 0;
+  bool hashes_ok = true;
+  bool hit_rate_ok = true;
+};
+
+int Main(const HarnessOptions& options) {
+  fs::remove_all(options.dir);
+
+  // Pristine hashes, compiled with every cache tier off: the ground truth
+  // each post-crash response is compared against.
+  auto corpus = api::BuildNewsCorpus(options.docs);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::uint64_t> pristine;
+  {
+    ServeOptions cold;
+    cold.threads = 1;
+    cold.use_cache = false;
+    ServeLoop loop(**corpus, cold);
+    for (int i = 0; i < options.docs; ++i) {
+      ServeResponse response = loop.Serve(ServeRequest{static_cast<std::size_t>(i), 0});
+      if (!response.served()) {
+        std::fprintf(stderr, "pristine compile %d: %s\n", i, response.error.ToString().c_str());
+        return 1;
+      }
+      pristine.push_back(api::PresentationHash(*response.presentation, {}));
+    }
+  }
+
+  // Prime the disk tier so cycle 0 already has a committed baseline — the
+  // warm-hit-rate check below assumes "everything but the in-flight entry".
+  {
+    ServeOptions prime;
+    prime.threads = 1;
+    prime.cache_dir = options.dir;
+    ServeLoop loop(**corpus, prime);
+    if (loop.pcache() == nullptr) {
+      std::fprintf(stderr, "prime: %s\n", loop.pcache_status().ToString().c_str());
+      return 1;
+    }
+    for (int i = 0; i < options.docs; ++i) {
+      (void)loop.Serve(ServeRequest{static_cast<std::size_t>(i), 0});
+    }
+    loop.pcache()->Flush();
+  }
+
+  std::uint64_t kills = 0;
+  std::uint64_t clean_exits = 0;
+  std::uint64_t child_errors = 0;
+  std::uint64_t corrupt_served = 0;
+  std::uint64_t hit_rate_failures = 0;
+  std::uint64_t total_quarantined = 0;
+  std::uint64_t total_orphans = 0;
+  std::uint64_t total_torn = 0;
+  std::uint64_t total_disk_hits = 0;
+  double recovery_ms_total = 0;
+
+  for (int cycle = 0; cycle < options.cycles; ++cycle) {
+    // Seeded schedule: rotate through every crash point; every 7th cycle
+    // arms a count the single commit never reaches, exercising the clean
+    // shutdown path through the same machinery.
+    std::uint64_t draw = options.seed * 2654435761u + static_cast<std::uint64_t>(cycle);
+    const char* point = kCrashPoints[draw % kNumPoints];
+    int after = (cycle % 7 == 6) ? 1000 : 1;
+
+    // Force one cache miss so the child always has a commit in flight for
+    // the crash hook to land in (steady state would stop writing).
+    int victim = static_cast<int>(draw % static_cast<std::uint64_t>(options.docs));
+    {
+      MappingCacheKey key;
+      key.document_hash = (*corpus)->document(victim).document_hash;
+      key.channel_hash = (*corpus)->document(victim).channel_hash;
+      key.profile = WorkstationProfile().name;
+      key.store_generation = (*corpus)->store().generation();
+      std::error_code ec;
+      fs::remove(fs::path(options.dir) / "entries" / PersistentCacheFileName(key), ec);
+    }
+
+    pid_t pid = fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "fork: %s\n", std::strerror(errno));
+      return 1;
+    }
+    if (pid == 0) {
+      _exit(RunChild(options, point, after));
+    }
+    int wstatus = 0;
+    if (waitpid(pid, &wstatus, 0) < 0) {
+      std::fprintf(stderr, "waitpid: %s\n", std::strerror(errno));
+      return 1;
+    }
+
+    CycleResult result;
+    if (WIFSIGNALED(wstatus)) {
+      result.killed = WTERMSIG(wstatus) == SIGKILL;
+      if (!result.killed) {
+        std::fprintf(stderr, "cycle %d: child died on unexpected signal %d\n", cycle,
+                     WTERMSIG(wstatus));
+        ++child_errors;
+      }
+    } else if (WEXITSTATUS(wstatus) != 0) {
+      std::fprintf(stderr, "cycle %d: child exited %d\n", cycle, WEXITSTATUS(wstatus));
+      ++child_errors;
+      result.exit_code = WEXITSTATUS(wstatus);
+    }
+
+    // Restart: reopen the directory (recovery runs inside Open) and serve
+    // the full corpus. Every response must match pristine; everything the
+    // crash didn't lose must come from disk.
+    ServeOptions warm;
+    warm.threads = 1;
+    warm.cache_dir = options.dir;
+    ServeLoop loop(**corpus, warm);
+    if (loop.pcache() == nullptr) {
+      std::fprintf(stderr, "cycle %d: reopen failed: %s\n", cycle,
+                   loop.pcache_status().ToString().c_str());
+      return 1;
+    }
+    for (int i = 0; i < options.docs; ++i) {
+      ServeResponse response = loop.Serve(ServeRequest{static_cast<std::size_t>(i), 0});
+      if (!response.served() ||
+          api::PresentationHash(*response.presentation, {}) != pristine[i]) {
+        result.hashes_ok = false;
+      }
+      if (response.disk_hit) {
+        ++result.disk_hits;
+      }
+    }
+    loop.pcache()->Flush();  // refill whatever the crash lost
+    PersistentCache::Stats stats = loop.pcache()->stats();
+    result.quarantined = stats.quarantined;
+    result.orphans_adopted = stats.orphans_adopted;
+    result.journal_torn = stats.journal_torn;
+    recovery_ms_total += stats.open_recovery_ms;
+    // At most the one in-flight entry may be lost: docs - 1 disk hits floor.
+    result.hit_rate_ok = result.disk_hits + 1 >= static_cast<std::uint64_t>(options.docs);
+
+    if (result.killed) {
+      ++kills;
+    } else if (result.exit_code == 0 && !WIFSIGNALED(wstatus)) {
+      ++clean_exits;
+    }
+    if (!result.hashes_ok) {
+      ++corrupt_served;
+      std::fprintf(stderr, "cycle %d (%s): response mismatch after restart\n", cycle, point);
+    }
+    if (!result.hit_rate_ok) {
+      ++hit_rate_failures;
+      std::fprintf(stderr, "cycle %d (%s): only %llu/%d disk hits after restart\n", cycle, point,
+                   static_cast<unsigned long long>(result.disk_hits), options.docs);
+    }
+    total_quarantined += result.quarantined;
+    total_orphans += result.orphans_adopted;
+    total_torn += result.journal_torn;
+    total_disk_hits += result.disk_hits;
+  }
+
+  bool ok = corrupt_served == 0 && hit_rate_failures == 0 && child_errors == 0 && kills > 0;
+  std::printf(
+      "{\"cycles\": %d, \"kills\": %llu, \"clean_exits\": %llu, \"child_errors\": %llu,\n"
+      " \"corrupt_served\": %llu, \"hit_rate_failures\": %llu,\n"
+      " \"quarantined\": %llu, \"orphans_adopted\": %llu, \"journal_torn\": %llu,\n"
+      " \"disk_hits\": %llu, \"mean_recovery_ms\": %.3f, \"ok\": %s}\n",
+      options.cycles, static_cast<unsigned long long>(kills),
+      static_cast<unsigned long long>(clean_exits), static_cast<unsigned long long>(child_errors),
+      static_cast<unsigned long long>(corrupt_served),
+      static_cast<unsigned long long>(hit_rate_failures),
+      static_cast<unsigned long long>(total_quarantined),
+      static_cast<unsigned long long>(total_orphans), static_cast<unsigned long long>(total_torn),
+      static_cast<unsigned long long>(total_disk_hits),
+      options.cycles > 0 ? recovery_ms_total / options.cycles : 0.0, ok ? "true" : "false");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  cmif::HarnessOptions options;
+  options.dir = (std::filesystem::temp_directory_path() / "cmif_crash_harness").string();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--dir=")) {
+      options.dir = v;
+    } else if (const char* v = value("--cycles=")) {
+      options.cycles = std::atoi(v);
+    } else if (const char* v = value("--docs=")) {
+      options.docs = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      options.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: crash_harness [--dir=<path>] [--cycles=N] [--docs=N] [--seed=N]\n");
+      return 2;
+    }
+  }
+  if (options.cycles <= 0 || options.docs <= 0) {
+    std::fprintf(stderr, "crash_harness: --cycles and --docs must be positive\n");
+    return 2;
+  }
+  return cmif::Main(options);
+}
