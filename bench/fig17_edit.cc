@@ -1,0 +1,273 @@
+// Figure 17 (beyond the paper) — incremental recompiles in the authoring
+// loop. An editor retuning one sync arc should not pay the whole compile
+// pipeline (event collection, graph build, from-scratch STN solve) for every
+// keystroke: api::EditSession patches the compiled constraint network in
+// place and warm-starts the SCC-condensed solver on the dirty cone alone
+// (src/sched/incremental.h). The figure replays a seeded single-arc retune
+// trace over a generated document both ways:
+//
+//   full_resolve_ms         — per-edit cost of the from-scratch compile an
+//                             editor without incrementality pays
+//                             (CollectEvents + TimeGraph::Build + solve);
+//   incremental_resolve_ms  — per-edit cost of EditSession Apply+Recompile
+//                             on the dirty-cone path;
+//   edit_speedup            — full/incremental, gated absolutely in CI
+//                             (>= 10x, tools/check_bench.py
+//                             --min-edit-speedup);
+//   cone_fraction           — mean fraction of time points relabelled per
+//                             recompile (the warm start's working set).
+//
+// Retunes are restricted to lower-bound-only arcs (max delay "inf"), so
+// window finiteness never flips, every recompile stays feasible, and the
+// session never leaves the incremental path — the bench aborts if it does.
+// The src/check edit differential (cmif_tool check --edits) is what proves
+// the fast path byte-equal to the slow one; this figure only prices it.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/api/cmif.h"
+#include "src/doc/event.h"
+#include "src/gen/docgen.h"
+#include "src/sched/conflict.h"
+#include "src/sched/timegraph.h"
+
+namespace cmif {
+namespace {
+
+constexpr int kEdits = 64;
+
+GenOptions BenchDocOptions() {
+  GenOptions options;
+  options.target_leaves = 120;
+  options.max_depth = 5;
+  options.channels = 8;
+  options.arcs_per_composite = 1.5;
+  options.may_fraction = 0.25;
+  options.tight_windows = false;  // lower-bound-only: always feasible
+  options.seed = 17;
+  return options;
+}
+
+GenWorkload MustGenerate() {
+  auto workload = GenerateRandomDocument(BenchDocOptions());
+  if (!workload.ok()) {
+    std::cerr << "fig17: " << workload.status() << "\n";
+    std::abort();
+  }
+  return std::move(*workload);
+}
+
+// One retunable arc: an owner path plus the arc's current offset, for ops
+// that vary only the (always non-positive) min_delay.
+struct RetuneSlot {
+  std::string path;
+  int arc_index = 0;
+  MediaTime offset;
+};
+
+void CollectSlots(const Node& node, const std::string& path, std::vector<RetuneSlot>& slots) {
+  for (std::size_t i = 0; i < node.arcs().size(); ++i) {
+    if (!node.arcs()[i].max_delay.has_value()) {
+      slots.push_back({path, static_cast<int>(i), node.arcs()[i].offset});
+    }
+  }
+  for (std::size_t i = 0; i < node.child_count(); ++i) {
+    const Node& child = node.ChildAt(i);
+    if (child.name().empty()) {
+      continue;  // unaddressable subtree
+    }
+    CollectSlots(child, path == "/" ? "/" + child.name() : path + "/" + child.name(), slots);
+  }
+}
+
+// The seeded trace: round-robin over the lower-bound-only arcs, wiggling
+// each min_delay on a quarter-second grid. Deterministic, always feasible,
+// and finiteness-preserving, so every replay takes the dirty-cone path.
+std::vector<EditOp> MakeTrace(const Document& document) {
+  std::vector<RetuneSlot> slots;
+  CollectSlots(document.root(), "/", slots);
+  if (slots.empty()) {
+    std::cerr << "fig17: generated document has no lower-bound-only arcs\n";
+    std::abort();
+  }
+  std::vector<EditOp> trace;
+  trace.reserve(kEdits);
+  for (int i = 0; i < kEdits; ++i) {
+    const RetuneSlot& slot = slots[static_cast<std::size_t>(i) % slots.size()];
+    EditOp op;
+    op.kind = EditOpKind::kRetuneArc;
+    op.path = slot.path;
+    op.arc_index = slot.arc_index;
+    op.arc.offset = slot.offset;
+    op.arc.min_delay = MediaTime::Rational(-(i % 4 + 1), 4);
+    op.arc.max_delay = std::nullopt;
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+// What an editor without incrementality pays per edit: apply the op to a
+// mirror document, then compile it from scratch.
+double FullResolveMs(const Document& base, const DescriptorStore& store,
+                     const std::vector<EditOp>& trace) {
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Document mirror = base.Clone();
+    auto start = std::chrono::steady_clock::now();
+    for (const EditOp& op : trace) {
+      if (!ApplyEdit(mirror, op).ok()) {
+        std::cerr << "fig17: baseline edit failed to apply\n";
+        std::abort();
+      }
+      auto events = CollectEvents(mirror, &store);
+      if (!events.ok()) {
+        std::abort();
+      }
+      auto compiled = ComputeSchedule(mirror, *events);
+      if (!compiled.ok() || !(*compiled).feasible) {
+        std::cerr << "fig17: baseline recompile infeasible\n";
+        std::abort();
+      }
+    }
+    double ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+                    .count() /
+                trace.size();
+    best = rep == 0 ? ms : std::min(best, ms);
+  }
+  return best;
+}
+
+struct IncrementalRun {
+  double per_edit_ms = 0;
+  double cone_fraction = 0;  // mean changed_points / point_count
+  std::size_t points = 0;
+};
+
+IncrementalRun IncrementalResolveMs(const Document& base, const DescriptorStore& store,
+                                    const std::vector<EditOp>& trace) {
+  IncrementalRun run;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto session = api::EditSession::Open(base, store);
+    if (!session.ok()) {
+      std::cerr << "fig17: " << session.status() << "\n";
+      std::abort();
+    }
+    run.points = (*session)->solve().earliest.size();
+    std::size_t changed = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (const EditOp& op : trace) {
+      if (!(*session)->Apply(op).ok()) {
+        std::cerr << "fig17: session edit failed to apply\n";
+        std::abort();
+      }
+      auto delta = (*session)->Recompile();
+      if (!delta.ok() || !delta->incremental) {
+        std::cerr << "fig17: recompile left the incremental path\n";
+        std::abort();
+      }
+      changed += delta->changed_points;
+    }
+    double ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+                    .count() /
+                trace.size();
+    if (rep == 0 || ms < run.per_edit_ms) {
+      run.per_edit_ms = ms;
+    }
+    if (run.points > 0) {
+      run.cone_fraction =
+          static_cast<double>(changed) / (static_cast<double>(trace.size() * run.points));
+    }
+  }
+  return run;
+}
+
+void PrintFigure(const std::string& bench_json) {
+  GenWorkload workload = MustGenerate();
+  std::vector<EditOp> trace = MakeTrace(workload.document);
+
+  double full_ms = FullResolveMs(workload.document, workload.store, trace);
+  IncrementalRun incremental = IncrementalResolveMs(workload.document, workload.store, trace);
+
+  double speedup = incremental.per_edit_ms > 0 ? full_ms / incremental.per_edit_ms : 0;
+  double edits_per_sec = incremental.per_edit_ms > 0 ? 1000.0 / incremental.per_edit_ms : 0;
+
+  std::cout << "Figure 17: incremental recompile in the edit loop ("
+            << workload.document.root().SubtreeSize() << " nodes, " << incremental.points
+            << " time points, " << trace.size() << " single-arc retunes)\n"
+            << "  full recompile:        " << full_ms << " ms/edit\n"
+            << "  incremental recompile: " << incremental.per_edit_ms << " ms/edit\n"
+            << "  edit speedup:          x" << speedup << "\n"
+            << "  dirty cone:            " << 100.0 * incremental.cone_fraction
+            << "% of points relabelled per edit\n"
+            << "  editor throughput:     " << edits_per_sec << " recompiles/s\n";
+
+  bench::AppendBenchJson(bench_json, "fig17_edit",
+                         {{"full_resolve_ms", full_ms},
+                          {"incremental_resolve_ms", incremental.per_edit_ms},
+                          {"edit_speedup", speedup},
+                          {"edits_per_sec", edits_per_sec},
+                          {"cone_fraction", incremental.cone_fraction},
+                          {"points", static_cast<double>(incremental.points)},
+                          {"edits", static_cast<double>(trace.size())}});
+}
+
+// Micro contrasts: one retune through the dirty-cone path vs the same edit
+// paid as a from-scratch compile.
+void BM_IncrementalRetune(benchmark::State& state) {
+  GenWorkload workload = MustGenerate();
+  std::vector<EditOp> trace = MakeTrace(workload.document);
+  auto session = api::EditSession::Open(workload.document, workload.store);
+  if (!session.ok()) {
+    std::abort();
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (!(*session)->Apply(trace[i++ % trace.size()]).ok()) {
+      std::abort();
+    }
+    auto delta = (*session)->Recompile();
+    if (!delta.ok()) {
+      std::abort();
+    }
+    benchmark::DoNotOptimize(delta->changed_points);
+  }
+}
+BENCHMARK(BM_IncrementalRetune);
+
+void BM_FullRecompile(benchmark::State& state) {
+  GenWorkload workload = MustGenerate();
+  std::vector<EditOp> trace = MakeTrace(workload.document);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (!ApplyEdit(workload.document, trace[i++ % trace.size()]).ok()) {
+      std::abort();
+    }
+    auto events = CollectEvents(workload.document, &workload.store);
+    if (!events.ok()) {
+      std::abort();
+    }
+    auto compiled = ComputeSchedule(workload.document, *events);
+    if (!compiled.ok()) {
+      std::abort();
+    }
+    benchmark::DoNotOptimize(compiled->feasible);
+  }
+}
+BENCHMARK(BM_FullRecompile);
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  cmif::PrintFigure(bench_json);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

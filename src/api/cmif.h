@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/api/edit_session.h"
 #include "src/net/client.h"
 #include "src/net/presentation_wire.h"
 #include "src/net/protocol.h"
@@ -61,6 +62,37 @@ StatusOr<CompileReport> Compile(const Document& document, const DescriptorStore&
 // Compile plus the viewing stage (honors options.mode; the default plays).
 StatusOr<PipelineReport> Play(const Document& document, const DescriptorStore& store,
                               const BlockStore& blocks, const PipelineOptions& options = {});
+
+// ---- authoring and editing -----------------------------------------------
+// Session and EditSession (src/api/edit_session.h) are the stateful
+// authoring handles: open a document, apply EditOps, Recompile()
+// incrementally, Publish() into a serving corpus. The op language and the
+// structured-conflict encoding are re-exported here so front ends never
+// include src/doc/edit.h or src/sched/conflict.h directly.
+
+using cmif::EditOp;
+using cmif::EditOpKind;
+using cmif::EditOpKindName;
+using cmif::EditReport;
+using cmif::DroppedArc;
+using cmif::ParseEditOp;
+using cmif::FormatEditOp;
+using cmif::ApplyEdit;
+
+// The one solver entry point: Solve(graph, SolveOptions) picks between the
+// direct relaxation and the SCC-condensed engine. (SolveStn is deprecated;
+// ScheduleOptions::solve carries the choice through Compile/Play/Serve.)
+using cmif::SolveOptions;
+using cmif::Solve;
+using cmif::SolveStats;
+
+// Edit-time conflicts cross the Status boundary as kFailedPrecondition with
+// the canonical encoding; ConflictFromStatus recovers blame class + cycle.
+using cmif::Conflict;
+using cmif::ConflictClass;
+using cmif::ConflictClassName;
+using cmif::ConflictToStatus;
+using cmif::ConflictFromStatus;
 
 // ---- serving -------------------------------------------------------------
 

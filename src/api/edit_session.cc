@@ -1,0 +1,255 @@
+#include "src/api/edit_session.h"
+
+#include <utility>
+
+#include "src/ddbms/persist.h"
+#include "src/doc/event.h"
+#include "src/doc/path.h"
+#include "src/fmt/parser.h"
+
+namespace cmif {
+namespace api {
+
+namespace {
+
+StatusOr<Node*> ResolveOwner(Document& document, const std::string& path) {
+  CMIF_ASSIGN_OR_RETURN(NodePath parsed, NodePath::Parse(path));
+  return document.root().Resolve(parsed);
+}
+
+PointKind EdgePoint(ArcEdge edge) {
+  return edge == ArcEdge::kEnd ? PointKind::kEnd : PointKind::kBegin;
+}
+
+// The exact constraint TimeGraph::Build compiles for this arc, so a patched
+// graph stays semantically identical to a fresh build of the edited document.
+Constraint CompileArc(const Node& owner, const SyncArc& arc, int arc_index, int from, int to) {
+  Constraint c;
+  c.from = from;
+  c.to = to;
+  c.lo = arc.offset + arc.min_delay;
+  if (arc.max_delay.has_value()) {
+    c.hi = arc.offset + *arc.max_delay;
+  }
+  c.origin = ConstraintOrigin::kExplicitArc;
+  c.owner = &owner;
+  c.arc_index = arc_index;
+  c.rigor = arc.rigor;
+  c.label = "arc " + arc.ToString() + " on " + owner.DisplayPath();
+  return c;
+}
+
+}  // namespace
+
+EditSession::EditSession(Document document, DescriptorStore store, EditSessionOptions options)
+    : document_(std::move(document)), store_(std::move(store)), options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<EditSession>> EditSession::Open(const Document& document,
+                                                         const DescriptorStore& store,
+                                                         const EditSessionOptions& options) {
+  std::unique_ptr<EditSession> session(new EditSession(document.Clone(), store, options));
+  CMIF_RETURN_IF_ERROR(session->RebuildAndSolve().status());
+  return session;
+}
+
+StatusOr<EditReport> EditSession::Apply(const std::string& op_line) {
+  CMIF_ASSIGN_OR_RETURN(EditOp op, ParseEditOp(op_line));
+  return Apply(op);
+}
+
+StatusOr<EditReport> EditSession::Apply(const EditOp& op) {
+  bool finiteness_changed = false;
+  if (op.kind == EditOpKind::kRetuneArc && !needs_rebuild_) {
+    CMIF_ASSIGN_OR_RETURN(Node * owner, ResolveOwner(document_, op.path));
+    if (op.arc_index >= 0 && static_cast<std::size_t>(op.arc_index) < owner->arcs().size()) {
+      const SyncArc& before = owner->arcs()[static_cast<std::size_t>(op.arc_index)];
+      finiteness_changed = before.max_delay.has_value() != op.arc.max_delay.has_value();
+    }
+  }
+  CMIF_ASSIGN_OR_RETURN(EditReport report, ApplyEdit(document_, op));
+  PatchGraph(op, finiteness_changed, !report.dropped_arcs.empty());
+  ++pending_ops_;
+  return report;
+}
+
+void EditSession::PatchGraph(const EditOp& op, bool finiteness_changed, bool dropped_arcs) {
+  if (needs_rebuild_) {
+    return;
+  }
+  // Falls back to a full rebuild whenever the fast path cannot mirror the
+  // edit exactly; correctness never depends on patching succeeding.
+  auto rebuild = [this] { needs_rebuild_ = true; };
+  switch (op.kind) {
+    case EditOpKind::kAddNode:
+    case EditOpKind::kRemoveNode:
+      // Node surgery renumbers time points and channel order; no patch.
+      pending_structure_ = true;
+      rebuild();
+      return;
+    case EditOpKind::kRetuneArc: {
+      if (finiteness_changed || dropped_arcs) {
+        pending_structure_ = true;
+        rebuild();
+        return;
+      }
+      StatusOr<Node*> owner = ResolveOwner(document_, op.path);
+      if (!owner.ok()) {
+        return rebuild();
+      }
+      const SyncArc& arc = (*owner)->arcs()[static_cast<std::size_t>(op.arc_index)];
+      StatusOr<std::size_t> index = graph_->ConstraintOfArc(**owner, op.arc_index);
+      if (!index.ok()) {
+        return rebuild();
+      }
+      Status patched = graph_->UpdateConstraintBounds(
+          *index, arc.offset + arc.min_delay,
+          arc.max_delay.has_value() ? std::optional<MediaTime>(arc.offset + *arc.max_delay)
+                                    : std::nullopt,
+          "arc " + arc.ToString() + " on " + (*owner)->DisplayPath());
+      if (!patched.ok()) {
+        return rebuild();
+      }
+      retuned_.push_back(*index);
+      return;
+    }
+    case EditOpKind::kAddArc: {
+      pending_structure_ = true;
+      StatusOr<Node*> owner = ResolveOwner(document_, op.path);
+      if (!owner.ok() || (*owner)->arcs().empty()) {
+        return rebuild();
+      }
+      int arc_index = static_cast<int>((*owner)->arcs().size()) - 1;
+      const SyncArc& arc = (*owner)->arcs().back();
+      StatusOr<Node*> source = (*owner)->Resolve(arc.source);
+      StatusOr<Node*> dest = (*owner)->Resolve(arc.dest);
+      if (!source.ok() || !dest.ok()) {
+        return rebuild();
+      }
+      StatusOr<int> from = graph_->PointOf(**source, EdgePoint(arc.source_edge));
+      StatusOr<int> to = graph_->PointOf(**dest, EdgePoint(arc.dest_edge));
+      if (!from.ok() || !to.ok()) {
+        return rebuild();
+      }
+      Status added = graph_->AddConstraint(CompileArc(**owner, arc, arc_index, *from, *to));
+      if (!added.ok()) {
+        return rebuild();
+      }
+      structural_.push_back(graph_->constraints().size() - 1);
+      return;
+    }
+    case EditOpKind::kRemoveArc: {
+      pending_structure_ = true;
+      StatusOr<Node*> owner = ResolveOwner(document_, op.path);
+      if (!owner.ok()) {
+        return rebuild();
+      }
+      StatusOr<std::size_t> index = graph_->ConstraintOfArc(**owner, op.arc_index);
+      if (!index.ok() || !graph_->DisableArc(**owner, op.arc_index).ok()) {
+        return rebuild();
+      }
+      structural_.push_back(*index);
+      return;
+    }
+  }
+}
+
+StatusOr<EditDelta> EditSession::Recompile() {
+  if (pending_ops_ == 0 && generation_ > 0) {
+    EditDelta delta;
+    delta.generation = generation_;
+    return delta;
+  }
+  if (!needs_rebuild_ && solver_ != nullptr) {
+    const SolveResult* result;
+    if (structural_.empty()) {
+      result = &solver_->ResolveRetuned(retuned_);
+    } else {
+      std::vector<std::size_t> touched = structural_;
+      touched.insert(touched.end(), retuned_.begin(), retuned_.end());
+      result = &solver_->ResolveStructural(touched);
+    }
+    if (result->feasible) {
+      // The graph and event list are unchanged on this path, so the schedule
+      // is relabelled in place instead of re-materialized per keystroke.
+      if (!schedule_.Retime(*graph_, *result).ok()) {
+        CMIF_ASSIGN_OR_RETURN(Schedule schedule, Schedule::FromSolve(*graph_, events_, *result));
+        schedule_ = std::move(schedule);
+      }
+      solve_ = *result;
+      ++generation_;
+      EditDelta delta;
+      delta.generation = generation_;
+      delta.incremental = solver_->last_incremental();
+      delta.structure_changed = pending_structure_;
+      delta.ops_applied = pending_ops_;
+      delta.changed_points = solver_->last_cone_points();
+      delta.stats = result->stats;
+      ClearPending();
+      return delta;
+    }
+    // Infeasible: re-compile canonically so relaxation order and the
+    // reported cycle match a from-scratch compile of the edited document.
+  }
+  return RebuildAndSolve();
+}
+
+StatusOr<EditDelta> EditSession::RebuildAndSolve() {
+  CMIF_ASSIGN_OR_RETURN(std::vector<EventDescriptor> events, CollectEvents(document_, &store_));
+  CMIF_ASSIGN_OR_RETURN(TimeGraph built,
+                        TimeGraph::Build(document_, events, options_.schedule.graph));
+  auto graph = std::make_unique<TimeGraph>(std::move(built));
+  CMIF_ASSIGN_OR_RETURN(ScheduleResult compiled,
+                        SolveSchedule(*graph, events, options_.schedule));
+  if (!compiled.feasible) {
+    // Keep the last-good schedule and generation; the session stays on the
+    // canonical path until a later edit restores feasibility.
+    needs_rebuild_ = true;
+    return ConflictToStatus(compiled.conflicts.back());
+  }
+  events_ = std::move(events);
+  graph_ = std::move(graph);
+  solver_ = std::make_unique<IncrementalSolver>(*graph_);
+  solver_->FullSolve();  // primes the condensation the next edits warm-start
+  schedule_ = std::move(compiled.schedule);
+  solve_ = std::move(compiled.solve);
+  ++generation_;
+  EditDelta delta;
+  delta.generation = generation_;
+  delta.incremental = false;
+  delta.structure_changed = pending_structure_ || generation_ == 1;
+  delta.ops_applied = pending_ops_;
+  delta.changed_points = graph_->point_count();
+  delta.stats = solve_.stats;
+  delta.dropped_arcs = compiled.dropped_arcs;
+  ClearPending();
+  // Relaxation disabled may arcs the document still carries: a from-scratch
+  // compile of a later revision would re-consider them, so the session must
+  // too.
+  needs_rebuild_ = !delta.dropped_arcs.empty();
+  return delta;
+}
+
+void EditSession::ClearPending() {
+  pending_ops_ = 0;
+  pending_structure_ = false;
+  needs_rebuild_ = false;
+  retuned_.clear();
+  structural_.clear();
+}
+
+Status EditSession::Publish(ServeCorpus& corpus, std::size_t index) const {
+  return corpus.UpdateDocument(index, document_.Clone());
+}
+
+StatusOr<Session> Session::Open(const std::string& document_text,
+                                const std::string& catalog_text) {
+  Session session;
+  CMIF_ASSIGN_OR_RETURN(session.document_, ParseDocument(document_text));
+  if (!catalog_text.empty()) {
+    CMIF_ASSIGN_OR_RETURN(session.store_, ReadCatalog(catalog_text));
+  }
+  return session;
+}
+
+}  // namespace api
+}  // namespace cmif

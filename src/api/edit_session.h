@@ -1,0 +1,151 @@
+// cmif::api::EditSession — the authoring loop. A session owns a private
+// clone of one document plus its compiled constraint network, applies EditOps
+// (src/doc/edit.h), and recompiles incrementally: a retune re-solves only the
+// dirty cone of the SCC condensation (src/sched/incremental.h); structural
+// arc edits recondense and re-solve the cone when the partition survives;
+// node surgery, window-finiteness changes, and anything infeasible fall back
+// to a canonical from-scratch compile so the session's results are always
+// byte-equal to compiling the edited document fresh — the property the
+// src/check differential harness enforces.
+//
+// Publishing: Publish() replaces a ServeCorpus slot with the session's
+// current document, which rehashes the slot and bumps the shared-store
+// generation — every mapping-cache / persistent-cache entry compiled from
+// the old revision becomes unreachable.
+#ifndef SRC_API_EDIT_SESSION_H_
+#define SRC_API_EDIT_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ddbms/store.h"
+#include "src/doc/document.h"
+#include "src/doc/edit.h"
+#include "src/sched/conflict.h"
+#include "src/sched/incremental.h"
+#include "src/serve/serve.h"
+
+namespace cmif {
+namespace api {
+
+struct EditSessionOptions {
+  // Per-recompile scheduling controls. The solver strategy defaults to the
+  // SCC-condensed engine; from-scratch rebuilds honour it too.
+  ScheduleOptions schedule;
+  EditSessionOptions() { schedule.solve.strategy = SolveOptions::Strategy::kCondensed; }
+};
+
+// What one Recompile() call did.
+struct EditDelta {
+  // Monotone revision of the session's compiled state; bumped on every
+  // successful recompile (1 = the opening compile).
+  std::uint64_t generation = 0;
+  // True when the dirty-cone path produced this revision; false for the
+  // opening compile and every full-rebuild fallback.
+  bool incremental = false;
+  // The edit batch changed the constraint set (arc add/remove or node
+  // surgery), not just bounds.
+  bool structure_changed = false;
+  // Ops applied since the previous successful recompile.
+  std::size_t ops_applied = 0;
+  // Time points re-labelled (the cone size; point_count on a full solve).
+  std::size_t changed_points = 0;
+  SolveStats stats;
+  // May-arc labels dropped by relaxation during this recompile.
+  std::vector<std::string> dropped_arcs;
+};
+
+class EditSession {
+ public:
+  // Opens a session on a clone of `document` and compiles it. Fails with the
+  // structured conflict encoding (ConflictToStatus) when the document is
+  // infeasible even after may-arc relaxation.
+  static StatusOr<std::unique_ptr<EditSession>> Open(const Document& document,
+                                                     const DescriptorStore& store,
+                                                     const EditSessionOptions& options = {});
+
+  EditSession(const EditSession&) = delete;
+  EditSession& operator=(const EditSession&) = delete;
+
+  // Applies one op to the session document immediately and patches (or
+  // queues) the constraint network. The schedule is stale until the next
+  // Recompile(). A failed Apply leaves the session unchanged.
+  StatusOr<EditReport> Apply(const EditOp& op);
+  // Parses the one-line textual form first.
+  StatusOr<EditReport> Apply(const std::string& op_line);
+
+  // Re-solves for every op applied since the last successful recompile.
+  // On an infeasible network the session keeps its last-good schedule and
+  // generation and returns ConflictToStatus (kFailedPrecondition, blame
+  // class + constraint cycle machine-parseable via ConflictFromStatus).
+  StatusOr<EditDelta> Recompile();
+
+  const Document& document() const { return document_; }
+  // Last-good compiled outputs (valid once Open succeeded).
+  const Schedule& schedule() const { return schedule_; }
+  const SolveResult& solve() const { return solve_; }
+  std::uint64_t generation() const { return generation_; }
+  // Ops applied but not yet covered by a successful Recompile().
+  std::size_t pending_ops() const { return pending_ops_; }
+
+  // Replaces corpus slot `index` with a clone of the session document
+  // (ServeCorpus::UpdateDocument: rehash + store-generation bump).
+  Status Publish(ServeCorpus& corpus, std::size_t index) const;
+
+ private:
+  EditSession(Document document, DescriptorStore store, EditSessionOptions options);
+
+  // Patches the live TimeGraph for one applied op, or flags a rebuild.
+  void PatchGraph(const EditOp& op, bool finiteness_changed, bool dropped_arcs);
+  // Canonical from-scratch compile of the current document.
+  StatusOr<EditDelta> RebuildAndSolve();
+  void ClearPending();
+
+  Document document_;
+  DescriptorStore store_;
+  EditSessionOptions options_;
+
+  std::vector<EventDescriptor> events_;
+  std::unique_ptr<TimeGraph> graph_;
+  std::unique_ptr<IncrementalSolver> solver_;
+
+  Schedule schedule_;
+  SolveResult solve_;
+  std::uint64_t generation_ = 0;
+
+  // Pending-edit bookkeeping between recompiles.
+  std::size_t pending_ops_ = 0;
+  bool needs_rebuild_ = true;        // until the opening compile
+  bool pending_structure_ = false;   // batch touched the constraint set
+  std::vector<std::size_t> retuned_;     // constraints with patched bounds
+  std::vector<std::size_t> structural_;  // constraints added or disabled
+};
+
+// One opened document plus its catalog — the handle front ends pass around.
+// Owns nothing shared; Edit() spawns an EditSession on a private clone, so
+// several edit sessions may fork from one Session.
+class Session {
+ public:
+  // Parses document source and (optionally) catalog text.
+  static StatusOr<Session> Open(const std::string& document_text,
+                                const std::string& catalog_text = "");
+
+  const Document& document() const { return document_; }
+  const DescriptorStore& store() const { return store_; }
+
+  StatusOr<std::unique_ptr<EditSession>> Edit(const EditSessionOptions& options = {}) const {
+    return EditSession::Open(document_, store_, options);
+  }
+
+ private:
+  Document document_{NodeKind::kSeq};
+  DescriptorStore store_;
+};
+
+}  // namespace api
+}  // namespace cmif
+
+#endif  // SRC_API_EDIT_SESSION_H_

@@ -6,10 +6,12 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/api/edit_session.h"
 #include "src/base/string_util.h"
 #include "src/check/oracle.h"
 #include "src/check/simulator.h"
 #include "src/doc/edit.h"
+#include "src/gen/editgen.h"
 #include "src/doc/event.h"
 #include "src/fmt/parser.h"
 #include "src/fmt/writer.h"
@@ -299,6 +301,119 @@ Status CheckPipelineRoundTrips(const Document& document, const Document& reparse
 
 }  // namespace
 
+Status CheckEditTrace(const Document& document, const DescriptorStore* store,
+                      const std::vector<EditOp>& trace, const std::string& tag,
+                      CheckCounters* counters) {
+  DescriptorStore empty;
+  const DescriptorStore& catalog = store != nullptr ? *store : empty;
+  const std::string check = "edit-session";
+
+  // Baseline: the session's opening compile must agree with from-scratch.
+  CMIF_ASSIGN_OR_RETURN(std::vector<EventDescriptor> events, CollectEvents(document, store));
+  CMIF_ASSIGN_OR_RETURN(ScheduleResult base, ComputeSchedule(document, events));
+  StatusOr<std::unique_ptr<api::EditSession>> session = api::EditSession::Open(document, catalog);
+  if (!session.ok()) {
+    if (base.feasible) {
+      return Diverged(tag, check,
+                      "session failed to open on a schedulable document: " +
+                          session.status().message());
+    }
+    StatusOr<Conflict> conflict = ConflictFromStatus(session.status());
+    if (!conflict.ok()) {
+      return Diverged(tag, check, "open conflict is not the canonical encoding: " +
+                                      session.status().message());
+    }
+    if (base.conflicts.empty() || conflict->cls != base.conflicts.back().cls) {
+      return Diverged(tag, check, "open conflict class differs from the from-scratch compile");
+    }
+    return Status::Ok();  // unschedulable document: nothing incremental to drive
+  }
+
+  Document mirror = document.Clone();
+  std::uint64_t last_generation = (*session)->generation();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const EditOp& op = trace[i];
+    const std::string step = StrFormat("%s op[%zu] '%s'", check.c_str(), i,
+                                       FormatEditOp(op).c_str());
+    StatusOr<EditReport> mirror_report = ApplyEdit(mirror, op);
+    StatusOr<EditReport> session_report = (*session)->Apply(op);
+    if (mirror_report.ok() != session_report.ok()) {
+      return Diverged(tag, step,
+                      StrFormat("op applied to %s but not %s",
+                                mirror_report.ok() ? "the mirror" : "the session",
+                                mirror_report.ok() ? "the session" : "the mirror"));
+    }
+    if (!mirror_report.ok()) {
+      continue;  // identically inapplicable (a shrunk trace); both unchanged
+    }
+    if (mirror_report->dropped_arcs.size() != session_report->dropped_arcs.size()) {
+      return Diverged(tag, step, "edit dropped a different number of arcs on each side");
+    }
+
+    // From-scratch compile of the identically edited mirror, plus the oracle
+    // re-judging the graph relaxation settled on.
+    CMIF_ASSIGN_OR_RETURN(std::vector<EventDescriptor> mirror_events,
+                          CollectEvents(mirror, store));
+    CMIF_ASSIGN_OR_RETURN(TimeGraph graph, TimeGraph::Build(mirror, mirror_events));
+    CMIF_ASSIGN_OR_RETURN(ScheduleResult scratch, SolveSchedule(graph, mirror_events));
+    OracleResult oracle = OracleSolve(graph);
+    if (counters != nullptr) {
+      counters->oracle_passes += oracle.passes;
+    }
+    if (scratch.feasible != oracle.feasible) {
+      return Diverged(tag, step, "from-scratch compile and oracle disagree on feasibility");
+    }
+
+    StatusOr<api::EditDelta> delta = (*session)->Recompile();
+    if (delta.ok() != scratch.feasible) {
+      return Diverged(tag, step,
+                      StrFormat("session recompile says %s, from-scratch says %s",
+                                delta.ok() ? "feasible" : "infeasible",
+                                scratch.feasible ? "feasible" : "infeasible"));
+    }
+    if (!delta.ok()) {
+      if (delta.status().code() != StatusCode::kFailedPrecondition) {
+        return delta.status();
+      }
+      StatusOr<Conflict> conflict = ConflictFromStatus(delta.status());
+      if (!conflict.ok()) {
+        return Diverged(tag, step, "recompile conflict is not the canonical encoding: " +
+                                       delta.status().message());
+      }
+      if (scratch.conflicts.empty()) {
+        return Diverged(tag, step, "session reports a conflict, from-scratch reports none");
+      }
+      const Conflict& expected = scratch.conflicts.back();
+      if (conflict->cls != expected.cls) {
+        return Diverged(tag, step,
+                        "conflict class: session says " +
+                            std::string(ConflictClassName(conflict->cls)) +
+                            ", from-scratch says " +
+                            std::string(ConflictClassName(expected.cls)));
+      }
+      if (conflict->cycle != expected.cycle) {
+        return Diverged(tag, step, "conflict cycles differ between session and from-scratch");
+      }
+      continue;  // the session keeps its last-good schedule; later ops may fix it
+    }
+    if (delta->generation != last_generation + 1) {
+      return Diverged(tag, step,
+                      StrFormat("generation went %llu -> %llu instead of bumping by one",
+                                static_cast<unsigned long long>(last_generation),
+                                static_cast<unsigned long long>(delta->generation)));
+    }
+    last_generation = delta->generation;
+    CMIF_RETURN_IF_ERROR(CompareTimes(tag, step, (*session)->solve().earliest, "session",
+                                      scratch.solve.earliest, "scratch"));
+    CMIF_RETURN_IF_ERROR(
+        CompareTimes(tag, step, (*session)->solve().earliest, "session", oracle.times, "oracle"));
+    if (delta->dropped_arcs != scratch.dropped_arcs) {
+      return Diverged(tag, step, "relaxation dropped different may arcs on each side");
+    }
+  }
+  return Status::Ok();
+}
+
 GenOptions PathologicalGenOptions(std::uint64_t seed, int target_leaves) {
   std::uint64_t h = MixSeed(seed);
   GenOptions gen;
@@ -389,6 +504,22 @@ StatusOr<CheckReport> RunDifferentialCheck(const CheckOptions& options) {
     ++report.documents;
     Status verdict =
         CheckDocument(workload->document, &workload->store, tag, options.profile, &counters);
+    bool edit_failure = false;
+    std::vector<EditOp> trace;
+    if (verdict.ok() && options.edits > 0) {
+      EditGenOptions egen;
+      egen.count = options.edits;
+      egen.seed = seed;
+      StatusOr<std::vector<EditOp>> generated = GenerateEditTrace(workload->document, egen);
+      if (!generated.ok()) {
+        verdict = FailedPreconditionError("[" + tag + "] edit-trace generator failed: " +
+                                          generated.status().message());
+      } else {
+        trace = std::move(*generated);
+        verdict = CheckEditTrace(workload->document, &workload->store, trace, tag, &counters);
+        edit_failure = !verdict.ok();
+      }
+    }
     if (verdict.ok()) {
       continue;
     }
@@ -397,12 +528,14 @@ StatusOr<CheckReport> RunDifferentialCheck(const CheckOptions& options) {
     failure.detail = verdict.message();
     if (options.shrink) {
       StatusOr<std::string> minimized =
-          ShrinkReproducer(workload->document, &workload->store, options.profile);
+          edit_failure ? ShrinkEditReproducer(workload->document, &workload->store, trace)
+                       : ShrinkReproducer(workload->document, &workload->store, options.profile);
       if (minimized.ok()) {
         std::filesystem::path dir =
             options.reproducer_dir.empty() ? "." : options.reproducer_dir;
         std::filesystem::path path =
-            dir / StrFormat("repro-%016llx.cmif", static_cast<unsigned long long>(seed));
+            dir / StrFormat(edit_failure ? "repro-edit-%016llx.cmif" : "repro-%016llx.cmif",
+                            static_cast<unsigned long long>(seed));
         std::error_code ec;
         std::filesystem::create_directories(dir, ec);
         std::ofstream out(path);
@@ -516,15 +649,81 @@ StatusOr<std::string> ShrinkReproducer(const Document& document, const Descripto
   return WriteDocument(current);
 }
 
+namespace {
+
+// The section separator between a corpus document and its edit trace.
+constexpr std::string_view kEditsMarker = "%% edits";
+
+}  // namespace
+
+StatusOr<std::string> ShrinkEditReproducer(const Document& document, const DescriptorStore* store,
+                                           const std::vector<EditOp>& trace) {
+  auto fails = [&](const std::vector<EditOp>& candidate) {
+    return !CheckEditTrace(document, store, candidate, "shrink").ok();
+  };
+  if (!fails(trace)) {
+    return FailedPreconditionError("edit trace passes every check; nothing to shrink");
+  }
+  // Greedy op deletion; CheckEditTrace skips ops made identically
+  // inapplicable by earlier deletions, so any subsequence is a valid trial.
+  std::vector<EditOp> current = trace;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      std::vector<EditOp> candidate = current;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (fails(candidate)) {
+        current = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  CMIF_ASSIGN_OR_RETURN(std::string out, WriteDocument(document));
+  if (out.empty() || out.back() != '\n') {
+    out += '\n';
+  }
+  out += std::string(kEditsMarker) + "\n";
+  for (const EditOp& op : current) {
+    out += FormatEditOp(op) + "\n";
+  }
+  return out;
+}
+
 Status ReplayCorpusText(const std::string& text, const std::string& tag) {
-  StatusOr<Document> document = ParseDocument(text);
+  // Split off the optional "%% edits" section before parsing.
+  std::string document_text = text;
+  std::vector<EditOp> trace;
+  std::size_t marker = text.find("\n" + std::string(kEditsMarker));
+  if (marker != std::string::npos) {
+    document_text = text.substr(0, marker + 1);
+    std::vector<std::string> lines = SplitString(text.substr(marker + 1), '\n');
+    for (std::size_t i = 1; i < lines.size(); ++i) {  // lines[0] is the marker
+      std::string line(TrimString(lines[i]));
+      if (line.empty()) {
+        continue;
+      }
+      StatusOr<EditOp> op = ParseEditOp(line);
+      if (!op.ok()) {
+        return FailedPreconditionError("[" + tag + "] corpus edit op does not parse: " +
+                                       op.status().message());
+      }
+      trace.push_back(std::move(*op));
+    }
+  }
+  StatusOr<Document> document = ParseDocument(document_text);
   if (!document.ok()) {
     return FailedPreconditionError("[" + tag + "] corpus file does not parse: " +
                                    document.status().message());
   }
   // Corpus files are self-contained: generated leaves pin their durations
   // with duration attributes, so no catalog is needed to re-judge them.
-  return CheckDocument(*document, /*store=*/nullptr, tag, WorkstationProfile());
+  CMIF_RETURN_IF_ERROR(CheckDocument(*document, /*store=*/nullptr, tag, WorkstationProfile()));
+  if (!trace.empty()) {
+    CMIF_RETURN_IF_ERROR(CheckEditTrace(*document, /*store=*/nullptr, trace, tag));
+  }
+  return Status::Ok();
 }
 
 StatusOr<int> ReplayCorpusDir(const std::string& dir) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/doc/edit.h"
 #include "src/gen/docgen.h"
 #include "src/present/capability.h"
 
@@ -47,6 +48,11 @@ struct CheckOptions {
   std::string reproducer_dir;
   // Device model for the capability-injected differential and the player.
   SystemProfile profile = WorkstationProfile();
+  // Edits per document (0 = off): a seeded edit trace (src/gen/editgen) is
+  // replayed through api::EditSession with incremental recompiles, and every
+  // revision is differentially tested against a from-scratch compile and the
+  // fixed-point oracle.
+  int edits = 0;
 };
 
 // One divergence.
@@ -92,8 +98,25 @@ Status CheckDocument(const Document& document, const DescriptorStore* store,
                      const std::string& tag, const SystemProfile& profile,
                      CheckCounters* counters = nullptr);
 
+// Replays `trace` through an api::EditSession on `document` and, after every
+// op, compares the session's (warm-started, SCC-condensed) recompile against
+// a from-scratch compile of an identically edited mirror and against the
+// fixed-point oracle: same feasibility, identical exact earliest times,
+// identical relaxation drops, and on rejection the same conflict class and
+// cycle. Ops that fail to apply identically on both sides are skipped (the
+// shrinker relies on that); asymmetric apply failures are divergences.
+Status CheckEditTrace(const Document& document, const DescriptorStore* store,
+                      const std::vector<EditOp>& trace, const std::string& tag,
+                      CheckCounters* counters = nullptr);
+
 // The driver: generate, check, shrink-on-failure.
 StatusOr<CheckReport> RunDifferentialCheck(const CheckOptions& options);
+
+// Shrinks a failing edit trace (greedy op deletion) against a fixed
+// document, and returns a corpus file: the serialized document followed by a
+// "%% edits" section holding the minimal trace, one op per line.
+StatusOr<std::string> ShrinkEditReproducer(const Document& document, const DescriptorStore* store,
+                                           const std::vector<EditOp>& trace);
 
 // Shrinks a failing document to a minimal one that still fails
 // CheckDocument, and returns its serialized text (a parseable corpus file).

@@ -4,6 +4,9 @@
 #include <map>
 #include <unordered_set>
 
+#include "src/attr/registry.h"
+#include "src/attr/value.h"
+#include "src/base/media_time.h"
 #include "src/base/string_util.h"
 
 namespace cmif {
@@ -151,6 +154,200 @@ StatusOr<EditReport> MoveSubtree(Document& document, Node& node, Node& new_paren
     }
   }
   return InternalError("node not found under its own parent");
+}
+
+std::string_view EditOpKindName(EditOpKind kind) {
+  switch (kind) {
+    case EditOpKind::kAddNode:
+      return "add-node";
+    case EditOpKind::kRemoveNode:
+      return "remove-node";
+    case EditOpKind::kAddArc:
+      return "add-arc";
+    case EditOpKind::kRemoveArc:
+      return "remove-arc";
+    case EditOpKind::kRetuneArc:
+      return "retune-arc";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string TimeToken(const std::optional<MediaTime>& t) {
+  return t.has_value() ? t->ToString() : "inf";
+}
+
+StatusOr<std::optional<MediaTime>> ParseTimeToken(const std::string& token) {
+  if (token == "inf") {
+    return std::optional<MediaTime>();
+  }
+  CMIF_ASSIGN_OR_RETURN(MediaTime t, ParseMediaTime(token));
+  return std::optional<MediaTime>(t);
+}
+
+// Resolves an absolute op path from the root ("/" = the root itself).
+StatusOr<Node*> ResolveOpPath(Document& document, const std::string& path) {
+  CMIF_ASSIGN_OR_RETURN(NodePath parsed, NodePath::Parse(path));
+  if (!parsed.is_absolute()) {
+    return InvalidArgumentError("edit-op path '" + path + "' must be absolute");
+  }
+  return document.root().Resolve(parsed);
+}
+
+}  // namespace
+
+std::string FormatEditOp(const EditOp& op) {
+  std::string out(EditOpKindName(op.kind));
+  out += ' ';
+  out += op.path;
+  switch (op.kind) {
+    case EditOpKind::kAddNode:
+      out += ' ' + op.name + ' ' + std::string(NodeKindName(op.node_kind));
+      if (!op.channel.empty()) {
+        out += ' ' + op.channel;
+      }
+      break;
+    case EditOpKind::kRemoveNode:
+      break;
+    case EditOpKind::kAddArc:
+      out += ' ' + op.arc.source.ToString() + ' ' + std::string(ArcEdgeName(op.arc.source_edge));
+      out += ' ' + op.arc.dest.ToString() + ' ' + std::string(ArcEdgeName(op.arc.dest_edge));
+      out += ' ' + std::string(ArcRigorName(op.arc.rigor));
+      out += ' ' + op.arc.offset.ToString() + ' ' + op.arc.min_delay.ToString() + ' ' +
+             TimeToken(op.arc.max_delay);
+      break;
+    case EditOpKind::kRemoveArc:
+      out += StrFormat(" %d", op.arc_index);
+      break;
+    case EditOpKind::kRetuneArc:
+      out += StrFormat(" %d ", op.arc_index) + op.arc.offset.ToString() + ' ' +
+             op.arc.min_delay.ToString() + ' ' + TimeToken(op.arc.max_delay);
+      break;
+  }
+  return out;
+}
+
+StatusOr<EditOp> ParseEditOp(const std::string& line) {
+  std::vector<std::string> tokens;
+  for (const std::string& token : SplitString(TrimString(line), ' ')) {
+    if (!token.empty()) {
+      tokens.push_back(token);
+    }
+  }
+  if (tokens.empty()) {
+    return InvalidArgumentError("empty edit op");
+  }
+  auto want = [&tokens](std::size_t lo, std::size_t hi) -> Status {
+    if (tokens.size() < lo || tokens.size() > hi) {
+      return InvalidArgumentError("edit op '" + tokens[0] + "': wrong argument count");
+    }
+    return Status::Ok();
+  };
+  auto parse_index = [](const std::string& token) -> StatusOr<int> {
+    if (token.empty() || token.find_first_not_of("0123456789") != std::string::npos) {
+      return InvalidArgumentError("arc index '" + token + "' is not a non-negative integer");
+    }
+    return static_cast<int>(std::stol(token));
+  };
+  EditOp op;
+  if (tokens[0] == "add-node") {
+    CMIF_RETURN_IF_ERROR(want(4, 5));
+    op.kind = EditOpKind::kAddNode;
+    op.path = tokens[1];
+    op.name = tokens[2];
+    CMIF_ASSIGN_OR_RETURN(op.node_kind, ParseNodeKind(tokens[3]));
+    if (tokens.size() == 5) {
+      op.channel = tokens[4];
+    }
+  } else if (tokens[0] == "remove-node") {
+    CMIF_RETURN_IF_ERROR(want(2, 2));
+    op.kind = EditOpKind::kRemoveNode;
+    op.path = tokens[1];
+  } else if (tokens[0] == "add-arc") {
+    CMIF_RETURN_IF_ERROR(want(10, 10));
+    op.kind = EditOpKind::kAddArc;
+    op.path = tokens[1];
+    CMIF_ASSIGN_OR_RETURN(op.arc.source, NodePath::Parse(tokens[2]));
+    CMIF_ASSIGN_OR_RETURN(op.arc.source_edge, ParseArcEdge(tokens[3]));
+    CMIF_ASSIGN_OR_RETURN(op.arc.dest, NodePath::Parse(tokens[4]));
+    CMIF_ASSIGN_OR_RETURN(op.arc.dest_edge, ParseArcEdge(tokens[5]));
+    CMIF_ASSIGN_OR_RETURN(op.arc.rigor, ParseArcRigor(tokens[6]));
+    CMIF_ASSIGN_OR_RETURN(op.arc.offset, ParseMediaTime(tokens[7]));
+    CMIF_ASSIGN_OR_RETURN(op.arc.min_delay, ParseMediaTime(tokens[8]));
+    CMIF_ASSIGN_OR_RETURN(op.arc.max_delay, ParseTimeToken(tokens[9]));
+  } else if (tokens[0] == "remove-arc") {
+    CMIF_RETURN_IF_ERROR(want(3, 3));
+    op.kind = EditOpKind::kRemoveArc;
+    op.path = tokens[1];
+    CMIF_ASSIGN_OR_RETURN(op.arc_index, parse_index(tokens[2]));
+  } else if (tokens[0] == "retune-arc") {
+    CMIF_RETURN_IF_ERROR(want(6, 6));
+    op.kind = EditOpKind::kRetuneArc;
+    op.path = tokens[1];
+    CMIF_ASSIGN_OR_RETURN(op.arc_index, parse_index(tokens[2]));
+    CMIF_ASSIGN_OR_RETURN(op.arc.offset, ParseMediaTime(tokens[3]));
+    CMIF_ASSIGN_OR_RETURN(op.arc.min_delay, ParseMediaTime(tokens[4]));
+    CMIF_ASSIGN_OR_RETURN(op.arc.max_delay, ParseTimeToken(tokens[5]));
+  } else {
+    return InvalidArgumentError("unknown edit op '" + tokens[0] + "'");
+  }
+  return op;
+}
+
+StatusOr<EditReport> ApplyEdit(Document& document, const EditOp& op) {
+  CMIF_ASSIGN_OR_RETURN(Node * target, ResolveOpPath(document, op.path));
+  EditReport report;
+  switch (op.kind) {
+    case EditOpKind::kAddNode: {
+      if (!IsValidId(op.name)) {
+        return InvalidArgumentError("'" + op.name + "' is not a valid node name");
+      }
+      if (target->FindChild(op.name) != nullptr) {
+        return InvalidArgumentError("node '" + op.name + "' already exists under " +
+                                    target->DisplayPath());
+      }
+      auto child = std::make_unique<Node>(op.node_kind);
+      child->set_name(op.name);
+      if (!op.channel.empty()) {
+        child->attrs().Set(std::string(kAttrChannel), AttrValue::Id(op.channel));
+      }
+      CMIF_RETURN_IF_ERROR(target->AddChild(std::move(child)).status());
+      return report;
+    }
+    case EditOpKind::kRemoveNode:
+      return DeleteSubtree(document, *target);
+    case EditOpKind::kAddArc: {
+      CMIF_RETURN_IF_ERROR(op.arc.CheckShape());
+      CMIF_RETURN_IF_ERROR(target->Resolve(op.arc.source).status());
+      CMIF_RETURN_IF_ERROR(target->Resolve(op.arc.dest).status());
+      target->AddArc(op.arc);
+      return report;
+    }
+    case EditOpKind::kRemoveArc: {
+      if (op.arc_index < 0 || static_cast<std::size_t>(op.arc_index) >= target->arcs().size()) {
+        return OutOfRangeError(StrFormat("no arc #%d on ", op.arc_index) + target->DisplayPath());
+      }
+      report.dropped_arcs.push_back(DroppedArc{
+          target->DisplayPath(), target->arcs()[static_cast<std::size_t>(op.arc_index)],
+          "removed by edit"});
+      target->arcs().erase(target->arcs().begin() + op.arc_index);
+      return report;
+    }
+    case EditOpKind::kRetuneArc: {
+      if (op.arc_index < 0 || static_cast<std::size_t>(op.arc_index) >= target->arcs().size()) {
+        return OutOfRangeError(StrFormat("no arc #%d on ", op.arc_index) + target->DisplayPath());
+      }
+      SyncArc updated = target->arcs()[static_cast<std::size_t>(op.arc_index)];
+      updated.offset = op.arc.offset;
+      updated.min_delay = op.arc.min_delay;
+      updated.max_delay = op.arc.max_delay;
+      CMIF_RETURN_IF_ERROR(updated.CheckShape());
+      target->arcs()[static_cast<std::size_t>(op.arc_index)] = std::move(updated);
+      return report;
+    }
+  }
+  return InvalidArgumentError("unknown edit op kind");
 }
 
 }  // namespace cmif

@@ -43,6 +43,58 @@ StatusOr<EditReport> DeleteSubtree(Document& document, Node& node);
 StatusOr<EditReport> MoveSubtree(Document& document, Node& node, Node& new_parent,
                                  std::size_t index);
 
+// -- Edit operations (the authoring/edit-session op language) ---------------
+// One atomic document edit, addressable by stable node paths so a sequence
+// of ops can be recorded, replayed, shrunk, and differentially tested. The
+// textual form (one op per line) is what `cmif_tool edit` scripts, the
+// conformance harness's edit traces, and corpus reproducers use:
+//
+//   add-node <parent-path> <name> <seq|par|ext|imm> [<channel>]
+//   remove-node <path>
+//   add-arc <owner-path> <src> <src-edge> <dst> <dst-edge> <must|may>
+//           <offset> <min-delay> <max-delay|inf>
+//   remove-arc <owner-path> <arc-index>
+//   retune-arc <owner-path> <arc-index> <offset> <min-delay> <max-delay|inf>
+//
+// Node paths are absolute ("/story1/video"); arc endpoint paths are relative
+// to the owning node, "." meaning the owner itself. Times use the
+// ParseMediaTime syntax ("3", "1/25", "0.5"); "inf" is an unbounded
+// max-delay.
+
+enum class EditOpKind {
+  kAddNode = 0,
+  kRemoveNode,
+  kAddArc,
+  kRemoveArc,
+  kRetuneArc,
+};
+
+std::string_view EditOpKindName(EditOpKind kind);
+
+struct EditOp {
+  EditOpKind kind = EditOpKind::kRetuneArc;
+  // Absolute path of the op's anchor: the parent for kAddNode, the doomed
+  // node for kRemoveNode, the arc's owning node for the arc ops.
+  std::string path;
+  // kAddNode payload.
+  std::string name;
+  NodeKind node_kind = NodeKind::kImm;
+  std::string channel;  // "" = no channel attribute
+  // kRemoveArc / kRetuneArc: index into the owner's arc list.
+  int arc_index = -1;
+  // kAddArc payload; kRetuneArc reads only offset/min_delay/max_delay.
+  SyncArc arc;
+};
+
+// The one-line textual form above; FormatEditOp(ParseEditOp(x)) is x up to
+// time normalization.
+std::string FormatEditOp(const EditOp& op);
+StatusOr<EditOp> ParseEditOp(const std::string& line);
+
+// Applies one op to the tree. Arc endpoints are validated before anything
+// mutates; kRemoveNode reports arcs dropped with the subtree.
+StatusOr<EditReport> ApplyEdit(Document& document, const EditOp& op);
+
 }  // namespace cmif
 
 #endif  // SRC_DOC_EDIT_H_

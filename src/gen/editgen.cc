@@ -1,0 +1,241 @@
+#include "src/gen/editgen.h"
+
+#include <string>
+#include <utility>
+
+#include "src/base/random.h"
+#include "src/base/string_util.h"
+
+namespace cmif {
+namespace {
+
+// A node addressable through a fully named path, with that path.
+struct Addressable {
+  Node* node;
+  std::vector<std::string> segments;  // empty = root
+};
+
+void CollectAddressable(Node& node, std::vector<std::string>& prefix,
+                        std::vector<Addressable>& out) {
+  out.push_back(Addressable{&node, prefix});
+  for (std::size_t i = 0; i < node.child_count(); ++i) {
+    Node& child = node.ChildAt(i);
+    std::string name = child.name();
+    if (name.empty()) {
+      continue;  // unnamed subtree: ops cannot address it stably
+    }
+    prefix.push_back(std::move(name));
+    CollectAddressable(child, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+std::string AbsolutePath(const std::vector<std::string>& segments) {
+  if (segments.empty()) {
+    return "/";
+  }
+  return "/" + JoinStrings(segments, "/");
+}
+
+class TraceGenerator {
+ public:
+  TraceGenerator(const Document& document, const EditGenOptions& options)
+      : options_(options), mirror_(document.Clone()), rng_(options.seed) {}
+
+  StatusOr<std::vector<EditOp>> Run() {
+    std::vector<EditOp> trace;
+    int stuck = 0;
+    while (static_cast<int>(trace.size()) < options_.count && stuck < 8) {
+      StatusOr<EditOp> op = DrawOp();
+      if (!op.ok()) {
+        ++stuck;  // category ran dry for the current document; redraw
+        continue;
+      }
+      CMIF_RETURN_IF_ERROR(ApplyEdit(mirror_, *op).status());
+      trace.push_back(std::move(*op));
+      stuck = 0;
+    }
+    return trace;
+  }
+
+ private:
+  StatusOr<EditOp> DrawOp() {
+    double roll = rng_.NextDouble();
+    if (roll < options_.add_arc_fraction) {
+      return DrawAddArc();
+    }
+    roll -= options_.add_arc_fraction;
+    if (roll < options_.remove_arc_fraction) {
+      return DrawRemoveArc();
+    }
+    roll -= options_.remove_arc_fraction;
+    if (roll < options_.add_node_fraction) {
+      return DrawAddNode();
+    }
+    roll -= options_.add_node_fraction;
+    if (roll < options_.remove_node_fraction) {
+      return DrawRemoveNode();
+    }
+    return DrawRetune();
+  }
+
+  // Arc owners with at least one arc, as (addressable index, arc index).
+  std::vector<std::pair<std::size_t, int>> ArcSlots(const std::vector<Addressable>& nodes) {
+    std::vector<std::pair<std::size_t, int>> slots;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t a = 0; a < nodes[i].node->arcs().size(); ++a) {
+        slots.emplace_back(i, static_cast<int>(a));
+      }
+    }
+    return slots;
+  }
+
+  std::vector<Addressable> Snapshot() {
+    std::vector<Addressable> nodes;
+    std::vector<std::string> prefix;
+    CollectAddressable(mirror_.root(), prefix, nodes);
+    return nodes;
+  }
+
+  MediaTime DrawTime() {
+    // Quarter-second granularity keeps the solver's tick LCM small.
+    return MediaTime::Rational(
+        static_cast<std::int64_t>(rng_.NextBelow(static_cast<std::uint64_t>(
+            4 * options_.max_seconds + 1))),
+        4);
+  }
+
+  void DrawBounds(SyncArc& arc) {
+    arc.offset = DrawTime();
+    arc.min_delay = MediaTime() - DrawTime();
+    if (rng_.NextBool(options_.tight_fraction)) {
+      arc.max_delay = DrawTime();
+    } else {
+      arc.max_delay.reset();
+    }
+  }
+
+  StatusOr<EditOp> DrawRetune() {
+    std::vector<Addressable> nodes = Snapshot();
+    auto slots = ArcSlots(nodes);
+    if (slots.empty()) {
+      return NotFoundError("no arcs to retune");
+    }
+    auto [owner, index] = slots[rng_.NextBelow(slots.size())];
+    EditOp op;
+    op.kind = EditOpKind::kRetuneArc;
+    op.path = AbsolutePath(nodes[owner].segments);
+    op.arc_index = index;
+    const SyncArc& current = nodes[owner].node->arcs()[static_cast<std::size_t>(index)];
+    DrawBounds(op.arc);
+    // Mostly preserve the window's finiteness: finiteness flips force the
+    // edit session down the full-rebuild path, which we want represented but
+    // not dominant.
+    if (rng_.NextBool(0.8)) {
+      if (current.max_delay.has_value() && !op.arc.max_delay.has_value()) {
+        op.arc.max_delay = DrawTime();
+      } else if (!current.max_delay.has_value()) {
+        op.arc.max_delay.reset();
+      }
+    }
+    return op;
+  }
+
+  StatusOr<EditOp> DrawAddArc() {
+    std::vector<Addressable> nodes = Snapshot();
+    // Endpoints: named non-root nodes, connected forward in collection
+    // (roughly document) order, written on the root.
+    if (nodes.size() < 3) {
+      return NotFoundError("not enough nodes for an arc");
+    }
+    std::size_t i = 1 + rng_.NextBelow(nodes.size() - 2);
+    std::size_t j = i + 1 + rng_.NextBelow(nodes.size() - i - 1);
+    EditOp op;
+    op.kind = EditOpKind::kAddArc;
+    op.path = "/";
+    op.arc.source = NodePath::Relative(nodes[i].segments);
+    op.arc.dest = NodePath::Relative(nodes[j].segments);
+    op.arc.source_edge = rng_.NextBool() ? ArcEdge::kBegin : ArcEdge::kEnd;
+    op.arc.dest_edge = ArcEdge::kBegin;
+    op.arc.rigor = rng_.NextBool(options_.may_fraction) ? ArcRigor::kMay : ArcRigor::kMust;
+    DrawBounds(op.arc);
+    return op;
+  }
+
+  StatusOr<EditOp> DrawRemoveArc() {
+    std::vector<Addressable> nodes = Snapshot();
+    auto slots = ArcSlots(nodes);
+    if (slots.empty()) {
+      return NotFoundError("no arcs to remove");
+    }
+    auto [owner, index] = slots[rng_.NextBelow(slots.size())];
+    EditOp op;
+    op.kind = EditOpKind::kRemoveArc;
+    op.path = AbsolutePath(nodes[owner].segments);
+    op.arc_index = index;
+    return op;
+  }
+
+  StatusOr<EditOp> DrawAddNode() {
+    std::vector<Addressable> nodes = Snapshot();
+    std::vector<std::size_t> composites;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].node->is_composite()) {
+        composites.push_back(i);
+      }
+    }
+    if (composites.empty()) {
+      return NotFoundError("no composite to extend");
+    }
+    const Addressable& parent = nodes[composites[rng_.NextBelow(composites.size())]];
+    EditOp op;
+    op.kind = EditOpKind::kAddNode;
+    op.path = AbsolutePath(parent.segments);
+    do {
+      op.name = StrFormat("e%d", name_counter_++);
+    } while (parent.node->FindChild(op.name) != nullptr);
+    const auto& channels = mirror_.channels().channels();
+    if (channels.empty()) {
+      // No channel to direct a leaf at: grow the structure instead.
+      op.node_kind = rng_.NextBool() ? NodeKind::kPar : NodeKind::kSeq;
+    } else {
+      op.node_kind = NodeKind::kImm;
+      op.channel = channels[rng_.NextBelow(channels.size())].name;
+    }
+    return op;
+  }
+
+  StatusOr<EditOp> DrawRemoveNode() {
+    std::vector<Addressable> nodes = Snapshot();
+    // Only leaves whose parent keeps at least one other child, so the tree
+    // never degenerates to empty composites.
+    std::vector<std::size_t> victims;
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      Node* n = nodes[i].node;
+      if (n->child_count() == 0 && n->parent() != nullptr && n->parent()->child_count() > 1) {
+        victims.push_back(i);
+      }
+    }
+    if (victims.empty()) {
+      return NotFoundError("no removable leaf");
+    }
+    EditOp op;
+    op.kind = EditOpKind::kRemoveNode;
+    op.path = AbsolutePath(nodes[victims[rng_.NextBelow(victims.size())]].segments);
+    return op;
+  }
+
+  EditGenOptions options_;
+  Document mirror_;
+  Rng rng_;
+  int name_counter_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::vector<EditOp>> GenerateEditTrace(const Document& document,
+                                                const EditGenOptions& options) {
+  return TraceGenerator(document, options).Run();
+}
+
+}  // namespace cmif

@@ -1,0 +1,45 @@
+// Random edit-trace generation: deterministic sequences of EditOps that are
+// valid against a given document, for the edit-session differential harness
+// and the fig17 edit bench. Like docgen, generation is deterministic in the
+// seed so divergences reproduce exactly.
+#ifndef SRC_GEN_EDITGEN_H_
+#define SRC_GEN_EDITGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/doc/document.h"
+#include "src/doc/edit.h"
+
+namespace cmif {
+
+// Shape parameters for one edit trace. The op mix draws add-arc, remove-arc,
+// add-node, and remove-node by their fractions; retune-arc takes the
+// remainder (the common case: an author nudging timing).
+struct EditGenOptions {
+  int count = 16;
+  std::uint64_t seed = 1;
+  double add_arc_fraction = 0.2;
+  double remove_arc_fraction = 0.1;
+  double add_node_fraction = 0.05;
+  double remove_node_fraction = 0.05;
+  // Fraction of generated arcs that are "may" rather than "must".
+  double may_fraction = 0.5;
+  // Fraction of retunes/new arcs given a finite max_delay window.
+  double tight_fraction = 0.3;
+  // Upper bound (seconds) for drawn offsets and delays.
+  int max_seconds = 8;
+};
+
+// Generates a trace of `options.count` ops, each valid against the document
+// produced by applying the ops before it (the generator replays its own ops
+// on a private clone). Ops only address nodes reachable through fully named
+// paths. Returns fewer ops than requested only when the document runs out of
+// editable material.
+StatusOr<std::vector<EditOp>> GenerateEditTrace(const Document& document,
+                                                const EditGenOptions& options);
+
+}  // namespace cmif
+
+#endif  // SRC_GEN_EDITGEN_H_

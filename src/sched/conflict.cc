@@ -1,6 +1,9 @@
 #include "src/sched/conflict.h"
 
+#include <string_view>
+
 #include "src/base/logging.h"
+#include "src/base/string_util.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 
@@ -63,7 +66,7 @@ StatusOr<ScheduleResult> SolveSchedule(TimeGraph& graph,
   std::size_t rounds = 0;
   for (std::size_t round = 0; round <= options.max_relaxations; ++round) {
     rounds = round + 1;
-    result.solve = SolveStn(graph);
+    result.solve = Solve(graph, options.solve);
     if (result.solve.feasible) {
       result.feasible = true;
       CMIF_ASSIGN_OR_RETURN(result.schedule, Schedule::FromSolve(graph, events, result.solve));
@@ -116,6 +119,65 @@ StatusOr<ScheduleResult> ComputeSchedule(const Document& document,
                                          const ScheduleOptions& options) {
   CMIF_ASSIGN_OR_RETURN(TimeGraph graph, TimeGraph::Build(document, events, options.graph));
   return SolveSchedule(graph, events, options);
+}
+
+namespace {
+constexpr std::string_view kConflictMarker = "constraint conflict [";
+constexpr std::string_view kCyclePrefix = "  cycle[";
+}  // namespace
+
+Status ConflictToStatus(const Conflict& conflict) {
+  std::string message(kConflictMarker);
+  message += ConflictClassName(conflict.cls);
+  message += "]: ";
+  message += conflict.description;
+  for (std::size_t i = 0; i < conflict.cycle.size(); ++i) {
+    message += StrFormat("\n  cycle[%zu]: %s", i, conflict.cycle[i].c_str());
+  }
+  return FailedPreconditionError(message);
+}
+
+StatusOr<Conflict> ConflictFromStatus(const Status& status) {
+  if (status.code() != StatusCode::kFailedPrecondition) {
+    return InvalidArgumentError("not a constraint-conflict status");
+  }
+  std::string_view rest = status.message();
+  if (!StartsWith(rest, kConflictMarker)) {
+    return InvalidArgumentError("status does not carry the conflict encoding");
+  }
+  rest.remove_prefix(kConflictMarker.size());
+  std::size_t close = rest.find("]: ");
+  if (close == std::string_view::npos) {
+    return InvalidArgumentError("malformed conflict class");
+  }
+  std::string_view cls_name = rest.substr(0, close);
+  Conflict conflict;
+  if (cls_name == ConflictClassName(ConflictClass::kAuthoring)) {
+    conflict.cls = ConflictClass::kAuthoring;
+  } else if (cls_name == ConflictClassName(ConflictClass::kCapability)) {
+    conflict.cls = ConflictClass::kCapability;
+  } else if (cls_name == ConflictClassName(ConflictClass::kNavigation)) {
+    conflict.cls = ConflictClass::kNavigation;
+  } else {
+    return InvalidArgumentError("unknown conflict class '" + std::string(cls_name) + "'");
+  }
+  rest.remove_prefix(close + 3);
+  std::size_t eol = rest.find('\n');
+  conflict.description = std::string(rest.substr(0, eol));
+  while (eol != std::string_view::npos) {
+    rest.remove_prefix(eol + 1);
+    eol = rest.find('\n');
+    std::string_view line = rest.substr(0, eol);
+    if (!StartsWith(line, kCyclePrefix)) {
+      return InvalidArgumentError("malformed conflict cycle line");
+    }
+    std::size_t sep = line.find("]: ");
+    if (sep == std::string_view::npos) {
+      return InvalidArgumentError("malformed conflict cycle line");
+    }
+    conflict.cycle.push_back(std::string(line.substr(sep + 3)));
+  }
+  return conflict;
 }
 
 }  // namespace cmif

@@ -39,6 +39,8 @@ struct ScheduleOptions {
   // ("desirable but not essential", section 5.3.2) and re-solve.
   bool relax_may_arcs = true;
   std::size_t max_relaxations = 64;
+  // Solver strategy per round (kDirect or the SCC-condensed engine).
+  SolveOptions solve;
 };
 
 // The outcome of scheduling one document.
@@ -65,6 +67,20 @@ StatusOr<ScheduleResult> SolveSchedule(TimeGraph& graph,
 StatusOr<ScheduleResult> ComputeSchedule(const Document& document,
                                          const std::vector<EventDescriptor>& events,
                                          const ScheduleOptions& options = {});
+
+// -- Structured conflict reporting -----------------------------------------
+// The facade reports edit-time constraint conflicts as a kFailedPrecondition
+// whose message is this canonical, machine-parseable encoding — the blame
+// classification and the full constraint cycle survive the Status boundary
+// instead of collapsing into an ad-hoc string:
+//
+//   constraint conflict [<class>]: <description>
+//     cycle[<i>]: <constraint label>        (one line per cycle entry)
+//
+// ConflictFromStatus parses that encoding back; it rejects statuses that are
+// not kFailedPrecondition or do not carry the marker line.
+Status ConflictToStatus(const Conflict& conflict);
+StatusOr<Conflict> ConflictFromStatus(const Status& status);
 
 }  // namespace cmif
 

@@ -1,0 +1,507 @@
+#include "src/sched/incremental.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace cmif {
+namespace {
+
+// Same fast-path bounds as src/sched/solver.cc: weights rescale to 1/lcm
+// second ticks only when the lcm stays small and path sums cannot overflow.
+constexpr std::int64_t kMaxLcm = 1'000'000'000;
+constexpr std::int64_t kMaxTicks = INT64_MAX >> 20;
+
+std::vector<char> Closure(const std::vector<char>& seed,
+                          const std::vector<std::vector<int>>& adj) {
+  std::vector<char> visited = seed;
+  std::vector<int> stack;
+  for (std::size_t c = 0; c < seed.size(); ++c) {
+    if (seed[c]) {
+      stack.push_back(static_cast<int>(c));
+    }
+  }
+  while (!stack.empty()) {
+    int c = stack.back();
+    stack.pop_back();
+    for (int d : adj[static_cast<std::size_t>(c)]) {
+      if (!visited[static_cast<std::size_t>(d)]) {
+        visited[static_cast<std::size_t>(d)] = 1;
+        stack.push_back(d);
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace
+
+SccCondensation SccCondensation::Build(const TimeGraph& graph) {
+  SccCondensation scc;
+  const std::size_t n = graph.point_count();
+  scc.comp.assign(n, -1);
+  if (n == 0) {
+    return scc;
+  }
+
+  std::vector<std::vector<int>> adj(n);
+  const std::vector<Constraint>& constraints = graph.constraints();
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    if (graph.IsDisabled(i)) {
+      continue;
+    }
+    const Constraint& c = constraints[i];
+    adj[static_cast<std::size_t>(c.from)].push_back(c.to);
+    if (c.hi.has_value()) {
+      adj[static_cast<std::size_t>(c.to)].push_back(c.from);
+    }
+  }
+
+  // Iterative Tarjan (generated documents nest deep enough that recursion
+  // is a stack-overflow hazard). Components are numbered in pop order, so
+  // every cross-component edge u -> v satisfies comp[u] > comp[v].
+  std::vector<int> index(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<int> stack;
+  struct Frame {
+    int v;
+    std::size_t next;
+  };
+  std::vector<Frame> frames;
+  int next_index = 0;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) {
+      continue;
+    }
+    index[root] = low[root] = next_index++;
+    stack.push_back(static_cast<int>(root));
+    on_stack[root] = 1;
+    frames.push_back(Frame{static_cast<int>(root), 0});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      std::size_t v = static_cast<std::size_t>(frame.v);
+      if (frame.next < adj[v].size()) {
+        std::size_t w = static_cast<std::size_t>(adj[v][frame.next++]);
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(static_cast<int>(w));
+          on_stack[w] = 1;
+          frames.push_back(Frame{static_cast<int>(w), 0});
+        } else if (on_stack[w] && index[w] < low[v]) {
+          low[v] = index[w];
+        }
+      } else {
+        frames.pop_back();
+        if (!frames.empty()) {
+          std::size_t parent = static_cast<std::size_t>(frames.back().v);
+          low[parent] = std::min(low[parent], low[v]);
+        }
+        if (low[v] == index[v]) {
+          int c = static_cast<int>(scc.comp_count++);
+          while (true) {
+            std::size_t w = static_cast<std::size_t>(stack.back());
+            stack.pop_back();
+            on_stack[w] = 0;
+            scc.comp[w] = c;
+            if (w == v) {
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  scc.members.assign(scc.comp_count, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    scc.members[static_cast<std::size_t>(scc.comp[i])].push_back(static_cast<int>(i));
+  }
+  scc.out.assign(scc.comp_count, {});
+  auto cross = [&scc](int u, int v) {
+    int cu = scc.comp[static_cast<std::size_t>(u)];
+    int cv = scc.comp[static_cast<std::size_t>(v)];
+    if (cu != cv) {
+      scc.out[static_cast<std::size_t>(cu)].push_back(cv);
+    }
+  };
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    if (graph.IsDisabled(i)) {
+      continue;
+    }
+    const Constraint& c = constraints[i];
+    cross(c.from, c.to);
+    if (c.hi.has_value()) {
+      cross(c.to, c.from);
+    }
+  }
+  for (std::vector<int>& targets : scc.out) {
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  }
+  return scc;
+}
+
+bool SccCondensation::SamePartition(const SccCondensation& other) const {
+  if (comp.size() != other.comp.size() || comp_count != other.comp_count) {
+    return false;
+  }
+  // A total map old -> new that is single-valued is automatically a
+  // bijection here: equal component counts and non-empty components leave
+  // no room for a merge without a matching orphan.
+  std::vector<int> map(comp_count, -1);
+  for (std::size_t i = 0; i < comp.size(); ++i) {
+    int& slot = map[static_cast<std::size_t>(comp[i])];
+    if (slot == -1) {
+      slot = other.comp[i];
+    } else if (slot != other.comp[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+IncrementalSolver::IncrementalSolver(const TimeGraph& graph) : graph_(graph) {}
+
+bool IncrementalSolver::TickOf(const MediaTime& t, std::int64_t* out) const {
+  if (lcm_ <= 0 || lcm_ % t.den() != 0) {
+    return false;
+  }
+  std::int64_t scale = lcm_ / t.den();
+  if (t.num() > kMaxTicks / scale || t.num() < -(kMaxTicks / scale)) {
+    return false;
+  }
+  *out = t.num() * scale;
+  return true;
+}
+
+bool IncrementalSolver::BuildTickState() {
+  const std::vector<Constraint>& constraints = graph_.constraints();
+  const std::size_t n = graph_.point_count();
+  std::int64_t lcm = 1;
+  auto fold = [&lcm](const MediaTime& t) {
+    std::int64_t den = t.den();
+    std::int64_t g = std::gcd(lcm, den);
+    if (lcm / g > kMaxLcm / den) {
+      return false;
+    }
+    lcm = lcm / g * den;
+    return lcm <= kMaxLcm;
+  };
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    if (graph_.IsDisabled(i)) {
+      continue;
+    }
+    if (!fold(constraints[i].lo) ||
+        (constraints[i].hi.has_value() && !fold(*constraints[i].hi))) {
+      return false;
+    }
+  }
+  lcm_ = lcm;
+  back_.clear();
+  fwd_.clear();
+  slots_.assign(constraints.size(), EdgeSlots{});
+  back_out_.assign(n, {});
+  back_in_.assign(n, {});
+  fwd_out_.assign(n, {});
+  fwd_in_.assign(n, {});
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    if (graph_.IsDisabled(i)) {
+      continue;
+    }
+    if (!SyncConstraintEdges(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IncrementalSolver::SyncConstraintEdges(std::size_t index) {
+  const Constraint& c = graph_.constraints()[index];
+  EdgeSlots& slots = slots_[index];
+  auto deactivate = [this](int back_id, int fwd_id) {
+    if (back_id >= 0) {
+      back_[static_cast<std::size_t>(back_id)].active = false;
+    }
+    if (fwd_id >= 0) {
+      fwd_[static_cast<std::size_t>(fwd_id)].active = false;
+    }
+  };
+  if (graph_.IsDisabled(index)) {
+    deactivate(slots.back_lo, slots.fwd_lo);
+    deactivate(slots.back_hi, slots.fwd_hi);
+    return true;
+  }
+  auto place = [this, index](int* slot, std::vector<TickEdge>& edges,
+                             std::vector<std::vector<int>>& out,
+                             std::vector<std::vector<int>>& in, int tail, int head,
+                             std::int64_t weight) {
+    if (*slot >= 0) {
+      TickEdge& edge = edges[static_cast<std::size_t>(*slot)];
+      edge.weight = weight;
+      edge.active = true;
+      return;
+    }
+    *slot = static_cast<int>(edges.size());
+    edges.push_back(TickEdge{tail, head, weight, index, true});
+    out[static_cast<std::size_t>(tail)].push_back(*slot);
+    in[static_cast<std::size_t>(head)].push_back(*slot);
+  };
+  std::int64_t lo_tick = 0;
+  if (!TickOf(-c.lo, &lo_tick)) {
+    return false;
+  }
+  // Backward orientation (earliest pass): lower bound from -> to at -lo,
+  // finite upper bound to -> from at hi. Forward is the exact reverse.
+  place(&slots.back_lo, back_, back_out_, back_in_, c.from, c.to, lo_tick);
+  place(&slots.fwd_lo, fwd_, fwd_out_, fwd_in_, c.to, c.from, lo_tick);
+  if (c.hi.has_value()) {
+    std::int64_t hi_tick = 0;
+    if (!TickOf(*c.hi, &hi_tick)) {
+      return false;
+    }
+    place(&slots.back_hi, back_, back_out_, back_in_, c.to, c.from, hi_tick);
+    place(&slots.fwd_hi, fwd_, fwd_out_, fwd_in_, c.from, c.to, hi_tick);
+  } else {
+    deactivate(slots.back_hi, slots.fwd_hi);
+  }
+  return true;
+}
+
+bool IncrementalSolver::SolvePass(bool backward, const std::vector<char>& in_cone,
+                                  SolveStats& stats) {
+  const std::vector<TickEdge>& edges = backward ? back_ : fwd_;
+  const std::vector<std::vector<int>>& out = backward ? back_out_ : fwd_out_;
+  const std::vector<std::vector<int>>& in = backward ? back_in_ : fwd_in_;
+  std::vector<std::optional<std::int64_t>>& dist = backward ? back_dist_ : fwd_dist_;
+  const std::size_t n = graph_.point_count();
+  const bool all = in_cone.empty();
+  if (all) {
+    dist.assign(n, std::nullopt);
+  } else {
+    for (std::size_t c = 0; c < scc_.comp_count; ++c) {
+      if (!in_cone[c]) {
+        continue;
+      }
+      for (int p : scc_.members[c]) {
+        dist[static_cast<std::size_t>(p)] = std::nullopt;
+      }
+    }
+  }
+
+  std::deque<int> queue;
+  std::vector<char> in_queue(n, 0);
+  std::vector<std::size_t> enqueues(n, 0);
+  // Component order: backward-pass edges descend component ids, forward-pass
+  // edges ascend, so each direction visits components topologically and a
+  // component's cross predecessors are final before it is seeded.
+  for (std::size_t k = 0; k < scc_.comp_count; ++k) {
+    int c = backward ? static_cast<int>(scc_.comp_count - 1 - k) : static_cast<int>(k);
+    if (!all && !in_cone[static_cast<std::size_t>(c)]) {
+      continue;
+    }
+    const std::vector<int>& points = scc_.members[static_cast<std::size_t>(c)];
+    auto push = [&](int p) {
+      if (in_queue[static_cast<std::size_t>(p)]) {
+        return true;
+      }
+      if (++enqueues[static_cast<std::size_t>(p)] > points.size() + 1) {
+        return false;  // negative cycle inside this component
+      }
+      in_queue[static_cast<std::size_t>(p)] = 1;
+      if (!queue.empty() &&
+          *dist[static_cast<std::size_t>(p)] < *dist[static_cast<std::size_t>(queue.front())]) {
+        queue.push_front(p);
+      } else {
+        queue.push_back(p);
+      }
+      return true;
+    };
+
+    // Seed: the source plus every cross edge whose tail lies outside this
+    // component — either an earlier component of this pass (already final)
+    // or an untouched label outside the cone (the warm start).
+    for (int p : points) {
+      std::optional<std::int64_t> best;
+      if (p == 0) {
+        best = 0;
+      }
+      for (int e : in[static_cast<std::size_t>(p)]) {
+        const TickEdge& edge = edges[static_cast<std::size_t>(e)];
+        if (!edge.active || scc_.comp[static_cast<std::size_t>(edge.tail)] == c) {
+          continue;
+        }
+        const std::optional<std::int64_t>& from = dist[static_cast<std::size_t>(edge.tail)];
+        if (!from.has_value()) {
+          continue;
+        }
+        std::int64_t candidate = *from + edge.weight;
+        if (!best.has_value() || candidate < *best) {
+          best = candidate;
+        }
+      }
+      if (best.has_value()) {
+        dist[static_cast<std::size_t>(p)] = best;
+        ++stats.propagations;
+        (void)push(p);
+      }
+    }
+
+    // Close the component: a bounded SPFA over its internal edges only.
+    while (!queue.empty()) {
+      int v = queue.front();
+      queue.pop_front();
+      ++stats.iterations;
+      in_queue[static_cast<std::size_t>(v)] = 0;
+      std::int64_t base = *dist[static_cast<std::size_t>(v)];
+      for (int e : out[static_cast<std::size_t>(v)]) {
+        const TickEdge& edge = edges[static_cast<std::size_t>(e)];
+        if (!edge.active || scc_.comp[static_cast<std::size_t>(edge.head)] != c) {
+          continue;
+        }
+        std::int64_t candidate = base + edge.weight;
+        std::optional<std::int64_t>& to = dist[static_cast<std::size_t>(edge.head)];
+        if (!to.has_value() || candidate < *to) {
+          to = candidate;
+          ++stats.propagations;
+          if (!push(edge.head)) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void IncrementalSolver::PublishResult(SolveStats stats) {
+  const std::size_t n = graph_.point_count();
+  result_.feasible = true;
+  result_.conflict_cycle.clear();
+  result_.stats = stats;
+  result_.earliest.resize(n);
+  result_.latest.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mirror SolveStn's conversions exactly: earliest = -dist (unreachable
+    // means unconstrained, pinned to zero), latest unreachable = unbounded.
+    result_.earliest[i] =
+        back_dist_[i].has_value() ? MediaTime::Rational(-*back_dist_[i], lcm_) : MediaTime();
+    result_.latest[i] = fwd_dist_[i].has_value()
+                            ? std::optional<MediaTime>(MediaTime::Rational(*fwd_dist_[i], lcm_))
+                            : std::nullopt;
+  }
+}
+
+const SolveResult& IncrementalSolver::CanonicalFallback() {
+  labels_valid_ = false;
+  last_incremental_ = false;
+  last_cone_points_ = graph_.point_count();
+  result_ = SolveStn(graph_);
+  return result_;
+}
+
+const SolveResult& IncrementalSolver::FullSolve() {
+  last_incremental_ = false;
+  last_cone_points_ = graph_.point_count();
+  scc_ = SccCondensation::Build(graph_);
+  if (!BuildTickState()) {
+    lcm_ = 0;
+    labels_valid_ = false;
+    result_ = SolveStn(graph_);
+    return result_;
+  }
+  if (graph_.point_count() == 0) {
+    result_ = SolveResult{};
+    result_.feasible = true;
+    labels_valid_ = true;
+    return result_;
+  }
+  SolveStats stats;
+  std::vector<char> all;
+  if (!SolvePass(true, all, stats)) {
+    return CanonicalFallback();
+  }
+  (void)SolvePass(false, all, stats);  // same edge set, no cycle possible
+  labels_valid_ = true;
+  PublishResult(stats);
+  return result_;
+}
+
+const SolveResult& IncrementalSolver::ResolveCone(const std::vector<std::size_t>& touched) {
+  std::vector<char> dirty(scc_.comp_count, 0);
+  for (std::size_t i : touched) {
+    const Constraint& c = graph_.constraints()[i];
+    dirty[static_cast<std::size_t>(scc_.comp[static_cast<std::size_t>(c.from)])] = 1;
+    dirty[static_cast<std::size_t>(scc_.comp[static_cast<std::size_t>(c.to)])] = 1;
+  }
+  // Earliest pass: everything downstream of the touched components.
+  std::vector<char> cone_back = Closure(dirty, scc_.out);
+  // Latest pass: the forward graph is the reverse, so its downstream is the
+  // condensation's upstream.
+  std::vector<std::vector<int>> rev(scc_.comp_count);
+  for (std::size_t c = 0; c < scc_.comp_count; ++c) {
+    for (int d : scc_.out[c]) {
+      rev[static_cast<std::size_t>(d)].push_back(static_cast<int>(c));
+    }
+  }
+  std::vector<char> cone_fwd = Closure(dirty, rev);
+
+  std::size_t cone_points = 0;
+  for (std::size_t c = 0; c < scc_.comp_count; ++c) {
+    if (cone_back[c]) {
+      cone_points += scc_.members[c].size();
+    }
+  }
+  SolveStats stats;
+  if (!SolvePass(true, cone_back, stats)) {
+    return CanonicalFallback();
+  }
+  if (!SolvePass(false, cone_fwd, stats)) {
+    return CanonicalFallback();
+  }
+  last_incremental_ = true;
+  last_cone_points_ = cone_points;
+  PublishResult(stats);
+  return result_;
+}
+
+const SolveResult& IncrementalSolver::ResolveRetuned(const std::vector<std::size_t>& constraints) {
+  if (!labels_valid_ || lcm_ <= 0) {
+    return FullSolve();
+  }
+  for (std::size_t i : constraints) {
+    if (i >= slots_.size() || !SyncConstraintEdges(i)) {
+      return FullSolve();  // new weight outside the cached tick basis
+    }
+  }
+  return ResolveCone(constraints);
+}
+
+const SolveResult& IncrementalSolver::ResolveStructural(
+    const std::vector<std::size_t>& constraints) {
+  if (!labels_valid_ || lcm_ <= 0) {
+    return FullSolve();
+  }
+  SccCondensation fresh = SccCondensation::Build(graph_);
+  if (!fresh.SamePartition(scc_)) {
+    return FullSolve();  // the condensation itself changed
+  }
+  scc_ = std::move(fresh);  // same partition, possibly rewired DAG edges
+  slots_.resize(graph_.constraints().size());
+  for (std::size_t i : constraints) {
+    if (!SyncConstraintEdges(i)) {
+      return FullSolve();
+    }
+  }
+  return ResolveCone(constraints);
+}
+
+SolveResult Solve(const TimeGraph& graph, const SolveOptions& options) {
+  if (options.strategy == SolveOptions::Strategy::kCondensed) {
+    IncrementalSolver solver(graph);
+    return solver.FullSolve();
+  }
+  return SolveStn(graph, options.algorithm);
+}
+
+}  // namespace cmif

@@ -1,0 +1,147 @@
+// Incremental STN solving. The distance graph of a CMIF network is mostly a
+// DAG: only finite synchronization windows (a constraint with both lo and a
+// finite hi) create cycles, by pairing a forward edge with a backward one.
+// Condensing the graph into strongly connected components therefore yields
+// many small components — rigid clusters welded together by windows — hung on
+// a large acyclic frame of lower-bound-only arcs (seq order, par fork/join,
+// channel order).
+//
+// The solver exploits that twice:
+//
+//   FullSolve        solves per-SCC in topological order: each component is
+//                    seeded from the already-final labels of its predecessors
+//                    and closed with a queue pass bounded by the component
+//                    size, so a label is settled O(1) times on the DAG frame
+//                    instead of churning through a whole-graph SPFA.
+//   ResolveRetuned / after an edit, only the *dirty cone* — the components
+//   ResolveStructural reachable from the touched constraints' endpoints in
+//                    the condensation DAG — is re-solved; every label outside
+//                    the cone provably cannot change (no path from a touched
+//                    edge reaches it) and is kept as-is, which is the
+//                    warm start. Structural edits recondense first and fall
+//                    back to a full solve when the partition itself changed.
+//
+// Arithmetic is the integer-tick fast path of src/sched/solver.cc (all
+// weights rescaled to 1/lcm-second ticks once, then relaxed with plain
+// int64). Networks whose weights do not fit a common denominator fall back
+// to the classic solver on every resolve. Any infeasibility falls back to
+// SolveStn so the reported conflict cycle is canonical — identical to what a
+// from-scratch solve of the same graph reports, which the differential
+// harness (src/check) relies on.
+#ifndef SRC_SCHED_INCREMENTAL_H_
+#define SRC_SCHED_INCREMENTAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sched/solver.h"
+#include "src/sched/timegraph.h"
+
+namespace cmif {
+
+// The strongly connected components of a time graph's distance-graph
+// structure, in the backward (earliest-times) orientation: every enabled
+// constraint contributes the edge from -> to; a finite upper bound adds
+// to -> from. Deterministic for a given graph (Tarjan over points 0..n-1,
+// adjacency in constraint order).
+struct SccCondensation {
+  // Point index -> component id. Component ids are reverse-topological:
+  // every cross-component edge u -> v has comp[u] > comp[v], so descending
+  // id order is a topological order of the condensation DAG.
+  std::vector<int> comp;
+  std::size_t comp_count = 0;
+  // Component id -> member points, ascending.
+  std::vector<std::vector<int>> members;
+  // Deduplicated condensation adjacency (descending-id direction).
+  std::vector<std::vector<int>> out;
+
+  static SccCondensation Build(const TimeGraph& graph);
+
+  // True when `other` groups the points identically, ignoring component
+  // numbering. Adding or removing an arc can rewire the condensation DAG
+  // without changing the partition; only a partition change forces the
+  // incremental solver back to a full solve.
+  bool SamePartition(const SccCondensation& other) const;
+};
+
+// Stateful solver bound to one TimeGraph. The graph may be mutated between
+// calls (UpdateConstraintBounds, AddConstraint, Disable) as long as the
+// matching Resolve* entry point is used; the solver re-reads the touched
+// constraints and keeps everything else cached.
+class IncrementalSolver {
+ public:
+  explicit IncrementalSolver(const TimeGraph& graph);
+
+  // Solves from scratch: rebuild tick edges, recondense, run both passes
+  // per-SCC in topological order. Always safe; primes the caches the
+  // incremental entry points warm-start from.
+  const SolveResult& FullSolve();
+
+  // Re-solves after the listed constraints changed bounds in place (same
+  // upper-bound finiteness, so the edge set and the condensation are
+  // untouched). Only the dirty cone is recomputed.
+  const SolveResult& ResolveRetuned(const std::vector<std::size_t>& constraints);
+
+  // Re-solves after constraints were added (appended) or disabled.
+  // Recondenses; when the partition is unchanged only the dirty cone is
+  // recomputed, otherwise this degrades to FullSolve.
+  const SolveResult& ResolveStructural(const std::vector<std::size_t>& constraints);
+
+  const SolveResult& result() const { return result_; }
+  const SccCondensation& condensation() const { return scc_; }
+  // True when the last Resolve* call took the dirty-cone path (false after
+  // FullSolve, a partition change, or an infeasibility fallback).
+  bool last_incremental() const { return last_incremental_; }
+  // False when the graph's weights exceed the integer fast path; every
+  // resolve is then a plain SolveStn.
+  bool tick_mode() const { return lcm_ > 0; }
+  // Points re-labelled by the last incremental resolve (cone size); equals
+  // point_count() after a full solve.
+  std::size_t last_cone_points() const { return last_cone_points_; }
+
+ private:
+  struct TickEdge {
+    int tail = 0;
+    int head = 0;
+    std::int64_t weight = 0;
+    std::size_t constraint = 0;
+    bool active = true;
+  };
+  // Where one constraint's edges live in the tick lists (-1 = absent).
+  struct EdgeSlots {
+    int back_lo = -1;
+    int back_hi = -1;
+    int fwd_lo = -1;
+    int fwd_hi = -1;
+  };
+
+  bool BuildTickState();  // false when no common denominator exists
+  bool TickOf(const MediaTime& t, std::int64_t* out) const;
+  bool SyncConstraintEdges(std::size_t index);  // false on tick overflow
+  // Runs one label pass over the components flagged in `in_cone` (empty =
+  // every component). Returns false on a negative cycle.
+  bool SolvePass(bool backward, const std::vector<char>& in_cone, SolveStats& stats);
+  const SolveResult& ResolveCone(const std::vector<std::size_t>& touched);
+  const SolveResult& CanonicalFallback();  // SolveStn, canonical conflict cycle
+  void PublishResult(SolveStats stats);
+
+  const TimeGraph& graph_;
+  std::int64_t lcm_ = 0;
+  std::vector<TickEdge> back_;
+  std::vector<TickEdge> fwd_;
+  std::vector<std::vector<int>> back_out_, back_in_;
+  std::vector<std::vector<int>> fwd_out_, fwd_in_;
+  std::vector<EdgeSlots> slots_;
+  std::vector<std::optional<std::int64_t>> back_dist_;
+  std::vector<std::optional<std::int64_t>> fwd_dist_;
+  SccCondensation scc_;
+  SolveResult result_;
+  bool labels_valid_ = false;
+  bool last_incremental_ = false;
+  std::size_t last_cone_points_ = 0;
+};
+
+}  // namespace cmif
+
+#endif  // SRC_SCHED_INCREMENTAL_H_

@@ -29,6 +29,32 @@ StatusOr<Schedule> Schedule::FromSolve(const TimeGraph& graph,
   return schedule;
 }
 
+Status Schedule::Retime(const TimeGraph& graph, const SolveResult& solve) {
+  if (!solve.feasible) {
+    return FailedPreconditionError("cannot retime a schedule from an infeasible solve");
+  }
+  for (std::size_t point = 0; point + 1 < graph.point_count(); point += 2) {
+    const Node* node = graph.NodeOfPoint(static_cast<int>(point));
+    if (node == nullptr) {
+      continue;
+    }
+    auto it = node_times_.find(node);
+    if (it == node_times_.end()) {
+      return FailedPreconditionError("schedule was built from a different graph");
+    }
+    it->second = std::make_pair(solve.earliest[point], solve.earliest[point + 1]);
+  }
+  for (ScheduledEvent& event : events_) {
+    auto it = node_times_.find(event.event.node);
+    if (it == node_times_.end()) {
+      return FailedPreconditionError("schedule was built from a different event list");
+    }
+    event.begin = it->second.first;
+    event.end = it->second.second;
+  }
+  return Status::Ok();
+}
+
 Schedule Schedule::FromParts(
     std::vector<ScheduledEvent> events,
     std::unordered_map<const Node*, std::pair<MediaTime, MediaTime>> node_times) {

@@ -38,6 +38,13 @@ class Schedule {
                                       const std::vector<EventDescriptor>& events,
                                       const SolveResult& solve);
 
+  // Re-labels this schedule in place from a new feasible solve over the same
+  // graph and event list it was built from — no event descriptors are
+  // copied, which is what keeps the edit loop's incremental recompile cheap
+  // (api::EditSession). Fails without touching semantics when the schedule
+  // was built from a different graph; callers fall back to FromSolve.
+  Status Retime(const TimeGraph& graph, const SolveResult& solve);
+
   // Reassembles a schedule from already-solved parts: scheduled events (full
   // descriptors plus begin/end) and the per-node time table. Used by the
   // on-disk compiled-presentation cache (src/serve/persistent_cache) to

@@ -53,8 +53,28 @@ enum class SolverAlgorithm {
   kNaiveBellmanFord,
 };
 
-// Solves the network. Points are as numbered by the TimeGraph; disabled
-// constraints are skipped. Exact rational arithmetic throughout.
+// How Solve() runs. The one solver entry point front ends configure; tools
+// and benches select a strategy here instead of plumbing SolveResult
+// internals around.
+struct SolveOptions {
+  SolverAlgorithm algorithm = SolverAlgorithm::kSpfa;
+  // kCondensed routes through the SCC-condensation engine
+  // (src/sched/incremental.h): per-component solves in topological order.
+  // Results are identical to kDirect; kCondensed is the full-solve form of
+  // the engine the edit-session warm starts run on. kDirect is the classic
+  // whole-graph pass.
+  enum class Strategy { kDirect = 0, kCondensed };
+  Strategy strategy = Strategy::kDirect;
+};
+
+// Solves the network per `options`. Points are as numbered by the TimeGraph;
+// disabled constraints are skipped. Exact arithmetic throughout; on
+// infeasibility the conflict cycle is canonical regardless of strategy.
+// The preferred entry point — SolveStn below is the legacy direct form.
+SolveResult Solve(const TimeGraph& graph, const SolveOptions& options = {});
+
+// Deprecated in favor of Solve(graph, SolveOptions{...}); kept for existing
+// callers. Equivalent to Solve with Strategy::kDirect.
 SolveResult SolveStn(const TimeGraph& graph,
                      SolverAlgorithm algorithm = SolverAlgorithm::kSpfa);
 

@@ -65,6 +65,47 @@ Status TimeGraph::AddConstraint(Constraint constraint) {
   return Status::Ok();
 }
 
+StatusOr<std::size_t> TimeGraph::ConstraintOfArc(const Node& owner, int arc_index) const {
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (constraints_[i].owner == &owner && constraints_[i].arc_index == arc_index &&
+        !disabled_[i]) {
+      return i;
+    }
+  }
+  return NotFoundError(StrFormat("no constraint for arc #%d on %s", arc_index,
+                                 owner.DisplayPath().c_str()));
+}
+
+Status TimeGraph::UpdateConstraintBounds(std::size_t index, MediaTime lo,
+                                         std::optional<MediaTime> hi, std::string label) {
+  if (index >= constraints_.size()) {
+    return OutOfRangeError("constraint index out of range");
+  }
+  Constraint& c = constraints_[index];
+  if (hi.has_value() != c.hi.has_value()) {
+    return FailedPreconditionError(
+        "retune may not change the upper bound's finiteness (edge-set change)");
+  }
+  if (hi.has_value() && *hi < lo) {
+    return InvalidArgumentError("constraint upper bound below lower bound");
+  }
+  c.lo = lo;
+  c.hi = hi;
+  c.label = std::move(label);
+  return Status::Ok();
+}
+
+Status TimeGraph::DisableArc(const Node& owner, int arc_index) {
+  CMIF_ASSIGN_OR_RETURN(std::size_t index, ConstraintOfArc(owner, arc_index));
+  disabled_[index] = true;
+  for (Constraint& c : constraints_) {
+    if (c.owner == &owner && c.arc_index > arc_index) {
+      --c.arc_index;
+    }
+  }
+  return Status::Ok();
+}
+
 StatusOr<TimeGraph> TimeGraph::Build(const Document& document,
                                      const std::vector<EventDescriptor>& events,
                                      const TimeGraphOptions& options) {

@@ -97,6 +97,22 @@ class TimeGraph {
   void Disable(std::size_t constraint_index) { disabled_[constraint_index] = true; }
   bool IsDisabled(std::size_t constraint_index) const { return disabled_[constraint_index]; }
 
+  // -- Edit-session support (src/api/edit_session.h) -------------------------
+  // The constraint compiled from the arc at `arc_index` of `owner`, or
+  // NotFound. Linear in the constraint count.
+  StatusOr<std::size_t> ConstraintOfArc(const Node& owner, int arc_index) const;
+
+  // Retunes a constraint's bounds (and label) in place, without rebuilding
+  // the graph — the edit-session fast path. The upper bound's finiteness
+  // class must not change (that is an edge-set change; rebuild instead).
+  Status UpdateConstraintBounds(std::size_t index, MediaTime lo, std::optional<MediaTime> hi,
+                                std::string label);
+
+  // Disables the constraint of the arc at `arc_index` of `owner` and shifts
+  // the arc_index bookkeeping of that owner's later constraints down by one,
+  // mirroring an erase from the node's arc list.
+  Status DisableArc(const Node& owner, int arc_index);
+
  private:
   TimeGraph() = default;
 

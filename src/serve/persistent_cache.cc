@@ -962,13 +962,27 @@ bool PersistentCache::Put(const MappingCacheKey& key,
     return false;
   }
   {
+    // Cheap reject before paying for serialization when the queue is full.
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_ || queue_.size() >= options_.max_pending_writes) {
       std::lock_guard<std::mutex> stats_lock(mu_);
       ++stats_.dropped_writes;
       return false;
     }
-    queue_.push_back(PendingWrite{key, std::move(compiled)});
+  }
+  // Serialize here, on the caller's thread: the presentation holds Node*
+  // into the live document, and the caller only guarantees that document
+  // alive across this call — a Publish can swap it out the moment we
+  // return. The writer thread must never dereference the presentation.
+  std::string payload = SerializeCompiledPresentation(*compiled);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_ || queue_.size() >= options_.max_pending_writes) {
+      std::lock_guard<std::mutex> stats_lock(mu_);
+      ++stats_.dropped_writes;
+      return false;
+    }
+    queue_.push_back(PendingWrite{key, std::move(payload)});
   }
   queue_cv_.notify_one();
   return true;
@@ -1014,7 +1028,7 @@ Status PersistentCache::CommitEntry(const PendingWrite& write) {
       return Status::Ok();
     }
   }
-  std::string payload = SerializeCompiledPresentation(*write.compiled);
+  std::string payload = write.payload;
   std::uint32_t crc = Crc32(payload);
   if (fault::Enabled()) {
     // Bit rot between write and read: the CRC is computed over the pristine

@@ -145,7 +145,11 @@ class PersistentCache {
                                                   const DescriptorStore& store);
 
   // Enqueues a write-behind commit of `compiled` under `key`. Returns false
-  // when the queue is full and the write was dropped.
+  // when the queue is full and the write was dropped. Serialization happens
+  // on the calling thread — `compiled` references nodes of the live document,
+  // which the caller only guarantees alive for the duration of this call
+  // (EditSession::Publish may swap the document out right after). The writer
+  // thread only ever sees the serialized bytes.
   bool Put(const MappingCacheKey& key, std::shared_ptr<const CompiledPresentation> compiled);
 
   // Blocks until every enqueued write has committed (or failed).
@@ -183,7 +187,7 @@ class PersistentCache {
 
   struct PendingWrite {
     MappingCacheKey key;
-    std::shared_ptr<const CompiledPresentation> compiled;
+    std::string payload;  // serialized at enqueue; owns every byte it commits
   };
 
   Status Recover();

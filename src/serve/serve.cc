@@ -67,6 +67,23 @@ Status ServeCorpus::AddDocument(std::string name, Document document,
   return Status::Ok();
 }
 
+Status ServeCorpus::UpdateDocument(std::size_t index, Document document) {
+  if (index >= documents_.size()) {
+    return OutOfRangeError(StrFormat("no corpus document #%zu", index));
+  }
+  ServeDocument& entry = *documents_[index];
+  CMIF_ASSIGN_OR_RETURN(std::string text, WriteDocument(document));
+  entry.document = std::move(document);
+  entry.document_hash = Fnv1a64Combine(Fnv1a64(text), index);
+  entry.channel_hash = HashChannels(entry.document.channels());
+  // Cached schedules hold Node pointers into the tree just replaced; the
+  // rehash makes those entries unreachable by key, and this (otherwise
+  // empty) write section bumps the store generation so even stale-tolerant
+  // readers see the slot as changed.
+  store_.WithWrite([](DescriptorStore&) { return 0; });
+  return Status::Ok();
+}
+
 StatusOr<std::unique_ptr<ServeCorpus>> BuildNewsCorpus(int documents, int max_stories,
                                                        std::uint64_t seed) {
   if (documents < 1 || max_stories < 1) {

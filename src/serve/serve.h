@@ -50,6 +50,13 @@ class ServeCorpus {
   Status AddDocument(std::string name, Document document, const DescriptorStore& catalog,
                      const BlockStore& blocks);
 
+  // Replaces the document in slot `index` (the edit-session publish path).
+  // Rehashes the slot's identity and bumps the shared-store generation, so
+  // every mapping-cache and persistent-cache entry compiled from the old
+  // revision becomes unreachable before it could be dereferenced. Callers
+  // must not race this with requests being served on the same slot.
+  Status UpdateDocument(std::size_t index, Document document);
+
   std::size_t size() const { return documents_.size(); }
   const ServeDocument& document(std::size_t i) const { return *documents_[i]; }
 

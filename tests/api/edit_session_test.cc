@@ -1,0 +1,254 @@
+#include "src/api/edit_session.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/doc/builder.h"
+#include "src/sched/conflict.h"
+#include "src/serve/serve.h"
+
+namespace cmif {
+namespace {
+
+namespace fs = std::filesystem;
+
+// seq of two rigid text events plus one lower-bound-only must arc a.end ->
+// b.begin — the smallest document where a retune stays on the dirty-cone
+// path.
+StatusOr<Document> TwoEventDoc() {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  builder.ImmText("a", "x").OnChannel("txt").WithDuration(MediaTime::Seconds(1));
+  builder.ImmText("b", "y").OnChannel("txt").WithDuration(MediaTime::Seconds(2));
+  builder.ToRoot();
+  SyncArc arc;
+  arc.source = *NodePath::Parse("a");
+  arc.dest = *NodePath::Parse("b");
+  arc.source_edge = ArcEdge::kEnd;
+  arc.max_delay = std::nullopt;  // unbounded window: retunes stay incremental
+  builder.Arc(arc);
+  return builder.Build();
+}
+
+std::unique_ptr<api::EditSession> MustOpen(const Document& document) {
+  DescriptorStore store;
+  auto session = api::EditSession::Open(document, store);
+  EXPECT_TRUE(session.ok()) << session.status();
+  return std::move(session).value();
+}
+
+// -- EditOp textual round trip ----------------------------------------------
+
+TEST(EditOpTest, FormatParseRoundTrip) {
+  const char* lines[] = {
+      "add-node /s e4 imm txt",
+      "add-node / part seq",
+      "remove-node /s/e4",
+      "add-arc / a end b begin must 1 -1/4 inf",
+      "add-arc /s x begin y end may 0 0 3/2",
+      "remove-arc /s 2",
+      "retune-arc / 0 1 -1/2 inf",
+      "retune-arc /s 3 0 0 5",
+  };
+  for (const char* line : lines) {
+    auto op = ParseEditOp(line);
+    ASSERT_TRUE(op.ok()) << line << ": " << op.status();
+    EXPECT_EQ(FormatEditOp(*op), line);
+    // Parse is a left inverse of Format, not just a string identity.
+    auto reparsed = ParseEditOp(FormatEditOp(*op));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(FormatEditOp(*reparsed), line);
+  }
+}
+
+TEST(EditOpTest, ParseRejectsMalformedLines) {
+  const char* bad[] = {
+      "frobnicate / 0",                          // unknown verb
+      "add-arc / a end b begin must 1 -1",       // missing max-delay
+      "retune-arc / zero 1 0 inf",               // non-numeric index
+      "add-node / e1 composite txt",             // unknown node kind
+      "add-arc / a middle b begin must 0 0 inf"  // bad edge name
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ParseEditOp(line).ok()) << line;
+  }
+  // Relative paths parse (syntax only) but are rejected when applied.
+  auto relative = ParseEditOp("add-node relative e1 imm txt");
+  ASSERT_TRUE(relative.ok());
+  Document doc(NodeKind::kSeq);
+  EXPECT_FALSE(ApplyEdit(doc, *relative).ok());
+}
+
+// -- Recompile deltas --------------------------------------------------------
+
+TEST(EditSessionTest, RetuneTakesTheIncrementalPath) {
+  auto doc = TwoEventDoc();
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  auto session = MustOpen(*doc);
+  EXPECT_EQ(session->generation(), 1u);
+
+  auto report = session->Apply("retune-arc / 0 2 0 inf");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(session->pending_ops(), 1u);
+  auto delta = session->Recompile();
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  EXPECT_EQ(delta->generation, 2u);
+  EXPECT_TRUE(delta->incremental);
+  EXPECT_FALSE(delta->structure_changed);
+  EXPECT_EQ(delta->ops_applied, 1u);
+  EXPECT_GT(delta->changed_points, 0u);
+
+  // The retuned offset actually moved the schedule: b now starts 2s after
+  // a's end instead of immediately.
+  auto b = session->document().root().Resolve(*NodePath::Parse("b"));
+  ASSERT_TRUE(b.ok());
+  auto begin = session->schedule().BeginOf(**b);
+  ASSERT_TRUE(begin.ok());
+  EXPECT_EQ(*begin, MediaTime::Seconds(3));
+}
+
+TEST(EditSessionTest, RecompileWithoutEditsIsANoOp) {
+  auto doc = TwoEventDoc();
+  ASSERT_TRUE(doc.ok());
+  auto session = MustOpen(*doc);
+  auto delta = session->Recompile();
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->generation, 1u);
+  EXPECT_EQ(delta->ops_applied, 0u);
+  EXPECT_EQ(session->generation(), 1u);
+}
+
+TEST(EditSessionTest, ArcAddAndRemoveAreStructural) {
+  auto doc = TwoEventDoc();
+  ASSERT_TRUE(doc.ok());
+  auto session = MustOpen(*doc);
+
+  ASSERT_TRUE(session->Apply("add-arc / a begin b begin must 2 0 inf").ok());
+  auto added = session->Recompile();
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_TRUE(added->structure_changed);
+  EXPECT_EQ(added->generation, 2u);
+
+  ASSERT_TRUE(session->Apply("remove-arc / 1").ok());
+  auto removed = session->Recompile();
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_TRUE(removed->structure_changed);
+  EXPECT_EQ(removed->generation, 3u);
+  EXPECT_EQ(session->document().root().arcs().size(), 1u);
+}
+
+TEST(EditSessionTest, NodeSurgeryRebuildsAndStaysCorrect) {
+  auto doc = TwoEventDoc();
+  ASSERT_TRUE(doc.ok());
+  auto session = MustOpen(*doc);
+  ASSERT_TRUE(session->Apply("add-node / c imm txt").ok());
+  auto delta = session->Recompile();
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  EXPECT_TRUE(delta->structure_changed);
+  EXPECT_FALSE(delta->incremental);  // node surgery renumbers points
+  auto c = session->document().root().Resolve(*NodePath::Parse("c"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(session->schedule().BeginOf(**c).ok());
+}
+
+// -- Structured conflict surfacing -------------------------------------------
+
+TEST(EditSessionTest, InfeasibleEditSurfacesParseableConflict) {
+  auto doc = TwoEventDoc();
+  ASSERT_TRUE(doc.ok());
+  auto session = MustOpen(*doc);
+
+  // b must begin exactly 1s before... a, which the seq/channel order forbids.
+  ASSERT_TRUE(session->Apply("add-arc / b begin a begin must 1 0 0").ok());
+  auto delta = session->Recompile();
+  ASSERT_FALSE(delta.ok());
+  EXPECT_EQ(delta.status().code(), StatusCode::kFailedPrecondition);
+  auto conflict = ConflictFromStatus(delta.status());
+  ASSERT_TRUE(conflict.ok()) << delta.status();
+  EXPECT_FALSE(conflict->cycle.empty());
+
+  // The session keeps its last-good schedule and generation...
+  EXPECT_EQ(session->generation(), 1u);
+  // ...and recovers once the contradiction is edited away.
+  ASSERT_TRUE(session->Apply("remove-arc / 1").ok());
+  auto recovered = session->Recompile();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->generation, 2u);
+}
+
+TEST(ConflictStatusTest, ToStatusFromStatusRoundTrip) {
+  Conflict conflict;
+  conflict.cls = ConflictClass::kAuthoring;
+  conflict.description = "the document's synchronization constraints contradict each other";
+  conflict.cycle = {"arc a -> b on /", "duration of /b", "channel 'txt' order /a -> /b"};
+  Status status = ConflictToStatus(conflict);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  auto parsed = ConflictFromStatus(status);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->cls, conflict.cls);
+  EXPECT_EQ(parsed->description, conflict.description);
+  EXPECT_EQ(parsed->cycle, conflict.cycle);
+  // Non-conflict statuses are rejected, not misparsed.
+  EXPECT_FALSE(ConflictFromStatus(Status::Ok()).ok());
+  EXPECT_FALSE(ConflictFromStatus(InvalidArgumentError("nope")).ok());
+  EXPECT_FALSE(ConflictFromStatus(FailedPreconditionError("plain failure")).ok());
+}
+
+// -- Publish: cache invalidation through the serve stack ----------------------
+
+TEST(EditSessionTest, PublishInvalidatesMappingAndPersistentCaches) {
+  auto corpus = BuildNewsCorpus(1);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  const fs::path dir = fs::temp_directory_path() / "cmif_edit_session_pcache";
+  fs::remove_all(dir);
+  ServeOptions options;
+  options.threads = 1;
+  options.cache_dir = dir.string();
+  {
+    ServeLoop loop(**corpus, options);
+    ASSERT_NE(loop.pcache(), nullptr);
+
+    ServeRequest request;
+    ServeResponse first = loop.Serve(request);
+    ASSERT_TRUE(first.served());
+    EXPECT_FALSE(first.cache_hit);
+    ServeResponse second = loop.Serve(request);
+    ASSERT_TRUE(second.served());
+    EXPECT_TRUE(second.cache_hit);
+
+    const std::uint64_t old_hash = (*corpus)->document(0).document_hash;
+    const std::uint64_t old_generation = (*corpus)->store().generation();
+
+    // Edit the served document and publish the new revision into slot 0.
+    DescriptorStore store =
+        (*corpus)->store().WithRead([](const DescriptorStore& s) { return s; });
+    auto session = api::EditSession::Open((*corpus)->document(0).document, store);
+    ASSERT_TRUE(session.ok()) << session.status();
+    ASSERT_TRUE((*session)->Apply("add-node / epilogue imm caption").ok());
+    ASSERT_TRUE((*session)->Recompile().ok());
+    ASSERT_TRUE((*session)->Publish(**corpus, 0).ok());
+
+    // The slot's identity changed, so every cached compile of the old revision
+    // is unreachable: the next request misses both tiers and recompiles.
+    EXPECT_NE((*corpus)->document(0).document_hash, old_hash);
+    EXPECT_GT((*corpus)->store().generation(), old_generation);
+    ServeResponse republished = loop.Serve(request);
+    ASSERT_TRUE(republished.served()) << republished.error;
+    EXPECT_FALSE(republished.cache_hit);
+    EXPECT_FALSE(republished.disk_hit);
+    // The republished revision caches normally from then on.
+    ServeResponse warm = loop.Serve(request);
+    ASSERT_TRUE(warm.served());
+    EXPECT_TRUE(warm.cache_hit);
+  }
+  // The loop (and with it the write-behind committer) is down; the directory
+  // can be removed without racing an in-flight commit.
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -1,0 +1,313 @@
+#include "src/sched/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/doc/builder.h"
+#include "src/doc/event.h"
+#include "src/gen/docgen.h"
+#include "src/sched/solver.h"
+
+namespace cmif {
+namespace {
+
+struct Compiled {
+  Document doc{NodeKind::kSeq};
+  std::vector<EventDescriptor> events;
+  TimeGraph graph = *TimeGraph::Build(Document(), {});
+};
+
+Compiled Compile(StatusOr<Document> doc_or) {
+  Compiled c;
+  EXPECT_TRUE(doc_or.ok()) << doc_or.status();
+  c.doc = std::move(doc_or).value();
+  auto events = CollectEvents(c.doc, nullptr);
+  EXPECT_TRUE(events.ok()) << events.status();
+  c.events = std::move(events).value();
+  auto graph = TimeGraph::Build(c.doc, c.events);
+  EXPECT_TRUE(graph.ok()) << graph.status();
+  c.graph = std::move(graph).value();
+  return c;
+}
+
+// seq of three rigid events. Each fixed duration is an equality weld, and
+// the seq join welds the root's end onto the last child's end; everything
+// else (seq/channel order) is lower-bound-only and stays acyclic.
+StatusOr<Document> ChainDoc() {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  for (int i = 0; i < 3; ++i) {
+    builder.ImmText(std::string(1, static_cast<char>('a' + i)), "x")
+        .OnChannel("txt")
+        .WithDuration(MediaTime::Seconds(i + 1));
+  }
+  return builder.Build();
+}
+
+// Same chain plus a finite window b -> c: the window's forward+backward edge
+// pair welds the two events into one rigid cluster.
+StatusOr<Document> WindowDoc() {
+  DocBuilder builder;
+  builder.DefineChannel("txt", MediaType::kText);
+  for (int i = 0; i < 3; ++i) {
+    builder.ImmText(std::string(1, static_cast<char>('a' + i)), "x")
+        .OnChannel("txt")
+        .WithDuration(MediaTime::Seconds(i + 1));
+  }
+  builder.ToRoot();
+  SyncArc window;
+  window.source = *NodePath::Parse("b");
+  window.dest = *NodePath::Parse("c");
+  window.source_edge = ArcEdge::kEnd;
+  window.max_delay = MediaTime::Seconds(2);
+  builder.Arc(window);
+  return builder.Build();
+}
+
+void ExpectSameLabels(const SolveResult& a, const SolveResult& b) {
+  ASSERT_EQ(a.feasible, b.feasible);
+  if (!a.feasible) {
+    ASSERT_FALSE(a.conflict_cycle.empty());
+    EXPECT_EQ(a.conflict_cycle, b.conflict_cycle);
+    return;
+  }
+  ASSERT_EQ(a.earliest.size(), b.earliest.size());
+  for (std::size_t i = 0; i < a.earliest.size(); ++i) {
+    EXPECT_EQ(a.earliest[i], b.earliest[i]) << "earliest[" << i << "]";
+    EXPECT_EQ(a.latest[i], b.latest[i]) << "latest[" << i << "]";
+  }
+}
+
+// -- SccCondensation goldens ------------------------------------------------
+
+std::vector<std::size_t> SortedComponentSizes(const SccCondensation& scc) {
+  std::vector<std::size_t> sizes;
+  for (const auto& members : scc.members) {
+    sizes.push_back(members.size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+TEST(SccCondensationTest, RigidLeavesWeldBeginEndPairs) {
+  Compiled c = Compile(ChainDoc());
+  SccCondensation scc = SccCondensation::Build(c.graph);
+  // 8 points -> 4 rigid clusters: the root begin alone, a and b welded into
+  // begin/end pairs by their fixed durations, and c's pair plus the root end
+  // (seq join equality) as a three-point cluster.
+  EXPECT_EQ(scc.comp_count, 4u);
+  EXPECT_EQ(SortedComponentSizes(scc), (std::vector<std::size_t>{1, 2, 2, 3}));
+}
+
+TEST(SccCondensationTest, FiniteWindowWeldsOneComponent) {
+  Compiled c = Compile(WindowDoc());
+  SccCondensation scc = SccCondensation::Build(c.graph);
+  // The finite b->c window pairs a forward edge with a backward one, fusing
+  // b's two-point weld with c's three-point cluster: {1,2,2,3} becomes
+  // {1,2,5}.
+  EXPECT_EQ(scc.comp_count, 3u);
+  EXPECT_EQ(SortedComponentSizes(scc), (std::vector<std::size_t>{1, 2, 5}));
+}
+
+TEST(SccCondensationTest, ComponentIdsAreReverseTopological) {
+  Compiled c = Compile(WindowDoc());
+  SccCondensation scc = SccCondensation::Build(c.graph);
+  // Backward orientation: every enabled constraint contributes from -> to,
+  // so a cross-component constraint must satisfy comp[from] > comp[to].
+  for (std::size_t i = 0; i < c.graph.constraints().size(); ++i) {
+    const Constraint& constraint = c.graph.constraints()[i];
+    if (c.graph.IsDisabled(i)) {
+      continue;
+    }
+    int cf = scc.comp[static_cast<std::size_t>(constraint.from)];
+    int ct = scc.comp[static_cast<std::size_t>(constraint.to)];
+    if (cf != ct) {
+      EXPECT_GT(cf, ct) << constraint.label;
+    }
+  }
+}
+
+TEST(SccCondensationTest, SamePartitionIgnoresNumberingButNotGrouping) {
+  Compiled chain = Compile(ChainDoc());
+  Compiled window = Compile(WindowDoc());
+  SccCondensation a = SccCondensation::Build(chain.graph);
+  SccCondensation b = SccCondensation::Build(window.graph);
+  EXPECT_TRUE(a.SamePartition(a));
+  EXPECT_TRUE(b.SamePartition(b));
+  EXPECT_FALSE(a.SamePartition(b));
+}
+
+// -- Condensed full solve == direct solve ------------------------------------
+
+TEST(IncrementalSolverTest, CondensedStrategyMatchesDirectAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    GenOptions options;
+    options.target_leaves = 24;
+    options.arcs_per_composite = 1.2;
+    options.tight_windows = (seed % 2) == 0;  // alternate feasible/conflicted
+    options.seed = seed;
+    auto workload = GenerateRandomDocument(options);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+    auto events = CollectEvents(workload->document, &workload->store);
+    ASSERT_TRUE(events.ok()) << events.status();
+    auto graph = TimeGraph::Build(workload->document, *events);
+    ASSERT_TRUE(graph.ok()) << graph.status();
+    SolveOptions condensed;
+    condensed.strategy = SolveOptions::Strategy::kCondensed;
+    ExpectSameLabels(Solve(*graph, condensed), SolveStn(*graph));
+  }
+}
+
+// -- Dirty-cone resolves -----------------------------------------------------
+
+TEST(IncrementalSolverTest, RetuneResolvesOnlyTheDirtyCone) {
+  Compiled c = Compile(ChainDoc());
+  IncrementalSolver solver(c.graph);
+  ASSERT_TRUE(solver.FullSolve().feasible);
+  ASSERT_TRUE(solver.tick_mode());
+  EXPECT_FALSE(solver.last_incremental());
+  EXPECT_EQ(solver.last_cone_points(), c.graph.point_count());
+  SolveResult before = solver.result();
+
+  // Retune the last event's duration weld: only c's end (and the root end
+  // hanging off it) is downstream, so the cone must exclude a/b entirely.
+  auto node = c.doc.root().Resolve(*NodePath::Parse("c"));
+  ASSERT_TRUE(node.ok());
+  std::size_t touched = c.graph.constraints().size();
+  auto begin = c.graph.PointOf(**node, PointKind::kBegin);
+  auto end = c.graph.PointOf(**node, PointKind::kEnd);
+  ASSERT_TRUE(begin.ok() && end.ok());
+  for (std::size_t i = 0; i < c.graph.constraints().size(); ++i) {
+    const Constraint& constraint = c.graph.constraints()[i];
+    if (constraint.from == *begin && constraint.to == *end) {
+      touched = i;
+      break;
+    }
+  }
+  ASSERT_LT(touched, c.graph.constraints().size());
+  const Constraint& weld = c.graph.constraints()[touched];
+  ASSERT_TRUE(c.graph
+                  .UpdateConstraintBounds(touched, MediaTime::Seconds(4),
+                                          MediaTime::Seconds(4), weld.label)
+                  .ok());
+  const SolveResult& after = solver.ResolveRetuned({touched});
+  ASSERT_TRUE(after.feasible);
+  EXPECT_TRUE(solver.last_incremental());
+  EXPECT_LT(solver.last_cone_points(), c.graph.point_count());
+  // The cone bound shows in the work counters too: the warm re-solve must
+  // propagate strictly less than the full solve of the same mutated graph.
+  SolveResult full_again = SolveStn(c.graph);
+  EXPECT_LT(after.stats.propagations, full_again.stats.propagations);
+
+  // Out-of-cone labels are byte-identical to the previous solve; the fresh
+  // solve of the mutated graph agrees everywhere.
+  SolveResult fresh = SolveStn(c.graph);
+  ASSERT_TRUE(fresh.feasible);
+  for (std::size_t i = 0; i < fresh.earliest.size(); ++i) {
+    EXPECT_EQ(after.earliest[i], fresh.earliest[i]) << "earliest[" << i << "]";
+    EXPECT_EQ(after.latest[i], fresh.latest[i]) << "latest[" << i << "]";
+  }
+  auto begin_a = c.graph.PointOf(*c.doc.root().Resolve(*NodePath::Parse("a")).value(),
+                                 PointKind::kBegin);
+  ASSERT_TRUE(begin_a.ok());
+  EXPECT_EQ(after.earliest[static_cast<std::size_t>(*begin_a)],
+            before.earliest[static_cast<std::size_t>(*begin_a)]);
+}
+
+TEST(IncrementalSolverTest, WarmStartMatchesScratchUnderEditStorm) {
+  GenOptions options;
+  options.target_leaves = 30;
+  options.arcs_per_composite = 1.5;
+  options.tight_windows = false;
+  options.seed = 7;
+  auto workload = GenerateRandomDocument(options);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  auto events = CollectEvents(workload->document, &workload->store);
+  ASSERT_TRUE(events.ok());
+  auto graph = TimeGraph::Build(workload->document, *events);
+  ASSERT_TRUE(graph.ok());
+  IncrementalSolver solver(*graph);
+  ASSERT_TRUE(solver.FullSolve().feasible);
+
+  // Storm: retune every explicit-arc constraint in turn, widening its lower
+  // bound, and check the warm-started labels against a from-scratch solve of
+  // the same mutated graph after every step.
+  int retunes = 0;
+  for (std::size_t i = 0; i < graph->constraints().size(); ++i) {
+    const Constraint& constraint = graph->constraints()[i];
+    if (constraint.origin != ConstraintOrigin::kExplicitArc || graph->IsDisabled(i) ||
+        constraint.hi.has_value()) {
+      continue;
+    }
+    MediaTime lo = constraint.lo - MediaTime::Rational(retunes % 3 + 1, 4);
+    ASSERT_TRUE(graph->UpdateConstraintBounds(i, lo, std::nullopt, constraint.label).ok());
+    const SolveResult& warm = solver.ResolveRetuned({i});
+    ExpectSameLabels(warm, SolveStn(*graph));
+    ++retunes;
+  }
+  ASSERT_GT(retunes, 0) << "generated document carried no retunable arcs";
+}
+
+TEST(IncrementalSolverTest, InfeasibleRetuneFallsBackToCanonicalCycle) {
+  Compiled c = Compile(WindowDoc());
+  IncrementalSolver solver(c.graph);
+  ASSERT_TRUE(solver.FullSolve().feasible);
+
+  // Retune the window into contradiction: forcing c to begin strictly
+  // before b ends fights the channel-order constraint (c after b), closing
+  // a negative cycle.
+  std::size_t window = c.graph.constraints().size();
+  for (std::size_t i = 0; i < c.graph.constraints().size(); ++i) {
+    if (c.graph.constraints()[i].origin == ConstraintOrigin::kExplicitArc) {
+      window = i;
+      break;
+    }
+  }
+  ASSERT_LT(window, c.graph.constraints().size());
+  ASSERT_TRUE(c.graph
+                  .UpdateConstraintBounds(window, MediaTime::Seconds(-1),
+                                          MediaTime::Seconds(-1),
+                                          c.graph.constraints()[window].label)
+                  .ok());
+  const SolveResult& warm = solver.ResolveRetuned({window});
+  ASSERT_FALSE(warm.feasible);
+  EXPECT_FALSE(solver.last_incremental());
+  // The reported cycle is canonical: exactly what a direct solve reports.
+  SolveResult direct = SolveStn(c.graph);
+  ASSERT_FALSE(direct.feasible);
+  EXPECT_EQ(warm.conflict_cycle, direct.conflict_cycle);
+}
+
+TEST(IncrementalSolverTest, StructuralEditRecondensesOrFallsBack) {
+  Compiled c = Compile(ChainDoc());
+  IncrementalSolver solver(c.graph);
+  ASSERT_TRUE(solver.FullSolve().feasible);
+  SccCondensation before = solver.condensation();
+
+  // Appending a lower-bound-only arc keeps every component a singleton: the
+  // partition survives and the resolve stays incremental.
+  auto a = c.doc.root().Resolve(*NodePath::Parse("a"));
+  auto b = c.doc.root().Resolve(*NodePath::Parse("b"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto from = c.graph.PointOf(**a, PointKind::kBegin);
+  auto to = c.graph.PointOf(**b, PointKind::kBegin);
+  ASSERT_TRUE(from.ok() && to.ok());
+  Constraint added;
+  added.from = *from;
+  added.to = *to;
+  added.lo = MediaTime::Seconds(1);
+  added.origin = ConstraintOrigin::kExplicitArc;
+  added.label = "test arc a->b";
+  ASSERT_TRUE(c.graph.AddConstraint(added).ok());
+  const SolveResult& warm = solver.ResolveStructural({c.graph.constraints().size() - 1});
+  ASSERT_TRUE(warm.feasible);
+  EXPECT_TRUE(solver.last_incremental());
+  EXPECT_TRUE(before.SamePartition(solver.condensation()));
+  ExpectSameLabels(warm, SolveStn(c.graph));
+}
+
+}  // namespace
+}  // namespace cmif

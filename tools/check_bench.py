@@ -43,6 +43,14 @@ Knobs (flag wins over env, env over default):
         cold compiles. Below the floor the disk tier has stopped paying
         for itself — reads failing verification and silently recompiling
         look healthy everywhere except here.
+  --min-edit-speedup / CMIF_MIN_EDIT_SPEEDUP
+        floor for fig17_edit.edit_speedup in the CURRENT run (default
+        10): a single-arc retune through the EditSession dirty-cone path
+        must recompile at least this many times faster than the
+        from-scratch compile an editor without incrementality pays.
+        Below the floor the warm start has silently degraded into full
+        re-solves — correct (the differential harness proves that) but
+        pointless.
   CMIF_SKIP_BENCH_GATE=1               report but always exit 0; escape
         hatch for PRs that intentionally trade wall time for a feature —
         use it in the workflow env and say why in the PR description.
@@ -99,6 +107,10 @@ def main():
                         default=env_float("CMIF_MIN_SHED_RATE", 0.001),
                         help="floor for fig13_net.shed_rate under the"
                              " overload flood (default 0.001)")
+    parser.add_argument("--min-edit-speedup", type=float,
+                        default=env_float("CMIF_MIN_EDIT_SPEEDUP", 10.0),
+                        help="floor for fig17_edit.edit_speedup in the "
+                             "current run")
     parser.add_argument("--min-restart-speedup", type=float,
                         default=env_float("CMIF_MIN_RESTART_SPEEDUP", 10.0),
                         help="floor for fig16_restart.restart_speedup"
@@ -208,13 +220,30 @@ def main():
         print("  [absent ] fig16_restart.restart_speedup: "
               "not in current run, restart floor not gated")
 
+    # Absolute edit-loop budget: fig17 replays a single-arc retune trace
+    # through api::EditSession and prices the dirty-cone recompile against a
+    # from-scratch compile of the same edit — gated on the current run alone.
+    edit_violations = []
+    edit_speedup = current.get("fig17_edit", {}).get("edit_speedup")
+    if isinstance(edit_speedup, (int, float)):
+        tag = "ok"
+        if edit_speedup < args.min_edit_speedup:
+            tag = "REGRESS"
+            edit_violations.append(edit_speedup)
+        print(f"  [{tag:<7}] fig17_edit.edit_speedup: "
+              f"x{edit_speedup:.2f} (floor x{args.min_edit_speedup:g})")
+    else:
+        print("  [absent ] fig17_edit.edit_speedup: "
+              "not in current run, edit floor not gated")
+
     print(f"check_bench: {compared} timings compared, "
           f"{len(regressions)} over the {args.threshold:g}% threshold, "
           f"{len(overhead_violations)} obs-budget violations, "
           f"{len(overload_violations)} overload-budget violations, "
-          f"{len(restart_violations)} restart-budget violations")
+          f"{len(restart_violations)} restart-budget violations, "
+          f"{len(edit_violations)} edit-budget violations")
     failures = bool(regressions or overhead_violations or overload_violations
-                    or restart_violations)
+                    or restart_violations or edit_violations)
     if failures and os.environ.get("CMIF_SKIP_BENCH_GATE") == "1":
         print("check_bench: CMIF_SKIP_BENCH_GATE=1 set — reporting only")
         return 0

@@ -5,11 +5,16 @@
 //   cmif_tool sample-news [stories]          write news.cmif + news.catalog
 //   cmif_tool check <doc> [catalog]          validate + statistics
 //   cmif_tool check [--count N] [--seed S] [--seeds a,b,c] [--leaves L]
-//                   [--no-shrink] [--shrink-dir D] [--replay <file|dir>]
-//                                            differential conformance run
+//                   [--edits N] [--no-shrink] [--shrink-dir D]
+//                   [--replay <file|dir>]    differential conformance run
+//                                            (--edits replays seeded edit
+//                                            traces through EditSession)
 //   cmif_tool tree <doc>                     Figure-5 views
 //   cmif_tool arcs <doc>                     Figure-9 arc table
 //   cmif_tool schedule <doc> [catalog]       timeline (Figure 3/10 view)
+//   cmif_tool edit <doc> [catalog] --ops <file> [--out FILE] [--timeline]
+//                                            apply an edit script with
+//                                            incremental recompiles
 //   cmif_tool play <doc> <catalog> [profile] simulate playback, print trace
 //   cmif_tool render <doc> <catalog> <sec> <out.ppm>   compose one frame
 //   cmif_tool profile <doc> <catalog> [profile] [--trace out.json] [--metrics out.jsonl]
@@ -226,6 +231,8 @@ int CmdConformance(const std::vector<std::string>& args) {
       options.count = static_cast<int>(*value);
     } else if (args[i] == "--leaves" && (value = long_after(i))) {
       options.target_leaves = static_cast<int>(*value);
+    } else if (args[i] == "--edits" && (value = long_after(i))) {
+      options.edits = static_cast<int>(*value);
     } else if (args[i] == "--seed" && i + 1 < args.size()) {
       std::optional<std::uint64_t> seed = ParseSeed(args[++i]);
       if (!seed) {
@@ -332,6 +339,101 @@ int CmdSchedule(const std::string& doc_path, const std::string& catalog_path) {
   std::cout << TimelineView(result->schedule.ToTimelineRows(*doc));
   std::cout << TimelineTable(result->schedule.ToTimelineRows(*doc));
   return kExitOk;
+}
+
+// edit <doc> [catalog] --ops <file> : drive an api::EditSession over an op
+// script (one op per line, '#' comments) and recompile incrementally after
+// every op. Conflicts are reported with their blame class and constraint
+// cycle; the session keeps its last-good schedule and later ops may fix it.
+int CmdEdit(const std::vector<std::string>& args) {
+  std::string ops_path, out_path;
+  bool timeline = false;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--ops" && i + 1 < args.size()) {
+      ops_path = args[++i];
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i] == "--timeline") {
+      timeline = true;
+    } else if (args[i].rfind("--", 0) == 0) {
+      return BadFlag("edit: unknown flag '" + args[i] + "'");
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.empty() || positional.size() > 2 || ops_path.empty()) {
+    return BadFlag("edit: usage is edit <doc> [catalog] --ops <file> [--out FILE] [--timeline]");
+  }
+  auto doc = LoadDocumentFile(positional[0]);
+  if (!doc.ok()) {
+    return Fail(doc.status());
+  }
+  auto store = LoadCatalogFile(positional.size() > 1 ? positional[1] : "");
+  if (!store.ok()) {
+    return Fail(store.status());
+  }
+  auto ops_text = ReadFile(ops_path);
+  if (!ops_text.ok()) {
+    return Fail(ops_text.status());
+  }
+  auto session = api::EditSession::Open(*doc, *store);
+  if (!session.ok()) {
+    return Fail(session.status());
+  }
+  std::size_t applied = 0;
+  std::size_t conflicts = 0;
+  for (const std::string& raw : SplitString(*ops_text, '\n')) {
+    std::string line(TrimString(raw));
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    auto report = (*session)->Apply(line);
+    if (!report.ok()) {
+      return Fail(report.status());
+    }
+    ++applied;
+    for (const DroppedArc& dropped : report->dropped_arcs) {
+      std::cout << "dropped arc on " << dropped.owner_path << ": " << dropped.reason << "\n";
+    }
+    auto delta = (*session)->Recompile();
+    if (!delta.ok()) {
+      auto conflict = api::ConflictFromStatus(delta.status());
+      if (!conflict.ok()) {
+        return Fail(delta.status());
+      }
+      ++conflicts;
+      std::cout << "CONFLICT [" << ConflictClassName(conflict->cls) << "] "
+                << conflict->description << "\n";
+      for (const std::string& label : conflict->cycle) {
+        std::cout << "  " << label << "\n";
+      }
+      continue;
+    }
+    std::cout << StrFormat("rev %llu %s: %zu point(s) relabelled, %zu propagation(s)  # %s\n",
+                           static_cast<unsigned long long>(delta->generation),
+                           delta->incremental ? "incremental" : "full", delta->changed_points,
+                           delta->stats.propagations, line.c_str());
+    for (const std::string& label : delta->dropped_arcs) {
+      std::cout << "dropped may-arc: " << label << "\n";
+    }
+  }
+  std::cout << "applied " << applied << " op(s), " << conflicts << " conflict(s); generation "
+            << (*session)->generation() << "\n";
+  if (timeline) {
+    std::cout << TimelineView((*session)->schedule().ToTimelineRows((*session)->document()));
+  }
+  if (!out_path.empty()) {
+    auto text = WriteDocument((*session)->document());
+    if (!text.ok()) {
+      return Fail(text.status());
+    }
+    if (Status s = WriteFile(out_path, *text); !s.ok()) {
+      return Fail(s);
+    }
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return conflicts == 0 ? kExitOk : kExitFailure;
 }
 
 int CmdPlay(const std::string& doc_path, const std::string& catalog_path,
@@ -910,8 +1012,9 @@ int Usage() {
   std::cerr << "usage: cmif_tool <sample-news [stories] | check <doc> [catalog] | tree <doc> |"
                " arcs <doc> |\n"
                "                  check [--count N] [--seed S] [--seeds a,b,c] [--leaves L]"
-               " [--no-shrink] [--shrink-dir D] [--replay <file|dir>] |\n"
+               " [--edits N] [--no-shrink] [--shrink-dir D] [--replay <file|dir>] |\n"
                "                  schedule <doc> [catalog] | play <doc> <catalog> [profile] |\n"
+               "                  edit <doc> [catalog] --ops <file> [--out FILE] [--timeline] |\n"
                "                  render <doc> <catalog> <seconds> <out.ppm> |\n"
                "                  profile <doc> <catalog> [profile] [--trace out.json]"
                " [--metrics out.jsonl] |\n"
@@ -953,6 +1056,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "schedule" && argc >= 3) {
     return CmdSchedule(arg(2), arg(3));
+  }
+  if (command == "edit" && argc >= 3) {
+    return CmdEdit(std::vector<std::string>(argv + 2, argv + argc));
   }
   if (command == "play" && argc >= 4) {
     return CmdPlay(arg(2), arg(3), arg(4));
