@@ -1,0 +1,338 @@
+// Figure 18 (beyond the paper) — streamed delivery: time-to-first-frame.
+// The paper's transportable documents travel as one blob: nothing plays
+// until the last byte lands. Chunked wire-v4 delivery streams the same
+// bytes in the schedule's must-start order behind a solved-schedule prefix,
+// so playback begins as soon as the start-of-show content has arrived
+// (src/serve/prefetch.h, src/net/stream.h). The figure prices that on the
+// flagship news document:
+//
+//   ttff_speedup        — time-to-first-frame, full-blob over streamed, on
+//                         a bandwidth-constrained link. Gated absolutely in
+//                         CI (>= 5x, tools/check_bench.py
+//                         --min-ttff-speedup); the ratio is a property of
+//                         the delivery order, independent of the link rate.
+//   stalls_fast         — playback stalls when the link meets the
+//                         schedule's peak demand: must be zero (the bench
+//                         aborts otherwise).
+//   stalls_constrained  — stalls on a link at half the demand, with the
+//                         total stall time: the price of playing while the
+//                         transfer is still behind.
+//   bytes_ratio         — streamed payload bytes over blob block bytes
+//                         across a real loopback round trip: streaming must
+//                         never fetch more than blob delivery (aborts if
+//                         the ratio exceeds 1).
+//
+// The src/check stream differential (cmif_tool check --stream) is what
+// proves streamed delivery byte- and tick-identical to the blob; this
+// figure only prices it. Wire and chunk codec costs ride on real loopback
+// round trips; the link itself is modelled (byte n arrives at n/bandwidth)
+// because a real socket cannot be throttled deterministically.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/api/cmif.h"
+#include "src/player/engine.h"
+
+namespace cmif {
+namespace {
+
+// One compiled news document plus the prefetch plan both delivery paths
+// share, and a live loopback server to round-trip it through.
+struct Rig {
+  std::unique_ptr<ServeCorpus> corpus;
+  std::unique_ptr<ServeLoop> loop;
+  std::unique_ptr<api::NetServer> server;
+  CompiledPresentation presentation;
+  StreamPlan plan;
+};
+
+Rig MustBuildRig() {
+  Rig rig;
+  auto corpus = api::BuildNewsCorpus(1);
+  if (!corpus.ok()) {
+    std::cerr << "fig18: " << corpus.status() << "\n";
+    std::abort();
+  }
+  rig.corpus = std::move(*corpus);
+  PipelineOptions options;
+  options.profile = WorkstationProfile();
+  auto report = rig.corpus->store().WithRead([&](const DescriptorStore& store) {
+    return rig.corpus->blocks().WithRead([&](const BlockStore& blocks) {
+      return api::Compile(rig.corpus->document(0).document, store, blocks, options);
+    });
+  });
+  if (!report.ok()) {
+    std::cerr << "fig18: " << report.status() << "\n";
+    std::abort();
+  }
+  rig.presentation.map = report->presentation_map;
+  rig.presentation.filter = report->filter;
+  rig.presentation.schedule = report->schedule;
+  auto plan = rig.corpus->store().WithRead([&](const DescriptorStore& store) {
+    return rig.corpus->blocks().WithRead([&](const BlockStore& blocks) {
+      return api::BuildStreamPlan(rig.presentation, store, blocks, WorkstationProfile());
+    });
+  });
+  if (!plan.ok() || plan->blocks.empty()) {
+    std::cerr << "fig18: stream plan failed or empty\n";
+    std::abort();
+  }
+  rig.plan = std::move(*plan);
+
+  ServeOptions serve_options;
+  serve_options.threads = 2;
+  rig.loop = std::make_unique<ServeLoop>(*rig.corpus, serve_options);
+  rig.server = std::make_unique<api::NetServer>(*rig.loop);
+  if (Status started = rig.server->Start(); !started.ok()) {
+    std::cerr << "fig18: " << started << "\n";
+    std::abort();
+  }
+  return rig;
+}
+
+api::NetClient ClientFor(const Rig& rig) {
+  api::NetClientOptions options;
+  options.port = rig.server->port();
+  return api::NetClient(options);
+}
+
+api::PresentRequest NewsRequest(const Rig& rig) {
+  api::PresentRequest request;
+  request.document = rig.corpus->document(0).name;
+  request.profile = "workstation";
+  return request;
+}
+
+// The link's demand: the smallest bandwidth at which every block's last
+// byte can land by its first need (blocks needed at the start of the show
+// are excluded — no finite link delivers them "by t=0"; they are exactly
+// what time-to-first-frame waits for).
+double DemandBytesPerSecond(const StreamPlan& plan) {
+  double demand = 0;
+  for (const PrefetchBlock& block : plan.blocks) {
+    double need_s = block.first_need.ToSecondsF();
+    if (need_s <= 0) {
+      continue;
+    }
+    double through = static_cast<double>(block.offset + block.bytes);
+    demand = std::max(demand, through / need_s);
+  }
+  return demand;
+}
+
+// Bytes that must land before the first frame can show: the presentation
+// prefix plus every block the schedule needs at its earliest event.
+std::uint64_t FirstFrameBytes(const StreamPlan& plan, std::uint64_t prefix_bytes) {
+  MediaTime min_need = plan.blocks.front().first_need;
+  for (const PrefetchBlock& block : plan.blocks) {
+    min_need = std::min(min_need, block.first_need);
+  }
+  std::uint64_t through = 0;
+  for (const PrefetchBlock& block : plan.blocks) {
+    if (block.first_need == min_need) {
+      through = std::max(through, block.offset + block.bytes);
+    }
+  }
+  return prefix_bytes + through;
+}
+
+struct StallRun {
+  std::size_t stalls = 0;
+  double stall_ms = 0;
+};
+
+// Plays the document with byte n of the stream arriving at n/bandwidth,
+// the clock starting when the first-frame bytes have landed (the streamed
+// client's play-while-loading start), and counts engine stalls.
+StallRun PlayAtBandwidth(const Rig& rig, std::int64_t bandwidth_bytes_per_s,
+                         std::uint64_t prefix_bytes) {
+  MediaTime start = MediaTime::Bytes(
+      static_cast<std::int64_t>(FirstFrameBytes(rig.plan, prefix_bytes)),
+      bandwidth_bytes_per_s);
+  std::map<std::string, MediaTime> arrival;
+  for (const PrefetchBlock& block : rig.plan.blocks) {
+    arrival.emplace(block.descriptor_id,
+                    MediaTime::Bytes(static_cast<std::int64_t>(prefix_bytes + block.offset +
+                                                               block.bytes),
+                                     bandwidth_bytes_per_s) -
+                        start);
+  }
+  PlayerOptions options;
+  options.profile = WorkstationProfile();
+  options.enable_freeze = true;
+  options.block_arrival = [&arrival](const EventDescriptor& event) {
+    auto it = arrival.find(event.descriptor_id);
+    return it == arrival.end() ? MediaTime() : it->second;
+  };
+  auto run = rig.corpus->store().WithRead([&](const DescriptorStore& store) {
+    return Play(rig.corpus->document(0).document, rig.presentation.schedule.schedule,
+                &store, options);
+  });
+  if (!run.ok()) {
+    std::cerr << "fig18: playback failed: " << run.status() << "\n";
+    std::abort();
+  }
+  return {run->stalls, run->stall_total.ToSecondsF() * 1000.0};
+}
+
+void PrintFigure(const std::string& bench_json) {
+  Rig rig = MustBuildRig();
+  api::NetClient client = ClientFor(rig);
+
+  // ---- real loopback round trips: byte accounting + wall-clock -----------
+  // Best of three for each path: one 3 MB transfer is a single sample, and
+  // the regression gate compares these against a baseline run.
+  api::PresentRequest blob_request = NewsRequest(rig);
+  blob_request.want_blocks = true;
+  StatusOr<api::PresentResponse> blob = InternalError("unset");
+  double blob_rtt_ms = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto begin = std::chrono::steady_clock::now();
+    blob = client.Present(blob_request);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - begin)
+                    .count();
+    blob_rtt_ms = rep == 0 ? ms : std::min(blob_rtt_ms, ms);
+  }
+  if (!blob.ok() || blob->blocks.empty()) {
+    std::cerr << "fig18: blob round trip failed\n";
+    std::abort();
+  }
+  StatusOr<api::StreamResult> streamed = InternalError("unset");
+  double stream_rtt_ms = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto begin = std::chrono::steady_clock::now();
+    streamed = client.PresentStream(NewsRequest(rig));
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - begin)
+                    .count();
+    stream_rtt_ms = rep == 0 ? ms : std::min(stream_rtt_ms, ms);
+  }
+  if (!streamed.ok() || !streamed->streamed) {
+    std::cerr << "fig18: streamed round trip failed\n";
+    std::abort();
+  }
+  if (streamed->blocks.size() != blob->blocks.size()) {
+    std::cerr << "fig18: streamed and blob deliveries disagree\n";
+    std::abort();
+  }
+  std::uint64_t bytes_full = 0;
+  for (std::size_t i = 0; i < blob->blocks.size(); ++i) {
+    if (streamed->blocks[i].payload != blob->blocks[i].payload) {
+      std::cerr << "fig18: streamed block " << i << " differs from the blob\n";
+      std::abort();
+    }
+    bytes_full += blob->blocks[i].payload.size();
+  }
+  double bytes_ratio = bytes_full > 0
+                           ? static_cast<double>(streamed->bytes_streamed) /
+                                 static_cast<double>(bytes_full)
+                           : 0;
+  if (bytes_ratio > 1.0) {
+    std::cerr << "fig18: streaming fetched more than blob delivery\n";
+    std::abort();
+  }
+
+  // ---- the modelled link: TTFF and stalls --------------------------------
+  const std::uint64_t prefix_bytes = streamed->response.presentation.size();
+  const double demand = DemandBytesPerSecond(rig.plan);
+  const std::int64_t fast = static_cast<std::int64_t>(demand * 2);
+  const std::int64_t constrained = static_cast<std::int64_t>(demand / 2);
+  const std::uint64_t first_frame = FirstFrameBytes(rig.plan, prefix_bytes);
+  const std::uint64_t everything = prefix_bytes + rig.plan.total_bytes();
+  double ttff_stream_ms =
+      1000.0 * static_cast<double>(first_frame) / static_cast<double>(constrained);
+  double ttff_full_ms =
+      1000.0 * static_cast<double>(everything) / static_cast<double>(constrained);
+  double ttff_speedup = ttff_stream_ms > 0 ? ttff_full_ms / ttff_stream_ms : 0;
+
+  StallRun on_time = PlayAtBandwidth(rig, fast, prefix_bytes);
+  if (on_time.stalls != 0) {
+    std::cerr << "fig18: " << on_time.stalls
+              << " stalls on a link that meets the schedule's demand\n";
+    std::abort();
+  }
+  StallRun behind = PlayAtBandwidth(rig, constrained, prefix_bytes);
+
+  std::cout << "Figure 18: streamed delivery vs the blob ("
+            << rig.plan.blocks.size() << " blocks, " << everything << " bytes, "
+            << streamed->chunks_received << " chunks; link "
+            << constrained << " B/s, demand " << static_cast<std::int64_t>(demand)
+            << " B/s)\n"
+            << "  time to first frame, blob:     " << ttff_full_ms << " ms\n"
+            << "  time to first frame, streamed: " << ttff_stream_ms << " ms\n"
+            << "  ttff speedup:                  x" << ttff_speedup << "\n"
+            << "  stalls at 2x demand:           " << on_time.stalls << "\n"
+            << "  stalls at demand/2:            " << behind.stalls << " ("
+            << behind.stall_ms << " ms total)\n"
+            << "  bytes streamed / blob bytes:   " << bytes_ratio << "\n"
+            << "  loopback rtt blob/streamed:    " << blob_rtt_ms << " / "
+            << stream_rtt_ms << " ms\n";
+
+  bench::AppendBenchJson(bench_json, "fig18_stream",
+                         {{"ttff_full_ms", ttff_full_ms},
+                          {"ttff_stream_ms", ttff_stream_ms},
+                          {"ttff_speedup", ttff_speedup},
+                          {"demand_bytes_per_s", demand},
+                          {"bandwidth_bytes_per_s", static_cast<double>(constrained)},
+                          {"stalls_fast", static_cast<double>(on_time.stalls)},
+                          {"stalls_constrained", static_cast<double>(behind.stalls)},
+                          {"stall_ms_constrained", behind.stall_ms},
+                          {"bytes_streamed", static_cast<double>(streamed->bytes_streamed)},
+                          {"bytes_full", static_cast<double>(bytes_full)},
+                          {"bytes_ratio", bytes_ratio},
+                          {"chunks", static_cast<double>(streamed->chunks_received)},
+                          {"blob_rtt_ms", blob_rtt_ms},
+                          {"stream_rtt_ms", stream_rtt_ms}});
+}
+
+// Micro contrasts: planning the stream vs paying for it over the socket.
+void BM_BuildStreamPlan(benchmark::State& state) {
+  Rig rig = MustBuildRig();
+  for (auto _ : state) {
+    auto plan = rig.corpus->store().WithRead([&](const DescriptorStore& store) {
+      return rig.corpus->blocks().WithRead([&](const BlockStore& blocks) {
+        return api::BuildStreamPlan(rig.presentation, store, blocks, WorkstationProfile());
+      });
+    });
+    if (!plan.ok()) {
+      std::abort();
+    }
+    benchmark::DoNotOptimize(plan->payload_hash);
+  }
+}
+BENCHMARK(BM_BuildStreamPlan);
+
+void BM_PresentStream(benchmark::State& state) {
+  Rig rig = MustBuildRig();
+  api::NetClient client = ClientFor(rig);
+  api::PresentRequest request = NewsRequest(rig);
+  for (auto _ : state) {
+    auto streamed = client.PresentStream(request);
+    if (!streamed.ok()) {
+      std::abort();
+    }
+    benchmark::DoNotOptimize(streamed->bytes_streamed);
+  }
+}
+BENCHMARK(BM_PresentStream);
+
+}  // namespace
+}  // namespace cmif
+
+int main(int argc, char** argv) {
+  std::string bench_json = cmif::bench::ExtractBenchJsonPath(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  cmif::PrintFigure(bench_json);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -32,6 +32,7 @@
 #include "src/pipeline/capture.h"
 #include "src/pipeline/pipeline.h"
 #include "src/serve/mapping_cache.h"
+#include "src/serve/prefetch.h"
 #include "src/serve/serve.h"
 
 namespace cmif {
@@ -142,6 +143,20 @@ using net::PresentationHash;
 using net::SchedPolicy;
 using net::SchedPolicyName;
 using net::ParseSchedPolicy;
+
+// Streamed delivery (wire v4): the chunked-transfer client entry point and
+// the schedule-driven prefetch planner behind it. A StreamResult carries the
+// presentation prefix plus the delivered blocks in schedule order;
+// BuildStreamPlan exposes the same plan the server streams from, for tools
+// and benches that model the transfer locally.
+using net::StreamResult;
+using net::kDefaultChunkBytes;
+using net::kMinChunkBytes;
+using net::kMaxChunkBytes;
+using net::StreamChunkCount;
+using cmif::PrefetchBlock;
+using cmif::StreamPlan;
+using cmif::BuildStreamPlan;
 
 // Live server telemetry: the kStatsRequest/kStatsResponse payload and its
 // JSON rendering (`cmif_tool stats`). The tracing side — TraceContext,

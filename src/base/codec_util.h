@@ -1,0 +1,112 @@
+// Shared primitives for binary message codecs (src/net/protocol.cc,
+// src/net/stream.cc, src/media/block_codec.cc): varint-prefixed strings, bools, fixed 8-byte doubles,
+// zigzag-signed integers, and exact rational MediaTime. Every decoder
+// returns kDataLoss on truncated or malformed input with the byte offset of
+// the failure — the same discipline the frame layer enforces.
+#ifndef SRC_BASE_CODEC_UTIL_H_
+#define SRC_BASE_CODEC_UTIL_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/base/media_time.h"
+#include "src/base/status.h"
+#include "src/base/string_util.h"
+#include "src/base/varint.h"
+
+namespace cmif {
+
+inline void PutString(std::string& out, std::string_view value) {
+  PutVarint64(out, value.size());
+  out.append(value);
+}
+
+inline StatusOr<std::string> GetString(std::string_view bytes, std::size_t* pos) {
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t length, GetVarint64(bytes, pos));
+  if (bytes.size() - *pos < length) {
+    return DataLossError(StrFormat("string of %llu bytes truncated at offset %zu",
+                                   static_cast<unsigned long long>(length), *pos));
+  }
+  std::string value(bytes.substr(*pos, length));
+  *pos += length;
+  return value;
+}
+
+inline StatusOr<bool> GetBool(std::string_view bytes, std::size_t* pos) {
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t raw, GetVarint64(bytes, pos));
+  if (raw > 1) {
+    return DataLossError(StrFormat("bool field has value %llu at offset %zu",
+                                   static_cast<unsigned long long>(raw), *pos));
+  }
+  return raw == 1;
+}
+
+// Doubles travel as their IEEE-754 bit pattern in fixed 8-byte
+// little-endian form — bit-exact across peers, unlike a decimal rendering.
+inline void PutF64(std::string& out, double value) {
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+inline StatusOr<double> GetF64(std::string_view bytes, std::size_t* pos) {
+  if (bytes.size() - *pos < 8) {
+    return DataLossError(StrFormat("f64 truncated at offset %zu", *pos));
+  }
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[*pos + i])) << (8 * i);
+  }
+  *pos += 8;
+  double value = std::bit_cast<double>(bits);
+  if (std::isnan(value) || std::isinf(value)) {
+    return DataLossError(StrFormat("non-finite f64 at offset %zu", *pos - 8));
+  }
+  return value;
+}
+
+// Signed integers as zigzag varints (small magnitudes stay small either
+// sign).
+inline void PutZigzag64(std::string& out, std::int64_t value) {
+  std::uint64_t raw = static_cast<std::uint64_t>(value);
+  PutVarint64(out, (raw << 1) ^ static_cast<std::uint64_t>(value >> 63));
+}
+
+inline StatusOr<std::int64_t> GetZigzag64(std::string_view bytes, std::size_t* pos) {
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t raw, GetVarint64(bytes, pos));
+  return static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+}
+
+// Exact rational time as zigzag numerator + varint denominator; the decoder
+// re-normalizes through MediaTime::Rational, so a denormal encoding cannot
+// smuggle in a distinct-but-equal value.
+inline void PutMediaTime(std::string& out, MediaTime t) {
+  PutZigzag64(out, t.num());
+  PutVarint64(out, static_cast<std::uint64_t>(t.den()));
+}
+
+inline StatusOr<MediaTime> GetMediaTime(std::string_view bytes, std::size_t* pos) {
+  CMIF_ASSIGN_OR_RETURN(std::int64_t num, GetZigzag64(bytes, pos));
+  CMIF_ASSIGN_OR_RETURN(std::uint64_t den, GetVarint64(bytes, pos));
+  if (den == 0 || den > static_cast<std::uint64_t>(INT64_MAX)) {
+    return DataLossError(StrFormat("bad media-time denominator %llu at offset %zu",
+                                   static_cast<unsigned long long>(den), *pos));
+  }
+  return MediaTime::Rational(num, static_cast<std::int64_t>(den));
+}
+
+inline Status CheckFullyConsumed(std::string_view bytes, std::size_t pos) {
+  if (pos != bytes.size()) {
+    return DataLossError(
+        StrFormat("%zu trailing bytes after message at offset %zu", bytes.size() - pos, pos));
+  }
+  return Status::Ok();
+}
+
+}  // namespace cmif
+
+#endif  // SRC_BASE_CODEC_UTIL_H_

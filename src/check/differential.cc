@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include "src/base/string_util.h"
 #include "src/check/oracle.h"
 #include "src/check/simulator.h"
+#include "src/check/stream.h"
 #include "src/doc/edit.h"
 #include "src/gen/editgen.h"
 #include "src/doc/event.h"
@@ -653,6 +655,9 @@ namespace {
 
 // The section separator between a corpus document and its edit trace.
 constexpr std::string_view kEditsMarker = "%% edits";
+// The trailer pinning a stream reproducer's link parameters
+// ("%% stream bandwidth=<B> chunk=<C>").
+constexpr std::string_view kStreamMarker = "%% stream";
 
 }  // namespace
 
@@ -692,17 +697,25 @@ StatusOr<std::string> ShrinkEditReproducer(const Document& document, const Descr
 }
 
 Status ReplayCorpusText(const std::string& text, const std::string& tag) {
-  // Split off the optional "%% edits" section before parsing.
+  // Split off the optional "%% edits" and "%% stream" sections before
+  // parsing; the document is everything before the first marker.
   std::string document_text = text;
   std::vector<EditOp> trace;
-  std::size_t marker = text.find("\n" + std::string(kEditsMarker));
-  if (marker != std::string::npos) {
-    document_text = text.substr(0, marker + 1);
-    std::vector<std::string> lines = SplitString(text.substr(marker + 1), '\n');
+  std::size_t edits_marker = text.find("\n" + std::string(kEditsMarker));
+  std::size_t stream_marker = text.find("\n" + std::string(kStreamMarker));
+  std::size_t first_marker = std::min(edits_marker, stream_marker);
+  if (first_marker != std::string::npos) {
+    document_text = text.substr(0, first_marker + 1);
+  }
+  if (edits_marker != std::string::npos) {
+    std::vector<std::string> lines = SplitString(text.substr(edits_marker + 1), '\n');
     for (std::size_t i = 1; i < lines.size(); ++i) {  // lines[0] is the marker
       std::string line(TrimString(lines[i]));
       if (line.empty()) {
         continue;
+      }
+      if (line.rfind("%%", 0) == 0) {
+        break;  // the next section begins
       }
       StatusOr<EditOp> op = ParseEditOp(line);
       if (!op.ok()) {
@@ -710,6 +723,32 @@ Status ReplayCorpusText(const std::string& text, const std::string& tag) {
                                        op.status().message());
       }
       trace.push_back(std::move(*op));
+    }
+  }
+  // The stream trailer carries its parameters on the marker line itself.
+  bool has_stream = stream_marker != std::string::npos;
+  std::int64_t stream_bandwidth = 64 << 10;
+  std::uint64_t stream_chunk = 1 << 10;
+  if (has_stream) {
+    std::size_t line_begin = stream_marker + 1;
+    std::size_t line_end = text.find('\n', line_begin);
+    std::string line = text.substr(line_begin, line_end == std::string::npos
+                                                   ? std::string::npos
+                                                   : line_end - line_begin);
+    for (const std::string& token : SplitString(line, ' ')) {
+      auto value_of = [&](std::size_t prefix) {
+        return std::strtoll(token.substr(prefix).c_str(), nullptr, 10);
+      };
+      if (token.rfind("bandwidth=", 0) == 0) {
+        stream_bandwidth = static_cast<std::int64_t>(value_of(10));
+      } else if (token.rfind("chunk=", 0) == 0) {
+        long long chunk = value_of(6);
+        if (chunk <= 0) {
+          return FailedPreconditionError("[" + tag +
+                                         "] corpus stream trailer chunk size does not parse");
+        }
+        stream_chunk = static_cast<std::uint64_t>(chunk);
+      }
     }
   }
   StatusOr<Document> document = ParseDocument(document_text);
@@ -722,6 +761,11 @@ Status ReplayCorpusText(const std::string& text, const std::string& tag) {
   CMIF_RETURN_IF_ERROR(CheckDocument(*document, /*store=*/nullptr, tag, WorkstationProfile()));
   if (!trace.empty()) {
     CMIF_RETURN_IF_ERROR(CheckEditTrace(*document, /*store=*/nullptr, trace, tag));
+  }
+  if (has_stream) {
+    CMIF_RETURN_IF_ERROR(CheckStreamDocument(*document, /*store=*/nullptr, tag,
+                                             WorkstationProfile(), stream_bandwidth,
+                                             stream_chunk));
   }
   return Status::Ok();
 }

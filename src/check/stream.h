@@ -1,0 +1,96 @@
+// The streamed-vs-blob differential harness. Chunked delivery (wire v4,
+// src/net/stream.h) must be *invisible* to the presentation: whatever a
+// client would have played from a one-shot blob response, it must play
+// byte-identically from the chunk stream, and when the link keeps up with
+// the schedule's demand the event timeline must not shift by a single tick.
+//
+// For each seed the driver generates one pathology-biased document
+// (src/gen), compiles it, builds the prefetch plan both delivery paths
+// share, and replays delivery on a virtual-clock bandwidth-constrained
+// link:
+//
+//   bytes      the plan carved through the real chunk codecs and the
+//              StreamReassembler must equal the blob carve, block for
+//              block, byte for byte — and every payload must decode as a
+//              canonical block encoding.
+//   resume     cutting the stream at every chunk boundary (capped on long
+//              streams) and resuming with the held prefix must reproduce
+//              the uninterrupted bytes exactly.
+//   playback   the engine run with a block-arrival hook (arrival of byte n
+//              at n / bandwidth) vs the classic all-local run: when every
+//              block arrives by its first need the streamed run stalls
+//              zero times and the traces are identical; a stall-free run
+//              is identical regardless; a stalling run still presents the
+//              same events in the same order and keeps must-sync intact.
+//
+// On divergence the shrinker bisects the document down to a minimal
+// reproducer and writes a corpus file whose "%% stream" trailer pins the
+// link parameters, so `cmif_tool check --corpus` replays it forever.
+#ifndef SRC_CHECK_STREAM_H_
+#define SRC_CHECK_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/check/differential.h"
+#include "src/present/capability.h"
+
+namespace cmif {
+namespace check {
+
+// Controls one streamed-delivery driver run.
+struct StreamCheckOptions {
+  // First document seed; document i uses a seed derived from base_seed + i.
+  std::uint64_t base_seed = 1;
+  // Number of generated documents.
+  int count = 200;
+  // Explicit seed list; when non-empty it replaces base_seed/count.
+  std::vector<std::uint64_t> seeds;
+  // Size of each generated document.
+  int target_leaves = 12;
+  // Simulated link bandwidth, bytes per second; 0 = infinite (every block
+  // arrives at t=0, the degenerate blob-equivalent link).
+  std::int64_t bandwidth_bytes_per_s = 64 << 10;
+  // Chunk payload size for the simulated stream. Small by default so
+  // ordinary generated documents span several chunks (and therefore several
+  // resume boundaries); clamped into [kMinChunkBytes, kMaxChunkBytes].
+  std::uint64_t chunk_bytes = 1 << 10;
+  // Shrink failures to minimal reproducers.
+  bool shrink = true;
+  // Directory minimized reproducers are written into ("" = current dir).
+  std::string reproducer_dir;
+  // Device model for compilation and playback.
+  SystemProfile profile = WorkstationProfile();
+};
+
+// Runs the streamed-vs-blob differential on one document. With a null
+// `store` an empty catalog stands in (corpus replay; generated corpus
+// leaves pin their durations, and missing descriptors simply leave the
+// plan empty). The first divergence comes back as FailedPrecondition with
+// `tag` in the message. Infeasible documents check that the plan is empty
+// and stop there.
+Status CheckStreamDocument(const Document& document, const DescriptorStore* store,
+                           const std::string& tag, const SystemProfile& profile,
+                           std::int64_t bandwidth_bytes_per_s, std::uint64_t chunk_bytes,
+                           CheckCounters* counters = nullptr);
+
+// The driver: generate, check, shrink-on-failure. Reuses CheckReport;
+// `feasible` counts documents whose stream actually carried blocks.
+StatusOr<CheckReport> RunStreamCheck(const StreamCheckOptions& options);
+
+// Shrinks a document failing CheckStreamDocument (greedy subtree deletion,
+// then arc deletion) and returns a parseable corpus file: the serialized
+// document followed by a "%% stream bandwidth=<B> chunk=<C>" trailer that
+// pins the link parameters the failure needs.
+StatusOr<std::string> ShrinkStreamReproducer(const Document& document,
+                                             const DescriptorStore* store,
+                                             const SystemProfile& profile,
+                                             std::int64_t bandwidth_bytes_per_s,
+                                             std::uint64_t chunk_bytes);
+
+}  // namespace check
+}  // namespace cmif
+
+#endif  // SRC_CHECK_STREAM_H_

@@ -350,6 +350,18 @@ FaultPlan StandardChaosPlan(int level, std::uint64_t seed) {
   net_loris.latency_p = capped(0.02);
   net_loris.latency_ms = 15;
   plan.sites.emplace_back("net.slow_loris", net_loris);
+  // Streamed delivery (wire v4): a transient net.chunk.drop cuts the chunk
+  // stream mid-transfer and drops the connection — the client reconnects
+  // and resumes at its contiguous chunk boundary. net.chunk.corrupt flips
+  // payload bytes *before* framing, so the frame CRC still passes and only
+  // the end-to-end stream hash catches it, forcing a restart from chunk 0
+  // (a resume would replay the corrupt prefix).
+  FaultSiteConfig chunk_drop;
+  chunk_drop.transient_p = capped(0.02);
+  plan.sites.emplace_back("net.chunk.drop", chunk_drop);
+  FaultSiteConfig chunk_corrupt;
+  chunk_corrupt.corrupt_p = capped(0.01);
+  plan.sites.emplace_back("net.chunk.corrupt", chunk_corrupt);
 
   // Persistent-cache commit path (src/serve/persistent_cache): transient
   // write/fsync/rename failures abort a commit (the entry stays memory-only),
@@ -386,6 +398,8 @@ const std::vector<std::string_view>& KnownFaultSites() {
           "net.frame_corrupt",
           "net.partial_write",
           "net.slow_loris",
+          "net.chunk.drop",
+          "net.chunk.corrupt",
           "fs.pcache.write",
           "fs.pcache.read",
           "fs.pcache.rename",

@@ -160,11 +160,195 @@ StatusOr<StatsSnapshot> NetClient::FetchStats() {
     return InternalError(StrFormat("expected a stats-response frame, got %s",
                                    std::string(FrameTypeName(frame.type)).c_str()));
   }
-  StatusOr<StatsSnapshot> snapshot = DecodeStatsSnapshot(frame.payload);
+  // Decode by the answer frame's version (the server mirrors the request's,
+  // so this is the version we spoke — but trust the frame, like Present).
+  StatusOr<StatsSnapshot> snapshot = DecodeStatsSnapshot(frame.payload, frame.version);
   if (!snapshot.ok()) {
     Disconnect();
   }
   return snapshot;
+}
+
+StatusOr<StreamResult> NetClient::PresentStream(const PresentRequest& request,
+                                                std::uint64_t chunk_bytes) {
+  if (options_.wire_version < 4) {
+    // A legacy client never opens streams: the plain request path is the
+    // whole delivery (no wire blocks existed before v4).
+    CMIF_ASSIGN_OR_RETURN(PresentResponse response, Present(request));
+    StreamResult result;
+    result.response = std::move(response);
+    return result;
+  }
+  obs::ScopedLatency latency("net.client.stream_ms");
+  StreamResult result;
+  // Resume state carried across reconnects: the stream id, the contiguous
+  // chunk count, and the byte prefix those chunks carried.
+  std::uint64_t resume_stream_id = 0;
+  std::uint64_t resume_chunks = 0;
+  std::string resume_payload;
+  const int budget = options_.retry.max_attempts < 1 ? 1 : options_.retry.max_attempts;
+  Status last = UnavailableError("stream never attempted");
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    Status connected = EnsureConnected();
+    if (!connected.ok()) {
+      last = connected;
+      continue;
+    }
+    StreamRequest open;
+    open.request = request;
+    open.request.want_blocks = false;  // chunks are the delivery path
+    open.chunk_bytes = chunk_bytes;
+    open.resume_stream_id = resume_stream_id;
+    open.resume_chunks = resume_chunks;
+    Status written =
+        WriteFrame(socket_, FrameType::kStreamRequest,
+                   EncodeStreamRequest(open, options_.wire_version), options_.wire_version);
+    if (!written.ok()) {
+      Disconnect();
+      last = written;
+      continue;
+    }
+    StatusOr<std::optional<Frame>> first = ReadFrame(socket_, options_.limits);
+    if (!first.ok() || !first->has_value()) {
+      Disconnect();
+      last = UnavailableError(first.ok() ? "connection closed by server"
+                                         : "receive failed: " + first.status().ToString());
+      continue;
+    }
+    Frame frame = *std::move(*first);
+    if (frame.type == FrameType::kError) {
+      // The server refused (or could not parse) the stream frame — an older
+      // peer rejects wire v4 at the header. Requests are idempotent: fall
+      // back to the plain request path, silently, *at wire v3*: the last
+      // pre-stream version is valid on every peer that can answer at all,
+      // while a v4 retry against a v3 peer would bounce off the same header
+      // check. On a current server the downgrade only costs the (unused)
+      // want_blocks tail — fallbacks never carry blocks anyway.
+      Disconnect();
+      const std::uint8_t speaking = options_.wire_version;
+      options_.wire_version = 3;
+      StatusOr<PresentResponse> fallback = Present(request);
+      options_.wire_version = speaking;
+      CMIF_ASSIGN_OR_RETURN(result.response, std::move(fallback));
+      result.streamed = false;
+      return result;
+    }
+    if (frame.type == FrameType::kResponse) {
+      // The server's own fallback: nothing streamable behind this request
+      // (failed/shed outcomes travel as a plain response).
+      StatusOr<PresentResponse> response = DecodeResponse(frame.payload, frame.version);
+      if (!response.ok()) {
+        Disconnect();
+        last = UnavailableError("malformed fallback response: " +
+                                response.status().ToString());
+        continue;
+      }
+      result.response = *std::move(response);
+      result.streamed = false;
+      return result;
+    }
+    if (frame.type != FrameType::kStreamBegin) {
+      Disconnect();
+      last = UnavailableError(StrFormat("expected a stream-begin frame, got %s",
+                                        std::string(FrameTypeName(frame.type)).c_str()));
+      continue;
+    }
+    StatusOr<StreamBegin> begin = DecodeStreamBegin(frame.payload, frame.version);
+    if (!begin.ok()) {
+      Disconnect();
+      resume_stream_id = 0;
+      resume_chunks = 0;
+      resume_payload.clear();
+      last = UnavailableError("malformed stream-begin: " + begin.status().ToString());
+      continue;
+    }
+    const bool resumed = begin->stream_id == resume_stream_id &&
+                         begin->resumed_from == resume_chunks && resume_chunks > 0;
+    StreamReassembler reassembler;
+    Status begun =
+        reassembler.Begin(*begin, resumed ? std::move(resume_payload) : std::string());
+    if (!begun.ok()) {
+      Disconnect();
+      resume_stream_id = 0;
+      resume_chunks = 0;
+      resume_payload.clear();
+      last = UnavailableError("stream-begin rejected: " + begun.ToString());
+      continue;
+    }
+    if (resumed) {
+      ++result.resumes;
+    }
+
+    bool integrity_failed = false;
+    Status stream_error = Status::Ok();
+    while (true) {
+      StatusOr<std::optional<Frame>> next = ReadFrame(socket_, options_.limits);
+      if (!next.ok() || !next->has_value()) {
+        stream_error = UnavailableError(next.ok() ? "stream cut by server"
+                                                  : "receive failed: " +
+                                                        next.status().ToString());
+        break;
+      }
+      Frame data = *std::move(*next);
+      if (data.type == FrameType::kStreamChunk) {
+        StatusOr<StreamChunk> chunk = DecodeStreamChunk(data.payload, data.version);
+        if (!chunk.ok()) {
+          stream_error = UnavailableError("malformed chunk: " + chunk.status().ToString());
+          break;
+        }
+        Status fed = reassembler.Feed(*chunk);
+        if (!fed.ok()) {
+          stream_error = UnavailableError("chunk rejected: " + fed.ToString());
+          break;
+        }
+        result.bytes_streamed += chunk->payload.size();
+        continue;
+      }
+      if (data.type == FrameType::kStreamEnd) {
+        StatusOr<StreamEnd> end = DecodeStreamEnd(data.payload, data.version);
+        if (!end.ok()) {
+          stream_error = UnavailableError("malformed trailer: " + end.status().ToString());
+          break;
+        }
+        StatusOr<std::vector<WireBlock>> blocks = reassembler.Finish(*end);
+        if (!blocks.ok()) {
+          // The end-to-end hash (or manifest cross-check) failed: some chunk
+          // carried corrupt bytes that every frame CRC missed. Resuming
+          // would replay them — restart from chunk 0.
+          integrity_failed = true;
+          stream_error = blocks.status();
+          break;
+        }
+        result.response = std::move(begin->prefix);
+        result.blocks = *std::move(blocks);
+        result.streamed = true;
+        result.chunks_received = reassembler.chunks_received();
+        // Best-effort delivery telemetry; a lost ack harms nothing.
+        StreamAck ack;
+        ack.stream_id = begin->stream_id;
+        ack.chunks_received = reassembler.chunks_received();
+        (void)WriteFrame(socket_, FrameType::kStreamAck,
+                         EncodeStreamAck(ack, options_.wire_version), options_.wire_version);
+        return result;
+      }
+      stream_error = UnavailableError(StrFormat("unexpected %s frame mid-stream",
+                                                std::string(FrameTypeName(data.type)).c_str()));
+      break;
+    }
+    Disconnect();
+    last = stream_error;
+    if (integrity_failed) {
+      resume_stream_id = 0;
+      resume_chunks = 0;
+      resume_payload.clear();
+      ++result.restarts;
+    } else {
+      resume_stream_id = begin->stream_id;
+      resume_chunks = reassembler.chunks_received();
+      resume_payload = reassembler.bytes();
+    }
+  }
+  return last.ok() ? UnavailableError("stream retry budget exhausted") : last;
 }
 
 Status NetClient::Ping() {

@@ -18,6 +18,7 @@
 #include "src/fault/retry.h"
 #include "src/net/protocol.h"
 #include "src/net/stats.h"
+#include "src/net/stream.h"
 #include "src/net/wire.h"
 
 namespace cmif {
@@ -39,6 +40,24 @@ struct NetClientOptions {
   std::uint8_t wire_version = kWireVersion;
 };
 
+// What PresentStream delivered. `streamed` distinguishes the chunked path
+// from the blob fallback (a v<4 peer, or a server that answered a plain
+// response); either way `response` carries the presentation and `blocks`
+// the delivered payloads in delivery order (empty on the v<4 fallback,
+// where blocks never travel).
+struct StreamResult {
+  PresentResponse response;
+  std::vector<WireBlock> blocks;
+  bool streamed = false;
+  std::uint64_t chunks_received = 0;
+  std::uint64_t bytes_streamed = 0;
+  // Mid-stream reconnects that resumed at a chunk boundary.
+  std::uint64_t resumes = 0;
+  // Integrity restarts: the end-to-end payload hash failed, so the stream
+  // was refetched from chunk 0 (a resume would replay the corrupt bytes).
+  std::uint64_t restarts = 0;
+};
+
 // Not thread-safe: one client per thread (connections are cheap; the server
 // handles each one sequentially anyway).
 class NetClient {
@@ -55,6 +74,18 @@ class NetClient {
   // parent_span_id is that span's id — so a sampled server hands back spans
   // that nest under the client's own timeline.
   StatusOr<PresentResponse> Present(const PresentRequest& request);
+
+  // Streamed delivery (wire v4+): a kStreamRequest answered by
+  // kStreamBegin + kStreamChunk* + kStreamEnd, reassembled and
+  // integrity-checked. Falls back to a plain Present() — silently — when
+  // this client speaks v<4, or when the server answers a kResponse or
+  // kError instead of a stream (an older server rejects the v4 frame at
+  // the header; requests are idempotent, so re-asking plainly is safe).
+  // Transport failures mid-stream reconnect and *resume* at the last
+  // contiguous chunk boundary; an end-to-end hash mismatch restarts from
+  // chunk 0. Both consume the retry budget (options.retry.max_attempts).
+  StatusOr<StreamResult> PresentStream(const PresentRequest& request,
+                                       std::uint64_t chunk_bytes = kDefaultChunkBytes);
 
   // Many requests in one kBatchRequest frame (wire v3+; kInvalidArgument
   // when this client is configured for v2 or the batch exceeds

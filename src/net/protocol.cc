@@ -1,8 +1,6 @@
 #include "src/net/protocol.h"
 
-#include <bit>
-#include <cmath>
-
+#include "src/base/codec_util.h"
 #include "src/base/string_util.h"
 #include "src/base/varint.h"
 
@@ -13,64 +11,6 @@ namespace {
 // Spans the wire accepts per response — a corrupted count cannot make the
 // decoder allocate unboundedly, and a chatty server cannot flood a client.
 constexpr std::uint64_t kMaxWireSpans = 4096;
-
-void PutString(std::string& out, std::string_view value) {
-  PutVarint64(out, value.size());
-  out.append(value);
-}
-
-StatusOr<std::string> GetString(std::string_view bytes, std::size_t* pos) {
-  CMIF_ASSIGN_OR_RETURN(std::uint64_t length, GetVarint64(bytes, pos));
-  if (bytes.size() - *pos < length) {
-    return DataLossError(StrFormat("string of %llu bytes truncated at offset %zu",
-                                   static_cast<unsigned long long>(length), *pos));
-  }
-  std::string value(bytes.substr(*pos, length));
-  *pos += length;
-  return value;
-}
-
-StatusOr<bool> GetBool(std::string_view bytes, std::size_t* pos) {
-  CMIF_ASSIGN_OR_RETURN(std::uint64_t raw, GetVarint64(bytes, pos));
-  if (raw > 1) {
-    return DataLossError(StrFormat("bool field has value %llu at offset %zu",
-                                   static_cast<unsigned long long>(raw), *pos));
-  }
-  return raw == 1;
-}
-
-// Doubles travel as their IEEE-754 bit pattern in fixed 8-byte
-// little-endian form — bit-exact across peers, unlike a decimal rendering.
-void PutF64(std::string& out, double value) {
-  std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
-  }
-}
-
-StatusOr<double> GetF64(std::string_view bytes, std::size_t* pos) {
-  if (bytes.size() - *pos < 8) {
-    return DataLossError(StrFormat("f64 truncated at offset %zu", *pos));
-  }
-  std::uint64_t bits = 0;
-  for (int i = 0; i < 8; ++i) {
-    bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[*pos + i])) << (8 * i);
-  }
-  *pos += 8;
-  double value = std::bit_cast<double>(bits);
-  if (std::isnan(value) || std::isinf(value)) {
-    return DataLossError(StrFormat("non-finite f64 at offset %zu", *pos - 8));
-  }
-  return value;
-}
-
-Status CheckFullyConsumed(std::string_view bytes, std::size_t pos) {
-  if (pos != bytes.size()) {
-    return DataLossError(
-        StrFormat("%zu trailing bytes after message at offset %zu", bytes.size() - pos, pos));
-  }
-  return Status::Ok();
-}
 
 StatusOr<StatusCode> CheckStatusCode(std::uint64_t raw) {
   if (raw > static_cast<std::uint64_t>(StatusCode::kUnavailable)) {
@@ -105,6 +45,9 @@ std::string EncodeRequest(const PresentRequest& request, std::uint8_t version) {
   PutVarint64(out, request.trace.sampled ? 1 : 0);
   if (version >= 3) {
     PutVarint64(out, static_cast<std::uint64_t>(request.deadline_ms < 0 ? 0 : request.deadline_ms));
+  }
+  if (version >= 4) {
+    PutVarint64(out, request.want_blocks ? 1 : 0);
   }
   return out;
 }
@@ -141,6 +84,9 @@ StatusOr<PresentRequest> DecodeRequest(std::string_view payload, std::uint8_t ve
     }
     request.deadline_ms = static_cast<std::int64_t>(deadline);
   }
+  if (version >= 4) {
+    CMIF_ASSIGN_OR_RETURN(request.want_blocks, GetBool(payload, &pos));
+  }
   CMIF_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));
   return request;
 }
@@ -167,6 +113,13 @@ std::string EncodeResponse(const PresentResponse& response, std::uint8_t version
   if (version >= 3) {
     PutVarint64(out, response.shed ? 1 : 0);
     PutF64(out, response.queue_ms < 0 ? 0 : response.queue_ms);
+  }
+  if (version >= 4) {
+    PutVarint64(out, response.blocks.size());
+    for (const WireBlock& block : response.blocks) {
+      PutString(out, block.descriptor_id);
+      PutString(out, block.payload);
+    }
   }
   return out;
 }
@@ -221,6 +174,22 @@ StatusOr<PresentResponse> DecodeResponse(std::string_view payload, std::uint8_t 
     CMIF_ASSIGN_OR_RETURN(response.queue_ms, GetF64(payload, &pos));
     if (response.queue_ms < 0) {
       return DataLossError(StrFormat("negative queue_ms at offset %zu", pos));
+    }
+  }
+  if (version >= 4) {
+    CMIF_ASSIGN_OR_RETURN(std::uint64_t block_count, GetVarint64(payload, &pos));
+    // Each block costs >= 2 bytes on the wire (two length prefixes), so a
+    // count beyond payload size (or the hard cap) is corruption.
+    if (block_count > kMaxWireBlocks || block_count > payload.size()) {
+      return DataLossError(StrFormat("block count %llu exceeds bounds",
+                                     static_cast<unsigned long long>(block_count)));
+    }
+    response.blocks.reserve(block_count);
+    for (std::uint64_t i = 0; i < block_count; ++i) {
+      WireBlock block;
+      CMIF_ASSIGN_OR_RETURN(block.descriptor_id, GetString(payload, &pos));
+      CMIF_ASSIGN_OR_RETURN(block.payload, GetString(payload, &pos));
+      response.blocks.push_back(std::move(block));
     }
   }
   CMIF_RETURN_IF_ERROR(CheckFullyConsumed(payload, pos));

@@ -54,6 +54,17 @@ struct PresentRequest {
   // allow_degraded holds, answered from stale cache — never queued. v2
   // frames have no such field and are treated as deadline-free.
   std::int64_t deadline_ms = 0;
+  // v4: when true the response also carries every resolved data block the
+  // schedule references, inline (blob block delivery — the baseline the
+  // streamed path is checked against). v2/v3 frames never carry blocks.
+  bool want_blocks = false;
+};
+
+// One resolved data block on the wire: the descriptor it materializes and
+// its canonical payload encoding (src/media/block_codec.h).
+struct WireBlock {
+  std::string descriptor_id;
+  std::string payload;
 };
 
 // One server-side span on the wire: the subset of obs::SpanRecord a client
@@ -96,7 +107,15 @@ struct PresentResponse {
   // v3: milliseconds the request spent in the scheduler queue before a
   // worker picked it up (0 for shed-at-admission responses).
   double queue_ms = 0;
+  // v4: resolved data blocks, in schedule first-need order, present only
+  // when the request set want_blocks (empty otherwise). Capped at
+  // kMaxWireBlocks entries; a corrupted count fails as kDataLoss.
+  std::vector<WireBlock> blocks;
 };
+
+// Blocks the wire accepts per response — a corrupted count cannot make the
+// decoder allocate unboundedly.
+inline constexpr std::uint64_t kMaxWireBlocks = 4096;
 
 std::string EncodeRequest(const PresentRequest& request,
                           std::uint8_t version = kWireVersion);

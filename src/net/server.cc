@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/base/string_util.h"
+#include "src/fault/fault.h"
 #include "src/net/presentation_wire.h"
 #include "src/obs/obs.h"
 #include "src/obs/trace.h"
@@ -145,6 +146,15 @@ std::uint64_t NetServer::AssignSlot(std::uint64_t conn_id) {
 
 void NetServer::CompleteSlot(std::uint64_t conn_id, std::uint64_t slot, FrameType type,
                              std::string payload, std::uint8_t version, bool close_after) {
+  std::vector<OutFrame> frames(1);
+  frames[0].type = type;
+  frames[0].payload = std::move(payload);
+  CompleteSlotFrames(conn_id, slot, std::move(frames), version, close_after);
+}
+
+void NetServer::CompleteSlotFrames(std::uint64_t conn_id, std::uint64_t slot,
+                                   std::vector<OutFrame> frames, std::uint8_t version,
+                                   bool close_after) {
   // The ready prefix is popped AND handed to the reactor while still holding
   // mu_. Releasing the lock between the pop and SendFrame would open a race:
   // a worker completing slot N+1 could post its response to the reactor's
@@ -152,7 +162,9 @@ void NetServer::CompleteSlot(std::uint64_t conn_id, std::uint64_t slot, FrameTyp
   // responses out of request order (clients match responses positionally —
   // the protocol has no request ids). SendFrame only takes the reactor's own
   // mailbox lock and the reactor never acquires mu_ while holding it, so
-  // there is no lock cycle.
+  // there is no lock cycle. A multi-frame slot (a stream) is posted to the
+  // mailbox frame-by-frame inside the same locked section, so its sequence
+  // is as atomic as a single response.
   MutexLock lock(mu_);
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) {
@@ -169,9 +181,8 @@ void NetServer::CompleteSlot(std::uint64_t conn_id, std::uint64_t slot, FrameTyp
   Slot& pending = conn.slots[index];
   pending.ready = true;
   pending.close_after = close_after;
-  pending.type = type;
   pending.version = version;
-  pending.payload = std::move(payload);
+  pending.frames = std::move(frames);
   while (!conn.slots.empty() && conn.slots.front().ready) {
     Slot next = std::move(conn.slots.front());
     conn.slots.pop_front();
@@ -181,7 +192,11 @@ void NetServer::CompleteSlot(std::uint64_t conn_id, std::uint64_t slot, FrameTyp
     const bool close = next.close_after || (conn.eof && conn.slots.empty());
     // kNotFound (connection raced away) is not worth propagating: the
     // response had nowhere to go.
-    (void)reactor_->SendFrame(conn_id, next.type, next.payload, next.version, close);
+    for (std::size_t i = 0; i < next.frames.size(); ++i) {
+      const bool last = i + 1 == next.frames.size();
+      (void)reactor_->SendFrame(conn_id, next.frames[i].type, next.frames[i].payload,
+                                next.version, close && last);
+    }
   }
 }
 
@@ -210,8 +225,8 @@ void NetServer::OnFrame(std::uint64_t conn_id, Frame frame) {
       // A telemetry probe, not a compile: answered inline with a snapshot of
       // the live counters so monitoring never queues behind a slow request.
       const std::uint64_t slot = AssignSlot(conn_id);
-      CompleteSlot(conn_id, slot, FrameType::kStatsResponse, EncodeStatsSnapshot(Snapshot()),
-                   frame.version);
+      CompleteSlot(conn_id, slot, FrameType::kStatsResponse,
+                   EncodeStatsSnapshot(Snapshot(), frame.version), frame.version);
       return;
     }
     case FrameType::kRequest: {
@@ -226,10 +241,51 @@ void NetServer::OnFrame(std::uint64_t conn_id, Frame frame) {
       const std::uint64_t slot = AssignSlot(conn_id);
       const std::uint8_t version = frame.version;
       Admit(std::move(*request),
-            [this, conn_id, slot, version](PresentResponse response) {
+            [this, conn_id, slot, version](PresentResponse response,
+                                           std::shared_ptr<const CompiledPresentation>) {
               CompleteSlot(conn_id, slot, FrameType::kResponse,
                            EncodeResponse(response, version), version);
             });
+      return;
+    }
+    case FrameType::kStreamRequest: {
+      StatusOr<StreamRequest> request = DecodeStreamRequest(frame.payload, frame.version);
+      if (!request.ok()) {
+        BumpProtocolErrors();
+        const std::uint64_t slot = AssignSlot(conn_id);
+        CompleteSlot(conn_id, slot, FrameType::kError, EncodeWireStatus(request.status()),
+                     frame.version, /*close_after=*/true);
+        return;
+      }
+      const std::uint64_t slot = AssignSlot(conn_id);
+      const std::uint8_t version = frame.version;
+      auto stream = std::make_shared<StreamRequest>(std::move(*request));
+      // The stream prefix must never carry inline blocks (chunks are the
+      // delivery path); a client asking for both gets the stream.
+      stream->request.want_blocks = false;
+      PresentRequest inner = stream->request;
+      Admit(std::move(inner),
+            [this, conn_id, slot, version, stream](
+                PresentResponse response,
+                std::shared_ptr<const CompiledPresentation> presentation) {
+              CompleteStream(conn_id, slot, *stream, std::move(response),
+                             std::move(presentation), version);
+            });
+      return;
+    }
+    case FrameType::kStreamAck: {
+      // One-way delivery telemetry: no response slot. A malformed ack still
+      // desynchronizes the stream's framing contract, so it errors + closes
+      // like any other bad payload.
+      StatusOr<StreamAck> ack = DecodeStreamAck(frame.payload, frame.version);
+      if (!ack.ok()) {
+        BumpProtocolErrors();
+        const std::uint64_t slot = AssignSlot(conn_id);
+        CompleteSlot(conn_id, slot, FrameType::kError, EncodeWireStatus(ack.status()),
+                     frame.version, /*close_after=*/true);
+        return;
+      }
+      stream_stalls_.fetch_add(ack->stalls, std::memory_order_relaxed);
       return;
     }
     case FrameType::kBatchRequest: {
@@ -257,7 +313,8 @@ void NetServer::OnFrame(std::uint64_t conn_id, Frame frame) {
       batch->remaining.store(requests->size(), std::memory_order_relaxed);
       for (std::size_t i = 0; i < requests->size(); ++i) {
         Admit(std::move((*requests)[i]),
-              [this, conn_id, slot, version, batch, i](PresentResponse response) {
+              [this, conn_id, slot, version, batch, i](
+                  PresentResponse response, std::shared_ptr<const CompiledPresentation>) {
                 batch->responses[i] = std::move(response);
                 if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
                   CompleteSlot(conn_id, slot, FrameType::kBatchResponse,
@@ -309,10 +366,12 @@ void NetServer::OnClosed(std::uint64_t conn_id) {
   conns_.erase(conn_id);
 }
 
-void NetServer::Admit(PresentRequest request, std::function<void(PresentResponse)> done) {
+void NetServer::Admit(PresentRequest request, Completion done) {
   // Wraps `done` with the per-request accounting every completion path
   // (served, degraded, shed) shares.
-  auto finish = [this, done = std::move(done)](PresentResponse response) {
+  auto finish = [this, done = std::move(done)](
+                    PresentResponse response,
+                    std::shared_ptr<const CompiledPresentation> presentation) {
     if (response.outcome == ServeOutcome::kFailed) {
       failed_.fetch_add(1, std::memory_order_relaxed);
     } else if (response.outcome == ServeOutcome::kDegraded) {
@@ -328,7 +387,7 @@ void NetServer::Admit(PresentRequest request, std::function<void(PresentResponse
     if (obs::Enabled()) {
       obs::GetCounter("net.server.requests").Add();
     }
-    done(std::move(response));
+    done(std::move(response), std::move(presentation));
   };
 
   bool draining = false;
@@ -340,7 +399,7 @@ void NetServer::Admit(PresentRequest request, std::function<void(PresentResponse
     }
   }
   if (draining) {
-    finish(ShedResponse(UnavailableError("server draining")));
+    finish(ShedResponse(UnavailableError("server draining")), nullptr);
     return;
   }
 
@@ -348,7 +407,9 @@ void NetServer::Admit(PresentRequest request, std::function<void(PresentResponse
       request.deadline_ms > 0 ? request.deadline_ms : options_.default_deadline_ms;
   auto work = [this, request = std::move(request),
                finish](RequestScheduler::Item& item) mutable {
-    finish(Process(request, item));
+    std::shared_ptr<const CompiledPresentation> presentation;
+    PresentResponse response = Process(request, item, &presentation);
+    finish(std::move(response), std::move(presentation));
     MutexLock lock(mu_);
     if (--outstanding_ == 0) {
       idle_cv_.NotifyAll();
@@ -356,7 +417,7 @@ void NetServer::Admit(PresentRequest request, std::function<void(PresentResponse
   };
   Status admitted = scheduler_->Enqueue(deadline_ms, std::move(work));
   if (!admitted.ok()) {
-    finish(ShedResponse(admitted));
+    finish(ShedResponse(admitted), nullptr);
     MutexLock lock(mu_);
     if (--outstanding_ == 0) {
       idle_cv_.NotifyAll();
@@ -378,7 +439,8 @@ void NetServer::Admit(PresentRequest request, std::function<void(PresentResponse
 }
 
 PresentResponse NetServer::Process(const PresentRequest& request,
-                                   const RequestScheduler::Item& item) {
+                                   const RequestScheduler::Item& item,
+                                   std::shared_ptr<const CompiledPresentation>* presentation) {
   const auto start = std::chrono::steady_clock::now();
   // Adopt the client's trace context, or start a server-local trace for the
   // configured fraction of untraced requests. The context is installed for
@@ -413,11 +475,11 @@ PresentResponse NetServer::Process(const PresentRequest& request,
     }
     if (item.expired) {
       response = request.allow_degraded
-                     ? HandleExpired(request)
+                     ? HandleExpired(request, presentation)
                      : ShedResponse(ResourceExhaustedError(
                            "deadline expired in scheduler queue"));
     } else {
-      response = HandleRequest(request);
+      response = HandleRequest(request, presentation);
     }
     response.queue_ms = queue_wait_ms;
     span.Annotate("outcome", std::string(ServeOutcomeName(response.outcome)));
@@ -468,7 +530,8 @@ PresentResponse NetServer::Process(const PresentRequest& request,
   return response;
 }
 
-PresentResponse NetServer::HandleExpired(const PresentRequest& request) {
+PresentResponse NetServer::HandleExpired(const PresentRequest& request,
+                                         std::shared_ptr<const CompiledPresentation>* presentation) {
   const Status reason = ResourceExhaustedError("deadline expired in scheduler queue");
   PresentResponse response;
   auto doc = documents_.find(request.document);
@@ -498,6 +561,9 @@ PresentResponse NetServer::HandleExpired(const PresentRequest& request) {
   if (served.outcome == ServeOutcome::kDegraded) {
     MutexLock lock(mu_);
     ++stats_.degraded_deadline;
+  }
+  if (presentation != nullptr) {
+    *presentation = served.presentation;
   }
   std::string body = SerializePresentation(*served.presentation, request.channels);
   response.presentation_hash = Fnv1a64(body);
@@ -553,10 +619,17 @@ StatsSnapshot NetServer::Snapshot() const {
   snapshot.anomalies = obs::AnomalyCount();
   snapshot.traces_sampled = traces_sampled_.load(std::memory_order_relaxed);
   snapshot.sample_rate = options_.trace_sample_rate;
+  snapshot.streams = streams_.load(std::memory_order_relaxed);
+  snapshot.stream_chunks = stream_chunks_.load(std::memory_order_relaxed);
+  snapshot.stream_bytes = stream_bytes_.load(std::memory_order_relaxed);
+  snapshot.stream_full_bytes = stream_full_bytes_.load(std::memory_order_relaxed);
+  snapshot.stream_resumes = stream_resumes_.load(std::memory_order_relaxed);
+  snapshot.stream_stalls = stream_stalls_.load(std::memory_order_relaxed);
   return snapshot;
 }
 
-PresentResponse NetServer::HandleRequest(const PresentRequest& request) {
+PresentResponse NetServer::HandleRequest(const PresentRequest& request,
+                                         std::shared_ptr<const CompiledPresentation>* presentation) {
   PresentResponse response;
   auto doc = documents_.find(request.document);
   if (doc == documents_.end()) {
@@ -587,12 +660,151 @@ PresentResponse NetServer::HandleRequest(const PresentRequest& request) {
     return response;
   }
   response.outcome = served.outcome;
+  if (presentation != nullptr) {
+    *presentation = served.presentation;
+  }
   std::string body = SerializePresentation(*served.presentation, request.channels);
   response.presentation_hash = Fnv1a64(body);
   if (request.want_body) {
     response.presentation = std::move(body);
   }
+  if (request.want_blocks) {
+    // v4 blob delivery: the same plan the stream path would send, inline.
+    // A plan failure leaves blocks empty rather than failing a request that
+    // already served its presentation.
+    StatusOr<StreamPlan> plan = BuildPlanFor(request, *served.presentation);
+    if (plan.ok()) {
+      response.blocks.reserve(plan->blocks.size());
+      for (const PrefetchBlock& block : plan->blocks) {
+        WireBlock wire;
+        wire.descriptor_id = block.descriptor_id;
+        wire.payload = plan->bytes.substr(static_cast<std::size_t>(block.offset),
+                                          static_cast<std::size_t>(block.bytes));
+        response.blocks.push_back(std::move(wire));
+      }
+    }
+  }
   return response;
+}
+
+StatusOr<StreamPlan> NetServer::BuildPlanFor(const PresentRequest& request,
+                                             const CompiledPresentation& presentation) const {
+  const std::vector<SystemProfile>& profiles = loop_.options().profiles;
+  SystemProfile profile;
+  if (!profiles.empty()) {
+    profile = profiles[0];
+    if (!request.profile.empty()) {
+      auto it = profiles_.find(request.profile);
+      if (it != profiles_.end()) {
+        profile = profiles[it->second];
+      }
+    }
+  }
+  const ServeCorpus& corpus = loop_.corpus();
+  return corpus.store().WithRead([&](const DescriptorStore& store) {
+    return corpus.blocks().WithRead([&](const BlockStore& blocks) {
+      return BuildStreamPlan(presentation, store, blocks, profile, request.channels);
+    });
+  });
+}
+
+void NetServer::CompleteStream(std::uint64_t conn_id, std::uint64_t slot,
+                               const StreamRequest& stream, PresentResponse response,
+                               std::shared_ptr<const CompiledPresentation> presentation,
+                               std::uint8_t version) {
+  // Nothing to stream (failed/shed serve, or a v<4 frame that should not
+  // have carried a stream request): answer the plain response — the client
+  // treats a kResponse where it expected kStreamBegin as its blob fallback.
+  StatusOr<StreamPlan> plan = InternalError("no presentation");
+  if (version >= 4 && presentation != nullptr && !response.shed &&
+      response.outcome != ServeOutcome::kFailed) {
+    plan = BuildPlanFor(stream.request, *presentation);
+  }
+  if (!plan.ok()) {
+    CompleteSlot(conn_id, slot, FrameType::kResponse, EncodeResponse(response, version),
+                 version);
+    return;
+  }
+
+  const std::uint64_t chunk_bytes =
+      std::clamp<std::uint64_t>(stream.chunk_bytes, kMinChunkBytes, kMaxChunkBytes);
+  const std::uint64_t total_chunks = StreamChunkCount(plan->total_bytes(), chunk_bytes);
+  const std::uint64_t stream_id =
+      DeriveStreamId(response.presentation_hash, plan->payload_hash, chunk_bytes);
+  // A resume is honored only when it names this exact byte stream; anything
+  // else (a recompile, a different chunk size) restarts from chunk 0.
+  std::uint64_t resumed_from = 0;
+  if (stream.resume_stream_id == stream_id && stream.resume_chunks <= total_chunks) {
+    resumed_from = stream.resume_chunks;
+  }
+
+  StreamBegin begin;
+  begin.stream_id = stream_id;
+  begin.prefix = std::move(response);
+  begin.prefix.blocks.clear();  // chunks are the delivery path
+  begin.chunk_bytes = chunk_bytes;
+  begin.total_chunks = total_chunks;
+  begin.payload_hash = plan->payload_hash;
+  begin.resumed_from = resumed_from;
+  begin.manifest.reserve(plan->blocks.size());
+  for (const PrefetchBlock& block : plan->blocks) {
+    StreamBlockInfo info;
+    info.descriptor_id = block.descriptor_id;
+    info.bytes = block.bytes;
+    info.first_need = block.first_need;
+    begin.manifest.push_back(std::move(info));
+  }
+
+  std::vector<OutFrame> frames;
+  frames.reserve(static_cast<std::size_t>(total_chunks - resumed_from) + 2);
+  frames.push_back({FrameType::kStreamBegin, EncodeStreamBegin(begin, version)});
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  bool cut = false;
+  for (std::uint64_t index = resumed_from; index < total_chunks; ++index) {
+    // Chunk-level chaos: a "drop" cuts the stream mid-flight (the client
+    // reconnects and resumes at its chunk boundary); a "corrupt" flips
+    // payload bytes *before* framing, so the frame CRC passes and only the
+    // end-to-end payload hash catches it.
+    if (!fault::InjectPoint("net.chunk.drop").ok()) {
+      cut = true;
+      break;
+    }
+    StreamChunk chunk;
+    chunk.stream_id = stream_id;
+    chunk.chunk_index = index;
+    const std::uint64_t offset = index * chunk_bytes;
+    chunk.payload = plan->bytes.substr(
+        static_cast<std::size_t>(offset),
+        static_cast<std::size_t>(std::min<std::uint64_t>(chunk_bytes,
+                                                         plan->total_bytes() - offset)));
+    fault::MaybeCorrupt("net.chunk.corrupt", chunk.payload);
+    ++chunks_sent;
+    bytes_sent += chunk.payload.size();
+    frames.push_back({FrameType::kStreamChunk, EncodeStreamChunk(chunk, version)});
+  }
+  if (!cut) {
+    StreamEnd end;
+    end.stream_id = stream_id;
+    end.total_chunks = total_chunks;
+    end.payload_hash = plan->payload_hash;
+    frames.push_back({FrameType::kStreamEnd, EncodeStreamEnd(end, version)});
+  }
+
+  streams_.fetch_add(1, std::memory_order_relaxed);
+  stream_chunks_.fetch_add(chunks_sent, std::memory_order_relaxed);
+  stream_bytes_.fetch_add(bytes_sent, std::memory_order_relaxed);
+  stream_full_bytes_.fetch_add(plan->total_bytes(), std::memory_order_relaxed);
+  if (resumed_from > 0) {
+    stream_resumes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (obs::Enabled()) {
+    obs::GetCounter("net.server.streams").Add();
+    obs::GetCounter("net.server.stream_chunks").Add(static_cast<std::int64_t>(chunks_sent));
+  }
+  // A cut stream closes the connection after the partial flush, exactly
+  // like a mid-transfer network failure would.
+  CompleteSlotFrames(conn_id, slot, std::move(frames), version, /*close_after=*/cut);
 }
 
 }  // namespace net

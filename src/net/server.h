@@ -44,8 +44,10 @@
 #include "src/net/reactor.h"
 #include "src/net/scheduler.h"
 #include "src/net/stats.h"
+#include "src/net/stream.h"
 #include "src/net/wire.h"
 #include "src/obs/metrics.h"
+#include "src/serve/prefetch.h"
 #include "src/serve/serve.h"
 
 namespace cmif {
@@ -119,15 +121,23 @@ class NetServer {
   StatsSnapshot Snapshot() const CMIF_EXCLUDES(mu_);
 
  private:
+  // One encoded frame waiting to go out.
+  struct OutFrame {
+    FrameType type = FrameType::kResponse;
+    std::string payload;
+  };
+
   // One response waiting its turn in a connection's pipeline. Slots are
   // assigned in frame-arrival order on the reactor thread and flushed in
-  // that order no matter which order workers finish.
+  // that order no matter which order workers finish. A slot usually holds
+  // one frame; a stream response holds the whole kStreamBegin..kStreamEnd
+  // sequence, flushed back-to-back so pipelined requests behind it still
+  // answer in order.
   struct Slot {
     bool ready = false;
     bool close_after = false;  // drop the connection once this flushes
-    FrameType type = FrameType::kResponse;
     std::uint8_t version = kWireVersion;
-    std::string payload;
+    std::vector<OutFrame> frames;
   };
 
   struct ConnState {
@@ -157,20 +167,44 @@ class NetServer {
   void CompleteSlot(std::uint64_t conn_id, std::uint64_t slot, FrameType type,
                     std::string payload, std::uint8_t version, bool close_after = false)
       CMIF_EXCLUDES(mu_);
+  // Multi-frame variant: the whole frame sequence occupies one slot.
+  void CompleteSlotFrames(std::uint64_t conn_id, std::uint64_t slot,
+                          std::vector<OutFrame> frames, std::uint8_t version,
+                          bool close_after = false) CMIF_EXCLUDES(mu_);
+
+  // A request completion: the wire response plus the compiled presentation
+  // behind it (null when nothing was served) — the streaming and
+  // want_blocks paths need the schedule to build a delivery plan.
+  using Completion =
+      std::function<void(PresentResponse, std::shared_ptr<const CompiledPresentation>)>;
 
   // Admits one decoded request: schedules it (posting a worker ticket) or
   // sheds it immediately. `done` receives the finished response exactly once.
-  void Admit(PresentRequest request, std::function<void(PresentResponse)> done);
+  void Admit(PresentRequest request, Completion done);
   // The worker-side request path: trace installation, spans, the serve
   // ladder — or the stale-degrade path when the deadline expired in queue.
-  PresentResponse Process(const PresentRequest& request,
-                          const RequestScheduler::Item& item);
+  PresentResponse Process(const PresentRequest& request, const RequestScheduler::Item& item,
+                          std::shared_ptr<const CompiledPresentation>* presentation);
   // Name -> index resolution plus the serve call (no trace bookkeeping).
-  PresentResponse HandleRequest(const PresentRequest& request);
+  PresentResponse HandleRequest(const PresentRequest& request,
+                                std::shared_ptr<const CompiledPresentation>* presentation);
   // Deadline expired while queued and the client allows degradation: answer
   // from stale cache (ServeLoop::ServeStale), shed when nothing is cached.
-  PresentResponse HandleExpired(const PresentRequest& request);
+  PresentResponse HandleExpired(const PresentRequest& request,
+                                std::shared_ptr<const CompiledPresentation>* presentation);
   PresentResponse ShedResponse(const Status& reason) const;
+
+  // Builds the delivery plan for a served request under the shared stores'
+  // read locks (resolving the request's profile name like HandleRequest).
+  StatusOr<StreamPlan> BuildPlanFor(const PresentRequest& request,
+                                    const CompiledPresentation& presentation) const;
+  // Worker-side completion of a kStreamRequest: encodes the
+  // kStreamBegin..kStreamEnd sequence into the reserved slot — or a plain
+  // kResponse when there is nothing to stream (the client's blob fallback).
+  void CompleteStream(std::uint64_t conn_id, std::uint64_t slot, const StreamRequest& stream,
+                      PresentResponse response,
+                      std::shared_ptr<const CompiledPresentation> presentation,
+                      std::uint8_t version);
 
   void BumpProtocolErrors() CMIF_EXCLUDES(mu_);
 
@@ -195,6 +229,15 @@ class NetServer {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> traces_sampled_{0};
+  // Streamed-delivery counters (the kStats "streaming" section). Bytes are
+  // chunk payload bytes actually sent; full_bytes is what a blob delivery of
+  // the same streams would have sent — the gap is the resume savings.
+  std::atomic<std::uint64_t> streams_{0};
+  std::atomic<std::uint64_t> stream_chunks_{0};
+  std::atomic<std::uint64_t> stream_bytes_{0};
+  std::atomic<std::uint64_t> stream_full_bytes_{0};
+  std::atomic<std::uint64_t> stream_resumes_{0};
+  std::atomic<std::uint64_t> stream_stalls_{0};
 
   mutable Mutex mu_;
   CondVar idle_cv_;  // signals outstanding_ == 0 (graceful Stop)

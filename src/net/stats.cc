@@ -1,8 +1,6 @@
 #include "src/net/stats.h"
 
-#include <bit>
-#include <cmath>
-
+#include "src/base/codec_util.h"
 #include "src/base/string_util.h"
 #include "src/base/varint.h"
 #include "src/obs/json.h"
@@ -15,48 +13,9 @@ namespace {
 constexpr std::uint64_t kMaxExemplars = 64;
 constexpr std::uint64_t kMaxBreakers = 1024;
 
-void PutString(std::string& out, std::string_view value) {
-  PutVarint64(out, value.size());
-  out.append(value);
-}
-
-StatusOr<std::string> GetString(std::string_view bytes, std::size_t* pos) {
-  CMIF_ASSIGN_OR_RETURN(std::uint64_t length, GetVarint64(bytes, pos));
-  if (bytes.size() - *pos < length) {
-    return DataLossError(StrFormat("string of %llu bytes truncated at offset %zu",
-                                   static_cast<unsigned long long>(length), *pos));
-  }
-  std::string value(bytes.substr(*pos, length));
-  *pos += length;
-  return value;
-}
-
-void PutF64(std::string& out, double value) {
-  std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
-  }
-}
-
-StatusOr<double> GetF64(std::string_view bytes, std::size_t* pos) {
-  if (bytes.size() - *pos < 8) {
-    return DataLossError(StrFormat("f64 truncated at offset %zu", *pos));
-  }
-  std::uint64_t bits = 0;
-  for (int i = 0; i < 8; ++i) {
-    bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[*pos + i])) << (8 * i);
-  }
-  *pos += 8;
-  double value = std::bit_cast<double>(bits);
-  if (std::isnan(value) || std::isinf(value)) {
-    return DataLossError(StrFormat("non-finite f64 at offset %zu", *pos - 8));
-  }
-  return value;
-}
-
 }  // namespace
 
-std::string EncodeStatsSnapshot(const StatsSnapshot& snapshot) {
+std::string EncodeStatsSnapshot(const StatsSnapshot& snapshot, std::uint8_t version) {
   std::string out;
   PutVarint64(out, snapshot.uptime_us);
   PutVarint64(out, snapshot.connections);
@@ -98,10 +57,18 @@ std::string EncodeStatsSnapshot(const StatsSnapshot& snapshot) {
   PutVarint64(out, snapshot.anomalies);
   PutVarint64(out, snapshot.traces_sampled);
   PutF64(out, snapshot.sample_rate);
+  if (version >= 4) {
+    PutVarint64(out, snapshot.streams);
+    PutVarint64(out, snapshot.stream_chunks);
+    PutVarint64(out, snapshot.stream_bytes);
+    PutVarint64(out, snapshot.stream_full_bytes);
+    PutVarint64(out, snapshot.stream_resumes);
+    PutVarint64(out, snapshot.stream_stalls);
+  }
   return out;
 }
 
-StatusOr<StatsSnapshot> DecodeStatsSnapshot(std::string_view payload) {
+StatusOr<StatsSnapshot> DecodeStatsSnapshot(std::string_view payload, std::uint8_t version) {
   StatsSnapshot s;
   std::size_t pos = 0;
   CMIF_ASSIGN_OR_RETURN(s.uptime_us, GetVarint64(payload, &pos));
@@ -170,6 +137,14 @@ StatusOr<StatsSnapshot> DecodeStatsSnapshot(std::string_view payload) {
   CMIF_ASSIGN_OR_RETURN(s.sample_rate, GetF64(payload, &pos));
   if (s.sample_rate < 0 || s.sample_rate > 1) {
     return DataLossError(StrFormat("sample rate %g outside [0, 1]", s.sample_rate));
+  }
+  if (version >= 4) {
+    CMIF_ASSIGN_OR_RETURN(s.streams, GetVarint64(payload, &pos));
+    CMIF_ASSIGN_OR_RETURN(s.stream_chunks, GetVarint64(payload, &pos));
+    CMIF_ASSIGN_OR_RETURN(s.stream_bytes, GetVarint64(payload, &pos));
+    CMIF_ASSIGN_OR_RETURN(s.stream_full_bytes, GetVarint64(payload, &pos));
+    CMIF_ASSIGN_OR_RETURN(s.stream_resumes, GetVarint64(payload, &pos));
+    CMIF_ASSIGN_OR_RETURN(s.stream_stalls, GetVarint64(payload, &pos));
   }
   if (pos != payload.size()) {
     return DataLossError(StrFormat("%zu trailing bytes after stats snapshot at offset %zu",
@@ -260,6 +235,16 @@ std::string StatsSnapshotJson(const StatsSnapshot& s) {
   }
   breakers += "}";
   field("breakers", std::move(breakers));
+  std::string streaming = "{";
+  streaming += "\"streams\": " + obs::JsonNumber(static_cast<std::int64_t>(s.streams));
+  streaming += ", \"chunks\": " + obs::JsonNumber(static_cast<std::int64_t>(s.stream_chunks));
+  streaming += ", \"bytes\": " + obs::JsonNumber(static_cast<std::int64_t>(s.stream_bytes));
+  streaming +=
+      ", \"full_bytes\": " + obs::JsonNumber(static_cast<std::int64_t>(s.stream_full_bytes));
+  streaming += ", \"resumes\": " + obs::JsonNumber(static_cast<std::int64_t>(s.stream_resumes));
+  streaming += ", \"stalls\": " + obs::JsonNumber(static_cast<std::int64_t>(s.stream_stalls));
+  streaming += "}";
+  field("streaming", std::move(streaming));
   field("breaker_opens", obs::JsonNumber(static_cast<std::int64_t>(s.breaker_opens)));
   field("anomalies", obs::JsonNumber(static_cast<std::int64_t>(s.anomalies)));
   field("traces_sampled", obs::JsonNumber(static_cast<std::int64_t>(s.traces_sampled)));

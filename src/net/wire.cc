@@ -1,5 +1,7 @@
 #include "src/net/wire.h"
 
+#include <algorithm>
+
 #include "src/base/crc32.h"
 #include "src/base/string_util.h"
 #include "src/base/varint.h"
@@ -26,10 +28,11 @@ std::uint32_t GetU32Le(const char* bytes) {
          static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[3])) << 24;
 }
 
-Status CheckVersion(std::uint8_t version) {
-  if (version < kMinWireVersion || version > kWireVersion) {
+Status CheckVersion(std::uint8_t version, const WireLimits& limits) {
+  std::uint8_t max_version = std::min(limits.max_version, kWireVersion);
+  if (version < kMinWireVersion || version > max_version) {
     return DataLossError(StrFormat("unsupported wire version %u (accepts %u..%u)", version,
-                                   kMinWireVersion, kWireVersion));
+                                   kMinWireVersion, max_version));
   }
   return Status::Ok();
 }
@@ -59,6 +62,27 @@ StatusOr<FrameType> CheckFrameType(std::uint8_t raw, std::uint8_t version) {
                                        raw, version));
       }
       return raw == 8 ? FrameType::kBatchRequest : FrameType::kBatchResponse;
+    case 10:
+    case 11:
+    case 12:
+    case 13:
+    case 14:
+      if (version < 4) {
+        return DataLossError(StrFormat("frame type %u requires wire version 4 (frame declares %u)",
+                                       raw, version));
+      }
+      switch (raw) {
+        case 10:
+          return FrameType::kStreamRequest;
+        case 11:
+          return FrameType::kStreamBegin;
+        case 12:
+          return FrameType::kStreamChunk;
+        case 13:
+          return FrameType::kStreamAck;
+        default:
+          return FrameType::kStreamEnd;
+      }
     default:
       return DataLossError(StrFormat("unknown frame type %u", raw));
   }
@@ -95,6 +119,16 @@ std::string_view FrameTypeName(FrameType type) {
       return "batch-request";
     case FrameType::kBatchResponse:
       return "batch-response";
+    case FrameType::kStreamRequest:
+      return "stream-request";
+    case FrameType::kStreamBegin:
+      return "stream-begin";
+    case FrameType::kStreamChunk:
+      return "stream-chunk";
+    case FrameType::kStreamAck:
+      return "stream-ack";
+    case FrameType::kStreamEnd:
+      return "stream-end";
   }
   return "unknown";
 }
@@ -123,7 +157,7 @@ StatusOr<Frame> DecodeFrame(std::string_view bytes, std::size_t* consumed,
     return DataLossError("bad frame magic (expected \"CMIF\")");
   }
   std::uint8_t version = static_cast<std::uint8_t>(bytes[kMagicEnd]);
-  CMIF_RETURN_IF_ERROR(CheckVersion(version));
+  CMIF_RETURN_IF_ERROR(CheckVersion(version, limits));
   CMIF_ASSIGN_OR_RETURN(FrameType type,
                         CheckFrameType(static_cast<std::uint8_t>(bytes[kMagicEnd + 1]), version));
   std::size_t pos = kMagicEnd + 2;
@@ -178,7 +212,7 @@ StatusOr<std::optional<Frame>> FrameAssembler::Next() {
     return std::optional<Frame>();
   }
   std::uint8_t version = static_cast<std::uint8_t>(view[kMagicEnd]);
-  if (Status st = CheckVersion(version); !st.ok()) {
+  if (Status st = CheckVersion(version, limits_); !st.ok()) {
     poisoned_ = std::move(st);
     return poisoned_;
   }
@@ -269,7 +303,7 @@ StatusOr<std::optional<Frame>> ReadFrame(Socket& socket, const WireLimits& limit
     return DataLossError("bad frame magic (expected \"CMIF\")");
   }
   std::uint8_t version = static_cast<std::uint8_t>(head[4]);
-  CMIF_RETURN_IF_ERROR(CheckVersion(version));
+  CMIF_RETURN_IF_ERROR(CheckVersion(version, limits));
   CMIF_ASSIGN_OR_RETURN(FrameType type,
                         CheckFrameType(static_cast<std::uint8_t>(head[5]), version));
   std::uint32_t crc = Crc32(std::string_view(head + 4, 2));

@@ -41,12 +41,15 @@ namespace cmif {
 namespace net {
 
 inline constexpr std::string_view kFrameMagic = "CMIF";
-// Version 3: PresentRequest carries an optional deadline, PresentResponse
-// carries shed/queue-wait fields, and the kBatchRequest/kBatchResponse pair
-// exists. Version 2 (TraceContext + kStats frames) is still accepted; a
-// frame below kMinWireVersion fails cleanly at the header (kDataLoss),
-// never by misparsing a payload.
-inline constexpr std::uint8_t kWireVersion = 3;
+// Version 4: streamed delivery — PresentRequest grows a want_blocks flag,
+// PresentResponse can carry resolved data blocks, and the kStreamRequest/
+// kStreamBegin/kStreamChunk/kStreamAck/kStreamEnd frames exist (chunked
+// block transfer in schedule order, src/net/stream.h). Version 3 added
+// request deadlines, shed/queue_ms, and the batch frames; version 2
+// (TraceContext + kStats frames) is still accepted. A frame below
+// kMinWireVersion fails cleanly at the header (kDataLoss), never by
+// misparsing a payload.
+inline constexpr std::uint8_t kWireVersion = 4;
 inline constexpr std::uint8_t kMinWireVersion = 2;
 
 // What a frame carries. kError is a protocol-level failure (overload, bad
@@ -55,7 +58,11 @@ inline constexpr std::uint8_t kMinWireVersion = 2;
 // empty payload) asks for a live telemetry snapshot, answered by a
 // kStatsResponse carrying an encoded StatsSnapshot (src/net/stats.h).
 // kBatchRequest/kBatchResponse (v3+) carry several PresentRequests/
-// PresentResponses in one frame, answered positionally.
+// PresentResponses in one frame, answered positionally. The kStream* frames
+// (v4+) carry chunked block delivery: kStreamRequest opens a stream,
+// kStreamBegin answers with the schedule prefix + chunk manifest, the
+// server then pushes kStreamChunk frames in prefetch order and closes with
+// kStreamEnd; kStreamAck is client→server delivery telemetry.
 enum class FrameType : std::uint8_t {
   kRequest = 1,
   kResponse = 2,
@@ -66,6 +73,11 @@ enum class FrameType : std::uint8_t {
   kStatsResponse = 7,
   kBatchRequest = 8,
   kBatchResponse = 9,
+  kStreamRequest = 10,
+  kStreamBegin = 11,
+  kStreamChunk = 12,
+  kStreamAck = 13,
+  kStreamEnd = 14,
 };
 
 std::string_view FrameTypeName(FrameType type);
@@ -82,6 +94,12 @@ struct WireLimits {
   // Upper bound on one frame's payload; a length prefix beyond this is
   // rejected before any allocation (a corrupted varint cannot OOM the peer).
   std::size_t max_payload_bytes = 8u << 20;
+  // Highest wire version this endpoint accepts. Lowering it below
+  // kWireVersion makes the endpoint behave like an older peer: frames in
+  // (max_version, kWireVersion] fail at the header exactly as a genuinely
+  // old implementation would reject them — the interop-fallback paths can
+  // therefore be tested against the real decoder, not a mock.
+  std::uint8_t max_version = kWireVersion;
 };
 
 // Renders one complete frame in the given wire version.

@@ -188,6 +188,23 @@ StatusOr<PlaybackResult> Play(const Document& document, const Schedule& schedule
     if (device_fault.extra_latency_ms > 0) {
       earliest += MediaTime::Millis(device_fault.extra_latency_ms);
     }
+    if (options.block_arrival && !scheduled->event.descriptor_id.empty() &&
+        !device_fault.drop) {
+      // Streamed delivery: the payload may still be in flight. Waiting for
+      // it is a stall — the same shape as a busy device, so the existing
+      // freeze/tolerance machinery absorbs the lateness downstream.
+      MediaTime arrival = options.block_arrival(scheduled->event);
+      if (arrival > earliest) {
+        earliest = arrival;
+      }
+      if (arrival > target) {
+        ++result.stalls;
+        result.stall_total += arrival - target;
+        if (obs::Enabled()) {
+          obs::GetCounter("player.stream_stalls").Add();
+        }
+      }
+    }
     MediaTime actual = std::max(target, earliest);
     MediaTime lateness = actual - target;
 

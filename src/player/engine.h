@@ -8,6 +8,7 @@
 #ifndef SRC_PLAYER_ENGINE_H_
 #define SRC_PLAYER_ENGINE_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,15 @@ struct PlayerOptions {
   // presentations on that channel).
   fault::BreakerOptions channel_breaker{.failure_threshold = 3, .open_ms = 60000,
                                         .half_open_successes = 2, .half_open_probes = 2};
+  // Streamed-delivery seam (play-while-compiling): maps an event to the
+  // document time its payload bytes finish arriving. Unset = every block is
+  // local before playback starts (the classic blob delivery). An event
+  // whose block has not arrived by its begin time *stalls*: the engine
+  // waits for the bytes exactly as it waits for a busy device, counts the
+  // stall, and lets the freeze/tolerance machinery absorb the lateness.
+  // Only consulted for events with a descriptor (immediate data travels in
+  // the presentation body).
+  std::function<MediaTime(const EventDescriptor&)> block_arrival;
 };
 
 // The outcome of one run.
@@ -64,6 +74,10 @@ struct PlaybackResult {
   // Events whose post-recovery lateness exceeded their must-arc tolerance
   // window — zero whenever freezing is enabled, by construction.
   std::size_t sync_violations = 0;
+  // Streamed-delivery stall accounting (zero without a block_arrival hook):
+  // events that had to wait for their payload bytes, and the total wait.
+  std::size_t stalls = 0;
+  MediaTime stall_total;
 };
 
 // Plays `schedule` (computed for `document`) on devices built from the

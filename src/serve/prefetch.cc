@@ -1,0 +1,123 @@
+#include "src/serve/prefetch.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/base/string_util.h"
+#include "src/media/block_codec.h"
+#include "src/sched/schedule.h"
+
+namespace cmif {
+
+StatusOr<StreamPlan> BuildStreamPlan(const CompiledPresentation& presentation,
+                                     const DescriptorStore& store, const BlockStore& blocks,
+                                     const SystemProfile& profile,
+                                     const std::vector<std::string>& channels) {
+  StreamPlan plan;
+  if (!presentation.schedule.feasible) {
+    return plan;
+  }
+  std::set<std::string> selected(channels.begin(), channels.end());
+
+  // Distinct descriptors in the (channel-restricted) schedule, each with the
+  // earliest time any event presents it.
+  struct Need {
+    MediaTime first_need;
+    MediaType medium = MediaType::kText;
+  };
+  std::map<std::string, Need> needs;
+  for (const ScheduledEvent& scheduled : presentation.schedule.schedule.events()) {
+    if (scheduled.event.descriptor_id.empty()) {
+      continue;  // immediate data travels inside the presentation body
+    }
+    if (!selected.empty() && !selected.contains(scheduled.event.channel)) {
+      continue;
+    }
+    auto [it, inserted] =
+        needs.try_emplace(scheduled.event.descriptor_id,
+                          Need{scheduled.begin, scheduled.event.medium});
+    if (!inserted && scheduled.begin < it->second.first_need) {
+      it->second.first_need = scheduled.begin;
+    }
+  }
+
+  plan.blocks.reserve(needs.size());
+  std::vector<std::string> payloads;
+  payloads.reserve(needs.size());
+  for (const auto& [descriptor_id, need] : needs) {
+    PrefetchBlock entry;
+    entry.descriptor_id = descriptor_id;
+    entry.medium = need.medium;
+    entry.first_need = need.first_need;
+
+    const DataDescriptor* descriptor = store.Get(descriptor_id);
+    if (descriptor == nullptr) {
+      // The schedule references a descriptor the store no longer holds
+      // (e.g. an edit raced the request); nothing can stand in for it.
+      plan.degraded = true;
+      continue;
+    }
+    std::string payload;
+    if (descriptor->has_content()) {
+      StatusOr<DataBlock> block = ResolveContent(*descriptor, blocks);
+      if (block.ok()) {
+        payload = EncodeBlockPayload(*block);
+      } else {
+        plan.degraded = true;
+        payload = EncodeBlockPayload(MakePlaceholderBlock(*descriptor));
+      }
+    } else {
+      // Descriptor-without-data transport mode: a placeholder is the only
+      // deliverable payload, same as the player would synthesize.
+      payload = EncodeBlockPayload(MakePlaceholderBlock(*descriptor));
+    }
+    entry.bytes = payload.size();
+
+    // Latest start that still arrives in time on this medium's channel.
+    std::int64_t bandwidth = profile.TimingFor(entry.medium).bandwidth_bytes_per_s;
+    entry.must_start_by =
+        bandwidth > 0
+            ? entry.first_need - MediaTime::Bytes(static_cast<std::int64_t>(entry.bytes), bandwidth)
+            : entry.first_need;
+
+    payloads.push_back(std::move(payload));
+    plan.blocks.push_back(std::move(entry));
+  }
+
+  // Delivery order: ascending must-start, ties broken deterministically.
+  std::vector<std::size_t> order(plan.blocks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const PrefetchBlock& lhs = plan.blocks[a];
+    const PrefetchBlock& rhs = plan.blocks[b];
+    if (lhs.must_start_by != rhs.must_start_by) {
+      return lhs.must_start_by < rhs.must_start_by;
+    }
+    if (lhs.first_need != rhs.first_need) {
+      return lhs.first_need < rhs.first_need;
+    }
+    return lhs.descriptor_id < rhs.descriptor_id;
+  });
+
+  std::vector<PrefetchBlock> ordered;
+  ordered.reserve(plan.blocks.size());
+  std::uint64_t total = 0;
+  for (std::size_t index : order) {
+    total += payloads[index].size();
+  }
+  plan.bytes.reserve(static_cast<std::size_t>(total));
+  for (std::size_t index : order) {
+    PrefetchBlock entry = std::move(plan.blocks[index]);
+    entry.offset = plan.bytes.size();
+    plan.bytes.append(payloads[index]);
+    ordered.push_back(std::move(entry));
+  }
+  plan.blocks = std::move(ordered);
+  plan.payload_hash = Fnv1a64(plan.bytes);
+  return plan;
+}
+
+}  // namespace cmif

@@ -1,0 +1,117 @@
+// Self-tests for the streamed-vs-blob differential harness
+// (src/check/stream.h): seeded sweeps are clean and deterministic, the
+// flagship document streams without divergence under both generous and
+// starved links, and the `%% stream` corpus trailer drives replay with its
+// marker-line parameters.
+#include "src/check/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/check/differential.h"
+#include "src/news/evening_news.h"
+
+namespace cmif {
+namespace check {
+namespace {
+
+TEST(StreamDifferentialTest, SmallRunIsClean) {
+  StreamCheckOptions options;
+  options.base_seed = 42;
+  options.count = 25;
+  options.target_leaves = 8;
+  options.shrink = false;
+  auto report = RunStreamCheck(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_EQ(report->documents, 25u);
+  EXPECT_EQ(report->feasible + report->relaxed + report->infeasible, report->documents);
+  EXPECT_NE(report->Summary().find("zero divergences"), std::string::npos);
+}
+
+TEST(StreamDifferentialTest, StarvedLinkStaysDivergenceFree) {
+  // A link slower than the schedule's demand: stalls are expected, wrong
+  // bytes or reordered events are not — exactly the invariant the harness
+  // enforces per document.
+  StreamCheckOptions options;
+  options.base_seed = 7;
+  options.count = 15;
+  options.target_leaves = 10;
+  options.bandwidth_bytes_per_s = 2000;
+  options.chunk_bytes = 300;
+  options.shrink = false;
+  auto report = RunStreamCheck(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_EQ(report->documents, 15u);
+}
+
+TEST(StreamDifferentialTest, ExplicitSeedListOverridesCount) {
+  StreamCheckOptions options;
+  options.count = 500;  // ignored: the list wins
+  options.seeds = {3, 99, 0xdeadbeef};
+  options.target_leaves = 6;
+  options.shrink = false;
+  auto report = RunStreamCheck(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_EQ(report->documents, 3u);
+}
+
+TEST(StreamDifferentialTest, EveningNewsStreamsClean) {
+  auto news = BuildEveningNews(NewsOptions{});
+  ASSERT_TRUE(news.ok()) << news.status();
+  // Generous link: the stream must deliver every block on time.
+  Status generous = CheckStreamDocument(news->document, &news->store, "news-fast",
+                                        WorkstationProfile(),
+                                        /*bandwidth_bytes_per_s=*/std::int64_t{1} << 30,
+                                        /*chunk_bytes=*/64 << 10);
+  EXPECT_TRUE(generous.ok()) << generous;
+  // Starved link: stalls allowed, divergence not.
+  Status starved = CheckStreamDocument(news->document, &news->store, "news-slow",
+                                       WorkstationProfile(),
+                                       /*bandwidth_bytes_per_s=*/1500,
+                                       /*chunk_bytes=*/512);
+  EXPECT_TRUE(starved.ok()) << starved;
+}
+
+TEST(StreamDifferentialTest, CorpusStreamTrailerDrivesReplay) {
+  const std::string document =
+      "(cmif\n"
+      "  (seq (name s channel_dict (txt (medium text)))\n"
+      "    (imm (name a channel txt duration 1/1) \"one\")\n"
+      "    (imm (name b channel txt duration 2/1) \"two\")\n"
+      "  )\n"
+      ")\n";
+  EXPECT_TRUE(ReplayCorpusText(document + "%% stream bandwidth=2000 chunk=300\n",
+                               "inline-stream")
+                  .ok());
+  // Marker defaults: a bare marker replays at the default link.
+  EXPECT_TRUE(ReplayCorpusText(document + "%% stream\n", "inline-default").ok());
+  // A malformed chunk size is a structured replay failure, not a crash.
+  EXPECT_FALSE(ReplayCorpusText(document + "%% stream chunk=0\n", "inline-bad").ok());
+  EXPECT_FALSE(
+      ReplayCorpusText(document + "%% stream chunk=nonsense\n", "inline-bad2").ok());
+}
+
+TEST(StreamDifferentialTest, EditAndStreamTrailersCompose) {
+  // A corpus file may carry both sections: the edit trace replays first,
+  // then the (original) document streams.
+  const std::string text =
+      "(cmif\n"
+      "  (seq (name s channel_dict (txt (medium text)))\n"
+      "    (imm (name a channel txt duration 1/1) \"one\")\n"
+      "    (imm (name b channel txt duration 2/1) \"two\")\n"
+      "  )\n"
+      ")\n"
+      "%% edits\n"
+      "add-arc / a end b begin may 0/1 0/1 inf\n"
+      "%% stream bandwidth=4000 chunk=256\n";
+  Status status = ReplayCorpusText(text, "inline-both");
+  EXPECT_TRUE(status.ok()) << status;
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace cmif

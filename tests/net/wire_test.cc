@@ -127,14 +127,34 @@ TEST(WireRobustnessTest, WrongMagicAndVersionAreRejected) {
 }
 
 TEST(WireRobustnessTest, UnknownFrameTypeIsRejected) {
-  // Type 10 with a recomputed-valid CRC is unreachable via EncodeFrame, so
-  // build the frame by hand around the encoder: flip type then fix nothing —
-  // the type check must fire before (or as) the CRC check does.
+  // Type 15 (one past kStreamEnd) with a recomputed-valid CRC is unreachable
+  // via EncodeFrame, so build the frame by hand around the encoder: flip
+  // type then fix nothing — the type check must fire before (or as) the CRC
+  // check does.
   std::string frame = EncodeFrame(FrameType::kPing, "x");
-  frame[5] = 10;
+  frame[5] = 15;
   std::size_t consumed = 0;
   auto result = DecodeFrame(frame, &consumed, {});
   EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WireRobustnessTest, StreamFrameTypesRequireV4) {
+  // Types 10..14 (streamed delivery) joined the protocol in v4. A v3 frame
+  // claiming them is a desync, not a silent upgrade — exactly the header
+  // check an older peer applies, which is what the client's silent blob
+  // fallback relies on.
+  for (FrameType type : {FrameType::kStreamRequest, FrameType::kStreamBegin,
+                         FrameType::kStreamChunk, FrameType::kStreamAck,
+                         FrameType::kStreamEnd}) {
+    std::string v4 = EncodeFrame(type, "", 4);
+    std::size_t consumed = 0;
+    ASSERT_TRUE(DecodeFrame(v4, &consumed, {}).ok());
+    std::string v3 = v4;
+    v3[4] = 3;  // demote the version byte; the type is now out of range
+    auto result = DecodeFrame(v3, &consumed, {});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  }
 }
 
 TEST(WireRobustnessTest, BatchFrameTypesRequireV3) {

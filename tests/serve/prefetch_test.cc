@@ -1,0 +1,174 @@
+// The prefetch planner's contract (src/serve/prefetch.h): delivery order is
+// the schedule's must-start order, offsets tile the payload exactly, the
+// hash is end-to-end, channel restriction mirrors response serialization,
+// fetch failures degrade to placeholders instead of failing the stream, and
+// an infeasible schedule yields an empty plan. All of it deterministic —
+// the same plan backs both chunked streaming and v4 blob delivery, so any
+// nondeterminism here would break resume and the differential harness.
+#include "src/serve/prefetch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/api/cmif.h"
+#include "src/base/string_util.h"
+#include "src/media/block_codec.h"
+#include "src/news/evening_news.h"
+#include "src/pipeline/pipeline.h"
+
+namespace cmif {
+namespace {
+
+struct Compiled {
+  std::unique_ptr<ServeCorpus> corpus;
+  CompiledPresentation presentation;
+};
+
+Compiled CompileNewsDocument() {
+  Compiled c;
+  auto corpus = BuildNewsCorpus(1);
+  EXPECT_TRUE(corpus.ok()) << corpus.status();
+  c.corpus = std::move(corpus).value();
+  PipelineOptions options;
+  options.profile = WorkstationProfile();
+  auto report = c.corpus->store().WithRead([&](const DescriptorStore& store) {
+    return c.corpus->blocks().WithRead([&](const BlockStore& blocks) {
+      return api::Compile(c.corpus->document(0).document, store, blocks, options);
+    });
+  });
+  EXPECT_TRUE(report.ok()) << report.status();
+  c.presentation.map = report->presentation_map;
+  c.presentation.filter = report->filter;
+  c.presentation.schedule = report->schedule;
+  return c;
+}
+
+StatusOr<StreamPlan> PlanFor(const Compiled& c,
+                             const std::vector<std::string>& channels = {}) {
+  return c.corpus->store().WithRead([&](const DescriptorStore& store) {
+    return c.corpus->blocks().WithRead([&](const BlockStore& blocks) {
+      return BuildStreamPlan(c.presentation, store, blocks, WorkstationProfile(),
+                             channels);
+    });
+  });
+}
+
+TEST(PrefetchPlanTest, TilesThePayloadInMustStartOrder) {
+  Compiled c = CompileNewsDocument();
+  auto plan = PlanFor(c);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_FALSE(plan->blocks.empty()) << "news documents reference block content";
+  EXPECT_FALSE(plan->degraded);
+  EXPECT_EQ(plan->payload_hash, Fnv1a64(plan->bytes));
+
+  std::uint64_t offset = 0;
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < plan->blocks.size(); ++i) {
+    const PrefetchBlock& block = plan->blocks[i];
+    EXPECT_EQ(block.offset, offset) << "block " << i << " leaves a gap";
+    EXPECT_GT(block.bytes, 0u) << i;
+    offset += block.bytes;
+    EXPECT_TRUE(seen.insert(block.descriptor_id).second)
+        << "descriptor " << block.descriptor_id << " planned twice";
+    // A block can never be required before its transfer must begin.
+    EXPECT_LE(block.must_start_by, block.first_need) << i;
+    if (i > 0) {
+      EXPECT_LE(plan->blocks[i - 1].must_start_by, block.must_start_by)
+          << "delivery order must be ascending must-start at block " << i;
+    }
+    // Every planned payload is a decodable canonical block encoding.
+    auto decoded = DecodeBlockPayload(
+        std::string_view(plan->bytes)
+            .substr(static_cast<std::size_t>(block.offset),
+                    static_cast<std::size_t>(block.bytes)));
+    EXPECT_TRUE(decoded.ok()) << block.descriptor_id << ": " << decoded.status();
+  }
+  EXPECT_EQ(offset, plan->total_bytes());
+}
+
+TEST(PrefetchPlanTest, IsDeterministic) {
+  Compiled c = CompileNewsDocument();
+  auto first = PlanFor(c);
+  auto second = PlanFor(c);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->bytes, second->bytes);
+  EXPECT_EQ(first->payload_hash, second->payload_hash);
+  ASSERT_EQ(first->blocks.size(), second->blocks.size());
+  for (std::size_t i = 0; i < first->blocks.size(); ++i) {
+    EXPECT_EQ(first->blocks[i].descriptor_id, second->blocks[i].descriptor_id) << i;
+    EXPECT_EQ(first->blocks[i].offset, second->blocks[i].offset) << i;
+  }
+}
+
+TEST(PrefetchPlanTest, ChannelRestrictionPlansASubset) {
+  Compiled c = CompileNewsDocument();
+  auto full = PlanFor(c);
+  ASSERT_TRUE(full.ok()) << full.status();
+  auto audio = PlanFor(c, {"audio"});
+  ASSERT_TRUE(audio.ok()) << audio.status();
+  EXPECT_LT(audio->blocks.size(), full->blocks.size());
+  EXPECT_LT(audio->total_bytes(), full->total_bytes());
+  std::set<std::string> all;
+  for (const PrefetchBlock& block : full->blocks) {
+    all.insert(block.descriptor_id);
+  }
+  for (const PrefetchBlock& block : audio->blocks) {
+    EXPECT_TRUE(all.count(block.descriptor_id))
+        << block.descriptor_id << " not in the unrestricted plan";
+  }
+  // A selection naming no real channel plans nothing.
+  auto none = PlanFor(c, {"no-such-channel"});
+  ASSERT_TRUE(none.ok()) << none.status();
+  EXPECT_TRUE(none->blocks.empty());
+  EXPECT_TRUE(none->bytes.empty());
+}
+
+TEST(PrefetchPlanTest, MissingDescriptorsDegradeAndSkip) {
+  Compiled c = CompileNewsDocument();
+  auto full = PlanFor(c);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_FALSE(full->blocks.empty());
+  // A descriptor the schedule references vanishes from the store (an edit
+  // raced the request): nothing can stand in for it, so its block is
+  // skipped, the plan is flagged degraded — and still tiles and hashes.
+  const std::string victim = full->blocks.front().descriptor_id;
+  BlockStore empty;
+  auto degraded = c.corpus->store().WithRead([&](const DescriptorStore& store) {
+    DescriptorStore pruned = store;
+    EXPECT_TRUE(pruned.Remove(victim));
+    return BuildStreamPlan(c.presentation, pruned, empty, WorkstationProfile());
+  });
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(degraded->blocks.size(), full->blocks.size() - 1);
+  EXPECT_EQ(degraded->payload_hash, Fnv1a64(degraded->bytes));
+  std::uint64_t offset = 0;
+  for (const PrefetchBlock& block : degraded->blocks) {
+    EXPECT_NE(block.descriptor_id, victim);
+    EXPECT_EQ(block.offset, offset);
+    offset += block.bytes;
+    auto decoded = DecodeBlockPayload(
+        std::string_view(degraded->bytes)
+            .substr(static_cast<std::size_t>(block.offset),
+                    static_cast<std::size_t>(block.bytes)));
+    EXPECT_TRUE(decoded.ok()) << block.descriptor_id << ": " << decoded.status();
+  }
+  EXPECT_EQ(offset, degraded->total_bytes());
+}
+
+TEST(PrefetchPlanTest, InfeasibleScheduleYieldsAnEmptyPlan) {
+  Compiled c = CompileNewsDocument();
+  c.presentation.schedule.feasible = false;
+  auto plan = PlanFor(c);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->blocks.empty());
+  EXPECT_TRUE(plan->bytes.empty());
+  EXPECT_FALSE(plan->degraded);
+}
+
+}  // namespace
+}  // namespace cmif

@@ -51,6 +51,14 @@ Knobs (flag wins over env, env over default):
         Below the floor the warm start has silently degraded into full
         re-solves — correct (the differential harness proves that) but
         pointless.
+  --min-ttff-speedup / CMIF_MIN_TTFF_SPEEDUP
+        floor for fig18_stream.ttff_speedup in the CURRENT run (default
+        5): on a bandwidth-constrained link, streamed delivery must show
+        its first frame at least this many times sooner than waiting for
+        the full blob. The ratio is a property of the prefetch plan's
+        delivery order (schedule's must-start order, start-of-show
+        content first), so a drop below the floor means the plan stopped
+        front-loading what playback needs first.
   CMIF_SKIP_BENCH_GATE=1               report but always exit 0; escape
         hatch for PRs that intentionally trade wall time for a feature —
         use it in the workflow env and say why in the PR description.
@@ -111,6 +119,10 @@ def main():
                         default=env_float("CMIF_MIN_EDIT_SPEEDUP", 10.0),
                         help="floor for fig17_edit.edit_speedup in the "
                              "current run")
+    parser.add_argument("--min-ttff-speedup", type=float,
+                        default=env_float("CMIF_MIN_TTFF_SPEEDUP", 5.0),
+                        help="floor for fig18_stream.ttff_speedup in the "
+                             "current run (default 5)")
     parser.add_argument("--min-restart-speedup", type=float,
                         default=env_float("CMIF_MIN_RESTART_SPEEDUP", 10.0),
                         help="floor for fig16_restart.restart_speedup"
@@ -236,14 +248,33 @@ def main():
         print("  [absent ] fig17_edit.edit_speedup: "
               "not in current run, edit floor not gated")
 
+    # Absolute streaming budget: fig18 prices chunked delivery against the
+    # blob on a constrained link. The time-to-first-frame ratio is pure
+    # delivery order — a property of the prefetch plan, not the runner — so
+    # it is gated on the current run alone.
+    stream_violations = []
+    ttff_speedup = current.get("fig18_stream", {}).get("ttff_speedup")
+    if isinstance(ttff_speedup, (int, float)):
+        tag = "ok"
+        if ttff_speedup < args.min_ttff_speedup:
+            tag = "REGRESS"
+            stream_violations.append(ttff_speedup)
+        print(f"  [{tag:<7}] fig18_stream.ttff_speedup: "
+              f"x{ttff_speedup:.2f} (floor x{args.min_ttff_speedup:g})")
+    else:
+        print("  [absent ] fig18_stream.ttff_speedup: "
+              "not in current run, streaming floor not gated")
+
     print(f"check_bench: {compared} timings compared, "
           f"{len(regressions)} over the {args.threshold:g}% threshold, "
           f"{len(overhead_violations)} obs-budget violations, "
           f"{len(overload_violations)} overload-budget violations, "
           f"{len(restart_violations)} restart-budget violations, "
-          f"{len(edit_violations)} edit-budget violations")
+          f"{len(edit_violations)} edit-budget violations, "
+          f"{len(stream_violations)} streaming-budget violations")
     failures = bool(regressions or overhead_violations or overload_violations
-                    or restart_violations or edit_violations)
+                    or restart_violations or edit_violations
+                    or stream_violations)
     if failures and os.environ.get("CMIF_SKIP_BENCH_GATE") == "1":
         print("check_bench: CMIF_SKIP_BENCH_GATE=1 set — reporting only")
         return 0

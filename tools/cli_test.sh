@@ -70,6 +70,16 @@ grep -q "zero divergences" conf.out || {
 "$TOOL" check --seeds 3,99 --no-shrink >/dev/null 2>&1
 check "conformance seed list exits 0" 0 $?
 
+"$TOOL" check --stream --count 5 --seed 7 --no-shrink >stream_conf.out 2>&1
+check "streamed-vs-blob conformance run exits 0" 0 $?
+grep -q "zero divergences" stream_conf.out || {
+  echo "FAIL: stream conformance run did not report zero divergences" >&2
+  failures=$((failures + 1))
+}
+
+"$TOOL" check --stream --count 3 --seed 7 --bandwidth 2000 --chunk 300 --no-shrink >/dev/null 2>&1
+check "stream conformance on a starved link exits 0" 0 $?
+
 "$TOOL" serve --docs 2 --requests 16 --threads 1 >/dev/null 2>&1
 check "in-process serve replay exits 0" 0 $?
 
@@ -97,6 +107,32 @@ else
   }
   grep -q "presentation-hash:" request.out || {
     echo "FAIL: request did not print the presentation hash" >&2
+    failures=$((failures + 1))
+  }
+
+  "$TOOL" request --port "$port" --doc news-0-s1 --profile personal --stream >stream.out 2>&1
+  check "streamed request against the live server exits 0" 0 $?
+  grep -q "outcome: healthy" stream.out || {
+    echo "FAIL: streamed request did not report a healthy outcome" >&2
+    failures=$((failures + 1))
+  }
+  grep -Eq "stream: [0-9]+ chunks" stream.out || {
+    echo "FAIL: streamed request did not report chunked delivery" >&2
+    failures=$((failures + 1))
+  }
+  # Streamed and plain delivery must agree on the document they describe.
+  stream_hash="$(sed -n 's/^presentation-hash: //p' stream.out)"
+  plain_hash="$(sed -n 's/^presentation-hash: //p' request.out)"
+  if [ -z "$stream_hash" ] || [ "$stream_hash" != "$plain_hash" ]; then
+    echo "FAIL: streamed presentation hash differs from plain delivery" >&2
+    failures=$((failures + 1))
+  fi
+
+  # A v3 client asking for a stream silently falls back to blob delivery.
+  "$TOOL" request --port "$port" --doc news-0-s1 --stream --wire-version 3 >stream_v3.out 2>&1
+  check "streamed request at wire v3 falls back and exits 0" 0 $?
+  grep -q "stream: blob fallback" stream_v3.out || {
+    echo "FAIL: v3 streamed request did not report the blob fallback" >&2
     failures=$((failures + 1))
   }
 

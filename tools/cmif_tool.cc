@@ -9,6 +9,10 @@
 //                   [--replay <file|dir>]    differential conformance run
 //                                            (--edits replays seeded edit
 //                                            traces through EditSession)
+//   cmif_tool check --stream [--bandwidth B] [--chunk C] [--count N] [...]
+//                                            streamed-vs-blob delivery
+//                                            differential on a simulated
+//                                            B-bytes/sec link
 //   cmif_tool tree <doc>                     Figure-5 views
 //   cmif_tool arcs <doc>                     Figure-9 arc table
 //   cmif_tool schedule <doc> [catalog]       timeline (Figure 3/10 view)
@@ -29,8 +33,10 @@
 //                                            serve over TCP until stdin closes
 //   cmif_tool request --port <port> --doc <name> [--host A] [--profile <name>]
 //                     [--channels a,b] [--no-body] [--retries N] [--deadline-ms D]
-//                     [--trace out.json]
+//                     [--trace out.json] [--stream [--chunk C]] [--wire-version V]
 //                                            fetch one compiled presentation
+//                                            (--stream = chunked delivery
+//                                            with silent blob fallback)
 //   cmif_tool stats <host:port>              live server telemetry as JSON
 //   cmif_tool cache <ls|verify|purge> <dir>  inspect / check / wipe a
 //                                            persistent cache directory
@@ -50,6 +56,7 @@
 #include "src/api/cmif.h"
 #include "src/base/string_util.h"
 #include "src/check/differential.h"
+#include "src/check/stream.h"
 #include "src/ddbms/persist.h"
 #include "src/doc/stats.h"
 #include "src/doc/validate.h"
@@ -216,8 +223,13 @@ std::optional<std::uint64_t> ParseSeed(const std::string& text) {
 }
 
 // check --count N --seed S ... : the differential conformance driver.
+// With --stream the run is the streamed-vs-blob delivery differential
+// (src/check/stream.h) instead: --bandwidth sets the simulated link in
+// bytes/second (0 = infinite) and --chunk the stream chunk size.
 int CmdConformance(const std::vector<std::string>& args) {
   check::CheckOptions options;
+  check::StreamCheckOptions stream_options;
+  bool stream = false;
   std::string replay;
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::optional<long> value;
@@ -253,6 +265,12 @@ int CmdConformance(const std::vector<std::string>& args) {
       options.reproducer_dir = args[++i];
     } else if (args[i] == "--replay" && i + 1 < args.size()) {
       replay = args[++i];
+    } else if (args[i] == "--stream") {
+      stream = true;
+    } else if (args[i] == "--bandwidth" && (value = long_after(i))) {
+      stream_options.bandwidth_bytes_per_s = static_cast<std::int64_t>(*value);
+    } else if (args[i] == "--chunk" && (value = long_after(i))) {
+      stream_options.chunk_bytes = static_cast<std::uint64_t>(std::max(*value, 1L));
     } else {
       return BadFlag("check: unknown or malformed argument '" + args[i] + "'");
     }
@@ -275,6 +293,21 @@ int CmdConformance(const std::vector<std::string>& args) {
     }
     std::cout << "replayed " << replay << ": OK\n";
     return kExitOk;
+  }
+  if (stream) {
+    stream_options.base_seed = options.base_seed;
+    stream_options.count = options.count;
+    stream_options.seeds = options.seeds;
+    stream_options.target_leaves = options.target_leaves;
+    stream_options.shrink = options.shrink;
+    stream_options.reproducer_dir = options.reproducer_dir;
+    stream_options.profile = options.profile;
+    auto report = check::RunStreamCheck(stream_options);
+    if (!report.ok()) {
+      return Fail(report.status());
+    }
+    std::cout << report->Summary();
+    return report->ok() ? kExitOk : kExitFailure;
   }
   auto report = check::RunDifferentialCheck(options);
   if (!report.ok()) {
@@ -841,6 +874,8 @@ int CmdRequest(const std::vector<std::string>& args) {
   api::NetClientOptions client_options;
   api::PresentRequest request;
   std::string trace_out;
+  bool stream = false;
+  std::uint64_t chunk_bytes = api::kDefaultChunkBytes;
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::optional<long> value;
     auto long_after = [&](std::size_t& j) -> std::optional<long> {
@@ -871,6 +906,16 @@ int CmdRequest(const std::vector<std::string>& args) {
       request.deadline_ms = *value;
     } else if (args[i] == "--trace" && i + 1 < args.size()) {
       trace_out = args[++i];
+    } else if (args[i] == "--stream") {
+      // Chunked delivery (wire v4): kStreamBegin + chunks + kStreamEnd,
+      // silently falling back to a plain request against an older server.
+      stream = true;
+    } else if (args[i] == "--chunk" && (value = long_after(i))) {
+      chunk_bytes = static_cast<std::uint64_t>(std::max(*value, 1L));
+    } else if (args[i] == "--wire-version" && (value = long_after(i))) {
+      // Speak an older protocol version (interop testing; clamped into the
+      // supported range at construction).
+      client_options.wire_version = static_cast<std::uint8_t>(*value);
     } else {
       return BadFlag("request: unknown or malformed argument '" + args[i] + "'");
     }
@@ -889,31 +934,51 @@ int CmdRequest(const std::vector<std::string>& args) {
     request.trace = obs::NewTrace(1.0);
   }
   api::NetClient client(client_options);
-  auto response = client.Present(request);
-  if (!response.ok()) {
-    return Fail(response.status());
+  api::PresentResponse response;
+  if (stream) {
+    auto streamed = client.PresentStream(request, chunk_bytes);
+    if (!streamed.ok()) {
+      return Fail(streamed.status());
+    }
+    if (streamed->streamed) {
+      std::cout << StrFormat(
+          "stream: %llu chunks, %llu bytes, %zu blocks (%llu resumes, %llu restarts)\n",
+          static_cast<unsigned long long>(streamed->chunks_received),
+          static_cast<unsigned long long>(streamed->bytes_streamed), streamed->blocks.size(),
+          static_cast<unsigned long long>(streamed->resumes),
+          static_cast<unsigned long long>(streamed->restarts));
+    } else {
+      std::cout << "stream: blob fallback (peer predates wire v4)\n";
+    }
+    response = std::move(streamed->response);
+  } else {
+    auto answer = client.Present(request);
+    if (!answer.ok()) {
+      return Fail(answer.status());
+    }
+    response = std::move(*answer);
   }
-  std::cout << "outcome: " << api::ServeOutcomeName(response->outcome) << " ("
-            << response->attempts << (response->attempts == 1 ? " attempt" : " attempts")
-            << ", cache " << (response->cache_hit ? "hit" : "miss") << ")\n";
+  std::cout << "outcome: " << api::ServeOutcomeName(response.outcome) << " ("
+            << response.attempts << (response.attempts == 1 ? " attempt" : " attempts")
+            << ", cache " << (response.cache_hit ? "hit" : "miss") << ")\n";
   if (!trace_out.empty()) {
     std::ofstream out(trace_out, std::ios::binary);
-    out << MergedTraceJson(request.trace.trace_id, response->server_spans);
+    out << MergedTraceJson(request.trace.trace_id, response.server_spans);
     if (!out) {
       return Fail(InternalError("cannot write trace to '" + trace_out + "'"));
     }
     std::cout << StrFormat("trace: %016llx (%zu server spans) -> %s\n",
                            static_cast<unsigned long long>(request.trace.trace_id),
-                           response->server_spans.size(), trace_out.c_str());
+                           response.server_spans.size(), trace_out.c_str());
   }
-  if (response->outcome == api::ServeOutcome::kFailed) {
-    std::cerr << "error: " << response->error << "\n";
+  if (response.outcome == api::ServeOutcome::kFailed) {
+    std::cerr << "error: " << response.error << "\n";
     return kExitFailure;
   }
   std::cout << StrFormat("presentation-hash: %016llx\n",
-                         static_cast<unsigned long long>(response->presentation_hash));
+                         static_cast<unsigned long long>(response.presentation_hash));
   if (request.want_body) {
-    std::cout << response->presentation;
+    std::cout << response.presentation;
   }
   return kExitOk;
 }

@@ -18,7 +18,7 @@ BENCH_ARGS="${BENCH_ARGS:---benchmark_filter=^$}"
 FIGS=(fig1_pipeline fig2_ddbms fig3_timeline fig4_news fig5_tree
       fig6_nodes fig7_attrs fig8_sync_window fig9_arcs fig10_fragment
       fig11_serve fig12_chaos fig13_net fig14_check fig15_trace
-      fig16_restart fig17_edit)
+      fig16_restart fig17_edit fig18_stream)
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
