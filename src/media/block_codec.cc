@@ -187,8 +187,18 @@ StatusOr<DataBlock> DecodeBlockPayload(std::string_view payload) {
                                        static_cast<unsigned long long>(width),
                                        static_cast<unsigned long long>(height)));
       }
+      // width/height are capped at kMaxPixelDim, so frame_bytes fits in 64
+      // bits — but frame_count * frame_bytes can wrap. Bounding frame_count
+      // by remaining / frame_bytes first keeps the product exact.
+      const std::uint64_t frame_bytes = width * height * 3;
+      const std::uint64_t remaining = payload.size() - pos;
+      if (frame_count > 0 && frame_bytes == 0) {
+        return DataLossError(StrFormat("implausible video geometry (%llu zero-area frames)",
+                                       static_cast<unsigned long long>(frame_count)));
+      }
       if (frame_count > kMaxPlausibleBytes ||
-          payload.size() - pos != frame_count * width * height * 3) {
+          (frame_bytes > 0 && frame_count > remaining / frame_bytes) ||
+          remaining != frame_count * frame_bytes) {
         return DataLossError(StrFormat("video of %llu frames truncated at offset %zu",
                                        static_cast<unsigned long long>(frame_count), pos));
       }

@@ -322,8 +322,11 @@ StatusOr<StreamResult> NetClient::PresentStream(const PresentRequest& request,
         result.response = std::move(begin->prefix);
         result.blocks = *std::move(blocks);
         result.streamed = true;
+        result.stream_id = begin->stream_id;
         result.chunks_received = reassembler.chunks_received();
-        // Best-effort delivery telemetry; a lost ack harms nothing.
+        // Best-effort delivery telemetry; a lost ack harms nothing. Stalls
+        // are always zero here — playback has not run yet; the caller
+        // reports them later via ReportStreamStalls.
         StreamAck ack;
         ack.stream_id = begin->stream_id;
         ack.chunks_received = reassembler.chunks_received();
@@ -349,6 +352,26 @@ StatusOr<StreamResult> NetClient::PresentStream(const PresentRequest& request,
     }
   }
   return last.ok() ? UnavailableError("stream retry budget exhausted") : last;
+}
+
+Status NetClient::ReportStreamStalls(std::uint64_t stream_id, std::uint64_t stalls) {
+  if (options_.wire_version < 4) {
+    return FailedPreconditionError("stream acks require wire v4");
+  }
+  if (stream_id == 0) {
+    return InvalidArgumentError("stall report without a stream id (blob fallback?)");
+  }
+  CMIF_RETURN_IF_ERROR(EnsureConnected());
+  StreamAck ack;
+  ack.stream_id = stream_id;
+  ack.stalls = stalls;
+  Status written =
+      WriteFrame(socket_, FrameType::kStreamAck, EncodeStreamAck(ack, options_.wire_version),
+                 options_.wire_version);
+  if (!written.ok()) {
+    Disconnect();
+  }
+  return written;
 }
 
 Status NetClient::Ping() {

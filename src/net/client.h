@@ -49,6 +49,9 @@ struct StreamResult {
   PresentResponse response;
   std::vector<WireBlock> blocks;
   bool streamed = false;
+  // Identity of the delivered stream (0 on the blob fallback); pass it to
+  // ReportStreamStalls once playback has measured its stalls.
+  std::uint64_t stream_id = 0;
   std::uint64_t chunks_received = 0;
   std::uint64_t bytes_streamed = 0;
   // Mid-stream reconnects that resumed at a chunk boundary.
@@ -86,6 +89,14 @@ class NetClient {
   // chunk 0. Both consume the retry budget (options.retry.max_attempts).
   StatusOr<StreamResult> PresentStream(const PresentRequest& request,
                                        std::uint64_t chunk_bytes = kDefaultChunkBytes);
+
+  // Reports playback stalls attributed to a delivered stream (the
+  // StreamResult's stream_id) as a one-way kStreamAck, feeding the server's
+  // stream_stalls counter. PresentStream's own completion ack carries the
+  // chunk count but zero stalls — stalls only exist once a player has run
+  // against the delivered blocks, so the caller sends them afterwards.
+  // Best-effort telemetry: a failure harms nothing and is safe to ignore.
+  Status ReportStreamStalls(std::uint64_t stream_id, std::uint64_t stalls);
 
   // Many requests in one kBatchRequest frame (wire v3+; kInvalidArgument
   // when this client is configured for v2 or the batch exceeds

@@ -1,5 +1,7 @@
 #include "src/net/stream.h"
 
+#include <algorithm>
+
 #include "src/base/codec_util.h"
 #include "src/base/string_util.h"
 #include "src/base/varint.h"
@@ -219,8 +221,13 @@ Status StreamReassembler::Begin(const StreamBegin& begin, std::string resumed_pa
   for (const StreamBlockInfo& info : begin.manifest) {
     total_bytes += info.bytes;
   }
-  if (resumed_payload.size() != begin.resumed_from * begin.chunk_bytes ||
-      resumed_payload.size() > total_bytes) {
+  // The prefix for chunk boundary k is k * chunk_bytes, except that the
+  // final chunk may be short: a client that held every chunk but lost the
+  // connection before kStreamEnd resumes with exactly total_bytes.
+  const std::uint64_t expected_prefix =
+      std::min(begin.resumed_from * begin.chunk_bytes, total_bytes);
+  if (begin.resumed_from > begin.total_chunks ||
+      resumed_payload.size() != expected_prefix) {
     return DataLossError(StrFormat("resume prefix of %zu bytes disagrees with chunk %llu boundary",
                                    resumed_payload.size(),
                                    static_cast<unsigned long long>(begin.resumed_from)));

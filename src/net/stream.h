@@ -151,7 +151,9 @@ class StreamReassembler {
  public:
   // Adopts the manifest/chunking of `begin`. `resumed_payload` is the byte
   // prefix a resuming client already holds — exactly
-  // begin.resumed_from * begin.chunk_bytes bytes (empty for fresh streams).
+  // min(begin.resumed_from * begin.chunk_bytes, total payload bytes), the
+  // latter when every chunk arrived but kStreamEnd did not (the final chunk
+  // may be short). Empty for fresh streams.
   Status Begin(const StreamBegin& begin, std::string resumed_payload = {});
 
   // Validates stream id, sequential index, and chunk size, then appends.

@@ -1,0 +1,76 @@
+// The block payload codec's decode contract: crafted or corrupted payloads
+// fail as structured kDataLoss — never a crash, out-of-bounds read, or
+// unbounded allocation — and valid encodings round-trip exactly. These
+// payloads arrive over the network (wire v4 stream chunks carry them), so
+// the decode path is adversarial input.
+#include "src/media/block_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/varint.h"
+#include "src/media/data_block.h"
+#include "src/media/raster.h"
+#include "src/media/video.h"
+
+namespace cmif {
+namespace {
+
+TEST(BlockCodecTest, VideoRoundTrip) {
+  VideoSegment video(25);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(video.Append(Raster(4, 2, Pixel{static_cast<std::uint8_t>(i), 0, 255})).ok());
+  }
+  DataBlock block = DataBlock::FromVideo(std::move(video));
+  auto decoded = DecodeBlockPayload(EncodeBlockPayload(block));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->video().fps(), 25);
+  EXPECT_EQ(decoded->video().frame_count(), 3u);
+  EXPECT_EQ(decoded->video(), block.video());
+}
+
+TEST(BlockCodecTest, VideoSizeOverflowIsDataLossNotOutOfBoundsRead) {
+  // frame_count * width * height * 3 = 2^40 * 2^15 * 512 * 3 = 3 * 2^64,
+  // which wraps to 0 in uint64 — exactly matching the empty tail. A naive
+  // size check passes and the frame loop then reads out of bounds; the
+  // decode must instead fail structurally on the byte budget.
+  std::string payload;
+  PutVarint64(payload, static_cast<std::uint64_t>(MediaType::kVideo));
+  PutVarint64(payload, 0);          // not a generator
+  PutVarint64(payload, 30);         // fps
+  PutVarint64(payload, 1ull << 40); // frame_count at the plausibility cap
+  PutVarint64(payload, 1ull << 15); // width at the pixel cap
+  PutVarint64(payload, 512);        // height
+  auto decoded = DecodeBlockPayload(payload);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss) << decoded.status();
+}
+
+TEST(BlockCodecTest, ZeroAreaVideoFramesAreDataLoss) {
+  // Zero-area frames carry no payload bytes, so any frame count "fits" the
+  // tail; accepting them would let a crafted count drive an unbounded
+  // append loop.
+  std::string payload;
+  PutVarint64(payload, static_cast<std::uint64_t>(MediaType::kVideo));
+  PutVarint64(payload, 0);   // not a generator
+  PutVarint64(payload, 30);  // fps
+  PutVarint64(payload, 7);   // frame_count
+  PutVarint64(payload, 0);   // width
+  PutVarint64(payload, 16);  // height
+  auto decoded = DecodeBlockPayload(payload);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss) << decoded.status();
+}
+
+TEST(BlockCodecTest, TruncatedVideoPayloadIsDataLoss) {
+  VideoSegment video(10);
+  ASSERT_TRUE(video.Append(Raster(8, 8)).ok());
+  std::string encoded = EncodeBlockPayload(DataBlock::FromVideo(std::move(video)));
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    auto decoded = DecodeBlockPayload(encoded.substr(0, cut));
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace cmif

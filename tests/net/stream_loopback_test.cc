@@ -282,6 +282,34 @@ TEST(StreamLoopbackTest, StreamingCountersTravelInV4StatsOnly) {
   h.server->Stop();
 }
 
+TEST(StreamLoopbackTest, ReportedStallsReachTheServerCounters) {
+  Harness h = Harness::Start(1);
+  NetClient client = h.Client();
+  PresentRequest request;
+  request.document = h.corpus->document(0).name;
+  auto streamed = client.PresentStream(request, kTestChunkBytes);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  ASSERT_TRUE(streamed->streamed);
+  ASSERT_NE(streamed->stream_id, 0u);
+
+  // Playback runs after delivery, so stalls travel as a follow-up ack named
+  // by the delivered stream id; the completion ack itself carries zero.
+  auto before = client.FetchStats();
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_EQ(before->stream_stalls, 0u);
+  ASSERT_TRUE(client.ReportStreamStalls(streamed->stream_id, 3).ok());
+  auto after = client.FetchStats();
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->stream_stalls, 3u);
+
+  // The blob fallback has no stream to attribute stalls to.
+  EXPECT_EQ(client.ReportStreamStalls(0, 1).code(), StatusCode::kInvalidArgument);
+  NetClient v3 = h.Client(/*wire_version=*/3);
+  EXPECT_EQ(v3.ReportStreamStalls(streamed->stream_id, 1).code(),
+            StatusCode::kFailedPrecondition);
+  h.server->Stop();
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace cmif

@@ -466,6 +466,38 @@ TEST(StreamReassemblerTest, ResumesAtChunkBoundary) {
   EXPECT_EQ((*blocks)[0].payload + (*blocks)[1].payload, payload);
 }
 
+TEST(StreamReassemblerTest, ResumesAtTheFinalShortChunkBoundary) {
+  // A client that received every chunk but lost the connection before
+  // kStreamEnd resumes holding total_bytes — less than
+  // total_chunks * chunk_bytes whenever the final chunk is short. That
+  // resume must be accepted and finish without refetching anything.
+  std::string payload(700, 's');  // 3 chunks of 256: the last is 188 bytes
+  StreamBegin begin = TwoChunkBegin(payload, 256);
+  ASSERT_EQ(begin.total_chunks, 3u);
+  StreamBegin resumed = begin;
+  resumed.resumed_from = 3;
+  StreamReassembler reassembler;
+  ASSERT_TRUE(reassembler.Begin(resumed, payload).ok());
+  EXPECT_TRUE(reassembler.complete());
+  auto blocks = reassembler.Finish(StreamEnd{99, 3, begin.payload_hash});
+  ASSERT_TRUE(blocks.ok()) << blocks.status();
+  EXPECT_EQ((*blocks)[0].payload + (*blocks)[1].payload, payload);
+  // A full-boundary prefix (3 * 256 bytes) no longer matches the payload
+  // and stays rejected.
+  StreamReassembler wrong;
+  EXPECT_EQ(wrong.Begin(resumed, payload + std::string(68, 'x')).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(StreamReassemblerTest, ResumePastTheChunkCountIsRejected) {
+  std::string payload(700, 't');
+  StreamBegin begin = TwoChunkBegin(payload, 256);
+  StreamBegin resumed = begin;
+  resumed.resumed_from = begin.total_chunks + 1;
+  StreamReassembler reassembler;
+  EXPECT_EQ(reassembler.Begin(resumed, payload).code(), StatusCode::kDataLoss);
+}
+
 TEST(StreamReassemblerTest, ResumePrefixMustSitOnTheBoundary) {
   std::string payload(1000, 'r');
   StreamBegin begin = TwoChunkBegin(payload, 256);
